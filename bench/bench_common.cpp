@@ -1,0 +1,97 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace arcs::bench {
+
+StrategySweep run_strategies(const kernels::AppSpec& app,
+                             const sim::MachineSpec& machine, double cap,
+                             std::size_t max_search_passes,
+                             std::uint64_t seed) {
+  StrategySweep sweep;
+  sweep.cap = cap;
+
+  kernels::RunOptions base;
+  base.power_cap = cap;
+  base.seed = seed;
+  base.max_search_passes = max_search_passes;
+  base.repetitions = 3;  // paper §IV.D: three runs per experiment
+
+  sweep.def = kernels::run_app(app, machine, base);
+
+  auto online = base;
+  online.strategy = TuningStrategy::Online;
+  sweep.online = kernels::run_app(app, machine, online);
+
+  auto offline = base;
+  offline.strategy = TuningStrategy::OfflineReplay;
+  sweep.offline = kernels::run_app(app, machine, offline);
+  return sweep;
+}
+
+void print_normalized_sweeps(const std::string& title,
+                             const std::vector<StrategySweep>& sweeps,
+                             bool include_energy) {
+  std::cout << title << "\n(normalized to the default strategy at the same "
+               "power level; lower is better)\n\n";
+  std::vector<std::string> headers{"power level", "default", "ARCS-Online",
+                                   "ARCS-Offline"};
+  if (include_energy) {
+    headers.insert(headers.end(),
+                   {"energy default", "Online", "Offline"});
+  }
+  common::Table t{headers};
+  for (const auto& s : sweeps) {
+    auto& row = t.row().cell(cap_label(s.cap)).cell(1.0, 3);
+    row.cell(s.online.elapsed / s.def.elapsed, 3)
+        .cell(s.offline.elapsed / s.def.elapsed, 3);
+    if (include_energy) {
+      row.cell(1.0, 3)
+          .cell(s.online.energy / s.def.energy, 3)
+          .cell(s.offline.energy / s.def.energy, 3);
+    }
+  }
+  t.print(std::cout);
+  std::string slug;
+  for (char ch : title)
+    slug += (std::isalnum(static_cast<unsigned char>(ch)) != 0) ? ch : '_';
+  maybe_export_csv(slug, t);
+  std::cout << "\nabsolute default times (s): ";
+  for (const auto& s : sweeps)
+    std::cout << cap_label(s.cap) << "="
+              << common::format_fixed(s.def.elapsed, 2) << "  ";
+  std::cout << "\n";
+}
+
+void banner(const std::string& artifact, const std::string& expectation) {
+  std::cout << "==========================================================\n"
+            << artifact << "\n"
+            << "paper expectation: " << expectation << "\n"
+            << "==========================================================\n\n";
+}
+
+int effective_timesteps(int full) {
+  const char* fast = std::getenv("ARCS_BENCH_FAST");
+  if (fast != nullptr && fast[0] == '1') return std::max(full / 5, 4);
+  return full;
+}
+
+void maybe_export_csv(const std::string& name,
+                      const common::Table& table) {
+  const char* dir = std::getenv("ARCS_BENCH_CSV");
+  if (dir == nullptr || dir[0] == '\0') return;
+  std::filesystem::create_directories(dir);
+  const auto path = std::filesystem::path(dir) / (name + ".csv");
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  table.print_csv(out);
+  std::cout << "[csv] wrote " << path.string() << "\n";
+}
+
+}  // namespace arcs::bench

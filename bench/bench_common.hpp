@@ -1,0 +1,60 @@
+// Shared harness for the figure/table reproduction binaries.
+//
+// Every bench prints (1) what the paper reports for that artifact, and
+// (2) the same rows/series measured on this reproduction, normalized the
+// way the paper normalizes (to the default strategy at the same power
+// level). Absolute values are simulator units; the *shape* is the claim.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "kernels/apps.hpp"
+#include "kernels/driver.hpp"
+#include "sim/presets.hpp"
+
+namespace arcs::bench {
+
+/// The paper's five Crill power levels; 0.0 denotes TDP (115 W, uncapped).
+inline std::vector<double> crill_caps() {
+  return {55.0, 70.0, 85.0, 100.0, 0.0};
+}
+
+inline std::string cap_label(double cap) {
+  return cap > 0.0 ? common::format_fixed(cap, 0) + "W" : "TDP(115W)";
+}
+
+/// Results of the three strategies at one power level.
+struct StrategySweep {
+  double cap = 0.0;
+  kernels::RunResult def;
+  kernels::RunResult online;
+  kernels::RunResult offline;
+};
+
+/// Runs {default, ARCS-Online, ARCS-Offline} for one app at one cap.
+StrategySweep run_strategies(const kernels::AppSpec& app,
+                             const sim::MachineSpec& machine, double cap,
+                             std::size_t max_search_passes = 60,
+                             std::uint64_t seed = 1);
+
+/// Prints the paper-style normalized table (execution time and, when the
+/// machine exposes counters, package energy) for a set of sweeps.
+void print_normalized_sweeps(const std::string& title,
+                             const std::vector<StrategySweep>& sweeps,
+                             bool include_energy);
+
+/// Prints a banner with the artifact id and the paper's expectation.
+void banner(const std::string& artifact, const std::string& expectation);
+
+/// Honors ARCS_BENCH_FAST=1 to shrink timesteps for smoke runs.
+int effective_timesteps(int full);
+
+/// When ARCS_BENCH_CSV=<dir> is set, also writes `table` to
+/// <dir>/<name>.csv (for replotting); otherwise a no-op.
+void maybe_export_csv(const std::string& name, const common::Table& table);
+
+}  // namespace arcs::bench

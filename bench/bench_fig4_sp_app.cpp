@@ -1,0 +1,28 @@
+// Figure 4 — SP class B application-level execution time (a) and package
+// energy (b) for {default, ARCS-Online, ARCS-Offline} at five power
+// levels on Crill.
+//
+// Paper claims: both ARCS strategies beat the default by a large margin
+// at every power level — time improvements between 26% and 40%, energy
+// improvements up to ~40%.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace arcs;
+  bench::banner("Figure 4 — SP class B, application level (Crill)",
+                "ARCS improves time 26-40% and energy up to ~40% at every "
+                "power level");
+
+  auto app = kernels::sp_app("B");
+  app.timesteps = bench::effective_timesteps(app.timesteps);
+
+  std::vector<bench::StrategySweep> sweeps;
+  for (const double cap : bench::crill_caps())
+    sweeps.push_back(bench::run_strategies(app, sim::crill(), cap));
+
+  bench::print_normalized_sweeps("SP class B on crill", sweeps,
+                                 /*include_energy=*/true);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 5 — SP data set C (4x larger than B): execution time and energy
+// at TDP for {default, ARCS-Online, ARCS-Offline}.
+//
+// Paper claims: gains persist across workloads — up to 40% time and 42%
+// energy improvement on class C; and the chosen per-region configurations
+// differ from the class B ones (motivating workload in the history key).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace arcs;
+  bench::banner("Figure 5 — SP class C at TDP (Crill)",
+                "up to 40% time / 42% energy improvement; optima differ "
+                "from class B's");
+
+  auto app_c = kernels::sp_app("C");
+  app_c.timesteps = bench::effective_timesteps(app_c.timesteps);
+  const auto sweep = bench::run_strategies(app_c, sim::crill(), 0.0);
+  bench::print_normalized_sweeps("SP class C on crill (TDP)", {sweep},
+                                 /*include_energy=*/true);
+
+  // Cross-workload comparison of chosen configurations (paper §V.A:
+  // "the configurations of the regions from SP differed across
+  // workloads").
+  auto app_b = kernels::sp_app("B");
+  app_b.timesteps = bench::effective_timesteps(app_b.timesteps);
+  kernels::RunOptions off;
+  off.strategy = TuningStrategy::OfflineReplay;
+  const auto run_b = kernels::run_app(app_b, sim::crill(), off);
+
+  common::Table t({"region", "class B optimum", "class C optimum"});
+  for (const char* region :
+       {"compute_rhs", "x_solve", "y_solve", "z_solve"}) {
+    std::string b = "-", c = "-";
+    for (const auto& [key, entry] : run_b.history.entries())
+      if (key.region == region) b = entry.config.to_string();
+    for (const auto& [key, entry] : sweep.offline.history.entries())
+      if (key.region == region) c = entry.config.to_string();
+    t.row().cell(region).cell(b).cell(c);
+  }
+  std::cout << "\n";
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 7 — BT class B application-level execution time and package
+// energy across the five power levels for the three strategies.
+//
+// Paper claims: BT offers little headroom (only compute_rhs improves), so
+// the application-level gains are small everywhere — the best is ~3% at
+// 85 W with ARCS-Offline — and ARCS-Online occasionally *loses* to the
+// default because the small gains are offset by tuning overhead.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace arcs;
+  bench::banner("Figure 7 — BT class B, application level (Crill)",
+                "small gains (best ~3%, Offline); Online sometimes below "
+                "the default");
+
+  auto app = kernels::bt_app("B");
+  app.timesteps = bench::effective_timesteps(app.timesteps);
+
+  std::vector<bench::StrategySweep> sweeps;
+  for (const double cap : bench::crill_caps())
+    sweeps.push_back(bench::run_strategies(app, sim::crill(), cap));
+
+  bench::print_normalized_sweeps("BT class B on crill", sweeps,
+                                 /*include_energy=*/true);
+
+  bool online_ever_loses = false;
+  for (const auto& s : sweeps)
+    if (s.online.elapsed > s.def.elapsed) online_ever_loses = true;
+  std::cout << "ARCS-Online loses somewhere: "
+            << (online_ever_loses ? "yes (as in the paper)" : "no") << "\n";
+  return 0;
+}

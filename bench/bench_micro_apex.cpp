@@ -1,0 +1,84 @@
+// Microbenchmarks for APEX: per-region instrumentation cost (host-side),
+// profile updates, and policy-engine dispatch — "incur minimal overhead
+// when not in use" is the OMPT/APEX design goal this guards.
+#include <benchmark/benchmark.h>
+
+#include "apex/apex.hpp"
+#include "apex/trace.hpp"
+#include "sim/presets.hpp"
+#include "somp/runtime.hpp"
+
+namespace {
+
+using namespace arcs;
+
+somp::RegionWork make_region() {
+  somp::RegionWork w;
+  w.id.name = "bench_region";
+  w.id.codeptr = 42;
+  w.cost = std::make_shared<somp::CostProfile>(
+      std::vector<double>(128, 1e5));
+  w.memory.bytes_per_iter = 1000;
+  return w;
+}
+
+void BM_RegionNoTools(benchmark::State& state) {
+  sim::Machine machine{sim::crill()};
+  somp::Runtime runtime{machine};
+  const auto region = make_region();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(runtime.parallel_for(region));
+}
+BENCHMARK(BM_RegionNoTools);
+
+void BM_RegionWithApex(benchmark::State& state) {
+  sim::Machine machine{sim::crill()};
+  somp::Runtime runtime{machine};
+  apex::Apex apex{runtime};
+  const auto region = make_region();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(runtime.parallel_for(region));
+  state.counters["profiles"] =
+      static_cast<double>(apex.profiles().tasks().size());
+}
+BENCHMARK(BM_RegionWithApex);
+
+void BM_RegionWithApexAndPolicies(benchmark::State& state) {
+  sim::Machine machine{sim::crill()};
+  somp::Runtime runtime{machine};
+  apex::Apex apex{runtime};
+  long long counter = 0;
+  apex.policies().register_stop_policy(
+      [&counter](const apex::TimerEvent&) { ++counter; });
+  apex.policies().register_start_policy(
+      [&counter](const apex::TimerEvent&) { ++counter; });
+  const auto region = make_region();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(runtime.parallel_for(region));
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_RegionWithApexAndPolicies);
+
+void BM_TraceBufferRegion(benchmark::State& state) {
+  sim::Machine machine{sim::crill()};
+  somp::Runtime runtime{machine};
+  apex::TraceBuffer trace{runtime, 1 << 16};
+  const auto region = make_region();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(runtime.parallel_for(region));
+  state.counters["events"] = static_cast<double>(trace.size());
+}
+BENCHMARK(BM_TraceBufferRegion);
+
+void BM_ProfileRecord(benchmark::State& state) {
+  apex::ProfileStore store;
+  auto& profile = store.at("task", apex::Metric::RegionTime);
+  double v = 0.001;
+  for (auto _ : state) {
+    profile.record(v);
+    v += 1e-6;
+  }
+}
+BENCHMARK(BM_ProfileRecord);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Microbenchmarks for the search library: cost of one propose/measure
+// cycle per strategy, and full-session convergence cost on the ARCS space.
+#include <benchmark/benchmark.h>
+
+#include "core/search_space.hpp"
+#include "harmony/session.hpp"
+#include "harmony/strategy_factory.hpp"
+#include "sim/presets.hpp"
+
+namespace {
+
+using namespace arcs;
+
+double toy_objective(const std::vector<harmony::Value>& v) {
+  double f = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    f += static_cast<double>((v[i] % 7) * (3 - static_cast<long long>(i)));
+  return 100.0 + f;
+}
+
+void run_full_session(harmony::StrategyKind kind, benchmark::State& state) {
+  const auto space = arcs_search_space(sim::crill());
+  std::size_t total_evals = 0;
+  for (auto _ : state) {
+    harmony::StrategyOptions opts;
+    opts.seed = 11;
+    opts.random_budget = 30;
+    harmony::Session session(space, harmony::make_strategy(kind, opts));
+    while (!session.converged()) {
+      const auto values = session.next_values();
+      session.report(toy_objective(values));
+    }
+    total_evals += session.evaluations();
+    benchmark::DoNotOptimize(session.best_value());
+  }
+  state.counters["evals/session"] =
+      static_cast<double>(total_evals) /
+      static_cast<double>(state.iterations());
+}
+
+void BM_SessionExhaustive(benchmark::State& state) {
+  run_full_session(harmony::StrategyKind::Exhaustive, state);
+}
+BENCHMARK(BM_SessionExhaustive);
+
+void BM_SessionNelderMead(benchmark::State& state) {
+  run_full_session(harmony::StrategyKind::NelderMead, state);
+}
+BENCHMARK(BM_SessionNelderMead);
+
+void BM_SessionPRO(benchmark::State& state) {
+  run_full_session(harmony::StrategyKind::ParallelRankOrder, state);
+}
+BENCHMARK(BM_SessionPRO);
+
+void BM_SessionRandom(benchmark::State& state) {
+  run_full_session(harmony::StrategyKind::Random, state);
+}
+BENCHMARK(BM_SessionRandom);
+
+void BM_SpaceDecode(benchmark::State& state) {
+  const auto space = arcs_search_space(sim::crill());
+  harmony::Point p{3, 2, 4};
+  for (auto _ : state) benchmark::DoNotOptimize(space.decode(p));
+}
+BENCHMARK(BM_SpaceDecode);
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Microbenchmarks for the machine simulator: governor solves, cache-model
+// evaluations, RAPL deposits — the per-region-execution fixed costs.
+#include <benchmark/benchmark.h>
+
+#include "sim/cache.hpp"
+#include "sim/msr.hpp"
+#include "sim/power.hpp"
+#include "sim/presets.hpp"
+#include "sim/rapl.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+using namespace arcs;
+
+void BM_GovernorOperatingPoint(benchmark::State& state) {
+  const auto m = sim::crill();
+  sim::PowerGovernor gov(m.power, m.frequency);
+  double cap = 55.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gov.operating_point(cap, 16));
+    cap = cap >= 115.0 ? 55.0 : cap + 10.0;
+  }
+}
+BENCHMARK(BM_GovernorOperatingPoint);
+
+void BM_CacheEvaluate(benchmark::State& state) {
+  const auto m = sim::crill();
+  sim::CacheModel model(m.caches);
+  sim::MemoryBehavior mem;
+  mem.bytes_per_iter = 3e6;
+  mem.access_bytes_per_iter = 8e8;
+  sim::CacheConfig cfg;
+  cfg.placement = sim::place_threads(m.topology, 32);
+  cfg.chunk_iters = 8;
+  cfg.contiguous = false;
+  for (auto _ : state) benchmark::DoNotOptimize(model.evaluate(mem, cfg));
+}
+BENCHMARK(BM_CacheEvaluate);
+
+void BM_PlaceThreads(benchmark::State& state) {
+  const auto m = sim::crill();
+  int t = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::place_threads(m.topology, t));
+    t = t >= 64 ? 1 : t + 1;
+  }
+}
+BENCHMARK(BM_PlaceThreads);
+
+void BM_RaplDeposit(benchmark::State& state) {
+  sim::RaplCounter counter;
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 1e-4;
+    counter.deposit(0.01, now);
+    benchmark::DoNotOptimize(counter.read_raw(now));
+  }
+}
+BENCHMARK(BM_RaplDeposit);
+
+void BM_MsrReadEnergy(benchmark::State& state) {
+  sim::Machine machine{sim::crill()};
+  sim::MsrDevice dev{machine};
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 1e-3;
+    machine.advance(1e-3, 50.0);
+    benchmark::DoNotOptimize(dev.read(sim::kMsrPkgEnergyStatus));
+    (void)now;
+  }
+}
+BENCHMARK(BM_MsrReadEnergy);
+
+void BM_SmtThroughputLookup(benchmark::State& state) {
+  const auto m = sim::minotaur();
+  double k = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.smt_per_thread_throughput(k));
+    k = k >= 8.0 ? 1.0 : k + 0.5;
+  }
+}
+BENCHMARK(BM_SmtThroughputLookup);
+
+}  // namespace

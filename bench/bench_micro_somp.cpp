@@ -1,0 +1,84 @@
+// Microbenchmarks for the simulated OpenMP runtime: chunk generation and
+// full region execution across schedules/chunks (host-side cost of the
+// discrete-event engine, which bounds experiment throughput).
+#include <benchmark/benchmark.h>
+
+#include "sim/presets.hpp"
+#include "somp/chunker.hpp"
+#include "somp/runtime.hpp"
+
+namespace {
+
+using namespace arcs;
+
+somp::RegionWork make_region(std::int64_t n) {
+  somp::RegionWork w;
+  w.id.name = "bench";
+  w.id.codeptr = 1;
+  w.cost = std::make_shared<somp::CostProfile>(
+      std::vector<double>(static_cast<std::size_t>(n), 1e5));
+  w.memory.bytes_per_iter = 1000;
+  w.memory.access_bytes_per_iter = 4000;
+  return w;
+}
+
+void BM_StaticPartition(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(somp::static_partition(n, 32, 0));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StaticPartition)->Arg(102)->Arg(91125);
+
+void BM_GuidedChunks(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(somp::guided_chunks(n, 32, 1));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GuidedChunks)->Arg(102)->Arg(91125);
+
+void BM_ParallelForStatic(benchmark::State& state) {
+  sim::Machine machine{sim::crill()};
+  somp::Runtime runtime{machine};
+  const auto region = make_region(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(runtime.parallel_for(region));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelForStatic)->Arg(102)->Arg(91125);
+
+void BM_ParallelForDynamicChunk1(benchmark::State& state) {
+  sim::Machine machine{sim::crill()};
+  somp::Runtime runtime{machine};
+  runtime.set_schedule({somp::ScheduleKind::Dynamic, 1});
+  const auto region = make_region(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(runtime.parallel_for(region));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelForDynamicChunk1)->Arg(102)->Arg(91125);
+
+void BM_ParallelForGuided(benchmark::State& state) {
+  sim::Machine machine{sim::crill()};
+  somp::Runtime runtime{machine};
+  runtime.set_schedule({somp::ScheduleKind::Guided, 8});
+  const auto region = make_region(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(runtime.parallel_for(region));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelForGuided)->Arg(91125);
+
+void BM_ConfigChange(benchmark::State& state) {
+  sim::Machine machine{sim::crill()};
+  somp::Runtime runtime{machine};
+  int t = 2;
+  for (auto _ : state) {
+    runtime.apply_config_forced({t, {somp::ScheduleKind::Guided, 8}});
+    t = t == 2 ? 4 : 2;
+  }
+}
+BENCHMARK(BM_ConfigChange);
+
+}  // namespace

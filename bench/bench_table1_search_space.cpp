@@ -1,0 +1,43 @@
+// Table I — the ARCS search-parameter sets for OpenMP parallel regions.
+//
+// Paper values:
+//   threads (Crill):    2, 4, 8, 16, 24, 32, default
+//   threads (Minotaur): 20, 40, 80, 120, 160, default
+//   schedule type:      dynamic, static, guided, default
+//   chunk size:         1, 8, 16, 32, 64, 128, 256, 512, default
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/search_space.hpp"
+
+int main() {
+  using namespace arcs;
+  bench::banner("Table I — ARCS search parameters",
+                "three dimensions; Crill 7x4x9 = 252 configurations, "
+                "Minotaur 6x4x9 = 216");
+
+  for (const auto& machine : {sim::crill(), sim::minotaur()}) {
+    const auto space = arcs_search_space(machine);
+    std::cout << machine.name << " (" << space.size()
+              << " configurations):\n";
+    for (std::size_t d = 0; d < space.num_dimensions(); ++d) {
+      const auto& dim = space.dimension(d);
+      std::cout << "  " << dim.name << ": ";
+      for (std::size_t i = 0; i < dim.values.size(); ++i) {
+        const auto v = dim.values[i];
+        if (dim.name == "schedule") {
+          std::cout << somp::to_string(static_cast<somp::ScheduleKind>(v));
+        } else {
+          if (v == 0)
+            std::cout << "default";
+          else
+            std::cout << v;
+        }
+        if (i + 1 < dim.values.size()) std::cout << ", ";
+      }
+      std::cout << "\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// X10 (extension) — generalization to an app outside the paper: NPB CG.
+//
+// CG is an adversarial case for ARCS: one big tunable region (the
+// irregular SpMV, ~26% improvable via dynamic scheduling of its
+// power-law row lengths) surrounded by several small, already-optimal
+// streaming kernels (dot products with reductions, axpy updates) that
+// pay the full per-call reconfiguration cost for nothing — the same
+// pathology as LULESH, §V.C. Plain ARCS should roughly break even;
+// selective tuning (X3) should capture the SpMV gains cleanly.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace arcs;
+  bench::banner("X10 — NPB CG (beyond the paper's apps, Crill)",
+                "plain ARCS near break-even (small-region overhead); "
+                "selective tuning captures the SpMV gains");
+
+  auto app = kernels::cg_app("B");
+  app.timesteps = bench::effective_timesteps(app.timesteps);
+
+  common::Table t({"cap", "Offline", "Offline+selective", "Online",
+                   "Online+selective", "blacklisted"});
+  for (const double cap : {55.0, 0.0}) {
+    kernels::RunOptions base;
+    base.power_cap = cap;
+    const auto def = kernels::run_app(app, sim::crill(), base);
+
+    auto offline = base;
+    offline.strategy = TuningStrategy::OfflineReplay;
+    const auto off = kernels::run_app(app, sim::crill(), offline);
+    offline.selective_tuning = true;
+    const auto off_sel = kernels::run_app(app, sim::crill(), offline);
+
+    auto online = base;
+    online.strategy = TuningStrategy::Online;
+    const auto on = kernels::run_app(app, sim::crill(), online);
+    online.selective_tuning = true;
+    const auto on_sel = kernels::run_app(app, sim::crill(), online);
+
+    t.row()
+        .cell(bench::cap_label(cap))
+        .cell(off.elapsed / def.elapsed, 3)
+        .cell(off_sel.elapsed / def.elapsed, 3)
+        .cell(on.elapsed / def.elapsed, 3)
+        .cell(on_sel.elapsed / def.elapsed, 3)
+        .cell(on_sel.blacklisted);
+  }
+  t.print(std::cout);
+  std::cout << "\n(normalized to default at the same cap)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// X2 (§III.C) — the three ARCS overhead classes, characterized:
+//
+//  1. configuration-changing overhead: the cost of
+//     omp_set_num_threads()+omp_set_schedule() per region call
+//     (paper: ~8 ms on Crill);
+//  2. APEX instrumentation overhead: fixed per-region-call cost while the
+//     tool is attached;
+//  3. search overhead (Online only): extra execution time from measuring
+//     sub-optimal configurations before convergence (paper: up to ~10% of
+//     total execution time).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "somp/runtime.hpp"
+
+int main() {
+  using namespace arcs;
+  bench::banner("X2 — ARCS overhead characterization (§III.C)",
+                "config change ~8 ms/call on Crill; search overhead up to "
+                "~10% of execution time");
+
+  // --- 1. config-change overhead, measured through the machine clock ---
+  {
+    sim::Machine machine{sim::crill()};
+    somp::Runtime runtime{machine};
+    const double t0 = machine.now();
+    runtime.apply_config_forced({16, {somp::ScheduleKind::Guided, 8}});
+    const double per_call = machine.now() - t0;
+    std::cout << "1. configuration change: "
+              << common::format_fixed(per_call * 1e3, 2)
+              << " ms per region call (paper: ~8 ms)\n";
+  }
+
+  // --- 2. instrumentation overhead ---
+  {
+    sim::Machine machine{sim::crill()};
+    somp::Runtime runtime{machine};
+    std::cout << "2. APEX instrumentation: "
+              << common::format_fixed(
+                     runtime.instrumentation_overhead() * 1e6, 0)
+              << " us per region call while attached\n";
+  }
+
+  // --- 3. search overhead: Online run vs a replay of its own result ---
+  {
+    auto app = kernels::sp_app("B");
+    app.timesteps = bench::effective_timesteps(app.timesteps);
+    kernels::RunOptions online;
+    online.strategy = TuningStrategy::Online;
+    const auto searched = kernels::run_app(app, sim::crill(), online);
+
+    kernels::RunOptions replay;
+    replay.strategy = TuningStrategy::OfflineReplay;
+    replay.reuse_history = &searched.history;
+    const auto steady = kernels::run_app(app, sim::crill(), replay);
+
+    const double overhead =
+        (searched.elapsed - steady.elapsed) / searched.elapsed;
+    std::cout << "3. search overhead (SP class B, Online): "
+              << common::format_fixed(100.0 * overhead, 1)
+              << "% of the tuning execution ("
+              << searched.search_evaluations
+              << " configuration evaluations; paper: up to ~10%)\n";
+  }
+
+  // --- the LULESH tiny-region pathology, quantified ---
+  {
+    const auto app = kernels::lulesh_app("45");
+    const auto machine = sim::crill();
+    std::cout << "\nper-call cost vs per-call region time (LULESH, TDP):\n";
+    common::Table t({"region", "per-call time (ms)", "overhead share"});
+    for (const char* region : {"EvalEOSForElems", "CalcPressureForElems"}) {
+      const auto def = kernels::run_region_once(app, region, machine, 0.0,
+                                                somp::LoopConfig{});
+      const double ratio =
+          machine.config_change_cost / def.record.duration;
+      t.row()
+          .cell(region)
+          .cell(def.record.duration * 1e3, 2)
+          .cell(common::format_fixed(100.0 * ratio, 0) + "%");
+    }
+    t.print(std::cout);
+    std::cout << "(paper: almost 100% and 60%)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// X3 (ablation, paper §VII future work) — selective tuning.
+//
+// The paper proposes "selective tuning for OpenMP regions to avoid
+// overheads on the smaller regions" as future work; this repository
+// implements it (ArcsOptions::selective_tuning): regions whose mean
+// per-call time is below min_region_time_factor x the config-change cost
+// are blacklisted after a short probation.
+//
+// Expectation: on LULESH/Crill — where plain ARCS loses to the default
+// because of the tiny EOS/pressure regions — selective tuning recovers
+// the losses while keeping the gains on the large regions.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace arcs;
+  bench::banner("X3 — selective-tuning ablation (LULESH mesh 45, Crill)",
+                "blacklisting tiny regions turns ARCS's LULESH losses "
+                "into wins");
+
+  auto app = kernels::lulesh_app("45");
+  app.timesteps = bench::effective_timesteps(app.timesteps);
+
+  common::Table t({"power level", "Online", "Online+selective",
+                   "Offline", "Offline+selective", "blacklisted"});
+  for (const double cap : {55.0, 85.0, 0.0}) {
+    kernels::RunOptions base;
+    base.power_cap = cap;
+    const auto def = kernels::run_app(app, sim::crill(), base);
+
+    auto online = base;
+    online.strategy = TuningStrategy::Online;
+    const auto on_plain = kernels::run_app(app, sim::crill(), online);
+    online.selective_tuning = true;
+    const auto on_sel = kernels::run_app(app, sim::crill(), online);
+
+    auto offline = base;
+    offline.strategy = TuningStrategy::OfflineReplay;
+    const auto off_plain = kernels::run_app(app, sim::crill(), offline);
+    offline.selective_tuning = true;
+    const auto off_sel = kernels::run_app(app, sim::crill(), offline);
+
+    t.row()
+        .cell(bench::cap_label(cap))
+        .cell(on_plain.elapsed / def.elapsed, 3)
+        .cell(on_sel.elapsed / def.elapsed, 3)
+        .cell(off_plain.elapsed / def.elapsed, 3)
+        .cell(off_sel.elapsed / def.elapsed, 3)
+        .cell(on_sel.blacklisted);
+  }
+  t.print(std::cout);
+  std::cout << "\n(normalized to default at the same cap; <1 is a win)\n";
+  return 0;
+}

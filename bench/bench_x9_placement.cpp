@@ -1,0 +1,69 @@
+// X9 (extension) — thread placement as a tunable dimension.
+//
+// OMP_PROC_BIND=close packs a team onto the fewest cores (SMT siblings
+// first); under a package power cap that leaves headroom the RAPL
+// governor converts into frequency for the cores that stay on. The
+// extension adds {spread, close} to the ARCS search space.
+//
+// Expectation: at TDP, spread placement wins (more cores, no frequency
+// to gain). Under tight caps, close placement becomes competitive for
+// compute-bound regions — the optimum becomes cap-dependent in yet
+// another dimension, reinforcing the paper's §II motivation.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace arcs;
+  bench::banner("X9 — placement (proc_bind) dimension (Crill)",
+                "close placement buys frequency under caps; spread wins "
+                "at TDP");
+
+  // Region-level view first: BT x_solve (compute-leaning) with 16
+  // threads, spread vs close, across caps.
+  const auto bt = kernels::bt_app("B");
+  std::cout << "BT x_solve with 16 threads, spread vs close:\n";
+  common::Table region_table(
+      {"cap", "spread (s)", "close (s)", "close/spread", "f close (GHz)"});
+  for (const double cap : {55.0, 85.0, 0.0}) {
+    somp::LoopConfig spread{16, {somp::ScheduleKind::Dynamic, 1}};
+    somp::LoopConfig close = spread;
+    close.placement = sim::PlacementPolicy::Close;
+    const auto a =
+        kernels::run_region_once(bt, "x_solve", sim::crill(), cap, spread);
+    const auto b =
+        kernels::run_region_once(bt, "x_solve", sim::crill(), cap, close);
+    region_table.row()
+        .cell(bench::cap_label(cap))
+        .cell(a.record.duration, 4)
+        .cell(b.record.duration, 4)
+        .cell(b.record.duration / a.record.duration, 3)
+        .cell(b.record.op.effective_frequency() / 1e9, 2);
+  }
+  region_table.print(std::cout);
+
+  // Application level: does adding the dimension help ARCS-Offline?
+  auto app = kernels::sp_app("B");
+  app.timesteps = bench::effective_timesteps(app.timesteps);
+  std::cout << "\nSP class B, ARCS-Offline with/without the placement "
+               "dimension:\n";
+  common::Table t({"cap", "without", "with placement dim"});
+  for (const double cap : {55.0, 0.0}) {
+    kernels::RunOptions base;
+    base.power_cap = cap;
+    const auto def = kernels::run_app(app, sim::crill(), base);
+
+    kernels::RunOptions off = base;
+    off.strategy = TuningStrategy::OfflineReplay;
+    const auto plain = kernels::run_app(app, sim::crill(), off);
+    off.tune_placement = true;
+    off.max_search_passes = 10;
+    const auto placed = kernels::run_app(app, sim::crill(), off);
+    t.row()
+        .cell(bench::cap_label(cap))
+        .cell(plain.elapsed / def.elapsed, 3)
+        .cell(placed.elapsed / def.elapsed, 3);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Example: talking to the node the way libmsr does — raw RAPL registers.
+//
+// The paper's toolchain sits on "libmsr, a library that facilitates
+// access to MSRs via RAPL interface for energy measurement and power
+// capping". This example is that client, written against the emulated
+// register file: decode the unit register, program MSR_PKG_POWER_LIMIT,
+// and measure a loop's energy by differencing MSR_PKG_ENERGY_STATUS
+// (wraparound-safe).
+//
+//   $ ./msr_client
+#include <cstdio>
+
+#include "kernels/regions.hpp"
+#include "sim/msr.hpp"
+#include "sim/presets.hpp"
+#include "somp/runtime.hpp"
+
+int main() {
+  using namespace arcs;
+
+  sim::Machine machine{sim::crill()};
+  somp::Runtime runtime{machine};
+  sim::MsrDevice msr{machine};
+
+  // 1. Decode MSR_RAPL_POWER_UNIT.
+  const auto unit_reg = msr.read(sim::kMsrRaplPowerUnit);
+  std::printf("MSR_RAPL_POWER_UNIT = 0x%06llx\n",
+              static_cast<unsigned long long>(unit_reg));
+  std::printf("  power unit  = 1/%u W\n", 1u << (unit_reg & 0xf));
+  std::printf("  energy unit = 1/%u J (%.2f uJ)\n",
+              1u << ((unit_reg >> 8) & 0x1f),
+              msr.units().energy_unit() * 1e6);
+  std::printf("  TDP (MSR_PKG_POWER_INFO) = %.0f W\n\n",
+              msr.thermal_spec_power_watts());
+
+  // 2. Program a 70 W cap with a 10 ms window, then read the register
+  //    back and decode it.
+  msr.set_package_power_limit(70.0, 0.010);
+  machine.advance_idle(0.05);  // let the limit settle (the paper's
+                               // "warm up period after enforcing a cap")
+  const auto limit_reg = msr.read(sim::kMsrPkgPowerLimit);
+  std::printf("MSR_PKG_POWER_LIMIT = 0x%06llx  ->  %.1f W, enabled=%d\n",
+              static_cast<unsigned long long>(limit_reg),
+              msr.package_power_limit_watts(),
+              static_cast<int>((limit_reg >> 15) & 1));
+  std::printf("granted frequency with 16 busy cores: %.2f GHz\n\n",
+              machine.operating_point(16).effective_frequency() / 1e9);
+
+  // 3. Measure a parallel loop's package energy the RAPL way: two raw
+  //    counter reads differenced modulo 2^32.
+  const auto region =
+      kernels::simple_region("measured_loop", 1024, 2e6).build(1);
+  const auto raw_before =
+      static_cast<std::uint32_t>(msr.read(sim::kMsrPkgEnergyStatus));
+  const auto rec = runtime.parallel_for(region);
+  const auto raw_after =
+      static_cast<std::uint32_t>(msr.read(sim::kMsrPkgEnergyStatus));
+  const double joules =
+      machine.rapl_counter().joules_between(raw_before, raw_after);
+  std::printf("measured_loop: %.4f s, RAPL says %.2f J "
+              "(ground truth %.2f J, avg %.1f W under the 70 W cap)\n",
+              rec.duration, joules, rec.energy, joules / rec.duration);
+
+  // 4. The same read on the POWER8 box fails exactly like the paper's
+  //    attempt did.
+  sim::Machine mino{sim::minotaur()};
+  sim::MsrDevice mino_msr{mino};
+  try {
+    mino_msr.read(sim::kMsrPkgEnergyStatus);
+  } catch (const sim::CapabilityError& e) {
+    std::printf("\nminotaur: %s (as in the paper, §IV.D)\n", e.what());
+  }
+  return 0;
+}

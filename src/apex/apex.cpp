@@ -1,0 +1,135 @@
+#include "apex/apex.hpp"
+
+#include "common/check.hpp"
+
+namespace arcs::apex {
+
+Apex::Apex(somp::Runtime& runtime, ApexOptions options)
+    : runtime_(runtime), options_(options) {
+  energy_readable_ =
+      options_.sample_energy && runtime_.machine().spec().energy_counters;
+
+  ompt::ToolCallbacks cb;
+  cb.parallel_begin = [this](const ompt::ParallelBeginRecord& r) {
+    on_parallel_begin(r);
+  };
+  cb.parallel_end = [this](const ompt::ParallelEndRecord& r) {
+    on_parallel_end(r);
+  };
+  cb.implicit_task = [this](const ompt::ImplicitTaskRecord& r) {
+    on_implicit_task(r);
+  };
+  cb.work_loop = [this](const ompt::WorkLoopRecord& r) { on_work_loop(r); };
+  cb.sync_region = [this](const ompt::SyncRegionRecord& r) {
+    on_sync_region(r);
+  };
+  tool_handle_ = runtime_.tools().register_tool(std::move(cb));
+}
+
+Apex::~Apex() { runtime_.tools().unregister_tool(tool_handle_); }
+
+double Apex::total(std::string_view task, Metric metric) const {
+  const Profile* p = profiles_.find(task, metric);
+  return p ? p->total : 0.0;
+}
+
+void Apex::sample_counter(std::string_view name, double value) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), Profile{}).first;
+  it->second.record(value);
+}
+
+const Profile* Apex::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Apex::counter_names() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, profile] : counters_) names.push_back(name);
+  return names;
+}
+
+void Apex::on_parallel_begin(const ompt::ParallelBeginRecord& r) {
+  LiveRegion live;
+  live.name = r.region.name;
+  live.start_time = r.time;
+  if (energy_readable_)
+    live.energy_raw_before = runtime_.machine().read_energy_raw();
+  live_[r.parallel_id] = std::move(live);
+
+  policies_.fire_start({r.region.name, r.parallel_id, r.time, 0.0});
+}
+
+void Apex::on_parallel_end(const ompt::ParallelEndRecord& r) {
+  const auto it = live_.find(r.parallel_id);
+  ARCS_CHECK_MSG(it != live_.end(), "parallel_end without matching begin");
+  LiveRegion& live = it->second;
+
+  const common::Seconds duration = r.time - live.start_time;
+  profiles_.at(live.name, Metric::RegionTime).record(duration);
+  profiles_.at(live.name, Metric::ImplicitTaskTime)
+      .record(live.implicit_total);
+  profiles_.at(live.name, Metric::LoopTime).record(live.loop_total);
+  profiles_.at(live.name, Metric::BarrierTime).record(live.barrier_total);
+
+  if (energy_readable_) {
+    const std::uint32_t after = runtime_.machine().read_energy_raw();
+    const common::Joules joules =
+        runtime_.machine().rapl_counter().joules_between(
+            live.energy_raw_before, after);
+    profiles_.at(live.name, Metric::RegionEnergy).record(joules);
+  }
+
+  ++regions_observed_;
+  const TimerEvent stop{live.name, r.parallel_id, r.time, duration};
+  live_.erase(it);
+  policies_.fire_stop(stop);
+  policies_.advance_time(r.time);
+}
+
+void Apex::on_implicit_task(const ompt::ImplicitTaskRecord& r) {
+  const auto key = std::make_pair(r.parallel_id, r.thread_num);
+  if (r.endpoint == ompt::Endpoint::Begin) {
+    spans_[key].implicit_begin = r.time;
+    return;
+  }
+  const auto it = spans_.find(key);
+  ARCS_CHECK_MSG(it != spans_.end(), "implicit task end without begin");
+  const auto live = live_.find(r.parallel_id);
+  if (live != live_.end())
+    live->second.implicit_total += r.time - it->second.implicit_begin;
+  spans_.erase(it);  // implicit-task end is the last per-thread event
+}
+
+void Apex::on_work_loop(const ompt::WorkLoopRecord& r) {
+  const auto key = std::make_pair(r.parallel_id, r.thread_num);
+  if (r.endpoint == ompt::Endpoint::Begin) {
+    spans_[key].loop_begin = r.time;
+    return;
+  }
+  const auto it = spans_.find(key);
+  ARCS_CHECK_MSG(it != spans_.end(), "loop end without begin");
+  const auto live = live_.find(r.parallel_id);
+  if (live != live_.end())
+    live->second.loop_total += r.time - it->second.loop_begin;
+}
+
+void Apex::on_sync_region(const ompt::SyncRegionRecord& r) {
+  const auto key = std::make_pair(r.parallel_id, r.thread_num);
+  if (r.endpoint == ompt::Endpoint::Begin) {
+    auto it = spans_.find(key);
+    ARCS_CHECK_MSG(it != spans_.end(), "barrier begin before task begin");
+    it->second.barrier_begin = r.time;
+    return;
+  }
+  const auto it = spans_.find(key);
+  ARCS_CHECK_MSG(it != spans_.end(), "barrier end without begin");
+  const auto live = live_.find(r.parallel_id);
+  if (live != live_.end())
+    live->second.barrier_total += r.time - it->second.barrier_begin;
+}
+
+}  // namespace arcs::apex

@@ -1,0 +1,101 @@
+// APEX core: OMPT adapter + introspection state + policy engine.
+//
+// Mirrors the paper's APEX role (§III.B): "The OMPT interface starts a
+// timer upon entry to an OpenMP parallel region and stops that timer upon
+// exit"; profiles accumulate per-region wall time, the per-thread OMPT
+// event breakdown (implicit task / loop / barrier — Fig. 9's three
+// events), and the region's package energy read through the emulated RAPL
+// counter (with its quantization and wraparound, handled the way a real
+// RAPL client must).
+//
+// Policies subscribe to timer start/stop events; the ARCS policy (core/)
+// is one such client.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apex/policy_engine.hpp"
+#include "apex/profile.hpp"
+#include "ompt/ompt.hpp"
+#include "somp/runtime.hpp"
+
+namespace arcs::apex {
+
+struct ApexOptions {
+  /// Read the RAPL counter around each region (ignored on machines
+  /// without energy counter access, e.g. Minotaur).
+  bool sample_energy = true;
+};
+
+class Apex {
+ public:
+  /// Attaches to the runtime's OMPT tool registry. The runtime must
+  /// outlive this object.
+  explicit Apex(somp::Runtime& runtime, ApexOptions options = {});
+  ~Apex();
+
+  Apex(const Apex&) = delete;
+  Apex& operator=(const Apex&) = delete;
+
+  ProfileStore& profiles() { return profiles_; }
+  const ProfileStore& profiles() const { return profiles_; }
+
+  PolicyEngine& policies() { return policies_; }
+
+  /// Convenience: total accumulated value of (task, metric), 0 if absent.
+  double total(std::string_view task, Metric metric) const;
+
+  /// User counters ("introspection from timers, counters, node- or
+  /// machine-wide resource utilization data"): sample an arbitrary named
+  /// value; statistics accumulate in a Profile keyed by the counter name.
+  void sample_counter(std::string_view name, double value);
+  const Profile* counter(std::string_view name) const;
+  std::vector<std::string> counter_names() const;
+
+  /// Number of region instances observed.
+  std::uint64_t regions_observed() const { return regions_observed_; }
+
+  somp::Runtime& runtime() { return runtime_; }
+
+ private:
+  void on_parallel_begin(const ompt::ParallelBeginRecord& r);
+  void on_parallel_end(const ompt::ParallelEndRecord& r);
+  void on_implicit_task(const ompt::ImplicitTaskRecord& r);
+  void on_work_loop(const ompt::WorkLoopRecord& r);
+  void on_sync_region(const ompt::SyncRegionRecord& r);
+
+  somp::Runtime& runtime_;
+  ApexOptions options_;
+  std::size_t tool_handle_ = 0;
+  bool energy_readable_ = false;
+
+  ProfileStore profiles_;
+  std::map<std::string, Profile, std::less<>> counters_;
+  PolicyEngine policies_;
+  std::uint64_t regions_observed_ = 0;
+
+  /// In-flight region state (one per live parallel id).
+  struct LiveRegion {
+    std::string name;
+    common::Seconds start_time = 0;
+    std::uint32_t energy_raw_before = 0;
+    double implicit_total = 0;
+    double loop_total = 0;
+    double barrier_total = 0;
+  };
+  std::map<ompt::ParallelId, LiveRegion> live_;
+
+  /// Per (parallel id, thread) begin timestamps awaiting their end events.
+  struct ThreadSpans {
+    common::Seconds implicit_begin = 0;
+    common::Seconds loop_begin = 0;
+    common::Seconds barrier_begin = 0;
+  };
+  std::map<std::pair<ompt::ParallelId, int>, ThreadSpans> spans_;
+};
+
+}  // namespace arcs::apex

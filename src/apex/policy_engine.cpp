@@ -1,0 +1,80 @@
+#include "apex/policy_engine.hpp"
+
+#include "common/check.hpp"
+
+namespace arcs::apex {
+
+PolicyHandle PolicyEngine::add(Entry entry) {
+  entry.active = true;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].active) {
+      entries_[i] = std::move(entry);
+      return i;
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+PolicyHandle PolicyEngine::register_start_policy(StartPolicy policy) {
+  ARCS_CHECK(policy != nullptr);
+  Entry e;
+  e.kind = Entry::Kind::Start;
+  e.start = std::move(policy);
+  return add(std::move(e));
+}
+
+PolicyHandle PolicyEngine::register_stop_policy(StopPolicy policy) {
+  ARCS_CHECK(policy != nullptr);
+  Entry e;
+  e.kind = Entry::Kind::Stop;
+  e.stop = std::move(policy);
+  return add(std::move(e));
+}
+
+PolicyHandle PolicyEngine::register_periodic_policy(common::Seconds period,
+                                                    PeriodicPolicy policy) {
+  ARCS_CHECK(policy != nullptr);
+  ARCS_CHECK_MSG(period > 0, "periodic policy needs a positive period");
+  Entry e;
+  e.kind = Entry::Kind::Periodic;
+  e.periodic = std::move(policy);
+  e.period = period;
+  e.next_fire = period;
+  return add(std::move(e));
+}
+
+void PolicyEngine::deregister(PolicyHandle handle) {
+  ARCS_CHECK_MSG(handle < entries_.size() && entries_[handle].active,
+                 "deregistering an unknown policy");
+  entries_[handle] = {};
+}
+
+std::size_t PolicyEngine::policy_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries_)
+    if (e.active) ++n;
+  return n;
+}
+
+void PolicyEngine::fire_start(const TimerEvent& event) {
+  for (auto& e : entries_)
+    if (e.active && e.kind == Entry::Kind::Start) e.start(event);
+}
+
+void PolicyEngine::fire_stop(const TimerEvent& event) {
+  for (auto& e : entries_)
+    if (e.active && e.kind == Entry::Kind::Stop) e.stop(event);
+}
+
+void PolicyEngine::advance_time(common::Seconds now) {
+  for (auto& e : entries_) {
+    if (!e.active || e.kind != Entry::Kind::Periodic) continue;
+    while (e.next_fire <= now) {
+      e.periodic(e.next_fire);
+      e.next_fire += e.period;
+    }
+  }
+}
+
+}  // namespace arcs::apex

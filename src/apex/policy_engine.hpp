@@ -1,0 +1,67 @@
+// The APEX policy engine.
+//
+// "The most distinguishing component in APEX is the policy engine. ...
+// Policies are rules that decide on outcomes based on the observed state
+// captured by APEX. The rules are encoded as callback functions that are
+// periodic or triggered by events."
+//
+// Here the triggering events are APEX timer start/stop (driven by OMPT
+// parallel begin/end, as in the paper §III.B), plus periodic rules driven
+// by the advancing virtual clock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace arcs::apex {
+
+/// Event passed to triggered policies.
+struct TimerEvent {
+  std::string task;             ///< region name
+  std::uint64_t instance = 0;   ///< dynamic region instance (parallel id)
+  common::Seconds timestamp = 0;///< app virtual clock
+  common::Seconds duration = 0; ///< stop events only
+};
+
+using PolicyHandle = std::size_t;
+
+class PolicyEngine {
+ public:
+  using StartPolicy = std::function<void(const TimerEvent&)>;
+  using StopPolicy = std::function<void(const TimerEvent&)>;
+  using PeriodicPolicy = std::function<void(common::Seconds now)>;
+
+  PolicyHandle register_start_policy(StartPolicy policy);
+  PolicyHandle register_stop_policy(StopPolicy policy);
+  /// Fires every `period` of virtual time (checked as time advances).
+  PolicyHandle register_periodic_policy(common::Seconds period,
+                                        PeriodicPolicy policy);
+  void deregister(PolicyHandle handle);
+
+  std::size_t policy_count() const;
+
+  // --- driven by the APEX core ---
+  void fire_start(const TimerEvent& event);
+  void fire_stop(const TimerEvent& event);
+  /// Advances the periodic-policy clock to `now`, firing due policies.
+  void advance_time(common::Seconds now);
+
+ private:
+  struct Entry {
+    enum class Kind { Start, Stop, Periodic } kind = Kind::Start;
+    StartPolicy start;
+    StopPolicy stop;
+    PeriodicPolicy periodic;
+    common::Seconds period = 0;
+    common::Seconds next_fire = 0;
+    bool active = false;
+  };
+  PolicyHandle add(Entry entry);
+  std::vector<Entry> entries_;
+};
+
+}  // namespace arcs::apex

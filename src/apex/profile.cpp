@@ -1,0 +1,43 @@
+#include "apex/profile.hpp"
+
+#include <algorithm>
+
+namespace arcs::apex {
+
+std::string_view to_string(Metric metric) {
+  switch (metric) {
+    case Metric::RegionTime:
+      return "REGION_TIME";
+    case Metric::ImplicitTaskTime:
+      return "OpenMP_IMPLICIT_TASK";
+    case Metric::LoopTime:
+      return "OpenMP_LOOP";
+    case Metric::BarrierTime:
+      return "OpenMP_BARRIER";
+    case Metric::RegionEnergy:
+      return "REGION_ENERGY";
+  }
+  return "UNKNOWN";
+}
+
+Profile& ProfileStore::at(std::string_view task, Metric metric) {
+  return profiles_[{std::string(task), metric}];
+}
+
+const Profile* ProfileStore::find(std::string_view task,
+                                  Metric metric) const {
+  const auto it = profiles_.find({std::string(task), metric});
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ProfileStore::tasks() const {
+  std::vector<std::string> names;
+  for (const auto& [key, _] : profiles_) {
+    if (names.empty() || names.back() != key.first)
+      names.push_back(key.first);
+  }
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+}  // namespace arcs::apex

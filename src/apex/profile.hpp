@@ -1,0 +1,66 @@
+// APEX-style profiles: per-task accumulated measurements.
+//
+// A Profile is the summary APEX keeps for each (task, metric) pair — call
+// count, total, min, max, last — and what policy rules query ("the rules
+// access the APEX state in order to request profile values from any
+// measurement collected by APEX").
+#pragma once
+
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arcs::apex {
+
+/// Metrics the OMPT adapter collects per parallel region.
+enum class Metric {
+  RegionTime,        ///< wall time of the region (timer start..stop)
+  ImplicitTaskTime,  ///< sum over threads of implicit-task spans (Fig 9)
+  LoopTime,          ///< sum over threads of loop-body spans
+  BarrierTime,       ///< sum over threads of barrier waits (OMP_BARRIER)
+  RegionEnergy,      ///< package joules attributed to the region
+};
+
+std::string_view to_string(Metric metric);
+
+struct Profile {
+  std::size_t calls = 0;
+  double total = 0.0;
+  double minimum = std::numeric_limits<double>::infinity();
+  double maximum = 0.0;
+  double last = 0.0;
+
+  void record(double value) {
+    ++calls;
+    total += value;
+    if (value < minimum) minimum = value;
+    if (value > maximum) maximum = value;
+    last = value;
+  }
+
+  double mean() const {
+    return calls ? total / static_cast<double>(calls) : 0.0;
+  }
+};
+
+/// Keyed store of profiles. Task names are region names; lookups by
+/// (task, metric).
+class ProfileStore {
+ public:
+  Profile& at(std::string_view task, Metric metric);
+
+  /// nullptr when the pair was never recorded.
+  const Profile* find(std::string_view task, Metric metric) const;
+
+  /// All task names seen (sorted).
+  std::vector<std::string> tasks() const;
+
+  void clear() { profiles_.clear(); }
+
+ private:
+  std::map<std::pair<std::string, Metric>, Profile> profiles_;
+};
+
+}  // namespace arcs::apex

@@ -1,0 +1,74 @@
+#include "apex/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace arcs::apex {
+
+void write_profile_report(const Apex& apex, std::ostream& os,
+                          const ReportOptions& options) {
+  struct Row {
+    std::string task;
+    const Profile* time;
+  };
+  std::vector<Row> rows;
+  for (const auto& task : apex.profiles().tasks()) {
+    const Profile* p = apex.profiles().find(task, Metric::RegionTime);
+    if (p != nullptr) rows.push_back({task, p});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.time->total > b.time->total;
+  });
+  if (options.top > 0 && rows.size() > options.top)
+    rows.resize(options.top);
+
+  std::vector<std::string> headers{"region",   "calls", "total (s)",
+                                   "mean (ms)", "min (ms)", "max (ms)"};
+  if (options.event_breakdown)
+    headers.insert(headers.end(), {"LOOP (s)", "BARRIER (s)", "barrier %"});
+  if (options.energy) headers.push_back("energy (J)");
+
+  common::Table table{headers};
+  for (const auto& row : rows) {
+    auto& r = table.row()
+                  .cell(row.task)
+                  .cell(row.time->calls)
+                  .cell(row.time->total, 3)
+                  .cell(row.time->mean() * 1e3, 3)
+                  .cell(row.time->minimum * 1e3, 3)
+                  .cell(row.time->maximum * 1e3, 3);
+    if (options.event_breakdown) {
+      const double loop = apex.total(row.task, Metric::LoopTime);
+      const double barrier = apex.total(row.task, Metric::BarrierTime);
+      const double implicit = apex.total(row.task, Metric::ImplicitTaskTime);
+      r.cell(loop, 3).cell(barrier, 3).cell(
+          implicit > 0 ? 100.0 * barrier / implicit : 0.0, 1);
+    }
+    if (options.energy)
+      r.cell(apex.total(row.task, Metric::RegionEnergy), 1);
+  }
+  os << "APEX profile report (" << rows.size() << " regions, "
+     << apex.regions_observed() << " region instances)\n";
+  table.print(os);
+}
+
+void write_counter_report(const Apex& apex, std::ostream& os) {
+  common::Table table({"counter", "samples", "mean", "min", "max", "last"});
+  for (const auto& name : apex.counter_names()) {
+    const Profile* p = apex.counter(name);
+    table.row()
+        .cell(name)
+        .cell(p->calls)
+        .cell(p->mean(), 4)
+        .cell(p->minimum, 4)
+        .cell(p->maximum, 4)
+        .cell(p->last, 4);
+  }
+  os << "APEX counters\n";
+  table.print(os);
+}
+
+}  // namespace arcs::apex

@@ -1,0 +1,28 @@
+// Human-readable profile reports (the pprof/TAU-style dump the paper's
+// workflow relies on: "We used TAU for our analysis. We profiled LULESH
+// running with the default configuration...").
+#pragma once
+
+#include <iosfwd>
+
+#include "apex/apex.hpp"
+
+namespace arcs::apex {
+
+struct ReportOptions {
+  /// Print at most this many regions (by inclusive time); 0 = all.
+  std::size_t top = 0;
+  /// Include the OMPT event breakdown columns.
+  bool event_breakdown = true;
+  /// Include the per-region energy column (when counters were readable).
+  bool energy = true;
+};
+
+/// Writes a sorted per-region profile table (descending inclusive time).
+void write_profile_report(const Apex& apex, std::ostream& os,
+                          const ReportOptions& options = {});
+
+/// Writes the user-counter statistics table (alphabetical).
+void write_counter_report(const Apex& apex, std::ostream& os);
+
+}  // namespace arcs::apex

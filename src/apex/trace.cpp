@@ -1,0 +1,94 @@
+#include "apex/trace.hpp"
+
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace arcs::apex {
+
+std::string_view to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::ParallelBegin:
+      return "parallel_begin";
+    case TraceEvent::Kind::ParallelEnd:
+      return "parallel_end";
+    case TraceEvent::Kind::ImplicitTaskBegin:
+      return "implicit_task_begin";
+    case TraceEvent::Kind::ImplicitTaskEnd:
+      return "implicit_task_end";
+    case TraceEvent::Kind::LoopBegin:
+      return "loop_begin";
+    case TraceEvent::Kind::LoopEnd:
+      return "loop_end";
+    case TraceEvent::Kind::BarrierBegin:
+      return "barrier_begin";
+    case TraceEvent::Kind::BarrierEnd:
+      return "barrier_end";
+  }
+  return "unknown";
+}
+
+TraceBuffer::TraceBuffer(somp::Runtime& runtime, std::size_t capacity)
+    : runtime_(runtime), ring_(capacity) {
+  ARCS_CHECK_MSG(capacity >= 8, "trace buffer too small to be useful");
+  using K = TraceEvent::Kind;
+  ompt::ToolCallbacks cb;
+  cb.parallel_begin = [this](const ompt::ParallelBeginRecord& r) {
+    push({K::ParallelBegin, r.parallel_id, r.region.name, -1, r.time});
+  };
+  cb.parallel_end = [this](const ompt::ParallelEndRecord& r) {
+    push({K::ParallelEnd, r.parallel_id, r.region.name, -1, r.time});
+  };
+  cb.implicit_task = [this](const ompt::ImplicitTaskRecord& r) {
+    push({r.endpoint == ompt::Endpoint::Begin ? K::ImplicitTaskBegin
+                                              : K::ImplicitTaskEnd,
+          r.parallel_id, {}, r.thread_num, r.time});
+  };
+  cb.work_loop = [this](const ompt::WorkLoopRecord& r) {
+    push({r.endpoint == ompt::Endpoint::Begin ? K::LoopBegin : K::LoopEnd,
+          r.parallel_id, {}, r.thread_num, r.time});
+  };
+  cb.sync_region = [this](const ompt::SyncRegionRecord& r) {
+    push({r.endpoint == ompt::Endpoint::Begin ? K::BarrierBegin
+                                              : K::BarrierEnd,
+          r.parallel_id, {}, r.thread_num, r.time});
+  };
+  handle_ = runtime_.tools().register_tool(std::move(cb));
+}
+
+TraceBuffer::~TraceBuffer() { runtime_.tools().unregister_tool(handle_); }
+
+void TraceBuffer::push(TraceEvent event) {
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % ring_.size();
+  if (count_ < ring_.size())
+    ++count_;
+  else
+    ++dropped_;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  const std::size_t start =
+      count_ < ring_.size() ? 0 : head_;  // oldest retained entry
+  for (std::size_t i = 0; i < count_; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+void TraceBuffer::clear() {
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+void TraceBuffer::export_csv(std::ostream& os) const {
+  os << "kind,parallel_id,region,thread,time\n";
+  for (const auto& e : events()) {
+    os << to_string(e.kind) << ',' << e.parallel_id << ',' << e.region
+       << ',' << e.thread << ',' << e.time << '\n';
+  }
+}
+
+}  // namespace arcs::apex

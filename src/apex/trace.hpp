@@ -1,0 +1,71 @@
+// OMPT event trace buffer — the post-mortem timeline view a tool like
+// TAU builds. Registers as an additional OMPT tool (the registry fans
+// out), records every event with its virtual timestamp into a bounded
+// buffer, and can export CSV for external plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ompt/ompt.hpp"
+#include "somp/runtime.hpp"
+
+namespace arcs::apex {
+
+/// One flattened trace event.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    ParallelBegin,
+    ParallelEnd,
+    ImplicitTaskBegin,
+    ImplicitTaskEnd,
+    LoopBegin,
+    LoopEnd,
+    BarrierBegin,
+    BarrierEnd,
+  };
+  Kind kind = Kind::ParallelBegin;
+  ompt::ParallelId parallel_id = 0;
+  std::string region;  ///< filled for parallel begin/end only
+  int thread = -1;     ///< -1 for region-scope events
+  double time = 0;     ///< virtual seconds
+};
+
+std::string_view to_string(TraceEvent::Kind kind);
+
+class TraceBuffer {
+ public:
+  /// Attaches to the runtime's tool registry. `capacity` bounds memory;
+  /// once full, the oldest events are dropped (a ring), and
+  /// dropped_events() reports how many.
+  explicit TraceBuffer(somp::Runtime& runtime, std::size_t capacity = 1
+                                                   << 20);
+  ~TraceBuffer();
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Events currently retained, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  std::size_t size() const { return count_; }
+  std::size_t dropped_events() const { return dropped_; }
+  void clear();
+
+  /// CSV: kind,parallel_id,region,thread,time
+  void export_csv(std::ostream& os) const;
+
+ private:
+  void push(TraceEvent event);
+
+  somp::Runtime& runtime_;
+  std::size_t handle_ = 0;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;   ///< next write slot
+  std::size_t count_ = 0;  ///< valid entries
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace arcs::apex

@@ -1,0 +1,282 @@
+#include "cluster/job.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace arcs::cluster {
+
+namespace {
+
+constexpr common::Seconds kCapSettleIdle = 0.01;
+
+/// Scales every region's per-iteration cost by `factor` (per-node load).
+kernels::AppSpec scaled_app(const kernels::AppSpec& app, double factor) {
+  kernels::AppSpec out = app;
+  for (auto& r : out.regions) r.cycles_per_iter *= factor;
+  for (auto& r : out.setup_regions) r.cycles_per_iter *= factor;
+  return out;
+}
+
+struct Node {
+  sim::MachineSpec spec;
+  double load_factor = 1.0;
+  kernels::AppSpec app;
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<somp::Runtime> runtime;
+  std::unique_ptr<apex::Apex> apex;
+  std::unique_ptr<ArcsPolicy> policy;
+  HistoryStore history;
+  std::vector<somp::RegionWork> setup;
+  std::vector<somp::RegionWork> loop;
+  double busy = 0.0;
+  double wait = 0.0;
+  double window_busy = 0.0;  ///< busy time since the last rebalance
+  double cap = 0.0;
+
+  void build_regions() {
+    std::uint64_t codeptr = 1;
+    setup.clear();
+    loop.clear();
+    for (const auto& region_spec : app.setup_regions)
+      setup.push_back(region_spec.build(codeptr++));
+    codeptr = 1000;
+    for (const auto& region_spec : app.regions)
+      loop.push_back(region_spec.build(codeptr++));
+  }
+
+  /// One application timestep; returns its wall time on this node.
+  double run_step(int timesteps_unused) {
+    (void)timesteps_unused;
+    const double t0 = machine->now();
+    for (const auto idx : app.step_sequence)
+      runtime->parallel_for(loop[idx]);
+    runtime->serial_compute(app.serial_cycles_per_step);
+    return machine->now() - t0;
+  }
+};
+
+ArcsOptions node_policy_options(const kernels::AppSpec& app,
+                                const JobOptions& options,
+                                TuningStrategy strategy, int node_index) {
+  ArcsOptions po;
+  po.strategy = strategy;
+  po.app_name = app.name;
+  po.workload = app.workload;
+  po.cap_granularity = options.cap_granularity;
+  po.search.seed =
+      common::hash_combine(options.seed,
+                           static_cast<std::uint64_t>(node_index) + 101);
+  return po;
+}
+
+}  // namespace
+
+double JobResult::imbalance() const {
+  if (nodes.empty()) return 1.0;
+  double max_busy = 0.0;
+  double sum = 0.0;
+  for (const auto& n : nodes) {
+    max_busy = std::max(max_busy, n.busy_time);
+    sum += n.busy_time;
+  }
+  const double mean = sum / static_cast<double>(nodes.size());
+  return mean > 0 ? max_busy / mean : 1.0;
+}
+
+JobResult run_job(const kernels::AppSpec& app,
+                  const sim::MachineSpec& machine,
+                  const JobOptions& options) {
+  ARCS_CHECK(options.nodes >= 1);
+  ARCS_CHECK_MSG(options.machines.empty() ||
+                     options.machines.size() ==
+                         static_cast<std::size_t>(options.nodes),
+                 "per-node machine list must match the node count");
+  const int timesteps = options.timesteps_override > 0
+                            ? options.timesteps_override
+                            : app.timesteps;
+  const bool capped = options.job_power_budget > 0;
+  if (capped) {
+    ARCS_CHECK_MSG(options.job_power_budget >=
+                       options.min_node_cap * options.nodes,
+                   "job budget below the per-node floor");
+  }
+
+  // --- build the nodes ---
+  common::Rng rng(options.seed);
+  std::vector<Node> nodes(static_cast<std::size_t>(options.nodes));
+  const double initial_cap =
+      capped ? options.job_power_budget / options.nodes : 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    Node& node = nodes[i];
+    node.spec = options.machines.empty() ? machine : options.machines[i];
+    if (capped)
+      ARCS_CHECK_MSG(node.spec.power_cappable,
+                     "job budgets need power-cappable nodes");
+    node.load_factor = 1.0 + options.load_spread * rng.uniform();
+    node.app = scaled_app(app, node.load_factor);
+    node.cap = initial_cap;
+    node.build_regions();
+
+    // Per-node ARCS-Offline search at the node's initial cap.
+    if (options.node_strategy == TuningStrategy::OfflineReplay) {
+      sim::Machine search_machine{node.spec};
+      if (capped) {
+        search_machine.set_power_cap(initial_cap);
+        search_machine.advance_idle(kCapSettleIdle);
+      }
+      somp::Runtime search_runtime{search_machine};
+      apex::Apex search_apex{search_runtime};
+      ArcsPolicy search_policy{
+          search_apex, search_runtime,
+          node_policy_options(node.app, options,
+                              TuningStrategy::OfflineSearch,
+                              static_cast<int>(i)),
+          &node.history};
+      auto converged = [&] {
+        for (const auto& spec : node.app.regions)
+          if (!search_policy.region_converged(spec.name)) return false;
+        return true;
+      };
+      for (std::size_t pass = 0;
+           pass < options.max_search_passes && !converged(); ++pass) {
+        for (const auto& work : node.setup)
+          search_runtime.parallel_for(work);
+        for (int step = 0; step < timesteps && !converged(); ++step) {
+          for (const auto idx : node.app.step_sequence)
+            search_runtime.parallel_for(node.loop[idx]);
+        }
+      }
+      search_policy.save_history();
+    }
+
+    // The measured node (its own OS-jitter stream).
+    node.machine = std::make_unique<sim::Machine>(
+        node.spec, options.seed + 7919 * (i + 1));
+    if (capped) {
+      node.machine->set_power_cap(initial_cap);
+      node.machine->advance_idle(kCapSettleIdle);
+    }
+    node.runtime = std::make_unique<somp::Runtime>(*node.machine);
+    if (options.node_strategy != TuningStrategy::Default) {
+      node.apex = std::make_unique<apex::Apex>(*node.runtime);
+      node.policy = std::make_unique<ArcsPolicy>(
+          *node.apex, *node.runtime,
+          node_policy_options(node.app, options, options.node_strategy,
+                              static_cast<int>(i)),
+          &node.history);
+    }
+  }
+
+  JobResult result;
+  result.nodes.resize(nodes.size());
+
+  // --- setup phase (synchronized like the step loop) ---
+  double setup_max = 0.0;
+  for (auto& node : nodes) {
+    const double t0 = node.machine->now();
+    for (const auto& work : node.setup) node.runtime->parallel_for(work);
+    const double dt = node.machine->now() - t0;
+    node.busy += dt;
+    setup_max = std::max(setup_max, dt);
+  }
+  for (auto& node : nodes) {
+    const double slack = setup_max - (node.machine->now() -
+                                      (capped ? kCapSettleIdle : 0.0));
+    if (slack > 0) {
+      node.machine->advance_idle(slack);
+      node.wait += slack;
+    }
+  }
+  result.makespan += setup_max;
+
+  // --- bulk-synchronous timestep loop ---
+  for (int step = 0; step < timesteps; ++step) {
+    // Adaptive power shifting toward the critical path: aim for
+    // frequency proportional to each node's recent step time (which
+    // equalizes predicted step times), then bisect a global scale so the
+    // resulting caps sum to the budget.
+    if (capped && options.policy == BudgetPolicy::AdaptiveRebalance &&
+        step > 0 && step % options.rebalance_steps == 0) {
+      double window_sum = 0.0;
+      double window_max = 0.0;
+      for (const auto& node : nodes) {
+        window_sum += node.window_busy;
+        window_max = std::max(window_max, node.window_busy);
+      }
+      if (window_sum > 0 && window_max > 0) {
+        // Each node's power comes from its *own* curve — heterogeneous
+        // nodes convert watts to frequency differently.
+        auto cap_for = [&](double mu, const Node& node) {
+          const auto& spec = node.spec;
+          const double f = std::clamp(mu * node.window_busy,
+                                      spec.frequency.f_min,
+                                      spec.frequency.f_max);
+          const double raw = spec.power.package_power(
+              spec.frequency.quantize(f), spec.topology.total_cores());
+          return std::clamp(raw, options.min_node_cap, spec.tdp);
+        };
+        auto total_at = [&](double mu) {
+          double sum = 0.0;
+          for (const auto& node : nodes) sum += cap_for(mu, node);
+          return sum;
+        };
+        // Bisect the frequency scale mu against the budget.
+        double f_min_all = 1e18, f_max_all = 0.0;
+        for (const auto& node : nodes) {
+          f_min_all = std::min(f_min_all, node.spec.frequency.f_min);
+          f_max_all = std::max(f_max_all, node.spec.frequency.f_max);
+        }
+        double lo = f_min_all / window_max;
+        double hi =
+            f_max_all / (window_sum / static_cast<double>(nodes.size()));
+        for (int it = 0; it < 48; ++it) {
+          const double mid = 0.5 * (lo + hi);
+          (total_at(mid) > options.job_power_budget ? hi : lo) = mid;
+        }
+        for (auto& node : nodes) {
+          node.cap = cap_for(lo, node);
+          node.machine->set_power_cap(node.cap);
+          node.machine->advance_idle(kCapSettleIdle);
+          node.window_busy = 0.0;
+        }
+        ++result.rebalances;
+      }
+    }
+
+    double step_max = 0.0;
+    std::vector<double> step_time(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      step_time[i] = nodes[i].run_step(timesteps);
+      nodes[i].busy += step_time[i];
+      nodes[i].window_busy += step_time[i];
+      step_max = std::max(step_max, step_time[i]);
+    }
+    // The job barrier: laggards define the step, the rest idle.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const double slack = step_max - step_time[i];
+      if (slack > 0) {
+        nodes[i].machine->advance_idle(slack);
+        nodes[i].wait += slack;
+      }
+    }
+    result.makespan += step_max;
+  }
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    result.nodes[i].machine = nodes[i].spec.name;
+    result.nodes[i].load_factor = nodes[i].load_factor;
+    result.nodes[i].busy_time = nodes[i].busy;
+    result.nodes[i].wait_time = nodes[i].wait;
+    result.nodes[i].energy = nodes[i].machine->energy();
+    result.nodes[i].final_cap = capped
+                                    ? nodes[i].machine->programmed_power_cap()
+                                    : nodes[i].spec.tdp;
+    result.total_energy += result.nodes[i].energy;
+  }
+  return result;
+}
+
+}  // namespace arcs::cluster

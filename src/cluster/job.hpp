@@ -1,0 +1,86 @@
+// Job-level power management over simulated nodes.
+//
+// The paper frames node-level tuning inside a larger story (§I): "This
+// constraint will filter down to job-level power constraints. The goal at
+// the job-level will be to optimize performance subject to a prescribed
+// power budget" — and cites run-time systems that divide a job budget
+// across nodes (Marathe et al., Patki et al., §VI). This module closes
+// that loop: a bulk-synchronous job of N nodes (the hybrid MPI+OpenMP
+// pattern of the paper's motivation), a job power budget divided among
+// the nodes' RAPL caps, and optionally ARCS running inside every node.
+//
+// Budget policies:
+//  * UniformStatic     — budget/N to every node, forever;
+//  * AdaptiveRebalance — every `rebalance_steps` timesteps, shift power
+//    toward the nodes on the critical path (per-step time share), within
+//    [min_node_cap, machine TDP]. This is the classic critical-path
+//    power shifting of job-level runtime systems.
+//
+// Per-node load imbalance (the reason adaptive shifting helps) is modeled
+// by scaling every region's iteration cost by a deterministic per-node
+// factor drawn from `load_spread`.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/arcs.hpp"
+#include "kernels/apps.hpp"
+#include "sim/presets.hpp"
+
+namespace arcs::cluster {
+
+enum class BudgetPolicy { UniformStatic, AdaptiveRebalance };
+
+struct JobOptions {
+  int nodes = 4;
+  /// Total job budget in watts, divided across node package caps.
+  double job_power_budget = 0.0;  ///< 0 = uncapped (every node at TDP)
+  BudgetPolicy policy = BudgetPolicy::UniformStatic;
+  /// Adaptive: rebalance cadence in timesteps.
+  int rebalance_steps = 10;
+  /// Adaptive: no node drops below this cap (watts).
+  double min_node_cap = 40.0;
+  /// Per-node ARCS strategy (Default = untuned nodes). OfflineReplay
+  /// searches per node at its *initial* cap before the measured run.
+  TuningStrategy node_strategy = TuningStrategy::Default;
+  /// Cap bucket size handed to ARCS so budget adjustments reuse sessions.
+  double cap_granularity = 10.0;
+  /// Relative per-node load spread: node i's region costs scale by a
+  /// deterministic factor in [1, 1+load_spread].
+  double load_spread = 0.25;
+  std::uint64_t seed = 1;
+  /// Override the app's timesteps (0 = spec value).
+  int timesteps_override = 0;
+  std::size_t max_search_passes = 40;
+  /// Heterogeneous jobs (paper §VII future work): per-node machine
+  /// specs. Empty = every node uses run_job's `machine`; otherwise the
+  /// size must equal `nodes`. The budget policies account for each
+  /// node's own power curve.
+  std::vector<sim::MachineSpec> machines;
+};
+
+struct NodeResult {
+  std::string machine;        ///< this node's machine name
+  double load_factor = 1.0;   ///< this node's cost multiplier
+  double busy_time = 0.0;     ///< time inside its own timesteps
+  double wait_time = 0.0;     ///< time blocked on the per-step job barrier
+  double energy = 0.0;        ///< package joules
+  double final_cap = 0.0;     ///< cap at job end (watts)
+};
+
+struct JobResult {
+  double makespan = 0.0;      ///< job wall time (bulk-synchronous)
+  double total_energy = 0.0;  ///< sum of node package energies
+  std::size_t rebalances = 0;
+  std::vector<NodeResult> nodes;
+
+  /// Ratio of the slowest node's busy time to the mean (1 = balanced).
+  double imbalance() const;
+};
+
+/// Runs the job to completion in virtual time.
+JobResult run_job(const kernels::AppSpec& app,
+                  const sim::MachineSpec& machine, const JobOptions& options);
+
+}  // namespace arcs::cluster

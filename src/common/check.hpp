@@ -1,0 +1,45 @@
+// Lightweight contract checking for the ARCS libraries.
+//
+// ARCS_CHECK is always on (cheap predicates guarding API misuse);
+// ARCS_ASSERT compiles out in NDEBUG builds (hot-path invariants).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace arcs::common {
+
+/// Thrown when an ARCS_CHECK precondition is violated.
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_failure(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": contract violated: (" << expr << ')';
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+
+}  // namespace arcs::common
+
+#define ARCS_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::arcs::common::contract_failure(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define ARCS_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::arcs::common::contract_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define ARCS_ASSERT(expr) ((void)0)
+#else
+#define ARCS_ASSERT(expr) ARCS_CHECK(expr)
+#endif

@@ -1,0 +1,48 @@
+// Minimal leveled logger. Default level is Warn so library code is silent
+// during tests; experiment binaries raise it for progress reporting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace arcs::common {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() {
+  return detail::LogLine(LogLevel::Debug);
+}
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine log_error() {
+  return detail::LogLine(LogLevel::Error);
+}
+
+}  // namespace arcs::common

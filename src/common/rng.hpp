@@ -1,0 +1,112 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in this repository that needs randomness (imbalance profiles,
+// search tie-breaking, workload synthesis) threads an explicit Rng through,
+// so a fixed seed reproduces an experiment bit-for-bit. The generator is
+// xoshiro256** seeded via SplitMix64 — fast, high quality, and free of
+// std::mt19937's platform-variance pitfalls.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace arcs::common {
+
+/// SplitMix64 step — used for seeding and as a cheap stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of a value (useful for per-index deterministic noise).
+constexpr std::uint64_t hash64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// Combine two hashes (order-dependent).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return hash64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// xoshiro256** PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    ARCS_CHECK(n > 0);
+    // Lemire's nearly-divisionless bounded rejection.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    ARCS_CHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_index(span));
+  }
+
+  /// Standard normal via Box–Muller (spare cached).
+  double normal();
+
+  /// Normal with the given mean/stddev.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Lognormal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace arcs::common

@@ -1,0 +1,68 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace arcs::common {
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> data, double p) {
+  ARCS_CHECK(!data.empty());
+  ARCS_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank =
+      p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(std::span<const double> data) {
+  if (data.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : data) sum += x;
+  return sum / static_cast<double>(data.size());
+}
+
+double geomean(std::span<const double> data) {
+  if (data.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : data) {
+    ARCS_CHECK_MSG(x > 0.0, "geomean requires positive values");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(data.size()));
+}
+
+double coeff_of_variation(std::span<const double> data) {
+  if (data.size() < 2) return 0.0;
+  RunningStats rs;
+  for (double x : data) rs.add(x);
+  return rs.mean() == 0.0 ? 0.0 : rs.stddev() / rs.mean();
+}
+
+}  // namespace arcs::common

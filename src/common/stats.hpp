@@ -1,0 +1,61 @@
+// Streaming and batch statistics used by profiles and experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace arcs::common {
+
+/// Welford online mean/variance accumulator with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const {
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// p-th percentile (0..100) by linear interpolation; data need not be sorted.
+double percentile(std::span<const double> data, double p);
+
+/// Arithmetic mean of a span (0 for empty).
+double mean(std::span<const double> data);
+
+/// Geometric mean (requires strictly positive values; 0 for empty).
+double geomean(std::span<const double> data);
+
+/// Coefficient of variation (stddev/mean); 0 if mean is 0 or <2 samples.
+double coeff_of_variation(std::span<const double> data);
+
+}  // namespace arcs::common

@@ -1,0 +1,28 @@
+// Small string utilities (no dependency on any third-party library).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arcs::common {
+
+/// Split on a delimiter; empty fields preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style double formatting with fixed decimals.
+std::string format_fixed(double value, int decimals);
+
+/// Human-readable SI formatting for large values, e.g. 2.4e9 -> "2.40G".
+std::string format_si(double value, int decimals = 2);
+
+}  // namespace arcs::common

@@ -1,0 +1,45 @@
+// Console/CSV table rendering for experiment harnesses.
+//
+// Every bench binary prints its figure/table as an aligned console table and
+// can optionally emit CSV (for replotting). Cells are strings; numeric
+// helpers format with a fixed precision so the output is diff-stable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace arcs::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(double value, int decimals = 3);
+  Table& cell(long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+  Table& cell(std::size_t value) {
+    return cell(static_cast<long long>(value));
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+
+  /// Aligned monospace rendering with a header rule.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes only where needed).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace arcs::common

@@ -1,0 +1,34 @@
+// Physical-unit conventions used across the simulator and runtime.
+//
+// The libraries keep quantities as plain doubles for arithmetic speed but
+// every API names its unit via these aliases. Conversion helpers make the
+// handful of cross-unit spots (cycles <-> seconds, J <-> RAPL raw counts)
+// explicit and auditable.
+#pragma once
+
+#include <cstdint>
+
+namespace arcs::common {
+
+using Seconds = double;   ///< wall/virtual time
+using Joules = double;    ///< energy
+using Watts = double;     ///< power
+using Hertz = double;     ///< frequency (cycles per second)
+using Bytes = double;     ///< data volume (double: used in capacity ratios)
+using Cycles = double;    ///< CPU core cycles (fractional allowed in models)
+
+inline constexpr Hertz kGHz = 1e9;
+inline constexpr Hertz kMHz = 1e6;
+inline constexpr Seconds kMilli = 1e-3;
+inline constexpr Seconds kMicro = 1e-6;
+inline constexpr Seconds kNano = 1e-9;
+inline constexpr Bytes kKiB = 1024.0;
+inline constexpr Bytes kMiB = 1024.0 * 1024.0;
+
+/// Time taken by `c` core cycles at frequency `f`.
+constexpr Seconds cycles_to_seconds(Cycles c, Hertz f) { return c / f; }
+
+/// Cycles elapsed in `s` seconds at frequency `f`.
+constexpr Cycles seconds_to_cycles(Seconds s, Hertz f) { return s * f; }
+
+}  // namespace arcs::common

@@ -1,0 +1,23 @@
+// Umbrella header for the ARCS framework.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   sim::Machine machine{sim::crill()};
+//   machine.set_power_cap(85.0);
+//   somp::Runtime runtime{machine};
+//   apex::Apex apex{runtime};
+//   arcs::ArcsOptions opts;
+//   opts.strategy = arcs::TuningStrategy::Online;
+//   arcs::ArcsPolicy policy{apex, runtime, opts};
+//   ... run parallel regions through `runtime` ...
+#pragma once
+
+#include "core/history.hpp"     // IWYU pragma: export
+#include "core/policy.hpp"      // IWYU pragma: export
+#include "core/search_space.hpp"// IWYU pragma: export
+
+namespace arcs {
+
+inline constexpr const char* kVersion = "1.0.0";
+
+}  // namespace arcs

@@ -1,0 +1,79 @@
+#include "core/history.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace arcs {
+
+void HistoryStore::put(const HistoryKey& key, const HistoryEntry& entry) {
+  entries_[key] = entry;
+}
+
+void HistoryStore::merge(const HistoryStore& other) {
+  for (const auto& [key, entry] : other.entries_) entries_[key] = entry;
+}
+
+std::optional<HistoryEntry> HistoryStore::get(const HistoryKey& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string HistoryStore::serialize() const {
+  std::ostringstream os;
+  os << "# ARCS history v1: app|machine|cap_w|workload|region|config|best_s|evals\n";
+  for (const auto& [key, entry] : entries_) {
+    os << key.app << '|' << key.machine << '|'
+       << common::format_fixed(key.power_cap, 1) << '|' << key.workload
+       << '|' << key.region << '|' << entry.config.to_string() << '|'
+       << common::format_fixed(entry.best_value, 9) << '|'
+       << entry.evaluations << '\n';
+  }
+  return os.str();
+}
+
+HistoryStore HistoryStore::deserialize(const std::string& text) {
+  HistoryStore store;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto trimmed = common::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = common::split(trimmed, '|');
+    ARCS_CHECK_MSG(fields.size() == 8,
+                   "history line needs 8 fields: " + std::string(trimmed));
+    HistoryKey key;
+    key.app = fields[0];
+    key.machine = fields[1];
+    key.power_cap = std::stod(fields[2]);
+    key.workload = fields[3];
+    key.region = fields[4];
+    HistoryEntry entry;
+    entry.config = somp::LoopConfig::from_string(fields[5]);
+    entry.best_value = std::stod(fields[6]);
+    entry.evaluations = static_cast<std::size_t>(std::stoull(fields[7]));
+    store.put(key, entry);
+  }
+  return store;
+}
+
+void HistoryStore::save(const std::string& path) const {
+  std::ofstream out(path);
+  ARCS_CHECK_MSG(out.good(), "cannot open history file for write: " + path);
+  out << serialize();
+  ARCS_CHECK_MSG(out.good(), "failed writing history file: " + path);
+}
+
+HistoryStore HistoryStore::load(const std::string& path) {
+  std::ifstream in(path);
+  ARCS_CHECK_MSG(in.good(), "cannot open history file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return deserialize(buffer.str());
+}
+
+}  // namespace arcs

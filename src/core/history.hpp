@@ -1,0 +1,73 @@
+// ARCS history files.
+//
+// "When the program completes, the policy saves the best parameters found
+// during the search. When the same program is run again in the same
+// configuration in the future, the saved values can be used instead of
+// repeating the search process." — this is the ARCS-Offline mechanism.
+//
+// A history entry is keyed by everything that changes the optimum
+// (paper §II/§V: optimal configurations differ across power levels,
+// workloads, and architectures): application, machine, power cap, and
+// workload, plus the region name.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/units.hpp"
+#include "somp/schedule.hpp"
+
+namespace arcs {
+
+struct HistoryKey {
+  std::string app;
+  std::string machine;
+  /// Package power cap in watts; 0 = uncapped/TDP.
+  double power_cap = 0.0;
+  std::string workload;
+  std::string region;
+
+  auto operator<=>(const HistoryKey&) const = default;
+};
+
+struct HistoryEntry {
+  somp::LoopConfig config;
+  /// Best objective value measured during the search (seconds).
+  double best_value = 0.0;
+  /// Evaluations the search spent.
+  std::size_t evaluations = 0;
+};
+
+class HistoryStore {
+ public:
+  void put(const HistoryKey& key, const HistoryEntry& entry);
+
+  /// Adds (overwriting on key collision) every entry of `other` — used to
+  /// assemble a multi-cap history from per-cap search runs.
+  void merge(const HistoryStore& other);
+  std::optional<HistoryEntry> get(const HistoryKey& key) const;
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Serializes to the ARCS history text format (one entry per line:
+  /// app|machine|cap|workload|region|config|best|evals).
+  std::string serialize() const;
+
+  /// Parses the serialize() format, replacing current contents.
+  /// Throws common::ContractError on malformed input.
+  static HistoryStore deserialize(const std::string& text);
+
+  /// File round-trip helpers.
+  void save(const std::string& path) const;
+  static HistoryStore load(const std::string& path);
+
+  const std::map<HistoryKey, HistoryEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<HistoryKey, HistoryEntry> entries_;
+};
+
+}  // namespace arcs

@@ -1,0 +1,306 @@
+#include "core/policy.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace arcs {
+
+std::string_view to_string(TuningStrategy s) {
+  switch (s) {
+    case TuningStrategy::Default:
+      return "default";
+    case TuningStrategy::Online:
+      return "ARCS-Online";
+    case TuningStrategy::OfflineSearch:
+      return "ARCS-Offline(search)";
+    case TuningStrategy::OfflineReplay:
+      return "ARCS-Offline";
+  }
+  return "unknown";
+}
+
+ArcsPolicy::ArcsPolicy(apex::Apex& apex, somp::Runtime& runtime,
+                       ArcsOptions options, HistoryStore* history)
+    : apex_(apex),
+      runtime_(runtime),
+      options_(std::move(options)),
+      history_(history),
+      space_(arcs_search_space(runtime.machine().spec(),
+                               options_.tune_frequency,
+                               options_.tune_placement)),
+      session_seed_(options_.search.seed) {
+  ARCS_CHECK_MSG(options_.strategy != TuningStrategy::Default,
+                 "Default strategy means: do not construct an ArcsPolicy");
+  if (options_.strategy == TuningStrategy::OfflineReplay ||
+      options_.strategy == TuningStrategy::OfflineSearch) {
+    ARCS_CHECK_MSG(history_ != nullptr,
+                   "offline strategies need a HistoryStore");
+  }
+  if (options_.objective != Objective::Time) {
+    ARCS_CHECK_MSG(runtime_.machine().spec().energy_counters,
+                   "energy objectives need energy counters");
+  }
+
+  // Seed Nelder-Mead near the default (all-threads) corner: the first
+  // trials of an online search run on the production workload, and tiny
+  // team sizes would be catastrophically slow measurements.
+  if (options_.search.nelder_mead.initial_center_frac.empty()) {
+    options_.search.nelder_mead.initial_center_frac = {0.8, 0.5, 0.5};
+    if (options_.tune_frequency)
+      options_.search.nelder_mead.initial_center_frac.push_back(1.0);
+    if (options_.tune_placement)
+      options_.search.nelder_mead.initial_center_frac.push_back(0.0);
+    // ...and keep the initial simplex compact: a production run cannot
+    // afford catastrophic exploratory measurements (2-thread trials on a
+    // large region cost ~16x a default execution).
+    options_.search.nelder_mead.initial_step = 0.25;
+  }
+
+  runtime_.set_config_provider(
+      [this](const ompt::RegionIdentifier& id) { return provide(id); });
+  stop_handle_ = apex_.policies().register_stop_policy(
+      [this](const apex::TimerEvent& e) { on_timer_stop(e); });
+}
+
+ArcsPolicy::~ArcsPolicy() {
+  runtime_.clear_config_provider();
+  apex_.policies().deregister(stop_handle_);
+}
+
+harmony::StrategyKind ArcsPolicy::active_method() const {
+  return options_.strategy == TuningStrategy::OfflineSearch
+             ? options_.offline_method
+             : options_.online_method;
+}
+
+long ArcsPolicy::cap_key_now() const {
+  if (!runtime_.machine().spec().power_cappable) return 0;
+  const double cap = runtime_.machine().programmed_power_cap();
+  if (options_.cap_granularity > 0)
+    return std::lround(cap / options_.cap_granularity);
+  return std::lround(cap * 10.0);
+}
+
+ArcsPolicy::StateKey ArcsPolicy::key_now(const std::string& region) const {
+  return {region, cap_key_now()};
+}
+
+std::optional<HistoryEntry> ArcsPolicy::nearest_cap_entry(
+    const std::string& region) const {
+  if (history_ == nullptr) return std::nullopt;
+  const HistoryKey want = key_for(region);
+  std::optional<HistoryEntry> best;
+  double best_distance = 0.0;
+  for (const auto& [key, entry] : history_->entries()) {
+    if (key.app != want.app || key.machine != want.machine ||
+        key.workload != want.workload || key.region != want.region)
+      continue;
+    const double distance = std::abs(key.power_cap - want.power_cap);
+    if (!best || distance < best_distance) {
+      best = entry;
+      best_distance = distance;
+    }
+  }
+  return best;
+}
+
+HistoryKey ArcsPolicy::key_for(const std::string& region) const {
+  HistoryKey key;
+  key.app = options_.app_name;
+  key.machine = runtime_.machine().spec().name;
+  key.power_cap = runtime_.machine().programmed_power_cap();
+  if (runtime_.machine().spec().power_cappable &&
+      options_.cap_granularity > 0) {
+    // Snap to the bucket so lookups and saves agree.
+    key.power_cap = options_.cap_granularity *
+                    static_cast<double>(std::lround(
+                        key.power_cap / options_.cap_granularity));
+  }
+  key.workload = options_.workload;
+  key.region = region;
+  return key;
+}
+
+std::optional<somp::LoopConfig> ArcsPolicy::provide(
+    const ompt::RegionIdentifier& id) {
+  RegionState& state = regions_[key_now(id.name)];
+
+  // --- Offline replay: resolve once from history, then always apply. ---
+  if (options_.strategy == TuningStrategy::OfflineReplay) {
+    if (!state.replay_resolved) {
+      state.replay_resolved = true;
+      if (const auto entry = history_->get(key_for(id.name))) {
+        state.replay_config = entry->config;
+      } else if (const auto nearest = nearest_cap_entry(id.name)) {
+        // Nearest-cap fallback: a job-level power manager can hand us a
+        // cap no search ran at; the closest searched level's optimum is
+        // a far better guess than the default configuration.
+        state.replay_config = nearest->config;
+      } else if (options_.selective_tuning) {
+        // Expected: the search blacklisted this region.
+        common::log_info() << "no history for region '" << id.name
+                           << "' (blacklisted during search)";
+      } else {
+        common::log_warn() << "no history for region '" << id.name
+                           << "' — leaving it at the ambient configuration";
+      }
+    }
+    return state.replay_config;
+  }
+
+  // --- Selective tuning: observe before deciding (extension). ---
+  if (options_.selective_tuning && !state.probation_done) {
+    // Region runs untouched during probation; on_timer_stop() accumulates
+    // its default-config duration and decides.
+    return std::nullopt;
+  }
+  if (state.blacklisted) return std::nullopt;
+
+  // --- Search / deploy. ---
+  if (!state.session) {
+    harmony::StrategyOptions search = options_.search;
+    search.seed = common::hash_combine(session_seed_,
+                                       common::hash64(id.codeptr + 1));
+    harmony::SessionOptions session_opts;
+    // Memoize online searches: re-proposed points cost nothing. The
+    // exhaustive offline search never repeats a point, so leave it off
+    // (and its memory footprint) there.
+    session_opts.memoize =
+        active_method() != harmony::StrategyKind::Exhaustive;
+    state.session = std::make_unique<harmony::Session>(
+        space_, harmony::make_strategy(active_method(), search),
+        session_opts);
+  }
+  if (state.session->converged())
+    return config_from_values(state.session->best_values());
+
+  ARCS_CHECK_MSG(!state.pending,
+                 "region re-entered before its measurement completed");
+  const auto values = state.session->next_values();
+  state.pending = true;
+  return config_from_values(values);
+}
+
+void ArcsPolicy::on_timer_stop(const apex::TimerEvent& event) {
+  // Note: a cap change *between* a region's entry and its timer stop
+  // would mis-route the report; caps settle over milliseconds while
+  // regions are entered immediately after, so entry and stop agree.
+  const auto it = regions_.find(key_now(event.task));
+  if (it == regions_.end()) return;  // not a region we steer
+  RegionState& state = it->second;
+  ++state.calls;
+
+  if (options_.selective_tuning && !state.probation_done) {
+    state.probation_time_sum += event.duration;
+    if (state.calls >= options_.probation_calls) {
+      state.probation_done = true;
+      const double mean_time =
+          state.probation_time_sum / static_cast<double>(state.calls);
+      const double threshold =
+          options_.min_region_time_factor *
+          runtime_.machine().spec().config_change_cost;
+      state.blacklisted = mean_time < threshold;
+      if (state.blacklisted)
+        common::log_info()
+            << "selective tuning: blacklisting tiny region '" << event.task
+            << "' (mean " << mean_time << " s < " << threshold << " s)";
+    }
+    return;
+  }
+
+  if (!state.pending) return;
+  state.pending = false;
+  ARCS_CHECK(state.session != nullptr);
+  state.session->report(objective_value(event));
+}
+
+double ArcsPolicy::objective_value(const apex::TimerEvent& event) const {
+  switch (options_.objective) {
+    case Objective::Time:
+      return event.duration;
+    case Objective::Energy: {
+      const apex::Profile* p =
+          apex_.profiles().find(event.task, apex::Metric::RegionEnergy);
+      return p && p->calls ? p->last : event.duration;
+    }
+    case Objective::EnergyDelayProduct: {
+      const apex::Profile* p =
+          apex_.profiles().find(event.task, apex::Metric::RegionEnergy);
+      const double energy = p && p->calls ? p->last : 1.0;
+      return energy * event.duration;
+    }
+  }
+  return event.duration;
+}
+
+bool ArcsPolicy::all_converged() const {
+  if (regions_.empty()) return false;
+  for (const auto& [key, state] : regions_) {
+    if (options_.strategy == TuningStrategy::OfflineReplay) continue;
+    if (state.blacklisted) continue;
+    if (options_.selective_tuning && !state.probation_done) return false;
+    if (!state.session || !state.session->converged()) return false;
+  }
+  return true;
+}
+
+bool ArcsPolicy::region_converged(const std::string& region) const {
+  const auto it = regions_.find(key_now(region));
+  if (it == regions_.end()) return false;
+  const RegionState& state = it->second;
+  if (options_.strategy == TuningStrategy::OfflineReplay) return true;
+  if (state.blacklisted) return true;
+  if (options_.selective_tuning && !state.probation_done) return false;
+  return state.session && state.session->converged();
+}
+
+std::size_t ArcsPolicy::blacklisted_regions() const {
+  std::size_t n = 0;
+  for (const auto& [key, state] : regions_)
+    if (state.blacklisted) ++n;
+  return n;
+}
+
+std::size_t ArcsPolicy::total_evaluations() const {
+  std::size_t n = 0;
+  for (const auto& [key, state] : regions_)
+    if (state.session) n += state.session->evaluations();
+  return n;
+}
+
+std::optional<somp::LoopConfig> ArcsPolicy::best_config(
+    const std::string& region) const {
+  const auto it = regions_.find(key_now(region));
+  if (it == regions_.end()) return std::nullopt;
+  const RegionState& state = it->second;
+  if (options_.strategy == TuningStrategy::OfflineReplay)
+    return state.replay_config;
+  if (!state.session || state.session->evaluations() == 0)
+    return std::nullopt;
+  return config_from_values(state.session->best_values());
+}
+
+void ArcsPolicy::save_history() {
+  ARCS_CHECK_MSG(history_ != nullptr, "no history store attached");
+  for (const auto& [key, state] : regions_) {
+    if (!state.session || state.session->evaluations() == 0) continue;
+    HistoryEntry entry;
+    entry.config = config_from_values(state.session->best_values());
+    entry.best_value = state.session->best_value();
+    entry.evaluations = state.session->evaluations();
+    // The state key carries the cap bucket the search ran under.
+    HistoryKey hkey = key_for(key.first);
+    if (!runtime_.machine().spec().power_cappable)
+      hkey.power_cap = runtime_.machine().programmed_power_cap();
+    else if (options_.cap_granularity > 0)
+      hkey.power_cap =
+          static_cast<double>(key.second) * options_.cap_granularity;
+    else
+      hkey.power_cap = static_cast<double>(key.second) / 10.0;
+    history_->put(hkey, entry);
+  }
+}
+
+}  // namespace arcs

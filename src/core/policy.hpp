@@ -1,0 +1,167 @@
+// The ARCS policy — the paper's contribution (§III).
+//
+// Wiring (mirrors Fig. 2): the OMPT adapter in APEX starts/stops a timer
+// around every parallel region; this policy
+//
+//  * on first encounter of a region, starts an Active Harmony tuning
+//    session over the Table-I search space;
+//  * at region entry, sets {threads, schedule, chunk} to the session's
+//    next requested point (via the runtime's config hook — the
+//    omp_set_num_threads/omp_set_schedule path, which costs real time);
+//  * at timer stop, reports the measured objective to the session;
+//  * once converged, keeps applying the best configuration;
+//  * at save_history(), persists per-region bests keyed by
+//    (app, machine, power cap, workload) for ARCS-Offline replay runs.
+//
+// Strategies:
+//   Online        — Nelder–Mead search and deployment in the same run;
+//   OfflineSearch — exhaustive search run (unmeasured in the paper);
+//   OfflineReplay — apply saved history, no searching (the measured run).
+//
+// Dynamic power budgets (paper §II: "the resource manager may add/remove
+// nodes and adjust their power level dynamically... the runtime
+// configurations need to be changed dynamically. Our ARCS framework can
+// do this efficiently"): tuning state is keyed by the *current* package
+// cap, so when the cap changes mid-run the policy transparently switches
+// to (or starts searching for) the configuration set of the new level —
+// replay runs re-resolve from the per-cap history entries.
+//
+// Extensions beyond the paper (its §VII future work):
+//   * selective tuning: regions whose per-call time is within
+//     `min_region_time_factor` x the config-change overhead are
+//     blacklisted after a short probation and left untouched;
+//   * alternative objectives: region energy or energy-delay product
+//     (requires energy counters).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apex/apex.hpp"
+#include "core/history.hpp"
+#include "core/search_space.hpp"
+#include "harmony/session.hpp"
+#include "harmony/strategy_factory.hpp"
+#include "somp/runtime.hpp"
+
+namespace arcs {
+
+enum class TuningStrategy {
+  Default,        ///< no ARCS involvement (baseline)
+  Online,         ///< search + deploy in one execution (Nelder-Mead)
+  OfflineSearch,  ///< exhaustive search execution, then save_history()
+  OfflineReplay,  ///< apply history, never search
+};
+
+std::string_view to_string(TuningStrategy s);
+
+enum class Objective { Time, Energy, EnergyDelayProduct };
+
+struct ArcsOptions {
+  TuningStrategy strategy = TuningStrategy::Online;
+  harmony::StrategyKind online_method = harmony::StrategyKind::NelderMead;
+  harmony::StrategyKind offline_method = harmony::StrategyKind::Exhaustive;
+  harmony::StrategyOptions search;
+  Objective objective = Objective::Time;
+
+  /// DVFS extension (paper §VII future work): add a per-region frequency
+  /// request as a fourth search dimension.
+  bool tune_frequency = false;
+  /// Placement extension: add an OMP_PROC_BIND {spread, close} dimension
+  /// (close placement buys frequency headroom under caps).
+  bool tune_placement = false;
+
+  /// Selective-tuning extension (paper future work). A region is only
+  /// worth tuning if its per-call time exceeds min_region_time_factor x
+  /// the config-change cost: below that, even a large relative
+  /// improvement cannot amortize the per-call reconfiguration.
+  bool selective_tuning = false;
+  double min_region_time_factor = 1.5;
+  std::size_t probation_calls = 3;
+
+  /// Tuning-state cap granularity in watts: caps within the same bucket
+  /// share sessions/history (0 = exact deciwatt matching). Job-level
+  /// power managers reassign budgets continuously; bucketing keeps ARCS
+  /// from restarting its search on every small adjustment.
+  double cap_granularity = 0.0;
+
+  /// History key components.
+  std::string app_name = "app";
+  std::string workload = "default";
+};
+
+class ArcsPolicy {
+ public:
+  /// Registers with the APEX policy engine and the runtime's config hook.
+  /// `history` must outlive the policy when the strategy touches history
+  /// (OfflineSearch save / OfflineReplay load); may be nullptr otherwise.
+  ArcsPolicy(apex::Apex& apex, somp::Runtime& runtime, ArcsOptions options,
+             HistoryStore* history = nullptr);
+  ~ArcsPolicy();
+
+  ArcsPolicy(const ArcsPolicy&) = delete;
+  ArcsPolicy& operator=(const ArcsPolicy&) = delete;
+
+  /// True when every tracked region has finished searching (blacklisted
+  /// and replayed regions count as done). False until at least one region
+  /// has been seen.
+  bool all_converged() const;
+
+  std::size_t regions_tracked() const { return regions_.size(); }
+
+  /// Per-region convergence (false for unseen regions).
+  bool region_converged(const std::string& region) const;
+  std::size_t blacklisted_regions() const;
+  std::size_t total_evaluations() const;
+
+  /// Best configuration found for a region (nullopt before any report).
+  std::optional<somp::LoopConfig> best_config(
+      const std::string& region) const;
+
+  /// Persists every converged (or partially searched) session's best into
+  /// the history store, keyed by (app, machine, current cap, workload).
+  void save_history();
+
+  const ArcsOptions& options() const { return options_; }
+
+ private:
+  struct RegionState {
+    std::unique_ptr<harmony::Session> session;
+    bool pending = false;  ///< a proposal is currently being measured
+    std::size_t calls = 0;
+    // Selective-tuning probation.
+    bool probation_done = false;
+    double probation_time_sum = 0.0;
+    bool blacklisted = false;
+    // Offline replay.
+    bool replay_resolved = false;
+    std::optional<somp::LoopConfig> replay_config;
+  };
+
+  /// Tuning state is per (region, power cap): a cap change mid-run gets
+  /// fresh sessions / a fresh history lookup (deciwatt granularity).
+  using StateKey = std::pair<std::string, long>;
+  StateKey key_now(const std::string& region) const;
+  long cap_key_now() const;
+
+  std::optional<somp::LoopConfig> provide(const ompt::RegionIdentifier& id);
+  std::optional<HistoryEntry> nearest_cap_entry(
+      const std::string& region) const;
+  void on_timer_stop(const apex::TimerEvent& event);
+  double objective_value(const apex::TimerEvent& event) const;
+  harmony::StrategyKind active_method() const;
+  HistoryKey key_for(const std::string& region) const;
+
+  apex::Apex& apex_;
+  somp::Runtime& runtime_;
+  ArcsOptions options_;
+  HistoryStore* history_;
+  apex::PolicyHandle stop_handle_ = 0;
+  std::map<StateKey, RegionState> regions_;
+  harmony::SearchSpace space_;
+  std::uint64_t session_seed_ = 0;
+};
+
+}  // namespace arcs

@@ -1,0 +1,95 @@
+#include "core/search_space.hpp"
+
+#include "common/check.hpp"
+
+namespace arcs {
+
+namespace {
+
+std::vector<harmony::Value> thread_values(const sim::MachineSpec& m) {
+  if (m.name == "crill") return {2, 4, 8, 16, 24, 32, 0};
+  if (m.name == "minotaur") return {20, 40, 80, 120, 160, 0};
+  // Generic machines: powers of two up to the hardware thread count, the
+  // physical core count, and the default.
+  std::vector<harmony::Value> v;
+  const int hw = m.topology.hw_threads();
+  for (int t = 2; t <= hw; t *= 2) v.push_back(t);
+  const int cores = m.topology.total_cores();
+  bool have_cores = false;
+  for (auto x : v) have_cores = have_cores || x == cores;
+  if (!have_cores && cores >= 2) v.push_back(cores);
+  v.push_back(0);
+  return v;
+}
+
+}  // namespace
+
+harmony::SearchSpace arcs_search_space(const sim::MachineSpec& machine,
+                                       bool with_frequency,
+                                       bool with_placement) {
+  using somp::ScheduleKind;
+  std::vector<harmony::Dimension> dims;
+  dims.push_back({"threads", thread_values(machine)});
+  // Table I order: dynamic, static, guided, default.
+  dims.push_back({"schedule",
+                  {static_cast<harmony::Value>(ScheduleKind::Dynamic),
+                   static_cast<harmony::Value>(ScheduleKind::Static),
+                   static_cast<harmony::Value>(ScheduleKind::Guided),
+                   static_cast<harmony::Value>(ScheduleKind::Default)}});
+  dims.push_back({"chunk", {1, 8, 16, 32, 64, 128, 256, 512, 0}});
+  if (with_frequency) {
+    // Four evenly spread P-states (MHz) plus "default" = governor-only.
+    std::vector<harmony::Value> mhz;
+    const double lo = machine.frequency.f_min;
+    const double hi = machine.frequency.f_max;
+    for (int i = 0; i < 4; ++i) {
+      const double f =
+          machine.frequency.quantize(lo + (hi - lo) * i / 3.0);
+      mhz.push_back(static_cast<harmony::Value>(f / 1e6));
+    }
+    mhz.push_back(0);
+    dims.push_back({"frequency_mhz", std::move(mhz)});
+  }
+  if (with_placement) {
+    dims.push_back(
+        {"placement",
+         {static_cast<harmony::Value>(sim::PlacementPolicy::Spread),
+          static_cast<harmony::Value>(sim::PlacementPolicy::Close)}});
+  }
+  return harmony::SearchSpace(std::move(dims));
+}
+
+somp::LoopConfig config_from_values(const std::vector<harmony::Value>& v) {
+  ARCS_CHECK_MSG(v.size() >= 3 && v.size() <= 5,
+                 "ARCS configurations have three to five dimensions");
+  somp::LoopConfig cfg;
+  cfg.num_threads = static_cast<int>(v[0]);
+  cfg.schedule.kind = static_cast<somp::ScheduleKind>(v[1]);
+  cfg.schedule.chunk = v[2];
+  // Extra dimensions, in (frequency, placement) order. A 4-dim point is
+  // disambiguated by value: placements are 0/1, frequencies are 0 or
+  // >= 100 MHz.
+  if (v.size() == 4) {
+    if (v[3] == 1)
+      cfg.placement = sim::PlacementPolicy::Close;
+    else
+      cfg.frequency_mhz = static_cast<long>(v[3]);
+  } else if (v.size() == 5) {
+    cfg.frequency_mhz = static_cast<long>(v[3]);
+    cfg.placement = static_cast<sim::PlacementPolicy>(v[4]);
+  }
+  return cfg;
+}
+
+std::vector<harmony::Value> values_from_config(const somp::LoopConfig& c,
+                                               bool with_frequency) {
+  std::vector<harmony::Value> v{
+      static_cast<harmony::Value>(c.num_threads),
+      static_cast<harmony::Value>(c.schedule.kind),
+      static_cast<harmony::Value>(c.schedule.chunk)};
+  if (with_frequency)
+    v.push_back(static_cast<harmony::Value>(c.frequency_mhz));
+  return v;
+}
+
+}  // namespace arcs

@@ -1,0 +1,39 @@
+// The ARCS search space (paper Table I).
+//
+// Three dimensions per OpenMP region:
+//   threads  — machine-specific candidate team sizes plus "default";
+//              Crill: {2, 4, 8, 16, 24, 32, default},
+//              Minotaur: {20, 40, 80, 120, 160, default};
+//   schedule — {dynamic, static, guided, default};
+//   chunk    — {1, 8, 16, 32, 64, 128, 256, 512, default}.
+//
+// "default" is encoded as 0 in every dimension (somp's convention).
+#pragma once
+
+#include "harmony/space.hpp"
+#include "sim/machine.hpp"
+#include "somp/schedule.hpp"
+
+namespace arcs {
+
+/// Builds the Table I search space for a machine. Known machine names get
+/// the paper's exact thread sets; other machines get powers of two up to
+/// the hardware thread count plus the physical core count and "default".
+/// With `with_frequency` a DVFS dimension is added (the paper's §VII
+/// extension): four evenly spread P-states plus "default"
+/// (governor-only). With `with_placement` an OMP_PROC_BIND dimension
+/// {spread, close} is added.
+harmony::SearchSpace arcs_search_space(const sim::MachineSpec& machine,
+                                       bool with_frequency = false,
+                                       bool with_placement = false);
+
+/// Decodes a search-space point's values (3 or 4 dimensions) into a
+/// runtime configuration.
+somp::LoopConfig config_from_values(const std::vector<harmony::Value>& v);
+
+/// Inverse of config_from_values (for seeding searches / tests).
+/// `with_frequency` selects the 4-dimension encoding.
+std::vector<harmony::Value> values_from_config(const somp::LoopConfig& c,
+                                               bool with_frequency = false);
+
+}  // namespace arcs

@@ -1,0 +1,36 @@
+#include "harmony/exhaustive.hpp"
+
+#include "common/check.hpp"
+
+namespace arcs::harmony {
+
+Point ExhaustiveSearch::next(const SearchSpace& space) {
+  if (done_) return best(space);
+  if (!cursor_) cursor_ = space.origin();
+  return *cursor_;
+}
+
+void ExhaustiveSearch::report(const SearchSpace& space, const Point& point,
+                              double value) {
+  if (done_) return;  // post-convergence reports are informational
+  ARCS_CHECK_MSG(cursor_ && point == *cursor_,
+                 "exhaustive search expects reports in proposal order");
+  if (value < best_value_) {
+    best_value_ = value;
+    best_ = point;
+  }
+  if (!space.advance(*cursor_)) done_ = true;
+}
+
+bool ExhaustiveSearch::converged(const SearchSpace& /*space*/) const {
+  return done_;
+}
+
+Point ExhaustiveSearch::best(const SearchSpace& space) const {
+  ARCS_CHECK_MSG(best_.has_value(),
+                 "exhaustive search has no measurements yet");
+  (void)space;
+  return *best_;
+}
+
+}  // namespace arcs::harmony

@@ -1,0 +1,32 @@
+// Exhaustive search: visit every point once, in lexicographic order.
+// This is the strategy ARCS-Offline uses for its search execution
+// ("the method uses an exhaustive search to find the best configuration
+// during one execution, then executes again with that optimal
+// configuration").
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "harmony/strategy.hpp"
+
+namespace arcs::harmony {
+
+class ExhaustiveSearch final : public Strategy {
+ public:
+  Point next(const SearchSpace& space) override;
+  void report(const SearchSpace& space, const Point& point,
+              double value) override;
+  bool converged(const SearchSpace& space) const override;
+  Point best(const SearchSpace& space) const override;
+  double best_value() const override { return best_value_; }
+  std::string_view name() const override { return "exhaustive"; }
+
+ private:
+  std::optional<Point> cursor_;
+  bool done_ = false;
+  std::optional<Point> best_;
+  double best_value_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace arcs::harmony

@@ -1,0 +1,243 @@
+#include "harmony/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace arcs::harmony {
+
+NelderMead::NelderMead(NelderMeadOptions options, std::uint64_t seed)
+    : opts_(options), rng_(seed) {
+  ARCS_CHECK(opts_.max_evals >= 2);
+}
+
+void NelderMead::ensure_initialized(const SearchSpace& space) {
+  if (initialized_) return;
+  initialized_ = true;
+  const std::size_t d = space.num_dimensions();
+
+  // Initial simplex: the midpoint plus one step along each dimension;
+  // a tiny jitter breaks exact ties on plateaued discrete landscapes.
+  std::vector<double> start(d);
+  std::vector<double> step(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    const double hi = static_cast<double>(space.dimension(i).values.size() - 1);
+    const double center = i < opts_.initial_center_frac.size()
+                              ? opts_.initial_center_frac[i]
+                              : 0.5;
+    start[i] = std::clamp(center * hi + 0.05 * rng_.uniform(-1.0, 1.0) * hi,
+                          0.0, hi);
+    step[i] = std::max(1.0, opts_.initial_step * hi);
+  }
+  build_queue_.push_back(start);
+  for (std::size_t i = 0; i < d; ++i) {
+    std::vector<double> v = start;
+    const double hi = static_cast<double>(space.dimension(i).values.size() - 1);
+    v[i] = v[i] + step[i] <= hi ? v[i] + step[i] : v[i] - step[i];
+    build_queue_.push_back(std::move(v));
+  }
+  build_next_ = 0;
+  phase_ = Phase::BuildSimplex;
+}
+
+Point NelderMead::next(const SearchSpace& space) {
+  ensure_initialized(space);
+  if (converged_) return best(space);
+  switch (phase_) {
+    case Phase::BuildSimplex:
+    case Phase::ShrinkEval:
+      candidate_ = build_queue_[build_next_];
+      break;
+    case Phase::Reflect:
+    case Phase::Expand:
+    case Phase::ContractOutside:
+    case Phase::ContractInside:
+      // candidate_ already holds xr / xe / xc.
+      break;
+  }
+  return space.round(candidate_);
+}
+
+void NelderMead::report(const SearchSpace& space, const Point& /*point*/,
+                        double value) {
+  ensure_initialized(space);
+  if (converged_) return;  // informational post-convergence report
+  ++evals_;
+  if (value < best_seen_f_) {
+    best_seen_f_ = value;
+    best_seen_ = candidate_;
+  }
+
+  switch (phase_) {
+    case Phase::BuildSimplex:
+    case Phase::ShrinkEval: {
+      if (phase_ == Phase::BuildSimplex) {
+        simplex_.push_back({candidate_, value});
+      } else {
+        // Shrunk vertices replace slots 1..d as their values arrive.
+        simplex_[build_next_ + 1] = {candidate_, value};
+      }
+      ++build_next_;
+      if (build_next_ < build_queue_.size()) break;
+      build_queue_.clear();
+      begin_iteration(space);
+      break;
+    }
+    case Phase::Reflect: {
+      reflected_ = candidate_;
+      reflected_f_ = value;
+      const std::size_t last = simplex_.size() - 1;
+      const double f_best = simplex_.front().f;
+      const double f_second_worst = simplex_[last - 1].f;
+      const double f_worst = simplex_[last].f;
+      const auto c = centroid_excluding_worst();
+      if (value < f_best) {
+        // Try expansion: xe = c + gamma * (xr - c).
+        candidate_.resize(c.size());
+        for (std::size_t i = 0; i < c.size(); ++i)
+          candidate_[i] = c[i] + opts_.expansion * (reflected_[i] - c[i]);
+        phase_ = Phase::Expand;
+      } else if (value < f_second_worst) {
+        accept_replacement(reflected_, value, space);
+      } else if (value < f_worst) {
+        // Outside contraction: xc = c + rho * (xr - c).
+        candidate_.resize(c.size());
+        for (std::size_t i = 0; i < c.size(); ++i)
+          candidate_[i] = c[i] + opts_.contraction * (reflected_[i] - c[i]);
+        phase_ = Phase::ContractOutside;
+      } else {
+        // Inside contraction: xc = c + rho * (xw - c).
+        const auto& xw = simplex_.back().x;
+        candidate_.resize(c.size());
+        for (std::size_t i = 0; i < c.size(); ++i)
+          candidate_[i] = c[i] + opts_.contraction * (xw[i] - c[i]);
+        phase_ = Phase::ContractInside;
+      }
+      break;
+    }
+    case Phase::Expand: {
+      if (value < reflected_f_)
+        accept_replacement(candidate_, value, space);
+      else
+        accept_replacement(reflected_, reflected_f_, space);
+      break;
+    }
+    case Phase::ContractOutside: {
+      if (value <= reflected_f_) {
+        accept_replacement(candidate_, value, space);
+      } else {
+        // Shrink toward the best vertex.
+        build_queue_.clear();
+        for (std::size_t i = 1; i < simplex_.size(); ++i) {
+          std::vector<double> v(simplex_[i].x.size());
+          for (std::size_t k = 0; k < v.size(); ++k)
+            v[k] = simplex_[0].x[k] +
+                   opts_.shrink * (simplex_[i].x[k] - simplex_[0].x[k]);
+          build_queue_.push_back(std::move(v));
+        }
+        build_next_ = 0;
+        phase_ = Phase::ShrinkEval;
+      }
+      break;
+    }
+    case Phase::ContractInside: {
+      if (value < simplex_.back().f) {
+        accept_replacement(candidate_, value, space);
+      } else {
+        build_queue_.clear();
+        for (std::size_t i = 1; i < simplex_.size(); ++i) {
+          std::vector<double> v(simplex_[i].x.size());
+          for (std::size_t k = 0; k < v.size(); ++k)
+            v[k] = simplex_[0].x[k] +
+                   opts_.shrink * (simplex_[i].x[k] - simplex_[0].x[k]);
+          build_queue_.push_back(std::move(v));
+        }
+        build_next_ = 0;
+        phase_ = Phase::ShrinkEval;
+      }
+      break;
+    }
+  }
+
+  if (evals_ >= opts_.max_evals) converged_ = true;
+}
+
+void NelderMead::accept_replacement(std::vector<double> x, double f,
+                                    const SearchSpace& space) {
+  simplex_.back() = {std::move(x), f};
+  begin_iteration(space);
+}
+
+void NelderMead::begin_iteration(const SearchSpace& space) {
+  std::stable_sort(simplex_.begin(), simplex_.end(),
+                   [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+  if (simplex_coord_spread() <= opts_.coord_tol &&
+      simplex_value_spread() <= opts_.value_tol) {
+    converged_ = true;
+    return;
+  }
+  // Propose reflection: xr = c + alpha * (c - xw).
+  const auto c = centroid_excluding_worst();
+  const auto& xw = simplex_.back().x;
+  candidate_.resize(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i)
+    candidate_[i] = c[i] + opts_.reflection * (c[i] - xw[i]);
+  // Keep proposals inside the box so rounding stays meaningful.
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const double hi = static_cast<double>(space.dimension(i).values.size() - 1);
+    candidate_[i] = std::clamp(candidate_[i], 0.0, hi);
+  }
+  phase_ = Phase::Reflect;
+}
+
+std::vector<double> NelderMead::centroid_excluding_worst() const {
+  ARCS_CHECK(simplex_.size() >= 2);
+  std::vector<double> c(simplex_.front().x.size(), 0.0);
+  for (std::size_t i = 0; i + 1 < simplex_.size(); ++i)
+    for (std::size_t k = 0; k < c.size(); ++k) c[k] += simplex_[i].x[k];
+  const double n = static_cast<double>(simplex_.size() - 1);
+  for (double& v : c) v /= n;
+  return c;
+}
+
+double NelderMead::simplex_coord_spread() const {
+  double spread = 0.0;
+  const std::size_t d = simplex_.front().x.size();
+  for (std::size_t k = 0; k < d; ++k) {
+    double lo = simplex_.front().x[k];
+    double hi = lo;
+    for (const auto& v : simplex_) {
+      lo = std::min(lo, v.x[k]);
+      hi = std::max(hi, v.x[k]);
+    }
+    spread = std::max(spread, hi - lo);
+  }
+  return spread;
+}
+
+double NelderMead::simplex_value_spread() const {
+  const double f_lo = simplex_.front().f;
+  const double f_hi = simplex_.back().f;
+  return f_lo > 0 ? (f_hi - f_lo) / f_lo : f_hi - f_lo;
+}
+
+const NelderMead::Vertex& NelderMead::best_vertex() const {
+  ARCS_CHECK(!simplex_.empty());
+  return *std::min_element(
+      simplex_.begin(), simplex_.end(),
+      [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+}
+
+bool NelderMead::converged(const SearchSpace& /*space*/) const {
+  return converged_;
+}
+
+Point NelderMead::best(const SearchSpace& space) const {
+  ARCS_CHECK_MSG(!best_seen_.empty(), "Nelder-Mead has no measurements yet");
+  return space.round(best_seen_);
+}
+
+double NelderMead::best_value() const { return best_seen_f_; }
+
+}  // namespace arcs::harmony

@@ -1,0 +1,100 @@
+// Nelder–Mead simplex search on the (relaxed) index space.
+//
+// This is the method ARCS-Online uses ("uses the Nelder-Mead search
+// algorithm to search for and use an optimal configuration in the same
+// execution"). The simplex lives in continuous index coordinates; every
+// proposal is rounded to the nearest valid discrete point for evaluation,
+// which matches how Active Harmony applies simplex methods to enumerated
+// parameters.
+//
+// The propose/measure protocol makes the classic algorithm a state
+// machine: each report() advances exactly one step (initial-vertex
+// evaluation, reflection, expansion, contraction, or one shrink vertex).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harmony/strategy.hpp"
+
+namespace arcs::harmony {
+
+struct NelderMeadOptions {
+  std::size_t max_evals = 40;
+  /// Converged when the simplex fits inside a box of this many index units
+  /// per dimension (0.6 < 1 step means all vertices round identically).
+  double coord_tol = 0.6;
+  /// ...and the relative objective spread is below this.
+  double value_tol = 0.03;
+  double reflection = 1.0;   // alpha
+  double expansion = 2.0;    // gamma
+  double contraction = 0.5;  // rho
+  double shrink = 0.5;       // sigma
+  /// Initial step as a fraction of each dimension's index range.
+  double initial_step = 0.35;
+  /// Fractional position of the initial simplex center per dimension
+  /// (0 = first value, 1 = last). Empty = 0.5 everywhere. ARCS seeds the
+  /// threads dimension near the default (high) end so early trials are
+  /// not catastrophic.
+  std::vector<double> initial_center_frac;
+};
+
+class NelderMead final : public Strategy {
+ public:
+  explicit NelderMead(NelderMeadOptions options = {},
+                      std::uint64_t seed = 1);
+
+  Point next(const SearchSpace& space) override;
+  void report(const SearchSpace& space, const Point& point,
+              double value) override;
+  bool converged(const SearchSpace& space) const override;
+  Point best(const SearchSpace& space) const override;
+  double best_value() const override;
+  std::string_view name() const override { return "nelder-mead"; }
+
+  std::size_t evaluations() const { return evals_; }
+
+ private:
+  enum class Phase {
+    BuildSimplex,
+    Reflect,
+    Expand,
+    ContractOutside,
+    ContractInside,
+    ShrinkEval,
+  };
+
+  struct Vertex {
+    std::vector<double> x;
+    double f = std::numeric_limits<double>::infinity();
+  };
+
+  void ensure_initialized(const SearchSpace& space);
+  void begin_iteration(const SearchSpace& space);
+  void accept_replacement(std::vector<double> x, double f,
+                          const SearchSpace& space);
+  std::vector<double> centroid_excluding_worst() const;
+  double simplex_coord_spread() const;
+  double simplex_value_spread() const;
+  const Vertex& best_vertex() const;
+
+  NelderMeadOptions opts_;
+  common::Rng rng_;
+  bool initialized_ = false;
+  bool converged_ = false;
+  Phase phase_ = Phase::BuildSimplex;
+  std::vector<Vertex> simplex_;             // sorted ascending by f
+  std::vector<std::vector<double>> build_queue_;
+  std::size_t build_next_ = 0;
+  std::vector<double> candidate_;           // point awaiting measurement
+  std::vector<double> reflected_;           // xr (kept across Expand)
+  double reflected_f_ = 0.0;
+  std::size_t evals_ = 0;
+  // Global best across every evaluation (the simplex can move away from a
+  // good point; ARCS should still deploy the best ever measured).
+  std::vector<double> best_seen_;
+  double best_seen_f_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace arcs::harmony

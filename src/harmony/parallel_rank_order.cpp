@@ -1,0 +1,179 @@
+#include "harmony/parallel_rank_order.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace arcs::harmony {
+
+ParallelRankOrder::ParallelRankOrder(ParallelRankOrderOptions options,
+                                     std::uint64_t seed)
+    : opts_(options), rng_(seed) {
+  ARCS_CHECK(opts_.max_evals >= 2);
+}
+
+void ParallelRankOrder::ensure_initialized(const SearchSpace& space) {
+  if (initialized_) return;
+  initialized_ = true;
+  const std::size_t d = space.num_dimensions();
+  const std::size_t n =
+      opts_.simplex_size ? opts_.simplex_size : std::max<std::size_t>(2 * d, d + 1);
+
+  // Initial simplex: Latin hypercube — each dimension gets its own random
+  // permutation of the n cells, so the vertices span the box instead of
+  // collapsing onto a diagonal (which would degenerate the reflections).
+  std::vector<std::vector<std::size_t>> perms(d);
+  for (std::size_t k = 0; k < d; ++k) {
+    perms[k].resize(n);
+    for (std::size_t i = 0; i < n; ++i) perms[k][i] = i;
+    for (std::size_t i = n; i-- > 1;)
+      std::swap(perms[k][i], perms[k][rng_.uniform_index(i + 1)]);
+  }
+  queue_.clear();
+  queue_slots_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> v(d);
+    for (std::size_t k = 0; k < d; ++k) {
+      const double hi = static_cast<double>(space.dimension(k).values.size() - 1);
+      const double cell = hi / static_cast<double>(n);
+      v[k] = std::min(
+          hi, cell * (static_cast<double>(perms[k][i]) + rng_.uniform()));
+    }
+    queue_.push_back(std::move(v));
+    queue_slots_.push_back(i);
+  }
+  simplex_.resize(n);
+  queue_values_.assign(queue_.size(), 0.0);
+  queue_next_ = 0;
+  phase_ = Phase::Build;
+}
+
+Point ParallelRankOrder::next(const SearchSpace& space) {
+  ensure_initialized(space);
+  if (converged_) return best(space);
+  ARCS_CHECK(queue_next_ < queue_.size());
+  return space.round(queue_[queue_next_]);
+}
+
+void ParallelRankOrder::report(const SearchSpace& space,
+                               const Point& /*point*/, double value) {
+  ensure_initialized(space);
+  if (converged_) return;
+  ++evals_;
+  if (value < best_seen_f_) {
+    best_seen_f_ = value;
+    best_seen_ = queue_[queue_next_];
+  }
+  queue_values_[queue_next_] = value;
+  ++queue_next_;
+
+  if (queue_next_ < queue_.size()) {
+    if (evals_ >= opts_.max_evals) converged_ = true;
+    return;
+  }
+
+  // Round complete: integrate results.
+  switch (phase_) {
+    case Phase::Build: {
+      for (std::size_t i = 0; i < queue_.size(); ++i)
+        simplex_[queue_slots_[i]] = {queue_[i], queue_values_[i]};
+      start_round(space);
+      break;
+    }
+    case Phase::Reflect: {
+      const std::size_t b = best_index();
+      const double incumbent = simplex_[b].f;
+      const double round_best =
+          *std::min_element(queue_values_.begin(), queue_values_.end());
+      if (round_best < incumbent) {
+        // Accept the reflected simplex (keep best vertex).
+        for (std::size_t i = 0; i < queue_.size(); ++i)
+          simplex_[queue_slots_[i]] = {queue_[i], queue_values_[i]};
+        start_round(space);
+      } else {
+        // Contract every non-best vertex toward the best and re-measure.
+        queue_.clear();
+        queue_slots_.clear();
+        for (std::size_t i = 0; i < simplex_.size(); ++i) {
+          if (i == b) continue;
+          std::vector<double> v(simplex_[i].x.size());
+          for (std::size_t k = 0; k < v.size(); ++k)
+            v[k] = simplex_[b].x[k] +
+                   opts_.contraction * (simplex_[i].x[k] - simplex_[b].x[k]);
+          queue_.push_back(std::move(v));
+          queue_slots_.push_back(i);
+        }
+        queue_values_.assign(queue_.size(), 0.0);
+        queue_next_ = 0;
+        phase_ = Phase::Contract;
+      }
+      break;
+    }
+    case Phase::Contract: {
+      for (std::size_t i = 0; i < queue_.size(); ++i)
+        simplex_[queue_slots_[i]] = {queue_[i], queue_values_[i]};
+      start_round(space);
+      break;
+    }
+  }
+
+  if (evals_ >= opts_.max_evals) converged_ = true;
+}
+
+void ParallelRankOrder::start_round(const SearchSpace& space) {
+  if (simplex_coord_spread() <= opts_.coord_tol) {
+    converged_ = true;
+    return;
+  }
+  // Reflect all non-best vertices through the best one.
+  const std::size_t b = best_index();
+  queue_.clear();
+  queue_slots_.clear();
+  for (std::size_t i = 0; i < simplex_.size(); ++i) {
+    if (i == b) continue;
+    std::vector<double> v(simplex_[i].x.size());
+    for (std::size_t k = 0; k < v.size(); ++k) {
+      const double hi = static_cast<double>(space.dimension(k).values.size() - 1);
+      v[k] = std::clamp(2.0 * simplex_[b].x[k] - simplex_[i].x[k], 0.0, hi);
+    }
+    queue_.push_back(std::move(v));
+    queue_slots_.push_back(i);
+  }
+  queue_values_.assign(queue_.size(), 0.0);
+  queue_next_ = 0;
+  phase_ = Phase::Reflect;
+}
+
+double ParallelRankOrder::simplex_coord_spread() const {
+  double spread = 0.0;
+  const std::size_t d = simplex_.front().x.size();
+  for (std::size_t k = 0; k < d; ++k) {
+    double lo = simplex_.front().x[k];
+    double hi = lo;
+    for (const auto& v : simplex_) {
+      lo = std::min(lo, v.x[k]);
+      hi = std::max(hi, v.x[k]);
+    }
+    spread = std::max(spread, hi - lo);
+  }
+  return spread;
+}
+
+std::size_t ParallelRankOrder::best_index() const {
+  std::size_t b = 0;
+  for (std::size_t i = 1; i < simplex_.size(); ++i)
+    if (simplex_[i].f < simplex_[b].f) b = i;
+  return b;
+}
+
+bool ParallelRankOrder::converged(const SearchSpace& /*space*/) const {
+  return converged_;
+}
+
+Point ParallelRankOrder::best(const SearchSpace& space) const {
+  ARCS_CHECK_MSG(!best_seen_.empty(), "PRO has no measurements yet");
+  return space.round(best_seen_);
+}
+
+}  // namespace arcs::harmony

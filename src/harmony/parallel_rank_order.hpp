@@ -1,0 +1,71 @@
+// Parallel Rank Order (PRO), the other simplex method Active Harmony
+// implements (Tabatabaee et al.). A size-N simplex reflects every
+// non-best vertex through the best one each round; if any reflected
+// vertex improves on the incumbent best the reflected simplex is
+// accepted, otherwise the simplex contracts toward the best vertex.
+//
+// Note: the original PRO evaluates the candidates of a round in parallel
+// across nodes; under ARCS's one-measurement-per-region-execution protocol
+// the evaluations are sequential, which preserves the search trajectory
+// (rank ordering uses only completed rounds).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harmony/strategy.hpp"
+
+namespace arcs::harmony {
+
+struct ParallelRankOrderOptions {
+  std::size_t max_evals = 80;
+  double coord_tol = 0.6;
+  /// Simplex size; 0 = 2 * dimensions (PRO's usual choice).
+  std::size_t simplex_size = 0;
+  double contraction = 0.5;
+};
+
+class ParallelRankOrder final : public Strategy {
+ public:
+  explicit ParallelRankOrder(ParallelRankOrderOptions options = {},
+                             std::uint64_t seed = 1);
+
+  Point next(const SearchSpace& space) override;
+  void report(const SearchSpace& space, const Point& point,
+              double value) override;
+  bool converged(const SearchSpace& space) const override;
+  Point best(const SearchSpace& space) const override;
+  double best_value() const override { return best_seen_f_; }
+  std::string_view name() const override { return "pro"; }
+
+ private:
+  struct Vertex {
+    std::vector<double> x;
+    double f = std::numeric_limits<double>::infinity();
+  };
+
+  void ensure_initialized(const SearchSpace& space);
+  void start_round(const SearchSpace& space);
+  double simplex_coord_spread() const;
+  std::size_t best_index() const;
+
+  ParallelRankOrderOptions opts_;
+  common::Rng rng_;
+  bool initialized_ = false;
+  bool converged_ = false;
+
+  std::vector<Vertex> simplex_;
+  enum class Phase { Build, Reflect, Contract } phase_ = Phase::Build;
+  /// Candidates of the current round and where their results go.
+  std::vector<std::vector<double>> queue_;
+  std::vector<std::size_t> queue_slots_;
+  std::vector<double> queue_values_;
+  std::size_t queue_next_ = 0;
+
+  std::size_t evals_ = 0;
+  std::vector<double> best_seen_;
+  double best_seen_f_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace arcs::harmony

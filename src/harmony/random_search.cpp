@@ -1,0 +1,43 @@
+#include "harmony/random_search.hpp"
+
+#include "common/check.hpp"
+
+namespace arcs::harmony {
+
+RandomSearch::RandomSearch(std::size_t budget, std::uint64_t seed)
+    : budget_(budget), rng_(seed) {
+  ARCS_CHECK(budget_ >= 1);
+}
+
+Point RandomSearch::next(const SearchSpace& space) {
+  if (converged(space)) return best(space);
+  Point p(space.num_dimensions());
+  for (std::size_t d = 0; d < p.size(); ++d)
+    p[d] = rng_.uniform_index(space.dimension(d).values.size());
+  pending_ = p;
+  return p;
+}
+
+void RandomSearch::report(const SearchSpace& /*space*/, const Point& point,
+                          double value) {
+  if (evaluated_ >= budget_) return;
+  ARCS_CHECK_MSG(pending_ && point == *pending_,
+                 "report does not match the proposed point");
+  pending_.reset();
+  ++evaluated_;
+  if (value < best_value_) {
+    best_value_ = value;
+    best_ = point;
+  }
+}
+
+bool RandomSearch::converged(const SearchSpace& /*space*/) const {
+  return evaluated_ >= budget_;
+}
+
+Point RandomSearch::best(const SearchSpace& /*space*/) const {
+  ARCS_CHECK_MSG(best_.has_value(), "random search has no measurements yet");
+  return *best_;
+}
+
+}  // namespace arcs::harmony

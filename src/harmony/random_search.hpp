@@ -1,0 +1,34 @@
+// Random search over the space with a fixed trial budget — the standard
+// baseline against which guided strategies are judged (ablation benches).
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "harmony/strategy.hpp"
+
+namespace arcs::harmony {
+
+class RandomSearch final : public Strategy {
+ public:
+  explicit RandomSearch(std::size_t budget, std::uint64_t seed = 1);
+
+  Point next(const SearchSpace& space) override;
+  void report(const SearchSpace& space, const Point& point,
+              double value) override;
+  bool converged(const SearchSpace& space) const override;
+  Point best(const SearchSpace& space) const override;
+  double best_value() const override { return best_value_; }
+  std::string_view name() const override { return "random"; }
+
+ private:
+  std::size_t budget_;
+  std::size_t evaluated_ = 0;
+  common::Rng rng_;
+  std::optional<Point> pending_;
+  std::optional<Point> best_;
+  double best_value_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace arcs::harmony

@@ -1,0 +1,54 @@
+#include "harmony/session.hpp"
+
+#include "common/check.hpp"
+
+namespace arcs::harmony {
+
+Session::Session(SearchSpace space, std::unique_ptr<Strategy> strategy,
+                 SessionOptions options)
+    : space_(std::move(space)),
+      strategy_(std::move(strategy)),
+      options_(options) {
+  ARCS_CHECK(strategy_ != nullptr);
+}
+
+std::vector<Value> Session::next_values() {
+  ARCS_CHECK_MSG(!pending_.has_value(),
+                 "next_values() called twice without report()");
+  Point p = strategy_->next(space_);
+  ARCS_CHECK(space_.valid(p));
+  if (options_.memoize) {
+    // Serve re-proposed points from the cache so the client only spends
+    // real measurements on novel configurations.
+    std::size_t replays = 0;
+    while (!strategy_->converged(space_) && replays < options_.max_replays) {
+      const auto it = memo_.find(space_.rank(p));
+      if (it == memo_.end()) break;
+      strategy_->report(space_, p, it->second);
+      ++cache_hits_;
+      ++replays;
+      p = strategy_->next(space_);
+      ARCS_CHECK(space_.valid(p));
+    }
+  }
+  pending_ = p;
+  return space_.decode(p);
+}
+
+void Session::report(double value) {
+  ARCS_CHECK_MSG(pending_.has_value(), "report() without next_values()");
+  strategy_->report(space_, *pending_, value);
+  if (options_.memoize) memo_[space_.rank(*pending_)] = value;
+  pending_.reset();
+  ++evaluations_;
+}
+
+bool Session::converged() const { return strategy_->converged(space_); }
+
+std::vector<Value> Session::best_values() const {
+  return space_.decode(strategy_->best(space_));
+}
+
+double Session::best_value() const { return strategy_->best_value(); }
+
+}  // namespace arcs::harmony

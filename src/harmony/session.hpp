@@ -1,0 +1,63 @@
+// Tuning session: the client-facing Active Harmony API.
+//
+// ARCS creates one Session per OpenMP region ("the policy starts an Active
+// Harmony tuning session for that parallel region"). The session enforces
+// the propose/measure protocol, tracks evaluation counts, and exposes the
+// converged best configuration.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "harmony/strategy.hpp"
+
+namespace arcs::harmony {
+
+struct SessionOptions {
+  /// Cache evaluated points (Active Harmony's point memoization): when
+  /// the strategy re-proposes a point that was already measured, the
+  /// cached value is reported back internally and the next *novel* point
+  /// is returned to the client — saving a real measurement.
+  bool memoize = false;
+  /// Bound on internal cache-replay steps per next_values() call.
+  std::size_t max_replays = 16;
+};
+
+class Session {
+ public:
+  Session(SearchSpace space, std::unique_ptr<Strategy> strategy,
+          SessionOptions options = {});
+
+  /// Proposes the values to test next (the converged best once done).
+  /// Must alternate with report().
+  std::vector<Value> next_values();
+
+  /// Reports the measured objective for the last next_values() proposal.
+  void report(double value);
+
+  bool converged() const;
+
+  /// Best values observed so far. Requires >= 1 completed report.
+  std::vector<Value> best_values() const;
+  double best_value() const;
+
+  /// Measurements the client actually performed.
+  std::size_t evaluations() const { return evaluations_; }
+  /// Strategy steps served from the memoization cache.
+  std::size_t cache_hits() const { return cache_hits_; }
+
+  const SearchSpace& space() const { return space_; }
+  const Strategy& strategy() const { return *strategy_; }
+
+ private:
+  SearchSpace space_;
+  std::unique_ptr<Strategy> strategy_;
+  SessionOptions options_;
+  std::optional<Point> pending_;
+  std::size_t evaluations_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::map<std::uint64_t, double> memo_;
+};
+
+}  // namespace arcs::harmony

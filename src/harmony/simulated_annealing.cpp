@@ -1,0 +1,89 @@
+#include "harmony/simulated_annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace arcs::harmony {
+
+SimulatedAnnealing::SimulatedAnnealing(SimulatedAnnealingOptions options,
+                                       std::uint64_t seed)
+    : opts_(options), rng_(seed) {
+  ARCS_CHECK(opts_.max_evals >= 2);
+  ARCS_CHECK(opts_.cooling > 0 && opts_.cooling < 1);
+}
+
+Point SimulatedAnnealing::propose_neighbor(const SearchSpace& space) const {
+  ARCS_CHECK(current_.has_value());
+  Point p = *current_;
+  // Step magnitude cools with the temperature schedule.
+  const double progress =
+      static_cast<double>(evals_) / static_cast<double>(opts_.max_evals);
+  const double step_frac =
+      std::max(0.05, opts_.initial_step * (1.0 - progress));
+  // Perturb one or two dimensions.
+  const std::size_t dims_to_move = 1 + rng_.uniform_index(2);
+  for (std::size_t k = 0; k < dims_to_move; ++k) {
+    const std::size_t d = rng_.uniform_index(space.num_dimensions());
+    const auto size = space.dimension(d).values.size();
+    const auto span = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(step_frac * static_cast<double>(size)));
+    const std::int64_t delta = rng_.uniform_int(-span, span);
+    const std::int64_t moved =
+        std::clamp<std::int64_t>(static_cast<std::int64_t>(p[d]) + delta, 0,
+                                 static_cast<std::int64_t>(size) - 1);
+    p[d] = static_cast<std::size_t>(moved);
+  }
+  return p;
+}
+
+Point SimulatedAnnealing::next(const SearchSpace& space) {
+  if (converged(space)) return best(space);
+  if (!current_) {
+    // Start at the middle of the box.
+    Point start(space.num_dimensions());
+    for (std::size_t d = 0; d < start.size(); ++d)
+      start[d] = space.dimension(d).values.size() / 2;
+    candidate_ = start;
+    return start;
+  }
+  candidate_ = propose_neighbor(space);
+  return *candidate_;
+}
+
+void SimulatedAnnealing::report(const SearchSpace& space,
+                                const Point& /*point*/, double value) {
+  if (converged(space)) return;
+  ARCS_CHECK_MSG(candidate_.has_value(), "report without a proposal");
+  ++evals_;
+  if (value < best_value_) {
+    best_value_ = value;
+    best_ = candidate_;
+  }
+  if (!current_) {
+    current_ = candidate_;
+    current_value_ = value;
+    temperature_ = std::max(opts_.initial_temp_frac * value, 1e-12);
+  } else {
+    const double delta = value - current_value_;
+    if (delta <= 0 ||
+        rng_.uniform() < std::exp(-delta / std::max(temperature_, 1e-12))) {
+      current_ = candidate_;
+      current_value_ = value;
+    }
+    temperature_ *= opts_.cooling;
+  }
+  candidate_.reset();
+}
+
+bool SimulatedAnnealing::converged(const SearchSpace& /*space*/) const {
+  return evals_ >= opts_.max_evals;
+}
+
+Point SimulatedAnnealing::best(const SearchSpace& /*space*/) const {
+  ARCS_CHECK_MSG(best_.has_value(), "annealing has no measurements yet");
+  return *best_;
+}
+
+}  // namespace arcs::harmony

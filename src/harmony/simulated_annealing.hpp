@@ -1,0 +1,55 @@
+// Simulated annealing over the discrete index space — a fifth search
+// method for the ablation suite. Proposes a random neighbor (one or two
+// dimensions perturbed by a geometric step that cools over time) and
+// accepts worse points with probability exp(-delta / T), T cooling
+// geometrically per evaluation.
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "harmony/strategy.hpp"
+
+namespace arcs::harmony {
+
+struct SimulatedAnnealingOptions {
+  std::size_t max_evals = 60;
+  /// Initial temperature as a fraction of the first measured value.
+  double initial_temp_frac = 0.3;
+  /// Geometric cooling factor per evaluation.
+  double cooling = 0.92;
+  /// Initial neighbor step as a fraction of each dimension's range.
+  double initial_step = 0.4;
+};
+
+class SimulatedAnnealing final : public Strategy {
+ public:
+  explicit SimulatedAnnealing(SimulatedAnnealingOptions options = {},
+                              std::uint64_t seed = 1);
+
+  Point next(const SearchSpace& space) override;
+  void report(const SearchSpace& space, const Point& point,
+              double value) override;
+  bool converged(const SearchSpace& space) const override;
+  Point best(const SearchSpace& space) const override;
+  double best_value() const override { return best_value_; }
+  std::string_view name() const override { return "annealing"; }
+
+  std::size_t evaluations() const { return evals_; }
+
+ private:
+  Point propose_neighbor(const SearchSpace& space) const;
+
+  SimulatedAnnealingOptions opts_;
+  mutable common::Rng rng_;
+  std::optional<Point> current_;
+  double current_value_ = std::numeric_limits<double>::infinity();
+  std::optional<Point> candidate_;
+  std::optional<Point> best_;
+  double best_value_ = std::numeric_limits<double>::infinity();
+  double temperature_ = 0.0;
+  std::size_t evals_ = 0;
+};
+
+}  // namespace arcs::harmony

@@ -1,0 +1,72 @@
+#include "harmony/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace arcs::harmony {
+
+SearchSpace::SearchSpace(std::vector<Dimension> dimensions)
+    : dims_(std::move(dimensions)) {
+  ARCS_CHECK_MSG(!dims_.empty(), "search space needs >= 1 dimension");
+  for (const auto& d : dims_)
+    ARCS_CHECK_MSG(!d.values.empty(),
+                   "dimension '" + d.name + "' has no values");
+}
+
+const Dimension& SearchSpace::dimension(std::size_t d) const {
+  ARCS_CHECK(d < dims_.size());
+  return dims_[d];
+}
+
+std::uint64_t SearchSpace::size() const {
+  std::uint64_t n = 1;
+  for (const auto& d : dims_) n *= d.values.size();
+  return n;
+}
+
+std::vector<Value> SearchSpace::decode(const Point& p) const {
+  ARCS_CHECK(valid(p));
+  std::vector<Value> out(p.size());
+  for (std::size_t d = 0; d < p.size(); ++d)
+    out[d] = dims_[d].values[p[d]];
+  return out;
+}
+
+bool SearchSpace::valid(const Point& p) const {
+  if (p.size() != dims_.size()) return false;
+  for (std::size_t d = 0; d < p.size(); ++d)
+    if (p[d] >= dims_[d].values.size()) return false;
+  return true;
+}
+
+Point SearchSpace::round(const std::vector<double>& x) const {
+  ARCS_CHECK(x.size() == dims_.size());
+  Point p(x.size());
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    const double hi = static_cast<double>(dims_[d].values.size() - 1);
+    const double clamped = std::clamp(x[d], 0.0, hi);
+    p[d] = static_cast<std::size_t>(std::llround(clamped));
+  }
+  return p;
+}
+
+bool SearchSpace::advance(Point& p) const {
+  ARCS_CHECK(valid(p));
+  for (std::size_t d = p.size(); d-- > 0;) {
+    if (++p[d] < dims_[d].values.size()) return true;
+    p[d] = 0;
+  }
+  return false;  // wrapped: end of space
+}
+
+std::uint64_t SearchSpace::rank(const Point& p) const {
+  ARCS_CHECK(valid(p));
+  std::uint64_t r = 0;
+  for (std::size_t d = 0; d < p.size(); ++d)
+    r = r * dims_[d].values.size() + p[d];
+  return r;
+}
+
+}  // namespace arcs::harmony

@@ -1,0 +1,60 @@
+// Discrete search spaces for Active Harmony-style tuning sessions.
+//
+// A SearchSpace is an ordered list of named dimensions, each an explicit
+// list of values (Active Harmony's "enumerated" parameters — exactly what
+// ARCS tunes: thread counts, schedule kinds, chunk sizes; Table I of the
+// paper). Points are index vectors into the dimensions; search strategies
+// work in index space and decode only at the edges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace arcs::harmony {
+
+using Value = long long;
+
+struct Dimension {
+  std::string name;
+  std::vector<Value> values;  ///< candidate values, in search order
+};
+
+/// A candidate configuration: one index per dimension.
+using Point = std::vector<std::size_t>;
+
+class SearchSpace {
+ public:
+  SearchSpace() = default;
+  explicit SearchSpace(std::vector<Dimension> dimensions);
+
+  std::size_t num_dimensions() const { return dims_.size(); }
+  const Dimension& dimension(std::size_t d) const;
+
+  /// Total number of points (product of dimension sizes).
+  std::uint64_t size() const;
+
+  /// Decodes a point into concrete values.
+  std::vector<Value> decode(const Point& p) const;
+
+  /// True if every index is in range.
+  bool valid(const Point& p) const;
+
+  /// Clamps continuous coordinates into index range and rounds to the
+  /// nearest valid point (used by simplex strategies).
+  Point round(const std::vector<double>& x) const;
+
+  /// Lexicographic successor; returns false at the end of the space.
+  bool advance(Point& p) const;
+
+  /// The all-zeros origin point.
+  Point origin() const { return Point(dims_.size(), 0); }
+
+  /// Dense rank of a point (mixed-radix), for memoization keys.
+  std::uint64_t rank(const Point& p) const;
+
+ private:
+  std::vector<Dimension> dims_;
+};
+
+}  // namespace arcs::harmony

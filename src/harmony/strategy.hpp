@@ -1,0 +1,44 @@
+// Search strategy interface (Active Harmony's search methods).
+//
+// Strategies run a strict propose/measure loop: the client calls next()
+// for a candidate point, measures it, and calls report() with the result
+// (lower is better — ARCS reports region execution time). The Session
+// wrapper enforces the alternation; strategies may assume it.
+#pragma once
+
+#include "harmony/space.hpp"
+
+namespace arcs::harmony {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// The next point to evaluate. After convergence, returns best().
+  virtual Point next(const SearchSpace& space) = 0;
+
+  /// Reports the measured objective of the point returned by the previous
+  /// next() call (lower is better).
+  virtual void report(const SearchSpace& space, const Point& point,
+                      double value) = 0;
+
+  virtual bool converged(const SearchSpace& space) const = 0;
+
+  /// Best point observed so far (valid once >= 1 report arrived).
+  virtual Point best(const SearchSpace& space) const = 0;
+  virtual double best_value() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+enum class StrategyKind {
+  Exhaustive,         ///< paper's ARCS-Offline search pass
+  NelderMead,         ///< paper's ARCS-Online
+  ParallelRankOrder,  ///< Active Harmony's PRO method
+  Random,             ///< baseline for ablations
+  SimulatedAnnealing, ///< extension: escapes the plateaus NM stalls on
+};
+
+std::string_view to_string(StrategyKind kind);
+
+}  // namespace arcs::harmony

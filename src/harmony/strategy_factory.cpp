@@ -1,0 +1,45 @@
+#include "harmony/strategy_factory.hpp"
+
+#include "common/check.hpp"
+#include "harmony/exhaustive.hpp"
+#include "harmony/random_search.hpp"
+
+namespace arcs::harmony {
+
+std::string_view to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::Exhaustive:
+      return "exhaustive";
+    case StrategyKind::NelderMead:
+      return "nelder-mead";
+    case StrategyKind::ParallelRankOrder:
+      return "pro";
+    case StrategyKind::Random:
+      return "random";
+    case StrategyKind::SimulatedAnnealing:
+      return "annealing";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Strategy> make_strategy(StrategyKind kind,
+                                        const StrategyOptions& options) {
+  switch (kind) {
+    case StrategyKind::Exhaustive:
+      return std::make_unique<ExhaustiveSearch>();
+    case StrategyKind::NelderMead:
+      return std::make_unique<NelderMead>(options.nelder_mead, options.seed);
+    case StrategyKind::ParallelRankOrder:
+      return std::make_unique<ParallelRankOrder>(options.pro, options.seed);
+    case StrategyKind::Random:
+      return std::make_unique<RandomSearch>(options.random_budget,
+                                            options.seed);
+    case StrategyKind::SimulatedAnnealing:
+      return std::make_unique<SimulatedAnnealing>(options.annealing,
+                                                  options.seed);
+  }
+  ARCS_CHECK_MSG(false, "unknown strategy kind");
+  return nullptr;
+}
+
+}  // namespace arcs::harmony

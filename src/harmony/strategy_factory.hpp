@@ -1,0 +1,27 @@
+// Factory for search strategies, so clients (ARCS) can select a method by
+// kind without knowing concrete types.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "harmony/nelder_mead.hpp"
+#include "harmony/parallel_rank_order.hpp"
+#include "harmony/simulated_annealing.hpp"
+#include "harmony/strategy.hpp"
+
+namespace arcs::harmony {
+
+struct StrategyOptions {
+  std::uint64_t seed = 1;
+  /// Random search trial budget.
+  std::size_t random_budget = 30;
+  NelderMeadOptions nelder_mead;
+  ParallelRankOrderOptions pro;
+  SimulatedAnnealingOptions annealing;
+};
+
+std::unique_ptr<Strategy> make_strategy(StrategyKind kind,
+                                        const StrategyOptions& options = {});
+
+}  // namespace arcs::harmony

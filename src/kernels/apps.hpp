@@ -1,0 +1,68 @@
+// Workload models of the paper's three proxy applications (§IV.C).
+//
+// Each AppSpec lists the application's OpenMP parallel regions with
+// iteration counts, per-iteration compute cost, imbalance shape and memory
+// behavior chosen to match the paper's characterization:
+//
+//  * SP  — well balanced overall but poor cache behavior; 13 regions, ~75%
+//          of time in compute_rhs / x_solve / y_solve / z_solve;
+//          compute_rhs also imbalanced. Workloads: class B (102^3 grid)
+//          and class C (162^3).
+//  * BT  — good balance and cache behavior except compute_rhs (the rhsz
+//          K+-2 stencil's long-stride accesses). Workloads B and C.
+//  * LULESH — well balanced, good cache; two *tiny* barrier-dominated
+//          regions (EvalEOSForElems ~8.3 ms/call, CalcPressureForElems
+//          ~13.9 ms/call) interleaved many times per step, which is what
+//          makes per-call tuning overhead bite (paper §V.C). Workloads:
+//          mesh 45 and mesh 60.
+//
+// The absolute cycle counts are model scale, not measured constants; the
+// relative structure (which regions are imbalanced / memory-bound / tiny)
+// is what carries the paper's behavior. See DESIGN.md §6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernels/regions.hpp"
+
+namespace arcs::kernels {
+
+struct AppSpec {
+  std::string name;
+  std::string workload;
+  int timesteps = 100;
+  /// Regions executed once before the timestep loop (init/verification).
+  std::vector<RegionSpec> setup_regions;
+  /// Regions of the timestep loop.
+  std::vector<RegionSpec> regions;
+  /// Execution order within one timestep: indices into `regions`
+  /// (a region may appear several times — LULESH's EvalEOS/CalcPressure
+  /// interleaving).
+  std::vector<std::size_t> step_sequence;
+  /// Master-only work between regions, per step.
+  double serial_cycles_per_step = 0.0;
+
+  /// Looks up a region spec by name (throws if absent).
+  const RegionSpec& region(const std::string& region_name) const;
+};
+
+/// NPB SP, workload "B" or "C".
+AppSpec sp_app(const std::string& workload = "B");
+
+/// NPB BT, workload "B" or "C".
+AppSpec bt_app(const std::string& workload = "B");
+
+/// LULESH 2.0, workload "45" or "60" (mesh edge size).
+AppSpec lulesh_app(const std::string& workload = "45");
+
+/// NPB CG ("B" or "C") — beyond the paper's three apps, to exercise
+/// generalization: an irregular, bandwidth-bound SpMV with row-length
+/// imbalance plus reduction-carrying dot products.
+AppSpec cg_app(const std::string& workload = "B");
+
+/// A tiny synthetic app for unit tests: one imbalanced and one uniform
+/// region, `timesteps` steps.
+AppSpec synthetic_app(int timesteps = 20);
+
+}  // namespace arcs::kernels

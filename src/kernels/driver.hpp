@@ -1,0 +1,125 @@
+// Experiment driver: runs an application on a machine under one of the
+// paper's strategies and reports what the paper's figures need.
+//
+// Protocols (faithful to §III/§IV):
+//  * default       — plain run, no APEX attached, runtime defaults;
+//  * ARCS-Online   — one run; Nelder-Mead searches and deploys within it
+//                    (search overhead is part of the measurement);
+//  * ARCS-Offline  — an exhaustive search execution first (unmeasured,
+//                    re-running the app until every region's session
+//                    converges), history saved; then a fresh measured run
+//                    that replays the history ("Only the second execution
+//                    with the optimal configuration is measured").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/arcs.hpp"
+#include "kernels/apps.hpp"
+#include "sim/presets.hpp"
+
+namespace arcs::kernels {
+
+struct RegionRunStats {
+  std::string name;
+  std::size_t calls = 0;
+  double time_total = 0;      ///< region wall time (excl. config change)
+  double loop_total = 0;      ///< sum of busiest-thread loop times
+  double loop_sum_total = 0;  ///< sum over threads & calls (OMPT LOOP)
+  double barrier_total = 0;   ///< sum over threads & calls of barrier waits
+  double dispatch_total = 0;
+  double config_change_total = 0;
+  double instrumentation_total = 0;
+  double energy_total = 0;
+  /// Time-weighted mean conditional miss ratios.
+  double miss_l1 = 0, miss_l2 = 0, miss_l3 = 0;
+  somp::LoopConfig last_config;
+  int last_team = 0;
+
+  double per_call_mean() const {
+    return calls ? time_total / static_cast<double>(calls) : 0.0;
+  }
+};
+
+struct RunResult {
+  std::string strategy;
+  double elapsed = 0;  ///< virtual seconds of the measured execution
+  double energy = 0;   ///< package joules of the measured execution
+  double dram_energy = 0;  ///< DRAM joules (memory-power extension)
+  std::map<std::string, RegionRunStats> regions;
+  std::size_t search_evaluations = 0;
+  std::size_t search_passes = 0;  ///< app executions spent searching
+  std::size_t blacklisted = 0;
+  HistoryStore history;  ///< per-region bests (offline strategies)
+};
+
+/// How repeated measured runs are aggregated (paper §IV.D: "We ran each
+/// experiments three times. We report the average of these runs for
+/// Crill as it was a dedicated resource. However, we report minimum of
+/// these three runs for Minotaur as it was a shared resource.").
+enum class RepetitionStat {
+  Auto,  ///< min on machines with high OS jitter (>2%), mean otherwise
+  Mean,
+  Min,
+};
+
+struct RunOptions {
+  TuningStrategy strategy = TuningStrategy::Default;
+  /// Package power cap in watts; 0 = uncapped (TDP).
+  double power_cap = 0.0;
+  Objective objective = Objective::Time;
+  bool selective_tuning = false;
+  /// Add the DVFS dimension to the search (paper §VII extension).
+  bool tune_frequency = false;
+  /// Add the OMP_PROC_BIND {spread, close} dimension (extension).
+  bool tune_placement = false;
+  harmony::StrategyKind online_method = harmony::StrategyKind::NelderMead;
+  std::size_t max_search_passes = 60;
+  std::uint64_t seed = 1;
+  /// Override the app's timestep count (0 = use the spec's).
+  int timesteps_override = 0;
+  /// Reuse a previous search's history instead of searching again
+  /// (OfflineReplay path). The store must outlive the call.
+  const HistoryStore* reuse_history = nullptr;
+  /// Dynamic power budget (paper §II): reprogram the package cap at the
+  /// start of the given timesteps of the *measured* run. Entries are
+  /// (step index, cap watts); 0 W = TDP. Steps must be ascending.
+  std::vector<std::pair<int, double>> cap_schedule;
+  /// Measured-run repetitions and their aggregation (paper protocol: 3
+  /// runs, mean on Crill, min on Minotaur). Region stats come from the
+  /// aggregate-defining repetition.
+  int repetitions = 1;
+  RepetitionStat repetition_stat = RepetitionStat::Auto;
+};
+
+/// Runs the full protocol for one (app, machine, options) combination.
+RunResult run_app(const AppSpec& app, const sim::MachineSpec& machine,
+                  const RunOptions& options);
+
+/// --- region-level tooling for the motivation/feature figures ---
+
+struct ConfigOutcome {
+  somp::LoopConfig config;
+  somp::ExecutionRecord record;
+};
+
+/// Executes one region once under an explicit configuration at a cap.
+ConfigOutcome run_region_once(const AppSpec& app,
+                              const std::string& region_name,
+                              const sim::MachineSpec& machine,
+                              double power_cap,
+                              const somp::LoopConfig& config);
+
+/// Sweeps the full ARCS search space for one region at a cap; returns all
+/// outcomes (ordered as the space enumerates).
+std::vector<ConfigOutcome> sweep_region(const AppSpec& app,
+                                        const std::string& region_name,
+                                        const sim::MachineSpec& machine,
+                                        double power_cap);
+
+/// The outcome with the smallest region duration.
+const ConfigOutcome& best_outcome(const std::vector<ConfigOutcome>& sweep);
+
+}  // namespace arcs::kernels

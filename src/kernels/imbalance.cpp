@@ -1,0 +1,87 @@
+#include "kernels/imbalance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace arcs::kernels {
+
+namespace {
+
+void normalize(std::vector<double>& costs, double target_total) {
+  double total = 0.0;
+  for (double c : costs) total += c;
+  if (total <= 0.0) return;
+  const double scale = target_total / total;
+  for (double& c : costs) c *= scale;
+}
+
+}  // namespace
+
+std::vector<double> make_cost_vector(std::int64_t iterations,
+                                     double base_cycles,
+                                     const ImbalanceSpec& spec) {
+  ARCS_CHECK(iterations >= 0);
+  ARCS_CHECK(base_cycles >= 0);
+  const auto n = static_cast<std::size_t>(iterations);
+  std::vector<double> costs(n, base_cycles);
+  if (n == 0) return costs;
+
+  switch (spec.kind) {
+    case ImbalanceKind::None:
+      return costs;
+
+    case ImbalanceKind::Ramp: {
+      // cost(i) = base * (1 + 2*m * i/(n-1) - m): spans (1-m .. 1+m).
+      const double m = spec.magnitude;
+      const double denom =
+          n > 1 ? static_cast<double>(n - 1) : 1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = static_cast<double>(i) / denom;
+        costs[i] = base_cycles * (1.0 - m + 2.0 * m * x);
+      }
+      break;
+    }
+
+    case ImbalanceKind::Step: {
+      const auto heavy =
+          static_cast<std::size_t>(spec.fraction * static_cast<double>(n));
+      for (std::size_t i = 0; i < heavy; ++i)
+        costs[i] = base_cycles * (1.0 + spec.magnitude);
+      break;
+    }
+
+    case ImbalanceKind::RandomBlocks: {
+      common::Rng rng(spec.seed);
+      const auto block = static_cast<std::size_t>(
+          std::max<std::int64_t>(1, spec.block));
+      const double sigma = spec.magnitude;
+      const double mu = -0.5 * sigma * sigma;  // unit-mean lognormal
+      for (std::size_t b = 0; b < n; b += block) {
+        const double factor = rng.lognormal(mu, sigma);
+        const std::size_t end = std::min(n, b + block);
+        for (std::size_t i = b; i < end; ++i) costs[i] = base_cycles * factor;
+      }
+      break;
+    }
+
+    case ImbalanceKind::GaussianBump: {
+      const double center = 0.5 * static_cast<double>(n - 1);
+      const double width =
+          std::max(1.0, spec.fraction * static_cast<double>(n));
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = (static_cast<double>(i) - center) / width;
+        costs[i] =
+            base_cycles * (1.0 + spec.magnitude * std::exp(-0.5 * d * d));
+      }
+      break;
+    }
+  }
+
+  normalize(costs, base_cycles * static_cast<double>(n));
+  return costs;
+}
+
+}  // namespace arcs::kernels

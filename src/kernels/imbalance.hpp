@@ -1,0 +1,48 @@
+// Iteration-cost imbalance profiles.
+//
+// The paper's analysis attributes tuning opportunity to load imbalance and
+// cache behavior. These generators synthesize per-iteration compute costs
+// with the imbalance shapes seen in the proxy apps:
+//
+//  * None         — perfectly uniform (LULESH CalcKinematics-like);
+//  * Ramp         — cost grows linearly across the iteration space
+//                   (boundary-layer style; punishes default static);
+//  * Step         — a fraction of iterations is heavier (material regions,
+//                   LULESH EvalEOS-like);
+//  * RandomBlocks — block-wise lognormal variation (mesh irregularity;
+//                   worst-thread excess grows with team size, the effect
+//                   the paper sees for LULESH on Minotaur's 160 threads);
+//  * GaussianBump — a localized heavy band (shock front).
+//
+// All profiles are normalized so the *total* cycles equal
+// iterations x base_cycles, making configurations comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace arcs::kernels {
+
+enum class ImbalanceKind { None, Ramp, Step, RandomBlocks, GaussianBump };
+
+struct ImbalanceSpec {
+  ImbalanceKind kind = ImbalanceKind::None;
+  /// Shape strength: Ramp — last/first cost ratio is 1+2*magnitude;
+  /// Step — heavy iterations cost (1+magnitude) x the light ones;
+  /// RandomBlocks — sigma of the lognormal block factor;
+  /// GaussianBump — peak adds magnitude x base at the bump center.
+  double magnitude = 0.0;
+  /// Step: fraction of heavy iterations. GaussianBump: relative width.
+  double fraction = 0.25;
+  /// RandomBlocks: iterations per block.
+  std::int64_t block = 64;
+  std::uint64_t seed = 42;
+};
+
+/// Builds the per-iteration cycle vector (length `iterations`, total
+/// = iterations * base_cycles up to rounding).
+std::vector<double> make_cost_vector(std::int64_t iterations,
+                                     double base_cycles,
+                                     const ImbalanceSpec& spec);
+
+}  // namespace arcs::kernels

@@ -1,0 +1,29 @@
+#include "kernels/regions.hpp"
+
+namespace arcs::kernels {
+
+somp::RegionWork RegionSpec::build(std::uint64_t codeptr) const {
+  somp::RegionWork work;
+  work.id.name = name;
+  work.id.codeptr = codeptr;
+  work.cost = std::make_shared<somp::CostProfile>(
+      make_cost_vector(iterations, cycles_per_iter, imbalance));
+  work.memory = memory;
+  work.has_reduction = has_reduction;
+  return work;
+}
+
+RegionSpec simple_region(std::string name, std::int64_t iterations,
+                         double cycles_per_iter) {
+  RegionSpec spec;
+  spec.name = std::move(name);
+  spec.iterations = iterations;
+  spec.cycles_per_iter = cycles_per_iter;
+  spec.memory.bytes_per_iter = 128.0;
+  spec.memory.base_miss_l1 = 0.02;
+  spec.memory.base_miss_l2 = 0.02;
+  spec.memory.base_miss_l3 = 0.008;
+  return spec;
+}
+
+}  // namespace arcs::kernels

@@ -1,0 +1,35 @@
+// Region specifications: the bridge from a workload model to the runtime.
+//
+// A RegionSpec is everything config-independent about one OpenMP parallel
+// region: how many iterations, how expensive each is (with what imbalance
+// shape), and how it touches memory. build() materializes it into the
+// somp::RegionWork the runtime executes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernels/imbalance.hpp"
+#include "sim/cache.hpp"
+#include "somp/runtime.hpp"
+
+namespace arcs::kernels {
+
+struct RegionSpec {
+  std::string name;
+  std::int64_t iterations = 0;
+  double cycles_per_iter = 0;
+  ImbalanceSpec imbalance;
+  sim::MemoryBehavior memory;
+  /// reduction(...) clause on the loop.
+  bool has_reduction = false;
+
+  /// Materializes the cost profile (deterministic for a given spec).
+  somp::RegionWork build(std::uint64_t codeptr) const;
+};
+
+/// Convenience for tests and examples: a uniform compute-bound region.
+RegionSpec simple_region(std::string name, std::int64_t iterations,
+                         double cycles_per_iter);
+
+}  // namespace arcs::kernels

@@ -1,0 +1,53 @@
+#include "ompt/ompt.hpp"
+
+#include "common/check.hpp"
+
+namespace arcs::ompt {
+
+std::size_t ToolRegistry::register_tool(ToolCallbacks callbacks) {
+  // Reuse a vacated slot if any, to keep handles stable.
+  for (std::size_t i = 0; i < tools_.size(); ++i) {
+    if (!tools_[i].active) {
+      tools_[i] = {std::move(callbacks), true};
+      ++active_count_;
+      return i;
+    }
+  }
+  tools_.push_back({std::move(callbacks), true});
+  ++active_count_;
+  return tools_.size() - 1;
+}
+
+void ToolRegistry::unregister_tool(std::size_t handle) {
+  ARCS_CHECK_MSG(handle < tools_.size() && tools_[handle].active,
+                 "unregistering an unknown tool handle");
+  tools_[handle] = {};
+  --active_count_;
+}
+
+void ToolRegistry::emit_parallel_begin(const ParallelBeginRecord& r) const {
+  for (const auto& t : tools_)
+    if (t.active && t.callbacks.parallel_begin) t.callbacks.parallel_begin(r);
+}
+
+void ToolRegistry::emit_parallel_end(const ParallelEndRecord& r) const {
+  for (const auto& t : tools_)
+    if (t.active && t.callbacks.parallel_end) t.callbacks.parallel_end(r);
+}
+
+void ToolRegistry::emit_implicit_task(const ImplicitTaskRecord& r) const {
+  for (const auto& t : tools_)
+    if (t.active && t.callbacks.implicit_task) t.callbacks.implicit_task(r);
+}
+
+void ToolRegistry::emit_work_loop(const WorkLoopRecord& r) const {
+  for (const auto& t : tools_)
+    if (t.active && t.callbacks.work_loop) t.callbacks.work_loop(r);
+}
+
+void ToolRegistry::emit_sync_region(const SyncRegionRecord& r) const {
+  for (const auto& t : tools_)
+    if (t.active && t.callbacks.sync_region) t.callbacks.sync_region(r);
+}
+
+}  // namespace arcs::ompt

@@ -1,0 +1,125 @@
+// OMPT-style tool interface for the simulated OpenMP runtime.
+//
+// Mirrors the event set of the OMPT Proposed Draft TR the paper relies on
+// (Eichenberger et al., IWOMP'13): parallel region begin/end, implicit task
+// begin/end, worksharing (loop) begin/end, and synchronization region
+// (barrier) begin/end, with runtime-populated identifiers. Timestamps are
+// virtual seconds from the machine simulator; per-thread events carry the
+// thread's own virtual clock, which is what lets a tool attribute loop vs
+// barrier time exactly as TAU/APEX do in the paper (Fig. 9).
+//
+// Deviations from the draft, for clarity in a simulator:
+//  * tools register std::function callbacks instead of C function pointers;
+//  * multiple tools may subscribe (the registry fans out);
+//  * events are delivered synchronously on the (single) simulation thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace arcs::ompt {
+
+using ParallelId = std::uint64_t;
+
+enum class Endpoint { Begin, End };
+
+enum class SyncRegionKind {
+  BarrierImplicit,  ///< implicit barrier at the end of a worksharing region
+  BarrierExplicit,
+};
+
+/// Identifies the source parallel region (stable across invocations), the
+/// analogue of OMPT's codeptr_ra.
+struct RegionIdentifier {
+  std::string name;          ///< source-level name, e.g. "x_solve"
+  std::uint64_t codeptr = 0; ///< stable numeric id for the code location
+
+  bool operator==(const RegionIdentifier&) const = default;
+};
+
+struct ParallelBeginRecord {
+  ParallelId parallel_id = 0;      ///< unique per dynamic region instance
+  RegionIdentifier region;
+  int requested_team_size = 0;
+  common::Seconds time = 0;        ///< app virtual clock at entry
+};
+
+struct ParallelEndRecord {
+  ParallelId parallel_id = 0;
+  RegionIdentifier region;
+  int team_size = 0;
+  common::Seconds time = 0;        ///< app virtual clock at exit
+};
+
+struct ImplicitTaskRecord {
+  Endpoint endpoint = Endpoint::Begin;
+  ParallelId parallel_id = 0;
+  int thread_num = 0;
+  common::Seconds time = 0;        ///< thread-local virtual clock
+};
+
+struct WorkLoopRecord {
+  Endpoint endpoint = Endpoint::Begin;
+  ParallelId parallel_id = 0;
+  int thread_num = 0;
+  common::Seconds time = 0;
+};
+
+struct SyncRegionRecord {
+  Endpoint endpoint = Endpoint::Begin;
+  SyncRegionKind kind = SyncRegionKind::BarrierImplicit;
+  ParallelId parallel_id = 0;
+  int thread_num = 0;
+  common::Seconds time = 0;
+};
+
+/// Callback set a tool registers. Unset callbacks are simply not invoked
+/// ("incur minimal overhead when not in use").
+struct ToolCallbacks {
+  std::function<void(const ParallelBeginRecord&)> parallel_begin;
+  std::function<void(const ParallelEndRecord&)> parallel_end;
+  std::function<void(const ImplicitTaskRecord&)> implicit_task;
+  std::function<void(const WorkLoopRecord&)> work_loop;
+  std::function<void(const SyncRegionRecord&)> sync_region;
+};
+
+/// Fan-out registry owned by the runtime; tools subscribe at init.
+class ToolRegistry {
+ public:
+  /// Registers a tool; returns a handle usable for unregistering.
+  std::size_t register_tool(ToolCallbacks callbacks);
+  void unregister_tool(std::size_t handle);
+
+  bool empty() const { return active_count_ == 0; }
+  std::size_t tool_count() const { return active_count_; }
+
+  void emit_parallel_begin(const ParallelBeginRecord& r) const;
+  void emit_parallel_end(const ParallelEndRecord& r) const;
+  void emit_implicit_task(const ImplicitTaskRecord& r) const;
+  void emit_work_loop(const WorkLoopRecord& r) const;
+  void emit_sync_region(const SyncRegionRecord& r) const;
+
+ private:
+  struct Entry {
+    ToolCallbacks callbacks;
+    bool active = false;
+  };
+  std::vector<Entry> tools_;
+  std::size_t active_count_ = 0;
+};
+
+/// Allocates process-unique parallel ids (monotone from 1).
+class ParallelIdAllocator {
+ public:
+  ParallelId next() { return ++last_; }
+  ParallelId last() const { return last_; }
+
+ private:
+  ParallelId last_ = 0;
+};
+
+}  // namespace arcs::ompt

@@ -1,0 +1,111 @@
+#include "sim/cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace arcs::sim {
+
+namespace {
+
+constexpr double kLineBytes = 64.0;
+/// Chunk scale below which scattered pickup still hurts prefetching.
+constexpr double kPrefetchChunkScale = 16.0;
+/// Past this multiplier a level is effectively thrashing; growing the
+/// ratio further cannot make misses worse (they clamp at ~1 anyway).
+constexpr double kMaxCapacityFactor = 6.0;
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+/// Capacity-overflow multiplier: 1 while the resident set fits, then grows
+/// as (ratio)^gamma, saturating at kMaxCapacityFactor.
+double capacity_factor(double footprint, double capacity, double gamma) {
+  if (capacity <= 0) return 1.0;
+  const double ratio = footprint / capacity;
+  if (ratio <= 1.0) return 1.0;
+  return std::min(kMaxCapacityFactor, std::pow(ratio, gamma));
+}
+
+}  // namespace
+
+CacheOutcome CacheModel::evaluate(const MemoryBehavior& mem,
+                                  const CacheConfig& cfg) const {
+  ARCS_CHECK(cfg.chunk_iters >= 1.0);
+  ARCS_CHECK(mem.reuse_window >= 1.0);
+  ARCS_CHECK(mem.stride_factor >= 1.0);
+  ARCS_CHECK(mem.mlp >= 1.0);
+
+  CacheOutcome out;
+  const double c = cfg.chunk_iters;
+  const double reuse_loss = mem.reuse_window / (mem.reuse_window + c);
+  const double prefetch_loss =
+      cfg.contiguous
+          ? 0.0
+          : mem.prefetch_sens * kPrefetchChunkScale /
+                (kPrefetchChunkScale + c);
+
+  // Resident set of one thread: the data of the iterations whose reuse it
+  // is still carrying, inflated by stride waste.
+  const double window_iters = std::min(c, mem.reuse_window);
+  const double ws_thread =
+      mem.bytes_per_iter * mem.stride_factor * std::max(window_iters, 1.0);
+
+  const Placement& pl = cfg.placement;
+  const double threads_per_core = std::max(pl.avg_threads_per_core, 1.0);
+  const double threads_per_socket =
+      std::max(static_cast<double>(pl.threads_on_busiest_socket), 1.0);
+
+  // Per-level miss fractions (absolute, per access). Locality loss from
+  // small/scattered chunks is strongest at L1, weaker at L2, and does not
+  // touch the DRAM-bound fraction at all — short-range reuse misses hit
+  // in the next level down, they don't create new memory traffic.
+  const double f1 = capacity_factor(ws_thread * threads_per_core,
+                                    hier_.l1.capacity, mem.gamma_private);
+  const double p1 = clamp01(
+      mem.base_miss_l1 * f1 *
+      (1.0 + mem.reuse_sens_l1 * reuse_loss + prefetch_loss));
+
+  const double f2 = capacity_factor(ws_thread * threads_per_core,
+                                    hier_.l2.capacity, mem.gamma_private);
+  const double p2_raw = clamp01(
+      mem.base_miss_l2 * f2 *
+      (1.0 + mem.reuse_sens_l2 * reuse_loss + 0.5 * prefetch_loss));
+
+  const double ws_socket = ws_thread * threads_per_socket;
+  const double f3 = capacity_factor(ws_socket, hier_.l3.capacity,
+                                    mem.gamma_shared);
+  const double p3_raw = clamp01(
+      mem.base_miss_l3 * f3 * (1.0 + mem.reuse_sens_l3 * reuse_loss));
+
+  // The chain is monotone: you cannot miss L2 more often than L1.
+  out.miss_l1 = p1;
+  out.miss_l2 = std::min(p2_raw, out.miss_l1);
+  out.miss_l3 = std::min(p3_raw, out.miss_l2);
+
+  // --- traffic and stall ---
+  const double access_bytes = mem.access_bytes_per_iter > 0.0
+                                  ? mem.access_bytes_per_iter
+                                  : mem.bytes_per_iter;
+  out.lines_per_iter = access_bytes / kLineBytes * mem.stride_factor;
+  const double l1_misses = out.lines_per_iter * out.miss_l1;
+  const double l2_misses = out.lines_per_iter * out.miss_l2;
+  const double l3_misses = out.lines_per_iter * out.miss_l3;
+  out.dram_lines_per_iter = l3_misses;
+
+  // Latency path: misses pay the next level's latency; out-of-order
+  // execution overlaps `mlp` outstanding misses across the whole chain.
+  out.stall_ns_per_iter = (l1_misses * hier_.l2.latency_ns +
+                           l2_misses * hier_.l3.latency_ns +
+                           l3_misses * hier_.dram_latency_ns) /
+                          mem.mlp;
+
+  // Roofline floor: with every thread on the socket streaming the same
+  // kernel, each gets a 1/threads share of the pins.
+  out.bw_floor_ns_per_iter =
+      l3_misses * kLineBytes * threads_per_socket /
+      std::max(hier_.dram_bandwidth_gbs, 1e-9);  // bytes/(GB/s) = ns
+  return out;
+}
+
+}  // namespace arcs::sim

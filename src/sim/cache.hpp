@@ -1,0 +1,126 @@
+// Three-level cache hierarchy and a capacity/locality miss-rate model.
+//
+// The model answers one question for the loop runtime: given a region's
+// intrinsic memory behavior and a runtime configuration (thread placement,
+// chunk size, schedule contiguity), what are the L1/L2/L3 miss ratios and
+// the resulting memory stall time per iteration?
+//
+// It captures the four effects the ARCS paper's analysis revolves around:
+//
+//  1. *Small chunks lose reuse.* A line is reused by up to `reuse_window`
+//     consecutive iterations; a thread executing chunks of c iterations
+//     only captures a c/(c + R) share of that reuse, so small chunks raise
+//     miss ratios (strongest at L1).
+//  2. *Non-contiguous schedules disrupt prefetch.* dynamic/guided hand out
+//     scattered chunks; hardware prefetchers lose their stride, adding a
+//     penalty that decays with chunk size.
+//  3. *Capacity pressure.* Private L1/L2 are split among SMT siblings;
+//     shared L3 is split among every thread on the socket. When the
+//     aggregate resident set outgrows a level, its miss ratio rises as
+//     (footprint/capacity)^gamma. This is what makes "fewer threads" win
+//     L3 behavior for large-footprint regions (the paper's up-to-90% L3
+//     improvements on SP).
+//  4. *Bandwidth saturation.* DRAM traffic from many threads on one socket
+//     contends; the per-miss latency inflates once demanded bandwidth
+//     exceeds the socket's.
+//
+// All shaping parameters live in `MemoryBehavior` so workload models
+// (kernels/) can be calibrated without touching the simulator.
+#pragma once
+
+#include "common/units.hpp"
+#include "sim/topology.hpp"
+
+namespace arcs::sim {
+
+struct CacheLevelSpec {
+  common::Bytes capacity = 0;
+  double latency_ns = 0;        ///< access latency of *this* level
+  bool shared_per_socket = false;
+};
+
+struct CacheHierarchy {
+  CacheLevelSpec l1{32 * 1024.0, 1.3, false};
+  CacheLevelSpec l2{256 * 1024.0, 3.8, false};
+  CacheLevelSpec l3{20 * 1024.0 * 1024.0, 14.0, true};
+  double dram_latency_ns = 78.0;
+  double dram_bandwidth_gbs = 51.2;  ///< per socket, GB/s
+};
+
+/// Intrinsic memory behavior of one parallel region (config-independent).
+struct MemoryBehavior {
+  /// Unique bytes resident per iteration (drives capacity pressure).
+  common::Bytes bytes_per_iter = 256.0;
+  /// Cache-access volume per iteration (drives stall time); >= unique
+  /// bytes when the kernel re-reads its working set (solver sweeps).
+  /// 0 = same as bytes_per_iter.
+  common::Bytes access_bytes_per_iter = 0.0;
+  /// Number of consecutive iterations that reuse a line (>=1).
+  double reuse_window = 16.0;
+  /// Access-stride inflation: 1 = unit stride, k = only 1/k of each line
+  /// useful (long-stride stencils like BT's rhsz have k >> 1).
+  double stride_factor = 1.0;
+  /// Miss fractions per *access* under ideal locality (absolute, not
+  /// conditional): base_miss_l1 >= base_miss_l2 >= base_miss_l3. The
+  /// model clamps the chain monotone after applying per-level factors.
+  double base_miss_l1 = 0.05;
+  double base_miss_l2 = 0.02;
+  double base_miss_l3 = 0.008;
+  /// Memory-level parallelism: outstanding DRAM misses a thread overlaps;
+  /// effective DRAM latency is dram_latency_ns / mlp.
+  double mlp = 4.0;
+  /// Sensitivity of each level to lost reuse from small chunks.
+  double reuse_sens_l1 = 1.5;
+  double reuse_sens_l2 = 1.0;
+  double reuse_sens_l3 = 0.5;
+  /// Sensitivity to non-contiguous (dynamic/guided) chunk pickup.
+  double prefetch_sens = 0.4;
+  /// Capacity-overflow exponents.
+  double gamma_private = 0.7;
+  double gamma_shared = 1.0;
+};
+
+/// Configuration-dependent inputs to the model.
+struct CacheConfig {
+  Placement placement;      ///< thread placement on the machine
+  double chunk_iters = 1;   ///< iterations per scheduled chunk (>=1)
+  bool contiguous = true;   ///< static schedule => contiguous pickup
+};
+
+/// Model outputs. Miss rates are absolute fractions of accesses that miss
+/// at each level (what PAPI-style counters normalized by accesses report).
+struct CacheOutcome {
+  double miss_l1 = 0;  ///< fraction of accesses missing L1
+  double miss_l2 = 0;  ///< fraction of accesses missing L2 (<= miss_l1)
+  double miss_l3 = 0;  ///< fraction of accesses missing L3 (<= miss_l2)
+  double lines_per_iter = 0;
+  double dram_lines_per_iter = 0;
+  /// Latency-path memory stall per iteration (misses overlapped by MLP).
+  double stall_ns_per_iter = 0;
+  /// Roofline bandwidth floor: the iteration cannot complete faster than
+  /// its share of the socket's DRAM pins allows, i.e.
+  /// dram_bytes * threads_on_socket / socket_bandwidth. The runtime takes
+  /// max(compute + stall, bw_floor) per iteration.
+  double bw_floor_ns_per_iter = 0;
+};
+
+class CacheModel {
+ public:
+  explicit CacheModel(const CacheHierarchy& hierarchy)
+      : hier_(hierarchy) {}
+
+  /// Evaluates miss ratios and per-iteration stall for one region
+  /// execution. The DRAM term is the max of a latency bound (misses /
+  /// MLP) and a bandwidth bound (the thread's share of socket bandwidth),
+  /// so saturated-bandwidth kernels lose nothing by shedding threads —
+  /// the regime behind the paper's low-thread-count optima.
+  CacheOutcome evaluate(const MemoryBehavior& mem,
+                        const CacheConfig& cfg) const;
+
+  const CacheHierarchy& hierarchy() const { return hier_; }
+
+ private:
+  CacheHierarchy hier_;
+};
+
+}  // namespace arcs::sim

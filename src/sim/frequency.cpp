@@ -1,0 +1,30 @@
+#include "sim/frequency.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace arcs::sim {
+
+std::vector<common::Hertz> FrequencyModel::pstates() const {
+  ARCS_CHECK(f_min > 0 && f_max >= f_min && step > 0);
+  std::vector<common::Hertz> out;
+  for (common::Hertz f = f_min; f <= f_max + 0.5 * step; f += step)
+    out.push_back(std::min(f, f_max));
+  if (out.empty() || out.back() < f_max) out.push_back(f_max);
+  return out;
+}
+
+common::Hertz FrequencyModel::quantize(common::Hertz f) const {
+  ARCS_CHECK(f_min > 0 && f_max >= f_min && step > 0);
+  if (f <= f_min) return f_min;
+  if (f >= f_max) return f_max;
+  const double steps = std::floor((f - f_min) / step);
+  return f_min + steps * step;
+}
+
+int FrequencyModel::num_pstates() const {
+  return static_cast<int>(pstates().size());
+}
+
+}  // namespace arcs::sim

@@ -1,0 +1,37 @@
+// Discrete P-state frequency model.
+//
+// Real processors expose a ladder of frequency steps (P-states); RAPL-style
+// power capping reduces the operating frequency along that ladder, and below
+// the lowest step enforces the cap by duty-cycling (clock gating). The
+// model exposes exactly that: quantized frequencies plus a duty factor.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace arcs::sim {
+
+struct FrequencyModel {
+  common::Hertz f_min = 1.2e9;
+  common::Hertz f_max = 2.4e9;
+  common::Hertz step = 100e6;
+
+  /// All selectable P-state frequencies, ascending (f_min..f_max).
+  std::vector<common::Hertz> pstates() const;
+
+  /// Highest P-state <= f (clamped into [f_min, f_max]).
+  common::Hertz quantize(common::Hertz f) const;
+
+  int num_pstates() const;
+};
+
+/// An operating point chosen by the power governor.
+struct OperatingPoint {
+  common::Hertz frequency = 0.0;  ///< selected P-state
+  double duty = 1.0;              ///< <1 when clock gating below f_min
+  /// Throughput-equivalent frequency (what computation proceeds at).
+  common::Hertz effective_frequency() const { return frequency * duty; }
+};
+
+}  // namespace arcs::sim

@@ -1,0 +1,123 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace arcs::sim {
+
+double MachineSpec::smt_per_thread_throughput(double threads_per_core) const {
+  ARCS_CHECK(!smt_throughput.empty());
+  ARCS_CHECK(threads_per_core >= 1.0);
+  // Interpolate the combined-throughput table, then divide by thread count.
+  const double k = threads_per_core;
+  const auto n = smt_throughput.size();
+  double combined = 0.0;
+  if (k >= static_cast<double>(n)) {
+    combined = smt_throughput.back();
+  } else {
+    const auto lo = static_cast<std::size_t>(k) - 1;
+    const auto hi = std::min(lo + 1, n - 1);
+    const double frac = k - std::floor(k);
+    combined = smt_throughput[lo] * (1.0 - frac) + smt_throughput[hi] * frac;
+  }
+  return combined / k;
+}
+
+Machine::Machine(MachineSpec spec, std::uint64_t noise_seed)
+    : spec_(std::move(spec)),
+      governor_(spec_.power, spec_.frequency),
+      cache_model_(spec_.caches),
+      limit_(spec_.tdp),
+      counter_(),
+      noise_(noise_seed) {
+  ARCS_CHECK(spec_.tdp > 0);
+  ARCS_CHECK(spec_.os_jitter_sigma >= 0);
+}
+
+double Machine::next_jitter() {
+  if (spec_.os_jitter_sigma <= 0) return 1.0;
+  // One-sided: |N(0, sigma)| as a slowdown, so the noiseless time is the
+  // infimum — which is why min-of-repetitions de-noises a shared machine.
+  return 1.0 + std::abs(noise_.normal(0.0, spec_.os_jitter_sigma));
+}
+
+void Machine::set_power_cap(common::Watts cap) {
+  if (!spec_.power_cappable)
+    throw CapabilityError(spec_.name +
+                          ": no power-capping privilege on this machine");
+  ARCS_CHECK_MSG(cap > 0, "power cap must be positive");
+  limit_.program(std::min(cap, spec_.tdp), clock_);
+}
+
+void Machine::clear_power_cap() { limit_.program(spec_.tdp, clock_); }
+
+common::Watts Machine::power_cap() const { return limit_.effective(clock_); }
+
+common::Watts Machine::programmed_power_cap() const {
+  return limit_.programmed();
+}
+
+OperatingPoint Machine::operating_point(int active_cores,
+                                        common::Hertz user_freq_cap) const {
+  // Inactive cores still draw sleep power; reserve it out of the budget
+  // so the package as a whole never exceeds the programmed limit — the
+  // strict enforcement RAPL provides (and that the paper's §VI criticizes
+  // softer schemes for lacking).
+  const double idle_cores = static_cast<double>(
+      spec_.topology.total_cores() - std::min(active_cores,
+                                              spec_.topology.total_cores()));
+  const common::Watts budget =
+      power_cap() - idle_cores * spec_.power.core_sleep;
+  OperatingPoint op = governor_.operating_point(budget, active_cores);
+  if (user_freq_cap > 0 && user_freq_cap < op.frequency) {
+    op.frequency = spec_.frequency.quantize(user_freq_cap);
+    op.duty = 1.0;  // below the governor's point: no gating needed
+  }
+  return op;
+}
+
+void Machine::advance(common::Seconds dt, common::Watts power) {
+  ARCS_CHECK(dt >= 0);
+  ARCS_CHECK(power >= 0);
+  clock_ += dt;
+  last_power_ = power;
+  counter_.deposit(power * dt, clock_);
+}
+
+void Machine::advance_idle(common::Seconds dt) {
+  advance(dt, spec_.power.uncore);
+}
+
+std::uint32_t Machine::read_energy_raw() const {
+  if (!spec_.energy_counters)
+    throw CapabilityError(spec_.name +
+                          ": energy counters are not accessible");
+  return counter_.read_raw(clock_);
+}
+
+const RaplCounter& Machine::rapl_counter() const {
+  if (!spec_.energy_counters)
+    throw CapabilityError(spec_.name +
+                          ": energy counters are not accessible");
+  return counter_;
+}
+
+void Machine::deposit_dram_traffic(double bytes) {
+  ARCS_CHECK(bytes >= 0);
+  dram_access_energy_ += bytes / 1e9 * spec_.dram_energy_per_gb;
+}
+
+common::Joules Machine::dram_energy() const {
+  return spec_.dram_background * clock_ + dram_access_energy_;
+}
+
+void Machine::reset() {
+  counter_ = RaplCounter();
+  clock_ = 0.0;
+  limit_ = RaplPowerLimit(limit_.programmed());
+  dram_access_energy_ = 0.0;
+}
+
+}  // namespace arcs::sim

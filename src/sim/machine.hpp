@@ -1,0 +1,167 @@
+// Machine specification and live machine state.
+//
+// `MachineSpec` is the static description of a node (topology, frequency
+// ladder, power model, caches, runtime cost constants, SMT scaling). Two
+// presets mirror the paper's testbeds: `crill()` (dual-socket Intel Sandy
+// Bridge Xeon E5, 16 cores / 32 hyper-threads, power-cappable via RAPL)
+// and `minotaur()` (dual-socket IBM POWER8, 20 cores / 160 SMT threads,
+// no capping privilege and no energy counters, as in the paper).
+//
+// `Machine` is the mutable node: current power cap (through the emulated
+// RAPL limit register), virtual wall clock, and the package energy counter.
+// The loop runtime advances it in segments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/cache.hpp"
+#include "sim/frequency.hpp"
+#include "sim/power.hpp"
+#include "sim/rapl.hpp"
+#include "sim/topology.hpp"
+
+namespace arcs::sim {
+
+struct MachineSpec {
+  std::string name;
+  CpuTopology topology;
+  FrequencyModel frequency;
+  PowerModel power;
+  CacheHierarchy caches;
+
+  /// Combined throughput of one core running k SMT threads, indexed by
+  /// k-1. E.g. {1.0, 1.25}: two hyper-threads deliver 1.25x one thread.
+  /// Threads beyond the table use its last entry.
+  std::vector<double> smt_throughput{1.0};
+
+  /// Cost of omp_set_num_threads()+omp_set_schedule() per region call
+  /// (team resize / ICV propagation). Paper: ~8 ms on Crill.
+  common::Seconds config_change_cost = 8e-3;
+  /// Fork/join cost of entering a parallel region, per thread in the team.
+  common::Seconds fork_join_per_thread = 1.5e-6;
+  /// Cost of one dynamic/guided chunk grab (atomic on the shared index).
+  common::Seconds dispatch_cost = 120e-9;
+  /// Extra per-grab contention cost multiplied by log2(team size).
+  common::Seconds dispatch_contention = 40e-9;
+  /// One-time loop setup (static partition computation).
+  common::Seconds static_setup_cost = 0.8e-6;
+  /// Context-switch cost per iteration batch when oversubscribed.
+  common::Seconds oversubscription_switch = 6e-6;
+  /// Spin->sleep threshold for waiting threads and sleep transition cost.
+  common::Seconds sleep_threshold = 80e-6;
+  common::Seconds sleep_transition = 12e-6;
+  /// One level of a reduction combining tree (cache-line exchange).
+  common::Seconds reduction_step_cost = 0.9e-6;
+
+  common::Watts tdp = 115.0;
+  bool power_cappable = true;
+  bool energy_counters = true;
+
+  /// OS/measurement jitter: per-region-execution multiplicative noise
+  /// (lognormal sigma). 0 = fully deterministic. The paper repeats every
+  /// experiment three times because of exactly this noise — higher on
+  /// the shared Minotaur than on the dedicated Crill (§IV.D).
+  double os_jitter_sigma = 0.0;
+
+  /// DRAM power model (paper §VII extension: "account for memory power
+  /// in addition to processor power"): background refresh/standby power
+  /// plus an access-energy cost per byte moved to/from the DIMMs.
+  common::Watts dram_background = 8.0;
+  double dram_energy_per_gb = 0.5;  ///< J per GB of DRAM traffic
+
+  int default_threads() const { return topology.hw_threads(); }
+
+  /// Per-thread throughput multiplier with k threads per core (<=1).
+  double smt_per_thread_throughput(double threads_per_core) const;
+};
+
+/// Thrown when a capability the paper lacked on a machine is exercised
+/// (e.g. power capping on Minotaur).
+class CapabilityError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Machine {
+ public:
+  /// `noise_seed` drives the OS-jitter stream (irrelevant when the spec's
+  /// os_jitter_sigma is 0).
+  explicit Machine(MachineSpec spec, std::uint64_t noise_seed = 1);
+
+  const MachineSpec& spec() const { return spec_; }
+
+  /// Programs the package power cap. Throws CapabilityError when the
+  /// machine does not expose capping (Minotaur in the paper).
+  void set_power_cap(common::Watts cap);
+
+  /// Removes any cap (TDP-limited only).
+  void clear_power_cap();
+
+  common::Watts power_cap() const;
+
+  /// The programmed (target) cap, independent of the settling window —
+  /// what a client would read back from the limit register.
+  common::Watts programmed_power_cap() const;
+
+  /// Operating point the governor grants for `active_cores` busy cores at
+  /// the current (settled) cap. A positive `user_freq_cap` (Hz) further
+  /// clips the frequency — the DVFS request of the paper's §VII
+  /// extension (never raises power, so the RAPL limit stays honored).
+  OperatingPoint operating_point(int active_cores,
+                                 common::Hertz user_freq_cap = 0) const;
+
+  /// Advances the virtual clock by dt with the package drawing `power`.
+  void advance(common::Seconds dt, common::Watts power);
+
+  /// Advances the clock without attributing busy power (idle periods
+  /// between regions still draw uncore power).
+  void advance_idle(common::Seconds dt);
+
+  common::Seconds now() const { return clock_; }
+
+  /// Package power drawn during the most recent advance() segment — what
+  /// a power meter sampling the node would have read.
+  common::Watts last_power() const { return last_power_; }
+
+  /// Draws the next region execution's jitter factor (>= ~1; slowdowns
+  /// only — noise never makes work finish early). Returns exactly 1 when
+  /// os_jitter_sigma is 0.
+  double next_jitter();
+
+  /// Ground-truth package energy (J) since construction.
+  common::Joules energy() const { return counter_.exact_joules(); }
+
+  /// Accounts DRAM traffic (bytes moved) for the memory-power extension.
+  void deposit_dram_traffic(double bytes);
+
+  /// DRAM energy (J) since construction: background power integrated
+  /// over the clock plus per-byte access energy.
+  common::Joules dram_energy() const;
+
+  /// Raw RAPL counter access (client-visible, quantized & wrapping).
+  /// Throws CapabilityError when energy counters are not readable.
+  std::uint32_t read_energy_raw() const;
+  const RaplCounter& rapl_counter() const;
+
+  const PowerGovernor& governor() const { return governor_; }
+  const CacheModel& cache_model() const { return cache_model_; }
+
+  /// Resets clock and energy accounting (fresh experiment on same node).
+  void reset();
+
+ private:
+  MachineSpec spec_;
+  PowerGovernor governor_;
+  CacheModel cache_model_;
+  RaplPowerLimit limit_;
+  RaplCounter counter_;
+  common::Seconds clock_ = 0.0;
+  common::Joules dram_access_energy_ = 0.0;
+  common::Watts last_power_ = 0.0;
+  common::Rng noise_;
+};
+
+}  // namespace arcs::sim

@@ -1,0 +1,122 @@
+#include "sim/msr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace arcs::sim {
+
+namespace {
+constexpr std::uint64_t kLimitMask = 0x7fffULL;       // bits 14:0
+constexpr std::uint64_t kEnableBit = 1ULL << 15;
+constexpr std::uint64_t kClampBit = 1ULL << 16;
+constexpr unsigned kWindowShift = 17;                 // bits 23:17
+constexpr std::uint64_t kWindowMask = 0x7fULL;
+}  // namespace
+
+std::uint32_t encode_time_window(double seconds, const MsrUnits& units) {
+  ARCS_CHECK_MSG(seconds > 0, "time window must be positive");
+  const double in_units = seconds / units.time_unit();
+  // window = (1 + F/4) * 2^Y; choose Y = floor(log2), then the nearest F.
+  int y = static_cast<int>(std::floor(std::log2(std::max(in_units, 1.0))));
+  y = std::clamp(y, 0, 31);
+  const double frac = in_units / static_cast<double>(1u << y) - 1.0;
+  int f = static_cast<int>(std::lround(frac * 4.0));
+  f = std::clamp(f, 0, 3);
+  return static_cast<std::uint32_t>((f << 5) | y);
+}
+
+double decode_time_window(std::uint32_t field, const MsrUnits& units) {
+  const unsigned y = field & 0x1f;
+  const unsigned f = (field >> 5) & 0x3;
+  return (1.0 + static_cast<double>(f) / 4.0) *
+         static_cast<double>(1ULL << y) * units.time_unit();
+}
+
+MsrDevice::MsrDevice(Machine& machine) : machine_(machine) {
+  // Hardware powers up with the limit register reflecting TDP, enabled.
+  const auto tdp_units = static_cast<std::uint64_t>(
+      std::lround(machine_.spec().tdp / units_.power_unit()));
+  power_limit_reg_ =
+      (tdp_units & kLimitMask) | kEnableBit | kClampBit |
+      (static_cast<std::uint64_t>(encode_time_window(0.01, units_))
+       << kWindowShift);
+}
+
+std::uint64_t MsrDevice::read(std::uint32_t msr) const {
+  switch (msr) {
+    case kMsrRaplPowerUnit:
+      return static_cast<std::uint64_t>(units_.power_exp) |
+             (static_cast<std::uint64_t>(units_.energy_exp) << 8) |
+             (static_cast<std::uint64_t>(units_.time_exp) << 16);
+    case kMsrPkgPowerLimit:
+      return power_limit_reg_;
+    case kMsrPkgEnergyStatus:
+      // Machine's counter uses the same 2^-16 J quantum; CapabilityError
+      // propagates on machines without counter access.
+      return machine_.read_energy_raw();
+    case kMsrPkgPowerInfo:
+      return static_cast<std::uint64_t>(
+                 std::lround(machine_.spec().tdp / units_.power_unit())) &
+             kLimitMask;
+    default:
+      throw MsrError("read of unsupported MSR 0x" + std::to_string(msr));
+  }
+}
+
+void MsrDevice::write(std::uint32_t msr, std::uint64_t value) {
+  switch (msr) {
+    case kMsrPkgPowerLimit: {
+      power_limit_reg_ = value;
+      if (value & kEnableBit) {
+        const double watts =
+            static_cast<double>(value & kLimitMask) * units_.power_unit();
+        machine_.set_power_cap(watts);  // throws on uncappable machines
+      } else {
+        machine_.clear_power_cap();
+      }
+      return;
+    }
+    case kMsrRaplPowerUnit:
+    case kMsrPkgEnergyStatus:
+    case kMsrPkgPowerInfo:
+      throw MsrError("write to read-only MSR 0x" + std::to_string(msr));
+    default:
+      throw MsrError("write to unsupported MSR 0x" + std::to_string(msr));
+  }
+}
+
+void MsrDevice::set_package_power_limit(double watts,
+                                        double window_seconds) {
+  ARCS_CHECK_MSG(watts > 0, "power limit must be positive");
+  const auto limit_units = static_cast<std::uint64_t>(
+      std::lround(watts / units_.power_unit()));
+  const std::uint64_t reg =
+      (limit_units & kLimitMask) | kEnableBit | kClampBit |
+      (static_cast<std::uint64_t>(
+           encode_time_window(window_seconds, units_))
+       << kWindowShift);
+  write(kMsrPkgPowerLimit, reg);
+}
+
+void MsrDevice::disable_package_power_limit() {
+  write(kMsrPkgPowerLimit, power_limit_reg_ & ~kEnableBit);
+}
+
+double MsrDevice::package_power_limit_watts() const {
+  if (!(power_limit_reg_ & kEnableBit)) return 0.0;
+  return static_cast<double>(power_limit_reg_ & kLimitMask) *
+         units_.power_unit();
+}
+
+double MsrDevice::package_energy_joules() const {
+  return static_cast<double>(read(kMsrPkgEnergyStatus)) *
+         units_.energy_unit();
+}
+
+double MsrDevice::thermal_spec_power_watts() const {
+  return static_cast<double>(read(kMsrPkgPowerInfo)) * units_.power_unit();
+}
+
+}  // namespace arcs::sim

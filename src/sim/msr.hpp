@@ -1,0 +1,106 @@
+// MSR-level RAPL interface — the register view libmsr works against.
+//
+// The paper measures energy and programs caps through "libmsr, a library
+// that facilitates access to MSRs via RAPL interface" [13]. This module
+// exposes the machine model through the same register file a libmsr-style
+// client sees, with the Intel SDM bit layouts:
+//
+//   MSR_RAPL_POWER_UNIT (0x606)
+//     bits  3:0  power unit   = 1/2^PU watts
+//     bits 12:8  energy unit  = 1/2^ESU joules
+//     bits 19:16 time unit    = 1/2^TU seconds
+//   MSR_PKG_POWER_LIMIT (0x610)
+//     bits 14:0  limit #1 in power units, bit 15 enable, bit 16 clamp,
+//     bits 23:17 time window #1 as (1 + F/4) * 2^Y  time units
+//     (Y = bits 21:17, F = bits 23:22)
+//   MSR_PKG_ENERGY_STATUS (0x611)
+//     bits 31:0  wrapping energy counter in energy units (read-only)
+//   MSR_PKG_POWER_INFO (0x614)
+//     bits 14:0  thermal spec power (TDP) in power units (read-only)
+//
+// Reads and writes translate to Machine operations; unknown registers,
+// writes to read-only registers, and access on machines without the
+// corresponding privilege raise MsrError / CapabilityError exactly where
+// a real msr-safe setup would fail.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/machine.hpp"
+
+namespace arcs::sim {
+
+inline constexpr std::uint32_t kMsrRaplPowerUnit = 0x606;
+inline constexpr std::uint32_t kMsrPkgPowerLimit = 0x610;
+inline constexpr std::uint32_t kMsrPkgEnergyStatus = 0x611;
+inline constexpr std::uint32_t kMsrPkgPowerInfo = 0x614;
+
+/// Raised on malformed MSR access (unknown address, read-only write).
+class MsrError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Fixed unit exponents advertised in MSR_RAPL_POWER_UNIT. The energy
+/// unit 2^-16 J = 15.26 uJ matches the RaplCounter's default quantum.
+struct MsrUnits {
+  unsigned power_exp = 3;    ///< 1/8 W
+  unsigned energy_exp = 16;  ///< ~15.26 uJ
+  unsigned time_exp = 10;    ///< ~0.98 ms
+
+  double power_unit() const { return 1.0 / (1u << power_exp); }
+  double energy_unit() const { return 1.0 / (1u << energy_exp); }
+  double time_unit() const { return 1.0 / (1u << time_exp); }
+};
+
+/// The per-package MSR device (what /dev/cpu/N/msr + msr-safe expose).
+class MsrDevice {
+ public:
+  /// The machine must outlive the device.
+  explicit MsrDevice(Machine& machine);
+
+  /// Reads a supported register. Energy reads on machines without
+  /// counter access throw CapabilityError (as the paper hit on Minotaur).
+  std::uint64_t read(std::uint32_t msr) const;
+
+  /// Writes a register; only MSR_PKG_POWER_LIMIT is writable, and only
+  /// on power-cappable machines.
+  void write(std::uint32_t msr, std::uint64_t value);
+
+  const MsrUnits& units() const { return units_; }
+
+  // --- libmsr-style conveniences over the raw registers ---
+
+  /// Programs limit #1: watts + time window, enabled and clamped.
+  void set_package_power_limit(double watts, double window_seconds);
+
+  /// Disables the limit (machine returns to TDP).
+  void disable_package_power_limit();
+
+  /// Decodes the currently programmed limit (0 when disabled).
+  double package_power_limit_watts() const;
+
+  /// Energy in joules as a RAPL client computes it — two raw reads with
+  /// wraparound-safe differencing belong to the caller; this is just the
+  /// scaled current counter.
+  double package_energy_joules() const;
+
+  /// TDP from MSR_PKG_POWER_INFO.
+  double thermal_spec_power_watts() const;
+
+ private:
+  std::uint64_t encode_power_limit() const;
+
+  Machine& machine_;
+  MsrUnits units_;
+  // Mirror of the programmed limit register (hardware keeps the last
+  // written value; the machine only tracks the resulting cap).
+  std::uint64_t power_limit_reg_ = 0;
+};
+
+/// Encodes/decodes the SDM time-window field (Y, F) <-> seconds.
+std::uint32_t encode_time_window(double seconds, const MsrUnits& units);
+double decode_time_window(std::uint32_t field, const MsrUnits& units);
+
+}  // namespace arcs::sim

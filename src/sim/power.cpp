@@ -1,0 +1,65 @@
+#include "sim/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace arcs::sim {
+
+common::Watts PowerModel::core_dynamic(common::Hertz f) const {
+  ARCS_CHECK(f_ref > 0);
+  return core_dyn_ref * std::pow(f / f_ref, alpha);
+}
+
+common::Watts PowerModel::core_busy(common::Hertz f) const {
+  return core_static + core_dynamic(f);
+}
+
+common::Watts PowerModel::core_spin(common::Hertz f) const {
+  return core_static + spin_fraction * core_dynamic(f);
+}
+
+common::Watts PowerModel::package_power(common::Hertz f,
+                                        int active_cores) const {
+  ARCS_CHECK(active_cores >= 0);
+  return uncore + static_cast<double>(active_cores) * core_busy(f);
+}
+
+OperatingPoint PowerGovernor::operating_point(common::Watts cap,
+                                              int active_cores) const {
+  ARCS_CHECK(active_cores >= 1);
+  OperatingPoint op;
+  if (power_.package_power(freq_.f_max, active_cores) <= cap) {
+    op.frequency = freq_.f_max;
+    return op;
+  }
+  // Walk the P-state ladder downward (few tens of states; linear is fine
+  // and keeps the selection identical to firmware's highest-feasible rule).
+  const auto states = freq_.pstates();
+  for (auto it = states.rbegin(); it != states.rend(); ++it) {
+    if (power_.package_power(*it, active_cores) <= cap) {
+      op.frequency = *it;
+      return op;
+    }
+  }
+  // Even f_min violates the cap: duty-cycle. Idle phases of the duty cycle
+  // still pay uncore + static power, so solve
+  //   uncore + a*static + duty * a*dyn(f_min) = cap  for duty.
+  op.frequency = freq_.f_min;
+  const double a = static_cast<double>(active_cores);
+  const common::Watts floor_power =
+      power_.uncore + a * power_.core_static;
+  const common::Watts dyn = a * power_.core_dynamic(freq_.f_min);
+  op.duty = std::clamp((cap - floor_power) / std::max(dyn, 1e-9), 0.05, 1.0);
+  return op;
+}
+
+common::Watts PowerGovernor::power_at(const OperatingPoint& op,
+                                      int active_cores) const {
+  const double a = static_cast<double>(active_cores);
+  return power_.uncore + a * power_.core_static +
+         op.duty * a * power_.core_dynamic(op.frequency);
+}
+
+}  // namespace arcs::sim

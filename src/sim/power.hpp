@@ -1,0 +1,68 @@
+// Package power model and power-cap governor.
+//
+// Package power is modeled as
+//
+//     P(f, a) = P_uncore + a * (P_core_static + P_core_dyn_ref * (f/f_ref)^alpha)
+//
+// where `a` is the number of active cores. The exponent alpha > 1 folds the
+// voltage/frequency relationship of DVFS into a single term (dynamic power
+// ~ C V^2 f with V roughly affine in f gives alpha in [2, 3]).
+//
+// The governor mirrors RAPL's behavior: given a package power limit it picks
+// the highest P-state whose worst-case package power with the current number
+// of active cores stays under the limit; if even the lowest P-state exceeds
+// the limit it duty-cycles (clock gating), reducing effective throughput
+// proportionally. This is the mechanism whose performance consequences ARCS
+// navigates: fewer active cores leave headroom for a higher frequency at the
+// same cap.
+#pragma once
+
+#include "common/units.hpp"
+#include "sim/frequency.hpp"
+
+namespace arcs::sim {
+
+struct PowerModel {
+  common::Watts uncore = 18.0;       ///< always-on package power
+  common::Watts core_static = 1.2;   ///< per active core leakage
+  common::Watts core_dyn_ref = 4.2;  ///< per-core dynamic power at f_ref
+  double alpha = 2.2;                ///< dynamic power exponent
+  common::Hertz f_ref = 2.4e9;
+  /// Fraction of dynamic power burned by a spin-waiting thread.
+  double spin_fraction = 0.30;
+  /// Per-core power in a sleep state (C1/C3), replacing static+dynamic.
+  common::Watts core_sleep = 0.25;
+
+  /// Per-core dynamic power at frequency f.
+  common::Watts core_dynamic(common::Hertz f) const;
+
+  /// Full-package power with `active_cores` busy cores at frequency f.
+  common::Watts package_power(common::Hertz f, int active_cores) const;
+
+  /// Power contribution of one busy core (static + dynamic).
+  common::Watts core_busy(common::Hertz f) const;
+
+  /// Power of a core whose threads are all spin-waiting.
+  common::Watts core_spin(common::Hertz f) const;
+};
+
+/// Chooses the operating point honoring a power cap.
+class PowerGovernor {
+ public:
+  PowerGovernor(const PowerModel& power, const FrequencyModel& freq)
+      : power_(power), freq_(freq) {}
+
+  /// Highest-throughput operating point with `active_cores` busy cores whose
+  /// package power does not exceed `cap`. With cap >= uncapped power this is
+  /// simply (f_max, duty 1).
+  OperatingPoint operating_point(common::Watts cap, int active_cores) const;
+
+  /// Package power at the chosen point (accounting for duty cycling).
+  common::Watts power_at(const OperatingPoint& op, int active_cores) const;
+
+ private:
+  PowerModel power_;
+  FrequencyModel freq_;
+};
+
+}  // namespace arcs::sim

@@ -1,0 +1,117 @@
+#include "sim/presets.hpp"
+
+namespace arcs::sim {
+
+MachineSpec crill() {
+  MachineSpec m;
+  m.name = "crill";
+  m.topology = {.sockets = 2, .cores_per_socket = 8, .smt_per_core = 2};
+  m.frequency = {.f_min = 1.2e9, .f_max = 2.4e9, .step = 100e6};
+  // Calibrated so that all 16 cores at 2.4 GHz draw ~112 W (just under
+  // the 115 W TDP) and the 55 W cap sits slightly below the all-cores
+  // f_min floor — RAPL must duty-cycle 16-core configurations there,
+  // while <=12-core teams still run on real P-states. This is the
+  // regime that makes the optimal thread count cap-dependent (paper
+  // §II).
+  m.power = {.uncore = 18.0,
+             .core_static = 1.5,
+             .core_dyn_ref = 4.4,
+             .alpha = 2.2,
+             .f_ref = 2.4e9,
+             .spin_fraction = 0.30,
+             .core_sleep = 0.25};
+  m.caches.l1 = {32 * common::kKiB, 1.3, false};
+  m.caches.l2 = {256 * common::kKiB, 3.8, false};
+  m.caches.l3 = {20 * common::kMiB, 14.0, true};
+  m.caches.dram_latency_ns = 78.0;
+  m.caches.dram_bandwidth_gbs = 51.2;
+  m.smt_throughput = {1.0, 1.25};  // 2-way hyper-threading
+  m.config_change_cost = 8e-3;     // paper §III.C: ~8 ms per region call
+  m.os_jitter_sigma = 0.01;        // dedicated resource: low noise
+  m.tdp = 115.0;
+  m.power_cappable = true;
+  m.energy_counters = true;
+  return m;
+}
+
+MachineSpec minotaur() {
+  MachineSpec m;
+  m.name = "minotaur";
+  m.topology = {.sockets = 2, .cores_per_socket = 10, .smt_per_core = 8};
+  m.frequency = {.f_min = 2.06e9, .f_max = 2.92e9, .step = 86e6};
+  m.power = {.uncore = 32.0,
+             .core_static = 1.8,
+             .core_dyn_ref = 7.5,
+             .alpha = 2.1,
+             .f_ref = 2.92e9,
+             .spin_fraction = 0.30,
+             .core_sleep = 0.4};
+  m.caches.l1 = {64 * common::kKiB, 1.1, false};
+  m.caches.l2 = {512 * common::kKiB, 4.0, false};
+  m.caches.l3 = {80 * common::kMiB, 11.0, true};
+  m.caches.dram_latency_ns = 88.0;
+  m.caches.dram_bandwidth_gbs = 115.0;
+  // POWER8 SMT8 scales far better than 2-way HT but with diminishing
+  // returns past SMT4.
+  m.smt_throughput = {1.0, 1.45, 1.7, 1.85, 1.95, 2.0, 2.05, 2.1};
+  m.config_change_cost = 4e-3;
+  m.os_jitter_sigma = 0.04;  // shared resource (paper reports the min of
+                             // three runs on Minotaur for this reason)
+  m.tdp = 190.0;
+  m.power_cappable = false;   // paper: no capping privilege on Minotaur
+  m.energy_counters = false;  // paper: no energy counter access
+  return m;
+}
+
+MachineSpec haswell() {
+  MachineSpec m;
+  m.name = "haswell";
+  m.topology = {.sockets = 2, .cores_per_socket = 12, .smt_per_core = 2};
+  m.frequency = {.f_min = 1.2e9, .f_max = 2.6e9, .step = 100e6};
+  m.power = {.uncore = 16.0,
+             .core_static = 1.1,
+             .core_dyn_ref = 3.3,
+             .alpha = 2.3,
+             .f_ref = 2.6e9,
+             .spin_fraction = 0.30,
+             .core_sleep = 0.2};
+  m.caches.l1 = {32 * common::kKiB, 1.2, false};
+  m.caches.l2 = {256 * common::kKiB, 3.5, false};
+  m.caches.l3 = {30 * common::kMiB, 13.0, true};
+  m.caches.dram_latency_ns = 72.0;
+  m.caches.dram_bandwidth_gbs = 68.0;
+  m.smt_throughput = {1.0, 1.28};
+  m.config_change_cost = 7e-3;
+  m.os_jitter_sigma = 0.01;
+  m.tdp = 120.0;
+  m.power_cappable = true;
+  m.energy_counters = true;
+  return m;
+}
+
+MachineSpec testbox() {
+  MachineSpec m;
+  m.name = "testbox";
+  m.topology = {.sockets = 1, .cores_per_socket = 4, .smt_per_core = 1};
+  m.frequency = {.f_min = 1.0e9, .f_max = 2.0e9, .step = 100e6};
+  m.power = {.uncore = 5.0,
+             .core_static = 0.5,
+             .core_dyn_ref = 3.0,
+             .alpha = 2.0,
+             .f_ref = 2.0e9,
+             .spin_fraction = 0.30,
+             .core_sleep = 0.1};
+  m.caches.l1 = {32 * common::kKiB, 1.3, false};
+  m.caches.l2 = {256 * common::kKiB, 3.8, false};
+  m.caches.l3 = {4 * common::kMiB, 12.0, true};
+  m.caches.dram_latency_ns = 70.0;
+  m.caches.dram_bandwidth_gbs = 20.0;
+  m.smt_throughput = {1.0};
+  m.config_change_cost = 1e-3;
+  m.tdp = 20.0;
+  m.power_cappable = true;
+  m.energy_counters = true;
+  return m;
+}
+
+}  // namespace arcs::sim

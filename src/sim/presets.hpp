@@ -1,0 +1,27 @@
+// Machine presets mirroring the paper's two testbeds (§IV.A).
+#pragma once
+
+#include "sim/machine.hpp"
+
+namespace arcs::sim {
+
+/// Crill (University of Houston): dual-socket 2.4 GHz Intel Xeon E5
+/// (Sandy Bridge), 16 cores / 32 hyper-threads, TDP 115 W, RAPL power
+/// capping and energy counters available.
+MachineSpec crill();
+
+/// Minotaur (University of Oregon): IBM S822LC, two 10-core POWER8 at
+/// 2.92 GHz, SMT8 (160 hardware threads), 256 GB. No power-capping
+/// privilege and no energy counter access (as in the paper) — experiments
+/// on it are execution-time only at the default power level.
+MachineSpec minotaur();
+
+/// A hypothetical newer partner node for heterogeneous-job experiments
+/// (paper §VII future work): dual-socket 12-core Haswell-class at
+/// 2.6 GHz, wider but lower-clocked under caps than Crill.
+MachineSpec haswell();
+
+/// A small 4-core machine for fast unit tests.
+MachineSpec testbox();
+
+}  // namespace arcs::sim

@@ -1,0 +1,61 @@
+#include "sim/rapl.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace arcs::sim {
+
+RaplCounter::RaplCounter(common::Joules energy_unit,
+                         common::Seconds update_period)
+    : unit_(energy_unit), period_(update_period) {
+  ARCS_CHECK(unit_ > 0);
+  ARCS_CHECK(period_ > 0);
+}
+
+void RaplCounter::deposit(common::Joules joules, common::Seconds now) {
+  ARCS_CHECK(joules >= 0);
+  ARCS_CHECK_MSG(now + 1e-12 >= last_refresh_,
+                 "RAPL deposits must be monotone in time");
+  exact_ += joules;
+  pending_ += joules;
+  // Publish at refresh boundaries crossed by `now`.
+  const double boundary = std::floor(now / period_) * period_;
+  if (boundary > last_refresh_ || visible_counts_ == 0) {
+    visible_counts_ += static_cast<std::uint64_t>(pending_ / unit_);
+    pending_ -= std::floor(pending_ / unit_) * unit_;
+    last_refresh_ = boundary;
+  }
+}
+
+std::uint32_t RaplCounter::read_raw(common::Seconds /*now*/) const {
+  return static_cast<std::uint32_t>(visible_counts_ & 0xffffffffULL);
+}
+
+common::Joules RaplCounter::joules_between(std::uint32_t before,
+                                           std::uint32_t after) const {
+  // Canonical wraparound handling: unsigned subtraction modulo 2^32.
+  const std::uint32_t delta = after - before;
+  return static_cast<common::Joules>(delta) * unit_;
+}
+
+RaplPowerLimit::RaplPowerLimit(common::Watts initial_limit,
+                               common::Seconds settle_time)
+    : target_(initial_limit), previous_(initial_limit), settle_(settle_time) {
+  ARCS_CHECK(settle_ >= 0);
+}
+
+void RaplPowerLimit::program(common::Watts limit, common::Seconds now) {
+  previous_ = effective(now);
+  target_ = limit;
+  programmed_at_ = now;
+}
+
+common::Watts RaplPowerLimit::effective(common::Seconds now) const {
+  if (settle_ <= 0 || now >= programmed_at_ + settle_) return target_;
+  if (now <= programmed_at_) return previous_;
+  const double frac = (now - programmed_at_) / settle_;
+  return previous_ + (target_ - previous_) * frac;
+}
+
+}  // namespace arcs::sim

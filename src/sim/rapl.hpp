@@ -1,0 +1,86 @@
+// RAPL (Running Average Power Limit) MSR emulation.
+//
+// The paper measures energy and enforces caps through libmsr/RAPL and calls
+// out its known quirks ("counter update frequency and the warm up period
+// after enforcing a power cap"). This module reproduces the interface a
+// RAPL client sees:
+//
+//  * MSR_PKG_ENERGY_STATUS — a 32-bit counter of discrete energy units
+//    (default unit 15.3 uJ, from MSR_RAPL_POWER_UNIT) that wraps around and
+//    refreshes only on a ~1 ms cadence;
+//  * MSR_PKG_POWER_LIMIT — the package power cap, applied by the governor
+//    after a short settling (warm-up) window during which the old operating
+//    point lingers.
+//
+// `RaplCounter::joules_between` implements the canonical wraparound-safe
+// delta that any RAPL client must perform.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace arcs::sim {
+
+/// Emulated package energy counter (MSR_PKG_ENERGY_STATUS semantics).
+class RaplCounter {
+ public:
+  /// `energy_unit`: joules per raw count. `update_period`: counter refresh.
+  explicit RaplCounter(common::Joules energy_unit = 15.3e-6,
+                       common::Seconds update_period = 1e-3);
+
+  /// Deposit consumed energy at simulated time `now` (monotone in `now`).
+  void deposit(common::Joules joules, common::Seconds now);
+
+  /// Raw 32-bit register read at time `now`. Returns the value as of the
+  /// last refresh boundary at or before `now` — reads within one update
+  /// period observe a stale value, exactly like hardware.
+  std::uint32_t read_raw(common::Seconds now) const;
+
+  /// Exact accumulated energy (simulator-side ground truth, not visible to
+  /// a RAPL client).
+  common::Joules exact_joules() const { return exact_; }
+
+  common::Joules energy_unit() const { return unit_; }
+  common::Seconds update_period() const { return period_; }
+
+  /// Wraparound-safe energy delta between two raw reads.
+  common::Joules joules_between(std::uint32_t before,
+                                std::uint32_t after) const;
+
+ private:
+  common::Joules unit_;
+  common::Seconds period_;
+  common::Joules exact_ = 0.0;
+  // State for the staleness window.
+  common::Seconds last_refresh_ = 0.0;
+  std::uint64_t visible_counts_ = 0;   // counts as of last refresh
+  common::Joules pending_ = 0.0;       // energy since last refresh
+};
+
+/// Emulated package power-limit register with a warm-up window: after a new
+/// limit is programmed, the effective limit ramps from the old one over
+/// `settle_time`.
+class RaplPowerLimit {
+ public:
+  explicit RaplPowerLimit(common::Watts initial_limit,
+                          common::Seconds settle_time = 2e-3);
+
+  void program(common::Watts limit, common::Seconds now);
+
+  /// The limit the governor actually enforces at time `now`.
+  common::Watts effective(common::Seconds now) const;
+
+  /// The programmed (target) limit.
+  common::Watts programmed() const { return target_; }
+
+  common::Seconds settle_time() const { return settle_; }
+
+ private:
+  common::Watts target_;
+  common::Watts previous_;
+  common::Seconds programmed_at_ = 0.0;
+  common::Seconds settle_;
+};
+
+}  // namespace arcs::sim

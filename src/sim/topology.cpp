@@ -1,0 +1,60 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arcs::sim {
+
+Placement place_threads(const CpuTopology& topo, int nthreads,
+                        PlacementPolicy policy) {
+  ARCS_CHECK(nthreads >= 1);
+  ARCS_CHECK(topo.sockets >= 1 && topo.cores_per_socket >= 1 &&
+             topo.smt_per_core >= 1);
+
+  Placement p;
+  p.nthreads = nthreads;
+
+  const int cores = topo.total_cores();
+  const int hw = topo.hw_threads();
+  p.oversubscription =
+      nthreads <= hw ? 1.0
+                     : static_cast<double>(nthreads) / static_cast<double>(hw);
+
+  if (policy == PlacementPolicy::Spread) {
+    p.active_cores = std::min(nthreads, cores);
+    p.active_sockets = std::min(nthreads, topo.sockets);
+    // Threads round-robin over cores, so per-core load differs by at
+    // most one until hardware threads run out.
+    p.max_threads_per_core =
+        (nthreads + cores - 1) / cores;  // ceil over all cores when > cores
+    if (nthreads <= cores) p.max_threads_per_core = 1;
+    p.avg_threads_per_core =
+        static_cast<double>(nthreads) / static_cast<double>(p.active_cores);
+    // Round-robin over sockets: busiest socket holds ceil share.
+    p.threads_on_busiest_socket =
+        (nthreads + topo.sockets - 1) / topo.sockets;
+    return p;
+  }
+
+  // Close: pack SMT siblings of one core, then the next core of the same
+  // socket, then the next socket.
+  const int smt = topo.smt_per_core;
+  p.active_cores =
+      std::min((nthreads + smt - 1) / smt, cores);
+  p.active_sockets = std::min(
+      (p.active_cores + topo.cores_per_socket - 1) / topo.cores_per_socket,
+      topo.sockets);
+  p.max_threads_per_core = std::min(nthreads, smt);
+  if (nthreads > hw)
+    p.max_threads_per_core =
+        (nthreads + cores - 1) / cores;  // oversubscribed: all cores full
+  // Counts software threads (oversubscribed ones timeshare the core) so
+  // per-thread resource shares always sum back to whole cores.
+  p.avg_threads_per_core = static_cast<double>(nthreads) /
+                           static_cast<double>(p.active_cores);
+  p.threads_on_busiest_socket =
+      std::min(nthreads, topo.cores_per_socket * smt);
+  return p;
+}
+
+}  // namespace arcs::sim

@@ -1,0 +1,47 @@
+// CPU topology: sockets x cores x SMT ways, and the placement of an OpenMP
+// thread team onto hardware threads.
+//
+// Two placement policies, mirroring OMP_PROC_BIND:
+//  * Spread (the default of production runtimes): threads fill distinct
+//    cores (round-robin over sockets) before doubling up on SMT siblings;
+//  * Close: threads pack SMT siblings and cores of one socket first —
+//    fewer active cores, which buys frequency headroom under a power cap
+//    at the price of SMT sharing.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace arcs::sim {
+
+enum class PlacementPolicy { Spread, Close };
+
+struct CpuTopology {
+  int sockets = 1;
+  int cores_per_socket = 1;
+  int smt_per_core = 1;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+  int hw_threads() const { return total_cores() * smt_per_core; }
+};
+
+/// Result of placing a team of software threads onto the topology.
+struct Placement {
+  int nthreads = 0;        ///< team size requested
+  int active_cores = 0;    ///< cores with at least one thread
+  int active_sockets = 0;  ///< sockets with at least one active core
+  int max_threads_per_core = 0;
+  /// Threads resident on each active core (uniform up to a remainder).
+  double avg_threads_per_core = 0.0;
+  /// Software threads per hardware thread (>1 means oversubscription).
+  double oversubscription = 1.0;
+  /// Threads assigned to the most loaded socket.
+  int threads_on_busiest_socket = 0;
+};
+
+/// Computes the placement of `nthreads` threads. nthreads >= 1.
+Placement place_threads(const CpuTopology& topo, int nthreads,
+                        PlacementPolicy policy = PlacementPolicy::Spread);
+
+}  // namespace arcs::sim

@@ -1,0 +1,108 @@
+#include "somp/chunker.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace arcs::somp {
+
+std::int64_t resolve_chunk(const LoopSchedule& schedule, std::int64_t n,
+                           int num_threads) {
+  ARCS_CHECK(n >= 0);
+  ARCS_CHECK(num_threads >= 1);
+  if (schedule.chunk > 0) return schedule.chunk;
+  switch (resolve_kind(schedule.kind)) {
+    case ScheduleKind::Static:
+      return std::max<std::int64_t>(1, (n + num_threads - 1) / num_threads);
+    case ScheduleKind::Dynamic:
+    case ScheduleKind::Guided:
+      return 1;
+    case ScheduleKind::Default:
+    case ScheduleKind::Auto:
+      break;  // unreachable after resolve_kind
+  }
+  return 1;
+}
+
+ScheduleKind resolve_kind(ScheduleKind kind) {
+  // Auto is resolved by the runtime per region (it needs the cost
+  // profile); standalone resolution treats it like the default.
+  if (kind == ScheduleKind::Default || kind == ScheduleKind::Auto)
+    return ScheduleKind::Static;
+  return kind;
+}
+
+std::vector<std::vector<Chunk>> static_partition(std::int64_t n,
+                                                 int num_threads,
+                                                 std::int64_t chunk) {
+  ARCS_CHECK(n >= 0);
+  ARCS_CHECK(num_threads >= 1);
+  std::vector<std::vector<Chunk>> per_thread(
+      static_cast<std::size_t>(num_threads));
+  if (n == 0) return per_thread;
+
+  if (chunk <= 0) {
+    // Default static: one near-equal contiguous block per thread; the
+    // first n % num_threads threads get the extra iteration.
+    const std::int64_t base = n / num_threads;
+    const std::int64_t extra = n % num_threads;
+    std::int64_t begin = 0;
+    for (int t = 0; t < num_threads; ++t) {
+      const std::int64_t size = base + (t < extra ? 1 : 0);
+      if (size > 0)
+        per_thread[static_cast<std::size_t>(t)].push_back(
+            {begin, begin + size});
+      begin += size;
+    }
+    return per_thread;
+  }
+
+  // Block-cyclic: chunk k goes to thread k % num_threads.
+  std::int64_t begin = 0;
+  std::int64_t k = 0;
+  while (begin < n) {
+    const std::int64_t end = std::min(n, begin + chunk);
+    per_thread[static_cast<std::size_t>(k % num_threads)].push_back(
+        {begin, end});
+    begin = end;
+    ++k;
+  }
+  return per_thread;
+}
+
+std::vector<Chunk> dynamic_chunks(std::int64_t n, std::int64_t chunk) {
+  ARCS_CHECK(n >= 0);
+  const std::int64_t c = std::max<std::int64_t>(1, chunk);
+  std::vector<Chunk> out;
+  out.reserve(static_cast<std::size_t>((n + c - 1) / c));
+  for (std::int64_t begin = 0; begin < n; begin += c)
+    out.push_back({begin, std::min(n, begin + c)});
+  return out;
+}
+
+std::vector<Chunk> guided_chunks(std::int64_t n, int num_threads,
+                                 std::int64_t chunk) {
+  ARCS_CHECK(n >= 0);
+  ARCS_CHECK(num_threads >= 1);
+  const std::int64_t cmin = std::max<std::int64_t>(1, chunk);
+  std::vector<Chunk> out;
+  std::int64_t begin = 0;
+  while (begin < n) {
+    const std::int64_t remaining = n - begin;
+    std::int64_t size =
+        (remaining + num_threads - 1) / num_threads;  // ceil(rem/T)
+    size = std::max(size, cmin);
+    size = std::min(size, remaining);
+    out.push_back({begin, begin + size});
+    begin += size;
+  }
+  return out;
+}
+
+std::size_t count_chunks(const std::vector<std::vector<Chunk>>& per_thread) {
+  std::size_t total = 0;
+  for (const auto& list : per_thread) total += list.size();
+  return total;
+}
+
+}  // namespace arcs::somp

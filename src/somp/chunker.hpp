@@ -1,0 +1,58 @@
+// Chunk generation for OpenMP loop schedules.
+//
+// These are the actual partitioning algorithms of OpenMP 4.0 §2.7.1:
+//
+//  * static, default chunk: iterations divided into num_threads contiguous
+//    blocks of near-equal size, one per thread;
+//  * static, chunk c: blocks of size c assigned round-robin (block-cyclic);
+//  * dynamic, chunk c: blocks of size c handed out on demand;
+//  * guided, chunk c: each grab takes ceil(remaining / num_threads)
+//    iterations, clipped below at c (except for the final remainder).
+//
+// For dynamic/guided, the *sizes* of successive grabs are independent of
+// which thread grabs them, so the full chunk sequence can be precomputed;
+// the discrete-event engine then assigns grabs to threads by readiness
+// order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "somp/schedule.hpp"
+
+namespace arcs::somp {
+
+/// One contiguous block of the iteration space.
+struct Chunk {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;  ///< exclusive
+  std::int64_t size() const { return end - begin; }
+  bool operator==(const Chunk&) const = default;
+};
+
+/// Resolves a schedule's default chunk for an n-iteration loop on a
+/// t-thread team: n/t (ceil) for static/default, 1 for dynamic/guided.
+std::int64_t resolve_chunk(const LoopSchedule& schedule, std::int64_t n,
+                           int num_threads);
+
+/// Resolved schedule kind: Default -> Static.
+ScheduleKind resolve_kind(ScheduleKind kind);
+
+/// Static partition: per-thread chunk lists. `chunk` <= 0 selects the
+/// default one-block-per-thread split.
+std::vector<std::vector<Chunk>> static_partition(std::int64_t n,
+                                                 int num_threads,
+                                                 std::int64_t chunk);
+
+/// Dynamic schedule: ordered sequence of grabs.
+std::vector<Chunk> dynamic_chunks(std::int64_t n, std::int64_t chunk);
+
+/// Guided schedule: ordered sequence of grabs (sizes non-increasing, each
+/// >= chunk except possibly the last).
+std::vector<Chunk> guided_chunks(std::int64_t n, int num_threads,
+                                 std::int64_t chunk);
+
+/// Total number of grabs for any schedule (for overhead accounting).
+std::size_t count_chunks(const std::vector<std::vector<Chunk>>& per_thread);
+
+}  // namespace arcs::somp

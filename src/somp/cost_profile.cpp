@@ -1,0 +1,47 @@
+#include "somp/cost_profile.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace arcs::somp {
+
+CostProfile::CostProfile(std::vector<double> cycles_per_iter) {
+  prefix_.resize(cycles_per_iter.size() + 1);
+  prefix_[0] = 0.0;
+  for (std::size_t i = 0; i < cycles_per_iter.size(); ++i) {
+    ARCS_CHECK_MSG(cycles_per_iter[i] >= 0.0,
+                   "iteration cost must be non-negative");
+    prefix_[i + 1] = prefix_[i] + cycles_per_iter[i];
+  }
+}
+
+CostProfile CostProfile::uniform(std::int64_t iterations, double cycles) {
+  ARCS_CHECK(iterations >= 0);
+  return CostProfile(
+      std::vector<double>(static_cast<std::size_t>(iterations), cycles));
+}
+
+double CostProfile::range_cycles(std::int64_t begin, std::int64_t end) const {
+  ARCS_CHECK(begin >= 0 && begin <= end && end <= iterations());
+  return prefix_[static_cast<std::size_t>(end)] -
+         prefix_[static_cast<std::size_t>(begin)];
+}
+
+double CostProfile::imbalance_ratio(int num_threads) const {
+  ARCS_CHECK(num_threads >= 1);
+  const std::int64_t n = iterations();
+  if (n == 0) return 1.0;
+  double max_share = 0.0;
+  double min_share = total_cycles();
+  for (int t = 0; t < num_threads; ++t) {
+    const std::int64_t b = n * t / num_threads;
+    const std::int64_t e = n * (t + 1) / num_threads;
+    const double share = range_cycles(b, e);
+    max_share = std::max(max_share, share);
+    min_share = std::min(min_share, share);
+  }
+  return min_share > 0.0 ? max_share / min_share : 1.0;
+}
+
+}  // namespace arcs::somp

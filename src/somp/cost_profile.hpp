@@ -1,0 +1,47 @@
+// Per-iteration compute cost of a loop, with O(1) range sums.
+//
+// A workload model assigns each loop iteration a compute cost in reference
+// CPU cycles. The discrete-event engine charges whole chunks at a time, so
+// the profile stores a prefix-sum array; range queries are two loads. The
+// profile is built once per region and shared across thousands of simulated
+// executions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace arcs::somp {
+
+class CostProfile {
+ public:
+  /// Takes ownership of per-iteration cycle counts (all must be >= 0).
+  explicit CostProfile(std::vector<double> cycles_per_iter);
+
+  /// Uniform profile helper.
+  static CostProfile uniform(std::int64_t iterations, double cycles);
+
+  std::int64_t iterations() const {
+    return static_cast<std::int64_t>(prefix_.size()) - 1;
+  }
+
+  /// Total cycles over [begin, end).
+  double range_cycles(std::int64_t begin, std::int64_t end) const;
+
+  double total_cycles() const { return prefix_.back(); }
+
+  double at(std::int64_t i) const { return range_cycles(i, i + 1); }
+
+  /// Max over min of per-thread ideal shares — a quick imbalance indicator
+  /// used in tests (1.0 = perfectly uniform).
+  double imbalance_ratio(int num_threads) const;
+
+ private:
+  std::vector<double> prefix_;  // prefix_[i] = sum of cycles[0..i)
+};
+
+using CostProfilePtr = std::shared_ptr<const CostProfile>;
+
+}  // namespace arcs::somp

@@ -1,0 +1,66 @@
+#include "somp/environment.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace arcs::somp {
+
+namespace {
+
+int parse_positive_int(std::string_view text, const char* what) {
+  const auto t = common::trim(text);
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  ARCS_CHECK_MSG(ec == std::errc() && ptr == t.data() + t.size() && value > 0,
+                 std::string(what) + ": expected a positive integer, got '" +
+                     std::string(t) + "'");
+  return value;
+}
+
+}  // namespace
+
+Environment Environment::from_getter(
+    const std::function<const char*(const char*)>& getter) {
+  Environment env;
+
+  if (const char* v = getter("OMP_NUM_THREADS"); v != nullptr && *v != '\0')
+    env.num_threads = parse_positive_int(v, "OMP_NUM_THREADS");
+
+  if (const char* v = getter("OMP_SCHEDULE"); v != nullptr && *v != '\0') {
+    const auto parts = common::split(v, ',');
+    ARCS_CHECK_MSG(parts.size() == 1 || parts.size() == 2,
+                   "OMP_SCHEDULE: expected kind[,chunk]");
+    LoopSchedule schedule;
+    schedule.kind = schedule_kind_from_string(parts[0]);
+    if (parts.size() == 2)
+      schedule.chunk = parse_positive_int(parts[1], "OMP_SCHEDULE chunk");
+    env.schedule = schedule;
+  }
+
+  if (const char* v = getter("OMP_PROC_BIND"); v != nullptr && *v != '\0') {
+    const auto lower = common::to_lower(common::trim(v));
+    if (lower == "close" || lower == "true" || lower == "master")
+      env.proc_bind = sim::PlacementPolicy::Close;
+    else if (lower == "spread" || lower == "false")
+      env.proc_bind = sim::PlacementPolicy::Spread;
+    else
+      ARCS_CHECK_MSG(false, "OMP_PROC_BIND: unknown value '" + lower + "'");
+  }
+
+  return env;
+}
+
+Environment Environment::from_process_environment() {
+  return from_getter([](const char* name) { return std::getenv(name); });
+}
+
+void Environment::apply(Runtime& runtime) const {
+  if (num_threads) runtime.set_num_threads(*num_threads);
+  if (schedule) runtime.set_schedule(*schedule);
+  if (proc_bind) runtime.set_placement(*proc_bind);
+}
+
+}  // namespace arcs::somp

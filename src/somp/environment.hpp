@@ -1,0 +1,44 @@
+// OpenMP environment-variable configuration.
+//
+// Real applications configure the runtime through OMP_NUM_THREADS,
+// OMP_SCHEDULE and OMP_PROC_BIND; the paper's initial exploration did
+// exactly that ("the NPB 3.3-OMP-C OpenMP benchmarks were exhaustively
+// parameterized to explore the full search space for the OpenMP
+// environment variables OMP_NUM_THREADS and OMP_SCHEDULE").
+//
+// `Environment::from_getter` parses the standard variables through an
+// injected lookup (testable without touching the process environment);
+// `apply` programs a Runtime's ICVs accordingly.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "somp/runtime.hpp"
+#include "somp/schedule.hpp"
+
+namespace arcs::somp {
+
+struct Environment {
+  std::optional<int> num_threads;          ///< OMP_NUM_THREADS
+  std::optional<LoopSchedule> schedule;    ///< OMP_SCHEDULE
+  std::optional<sim::PlacementPolicy> proc_bind;  ///< OMP_PROC_BIND
+
+  /// Looks up the three variables through `getter` (nullptr/empty =
+  /// unset). Accepts the standard forms:
+  ///   OMP_NUM_THREADS=16
+  ///   OMP_SCHEDULE=guided | guided,8 | static,1
+  ///   OMP_PROC_BIND=close | spread | true (=close) | false (=spread)
+  /// Throws common::ContractError on malformed values.
+  static Environment from_getter(
+      const std::function<const char*(const char*)>& getter);
+
+  /// Reads the real process environment.
+  static Environment from_process_environment();
+
+  /// Programs the runtime's ICVs (only the variables that were set).
+  void apply(Runtime& runtime) const;
+};
+
+}  // namespace arcs::somp

@@ -1,0 +1,371 @@
+#include "somp/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace arcs::somp {
+
+namespace {
+
+/// Share of the config-change cost attributed to the team resize vs the
+/// schedule-ICV propagation. The split is internal; the paper only
+/// measures their sum (~8 ms on Crill).
+constexpr double kResizeShare = 0.6;
+constexpr double kScheduleShare = 0.4;
+/// Cost of writing an ICV that does not change the team.
+constexpr common::Seconds kIcvWriteCost = 2e-6;
+/// Static scheduling pays a small per-chunk bookkeeping fee (fraction of a
+/// dynamic grab — no shared-counter contention).
+constexpr double kStaticChunkFeeFraction = 0.2;
+/// Teams are clamped to this multiple of the hardware thread count.
+constexpr int kMaxOversubscription = 4;
+/// Cost of a userspace DVFS transition (write + PLL relock).
+constexpr common::Seconds kDvfsTransitionCost = 60e-6;
+
+}  // namespace
+
+Runtime::Runtime(sim::Machine& machine) : machine_(machine) {}
+
+void Runtime::charge_serial_overhead(common::Seconds dt) {
+  if (dt <= 0) return;
+  const auto& spec = machine_.spec();
+  const sim::OperatingPoint op = machine_.operating_point(1);
+  const common::Watts p =
+      spec.power.uncore + spec.power.core_busy(op.frequency) +
+      static_cast<double>(spec.topology.total_cores() - 1) *
+          spec.power.core_sleep;
+  machine_.advance(dt, p);
+}
+
+void Runtime::set_num_threads(int n) {
+  ARCS_CHECK_MSG(n >= 0, "omp_set_num_threads: negative team size");
+  const auto& spec = machine_.spec();
+  const int resolved_new = n == 0 ? spec.default_threads() : n;
+  const int resolved_old =
+      icv_threads_ == 0 ? spec.default_threads() : icv_threads_;
+  const common::Seconds cost = resolved_new != resolved_old
+                                   ? kResizeShare * spec.config_change_cost
+                                   : kIcvWriteCost;
+  charge_serial_overhead(cost);
+  total_config_change_time_ += cost;
+  icv_threads_ = n;
+}
+
+void Runtime::set_schedule(LoopSchedule schedule) {
+  ARCS_CHECK_MSG(schedule.chunk >= 0, "omp_set_schedule: negative chunk");
+  const auto& spec = machine_.spec();
+  const bool changed = !(schedule == icv_schedule_);
+  const common::Seconds cost =
+      changed ? kScheduleShare * spec.config_change_cost : kIcvWriteCost;
+  charge_serial_overhead(cost);
+  total_config_change_time_ += cost;
+  icv_schedule_ = schedule;
+}
+
+void Runtime::set_frequency_mhz(long mhz) {
+  ARCS_CHECK_MSG(mhz >= 0, "negative DVFS request");
+  if (mhz != icv_frequency_mhz_) charge_serial_overhead(kDvfsTransitionCost);
+  icv_frequency_mhz_ = mhz;
+}
+
+void Runtime::set_placement(sim::PlacementPolicy placement) {
+  if (placement != icv_placement_) {
+    const common::Seconds cost = 0.3 * machine_.spec().config_change_cost;
+    charge_serial_overhead(cost);
+    total_config_change_time_ += cost;
+  }
+  icv_placement_ = placement;
+}
+
+void Runtime::apply_config(const LoopConfig& config) {
+  set_num_threads(config.num_threads);
+  set_schedule(config.schedule);
+  set_frequency_mhz(config.frequency_mhz);
+  set_placement(config.placement);
+}
+
+void Runtime::apply_config_forced(const LoopConfig& config) {
+  const common::Seconds cost = machine_.spec().config_change_cost;
+  charge_serial_overhead(cost);
+  total_config_change_time_ += cost;
+  icv_threads_ = config.num_threads;
+  icv_schedule_ = config.schedule;
+  set_frequency_mhz(config.frequency_mhz);
+  set_placement(config.placement);
+}
+
+void Runtime::serial_compute(double cycles) {
+  ARCS_CHECK(cycles >= 0);
+  if (cycles == 0) return;
+  const sim::OperatingPoint op = machine_.operating_point(1);
+  const common::Seconds dt =
+      common::cycles_to_seconds(cycles, op.effective_frequency());
+  charge_serial_overhead(dt);
+}
+
+ExecutionRecord Runtime::parallel_for(const RegionWork& region) {
+  ARCS_CHECK_MSG(region.cost != nullptr, "region has no cost profile");
+  const auto& spec = machine_.spec();
+  const std::int64_t n = region.cost->iterations();
+
+  ExecutionRecord rec;
+
+  // --- 1. policy hook: the ARCS policy may steer the next config ---
+  if (provider_) {
+    const common::Seconds before = machine_.now();
+    if (auto cfg = provider_(region.id)) {
+      apply_config_forced(*cfg);
+      rec.requested = *cfg;
+    }
+    rec.config_change_time = machine_.now() - before;
+  }
+
+  // --- 2. instrumentation cost while tools observe ---
+  if (!tools_.empty() && instrumentation_overhead_ > 0) {
+    charge_serial_overhead(instrumentation_overhead_);
+    rec.instrumentation_time = instrumentation_overhead_;
+  }
+
+  // --- 3. resolve team, operating point, per-thread speed ---
+  const int default_threads = spec.default_threads();
+  int team = icv_threads_ == 0 ? default_threads : icv_threads_;
+  team = std::clamp(team, 1,
+                    kMaxOversubscription * spec.topology.hw_threads());
+  const sim::Placement placement =
+      sim::place_threads(spec.topology, team, icv_placement_);
+  const sim::OperatingPoint op = machine_.operating_point(
+      placement.active_cores,
+      static_cast<common::Hertz>(icv_frequency_mhz_) * 1e6);
+  const double smt_pt =
+      spec.smt_per_thread_throughput(placement.avg_threads_per_core);
+  const double jitter = machine_.next_jitter();
+  const double speed = op.effective_frequency() * smt_pt /
+                       placement.oversubscription /
+                       jitter;  // cycles/s per thread, incl. OS noise
+  ARCS_CHECK(speed > 0);
+
+  // schedule(auto): decide from the loop's own balance — a balanced
+  // profile keeps the cheap contiguous static split; an imbalanced one
+  // gets dynamic self-scheduling with a chunk that bounds the tail at
+  // ~1/(8T) of the loop.
+  LoopSchedule schedule = icv_schedule_;
+  if (schedule.kind == ScheduleKind::Auto && n > 0) {
+    if (region.cost->imbalance_ratio(team) > 1.15) {
+      schedule.kind = ScheduleKind::Dynamic;
+      if (schedule.chunk <= 0)
+        schedule.chunk = std::max<std::int64_t>(
+            1, n / (8 * static_cast<std::int64_t>(team)));
+    } else {
+      schedule.kind = ScheduleKind::Static;
+      schedule.chunk = 0;
+    }
+  }
+  const ScheduleKind kind = resolve_kind(schedule.kind);
+  const std::int64_t chunk = resolve_chunk(schedule, n, team);
+
+  rec.team_size = team;
+  rec.kind = kind;
+  rec.chunk = chunk;
+  rec.op = op;
+  if (!provider_) {
+    rec.requested = LoopConfig{icv_threads_, icv_schedule_,
+                               icv_frequency_mhz_, icv_placement_};
+  }
+
+  // --- 4. chunk sequences (exact schedule algorithms) ---
+  std::vector<std::vector<Chunk>> static_chunks;
+  std::vector<Chunk> queue_chunks;
+  std::size_t total_chunks = 0;
+  if (kind == ScheduleKind::Static) {
+    static_chunks =
+        static_partition(n, team, schedule.chunk > 0 ? chunk : 0);
+    total_chunks = count_chunks(static_chunks);
+  } else if (kind == ScheduleKind::Dynamic) {
+    queue_chunks = dynamic_chunks(n, chunk);
+    total_chunks = queue_chunks.size();
+  } else {
+    queue_chunks = guided_chunks(n, team, chunk);
+    total_chunks = queue_chunks.size();
+  }
+  rec.chunks_dispatched = total_chunks;
+  rec.avg_chunk_iters =
+      total_chunks == 0
+          ? 0.0
+          : static_cast<double>(n) / static_cast<double>(total_chunks);
+
+  // --- 5. cache behavior for this configuration ---
+  sim::CacheConfig cache_cfg;
+  cache_cfg.placement = placement;
+  cache_cfg.chunk_iters = std::max(rec.avg_chunk_iters, 1.0);
+  // Only default static (one contiguous block per thread) preserves the
+  // streaming pattern hardware prefetchers rely on; block-cyclic static
+  // scatters accesses exactly like dynamic/guided pickup does.
+  cache_cfg.contiguous =
+      kind == ScheduleKind::Static && schedule.chunk <= 0;
+  rec.cache = machine_.cache_model().evaluate(region.memory, cache_cfg);
+  const common::Seconds stall_per_iter = rec.cache.stall_ns_per_iter * 1e-9;
+  const common::Seconds bw_floor_per_iter =
+      rec.cache.bw_floor_ns_per_iter * 1e-9;
+
+  // --- 6. discrete-event execution of the team ---
+  const common::Seconds fork =
+      spec.fork_join_per_thread * static_cast<double>(team);
+  const common::Seconds join = 0.5 * fork;
+  const common::Seconds grab_fee =
+      spec.dispatch_cost +
+      spec.dispatch_contention * std::log2(static_cast<double>(team) + 1.0);
+  const common::Seconds static_fee = kStaticChunkFeeFraction * grab_fee;
+  const common::Seconds oversub_fee =
+      placement.oversubscription > 1.0 ? spec.oversubscription_switch : 0.0;
+
+  std::vector<common::Seconds> finish(static_cast<std::size_t>(team), 0.0);
+  common::Seconds dispatch_total = 0.0;
+
+  // Roofline per chunk: the latency path (compute + overlapped stalls) or
+  // the thread's bandwidth share, whichever bounds.
+  auto chunk_exec_time = [&](const Chunk& c) {
+    const double latency_path =
+        region.cost->range_cycles(c.begin, c.end) / speed +
+        static_cast<double>(c.size()) * stall_per_iter;
+    const double bw_floor =
+        static_cast<double>(c.size()) * bw_floor_per_iter;
+    return std::max(latency_path, bw_floor);
+  };
+
+  if (kind == ScheduleKind::Static) {
+    for (int t = 0; t < team; ++t) {
+      common::Seconds time = spec.static_setup_cost;
+      for (const Chunk& c : static_chunks[static_cast<std::size_t>(t)]) {
+        time += chunk_exec_time(c) + static_fee + oversub_fee;
+        dispatch_total += static_fee + oversub_fee;
+      }
+      finish[static_cast<std::size_t>(t)] = time;
+    }
+  } else {
+    using Event = std::pair<common::Seconds, int>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> ready;
+    for (int t = 0; t < team; ++t)
+      ready.emplace(spec.static_setup_cost, t);
+    for (const Chunk& c : queue_chunks) {
+      const auto [t, tid] = ready.top();
+      ready.pop();
+      const common::Seconds fee = grab_fee + oversub_fee;
+      const common::Seconds next = t + fee + chunk_exec_time(c);
+      dispatch_total += fee;
+      finish[static_cast<std::size_t>(tid)] = next;
+      ready.emplace(next, tid);
+    }
+    // Threads that never got a chunk finish after loop setup.
+    for (int t = 0; t < team; ++t)
+      if (finish[static_cast<std::size_t>(t)] == 0.0)
+        finish[static_cast<std::size_t>(t)] = spec.static_setup_cost;
+  }
+  rec.dispatch_time_total = dispatch_total;
+
+  common::Seconds loop_end =
+      *std::max_element(finish.begin(), finish.end());
+  // reduction(...): a log2(team) combining tree after the last thread's
+  // loop work, inside the implicit barrier.
+  if (region.has_reduction && team > 1) {
+    const double levels = std::ceil(std::log2(static_cast<double>(team)));
+    rec.reduction_time = levels * spec.reduction_step_cost;
+    loop_end += rec.reduction_time;
+  }
+  const common::Seconds loop_min =
+      *std::min_element(finish.begin(), finish.end());
+  rec.loop_time_max = loop_end;
+  rec.loop_time_min = loop_min;
+
+  common::Seconds barrier_total = 0.0;
+  common::Seconds barrier_max = 0.0;
+  common::Seconds spin_sum = 0.0;
+  common::Seconds sleep_sum = 0.0;
+  for (common::Seconds f : finish) {
+    const common::Seconds wait = loop_end - f;
+    barrier_total += wait;
+    barrier_max = std::max(barrier_max, wait);
+    if (wait <= spec.sleep_threshold) {
+      spin_sum += wait;
+    } else {
+      spin_sum += spec.sleep_threshold + spec.sleep_transition;
+      sleep_sum += wait - spec.sleep_threshold;
+    }
+  }
+  rec.barrier_time_total = barrier_total;
+  rec.barrier_time_max = barrier_max;
+
+  const common::Seconds duration = fork + loop_end + join;
+  rec.duration = duration;
+
+  // --- 7. energy integration ---
+  const auto& pm = spec.power;
+  const double tpc = std::max(placement.avg_threads_per_core, 1.0);
+  const common::Watts core_busy_w =
+      pm.core_static + op.duty * pm.core_dynamic(op.frequency);
+  const common::Watts core_spin_w =
+      pm.core_static + pm.spin_fraction * op.duty *
+                           pm.core_dynamic(op.frequency);
+  common::Seconds busy_sum = 0.0;
+  for (common::Seconds f : finish) busy_sum += f;
+  rec.loop_time_sum = busy_sum;
+
+  common::Joules energy = duration * pm.uncore;
+  energy += busy_sum * core_busy_w / tpc;
+  energy += spin_sum * core_spin_w / tpc;
+  energy += sleep_sum * pm.core_sleep / tpc;
+  energy += (fork + join) * static_cast<double>(team) * core_spin_w / tpc;
+  energy += static_cast<double>(spec.topology.total_cores() -
+                                placement.active_cores) *
+            pm.core_sleep * duration;
+  rec.energy = energy;
+
+  // --- 8. OMPT event emission + clock advance ---
+  const ompt::ParallelId pid = ids_.next();
+  rec.parallel_id = pid;
+  const common::Seconds entry = machine_.now();
+
+  if (!tools_.empty()) {
+    ompt::ParallelBeginRecord pb{pid, region.id, team, entry};
+    tools_.emit_parallel_begin(pb);
+    for (int t = 0; t < team; ++t) {
+      const common::Seconds t_begin = entry + fork;
+      const common::Seconds t_done =
+          t_begin + finish[static_cast<std::size_t>(t)];
+      const common::Seconds t_barrier_end = t_begin + loop_end;
+      tools_.emit_implicit_task(
+          {ompt::Endpoint::Begin, pid, t, t_begin});
+      tools_.emit_work_loop({ompt::Endpoint::Begin, pid, t, t_begin});
+      tools_.emit_work_loop({ompt::Endpoint::End, pid, t, t_done});
+      tools_.emit_sync_region({ompt::Endpoint::Begin,
+                               ompt::SyncRegionKind::BarrierImplicit, pid, t,
+                               t_done});
+      tools_.emit_sync_region({ompt::Endpoint::End,
+                               ompt::SyncRegionKind::BarrierImplicit, pid, t,
+                               t_barrier_end});
+      tools_.emit_implicit_task(
+          {ompt::Endpoint::End, pid, t, t_barrier_end});
+    }
+  }
+
+  // DRAM traffic & energy (memory-power extension).
+  rec.dram_bytes =
+      rec.cache.dram_lines_per_iter * 64.0 * static_cast<double>(n);
+  const common::Joules dram_before = machine_.dram_energy();
+  machine_.deposit_dram_traffic(rec.dram_bytes);
+  if (duration > 0) machine_.advance(duration, energy / duration);
+  rec.dram_energy = machine_.dram_energy() - dram_before;
+
+  if (!tools_.empty()) {
+    ompt::ParallelEndRecord pe{pid, region.id, team, machine_.now()};
+    tools_.emit_parallel_end(pe);
+  }
+
+  ++regions_executed_;
+  return rec;
+}
+
+}  // namespace arcs::somp

@@ -1,0 +1,177 @@
+// Simulated OpenMP loop runtime ("somp").
+//
+// Executes `#pragma omp parallel for`-style regions on a simulated machine
+// (sim::Machine) in virtual time, using the real chunk-dispatch algorithms
+// from somp/chunker.hpp and a discrete-event model of the thread team:
+//
+//  * each team thread has a virtual clock; dynamic/guided grabs go to the
+//    earliest-ready thread (ties by thread id), each grab paying a dispatch
+//    fee that grows with team size (contention on the shared index);
+//  * iteration cost = compute cycles / per-thread speed + memory stall,
+//    where per-thread speed folds in the governor's operating point (power
+//    cap!), SMT sharing, and oversubscription, and the stall comes from the
+//    cache model (chunk locality, capacity pressure, bandwidth);
+//  * the implicit barrier ends the region when the last thread finishes;
+//    waiting threads spin then sleep, and the energy integration accounts
+//    for both (the paper's §V discussion of idle states);
+//  * omp_set_num_threads()/omp_set_schedule() cost real time when they
+//    change the team (the paper's "configuration changing overhead",
+//    ~8 ms/region call on Crill).
+//
+// Every region execution emits the OMPT event sequence (parallel begin/end,
+// implicit task, work loop, sync region) with virtual timestamps, so tools
+// (apex/) observe exactly what they would on a real OMPT runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/units.hpp"
+#include "ompt/ompt.hpp"
+#include "sim/cache.hpp"
+#include "sim/machine.hpp"
+#include "somp/chunker.hpp"
+#include "somp/cost_profile.hpp"
+#include "somp/schedule.hpp"
+
+namespace arcs::somp {
+
+/// A parallel region: identity + per-iteration compute cost + memory
+/// behavior. Built once by a workload model, executed many times.
+struct RegionWork {
+  ompt::RegionIdentifier id;
+  CostProfilePtr cost;
+  sim::MemoryBehavior memory;
+  /// reduction(...) clause: a combining tree runs after the loop, before
+  /// the implicit barrier releases (log2(team) steps).
+  bool has_reduction = false;
+};
+
+/// Everything measured about one region execution.
+struct ExecutionRecord {
+  ompt::ParallelId parallel_id = 0;
+  LoopConfig requested;        ///< config as requested (0 = default fields)
+  int team_size = 0;           ///< resolved thread count
+  ScheduleKind kind = ScheduleKind::Static;  ///< resolved schedule kind
+  std::int64_t chunk = 0;      ///< resolved chunk size
+  sim::OperatingPoint op;      ///< granted frequency/duty
+  common::Seconds duration = 0;          ///< region wall time (fork..join)
+  common::Seconds config_change_time = 0;///< ICV-change cost charged before
+  common::Seconds instrumentation_time = 0;
+  common::Seconds loop_time_max = 0;     ///< busiest thread's loop time
+  common::Seconds loop_time_min = 0;
+  common::Seconds loop_time_sum = 0;     ///< sum over threads (OMPT LOOP)
+  common::Seconds barrier_time_total = 0;///< sum of implicit-barrier waits
+  common::Seconds barrier_time_max = 0;
+  common::Seconds dispatch_time_total = 0;
+  common::Seconds reduction_time = 0;    ///< combining-tree time (if any)
+  std::size_t chunks_dispatched = 0;
+  double avg_chunk_iters = 0;
+  sim::CacheOutcome cache;
+  common::Joules energy = 0;             ///< package energy of this region
+  common::Joules dram_energy = 0;        ///< DRAM energy of this region
+  double dram_bytes = 0;                 ///< DRAM traffic of this region
+};
+
+class Runtime {
+ public:
+  /// The machine outlives the runtime.
+  explicit Runtime(sim::Machine& machine);
+
+  // --- ICV interface (omp_set_num_threads / omp_set_schedule) ---
+
+  /// Sets the team size for subsequent regions; 0 restores the default
+  /// (all hardware threads). Charges team-resize time when the value
+  /// changes.
+  void set_num_threads(int n);
+
+  /// Sets the schedule for subsequent regions. Charges ICV-propagation
+  /// time when the value changes.
+  void set_schedule(LoopSchedule schedule);
+
+  int num_threads_icv() const { return icv_threads_; }
+  LoopSchedule schedule_icv() const { return icv_schedule_; }
+
+  /// DVFS request for subsequent regions, in MHz (0 = none). Models a
+  /// userspace-governor write; costs dvfs_transition time when changed.
+  void set_frequency_mhz(long mhz);
+  long frequency_mhz_icv() const { return icv_frequency_mhz_; }
+
+  /// OMP_PROC_BIND analogue; re-pinning the team costs a fraction of the
+  /// reconfiguration time when changed.
+  void set_placement(sim::PlacementPolicy placement);
+  sim::PlacementPolicy placement_icv() const { return icv_placement_; }
+
+  /// Applies a full LoopConfig through the two setters (change-sensitive
+  /// cost: cheap when nothing changes).
+  void apply_config(const LoopConfig& config);
+
+  /// Applies a LoopConfig charging the full reconfiguration cost
+  /// unconditionally — what ARCS's per-region-entry
+  /// omp_set_num_threads()/omp_set_schedule() calls cost in the paper
+  /// (~8 ms on Crill "in each region call", §III.C). Used by the config
+  /// provider path.
+  void apply_config_forced(const LoopConfig& config);
+
+  // --- tool / policy hooks ---
+
+  ompt::ToolRegistry& tools() { return tools_; }
+  const ompt::ToolRegistry& tools() const { return tools_; }
+
+  /// Consulted at every region entry; a returned config is applied (with
+  /// its cost) before the region runs. This is how the ARCS policy steers
+  /// the runtime.
+  using ConfigProvider =
+      std::function<std::optional<LoopConfig>(const ompt::RegionIdentifier&)>;
+  void set_config_provider(ConfigProvider provider) {
+    provider_ = std::move(provider);
+  }
+  void clear_config_provider() { provider_ = nullptr; }
+
+  /// Fixed per-region-call cost charged while any tool is attached
+  /// (the paper's "APEX instrumentation overhead").
+  void set_instrumentation_overhead(common::Seconds s) {
+    instrumentation_overhead_ = s;
+  }
+  common::Seconds instrumentation_overhead() const {
+    return instrumentation_overhead_;
+  }
+
+  // --- execution ---
+
+  /// Runs one parallel-for region to completion in virtual time.
+  ExecutionRecord parallel_for(const RegionWork& region);
+
+  /// Serial (master-only) compute between regions; advances the clock with
+  /// one busy core.
+  void serial_compute(double cycles);
+
+  sim::Machine& machine() { return machine_; }
+  const sim::Machine& machine() const { return machine_; }
+
+  std::uint64_t regions_executed() const { return regions_executed_; }
+  common::Seconds total_config_change_time() const {
+    return total_config_change_time_;
+  }
+
+ private:
+  /// Charges `dt` of single-core activity (ICV changes, instrumentation).
+  void charge_serial_overhead(common::Seconds dt);
+
+  sim::Machine& machine_;
+  ompt::ToolRegistry tools_;
+  ompt::ParallelIdAllocator ids_;
+  ConfigProvider provider_;
+
+  int icv_threads_ = 0;  // 0 = default
+  LoopSchedule icv_schedule_{};
+  long icv_frequency_mhz_ = 0;  // 0 = no DVFS request
+  sim::PlacementPolicy icv_placement_ = sim::PlacementPolicy::Spread;
+
+  common::Seconds instrumentation_overhead_ = 150e-6;
+  common::Seconds total_config_change_time_ = 0;
+  std::uint64_t regions_executed_ = 0;
+};
+
+}  // namespace arcs::somp

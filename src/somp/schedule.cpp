@@ -1,0 +1,96 @@
+#include "somp/schedule.hpp"
+
+#include <charconv>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace arcs::somp {
+
+std::string_view to_string(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::Default:
+      return "default";
+    case ScheduleKind::Static:
+      return "static";
+    case ScheduleKind::Dynamic:
+      return "dynamic";
+    case ScheduleKind::Guided:
+      return "guided";
+    case ScheduleKind::Auto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+ScheduleKind schedule_kind_from_string(std::string_view s) {
+  const std::string lower = common::to_lower(common::trim(s));
+  if (lower == "default") return ScheduleKind::Default;
+  if (lower == "static") return ScheduleKind::Static;
+  if (lower == "dynamic") return ScheduleKind::Dynamic;
+  if (lower == "guided") return ScheduleKind::Guided;
+  if (lower == "auto") return ScheduleKind::Auto;
+  ARCS_CHECK_MSG(false, "unknown schedule kind: " + lower);
+  return ScheduleKind::Default;  // unreachable
+}
+
+std::string LoopConfig::to_string() const {
+  std::string out = "(";
+  out += num_threads == 0 ? "default" : std::to_string(num_threads);
+  out += ", ";
+  out += somp::to_string(schedule.kind);
+  out += ", ";
+  out += schedule.chunk == 0 ? "default" : std::to_string(schedule.chunk);
+  if (frequency_mhz > 0) {
+    out += ", ";
+    out += std::to_string(frequency_mhz);
+    out += "MHz";
+  }
+  if (placement == sim::PlacementPolicy::Close) out += ", close";
+  out += ")";
+  return out;
+}
+
+LoopConfig LoopConfig::from_string(std::string_view s) {
+  auto body = common::trim(s);
+  ARCS_CHECK_MSG(body.size() >= 2 && body.front() == '(' && body.back() == ')',
+                 "LoopConfig must look like (threads, schedule, chunk)");
+  body = body.substr(1, body.size() - 2);
+  const auto parts = common::split(body, ',');
+  ARCS_CHECK_MSG(parts.size() >= 3 && parts.size() <= 5,
+                 "LoopConfig needs three to five fields");
+
+  auto parse_int_or_default = [](std::string_view field) -> std::int64_t {
+    const auto t = common::trim(field);
+    if (common::to_lower(t) == "default") return 0;
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(t.data(), t.data() + t.size(), value);
+    ARCS_CHECK_MSG(ec == std::errc() && ptr == t.data() + t.size(),
+                   "bad integer in LoopConfig: " + std::string(t));
+    return value;
+  };
+
+  LoopConfig cfg;
+  cfg.num_threads = static_cast<int>(parse_int_or_default(parts[0]));
+  cfg.schedule.kind = schedule_kind_from_string(parts[1]);
+  cfg.schedule.chunk = parse_int_or_default(parts[2]);
+  for (std::size_t i = 3; i < parts.size(); ++i) {
+    auto f = common::trim(parts[i]);
+    const auto lower = common::to_lower(f);
+    if (lower == "close") {
+      cfg.placement = sim::PlacementPolicy::Close;
+    } else if (lower == "spread") {
+      cfg.placement = sim::PlacementPolicy::Spread;
+    } else {
+      ARCS_CHECK_MSG(f.size() > 3 && f.substr(f.size() - 3) == "MHz",
+                     "extra LoopConfig field must be <n>MHz, close or "
+                     "spread");
+      f.remove_suffix(3);
+      cfg.frequency_mhz = parse_int_or_default(f);
+    }
+  }
+  return cfg;
+}
+
+}  // namespace arcs::somp

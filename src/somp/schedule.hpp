@@ -1,0 +1,65 @@
+// OpenMP loop schedules and runtime configurations.
+//
+// A LoopConfig is exactly the triple ARCS tunes (§I of the paper):
+// (1) number of threads, (2) scheduling policy, (3) chunk size.
+// Value 0 means "default": default threads = all hardware threads,
+// default schedule = static, default chunk = the schedule's spec default
+// (iterations/threads for static, 1 for dynamic/guided).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/topology.hpp"
+
+namespace arcs::somp {
+
+enum class ScheduleKind : std::uint8_t {
+  Default,  ///< runtime default (resolves to Static with default chunk)
+  Static,
+  Dynamic,
+  Guided,
+  /// schedule(auto): the runtime chooses — static for balanced loops,
+  /// dynamic with a derived chunk for imbalanced ones (per-region
+  /// decision from the cost profile).
+  Auto,
+};
+
+std::string_view to_string(ScheduleKind kind);
+
+/// Parses "default|static|dynamic|guided" (case-insensitive).
+/// Throws common::ContractError on unknown input.
+ScheduleKind schedule_kind_from_string(std::string_view s);
+
+struct LoopSchedule {
+  ScheduleKind kind = ScheduleKind::Default;
+  /// 0 = default chunk for the kind.
+  std::int64_t chunk = 0;
+
+  bool operator==(const LoopSchedule&) const = default;
+};
+
+struct LoopConfig {
+  /// 0 = default (all hardware threads).
+  int num_threads = 0;
+  LoopSchedule schedule;
+  /// User DVFS request in MHz; 0 = none (governor decides alone).
+  /// This is the paper's §VII future-work dimension, implemented as an
+  /// optional fourth tunable.
+  long frequency_mhz = 0;
+  /// OMP_PROC_BIND-style placement (extension): Spread is the default.
+  sim::PlacementPolicy placement = sim::PlacementPolicy::Spread;
+
+  bool operator==(const LoopConfig&) const = default;
+
+  /// e.g. "(16, guided, 8)" — plus ", 1800MHz" when a DVFS request is
+  /// present and/or ", close" for packed placement.
+  std::string to_string() const;
+
+  /// Parses the to_string() format (3 or 4 fields). Throws on malformed
+  /// input.
+  static LoopConfig from_string(std::string_view s);
+};
+
+}  // namespace arcs::somp

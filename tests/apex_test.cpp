@@ -1,0 +1,212 @@
+// Tests for APEX: profiles, policy engine, and the OMPT adapter
+// (timers, event breakdowns, energy sampling through emulated RAPL).
+#include <gtest/gtest.h>
+
+#include "apex/apex.hpp"
+#include "apex/policy_engine.hpp"
+#include "apex/profile.hpp"
+#include "common/check.hpp"
+#include "sim/presets.hpp"
+#include "somp/runtime.hpp"
+
+namespace ax = arcs::apex;
+namespace sp = arcs::somp;
+namespace sc = arcs::sim;
+
+namespace {
+sp::RegionWork make_region(const std::string& name, std::int64_t n,
+                           double cycles = 1e6) {
+  sp::RegionWork w;
+  w.id.name = name;
+  w.id.codeptr = std::hash<std::string>{}(name);
+  w.cost = std::make_shared<sp::CostProfile>(
+      std::vector<double>(static_cast<std::size_t>(n), cycles));
+  w.memory.bytes_per_iter = 200;
+  return w;
+}
+}  // namespace
+
+// ---------- Profile / ProfileStore ----------
+
+TEST(Profile, RecordAccumulates) {
+  ax::Profile p;
+  p.record(2.0);
+  p.record(4.0);
+  EXPECT_EQ(p.calls, 2u);
+  EXPECT_DOUBLE_EQ(p.total, 6.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(p.minimum, 2.0);
+  EXPECT_DOUBLE_EQ(p.maximum, 4.0);
+  EXPECT_DOUBLE_EQ(p.last, 4.0);
+}
+
+TEST(ProfileStore, FindMissingReturnsNull) {
+  ax::ProfileStore store;
+  EXPECT_EQ(store.find("nope", ax::Metric::RegionTime), nullptr);
+}
+
+TEST(ProfileStore, AtCreatesAndFindLocates) {
+  ax::ProfileStore store;
+  store.at("r", ax::Metric::RegionTime).record(1.0);
+  const auto* p = store.find("r", ax::Metric::RegionTime);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->calls, 1u);
+}
+
+TEST(ProfileStore, TasksListsUniqueNames) {
+  ax::ProfileStore store;
+  store.at("b", ax::Metric::RegionTime);
+  store.at("a", ax::Metric::RegionTime);
+  store.at("a", ax::Metric::BarrierTime);
+  const auto tasks = store.tasks();
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0], "a");
+  EXPECT_EQ(tasks[1], "b");
+}
+
+TEST(Metric, NamesMatchOmptEvents) {
+  EXPECT_EQ(ax::to_string(ax::Metric::ImplicitTaskTime),
+            "OpenMP_IMPLICIT_TASK");
+  EXPECT_EQ(ax::to_string(ax::Metric::LoopTime), "OpenMP_LOOP");
+  EXPECT_EQ(ax::to_string(ax::Metric::BarrierTime), "OpenMP_BARRIER");
+}
+
+// ---------- policy engine ----------
+
+TEST(PolicyEngine, StartAndStopPoliciesFire) {
+  ax::PolicyEngine engine;
+  int starts = 0, stops = 0;
+  engine.register_start_policy([&](const ax::TimerEvent&) { ++starts; });
+  engine.register_stop_policy([&](const ax::TimerEvent&) { ++stops; });
+  engine.fire_start({"t", 1, 0.0, 0.0});
+  engine.fire_stop({"t", 1, 1.0, 1.0});
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(stops, 1);
+}
+
+TEST(PolicyEngine, DeregisterStopsDelivery) {
+  ax::PolicyEngine engine;
+  int calls = 0;
+  const auto h =
+      engine.register_stop_policy([&](const ax::TimerEvent&) { ++calls; });
+  engine.deregister(h);
+  engine.fire_stop({"t", 1, 0.0, 0.0});
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(engine.policy_count(), 0u);
+}
+
+TEST(PolicyEngine, DeregisterTwiceThrows) {
+  ax::PolicyEngine engine;
+  const auto h =
+      engine.register_stop_policy([](const ax::TimerEvent&) {});
+  engine.deregister(h);
+  EXPECT_THROW(engine.deregister(h), arcs::common::ContractError);
+}
+
+TEST(PolicyEngine, PeriodicFiresOncePerPeriod) {
+  ax::PolicyEngine engine;
+  std::vector<double> fired;
+  engine.register_periodic_policy(1.0,
+                                  [&](double now) { fired.push_back(now); });
+  engine.advance_time(0.5);
+  EXPECT_TRUE(fired.empty());
+  engine.advance_time(3.2);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(fired[0], 1.0);
+  EXPECT_DOUBLE_EQ(fired[2], 3.0);
+}
+
+TEST(PolicyEngine, PeriodicNeedsPositivePeriod) {
+  ax::PolicyEngine engine;
+  EXPECT_THROW(engine.register_periodic_policy(0.0, [](double) {}),
+               arcs::common::ContractError);
+}
+
+// ---------- Apex adapter ----------
+
+class ApexFixture : public ::testing::Test {
+ protected:
+  sc::Machine machine_{sc::testbox()};
+  sp::Runtime runtime_{machine_};
+  ax::Apex apex_{runtime_};
+};
+
+TEST_F(ApexFixture, RegionTimeProfileRecorded) {
+  const auto rec = runtime_.parallel_for(make_region("r", 32));
+  const auto* p = apex_.profiles().find("r", ax::Metric::RegionTime);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->calls, 1u);
+  EXPECT_NEAR(p->last, rec.duration, 1e-12);
+  EXPECT_EQ(apex_.regions_observed(), 1u);
+}
+
+TEST_F(ApexFixture, EventBreakdownSumsOverThreads) {
+  runtime_.set_num_threads(4);
+  const auto rec = runtime_.parallel_for(make_region("r", 33));
+  const double implicit = apex_.total("r", ax::Metric::ImplicitTaskTime);
+  const double loop = apex_.total("r", ax::Metric::LoopTime);
+  const double barrier = apex_.total("r", ax::Metric::BarrierTime);
+  EXPECT_GT(implicit, 0.0);
+  // Implicit task time = loop + barrier (per the runtime's event model).
+  EXPECT_NEAR(implicit, loop + barrier, 1e-12);
+  EXPECT_NEAR(barrier, rec.barrier_time_total, 1e-12);
+}
+
+TEST_F(ApexFixture, EnergyProfileFromRaplCounter) {
+  // Run something long enough for the RAPL counter to publish.
+  const auto rec = runtime_.parallel_for(make_region("r", 256, 5e6));
+  const auto* p = apex_.profiles().find("r", ax::Metric::RegionEnergy);
+  ASSERT_NE(p, nullptr);
+  // RAPL quantization: within one update-period of truth.
+  EXPECT_NEAR(p->last, rec.energy, 0.5 + 0.05 * rec.energy);
+}
+
+TEST_F(ApexFixture, StopPolicySeesDuration) {
+  std::vector<ax::TimerEvent> events;
+  apex_.policies().register_stop_policy(
+      [&](const ax::TimerEvent& e) { events.push_back(e); });
+  const auto rec = runtime_.parallel_for(make_region("r", 32));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].task, "r");
+  EXPECT_NEAR(events[0].duration, rec.duration, 1e-12);
+}
+
+TEST_F(ApexFixture, StartPolicyFiresBeforeStop) {
+  std::vector<std::string> order;
+  apex_.policies().register_start_policy(
+      [&](const ax::TimerEvent&) { order.push_back("start"); });
+  apex_.policies().register_stop_policy(
+      [&](const ax::TimerEvent&) { order.push_back("stop"); });
+  runtime_.parallel_for(make_region("r", 8));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "start");
+  EXPECT_EQ(order[1], "stop");
+}
+
+TEST_F(ApexFixture, MultipleRegionsSeparateProfiles) {
+  runtime_.parallel_for(make_region("a", 16));
+  runtime_.parallel_for(make_region("b", 16));
+  runtime_.parallel_for(make_region("a", 16));
+  EXPECT_EQ(apex_.profiles().find("a", ax::Metric::RegionTime)->calls, 2u);
+  EXPECT_EQ(apex_.profiles().find("b", ax::Metric::RegionTime)->calls, 1u);
+}
+
+TEST(ApexMinotaur, NoEnergyProfilesWithoutCounters) {
+  sc::Machine machine{sc::minotaur()};
+  sp::Runtime runtime{machine};
+  ax::Apex apex{runtime};
+  runtime.parallel_for(make_region("r", 64));
+  EXPECT_EQ(apex.profiles().find("r", ax::Metric::RegionEnergy), nullptr);
+  // Time profiles still work.
+  EXPECT_NE(apex.profiles().find("r", ax::Metric::RegionTime), nullptr);
+}
+
+TEST(ApexDetach, DestructorUnregistersTool) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  {
+    ax::Apex apex{runtime};
+    EXPECT_EQ(runtime.tools().tool_count(), 1u);
+  }
+  EXPECT_TRUE(runtime.tools().empty());
+}

@@ -1,0 +1,241 @@
+// Tests for the job-level power manager: bulk-synchronous execution,
+// budget policies, per-node ARCS, and the nearest-cap history fallback.
+#include <gtest/gtest.h>
+
+#include "cluster/job.hpp"
+#include "common/check.hpp"
+
+namespace cl = arcs::cluster;
+namespace kn = arcs::kernels;
+namespace sc = arcs::sim;
+
+namespace {
+
+cl::JobOptions base_options(int nodes = 3) {
+  cl::JobOptions o;
+  o.nodes = nodes;
+  o.load_spread = 0.3;
+  o.seed = 7;
+  o.timesteps_override = 10;
+  return o;
+}
+
+}  // namespace
+
+TEST(Job, RunsUncappedAndAccounts) {
+  const auto result =
+      cl::run_job(kn::synthetic_app(10), sc::testbox(), base_options());
+  ASSERT_EQ(result.nodes.size(), 3u);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_GT(result.total_energy, 0.0);
+  for (const auto& n : result.nodes) {
+    EXPECT_GE(n.load_factor, 1.0);
+    EXPECT_LE(n.load_factor, 1.3 + 1e-9);
+    EXPECT_GT(n.busy_time, 0.0);
+    // busy + wait <= makespan for every node (barrier semantics).
+    EXPECT_LE(n.busy_time + n.wait_time, result.makespan + 1e-6);
+  }
+}
+
+TEST(Job, SlowestNodeHasNoWait) {
+  const auto result =
+      cl::run_job(kn::synthetic_app(10), sc::testbox(), base_options());
+  double max_busy = 0.0, min_wait = 1e300;
+  for (const auto& n : result.nodes) {
+    max_busy = std::max(max_busy, n.busy_time);
+    min_wait = std::min(min_wait, n.wait_time);
+  }
+  // The critical-path node waits (almost) never.
+  for (const auto& n : result.nodes) {
+    if (n.busy_time == max_busy) {
+      EXPECT_LT(n.wait_time, 0.05 * max_busy);
+    }
+  }
+}
+
+TEST(Job, Deterministic) {
+  const auto a =
+      cl::run_job(kn::synthetic_app(6), sc::testbox(), base_options());
+  const auto b =
+      cl::run_job(kn::synthetic_app(6), sc::testbox(), base_options());
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.total_energy, b.total_energy);
+}
+
+TEST(Job, BudgetSlowsTheJob) {
+  auto opts = base_options();
+  const auto free_run =
+      cl::run_job(kn::synthetic_app(10), sc::testbox(), opts);
+  opts.job_power_budget = 3 * 12.0;  // testbox TDP is 20 W
+  opts.min_node_cap = 8.0;
+  const auto capped =
+      cl::run_job(kn::synthetic_app(10), sc::testbox(), opts);
+  EXPECT_GT(capped.makespan, free_run.makespan);
+}
+
+TEST(Job, BudgetBelowFloorRejected) {
+  auto opts = base_options();
+  opts.job_power_budget = 10.0;
+  opts.min_node_cap = 8.0;  // 3 nodes x 8 W > 10 W
+  EXPECT_THROW(cl::run_job(kn::synthetic_app(4), sc::testbox(), opts),
+               arcs::common::ContractError);
+}
+
+TEST(Job, BudgetOnUncappableMachineRejected) {
+  auto opts = base_options();
+  opts.job_power_budget = 400.0;
+  EXPECT_THROW(cl::run_job(kn::synthetic_app(4), sc::minotaur(), opts),
+               arcs::common::ContractError);
+}
+
+TEST(Job, AdaptiveRebalanceShiftsPowerToTheCriticalPath) {
+  auto opts = base_options(4);
+  opts.job_power_budget = 4 * 13.0;
+  opts.min_node_cap = 8.0;
+  opts.timesteps_override = 24;
+  opts.rebalance_steps = 6;
+  opts.policy = cl::BudgetPolicy::AdaptiveRebalance;
+  const auto result =
+      cl::run_job(kn::synthetic_app(24), sc::testbox(), opts);
+  EXPECT_GT(result.rebalances, 0u);
+  // The most loaded node must end with the highest cap.
+  double max_load = 0.0, cap_of_max = 0.0, min_load = 1e300,
+         cap_of_min = 0.0;
+  for (const auto& n : result.nodes) {
+    if (n.load_factor > max_load) {
+      max_load = n.load_factor;
+      cap_of_max = n.final_cap;
+    }
+    if (n.load_factor < min_load) {
+      min_load = n.load_factor;
+      cap_of_min = n.final_cap;
+    }
+  }
+  EXPECT_GT(cap_of_max, cap_of_min);
+}
+
+TEST(Job, AdaptiveBeatsUniformUnderImbalance) {
+  auto uniform = base_options(4);
+  uniform.job_power_budget = 4 * 13.0;
+  uniform.min_node_cap = 8.0;
+  uniform.timesteps_override = 24;
+  uniform.load_spread = 0.5;
+  auto adaptive = uniform;
+  adaptive.policy = cl::BudgetPolicy::AdaptiveRebalance;
+  adaptive.rebalance_steps = 6;
+  const auto app = kn::synthetic_app(24);
+  const auto u = cl::run_job(app, sc::testbox(), uniform);
+  const auto a = cl::run_job(app, sc::testbox(), adaptive);
+  EXPECT_LT(a.makespan, u.makespan);
+}
+
+TEST(Job, PerNodeArcsImprovesMakespan) {
+  auto opts = base_options(2);
+  opts.timesteps_override = 20;
+  opts.max_search_passes = 10;
+  const auto plain = cl::run_job(kn::synthetic_app(20), sc::testbox(), opts);
+  opts.node_strategy = arcs::TuningStrategy::OfflineReplay;
+  const auto tuned = cl::run_job(kn::synthetic_app(20), sc::testbox(), opts);
+  EXPECT_LT(tuned.makespan, plain.makespan);
+}
+
+TEST(Job, ImbalanceMetricReflectsSpread) {
+  auto balanced = base_options(4);
+  balanced.load_spread = 0.0;
+  auto skewed = base_options(4);
+  skewed.load_spread = 0.6;
+  const auto app = kn::synthetic_app(8);
+  const auto b = cl::run_job(app, sc::testbox(), balanced);
+  const auto s = cl::run_job(app, sc::testbox(), skewed);
+  EXPECT_NEAR(b.imbalance(), 1.0, 0.01);
+  EXPECT_GT(s.imbalance(), 1.05);
+}
+
+TEST(Job, HeterogeneousMachineListValidated) {
+  auto opts = base_options(3);
+  opts.machines = {sc::testbox(), sc::testbox()};  // wrong size
+  EXPECT_THROW(cl::run_job(kn::synthetic_app(4), sc::testbox(), opts),
+               arcs::common::ContractError);
+}
+
+TEST(Job, HeterogeneousNodesRunAndReportMachines) {
+  auto opts = base_options(2);
+  opts.machines = {sc::testbox(), sc::crill()};
+  const auto result =
+      cl::run_job(kn::synthetic_app(6), sc::testbox(), opts);
+  ASSERT_EQ(result.nodes.size(), 2u);
+  EXPECT_EQ(result.nodes[0].machine, "testbox");
+  EXPECT_EQ(result.nodes[1].machine, "crill");
+  // The bigger machine finishes its steps faster and waits at the
+  // barrier.
+  EXPECT_LT(result.nodes[1].busy_time, result.nodes[0].busy_time);
+  EXPECT_GT(result.nodes[1].wait_time, result.nodes[0].wait_time);
+}
+
+TEST(Job, HeterogeneousAdaptiveUsesPerNodePowerCurves) {
+  auto opts = base_options(4);
+  opts.machines = {sc::crill(), sc::crill(), sc::haswell(), sc::haswell()};
+  opts.job_power_budget = 4 * 70.0;
+  opts.min_node_cap = 50.0;
+  opts.load_spread = 0.0;  // isolate the architecture effect
+  opts.policy = cl::BudgetPolicy::AdaptiveRebalance;
+  opts.rebalance_steps = 4;
+  opts.timesteps_override = 16;
+  const auto result =
+      cl::run_job(kn::sp_app("B"), sc::crill(), opts);
+  EXPECT_GT(result.rebalances, 0u);
+  // The budget stays within the job allocation.
+  double total_caps = 0.0;
+  for (const auto& n : result.nodes) total_caps += n.final_cap;
+  EXPECT_LE(total_caps, opts.job_power_budget * 1.02);
+}
+
+TEST(NearestCapFallback, ReplayUsesClosestSearchedCap) {
+  // History only has entries at 12 W; replay at 16 W must still pick
+  // them up (job managers hand out arbitrary caps).
+  arcs::HistoryStore history;
+  history.put({"unit", "testbox", 12.0, "w", "r"},
+              {{2, {arcs::somp::ScheduleKind::Guided, 4}}, 0.1, 1});
+
+  sc::Machine machine{sc::testbox()};
+  machine.set_power_cap(16.0);
+  machine.advance_idle(0.1);
+  arcs::somp::Runtime runtime{machine};
+  arcs::apex::Apex apex{runtime};
+  arcs::ArcsOptions options;
+  options.strategy = arcs::TuningStrategy::OfflineReplay;
+  options.app_name = "unit";
+  options.workload = "w";
+  arcs::ArcsPolicy policy{apex, runtime, options, &history};
+
+  const auto rec = runtime.parallel_for(
+      kn::simple_region("r", 64, 2e5).build(1));
+  EXPECT_EQ(rec.team_size, 2);
+  EXPECT_EQ(rec.kind, arcs::somp::ScheduleKind::Guided);
+}
+
+TEST(CapGranularity, BucketsShareSessions) {
+  sc::Machine machine{sc::testbox()};
+  machine.set_power_cap(12.0);
+  machine.advance_idle(0.1);
+  arcs::somp::Runtime runtime{machine};
+  arcs::apex::Apex apex{runtime};
+  arcs::ArcsOptions options;
+  options.strategy = arcs::TuningStrategy::Online;
+  options.cap_granularity = 10.0;
+  arcs::ArcsPolicy policy{apex, runtime, options};
+
+  const auto region = kn::simple_region("r", 64, 2e5).build(1);
+  runtime.parallel_for(region);
+  EXPECT_EQ(policy.regions_tracked(), 1u);
+  // 14 W rounds to the same 10 W bucket as 12 W: no new state.
+  machine.set_power_cap(14.0);
+  machine.advance_idle(0.1);
+  runtime.parallel_for(region);
+  EXPECT_EQ(policy.regions_tracked(), 1u);
+  // 17 W lands in the next bucket.
+  machine.set_power_cap(17.0);
+  machine.advance_idle(0.1);
+  runtime.parallel_for(region);
+  EXPECT_EQ(policy.regions_tracked(), 2u);
+}

@@ -1,0 +1,307 @@
+// Unit tests for arcs::common — RNG, statistics, strings, tables, units.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace ac = arcs::common;
+
+// ---------- check ----------
+
+TEST(Check, PassingPredicateDoesNotThrow) {
+  EXPECT_NO_THROW(ARCS_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingPredicateThrowsContractError) {
+  EXPECT_THROW(ARCS_CHECK(1 == 2), ac::ContractError);
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    ARCS_CHECK_MSG(false, "the widget broke");
+    FAIL() << "should have thrown";
+  } catch (const ac::ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("the widget broke"),
+              std::string::npos);
+  }
+}
+
+// ---------- rng ----------
+
+TEST(Rng, DeterministicForSameSeed) {
+  ac::Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  ac::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  ac::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  ac::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  ac::Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  ac::Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), ac::ContractError);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  ac::Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalHasApproximatelyUnitMoments) {
+  ac::Rng rng(42);
+  ac::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  ac::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, LognormalUnitMeanParameterization) {
+  // mu = -sigma^2/2 gives mean 1 — the imbalance generator relies on it.
+  ac::Rng rng(11);
+  const double sigma = 0.4;
+  ac::RunningStats stats;
+  for (int i = 0; i < 100000; ++i)
+    stats.add(rng.lognormal(-0.5 * sigma * sigma, sigma));
+  EXPECT_NEAR(stats.mean(), 1.0, 0.02);
+}
+
+TEST(Rng, Hash64IsStable) {
+  EXPECT_EQ(ac::hash64(42), ac::hash64(42));
+  EXPECT_NE(ac::hash64(42), ac::hash64(43));
+}
+
+TEST(Rng, HashCombineOrderMatters) {
+  EXPECT_NE(ac::hash_combine(1, 2), ac::hash_combine(2, 1));
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  ac::Rng rng(10);
+  const auto first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(10);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+// ---------- stats ----------
+
+TEST(RunningStats, EmptyIsZeroish) {
+  ac::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+}
+
+TEST(RunningStats, KnownValues) {
+  ac::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  ac::Rng rng(1);
+  ac::RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  ac::RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(ac::percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 9.0};
+  EXPECT_DOUBLE_EQ(ac::percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ac::percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(ac::percentile(v, 25.0), 2.5);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(ac::percentile({}, 50.0), ac::ContractError);
+  EXPECT_THROW(ac::percentile(v, -1.0), ac::ContractError);
+  EXPECT_THROW(ac::percentile(v, 101.0), ac::ContractError);
+}
+
+TEST(Mean, BasicAndEmpty) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ac::mean(v), 2.0);
+  EXPECT_DOUBLE_EQ(ac::mean({}), 0.0);
+}
+
+TEST(Geomean, KnownValue) {
+  const std::vector<double> v{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(ac::geomean(v), 2.0);
+}
+
+TEST(Geomean, RejectsNonPositive) {
+  const std::vector<double> v{1.0, 0.0};
+  EXPECT_THROW(ac::geomean(v), ac::ContractError);
+}
+
+TEST(CoeffOfVariation, UniformIsZero) {
+  const std::vector<double> v{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(ac::coeff_of_variation(v), 0.0);
+}
+
+// ---------- strings ----------
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = ac::split("a||b|", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = ac::split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(ac::trim("  abc \t"), "abc");
+  EXPECT_EQ(ac::trim(""), "");
+  EXPECT_EQ(ac::trim(" \n "), "");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(ac::to_lower("GuIdEd"), "guided"); }
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(ac::starts_with("compute_rhs", "compute"));
+  EXPECT_FALSE(ac::starts_with("rhs", "compute"));
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(ac::format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(ac::format_fixed(2.0, 0), "2");
+}
+
+TEST(Strings, FormatSi) {
+  EXPECT_EQ(ac::format_si(2.4e9, 1), "2.4G");
+  EXPECT_EQ(ac::format_si(950.0, 0), "950");
+}
+
+// ---------- table ----------
+
+TEST(Table, RendersAlignedColumns) {
+  ac::Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("b").cell(22.0, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.0"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  ac::Table t({"a"});
+  t.row().cell("x,y\"z");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"x,y\"\"z\"\n");
+}
+
+TEST(Table, TooManyCellsThrows) {
+  ac::Table t({"only"});
+  t.row().cell("one");
+  EXPECT_THROW(t.cell("two"), ac::ContractError);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  ac::Table t({"h"});
+  EXPECT_THROW(t.cell("x"), ac::ContractError);
+}
+
+TEST(Table, RowAndColumnCounts) {
+  ac::Table t({"a", "b"});
+  EXPECT_EQ(t.column_count(), 2u);
+  t.row().cell(1).cell(2);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+// ---------- units ----------
+
+TEST(Units, CyclesSecondsRoundTrip) {
+  const double cycles = 4.8e9;
+  const double f = 2.4e9;
+  EXPECT_DOUBLE_EQ(ac::cycles_to_seconds(cycles, f), 2.0);
+  EXPECT_DOUBLE_EQ(ac::seconds_to_cycles(2.0, f), cycles);
+}

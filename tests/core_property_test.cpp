@@ -1,0 +1,194 @@
+// Property-based tests for the ARCS policy: randomized region/cap/strategy
+// sequences against the protocol invariants the policy must keep.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "core/arcs.hpp"
+#include "kernels/regions.hpp"
+#include "sim/presets.hpp"
+
+namespace kn = arcs::kernels;
+namespace sc = arcs::sim;
+namespace sp = arcs::somp;
+namespace ax = arcs::apex;
+namespace ac = arcs::common;
+
+namespace {
+
+std::vector<sp::RegionWork> random_regions(ac::Rng& rng, int count) {
+  std::vector<sp::RegionWork> out;
+  for (int i = 0; i < count; ++i) {
+    kn::RegionSpec spec = kn::simple_region(
+        "region_" + std::to_string(i), rng.uniform_int(8, 512),
+        rng.uniform(5e4, 5e6));
+    if (rng.uniform() < 0.5) {
+      spec.imbalance = {kn::ImbalanceKind::Ramp, rng.uniform(0.1, 0.8),
+                        0.25, 64, rng.next_u64()};
+    }
+    out.push_back(spec.build(static_cast<std::uint64_t>(i) + 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+// Random interleavings of regions and cap changes never break the
+// propose/measure pairing, and every session eventually converges.
+TEST(CoreProperty, RandomInterleavingsConverge) {
+  ac::Rng rng(1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    sc::Machine machine{sc::testbox()};
+    sp::Runtime runtime{machine};
+    ax::Apex apex{runtime};
+    arcs::ArcsOptions options;
+    options.strategy = arcs::TuningStrategy::Online;
+    options.search.seed = rng.next_u64() | 1;
+    options.search.nelder_mead.max_evals = 10;
+    options.cap_granularity = 5.0;
+    arcs::ArcsPolicy policy{apex, runtime, options};
+
+    const auto regions = random_regions(rng, 4);
+    const double caps[] = {0.0, 12.0, 16.0};
+    int cap_idx = 0;
+    for (int step = 0; step < 300; ++step) {
+      if (rng.uniform() < 0.02) {
+        cap_idx = static_cast<int>(rng.uniform_index(3));
+        if (caps[cap_idx] > 0)
+          machine.set_power_cap(caps[cap_idx]);
+        else
+          machine.clear_power_cap();
+        machine.advance_idle(0.05);
+      }
+      const auto& region = regions[rng.uniform_index(regions.size())];
+      EXPECT_NO_THROW(runtime.parallel_for(region));
+    }
+    EXPECT_GE(policy.regions_tracked(), regions.size());
+    EXPECT_GT(policy.total_evaluations(), 0u);
+  }
+}
+
+// An offline search over random regions produces a complete history, and
+// a replay run applies exactly the stored configs.
+TEST(CoreProperty, SearchHistoryReplayRoundTrip) {
+  ac::Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto regions = random_regions(rng, 3);
+    arcs::HistoryStore history;
+
+    {
+      sc::Machine machine{sc::testbox()};
+      sp::Runtime runtime{machine};
+      ax::Apex apex{runtime};
+      arcs::ArcsOptions options;
+      options.strategy = arcs::TuningStrategy::OfflineSearch;
+      options.app_name = "fuzz";
+      options.workload = "w";
+      arcs::ArcsPolicy policy{apex, runtime, options, &history};
+      const auto space = arcs::arcs_search_space(sc::testbox());
+      for (std::uint64_t i = 0;
+           i <= space.size() + 4 && !policy.all_converged(); ++i)
+        for (const auto& region : regions) runtime.parallel_for(region);
+      EXPECT_TRUE(policy.all_converged());
+      policy.save_history();
+    }
+    EXPECT_EQ(history.size(), regions.size());
+
+    sc::Machine machine{sc::testbox()};
+    sp::Runtime runtime{machine};
+    ax::Apex apex{runtime};
+    arcs::ArcsOptions options;
+    options.strategy = arcs::TuningStrategy::OfflineReplay;
+    options.app_name = "fuzz";
+    options.workload = "w";
+    arcs::ArcsPolicy policy{apex, runtime, options, &history};
+    for (const auto& region : regions) {
+      const auto rec = runtime.parallel_for(region);
+      const auto entry = history.get(
+          {"fuzz", "testbox", machine.programmed_power_cap(), "w",
+           region.id.name});
+      ASSERT_TRUE(entry.has_value());
+      const int expected_team =
+          entry->config.num_threads == 0
+              ? machine.spec().default_threads()
+              : entry->config.num_threads;
+      EXPECT_EQ(rec.team_size, expected_team) << region.id.name;
+    }
+  }
+}
+
+// The deployed (converged) configuration is never slower than the
+// default on the noise-free landscape — for random imbalanced regions.
+TEST(CoreProperty, ConvergedConfigNeverWorseThanDefault) {
+  ac::Rng rng(55);
+  for (int trial = 0; trial < 8; ++trial) {
+    kn::RegionSpec spec = kn::simple_region(
+        "r", rng.uniform_int(64, 400), rng.uniform(1e5, 2e6));
+    spec.imbalance = {kn::ImbalanceKind::Ramp, rng.uniform(0.2, 0.9), 0.25,
+                      64, rng.next_u64()};
+    const auto region = spec.build(1);
+
+    sc::Machine base_machine{sc::testbox()};
+    sp::Runtime base_runtime{base_machine};
+    const double default_time =
+        base_runtime.parallel_for(region).duration;
+
+    arcs::HistoryStore history;
+    sc::Machine machine{sc::testbox()};
+    sp::Runtime runtime{machine};
+    ax::Apex apex{runtime};
+    arcs::ArcsOptions options;
+    options.strategy = arcs::TuningStrategy::OfflineSearch;
+    arcs::ArcsPolicy policy{apex, runtime, options, &history};
+    const auto space = arcs::arcs_search_space(sc::testbox());
+    for (std::uint64_t i = 0;
+         i <= space.size() && !policy.all_converged(); ++i)
+      runtime.parallel_for(region);
+    ASSERT_TRUE(policy.all_converged());
+    const auto rec = runtime.parallel_for(region);  // at the best config
+    // The exhaustive best includes the default point, so it can't lose.
+    EXPECT_LE(rec.duration, default_time * 1.0001) << trial;
+  }
+}
+
+// History files round-trip through text for random entries (including
+// the extension fields).
+TEST(CoreProperty, HistorySerializationFuzz) {
+  ac::Rng rng(31337);
+  arcs::HistoryStore store;
+  static constexpr sp::ScheduleKind kKinds[] = {
+      sp::ScheduleKind::Default, sp::ScheduleKind::Static,
+      sp::ScheduleKind::Dynamic, sp::ScheduleKind::Guided,
+      sp::ScheduleKind::Auto};
+  for (int i = 0; i < 120; ++i) {
+    arcs::HistoryKey key;
+    key.app = "app" + std::to_string(rng.uniform_index(4));
+    key.machine = rng.uniform() < 0.5 ? "crill" : "minotaur";
+    // The text format stores caps at 0.1 W precision.
+    key.power_cap = static_cast<double>(rng.uniform_int(400, 1200)) / 10.0;
+    key.workload = rng.uniform() < 0.5 ? "B" : "C";
+    key.region = "r" + std::to_string(rng.uniform_index(8));
+    arcs::HistoryEntry entry;
+    entry.config.num_threads = static_cast<int>(rng.uniform_int(0, 64));
+    entry.config.schedule.kind = kKinds[rng.uniform_index(5)];
+    entry.config.schedule.chunk = rng.uniform_int(0, 512);
+    if (rng.uniform() < 0.3)
+      entry.config.frequency_mhz = rng.uniform_int(1200, 2400);
+    if (rng.uniform() < 0.3)
+      entry.config.placement = sc::PlacementPolicy::Close;
+    entry.best_value = rng.uniform(1e-4, 10.0);
+    entry.evaluations = static_cast<std::size_t>(rng.uniform_int(1, 300));
+    store.put(key, entry);
+  }
+  const auto loaded =
+      arcs::HistoryStore::deserialize(store.serialize());
+  ASSERT_EQ(loaded.size(), store.size());
+  for (const auto& [key, entry] : store.entries()) {
+    const auto got = loaded.get(key);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->config, entry.config);
+    EXPECT_NEAR(got->best_value, entry.best_value, 1e-8);
+    EXPECT_EQ(got->evaluations, entry.evaluations);
+  }
+}

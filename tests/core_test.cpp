@@ -1,0 +1,354 @@
+// Tests for the ARCS core: search-space construction (Table I), history
+// store round-trips, and the ArcsPolicy state machine.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/check.hpp"
+#include "core/arcs.hpp"
+#include "sim/presets.hpp"
+
+namespace hm = arcs::harmony;
+namespace sp = arcs::somp;
+namespace sc = arcs::sim;
+namespace ax = arcs::apex;
+
+// ---------- search space (Table I) ----------
+
+TEST(SearchSpace, CrillThreadSetMatchesTableI) {
+  const auto space = arcs::arcs_search_space(sc::crill());
+  ASSERT_EQ(space.num_dimensions(), 3u);
+  EXPECT_EQ(space.dimension(0).values,
+            (std::vector<hm::Value>{2, 4, 8, 16, 24, 32, 0}));
+}
+
+TEST(SearchSpace, MinotaurThreadSetMatchesTableI) {
+  const auto space = arcs::arcs_search_space(sc::minotaur());
+  EXPECT_EQ(space.dimension(0).values,
+            (std::vector<hm::Value>{20, 40, 80, 120, 160, 0}));
+}
+
+TEST(SearchSpace, ChunkSetMatchesTableI) {
+  const auto space = arcs::arcs_search_space(sc::crill());
+  EXPECT_EQ(space.dimension(2).values,
+            (std::vector<hm::Value>{1, 8, 16, 32, 64, 128, 256, 512, 0}));
+}
+
+TEST(SearchSpace, ScheduleDimHasFourKinds) {
+  const auto space = arcs::arcs_search_space(sc::crill());
+  EXPECT_EQ(space.dimension(1).values.size(), 4u);
+}
+
+TEST(SearchSpace, CrillSizeIs252) {
+  EXPECT_EQ(arcs::arcs_search_space(sc::crill()).size(), 7u * 4u * 9u);
+}
+
+TEST(SearchSpace, GenericMachineGetsSaneThreads) {
+  const auto space = arcs::arcs_search_space(sc::testbox());
+  const auto& threads = space.dimension(0).values;
+  EXPECT_EQ(threads.back(), 0);  // default is always present
+  for (std::size_t i = 0; i + 1 < threads.size(); ++i)
+    EXPECT_GT(threads[i], 0);
+}
+
+TEST(SearchSpace, ConfigValueRoundTrip) {
+  sp::LoopConfig cfg{16, {sp::ScheduleKind::Guided, 8}};
+  EXPECT_EQ(arcs::config_from_values(arcs::values_from_config(cfg)), cfg);
+}
+
+TEST(SearchSpace, DecodePointToConfig) {
+  const auto space = arcs::arcs_search_space(sc::crill());
+  // Point {3, 2, 1}: threads 16, schedule guided (Table I order), chunk 8.
+  const auto cfg = arcs::config_from_values(space.decode({3, 2, 1}));
+  EXPECT_EQ(cfg.num_threads, 16);
+  EXPECT_EQ(cfg.schedule.kind, sp::ScheduleKind::Guided);
+  EXPECT_EQ(cfg.schedule.chunk, 8);
+}
+
+// ---------- history ----------
+
+namespace {
+arcs::HistoryKey make_key(const std::string& region) {
+  return {"SP", "crill", 85.0, "B", region};
+}
+}  // namespace
+
+TEST(History, PutGetRoundTrip) {
+  arcs::HistoryStore store;
+  arcs::HistoryEntry entry{{16, {sp::ScheduleKind::Guided, 8}}, 0.123, 252};
+  store.put(make_key("x_solve"), entry);
+  const auto got = store.get(make_key("x_solve"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->config, entry.config);
+  EXPECT_DOUBLE_EQ(got->best_value, 0.123);
+  EXPECT_EQ(got->evaluations, 252u);
+}
+
+TEST(History, MissingKeyReturnsNullopt) {
+  arcs::HistoryStore store;
+  EXPECT_FALSE(store.get(make_key("nope")).has_value());
+}
+
+TEST(History, KeyComponentsAllMatter) {
+  arcs::HistoryStore store;
+  store.put(make_key("r"), {{8, {}}, 1.0, 1});
+  auto other_cap = make_key("r");
+  other_cap.power_cap = 55.0;
+  EXPECT_FALSE(store.get(other_cap).has_value());
+  auto other_workload = make_key("r");
+  other_workload.workload = "C";
+  EXPECT_FALSE(store.get(other_workload).has_value());
+  auto other_machine = make_key("r");
+  other_machine.machine = "minotaur";
+  EXPECT_FALSE(store.get(other_machine).has_value());
+}
+
+TEST(History, SerializeDeserializeRoundTrip) {
+  arcs::HistoryStore store;
+  store.put(make_key("x_solve"),
+            {{16, {sp::ScheduleKind::Guided, 1}}, 0.25, 252});
+  store.put(make_key("z_solve"),
+            {{4, {sp::ScheduleKind::Static, 32}}, 0.5, 252});
+  const auto text = store.serialize();
+  const auto loaded = arcs::HistoryStore::deserialize(text);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.get(make_key("x_solve"))->config.num_threads, 16);
+  EXPECT_EQ(loaded.get(make_key("z_solve"))->config.schedule.chunk, 32);
+}
+
+TEST(History, DeserializeSkipsCommentsAndBlanks) {
+  const auto store = arcs::HistoryStore::deserialize(
+      "# comment\n\nSP|crill|85.0|B|r|(8, static, default)|1.0|5\n");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(History, DeserializeRejectsMalformed) {
+  EXPECT_THROW(arcs::HistoryStore::deserialize("a|b|c\n"),
+               arcs::common::ContractError);
+}
+
+TEST(History, FileRoundTrip) {
+  arcs::HistoryStore store;
+  store.put(make_key("r"), {{24, {sp::ScheduleKind::Dynamic, 64}}, 2.0, 9});
+  const auto path =
+      std::filesystem::temp_directory_path() / "arcs_history_test.txt";
+  store.save(path.string());
+  const auto loaded = arcs::HistoryStore::load(path.string());
+  EXPECT_EQ(loaded.get(make_key("r"))->config.num_threads, 24);
+  std::filesystem::remove(path);
+}
+
+TEST(History, LoadMissingFileThrows) {
+  EXPECT_THROW(arcs::HistoryStore::load("/nonexistent/arcs.hist"),
+               arcs::common::ContractError);
+}
+
+// ---------- ArcsPolicy ----------
+
+namespace {
+
+sp::RegionWork imbalanced_region(const std::string& name) {
+  std::vector<double> costs;
+  for (int i = 0; i < 128; ++i) costs.push_back(2e5 * (1.0 + i / 16.0));
+  sp::RegionWork w;
+  w.id.name = name;
+  w.id.codeptr = std::hash<std::string>{}(name);
+  w.cost = std::make_shared<sp::CostProfile>(costs);
+  w.memory.bytes_per_iter = 2000;
+  return w;
+}
+
+struct PolicyRig {
+  explicit PolicyRig(arcs::ArcsOptions opts,
+                     arcs::HistoryStore* history = nullptr)
+      : machine(sc::testbox()),
+        runtime(machine),
+        apex(runtime),
+        policy(apex, runtime, std::move(opts), history) {}
+  sc::Machine machine;
+  sp::Runtime runtime;
+  ax::Apex apex;
+  arcs::ArcsPolicy policy;
+};
+
+arcs::ArcsOptions online_options() {
+  arcs::ArcsOptions o;
+  o.strategy = arcs::TuningStrategy::Online;
+  o.search.nelder_mead.max_evals = 20;
+  return o;
+}
+
+}  // namespace
+
+TEST(ArcsPolicy, DefaultStrategyRejected) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::Apex apex{runtime};
+  arcs::ArcsOptions opts;
+  opts.strategy = arcs::TuningStrategy::Default;
+  EXPECT_THROW(arcs::ArcsPolicy(apex, runtime, opts),
+               arcs::common::ContractError);
+}
+
+TEST(ArcsPolicy, OfflineNeedsHistory) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::Apex apex{runtime};
+  arcs::ArcsOptions opts;
+  opts.strategy = arcs::TuningStrategy::OfflineReplay;
+  EXPECT_THROW(arcs::ArcsPolicy(apex, runtime, opts, nullptr),
+               arcs::common::ContractError);
+}
+
+TEST(ArcsPolicy, TracksRegionsAndConverges) {
+  PolicyRig rig{online_options()};
+  const auto region = imbalanced_region("loop");
+  EXPECT_FALSE(rig.policy.all_converged());  // nothing seen yet
+  for (int i = 0; i < 40 && !rig.policy.all_converged(); ++i)
+    rig.runtime.parallel_for(region);
+  EXPECT_TRUE(rig.policy.all_converged());
+  EXPECT_EQ(rig.policy.regions_tracked(), 1u);
+  EXPECT_GE(rig.policy.total_evaluations(), 5u);
+  EXPECT_TRUE(rig.policy.best_config("loop").has_value());
+}
+
+TEST(ArcsPolicy, ConvergedConfigIsApplied) {
+  PolicyRig rig{online_options()};
+  const auto region = imbalanced_region("loop");
+  for (int i = 0; i < 40 && !rig.policy.all_converged(); ++i)
+    rig.runtime.parallel_for(region);
+  const auto best = *rig.policy.best_config("loop");
+  const auto rec = rig.runtime.parallel_for(region);
+  const int expected_team =
+      best.num_threads == 0 ? rig.machine.spec().default_threads()
+                            : best.num_threads;
+  EXPECT_EQ(rec.team_size, expected_team);
+}
+
+TEST(ArcsPolicy, TunedBeatsDefaultOnImbalancedLoop) {
+  const auto region = imbalanced_region("loop");
+  // Default run.
+  sc::Machine m1{sc::testbox()};
+  sp::Runtime r1{m1};
+  const auto default_rec = r1.parallel_for(region);
+
+  // Tuned run: converge, then measure steady state.
+  PolicyRig rig{online_options()};
+  for (int i = 0; i < 40 && !rig.policy.all_converged(); ++i)
+    rig.runtime.parallel_for(region);
+  ASSERT_TRUE(rig.policy.all_converged());
+  const auto tuned_rec = rig.runtime.parallel_for(region);
+  EXPECT_LT(tuned_rec.duration, default_rec.duration);
+}
+
+TEST(ArcsPolicy, OfflineSearchSavesHistory) {
+  arcs::HistoryStore history;
+  arcs::ArcsOptions opts;
+  opts.strategy = arcs::TuningStrategy::OfflineSearch;
+  opts.app_name = "unit";
+  opts.workload = "w";
+  PolicyRig rig{opts, &history};
+  const auto region = imbalanced_region("loop");
+  // The testbox space is small enough to exhaust quickly.
+  const auto space = arcs::arcs_search_space(sc::testbox());
+  for (std::uint64_t i = 0; i <= space.size() && !rig.policy.all_converged();
+       ++i)
+    rig.runtime.parallel_for(region);
+  EXPECT_TRUE(rig.policy.all_converged());
+  rig.policy.save_history();
+  EXPECT_EQ(history.size(), 1u);
+  arcs::HistoryKey key{"unit", "testbox",
+                       rig.machine.programmed_power_cap(), "w", "loop"};
+  EXPECT_TRUE(history.get(key).has_value());
+}
+
+TEST(ArcsPolicy, OfflineReplayAppliesHistory) {
+  arcs::HistoryStore history;
+  sc::Machine probe{sc::testbox()};
+  arcs::HistoryKey key{"unit", "testbox", probe.programmed_power_cap(), "w",
+                       "loop"};
+  history.put(key, {{2, {sp::ScheduleKind::Guided, 4}}, 0.1, 36});
+
+  arcs::ArcsOptions opts;
+  opts.strategy = arcs::TuningStrategy::OfflineReplay;
+  opts.app_name = "unit";
+  opts.workload = "w";
+  PolicyRig rig{opts, &history};
+  const auto rec = rig.runtime.parallel_for(imbalanced_region("loop"));
+  EXPECT_EQ(rec.team_size, 2);
+  EXPECT_EQ(rec.kind, sp::ScheduleKind::Guided);
+  EXPECT_EQ(rec.chunk, 4);
+  EXPECT_TRUE(rig.policy.all_converged());  // replay never searches
+}
+
+TEST(ArcsPolicy, ReplayWithoutHistoryLeavesDefaults) {
+  arcs::HistoryStore history;  // empty
+  arcs::ArcsOptions opts;
+  opts.strategy = arcs::TuningStrategy::OfflineReplay;
+  PolicyRig rig{opts, &history};
+  const auto rec = rig.runtime.parallel_for(imbalanced_region("loop"));
+  EXPECT_EQ(rec.team_size, rig.machine.spec().default_threads());
+}
+
+TEST(ArcsPolicy, SelectiveTuningBlacklistsTinyRegions) {
+  arcs::ArcsOptions opts = online_options();
+  opts.selective_tuning = true;
+  opts.probation_calls = 3;
+  opts.min_region_time_factor = 10.0;
+  PolicyRig rig{opts};
+
+  // A region far below 10 x config_change_cost (1 ms on testbox).
+  sp::RegionWork tiny;
+  tiny.id.name = "tiny";
+  tiny.id.codeptr = 5;
+  tiny.cost = std::make_shared<sp::CostProfile>(
+      std::vector<double>(16, 1e4));
+  tiny.memory.bytes_per_iter = 100;
+  for (int i = 0; i < 10; ++i) rig.runtime.parallel_for(tiny);
+  EXPECT_EQ(rig.policy.blacklisted_regions(), 1u);
+  EXPECT_EQ(rig.policy.total_evaluations(), 0u);
+  EXPECT_TRUE(rig.policy.all_converged());
+}
+
+TEST(ArcsPolicy, SelectiveTuningStillTunesBigRegions) {
+  arcs::ArcsOptions opts = online_options();
+  opts.selective_tuning = true;
+  opts.probation_calls = 2;
+  PolicyRig rig{opts};
+  const auto region = imbalanced_region("big");
+  for (int i = 0; i < 40 && !rig.policy.all_converged(); ++i)
+    rig.runtime.parallel_for(region);
+  EXPECT_EQ(rig.policy.blacklisted_regions(), 0u);
+  EXPECT_GT(rig.policy.total_evaluations(), 0u);
+}
+
+TEST(ArcsPolicy, EnergyObjectiveRequiresCounters) {
+  sc::Machine machine{sc::minotaur()};
+  sp::Runtime runtime{machine};
+  ax::Apex apex{runtime};
+  arcs::ArcsOptions opts = online_options();
+  opts.objective = arcs::Objective::Energy;
+  EXPECT_THROW(arcs::ArcsPolicy(apex, runtime, opts),
+               arcs::common::ContractError);
+}
+
+TEST(ArcsPolicy, DestructorDetachesProvider) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::Apex apex{runtime};
+  {
+    arcs::ArcsPolicy policy(apex, runtime, online_options());
+    runtime.parallel_for(imbalanced_region("loop"));
+  }
+  // After destruction the runtime must run unsteered.
+  const auto rec = runtime.parallel_for(imbalanced_region("loop"));
+  EXPECT_DOUBLE_EQ(rec.config_change_time, 0.0);
+}
+
+TEST(ArcsPolicy, StrategyNames) {
+  EXPECT_EQ(arcs::to_string(arcs::TuningStrategy::Default), "default");
+  EXPECT_EQ(arcs::to_string(arcs::TuningStrategy::Online), "ARCS-Online");
+  EXPECT_EQ(arcs::to_string(arcs::TuningStrategy::OfflineReplay),
+            "ARCS-Offline");
+}

@@ -1,0 +1,206 @@
+// Tests for OpenMP environment-variable configuration, runtime reduction
+// support, and APEX user counters.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "apex/apex.hpp"
+#include "common/check.hpp"
+#include "sim/presets.hpp"
+#include "somp/environment.hpp"
+#include "somp/runtime.hpp"
+
+namespace sp = arcs::somp;
+namespace sc = arcs::sim;
+namespace ax = arcs::apex;
+
+namespace {
+
+/// Fake environment for injection.
+class FakeEnv {
+ public:
+  FakeEnv& set(std::string name, std::string value) {
+    vars_[std::move(name)] = std::move(value);
+    return *this;
+  }
+  std::function<const char*(const char*)> getter() const {
+    return [this](const char* name) -> const char* {
+      const auto it = vars_.find(name);
+      return it == vars_.end() ? nullptr : it->second.c_str();
+    };
+  }
+
+ private:
+  std::map<std::string, std::string> vars_;
+};
+
+sp::RegionWork uniform_region(std::int64_t n, double cycles,
+                              bool reduction = false) {
+  sp::RegionWork w;
+  w.id.name = "r";
+  w.id.codeptr = 1;
+  w.cost = std::make_shared<sp::CostProfile>(
+      std::vector<double>(static_cast<std::size_t>(n), cycles));
+  w.memory.bytes_per_iter = 500;
+  w.has_reduction = reduction;
+  return w;
+}
+
+}  // namespace
+
+// ---------- environment parsing ----------
+
+TEST(Environment, UnsetVariablesLeaveEverythingEmpty) {
+  const auto env = sp::Environment::from_getter(FakeEnv{}.getter());
+  EXPECT_FALSE(env.num_threads.has_value());
+  EXPECT_FALSE(env.schedule.has_value());
+  EXPECT_FALSE(env.proc_bind.has_value());
+}
+
+TEST(Environment, ParsesNumThreads) {
+  const auto env = sp::Environment::from_getter(
+      FakeEnv{}.set("OMP_NUM_THREADS", "16").getter());
+  ASSERT_TRUE(env.num_threads.has_value());
+  EXPECT_EQ(*env.num_threads, 16);
+}
+
+TEST(Environment, RejectsBadNumThreads) {
+  EXPECT_THROW(sp::Environment::from_getter(
+                   FakeEnv{}.set("OMP_NUM_THREADS", "zero").getter()),
+               arcs::common::ContractError);
+  EXPECT_THROW(sp::Environment::from_getter(
+                   FakeEnv{}.set("OMP_NUM_THREADS", "-4").getter()),
+               arcs::common::ContractError);
+}
+
+TEST(Environment, ParsesScheduleKindOnly) {
+  const auto env = sp::Environment::from_getter(
+      FakeEnv{}.set("OMP_SCHEDULE", "guided").getter());
+  ASSERT_TRUE(env.schedule.has_value());
+  EXPECT_EQ(env.schedule->kind, sp::ScheduleKind::Guided);
+  EXPECT_EQ(env.schedule->chunk, 0);
+}
+
+TEST(Environment, ParsesScheduleWithChunk) {
+  const auto env = sp::Environment::from_getter(
+      FakeEnv{}.set("OMP_SCHEDULE", "dynamic,8").getter());
+  ASSERT_TRUE(env.schedule.has_value());
+  EXPECT_EQ(env.schedule->kind, sp::ScheduleKind::Dynamic);
+  EXPECT_EQ(env.schedule->chunk, 8);
+}
+
+TEST(Environment, RejectsMalformedSchedule) {
+  EXPECT_THROW(sp::Environment::from_getter(
+                   FakeEnv{}.set("OMP_SCHEDULE", "static,8,9").getter()),
+               arcs::common::ContractError);
+  EXPECT_THROW(sp::Environment::from_getter(
+                   FakeEnv{}.set("OMP_SCHEDULE", "fast").getter()),
+               arcs::common::ContractError);
+}
+
+TEST(Environment, ParsesProcBindForms) {
+  using PB = sc::PlacementPolicy;
+  const std::pair<const char*, PB> cases[] = {
+      {"close", PB::Close}, {"true", PB::Close},   {"master", PB::Close},
+      {"spread", PB::Spread}, {"false", PB::Spread}, {"SPREAD", PB::Spread},
+  };
+  for (const auto& [value, expected] : cases) {
+    const auto env = sp::Environment::from_getter(
+        FakeEnv{}.set("OMP_PROC_BIND", value).getter());
+    ASSERT_TRUE(env.proc_bind.has_value()) << value;
+    EXPECT_EQ(*env.proc_bind, expected) << value;
+  }
+  EXPECT_THROW(sp::Environment::from_getter(
+                   FakeEnv{}.set("OMP_PROC_BIND", "maybe").getter()),
+               arcs::common::ContractError);
+}
+
+TEST(Environment, ApplyProgramsRuntimeIcvs) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  const auto env = sp::Environment::from_getter(FakeEnv{}
+                                                    .set("OMP_NUM_THREADS", "2")
+                                                    .set("OMP_SCHEDULE",
+                                                         "guided,4")
+                                                    .set("OMP_PROC_BIND",
+                                                         "close")
+                                                    .getter());
+  env.apply(runtime);
+  EXPECT_EQ(runtime.num_threads_icv(), 2);
+  EXPECT_EQ(runtime.schedule_icv().kind, sp::ScheduleKind::Guided);
+  EXPECT_EQ(runtime.schedule_icv().chunk, 4);
+  EXPECT_EQ(runtime.placement_icv(), sc::PlacementPolicy::Close);
+}
+
+TEST(Environment, ApplyLeavesUnsetIcvsAlone) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  runtime.set_num_threads(3);
+  sp::Environment env;  // nothing set
+  env.apply(runtime);
+  EXPECT_EQ(runtime.num_threads_icv(), 3);
+}
+
+TEST(Environment, ProcessEnvironmentDoesNotThrowWhenUnset) {
+  // The test environment normally has none of these set; parsing must
+  // simply produce an empty config (and must not crash if they are set
+  // to valid values by the harness).
+  EXPECT_NO_THROW({
+    const auto env = sp::Environment::from_process_environment();
+    (void)env;
+  });
+}
+
+// ---------- reductions ----------
+
+TEST(Reduction, AddsCombiningTreeTime) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  const auto plain = runtime.parallel_for(uniform_region(64, 1e6));
+  const auto reduced = runtime.parallel_for(uniform_region(64, 1e6, true));
+  EXPECT_GT(reduced.reduction_time, 0.0);
+  EXPECT_GT(reduced.duration, plain.duration);
+  EXPECT_DOUBLE_EQ(plain.reduction_time, 0.0);
+}
+
+TEST(Reduction, TreeDepthGrowsWithTeam) {
+  sc::Machine machine{sc::crill()};
+  sp::Runtime runtime{machine};
+  runtime.set_num_threads(4);
+  const auto small = runtime.parallel_for(uniform_region(64, 1e6, true));
+  runtime.set_num_threads(32);
+  const auto large = runtime.parallel_for(uniform_region(64, 1e6, true));
+  // ceil(log2(4)) = 2 levels vs ceil(log2(32)) = 5 levels.
+  EXPECT_NEAR(large.reduction_time / small.reduction_time, 2.5, 1e-9);
+}
+
+TEST(Reduction, SingleThreadHasNoTree) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  runtime.set_num_threads(1);
+  const auto rec = runtime.parallel_for(uniform_region(16, 1e6, true));
+  EXPECT_DOUBLE_EQ(rec.reduction_time, 0.0);
+}
+
+// ---------- apex counters ----------
+
+TEST(ApexCounters, SampleAndQuery) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::Apex apex{runtime};
+  apex.sample_counter("node/power", 45.0);
+  apex.sample_counter("node/power", 55.0);
+  const auto* p = apex.counter("node/power");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->calls, 2u);
+  EXPECT_DOUBLE_EQ(p->mean(), 50.0);
+  EXPECT_DOUBLE_EQ(p->maximum, 55.0);
+}
+
+TEST(ApexCounters, MissingCounterIsNull) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::Apex apex{runtime};
+  EXPECT_EQ(apex.counter("nope"), nullptr);
+}

@@ -1,0 +1,328 @@
+// Tests for the beyond-the-paper extensions: dynamic power budgets
+// (§II's motivating scenario), the DVFS search dimension (§VII), DRAM
+// power accounting (§VII), thread placement (proc_bind), and the
+// supporting plumbing (history merge, NM seeding, config round-trips).
+#include <gtest/gtest.h>
+
+#include "core/arcs.hpp"
+#include "kernels/apps.hpp"
+#include "kernels/driver.hpp"
+#include "sim/presets.hpp"
+
+namespace kn = arcs::kernels;
+namespace sc = arcs::sim;
+namespace sp = arcs::somp;
+namespace hm = arcs::harmony;
+namespace ax = arcs::apex;
+
+// ---------- dynamic power budgets ----------
+
+TEST(DynamicCap, DriverAppliesCapSchedule) {
+  const auto app = kn::synthetic_app(12);
+  kn::RunOptions opts;
+  opts.cap_schedule = {{4, 10.0}, {8, 0.0}};
+  const auto capped = kn::run_app(app, sc::testbox(), opts);
+  kn::RunOptions plain;
+  const auto base = kn::run_app(app, sc::testbox(), plain);
+  // A third of the run at half power must be slower than uncapped.
+  EXPECT_GT(capped.elapsed, base.elapsed);
+}
+
+TEST(DynamicCap, PolicyStateIsPerCap) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::Apex apex{runtime};
+  arcs::ArcsOptions opts;
+  opts.strategy = arcs::TuningStrategy::Online;
+  opts.search.nelder_mead.max_evals = 8;
+  arcs::ArcsPolicy policy{apex, runtime, opts};
+
+  const auto region = kn::simple_region("r", 128, 2e5).build(1);
+  for (int i = 0; i < 12; ++i) runtime.parallel_for(region);
+  EXPECT_EQ(policy.regions_tracked(), 1u);
+
+  machine.set_power_cap(10.0);
+  machine.advance_idle(0.1);
+  runtime.parallel_for(region);
+  // A new (region, cap) state appears; searching restarts for the new cap.
+  EXPECT_EQ(policy.regions_tracked(), 2u);
+}
+
+TEST(DynamicCap, ReplayResolvesPerCapHistory) {
+  sc::Machine probe{sc::testbox()};
+  const double tdp_cap = probe.programmed_power_cap();
+
+  arcs::HistoryStore history;
+  history.put({"unit", "testbox", tdp_cap, "w", "r"},
+              {{2, {sp::ScheduleKind::Static, 0}}, 0.1, 1});
+  history.put({"unit", "testbox", 10.0, "w", "r"},
+              {{1, {sp::ScheduleKind::Dynamic, 4}}, 0.2, 1});
+
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::Apex apex{runtime};
+  arcs::ArcsOptions opts;
+  opts.strategy = arcs::TuningStrategy::OfflineReplay;
+  opts.app_name = "unit";
+  opts.workload = "w";
+  arcs::ArcsPolicy policy{apex, runtime, opts, &history};
+
+  const auto region = kn::simple_region("r", 64, 2e5).build(1);
+  const auto rec_tdp = runtime.parallel_for(region);
+  EXPECT_EQ(rec_tdp.team_size, 2);
+
+  machine.set_power_cap(10.0);
+  machine.advance_idle(0.1);
+  const auto rec_capped = runtime.parallel_for(region);
+  EXPECT_EQ(rec_capped.team_size, 1);
+  EXPECT_EQ(rec_capped.kind, sp::ScheduleKind::Dynamic);
+}
+
+TEST(HistoryStore, MergeOverwritesOnCollision) {
+  arcs::HistoryStore a, b;
+  arcs::HistoryKey key{"app", "m", 55.0, "w", "r"};
+  a.put(key, {{2, {}}, 1.0, 1});
+  b.put(key, {{4, {}}, 0.5, 2});
+  b.put({"app", "m", 85.0, "w", "r"}, {{8, {}}, 0.3, 3});
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.get(key)->config.num_threads, 4);
+}
+
+// ---------- DVFS ----------
+
+TEST(Dvfs, UserFrequencyCapClipsOperatingPoint) {
+  sc::Machine machine{sc::crill()};
+  const auto full = machine.operating_point(16);
+  const auto clipped = machine.operating_point(16, 1.6e9);
+  EXPECT_DOUBLE_EQ(full.frequency, 2.4e9);
+  EXPECT_DOUBLE_EQ(clipped.frequency, 1.6e9);
+  // A request above the governor's point changes nothing.
+  const auto high = machine.operating_point(16, 9e9);
+  EXPECT_DOUBLE_EQ(high.frequency, full.frequency);
+}
+
+TEST(Dvfs, RuntimeHonorsFrequencyIcv) {
+  sc::Machine machine{sc::crill()};
+  sp::Runtime runtime{machine};
+  const auto region = kn::simple_region("r", 128, 5e6).build(1);
+  const auto fast = runtime.parallel_for(region);
+  runtime.set_frequency_mhz(1200);
+  const auto slow = runtime.parallel_for(region);
+  EXPECT_LT(slow.op.effective_frequency(), fast.op.effective_frequency());
+  EXPECT_GT(slow.duration, fast.duration);
+  // Lower frequency, longer time — but less energy for compute-bound work?
+  // Not guaranteed in general; just check the config echoes back.
+  EXPECT_EQ(runtime.frequency_mhz_icv(), 1200);
+}
+
+TEST(Dvfs, ConfigStringRoundTripWithFrequency) {
+  sp::LoopConfig cfg{16, {sp::ScheduleKind::Guided, 8}, 1800};
+  EXPECT_EQ(cfg.to_string(), "(16, guided, 8, 1800MHz)");
+  EXPECT_EQ(sp::LoopConfig::from_string(cfg.to_string()), cfg);
+}
+
+TEST(Dvfs, SearchSpaceGainsFrequencyDimension) {
+  const auto plain = arcs::arcs_search_space(sc::crill());
+  const auto with_f = arcs::arcs_search_space(sc::crill(), true);
+  EXPECT_EQ(plain.num_dimensions(), 3u);
+  EXPECT_EQ(with_f.num_dimensions(), 4u);
+  EXPECT_EQ(with_f.dimension(3).name, "frequency_mhz");
+  EXPECT_EQ(with_f.dimension(3).values.back(), 0);  // default present
+  EXPECT_EQ(with_f.size(), plain.size() * 5);
+}
+
+TEST(Dvfs, FourDimDecodeProducesFrequency) {
+  const auto cfg = arcs::config_from_values({16, 2, 8, 1600});
+  EXPECT_EQ(cfg.frequency_mhz, 1600);
+  EXPECT_EQ(cfg.num_threads, 16);
+}
+
+// ---------- placement ----------
+
+TEST(Placement, CloseUsesFewerCores) {
+  const sc::CpuTopology topo{2, 8, 2};
+  const auto spread = sc::place_threads(topo, 16);
+  const auto close =
+      sc::place_threads(topo, 16, sc::PlacementPolicy::Close);
+  EXPECT_EQ(spread.active_cores, 16);
+  EXPECT_EQ(close.active_cores, 8);
+  EXPECT_EQ(close.active_sockets, 1);
+  EXPECT_EQ(close.max_threads_per_core, 2);
+  EXPECT_EQ(close.threads_on_busiest_socket, 16);
+}
+
+TEST(Placement, CloseBeyondOneSocketSpills) {
+  const sc::CpuTopology topo{2, 8, 2};
+  const auto close =
+      sc::place_threads(topo, 20, sc::PlacementPolicy::Close);
+  EXPECT_EQ(close.active_cores, 10);
+  EXPECT_EQ(close.active_sockets, 2);
+  EXPECT_EQ(close.threads_on_busiest_socket, 16);
+}
+
+TEST(Placement, CloseSingleThreadMatchesSpread) {
+  const sc::CpuTopology topo{2, 8, 2};
+  const auto spread = sc::place_threads(topo, 1);
+  const auto close = sc::place_threads(topo, 1, sc::PlacementPolicy::Close);
+  EXPECT_EQ(spread.active_cores, close.active_cores);
+  EXPECT_EQ(close.max_threads_per_core, 1);
+}
+
+TEST(Placement, CloseBuysFrequencyUnderCap) {
+  // The whole point: 16 threads on 8 cores clock higher at 55 W than on
+  // 16 cores.
+  sc::Machine machine{sc::crill()};
+  machine.set_power_cap(55.0);
+  machine.advance_idle(0.1);
+  const auto spread = sc::place_threads(machine.spec().topology, 16);
+  const auto close = sc::place_threads(machine.spec().topology, 16,
+                                       sc::PlacementPolicy::Close);
+  const auto op_spread = machine.operating_point(spread.active_cores);
+  const auto op_close = machine.operating_point(close.active_cores);
+  EXPECT_GT(op_close.effective_frequency(),
+            op_spread.effective_frequency());
+}
+
+TEST(Placement, ConfigStringRoundTripWithPlacement) {
+  sp::LoopConfig cfg{16, {sp::ScheduleKind::Dynamic, 1}, 0,
+                     sc::PlacementPolicy::Close};
+  EXPECT_EQ(cfg.to_string(), "(16, dynamic, 1, close)");
+  EXPECT_EQ(sp::LoopConfig::from_string(cfg.to_string()), cfg);
+  // All extras at once.
+  sp::LoopConfig full{8, {sp::ScheduleKind::Guided, 32}, 2000,
+                      sc::PlacementPolicy::Close};
+  EXPECT_EQ(sp::LoopConfig::from_string(full.to_string()), full);
+}
+
+TEST(Placement, RuntimeChargesRepinning) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  const double t0 = machine.now();
+  runtime.set_placement(sc::PlacementPolicy::Close);
+  EXPECT_GT(machine.now(), t0);
+  const double t1 = machine.now();
+  runtime.set_placement(sc::PlacementPolicy::Close);  // unchanged: free
+  EXPECT_DOUBLE_EQ(machine.now(), t1);
+}
+
+TEST(Placement, SearchSpaceGainsPlacementDimension) {
+  const auto space = arcs::arcs_search_space(sc::crill(), false, true);
+  EXPECT_EQ(space.num_dimensions(), 4u);
+  EXPECT_EQ(space.dimension(3).name, "placement");
+  // 4-dim decode with a 0/1 value maps to placement, not frequency.
+  const auto cfg = arcs::config_from_values({16, 2, 8, 1});
+  EXPECT_EQ(cfg.placement, sc::PlacementPolicy::Close);
+  EXPECT_EQ(cfg.frequency_mhz, 0);
+}
+
+TEST(Placement, FiveDimDecode) {
+  const auto cfg = arcs::config_from_values({16, 2, 8, 1600, 1});
+  EXPECT_EQ(cfg.frequency_mhz, 1600);
+  EXPECT_EQ(cfg.placement, sc::PlacementPolicy::Close);
+}
+
+// ---------- DRAM power ----------
+
+TEST(DramPower, BackgroundAccruesWithClock) {
+  sc::Machine machine{sc::testbox()};
+  const double before = machine.dram_energy();
+  machine.advance_idle(2.0);
+  EXPECT_NEAR(machine.dram_energy() - before,
+              2.0 * machine.spec().dram_background, 1e-9);
+}
+
+TEST(DramPower, TrafficAddsAccessEnergy) {
+  sc::Machine machine{sc::testbox()};
+  machine.deposit_dram_traffic(2e9);  // 2 GB
+  EXPECT_NEAR(machine.dram_energy(),
+              2.0 * machine.spec().dram_energy_per_gb, 1e-9);
+}
+
+TEST(DramPower, RegionRecordsDramEnergy) {
+  sc::Machine machine{sc::crill()};
+  sp::Runtime runtime{machine};
+  auto spec = kn::simple_region("r", 256, 1e6);
+  spec.memory.access_bytes_per_iter = 1e6;
+  spec.memory.base_miss_l3 = 0.01;
+  const auto rec = runtime.parallel_for(spec.build(1));
+  EXPECT_GT(rec.dram_bytes, 0.0);
+  EXPECT_GT(rec.dram_energy, 0.0);
+}
+
+TEST(DramPower, TunedSpRunMovesFewerDramBytes) {
+  auto app = kn::sp_app("B");
+  app.timesteps = 10;
+  kn::RunOptions base;
+  const auto def = kn::run_app(app, sc::crill(), base);
+  kn::RunOptions off;
+  off.strategy = arcs::TuningStrategy::OfflineReplay;
+  off.max_search_passes = 30;
+  const auto tuned = kn::run_app(app, sc::crill(), off);
+  EXPECT_LT(tuned.dram_energy, def.dram_energy);
+}
+
+TEST(DramPower, ResetClearsAccessEnergy) {
+  sc::Machine machine{sc::testbox()};
+  machine.deposit_dram_traffic(1e9);
+  machine.reset();
+  EXPECT_DOUBLE_EQ(machine.dram_energy(), 0.0);
+}
+
+// ---------- Nelder-Mead seeding ----------
+
+TEST(NelderMeadSeeding, InitialCenterRespected) {
+  hm::SearchSpace space({{"x", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}});
+  hm::NelderMeadOptions opts;
+  opts.initial_center_frac = {1.0};
+  opts.initial_step = 0.2;
+  hm::NelderMead nm(opts, 1);
+  const auto first = nm.next(space);
+  // Center at the top of the range: first proposal rounds to index >= 7.
+  EXPECT_GE(first[0], 7u);
+}
+
+TEST(NelderMeadSeeding, DefaultCenterIsMiddle) {
+  hm::SearchSpace space({{"x", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}});
+  hm::NelderMead nm({}, 3);
+  const auto first = nm.next(space);
+  EXPECT_GE(first[0], 3u);
+  EXPECT_LE(first[0], 7u);
+}
+
+// ---------- tune_* end-to-end ----------
+
+TEST(TuneFrequency, OfflineSearchCanPickFrequencies) {
+  // With the energy objective and the DVFS dimension, the saved history
+  // may carry per-region frequency requests; at minimum the plumbing
+  // must round-trip through search -> history -> replay.
+  auto app = kn::synthetic_app(30);
+  kn::RunOptions opts;
+  opts.strategy = arcs::TuningStrategy::OfflineReplay;
+  opts.tune_frequency = true;
+  opts.max_search_passes = 40;
+  const auto run = kn::run_app(app, sc::testbox(), opts);
+  EXPECT_FALSE(run.history.entries().empty());
+  for (const auto& [key, entry] : run.history.entries()) {
+    // Frequencies in history are either 0 (default) or valid MHz.
+    if (entry.config.frequency_mhz != 0) {
+      EXPECT_GE(entry.config.frequency_mhz, 100);
+    }
+  }
+}
+
+TEST(TunePlacement, OfflineImprovesOrMatchesWithoutIt) {
+  auto app = kn::sp_app("B");
+  app.timesteps = 12;
+  kn::RunOptions off;
+  off.strategy = arcs::TuningStrategy::OfflineReplay;
+  off.power_cap = 55.0;
+  off.max_search_passes = 30;
+  const auto plain = kn::run_app(app, sc::crill(), off);
+  off.tune_placement = true;
+  off.max_search_passes = 60;
+  const auto placed = kn::run_app(app, sc::crill(), off);
+  // A superset search space can only find an equal or better optimum
+  // (modulo the larger space needing its budget — granted above).
+  EXPECT_LE(placed.elapsed, 1.05 * plain.elapsed);
+}

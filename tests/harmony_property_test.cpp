@@ -1,0 +1,225 @@
+// Property-based tests for the search library: invariants every strategy
+// must uphold on randomized spaces and landscapes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "harmony/session.hpp"
+#include "harmony/strategy_factory.hpp"
+
+namespace hm = arcs::harmony;
+namespace ac = arcs::common;
+
+namespace {
+
+constexpr hm::StrategyKind kAllKinds[] = {
+    hm::StrategyKind::Exhaustive, hm::StrategyKind::NelderMead,
+    hm::StrategyKind::ParallelRankOrder, hm::StrategyKind::Random,
+    hm::StrategyKind::SimulatedAnnealing};
+
+hm::SearchSpace random_space(ac::Rng& rng) {
+  const auto dims = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  std::vector<hm::Dimension> out;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(1, 9));
+    // Distinct values within a dimension (tests reconstruct indices from
+    // values; real ARCS dimensions are duplicate-free too).
+    std::vector<hm::Value> values;
+    hm::Value v = rng.uniform_int(-50, 0);
+    for (std::size_t i = 0; i < size; ++i) {
+      values.push_back(v);
+      v += rng.uniform_int(1, 10);
+    }
+    out.push_back({"d" + std::to_string(d), std::move(values)});
+  }
+  return hm::SearchSpace(std::move(out));
+}
+
+/// A random but deterministic landscape over points.
+double landscape(const hm::SearchSpace& space, const hm::Point& p,
+                 std::uint64_t seed) {
+  return 1.0 + static_cast<double>(
+                   ac::hash_combine(seed, space.rank(p)) % 100000) /
+                   1000.0;
+}
+
+}  // namespace
+
+// Every strategy, on random spaces/landscapes: proposals are valid
+// points, best_value equals the minimum of everything reported, and the
+// session terminates.
+TEST(HarmonyProperty, UniversalStrategyInvariants) {
+  ac::Rng rng(606);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto space = random_space(rng);
+    const std::uint64_t land_seed = rng.next_u64();
+    for (const auto kind : kAllKinds) {
+      SCOPED_TRACE(::testing::Message()
+                   << "trial " << trial << " kind "
+                   << hm::to_string(kind) << " space " << space.size());
+      hm::StrategyOptions opts;
+      opts.seed = rng.next_u64() | 1;
+      opts.random_budget = 12;
+      opts.nelder_mead.max_evals = 25;
+      opts.pro.max_evals = 30;
+      opts.annealing.max_evals = 25;
+      hm::Session session(space, hm::make_strategy(kind, opts));
+
+      double min_reported = 1e300;
+      std::size_t guard = 0;
+      while (!session.converged() && guard < 4000) {
+        const auto values = session.next_values();
+        ASSERT_EQ(values.size(), space.num_dimensions());
+        // Every proposed value must belong to its dimension.
+        for (std::size_t d = 0; d < values.size(); ++d) {
+          const auto& dim = space.dimension(d).values;
+          ASSERT_NE(std::find(dim.begin(), dim.end(), values[d]),
+                    dim.end());
+        }
+        // Reconstruct the point to evaluate the landscape.
+        hm::Point p(values.size());
+        for (std::size_t d = 0; d < values.size(); ++d) {
+          const auto& dim = space.dimension(d).values;
+          p[d] = static_cast<std::size_t>(
+              std::find(dim.begin(), dim.end(), values[d]) - dim.begin());
+        }
+        const double f = landscape(space, p, land_seed);
+        min_reported = std::min(min_reported, f);
+        session.report(f);
+        ++guard;
+      }
+      ASSERT_TRUE(session.converged()) << "did not terminate";
+      EXPECT_DOUBLE_EQ(session.best_value(), min_reported);
+      EXPECT_GE(session.evaluations(), 1u);
+    }
+  }
+}
+
+// Exhaustive visits every point of random spaces exactly once and its
+// best matches brute force.
+TEST(HarmonyProperty, ExhaustiveMatchesBruteForce) {
+  ac::Rng rng(707);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto space = random_space(rng);
+    const std::uint64_t land_seed = rng.next_u64();
+    hm::Session session(space,
+                        hm::make_strategy(hm::StrategyKind::Exhaustive));
+    std::map<std::uint64_t, int> visits;
+    while (!session.converged()) {
+      const auto values = session.next_values();
+      hm::Point p(values.size());
+      for (std::size_t d = 0; d < values.size(); ++d) {
+        const auto& dim = space.dimension(d).values;
+        p[d] = static_cast<std::size_t>(
+            std::find(dim.begin(), dim.end(), values[d]) - dim.begin());
+      }
+      ++visits[space.rank(p)];
+      session.report(landscape(space, p, land_seed));
+    }
+    EXPECT_EQ(visits.size(), space.size());
+    for (const auto& [rank, count] : visits) EXPECT_EQ(count, 1);
+
+    // Brute-force minimum.
+    double best = 1e300;
+    hm::Point p = space.origin();
+    do {
+      best = std::min(best, landscape(space, p, land_seed));
+    } while (space.advance(p));
+    EXPECT_DOUBLE_EQ(session.best_value(), best);
+  }
+}
+
+// Post-convergence behavior: next() keeps returning the same best point;
+// extra reports are ignored.
+TEST(HarmonyProperty, ConvergedSessionsAreStable) {
+  ac::Rng rng(808);
+  for (const auto kind : kAllKinds) {
+    const auto space = random_space(rng);
+    hm::StrategyOptions opts;
+    opts.seed = 5;
+    opts.random_budget = 8;
+    opts.nelder_mead.max_evals = 12;
+    opts.pro.max_evals = 15;
+    opts.annealing.max_evals = 12;
+    hm::Session session(space, hm::make_strategy(kind, opts));
+    while (!session.converged()) {
+      session.next_values();
+      session.report(rng.uniform(1.0, 2.0));
+    }
+    const auto best = session.best_values();
+    const double best_value = session.best_value();
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(session.next_values(), best) << hm::to_string(kind);
+      session.report(rng.uniform(5.0, 9.0));  // worse; must be ignored
+      EXPECT_DOUBLE_EQ(session.best_value(), best_value);
+    }
+  }
+}
+
+// Determinism: identical seeds give identical proposal trails for every
+// strategy on random spaces.
+TEST(HarmonyProperty, SeededTrailsReproduce) {
+  ac::Rng rng(909);
+  for (const auto kind : kAllKinds) {
+    const auto space = random_space(rng);
+    auto trail = [&](std::uint64_t seed) {
+      hm::StrategyOptions opts;
+      opts.seed = seed;
+      opts.random_budget = 10;
+      opts.nelder_mead.max_evals = 15;
+      opts.pro.max_evals = 15;
+      opts.annealing.max_evals = 15;
+      hm::Session session(space, hm::make_strategy(kind, opts));
+      std::vector<std::vector<hm::Value>> out;
+      int guard = 0;
+      while (!session.converged() && guard++ < 500) {
+        out.push_back(session.next_values());
+        session.report(static_cast<double>(
+            ac::hash64(static_cast<std::uint64_t>(out.size())) % 97));
+      }
+      return out;
+    };
+    EXPECT_EQ(trail(11), trail(11)) << hm::to_string(kind);
+  }
+}
+
+// The memoized session never hands the client a point it already
+// measured (until convergence), for every strategy.
+TEST(HarmonyProperty, MemoizedSessionsOnlyProposeNovelPoints) {
+  ac::Rng rng(111);
+  for (const auto kind : kAllKinds) {
+    const auto space = random_space(rng);
+    hm::StrategyOptions opts;
+    opts.seed = 13;
+    opts.random_budget = 10;
+    opts.nelder_mead.max_evals = 20;
+    opts.pro.max_evals = 20;
+    opts.annealing.max_evals = 20;
+    hm::SessionOptions session_opts;
+    session_opts.memoize = true;
+    hm::Session session(space, hm::make_strategy(kind, opts),
+                        session_opts);
+    std::map<std::uint64_t, int> measured;
+    int guard = 0;
+    while (!session.converged() && guard++ < 500) {
+      const auto values = session.next_values();
+      hm::Point p(values.size());
+      for (std::size_t d = 0; d < values.size(); ++d) {
+        const auto& dim = space.dimension(d).values;
+        p[d] = static_cast<std::size_t>(
+            std::find(dim.begin(), dim.end(), values[d]) - dim.begin());
+      }
+      if (!session.converged()) {
+        // max_replays bounds cache replay, so a repeat can still slip
+        // through on pathological loops; it must at least be rare.
+        ++measured[space.rank(p)];
+      }
+      session.report(landscape(space, p, 5));
+    }
+    std::size_t repeats = 0;
+    for (const auto& [rank, count] : measured)
+      if (count > 1) repeats += static_cast<std::size_t>(count - 1);
+    EXPECT_LE(repeats, measured.size() / 4) << hm::to_string(kind);
+  }
+}

@@ -1,0 +1,454 @@
+// Tests for the search library: spaces, sessions, and all four strategies
+// (exhaustive, random, Nelder-Mead, Parallel Rank Order), including
+// convergence properties on synthetic landscapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "common/check.hpp"
+#include "harmony/exhaustive.hpp"
+#include "harmony/nelder_mead.hpp"
+#include "harmony/parallel_rank_order.hpp"
+#include "harmony/random_search.hpp"
+#include "harmony/session.hpp"
+#include "harmony/simulated_annealing.hpp"
+#include "harmony/space.hpp"
+#include "harmony/strategy_factory.hpp"
+
+namespace hm = arcs::harmony;
+namespace ac = arcs::common;
+
+namespace {
+
+hm::SearchSpace small_space() {
+  return hm::SearchSpace({{"a", {10, 20, 30}}, {"b", {1, 2}}});
+}
+
+hm::SearchSpace grid_space(std::size_t nx, std::size_t ny) {
+  std::vector<hm::Value> xs, ys;
+  for (std::size_t i = 0; i < nx; ++i) xs.push_back(static_cast<long long>(i));
+  for (std::size_t i = 0; i < ny; ++i) ys.push_back(static_cast<long long>(i));
+  return hm::SearchSpace({{"x", xs}, {"y", ys}});
+}
+
+/// Drives a session against an objective until convergence (or max steps).
+std::size_t drive(hm::Session& session,
+                  const std::function<double(const std::vector<hm::Value>&)>&
+                      objective,
+                  std::size_t max_steps = 10000) {
+  std::size_t steps = 0;
+  while (!session.converged() && steps < max_steps) {
+    const auto values = session.next_values();
+    session.report(objective(values));
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace
+
+// ---------- space ----------
+
+TEST(Space, SizeIsProduct) { EXPECT_EQ(small_space().size(), 6u); }
+
+TEST(Space, DecodeMapsIndicesToValues) {
+  const auto s = small_space();
+  EXPECT_EQ(s.decode({2, 1}), (std::vector<hm::Value>{30, 2}));
+}
+
+TEST(Space, DecodeInvalidThrows) {
+  const auto s = small_space();
+  EXPECT_THROW(s.decode({3, 0}), ac::ContractError);
+  EXPECT_THROW(s.decode({0}), ac::ContractError);
+}
+
+TEST(Space, AdvanceEnumeratesLexicographically) {
+  const auto s = small_space();
+  hm::Point p = s.origin();
+  std::set<std::uint64_t> ranks;
+  std::size_t count = 0;
+  do {
+    ranks.insert(s.rank(p));
+    ++count;
+  } while (s.advance(p));
+  EXPECT_EQ(count, 6u);
+  EXPECT_EQ(ranks.size(), 6u);  // all distinct
+}
+
+TEST(Space, RoundClampsAndRounds) {
+  const auto s = small_space();
+  EXPECT_EQ(s.round({-1.0, 5.0}), (hm::Point{0, 1}));
+  EXPECT_EQ(s.round({1.4, 0.6}), (hm::Point{1, 1}));
+}
+
+TEST(Space, EmptyDimensionRejected) {
+  std::vector<hm::Dimension> empty_dim{{"a", std::vector<hm::Value>{}}};
+  EXPECT_THROW(hm::SearchSpace(std::move(empty_dim)), ac::ContractError);
+  EXPECT_THROW(hm::SearchSpace(std::vector<hm::Dimension>{}),
+               ac::ContractError);
+}
+
+TEST(Space, RankRoundTripsOrder) {
+  const auto s = small_space();
+  EXPECT_EQ(s.rank({0, 0}), 0u);
+  EXPECT_EQ(s.rank({2, 1}), 5u);
+}
+
+// ---------- exhaustive ----------
+
+TEST(Exhaustive, VisitsEveryPointOnce) {
+  const auto space = small_space();
+  hm::ExhaustiveSearch search;
+  std::set<std::uint64_t> visited;
+  while (!search.converged(space)) {
+    const auto p = search.next(space);
+    visited.insert(space.rank(p));
+    search.report(space, p, 1.0);
+  }
+  EXPECT_EQ(visited.size(), space.size());
+}
+
+TEST(Exhaustive, FindsGlobalMinimum) {
+  const auto space = grid_space(7, 9);
+  hm::Session session(space, std::make_unique<hm::ExhaustiveSearch>());
+  auto objective = [](const std::vector<hm::Value>& v) {
+    const double dx = static_cast<double>(v[0]) - 4.0;
+    const double dy = static_cast<double>(v[1]) - 2.0;
+    return dx * dx + dy * dy;
+  };
+  drive(session, objective);
+  EXPECT_TRUE(session.converged());
+  EXPECT_EQ(session.best_values(), (std::vector<hm::Value>{4, 2}));
+  EXPECT_DOUBLE_EQ(session.best_value(), 0.0);
+  EXPECT_EQ(session.evaluations(), space.size());
+}
+
+TEST(Exhaustive, BestBeforeAnyReportThrows) {
+  const auto space = small_space();
+  hm::ExhaustiveSearch search;
+  EXPECT_THROW(search.best(space), ac::ContractError);
+}
+
+TEST(Exhaustive, PostConvergenceNextReturnsBest) {
+  const auto space = small_space();
+  hm::ExhaustiveSearch search;
+  while (!search.converged(space)) {
+    const auto p = search.next(space);
+    search.report(space, p, static_cast<double>(space.rank(p)));
+  }
+  EXPECT_EQ(search.next(space), space.origin());  // rank 0 had value 0
+}
+
+// ---------- random ----------
+
+TEST(Random, RespectsBudget) {
+  const auto space = grid_space(10, 10);
+  hm::Session session(space, std::make_unique<hm::RandomSearch>(25, 3));
+  drive(session, [](const auto&) { return 1.0; });
+  EXPECT_EQ(session.evaluations(), 25u);
+  EXPECT_TRUE(session.converged());
+}
+
+TEST(Random, DeterministicPerSeed) {
+  const auto space = grid_space(50, 50);
+  auto run = [&](std::uint64_t seed) {
+    hm::Session s(space, std::make_unique<hm::RandomSearch>(10, seed));
+    std::vector<std::vector<hm::Value>> trail;
+    while (!s.converged()) {
+      trail.push_back(s.next_values());
+      s.report(1.0);
+    }
+    return trail;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(Random, TracksBest) {
+  const auto space = grid_space(10, 10);
+  hm::Session session(space, std::make_unique<hm::RandomSearch>(60, 1));
+  auto objective = [](const std::vector<hm::Value>& v) {
+    return std::abs(static_cast<double>(v[0]) - 3.0) +
+           std::abs(static_cast<double>(v[1]) - 7.0);
+  };
+  drive(session, objective);
+  // 60 draws over 100 cells: best should be close to (3, 7).
+  EXPECT_LE(objective(session.best_values()), 3.0);
+}
+
+// ---------- Nelder-Mead ----------
+
+TEST(NelderMead, ConvergesOnConvexLandscape) {
+  const auto space = grid_space(15, 15);
+  hm::NelderMeadOptions opts;
+  hm::Session session(space, std::make_unique<hm::NelderMead>(opts, 1));
+  auto objective = [](const std::vector<hm::Value>& v) {
+    const double dx = static_cast<double>(v[0]) - 11.0;
+    const double dy = static_cast<double>(v[1]) - 3.0;
+    return 1.0 + dx * dx + 2.0 * dy * dy;
+  };
+  drive(session, objective);
+  EXPECT_TRUE(session.converged());
+  // Within a step of the optimum on a discrete convex bowl.
+  EXPECT_LE(std::abs(static_cast<double>(session.best_values()[0]) - 11.0),
+            2.0);
+  EXPECT_LE(std::abs(static_cast<double>(session.best_values()[1]) - 3.0),
+            2.0);
+  EXPECT_LT(session.evaluations(), space.size() / 2);  // beats exhaustive
+}
+
+TEST(NelderMead, StopsAtEvalBudget) {
+  const auto space = grid_space(40, 40);
+  hm::NelderMeadOptions opts;
+  opts.max_evals = 12;
+  hm::Session session(space, std::make_unique<hm::NelderMead>(opts, 1));
+  // A rugged objective that won't trigger geometric convergence quickly.
+  auto objective = [&](const std::vector<hm::Value>& v) {
+    return static_cast<double>((v[0] * 7919 + v[1] * 104729) % 1000);
+  };
+  drive(session, objective);
+  EXPECT_TRUE(session.converged());
+  EXPECT_EQ(session.evaluations(), 12u);
+}
+
+TEST(NelderMead, BestSeenIsNeverWorseThanAnyReport) {
+  const auto space = grid_space(20, 20);
+  hm::NelderMead search({}, 2);
+  double min_reported = 1e300;
+  while (!search.converged(space)) {
+    const auto p = search.next(space);
+    const auto v = space.decode(p);
+    const double f = std::abs(static_cast<double>(v[0]) - 5.0) * 3.0 +
+                     std::abs(static_cast<double>(v[1]) - 15.0);
+    min_reported = std::min(min_reported, f);
+    search.report(space, p, f);
+  }
+  EXPECT_DOUBLE_EQ(search.best_value(), min_reported);
+}
+
+TEST(NelderMead, DeterministicPerSeed) {
+  const auto space = grid_space(12, 12);
+  auto run = [&](std::uint64_t seed) {
+    hm::Session s(space, std::make_unique<hm::NelderMead>(
+                             hm::NelderMeadOptions{}, seed));
+    std::vector<std::vector<hm::Value>> trail;
+    while (!s.converged()) {
+      trail.push_back(s.next_values());
+      s.report(static_cast<double>(trail.size() % 5));
+    }
+    return trail;
+  };
+  EXPECT_EQ(run(9), run(9));
+}
+
+TEST(NelderMead, WorksOnOneDimension) {
+  hm::SearchSpace space({{"x", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}});
+  hm::Session session(space, std::make_unique<hm::NelderMead>());
+  auto objective = [](const std::vector<hm::Value>& v) {
+    const double d = static_cast<double>(v[0]) - 7.0;
+    return d * d;
+  };
+  drive(session, objective);
+  EXPECT_LE(std::abs(static_cast<double>(session.best_values()[0]) - 7.0),
+            1.0);
+}
+
+// ---------- Parallel Rank Order ----------
+
+TEST(ParallelRankOrder, ConvergesOnConvexLandscape) {
+  const auto space = grid_space(15, 15);
+  hm::Session session(space,
+                      std::make_unique<hm::ParallelRankOrder>(
+                          hm::ParallelRankOrderOptions{}, 1));
+  auto objective = [](const std::vector<hm::Value>& v) {
+    const double dx = static_cast<double>(v[0]) - 2.0;
+    const double dy = static_cast<double>(v[1]) - 12.0;
+    return dx * dx + dy * dy;
+  };
+  drive(session, objective);
+  EXPECT_TRUE(session.converged());
+  EXPECT_LE(std::abs(static_cast<double>(session.best_values()[0]) - 2.0),
+            3.0);
+  EXPECT_LE(std::abs(static_cast<double>(session.best_values()[1]) - 12.0),
+            3.0);
+}
+
+TEST(ParallelRankOrder, RespectsEvalBudget) {
+  const auto space = grid_space(30, 30);
+  hm::ParallelRankOrderOptions opts;
+  opts.max_evals = 15;
+  hm::Session session(space,
+                      std::make_unique<hm::ParallelRankOrder>(opts, 1));
+  drive(session, [](const auto& v) {
+    return static_cast<double>((v[0] * 31 + v[1] * 17) % 97);
+  });
+  EXPECT_LE(session.evaluations(), 15u);
+}
+
+// ---------- session protocol ----------
+
+TEST(Session, DoubleNextThrows) {
+  hm::Session session(small_space(), std::make_unique<hm::ExhaustiveSearch>());
+  session.next_values();
+  EXPECT_THROW(session.next_values(), ac::ContractError);
+}
+
+TEST(Session, ReportWithoutNextThrows) {
+  hm::Session session(small_space(), std::make_unique<hm::ExhaustiveSearch>());
+  EXPECT_THROW(session.report(1.0), ac::ContractError);
+}
+
+TEST(Session, NullStrategyRejected) {
+  EXPECT_THROW(hm::Session(small_space(), nullptr), ac::ContractError);
+}
+
+// ---------- simulated annealing ----------
+
+TEST(SimulatedAnnealing, ConvergesNearOptimumOnConvexLandscape) {
+  const auto space = grid_space(15, 15);
+  hm::SimulatedAnnealingOptions opts;
+  opts.max_evals = 80;
+  hm::Session session(space,
+                      std::make_unique<hm::SimulatedAnnealing>(opts, 5));
+  auto objective = [](const std::vector<hm::Value>& v) {
+    const double dx = static_cast<double>(v[0]) - 3.0;
+    const double dy = static_cast<double>(v[1]) - 12.0;
+    return dx * dx + dy * dy;
+  };
+  drive(session, objective);
+  EXPECT_LE(objective(session.best_values()), 8.0);
+}
+
+TEST(SimulatedAnnealing, RespectsEvalBudget) {
+  const auto space = grid_space(30, 30);
+  hm::SimulatedAnnealingOptions opts;
+  opts.max_evals = 25;
+  hm::Session session(space,
+                      std::make_unique<hm::SimulatedAnnealing>(opts, 1));
+  drive(session, [](const auto& v) {
+    return static_cast<double>((v[0] * 13 + v[1] * 7) % 19);
+  });
+  EXPECT_EQ(session.evaluations(), 25u);
+}
+
+TEST(SimulatedAnnealing, EscapesLocalPlateau) {
+  // A flat ridge with the optimum in a far corner: greedy descent stalls;
+  // annealing's random-walk acceptance finds the needle for most seeds
+  // (the walk is stochastic, so require a majority over a seed sweep).
+  hm::SearchSpace space({{"x", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}});
+  auto objective = [](const std::vector<hm::Value>& v) {
+    return v[0] == 9 ? 0.0 : 10.0;  // plateau everywhere except the edge
+  };
+  int found = 0;
+  for (std::uint64_t seed = 1; seed <= 7; ++seed) {
+    hm::SimulatedAnnealingOptions opts;
+    opts.max_evals = 80;
+    hm::Session session(
+        space, std::make_unique<hm::SimulatedAnnealing>(opts, seed));
+    drive(session, objective);
+    if (session.best_value() == 0.0) ++found;
+  }
+  EXPECT_GE(found, 4);
+}
+
+// ---------- memoization ----------
+
+TEST(SessionMemoization, CacheHitsSkipRealMeasurements) {
+  // A strategy that re-proposes points (Nelder-Mead on a small discrete
+  // space) should consume cached values instead of client measurements.
+  const auto space = grid_space(5, 5);
+  hm::SessionOptions opts;
+  opts.memoize = true;
+  hm::Session session(space,
+                      std::make_unique<hm::NelderMead>(
+                          hm::NelderMeadOptions{}, 4),
+                      opts);
+  auto objective = [](const std::vector<hm::Value>& v) {
+    const double dx = static_cast<double>(v[0]) - 1.0;
+    const double dy = static_cast<double>(v[1]) - 1.0;
+    return dx * dx + dy * dy;
+  };
+  std::set<std::uint64_t> measured;
+  while (!session.converged()) {
+    const auto values = session.next_values();
+    // With memoization on, every point handed to the client is novel
+    // (until convergence).
+    const hm::Point p{static_cast<std::size_t>(values[0]),
+                      static_cast<std::size_t>(values[1])};
+    if (!session.converged()) {
+      EXPECT_TRUE(measured.insert(space.rank(p)).second)
+          << "client asked to re-measure a known point";
+    }
+    session.report(objective(values));
+  }
+  EXPECT_GT(session.cache_hits(), 0u);
+}
+
+TEST(SessionMemoization, OffByDefault) {
+  const auto space = grid_space(4, 4);
+  hm::Session session(space, std::make_unique<hm::ExhaustiveSearch>());
+  session.next_values();
+  session.report(1.0);
+  EXPECT_EQ(session.cache_hits(), 0u);
+}
+
+TEST(SessionMemoization, ReplayBoundHonored) {
+  // Even on a fully-cached space the session must hand out a point after
+  // at most max_replays internal steps.
+  const auto space = grid_space(3, 2);
+  hm::SessionOptions opts;
+  opts.memoize = true;
+  opts.max_replays = 2;
+  hm::Session session(space, std::make_unique<hm::RandomSearch>(30, 9),
+                      opts);
+  for (int i = 0; i < 30 && !session.converged(); ++i) {
+    session.next_values();
+    session.report(1.0);
+  }
+  EXPECT_TRUE(session.converged());
+}
+
+// ---------- factory ----------
+
+TEST(Factory, MakesEveryKind) {
+  for (auto kind :
+       {hm::StrategyKind::Exhaustive, hm::StrategyKind::NelderMead,
+        hm::StrategyKind::ParallelRankOrder, hm::StrategyKind::Random,
+        hm::StrategyKind::SimulatedAnnealing}) {
+    const auto s = hm::make_strategy(kind);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), hm::to_string(kind));
+  }
+}
+
+// Parameterized: every strategy eventually converges and returns a valid
+// best point on an arbitrary landscape.
+class EveryStrategy : public ::testing::TestWithParam<hm::StrategyKind> {};
+
+TEST_P(EveryStrategy, ConvergesAndReturnsValidBest) {
+  const auto space = grid_space(8, 6);
+  hm::StrategyOptions opts;
+  opts.random_budget = 20;
+  opts.nelder_mead.max_evals = 40;
+  opts.pro.max_evals = 40;
+  hm::Session session(space, hm::make_strategy(GetParam(), opts));
+  auto objective = [](const std::vector<hm::Value>& v) {
+    return static_cast<double>(v[0] + v[1]);
+  };
+  const auto steps = drive(session, objective);
+  EXPECT_TRUE(session.converged()) << "after " << steps << " steps";
+  const auto best = session.best_values();
+  ASSERT_EQ(best.size(), 2u);
+  EXPECT_GE(best[0], 0);
+  EXPECT_LT(best[0], 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EveryStrategy,
+    ::testing::Values(hm::StrategyKind::Exhaustive,
+                      hm::StrategyKind::NelderMead,
+                      hm::StrategyKind::ParallelRankOrder,
+                      hm::StrategyKind::Random,
+                      hm::StrategyKind::SimulatedAnnealing));

@@ -1,0 +1,132 @@
+// Cross-product smoke matrix: every (app, machine, strategy) combination
+// runs end-to-end at reduced size and satisfies the generic invariants —
+// the broad safety net under the targeted suites.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kernels/apps.hpp"
+#include "kernels/driver.hpp"
+#include "sim/presets.hpp"
+
+namespace kn = arcs::kernels;
+namespace sc = arcs::sim;
+
+namespace {
+
+kn::AppSpec app_by_name(const std::string& name) {
+  if (name == "SP") return kn::sp_app("B");
+  if (name == "BT") return kn::bt_app("B");
+  if (name == "LULESH") return kn::lulesh_app("45");
+  if (name == "CG") return kn::cg_app("B");
+  return kn::synthetic_app();
+}
+
+sc::MachineSpec machine_by_name(const std::string& name) {
+  return name == "minotaur" ? sc::minotaur() : sc::crill();
+}
+
+}  // namespace
+
+class RunMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, const char*, arcs::TuningStrategy>> {};
+
+TEST_P(RunMatrix, RunsAndSatisfiesInvariants) {
+  const auto [app_name, machine_name, strategy] = GetParam();
+  auto app = app_by_name(app_name);
+  app.timesteps = 6;
+  const auto machine = machine_by_name(machine_name);
+
+  kn::RunOptions opts;
+  opts.strategy = strategy;
+  opts.max_search_passes = 4;  // smoke: best-so-far is fine
+  const auto result = kn::run_app(app, machine, opts);
+
+  EXPECT_GT(result.elapsed, 0.0);
+  EXPECT_GT(result.energy, 0.0);
+  EXPECT_GT(result.dram_energy, 0.0);
+  EXPECT_EQ(result.regions.size(),
+            app.regions.size() + app.setup_regions.size());
+  double region_time = 0.0;
+  for (const auto& [name, stats] : result.regions) {
+    EXPECT_GT(stats.calls, 0u) << name;
+    EXPECT_GE(stats.time_total, 0.0) << name;
+    EXPECT_GE(stats.miss_l1, stats.miss_l2) << name;
+    EXPECT_GE(stats.miss_l2, stats.miss_l3) << name;
+    region_time += stats.time_total;
+  }
+  // Regions (plus overheads and serial gaps) compose the run.
+  EXPECT_LE(region_time, result.elapsed + 1e-6);
+  EXPECT_GT(region_time, 0.4 * result.elapsed);
+
+  if (strategy == arcs::TuningStrategy::Online) {
+    EXPECT_GT(result.search_evaluations, 0u);
+  }
+  if (strategy == arcs::TuningStrategy::OfflineReplay) {
+    EXPECT_FALSE(result.history.entries().empty());
+  }
+}
+
+// (A named generator: commas in lambdas confuse the macro's argument
+// splitting.)
+std::string matrix_name(
+    const ::testing::TestParamInfo<RunMatrix::ParamType>& info) {
+  std::string name = std::string(std::get<0>(info.param)) + "_" +
+                     std::get<1>(info.param) + "_";
+  switch (std::get<2>(info.param)) {
+    case arcs::TuningStrategy::Default:
+      name += "default";
+      break;
+    case arcs::TuningStrategy::Online:
+      name += "online";
+      break;
+    default:
+      name += "offline";
+      break;
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, RunMatrix,
+    ::testing::Combine(
+        ::testing::Values("SP", "BT", "LULESH", "CG"),
+        ::testing::Values("crill", "minotaur"),
+        ::testing::Values(arcs::TuningStrategy::Default,
+                          arcs::TuningStrategy::Online,
+                          arcs::TuningStrategy::OfflineReplay)),
+    matrix_name);
+
+// Analytic oracle: for a uniform loop with the static default schedule
+// and no memory traffic, the DES must land exactly on the closed form.
+TEST(AnalyticOracle, StaticUniformMatchesClosedForm) {
+  sc::MachineSpec spec = sc::testbox();
+  spec.os_jitter_sigma = 0.0;
+  sc::Machine machine{spec};
+  arcs::somp::Runtime runtime{machine};
+  runtime.set_num_threads(4);
+
+  constexpr std::int64_t kIters = 400;  // divisible by 4
+  constexpr double kCycles = 1.25e6;
+  arcs::somp::RegionWork w;
+  w.id.name = "oracle";
+  w.cost = std::make_shared<arcs::somp::CostProfile>(
+      std::vector<double>(kIters, kCycles));
+  w.memory.bytes_per_iter = 1e-9;  // negligible traffic
+  w.memory.base_miss_l1 = 0.0;
+  w.memory.base_miss_l2 = 0.0;
+  w.memory.base_miss_l3 = 0.0;
+
+  const auto rec = runtime.parallel_for(w);
+  const double f = rec.op.effective_frequency();
+  const double per_thread = (kIters / 4) * kCycles / f;
+  // fork + setup + per-chunk bookkeeping + loop + join.
+  const double fork = spec.fork_join_per_thread * 4;
+  const double join = 0.5 * fork;
+  const double expected = fork + spec.static_setup_cost +
+                          rec.dispatch_time_total / 4 + per_thread + join;
+  EXPECT_NEAR(rec.duration, expected, 1e-9);
+  EXPECT_NEAR(rec.barrier_time_total, 0.0, 1e-9);  // perfectly balanced
+  EXPECT_NEAR(rec.loop_time_max, rec.loop_time_min, 1e-12);
+}

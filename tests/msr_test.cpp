@@ -1,0 +1,146 @@
+// Tests for the MSR-level RAPL interface (the libmsr view of the
+// machine): unit registers, bit-packed power limits, time windows,
+// energy counter reads, and privilege failures.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sim/msr.hpp"
+#include "sim/presets.hpp"
+#include "somp/runtime.hpp"
+
+namespace sc = arcs::sim;
+namespace sp = arcs::somp;
+
+namespace {
+sp::RegionWork burn_region(double cycles = 5e6, std::int64_t n = 256) {
+  sp::RegionWork w;
+  w.id.name = "burn";
+  w.cost = std::make_shared<sp::CostProfile>(
+      std::vector<double>(static_cast<std::size_t>(n), cycles));
+  w.memory.bytes_per_iter = 500;
+  return w;
+}
+}  // namespace
+
+TEST(MsrUnits, PowerUnitRegisterLayout) {
+  sc::Machine machine{sc::crill()};
+  sc::MsrDevice dev{machine};
+  const auto reg = dev.read(sc::kMsrRaplPowerUnit);
+  EXPECT_EQ(reg & 0xf, 3u);           // 1/8 W
+  EXPECT_EQ((reg >> 8) & 0x1f, 16u);  // 2^-16 J
+  EXPECT_EQ((reg >> 16) & 0xf, 10u);  // ~1 ms
+  EXPECT_NEAR(dev.units().energy_unit(), 15.26e-6, 0.05e-6);
+}
+
+TEST(MsrUnits, EnergyUnitMatchesCounterQuantum) {
+  sc::Machine machine{sc::crill()};
+  sc::MsrDevice dev{machine};
+  EXPECT_NEAR(dev.units().energy_unit(),
+              machine.rapl_counter().energy_unit(), 0.05e-6);
+}
+
+TEST(MsrTimeWindow, EncodeDecodeRoundTrip) {
+  const sc::MsrUnits units;
+  for (const double seconds : {0.001, 0.005, 0.01, 0.05, 0.25, 1.0}) {
+    const auto field = sc::encode_time_window(seconds, units);
+    const double decoded = sc::decode_time_window(field, units);
+    EXPECT_NEAR(decoded, seconds, 0.25 * seconds) << seconds;
+  }
+}
+
+TEST(MsrTimeWindow, RejectsNonPositive) {
+  EXPECT_THROW(sc::encode_time_window(0.0, {}),
+               arcs::common::ContractError);
+}
+
+TEST(MsrPowerLimit, WriteProgramsTheGovernor) {
+  sc::Machine machine{sc::crill()};
+  sc::MsrDevice dev{machine};
+  dev.set_package_power_limit(55.0, 0.01);
+  machine.advance_idle(0.05);
+  EXPECT_NEAR(machine.power_cap(), 55.0, 0.2);
+  EXPECT_NEAR(dev.package_power_limit_watts(), 55.0, 0.2);
+  // The granted frequency drops accordingly.
+  EXPECT_LT(machine.operating_point(16).effective_frequency(), 2.4e9);
+}
+
+TEST(MsrPowerLimit, DisableReturnsToTdp) {
+  sc::Machine machine{sc::crill()};
+  sc::MsrDevice dev{machine};
+  dev.set_package_power_limit(55.0, 0.01);
+  machine.advance_idle(0.05);
+  dev.disable_package_power_limit();
+  machine.advance_idle(0.05);
+  EXPECT_DOUBLE_EQ(machine.power_cap(), machine.spec().tdp);
+  EXPECT_DOUBLE_EQ(dev.package_power_limit_watts(), 0.0);
+}
+
+TEST(MsrPowerLimit, RawRegisterRoundTrip) {
+  sc::Machine machine{sc::crill()};
+  sc::MsrDevice dev{machine};
+  dev.set_package_power_limit(70.0, 0.01);
+  const auto reg = dev.read(sc::kMsrPkgPowerLimit);
+  EXPECT_TRUE(reg & (1ULL << 15));  // enabled
+  EXPECT_NEAR(static_cast<double>(reg & 0x7fff) / 8.0, 70.0, 0.2);
+}
+
+TEST(MsrPowerInfo, ReportsTdp) {
+  sc::Machine machine{sc::crill()};
+  sc::MsrDevice dev{machine};
+  EXPECT_NEAR(dev.thermal_spec_power_watts(), 115.0, 0.2);
+}
+
+TEST(MsrEnergy, CounterAdvancesWithWork) {
+  sc::Machine machine{sc::crill()};
+  sp::Runtime runtime{machine};
+  sc::MsrDevice dev{machine};
+  const double before = dev.package_energy_joules();
+  const auto rec = runtime.parallel_for(burn_region());
+  const double after = dev.package_energy_joules();
+  // Within RAPL quantization/refresh slack of the ground truth.
+  EXPECT_NEAR(after - before, rec.energy, 0.5 + 0.05 * rec.energy);
+}
+
+TEST(MsrErrors, UnknownRegisterRejected) {
+  sc::Machine machine{sc::crill()};
+  sc::MsrDevice dev{machine};
+  EXPECT_THROW(dev.read(0x123), sc::MsrError);
+  EXPECT_THROW(dev.write(0x123, 0), sc::MsrError);
+}
+
+TEST(MsrErrors, ReadOnlyRegistersRejectWrites) {
+  sc::Machine machine{sc::crill()};
+  sc::MsrDevice dev{machine};
+  EXPECT_THROW(dev.write(sc::kMsrPkgEnergyStatus, 0), sc::MsrError);
+  EXPECT_THROW(dev.write(sc::kMsrRaplPowerUnit, 0), sc::MsrError);
+  EXPECT_THROW(dev.write(sc::kMsrPkgPowerInfo, 0), sc::MsrError);
+}
+
+TEST(MsrErrors, MinotaurPrivilegesMatchThePaper) {
+  sc::Machine machine{sc::minotaur()};
+  sc::MsrDevice dev{machine};
+  // No energy counter access, no capping privilege (paper §IV.D).
+  EXPECT_THROW(dev.read(sc::kMsrPkgEnergyStatus), sc::CapabilityError);
+  EXPECT_THROW(dev.set_package_power_limit(100.0, 0.01),
+               sc::CapabilityError);
+  // Unit and info registers still read.
+  EXPECT_NO_THROW(dev.read(sc::kMsrRaplPowerUnit));
+  EXPECT_GT(dev.thermal_spec_power_watts(), 0.0);
+}
+
+TEST(MsrClient, WraparoundDifferencingWorkflow) {
+  // The canonical client loop: raw reads differenced modulo 2^32.
+  sc::Machine machine{sc::crill()};
+  sp::Runtime runtime{machine};
+  sc::MsrDevice dev{machine};
+  const auto raw_before =
+      static_cast<std::uint32_t>(dev.read(sc::kMsrPkgEnergyStatus));
+  double expected = 0.0;
+  for (int i = 0; i < 5; ++i)
+    expected += runtime.parallel_for(burn_region()).energy;
+  const auto raw_after =
+      static_cast<std::uint32_t>(dev.read(sc::kMsrPkgEnergyStatus));
+  const double measured =
+      machine.rapl_counter().joules_between(raw_before, raw_after);
+  EXPECT_NEAR(measured, expected, 0.5 + 0.05 * expected);
+}

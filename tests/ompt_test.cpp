@@ -1,0 +1,177 @@
+// Tests for the OMPT-style tool interface: registry fan-out, event
+// sequencing from the runtime, and timestamp sanity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "ompt/ompt.hpp"
+#include "sim/presets.hpp"
+#include "somp/runtime.hpp"
+
+namespace om = arcs::ompt;
+namespace sp = arcs::somp;
+namespace sc = arcs::sim;
+
+namespace {
+sp::RegionWork make_region(const std::string& name, std::int64_t n) {
+  sp::RegionWork w;
+  w.id.name = name;
+  w.id.codeptr = 7;
+  w.cost = std::make_shared<sp::CostProfile>(
+      std::vector<double>(static_cast<std::size_t>(n), 1e6));
+  w.memory.bytes_per_iter = 100;
+  return w;
+}
+}  // namespace
+
+TEST(ToolRegistry, StartsEmpty) {
+  om::ToolRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.tool_count(), 0u);
+}
+
+TEST(ToolRegistry, RegisterAndUnregister) {
+  om::ToolRegistry reg;
+  const auto h = reg.register_tool({});
+  EXPECT_EQ(reg.tool_count(), 1u);
+  reg.unregister_tool(h);
+  EXPECT_TRUE(reg.empty());
+}
+
+TEST(ToolRegistry, UnregisterUnknownThrows) {
+  om::ToolRegistry reg;
+  EXPECT_THROW(reg.unregister_tool(3), arcs::common::ContractError);
+}
+
+TEST(ToolRegistry, HandleReuseAfterUnregister) {
+  om::ToolRegistry reg;
+  const auto h1 = reg.register_tool({});
+  reg.unregister_tool(h1);
+  const auto h2 = reg.register_tool({});
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(ToolRegistry, FanOutToMultipleTools) {
+  om::ToolRegistry reg;
+  int calls_a = 0, calls_b = 0;
+  om::ToolCallbacks a, b;
+  a.parallel_begin = [&](const om::ParallelBeginRecord&) { ++calls_a; };
+  b.parallel_begin = [&](const om::ParallelBeginRecord&) { ++calls_b; };
+  reg.register_tool(std::move(a));
+  reg.register_tool(std::move(b));
+  reg.emit_parallel_begin({1, {"r", 0}, 4, 0.0});
+  EXPECT_EQ(calls_a, 1);
+  EXPECT_EQ(calls_b, 1);
+}
+
+TEST(ParallelIdAllocator, MonotoneFromOne) {
+  om::ParallelIdAllocator ids;
+  EXPECT_EQ(ids.next(), 1u);
+  EXPECT_EQ(ids.next(), 2u);
+  EXPECT_EQ(ids.last(), 2u);
+}
+
+// ---------- event stream from a real region execution ----------
+
+struct EventLog {
+  std::vector<om::ParallelBeginRecord> begins;
+  std::vector<om::ParallelEndRecord> ends;
+  std::vector<om::ImplicitTaskRecord> tasks;
+  std::vector<om::WorkLoopRecord> loops;
+  std::vector<om::SyncRegionRecord> syncs;
+
+  om::ToolCallbacks callbacks() {
+    om::ToolCallbacks cb;
+    cb.parallel_begin = [this](const auto& r) { begins.push_back(r); };
+    cb.parallel_end = [this](const auto& r) { ends.push_back(r); };
+    cb.implicit_task = [this](const auto& r) { tasks.push_back(r); };
+    cb.work_loop = [this](const auto& r) { loops.push_back(r); };
+    cb.sync_region = [this](const auto& r) { syncs.push_back(r); };
+    return cb;
+  }
+};
+
+class OmptEventStream : public ::testing::Test {
+ protected:
+  void run_region(int threads = 0) {
+    machine_ = std::make_unique<sc::Machine>(sc::testbox());
+    runtime_ = std::make_unique<sp::Runtime>(*machine_);
+    runtime_->tools().register_tool(log_.callbacks());
+    if (threads) runtime_->set_num_threads(threads);
+    record_ = runtime_->parallel_for(make_region("region", 64));
+  }
+
+  EventLog log_;
+  std::unique_ptr<sc::Machine> machine_;
+  std::unique_ptr<sp::Runtime> runtime_;
+  sp::ExecutionRecord record_;
+};
+
+TEST_F(OmptEventStream, OneBeginOneEndPerRegion) {
+  run_region();
+  ASSERT_EQ(log_.begins.size(), 1u);
+  ASSERT_EQ(log_.ends.size(), 1u);
+  EXPECT_EQ(log_.begins[0].parallel_id, log_.ends[0].parallel_id);
+  EXPECT_EQ(log_.begins[0].region.name, "region");
+  EXPECT_EQ(log_.begins[0].requested_team_size, 4);
+}
+
+TEST_F(OmptEventStream, PerThreadEventPairs) {
+  run_region(3);
+  // 3 threads x (implicit begin+end, loop begin+end, sync begin+end).
+  EXPECT_EQ(log_.tasks.size(), 6u);
+  EXPECT_EQ(log_.loops.size(), 6u);
+  EXPECT_EQ(log_.syncs.size(), 6u);
+}
+
+TEST_F(OmptEventStream, TimestampsAreOrderedPerThread) {
+  run_region(4);
+  for (int t = 0; t < 4; ++t) {
+    double task_begin = -1, loop_end = -1, sync_begin = -1, sync_end = -1;
+    for (const auto& r : log_.tasks)
+      if (r.thread_num == t && r.endpoint == om::Endpoint::Begin)
+        task_begin = r.time;
+    for (const auto& r : log_.loops)
+      if (r.thread_num == t && r.endpoint == om::Endpoint::End)
+        loop_end = r.time;
+    for (const auto& r : log_.syncs)
+      if (r.thread_num == t) {
+        if (r.endpoint == om::Endpoint::Begin) sync_begin = r.time;
+        if (r.endpoint == om::Endpoint::End) sync_end = r.time;
+      }
+    EXPECT_LE(task_begin, loop_end);
+    EXPECT_DOUBLE_EQ(loop_end, sync_begin);  // barrier starts when loop ends
+    EXPECT_LE(sync_begin, sync_end);
+  }
+}
+
+TEST_F(OmptEventStream, AllThreadsLeaveBarrierTogether) {
+  run_region(4);
+  double end_time = -1;
+  for (const auto& r : log_.syncs) {
+    if (r.endpoint != om::Endpoint::End) continue;
+    if (end_time < 0) end_time = r.time;
+    EXPECT_DOUBLE_EQ(r.time, end_time);
+  }
+}
+
+TEST_F(OmptEventStream, EndTimeMatchesMachineClock) {
+  run_region();
+  EXPECT_DOUBLE_EQ(log_.ends[0].time, machine_->now());
+  EXPECT_GE(log_.ends[0].time - log_.begins[0].time, record_.duration);
+}
+
+TEST_F(OmptEventStream, ParallelIdsIncreaseAcrossRegions) {
+  run_region();
+  const auto first = log_.begins[0].parallel_id;
+  runtime_->parallel_for(make_region("region", 64));
+  ASSERT_EQ(log_.begins.size(), 2u);
+  EXPECT_GT(log_.begins[1].parallel_id, first);
+}
+
+TEST(OmptNoTools, NoEventsNoCrash) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  EXPECT_NO_THROW(runtime.parallel_for(make_region("r", 16)));
+}

@@ -1,0 +1,130 @@
+// Tests for the measurement protocol: OS-jitter noise and the paper's
+// three-repetition mean/min aggregation (§IV.D).
+#include <gtest/gtest.h>
+
+#include "kernels/apps.hpp"
+#include "kernels/driver.hpp"
+#include "sim/presets.hpp"
+#include "somp/runtime.hpp"
+
+namespace kn = arcs::kernels;
+namespace sc = arcs::sim;
+namespace sp = arcs::somp;
+
+namespace {
+sc::MachineSpec noisy_testbox(double sigma) {
+  auto spec = sc::testbox();
+  spec.os_jitter_sigma = sigma;
+  return spec;
+}
+}  // namespace
+
+// ---------- jitter model ----------
+
+TEST(Jitter, ZeroSigmaIsExactlyDeterministic) {
+  sc::Machine machine{sc::testbox()};
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(machine.next_jitter(), 1.0);
+}
+
+TEST(Jitter, SlowdownsOnly) {
+  sc::Machine machine{noisy_testbox(0.05), 7};
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(machine.next_jitter(), 1.0);
+}
+
+TEST(Jitter, SeededStreamsReproduce) {
+  sc::Machine a{noisy_testbox(0.05), 42};
+  sc::Machine b{noisy_testbox(0.05), 42};
+  sc::Machine c{noisy_testbox(0.05), 43};
+  bool differs = false;
+  for (int i = 0; i < 20; ++i) {
+    const double ja = a.next_jitter();
+    EXPECT_DOUBLE_EQ(ja, b.next_jitter());
+    if (ja != c.next_jitter()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Jitter, SlowsRegionsDown) {
+  const auto region = kn::simple_region("r", 128, 1e6).build(1);
+  sc::Machine quiet{sc::testbox()};
+  sp::Runtime quiet_rt{quiet};
+  const double clean = quiet_rt.parallel_for(region).duration;
+
+  sc::Machine noisy{noisy_testbox(0.2), 5};
+  sp::Runtime noisy_rt{noisy};
+  double total = 0.0;
+  for (int i = 0; i < 20; ++i)
+    total += noisy_rt.parallel_for(region).duration;
+  EXPECT_GT(total / 20.0, clean);
+}
+
+TEST(Jitter, PresetsMatchThePaperProtocol) {
+  EXPECT_GT(sc::minotaur().os_jitter_sigma, sc::crill().os_jitter_sigma)
+      << "the shared machine must be noisier (why the paper takes min)";
+  EXPECT_DOUBLE_EQ(sc::testbox().os_jitter_sigma, 0.0);
+}
+
+// ---------- repetitions ----------
+
+TEST(Repetitions, MinNeverAboveMean) {
+  auto app = kn::synthetic_app(10);
+  kn::RunOptions mean_opts;
+  mean_opts.repetitions = 3;
+  mean_opts.repetition_stat = kn::RepetitionStat::Mean;
+  kn::RunOptions min_opts = mean_opts;
+  min_opts.repetition_stat = kn::RepetitionStat::Min;
+  const auto spec = noisy_testbox(0.1);
+  const auto mean = kn::run_app(app, spec, mean_opts);
+  const auto min = kn::run_app(app, spec, min_opts);
+  EXPECT_LE(min.elapsed, mean.elapsed + 1e-12);
+}
+
+TEST(Repetitions, AutoPicksMinForNoisyMachines) {
+  auto app = kn::synthetic_app(6);
+  kn::RunOptions opts;
+  opts.repetitions = 3;  // Auto stat
+  // High-jitter machine: result must equal the explicit-min result.
+  const auto spec = noisy_testbox(0.1);
+  const auto auto_run = kn::run_app(app, spec, opts);
+  opts.repetition_stat = kn::RepetitionStat::Min;
+  const auto min_run = kn::run_app(app, spec, opts);
+  EXPECT_DOUBLE_EQ(auto_run.elapsed, min_run.elapsed);
+}
+
+TEST(Repetitions, SingleRepetitionUnchanged) {
+  auto app = kn::synthetic_app(6);
+  kn::RunOptions one;
+  kn::RunOptions three = one;
+  three.repetitions = 3;
+  // Zero-jitter machine: repetitions are identical, aggregate == single.
+  const auto a = kn::run_app(app, sc::testbox(), one);
+  const auto b = kn::run_app(app, sc::testbox(), three);
+  EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+}
+
+TEST(Repetitions, RepeatedCallsAreReproducible) {
+  auto app = kn::synthetic_app(6);
+  kn::RunOptions opts;
+  opts.repetitions = 3;
+  const auto spec = noisy_testbox(0.08);
+  const auto a = kn::run_app(app, spec, opts);
+  const auto b = kn::run_app(app, spec, opts);
+  EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);  // same seed -> same streams
+  opts.seed = 99;
+  const auto c = kn::run_app(app, spec, opts);
+  EXPECT_NE(a.elapsed, c.elapsed);
+}
+
+TEST(Repetitions, SearchPhaseStaysNoiseFree) {
+  // The offline search measures each configuration once; it must see the
+  // noise-free landscape so its argmin is the true one.
+  auto app = kn::synthetic_app(40);
+  kn::RunOptions opts;
+  opts.strategy = arcs::TuningStrategy::OfflineReplay;
+  opts.max_search_passes = 10;
+  const auto quiet = kn::run_app(app, sc::testbox(), opts);
+  const auto noisy = kn::run_app(app, noisy_testbox(0.05), opts);
+  // Same history despite the measured run's noise.
+  EXPECT_EQ(quiet.history.serialize(), noisy.history.serialize());
+}

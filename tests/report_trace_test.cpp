@@ -1,0 +1,157 @@
+// Tests for the APEX profile report writer and the OMPT trace buffer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apex/apex.hpp"
+#include "apex/report.hpp"
+#include "apex/trace.hpp"
+#include "sim/presets.hpp"
+#include "somp/runtime.hpp"
+
+namespace sp = arcs::somp;
+namespace sc = arcs::sim;
+namespace ax = arcs::apex;
+
+namespace {
+sp::RegionWork make_region(const std::string& name, double cycles) {
+  sp::RegionWork w;
+  w.id.name = name;
+  w.id.codeptr = std::hash<std::string>{}(name);
+  w.cost = std::make_shared<sp::CostProfile>(std::vector<double>(64, cycles));
+  w.memory.bytes_per_iter = 300;
+  return w;
+}
+}  // namespace
+
+// ---------- profile report ----------
+
+TEST(ProfileReport, ListsRegionsByTotalTimeDescending) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::Apex apex{runtime};
+  runtime.parallel_for(make_region("small", 1e5));
+  runtime.parallel_for(make_region("big", 1e7));
+  runtime.parallel_for(make_region("big", 1e7));
+
+  std::ostringstream os;
+  ax::write_profile_report(apex, os);
+  const std::string out = os.str();
+  const auto big_pos = out.find("big");
+  const auto small_pos = out.find("small");
+  ASSERT_NE(big_pos, std::string::npos);
+  ASSERT_NE(small_pos, std::string::npos);
+  EXPECT_LT(big_pos, small_pos);
+  EXPECT_NE(out.find("2 regions"), std::string::npos);
+  EXPECT_NE(out.find("3 region instances"), std::string::npos);
+}
+
+TEST(ProfileReport, TopLimitsRows) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::Apex apex{runtime};
+  for (const char* name : {"a", "b", "c", "d"})
+    runtime.parallel_for(make_region(name, 1e5));
+
+  std::ostringstream os;
+  ax::ReportOptions opts;
+  opts.top = 2;
+  ax::write_profile_report(apex, os, opts);
+  EXPECT_NE(os.str().find("2 regions"), std::string::npos);
+}
+
+TEST(ProfileReport, CounterReportListsSamples) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::Apex apex{runtime};
+  apex.sample_counter("power", 40.0);
+  apex.sample_counter("power", 60.0);
+  std::ostringstream os;
+  ax::write_counter_report(apex, os);
+  EXPECT_NE(os.str().find("power"), std::string::npos);
+  EXPECT_NE(os.str().find("50.0000"), std::string::npos);
+}
+
+// ---------- trace buffer ----------
+
+TEST(TraceBuffer, CapturesFullEventSequence) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::TraceBuffer trace{runtime, 1024};
+  runtime.set_num_threads(2);
+  runtime.parallel_for(make_region("r", 1e5));
+
+  const auto events = trace.events();
+  // 1 parallel begin + 2 threads x 6 + 1 parallel end = 14.
+  ASSERT_EQ(events.size(), 14u);
+  EXPECT_EQ(events.front().kind, ax::TraceEvent::Kind::ParallelBegin);
+  EXPECT_EQ(events.front().region, "r");
+  EXPECT_EQ(events.back().kind, ax::TraceEvent::Kind::ParallelEnd);
+  EXPECT_EQ(trace.dropped_events(), 0u);
+}
+
+TEST(TraceBuffer, TimesAreMonotonePerThread) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::TraceBuffer trace{runtime, 4096};
+  runtime.parallel_for(make_region("r", 1e6));
+  double last_t0 = -1;
+  for (const auto& e : trace.events()) {
+    if (e.thread != 0) continue;
+    EXPECT_GE(e.time, last_t0);
+    last_t0 = e.time;
+  }
+}
+
+TEST(TraceBuffer, RingDropsOldestWhenFull) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::TraceBuffer trace{runtime, 8};
+  runtime.set_num_threads(4);
+  runtime.parallel_for(make_region("r", 1e5));  // 26 events > 8
+  EXPECT_EQ(trace.size(), 8u);
+  EXPECT_GT(trace.dropped_events(), 0u);
+  // The retained suffix ends with the parallel end.
+  EXPECT_EQ(trace.events().back().kind, ax::TraceEvent::Kind::ParallelEnd);
+}
+
+TEST(TraceBuffer, CoexistsWithApex) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::Apex apex{runtime};
+  ax::TraceBuffer trace{runtime, 256};
+  runtime.parallel_for(make_region("r", 1e5));
+  EXPECT_EQ(apex.regions_observed(), 1u);
+  EXPECT_GT(trace.size(), 0u);
+}
+
+TEST(TraceBuffer, CsvExport) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::TraceBuffer trace{runtime, 256};
+  runtime.set_num_threads(1);
+  runtime.parallel_for(make_region("r", 1e5));
+  std::ostringstream os;
+  trace.export_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("kind,parallel_id,region,thread,time"),
+            std::string::npos);
+  EXPECT_NE(out.find("parallel_begin,1,r,-1,"), std::string::npos);
+  EXPECT_NE(out.find("barrier_end"), std::string::npos);
+}
+
+TEST(TraceBuffer, ClearResets) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  ax::TraceBuffer trace{runtime, 256};
+  runtime.parallel_for(make_region("r", 1e5));
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceBuffer, TinyCapacityRejected) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  EXPECT_THROW(ax::TraceBuffer(runtime, 2), arcs::common::ContractError);
+}

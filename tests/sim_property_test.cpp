@@ -1,0 +1,200 @@
+// Property-based tests for the machine simulator: the power budget is a
+// *hard* guarantee (the paper's §VI criticizes schemes that violate their
+// budget "more than 10% of the time" as "not useful for a system working
+// under a strict power budget"), plus randomized invariants of the
+// governor, cache model, RAPL counter, and energy integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/cache.hpp"
+#include "sim/presets.hpp"
+#include "somp/runtime.hpp"
+
+namespace sc = arcs::sim;
+namespace sp = arcs::somp;
+namespace ac = arcs::common;
+
+// ---------- strict budget enforcement ----------
+
+// Average package power of any region execution never exceeds the
+// programmed cap — across random configurations, caps, and workloads.
+// (Inactive cores' sleep power is reserved out of the governor's budget.)
+TEST(SimProperty, RegionPowerNeverExceedsCap) {
+  ac::Rng rng(11);
+  for (int trial = 0; trial < 80; ++trial) {
+    const double cap = rng.uniform(48.0, 115.0);
+    sc::Machine machine{sc::crill()};
+    machine.set_power_cap(cap);
+    machine.advance_idle(0.05);
+    sp::Runtime runtime{machine};
+    runtime.set_num_threads(static_cast<int>(rng.uniform_int(1, 40)));
+    static constexpr sp::ScheduleKind kKinds[] = {
+        sp::ScheduleKind::Static, sp::ScheduleKind::Dynamic,
+        sp::ScheduleKind::Guided};
+    runtime.set_schedule(
+        {kKinds[rng.uniform_index(3)], rng.uniform_int(0, 64)});
+
+    sp::RegionWork w;
+    w.id.name = "budget";
+    const auto n = static_cast<std::size_t>(rng.uniform_int(32, 1500));
+    std::vector<double> costs(n);
+    for (auto& cost : costs) cost = rng.uniform(1e5, 2e6);
+    w.cost = std::make_shared<sp::CostProfile>(std::move(costs));
+    w.memory.bytes_per_iter = rng.uniform(100.0, 1e5);
+
+    const auto rec = runtime.parallel_for(w);
+    const double avg_power = rec.energy / rec.duration;
+    EXPECT_LE(avg_power, cap * 1.005)
+        << "trial " << trial << ": cap " << cap << " W, team "
+        << rec.team_size;
+  }
+}
+
+// The governor's chosen point itself never draws above the cap (random
+// sweep, modulo the duty floor at absurd caps).
+TEST(SimProperty, GovernorPointHonorsRandomCaps) {
+  ac::Rng rng(3);
+  const auto m = sc::crill();
+  sc::PowerGovernor gov(m.power, m.frequency);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double cap = rng.uniform(25.0, 130.0);
+    const int cores = static_cast<int>(rng.uniform_int(1, 16));
+    const auto op = gov.operating_point(cap, cores);
+    if (op.duty > 0.05 + 1e-12) {
+      EXPECT_LE(gov.power_at(op, cores), cap + 1e-9);
+    }
+  }
+}
+
+// Effective frequency is monotone in the cap for every core count.
+TEST(SimProperty, EffectiveFrequencyMonotoneInCap) {
+  const auto m = sc::crill();
+  sc::PowerGovernor gov(m.power, m.frequency);
+  for (int cores = 1; cores <= 16; ++cores) {
+    double prev = 0.0;
+    for (double cap = 30.0; cap <= 120.0; cap += 2.5) {
+      const double eff =
+          gov.operating_point(cap, cores).effective_frequency();
+      EXPECT_GE(eff, prev - 1e-9) << cores << " cores at " << cap << " W";
+      prev = eff;
+    }
+  }
+}
+
+// ---------- cache model ----------
+
+TEST(SimProperty, CacheChainMonotoneUnderFuzz) {
+  ac::Rng rng(17);
+  sc::CacheModel model(sc::crill().caches);
+  for (int trial = 0; trial < 400; ++trial) {
+    sc::MemoryBehavior mem;
+    mem.bytes_per_iter = rng.uniform(32.0, 1e7);
+    mem.access_bytes_per_iter = mem.bytes_per_iter * rng.uniform(1.0, 50.0);
+    mem.reuse_window = rng.uniform(1.0, 256.0);
+    mem.stride_factor = rng.uniform(1.0, 8.0);
+    mem.base_miss_l1 = rng.uniform(0.001, 0.3);
+    mem.base_miss_l2 = rng.uniform(0.001, 0.2);
+    mem.base_miss_l3 = rng.uniform(0.001, 0.1);
+    mem.mlp = rng.uniform(1.0, 16.0);
+
+    sc::CacheConfig cfg;
+    cfg.placement = sc::place_threads(sc::crill().topology,
+                                      static_cast<int>(rng.uniform_int(1, 64)));
+    cfg.chunk_iters = rng.uniform(1.0, 4096.0);
+    cfg.contiguous = rng.uniform() < 0.5;
+
+    const auto out = model.evaluate(mem, cfg);
+    EXPECT_GE(out.miss_l1, out.miss_l2);
+    EXPECT_GE(out.miss_l2, out.miss_l3);
+    EXPECT_GE(out.miss_l3, 0.0);
+    EXPECT_LE(out.miss_l1, 1.0);
+    EXPECT_GE(out.stall_ns_per_iter, 0.0);
+    EXPECT_GE(out.bw_floor_ns_per_iter, 0.0);
+    EXPECT_GE(out.lines_per_iter, out.dram_lines_per_iter);
+  }
+}
+
+TEST(SimProperty, SharedL3MissMonotoneInSocketLoad) {
+  sc::CacheModel model(sc::crill().caches);
+  sc::MemoryBehavior mem;
+  mem.bytes_per_iter = 2e6;
+  mem.reuse_window = 2;
+  double prev = 0.0;
+  for (int threads : {1, 2, 4, 8, 16, 24, 32}) {
+    sc::CacheConfig cfg;
+    cfg.placement = sc::place_threads(sc::crill().topology, threads);
+    cfg.chunk_iters = 4;
+    const auto out = model.evaluate(mem, cfg);
+    EXPECT_GE(out.miss_l3, prev - 1e-12) << threads;
+    prev = out.miss_l3;
+  }
+}
+
+// ---------- RAPL ----------
+
+TEST(SimProperty, RaplCounterTracksExactEnergyUnderFuzz) {
+  ac::Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    sc::RaplCounter counter;
+    double now = 0.0;
+    double exact = 0.0;
+    std::uint32_t last_raw = counter.read_raw(0.0);
+    double visible_at_last = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      const double dt = rng.uniform(1e-5, 5e-3);
+      const double joules = rng.uniform(0.0, 1.0);
+      now += dt;
+      counter.deposit(joules, now);
+      exact += joules;
+      const std::uint32_t raw = counter.read_raw(now);
+      // Raw counts never run ahead of the exact energy and never lag by
+      // more than one update period's worth plus one unit.
+      const double visible = counter.joules_between(0, raw);
+      EXPECT_LE(visible, exact + 1e-9);
+      // Raw counter is non-decreasing (no wrap in 300 small deposits).
+      EXPECT_GE(raw, last_raw);
+      if (raw > last_raw) visible_at_last = visible;
+      last_raw = raw;
+    }
+    EXPECT_NEAR(counter.exact_joules(), exact, 1e-9);
+    EXPECT_NEAR(visible_at_last, exact, 1.5);  // staleness bound
+  }
+}
+
+TEST(SimProperty, WraparoundDeltasAlwaysNonNegative) {
+  sc::RaplCounter counter;
+  ac::Rng rng(41);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const auto before = static_cast<std::uint32_t>(rng.next_u64());
+    const auto delta = static_cast<std::uint32_t>(rng.uniform_index(1 << 20));
+    const std::uint32_t after = before + delta;  // may wrap
+    const double joules = counter.joules_between(before, after);
+    EXPECT_GE(joules, 0.0);
+    EXPECT_NEAR(joules, delta * counter.energy_unit(), 1e-12);
+  }
+}
+
+// ---------- energy integration ----------
+
+// Machine energy equals the sum of every region's energy plus idle gaps.
+TEST(SimProperty, EnergyDecomposesAcrossRegions) {
+  ac::Rng rng(53);
+  sc::Machine machine{sc::crill()};
+  sp::Runtime runtime{machine};
+  double regions_energy = 0.0;
+  double idle_energy = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    sp::RegionWork w;
+    w.id.name = "e";
+    w.cost = std::make_shared<sp::CostProfile>(std::vector<double>(
+        static_cast<std::size_t>(rng.uniform_int(16, 256)), 1e6));
+    w.memory.bytes_per_iter = 500;
+    regions_energy += runtime.parallel_for(w).energy;
+    const double gap = rng.uniform(0.0, 1e-3);
+    machine.advance_idle(gap);
+    idle_energy += gap * machine.spec().power.uncore;
+  }
+  EXPECT_NEAR(machine.energy(), regions_energy + idle_energy, 1e-6);
+}

@@ -1,0 +1,457 @@
+// Unit + property tests for the machine simulator: topology placement,
+// P-states, power model & governor, cache model, RAPL emulation, presets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "sim/cache.hpp"
+#include "sim/frequency.hpp"
+#include "sim/machine.hpp"
+#include "sim/power.hpp"
+#include "sim/presets.hpp"
+#include "sim/rapl.hpp"
+#include "sim/topology.hpp"
+
+namespace sc = arcs::sim;
+namespace ac = arcs::common;
+
+namespace {
+const sc::CpuTopology kCrillTopo{2, 8, 2};
+}
+
+// ---------- topology ----------
+
+TEST(Topology, Counts) {
+  EXPECT_EQ(kCrillTopo.total_cores(), 16);
+  EXPECT_EQ(kCrillTopo.hw_threads(), 32);
+}
+
+TEST(Topology, SingleThreadPlacement) {
+  const auto p = sc::place_threads(kCrillTopo, 1);
+  EXPECT_EQ(p.active_cores, 1);
+  EXPECT_EQ(p.active_sockets, 1);
+  EXPECT_EQ(p.max_threads_per_core, 1);
+  EXPECT_DOUBLE_EQ(p.oversubscription, 1.0);
+}
+
+TEST(Topology, ScatterFillsCoresBeforeSmt) {
+  const auto p = sc::place_threads(kCrillTopo, 16);
+  EXPECT_EQ(p.active_cores, 16);
+  EXPECT_EQ(p.max_threads_per_core, 1);
+  EXPECT_DOUBLE_EQ(p.avg_threads_per_core, 1.0);
+}
+
+TEST(Topology, SmtDoublingAt32) {
+  const auto p = sc::place_threads(kCrillTopo, 32);
+  EXPECT_EQ(p.active_cores, 16);
+  EXPECT_EQ(p.max_threads_per_core, 2);
+  EXPECT_DOUBLE_EQ(p.avg_threads_per_core, 2.0);
+  EXPECT_DOUBLE_EQ(p.oversubscription, 1.0);
+}
+
+TEST(Topology, Oversubscription) {
+  const auto p = sc::place_threads(kCrillTopo, 64);
+  EXPECT_DOUBLE_EQ(p.oversubscription, 2.0);
+}
+
+TEST(Topology, BusiestSocketCeil) {
+  const auto p = sc::place_threads(kCrillTopo, 3);
+  EXPECT_EQ(p.threads_on_busiest_socket, 2);
+}
+
+TEST(Topology, RejectsZeroThreads) {
+  EXPECT_THROW(sc::place_threads(kCrillTopo, 0), ac::ContractError);
+}
+
+class PlacementSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlacementSweep, InvariantsHold) {
+  const int t = GetParam();
+  const auto p = sc::place_threads(kCrillTopo, t);
+  EXPECT_EQ(p.nthreads, t);
+  EXPECT_GE(p.active_cores, 1);
+  EXPECT_LE(p.active_cores, kCrillTopo.total_cores());
+  EXPECT_GE(p.avg_threads_per_core, 1.0);
+  EXPECT_GE(p.oversubscription, 1.0);
+  EXPECT_LE(p.active_sockets, kCrillTopo.sockets);
+  // Total thread capacity covers the team.
+  EXPECT_GE(p.max_threads_per_core * p.active_cores, t);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTeamSizes, PlacementSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 15, 16, 17, 24,
+                                           31, 32, 33, 48, 64, 128));
+
+// ---------- frequency ----------
+
+TEST(Frequency, PstatesAscendAndCoverRange) {
+  sc::FrequencyModel f{1.2e9, 2.4e9, 100e6};
+  const auto states = f.pstates();
+  ASSERT_FALSE(states.empty());
+  EXPECT_DOUBLE_EQ(states.front(), 1.2e9);
+  EXPECT_DOUBLE_EQ(states.back(), 2.4e9);
+  for (std::size_t i = 1; i < states.size(); ++i)
+    EXPECT_GT(states[i], states[i - 1]);
+  EXPECT_EQ(f.num_pstates(), 13);
+}
+
+TEST(Frequency, QuantizeClampsAndFloors) {
+  sc::FrequencyModel f{1.2e9, 2.4e9, 100e6};
+  EXPECT_DOUBLE_EQ(f.quantize(0.5e9), 1.2e9);
+  EXPECT_DOUBLE_EQ(f.quantize(9e9), 2.4e9);
+  EXPECT_DOUBLE_EQ(f.quantize(1.27e9), 1.2e9);
+  EXPECT_DOUBLE_EQ(f.quantize(1.31e9), 1.3e9);
+}
+
+TEST(Frequency, EffectiveFrequencyFoldsDuty) {
+  sc::OperatingPoint op{2.0e9, 0.5};
+  EXPECT_DOUBLE_EQ(op.effective_frequency(), 1.0e9);
+}
+
+// ---------- power model ----------
+
+TEST(Power, MonotoneInFrequency) {
+  sc::PowerModel pm;
+  double prev = 0.0;
+  for (double f = 1.2e9; f <= 2.4e9; f += 100e6) {
+    const double p = pm.package_power(f, 16);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Power, MonotoneInActiveCores) {
+  sc::PowerModel pm;
+  for (int a = 1; a < 16; ++a)
+    EXPECT_LT(pm.package_power(2.0e9, a), pm.package_power(2.0e9, a + 1));
+}
+
+TEST(Power, SpinPowerBelowBusy) {
+  sc::PowerModel pm;
+  EXPECT_LT(pm.core_spin(2.4e9), pm.core_busy(2.4e9));
+  EXPECT_GT(pm.core_spin(2.4e9), pm.core_static);
+}
+
+TEST(Power, CrillFullLoadUnderTdp) {
+  const auto m = sc::crill();
+  EXPECT_LE(m.power.package_power(m.frequency.f_max, 16), m.tdp);
+}
+
+// ---------- governor ----------
+
+TEST(Governor, UncappedGivesMaxFrequency) {
+  const auto m = sc::crill();
+  sc::PowerGovernor gov(m.power, m.frequency);
+  const auto op = gov.operating_point(m.tdp, 16);
+  EXPECT_DOUBLE_EQ(op.frequency, m.frequency.f_max);
+  EXPECT_DOUBLE_EQ(op.duty, 1.0);
+}
+
+TEST(Governor, CapReducesFrequency) {
+  const auto m = sc::crill();
+  sc::PowerGovernor gov(m.power, m.frequency);
+  const auto op = gov.operating_point(55.0, 16);
+  EXPECT_LT(op.frequency, m.frequency.f_max);
+  EXPECT_GE(op.frequency, m.frequency.f_min);
+  // Chosen point must honor the cap.
+  EXPECT_LE(gov.power_at(op, 16), 55.0 + 1e-9);
+}
+
+TEST(Governor, FewerCoresGetHigherFrequencyUnderCap) {
+  // The core ARCS mechanism: capping trades threads for frequency.
+  const auto m = sc::crill();
+  sc::PowerGovernor gov(m.power, m.frequency);
+  const auto op16 = gov.operating_point(55.0, 16);
+  const auto op8 = gov.operating_point(55.0, 8);
+  const auto op4 = gov.operating_point(55.0, 4);
+  EXPECT_GT(op8.frequency, op16.frequency);
+  EXPECT_GE(op4.frequency, op8.frequency);
+}
+
+TEST(Governor, MonotoneInCap) {
+  const auto m = sc::crill();
+  sc::PowerGovernor gov(m.power, m.frequency);
+  double prev = 0.0;
+  for (double cap : {40.0, 55.0, 70.0, 85.0, 100.0, 115.0}) {
+    const auto op = gov.operating_point(cap, 16);
+    const double eff = op.effective_frequency();
+    EXPECT_GE(eff, prev);
+    prev = eff;
+  }
+}
+
+TEST(Governor, DutyCyclesBelowFloor) {
+  const auto m = sc::crill();
+  sc::PowerGovernor gov(m.power, m.frequency);
+  // A cap below the f_min package power (but above the static floor)
+  // forces duty cycling.
+  const double floor_power =
+      m.power.package_power(m.frequency.f_min, 16);
+  const double cap = 0.95 * floor_power;
+  const auto op = gov.operating_point(cap, 16);
+  EXPECT_DOUBLE_EQ(op.frequency, m.frequency.f_min);
+  EXPECT_LT(op.duty, 1.0);
+  EXPECT_LE(gov.power_at(op, 16), cap + 1e-9);
+}
+
+class GovernorCapSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(GovernorCapSweep, NeverExceedsCap) {
+  const auto [cap, cores] = GetParam();
+  const auto m = sc::crill();
+  sc::PowerGovernor gov(m.power, m.frequency);
+  const auto op = gov.operating_point(cap, cores);
+  // Tolerate the duty-cycle floor clamp at absurdly low caps.
+  if (op.duty > 0.05 + 1e-12) {
+    EXPECT_LE(gov.power_at(op, cores), cap + 1e-9);
+  }
+  EXPECT_GE(op.frequency, m.frequency.f_min);
+  EXPECT_LE(op.frequency, m.frequency.f_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapsAndCores, GovernorCapSweep,
+    ::testing::Combine(::testing::Values(30.0, 55.0, 70.0, 85.0, 100.0,
+                                         115.0),
+                       ::testing::Values(1, 2, 4, 8, 12, 16)));
+
+// ---------- cache model ----------
+
+namespace {
+sc::MemoryBehavior test_mem() {
+  sc::MemoryBehavior m;
+  // Small enough that private-cache capacity never saturates — these
+  // tests isolate the reuse/prefetch terms.
+  m.bytes_per_iter = 2e3;
+  m.access_bytes_per_iter = 1e6;
+  m.reuse_window = 8;
+  m.base_miss_l1 = 0.05;
+  m.base_miss_l2 = 0.02;
+  m.base_miss_l3 = 0.008;
+  return m;
+}
+
+sc::CacheConfig cache_cfg(int threads, double chunk, bool contiguous) {
+  sc::CacheConfig c;
+  c.placement = sc::place_threads(kCrillTopo, threads);
+  c.chunk_iters = chunk;
+  c.contiguous = contiguous;
+  return c;
+}
+}  // namespace
+
+TEST(Cache, MissRatiosAreProbabilities) {
+  sc::CacheModel model(sc::crill().caches);
+  const auto out = model.evaluate(test_mem(), cache_cfg(16, 8, true));
+  EXPECT_GE(out.miss_l1, 0.0);
+  EXPECT_LE(out.miss_l1, 1.0);
+  EXPECT_GT(out.stall_ns_per_iter, 0.0);
+  // Absolute fractions are monotone down the hierarchy.
+  EXPECT_LE(out.miss_l2, out.miss_l1);
+  EXPECT_LE(out.miss_l3, out.miss_l2);
+}
+
+TEST(Cache, SmallerChunksLoseReuse) {
+  sc::CacheModel model(sc::crill().caches);
+  const auto small = model.evaluate(test_mem(), cache_cfg(16, 1, true));
+  const auto large = model.evaluate(test_mem(), cache_cfg(16, 64, true));
+  EXPECT_GT(small.miss_l1, large.miss_l1);
+}
+
+TEST(Cache, NonContiguousPickupCostsMisses) {
+  sc::CacheModel model(sc::crill().caches);
+  const auto contig = model.evaluate(test_mem(), cache_cfg(16, 4, true));
+  const auto scattered = model.evaluate(test_mem(), cache_cfg(16, 4, false));
+  EXPECT_GT(scattered.miss_l1, contig.miss_l1);
+}
+
+TEST(Cache, MoreThreadsPressureSharedL3) {
+  sc::CacheModel model(sc::crill().caches);
+  auto mem = test_mem();
+  mem.bytes_per_iter = 3e6;  // large per-thread resident set
+  mem.reuse_window = 2;
+  const auto few = model.evaluate(mem, cache_cfg(4, 8, true));
+  const auto many = model.evaluate(mem, cache_cfg(32, 8, true));
+  EXPECT_GT(many.miss_l3, few.miss_l3);
+}
+
+TEST(Cache, StrideInflatesTraffic) {
+  sc::CacheModel model(sc::crill().caches);
+  auto strided = test_mem();
+  strided.stride_factor = 4.0;
+  const auto unit = model.evaluate(test_mem(), cache_cfg(16, 8, true));
+  const auto wide = model.evaluate(strided, cache_cfg(16, 8, true));
+  EXPECT_GT(wide.lines_per_iter, unit.lines_per_iter);
+  EXPECT_GT(wide.stall_ns_per_iter, unit.stall_ns_per_iter);
+}
+
+TEST(Cache, BandwidthFloorScalesWithThreadsPerSocket) {
+  // The roofline floor is each thread's fair share of the socket pins:
+  // doubling the threads on a socket doubles the per-thread floor.
+  sc::CacheModel model(sc::crill().caches);
+  const auto t32 = model.evaluate(test_mem(), cache_cfg(32, 8, true));
+  const auto t16 = model.evaluate(test_mem(), cache_cfg(16, 8, true));
+  EXPECT_GT(t32.bw_floor_ns_per_iter, 0.0);
+  EXPECT_NEAR(t32.bw_floor_ns_per_iter / t16.bw_floor_ns_per_iter, 2.0,
+              1e-9);
+}
+
+TEST(Cache, BandwidthFloorProportionalToDramTraffic) {
+  sc::CacheModel model(sc::crill().caches);
+  auto heavy = test_mem();
+  heavy.access_bytes_per_iter *= 4.0;
+  const auto base = model.evaluate(test_mem(), cache_cfg(16, 8, true));
+  const auto more = model.evaluate(heavy, cache_cfg(16, 8, true));
+  EXPECT_NEAR(more.bw_floor_ns_per_iter / base.bw_floor_ns_per_iter, 4.0,
+              1e-6);
+}
+
+TEST(Cache, RejectsInvalidInputs) {
+  sc::CacheModel model(sc::crill().caches);
+  auto cfg = cache_cfg(16, 0.5, true);
+  EXPECT_THROW(model.evaluate(test_mem(), cfg), ac::ContractError);
+}
+
+// ---------- RAPL ----------
+
+TEST(Rapl, EnergyAccumulates) {
+  sc::RaplCounter c;
+  c.deposit(1.0, 0.0005);
+  c.deposit(1.0, 0.0015);
+  EXPECT_DOUBLE_EQ(c.exact_joules(), 2.0);
+}
+
+TEST(Rapl, RawCounterQuantizedByUnit) {
+  sc::RaplCounter c(15.3e-6, 1e-3);
+  c.deposit(1.0, 0.002);  // crosses an update boundary
+  const auto raw = c.read_raw(0.002);
+  EXPECT_NEAR(static_cast<double>(raw) * 15.3e-6, 1.0, 20e-6);
+}
+
+TEST(Rapl, StaleWithinUpdatePeriod) {
+  sc::RaplCounter c(15.3e-6, 1e-3);
+  c.deposit(1.0, 0.0015);   // published at boundary 0.001
+  const auto before = c.read_raw(0.0015);
+  c.deposit(1.0, 0.00185);  // same period: stays pending
+  EXPECT_EQ(c.read_raw(0.00185), before);
+  c.deposit(0.0, 0.0031);   // later boundary: published
+  EXPECT_GT(c.read_raw(0.0031), before);
+}
+
+TEST(Rapl, JoulesBetweenHandlesWraparound) {
+  sc::RaplCounter c(15.3e-6, 1e-3);
+  const std::uint32_t before = 0xfffffff0u;
+  const std::uint32_t after = 0x00000010u;
+  EXPECT_NEAR(c.joules_between(before, after), 32 * 15.3e-6, 1e-12);
+}
+
+TEST(Rapl, NonMonotoneDepositThrows) {
+  sc::RaplCounter c;
+  c.deposit(1.0, 0.5);
+  EXPECT_THROW(c.deposit(1.0, 0.0), ac::ContractError);
+}
+
+TEST(RaplLimit, SettlesToProgrammedValue) {
+  sc::RaplPowerLimit limit(115.0, 2e-3);
+  limit.program(55.0, 1.0);
+  EXPECT_DOUBLE_EQ(limit.effective(1.0), 115.0);
+  EXPECT_GT(limit.effective(1.001), 55.0);
+  EXPECT_LT(limit.effective(1.001), 115.0);
+  EXPECT_DOUBLE_EQ(limit.effective(1.01), 55.0);
+  EXPECT_DOUBLE_EQ(limit.programmed(), 55.0);
+}
+
+TEST(RaplLimit, ZeroSettleIsImmediate) {
+  sc::RaplPowerLimit limit(115.0, 0.0);
+  limit.program(55.0, 1.0);
+  EXPECT_DOUBLE_EQ(limit.effective(1.0), 55.0);
+}
+
+// ---------- machine ----------
+
+TEST(Machine, AdvanceAccumulatesTimeAndEnergy) {
+  sc::Machine m(sc::testbox());
+  m.advance(2.0, 10.0);
+  EXPECT_DOUBLE_EQ(m.now(), 2.0);
+  EXPECT_DOUBLE_EQ(m.energy(), 20.0);
+}
+
+TEST(Machine, PowerCapChangesOperatingPoint) {
+  sc::Machine m(sc::crill());
+  const auto before = m.operating_point(16);
+  m.set_power_cap(55.0);
+  m.advance_idle(0.1);  // let the limit settle
+  const auto after = m.operating_point(16);
+  EXPECT_LT(after.effective_frequency(), before.effective_frequency());
+}
+
+TEST(Machine, MinotaurRefusesCapping) {
+  sc::Machine m(sc::minotaur());
+  EXPECT_THROW(m.set_power_cap(100.0), sc::CapabilityError);
+}
+
+TEST(Machine, MinotaurRefusesEnergyReads) {
+  sc::Machine m(sc::minotaur());
+  EXPECT_THROW(m.read_energy_raw(), sc::CapabilityError);
+  EXPECT_THROW(m.rapl_counter(), sc::CapabilityError);
+}
+
+TEST(Machine, CapAboveTdpClampsToTdp) {
+  sc::Machine m(sc::crill());
+  m.set_power_cap(500.0);
+  m.advance_idle(0.1);
+  EXPECT_DOUBLE_EQ(m.power_cap(), m.spec().tdp);
+}
+
+TEST(Machine, ResetClearsClockAndEnergy) {
+  sc::Machine m(sc::crill());
+  m.set_power_cap(85.0);
+  m.advance(1.0, 50.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.now(), 0.0);
+  EXPECT_DOUBLE_EQ(m.energy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.programmed_power_cap(), 85.0);  // cap survives reset
+}
+
+TEST(Machine, SmtThroughputInterpolation) {
+  const auto m = sc::crill();
+  EXPECT_DOUBLE_EQ(m.smt_per_thread_throughput(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.smt_per_thread_throughput(2.0), 1.25 / 2.0);
+  // Halfway: combined interpolates between 1.0 and 1.25.
+  EXPECT_NEAR(m.smt_per_thread_throughput(1.5), 1.125 / 1.5, 1e-12);
+  // Beyond the table, the last entry is used.
+  EXPECT_DOUBLE_EQ(m.smt_per_thread_throughput(4.0), 1.25 / 4.0);
+}
+
+// ---------- presets ----------
+
+TEST(Presets, CrillMatchesPaper) {
+  const auto m = sc::crill();
+  EXPECT_EQ(m.topology.total_cores(), 16);
+  EXPECT_EQ(m.topology.hw_threads(), 32);
+  EXPECT_DOUBLE_EQ(m.frequency.f_max, 2.4e9);
+  EXPECT_DOUBLE_EQ(m.tdp, 115.0);
+  EXPECT_TRUE(m.power_cappable);
+  EXPECT_TRUE(m.energy_counters);
+  EXPECT_DOUBLE_EQ(m.config_change_cost, 8e-3);
+}
+
+TEST(Presets, MinotaurMatchesPaper) {
+  const auto m = sc::minotaur();
+  EXPECT_EQ(m.topology.total_cores(), 20);
+  EXPECT_EQ(m.topology.hw_threads(), 160);
+  EXPECT_NEAR(m.frequency.f_max, 2.92e9, 1e6);
+  EXPECT_FALSE(m.power_cappable);
+  EXPECT_FALSE(m.energy_counters);
+  EXPECT_EQ(m.smt_throughput.size(), 8u);
+}
+
+TEST(Presets, SmtTablesAreMonotoneNonDecreasing) {
+  for (const auto& m : {sc::crill(), sc::minotaur(), sc::testbox()}) {
+    for (std::size_t i = 1; i < m.smt_throughput.size(); ++i)
+      EXPECT_GE(m.smt_throughput[i], m.smt_throughput[i - 1])
+          << m.name << " entry " << i;
+  }
+}

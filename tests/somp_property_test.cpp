@@ -1,0 +1,293 @@
+// Property-based tests for the loop runtime: randomized configuration
+// fuzzing against invariants the discrete-event engine must uphold for
+// every (iterations, threads, schedule, chunk) combination.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/presets.hpp"
+#include "somp/chunker.hpp"
+#include "somp/runtime.hpp"
+
+namespace sp = arcs::somp;
+namespace sc = arcs::sim;
+namespace ac = arcs::common;
+
+namespace {
+
+struct FuzzCase {
+  std::int64_t iterations;
+  int threads;
+  sp::ScheduleKind kind;
+  std::int64_t chunk;
+  long frequency_mhz;
+  sc::PlacementPolicy placement;
+  std::uint64_t cost_seed;
+};
+
+FuzzCase make_case(ac::Rng& rng) {
+  static constexpr sp::ScheduleKind kKinds[] = {
+      sp::ScheduleKind::Default, sp::ScheduleKind::Static,
+      sp::ScheduleKind::Dynamic, sp::ScheduleKind::Guided,
+      sp::ScheduleKind::Auto};
+  FuzzCase c;
+  c.iterations = rng.uniform_int(0, 3000);
+  c.threads = static_cast<int>(rng.uniform_int(1, 48));
+  c.kind = kKinds[rng.uniform_index(5)];
+  static constexpr std::int64_t kChunks[] = {0, 1, 3, 8, 17, 64, 500, 5000};
+  c.chunk = kChunks[rng.uniform_index(8)];
+  // The extension dimensions: DVFS request (0 = none) and placement.
+  c.frequency_mhz = rng.uniform() < 0.3 ? rng.uniform_int(1200, 2400) : 0;
+  c.placement = rng.uniform() < 0.3 ? sc::PlacementPolicy::Close
+                                    : sc::PlacementPolicy::Spread;
+  c.cost_seed = rng.next_u64();
+  return c;
+}
+
+sp::RegionWork random_region(const FuzzCase& c) {
+  ac::Rng rng(c.cost_seed);
+  std::vector<double> costs(static_cast<std::size_t>(c.iterations));
+  for (auto& cost : costs) cost = rng.uniform(1e4, 5e5);
+  sp::RegionWork w;
+  w.id.name = "fuzz";
+  w.id.codeptr = c.cost_seed;
+  w.cost = std::make_shared<sp::CostProfile>(std::move(costs));
+  w.memory.bytes_per_iter = rng.uniform(100.0, 5e4);
+  w.memory.access_bytes_per_iter = w.memory.bytes_per_iter * 4.0;
+  return w;
+}
+
+}  // namespace
+
+// Randomized sweep: every engine invariant, 150 random configurations.
+TEST(SompProperty, EngineInvariantsUnderFuzz) {
+  ac::Rng rng(2024);
+  sc::Machine machine{sc::crill()};
+  sp::Runtime runtime{machine};
+
+  for (int trial = 0; trial < 150; ++trial) {
+    const FuzzCase c = make_case(rng);
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << ": n=" << c.iterations << " t="
+                 << c.threads << " kind=" << static_cast<int>(c.kind)
+                 << " chunk=" << c.chunk);
+    runtime.set_num_threads(c.threads);
+    runtime.set_schedule({c.kind, c.chunk});
+    runtime.set_frequency_mhz(c.frequency_mhz);
+    runtime.set_placement(c.placement);
+    const auto region = random_region(c);
+    const auto rec = runtime.parallel_for(region);
+
+    // Team/config resolution (Auto resolves per region: either kind).
+    EXPECT_EQ(rec.team_size, c.threads);
+    if (c.kind != sp::ScheduleKind::Auto) {
+      EXPECT_EQ(rec.kind, sp::resolve_kind(c.kind));
+    } else {
+      EXPECT_TRUE(rec.kind == sp::ScheduleKind::Static ||
+                  rec.kind == sp::ScheduleKind::Dynamic);
+    }
+    // A DVFS request is an upper bound on the granted frequency.
+    if (c.frequency_mhz > 0) {
+      EXPECT_LE(rec.op.frequency, static_cast<double>(c.frequency_mhz) * 1e6 + 1e-6);
+    }
+
+    // Time structure.
+    EXPECT_GE(rec.duration, rec.loop_time_max);
+    EXPECT_GE(rec.loop_time_max, rec.loop_time_min);
+    EXPECT_GE(rec.loop_time_min, 0.0);
+    EXPECT_GE(rec.barrier_time_total, rec.barrier_time_max - 1e-15);
+    EXPECT_LE(rec.barrier_time_max, rec.loop_time_max + 1e-12);
+
+    // Work conservation: the busiest thread carries at least a 1/T share
+    // of the pure-compute time at the granted speed.
+    const double speed = rec.op.effective_frequency() *
+                         machine.spec().smt_per_thread_throughput(
+                             sc::place_threads(machine.spec().topology,
+                                               rec.team_size, c.placement)
+                                 .avg_threads_per_core);
+    const double total_compute = region.cost->total_cycles() / speed;
+    EXPECT_GE(rec.loop_time_max * rec.team_size + 1e-9,
+              total_compute * 0.999);
+
+    // Energy sanity: at least the uncore integral, at most TDP-ish.
+    EXPECT_GE(rec.energy,
+              rec.duration * machine.spec().power.uncore - 1e-12);
+    EXPECT_LE(rec.energy, rec.duration * 1.2 * machine.spec().tdp);
+
+    // Chunk accounting matches the schedule algebra.
+    if (c.iterations > 0) {
+      const auto resolved =
+          sp::resolve_chunk({c.kind, c.chunk}, c.iterations, c.threads);
+      if (rec.kind == sp::ScheduleKind::Dynamic) {
+        EXPECT_EQ(rec.chunks_dispatched,
+                  static_cast<std::size_t>(
+                      (c.iterations + resolved - 1) / resolved));
+      }
+      EXPECT_GE(rec.avg_chunk_iters, 1.0 - 1e-9);
+    } else {
+      EXPECT_EQ(rec.chunks_dispatched, 0u);
+    }
+  }
+}
+
+// Graham's list-scheduling bound: for dynamic self-scheduling, the loop
+// phase is at most (total work)/T + (heaviest chunk) + dispatch fees.
+TEST(SompProperty, DynamicSchedulingHonorsGrahamBound) {
+  ac::Rng rng(7);
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::int64_t n = rng.uniform_int(1, 2000);
+    const int threads = static_cast<int>(rng.uniform_int(1, 4));
+    const std::int64_t chunk = rng.uniform_int(1, 64);
+    runtime.set_num_threads(threads);
+    runtime.set_schedule({sp::ScheduleKind::Dynamic, chunk});
+
+    std::vector<double> costs(static_cast<std::size_t>(n));
+    for (auto& cost : costs) cost = rng.uniform(1e4, 1e6);
+    sp::RegionWork w;
+    w.id.name = "graham";
+    w.cost = std::make_shared<sp::CostProfile>(costs);
+    w.memory.bytes_per_iter = 100;
+
+    const auto rec = runtime.parallel_for(w);
+    const double speed = rec.op.effective_frequency();
+    const double total = w.cost->total_cycles() / speed;
+    // Heaviest single chunk cost.
+    double heaviest = 0.0;
+    for (std::int64_t b = 0; b < n; b += chunk) {
+      const auto e = std::min(n, b + chunk);
+      heaviest = std::max(heaviest, w.cost->range_cycles(b, e) / speed);
+    }
+    const double stall =
+        rec.cache.stall_ns_per_iter * 1e-9 * static_cast<double>(n);
+    const double fees = rec.dispatch_time_total;
+    EXPECT_LE(rec.loop_time_max,
+              total / threads + heaviest + stall + fees + 1e-6)
+        << "n=" << n << " t=" << threads << " chunk=" << chunk;
+  }
+}
+
+// More threads never hurt a uniform compute-bound loop (uncapped, no SMT,
+// iterations divisible by every team size).
+TEST(SompProperty, UniformWorkMonotoneInThreads) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  const auto region = [] {
+    sp::RegionWork w;
+    w.id.name = "uniform";
+    w.cost = std::make_shared<sp::CostProfile>(
+        std::vector<double>(240, 1e6));  // 240 = lcm(1..4) * 10
+    w.memory.bytes_per_iter = 100;
+    return w;
+  }();
+  double prev = 1e300;
+  for (int t = 1; t <= 4; ++t) {
+    runtime.set_num_threads(t);
+    const auto rec = runtime.parallel_for(region);
+    EXPECT_LT(rec.duration, prev) << t << " threads";
+    prev = rec.duration;
+  }
+}
+
+// Tightening the cap never speeds a region up.
+TEST(SompProperty, DurationMonotoneInPowerCap) {
+  sc::Machine machine{sc::crill()};
+  sp::Runtime runtime{machine};
+  sp::RegionWork w;
+  w.id.name = "capped";
+  w.cost = std::make_shared<sp::CostProfile>(std::vector<double>(320, 5e6));
+  w.memory.bytes_per_iter = 200;
+  double prev = 1e300;
+  for (const double cap : {45.0, 55.0, 70.0, 85.0, 100.0, 115.0}) {
+    machine.set_power_cap(cap);
+    machine.advance_idle(0.05);
+    const auto rec = runtime.parallel_for(w);
+    EXPECT_LE(rec.duration, prev + 1e-12) << cap << " W";
+    prev = rec.duration;
+  }
+}
+
+// Determinism: identical inputs give bit-identical records, across fresh
+// machines and after interleaving other work.
+TEST(SompProperty, FullDeterminismUnderFuzz) {
+  ac::Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    const FuzzCase c = make_case(rng);
+    const auto region = random_region(c);
+    auto run = [&] {
+      sc::Machine machine{sc::crill()};
+      machine.set_power_cap(70.0);
+      machine.advance_idle(0.05);
+      sp::Runtime runtime{machine};
+      runtime.set_num_threads(c.threads);
+      runtime.set_schedule({c.kind, c.chunk});
+      return runtime.parallel_for(region);
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_DOUBLE_EQ(a.duration, b.duration);
+    EXPECT_DOUBLE_EQ(a.energy, b.energy);
+    EXPECT_DOUBLE_EQ(a.barrier_time_total, b.barrier_time_total);
+    EXPECT_DOUBLE_EQ(a.dispatch_time_total, b.dispatch_time_total);
+    EXPECT_EQ(a.chunks_dispatched, b.chunks_dispatched);
+  }
+}
+
+// Guided chunk sequences: sizes non-increasing, each >= the chunk
+// parameter except the last, first <= ceil(n/T) — for random inputs.
+TEST(SompProperty, GuidedSequenceShapeUnderFuzz) {
+  ac::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t n = rng.uniform_int(0, 5000);
+    const int threads = static_cast<int>(rng.uniform_int(1, 64));
+    const std::int64_t cmin = rng.uniform_int(1, 100);
+    const auto chunks = sp::guided_chunks(n, threads, cmin);
+    std::int64_t covered = 0;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      covered += chunks[i].size();
+      if (i > 0) {
+        EXPECT_LE(chunks[i].size(), chunks[i - 1].size());
+      }
+      if (i + 1 < chunks.size()) {
+        EXPECT_GE(chunks[i].size(), cmin);
+      }
+    }
+    EXPECT_EQ(covered, n);
+    if (!chunks.empty()) {
+      EXPECT_LE(chunks.front().size(),
+                std::max<std::int64_t>((n + threads - 1) / threads, cmin));
+    }
+  }
+}
+
+// The OMPT event stream always balances: per (region, thread), begins ==
+// ends for every event class, for random configurations.
+TEST(SompProperty, OmptEventStreamBalancedUnderFuzz) {
+  ac::Rng rng(31);
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  int begins = 0, ends = 0, task_begin = 0, task_end = 0;
+  arcs::ompt::ToolCallbacks cb;
+  cb.parallel_begin = [&](const auto&) { ++begins; };
+  cb.parallel_end = [&](const auto&) { ++ends; };
+  cb.implicit_task = [&](const arcs::ompt::ImplicitTaskRecord& r) {
+    (r.endpoint == arcs::ompt::Endpoint::Begin ? task_begin : task_end)++;
+  };
+  runtime.tools().register_tool(std::move(cb));
+
+  int expected_tasks = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const FuzzCase c = make_case(rng);
+    runtime.set_num_threads(c.threads);
+    runtime.set_schedule({c.kind, c.chunk});
+    const auto rec = runtime.parallel_for(random_region(c));
+    expected_tasks += rec.team_size;
+  }
+  EXPECT_EQ(begins, 40);
+  EXPECT_EQ(ends, 40);
+  EXPECT_EQ(task_begin, expected_tasks);
+  EXPECT_EQ(task_end, expected_tasks);
+}

@@ -1,0 +1,445 @@
+// Tests for the simulated OpenMP runtime: schedule parsing, chunker
+// algorithms (with exhaustive coverage properties), cost profiles, and the
+// discrete-event execution engine.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/check.hpp"
+#include "sim/presets.hpp"
+#include "somp/chunker.hpp"
+#include "somp/cost_profile.hpp"
+#include "somp/runtime.hpp"
+#include "somp/schedule.hpp"
+
+namespace sp = arcs::somp;
+namespace sc = arcs::sim;
+namespace ac = arcs::common;
+
+// ---------- schedule / config ----------
+
+TEST(Schedule, KindStringsRoundTrip) {
+  for (auto kind :
+       {sp::ScheduleKind::Default, sp::ScheduleKind::Static,
+        sp::ScheduleKind::Dynamic, sp::ScheduleKind::Guided}) {
+    EXPECT_EQ(sp::schedule_kind_from_string(sp::to_string(kind)), kind);
+  }
+}
+
+TEST(Schedule, ParseIsCaseInsensitive) {
+  EXPECT_EQ(sp::schedule_kind_from_string("  GUIDED "),
+            sp::ScheduleKind::Guided);
+}
+
+TEST(Schedule, UnknownKindThrows) {
+  EXPECT_THROW(sp::schedule_kind_from_string("fancy"), ac::ContractError);
+}
+
+TEST(LoopConfig, ToStringFormats) {
+  sp::LoopConfig c{16, {sp::ScheduleKind::Guided, 8}};
+  EXPECT_EQ(c.to_string(), "(16, guided, 8)");
+  sp::LoopConfig d{};
+  EXPECT_EQ(d.to_string(), "(default, default, default)");
+}
+
+TEST(LoopConfig, FromStringRoundTrip) {
+  for (const auto& s :
+       {"(16, guided, 8)", "(default, static, default)", "(4, dynamic, 1)",
+        "(32, default, 512)"}) {
+    const auto c = sp::LoopConfig::from_string(s);
+    EXPECT_EQ(c.to_string(), s);
+  }
+}
+
+TEST(LoopConfig, FromStringRejectsMalformed) {
+  EXPECT_THROW(sp::LoopConfig::from_string("16, guided, 8"),
+               ac::ContractError);
+  EXPECT_THROW(sp::LoopConfig::from_string("(16, guided)"),
+               ac::ContractError);
+  EXPECT_THROW(sp::LoopConfig::from_string("(x, guided, 8)"),
+               ac::ContractError);
+}
+
+// ---------- chunkers ----------
+
+namespace {
+/// Flattens chunks and verifies they tile [0, n) exactly once.
+void expect_exact_cover(const std::vector<sp::Chunk>& chunks,
+                        std::int64_t n) {
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (const auto& c : chunks) {
+    ASSERT_LE(0, c.begin);
+    ASSERT_LT(c.begin, c.end);
+    ASSERT_LE(c.end, n);
+    for (std::int64_t i = c.begin; i < c.end; ++i) {
+      ASSERT_FALSE(seen[static_cast<std::size_t>(i)])
+          << "iteration " << i << " scheduled twice";
+      seen[static_cast<std::size_t>(i)] = true;
+    }
+  }
+  for (std::int64_t i = 0; i < n; ++i)
+    ASSERT_TRUE(seen[static_cast<std::size_t>(i)])
+        << "iteration " << i << " never scheduled";
+}
+}  // namespace
+
+TEST(Chunker, StaticDefaultNearEqualBlocks) {
+  const auto per_thread = sp::static_partition(102, 32, 0);
+  ASSERT_EQ(per_thread.size(), 32u);
+  std::int64_t max_iters = 0, min_iters = 1 << 30;
+  std::vector<sp::Chunk> all;
+  for (const auto& list : per_thread) {
+    std::int64_t mine = 0;
+    for (const auto& c : list) {
+      mine += c.size();
+      all.push_back(c);
+    }
+    max_iters = std::max(max_iters, mine);
+    min_iters = std::min(min_iters, mine);
+  }
+  expect_exact_cover(all, 102);
+  EXPECT_EQ(max_iters, 4);  // 102 = 3*32 + 6 -> six threads get 4
+  EXPECT_EQ(min_iters, 3);
+}
+
+TEST(Chunker, StaticDefaultContiguousPerThread) {
+  const auto per_thread = sp::static_partition(100, 4, 0);
+  for (const auto& list : per_thread) ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(per_thread[0][0].begin, 0);
+  EXPECT_EQ(per_thread[3][0].end, 100);
+}
+
+TEST(Chunker, StaticBlockCyclicAssignment) {
+  const auto per_thread = sp::static_partition(10, 2, 3);
+  // chunks: [0,3) t0, [3,6) t1, [6,9) t0, [9,10) t1
+  ASSERT_EQ(per_thread[0].size(), 2u);
+  ASSERT_EQ(per_thread[1].size(), 2u);
+  EXPECT_EQ(per_thread[0][1].begin, 6);
+  EXPECT_EQ(per_thread[1][1].size(), 1);
+}
+
+TEST(Chunker, DynamicChunkSizes) {
+  const auto chunks = sp::dynamic_chunks(10, 4);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].size(), 4);
+  EXPECT_EQ(chunks[2].size(), 2);
+  expect_exact_cover(chunks, 10);
+}
+
+TEST(Chunker, GuidedSizesNonIncreasingAndBounded) {
+  const auto chunks = sp::guided_chunks(1000, 4, 8);
+  for (std::size_t i = 1; i < chunks.size(); ++i)
+    EXPECT_LE(chunks[i].size(), chunks[i - 1].size());
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i)
+    EXPECT_GE(chunks[i].size(), 8);
+  expect_exact_cover(chunks, 1000);
+  EXPECT_EQ(chunks.front().size(), 250);  // ceil(1000/4)
+}
+
+TEST(Chunker, GuidedDegeneratesToOneChunkForOneThread) {
+  const auto chunks = sp::guided_chunks(100, 1, 1);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].size(), 100);
+}
+
+TEST(Chunker, ResolveChunkDefaults) {
+  EXPECT_EQ(sp::resolve_chunk({sp::ScheduleKind::Static, 0}, 100, 8), 13);
+  EXPECT_EQ(sp::resolve_chunk({sp::ScheduleKind::Default, 0}, 100, 8), 13);
+  EXPECT_EQ(sp::resolve_chunk({sp::ScheduleKind::Dynamic, 0}, 100, 8), 1);
+  EXPECT_EQ(sp::resolve_chunk({sp::ScheduleKind::Guided, 0}, 100, 8), 1);
+  EXPECT_EQ(sp::resolve_chunk({sp::ScheduleKind::Static, 7}, 100, 8), 7);
+}
+
+TEST(Chunker, ZeroIterations) {
+  EXPECT_TRUE(sp::dynamic_chunks(0, 4).empty());
+  EXPECT_TRUE(sp::guided_chunks(0, 4, 1).empty());
+  const auto per_thread = sp::static_partition(0, 4, 0);
+  for (const auto& list : per_thread) EXPECT_TRUE(list.empty());
+}
+
+// Property sweep: every schedule x chunk x thread combination covers the
+// iteration space exactly once.
+class ChunkerCoverage
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, int, std::int64_t>> {};
+
+TEST_P(ChunkerCoverage, ExactCoverAllSchedules) {
+  const auto [n, threads, chunk] = GetParam();
+  {
+    std::vector<sp::Chunk> all;
+    for (const auto& list : sp::static_partition(n, threads, chunk))
+      all.insert(all.end(), list.begin(), list.end());
+    expect_exact_cover(all, n);
+  }
+  expect_exact_cover(sp::dynamic_chunks(n, std::max<std::int64_t>(1, chunk)),
+                     n);
+  expect_exact_cover(sp::guided_chunks(n, threads, chunk), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChunkerCoverage,
+    ::testing::Combine(::testing::Values<std::int64_t>(1, 7, 102, 1000),
+                       ::testing::Values(1, 3, 8, 32),
+                       ::testing::Values<std::int64_t>(0, 1, 8, 64, 512)));
+
+// ---------- cost profile ----------
+
+TEST(CostProfile, UniformTotals) {
+  const auto p = sp::CostProfile::uniform(10, 5.0);
+  EXPECT_EQ(p.iterations(), 10);
+  EXPECT_DOUBLE_EQ(p.total_cycles(), 50.0);
+  EXPECT_DOUBLE_EQ(p.range_cycles(2, 5), 15.0);
+  EXPECT_DOUBLE_EQ(p.at(3), 5.0);
+}
+
+TEST(CostProfile, RangeValidation) {
+  const auto p = sp::CostProfile::uniform(10, 1.0);
+  EXPECT_THROW(p.range_cycles(-1, 5), ac::ContractError);
+  EXPECT_THROW(p.range_cycles(5, 11), ac::ContractError);
+  EXPECT_THROW(p.range_cycles(6, 5), ac::ContractError);
+}
+
+TEST(CostProfile, RejectsNegativeCosts) {
+  EXPECT_THROW(sp::CostProfile({1.0, -0.5}), ac::ContractError);
+}
+
+TEST(CostProfile, ImbalanceRatioDetectsRamp) {
+  std::vector<double> costs(100);
+  std::iota(costs.begin(), costs.end(), 1.0);
+  sp::CostProfile p(std::move(costs));
+  EXPECT_GT(p.imbalance_ratio(4), 2.0);
+  EXPECT_DOUBLE_EQ(sp::CostProfile::uniform(100, 1.0).imbalance_ratio(4),
+                   1.0);
+}
+
+// ---------- runtime execution ----------
+
+namespace {
+sp::RegionWork uniform_region(const std::string& name, std::int64_t n,
+                              double cycles) {
+  sp::RegionWork w;
+  w.id.name = name;
+  w.id.codeptr = 99;
+  w.cost = std::make_shared<sp::CostProfile>(
+      std::vector<double>(static_cast<std::size_t>(n), cycles));
+  w.memory.bytes_per_iter = 1000;
+  w.memory.access_bytes_per_iter = 4000;
+  return w;
+}
+
+struct TestRig {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+};
+}  // namespace
+
+TEST(Runtime, DefaultTeamUsesAllHwThreads) {
+  TestRig rig;
+  const auto rec = rig.runtime.parallel_for(uniform_region("r", 64, 1e6));
+  EXPECT_EQ(rec.team_size, 4);
+  EXPECT_EQ(rec.kind, sp::ScheduleKind::Static);
+}
+
+TEST(Runtime, SetNumThreadsHonored) {
+  TestRig rig;
+  rig.runtime.set_num_threads(2);
+  const auto rec = rig.runtime.parallel_for(uniform_region("r", 64, 1e6));
+  EXPECT_EQ(rec.team_size, 2);
+}
+
+TEST(Runtime, ParallelismSpeedsUpUniformWork) {
+  TestRig rig;
+  rig.runtime.set_num_threads(1);
+  const auto rec1 = rig.runtime.parallel_for(uniform_region("r", 64, 1e7));
+  rig.runtime.set_num_threads(4);
+  const auto rec4 = rig.runtime.parallel_for(uniform_region("r", 64, 1e7));
+  EXPECT_LT(rec4.duration, rec1.duration);
+  EXPECT_GT(rec1.duration / rec4.duration, 3.0);  // near-linear
+}
+
+TEST(Runtime, ImbalancedStaticHasBarrierTime) {
+  TestRig rig;
+  // Ramp: last iterations cost 9x the first.
+  std::vector<double> costs;
+  for (int i = 0; i < 64; ++i) costs.push_back(1e6 * (1.0 + i / 8.0));
+  sp::RegionWork w = uniform_region("imb", 64, 0);
+  w.cost = std::make_shared<sp::CostProfile>(costs);
+
+  const auto rec_static = rig.runtime.parallel_for(w);
+  rig.runtime.set_schedule({sp::ScheduleKind::Dynamic, 1});
+  const auto rec_dynamic = rig.runtime.parallel_for(w);
+  EXPECT_GT(rec_static.barrier_time_total,
+            3.0 * rec_dynamic.barrier_time_total);
+  EXPECT_LT(rec_dynamic.duration, rec_static.duration);
+}
+
+TEST(Runtime, DynamicPaysDispatchOverhead) {
+  TestRig rig;
+  rig.runtime.set_schedule({sp::ScheduleKind::Dynamic, 1});
+  const auto fine = rig.runtime.parallel_for(uniform_region("r", 4096, 1e4));
+  rig.runtime.set_schedule({sp::ScheduleKind::Dynamic, 256});
+  const auto coarse =
+      rig.runtime.parallel_for(uniform_region("r", 4096, 1e4));
+  EXPECT_GT(fine.dispatch_time_total, coarse.dispatch_time_total);
+  EXPECT_EQ(fine.chunks_dispatched, 4096u);
+  EXPECT_EQ(coarse.chunks_dispatched, 16u);
+}
+
+TEST(Runtime, PowerCapSlowsCompute) {
+  TestRig rig;
+  const auto rec_full = rig.runtime.parallel_for(uniform_region("r", 64, 1e7));
+  rig.machine.set_power_cap(10.0);
+  rig.machine.advance_idle(0.1);
+  const auto rec_capped =
+      rig.runtime.parallel_for(uniform_region("r", 64, 1e7));
+  EXPECT_GT(rec_capped.duration, rec_full.duration);
+  EXPECT_LT(rec_capped.op.effective_frequency(),
+            rec_full.op.effective_frequency());
+}
+
+TEST(Runtime, ConfigChangeChargesTime) {
+  TestRig rig;
+  const double t0 = rig.machine.now();
+  rig.runtime.set_num_threads(2);  // differs from default 4
+  const double changed = rig.machine.now() - t0;
+  EXPECT_NEAR(changed, 0.6 * rig.machine.spec().config_change_cost, 1e-9);
+  const double t1 = rig.machine.now();
+  rig.runtime.set_num_threads(2);  // unchanged: only the cheap ICV write
+  EXPECT_LT(rig.machine.now() - t1, 1e-4);
+}
+
+TEST(Runtime, ScheduleChangeChargesTime) {
+  TestRig rig;
+  const double t0 = rig.machine.now();
+  rig.runtime.set_schedule({sp::ScheduleKind::Guided, 8});
+  EXPECT_NEAR(rig.machine.now() - t0,
+              0.4 * rig.machine.spec().config_change_cost, 1e-9);
+}
+
+TEST(Runtime, ProviderSteersConfiguration) {
+  TestRig rig;
+  rig.runtime.set_config_provider(
+      [](const arcs::ompt::RegionIdentifier&)
+          -> std::optional<sp::LoopConfig> {
+        return sp::LoopConfig{2, {sp::ScheduleKind::Guided, 4}};
+      });
+  const auto rec = rig.runtime.parallel_for(uniform_region("r", 64, 1e6));
+  EXPECT_EQ(rec.team_size, 2);
+  EXPECT_EQ(rec.kind, sp::ScheduleKind::Guided);
+  EXPECT_GT(rec.config_change_time, 0.0);
+}
+
+TEST(Runtime, InstrumentationChargedOnlyWithTools) {
+  TestRig rig;
+  const auto rec_bare = rig.runtime.parallel_for(uniform_region("r", 8, 1e6));
+  EXPECT_DOUBLE_EQ(rec_bare.instrumentation_time, 0.0);
+
+  arcs::ompt::ToolCallbacks cb;  // empty callbacks still count as a tool
+  rig.runtime.tools().register_tool(std::move(cb));
+  const auto rec_tool = rig.runtime.parallel_for(uniform_region("r", 8, 1e6));
+  EXPECT_GT(rec_tool.instrumentation_time, 0.0);
+}
+
+TEST(Runtime, EnergyConsistentWithMachine) {
+  TestRig rig;
+  const double e0 = rig.machine.energy();
+  const auto rec = rig.runtime.parallel_for(uniform_region("r", 64, 1e6));
+  EXPECT_NEAR(rig.machine.energy() - e0, rec.energy, 1e-9);
+  EXPECT_GT(rec.energy, 0.0);
+}
+
+TEST(Runtime, EnergyAtLeastUncoreIntegral) {
+  TestRig rig;
+  const auto rec = rig.runtime.parallel_for(uniform_region("r", 64, 1e6));
+  EXPECT_GE(rec.energy,
+            rec.duration * rig.machine.spec().power.uncore - 1e-12);
+}
+
+TEST(Runtime, MoreThreadsThanIterations) {
+  TestRig rig;
+  rig.runtime.set_num_threads(4);
+  const auto rec = rig.runtime.parallel_for(uniform_region("r", 2, 1e6));
+  EXPECT_EQ(rec.team_size, 4);
+  EXPECT_GT(rec.barrier_time_total, 0.0);  // idle threads wait
+}
+
+TEST(Runtime, ZeroIterationRegion) {
+  TestRig rig;
+  const auto rec = rig.runtime.parallel_for(uniform_region("r", 0, 1e6));
+  EXPECT_EQ(rec.chunks_dispatched, 0u);
+  EXPECT_GT(rec.duration, 0.0);  // fork/join still happen
+}
+
+TEST(Runtime, OversubscriptionIsClamped) {
+  TestRig rig;
+  rig.runtime.set_num_threads(1000);
+  const auto rec = rig.runtime.parallel_for(uniform_region("r", 64, 1e6));
+  EXPECT_LE(rec.team_size, 4 * rig.machine.spec().topology.hw_threads());
+}
+
+TEST(Runtime, SerialComputeAdvancesClock) {
+  TestRig rig;
+  const double t0 = rig.machine.now();
+  rig.runtime.serial_compute(2e9);  // 1 second at 2 GHz
+  EXPECT_NEAR(rig.machine.now() - t0, 1.0, 1e-6);
+}
+
+TEST(Runtime, DeterministicAcrossRuns) {
+  auto run = [] {
+    TestRig rig;
+    rig.runtime.set_schedule({sp::ScheduleKind::Dynamic, 2});
+    std::vector<double> costs;
+    for (int i = 0; i < 200; ++i)
+      costs.push_back(1e5 * (1.0 + (i % 7)));
+    sp::RegionWork w;
+    w.id.name = "det";
+    w.cost = std::make_shared<sp::CostProfile>(costs);
+    w.memory.bytes_per_iter = 500;
+    return rig.runtime.parallel_for(w);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.duration, b.duration);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_DOUBLE_EQ(a.barrier_time_total, b.barrier_time_total);
+}
+
+TEST(Runtime, AutoPicksStaticForBalancedLoops) {
+  TestRig rig;
+  rig.runtime.set_schedule({sp::ScheduleKind::Auto, 0});
+  const auto rec = rig.runtime.parallel_for(uniform_region("r", 64, 1e6));
+  EXPECT_EQ(rec.kind, sp::ScheduleKind::Static);
+}
+
+TEST(Runtime, AutoPicksDynamicForImbalancedLoops) {
+  TestRig rig;
+  rig.runtime.set_schedule({sp::ScheduleKind::Auto, 0});
+  std::vector<double> costs;
+  for (int i = 0; i < 256; ++i) costs.push_back(1e5 * (1.0 + i / 16.0));
+  sp::RegionWork w = uniform_region("imb", 256, 0);
+  w.cost = std::make_shared<sp::CostProfile>(costs);
+  const auto rec = rig.runtime.parallel_for(w);
+  EXPECT_EQ(rec.kind, sp::ScheduleKind::Dynamic);
+  // Derived chunk bounds the tail at ~n/(8T): 256/(8*4) = 8.
+  EXPECT_EQ(rec.chunk, 8);
+  // And it beats the default static split on this ramp.
+  sp::Runtime plain{rig.machine};
+  const auto base = plain.parallel_for(w);
+  EXPECT_LT(rec.duration, base.duration);
+}
+
+TEST(Schedule, AutoStringRoundTrip) {
+  EXPECT_EQ(sp::schedule_kind_from_string("auto"), sp::ScheduleKind::Auto);
+  EXPECT_EQ(sp::to_string(sp::ScheduleKind::Auto), "auto");
+}
+
+TEST(Runtime, GuidedBeatsDynamicOnDispatchForSameBalance) {
+  TestRig rig;
+  rig.runtime.set_schedule({sp::ScheduleKind::Guided, 1});
+  const auto guided = rig.runtime.parallel_for(uniform_region("r", 4096, 1e4));
+  rig.runtime.set_schedule({sp::ScheduleKind::Dynamic, 1});
+  const auto dynamic =
+      rig.runtime.parallel_for(uniform_region("r", 4096, 1e4));
+  EXPECT_LT(guided.chunks_dispatched, dynamic.chunks_dispatched);
+}

@@ -1,0 +1,143 @@
+// Model-exploration utility: prints the configuration landscape of one
+// region (or every region of an app) at the requested power caps — the
+// tool used to calibrate kernels/apps.cpp against the paper's reported
+// optima, and handy for anyone extending the workload models.
+//
+//   $ arcs_landscape <app> <workload> <machine> [region] [cap...]
+//   $ arcs_landscape SP B crill x_solve 55 115
+//   $ arcs_landscape LULESH 45 crill            # summary of all regions
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "kernels/apps.hpp"
+#include "kernels/driver.hpp"
+#include "sim/presets.hpp"
+
+namespace kn = arcs::kernels;
+namespace sc = arcs::sim;
+namespace sp = arcs::somp;
+
+namespace {
+
+kn::AppSpec make_app(const std::string& name, const std::string& workload) {
+  if (name == "SP") return kn::sp_app(workload);
+  if (name == "BT") return kn::bt_app(workload);
+  if (name == "LULESH") return kn::lulesh_app(workload);
+  if (name == "CG") return kn::cg_app(workload);
+  if (name == "synthetic") return kn::synthetic_app();
+  std::fprintf(stderr, "unknown app %s\n", name.c_str());
+  std::exit(1);
+}
+
+sc::MachineSpec make_machine(const std::string& name) {
+  if (name == "crill") return sc::crill();
+  if (name == "minotaur") return sc::minotaur();
+  if (name == "testbox") return sc::testbox();
+  std::fprintf(stderr, "unknown machine %s\n", name.c_str());
+  std::exit(1);
+}
+
+void print_region_landscape(const kn::AppSpec& app,
+                            const std::string& region,
+                            const sc::MachineSpec& machine, double cap) {
+  const auto sweep = kn::sweep_region(app, region, machine, cap);
+  const auto& best = kn::best_outcome(sweep);
+  const auto default_out = kn::run_region_once(app, region, machine, cap,
+                                               sp::LoopConfig{});
+
+  std::printf("\n== %s / %s on %s at %s ==\n", app.name.c_str(),
+              region.c_str(), machine.name.c_str(),
+              cap > 0 ? (std::to_string(static_cast<int>(cap)) + "W").c_str()
+                      : "TDP");
+  std::printf("default %-24s: %9.4f s  barrier %8.4f  L1 %.3f L2 %.3f L3 "
+              "%.3f  E %7.2f J  f %.2f GHz\n",
+              default_out.config.to_string().c_str(),
+              default_out.record.duration,
+              default_out.record.barrier_time_total,
+              default_out.record.cache.miss_l1,
+              default_out.record.cache.miss_l2,
+              default_out.record.cache.miss_l3, default_out.record.energy,
+              default_out.record.op.effective_frequency() / 1e9);
+  std::printf("best    %-24s: %9.4f s  barrier %8.4f  L1 %.3f L2 %.3f L3 "
+              "%.3f  E %7.2f J  f %.2f GHz  (%.1f%% faster)\n",
+              best.config.to_string().c_str(), best.record.duration,
+              best.record.barrier_time_total, best.record.cache.miss_l1,
+              best.record.cache.miss_l2, best.record.cache.miss_l3,
+              best.record.energy,
+              best.record.op.effective_frequency() / 1e9,
+              100.0 * (1.0 - best.record.duration /
+                                 default_out.record.duration));
+
+  // Top-8 configurations.
+  auto sorted = sweep;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const kn::ConfigOutcome& a, const kn::ConfigOutcome& b) {
+              return a.record.duration < b.record.duration;
+            });
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, sorted.size()); ++i) {
+    const auto& o = sorted[i];
+    std::printf("  #%zu %-24s %9.4f s  barrier %8.4f  E %7.2f J\n", i + 1,
+                o.config.to_string().c_str(), o.record.duration,
+                o.record.barrier_time_total, o.record.energy);
+  }
+}
+
+void print_app_summary(const kn::AppSpec& app,
+                       const sc::MachineSpec& machine, double cap) {
+  std::printf("\n== %s (%s) on %s at %s — per-region default vs best ==\n",
+              app.name.c_str(), app.workload.c_str(), machine.name.c_str(),
+              cap > 0 ? (std::to_string(static_cast<int>(cap)) + "W").c_str()
+                      : "TDP");
+  arcs::common::Table t({"region", "default(s)", "best(s)", "gain%",
+                         "best config", "barrier share", "calls/step"});
+  for (const auto& spec : app.regions) {
+    const auto sweep = kn::sweep_region(app, spec.name, machine, cap);
+    const auto& best = kn::best_outcome(sweep);
+    const auto d = kn::run_region_once(app, spec.name, machine, cap,
+                                       sp::LoopConfig{});
+    std::size_t calls = 0;
+    for (auto idx : app.step_sequence)
+      if (app.regions[idx].name == spec.name) ++calls;
+    const double barrier_share =
+        d.record.barrier_time_total /
+        (d.record.duration * d.record.team_size);
+    t.row()
+        .cell(spec.name)
+        .cell(d.record.duration, 5)
+        .cell(best.record.duration, 5)
+        .cell(100.0 * (1.0 - best.record.duration / d.record.duration), 1)
+        .cell(best.config.to_string())
+        .cell(barrier_share, 3)
+        .cell(static_cast<long long>(calls));
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <app> <workload> <machine> [region|-] [cap...]\n",
+                 argv[0]);
+    return 1;
+  }
+  const auto app = make_app(argv[1], argv[2]);
+  const auto machine = make_machine(argv[3]);
+  const std::string region = argc > 4 ? argv[4] : "-";
+  std::vector<double> caps;
+  for (int i = 5; i < argc; ++i) caps.push_back(std::atof(argv[i]));
+  if (caps.empty()) caps.push_back(0.0);
+
+  for (const double cap : caps) {
+    if (region == "-")
+      print_app_summary(app, machine, cap);
+    else
+      print_region_landscape(app, region, machine, cap);
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// arcs_report — run an application under a chosen strategy and print the
+// APEX profile report (and optionally dump the OMPT trace as CSV): the
+// analysis workflow the paper performs with TAU (§V.C, Fig. 9).
+//
+//   $ arcs_report <app> <workload> <machine> <strategy> [cap_w] [steps]
+//                 [--trace out.csv]
+//   $ arcs_report LULESH 45 crill default 0 20
+//   $ arcs_report SP B crill online 85
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "apex/report.hpp"
+#include "apex/trace.hpp"
+#include "core/arcs.hpp"
+#include "kernels/apps.hpp"
+#include "sim/presets.hpp"
+
+namespace kn = arcs::kernels;
+namespace sc = arcs::sim;
+
+namespace {
+
+kn::AppSpec make_app(const std::string& name, const std::string& workload) {
+  if (name == "SP") return kn::sp_app(workload);
+  if (name == "BT") return kn::bt_app(workload);
+  if (name == "LULESH") return kn::lulesh_app(workload);
+  if (name == "CG") return kn::cg_app(workload);
+  if (name == "synthetic") return kn::synthetic_app();
+  std::fprintf(stderr, "unknown app %s\n", name.c_str());
+  std::exit(1);
+}
+
+sc::MachineSpec make_machine(const std::string& name) {
+  if (name == "crill") return sc::crill();
+  if (name == "minotaur") return sc::minotaur();
+  if (name == "testbox") return sc::testbox();
+  std::fprintf(stderr, "unknown machine %s\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace arcs;
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: %s <app> <workload> <machine> "
+                 "<default|online> [cap_w] [steps] [--trace out.csv]\n",
+                 argv[0]);
+    return 1;
+  }
+  auto app = make_app(argv[1], argv[2]);
+  const auto machine_spec = make_machine(argv[3]);
+  const std::string strategy = argv[4];
+  const double cap = argc > 5 ? std::atof(argv[5]) : 0.0;
+  if (argc > 6) app.timesteps = std::atoi(argv[6]);
+  std::string trace_path;
+  for (int i = 5; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--trace") trace_path = argv[i + 1];
+
+  sim::Machine machine{machine_spec};
+  if (cap > 0) {
+    machine.set_power_cap(cap);
+    machine.advance_idle(0.05);
+  }
+  somp::Runtime runtime{machine};
+  apex::Apex apex{runtime};
+  std::unique_ptr<apex::TraceBuffer> trace;
+  if (!trace_path.empty())
+    trace = std::make_unique<apex::TraceBuffer>(runtime, 1 << 22);
+
+  std::unique_ptr<ArcsPolicy> policy;
+  if (strategy == "online") {
+    ArcsOptions options;
+    options.strategy = TuningStrategy::Online;
+    options.app_name = app.name;
+    options.workload = app.workload;
+    policy = std::make_unique<ArcsPolicy>(apex, runtime, options);
+  } else if (strategy != "default") {
+    std::fprintf(stderr, "strategy must be 'default' or 'online'\n");
+    return 1;
+  }
+
+  // Drive the app through the runtime (setup once, then the step loop).
+  std::vector<somp::RegionWork> setup, loop;
+  std::uint64_t codeptr = 1;
+  for (const auto& spec : app.setup_regions)
+    setup.push_back(spec.build(codeptr++));
+  codeptr = 1000;
+  for (const auto& spec : app.regions) loop.push_back(spec.build(codeptr++));
+  for (const auto& work : setup) runtime.parallel_for(work);
+  for (int step = 0; step < app.timesteps; ++step) {
+    for (const auto idx : app.step_sequence)
+      runtime.parallel_for(loop[idx]);
+    runtime.serial_compute(app.serial_cycles_per_step);
+  }
+
+  std::printf("%s (%s) on %s, strategy %s, %s, %d steps — %.2f s, %.0f J\n\n",
+              app.name.c_str(), app.workload.c_str(),
+              machine_spec.name.c_str(), strategy.c_str(),
+              cap > 0 ? (std::to_string(static_cast<int>(cap)) + " W").c_str()
+                      : "TDP",
+              app.timesteps, machine.now(), machine.energy());
+  apex::ReportOptions report_opts;
+  report_opts.energy = machine_spec.energy_counters;
+  apex::write_profile_report(apex, std::cout, report_opts);
+
+  if (trace) {
+    std::ofstream out(trace_path);
+    trace->export_csv(out);
+    std::printf("\ntrace: %zu events written to %s (%zu dropped)\n",
+                trace->size(), trace_path.c_str(), trace->dropped_events());
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// arcs_tune — the end-user workflow as one command:
+//
+//   search:  run ARCS-Offline's exhaustive search for an app at a cap and
+//            write the history file;
+//   replay:  run the app applying a history file (no searching);
+//   online:  run ARCS-Online (search + deploy in one execution);
+//   default: untuned baseline.
+//
+//   $ arcs_tune search SP B crill 85 sp85.hist
+//   $ arcs_tune replay SP B crill 85 sp85.hist
+//   $ arcs_tune online LULESH 45 crill 55
+//   $ arcs_tune default BT B minotaur
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "kernels/apps.hpp"
+#include "kernels/driver.hpp"
+#include "sim/presets.hpp"
+
+namespace kn = arcs::kernels;
+namespace sc = arcs::sim;
+
+namespace {
+
+kn::AppSpec make_app(const std::string& name, const std::string& workload) {
+  if (name == "SP") return kn::sp_app(workload);
+  if (name == "BT") return kn::bt_app(workload);
+  if (name == "LULESH") return kn::lulesh_app(workload);
+  if (name == "CG") return kn::cg_app(workload);
+  std::fprintf(stderr, "unknown app %s (SP|BT|LULESH|CG)\n", name.c_str());
+  std::exit(1);
+}
+
+sc::MachineSpec make_machine(const std::string& name) {
+  if (name == "crill") return sc::crill();
+  if (name == "minotaur") return sc::minotaur();
+  if (name == "testbox") return sc::testbox();
+  std::fprintf(stderr, "unknown machine %s\n", name.c_str());
+  std::exit(1);
+}
+
+void print_result(const char* label, const kn::RunResult& result,
+                  bool energy_readable) {
+  std::printf("%-8s: %10.2f s", label, result.elapsed);
+  if (energy_readable) std::printf("   %10.0f J", result.energy);
+  if (result.search_evaluations > 0)
+    std::printf("   (%zu evaluations", result.search_evaluations);
+  if (result.search_passes > 0)
+    std::printf(", %zu search executions", result.search_passes);
+  if (result.search_evaluations > 0 || result.search_passes > 0)
+    std::printf(")");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace arcs;
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <search|replay|online|default> <app> "
+                 "<workload> [machine] [cap_w] [history_file]\n",
+                 argv[0]);
+    return 1;
+  }
+  const std::string mode = argv[1];
+  auto app = make_app(argv[2], argv[3]);
+  const auto machine = make_machine(argc > 4 ? argv[4] : "crill");
+  const double cap = argc > 5 ? std::atof(argv[5]) : 0.0;
+  const std::string history_path = argc > 6 ? argv[6] : "";
+
+  kn::RunOptions opts;
+  opts.power_cap = cap;
+  opts.repetitions = 3;  // the paper's protocol
+
+  std::printf("%s %s (%s) on %s at %s\n\n", mode.c_str(), app.name.c_str(),
+              app.workload.c_str(), machine.name.c_str(),
+              cap > 0 ? (std::to_string(static_cast<int>(cap)) + " W").c_str()
+                      : "TDP");
+
+  const auto baseline = kn::run_app(app, machine, opts);
+  print_result("default", baseline, machine.energy_counters);
+  if (mode == "default") return 0;
+
+  if (mode == "online") {
+    opts.strategy = TuningStrategy::Online;
+    const auto run = kn::run_app(app, machine, opts);
+    print_result("online", run, machine.energy_counters);
+    std::printf("\nspeedup %.2fx\n", baseline.elapsed / run.elapsed);
+    return 0;
+  }
+
+  if (mode == "search") {
+    opts.strategy = TuningStrategy::OfflineReplay;  // search + replay
+    const auto run = kn::run_app(app, machine, opts);
+    print_result("offline", run, machine.energy_counters);
+    std::printf("\nspeedup %.2fx\n", baseline.elapsed / run.elapsed);
+    if (!history_path.empty()) {
+      run.history.save(history_path);
+      std::printf("history (%zu entries) written to %s\n",
+                  run.history.size(), history_path.c_str());
+    }
+    return 0;
+  }
+
+  if (mode == "replay") {
+    if (history_path.empty()) {
+      std::fprintf(stderr, "replay needs a history file\n");
+      return 1;
+    }
+    const auto history = HistoryStore::load(history_path);
+    std::printf("loaded %zu history entries from %s\n", history.size(),
+                history_path.c_str());
+    opts.strategy = TuningStrategy::OfflineReplay;
+    opts.reuse_history = &history;
+    const auto run = kn::run_app(app, machine, opts);
+    print_result("replay", run, machine.energy_counters);
+    std::printf("\nspeedup %.2fx (zero search executions in this run)\n",
+                baseline.elapsed / run.elapsed);
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
+  return 1;
+}
