@@ -1,0 +1,405 @@
+#include "analysis/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "sim/machine.hpp"
+
+namespace arcs::analysis {
+
+std::string_view to_string(ViolationClass cls) {
+  switch (cls) {
+    case ViolationClass::ProtocolOrder: return "protocol-order";
+    case ViolationClass::UnknownParallelId: return "unknown-parallel-id";
+    case ViolationClass::NonMonotoneParallelId:
+      return "non-monotone-parallel-id";
+    case ViolationClass::TeamSizeMismatch: return "team-size-mismatch";
+    case ViolationClass::MissingParallelEnd: return "missing-parallel-end";
+    case ViolationClass::MissingThreadEvents: return "missing-thread-events";
+    case ViolationClass::DoubleDispatch: return "double-dispatch";
+    case ViolationClass::SkippedIteration: return "skipped-iteration";
+    case ViolationClass::ChunkOutOfBounds: return "chunk-out-of-bounds";
+    case ViolationClass::PlanMismatch: return "plan-mismatch";
+    case ViolationClass::ClockRegression: return "clock-regression";
+    case ViolationClass::NegativeEnergy: return "negative-energy";
+  }
+  return "?";
+}
+
+void Checker::attach(somp::Runtime& runtime) {
+  ARCS_CHECK_MSG(runtime_ == nullptr, "checker is already attached");
+  runtime_ = &runtime;
+  ompt::ToolCallbacks cb;
+  cb.parallel_begin = [this](const ompt::ParallelBeginRecord& r) {
+    sample_machine();
+    on_parallel_begin(r);
+  };
+  cb.parallel_end = [this](const ompt::ParallelEndRecord& r) {
+    on_parallel_end(r);
+    sample_machine();
+  };
+  cb.implicit_task = [this](const ompt::ImplicitTaskRecord& r) {
+    on_implicit_task(r);
+  };
+  cb.work_loop = [this](const ompt::WorkLoopRecord& r) { on_work_loop(r); };
+  cb.sync_region = [this](const ompt::SyncRegionRecord& r) {
+    on_sync_region(r);
+  };
+  cb.loop_plan = [this](const ompt::LoopPlanRecord& r) { on_loop_plan(r); };
+  cb.chunk_dispatch = [this](const ompt::ChunkDispatchRecord& r) {
+    on_chunk_dispatch(r);
+  };
+  tool_handle_ =
+      runtime.tools().register_tool(std::move(cb), ompt::ToolKind::Observer);
+}
+
+void Checker::detach() {
+  if (!runtime_) return;
+  runtime_->tools().unregister_tool(tool_handle_);
+  runtime_ = nullptr;
+}
+
+void Checker::sample_machine() {
+  if (!runtime_) return;
+  const sim::Machine& m = runtime_->machine();
+  on_physics({m.now(), m.energy(), m.dram_energy()});
+}
+
+void Checker::add(ViolationClass cls, ompt::ParallelId pid, int thread,
+                  std::string message) {
+  if (violations_.size() < kMaxStoredViolations) {
+    violations_.push_back({cls, pid, thread, std::move(message)});
+  } else {
+    ++overflow_;
+  }
+}
+
+Checker::OpenRegion* Checker::open_region(ompt::ParallelId pid,
+                                          const char* event_name) {
+  const auto it = open_.find(pid);
+  if (it != open_.end()) return &it->second;
+  std::ostringstream os;
+  os << event_name << " for parallel_id " << pid
+     << (pid != 0 && pid <= last_begun_
+             ? " which already ended (or was never this stream's)"
+             : " which was never begun");
+  add(ViolationClass::UnknownParallelId, pid, -1, os.str());
+  return nullptr;
+}
+
+Checker::ThreadState* Checker::thread_state(OpenRegion& region,
+                                            int thread_num,
+                                            const char* event_name) {
+  if (thread_num < 0 ||
+      thread_num >= static_cast<int>(region.threads.size())) {
+    std::ostringstream os;
+    os << event_name << " from thread " << thread_num
+       << " outside team of " << region.threads.size() << " in region '"
+       << region.begin.region.name << "'";
+    add(ViolationClass::TeamSizeMismatch, region.begin.parallel_id,
+        thread_num, os.str());
+    return nullptr;
+  }
+  return &region.threads[static_cast<std::size_t>(thread_num)];
+}
+
+void Checker::step(OpenRegion& region, int thread_num, common::Seconds time,
+                   Phase expect, Phase next, const char* event_name) {
+  ThreadState* ts = thread_state(region, thread_num, event_name);
+  if (!ts) return;
+  static constexpr const char* kPhaseNames[] = {
+      "before implicit-task-begin", "in implicit task", "in work loop",
+      "after work loop",            "in barrier",       "after barrier",
+      "after implicit-task-end"};
+  if (ts->phase != expect) {
+    std::ostringstream os;
+    os << event_name << " while thread " << thread_num << " is "
+       << kPhaseNames[static_cast<int>(ts->phase)] << " (expected "
+       << kPhaseNames[static_cast<int>(expect)] << ") in region '"
+       << region.begin.region.name << "'";
+    add(ViolationClass::ProtocolOrder, region.begin.parallel_id, thread_num,
+        os.str());
+  }
+  if (ts->saw_event && time < ts->last_time) {
+    std::ostringstream os;
+    os << event_name << " at t=" << time << "s but thread " << thread_num
+       << "'s clock already reached " << ts->last_time << "s in region '"
+       << region.begin.region.name << "'";
+    add(ViolationClass::ClockRegression, region.begin.parallel_id,
+        thread_num, os.str());
+  }
+  if (time < region.begin.time) {
+    std::ostringstream os;
+    os << event_name << " at t=" << time
+       << "s precedes its region's begin at t=" << region.begin.time << "s";
+    add(ViolationClass::ClockRegression, region.begin.parallel_id,
+        thread_num, os.str());
+  }
+  ts->phase = next;
+  ts->last_time = time;
+  ts->saw_event = true;
+}
+
+void Checker::on_parallel_begin(const ompt::ParallelBeginRecord& r) {
+  ++stats_.events_checked;
+  if (open_.contains(r.parallel_id)) {
+    std::ostringstream os;
+    os << "parallel-begin for already-open parallel_id " << r.parallel_id
+       << " ('" << r.region.name << "')";
+    add(ViolationClass::NonMonotoneParallelId, r.parallel_id, -1, os.str());
+    return;
+  }
+  if (r.parallel_id <= last_begun_) {
+    std::ostringstream os;
+    os << "parallel_id " << r.parallel_id << " not above the last id "
+       << last_begun_ << " (ids must be unique and strictly increasing)";
+    add(ViolationClass::NonMonotoneParallelId, r.parallel_id, -1, os.str());
+  } else {
+    last_begun_ = r.parallel_id;
+  }
+  if (r.requested_team_size <= 0) {
+    std::ostringstream os;
+    os << "parallel-begin of '" << r.region.name
+       << "' with non-positive team size " << r.requested_team_size;
+    add(ViolationClass::TeamSizeMismatch, r.parallel_id, -1, os.str());
+  }
+  OpenRegion region;
+  region.begin = r;
+  region.threads.resize(
+      static_cast<std::size_t>(std::max(r.requested_team_size, 0)));
+  open_.emplace(r.parallel_id, std::move(region));
+}
+
+void Checker::on_parallel_end(const ompt::ParallelEndRecord& r) {
+  ++stats_.events_checked;
+  OpenRegion* region = open_region(r.parallel_id, "parallel-end");
+  if (!region) return;
+  if (r.team_size != region->begin.requested_team_size) {
+    std::ostringstream os;
+    os << "parallel-end of '" << r.region.name << "' reports team "
+       << r.team_size << " but begin requested "
+       << region->begin.requested_team_size;
+    add(ViolationClass::TeamSizeMismatch, r.parallel_id, -1, os.str());
+  }
+  if (r.time < region->begin.time) {
+    std::ostringstream os;
+    os << "parallel-end of '" << r.region.name << "' at t=" << r.time
+       << "s precedes its begin at t=" << region->begin.time << "s";
+    add(ViolationClass::ClockRegression, r.parallel_id, -1, os.str());
+  }
+  for (std::size_t t = 0; t < region->threads.size(); ++t) {
+    if (region->threads[t].phase != Phase::Done) {
+      std::ostringstream os;
+      os << "thread " << t << " of region '" << r.region.name
+         << "' never completed its implicit-task event chain (stuck "
+         << (region->threads[t].saw_event ? "mid-protocol"
+                                          : "before any event")
+         << ")";
+      add(ViolationClass::MissingThreadEvents, r.parallel_id,
+          static_cast<int>(t), os.str());
+    }
+  }
+  audit_coverage(*region);
+  ++stats_.regions_checked;
+  open_.erase(r.parallel_id);
+}
+
+void Checker::on_implicit_task(const ompt::ImplicitTaskRecord& r) {
+  ++stats_.events_checked;
+  OpenRegion* region = open_region(r.parallel_id, "implicit-task");
+  if (!region) return;
+  if (r.endpoint == ompt::Endpoint::Begin) {
+    step(*region, r.thread_num, r.time, Phase::None, Phase::Implicit,
+         "implicit-task-begin");
+  } else {
+    step(*region, r.thread_num, r.time, Phase::BarrierDone, Phase::Done,
+         "implicit-task-end");
+  }
+}
+
+void Checker::on_work_loop(const ompt::WorkLoopRecord& r) {
+  ++stats_.events_checked;
+  OpenRegion* region = open_region(r.parallel_id, "work-loop");
+  if (!region) return;
+  if (r.endpoint == ompt::Endpoint::Begin) {
+    step(*region, r.thread_num, r.time, Phase::Implicit, Phase::Loop,
+         "work-loop-begin");
+  } else {
+    step(*region, r.thread_num, r.time, Phase::Loop, Phase::LoopDone,
+         "work-loop-end");
+  }
+}
+
+void Checker::on_sync_region(const ompt::SyncRegionRecord& r) {
+  ++stats_.events_checked;
+  OpenRegion* region = open_region(r.parallel_id, "sync-region");
+  if (!region) return;
+  if (r.endpoint == ompt::Endpoint::Begin) {
+    step(*region, r.thread_num, r.time, Phase::LoopDone, Phase::Barrier,
+         "sync-region-begin");
+  } else {
+    step(*region, r.thread_num, r.time, Phase::Barrier, Phase::BarrierDone,
+         "sync-region-end");
+  }
+}
+
+void Checker::on_loop_plan(const ompt::LoopPlanRecord& r) {
+  ++stats_.events_checked;
+  OpenRegion* region = open_region(r.parallel_id, "loop-plan");
+  if (!region) return;
+  if (region->plan) {
+    add(ViolationClass::PlanMismatch, r.parallel_id, -1,
+        "second loop plan for one parallel region");
+    return;
+  }
+  if (r.team_size != region->begin.requested_team_size) {
+    std::ostringstream os;
+    os << "loop plan announces team " << r.team_size
+       << " but parallel-begin requested "
+       << region->begin.requested_team_size;
+    add(ViolationClass::PlanMismatch, r.parallel_id, -1, os.str());
+  }
+  if (r.iterations < 0) {
+    add(ViolationClass::PlanMismatch, r.parallel_id, -1,
+        "loop plan with negative trip count");
+  }
+  region->plan = r;
+}
+
+void Checker::on_chunk_dispatch(const ompt::ChunkDispatchRecord& r) {
+  ++stats_.events_checked;
+  ++stats_.chunks_audited;
+  OpenRegion* region = open_region(r.parallel_id, "chunk-dispatch");
+  if (!region) return;
+  if (ThreadState* ts =
+          thread_state(*region, r.thread_num, "chunk-dispatch")) {
+    if (ts->saw_grab && r.time < ts->last_grab_time) {
+      std::ostringstream os;
+      os << "chunk [" << r.begin << ", " << r.end << ") grabbed at t="
+         << r.time << "s but thread " << r.thread_num
+         << "'s previous grab was at t=" << ts->last_grab_time
+         << "s in region '" << region->begin.region.name << "'";
+      add(ViolationClass::ClockRegression, r.parallel_id, r.thread_num,
+          os.str());
+    }
+    ts->last_grab_time = r.time;
+    ts->saw_grab = true;
+  }
+  region->chunks.push_back(r);
+}
+
+void Checker::on_physics(const PhysicsSample& s) {
+  ++stats_.physics_samples;
+  if (have_physics_) {
+    if (s.clock < last_physics_.clock) {
+      std::ostringstream os;
+      os << "machine virtual clock moved backwards: " << last_physics_.clock
+         << "s -> " << s.clock << "s";
+      add(ViolationClass::ClockRegression, 0, -1, os.str());
+    }
+    if (s.energy < last_physics_.energy) {
+      std::ostringstream os;
+      os << "package energy integral decreased: " << last_physics_.energy
+         << "J -> " << s.energy
+         << "J (a region integrated negative energy)";
+      add(ViolationClass::NegativeEnergy, 0, -1, os.str());
+    }
+    if (s.dram_energy < last_physics_.dram_energy) {
+      std::ostringstream os;
+      os << "DRAM energy integral decreased: " << last_physics_.dram_energy
+         << "J -> " << s.dram_energy << "J";
+      add(ViolationClass::NegativeEnergy, 0, -1, os.str());
+    }
+  }
+  last_physics_ = s;
+  have_physics_ = true;
+}
+
+void Checker::audit_coverage(const OpenRegion& region) {
+  if (!region.plan) {
+    if (!region.chunks.empty()) {
+      std::ostringstream os;
+      os << region.chunks.size() << " chunk dispatches in region '"
+         << region.begin.region.name << "' without a loop plan";
+      add(ViolationClass::PlanMismatch, region.begin.parallel_id, -1,
+          os.str());
+    }
+    return;  // a plan-less stream has nothing to audit
+  }
+  const std::int64_t n = region.plan->iterations;
+  stats_.iterations_audited += n > 0 ? static_cast<std::uint64_t>(n) : 0;
+  const ompt::ParallelId pid = region.begin.parallel_id;
+  const std::string& name = region.begin.region.name;
+
+  std::vector<ompt::ChunkDispatchRecord> chunks = region.chunks;
+  for (const auto& c : chunks) {
+    if (c.begin >= c.end || c.begin < 0 || c.end > n) {
+      std::ostringstream os;
+      os << "chunk [" << c.begin << ", " << c.end << ") of thread "
+         << c.thread_num << " is "
+         << (c.begin >= c.end ? "empty or inverted" : "outside the loop")
+         << " in region '" << name << "' with " << n << " iterations";
+      add(ViolationClass::ChunkOutOfBounds, pid, c.thread_num, os.str());
+    }
+  }
+  std::sort(chunks.begin(), chunks.end(),
+            [](const auto& a, const auto& b) {
+              return a.begin != b.begin ? a.begin < b.begin : a.end < b.end;
+            });
+  std::int64_t expected = 0;
+  for (const auto& c : chunks) {
+    if (c.begin < expected && c.begin < c.end) {
+      std::ostringstream os;
+      os << "iterations [" << c.begin << ", " << std::min(expected, c.end)
+         << ") dispatched more than once (thread " << c.thread_num
+         << " re-dispatched them) in region '" << name << "'";
+      add(ViolationClass::DoubleDispatch, pid, c.thread_num, os.str());
+    } else if (c.begin > expected) {
+      std::ostringstream os;
+      os << "iterations [" << expected << ", " << c.begin
+         << ") never dispatched in region '" << name << "'";
+      add(ViolationClass::SkippedIteration, pid, -1, os.str());
+    }
+    expected = std::max(expected, c.end);
+  }
+  if (expected < n) {
+    std::ostringstream os;
+    os << "iterations [" << expected << ", " << n
+       << ") never dispatched in region '" << name << "' (loop tail lost)";
+    add(ViolationClass::SkippedIteration, pid, -1, os.str());
+  }
+}
+
+void Checker::finish() {
+  for (const auto& [pid, region] : open_) {
+    std::ostringstream os;
+    os << "region '" << region.begin.region.name << "' (parallel_id " << pid
+       << ", begun at t=" << region.begin.time
+       << "s) never received parallel-end";
+    add(ViolationClass::MissingParallelEnd, pid, -1, os.str());
+  }
+  open_.clear();
+}
+
+void Checker::clear_violations() {
+  violations_.clear();
+  overflow_ = 0;
+}
+
+std::string Checker::report() const {
+  if (ok()) return {};
+  std::ostringstream os;
+  os << "analysis::Checker found " << violation_count() << " violation(s):";
+  for (const auto& v : violations_) {
+    os << "\n  [" << to_string(v.cls) << "]";
+    if (v.parallel_id != 0) os << " pid=" << v.parallel_id;
+    if (v.thread_num >= 0) os << " thread=" << v.thread_num;
+    os << ": " << v.message;
+  }
+  if (overflow_ > 0)
+    os << "\n  ... and " << overflow_ << " more (not stored)";
+  return os.str();
+}
+
+}  // namespace arcs::analysis

@@ -1,0 +1,193 @@
+// Verification layer for the simulated OpenMP stack.
+//
+// The Checker is a passive OMPT tool (ompt::ToolKind::Observer) that
+// validates three families of invariants while a workload runs:
+//
+//  1. OMPT protocol: the event stream of every parallel region must follow
+//     the ordering automaton of the OMPT Proposed Draft TR (Eichenberger
+//     et al., IWOMP'13) — parallel-begin, then per-thread implicit-task
+//     begin / loop begin / loop end / barrier begin / barrier end /
+//     implicit-task end, then parallel-end — with matching parallel_ids,
+//     consistent team sizes, and per-thread non-decreasing timestamps.
+//     Parallel ids must be unique and strictly increasing.
+//
+//  2. Scheduler coverage: the chunk dispatch events (loop plan + grabs)
+//     must prove that every iteration of the advertised trip count was
+//     dispatched exactly once — no gaps, no overlaps, no out-of-bounds
+//     chunks, no double grabs across threads — for static, dynamic and
+//     guided schedules alike.
+//
+//  3. Physics: the machine's virtual clock and both energy integrals
+//     (package, DRAM) never move backwards.
+//
+// ARCS trusts this event stream to attribute loop vs. barrier time and to
+// steer per-region configuration decisions (paper Fig. 9, §III.B); the
+// checker is what makes that trust earned rather than assumed. Violations
+// are collected, not thrown, so a single run can report everything wrong
+// with a stream — and so detection of deliberately corrupted streams
+// (analysis/inject.hpp) can itself be tested.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "ompt/ompt.hpp"
+#include "somp/runtime.hpp"
+
+namespace arcs::analysis {
+
+enum class ViolationClass {
+  ProtocolOrder,        ///< per-thread event out of automaton order
+  UnknownParallelId,    ///< event names a pid never begun or already ended
+  NonMonotoneParallelId,///< parallel ids must strictly increase
+  TeamSizeMismatch,     ///< end/begin team disagree, or thread out of team
+  MissingParallelEnd,   ///< region still open when the stream closed
+  MissingThreadEvents,  ///< a team thread never completed its event chain
+  DoubleDispatch,       ///< an iteration was dispatched more than once
+  SkippedIteration,     ///< an iteration was never dispatched
+  ChunkOutOfBounds,     ///< a chunk is empty, inverted, or outside [0, n)
+  PlanMismatch,         ///< dispatches without/contradicting a loop plan
+  ClockRegression,      ///< a virtual clock moved backwards
+  NegativeEnergy,       ///< an energy integral decreased
+};
+
+std::string_view to_string(ViolationClass cls);
+
+struct Violation {
+  ViolationClass cls = ViolationClass::ProtocolOrder;
+  ompt::ParallelId parallel_id = 0;  ///< 0 when not tied to one region
+  int thread_num = -1;               ///< -1 when not tied to one thread
+  std::string message;
+};
+
+/// Machine state observed at a region boundary (or replayed from a
+/// trace). Subject of the physics lints.
+struct PhysicsSample {
+  common::Seconds clock = 0;
+  common::Joules energy = 0;
+  common::Joules dram_energy = 0;
+};
+
+struct CheckerStats {
+  std::uint64_t regions_checked = 0;   ///< parallel-end events audited
+  std::uint64_t events_checked = 0;    ///< all events seen
+  std::uint64_t chunks_audited = 0;
+  std::uint64_t iterations_audited = 0;
+  std::uint64_t physics_samples = 0;
+};
+
+class Checker {
+ public:
+  Checker() = default;
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  /// Subscribes to the runtime's tool registry as an Observer (no
+  /// instrumentation cost is charged, so attaching the checker does not
+  /// change the simulation it verifies) and samples the machine's clock
+  /// and energy counters at region boundaries.
+  ///
+  /// Lifetime: the checker must stay alive as long as the runtime may
+  /// still execute regions. The destructor deliberately does NOT
+  /// unsubscribe (the runtime is often gone first); call detach() if the
+  /// checker dies before the runtime does.
+  void attach(somp::Runtime& runtime);
+  void detach();
+  bool attached() const { return runtime_ != nullptr; }
+
+  // Event sinks. Public so corrupted traces (analysis/inject.hpp) can be
+  // replayed straight into a checker without a runtime.
+  void on_parallel_begin(const ompt::ParallelBeginRecord& r);
+  void on_parallel_end(const ompt::ParallelEndRecord& r);
+  void on_implicit_task(const ompt::ImplicitTaskRecord& r);
+  void on_work_loop(const ompt::WorkLoopRecord& r);
+  void on_sync_region(const ompt::SyncRegionRecord& r);
+  void on_loop_plan(const ompt::LoopPlanRecord& r);
+  void on_chunk_dispatch(const ompt::ChunkDispatchRecord& r);
+  void on_physics(const PhysicsSample& s);
+
+  /// Closes the stream: every still-open region is a MissingParallelEnd.
+  /// Clears the open-region table, so it is safe to call between
+  /// workloads of one long-lived checker.
+  void finish();
+
+  bool ok() const { return violations_.empty() && overflow_ == 0; }
+  std::uint64_t violation_count() const {
+    return violations_.size() + overflow_;
+  }
+  /// First kMaxStoredViolations violations (the rest are only counted).
+  const std::vector<Violation>& violations() const { return violations_; }
+  void clear_violations();
+
+  const CheckerStats& stats() const { return stats_; }
+
+  /// Human-readable diagnostic, one line per stored violation; empty
+  /// string when ok().
+  std::string report() const;
+
+  static constexpr std::size_t kMaxStoredViolations = 64;
+
+ private:
+  /// Per-(region, thread) position in the ordering automaton.
+  enum class Phase : std::uint8_t {
+    None,         ///< before implicit-task begin
+    Implicit,     ///< implicit task begun
+    Loop,         ///< work loop begun
+    LoopDone,     ///< work loop ended
+    Barrier,      ///< barrier begun
+    BarrierDone,  ///< barrier ended
+    Done,         ///< implicit task ended
+  };
+
+  struct ThreadState {
+    Phase phase = Phase::None;
+    common::Seconds last_time = 0;
+    common::Seconds last_grab_time = 0;
+    bool saw_event = false;
+    bool saw_grab = false;
+  };
+
+  struct OpenRegion {
+    ompt::ParallelBeginRecord begin;
+    std::optional<ompt::LoopPlanRecord> plan;
+    std::vector<ThreadState> threads;
+    /// All grabs of this region, audited for exactly-once coverage at
+    /// parallel-end.
+    std::vector<ompt::ChunkDispatchRecord> chunks;
+  };
+
+  void add(ViolationClass cls, ompt::ParallelId pid, int thread,
+           std::string message);
+  /// Looks up an open region; reports UnknownParallelId (with a
+  /// diagnostic distinguishing "never begun" from "already ended") and
+  /// returns nullptr if absent.
+  OpenRegion* open_region(ompt::ParallelId pid, const char* event_name);
+  /// Validates thread_num against the region's team; returns the thread
+  /// state or nullptr.
+  ThreadState* thread_state(OpenRegion& region, int thread_num,
+                            const char* event_name);
+  /// Automaton step: thread must be at `expect`; moves it to `next`.
+  void step(OpenRegion& region, int thread_num, common::Seconds time,
+            Phase expect, Phase next, const char* event_name);
+  void audit_coverage(const OpenRegion& region);
+  void sample_machine();
+
+  somp::Runtime* runtime_ = nullptr;
+  std::size_t tool_handle_ = 0;
+
+  std::map<ompt::ParallelId, OpenRegion> open_;
+  ompt::ParallelId last_begun_ = 0;
+  bool have_physics_ = false;
+  PhysicsSample last_physics_;
+
+  std::vector<Violation> violations_;
+  std::uint64_t overflow_ = 0;
+  CheckerStats stats_;
+};
+
+}  // namespace arcs::analysis

@@ -1,0 +1,55 @@
+#include "analysis/global.hpp"
+
+#include <sstream>
+
+namespace arcs::analysis {
+
+GlobalVerifier& GlobalVerifier::instance() {
+  static GlobalVerifier verifier;
+  return verifier;
+}
+
+void GlobalVerifier::install() {
+  if (installed_) return;
+  somp::Runtime::set_construction_observer([this](somp::Runtime& runtime) {
+    checkers_.push_back(std::make_unique<Checker>());
+    checkers_.back()->attach(runtime);
+  });
+  installed_ = true;
+}
+
+void GlobalVerifier::uninstall() {
+  if (!installed_) return;
+  somp::Runtime::clear_construction_observer();
+  installed_ = false;
+}
+
+std::string GlobalVerifier::drain_report() {
+  std::ostringstream os;
+  bool any = false;
+  for (const auto& checker : checkers_) {
+    checker->finish();
+    if (!checker->ok()) {
+      if (any) os << '\n';
+      os << checker->report();
+      any = true;
+      checker->clear_violations();
+    }
+  }
+  return any ? os.str() : std::string{};
+}
+
+CheckerStats GlobalVerifier::total_stats() const {
+  CheckerStats total;
+  for (const auto& checker : checkers_) {
+    const CheckerStats& s = checker->stats();
+    total.regions_checked += s.regions_checked;
+    total.events_checked += s.events_checked;
+    total.chunks_audited += s.chunks_audited;
+    total.iterations_audited += s.iterations_audited;
+    total.physics_samples += s.physics_samples;
+  }
+  return total;
+}
+
+}  // namespace arcs::analysis

@@ -1,0 +1,52 @@
+// Process-wide always-on verification.
+//
+// Once installed, the GlobalVerifier attaches a Checker (as a zero-cost
+// Observer tool) to every somp::Runtime constructed anywhere in the
+// process, via the runtime's construction observer. The test harness
+// (tests/checked_main.cpp) installs it and drains it after every test, so
+// every existing ctest suite runs under full OMPT-protocol, scheduler-
+// coverage, and physics verification without any test changing.
+//
+// Checkers are kept alive for the lifetime of the verifier: a runtime
+// holds a plain reference to its checker's callbacks, and fixtures may
+// keep runtimes alive across drain points, so checkers are never
+// destroyed mid-process — drain() snapshots and clears their findings
+// instead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/checker.hpp"
+
+namespace arcs::analysis {
+
+class GlobalVerifier {
+ public:
+  static GlobalVerifier& instance();
+
+  /// Starts attaching checkers to every new somp::Runtime. Idempotent.
+  void install();
+  /// Stops attaching (existing checkers keep observing their runtimes).
+  void uninstall();
+  bool installed() const { return installed_; }
+
+  /// Closes every checker's stream (open regions become violations),
+  /// returns the combined diagnostic for everything found since the last
+  /// drain, and clears it. Empty string when all streams were clean.
+  std::string drain_report();
+
+  /// Aggregate statistics across all checkers ever attached.
+  CheckerStats total_stats() const;
+  std::size_t checkers_created() const { return checkers_.size(); }
+
+ private:
+  GlobalVerifier() = default;
+
+  bool installed_ = false;
+  std::vector<std::unique_ptr<Checker>> checkers_;
+};
+
+}  // namespace arcs::analysis

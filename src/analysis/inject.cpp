@@ -1,0 +1,132 @@
+#include "analysis/inject.hpp"
+
+#include <algorithm>
+
+namespace arcs::analysis::inject {
+
+namespace {
+
+/// First event of type T satisfying pred, or nullptr.
+template <typename T, typename Pred>
+T* find_event(EventTrace& trace, Pred pred) {
+  for (TraceEvent& e : trace.events())
+    if (T* r = std::get_if<T>(&e); r && pred(*r)) return r;
+  return nullptr;
+}
+
+template <typename T>
+T* find_event(EventTrace& trace) {
+  return find_event<T>(trace, [](const T&) { return true; });
+}
+
+}  // namespace
+
+bool drop_parallel_end(EventTrace& trace) {
+  auto& events = trace.events();
+  const auto it = std::find_if(
+      events.rbegin(), events.rend(), [](const TraceEvent& e) {
+        return std::holds_alternative<ompt::ParallelEndRecord>(e);
+      });
+  if (it == events.rend()) return false;
+  events.erase(std::next(it).base());
+  return true;
+}
+
+bool mismatch_parallel_id(EventTrace& trace) {
+  ompt::WorkLoopRecord* r = find_event<ompt::WorkLoopRecord>(trace);
+  if (!r) return false;
+  r->parallel_id += 999983;  // a pid no begin ever announced
+  return true;
+}
+
+bool double_dispatch_iteration(EventTrace& trace) {
+  auto& events = trace.events();
+  for (auto it = events.begin(); it != events.end(); ++it) {
+    if (std::holds_alternative<ompt::ChunkDispatchRecord>(*it)) {
+      events.insert(std::next(it), *it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool skip_iteration(EventTrace& trace) {
+  if (ompt::ChunkDispatchRecord* r = find_event<ompt::ChunkDispatchRecord>(
+          trace, [](const auto& c) { return c.end - c.begin >= 2; })) {
+    --r->end;  // the last iteration of this chunk is now never dispatched
+    return true;
+  }
+  // All chunks are single-iteration: drop one grab entirely.
+  auto& events = trace.events();
+  for (auto it = events.begin(); it != events.end(); ++it) {
+    if (std::holds_alternative<ompt::ChunkDispatchRecord>(*it)) {
+      events.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool overlap_chunks(EventTrace& trace) {
+  // Find two grabs of one region that meet at a boundary and slide the
+  // second one backwards: its first iteration is now owned by two
+  // threads' chunks.
+  auto& events = trace.events();
+  for (TraceEvent& ea : events) {
+    const auto* a = std::get_if<ompt::ChunkDispatchRecord>(&ea);
+    if (!a) continue;
+    for (TraceEvent& eb : events) {
+      auto* b = std::get_if<ompt::ChunkDispatchRecord>(&eb);
+      if (!b || b == a) continue;
+      if (b->parallel_id == a->parallel_id && b->begin == a->end) {
+        --b->begin;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool regress_clock(EventTrace& trace) {
+  ompt::WorkLoopRecord* r = find_event<ompt::WorkLoopRecord>(
+      trace,
+      [](const auto& w) { return w.endpoint == ompt::Endpoint::End; });
+  if (!r) return false;
+  r->time = -1.0;  // before its begin, and before the region itself
+  return true;
+}
+
+bool negate_energy(EventTrace& trace) {
+  const PhysicsSample* prev = nullptr;
+  for (TraceEvent& e : trace.events()) {
+    if (PhysicsSample* s = std::get_if<PhysicsSample>(&e)) {
+      if (prev) {
+        s->energy = prev->energy - 1.0;  // integral must never decrease
+        return true;
+      }
+      prev = s;
+    }
+  }
+  return false;
+}
+
+bool corrupt_team_size(EventTrace& trace) {
+  ompt::ParallelEndRecord* r = find_event<ompt::ParallelEndRecord>(trace);
+  if (!r) return false;
+  r->team_size += 1;
+  return true;
+}
+
+bool drop_implicit_task_end(EventTrace& trace) {
+  auto& events = trace.events();
+  for (auto it = events.begin(); it != events.end(); ++it) {
+    const auto* r = std::get_if<ompt::ImplicitTaskRecord>(&*it);
+    if (r && r->endpoint == ompt::Endpoint::End) {
+      events.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace arcs::analysis::inject

@@ -1,0 +1,43 @@
+// Fault injection for the verification layer.
+//
+// Each injector corrupts a captured EventTrace with one well-defined
+// fault — the kinds of stream damage a buggy runtime, scheduler, or
+// simulator would produce. Replaying the corrupted trace into a fresh
+// Checker must surface the matching violation class; tests/analysis_test
+// asserts exactly that for every class. An injector returns false when the
+// trace contains nothing it could corrupt (e.g. no chunk events).
+#pragma once
+
+#include "analysis/trace.hpp"
+
+namespace arcs::analysis::inject {
+
+/// Removes the last parallel-end -> MissingParallelEnd at finish().
+bool drop_parallel_end(EventTrace& trace);
+
+/// Re-ids a work-loop event to a pid that never existed ->
+/// UnknownParallelId.
+bool mismatch_parallel_id(EventTrace& trace);
+
+/// Duplicates a chunk grab -> DoubleDispatch (same iterations twice).
+bool double_dispatch_iteration(EventTrace& trace);
+
+/// Shrinks (or removes) a chunk grab -> SkippedIteration.
+bool skip_iteration(EventTrace& trace);
+
+/// Slides one grab into its predecessor -> DoubleDispatch across threads.
+bool overlap_chunks(EventTrace& trace);
+
+/// Pulls a work-loop-end before its thread's begin -> ClockRegression.
+bool regress_clock(EventTrace& trace);
+
+/// Makes the package energy integral decrease -> NegativeEnergy.
+bool negate_energy(EventTrace& trace);
+
+/// parallel-end reports a different team than begin -> TeamSizeMismatch.
+bool corrupt_team_size(EventTrace& trace);
+
+/// Removes one thread's implicit-task-end -> MissingThreadEvents.
+bool drop_implicit_task_end(EventTrace& trace);
+
+}  // namespace arcs::analysis::inject

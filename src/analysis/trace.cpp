@@ -1,0 +1,76 @@
+#include "analysis/trace.hpp"
+
+#include "common/check.hpp"
+#include "sim/machine.hpp"
+
+namespace arcs::analysis {
+
+void EventTrace::attach(somp::Runtime& runtime) {
+  ARCS_CHECK_MSG(runtime_ == nullptr, "trace is already attached");
+  runtime_ = &runtime;
+  ompt::ToolCallbacks cb;
+  const auto sample = [this] {
+    const sim::Machine& m = runtime_->machine();
+    events_.push_back(PhysicsSample{m.now(), m.energy(), m.dram_energy()});
+  };
+  cb.parallel_begin = [this, sample](const ompt::ParallelBeginRecord& r) {
+    sample();
+    events_.push_back(r);
+  };
+  cb.parallel_end = [this, sample](const ompt::ParallelEndRecord& r) {
+    events_.push_back(r);
+    sample();
+  };
+  cb.implicit_task = [this](const ompt::ImplicitTaskRecord& r) {
+    events_.push_back(r);
+  };
+  cb.work_loop = [this](const ompt::WorkLoopRecord& r) {
+    events_.push_back(r);
+  };
+  cb.sync_region = [this](const ompt::SyncRegionRecord& r) {
+    events_.push_back(r);
+  };
+  cb.loop_plan = [this](const ompt::LoopPlanRecord& r) {
+    events_.push_back(r);
+  };
+  cb.chunk_dispatch = [this](const ompt::ChunkDispatchRecord& r) {
+    events_.push_back(r);
+  };
+  tool_handle_ =
+      runtime.tools().register_tool(std::move(cb), ompt::ToolKind::Observer);
+}
+
+void EventTrace::detach() {
+  if (!runtime_) return;
+  runtime_->tools().unregister_tool(tool_handle_);
+  runtime_ = nullptr;
+}
+
+void EventTrace::replay_into(Checker& checker, bool finish_stream) const {
+  for (const TraceEvent& e : events_) {
+    std::visit(
+        [&checker](const auto& r) {
+          using T = std::decay_t<decltype(r)>;
+          if constexpr (std::is_same_v<T, ompt::ParallelBeginRecord>)
+            checker.on_parallel_begin(r);
+          else if constexpr (std::is_same_v<T, ompt::ParallelEndRecord>)
+            checker.on_parallel_end(r);
+          else if constexpr (std::is_same_v<T, ompt::ImplicitTaskRecord>)
+            checker.on_implicit_task(r);
+          else if constexpr (std::is_same_v<T, ompt::WorkLoopRecord>)
+            checker.on_work_loop(r);
+          else if constexpr (std::is_same_v<T, ompt::SyncRegionRecord>)
+            checker.on_sync_region(r);
+          else if constexpr (std::is_same_v<T, ompt::LoopPlanRecord>)
+            checker.on_loop_plan(r);
+          else if constexpr (std::is_same_v<T, ompt::ChunkDispatchRecord>)
+            checker.on_chunk_dispatch(r);
+          else
+            checker.on_physics(r);
+        },
+        e);
+  }
+  if (finish_stream) checker.finish();
+}
+
+}  // namespace arcs::analysis

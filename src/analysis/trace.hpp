@@ -1,0 +1,50 @@
+// Event-stream capture and replay.
+//
+// An EventTrace records everything a Checker would see from a runtime —
+// the full OMPT event stream, the chunk dispatch stream, and machine
+// physics samples at region boundaries — as one ordered sequence. A
+// captured trace can be replayed into a fresh Checker, which must find it
+// clean; analysis/inject.hpp mutates traces to prove the Checker catches
+// each corruption class. This is how the detector's detection power is
+// itself tested.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "analysis/checker.hpp"
+#include "ompt/ompt.hpp"
+#include "somp/runtime.hpp"
+
+namespace arcs::analysis {
+
+using TraceEvent =
+    std::variant<ompt::ParallelBeginRecord, ompt::ParallelEndRecord,
+                 ompt::ImplicitTaskRecord, ompt::WorkLoopRecord,
+                 ompt::SyncRegionRecord, ompt::LoopPlanRecord,
+                 ompt::ChunkDispatchRecord, PhysicsSample>;
+
+class EventTrace {
+ public:
+  /// Starts recording every region the runtime executes from now on.
+  /// Registers as an Observer tool: recording does not perturb the run.
+  void attach(somp::Runtime& runtime);
+  /// Stops recording. Must be called while the runtime is still alive.
+  void detach();
+
+  std::vector<TraceEvent>& events() { return events_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Feeds the trace into a checker in recorded order, then closes the
+  /// stream with checker.finish() (unless finish_stream is false).
+  void replay_into(Checker& checker, bool finish_stream = true) const;
+
+ private:
+  somp::Runtime* runtime_ = nullptr;
+  std::size_t tool_handle_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace arcs::analysis

@@ -4,23 +4,36 @@
 
 namespace arcs::ompt {
 
-std::size_t ToolRegistry::register_tool(ToolCallbacks callbacks) {
+std::string_view to_string(WorkSchedule schedule) {
+  switch (schedule) {
+    case WorkSchedule::Static: return "static";
+    case WorkSchedule::Dynamic: return "dynamic";
+    case WorkSchedule::Guided: return "guided";
+  }
+  return "?";
+}
+
+std::size_t ToolRegistry::register_tool(ToolCallbacks callbacks,
+                                        ToolKind kind) {
   // Reuse a vacated slot if any, to keep handles stable.
   for (std::size_t i = 0; i < tools_.size(); ++i) {
     if (!tools_[i].active) {
-      tools_[i] = {std::move(callbacks), true};
+      tools_[i] = {std::move(callbacks), kind, true};
       ++active_count_;
+      if (kind == ToolKind::Client) ++client_count_;
       return i;
     }
   }
-  tools_.push_back({std::move(callbacks), true});
+  tools_.push_back({std::move(callbacks), kind, true});
   ++active_count_;
+  if (kind == ToolKind::Client) ++client_count_;
   return tools_.size() - 1;
 }
 
 void ToolRegistry::unregister_tool(std::size_t handle) {
   ARCS_CHECK_MSG(handle < tools_.size() && tools_[handle].active,
                  "unregistering an unknown tool handle");
+  if (tools_[handle].kind == ToolKind::Client) --client_count_;
   tools_[handle] = {};
   --active_count_;
 }
@@ -48,6 +61,16 @@ void ToolRegistry::emit_work_loop(const WorkLoopRecord& r) const {
 void ToolRegistry::emit_sync_region(const SyncRegionRecord& r) const {
   for (const auto& t : tools_)
     if (t.active && t.callbacks.sync_region) t.callbacks.sync_region(r);
+}
+
+void ToolRegistry::emit_loop_plan(const LoopPlanRecord& r) const {
+  for (const auto& t : tools_)
+    if (t.active && t.callbacks.loop_plan) t.callbacks.loop_plan(r);
+}
+
+void ToolRegistry::emit_chunk_dispatch(const ChunkDispatchRecord& r) const {
+  for (const auto& t : tools_)
+    if (t.active && t.callbacks.chunk_dispatch) t.callbacks.chunk_dispatch(r);
 }
 
 }  // namespace arcs::ompt

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/units.hpp"
@@ -77,6 +78,34 @@ struct SyncRegionRecord {
   common::Seconds time = 0;
 };
 
+/// Resolved worksharing schedule of a loop, as reported to tools.
+enum class WorkSchedule : std::uint8_t { Static, Dynamic, Guided };
+
+std::string_view to_string(WorkSchedule schedule);
+
+/// Announces the resolved dispatch plan of one worksharing loop, emitted
+/// once per region right after parallel-begin. The chunk-level analogue of
+/// OMPT 5.0's ompt_callback_dispatch metadata; lets verification tools
+/// audit iteration coverage against the advertised trip count.
+struct LoopPlanRecord {
+  ParallelId parallel_id = 0;
+  std::int64_t iterations = 0;  ///< loop trip count
+  int team_size = 0;
+  WorkSchedule schedule = WorkSchedule::Static;
+  std::int64_t chunk = 0;       ///< resolved chunk size
+};
+
+/// One chunk grab: thread `thread_num` took iterations [begin, end) at
+/// thread-local virtual time `time` (the analogue of
+/// ompt_callback_dispatch with ompt_dispatch_ws_loop_chunk).
+struct ChunkDispatchRecord {
+  ParallelId parallel_id = 0;
+  int thread_num = 0;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;  ///< exclusive
+  common::Seconds time = 0;
+};
+
 /// Callback set a tool registers. Unset callbacks are simply not invoked
 /// ("incur minimal overhead when not in use").
 struct ToolCallbacks {
@@ -85,31 +114,48 @@ struct ToolCallbacks {
   std::function<void(const ImplicitTaskRecord&)> implicit_task;
   std::function<void(const WorkLoopRecord&)> work_loop;
   std::function<void(const SyncRegionRecord&)> sync_region;
+  std::function<void(const LoopPlanRecord&)> loop_plan;
+  std::function<void(const ChunkDispatchRecord&)> chunk_dispatch;
 };
+
+/// How a tool participates. `Client` tools are the paper's measurement
+/// tools (APEX): attaching one costs instrumentation time in the runtime.
+/// `Observer` tools are passive verifiers (src/analysis/): they receive
+/// the same events but must not perturb the simulation they are checking.
+enum class ToolKind : std::uint8_t { Client, Observer };
 
 /// Fan-out registry owned by the runtime; tools subscribe at init.
 class ToolRegistry {
  public:
   /// Registers a tool; returns a handle usable for unregistering.
-  std::size_t register_tool(ToolCallbacks callbacks);
+  std::size_t register_tool(ToolCallbacks callbacks,
+                            ToolKind kind = ToolKind::Client);
   void unregister_tool(std::size_t handle);
 
   bool empty() const { return active_count_ == 0; }
   std::size_t tool_count() const { return active_count_; }
+
+  /// True when at least one Client (overhead-bearing) tool is attached.
+  bool has_clients() const { return client_count_ > 0; }
+  std::size_t client_count() const { return client_count_; }
 
   void emit_parallel_begin(const ParallelBeginRecord& r) const;
   void emit_parallel_end(const ParallelEndRecord& r) const;
   void emit_implicit_task(const ImplicitTaskRecord& r) const;
   void emit_work_loop(const WorkLoopRecord& r) const;
   void emit_sync_region(const SyncRegionRecord& r) const;
+  void emit_loop_plan(const LoopPlanRecord& r) const;
+  void emit_chunk_dispatch(const ChunkDispatchRecord& r) const;
 
  private:
   struct Entry {
     ToolCallbacks callbacks;
+    ToolKind kind = ToolKind::Client;
     bool active = false;
   };
   std::vector<Entry> tools_;
   std::size_t active_count_ = 0;
+  std::size_t client_count_ = 0;
 };
 
 /// Allocates process-unique parallel ids (monotone from 1).

@@ -26,9 +26,32 @@ constexpr int kMaxOversubscription = 4;
 /// Cost of a userspace DVFS transition (write + PLL relock).
 constexpr common::Seconds kDvfsTransitionCost = 60e-6;
 
+Runtime::ConstructionObserver g_construction_observer;
+
+ompt::WorkSchedule to_work_schedule(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::Dynamic: return ompt::WorkSchedule::Dynamic;
+    case ScheduleKind::Guided: return ompt::WorkSchedule::Guided;
+    case ScheduleKind::Static:
+    case ScheduleKind::Default:
+    case ScheduleKind::Auto: break;
+  }
+  return ompt::WorkSchedule::Static;
+}
+
 }  // namespace
 
-Runtime::Runtime(sim::Machine& machine) : machine_(machine) {}
+void Runtime::set_construction_observer(ConstructionObserver observer) {
+  g_construction_observer = std::move(observer);
+}
+
+void Runtime::clear_construction_observer() {
+  g_construction_observer = nullptr;
+}
+
+Runtime::Runtime(sim::Machine& machine) : machine_(machine) {
+  if (g_construction_observer) g_construction_observer(*this);
+}
 
 void Runtime::charge_serial_overhead(common::Seconds dt) {
   if (dt <= 0) return;
@@ -124,8 +147,10 @@ ExecutionRecord Runtime::parallel_for(const RegionWork& region) {
     rec.config_change_time = machine_.now() - before;
   }
 
-  // --- 2. instrumentation cost while tools observe ---
-  if (!tools_.empty() && instrumentation_overhead_ > 0) {
+  // --- 2. instrumentation cost while measurement tools observe ---
+  // Observer-kind tools (the verification layer) are free by contract:
+  // they must not perturb the simulation they are checking.
+  if (tools_.has_clients() && instrumentation_overhead_ > 0) {
     charge_serial_overhead(instrumentation_overhead_);
     rec.instrumentation_time = instrumentation_overhead_;
   }
@@ -225,6 +250,12 @@ ExecutionRecord Runtime::parallel_for(const RegionWork& region) {
   std::vector<common::Seconds> finish(static_cast<std::size_t>(team), 0.0);
   common::Seconds dispatch_total = 0.0;
 
+  // Chunk grabs, recorded for the dispatch tool events (times are
+  // thread-local offsets from loop start; made absolute at emission).
+  const bool emit_events = !tools_.empty();
+  std::vector<ompt::ChunkDispatchRecord> dispatch_log;
+  if (emit_events) dispatch_log.reserve(total_chunks);
+
   // Roofline per chunk: the latency path (compute + overlapped stalls) or
   // the thread's bandwidth share, whichever bounds.
   auto chunk_exec_time = [&](const Chunk& c) {
@@ -240,6 +271,8 @@ ExecutionRecord Runtime::parallel_for(const RegionWork& region) {
     for (int t = 0; t < team; ++t) {
       common::Seconds time = spec.static_setup_cost;
       for (const Chunk& c : static_chunks[static_cast<std::size_t>(t)]) {
+        if (emit_events)
+          dispatch_log.push_back({0, t, c.begin, c.end, time});
         time += chunk_exec_time(c) + static_fee + oversub_fee;
         dispatch_total += static_fee + oversub_fee;
       }
@@ -253,6 +286,7 @@ ExecutionRecord Runtime::parallel_for(const RegionWork& region) {
     for (const Chunk& c : queue_chunks) {
       const auto [t, tid] = ready.top();
       ready.pop();
+      if (emit_events) dispatch_log.push_back({0, tid, c.begin, c.end, t});
       const common::Seconds fee = grab_fee + oversub_fee;
       const common::Seconds next = t + fee + chunk_exec_time(c);
       dispatch_total += fee;
@@ -331,6 +365,12 @@ ExecutionRecord Runtime::parallel_for(const RegionWork& region) {
   if (!tools_.empty()) {
     ompt::ParallelBeginRecord pb{pid, region.id, team, entry};
     tools_.emit_parallel_begin(pb);
+    tools_.emit_loop_plan({pid, n, team, to_work_schedule(kind), chunk});
+    for (ompt::ChunkDispatchRecord d : dispatch_log) {
+      d.parallel_id = pid;
+      d.time += entry + fork;  // thread-local offset -> virtual time
+      tools_.emit_chunk_dispatch(d);
+    }
     for (int t = 0; t < team; ++t) {
       const common::Seconds t_begin = entry + fork;
       const common::Seconds t_done =

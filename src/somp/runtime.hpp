@@ -79,6 +79,14 @@ class Runtime {
   /// The machine outlives the runtime.
   explicit Runtime(sim::Machine& machine);
 
+  /// Process-wide hook invoked with every newly constructed Runtime —
+  /// how the analysis::GlobalVerifier attaches a checker to every
+  /// runtime a test creates without the test knowing. The hook must not
+  /// execute regions. Unset by default (zero cost outside tests).
+  using ConstructionObserver = std::function<void(Runtime&)>;
+  static void set_construction_observer(ConstructionObserver observer);
+  static void clear_construction_observer();
+
   // --- ICV interface (omp_set_num_threads / omp_set_schedule) ---
 
   /// Sets the team size for subsequent regions; 0 restores the default

@@ -1,0 +1,328 @@
+// Tests for the verification subsystem (src/analysis/):
+//  * clean runs across the schedule space produce zero violations;
+//  * each injected fault class is detected with a useful diagnostic;
+//  * the physics lints catch clock regression and negative energy.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/checker.hpp"
+#include "analysis/global.hpp"
+#include "analysis/inject.hpp"
+#include "analysis/trace.hpp"
+#include "sim/presets.hpp"
+#include "somp/runtime.hpp"
+
+namespace an = arcs::analysis;
+namespace om = arcs::ompt;
+namespace sp = arcs::somp;
+namespace sc = arcs::sim;
+
+namespace {
+
+sp::RegionWork make_region(const std::string& name, std::int64_t n,
+                           bool imbalanced = false) {
+  sp::RegionWork w;
+  w.id.name = name;
+  w.id.codeptr = 11;
+  std::vector<double> cycles(static_cast<std::size_t>(n), 1e6);
+  if (imbalanced)
+    for (std::size_t i = 0; i < cycles.size(); ++i)
+      cycles[i] *= 1.0 + static_cast<double>(i % 7);
+  w.cost = std::make_shared<sp::CostProfile>(std::move(cycles));
+  w.memory.bytes_per_iter = 100;
+  return w;
+}
+
+bool has_violation(const an::Checker& checker, an::ViolationClass cls) {
+  for (const auto& v : checker.violations())
+    if (v.cls == cls) return true;
+  return false;
+}
+
+std::string first_message(const an::Checker& checker,
+                          an::ViolationClass cls) {
+  for (const auto& v : checker.violations())
+    if (v.cls == cls) return v.message;
+  return {};
+}
+
+/// Runs a few regions and returns the recorded trace (detached).
+an::EventTrace capture_trace(sp::LoopSchedule schedule, int threads = 3,
+                             std::int64_t n = 64) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  an::EventTrace trace;
+  trace.attach(runtime);
+  runtime.set_num_threads(threads);
+  runtime.set_schedule(schedule);
+  runtime.parallel_for(make_region("traced", n, /*imbalanced=*/true));
+  runtime.parallel_for(make_region("traced", n, /*imbalanced=*/true));
+  trace.detach();
+  return trace;
+}
+
+an::EventTrace dynamic_trace() {
+  return capture_trace({sp::ScheduleKind::Dynamic, 4});
+}
+
+}  // namespace
+
+// ---------- clean streams across the configuration space ----------
+
+TEST(CheckerCleanRuns, FullScheduleSweepHasZeroViolations) {
+  const sp::LoopSchedule schedules[] = {
+      {sp::ScheduleKind::Default, 0}, {sp::ScheduleKind::Static, 0},
+      {sp::ScheduleKind::Static, 5},  {sp::ScheduleKind::Dynamic, 1},
+      {sp::ScheduleKind::Dynamic, 8}, {sp::ScheduleKind::Guided, 1},
+      {sp::ScheduleKind::Guided, 4},  {sp::ScheduleKind::Auto, 0},
+  };
+  for (const auto& schedule : schedules) {
+    for (int threads : {1, 3, 4, 9}) {
+      sc::Machine machine{sc::testbox()};
+      sp::Runtime runtime{machine};
+      an::Checker checker;
+      checker.attach(runtime);
+      runtime.set_num_threads(threads);
+      runtime.set_schedule(schedule);
+      for (int rep = 0; rep < 3; ++rep) {
+        runtime.parallel_for(make_region("sweep", 101, true));
+        runtime.parallel_for(make_region("tiny", 1));
+        runtime.parallel_for(make_region("empty", 0));
+      }
+      checker.finish();
+      EXPECT_TRUE(checker.ok())
+          << "schedule kind " << static_cast<int>(schedule.kind) << " chunk "
+          << schedule.chunk << " threads " << threads << ":\n"
+          << checker.report();
+      EXPECT_EQ(checker.stats().regions_checked, 9u);
+      checker.detach();
+    }
+  }
+}
+
+TEST(CheckerCleanRuns, AuditsEveryIterationExactlyOnce) {
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  an::Checker checker;
+  checker.attach(runtime);
+  runtime.set_num_threads(4);
+  runtime.set_schedule({sp::ScheduleKind::Dynamic, 3});
+  runtime.parallel_for(make_region("r", 1000));
+  checker.finish();
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_EQ(checker.stats().iterations_audited, 1000u);
+  EXPECT_GE(checker.stats().chunks_audited, 1000u / 3);
+  checker.detach();
+}
+
+TEST(CheckerCleanRuns, ObserverToolDoesNotPerturbTheSimulation) {
+  // Attaching the checker must not change the simulated execution:
+  // Observer tools carry no instrumentation cost, so a verified run and
+  // an unverified run land on identical virtual clocks and energy.
+  sc::Machine plain_machine{sc::testbox()};
+  sp::Runtime plain{plain_machine};
+  plain.set_num_threads(3);
+  plain.parallel_for(make_region("r", 128));
+
+  sc::Machine checked_machine{sc::testbox()};
+  sp::Runtime checked{checked_machine};
+  an::Checker checker;
+  checker.attach(checked);
+  checked.set_num_threads(3);
+  const auto rec = checked.parallel_for(make_region("r", 128));
+  checker.detach();
+
+  EXPECT_DOUBLE_EQ(plain_machine.now(), checked_machine.now());
+  EXPECT_DOUBLE_EQ(plain_machine.energy(), checked_machine.energy());
+  EXPECT_EQ(rec.instrumentation_time, 0.0);
+}
+
+TEST(CheckerCleanRuns, CapturedTraceReplaysClean) {
+  const an::EventTrace trace = dynamic_trace();
+  ASSERT_GT(trace.size(), 0u);
+  an::Checker checker;
+  trace.replay_into(checker);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_EQ(checker.stats().regions_checked, 2u);
+}
+
+// ---------- injected violation classes ----------
+
+TEST(CheckerInjection, DetectsDroppedParallelEnd) {
+  an::EventTrace trace = dynamic_trace();
+  ASSERT_TRUE(an::inject::drop_parallel_end(trace));
+  an::Checker checker;
+  trace.replay_into(checker);
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(
+      has_violation(checker, an::ViolationClass::MissingParallelEnd));
+  EXPECT_NE(
+      first_message(checker, an::ViolationClass::MissingParallelEnd)
+          .find("never received parallel-end"),
+      std::string::npos);
+}
+
+TEST(CheckerInjection, DetectsMismatchedParallelId) {
+  an::EventTrace trace = dynamic_trace();
+  ASSERT_TRUE(an::inject::mismatch_parallel_id(trace));
+  an::Checker checker;
+  trace.replay_into(checker);
+  EXPECT_TRUE(
+      has_violation(checker, an::ViolationClass::UnknownParallelId));
+  // The un-re-identified thread is also left mid-protocol.
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(CheckerInjection, DetectsDoubleDispatchedIteration) {
+  an::EventTrace trace = dynamic_trace();
+  ASSERT_TRUE(an::inject::double_dispatch_iteration(trace));
+  an::Checker checker;
+  trace.replay_into(checker);
+  EXPECT_TRUE(has_violation(checker, an::ViolationClass::DoubleDispatch));
+  EXPECT_NE(first_message(checker, an::ViolationClass::DoubleDispatch)
+                .find("dispatched more than once"),
+            std::string::npos);
+}
+
+TEST(CheckerInjection, DetectsOverlappingChunksAcrossThreads) {
+  an::EventTrace trace = dynamic_trace();
+  ASSERT_TRUE(an::inject::overlap_chunks(trace));
+  an::Checker checker;
+  trace.replay_into(checker);
+  EXPECT_TRUE(has_violation(checker, an::ViolationClass::DoubleDispatch));
+}
+
+TEST(CheckerInjection, DetectsSkippedIteration) {
+  an::EventTrace trace = dynamic_trace();
+  ASSERT_TRUE(an::inject::skip_iteration(trace));
+  an::Checker checker;
+  trace.replay_into(checker);
+  EXPECT_TRUE(
+      has_violation(checker, an::ViolationClass::SkippedIteration));
+  EXPECT_NE(first_message(checker, an::ViolationClass::SkippedIteration)
+                .find("never dispatched"),
+            std::string::npos);
+}
+
+TEST(CheckerInjection, DetectsClockRegression) {
+  an::EventTrace trace = dynamic_trace();
+  ASSERT_TRUE(an::inject::regress_clock(trace));
+  an::Checker checker;
+  trace.replay_into(checker);
+  EXPECT_TRUE(
+      has_violation(checker, an::ViolationClass::ClockRegression));
+}
+
+TEST(CheckerInjection, DetectsNegativeEnergy) {
+  an::EventTrace trace = dynamic_trace();
+  ASSERT_TRUE(an::inject::negate_energy(trace));
+  an::Checker checker;
+  trace.replay_into(checker);
+  EXPECT_TRUE(has_violation(checker, an::ViolationClass::NegativeEnergy));
+  EXPECT_NE(first_message(checker, an::ViolationClass::NegativeEnergy)
+                .find("energy integral decreased"),
+            std::string::npos);
+}
+
+TEST(CheckerInjection, DetectsCorruptedTeamSize) {
+  an::EventTrace trace = dynamic_trace();
+  ASSERT_TRUE(an::inject::corrupt_team_size(trace));
+  an::Checker checker;
+  trace.replay_into(checker);
+  EXPECT_TRUE(
+      has_violation(checker, an::ViolationClass::TeamSizeMismatch));
+}
+
+TEST(CheckerInjection, DetectsDroppedImplicitTaskEnd) {
+  an::EventTrace trace = dynamic_trace();
+  ASSERT_TRUE(an::inject::drop_implicit_task_end(trace));
+  an::Checker checker;
+  trace.replay_into(checker);
+  EXPECT_TRUE(
+      has_violation(checker, an::ViolationClass::MissingThreadEvents));
+}
+
+TEST(CheckerInjection, StaticScheduleFaultsAreAlsoDetected) {
+  an::EventTrace trace = capture_trace({sp::ScheduleKind::Static, 7});
+  ASSERT_TRUE(an::inject::skip_iteration(trace));
+  an::Checker checker;
+  trace.replay_into(checker);
+  EXPECT_TRUE(
+      has_violation(checker, an::ViolationClass::SkippedIteration));
+}
+
+// ---------- physics lints, driven directly ----------
+
+TEST(CheckerPhysics, AcceptsMonotoneSamples) {
+  an::Checker checker;
+  checker.on_physics({0.0, 0.0, 0.0});
+  checker.on_physics({1.0, 50.0, 2.0});
+  checker.on_physics({1.0, 50.0, 2.0});  // equal is allowed
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(CheckerPhysics, RejectsClockRegression) {
+  an::Checker checker;
+  checker.on_physics({2.0, 10.0, 1.0});
+  checker.on_physics({1.5, 11.0, 1.0});
+  EXPECT_TRUE(
+      has_violation(checker, an::ViolationClass::ClockRegression));
+}
+
+TEST(CheckerPhysics, RejectsShrinkingDramEnergy) {
+  an::Checker checker;
+  checker.on_physics({1.0, 10.0, 3.0});
+  checker.on_physics({2.0, 11.0, 2.5});
+  EXPECT_TRUE(has_violation(checker, an::ViolationClass::NegativeEnergy));
+}
+
+// ---------- protocol automaton, driven directly ----------
+
+TEST(CheckerProtocol, RejectsLoopBeginBeforeImplicitTask) {
+  an::Checker checker;
+  checker.on_parallel_begin({1, {"r", 0}, 2, 0.0});
+  checker.on_work_loop({om::Endpoint::Begin, 1, 0, 0.1});
+  EXPECT_TRUE(has_violation(checker, an::ViolationClass::ProtocolOrder));
+}
+
+TEST(CheckerProtocol, RejectsNonMonotoneParallelIds) {
+  an::Checker checker;
+  checker.on_parallel_begin({5, {"a", 0}, 1, 0.0});
+  checker.on_parallel_end({5, {"a", 0}, 1, 0.0});
+  checker.on_parallel_begin({4, {"b", 0}, 1, 0.0});
+  EXPECT_TRUE(
+      has_violation(checker, an::ViolationClass::NonMonotoneParallelId));
+}
+
+TEST(CheckerProtocol, RejectsThreadOutsideTeam) {
+  an::Checker checker;
+  checker.on_parallel_begin({1, {"r", 0}, 2, 0.0});
+  checker.on_implicit_task({om::Endpoint::Begin, 1, 5, 0.1});
+  EXPECT_TRUE(
+      has_violation(checker, an::ViolationClass::TeamSizeMismatch));
+}
+
+TEST(CheckerProtocol, ViolationStorageIsCappedNotUnbounded) {
+  an::Checker checker;
+  for (int i = 0; i < 500; ++i)
+    checker.on_parallel_end(
+        {static_cast<om::ParallelId>(i + 1000), {"x", 0}, 1, 0.0});
+  EXPECT_EQ(checker.violations().size(), an::Checker::kMaxStoredViolations);
+  EXPECT_EQ(checker.violation_count(), 500u);
+}
+
+// ---------- the always-on global verifier ----------
+
+TEST(GlobalVerifier, AttachesToEveryRuntimeAndStaysClean) {
+  auto& verifier = an::GlobalVerifier::instance();
+  ASSERT_TRUE(verifier.installed());  // installed by checked_main.cpp
+  const an::CheckerStats before = verifier.total_stats();
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  runtime.parallel_for(make_region("observed", 32));
+  const an::CheckerStats after = verifier.total_stats();
+  EXPECT_EQ(after.regions_checked, before.regions_checked + 1);
+  EXPECT_GE(after.iterations_audited, before.iterations_audited + 32);
+}

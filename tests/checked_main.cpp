@@ -1,0 +1,35 @@
+// Shared gtest main for every ARCS test binary.
+//
+// Installs the analysis::GlobalVerifier so each somp::Runtime any test
+// constructs runs under full OMPT-protocol / scheduler-coverage / physics
+// verification, and fails the enclosing test if its event streams were
+// not clean. This is the "always-on" half of the verification subsystem:
+// the whole existing suite doubles as a workload generator for the
+// checker.
+#include <gtest/gtest.h>
+
+#include "analysis/global.hpp"
+
+namespace {
+
+class VerifierListener : public ::testing::EmptyTestEventListener {
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    const std::string report =
+        arcs::analysis::GlobalVerifier::instance().drain_report();
+    if (!report.empty()) {
+      ADD_FAILURE() << "runtime verification failed during "
+                    << info.test_suite_name() << "." << info.name() << ":\n"
+                    << report;
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  arcs::analysis::GlobalVerifier::instance().install();
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new VerifierListener);
+  return RUN_ALL_TESTS();
+}

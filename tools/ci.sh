@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Local CI for ARCS: builds and runs the full ctest suite in
+#   1. plain mode (warnings-as-errors), and
+#   2. ASan+UBSan mode (-DARCS_SANITIZE=ON),
+# and, when clang-tidy is available, a clang-tidy build as well.
+#
+# Usage: tools/ci.sh [build-root]   (default: ./build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_mode() {
+  local name="$1"; shift
+  echo "=== [$name] configure: $* ==="
+  cmake -B "$ROOT/$name" -S . "$@" >/dev/null
+  echo "=== [$name] build ==="
+  cmake --build "$ROOT/$name" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  (cd "$ROOT/$name" && ctest --output-on-failure -j "$JOBS")
+}
+
+run_mode plain -DARCS_WERROR=ON
+
+# UBSan halts on the first report (-fno-sanitize-recover=all), so a green
+# suite is a real "no UB observed" statement.
+run_mode sanitize -DARCS_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  run_mode tidy -DARCS_CLANG_TIDY=ON
+else
+  echo "=== clang-tidy not found; skipping tidy mode ==="
+fi
+
+echo "=== verification sweep (somp_verify) ==="
+"$ROOT/plain/tools/somp_verify" --app synthetic --steps 3
+"$ROOT/plain/tools/somp_verify" --inject
+
+echo "CI: all modes green"

@@ -1,0 +1,280 @@
+// somp_verify — replay a workload under a configuration sweep with the
+// verification layer attached, and report every invariant violation.
+//
+//   somp_verify [--app synthetic|sp|bt|lulesh|cg] [--workload B]
+//               [--machine testbox|crill|minotaur|haswell]
+//               [--steps N] [--cap WATTS] [--threads a,b,c] [--inject]
+//
+// Default mode: runs the app's region sequence under every (threads x
+// schedule) combination of the sweep, each on a fresh machine with an
+// analysis::Checker attached, and prints a per-configuration audit line.
+// Exit code 1 if any configuration produced a violation.
+//
+// --inject: detector self-test. Captures one clean trace, applies every
+// fault injector to a fresh copy, and verifies the checker catches each
+// one. Exit code 1 if any fault goes undetected.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/checker.hpp"
+#include "analysis/inject.hpp"
+#include "analysis/trace.hpp"
+#include "kernels/apps.hpp"
+#include "sim/presets.hpp"
+#include "somp/runtime.hpp"
+
+namespace {
+
+using arcs::analysis::Checker;
+using arcs::analysis::EventTrace;
+
+struct Options {
+  std::string app = "synthetic";
+  std::string workload;
+  std::string machine = "testbox";
+  int steps = 5;
+  double cap = 0.0;
+  std::vector<int> threads;
+  bool inject = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--app synthetic|sp|bt|lulesh|cg] [--workload W]\n"
+               "          [--machine testbox|crill|minotaur|haswell]\n"
+               "          [--steps N] [--cap WATTS] [--threads a,b,c]\n"
+               "          [--inject]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--app") {
+      opt.app = value();
+    } else if (arg == "--workload") {
+      opt.workload = value();
+    } else if (arg == "--machine") {
+      opt.machine = value();
+    } else if (arg == "--steps") {
+      opt.steps = std::atoi(value().c_str());
+    } else if (arg == "--cap") {
+      char* end = nullptr;
+      const std::string v = value();
+      opt.cap = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || opt.cap < 0) {
+        std::fprintf(stderr, "--cap expects a non-negative wattage, got '%s'\n",
+                     v.c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--threads") {
+      const std::string list = value();
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t next = list.find(',', pos);
+        if (next == std::string::npos) next = list.size();
+        const std::string item = list.substr(pos, next - pos);
+        char* end = nullptr;
+        const long t = std::strtol(item.c_str(), &end, 10);
+        if (end == item.c_str() || *end != '\0' || t <= 0 || t > 1 << 20) {
+          std::fprintf(stderr,
+                       "--threads expects positive integers, got '%s'\n",
+                       item.c_str());
+          std::exit(2);
+        }
+        opt.threads.push_back(static_cast<int>(t));
+        pos = next + 1;
+      }
+    } else if (arg == "--inject") {
+      opt.inject = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+arcs::kernels::AppSpec pick_app(const Options& opt) {
+  using namespace arcs::kernels;
+  if (opt.app == "synthetic") return synthetic_app();
+  const std::string w = opt.workload;
+  if (opt.app == "sp") return sp_app(w.empty() ? "B" : w);
+  if (opt.app == "bt") return bt_app(w.empty() ? "B" : w);
+  if (opt.app == "lulesh") return lulesh_app(w.empty() ? "45" : w);
+  if (opt.app == "cg") return cg_app(w.empty() ? "B" : w);
+  std::fprintf(stderr, "unknown app '%s'\n", opt.app.c_str());
+  std::exit(2);
+}
+
+arcs::sim::MachineSpec pick_machine(const Options& opt) {
+  if (opt.machine == "testbox") return arcs::sim::testbox();
+  if (opt.machine == "crill") return arcs::sim::crill();
+  if (opt.machine == "minotaur") return arcs::sim::minotaur();
+  if (opt.machine == "haswell") return arcs::sim::haswell();
+  std::fprintf(stderr, "unknown machine '%s'\n", opt.machine.c_str());
+  std::exit(2);
+}
+
+std::vector<arcs::somp::RegionWork> build_works(
+    const arcs::kernels::AppSpec& app) {
+  std::vector<arcs::somp::RegionWork> works;
+  works.reserve(app.regions.size());
+  for (std::size_t i = 0; i < app.regions.size(); ++i)
+    works.push_back(app.regions[i].build(i + 1));
+  return works;
+}
+
+/// Runs the app's step sequence for `steps` timesteps on one runtime.
+void run_workload(arcs::somp::Runtime& runtime,
+                  const arcs::kernels::AppSpec& app,
+                  const std::vector<arcs::somp::RegionWork>& works,
+                  int steps) {
+  for (int step = 0; step < steps; ++step)
+    for (const std::size_t idx : app.step_sequence)
+      runtime.parallel_for(works[idx]);
+}
+
+int run_sweep(const Options& opt) {
+  const arcs::kernels::AppSpec app = pick_app(opt);
+  const arcs::sim::MachineSpec spec = pick_machine(opt);
+  const auto works = build_works(app);
+
+  std::vector<int> threads = opt.threads;
+  if (threads.empty())
+    threads = {1, spec.topology.total_cores(), spec.default_threads()};
+
+  using arcs::somp::LoopSchedule;
+  using arcs::somp::ScheduleKind;
+  const std::vector<std::pair<const char*, LoopSchedule>> schedules = {
+      {"static", {ScheduleKind::Static, 0}},
+      {"static,16", {ScheduleKind::Static, 16}},
+      {"dynamic,1", {ScheduleKind::Dynamic, 1}},
+      {"dynamic,8", {ScheduleKind::Dynamic, 8}},
+      {"guided,1", {ScheduleKind::Guided, 1}},
+      {"auto", {ScheduleKind::Auto, 0}},
+  };
+
+  std::printf("somp_verify: app=%s/%s machine=%s steps=%d cap=%.0fW\n",
+              app.name.c_str(), app.workload.c_str(), spec.name.c_str(),
+              opt.steps, opt.cap);
+  std::printf("%-12s %8s %10s %10s %12s %10s\n", "schedule", "threads",
+              "regions", "events", "iterations", "violations");
+
+  std::uint64_t total_violations = 0;
+  for (const auto& [sched_name, schedule] : schedules) {
+    for (const int t : threads) {
+      arcs::sim::Machine machine{spec};
+      if (opt.cap > 0) machine.set_power_cap(opt.cap);
+      arcs::somp::Runtime runtime{machine};
+      Checker checker;
+      checker.attach(runtime);
+      runtime.set_num_threads(t);
+      runtime.set_schedule(schedule);
+      run_workload(runtime, app, works, opt.steps);
+      checker.finish();
+      const auto& stats = checker.stats();
+      std::printf("%-12s %8d %10llu %10llu %12llu %10llu\n", sched_name, t,
+                  static_cast<unsigned long long>(stats.regions_checked),
+                  static_cast<unsigned long long>(stats.events_checked),
+                  static_cast<unsigned long long>(stats.iterations_audited),
+                  static_cast<unsigned long long>(checker.violation_count()));
+      if (!checker.ok()) {
+        total_violations += checker.violation_count();
+        std::printf("%s\n", checker.report().c_str());
+      }
+      checker.detach();
+    }
+  }
+  if (total_violations > 0) {
+    std::printf("FAIL: %llu violation(s) across the sweep\n",
+                static_cast<unsigned long long>(total_violations));
+    return 1;
+  }
+  std::printf("OK: every configuration verified clean\n");
+  return 0;
+}
+
+int run_inject(const Options& opt) {
+  const arcs::kernels::AppSpec app = pick_app(opt);
+  const arcs::sim::MachineSpec spec = pick_machine(opt);
+  const auto works = build_works(app);
+
+  EventTrace trace;
+  {
+    arcs::sim::Machine machine{spec};
+    arcs::somp::Runtime runtime{machine};
+    trace.attach(runtime);
+    runtime.set_schedule({arcs::somp::ScheduleKind::Dynamic, 4});
+    run_workload(runtime, app, works, 1);
+    trace.detach();
+  }
+  {
+    Checker clean;
+    trace.replay_into(clean);
+    if (!clean.ok()) {
+      std::printf("FAIL: the uncorrupted trace is not clean:\n%s\n",
+                  clean.report().c_str());
+      return 1;
+    }
+  }
+
+  using Injector = bool (*)(EventTrace&);
+  const std::vector<std::pair<const char*, Injector>> faults = {
+      {"drop-parallel-end", arcs::analysis::inject::drop_parallel_end},
+      {"mismatch-parallel-id",
+       arcs::analysis::inject::mismatch_parallel_id},
+      {"double-dispatch",
+       arcs::analysis::inject::double_dispatch_iteration},
+      {"skip-iteration", arcs::analysis::inject::skip_iteration},
+      {"overlap-chunks", arcs::analysis::inject::overlap_chunks},
+      {"regress-clock", arcs::analysis::inject::regress_clock},
+      {"negate-energy", arcs::analysis::inject::negate_energy},
+      {"corrupt-team-size", arcs::analysis::inject::corrupt_team_size},
+      {"drop-implicit-task-end",
+       arcs::analysis::inject::drop_implicit_task_end},
+  };
+
+  std::printf("somp_verify --inject: detector self-test on %zu events\n",
+              trace.size());
+  int undetected = 0;
+  for (const auto& [name, injector] : faults) {
+    EventTrace corrupted = trace;
+    if (!injector(corrupted)) {
+      std::printf("%-24s SKIP (nothing to corrupt)\n", name);
+      continue;
+    }
+    Checker checker;
+    corrupted.replay_into(checker);
+    if (checker.ok()) {
+      std::printf("%-24s UNDETECTED\n", name);
+      ++undetected;
+    } else {
+      std::printf("%-24s detected (%llu violation(s), first: %s)\n", name,
+                  static_cast<unsigned long long>(checker.violation_count()),
+                  std::string(to_string(checker.violations()[0].cls)).c_str());
+    }
+  }
+  if (undetected > 0) {
+    std::printf("FAIL: %d fault class(es) slipped past the checker\n",
+                undetected);
+    return 1;
+  }
+  std::printf("OK: every injected fault class was detected\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  return opt.inject ? run_inject(opt) : run_sweep(opt);
+}
