@@ -1,35 +1,221 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
 
 namespace arcs::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct HarnessState {
+  std::string artifact = "unnamed";
+  std::string title;
+  std::string expectation;
+  bool json = false;
+  std::string json_dir = ".";
+  std::size_t workers_override = 0;
+  Clock::time_point start = Clock::now();
+  common::Json series = common::Json::array();
+  common::Json tables = common::Json::array();
+  std::unique_ptr<exec::ExperimentPool> pool;
+};
+
+HarnessState& state() {
+  static HarnessState s;
+  return s;
+}
+
+/// One (cap, strategy) run as a pool job. The seed is a pure function of
+/// the submitted options — never of submission order — so the batch is
+/// bit-identical to the serial loop it replaced.
+std::future<exec::JobOutcome<kernels::RunResult>> submit_run(
+    const kernels::AppSpec& app, const sim::MachineSpec& machine,
+    const kernels::RunOptions& base, TuningStrategy strategy, double cap) {
+  kernels::RunOptions options = base;
+  options.strategy = strategy;
+  options.power_cap = cap;
+  exec::JobOptions job;
+  job.label = app.name + "/" + app.workload + "@" + machine.name + " " +
+              cap_label(cap) + " " + std::string(to_string(strategy));
+  return pool().submit(
+      [app, machine, options](exec::JobContext& ctx) {
+        kernels::RunOptions with_stop = options;
+        with_stop.stop = ctx.stop_token();
+        return kernels::run_app(app, machine, with_stop);
+      },
+      std::move(job));
+}
+
+kernels::RunResult take(
+    std::future<exec::JobOutcome<kernels::RunResult>>& future) {
+  exec::JobOutcome<kernels::RunResult> outcome = future.get();
+  if (!outcome.ok())
+    throw std::runtime_error("bench experiment " +
+                             std::string(to_string(outcome.status)) +
+                             (outcome.error.empty() ? ""
+                                                    : ": " + outcome.error));
+  return std::move(*outcome.value);
+}
+
+common::Json table_to_json(const std::string& name,
+                           const common::Table& table) {
+  common::Json t = common::Json::object();
+  t.set("name", name);
+  common::Json headers = common::Json::array();
+  for (const auto& h : table.headers()) headers.push_back(h);
+  t.set("headers", std::move(headers));
+  common::Json rows = common::Json::array();
+  for (const auto& row : table.rows()) {
+    common::Json r = common::Json::array();
+    for (const auto& cell : row) r.push_back(cell);
+    rows.push_back(std::move(r));
+  }
+  t.set("rows", std::move(rows));
+  return t;
+}
+
+}  // namespace
+
+void init(int argc, char** argv, const std::string& artifact) {
+  HarnessState& s = state();
+  s.artifact = artifact;
+  s.start = Clock::now();
+  if (const char* dir = std::getenv("ARCS_BENCH_JSON");
+      dir != nullptr && dir[0] != '\0') {
+    s.json = true;
+    s.json_dir = dir;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      s.json = true;
+    } else if (arg == "--json-dir" && i + 1 < argc) {
+      s.json = true;
+      s.json_dir = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      if (n > 0) s.workers_override = static_cast<std::size_t>(n);
+    } else {
+      std::cerr << "ignoring unknown bench flag '" << arg
+                << "' (known: --json, --json-dir DIR, --workers N)\n";
+    }
+  }
+}
+
+bool json_enabled() { return state().json; }
+
+exec::ExperimentPool& pool() {
+  HarnessState& s = state();
+  static std::once_flag once;
+  std::call_once(once, [&s] {
+    exec::PoolOptions options;
+    options.workers = s.workers_override;  // 0 = recommended_workers()
+    s.pool = std::make_unique<exec::ExperimentPool>(options);
+  });
+  return *s.pool;
+}
+
+int finish() {
+  HarnessState& s = state();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - s.start).count();
+  exec::PoolStats stats;
+  if (s.pool) stats = s.pool->stats();
+  if (!s.json) {
+    if (s.pool) s.pool->shutdown();
+    return 0;
+  }
+
+  common::Json j = common::Json::object();
+  j.set("schema", "arcs-bench-report/v1");
+  j.set("artifact", s.artifact);
+  j.set("title", s.title);
+  j.set("paper_expectation", s.expectation);
+  const char* fast = std::getenv("ARCS_BENCH_FAST");
+  j.set("fast_mode", fast != nullptr && fast[0] == '1');
+  j.set("rows", s.series);
+  j.set("tables", s.tables);
+  j.set("wall_seconds", wall);
+  j.set("serial_equivalent_seconds", stats.busy_seconds);
+  j.set("host_parallelism_speedup",
+        wall > 0 ? stats.busy_seconds / wall : 0.0);
+  j.set("workers", stats.workers);
+  common::Json jobs = common::Json::object();
+  jobs.set("submitted", stats.jobs_submitted);
+  jobs.set("done", stats.jobs_done);
+  jobs.set("failed", stats.jobs_failed);
+  jobs.set("timed_out", stats.jobs_timed_out);
+  jobs.set("cancelled", stats.jobs_cancelled);
+  jobs.set("steals", stats.steals);
+  j.set("jobs", std::move(jobs));
+
+  std::filesystem::create_directories(s.json_dir);
+  const auto path = std::filesystem::path(s.json_dir) /
+                    ("BENCH_" + s.artifact + ".json");
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << j.dump(2);
+  std::cout << "[json] wrote " << path.string() << "\n";
+  if (s.pool) s.pool->shutdown();
+  return out.good() ? 0 : 1;
+}
 
 StrategySweep run_strategies(const kernels::AppSpec& app,
                              const sim::MachineSpec& machine, double cap,
                              std::size_t max_search_passes,
                              std::uint64_t seed) {
-  StrategySweep sweep;
-  sweep.cap = cap;
+  std::vector<StrategySweep> sweeps =
+      run_strategies_batch(app, machine, {cap}, max_search_passes, seed);
+  return std::move(sweeps.front());
+}
 
+std::vector<StrategySweep> run_strategies_batch(
+    const kernels::AppSpec& app, const sim::MachineSpec& machine,
+    const std::vector<double>& caps, std::size_t max_search_passes,
+    std::uint64_t seed) {
   kernels::RunOptions base;
-  base.power_cap = cap;
   base.seed = seed;
   base.max_search_passes = max_search_passes;
   base.repetitions = 3;  // paper §IV.D: three runs per experiment
 
-  sweep.def = kernels::run_app(app, machine, base);
-
-  auto online = base;
-  online.strategy = TuningStrategy::Online;
-  sweep.online = kernels::run_app(app, machine, online);
-
-  auto offline = base;
-  offline.strategy = TuningStrategy::OfflineReplay;
-  sweep.offline = kernels::run_app(app, machine, offline);
-  return sweep;
+  // Fan every (cap, strategy) run out at once; collect in cap order.
+  struct SweepFutures {
+    std::future<exec::JobOutcome<kernels::RunResult>> def, online, offline;
+  };
+  std::vector<SweepFutures> futures;
+  futures.reserve(caps.size());
+  for (const double cap : caps) {
+    SweepFutures f;
+    f.def = submit_run(app, machine, base, TuningStrategy::Default, cap);
+    f.online = submit_run(app, machine, base, TuningStrategy::Online, cap);
+    f.offline =
+        submit_run(app, machine, base, TuningStrategy::OfflineReplay, cap);
+    futures.push_back(std::move(f));
+  }
+  std::vector<StrategySweep> sweeps;
+  sweeps.reserve(caps.size());
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    StrategySweep sweep;
+    sweep.cap = caps[i];
+    sweep.def = take(futures[i].def);
+    sweep.online = take(futures[i].online);
+    sweep.offline = take(futures[i].offline);
+    sweeps.push_back(std::move(sweep));
+  }
+  return sweeps;
 }
 
 void print_normalized_sweeps(const std::string& title,
@@ -64,9 +250,29 @@ void print_normalized_sweeps(const std::string& title,
     std::cout << cap_label(s.cap) << "="
               << common::format_fixed(s.def.elapsed, 2) << "  ";
   std::cout << "\n";
+
+  if (json_enabled()) {
+    for (const auto& s : sweeps) {
+      common::Json row = common::Json::object();
+      row.set("series", title);
+      row.set("power_level", cap_label(s.cap));
+      row.set("cap_w", s.cap);
+      row.set("time_default_s", s.def.elapsed);
+      row.set("time_online_norm", s.online.elapsed / s.def.elapsed);
+      row.set("time_offline_norm", s.offline.elapsed / s.def.elapsed);
+      if (include_energy) {
+        row.set("energy_default_j", s.def.energy);
+        row.set("energy_online_norm", s.online.energy / s.def.energy);
+        row.set("energy_offline_norm", s.offline.energy / s.def.energy);
+      }
+      state().series.push_back(std::move(row));
+    }
+  }
 }
 
 void banner(const std::string& artifact, const std::string& expectation) {
+  state().title = artifact;
+  state().expectation = expectation;
   std::cout << "==========================================================\n"
             << artifact << "\n"
             << "paper expectation: " << expectation << "\n"
@@ -81,6 +287,7 @@ int effective_timesteps(int full) {
 
 void maybe_export_csv(const std::string& name,
                       const common::Table& table) {
+  if (json_enabled()) state().tables.push_back(table_to_json(name, table));
   const char* dir = std::getenv("ARCS_BENCH_CSV");
   if (dir == nullptr || dir[0] == '\0') return;
   std::filesystem::create_directories(dir);

@@ -4,6 +4,17 @@
 // (2) the same rows/series measured on this reproduction, normalized the
 // way the paper normalizes (to the default strategy at the same power
 // level). Absolute values are simulator units; the *shape* is the claim.
+//
+// Execution model: strategy sweeps fan out across the process-wide
+// exec::ExperimentPool (one job per (cap, strategy) run), so a bench
+// binary uses every host core instead of one. Results are assembled in
+// submission-independent order and each job's seed is fixed by its
+// inputs, so the output is bit-identical to the old serial loop.
+//
+// Machine-readable output: `--json` (or ARCS_BENCH_JSON=<dir>) writes
+// BENCH_<artifact>.json next to the console output — rows, normalized
+// series, every exported table, wall time, and the host-parallelism
+// speedup. Schema documented in docs/BENCH.md.
 #pragma once
 
 #include <iostream>
@@ -12,6 +23,8 @@
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "exec/experiment.hpp"
+#include "exec/pool.hpp"
 #include "kernels/apps.hpp"
 #include "kernels/driver.hpp"
 #include "sim/presets.hpp"
@@ -27,6 +40,21 @@ inline std::string cap_label(double cap) {
   return cap > 0.0 ? common::format_fixed(cap, 0) + "W" : "TDP(115W)";
 }
 
+/// Call first in every bench main: parses --json / --json-dir / --workers
+/// (env: ARCS_BENCH_JSON, ARCS_EXEC_WORKERS) and starts the wall clock.
+/// `artifact` is the BENCH_<artifact>.json slug, e.g. "fig5_sp_classC".
+void init(int argc, char** argv, const std::string& artifact);
+
+/// Call last (the bench's return value): flushes BENCH_<artifact>.json
+/// when JSON mode is on. Returns 0 on success.
+int finish();
+
+/// True when init() saw --json or ARCS_BENCH_JSON.
+bool json_enabled();
+
+/// The process-wide experiment pool every bench sweep runs on.
+exec::ExperimentPool& pool();
+
 /// Results of the three strategies at one power level.
 struct StrategySweep {
   double cap = 0.0;
@@ -35,14 +63,24 @@ struct StrategySweep {
   kernels::RunResult offline;
 };
 
-/// Runs {default, ARCS-Online, ARCS-Offline} for one app at one cap.
+/// Runs {default, ARCS-Online, ARCS-Offline} for one app at one cap —
+/// three pool jobs, assembled in strategy order.
 StrategySweep run_strategies(const kernels::AppSpec& app,
                              const sim::MachineSpec& machine, double cap,
                              std::size_t max_search_passes = 60,
                              std::uint64_t seed = 1);
 
+/// Fans the full cap list × three strategies across the pool at once
+/// (3·|caps| concurrent jobs, not |caps| serial trios); returns sweeps
+/// in cap order.
+std::vector<StrategySweep> run_strategies_batch(
+    const kernels::AppSpec& app, const sim::MachineSpec& machine,
+    const std::vector<double>& caps, std::size_t max_search_passes = 60,
+    std::uint64_t seed = 1);
+
 /// Prints the paper-style normalized table (execution time and, when the
-/// machine exposes counters, package energy) for a set of sweeps.
+/// machine exposes counters, package energy) for a set of sweeps, and
+/// records the normalized series into the JSON report.
 void print_normalized_sweeps(const std::string& title,
                              const std::vector<StrategySweep>& sweeps,
                              bool include_energy);
@@ -54,7 +92,8 @@ void banner(const std::string& artifact, const std::string& expectation);
 int effective_timesteps(int full);
 
 /// When ARCS_BENCH_CSV=<dir> is set, also writes `table` to
-/// <dir>/<name>.csv (for replotting); otherwise a no-op.
+/// <dir>/<name>.csv (for replotting). In JSON mode the table is
+/// additionally embedded in the report's "tables" array.
 void maybe_export_csv(const std::string& name, const common::Table& table);
 
 }  // namespace arcs::bench

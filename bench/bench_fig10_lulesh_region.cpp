@@ -10,7 +10,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "fig10_lulesh_region");
   using namespace arcs;
   bench::banner("Figure 10 — LULESH CalcFBHourglassForceForElems features "
                 "(TDP, normalized to default)",
@@ -54,5 +55,5 @@ int main() {
   t.print(std::cout);
   std::cout << "\nARCS configuration: " << best.config.to_string()
             << "  (paper: (4, guided, 32))\n";
-  return 0;
+  return arcs::bench::finish();
 }

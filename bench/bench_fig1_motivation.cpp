@@ -51,12 +51,13 @@ void panel(const arcs::kernels::AppSpec& app, const std::string& region) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "fig1_motivation");
   arcs::bench::banner(
       "Figure 1 — BT x_solve across power levels",
       "optimal != default everywhere; optimum changes with the cap; "
       "a capped optimum can beat the uncapped default");
   panel(arcs::kernels::bt_app("B"), "x_solve");
   panel(arcs::kernels::sp_app("B"), "z_solve");
-  return 0;
+  return arcs::bench::finish();
 }

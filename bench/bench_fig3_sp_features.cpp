@@ -10,7 +10,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "fig3_sp_features");
   using namespace arcs;
   bench::banner("Figure 3 — SP region features, default vs ARCS-Offline "
                 "(TDP, normalized to default)",
@@ -43,5 +44,5 @@ int main() {
   }
   t.print(std::cout);
   std::cout << "\n(1.000 = default; e.g. 0.20 means an 80% reduction)\n";
-  return 0;
+  return arcs::bench::finish();
 }

@@ -9,7 +9,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "fig4_sp_app");
   using namespace arcs;
   bench::banner("Figure 4 — SP class B, application level (Crill)",
                 "ARCS improves time 26-40% and energy up to ~40% at every "
@@ -18,11 +19,10 @@ int main() {
   auto app = kernels::sp_app("B");
   app.timesteps = bench::effective_timesteps(app.timesteps);
 
-  std::vector<bench::StrategySweep> sweeps;
-  for (const double cap : bench::crill_caps())
-    sweeps.push_back(bench::run_strategies(app, sim::crill(), cap));
+  const std::vector<bench::StrategySweep> sweeps =
+      bench::run_strategies_batch(app, sim::crill(), bench::crill_caps());
 
   bench::print_normalized_sweeps("SP class B on crill", sweeps,
                                  /*include_energy=*/true);
-  return 0;
+  return arcs::bench::finish();
 }

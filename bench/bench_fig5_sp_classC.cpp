@@ -8,7 +8,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "fig5_sp_classC");
   using namespace arcs;
   bench::banner("Figure 5 — SP class C at TDP (Crill)",
                 "up to 40% time / 42% energy improvement; optima differ "
@@ -41,5 +42,5 @@ int main() {
   }
   std::cout << "\n";
   t.print(std::cout);
-  return 0;
+  return arcs::bench::finish();
 }

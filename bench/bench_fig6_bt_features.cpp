@@ -11,7 +11,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "fig6_bt_features");
   using namespace arcs;
   bench::banner("Figure 6 — BT compute_rhs features, default vs "
                 "ARCS-Offline (TDP, normalized)",
@@ -46,5 +47,5 @@ int main() {
   t.print(std::cout);
   std::cout << "\n(compute_rhs should improve; x/y/z_solve should sit "
                "near 1.0 — they are already well-behaved)\n";
-  return 0;
+  return arcs::bench::finish();
 }

@@ -9,7 +9,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "fig7_bt_app");
   using namespace arcs;
   bench::banner("Figure 7 — BT class B, application level (Crill)",
                 "small gains (best ~3%, Offline); Online sometimes below "
@@ -18,9 +19,8 @@ int main() {
   auto app = kernels::bt_app("B");
   app.timesteps = bench::effective_timesteps(app.timesteps);
 
-  std::vector<bench::StrategySweep> sweeps;
-  for (const double cap : bench::crill_caps())
-    sweeps.push_back(bench::run_strategies(app, sim::crill(), cap));
+  const std::vector<bench::StrategySweep> sweeps =
+      bench::run_strategies_batch(app, sim::crill(), bench::crill_caps());
 
   bench::print_normalized_sweeps("BT class B on crill", sweeps,
                                  /*include_energy=*/true);
@@ -30,5 +30,5 @@ int main() {
     if (s.online.elapsed > s.def.elapsed) online_ever_loses = true;
   std::cout << "ARCS-Online loses somewhere: "
             << (online_ever_loses ? "yes (as in the paper)" : "no") << "\n";
-  return 0;
+  return arcs::bench::finish();
 }

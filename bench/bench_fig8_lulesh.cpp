@@ -15,7 +15,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "fig8_lulesh");
   using namespace arcs;
   bench::banner("Figure 8 — LULESH mesh 45",
                 "Crill: Online loses everywhere, Offline mixed, energy "
@@ -25,9 +26,8 @@ int main() {
   app.timesteps = bench::effective_timesteps(app.timesteps);
 
   // (a)+(b) Crill across caps.
-  std::vector<bench::StrategySweep> sweeps;
-  for (const double cap : bench::crill_caps())
-    sweeps.push_back(bench::run_strategies(app, sim::crill(), cap));
+  const std::vector<bench::StrategySweep> sweeps =
+      bench::run_strategies_batch(app, sim::crill(), bench::crill_caps());
   bench::print_normalized_sweeps("(a)/(b) LULESH mesh 45 on crill", sweeps,
                                  /*include_energy=*/true);
 
@@ -61,5 +61,5 @@ int main() {
       .cell(mino.offline.elapsed, 2)
       .cell(mino.offline.elapsed / mino.def.elapsed, 3);
   t.print(std::cout);
-  return 0;
+  return arcs::bench::finish();
 }

@@ -16,7 +16,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "fig9_lulesh_events");
   using namespace arcs;
   bench::banner("Figure 9 — LULESH OMPT event breakdown (default, TDP)",
                 "tiny EOS/pressure regions are barrier-dominated; "
@@ -57,5 +58,5 @@ int main() {
             << " ms per region call — compare with the per-call times "
                "above (paper: ~100% of EvalEOSForElems, ~60% of "
                "CalcPressureForElems)\n";
-  return 0;
+  return arcs::bench::finish();
 }

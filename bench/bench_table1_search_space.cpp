@@ -10,7 +10,8 @@
 #include "bench_common.hpp"
 #include "core/search_space.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "table1_search_space");
   using namespace arcs;
   bench::banner("Table I — ARCS search parameters",
                 "three dimensions; Crill 7x4x9 = 252 configurations, "
@@ -39,5 +40,5 @@ int main() {
     }
     std::cout << "\n";
   }
-  return 0;
+  return arcs::bench::finish();
 }

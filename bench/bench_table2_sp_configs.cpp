@@ -14,7 +14,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "table2_sp_configs");
   using namespace arcs;
   bench::banner("Table II — optimal configuration per SP region (TDP)",
                 "every hot region's optimum differs from the default "
@@ -60,5 +61,5 @@ int main() {
   t.print(std::cout);
   std::cout << "\nsearch: " << run.search_evaluations << " evaluations over "
             << run.search_passes << " search executions\n";
-  return 0;
+  return arcs::bench::finish();
 }

@@ -11,7 +11,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "x10_cg");
   using namespace arcs;
   bench::banner("X10 — NPB CG (beyond the paper's apps, Crill)",
                 "plain ARCS near break-even (small-region overhead); "
@@ -49,5 +50,5 @@ int main() {
   }
   t.print(std::cout);
   std::cout << "\n(normalized to default at the same cap)\n";
-  return 0;
+  return arcs::bench::finish();
 }

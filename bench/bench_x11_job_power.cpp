@@ -21,7 +21,8 @@
 #include "bench_common.hpp"
 #include "cluster/job.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "x11_job_power");
   using namespace arcs;
   bench::banner("X11 — job-level power budgeting (8x crill, SP class B)",
                 "per-node ARCS and job-level power shifting compose");
@@ -75,5 +76,5 @@ int main() {
   std::cout << "\n(job budget " << base.job_power_budget << " W over "
             << base.nodes << " nodes; load spread +"
             << 100 * base.load_spread << "%)\n";
-  return 0;
+  return arcs::bench::finish();
 }

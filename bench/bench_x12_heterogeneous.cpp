@@ -14,7 +14,8 @@
 #include "bench_common.hpp"
 #include "cluster/job.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "x12_heterogeneous");
   using namespace arcs;
   bench::banner("X12 — heterogeneous job (4x crill + 4x haswell, SP B)",
                 "ARCS + architecture-aware power shifting compose on "
@@ -83,5 +84,5 @@ int main() {
         .cell(n.wait_time, 1);
   }
   nt.print(std::cout);
-  return 0;
+  return arcs::bench::finish();
 }

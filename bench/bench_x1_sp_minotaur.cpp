@@ -9,7 +9,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "x1_sp_minotaur");
   using namespace arcs;
   bench::banner("X1 — SP and BT class B on Minotaur (POWER8)",
                 "SP: ~37% faster with ARCS-Offline; BT: ~8% (Offline "
@@ -35,5 +36,5 @@ int main() {
   t.print(std::cout);
   std::cout << "\n(energy columns intentionally absent: the machine "
                "refuses counter reads, as on the paper's testbed)\n";
-  return 0;
+  return arcs::bench::finish();
 }

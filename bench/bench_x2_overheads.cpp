@@ -13,7 +13,8 @@
 #include "bench_common.hpp"
 #include "somp/runtime.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "x2_overheads");
   using namespace arcs;
   bench::banner("X2 — ARCS overhead characterization (§III.C)",
                 "config change ~8 ms/call on Crill; search overhead up to "
@@ -82,5 +83,5 @@ int main() {
     t.print(std::cout);
     std::cout << "(paper: almost 100% and 60%)\n";
   }
-  return 0;
+  return arcs::bench::finish();
 }

@@ -13,7 +13,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "x3_selective");
   using namespace arcs;
   bench::banner("X3 — selective-tuning ablation (LULESH mesh 45, Crill)",
                 "blacklisting tiny regions turns ARCS's LULESH losses "
@@ -51,5 +52,5 @@ int main() {
   }
   t.print(std::cout);
   std::cout << "\n(normalized to default at the same cap; <1 is a win)\n";
-  return 0;
+  return arcs::bench::finish();
 }

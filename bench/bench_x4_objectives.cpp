@@ -12,7 +12,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "x4_objectives");
   using namespace arcs;
   bench::banner("X4 — tuning-objective ablation (SP class B, 85 W, Crill)",
                 "objectives largely coincide (time-tuning also saves "
@@ -44,5 +45,5 @@ int main() {
         .cell(run.energy / def.energy, 3);
   }
   t.print(std::cout);
-  return 0;
+  return arcs::bench::finish();
 }

@@ -17,7 +17,8 @@
 #include "harmony/session.hpp"
 #include "harmony/strategy_factory.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "x5_search_methods");
   using namespace arcs;
   bench::banner("X5 — search-method ablation (SP regions, TDP, Crill)",
                 "Nelder-Mead/PRO reach near-optimal in far fewer "
@@ -66,5 +67,5 @@ int main() {
     }
   }
   t.print(std::cout);
-  return 0;
+  return arcs::bench::finish();
 }

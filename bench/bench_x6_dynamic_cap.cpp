@@ -13,7 +13,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "x6_dynamic_cap");
   using namespace arcs;
   bench::banner("X6 — dynamic power budget (SP class B, Crill)",
                 "ARCS re-selects per-region configs when the facility "
@@ -78,5 +79,5 @@ int main() {
   t.print(std::cout);
   std::cout << "\n(the Offline run performs zero searching after the cap "
                "changes — it re-reads the history keyed by the new cap)\n";
-  return 0;
+  return arcs::bench::finish();
 }

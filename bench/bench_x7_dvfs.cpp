@@ -14,7 +14,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "x7_dvfs");
   using namespace arcs;
   bench::banner("X7 — per-region DVFS dimension (SP class B, Crill)",
                 "energy objective + DVFS saves extra joules; time "
@@ -49,5 +50,5 @@ int main() {
     }
   }
   t.print(std::cout);
-  return 0;
+  return arcs::bench::finish();
 }

@@ -12,7 +12,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "x8_memory_power");
   using namespace arcs;
   bench::banner("X8 — memory power accounting (SP class B, Crill)",
                 "node-level (package+DRAM) energy gains confirm the "
@@ -51,5 +52,5 @@ int main() {
         .cell(tuned_node / def_node, 3);
   }
   t.print(std::cout);
-  return 0;
+  return arcs::bench::finish();
 }

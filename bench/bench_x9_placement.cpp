@@ -13,7 +13,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "x9_placement");
   using namespace arcs;
   bench::banner("X9 — placement (proc_bind) dimension (Crill)",
                 "close placement buys frequency under caps; spread wins "
@@ -65,5 +66,5 @@ int main() {
         .cell(placed.elapsed / def.elapsed, 3);
   }
   t.print(std::cout);
-  return 0;
+  return arcs::bench::finish();
 }

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,7 +32,10 @@ class GlobalVerifier {
   void install();
   /// Stops attaching (existing checkers keep observing their runtimes).
   void uninstall();
-  bool installed() const { return installed_; }
+  bool installed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return installed_;
+  }
 
   /// Closes every checker's stream (open regions become violations),
   /// returns the combined diagnostic for everything found since the last
@@ -40,11 +44,18 @@ class GlobalVerifier {
 
   /// Aggregate statistics across all checkers ever attached.
   CheckerStats total_stats() const;
-  std::size_t checkers_created() const { return checkers_.size(); }
+  std::size_t checkers_created() const;
 
  private:
   GlobalVerifier() = default;
 
+  // Runtimes are constructed on experiment-pool worker threads, so the
+  // construction observer (which appends to checkers_) can fire
+  // concurrently. Each Checker itself stays confined to the thread that
+  // owns its runtime; only the registry needs the lock. drain_report()
+  // and total_stats() must run at a quiescent point (pool joined) — the
+  // lock protects the vector, not the per-checker event streams.
+  mutable std::mutex mu_;
   bool installed_ = false;
   std::vector<std::unique_ptr<Checker>> checkers_;
 };

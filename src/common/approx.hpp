@@ -1,0 +1,31 @@
+// Floating-point comparison with mixed relative/absolute tolerance.
+//
+// The golden-file regression layer compares canonical JSON reports
+// field-by-field; simulator outputs are deterministic on one build but may
+// drift in the last ulps across compilers/optimization levels, so golden
+// comparisons use a tolerance instead of bit equality. Differential tests
+// (parallel vs serial on the *same* build) keep using exact ==.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace arcs::common {
+
+/// Default tolerances for golden comparisons: ~1e-9 relative covers
+/// reassociation-level drift while still catching any model change.
+inline constexpr double kGoldenRelTol = 1e-9;
+inline constexpr double kGoldenAbsTol = 1e-12;
+
+/// True when |a-b| <= max(abs_tol, rel_tol * max(|a|, |b|)).
+/// NaNs compare equal to NaNs (a golden NaN is a stable fingerprint);
+/// infinities must match exactly in sign.
+inline bool approx_equal(double a, double b, double rel_tol = kGoldenRelTol,
+                         double abs_tol = kGoldenAbsTol) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  if (std::isinf(a) || std::isinf(b)) return a == b;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= std::max(abs_tol, rel_tol * scale);
+}
+
+}  // namespace arcs::common

@@ -1,0 +1,359 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace arcs::common {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; emit null (goldens never contain these).
+    out += "null";
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  out += buf;
+}
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& message) {
+    if (error.empty())
+      error = message + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool parse_value(Json& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Json(std::move(s));
+      return true;
+    }
+    if (c == 't' || c == 'f') return parse_keyword(out);
+    if (c == 'n') return parse_keyword(out);
+    return parse_number(out);
+  }
+
+  bool parse_keyword(Json& out) {
+    auto match = [&](const char* kw) {
+      const std::size_t n = std::char_traits<char>::length(kw);
+      if (text.compare(pos, n, kw) != 0) return false;
+      pos += n;
+      return true;
+    };
+    if (match("true")) {
+      out = Json(true);
+      return true;
+    }
+    if (match("false")) {
+      out = Json(false);
+      return true;
+    }
+    if (match("null")) {
+      out = Json();
+      return true;
+    }
+    return fail("invalid token");
+  }
+
+  bool parse_number(Json& out) {
+    const char* start = text.c_str() + pos;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return fail("invalid number");
+    pos += static_cast<std::size_t>(end - start);
+    out = Json(v);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"')
+      return fail("expected string");
+    ++pos;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return fail("truncated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("invalid \\u escape");
+          }
+          // UTF-8 encode (no surrogate-pair handling; goldens are ASCII).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(Json& out) {
+    if (!consume('[')) return false;
+    out = Json::array();
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      Json item;
+      if (!parse_value(item)) return false;
+      out.push_back(std::move(item));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parse_object(Json& out) {
+    if (!consume('{')) return false;
+    out = Json::object();
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      Json value;
+      if (!parse_value(value)) return false;
+      out.set(key, std::move(value));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+};
+
+}  // namespace
+
+void Json::set(const std::string& key, Json value) {
+  kind_ = Kind::Object;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::Number:
+      append_number(out, num_);
+      break;
+    case Kind::String:
+      append_escaped(out, str_);
+      break;
+    case Kind::Array: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += pretty ? "," : ", ";
+        newline(depth + 1);
+        items_[i].write(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += pretty ? "," : ", ";
+        newline(depth + 1);
+        append_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.write(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+Json Json::parse(const std::string& text, std::string* error) {
+  Parser p{text, 0, {}};
+  Json out;
+  if (!p.parse_value(out)) {
+    if (error != nullptr) *error = p.error;
+    return Json();
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error != nullptr)
+      *error = "trailing garbage at offset " + std::to_string(p.pos);
+    return Json();
+  }
+  if (error != nullptr) error->clear();
+  return out;
+}
+
+}  // namespace arcs::common

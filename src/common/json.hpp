@@ -1,0 +1,93 @@
+// Minimal JSON document model, writer, and parser.
+//
+// Used by the bench harness (`BENCH_<artifact>.json` machine-readable
+// reports) and the golden-file regression tests (parse a checked-in
+// canonical report, compare field-by-field). Scope is intentionally small:
+// UTF-8 pass-through strings, doubles for all numbers, ordered objects
+// (insertion order is preserved so emitted reports are diff-stable).
+// No third-party dependency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace arcs::common {
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() : kind_(Kind::Null) {}
+  Json(std::nullptr_t) : kind_(Kind::Null) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}  // NOLINT(google-explicit-constructor)
+  Json(double n) : kind_(Kind::Number), num_(n) {}  // NOLINT(google-explicit-constructor)
+  Json(int n) : Json(static_cast<double>(n)) {}  // NOLINT(google-explicit-constructor)
+  Json(long n) : Json(static_cast<double>(n)) {}  // NOLINT(google-explicit-constructor)
+  Json(long long n) : Json(static_cast<double>(n)) {}  // NOLINT(google-explicit-constructor)
+  Json(unsigned n) : Json(static_cast<double>(n)) {}  // NOLINT(google-explicit-constructor)
+  Json(unsigned long n) : Json(static_cast<double>(n)) {}  // NOLINT(google-explicit-constructor)
+  Json(unsigned long long n) : Json(static_cast<double>(n)) {}  // NOLINT(google-explicit-constructor)
+  Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+  Json(const char* s) : kind_(Kind::String), str_(s) {}  // NOLINT(google-explicit-constructor)
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+
+  /// Array access.
+  void push_back(Json v) { items_.push_back(std::move(v)); }
+  const std::vector<Json>& items() const { return items_; }
+  std::size_t size() const {
+    return kind_ == Kind::Object ? members_.size() : items_.size();
+  }
+
+  /// Object access. set() replaces an existing key in place (order kept).
+  void set(const std::string& key, Json value);
+  /// Member lookup; nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Serializes. indent <= 0: compact one-line; indent > 0: pretty,
+  /// `indent` spaces per level. Numbers round-trip via max_digits10.
+  std::string dump(int indent = 2) const;
+
+  /// Parses a complete JSON document. On failure returns Null and, when
+  /// `error` is non-null, stores a message with the byte offset.
+  static Json parse(const std::string& text, std::string* error = nullptr);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace arcs::common

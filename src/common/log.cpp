@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace arcs::common {
 
@@ -31,6 +32,10 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
+  // Experiment-pool workers log concurrently; serialize so lines never
+  // interleave mid-message.
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
   std::cerr << "[arcs " << level_tag(level) << "] " << message << '\n';
 }
 

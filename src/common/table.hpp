@@ -28,6 +28,8 @@ class Table {
 
   std::size_t row_count() const { return rows_.size(); }
   std::size_t column_count() const { return headers_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   /// Aligned monospace rendering with a header rule.
   void print(std::ostream& os) const;

@@ -1,0 +1,196 @@
+#include "exec/experiment.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace arcs::exec {
+
+namespace {
+
+/// Hashes a string's bytes into the running seed (length-prefixed so
+/// "ab","c" never collides with "a","bc").
+std::uint64_t fold_string(std::uint64_t h, const std::string& s) {
+  h = common::hash_combine(h, s.size());
+  for (const char c : s)
+    h = common::hash_combine(h,
+                             static_cast<std::uint64_t>(
+                                 static_cast<unsigned char>(c)));
+  return h;
+}
+
+std::uint64_t fold_double(std::uint64_t h, double v) {
+  // Bit pattern, with -0.0 canonicalized so it seeds like +0.0.
+  if (v == 0.0) v = 0.0;
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  __builtin_memcpy(&bits, &v, sizeof bits);
+  return common::hash_combine(h, bits);
+}
+
+}  // namespace
+
+std::string ExperimentDesc::label() const {
+  std::string out = app;
+  if (!workload.empty()) out += "/" + workload;
+  out += "@" + machine;
+  out += " cap=" +
+         (power_cap > 0 ? common::format_fixed(power_cap, 0) + "W" : "TDP");
+  out += " strategy=";
+  out += to_string(strategy);
+  return out;
+}
+
+std::uint64_t descriptor_seed(const ExperimentDesc& desc) {
+  std::uint64_t h = 0x41524353ULL;  // "ARCS"
+  h = fold_string(h, common::to_lower(desc.app));
+  h = fold_string(h, desc.workload);
+  h = fold_string(h, common::to_lower(desc.machine));
+  h = fold_double(h, desc.power_cap);
+  h = common::hash_combine(h, static_cast<std::uint64_t>(desc.strategy));
+  h = common::hash_combine(h, static_cast<std::uint64_t>(desc.objective));
+  h = common::hash_combine(h,
+                           static_cast<std::uint64_t>(desc.online_method));
+  h = common::hash_combine(
+      h, (desc.selective_tuning ? 1ULL : 0ULL) |
+             (desc.tune_frequency ? 2ULL : 0ULL) |
+             (desc.tune_placement ? 4ULL : 0ULL));
+  h = common::hash_combine(h, static_cast<std::uint64_t>(desc.repetitions));
+  h = common::hash_combine(
+      h, static_cast<std::uint64_t>(desc.timesteps_override));
+  h = common::hash_combine(h, desc.max_search_passes);
+  h = common::hash_combine(h, desc.seed_salt);
+  // Seed 0 is reserved-ish (some components treat it as "default"); keep
+  // the derived seed nonzero.
+  return h != 0 ? h : 0x9e3779b97f4a7c15ULL;
+}
+
+kernels::AppSpec resolve_app(const ExperimentDesc& desc) {
+  const std::string name = common::to_lower(desc.app);
+  const std::string& w = desc.workload;
+  if (name == "sp") return kernels::sp_app(w.empty() ? "B" : w);
+  if (name == "bt") return kernels::bt_app(w.empty() ? "B" : w);
+  if (name == "lulesh") return kernels::lulesh_app(w.empty() ? "45" : w);
+  if (name == "cg") return kernels::cg_app(w.empty() ? "B" : w);
+  if (name == "synthetic") return kernels::synthetic_app();
+  throw std::invalid_argument("unknown app '" + desc.app +
+                              "' (SP|BT|LULESH|CG|synthetic)");
+}
+
+sim::MachineSpec resolve_machine(const ExperimentDesc& desc) {
+  const std::string name = common::to_lower(desc.machine);
+  if (name == "crill") return sim::crill();
+  if (name == "minotaur") return sim::minotaur();
+  if (name == "testbox") return sim::testbox();
+  if (name == "haswell") return sim::haswell();
+  throw std::invalid_argument("unknown machine '" + desc.machine +
+                              "' (crill|minotaur|testbox|haswell)");
+}
+
+kernels::RunOptions run_options(const ExperimentDesc& desc,
+                                const std::atomic<bool>* stop) {
+  kernels::RunOptions options;
+  options.strategy = desc.strategy;
+  options.power_cap = desc.power_cap;
+  options.objective = desc.objective;
+  options.selective_tuning = desc.selective_tuning;
+  options.tune_frequency = desc.tune_frequency;
+  options.tune_placement = desc.tune_placement;
+  options.online_method = desc.online_method;
+  options.max_search_passes = desc.max_search_passes;
+  options.repetitions = desc.repetitions;
+  options.timesteps_override = desc.timesteps_override;
+  options.seed = descriptor_seed(desc);
+  options.stop = stop;
+  return options;
+}
+
+kernels::RunResult run_experiment(const ExperimentDesc& desc,
+                                  const std::atomic<bool>* stop) {
+  const kernels::AppSpec app = resolve_app(desc);
+  const sim::MachineSpec machine = resolve_machine(desc);
+  return kernels::run_app(app, machine, run_options(desc, stop));
+}
+
+std::vector<ExperimentOutcome> run_campaign(
+    ExperimentPool& pool, const std::vector<ExperimentDesc>& descs,
+    const CampaignOptions& options) {
+  std::vector<std::future<JobOutcome<kernels::RunResult>>> futures;
+  futures.reserve(descs.size());
+  for (const ExperimentDesc& desc : descs) {
+    JobOptions job;
+    job.label = desc.label();
+    job.timeout_seconds = options.timeout_seconds;
+    futures.push_back(pool.submit(
+        [desc](JobContext& ctx) {
+          return run_experiment(desc, ctx.stop_token());
+        },
+        std::move(job)));
+  }
+  std::vector<ExperimentOutcome> outcomes;
+  outcomes.reserve(descs.size());
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    JobOutcome<kernels::RunResult> job = futures[i].get();
+    ExperimentOutcome out;
+    out.desc = descs[i];
+    out.status = job.status;
+    out.error = std::move(job.error);
+    out.seconds = job.seconds;
+    if (job.value) out.result = std::move(*job.value);
+    outcomes.push_back(std::move(out));
+  }
+  return outcomes;
+}
+
+common::Json run_result_to_json(const kernels::RunResult& result) {
+  common::Json j = common::Json::object();
+  j.set("strategy", result.strategy);
+  j.set("elapsed_s", result.elapsed);
+  j.set("energy_j", result.energy);
+  j.set("dram_energy_j", result.dram_energy);
+  j.set("search_evaluations", result.search_evaluations);
+  j.set("search_passes", result.search_passes);
+  j.set("blacklisted", result.blacklisted);
+  common::Json regions = common::Json::object();
+  for (const auto& [name, s] : result.regions) {
+    common::Json r = common::Json::object();
+    r.set("calls", s.calls);
+    r.set("time_total_s", s.time_total);
+    r.set("loop_total_s", s.loop_total);
+    r.set("loop_sum_total_s", s.loop_sum_total);
+    r.set("barrier_total_s", s.barrier_total);
+    r.set("dispatch_total_s", s.dispatch_total);
+    r.set("config_change_total_s", s.config_change_total);
+    r.set("instrumentation_total_s", s.instrumentation_total);
+    r.set("energy_total_j", s.energy_total);
+    r.set("miss_l1", s.miss_l1);
+    r.set("miss_l2", s.miss_l2);
+    r.set("miss_l3", s.miss_l3);
+    r.set("last_config", s.last_config.to_string());
+    r.set("last_team", s.last_team);
+    regions.set(name, std::move(r));
+  }
+  j.set("regions", std::move(regions));
+  return j;
+}
+
+common::Json experiment_report(const ExperimentDesc& desc,
+                               const kernels::RunResult& result) {
+  common::Json j = common::Json::object();
+  common::Json d = common::Json::object();
+  d.set("app", desc.app);
+  d.set("workload", desc.workload);
+  d.set("machine", desc.machine);
+  d.set("power_cap_w", desc.power_cap);
+  d.set("strategy", std::string(to_string(desc.strategy)));
+  d.set("repetitions", desc.repetitions);
+  d.set("timesteps_override", desc.timesteps_override);
+  d.set("max_search_passes", desc.max_search_passes);
+  d.set("seed", std::to_string(descriptor_seed(desc)));
+  j.set("descriptor", std::move(d));
+  j.set("result", run_result_to_json(result));
+  return j;
+}
+
+}  // namespace arcs::exec

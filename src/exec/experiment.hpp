@@ -1,0 +1,106 @@
+// Experiment descriptors and campaigns.
+//
+// An ExperimentDesc names one (app, workload, machine preset, power cap,
+// strategy, ...) simulation — the unit every paper artifact is built
+// from. The determinism contract of the whole exec layer lives here:
+//
+//   seed-from-descriptor rule: an experiment's RNG seed is derived by
+//   hashing the descriptor's fields (descriptor_seed), never taken from
+//   submission order, completion order, worker id, or a clock. Two runs
+//   of the same descriptor are bit-identical whether they execute
+//   serially, on 1 worker, or on 8 — and a shuffled batch produces the
+//   same results as an ordered one.
+//
+// run_experiment() executes one descriptor (cooperatively cancellable);
+// run_campaign() fans a descriptor list across an ExperimentPool and
+// returns outcomes in *descriptor order*, so callers keep deterministic
+// output without caring about completion order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "exec/pool.hpp"
+#include "kernels/apps.hpp"
+#include "kernels/driver.hpp"
+#include "sim/presets.hpp"
+
+namespace arcs::exec {
+
+struct ExperimentDesc {
+  std::string app = "synthetic";  ///< SP|BT|LULESH|CG|synthetic (any case)
+  std::string workload;           ///< "" = the app's default workload
+  std::string machine = "crill";  ///< crill|minotaur|testbox|haswell
+  double power_cap = 0.0;         ///< watts; 0 = TDP/uncapped
+  TuningStrategy strategy = TuningStrategy::Default;
+  Objective objective = Objective::Time;
+  harmony::StrategyKind online_method = harmony::StrategyKind::NelderMead;
+  bool selective_tuning = false;
+  bool tune_frequency = false;
+  bool tune_placement = false;
+  int repetitions = 1;
+  int timesteps_override = 0;
+  std::size_t max_search_passes = 60;
+  /// Folded into the seed: distinguishes deliberate re-runs of an
+  /// otherwise identical descriptor (e.g. noise studies).
+  std::uint64_t seed_salt = 0;
+
+  /// "SP/B@crill cap=85 strategy=online" — label for logs and reports.
+  std::string label() const;
+};
+
+/// The seed-from-descriptor rule. Stable across processes and platforms
+/// (pure integer hashing of the descriptor's bytes, no pointers, no
+/// std::hash).
+std::uint64_t descriptor_seed(const ExperimentDesc& desc);
+
+/// Resolves the descriptor's app name ("SP", "bt", "synthetic", ...).
+/// Throws std::invalid_argument on an unknown name.
+kernels::AppSpec resolve_app(const ExperimentDesc& desc);
+
+/// Resolves the descriptor's machine preset name.
+/// Throws std::invalid_argument on an unknown name.
+sim::MachineSpec resolve_machine(const ExperimentDesc& desc);
+
+/// Builds the RunOptions run_experiment would use (seed included) —
+/// exposed so differential tests can drive kernels::run_app directly.
+kernels::RunOptions run_options(const ExperimentDesc& desc,
+                                const std::atomic<bool>* stop = nullptr);
+
+/// Executes one experiment. `stop` is the cooperative cancellation
+/// token (kernels::Aborted is thrown at the next timestep once raised).
+kernels::RunResult run_experiment(const ExperimentDesc& desc,
+                                  const std::atomic<bool>* stop = nullptr);
+
+struct ExperimentOutcome {
+  ExperimentDesc desc;
+  JobStatus status = JobStatus::Cancelled;
+  kernels::RunResult result;  ///< valid iff status == Done
+  std::string error;          ///< set iff status == Failed
+  double seconds = 0.0;       ///< job wall-clock on its worker
+  bool ok() const { return status == JobStatus::Done; }
+};
+
+struct CampaignOptions {
+  /// Per-experiment wall-clock budget; 0 = none.
+  double timeout_seconds = 0.0;
+};
+
+/// Fans the descriptors across the pool; blocks until all complete (or
+/// fail/time out/get cancelled) and returns outcomes in input order.
+std::vector<ExperimentOutcome> run_campaign(
+    ExperimentPool& pool, const std::vector<ExperimentDesc>& descs,
+    const CampaignOptions& options = {});
+
+/// Canonical JSON for one run — the golden-file fingerprint. Field-by-
+/// field stable: ordered keys, regions sorted by name (map order).
+common::Json run_result_to_json(const kernels::RunResult& result);
+
+/// Canonical JSON for (descriptor, result) — what golden tests check in.
+common::Json experiment_report(const ExperimentDesc& desc,
+                               const kernels::RunResult& result);
+
+}  // namespace arcs::exec

@@ -1,0 +1,267 @@
+#include "exec/pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace arcs::exec {
+
+namespace {
+
+/// How many injection-queue entries a worker claims at once. Batching is
+/// what creates stealable local work: the tail of a batch sits in the
+/// worker's deque where idle peers can take it FIFO.
+constexpr std::size_t kInjectionBatch = 4;
+
+/// Idle-worker poll period. Workers are woken eagerly via the idle
+/// condvar; the timeout only bounds the steal-recheck latency when a
+/// wakeup is missed between the empty-check and the wait.
+constexpr std::chrono::milliseconds kIdleWait{5};
+
+}  // namespace
+
+std::string_view to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::Done:
+      return "done";
+    case JobStatus::Failed:
+      return "failed";
+    case JobStatus::TimedOut:
+      return "timed_out";
+    case JobStatus::Cancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+std::size_t ExperimentPool::recommended_workers() {
+  if (const char* env = std::getenv("ARCS_EXEC_WORKERS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(std::min(n, 512L));
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+ExperimentPool::ExperimentPool(PoolOptions options)
+    : injection_(options.queue_capacity) {
+  const std::size_t n =
+      options.workers > 0 ? options.workers : recommended_workers();
+  locals_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    locals_.push_back(std::make_unique<Worker>());
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.workers = n;
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    threads_.emplace_back([this, i] { worker_main(i); });
+  watchdog_ = std::thread([this] { watchdog_main(); });
+}
+
+ExperimentPool::~ExperimentPool() { shutdown(); }
+
+bool ExperimentPool::enqueue(detail::Task task) {
+  if (shutdown_.load(std::memory_order_acquire)) return false;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.jobs_submitted;
+  }
+  if (cancel_.load(std::memory_order_acquire))
+    task.state->request_stop(detail::StopReason::Cancel);
+  if (!injection_.push(std::move(task))) {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    --stats_.jobs_submitted;
+    return false;
+  }
+  idle_cv_.notify_one();
+  return true;
+}
+
+void ExperimentPool::shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) {
+    // Second caller (e.g. the destructor after an explicit shutdown):
+    // workers are already gone.
+    return;
+  }
+  injection_.close();
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(wd_mu_);
+    wd_exit_ = true;
+  }
+  wd_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void ExperimentPool::cancel_all() {
+  cancel_.store(true, std::memory_order_release);
+  // Raise the token on everything currently executing; queued tasks are
+  // caught by the cancel_ check in the job wrapper when they surface.
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  for (const auto& state : running_)
+    state->request_stop(detail::StopReason::Cancel);
+}
+
+void ExperimentPool::reset_cancel() {
+  cancel_.store(false, std::memory_order_release);
+}
+
+PoolStats ExperimentPool::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ExperimentPool::worker_main(std::size_t wid) {
+  for (;;) {
+    std::optional<detail::Task> task = next_task(wid);
+    if (!task) return;
+    task->run(*this);
+  }
+}
+
+std::optional<detail::Task> ExperimentPool::next_task(std::size_t wid) {
+  for (;;) {
+    if (auto task = pop_local(wid)) return task;
+    if (refill_from_injection(wid)) continue;
+    if (auto task = steal(wid)) return task;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    if (shutdown_.load(std::memory_order_acquire) &&
+        injection_.size() == 0 &&
+        local_items_.load(std::memory_order_acquire) == 0)
+      return std::nullopt;
+    idle_cv_.wait_for(lock, kIdleWait, [&] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             injection_.size() > 0 ||
+             local_items_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+std::optional<detail::Task> ExperimentPool::pop_local(std::size_t wid) {
+  Worker& w = *locals_[wid];
+  const std::lock_guard<std::mutex> lock(w.mu);
+  if (w.deque.empty()) return std::nullopt;
+  detail::Task task = std::move(w.deque.back());
+  w.deque.pop_back();
+  local_items_.fetch_sub(1, std::memory_order_acq_rel);
+  return task;
+}
+
+bool ExperimentPool::refill_from_injection(std::size_t wid) {
+  Worker& w = *locals_[wid];
+  std::size_t claimed = 0;
+  for (std::size_t i = 0; i < kInjectionBatch; ++i) {
+    std::optional<detail::Task> task = injection_.try_pop();
+    if (!task) break;
+    {
+      const std::lock_guard<std::mutex> lock(w.mu);
+      w.deque.push_back(std::move(*task));
+    }
+    local_items_.fetch_add(1, std::memory_order_acq_rel);
+    ++claimed;
+  }
+  if (claimed > 1) idle_cv_.notify_one();  // surplus is stealable
+  return claimed > 0;
+}
+
+std::optional<detail::Task> ExperimentPool::steal(std::size_t thief) {
+  const std::size_t n = locals_.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t victim = (thief + i) % n;
+    Worker& w = *locals_[victim];
+    const std::lock_guard<std::mutex> lock(w.mu);
+    if (w.deque.empty()) continue;
+    detail::Task task = std::move(w.deque.front());
+    w.deque.pop_front();
+    local_items_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.steals;
+    }
+    return task;
+  }
+  return std::nullopt;
+}
+
+void ExperimentPool::begin_job(
+    const std::shared_ptr<detail::JobState>& state) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    running_.push_back(state);
+  }
+  if (state->timeout_seconds > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(state->timeout_seconds));
+    {
+      const std::lock_guard<std::mutex> lock(wd_mu_);
+      wd_jobs_.emplace_back(deadline, state);
+    }
+    wd_cv_.notify_one();
+  }
+}
+
+void ExperimentPool::end_job(
+    const std::shared_ptr<detail::JobState>& state) {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    running_.erase(std::remove(running_.begin(), running_.end(), state),
+                   running_.end());
+  }
+  if (state->timeout_seconds > 0.0) {
+    const std::lock_guard<std::mutex> lock(wd_mu_);
+    wd_jobs_.erase(
+        std::remove_if(wd_jobs_.begin(), wd_jobs_.end(),
+                       [&](const auto& entry) {
+                         return entry.second == state;
+                       }),
+        wd_jobs_.end());
+  }
+}
+
+void ExperimentPool::record_outcome(JobStatus status, double seconds) {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  switch (status) {
+    case JobStatus::Done:
+      ++stats_.jobs_done;
+      break;
+    case JobStatus::Failed:
+      ++stats_.jobs_failed;
+      break;
+    case JobStatus::TimedOut:
+      ++stats_.jobs_timed_out;
+      break;
+    case JobStatus::Cancelled:
+      ++stats_.jobs_cancelled;
+      break;
+  }
+  stats_.busy_seconds += seconds;
+}
+
+void ExperimentPool::watchdog_main() {
+  std::unique_lock<std::mutex> lock(wd_mu_);
+  for (;;) {
+    if (wd_exit_) return;
+    if (wd_jobs_.empty()) {
+      wd_cv_.wait(lock, [&] { return wd_exit_ || !wd_jobs_.empty(); });
+      continue;
+    }
+    auto nearest = std::min_element(
+        wd_jobs_.begin(), wd_jobs_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    const auto deadline = nearest->first;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      nearest->second->request_stop(detail::StopReason::Timeout);
+      wd_jobs_.erase(nearest);
+      continue;
+    }
+    wd_cv_.wait_until(lock, deadline);
+  }
+}
+
+}  // namespace arcs::exec

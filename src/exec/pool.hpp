@@ -1,0 +1,287 @@
+// Work-stealing experiment pool.
+//
+// Fans independent simulations out across real host threads. Architecture:
+//
+//  * submission goes through a bounded MPMC injection queue (queue.hpp):
+//    a campaign that produces jobs faster than the workers retire them
+//    blocks at the bound instead of growing without limit;
+//  * each worker drains the injection queue in small batches into a
+//    private deque (LIFO for cache warmth) and, when both its deque and
+//    the injection queue are empty, steals the oldest job from another
+//    worker (FIFO) — classic work stealing keeps long tails busy;
+//  * every job gets a JobContext carrying a cooperative stop token. A
+//    watchdog thread raises the token when a job outlives its wall-clock
+//    timeout, and cancel_all() raises it on everything in flight, so one
+//    pathological search cannot hang a campaign and a campaign can be
+//    abandoned cleanly. Stopping is cooperative: simulations poll the
+//    token at timestep granularity (kernels::RunOptions::stop);
+//  * results come back as futures of JobOutcome<T>: Done carries the
+//    value, Failed the exception text, TimedOut/Cancelled the reason the
+//    token was raised. A job that throws (or times out) completes only
+//    its own outcome — the pool and all other jobs are unaffected.
+//
+// Determinism contract: the pool schedules *when and where* a job runs,
+// never *what it computes*. Jobs must derive all randomness from their
+// own descriptor (see experiment.hpp's descriptor_seed), keep state
+// job-local, and never read submission/completion order. Under that
+// contract a batch is bit-identical to the same jobs run serially, at
+// any worker count, in any submission order — tests/exec_test.cpp
+// asserts exactly this.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "exec/queue.hpp"
+
+namespace arcs::exec {
+
+enum class JobStatus {
+  Done,       ///< ran to completion; JobOutcome::value is set
+  Failed,     ///< threw; JobOutcome::error holds the exception text
+  TimedOut,   ///< stop token raised by the watchdog, job gave up
+  Cancelled,  ///< cancelled before or during execution
+};
+
+std::string_view to_string(JobStatus status);
+
+class ExperimentPool;
+
+namespace detail {
+
+enum class StopReason : int { None = 0, Timeout = 1, Cancel = 2 };
+
+struct JobState {
+  std::string label;
+  double timeout_seconds = 0.0;  ///< 0 = no timeout
+  std::atomic<bool> stop{false};
+  std::atomic<int> reason{static_cast<int>(StopReason::None)};
+
+  /// First reason wins (a timeout racing a cancel is reported as
+  /// whichever raised the token first).
+  void request_stop(StopReason r) {
+    int expected = static_cast<int>(StopReason::None);
+    reason.compare_exchange_strong(expected, static_cast<int>(r));
+    stop.store(true, std::memory_order_release);
+  }
+  StopReason stop_reason() const {
+    return static_cast<StopReason>(reason.load(std::memory_order_acquire));
+  }
+};
+
+struct Task {
+  std::shared_ptr<JobState> state;
+  std::function<void(ExperimentPool&)> run;
+};
+
+}  // namespace detail
+
+/// Handed to every job; the job's view of the pool.
+class JobContext {
+ public:
+  explicit JobContext(detail::JobState& state) : state_(&state) {}
+
+  /// Wire this into kernels::RunOptions::stop (or poll it yourself in
+  /// long loops). Raised on timeout or cancellation.
+  const std::atomic<bool>* stop_token() const { return &state_->stop; }
+  bool stop_requested() const {
+    return state_->stop.load(std::memory_order_acquire);
+  }
+  const std::string& label() const { return state_->label; }
+
+ private:
+  detail::JobState* state_;
+};
+
+template <typename T>
+struct JobOutcome {
+  JobStatus status = JobStatus::Cancelled;
+  std::optional<T> value;   ///< set iff status == Done
+  std::string error;        ///< set iff status == Failed
+  double seconds = 0.0;     ///< job wall-clock time on its worker
+  bool ok() const { return status == JobStatus::Done; }
+};
+
+struct JobOptions {
+  std::string label;
+  /// Wall-clock budget for this job; 0 disables the watchdog for it.
+  double timeout_seconds = 0.0;
+};
+
+struct PoolOptions {
+  /// 0 = recommended_workers().
+  std::size_t workers = 0;
+  /// Injection-queue bound (submission backpressure point).
+  std::size_t queue_capacity = 256;
+};
+
+struct PoolStats {
+  std::size_t workers = 0;
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_done = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_timed_out = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t steals = 0;
+  /// Sum of per-job wall times — what a serial run would have cost.
+  /// serial_equivalent / campaign wall = host-parallelism speedup.
+  double busy_seconds = 0.0;
+};
+
+class ExperimentPool {
+ public:
+  explicit ExperimentPool(PoolOptions options = {});
+  /// Drains every submitted job, then joins the workers.
+  ~ExperimentPool();
+
+  ExperimentPool(const ExperimentPool&) = delete;
+  ExperimentPool& operator=(const ExperimentPool&) = delete;
+
+  /// Submits a job. `fn` is invoked as fn(JobContext&) on a worker
+  /// thread and must return a (non-void) value. Blocks when the
+  /// injection queue is at capacity. After shutdown() or cancel_all(),
+  /// the returned future completes immediately as Cancelled.
+  template <typename F>
+  auto submit(F fn, JobOptions options = {})
+      -> std::future<JobOutcome<std::invoke_result_t<F&, JobContext&>>> {
+    using T = std::invoke_result_t<F&, JobContext&>;
+    static_assert(!std::is_void_v<T>,
+                  "experiment jobs must return their result");
+    auto state = std::make_shared<detail::JobState>();
+    state->label = std::move(options.label);
+    state->timeout_seconds = options.timeout_seconds;
+    auto promise = std::make_shared<std::promise<JobOutcome<T>>>();
+    std::future<JobOutcome<T>> future = promise->get_future();
+
+    detail::Task task;
+    task.state = state;
+    task.run = [fn = std::move(fn), promise, state](ExperimentPool& pool) {
+      JobOutcome<T> outcome;
+      const auto t0 = std::chrono::steady_clock::now();
+      if (pool.cancelling() || state->stop_reason() ==
+                                   detail::StopReason::Cancel) {
+        outcome.status = JobStatus::Cancelled;
+      } else {
+        pool.begin_job(state);
+        try {
+          JobContext ctx(*state);
+          outcome.value = fn(ctx);
+          outcome.status = JobStatus::Done;
+        } catch (const std::exception& e) {
+          outcome.status = stopped_status(*state);
+          if (outcome.status == JobStatus::Failed) outcome.error = e.what();
+        } catch (...) {
+          outcome.status = stopped_status(*state);
+          if (outcome.status == JobStatus::Failed)
+            outcome.error = "unknown exception";
+        }
+        pool.end_job(state);
+      }
+      outcome.seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      pool.record_outcome(outcome.status, outcome.seconds);
+      promise->set_value(std::move(outcome));
+    };
+
+    if (!enqueue(std::move(task))) {
+      JobOutcome<T> cancelled;
+      cancelled.status = JobStatus::Cancelled;
+      record_outcome(JobStatus::Cancelled, 0.0);
+      promise->set_value(std::move(cancelled));
+    }
+    return future;
+  }
+
+  /// Raises every in-flight and queued job's stop token. Jobs already
+  /// running finish at their next poll point as Cancelled; queued jobs
+  /// never start. Submission stays open (new jobs complete Cancelled
+  /// until the flag is lowered via reset_cancel()).
+  void cancel_all();
+  /// Re-arms the pool after cancel_all().
+  void reset_cancel();
+  bool cancelling() const {
+    return cancel_.load(std::memory_order_acquire);
+  }
+
+  /// Closes submission and waits for every queued job to finish.
+  void shutdown();
+
+  std::size_t workers() const { return threads_.size(); }
+  PoolStats stats() const;
+
+  /// Worker-thread count used when PoolOptions::workers == 0:
+  /// ARCS_EXEC_WORKERS env override, else std::thread::hardware_concurrency.
+  static std::size_t recommended_workers();
+
+ private:
+  friend struct detail::Task;
+
+  static JobStatus stopped_status(const detail::JobState& state) {
+    switch (state.stop_reason()) {
+      case detail::StopReason::Timeout:
+        return JobStatus::TimedOut;
+      case detail::StopReason::Cancel:
+        return JobStatus::Cancelled;
+      case detail::StopReason::None:
+        break;
+    }
+    return JobStatus::Failed;
+  }
+
+  bool enqueue(detail::Task task);
+  void worker_main(std::size_t wid);
+  std::optional<detail::Task> next_task(std::size_t wid);
+  std::optional<detail::Task> pop_local(std::size_t wid);
+  bool refill_from_injection(std::size_t wid);
+  std::optional<detail::Task> steal(std::size_t thief);
+
+  // Job-lifecycle hooks used by the submit() wrapper.
+  void begin_job(const std::shared_ptr<detail::JobState>& state);
+  void end_job(const std::shared_ptr<detail::JobState>& state);
+  void record_outcome(JobStatus status, double seconds);
+  void watchdog_main();
+
+  struct Worker {
+    std::mutex mu;
+    std::deque<detail::Task> deque;
+  };
+
+  BoundedMpmcQueue<detail::Task> injection_;
+  std::vector<std::unique_ptr<Worker>> locals_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::size_t> local_items_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> cancel_{false};
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+
+  // Watchdog: running jobs with deadlines, ordered by expiry.
+  std::thread watchdog_;
+  std::mutex wd_mu_;
+  std::condition_variable wd_cv_;
+  std::vector<std::pair<std::chrono::steady_clock::time_point,
+                        std::shared_ptr<detail::JobState>>>
+      wd_jobs_;
+  bool wd_exit_ = false;
+
+  // Running-job registry (for cancel_all) and stats.
+  mutable std::mutex stats_mu_;
+  std::vector<std::shared_ptr<detail::JobState>> running_;
+  PoolStats stats_;
+};
+
+}  // namespace arcs::exec

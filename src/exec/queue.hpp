@@ -1,0 +1,111 @@
+// Bounded multi-producer/multi-consumer queue.
+//
+// The experiment pool's injection channel: submitters block when the
+// campaign is ahead of the workers (backpressure instead of unbounded
+// memory growth under heavy batch traffic), workers block when idle.
+// Mutex + two condition variables over a ring buffer — the queue moves
+// whole experiments (milliseconds to minutes of simulation each), so
+// lock cost is irrelevant next to job cost; correctness and TSan-clean
+// simplicity win over a lock-free design here.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace arcs::exec {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity) : buffer_(capacity) {
+    ARCS_CHECK(capacity > 0);
+  }
+
+  /// Blocks while full. Returns false (drops the item) once closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || size_ < buffer_.size(); });
+    if (closed_) return false;
+    buffer_[(head_ + size_) % buffer_.size()] = std::move(item);
+    ++size_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || size_ == buffer_.size()) return false;
+      buffer_[(head_ + size_) % buffer_.size()] = std::move(item);
+      ++size_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Empty optional once closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return std::nullopt;
+    return pop_locked(lock);
+  }
+
+  /// Non-blocking pop; empty optional when nothing is queued.
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (size_ == 0) return std::nullopt;
+    return pop_locked(lock);
+  }
+
+  /// Wakes every waiter; pushes start failing, pops drain then fail.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return buffer_.size(); }
+
+ private:
+  std::optional<T> pop_locked(std::unique_lock<std::mutex>& lock) {
+    T item = std::move(buffer_[head_]);
+    head_ = (head_ + 1) % buffer_.size();
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> buffer_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace arcs::exec

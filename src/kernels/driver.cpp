@@ -60,18 +60,26 @@ void finalize_miss_rates(RunResult& result) {
   }
 }
 
+void throw_if_stopped(const std::atomic<bool>* stop) {
+  if (stop != nullptr && stop->load(std::memory_order_relaxed))
+    throw Aborted("experiment stop requested");
+}
+
 /// Executes the whole application once; optionally accumulates stats and
 /// applies a dynamic cap schedule (paper §II's changing power budgets).
 void run_app_once(const AppSpec& app, const BuiltApp& built,
                   somp::Runtime& runtime, int timesteps, RunResult* collect,
                   const std::vector<std::pair<int, double>>& cap_schedule =
-                      {}) {
+                      {},
+                  const std::atomic<bool>* stop = nullptr) {
+  throw_if_stopped(stop);
   for (const auto& work : built.setup) {
     const auto rec = runtime.parallel_for(work);
     if (collect) accumulate(*collect, work.id.name, rec);
   }
   auto next_change = cap_schedule.begin();
   for (int step = 0; step < timesteps; ++step) {
+    throw_if_stopped(stop);
     while (next_change != cap_schedule.end() &&
            next_change->first <= step) {
       if (next_change->second > 0)
@@ -153,7 +161,8 @@ RunResult run_app(const AppSpec& app, const sim::MachineSpec& machine_spec,
       };
       std::size_t passes = 0;
       while (passes < options.max_search_passes) {
-        run_app_once(app, built, runtime, timesteps, nullptr);
+        run_app_once(app, built, runtime, timesteps, nullptr, {},
+                     options.stop);
         ++passes;
         if (loop_regions_converged()) break;
       }
@@ -206,7 +215,8 @@ RunResult run_app(const AppSpec& app, const sim::MachineSpec& machine_spec,
     const common::Seconds t0 = machine.now();
     const common::Joules e0 = machine.energy();
     const common::Joules d0 = machine.dram_energy();
-    run_app_once(app, built, runtime, timesteps, &r, options.cap_schedule);
+    run_app_once(app, built, runtime, timesteps, &r, options.cap_schedule,
+                 options.stop);
     r.elapsed = machine.now() - t0;
     r.energy = machine.energy() - e0;
     r.dram_energy = machine.dram_energy() - d0;

@@ -12,7 +12,9 @@
 //                    with the optimal configuration is measured").
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,16 @@
 #include "sim/presets.hpp"
 
 namespace arcs::kernels {
+
+/// Thrown by run_app when its RunOptions::stop token is raised: the
+/// cooperative cancellation path the experiment pool (src/exec) uses for
+/// per-job timeouts and campaign cancellation. The partially-computed
+/// result is discarded; the machine/runtime of the aborted run were
+/// job-local, so nothing leaks into other experiments.
+class Aborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct RegionRunStats {
   std::string name;
@@ -92,6 +104,12 @@ struct RunOptions {
   /// aggregate-defining repetition.
   int repetitions = 1;
   RepetitionStat repetition_stat = RepetitionStat::Auto;
+  /// Cooperative stop token. When non-null and set, run_app throws
+  /// kernels::Aborted at the next checkpoint (one virtual timestep, or
+  /// one offline-search pass). The pointee must outlive the call; it is
+  /// how the experiment pool enforces wall-clock timeouts and
+  /// cancellation without being able to kill a worker thread.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Runs the full protocol for one (app, machine, options) combination.

@@ -83,6 +83,9 @@ class Runtime {
   /// how the analysis::GlobalVerifier attaches a checker to every
   /// runtime a test creates without the test knowing. The hook must not
   /// execute regions. Unset by default (zero cost outside tests).
+  /// Thread contract: set/clear before any worker thread constructs
+  /// runtimes (e.g. in main()); the hook itself may then fire
+  /// concurrently from experiment-pool workers and must be thread-safe.
   using ConstructionObserver = std::function<void(Runtime&)>;
   static void set_construction_observer(ConstructionObserver observer);
   static void clear_construction_observer();

@@ -1,0 +1,503 @@
+// Tests for the exec layer: the bounded MPMC queue, the work-stealing
+// ExperimentPool, and — the heart of the layer — the determinism
+// contract: a parallel campaign is bit-identical to the same experiments
+// run serially, at any worker count, in any submission order.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/checker.hpp"
+#include "analysis/inject.hpp"
+#include "analysis/trace.hpp"
+#include "exec/experiment.hpp"
+#include "exec/pool.hpp"
+#include "exec/queue.hpp"
+#include "kernels/apps.hpp"
+#include "kernels/driver.hpp"
+#include "sim/presets.hpp"
+#include "somp/runtime.hpp"
+
+namespace exec = arcs::exec;
+namespace kernels = arcs::kernels;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// BoundedMpmcQueue
+
+TEST(BoundedMpmcQueueTest, FifoOrderSingleThread) {
+  exec::BoundedMpmcQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    const auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedMpmcQueueTest, TryPushRespectsCapacity) {
+  exec::BoundedMpmcQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full
+  EXPECT_TRUE(q.try_pop().has_value());
+  EXPECT_TRUE(q.try_push(3));  // space again
+}
+
+TEST(BoundedMpmcQueueTest, CloseDrainsThenFails) {
+  exec::BoundedMpmcQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));  // pushes fail once closed
+  const auto a = q.pop();   // but queued items still drain
+  const auto b = q.pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  EXPECT_FALSE(q.pop().has_value());  // drained + closed -> empty
+}
+
+TEST(BoundedMpmcQueueTest, ClosedUnblocksWaitingConsumer) {
+  exec::BoundedMpmcQueue<int> q(4);
+  std::thread consumer([&q] {
+    const auto item = q.pop();  // blocks until close
+    EXPECT_FALSE(item.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedMpmcQueueTest, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  exec::BoundedMpmcQueue<int> q(8);  // small bound: forces backpressure
+  std::vector<std::thread> threads;
+  std::mutex seen_mu;
+  std::set<int> seen;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        const auto item = q.pop();
+        if (!item.has_value()) return;
+        const std::lock_guard<std::mutex> lock(seen_mu);
+        EXPECT_TRUE(seen.insert(*item).second) << "duplicate " << *item;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        EXPECT_TRUE(q.push(p * kPerProducer + i));
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+// ---------------------------------------------------------------------
+// ExperimentPool basics
+
+exec::PoolOptions pool_of(std::size_t workers) {
+  exec::PoolOptions options;
+  options.workers = workers;
+  return options;
+}
+
+TEST(ExperimentPoolTest, SubmitReturnsValue) {
+  exec::ExperimentPool pool(pool_of(2));
+  auto future = pool.submit([](exec::JobContext&) { return 41 + 1; });
+  const auto outcome = future.get();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome.value, 42);
+  EXPECT_EQ(outcome.error, "");
+}
+
+TEST(ExperimentPoolTest, ManySmallJobsAllComplete) {
+  exec::ExperimentPool pool(pool_of(4));
+  std::vector<std::future<exec::JobOutcome<int>>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(
+        pool.submit([i](exec::JobContext&) { return i * i; }));
+  for (int i = 0; i < 200; ++i) {
+    const auto outcome = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(*outcome.value, i * i);
+  }
+  const exec::PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.jobs_submitted, 200u);
+  EXPECT_EQ(stats.jobs_done, 200u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+}
+
+TEST(ExperimentPoolTest, ThrowingJobReportsFailedWithoutPoisoningPool) {
+  exec::ExperimentPool pool(pool_of(2));
+  auto bad = pool.submit([](exec::JobContext&) -> int {
+    throw std::runtime_error("deliberate failure");
+  });
+  const auto outcome = bad.get();
+  EXPECT_EQ(outcome.status, exec::JobStatus::Failed);
+  EXPECT_EQ(outcome.error, "deliberate failure");
+  EXPECT_FALSE(outcome.value.has_value());
+
+  // The pool keeps serving jobs afterwards.
+  for (int i = 0; i < 8; ++i) {
+    auto good = pool.submit([i](exec::JobContext&) { return i; });
+    const auto ok = good.get();
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(*ok.value, i);
+  }
+  EXPECT_EQ(pool.stats().jobs_failed, 1u);
+  EXPECT_EQ(pool.stats().jobs_done, 8u);
+}
+
+TEST(ExperimentPoolTest, TimeoutRaisesStopAndReportsTimedOut) {
+  exec::ExperimentPool pool(pool_of(1));
+  exec::JobOptions options;
+  options.label = "sleeper";
+  options.timeout_seconds = 0.05;
+  auto future = pool.submit(
+      [](exec::JobContext& ctx) -> int {
+        // Cooperative worker: polls the token like a simulation polls
+        // RunOptions::stop each timestep.
+        while (!ctx.stop_requested())
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        throw kernels::Aborted("stopped");
+      },
+      options);
+  const auto outcome = future.get();
+  EXPECT_EQ(outcome.status, exec::JobStatus::TimedOut);
+  EXPECT_FALSE(outcome.value.has_value());
+  // Jobs after the timeout still run.
+  auto after = pool.submit([](exec::JobContext&) { return 7; });
+  EXPECT_TRUE(after.get().ok());
+  EXPECT_EQ(pool.stats().jobs_timed_out, 1u);
+}
+
+TEST(ExperimentPoolTest, CancelAllStopsQueuedAndRunningJobs) {
+  exec::ExperimentPool pool(pool_of(1));
+  std::atomic<bool> first_started{false};
+  auto running = pool.submit([&first_started](exec::JobContext& ctx) -> int {
+    first_started.store(true);
+    while (!ctx.stop_requested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    throw kernels::Aborted("stopped");
+  });
+  // Wait until the sleeper occupies the only worker, *then* queue more
+  // work behind it — otherwise the LIFO local deque may legitimately run
+  // the later submissions first.
+  while (!first_started.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::vector<std::future<exec::JobOutcome<int>>> queued;
+  for (int i = 0; i < 4; ++i)
+    queued.push_back(pool.submit([](exec::JobContext&) { return 1; }));
+  pool.cancel_all();
+  EXPECT_EQ(running.get().status, exec::JobStatus::Cancelled);
+  for (auto& f : queued)
+    EXPECT_EQ(f.get().status, exec::JobStatus::Cancelled);
+
+  // reset_cancel() re-arms the pool.
+  pool.reset_cancel();
+  auto again = pool.submit([](exec::JobContext&) { return 2; });
+  const auto outcome = again.get();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome.value, 2);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: descriptor seeds
+
+TEST(DescriptorSeedTest, EqualDescriptorsEqualSeeds) {
+  exec::ExperimentDesc a;
+  a.app = "SP";
+  a.workload = "B";
+  a.machine = "crill";
+  a.power_cap = 85.0;
+  exec::ExperimentDesc b = a;
+  EXPECT_EQ(exec::descriptor_seed(a), exec::descriptor_seed(b));
+  EXPECT_EQ(exec::run_options(a).seed, exec::descriptor_seed(a));
+}
+
+TEST(DescriptorSeedTest, CaseOfNamesDoesNotChangeSeed) {
+  exec::ExperimentDesc a;
+  a.app = "SP";
+  exec::ExperimentDesc b = a;
+  b.app = "sp";
+  EXPECT_EQ(exec::descriptor_seed(a), exec::descriptor_seed(b));
+}
+
+TEST(DescriptorSeedTest, EveryFieldFeedsTheSeed) {
+  const exec::ExperimentDesc base;
+  const std::uint64_t s0 = exec::descriptor_seed(base);
+  auto differs = [&](auto mutate) {
+    exec::ExperimentDesc d = base;
+    mutate(d);
+    return exec::descriptor_seed(d) != s0;
+  };
+  EXPECT_TRUE(differs([](auto& d) { d.app = "SP"; }));
+  EXPECT_TRUE(differs([](auto& d) { d.workload = "C"; }));
+  EXPECT_TRUE(differs([](auto& d) { d.machine = "minotaur"; }));
+  EXPECT_TRUE(differs([](auto& d) { d.power_cap = 85.0; }));
+  EXPECT_TRUE(differs(
+      [](auto& d) { d.strategy = arcs::TuningStrategy::Online; }));
+  EXPECT_TRUE(differs([](auto& d) { d.repetitions = 3; }));
+  EXPECT_TRUE(differs([](auto& d) { d.timesteps_override = 7; }));
+  EXPECT_TRUE(differs([](auto& d) { d.max_search_passes = 5; }));
+  EXPECT_TRUE(differs([](auto& d) { d.seed_salt = 1; }));
+  EXPECT_TRUE(differs([](auto& d) { d.selective_tuning = true; }));
+}
+
+TEST(DescriptorSeedTest, NegativeZeroCapSeedsLikePositiveZero) {
+  exec::ExperimentDesc a;
+  a.power_cap = 0.0;
+  exec::ExperimentDesc b = a;
+  b.power_cap = -0.0;
+  EXPECT_EQ(exec::descriptor_seed(a), exec::descriptor_seed(b));
+}
+
+// ---------------------------------------------------------------------
+// The differential test: parallel == serial, bit for bit.
+
+/// The full Crill cap ladder x all three strategies on the synthetic
+/// app, shrunk to a few timesteps so the whole matrix stays fast.
+std::vector<exec::ExperimentDesc> sweep_descriptors() {
+  std::vector<exec::ExperimentDesc> descs;
+  for (const double cap : {55.0, 70.0, 85.0, 100.0, 0.0}) {
+    for (const arcs::TuningStrategy strategy :
+         {arcs::TuningStrategy::Default, arcs::TuningStrategy::Online,
+          arcs::TuningStrategy::OfflineReplay}) {
+      exec::ExperimentDesc d;
+      d.app = "synthetic";
+      d.machine = "crill";
+      d.power_cap = cap;
+      d.strategy = strategy;
+      d.timesteps_override = 3;
+      d.max_search_passes = 4;
+      descs.push_back(d);
+    }
+  }
+  return descs;
+}
+
+/// Bit-exact fingerprint: dump() serializes doubles with max_digits10,
+/// so two results have equal fingerprints iff every field round-trips
+/// to the identical bit pattern.
+std::string fingerprint(const kernels::RunResult& result) {
+  return exec::run_result_to_json(result).dump(0);
+}
+
+std::vector<std::string> serial_fingerprints(
+    const std::vector<exec::ExperimentDesc>& descs) {
+  std::vector<std::string> prints;
+  prints.reserve(descs.size());
+  for (const auto& d : descs)
+    prints.push_back(fingerprint(exec::run_experiment(d)));
+  return prints;
+}
+
+TEST(DifferentialTest, ParallelSweepMatchesSerialAtEveryWorkerCount) {
+  const auto descs = sweep_descriptors();
+  const auto serial = serial_fingerprints(descs);
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    exec::ExperimentPool pool(pool_of(workers));
+    const auto outcomes = exec::run_campaign(pool, descs);
+    ASSERT_EQ(outcomes.size(), descs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      ASSERT_TRUE(outcomes[i].ok())
+          << descs[i].label() << " with " << workers
+          << " workers: " << outcomes[i].error;
+      EXPECT_EQ(fingerprint(outcomes[i].result), serial[i])
+          << descs[i].label() << " diverged at " << workers << " workers";
+    }
+  }
+}
+
+TEST(DifferentialTest, ShuffledSubmissionOrderChangesNothing) {
+  auto descs = sweep_descriptors();
+  const auto serial = serial_fingerprints(descs);
+
+  // Shuffle (deterministically) and remember where each descriptor went.
+  std::vector<std::size_t> order(descs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::mt19937 rng(20160913);  // CLUSTER'16 vintage
+  std::shuffle(order.begin(), order.end(), rng);
+  std::vector<exec::ExperimentDesc> shuffled;
+  shuffled.reserve(descs.size());
+  for (const std::size_t i : order) shuffled.push_back(descs[i]);
+
+  exec::ExperimentPool pool(pool_of(4));
+  const auto outcomes = exec::run_campaign(pool, shuffled);
+  ASSERT_EQ(outcomes.size(), shuffled.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok()) << shuffled[i].label();
+    EXPECT_EQ(fingerprint(outcomes[i].result), serial[order[i]])
+        << shuffled[i].label() << " depends on submission order";
+  }
+}
+
+TEST(DifferentialTest, RepeatedCampaignIsBitIdentical) {
+  exec::ExperimentDesc d;
+  d.app = "synthetic";
+  d.machine = "testbox";
+  d.power_cap = 55.0;
+  d.strategy = arcs::TuningStrategy::Online;
+  d.timesteps_override = 3;
+  d.max_search_passes = 4;
+
+  exec::ExperimentPool pool(pool_of(2));
+  const auto first = exec::run_campaign(pool, {d, d, d});
+  const auto second = exec::run_campaign(pool, {d, d, d});
+  ASSERT_EQ(first.size(), 3u);
+  for (const auto& group : {first, second})
+    for (const auto& outcome : group) ASSERT_TRUE(outcome.ok());
+  // Same descriptor => same result, within and across campaigns.
+  const std::string expected = fingerprint(first[0].result);
+  for (const auto& outcome : first)
+    EXPECT_EQ(fingerprint(outcome.result), expected);
+  for (const auto& outcome : second)
+    EXPECT_EQ(fingerprint(outcome.result), expected);
+}
+
+TEST(DifferentialTest, PoolSpeedsUpCampaignsOnParallelHosts) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores < 4)
+    GTEST_SKIP() << "host exposes " << cores
+                 << " hardware threads; the >=3x speedup assertion needs 4+";
+
+  // A campaign heavy enough that pool overhead is noise.
+  std::vector<exec::ExperimentDesc> descs;
+  for (int salt = 0; salt < 16; ++salt) {
+    exec::ExperimentDesc d;
+    d.app = "synthetic";
+    d.machine = "crill";
+    d.power_cap = 85.0;
+    d.strategy = arcs::TuningStrategy::OfflineReplay;
+    d.timesteps_override = 6;
+    d.max_search_passes = 8;
+    d.seed_salt = static_cast<std::uint64_t>(salt);
+    descs.push_back(d);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto serial_start = Clock::now();
+  for (const auto& d : descs) (void)exec::run_experiment(d);
+  const double serial_s =
+      std::chrono::duration<double>(Clock::now() - serial_start).count();
+
+  exec::ExperimentPool pool(pool_of(4));
+  const auto parallel_start = Clock::now();
+  const auto outcomes = exec::run_campaign(pool, descs);
+  const double parallel_s =
+      std::chrono::duration<double>(Clock::now() - parallel_start).count();
+  for (const auto& outcome : outcomes) ASSERT_TRUE(outcome.ok());
+
+  EXPECT_GE(serial_s / parallel_s, 3.0)
+      << "serial " << serial_s << "s vs parallel " << parallel_s << "s";
+}
+
+// ---------------------------------------------------------------------
+// Fault propagation: a failing or timed-out *experiment* is contained.
+
+/// Builds a trace from a clean synthetic run, corrupts it with an
+/// analysis::inject mutator, and throws the checker's verdict — the
+/// shape of a simulation that trips an invariant mid-campaign.
+int faulty_experiment(exec::JobContext&) {
+  arcs::analysis::EventTrace trace;
+  {
+    arcs::sim::Machine machine{arcs::sim::testbox()};
+    arcs::somp::Runtime runtime{machine};
+    trace.attach(runtime);
+    const arcs::kernels::AppSpec app = arcs::kernels::synthetic_app();
+    std::vector<arcs::somp::RegionWork> works;
+    for (std::size_t i = 0; i < app.regions.size(); ++i)
+      works.push_back(app.regions[i].build(i + 1));
+    for (const std::size_t idx : app.step_sequence)
+      runtime.parallel_for(works[idx]);
+    trace.detach();
+  }
+  if (!arcs::analysis::inject::skip_iteration(trace))
+    throw std::runtime_error("inject: nothing to corrupt");
+  arcs::analysis::Checker checker;
+  trace.replay_into(checker);
+  if (!checker.ok())
+    throw std::runtime_error("invariant violation: " + checker.report());
+  return 0;
+}
+
+TEST(FaultContainmentTest, InjectedInvariantViolationFailsOnlyItsJob) {
+  const auto descs = [&] {
+    std::vector<exec::ExperimentDesc> list;
+    exec::ExperimentDesc d;
+    d.app = "synthetic";
+    d.machine = "testbox";
+    d.timesteps_override = 3;
+    list.push_back(d);
+    return list;
+  }();
+  const std::string healthy = fingerprint(exec::run_experiment(descs[0]));
+
+  exec::ExperimentPool pool(pool_of(2));
+  auto faulty = pool.submit(faulty_experiment);
+  const auto campaign = exec::run_campaign(pool, descs);
+
+  const auto fault_outcome = faulty.get();
+  EXPECT_EQ(fault_outcome.status, exec::JobStatus::Failed);
+  EXPECT_NE(fault_outcome.error.find("invariant violation"),
+            std::string::npos)
+      << fault_outcome.error;
+
+  // The healthy experiment sharing the pool is untouched — same bits as
+  // a serial run.
+  ASSERT_EQ(campaign.size(), 1u);
+  ASSERT_TRUE(campaign[0].ok());
+  EXPECT_EQ(fingerprint(campaign[0].result), healthy);
+}
+
+TEST(FaultContainmentTest, ExperimentTimeoutIsPerJob) {
+  // A deliberately enormous run that can only end via the stop token...
+  exec::ExperimentDesc slow;
+  slow.app = "synthetic";
+  slow.machine = "crill";
+  slow.strategy = arcs::TuningStrategy::OfflineReplay;
+  slow.timesteps_override = 1000000;
+  slow.repetitions = 5;
+  // ...next to a quick one.
+  exec::ExperimentDesc quick;
+  quick.app = "synthetic";
+  quick.machine = "crill";
+  quick.timesteps_override = 2;
+
+  exec::ExperimentPool pool(pool_of(2));
+  exec::CampaignOptions options;
+  options.timeout_seconds = 0.25;  // roomy enough for sanitizer builds
+  const auto outcomes = exec::run_campaign(pool, {slow, quick}, options);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].status, exec::JobStatus::TimedOut);
+  EXPECT_TRUE(outcomes[1].ok()) << outcomes[1].error;
+
+  // The pool survives; the next campaign (no timeout) is clean.
+  const auto after = exec::run_campaign(pool, {quick});
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_TRUE(after[0].ok());
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Golden-file regression tests.
+//
+// Each case runs a canonical experiment at a fixed descriptor (and
+// therefore, by the seed-from-descriptor rule, a fixed seed), serializes
+// it with exec::experiment_report, and compares field-by-field against
+// the JSON checked into tests/data/. Numbers use approx_equal's
+// tolerance so a legitimate float-formatting change doesn't trip the
+// test, while any behavioural drift in the simulator, runtime, search,
+// or driver does.
+//
+// To bless new behaviour after an intentional change:
+//   ARCS_REGEN_GOLDEN=1 ./golden_test && git diff tests/data/
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/approx.hpp"
+#include "common/json.hpp"
+#include "exec/experiment.hpp"
+
+namespace exec = arcs::exec;
+using arcs::common::Json;
+
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(ARCS_TEST_DATA_DIR) + "/" + name;
+}
+
+bool regen_mode() {
+  const char* regen = std::getenv("ARCS_REGEN_GOLDEN");
+  return regen != nullptr && regen[0] == '1';
+}
+
+/// Field-by-field comparison. Key order is part of the contract (the
+/// reports are diff-stable), so objects must list the same keys in the
+/// same order. Numbers compare with approx_equal; everything else is
+/// exact. On mismatch, `where` pinpoints the first diverging path.
+bool json_match(const Json& expected, const Json& actual,
+                const std::string& path, std::string& where) {
+  if (expected.kind() != actual.kind()) {
+    where = path + ": kind mismatch";
+    return false;
+  }
+  switch (expected.kind()) {
+    case Json::Kind::Null:
+      return true;
+    case Json::Kind::Bool:
+      if (expected.as_bool() != actual.as_bool()) {
+        where = path + ": bool mismatch";
+        return false;
+      }
+      return true;
+    case Json::Kind::Number:
+      if (!arcs::common::approx_equal(expected.as_number(),
+                                      actual.as_number())) {
+        where = path + ": " + std::to_string(expected.as_number()) +
+                " != " + std::to_string(actual.as_number());
+        return false;
+      }
+      return true;
+    case Json::Kind::String:
+      if (expected.as_string() != actual.as_string()) {
+        where = path + ": \"" + expected.as_string() + "\" != \"" +
+                actual.as_string() + "\"";
+        return false;
+      }
+      return true;
+    case Json::Kind::Array: {
+      if (expected.items().size() != actual.items().size()) {
+        where = path + ": array size " +
+                std::to_string(expected.items().size()) + " != " +
+                std::to_string(actual.items().size());
+        return false;
+      }
+      for (std::size_t i = 0; i < expected.items().size(); ++i) {
+        if (!json_match(expected.items()[i], actual.items()[i],
+                        path + "[" + std::to_string(i) + "]", where))
+          return false;
+      }
+      return true;
+    }
+    case Json::Kind::Object: {
+      if (expected.members().size() != actual.members().size()) {
+        where = path + ": object size " +
+                std::to_string(expected.members().size()) + " != " +
+                std::to_string(actual.members().size());
+        return false;
+      }
+      for (std::size_t i = 0; i < expected.members().size(); ++i) {
+        const auto& [ekey, evalue] = expected.members()[i];
+        const auto& [akey, avalue] = actual.members()[i];
+        if (ekey != akey) {
+          where = path + ": key #" + std::to_string(i) + " \"" + ekey +
+                  "\" != \"" + akey + "\"";
+          return false;
+        }
+        if (!json_match(evalue, avalue, path + "." + ekey, where))
+          return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_against_golden(const std::string& golden_name,
+                          const exec::ExperimentDesc& desc) {
+  const Json actual =
+      exec::experiment_report(desc, exec::run_experiment(desc));
+  const std::string path = data_path(golden_name);
+
+  if (regen_mode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual.dump(2);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << path << " missing — run with ARCS_REGEN_GOLDEN=1 to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  const Json expected = Json::parse(buffer.str(), &parse_error);
+  ASSERT_TRUE(parse_error.empty()) << path << ": " << parse_error;
+
+  std::string where;
+  EXPECT_TRUE(json_match(expected, actual, "$", where))
+      << golden_name << " drifted at " << where
+      << "\n(intentional change? ARCS_REGEN_GOLDEN=1 re-blesses)";
+}
+
+// The five-minute quickstart from the README: the synthetic app,
+// ARCS-Online, one modest cap, on the neutral test machine.
+TEST(GoldenTest, Quickstart) {
+  exec::ExperimentDesc desc;
+  desc.app = "synthetic";
+  desc.machine = "testbox";
+  desc.power_cap = 55.0;
+  desc.strategy = arcs::TuningStrategy::Online;
+  desc.timesteps_override = 4;
+  desc.max_search_passes = 4;
+  check_against_golden("golden_quickstart.json", desc);
+}
+
+// The paper's headline artifact (Fig. 5): SP class C on Crill — here a
+// single point of it (85 W, ARCS-Online) at golden-test scale.
+TEST(GoldenTest, BenchFig5SpClassC) {
+  exec::ExperimentDesc desc;
+  desc.app = "SP";
+  desc.workload = "C";
+  desc.machine = "crill";
+  desc.power_cap = 85.0;
+  desc.strategy = arcs::TuningStrategy::Online;
+  desc.timesteps_override = 3;
+  desc.max_search_passes = 4;
+  check_against_golden("golden_bench_fig5_sp_classC.json", desc);
+}
+
+// The offline path exercises search + history replay — a different code
+// path through policy and harmony than Online.
+TEST(GoldenTest, OfflineReplaySpClassC) {
+  exec::ExperimentDesc desc;
+  desc.app = "SP";
+  desc.workload = "C";
+  desc.machine = "crill";
+  desc.power_cap = 55.0;
+  desc.strategy = arcs::TuningStrategy::OfflineReplay;
+  desc.timesteps_override = 3;
+  desc.max_search_passes = 4;
+  check_against_golden("golden_offline_sp_classC.json", desc);
+}
+
+// Tolerance sanity: the helper accepts round-trip noise and rejects
+// real drift.
+TEST(GoldenTest, ApproxEqualGuardsTheComparison) {
+  EXPECT_TRUE(arcs::common::approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(arcs::common::approx_equal(1e9, 1e9 * (1.0 + 1e-10)));
+  EXPECT_FALSE(arcs::common::approx_equal(1.0, 1.0 + 1e-6));
+  EXPECT_TRUE(arcs::common::approx_equal(0.0, -0.0));
+
+  std::string where;
+  Json a = Json::object();
+  a.set("x", 1.0);
+  Json b = Json::object();
+  b.set("x", 1.0 + 1e-12);
+  EXPECT_TRUE(json_match(a, b, "$", where)) << where;
+  Json c = Json::object();
+  c.set("x", 1.1);
+  EXPECT_FALSE(json_match(a, c, "$", where));
+  EXPECT_NE(where.find("$.x"), std::string::npos);
+}
+
+}  // namespace

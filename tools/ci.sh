@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Local CI for ARCS: builds and runs the full ctest suite in
-#   1. plain mode (warnings-as-errors), and
-#   2. ASan+UBSan mode (-DARCS_SANITIZE=ON),
+#   1. plain mode (warnings-as-errors),
+#   2. ASan+UBSan mode (-DARCS_SANITIZE=ON), and
+#   3. TSan mode (-DARCS_SANITIZE=thread) for the concurrent exec layer,
 # and, when clang-tidy is available, a clang-tidy build as well.
+# Finishes with the somp_verify sweep and a bench smoke step that checks
+# the machine-readable BENCH_*.json reports against their schema.
 #
 # Usage: tools/ci.sh [build-root]   (default: ./build-ci)
 set -euo pipefail
@@ -27,6 +30,21 @@ run_mode plain -DARCS_WERROR=ON
 # suite is a real "no UB observed" statement.
 run_mode sanitize -DARCS_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
 
+# TSan build: the exec pool, the ported bench harness, and the verifier
+# registry are the code that actually crosses threads — run the suites
+# that exercise them (a full TSan ctest pass is 10x+ slower and mostly
+# re-runs single-threaded code).
+echo "=== [tsan] configure: -DARCS_SANITIZE=thread ==="
+cmake -B "$ROOT/tsan" -S . -DARCS_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug \
+  >/dev/null
+echo "=== [tsan] build ==="
+cmake --build "$ROOT/tsan" -j "$JOBS" \
+  --target exec_test golden_test somp_test analysis_test somp_verify
+echo "=== [tsan] exec + somp suites under TSan ==="
+(cd "$ROOT/tsan" && ctest --output-on-failure -j "$JOBS" \
+  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest')
+"$ROOT/tsan/tools/somp_verify" --app synthetic --steps 3
+
 if command -v clang-tidy >/dev/null 2>&1; then
   run_mode tidy -DARCS_CLANG_TIDY=ON
 else
@@ -36,5 +54,42 @@ fi
 echo "=== verification sweep (somp_verify) ==="
 "$ROOT/plain/tools/somp_verify" --app synthetic --steps 3
 "$ROOT/plain/tools/somp_verify" --inject
+
+echo "=== bench smoke: machine-readable reports ==="
+# Two real paper artifacts in fast mode; each must emit a BENCH_*.json
+# that satisfies the arcs-bench-report/v1 schema.
+BENCH_OUT="$ROOT/bench-smoke"
+mkdir -p "$BENCH_OUT"
+BENCH_BIN="$(cd "$ROOT/plain/bench" && pwd)"
+for b in bench_fig4_sp_app bench_fig5_sp_classC; do
+  echo "--- $b --json ---"
+  (cd "$BENCH_OUT" && ARCS_BENCH_FAST=1 "$BENCH_BIN/$b" --json >/dev/null)
+done
+python3 - "$BENCH_OUT" <<'PYEOF'
+import json, pathlib, sys
+
+out = pathlib.Path(sys.argv[1])
+reports = sorted(out.glob("BENCH_*.json"))
+assert len(reports) >= 2, f"expected >=2 BENCH_*.json in {out}, found {reports}"
+for path in reports:
+    r = json.loads(path.read_text())
+    assert r["schema"] == "arcs-bench-report/v1", path
+    for key in ("artifact", "title", "paper_expectation", "fast_mode",
+                "rows", "tables", "wall_seconds",
+                "serial_equivalent_seconds", "host_parallelism_speedup",
+                "workers", "jobs"):
+        assert key in r, f"{path}: missing {key}"
+    assert r["rows"], f"{path}: no data rows"
+    for row in r["rows"]:
+        assert {"series", "power_level", "cap_w",
+                "time_default_s"} <= row.keys(), f"{path}: bad row {row}"
+    jobs = r["jobs"]
+    assert jobs["done"] == jobs["submitted"] > 0, f"{path}: jobs {jobs}"
+    assert jobs["failed"] == jobs["timed_out"] == jobs["cancelled"] == 0, path
+    print(f"{path.name}: ok "
+          f"({jobs['done']} jobs, {r['workers']} workers, "
+          f"speedup {r['host_parallelism_speedup']:.2f}x)")
+print("bench smoke: schema valid")
+PYEOF
 
 echo "CI: all modes green"

@@ -6,45 +6,71 @@
 //   $ arcs_landscape <app> <workload> <machine> [region] [cap...]
 //   $ arcs_landscape SP B crill x_solve 55 115
 //   $ arcs_landscape LULESH 45 crill            # summary of all regions
+//
+// Each configuration evaluation is an independent simulation, so the
+// sweep fans out across the experiment pool; outcomes are collected in
+// search-space enumeration order, matching kernels::sweep_region exactly.
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "core/search_space.hpp"
+#include "exec/experiment.hpp"
+#include "exec/pool.hpp"
 #include "kernels/apps.hpp"
 #include "kernels/driver.hpp"
 #include "sim/presets.hpp"
 
+namespace ex = arcs::exec;
 namespace kn = arcs::kernels;
 namespace sc = arcs::sim;
 namespace sp = arcs::somp;
 
 namespace {
 
-kn::AppSpec make_app(const std::string& name, const std::string& workload) {
-  if (name == "SP") return kn::sp_app(workload);
-  if (name == "BT") return kn::bt_app(workload);
-  if (name == "LULESH") return kn::lulesh_app(workload);
-  if (name == "CG") return kn::cg_app(workload);
-  if (name == "synthetic") return kn::synthetic_app();
-  std::fprintf(stderr, "unknown app %s\n", name.c_str());
-  std::exit(1);
+/// Pool-parallel kernels::sweep_region: one job per configuration,
+/// results in the same search-space enumeration order.
+std::vector<kn::ConfigOutcome> parallel_sweep_region(
+    ex::ExperimentPool& pool, const kn::AppSpec& app,
+    const std::string& region, const sc::MachineSpec& machine, double cap) {
+  const arcs::harmony::SearchSpace space =
+      arcs::arcs_search_space(machine);
+  std::vector<std::future<ex::JobOutcome<kn::ConfigOutcome>>> futures;
+  futures.reserve(space.size());
+  arcs::harmony::Point p = space.origin();
+  do {
+    const sp::LoopConfig config =
+        arcs::config_from_values(space.decode(p));
+    ex::JobOptions job;
+    job.label = region + " " + config.to_string();
+    futures.push_back(pool.submit(
+        [app, region, machine, cap, config](ex::JobContext&) {
+          return kn::run_region_once(app, region, machine, cap, config);
+        },
+        std::move(job)));
+  } while (space.advance(p));
+
+  std::vector<kn::ConfigOutcome> outcomes;
+  outcomes.reserve(futures.size());
+  for (auto& future : futures) {
+    ex::JobOutcome<kn::ConfigOutcome> outcome = future.get();
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "sweep job failed: %s\n", outcome.error.c_str());
+      std::exit(1);
+    }
+    outcomes.push_back(std::move(*outcome.value));
+  }
+  return outcomes;
 }
 
-sc::MachineSpec make_machine(const std::string& name) {
-  if (name == "crill") return sc::crill();
-  if (name == "minotaur") return sc::minotaur();
-  if (name == "testbox") return sc::testbox();
-  std::fprintf(stderr, "unknown machine %s\n", name.c_str());
-  std::exit(1);
-}
-
-void print_region_landscape(const kn::AppSpec& app,
+void print_region_landscape(ex::ExperimentPool& pool, const kn::AppSpec& app,
                             const std::string& region,
                             const sc::MachineSpec& machine, double cap) {
-  const auto sweep = kn::sweep_region(app, region, machine, cap);
+  const auto sweep = parallel_sweep_region(pool, app, region, machine, cap);
   const auto& best = kn::best_outcome(sweep);
   const auto default_out = kn::run_region_once(app, region, machine, cap,
                                                sp::LoopConfig{});
@@ -86,7 +112,7 @@ void print_region_landscape(const kn::AppSpec& app,
   }
 }
 
-void print_app_summary(const kn::AppSpec& app,
+void print_app_summary(ex::ExperimentPool& pool, const kn::AppSpec& app,
                        const sc::MachineSpec& machine, double cap) {
   std::printf("\n== %s (%s) on %s at %s — per-region default vs best ==\n",
               app.name.c_str(), app.workload.c_str(), machine.name.c_str(),
@@ -95,7 +121,8 @@ void print_app_summary(const kn::AppSpec& app,
   arcs::common::Table t({"region", "default(s)", "best(s)", "gain%",
                          "best config", "barrier share", "calls/step"});
   for (const auto& spec : app.regions) {
-    const auto sweep = kn::sweep_region(app, spec.name, machine, cap);
+    const auto sweep =
+        parallel_sweep_region(pool, app, spec.name, machine, cap);
     const auto& best = kn::best_outcome(sweep);
     const auto d = kn::run_region_once(app, spec.name, machine, cap,
                                        sp::LoopConfig{});
@@ -126,18 +153,30 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 1;
   }
-  const auto app = make_app(argv[1], argv[2]);
-  const auto machine = make_machine(argv[3]);
+  ex::ExperimentDesc desc;
+  desc.app = argv[1];
+  desc.workload = argv[2];
+  desc.machine = argv[3];
+  kn::AppSpec app;
+  sc::MachineSpec machine;
+  try {
+    app = ex::resolve_app(desc);
+    machine = ex::resolve_machine(desc);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
   const std::string region = argc > 4 ? argv[4] : "-";
   std::vector<double> caps;
   for (int i = 5; i < argc; ++i) caps.push_back(std::atof(argv[i]));
   if (caps.empty()) caps.push_back(0.0);
 
+  ex::ExperimentPool pool;
   for (const double cap : caps) {
     if (region == "-")
-      print_app_summary(app, machine, cap);
+      print_app_summary(pool, app, machine, cap);
     else
-      print_region_landscape(app, region, machine, cap);
+      print_region_landscape(pool, app, region, machine, cap);
   }
   return 0;
 }

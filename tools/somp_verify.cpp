@@ -16,12 +16,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
 #include <vector>
 
 #include "analysis/checker.hpp"
 #include "analysis/inject.hpp"
 #include "analysis/trace.hpp"
+#include "exec/pool.hpp"
 #include "kernels/apps.hpp"
 #include "sim/presets.hpp"
 #include "somp/runtime.hpp"
@@ -143,6 +145,14 @@ void run_workload(arcs::somp::Runtime& runtime,
       runtime.parallel_for(works[idx]);
 }
 
+/// Everything one sweep configuration reports, computed on a pool worker
+/// and printed on the main thread in deterministic sweep order.
+struct SweepAudit {
+  arcs::analysis::CheckerStats stats;
+  std::uint64_t violations = 0;
+  std::string report;  // empty when clean
+};
+
 int run_sweep(const Options& opt) {
   const arcs::kernels::AppSpec app = pick_app(opt);
   const arcs::sim::MachineSpec spec = pick_machine(opt);
@@ -169,29 +179,63 @@ int run_sweep(const Options& opt) {
   std::printf("%-12s %8s %10s %10s %12s %10s\n", "schedule", "threads",
               "regions", "events", "iterations", "violations");
 
-  std::uint64_t total_violations = 0;
+  // Each (schedule, threads) configuration is an isolated simulation —
+  // fresh machine, runtime, and checker, all confined to the worker that
+  // runs the job — so the sweep fans out across the experiment pool and
+  // prints in the original deterministic order.
+  arcs::exec::ExperimentPool pool;
+  std::vector<std::future<arcs::exec::JobOutcome<SweepAudit>>> futures;
+  futures.reserve(schedules.size() * threads.size());
   for (const auto& [sched_name, schedule] : schedules) {
     for (const int t : threads) {
-      arcs::sim::Machine machine{spec};
-      if (opt.cap > 0) machine.set_power_cap(opt.cap);
-      arcs::somp::Runtime runtime{machine};
-      Checker checker;
-      checker.attach(runtime);
-      runtime.set_num_threads(t);
-      runtime.set_schedule(schedule);
-      run_workload(runtime, app, works, opt.steps);
-      checker.finish();
-      const auto& stats = checker.stats();
-      std::printf("%-12s %8d %10llu %10llu %12llu %10llu\n", sched_name, t,
-                  static_cast<unsigned long long>(stats.regions_checked),
-                  static_cast<unsigned long long>(stats.events_checked),
-                  static_cast<unsigned long long>(stats.iterations_audited),
-                  static_cast<unsigned long long>(checker.violation_count()));
-      if (!checker.ok()) {
-        total_violations += checker.violation_count();
-        std::printf("%s\n", checker.report().c_str());
+      arcs::exec::JobOptions job;
+      job.label = std::string(sched_name) + " x" + std::to_string(t);
+      futures.push_back(pool.submit(
+          [&spec, &app, &works, &opt, schedule = schedule,
+           t](arcs::exec::JobContext&) {
+            arcs::sim::Machine machine{spec};
+            if (opt.cap > 0) machine.set_power_cap(opt.cap);
+            arcs::somp::Runtime runtime{machine};
+            Checker checker;
+            checker.attach(runtime);
+            runtime.set_num_threads(t);
+            runtime.set_schedule(schedule);
+            run_workload(runtime, app, works, opt.steps);
+            checker.finish();
+            SweepAudit audit;
+            audit.stats = checker.stats();
+            audit.violations = checker.violation_count();
+            if (!checker.ok()) audit.report = checker.report();
+            checker.detach();
+            return audit;
+          },
+          std::move(job)));
+    }
+  }
+
+  std::uint64_t total_violations = 0;
+  std::size_t next = 0;
+  for (const auto& [sched_name, schedule] : schedules) {
+    (void)schedule;
+    for (const int t : threads) {
+      auto outcome = futures[next++].get();
+      if (!outcome.ok()) {
+        std::printf("%-12s %8d sweep job failed: %s\n", sched_name, t,
+                    outcome.error.c_str());
+        ++total_violations;
+        continue;
       }
-      checker.detach();
+      const SweepAudit& audit = *outcome.value;
+      std::printf("%-12s %8d %10llu %10llu %12llu %10llu\n", sched_name, t,
+                  static_cast<unsigned long long>(audit.stats.regions_checked),
+                  static_cast<unsigned long long>(audit.stats.events_checked),
+                  static_cast<unsigned long long>(
+                      audit.stats.iterations_audited),
+                  static_cast<unsigned long long>(audit.violations));
+      if (audit.violations > 0) {
+        total_violations += audit.violations;
+        std::printf("%s\n", audit.report.c_str());
+      }
     }
   }
   if (total_violations > 0) {

@@ -10,35 +10,26 @@
 //   $ arcs_tune replay SP B crill 85 sp85.hist
 //   $ arcs_tune online LULESH 45 crill 55
 //   $ arcs_tune default BT B minotaur
+//
+// The baseline and the tuned run are independent simulations, so they
+// execute concurrently on the experiment pool; results and seeds are
+// fixed by the run options alone, so the output matches the old serial
+// tool bit-for-bit.
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <string>
 
+#include "exec/experiment.hpp"
+#include "exec/pool.hpp"
 #include "kernels/apps.hpp"
 #include "kernels/driver.hpp"
 #include "sim/presets.hpp"
 
+namespace ex = arcs::exec;
 namespace kn = arcs::kernels;
-namespace sc = arcs::sim;
 
 namespace {
-
-kn::AppSpec make_app(const std::string& name, const std::string& workload) {
-  if (name == "SP") return kn::sp_app(workload);
-  if (name == "BT") return kn::bt_app(workload);
-  if (name == "LULESH") return kn::lulesh_app(workload);
-  if (name == "CG") return kn::cg_app(workload);
-  std::fprintf(stderr, "unknown app %s (SP|BT|LULESH|CG)\n", name.c_str());
-  std::exit(1);
-}
-
-sc::MachineSpec make_machine(const std::string& name) {
-  if (name == "crill") return sc::crill();
-  if (name == "minotaur") return sc::minotaur();
-  if (name == "testbox") return sc::testbox();
-  std::fprintf(stderr, "unknown machine %s\n", name.c_str());
-  std::exit(1);
-}
 
 void print_result(const char* label, const kn::RunResult& result,
                   bool energy_readable) {
@@ -53,6 +44,35 @@ void print_result(const char* label, const kn::RunResult& result,
   std::printf("\n");
 }
 
+/// Submits one run_app job with fully-specified options.
+std::future<ex::JobOutcome<kn::RunResult>> submit_run(
+    ex::ExperimentPool& pool, const kn::AppSpec& app,
+    const arcs::sim::MachineSpec& machine, kn::RunOptions options,
+    std::string label) {
+  ex::JobOptions job;
+  job.label = std::move(label);
+  return pool.submit(
+      [app, machine, options](ex::JobContext& ctx) {
+        kn::RunOptions with_stop = options;
+        with_stop.stop = ctx.stop_token();
+        return kn::run_app(app, machine, with_stop);
+      },
+      std::move(job));
+}
+
+kn::RunResult take(std::future<ex::JobOutcome<kn::RunResult>>& future,
+                   const char* what) {
+  ex::JobOutcome<kn::RunResult> outcome = future.get();
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s run %s%s%s\n", what,
+                 std::string(to_string(outcome.status)).c_str(),
+                 outcome.error.empty() ? "" : ": ",
+                 outcome.error.c_str());
+    std::exit(1);
+  }
+  return std::move(*outcome.value);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,35 +85,82 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string mode = argv[1];
-  auto app = make_app(argv[2], argv[3]);
-  const auto machine = make_machine(argc > 4 ? argv[4] : "crill");
-  const double cap = argc > 5 ? std::atof(argv[5]) : 0.0;
+
+  ex::ExperimentDesc desc;
+  desc.app = argv[2];
+  desc.workload = argv[3];
+  desc.machine = argc > 4 ? argv[4] : "crill";
+  desc.power_cap = argc > 5 ? std::atof(argv[5]) : 0.0;
   const std::string history_path = argc > 6 ? argv[6] : "";
 
+  kn::AppSpec app;
+  sim::MachineSpec machine;
+  try {
+    app = ex::resolve_app(desc);
+    machine = ex::resolve_machine(desc);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
   kn::RunOptions opts;
-  opts.power_cap = cap;
+  opts.power_cap = desc.power_cap;
   opts.repetitions = 3;  // the paper's protocol
 
   std::printf("%s %s (%s) on %s at %s\n\n", mode.c_str(), app.name.c_str(),
               app.workload.c_str(), machine.name.c_str(),
-              cap > 0 ? (std::to_string(static_cast<int>(cap)) + " W").c_str()
-                      : "TDP");
+              desc.power_cap > 0
+                  ? (std::to_string(static_cast<int>(desc.power_cap)) + " W")
+                        .c_str()
+                  : "TDP");
 
-  const auto baseline = kn::run_app(app, machine, opts);
+  ex::ExperimentPool pool;
+
+  // The untuned baseline always runs; the tuned run (if any) is
+  // independent of it, so both go onto the pool together.
+  auto baseline_future =
+      submit_run(pool, app, machine, opts, "baseline " + desc.label());
+
+  if (mode == "default") {
+    print_result("default", take(baseline_future, "default"),
+                 machine.energy_counters);
+    return 0;
+  }
+
+  kn::RunOptions tuned_opts = opts;
+  HistoryStore history;  // must outlive the replay run
+  if (mode == "online") {
+    tuned_opts.strategy = TuningStrategy::Online;
+  } else if (mode == "search") {
+    tuned_opts.strategy = TuningStrategy::OfflineReplay;  // search + replay
+  } else if (mode == "replay") {
+    if (history_path.empty()) {
+      std::fprintf(stderr, "replay needs a history file\n");
+      return 1;
+    }
+    history = HistoryStore::load(history_path);
+    std::printf("loaded %zu history entries from %s\n", history.size(),
+                history_path.c_str());
+    tuned_opts.strategy = TuningStrategy::OfflineReplay;
+    tuned_opts.reuse_history = &history;
+  } else {
+    std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
+    return 1;
+  }
+
+  auto tuned_future =
+      submit_run(pool, app, machine, tuned_opts, mode + " " + desc.label());
+
+  const auto baseline = take(baseline_future, "baseline");
+  const auto run = take(tuned_future, mode.c_str());
   print_result("default", baseline, machine.energy_counters);
-  if (mode == "default") return 0;
 
   if (mode == "online") {
-    opts.strategy = TuningStrategy::Online;
-    const auto run = kn::run_app(app, machine, opts);
     print_result("online", run, machine.energy_counters);
     std::printf("\nspeedup %.2fx\n", baseline.elapsed / run.elapsed);
     return 0;
   }
-
   if (mode == "search") {
-    opts.strategy = TuningStrategy::OfflineReplay;  // search + replay
-    const auto run = kn::run_app(app, machine, opts);
     print_result("offline", run, machine.energy_counters);
     std::printf("\nspeedup %.2fx\n", baseline.elapsed / run.elapsed);
     if (!history_path.empty()) {
@@ -103,24 +170,9 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-
-  if (mode == "replay") {
-    if (history_path.empty()) {
-      std::fprintf(stderr, "replay needs a history file\n");
-      return 1;
-    }
-    const auto history = HistoryStore::load(history_path);
-    std::printf("loaded %zu history entries from %s\n", history.size(),
-                history_path.c_str());
-    opts.strategy = TuningStrategy::OfflineReplay;
-    opts.reuse_history = &history;
-    const auto run = kn::run_app(app, machine, opts);
-    print_result("replay", run, machine.energy_counters);
-    std::printf("\nspeedup %.2fx (zero search executions in this run)\n",
-                baseline.elapsed / run.elapsed);
-    return 0;
-  }
-
-  std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
-  return 1;
+  // replay
+  print_result("replay", run, machine.energy_counters);
+  std::printf("\nspeedup %.2fx (zero search executions in this run)\n",
+              baseline.elapsed / run.elapsed);
+  return 0;
 }
