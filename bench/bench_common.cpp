@@ -270,6 +270,10 @@ void print_normalized_sweeps(const std::string& title,
   }
 }
 
+void add_row(common::Json row) {
+  if (json_enabled()) state().series.push_back(std::move(row));
+}
+
 void banner(const std::string& artifact, const std::string& expectation) {
   state().title = artifact;
   state().expectation = expectation;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "exec/experiment.hpp"
@@ -90,6 +91,10 @@ void banner(const std::string& artifact, const std::string& expectation);
 
 /// Honors ARCS_BENCH_FAST=1 to shrink timesteps for smoke runs.
 int effective_timesteps(int full);
+
+/// Appends one row object to the JSON report's "rows" array (no-op when
+/// JSON mode is off) — for benches whose series aren't StrategySweeps.
+void add_row(common::Json row);
 
 /// When ARCS_BENCH_CSV=<dir> is set, also writes `table` to
 /// <dir>/<name>.csv (for replotting). In JSON mode the table is

@@ -1,0 +1,201 @@
+// x13 — tuning-service scaling: shared cache vs private searches.
+//
+// Two claims behind harmonyd's existence:
+//   1. the decision cache's sharded hit path scales with concurrent
+//      clients (>= 3x request throughput at 8 clients vs 1);
+//   2. N clients asking for one key run ONE search between them (the
+//      first drives, the rest join/hit), so the fleet-wide evaluation
+//      count is ~the single-client count, not N times it.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using arcs::HistoryKey;
+namespace serve = arcs::serve;
+namespace bench = arcs::bench;
+using Clock = std::chrono::steady_clock;
+
+// Aggregate-init + noinline: GCC 12 at -O3 raises a spurious -Wrestrict
+// on member-by-member string assignment inlined into the bench loops.
+__attribute__((noinline)) HistoryKey make_key(std::size_t i) {
+  return HistoryKey{"SP", "testbox",
+                    40.0 + 5.0 * static_cast<double>(i % 8), "B",
+                    "region_" + std::to_string(i)};
+}
+
+/// Deterministic stand-in for a measured region time.
+double synthetic_objective(const arcs::somp::LoopConfig& config) {
+  const double threads = config.num_threads == 0
+                             ? 8.0
+                             : static_cast<double>(config.num_threads);
+  const double chunk = config.schedule.chunk == 0
+                           ? 16.0
+                           : static_cast<double>(config.schedule.chunk);
+  const double t = threads - 6.0;
+  const double c = (chunk - 32.0) / 32.0;
+  return 1.0 + 0.01 * (t * t) + 0.005 * (c * c);
+}
+
+/// Drives one key through the full search loop until the server caches it.
+std::size_t drive_to_convergence(serve::Client& client,
+                                 const HistoryKey& key) {
+  std::size_t evaluations = 0;
+  for (;;) {
+    const auto decision = client.decide(key, 1000.0);
+    if (decision.kind == arcs::RemoteDecision::Kind::Apply)
+      return evaluations;
+    if (decision.kind == arcs::RemoteDecision::Kind::Evaluate) {
+      client.report(key, decision.ticket,
+                    synthetic_objective(decision.config));
+      ++evaluations;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "x13_serve");
+  bench::banner(
+      "x13: tuning service — shared decision cache & search dedup",
+      "hit-path throughput scales >= 3x from 1 to 8 clients; N clients "
+      "sharing one key cost ~1 search, not N");
+
+  const bool fast = std::getenv("ARCS_BENCH_FAST") != nullptr &&
+                    std::getenv("ARCS_BENCH_FAST")[0] == '1';
+  const std::size_t kKeys = 64;
+  const std::size_t kTotalRequests = fast ? 400'000 : 2'000'000;
+  // Throughput can only scale with cores. On a small host the >= 3x
+  // claim is unmeasurable; fall back to asserting the hit path does not
+  // *collapse* under concurrency (no lock convoy: 8 clients >= 0.5x).
+  const unsigned host_cpus = std::max(1u, std::thread::hardware_concurrency());
+  const bool can_measure_scaling = host_cpus >= 8;
+  const double target = can_measure_scaling ? 3.0 : 0.5;
+
+  // ---- Part 1: cache-hit throughput vs concurrent clients. ----
+  serve::ServerOptions options;
+  options.cache.capacity = 4096;
+  options.cache.shards = 16;
+  serve::TuningServer server{options};
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    serve::Request put;
+    put.op = serve::Op::Put;
+    put.key = make_key(i);
+    put.config.num_threads = 4;
+    put.value = 1.0;
+    put.evaluations = 108;
+    server.handle(put);
+  }
+
+  arcs::common::Table table{
+      {"clients", "requests", "wall s", "req/s", "speedup vs 1"}};
+  double rps_1 = 0.0;
+  double speedup_8 = 0.0;
+  for (const std::size_t clients : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    const std::size_t per_client = kTotalRequests / clients;
+    std::atomic<std::size_t> misses{0};
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&server, &misses, per_client, c] {
+        serve::LocalClient client{server};
+        std::size_t local_misses = 0;
+        for (std::size_t i = 0; i < per_client; ++i) {
+          serve::Request get;
+          get.op = serve::Op::Get;
+          // Stride by a client-specific offset so shards interleave.
+          get.key = make_key((i + c * 17) % kKeys);
+          get.wait_ms = 0.0;
+          if (server.handle(get).status != serve::Status::Hit)
+            ++local_misses;
+        }
+        misses.fetch_add(local_misses, std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    const double rps =
+        wall > 0 ? static_cast<double>(per_client * clients) / wall : 0.0;
+    if (clients == 1) rps_1 = rps;
+    const double speedup = rps_1 > 0 ? rps / rps_1 : 0.0;
+    if (clients == 8) speedup_8 = speedup;
+    table.row()
+        .cell(static_cast<double>(clients), 0)
+        .cell(static_cast<double>(per_client * clients), 0)
+        .cell(wall, 3)
+        .cell(rps, 0)
+        .cell(speedup, 2);
+    if (misses.load() != 0) {
+      std::cout << "unexpected cache misses: " << misses.load() << "\n";
+      return 1;
+    }
+    arcs::common::Json row = arcs::common::Json::object();
+    row.set("series", "serve_hit_throughput");
+    row.set("clients", clients);
+    row.set("requests", per_client * clients);
+    row.set("wall_s", wall);
+    row.set("requests_per_second", rps);
+    row.set("speedup_vs_1", speedup);
+    row.set("host_cpus", static_cast<std::size_t>(host_cpus));
+    bench::add_row(std::move(row));
+  }
+  std::cout << "cache-hit path, " << kKeys << " keys, "
+            << "fixed request total per row\n\n";
+  table.print(std::cout);
+  bench::maybe_export_csv("serve_hit_throughput", table);
+  std::cout << "\n8-client speedup: " << speedup_8 << "x on " << host_cpus
+            << "-CPU host (target >= " << target << "x"
+            << (can_measure_scaling
+                    ? ")\n\n"
+                    : "; scaling needs >= 8 CPUs, asserting no collapse)\n\n");
+
+  // ---- Part 2: search dedup — 8 clients, one key, one search. ----
+  serve::TuningServer dedup_server{options};
+  const HistoryKey shared_key = make_key(999);
+  std::atomic<std::size_t> fleet_evaluations{0};
+  std::vector<std::thread> drivers;
+  const std::size_t kDrivers = 8;
+  for (std::size_t c = 0; c < kDrivers; ++c) {
+    drivers.emplace_back([&dedup_server, &fleet_evaluations, shared_key] {
+      serve::LocalClient client{dedup_server};
+      fleet_evaluations.fetch_add(drive_to_convergence(client, shared_key),
+                                  std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : drivers) t.join();
+  const auto searches =
+      dedup_server.metrics().searches_started.load();
+  const auto solo_cost = dedup_server.cache().get(shared_key)->evaluations;
+  std::cout << kDrivers << " clients, one key: " << searches
+            << " search(es) started, " << fleet_evaluations.load()
+            << " evaluations fleet-wide (one private search costs "
+            << solo_cost << ")\n";
+  arcs::common::Json row = arcs::common::Json::object();
+  row.set("series", "serve_search_dedup");
+  row.set("clients", kDrivers);
+  row.set("searches_started", searches);
+  row.set("fleet_evaluations", fleet_evaluations.load());
+  row.set("private_search_evaluations", solo_cost);
+  bench::add_row(std::move(row));
+  if (searches != 1) {
+    std::cout << "FAIL: expected exactly one search\n";
+    return 1;
+  }
+
+  const bool pass = speedup_8 >= target;
+  std::cout << (pass ? "PASS" : "WARN") << ": throughput "
+            << (can_measure_scaling ? "scaling" : "no-collapse")
+            << " target " << (pass ? "met" : "missed") << "\n";
+  return bench::finish();
+}

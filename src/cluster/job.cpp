@@ -69,6 +69,12 @@ ArcsOptions node_policy_options(const kernels::AppSpec& app,
   po.search.seed =
       common::hash_combine(options.seed,
                            static_cast<std::uint64_t>(node_index) + 101);
+  if (strategy == TuningStrategy::Remote) {
+    po.remote = options.remote;
+    // Nodes run interleaved on one thread: blocking on an in-flight
+    // search owned by another node of this very job would deadlock.
+    po.remote_timeout_ms = 0.0;
+  }
   return po;
 }
 
@@ -119,6 +125,43 @@ JobResult run_job(const kernels::AppSpec& app,
     node.app = scaled_app(app, node.load_factor);
     node.cap = initial_cap;
     node.build_regions();
+
+    // Remote warm-up at the node's initial cap: resolve every region
+    // against the shared tuning service before the measured run. The
+    // first node whose (machine, cap, region) key misses the cache
+    // drives that key's search with its own evaluations; every later
+    // node's warm-up is pure cache hits — the cross-node reuse the
+    // paper's job-level story implies.
+    if (options.node_strategy == TuningStrategy::Remote) {
+      ARCS_CHECK_MSG(options.remote != nullptr,
+                     "node_strategy Remote needs JobOptions::remote");
+      sim::Machine warm_machine{node.spec};
+      if (capped) {
+        warm_machine.set_power_cap(initial_cap);
+        warm_machine.advance_idle(kCapSettleIdle);
+      }
+      somp::Runtime warm_runtime{warm_machine};
+      apex::Apex warm_apex{warm_runtime};
+      ArcsPolicy warm_policy{
+          warm_apex, warm_runtime,
+          node_policy_options(node.app, options, TuningStrategy::Remote,
+                              static_cast<int>(i)),
+          nullptr};
+      auto resolved = [&] {
+        for (const auto& spec : node.app.regions)
+          if (!warm_policy.region_converged(spec.name)) return false;
+        return true;
+      };
+      for (std::size_t pass = 0;
+           pass < options.max_search_passes && !resolved(); ++pass) {
+        for (const auto& work : node.setup)
+          warm_runtime.parallel_for(work);
+        for (int step = 0; step < timesteps && !resolved(); ++step) {
+          for (const auto idx : node.app.step_sequence)
+            warm_runtime.parallel_for(node.loop[idx]);
+        }
+      }
+    }
 
     // Per-node ARCS-Offline search at the node's initial cap.
     if (options.node_strategy == TuningStrategy::OfflineReplay) {
@@ -274,6 +317,12 @@ JobResult run_job(const kernels::AppSpec& app,
     result.nodes[i].final_cap = capped
                                     ? nodes[i].machine->programmed_power_cap()
                                     : nodes[i].spec.tdp;
+    if (nodes[i].policy) {
+      for (const auto& spec : nodes[i].app.regions) {
+        if (const auto cfg = nodes[i].policy->best_config(spec.name))
+          result.nodes[i].region_configs.emplace(spec.name, *cfg);
+      }
+    }
     result.total_energy += result.nodes[i].energy;
   }
   return result;

@@ -21,6 +21,7 @@
 // factor drawn from `load_spread`.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -43,7 +44,15 @@ struct JobOptions {
   double min_node_cap = 40.0;
   /// Per-node ARCS strategy (Default = untuned nodes). OfflineReplay
   /// searches per node at its *initial* cap before the measured run.
+  /// Remote resolves every node's configurations through one shared
+  /// tuning service (`remote`): the first node to miss the cache drives
+  /// the search, the rest reuse it — the cross-node configuration reuse
+  /// of the paper's job-level story (§VI).
   TuningStrategy node_strategy = TuningStrategy::Default;
+  /// Shared tuning-service client for node_strategy == Remote; must
+  /// outlive run_job. Typically a serve::LocalClient over an in-process
+  /// TuningServer, or a serve::SocketClient to a shared arcsd.
+  RemoteTuner* remote = nullptr;
   /// Cap bucket size handed to ARCS so budget adjustments reuse sessions.
   double cap_granularity = 10.0;
   /// Relative per-node load spread: node i's region costs scale by a
@@ -67,6 +76,10 @@ struct NodeResult {
   double wait_time = 0.0;     ///< time blocked on the per-step job barrier
   double energy = 0.0;        ///< package joules
   double final_cap = 0.0;     ///< cap at job end (watts)
+  /// Configuration the node's policy settled on per timestep-loop region
+  /// (empty for untuned nodes / regions without a decision) — what the
+  /// shared-vs-private differential tests compare.
+  std::map<std::string, somp::LoopConfig> region_configs;
 };
 
 struct JobResult {

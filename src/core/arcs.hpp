@@ -14,6 +14,7 @@
 
 #include "core/history.hpp"     // IWYU pragma: export
 #include "core/policy.hpp"      // IWYU pragma: export
+#include "core/remote.hpp"      // IWYU pragma: export
 #include "core/search_space.hpp"// IWYU pragma: export
 
 namespace arcs {

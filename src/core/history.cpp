@@ -1,6 +1,9 @@
 #include "core/history.hpp"
 
+#include <unistd.h>
+
 #include <charconv>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -25,7 +28,8 @@ std::optional<HistoryEntry> HistoryStore::get(const HistoryKey& key) const {
 
 std::string HistoryStore::serialize() const {
   std::ostringstream os;
-  os << "# ARCS history v1: app|machine|cap_w|workload|region|config|best_s|evals\n";
+  os << "#%arcs-history v2\n"
+     << "# app|machine|cap_w|workload|region|config|best_s|evals\n";
   for (const auto& [key, entry] : entries_) {
     os << key.app << '|' << key.machine << '|'
        << common::format_fixed(key.power_cap, 1) << '|' << key.workload
@@ -33,6 +37,10 @@ std::string HistoryStore::serialize() const {
        << common::format_fixed(entry.best_value, 9) << '|'
        << entry.evaluations << '\n';
   }
+  // Entry-count footer: a torn/truncated file (crash mid-write, partial
+  // copy) fails the count check instead of silently replaying half a
+  // history. v2 readers require it; v1 files never had one.
+  os << "#%count " << entries_.size() << '\n';
   return os.str();
 }
 
@@ -40,9 +48,31 @@ HistoryStore HistoryStore::deserialize(const std::string& text) {
   HistoryStore store;
   std::istringstream is(text);
   std::string line;
+  int version = 1;  // headerless / plain-comment files are v1
+  bool saw_count = false;
+  std::size_t expected_count = 0;
+  std::size_t parsed = 0;
   while (std::getline(is, line)) {
     const auto trimmed = common::trim(line);
-    if (trimmed.empty() || trimmed.front() == '#') continue;
+    if (trimmed.empty()) continue;
+    if (common::starts_with(trimmed, "#%arcs-history")) {
+      const auto fields = common::split(trimmed, ' ');
+      ARCS_CHECK_MSG(fields.size() == 2,
+                     "malformed history header: " + std::string(trimmed));
+      ARCS_CHECK_MSG(fields[1] == "v1" || fields[1] == "v2",
+                     "unsupported history format version: " + fields[1]);
+      version = fields[1] == "v2" ? 2 : 1;
+      continue;
+    }
+    if (common::starts_with(trimmed, "#%count")) {
+      const auto fields = common::split(trimmed, ' ');
+      ARCS_CHECK_MSG(fields.size() == 2,
+                     "malformed history footer: " + std::string(trimmed));
+      expected_count = static_cast<std::size_t>(std::stoull(fields[1]));
+      saw_count = true;
+      continue;
+    }
+    if (trimmed.front() == '#') continue;  // v1 comment lines
     const auto fields = common::split(trimmed, '|');
     ARCS_CHECK_MSG(fields.size() == 8,
                    "history line needs 8 fields: " + std::string(trimmed));
@@ -57,15 +87,37 @@ HistoryStore HistoryStore::deserialize(const std::string& text) {
     entry.best_value = std::stod(fields[6]);
     entry.evaluations = static_cast<std::size_t>(std::stoull(fields[7]));
     store.put(key, entry);
+    ++parsed;
   }
+  if (version >= 2)
+    ARCS_CHECK_MSG(saw_count, "v2 history is missing its #%count footer "
+                              "(truncated file?)");
+  if (saw_count)
+    ARCS_CHECK_MSG(parsed == expected_count,
+                   "history is torn: footer promises " +
+                       std::to_string(expected_count) + " entries, found " +
+                       std::to_string(parsed));
   return store;
 }
 
 void HistoryStore::save(const std::string& path) const {
-  std::ofstream out(path);
-  ARCS_CHECK_MSG(out.good(), "cannot open history file for write: " + path);
-  out << serialize();
-  ARCS_CHECK_MSG(out.good(), "failed writing history file: " + path);
+  // Atomic replace: write a sibling temp file, then rename over the
+  // destination, so readers (and a crash mid-write) see either the old
+  // complete file or the new complete file — never a torn one.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp);
+    ARCS_CHECK_MSG(out.good(),
+                   "cannot open history file for write: " + tmp);
+    out << serialize();
+    out.flush();
+    ARCS_CHECK_MSG(out.good(), "failed writing history file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    ARCS_CHECK_MSG(false, "cannot rename history file into place: " + path);
+  }
 }
 
 HistoryStore HistoryStore::load(const std::string& path) {

@@ -50,15 +50,20 @@ class HistoryStore {
   std::size_t size() const { return entries_.size(); }
   void clear() { entries_.clear(); }
 
-  /// Serializes to the ARCS history text format (one entry per line:
-  /// app|machine|cap|workload|region|config|best|evals).
+  /// Serializes to the ARCS history text format v2: a `#%arcs-history v2`
+  /// version line, one entry per line
+  /// (app|machine|cap|workload|region|config|best|evals), and a
+  /// `#%count N` footer that lets readers detect torn files.
   std::string serialize() const;
 
-  /// Parses the serialize() format, replacing current contents.
-  /// Throws common::ContractError on malformed input.
+  /// Parses the serialize() format, replacing current contents. Reads v2
+  /// and legacy v1 (plain-comment header, no footer) files. Throws
+  /// common::ContractError on malformed input, an unsupported version,
+  /// or a v2 entry count that disagrees with the footer.
   static HistoryStore deserialize(const std::string& text);
 
-  /// File round-trip helpers.
+  /// File round-trip helpers. save() is atomic: it writes a sibling
+  /// temp file and renames it over `path`.
   void save(const std::string& path) const;
   static HistoryStore load(const std::string& path);
 

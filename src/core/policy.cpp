@@ -17,6 +17,8 @@ std::string_view to_string(TuningStrategy s) {
       return "ARCS-Offline(search)";
     case TuningStrategy::OfflineReplay:
       return "ARCS-Offline";
+    case TuningStrategy::Remote:
+      return "ARCS-Remote";
   }
   return "unknown";
 }
@@ -37,6 +39,10 @@ ArcsPolicy::ArcsPolicy(apex::Apex& apex, somp::Runtime& runtime,
       options_.strategy == TuningStrategy::OfflineSearch) {
     ARCS_CHECK_MSG(history_ != nullptr,
                    "offline strategies need a HistoryStore");
+  }
+  if (options_.strategy == TuningStrategy::Remote) {
+    ARCS_CHECK_MSG(options_.remote != nullptr,
+                   "Remote strategy needs a RemoteTuner client");
   }
   if (options_.objective != Objective::Time) {
     ARCS_CHECK_MSG(runtime_.machine().spec().energy_counters,
@@ -150,6 +156,33 @@ std::optional<somp::LoopConfig> ArcsPolicy::provide(
     return state.replay_config;
   }
 
+  // --- Remote: the shared service owns every search session. ---
+  if (options_.strategy == TuningStrategy::Remote) {
+    if (state.remote_apply) return state.remote_config;
+    ARCS_CHECK_MSG(!state.pending,
+                   "region re-entered before its measurement completed");
+    const RemoteDecision decision =
+        options_.remote->decide(key_for(id.name),
+                                options_.remote_timeout_ms);
+    switch (decision.kind) {
+      case RemoteDecision::Kind::Apply:
+        state.remote_apply = true;
+        state.remote_config = decision.config;
+        return state.remote_config;
+      case RemoteDecision::Kind::Evaluate:
+        state.pending = true;
+        state.remote_ticket = decision.ticket;
+        state.remote_config = decision.config;
+        return decision.config;
+      case RemoteDecision::Kind::Pending:
+      case RemoteDecision::Kind::Unavailable:
+        // Someone else is searching (or the service is saturated): run
+        // this call at the ambient configuration and ask again next time.
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
   // --- Selective tuning: observe before deciding (extension). ---
   if (options_.selective_tuning && !state.probation_done) {
     // Region runs untouched during probation; on_timer_stop() accumulates
@@ -212,6 +245,12 @@ void ArcsPolicy::on_timer_stop(const apex::TimerEvent& event) {
 
   if (!state.pending) return;
   state.pending = false;
+  if (options_.strategy == TuningStrategy::Remote) {
+    ++state.remote_evaluations;
+    options_.remote->report(key_for(event.task), state.remote_ticket,
+                            objective_value(event));
+    return;
+  }
   ARCS_CHECK(state.session != nullptr);
   state.session->report(objective_value(event));
 }
@@ -239,6 +278,10 @@ bool ArcsPolicy::all_converged() const {
   if (regions_.empty()) return false;
   for (const auto& [key, state] : regions_) {
     if (options_.strategy == TuningStrategy::OfflineReplay) continue;
+    if (options_.strategy == TuningStrategy::Remote) {
+      if (!state.remote_apply) return false;
+      continue;
+    }
     if (state.blacklisted) continue;
     if (options_.selective_tuning && !state.probation_done) return false;
     if (!state.session || !state.session->converged()) return false;
@@ -251,6 +294,8 @@ bool ArcsPolicy::region_converged(const std::string& region) const {
   if (it == regions_.end()) return false;
   const RegionState& state = it->second;
   if (options_.strategy == TuningStrategy::OfflineReplay) return true;
+  if (options_.strategy == TuningStrategy::Remote)
+    return state.remote_apply;
   if (state.blacklisted) return true;
   if (options_.selective_tuning && !state.probation_done) return false;
   return state.session && state.session->converged();
@@ -265,8 +310,10 @@ std::size_t ArcsPolicy::blacklisted_regions() const {
 
 std::size_t ArcsPolicy::total_evaluations() const {
   std::size_t n = 0;
-  for (const auto& [key, state] : regions_)
+  for (const auto& [key, state] : regions_) {
     if (state.session) n += state.session->evaluations();
+    n += state.remote_evaluations;
+  }
   return n;
 }
 
@@ -277,6 +324,8 @@ std::optional<somp::LoopConfig> ArcsPolicy::best_config(
   const RegionState& state = it->second;
   if (options_.strategy == TuningStrategy::OfflineReplay)
     return state.replay_config;
+  if (options_.strategy == TuningStrategy::Remote)
+    return state.remote_config;
   if (!state.session || state.session->evaluations() == 0)
     return std::nullopt;
   return config_from_values(state.session->best_values());

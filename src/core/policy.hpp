@@ -16,7 +16,11 @@
 // Strategies:
 //   Online        — Nelder–Mead search and deployment in the same run;
 //   OfflineSearch — exhaustive search run (unmeasured in the paper);
-//   OfflineReplay — apply saved history, no searching (the measured run).
+//   OfflineReplay — apply saved history, no searching (the measured run);
+//   Remote        — delegate to a shared tuning service (src/serve/): the
+//                   service deduplicates searches across clients, this
+//                   policy only evaluates proposals it is handed and
+//                   applies cached decisions.
 //
 // Dynamic power budgets (paper §II: "the resource manager may add/remove
 // nodes and adjust their power level dynamically... the runtime
@@ -41,6 +45,7 @@
 
 #include "apex/apex.hpp"
 #include "core/history.hpp"
+#include "core/remote.hpp"
 #include "core/search_space.hpp"
 #include "harmony/session.hpp"
 #include "harmony/strategy_factory.hpp"
@@ -53,6 +58,7 @@ enum class TuningStrategy {
   Online,         ///< search + deploy in one execution (Nelder-Mead)
   OfflineSearch,  ///< exhaustive search execution, then save_history()
   OfflineReplay,  ///< apply history, never search
+  Remote,         ///< ask a shared tuning service (src/serve/) per region
 };
 
 std::string_view to_string(TuningStrategy s);
@@ -90,6 +96,16 @@ struct ArcsOptions {
   /// History key components.
   std::string app_name = "app";
   std::string workload = "default";
+
+  /// Remote strategy: the tuning-service client (must outlive the
+  /// policy). The policy asks it for a per-region decision instead of
+  /// owning a search session; the service deduplicates searches across
+  /// every client sharing it.
+  RemoteTuner* remote = nullptr;
+  /// Remote strategy: how long decide() may block on an in-flight search
+  /// owned by another client. 0 = never block (ask again next call) —
+  /// required when many policies share one thread (cluster::run_job).
+  double remote_timeout_ms = 0.0;
 };
 
 class ArcsPolicy {
@@ -138,6 +154,11 @@ class ArcsPolicy {
     // Offline replay.
     bool replay_resolved = false;
     std::optional<somp::LoopConfig> replay_config;
+    // Remote strategy.
+    bool remote_apply = false;  ///< service answered Hit; config is final
+    std::optional<somp::LoopConfig> remote_config;
+    std::uint64_t remote_ticket = 0;
+    std::size_t remote_evaluations = 0;
   };
 
   /// Tuning state is per (region, power cap): a cap change mid-run gets

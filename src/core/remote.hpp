@@ -1,0 +1,62 @@
+// Remote tuning interface — the client side of a shared ARCS tuning
+// service (src/serve/ implements the server and the concrete clients).
+//
+// The paper's Active Harmony component is a client/server framework; this
+// interface is the seam where ARCS policies hand tuning decisions to a
+// long-running service instead of a private in-process session. The
+// protocol is deliberately tiny and mirrors the Harmony propose/measure
+// loop, with one extra wrinkle: many clients may ask about the same
+// HistoryKey concurrently, so a decision can also be "someone else is
+// already searching" (Pending) or "service unreachable/overloaded"
+// (Unavailable) — in both cases the caller runs at the ambient
+// configuration and simply asks again on the next region entry.
+//
+// core depends only on this abstract interface; the transports (in-process
+// channel, Unix-domain socket) live in src/serve/ which layers on top of
+// core.
+#pragma once
+
+#include <cstdint>
+
+#include "core/history.hpp"
+#include "somp/schedule.hpp"
+
+namespace arcs {
+
+struct RemoteDecision {
+  enum class Kind {
+    Apply,        ///< cache hit: apply `config` from now on, never report
+    Evaluate,     ///< proposal: run once under `config`, report via ticket
+    Pending,      ///< a search is in flight elsewhere; retry later
+    Unavailable,  ///< overloaded / timed out / transport error
+  };
+
+  Kind kind = Kind::Unavailable;
+  somp::LoopConfig config;
+  /// Identifies the proposal a measurement belongs to (Evaluate only).
+  std::uint64_t ticket = 0;
+};
+
+/// The tuning-service client seam used by ArcsPolicy under
+/// TuningStrategy::Remote. Implementations must be callable from the
+/// thread the policy runs on; serve::Client instances are thread-safe so
+/// one client may be shared by many policies (e.g. every node of a
+/// cluster job).
+class RemoteTuner {
+ public:
+  virtual ~RemoteTuner() = default;
+
+  /// Asks the service for a decision on `key`. `timeout_ms` > 0 blocks up
+  /// to that long when another client's proposal for the key is in
+  /// flight; 0 returns Pending immediately instead (the non-blocking mode
+  /// single-threaded drivers such as cluster::run_job need to avoid
+  /// deadlocking on themselves).
+  virtual RemoteDecision decide(const HistoryKey& key,
+                                double timeout_ms) = 0;
+
+  /// Reports the measured objective for a proposal obtained via decide().
+  virtual void report(const HistoryKey& key, std::uint64_t ticket,
+                      double value) = 0;
+};
+
+}  // namespace arcs

@@ -124,6 +124,8 @@ ArcsOptions make_policy_options(const AppSpec& app, const RunOptions& opts,
   policy_opts.search.seed = opts.seed;
   policy_opts.app_name = app.name;
   policy_opts.workload = app.workload;
+  policy_opts.remote = opts.remote;
+  policy_opts.remote_timeout_ms = opts.remote_timeout_ms;
   return policy_opts;
 }
 
@@ -224,6 +226,10 @@ RunResult run_app(const AppSpec& app, const sim::MachineSpec& machine_spec,
       r.search_evaluations = policy->total_evaluations();
       r.blacklisted = policy->blacklisted_regions();
       policy->save_history();  // paper: save bests at program completion
+    } else if (policy && options.strategy == TuningStrategy::Remote) {
+      // Evaluations this client performed for the shared service; the
+      // best configurations live in the service's cache, not here.
+      r.search_evaluations = policy->total_evaluations();
     }
     finalize_miss_rates(r);
     reps.push_back(std::move(r));
@@ -252,7 +258,8 @@ RunResult run_app(const AppSpec& app, const sim::MachineSpec& machine_spec,
 
   measured.strategy = result.strategy;
   measured.search_passes = result.search_passes;
-  if (options.strategy != TuningStrategy::Online) {
+  if (options.strategy != TuningStrategy::Online &&
+      options.strategy != TuningStrategy::Remote) {
     measured.search_evaluations = result.search_evaluations;
     measured.blacklisted = result.blacklisted;
   }

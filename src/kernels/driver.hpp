@@ -95,6 +95,12 @@ struct RunOptions {
   /// Reuse a previous search's history instead of searching again
   /// (OfflineReplay path). The store must outlive the call.
   const HistoryStore* reuse_history = nullptr;
+  /// Remote strategy: shared tuning-service client (must outlive the
+  /// call). The measured run queries it per region; the service owns the
+  /// search sessions and the cross-run decision cache.
+  RemoteTuner* remote = nullptr;
+  /// Remote strategy: per-decision blocking budget (see ArcsOptions).
+  double remote_timeout_ms = 0.0;
   /// Dynamic power budget (paper §II): reprogram the package cap at the
   /// start of the given timesteps of the *measured* run. Entries are
   /// (step index, cap watts); 0 W = TDP. Steps must be ascending.

@@ -1,0 +1,125 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace arcs::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  h ^= 0x7c;  // field separator so ("ab","c") != ("a","bc")
+  h *= kFnvPrime;
+}
+
+}  // namespace
+
+std::uint64_t DecisionCache::key_hash(const HistoryKey& key) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, key.app);
+  fnv_mix(h, key.machine);
+  fnv_mix(h, key.workload);
+  fnv_mix(h, key.region);
+  // Deciwatt-quantized cap so float formatting noise cannot split shards.
+  const auto cap = static_cast<std::uint64_t>(
+      std::llround(key.power_cap * 10.0));
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (cap >> shift) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+DecisionCache::DecisionCache(CacheOptions options)
+    : options_(options) {
+  ARCS_CHECK_MSG(options_.capacity > 0, "cache capacity must be positive");
+  ARCS_CHECK_MSG(options_.shards > 0, "cache needs at least one shard");
+  per_shard_capacity_ =
+      std::max<std::size_t>(1, options_.capacity / options_.shards);
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+DecisionCache::Shard& DecisionCache::shard_of(const HistoryKey& key) {
+  return *shards_[key_hash(key) % shards_.size()];
+}
+
+const DecisionCache::Shard& DecisionCache::shard_of(
+    const HistoryKey& key) const {
+  return *shards_[key_hash(key) % shards_.size()];
+}
+
+std::optional<CachedDecision> DecisionCache::get(const HistoryKey& key) {
+  Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return std::nullopt;
+  if (it->second != shard.lru.begin())
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void DecisionCache::put(const HistoryKey& key,
+                        const CachedDecision& decision) {
+  Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = decision;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, decision);
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t DecisionCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+void DecisionCache::load(const HistoryStore& store) {
+  for (const auto& [key, entry] : store.entries()) {
+    CachedDecision decision;
+    decision.config = entry.config;
+    decision.best_value = entry.best_value;
+    decision.evaluations = entry.evaluations;
+    put(key, decision);
+  }
+}
+
+HistoryStore DecisionCache::snapshot() const {
+  HistoryStore store;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, decision] : shard->lru) {
+      HistoryEntry entry;
+      entry.config = decision.config;
+      entry.best_value = decision.best_value;
+      entry.evaluations = decision.evaluations;
+      store.put(key, entry);
+    }
+  }
+  return store;
+}
+
+}  // namespace arcs::serve

@@ -1,0 +1,88 @@
+// Shared cross-run decision cache.
+//
+// The server-side analogue of the ARCS history file: finished searches
+// deposit their best configuration here keyed by the full HistoryKey, and
+// every later request for the same (app, machine, cap, workload, region)
+// is a lock-cheap cache hit instead of a repeated search — the paper's
+// "saved values can be used instead of repeating the search process",
+// lifted from one process's files to a service shared by many clients.
+//
+// Concurrency: the key space is split across `shards` independently
+// locked LRU lists (shard = stable hash of the key), so concurrent
+// hit-path readers on different keys do not serialize on one mutex.
+// Capacity is enforced per shard (capacity/shards each) with
+// least-recently-used eviction; get() counts as a use.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/history.hpp"
+
+namespace arcs::serve {
+
+struct CacheOptions {
+  /// Total decisions kept (split evenly across shards; at least one per
+  /// shard). 0 is invalid.
+  std::size_t capacity = 1024;
+  /// Lock shards. Use 1 in tests that assert exact eviction order.
+  std::size_t shards = 8;
+};
+
+/// A finished search result, as served to clients.
+struct CachedDecision {
+  somp::LoopConfig config;
+  double best_value = 0.0;
+  std::uint64_t evaluations = 0;
+};
+
+class DecisionCache {
+ public:
+  explicit DecisionCache(CacheOptions options = {});
+
+  /// Lookup; promotes the entry to most-recently-used.
+  std::optional<CachedDecision> get(const HistoryKey& key);
+
+  /// Insert or overwrite; may evict the shard's least-recently-used entry.
+  void put(const HistoryKey& key, const CachedDecision& decision);
+
+  std::size_t size() const;
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Bulk-seed from a history store (e.g. the daemon's --history file).
+  void load(const HistoryStore& store);
+
+  /// Every cached decision as a HistoryStore (for Save / persistence).
+  HistoryStore snapshot() const;
+
+  /// Stable (process-independent) shard hash, exposed for tests.
+  static std::uint64_t key_hash(const HistoryKey& key);
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<HistoryKey, CachedDecision>> lru;
+    std::map<HistoryKey,
+             std::list<std::pair<HistoryKey, CachedDecision>>::iterator>
+        index;
+  };
+
+  Shard& shard_of(const HistoryKey& key);
+  const Shard& shard_of(const HistoryKey& key) const;
+
+  CacheOptions options_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace arcs::serve

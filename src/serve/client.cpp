@@ -1,0 +1,45 @@
+#include "serve/client.hpp"
+
+namespace arcs::serve {
+
+RemoteDecision Client::decide(const HistoryKey& key, double timeout_ms) {
+  Request request;
+  request.op = Op::Get;
+  request.key = key;
+  request.wait_ms = timeout_ms;
+  const Response response = call(request);
+  RemoteDecision decision;
+  switch (response.status) {
+    case Status::Hit:
+      decision.kind = RemoteDecision::Kind::Apply;
+      decision.config = response.config;
+      break;
+    case Status::Evaluate:
+      decision.kind = RemoteDecision::Kind::Evaluate;
+      decision.config = response.config;
+      decision.ticket = response.ticket;
+      break;
+    case Status::Pending:
+    case Status::Timeout:
+      decision.kind = RemoteDecision::Kind::Pending;
+      break;
+    case Status::Ok:
+    case Status::Overloaded:
+    case Status::Error:
+      decision.kind = RemoteDecision::Kind::Unavailable;
+      break;
+  }
+  return decision;
+}
+
+void Client::report(const HistoryKey& key, std::uint64_t ticket,
+                    double value) {
+  Request request;
+  request.op = Op::Report;
+  request.key = key;
+  request.ticket = ticket;
+  request.value = value;
+  call(request);  // Ok either way: stale reports are dropped server-side
+}
+
+}  // namespace arcs::serve

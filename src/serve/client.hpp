@@ -1,0 +1,48 @@
+// Client-side adapter: serve transports as a core::RemoteTuner.
+//
+// Client turns the wire protocol's Status vocabulary into the
+// RemoteDecision vocabulary ArcsPolicy understands; concrete subclasses
+// only supply call() — LocalClient dispatches in-process (hermetic
+// tests, same-process servers), SocketClient (socket.hpp) speaks frames
+// to a harmonyd daemon.
+#pragma once
+
+#include "core/remote.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace arcs::serve {
+
+class Client : public RemoteTuner {
+ public:
+  /// Performs one request/response exchange with the service.
+  virtual Response call(const Request& request) = 0;
+
+  // RemoteTuner: Hit -> Apply, Evaluate -> Evaluate, Pending/Timeout ->
+  // Pending (ask again later), Overloaded/Error -> Unavailable.
+  RemoteDecision decide(const HistoryKey& key, double timeout_ms) override;
+  void report(const HistoryKey& key, std::uint64_t ticket,
+              double value) override;
+
+  /// True when the last call() failed at the transport level.
+  bool transport_failed() const { return transport_failed_; }
+
+ protected:
+  bool transport_failed_ = false;
+};
+
+/// The in-process channel: zero-copy dispatch straight into the server.
+class LocalClient : public Client {
+ public:
+  /// The server must outlive the client.
+  explicit LocalClient(TuningServer& server) : server_(server) {}
+
+  Response call(const Request& request) override {
+    return server_.handle(request);
+  }
+
+ private:
+  TuningServer& server_;
+};
+
+}  // namespace arcs::serve

@@ -1,0 +1,306 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace arcs::serve {
+
+namespace {
+
+const common::Json& require(const common::Json& json, const std::string& key) {
+  const common::Json* member = json.find(key);
+  ARCS_CHECK_MSG(member != nullptr, "serve message missing field: " + key);
+  return *member;
+}
+
+std::string require_string(const common::Json& json, const std::string& key) {
+  const common::Json& member = require(json, key);
+  ARCS_CHECK_MSG(member.is_string(),
+                 "serve message field is not a string: " + key);
+  return member.as_string();
+}
+
+double require_number(const common::Json& json, const std::string& key) {
+  const common::Json& member = require(json, key);
+  ARCS_CHECK_MSG(member.is_number(),
+                 "serve message field is not a number: " + key);
+  return member.as_number();
+}
+
+void check_protocol(const common::Json& json) {
+  ARCS_CHECK_MSG(json.is_object(), "serve message is not a JSON object");
+  const std::string proto = require_string(json, "proto");
+  ARCS_CHECK_MSG(proto == kProtocol,
+                 "protocol mismatch: got '" + proto + "', want '" +
+                     std::string(kProtocol) + "'");
+}
+
+common::Json key_to_json(const HistoryKey& key) {
+  common::Json j = common::Json::object();
+  j.set("app", key.app);
+  j.set("machine", key.machine);
+  j.set("power_cap", key.power_cap);
+  j.set("workload", key.workload);
+  j.set("region", key.region);
+  return j;
+}
+
+HistoryKey key_from_json(const common::Json& json) {
+  HistoryKey key;
+  key.app = require_string(json, "app");
+  key.machine = require_string(json, "machine");
+  key.power_cap = require_number(json, "power_cap");
+  key.workload = require_string(json, "workload");
+  key.region = require_string(json, "region");
+  return key;
+}
+
+/// Full read/write helpers over a stream socket (EINTR-safe).
+/// MSG_NOSIGNAL: a peer hanging up mid-write must surface as EPIPE (a
+/// transport error the caller handles), never as a process-killing
+/// SIGPIPE.
+bool write_all(int fd, const unsigned char* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t rc = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc == 0) return false;
+    done += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+bool read_all(int fd, unsigned char* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t rc = ::read(fd, data + done, n - done);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc == 0) return false;  // EOF mid-frame (or before it)
+    done += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view to_string(Op op) {
+  switch (op) {
+    case Op::Ping:
+      return "ping";
+    case Op::Get:
+      return "get";
+    case Op::Report:
+      return "report";
+    case Op::Put:
+      return "put";
+    case Op::Metrics:
+      return "metrics";
+    case Op::Save:
+      return "save";
+    case Op::Shutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+Op op_from_string(std::string_view s) {
+  if (s == "ping") return Op::Ping;
+  if (s == "get") return Op::Get;
+  if (s == "report") return Op::Report;
+  if (s == "put") return Op::Put;
+  if (s == "metrics") return Op::Metrics;
+  if (s == "save") return Op::Save;
+  if (s == "shutdown") return Op::Shutdown;
+  ARCS_CHECK_MSG(false, "unknown serve op: " + std::string(s));
+  return Op::Ping;
+}
+
+std::string_view to_string(Status status) {
+  switch (status) {
+    case Status::Ok:
+      return "ok";
+    case Status::Hit:
+      return "hit";
+    case Status::Evaluate:
+      return "evaluate";
+    case Status::Pending:
+      return "pending";
+    case Status::Overloaded:
+      return "overloaded";
+    case Status::Timeout:
+      return "timeout";
+    case Status::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+Status status_from_string(std::string_view s) {
+  if (s == "ok") return Status::Ok;
+  if (s == "hit") return Status::Hit;
+  if (s == "evaluate") return Status::Evaluate;
+  if (s == "pending") return Status::Pending;
+  if (s == "overloaded") return Status::Overloaded;
+  if (s == "timeout") return Status::Timeout;
+  if (s == "error") return Status::Error;
+  ARCS_CHECK_MSG(false, "unknown serve status: " + std::string(s));
+  return Status::Error;
+}
+
+common::Json to_json(const Request& request) {
+  common::Json j = common::Json::object();
+  j.set("proto", std::string(kProtocol));
+  j.set("op", std::string(to_string(request.op)));
+  switch (request.op) {
+    case Op::Get:
+      j.set("key", key_to_json(request.key));
+      j.set("wait_ms", request.wait_ms);
+      break;
+    case Op::Report:
+      j.set("key", key_to_json(request.key));
+      j.set("ticket", request.ticket);
+      j.set("value", request.value);
+      break;
+    case Op::Put:
+      j.set("key", key_to_json(request.key));
+      j.set("config", request.config.to_string());
+      j.set("value", request.value);
+      j.set("evaluations", request.evaluations);
+      break;
+    case Op::Ping:
+    case Op::Metrics:
+    case Op::Save:
+    case Op::Shutdown:
+      break;
+  }
+  return j;
+}
+
+Request request_from_json(const common::Json& json) {
+  check_protocol(json);
+  Request request;
+  request.op = op_from_string(require_string(json, "op"));
+  switch (request.op) {
+    case Op::Get:
+      request.key = key_from_json(require(json, "key"));
+      request.wait_ms = require_number(json, "wait_ms");
+      break;
+    case Op::Report:
+      request.key = key_from_json(require(json, "key"));
+      request.ticket =
+          static_cast<std::uint64_t>(require_number(json, "ticket"));
+      request.value = require_number(json, "value");
+      break;
+    case Op::Put:
+      request.key = key_from_json(require(json, "key"));
+      request.config =
+          somp::LoopConfig::from_string(require_string(json, "config"));
+      request.value = require_number(json, "value");
+      request.evaluations =
+          static_cast<std::uint64_t>(require_number(json, "evaluations"));
+      break;
+    case Op::Ping:
+    case Op::Metrics:
+    case Op::Save:
+    case Op::Shutdown:
+      break;
+  }
+  return request;
+}
+
+common::Json to_json(const Response& response) {
+  common::Json j = common::Json::object();
+  j.set("proto", std::string(kProtocol));
+  j.set("status", std::string(to_string(response.status)));
+  switch (response.status) {
+    case Status::Hit:
+      j.set("config", response.config.to_string());
+      break;
+    case Status::Evaluate:
+      j.set("config", response.config.to_string());
+      j.set("ticket", response.ticket);
+      break;
+    case Status::Error:
+      j.set("error", response.error);
+      break;
+    case Status::Ok:
+    case Status::Pending:
+    case Status::Overloaded:
+    case Status::Timeout:
+      break;
+  }
+  if (!response.metrics.is_null()) j.set("metrics", response.metrics);
+  return j;
+}
+
+Response response_from_json(const common::Json& json) {
+  check_protocol(json);
+  Response response;
+  response.status = status_from_string(require_string(json, "status"));
+  switch (response.status) {
+    case Status::Hit:
+      response.config =
+          somp::LoopConfig::from_string(require_string(json, "config"));
+      break;
+    case Status::Evaluate:
+      response.config =
+          somp::LoopConfig::from_string(require_string(json, "config"));
+      response.ticket =
+          static_cast<std::uint64_t>(require_number(json, "ticket"));
+      break;
+    case Status::Error:
+      response.error = require_string(json, "error");
+      break;
+    case Status::Ok:
+    case Status::Pending:
+    case Status::Overloaded:
+    case Status::Timeout:
+      break;
+  }
+  if (const common::Json* metrics = json.find("metrics"))
+    response.metrics = *metrics;
+  return response;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  unsigned char header[4] = {
+      static_cast<unsigned char>((n >> 24) & 0xff),
+      static_cast<unsigned char>((n >> 16) & 0xff),
+      static_cast<unsigned char>((n >> 8) & 0xff),
+      static_cast<unsigned char>(n & 0xff),
+  };
+  if (!write_all(fd, header, sizeof header)) return false;
+  return write_all(
+      fd, reinterpret_cast<const unsigned char*>(payload.data()),
+      payload.size());
+}
+
+std::optional<std::string> read_frame(int fd) {
+  unsigned char header[4];
+  if (!read_all(fd, header, sizeof header)) return std::nullopt;
+  const std::uint32_t n = (static_cast<std::uint32_t>(header[0]) << 24) |
+                          (static_cast<std::uint32_t>(header[1]) << 16) |
+                          (static_cast<std::uint32_t>(header[2]) << 8) |
+                          static_cast<std::uint32_t>(header[3]);
+  if (n > kMaxFrameBytes) return std::nullopt;
+  std::string payload(n, '\0');
+  if (n > 0 &&
+      !read_all(fd, reinterpret_cast<unsigned char*>(payload.data()), n))
+    return std::nullopt;
+  return payload;
+}
+
+}  // namespace arcs::serve

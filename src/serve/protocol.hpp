@@ -1,0 +1,92 @@
+// The arcs-serve/v1 wire protocol.
+//
+// One request/response pair per decision: a client asks the tuning
+// service for the configuration of a HistoryKey (Get), evaluates the
+// proposal it may be handed, and reports the measurement back (Report).
+// Payloads are `common::Json` objects tagged with the protocol string so
+// both ends can reject version skew; on the socket transport each
+// document travels in a frame of a 4-byte big-endian length prefix
+// followed by the UTF-8 JSON bytes (see read_frame/write_frame).
+//
+// The same Request/Response structs back the in-process transport
+// (serve::LocalClient), so hermetic tests exercise exactly the objects
+// the daemon serializes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "core/history.hpp"
+
+namespace arcs::serve {
+
+inline constexpr std::string_view kProtocol = "arcs-serve/v1";
+
+/// Frames larger than this are treated as protocol corruption.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+enum class Op {
+  Ping,      ///< liveness probe
+  Get,       ///< decision for a key (may hand back a proposal to evaluate)
+  Report,    ///< measured objective for a Get-issued proposal ticket
+  Put,       ///< seed the cache with a known-good decision
+  Metrics,   ///< server counters + latency percentiles as JSON
+  Save,      ///< persist the cache to the server's history file
+  Shutdown,  ///< ask the daemon to exit its accept loop
+};
+
+std::string_view to_string(Op op);
+/// Throws common::ContractError on unknown input.
+Op op_from_string(std::string_view s);
+
+struct Request {
+  Op op = Op::Ping;
+  HistoryKey key;               ///< Get/Report/Put
+  somp::LoopConfig config;      ///< Put: the decision to seed
+  double value = 0.0;           ///< Report: measured objective; Put: best
+  std::uint64_t ticket = 0;     ///< Report: which proposal was measured
+  double wait_ms = 0.0;         ///< Get: block up to this long on an
+                                ///< in-flight search (0 = never block)
+  std::uint64_t evaluations = 0;  ///< Put: evaluations behind the decision
+};
+
+enum class Status {
+  Ok,          ///< request applied (Report/Put/Ping/Save/Shutdown)
+  Hit,         ///< Get: final decision in `config`
+  Evaluate,    ///< Get: measure `config`, report with `ticket`
+  Pending,     ///< Get: another client owns the search; retry later
+  Overloaded,  ///< admission control rejected the request
+  Timeout,     ///< Get: wait_ms elapsed before the search finished
+  Error,       ///< malformed request / server-side failure (see `error`)
+};
+
+std::string_view to_string(Status status);
+/// Throws common::ContractError on unknown input.
+Status status_from_string(std::string_view s);
+
+struct Response {
+  Status status = Status::Ok;
+  somp::LoopConfig config;   ///< Hit/Evaluate
+  std::uint64_t ticket = 0;  ///< Evaluate
+  std::string error;         ///< Error
+  common::Json metrics;      ///< Metrics op only
+};
+
+/// JSON codecs. Decoders throw common::ContractError on missing fields,
+/// type mismatches, or a protocol tag other than kProtocol.
+common::Json to_json(const Request& request);
+common::Json to_json(const Response& response);
+Request request_from_json(const common::Json& json);
+Response response_from_json(const common::Json& json);
+
+/// Writes one length-prefixed frame; false on any short write / EPIPE.
+bool write_frame(int fd, std::string_view payload);
+
+/// Reads one frame. Empty optional on clean EOF, broken connection, or a
+/// length prefix beyond kMaxFrameBytes.
+std::optional<std::string> read_frame(int fd);
+
+}  // namespace arcs::serve

@@ -1,0 +1,21 @@
+// Umbrella header for the ARCS tuning service (see docs/SERVE.md).
+//
+// Typical in-process use:
+//
+//   serve::TuningServer server;           // Exhaustive search sessions
+//   serve::LocalClient client{server};    // a RemoteTuner
+//   RunOptions opts;
+//   opts.strategy = TuningStrategy::Remote;
+//   opts.remote = &client;
+//   run_app(app, machine, opts);          // decisions come from `server`
+//
+// Daemon use: tools/arcsd.cpp wraps a TuningServer in a SocketServer;
+// tools/arcs_client.cpp (or a serve::SocketClient in any process) speaks
+// the arcs-serve/v1 protocol to it over a Unix-domain socket.
+#pragma once
+
+#include "serve/cache.hpp"     // IWYU pragma: export
+#include "serve/client.hpp"    // IWYU pragma: export
+#include "serve/protocol.hpp"  // IWYU pragma: export
+#include "serve/server.hpp"    // IWYU pragma: export
+#include "serve/socket.hpp"    // IWYU pragma: export

@@ -1,0 +1,360 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sim/presets.hpp"
+
+namespace arcs::serve {
+
+namespace {
+
+constexpr std::size_t kLatencyRingCapacity = 8192;
+
+using Clock = std::chrono::steady_clock;
+
+double percentile(std::vector<double>& sorted_scratch, double q) {
+  if (sorted_scratch.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_scratch.size() - 1) + 0.5);
+  auto nth = sorted_scratch.begin() +
+             static_cast<std::ptrdiff_t>(
+                 std::min(rank, sorted_scratch.size() - 1));
+  std::nth_element(sorted_scratch.begin(), nth, sorted_scratch.end());
+  return *nth;
+}
+
+}  // namespace
+
+TuningServer::TuningServer(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cache) {
+  latency_ring_.resize(kLatencyRingCapacity, 0.0);
+  if (options_.machines.empty()) {
+    for (const auto& spec :
+         {sim::crill(), sim::minotaur(), sim::haswell(), sim::testbox()})
+      machines_.emplace(spec.name, spec);
+  } else {
+    for (const auto& spec : options_.machines)
+      machines_.emplace(spec.name, spec);
+  }
+}
+
+const harmony::SearchSpace& TuningServer::space_for(
+    const std::string& machine) {
+  const std::lock_guard<std::mutex> lock(spaces_mu_);
+  const auto cached = spaces_.find(machine);
+  if (cached != spaces_.end()) return cached->second;
+  const auto spec = machines_.find(machine);
+  ARCS_CHECK_MSG(spec != machines_.end(),
+                 "tuning service knows no machine named '" + machine + "'");
+  return spaces_
+      .emplace(machine,
+               arcs_search_space(spec->second, options_.tune_frequency,
+                                 options_.tune_placement))
+      .first->second;
+}
+
+std::size_t TuningServer::inflight() const {
+  const std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+Response TuningServer::handle(const Request& request) {
+  const std::uint64_t index = metrics_.requests.add();
+  // Sample 1-in-256 latencies per stripe: the reservoir mutex must not become the
+  // serialization point of an otherwise shard-parallel hit path.
+  const bool sample_latency = (index & 0xff) == 0;
+  const auto start = sample_latency ? Clock::now() : Clock::time_point{};
+  Response response;
+  try {
+    switch (request.op) {
+      case Op::Ping:
+        response.status = Status::Ok;
+        break;
+      case Op::Get:
+        response = handle_get(request);
+        break;
+      case Op::Report:
+        response = handle_report(request);
+        break;
+      case Op::Put:
+        response = handle_put(request);
+        break;
+      case Op::Metrics:
+        response.status = Status::Ok;
+        response.metrics = metrics_json();
+        break;
+      case Op::Save:
+        response = handle_save();
+        break;
+      case Op::Shutdown:
+        shutdown_.store(true, std::memory_order_release);
+        sessions_cv_.notify_all();
+        response.status = Status::Ok;
+        break;
+    }
+  } catch (const common::ContractError& e) {
+    response = Response{};
+    response.status = Status::Error;
+    response.error = e.what();
+  }
+  if (sample_latency)
+    record_latency(
+        std::chrono::duration<double>(Clock::now() - start).count());
+  return response;
+}
+
+Response TuningServer::handle_get(const Request& request) {
+  Response response;
+
+  // Fast path: finished decisions never need the sessions lock.
+  if (const auto hit = cache_.get(request.key)) {
+    metrics_.hits.add();
+    response.status = Status::Hit;
+    response.config = hit->config;
+    return response;
+  }
+
+  const bool can_wait = request.wait_ms > 0;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             std::max(0.0, request.wait_ms)));
+  bool counted_wait = false;
+
+  std::unique_lock<std::mutex> lock(sessions_mu_);
+  for (;;) {
+    // Re-check under the lock: the search may have finished between the
+    // fast path (or our cv wake-up) and here.
+    if (const auto hit = cache_.get(request.key)) {
+      metrics_.hits.add();
+      response.status = Status::Hit;
+      response.config = hit->config;
+      return response;
+    }
+
+    const auto it = sessions_.find(request.key);
+    if (it == sessions_.end()) {
+      // This client becomes the key's driver — unless admission says no.
+      if (options_.max_inflight > 0 &&
+          sessions_.size() >= options_.max_inflight) {
+        metrics_.overloaded.fetch_add(1, std::memory_order_relaxed);
+        response.status = Status::Overloaded;
+        return response;
+      }
+      const harmony::SearchSpace& space = space_for(request.key.machine);
+      harmony::StrategyOptions search = options_.search;
+      // Deterministic per-key seed: the same key gets the same search no
+      // matter which client arrives first or when.
+      search.seed = common::hash_combine(options_.search.seed,
+                                         DecisionCache::key_hash(request.key));
+      harmony::SessionOptions session_opts;
+      session_opts.memoize =
+          options_.method != harmony::StrategyKind::Exhaustive;
+      auto inflight = std::make_unique<InFlight>();
+      inflight->session = std::make_unique<harmony::Session>(
+          space, harmony::make_strategy(options_.method, search),
+          session_opts);
+      inflight->proposal = inflight->session->next_values();
+      inflight->outstanding = true;
+      inflight->ticket = next_ticket_++;
+      response.status = Status::Evaluate;
+      response.config = config_from_values(inflight->proposal);
+      response.ticket = inflight->ticket;
+      sessions_.emplace(request.key, std::move(inflight));
+      metrics_.misses.fetch_add(1, std::memory_order_relaxed);
+      metrics_.searches_started.fetch_add(1, std::memory_order_relaxed);
+      return response;
+    }
+
+    InFlight& inflight = *it->second;
+    if (!inflight.outstanding) {
+      if (inflight.session->converged()) {
+        // Defensive: a converged session is normally retired on the
+        // report path; publish it here too rather than proposing again.
+        CachedDecision decision;
+        decision.config =
+            config_from_values(inflight.session->best_values());
+        decision.best_value = inflight.session->best_value();
+        decision.evaluations = inflight.evaluations;
+        cache_.put(request.key, decision);
+        sessions_.erase(it);
+        metrics_.searches_completed.fetch_add(1,
+                                              std::memory_order_relaxed);
+        metrics_.hits.add();
+        lock.unlock();
+        sessions_cv_.notify_all();
+        response.status = Status::Hit;
+        response.config = decision.config;
+        return response;
+      }
+      // Join the in-flight search as its next evaluation worker.
+      inflight.proposal = inflight.session->next_values();
+      inflight.outstanding = true;
+      inflight.ticket = next_ticket_++;
+      metrics_.joins.fetch_add(1, std::memory_order_relaxed);
+      response.status = Status::Evaluate;
+      response.config = config_from_values(inflight.proposal);
+      response.ticket = inflight.ticket;
+      return response;
+    }
+
+    // A proposal is out with another client.
+    if (!can_wait) {
+      metrics_.pending_replies.fetch_add(1, std::memory_order_relaxed);
+      response.status = Status::Pending;
+      return response;
+    }
+    if (!counted_wait) {
+      metrics_.waits.fetch_add(1, std::memory_order_relaxed);
+      counted_wait = true;
+    }
+    waiting_now_.fetch_add(1, std::memory_order_relaxed);
+    const std::cv_status wait_status =
+        sessions_cv_.wait_until(lock, deadline);
+    waiting_now_.fetch_sub(1, std::memory_order_relaxed);
+    if (wait_status == std::cv_status::timeout) {
+      metrics_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      response.status = Status::Timeout;
+      return response;
+    }
+  }
+}
+
+Response TuningServer::handle_report(const Request& request) {
+  Response response;
+  std::unique_lock<std::mutex> lock(sessions_mu_);
+  const auto it = sessions_.find(request.key);
+  if (it == sessions_.end() || !it->second->outstanding ||
+      it->second->ticket != request.ticket) {
+    // The search finished (or was restarted) while this measurement ran;
+    // drop it — reports are idempotent from the client's point of view.
+    metrics_.stale_reports.fetch_add(1, std::memory_order_relaxed);
+    response.status = Status::Ok;
+    return response;
+  }
+  InFlight& inflight = *it->second;
+  inflight.session->report(request.value);
+  inflight.outstanding = false;
+  ++inflight.evaluations;
+  metrics_.reports.fetch_add(1, std::memory_order_relaxed);
+  if (inflight.session->converged()) {
+    CachedDecision decision;
+    decision.config = config_from_values(inflight.session->best_values());
+    decision.best_value = inflight.session->best_value();
+    decision.evaluations = inflight.evaluations;
+    // Publish BEFORE retiring the session, both under sessions_mu_: a
+    // concurrent Get must see either the in-flight session or the cached
+    // result, never neither (which would start a duplicate search).
+    cache_.put(request.key, decision);
+    sessions_.erase(it);
+    metrics_.searches_completed.fetch_add(1, std::memory_order_relaxed);
+  }
+  lock.unlock();
+  sessions_cv_.notify_all();
+  response.status = Status::Ok;
+  return response;
+}
+
+Response TuningServer::handle_put(const Request& request) {
+  CachedDecision decision;
+  decision.config = request.config;
+  decision.best_value = request.value;
+  decision.evaluations = request.evaluations;
+  {
+    // Under sessions_mu_ so a Get blocked between its cache check and its
+    // cv wait cannot miss the wake-up for this key.
+    const std::lock_guard<std::mutex> lock(sessions_mu_);
+    cache_.put(request.key, decision);
+  }
+  sessions_cv_.notify_all();
+  metrics_.puts.fetch_add(1, std::memory_order_relaxed);
+  Response response;
+  response.status = Status::Ok;
+  return response;
+}
+
+Response TuningServer::handle_save() {
+  Response response;
+  if (options_.history_path.empty()) {
+    response.status = Status::Error;
+    response.error = "server has no history path configured";
+    return response;
+  }
+  cache_.snapshot().save(options_.history_path);
+  response.status = Status::Ok;
+  return response;
+}
+
+void TuningServer::record_latency(double seconds) {
+  const std::lock_guard<std::mutex> lock(latency_mu_);
+  latency_ring_[latency_next_] = seconds;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
+}
+
+common::Json TuningServer::metrics_json() const {
+  common::Json j = common::Json::object();
+  j.set("proto", std::string(kProtocol));
+  common::Json counters = common::Json::object();
+  counters.set("requests", metrics_.requests.load());
+  counters.set("hits", metrics_.hits.load());
+  counters.set("misses", metrics_.misses.load());
+  counters.set("joins", metrics_.joins.load());
+  counters.set("pending_replies", metrics_.pending_replies.load());
+  counters.set("waits", metrics_.waits.load());
+  counters.set("timeouts", metrics_.timeouts.load());
+  counters.set("overloaded", metrics_.overloaded.load());
+  counters.set("reports", metrics_.reports.load());
+  counters.set("stale_reports", metrics_.stale_reports.load());
+  counters.set("puts", metrics_.puts.load());
+  counters.set("searches_started", metrics_.searches_started.load());
+  counters.set("searches_completed", metrics_.searches_completed.load());
+  j.set("counters", counters);
+  common::Json gauges = common::Json::object();
+  gauges.set("inflight", inflight());
+  gauges.set("waiting_now", waiting_now());
+  gauges.set("cache_size", cache_.size());
+  gauges.set("cache_evictions", cache_.evictions());
+  j.set("gauges", gauges);
+  std::vector<double> scratch;
+  {
+    const std::lock_guard<std::mutex> lock(latency_mu_);
+    scratch.assign(latency_ring_.begin(),
+                   latency_ring_.begin() +
+                       static_cast<std::ptrdiff_t>(latency_count_));
+  }
+  common::Json latency = common::Json::object();
+  latency.set("samples", scratch.size());
+  latency.set("p50_us", percentile(scratch, 0.50) * 1e6);
+  latency.set("p95_us", percentile(scratch, 0.95) * 1e6);
+  j.set("latency", latency);
+  return j;
+}
+
+void TuningServer::publish_metrics(apex::Apex& apex) const {
+  apex.sample_counter("serve/requests",
+                      static_cast<double>(metrics_.requests.load()));
+  apex.sample_counter("serve/hits",
+                      static_cast<double>(metrics_.hits.load()));
+  apex.sample_counter("serve/misses",
+                      static_cast<double>(metrics_.misses.load()));
+  apex.sample_counter("serve/joins",
+                      static_cast<double>(metrics_.joins.load()));
+  apex.sample_counter("serve/timeouts",
+                      static_cast<double>(metrics_.timeouts.load()));
+  apex.sample_counter("serve/overloaded",
+                      static_cast<double>(metrics_.overloaded.load()));
+  apex.sample_counter("serve/searches_started",
+                      static_cast<double>(metrics_.searches_started.load()));
+  apex.sample_counter("serve/searches_completed",
+                      static_cast<double>(
+                          metrics_.searches_completed.load()));
+  apex.sample_counter("serve/cache_evictions",
+                      static_cast<double>(cache_.evictions()));
+}
+
+}  // namespace arcs::serve

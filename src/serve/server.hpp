@@ -1,0 +1,196 @@
+// harmonyd's brain: the multi-client ARCS tuning service.
+//
+// One TuningServer owns (a) the shared DecisionCache of finished search
+// results and (b) the Harmony search sessions currently in flight, keyed
+// by the full HistoryKey. Clients speak protocol.hpp Requests through any
+// transport (serve::LocalClient in-process, serve::SocketServer over a
+// Unix socket); handle() is fully thread-safe.
+//
+// Session-ownership state machine for Get(key):
+//
+//            cache hit ────────────────────────────► Hit(config)
+//   Get ──►  miss, no in-flight search ─ admission ► Evaluate(c, ticket)
+//            │                               └ full ► Overloaded
+//            miss, in-flight, no outstanding ──────► Evaluate(c, ticket)
+//            miss, in-flight, proposal outstanding
+//                 wait_ms == 0 ────────────────────► Pending
+//                 wait_ms  > 0 ── cv wait ─ done ──► Hit / Evaluate
+//                                         └ expiry ► Timeout
+//
+// The first client to miss becomes the key's *driver*: it receives the
+// session's proposals one at a time (Evaluate carries a ticket) and
+// reports measurements back. While a proposal is outstanding, further
+// clients either join as the next evaluation worker (strict Harmony
+// propose/report alternation means at most one outstanding proposal per
+// key — joiners get the *next* proposal once the current one is
+// reported), wait, or go do a timestep at the ambient configuration and
+// ask again. No two searches ever run for one key: the finished result
+// is published to the cache *before* the in-flight session is retired,
+// both under the sessions mutex, so there is no window in which a new
+// Get could see neither.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "apex/apex.hpp"
+#include "core/search_space.hpp"
+#include "harmony/session.hpp"
+#include "harmony/strategy_factory.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "sim/machine.hpp"
+
+namespace arcs::serve {
+
+struct ServerOptions {
+  CacheOptions cache;
+  /// Search method for server-owned sessions. Exhaustive matches the
+  /// paper's offline search and is seed-independent — the same optimum
+  /// no matter which client drives, which the differential tests rely on.
+  harmony::StrategyKind method = harmony::StrategyKind::Exhaustive;
+  harmony::StrategyOptions search;
+  /// Extra search dimensions (see ArcsOptions).
+  bool tune_frequency = false;
+  bool tune_placement = false;
+  /// Bound on concurrently in-flight searches; a Get that would start
+  /// one more gets Overloaded. 0 = unbounded.
+  std::size_t max_inflight = 0;
+  /// Where Op::Save persists the cache ("" disables Save).
+  std::string history_path;
+  /// Machines the server can build search spaces for. Empty = the four
+  /// built-in presets (crill, minotaur, haswell, testbox). A Get for an
+  /// unknown machine is answered with Error.
+  std::vector<sim::MachineSpec> machines;
+};
+
+/// A monotonic counter striped across cache lines: concurrent add()ers
+/// land on per-thread slots instead of ping-ponging one line between
+/// cores — the difference between a hit path that scales with clients
+/// and one serialized on its own bookkeeping. load() sums the slots
+/// (monotone, but not a point-in-time snapshot across threads).
+class StripedCounter {
+ public:
+  /// Adds 1; returns this slot's previous count (for cheap sampling).
+  std::uint64_t add() {
+    return slots_[slot_index()].value.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  std::uint64_t load() const {
+    std::uint64_t sum = 0;
+    for (const Slot& slot : slots_)
+      sum += slot.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  static constexpr std::size_t kSlots = 16;
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> value{0};
+  };
+  static std::size_t slot_index() {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t index =
+        next.fetch_add(1, std::memory_order_relaxed) % kSlots;
+    return index;
+  }
+  Slot slots_[kSlots];
+};
+
+/// Monotonic counters + a latency reservoir, all safe under concurrency.
+/// The two hit-path counters are striped; the rest fire at most once per
+/// search step and stay plain atomics.
+struct ServerMetrics {
+  StripedCounter hits;
+  std::atomic<std::uint64_t> misses{0};          ///< searches this Get started
+  std::atomic<std::uint64_t> joins{0};           ///< Evaluate from an existing search
+  std::atomic<std::uint64_t> pending_replies{0};
+  std::atomic<std::uint64_t> waits{0};           ///< Gets that blocked on a cv
+  std::atomic<std::uint64_t> timeouts{0};
+  std::atomic<std::uint64_t> overloaded{0};
+  std::atomic<std::uint64_t> reports{0};
+  std::atomic<std::uint64_t> stale_reports{0};
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> searches_started{0};
+  std::atomic<std::uint64_t> searches_completed{0};
+  StripedCounter requests;
+};
+
+class TuningServer {
+ public:
+  explicit TuningServer(ServerOptions options = {});
+
+  /// Serves one request; thread-safe, may block (Get with wait_ms > 0).
+  Response handle(const Request& request);
+
+  DecisionCache& cache() { return cache_; }
+  const ServerOptions& options() const { return options_; }
+  const ServerMetrics& metrics() const { return metrics_; }
+
+  /// Searches currently in flight (sessions owned, not yet in the cache).
+  std::size_t inflight() const;
+  /// Gets currently blocked inside a cv wait (test/monitoring gauge).
+  std::size_t waiting_now() const {
+    return waiting_now_.load(std::memory_order_relaxed);
+  }
+
+  /// True once an Op::Shutdown request was served; the daemon's loop
+  /// polls this to exit.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Counters, gauges, and latency percentiles as one JSON object.
+  common::Json metrics_json() const;
+  /// Mirrors the counters into APEX user counters ("serve/hits", ...).
+  void publish_metrics(apex::Apex& apex) const;
+
+ private:
+  struct InFlight {
+    std::unique_ptr<harmony::Session> session;
+    bool outstanding = false;  ///< a proposal is out being measured
+    std::uint64_t ticket = 0;  ///< ticket of that proposal
+    std::vector<harmony::Value> proposal;
+    std::uint64_t evaluations = 0;
+  };
+
+  Response handle_get(const Request& request);
+  Response handle_report(const Request& request);
+  Response handle_put(const Request& request);
+  Response handle_save();
+
+  /// Search space for a machine name (built lazily, cached). Throws
+  /// common::ContractError for unknown machines.
+  const harmony::SearchSpace& space_for(const std::string& machine);
+
+  void record_latency(double seconds);
+
+  ServerOptions options_;
+  DecisionCache cache_;
+  ServerMetrics metrics_;
+
+  std::map<std::string, sim::MachineSpec> machines_;
+  std::mutex spaces_mu_;
+  std::map<std::string, harmony::SearchSpace> spaces_;
+
+  mutable std::mutex sessions_mu_;
+  std::condition_variable sessions_cv_;
+  std::map<HistoryKey, std::unique_ptr<InFlight>> sessions_;
+  std::uint64_t next_ticket_ = 1;
+
+  std::atomic<std::size_t> waiting_now_{0};
+  std::atomic<bool> shutdown_{false};
+
+  mutable std::mutex latency_mu_;
+  std::vector<double> latency_ring_;
+  std::size_t latency_next_ = 0;
+  std::size_t latency_count_ = 0;
+};
+
+}  // namespace arcs::serve

@@ -1,0 +1,200 @@
+#include "serve/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace arcs::serve {
+
+namespace {
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ARCS_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+                 "socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(TuningServer& server, std::string path,
+                           SocketServerOptions options)
+    : server_(server),
+      path_(std::move(path)),
+      options_(options),
+      queue_(std::max<std::size_t>(1, options.queue_capacity)) {
+  const sockaddr_un addr = make_address(path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ARCS_CHECK_MSG(listen_fd_ >= 0, "cannot create unix socket");
+  ::unlink(path_.c_str());  // the daemon owns its path; drop stale binds
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ARCS_CHECK_MSG(false, "cannot bind unix socket at " + path_);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ARCS_CHECK_MSG(false, "cannot listen on unix socket at " + path_);
+  }
+  const std::size_t workers = std::max<std::size_t>(1, options_.workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::accept_loop() {
+  for (;;) {
+    const int conn_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (!stopping_.load(std::memory_order_acquire) && errno == EINTR)
+        continue;
+      return;  // listening socket shut down
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = conn_fd;
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(conn_fd);
+      return;
+    }
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void SocketServer::reader_loop(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    const auto frame = read_frame(conn->fd);
+    if (!frame) return;  // peer closed (or stop() shut the socket down)
+    Request request;
+    try {
+      std::string parse_error;
+      const common::Json json = common::Json::parse(*frame, &parse_error);
+      ARCS_CHECK_MSG(!json.is_null(), "bad JSON frame: " + parse_error);
+      request = request_from_json(json);
+    } catch (const common::ContractError& e) {
+      Response response;
+      response.status = Status::Error;
+      response.error = e.what();
+      send_response(*conn, response);
+      continue;
+    }
+    // The BoundedMpmcQueue is the admission valve: a full queue means
+    // the worker pool is saturated, so shed the request *now* instead
+    // of queueing unbounded work.
+    if (!queue_.try_push(Work{conn, request})) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      Response response;
+      response.status = Status::Overloaded;
+      send_response(*conn, response);
+    }
+  }
+}
+
+void SocketServer::worker_loop() {
+  for (;;) {
+    auto work = queue_.pop();
+    if (!work) return;  // queue closed and drained
+    const Response response = server_.handle(work->request);
+    send_response(*work->conn, response);
+  }
+}
+
+void SocketServer::send_response(Connection& conn,
+                                 const Response& response) {
+  const std::string payload = to_json(response).dump(0);
+  const std::lock_guard<std::mutex> lock(conn.write_mu);
+  if (!write_frame(conn.fd, payload) &&
+      !stopping_.load(std::memory_order_acquire))
+    common::log_warn() << "serve: dropped reply on a broken connection";
+}
+
+void SocketServer::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_)
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& reader : readers_)
+    if (reader.joinable()) reader.join();
+  queue_.close();
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      if (conn->fd >= 0) ::close(conn->fd);
+      conn->fd = -1;
+    }
+    conns_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(path_.c_str());
+}
+
+SocketClient::SocketClient(const std::string& path) {
+  const sockaddr_un addr = make_address(path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ARCS_CHECK_MSG(fd_ >= 0, "cannot create unix socket");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ARCS_CHECK_MSG(false, "cannot connect to tuning service at " + path);
+  }
+}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response SocketClient::call(const Request& request) {
+  Response response;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || !write_frame(fd_, to_json(request).dump(0))) {
+    transport_failed_ = true;
+    response.status = Status::Error;
+    response.error = "tuning service connection is down";
+    return response;
+  }
+  const auto frame = read_frame(fd_);
+  if (!frame) {
+    transport_failed_ = true;
+    response.status = Status::Error;
+    response.error = "tuning service closed the connection";
+    return response;
+  }
+  try {
+    std::string parse_error;
+    const common::Json json = common::Json::parse(*frame, &parse_error);
+    ARCS_CHECK_MSG(!json.is_null(), "bad JSON frame: " + parse_error);
+    return response_from_json(json);
+  } catch (const common::ContractError& e) {
+    transport_failed_ = true;
+    response.status = Status::Error;
+    response.error = e.what();
+    return response;
+  }
+}
+
+}  // namespace arcs::serve

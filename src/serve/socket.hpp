@@ -1,0 +1,110 @@
+// Unix-domain socket transport for the tuning service.
+//
+// SocketServer owns the listening socket of a harmonyd daemon. One
+// acceptor thread admits connections; each connection gets a reader
+// thread that decodes frames into Requests and pushes them onto a
+// BoundedMpmcQueue shared by a fixed worker pool — the queue IS the
+// admission control: when the pool is `queue_capacity` requests behind,
+// try_push fails and the reader answers Overloaded immediately instead
+// of letting the backlog grow without bound. Workers may block inside
+// TuningServer::handle (Get with wait_ms), which is why dispatch is
+// decoupled from reading: a blocked worker never stops other
+// connections' frames from being read or rejected.
+//
+// Responses are written by whichever thread produced them, serialized
+// per connection by a write mutex (reader-side Overloaded replies and
+// worker replies interleave safely).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/queue.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace arcs::serve {
+
+struct SocketServerOptions {
+  std::size_t workers = 4;
+  /// Dispatch-queue depth; the backpressure threshold.
+  std::size_t queue_capacity = 128;
+};
+
+class SocketServer {
+ public:
+  /// Binds and starts serving immediately. Throws common::ContractError
+  /// when the socket cannot be bound (stale path, name too long, ...).
+  SocketServer(TuningServer& server, std::string path,
+               SocketServerOptions options = {});
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Stops accepting, unblocks every thread, joins them, unlinks the
+  /// socket path. Idempotent.
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+  /// Requests rejected by queue backpressure (reader-side Overloaded).
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+  };
+  struct Work {
+    std::shared_ptr<Connection> conn;
+    Request request;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void worker_loop();
+  void send_response(Connection& conn, const Response& response);
+
+  TuningServer& server_;
+  std::string path_;
+  SocketServerOptions options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  exec::BoundedMpmcQueue<Work> queue_;
+  std::atomic<std::uint64_t> rejected_{0};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;
+};
+
+/// Blocking client over one connection; call() is mutex-serialized so a
+/// single SocketClient may be shared (e.g. by the nodes of run_job).
+class SocketClient : public Client {
+ public:
+  /// Connects immediately; throws common::ContractError on failure.
+  explicit SocketClient(const std::string& path);
+  ~SocketClient() override;
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  /// Returns Status::Error (and sets transport_failed()) when the
+  /// connection breaks or the peer answers gibberish.
+  Response call(const Request& request) override;
+
+ private:
+  int fd_ = -1;
+  std::mutex mu_;
+};
+
+}  // namespace arcs::serve

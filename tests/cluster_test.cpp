@@ -4,6 +4,7 @@
 
 #include "cluster/job.hpp"
 #include "common/check.hpp"
+#include "serve/serve.hpp"
 
 namespace cl = arcs::cluster;
 namespace kn = arcs::kernels;
@@ -212,6 +213,73 @@ TEST(NearestCapFallback, ReplayUsesClosestSearchedCap) {
       kn::simple_region("r", 64, 2e5).build(1));
   EXPECT_EQ(rec.team_size, 2);
   EXPECT_EQ(rec.kind, arcs::somp::ScheduleKind::Guided);
+}
+
+TEST(RemoteNodes, SharedServerMatchesPrivateSearches) {
+  // The differential behind TuningStrategy::Remote: N identical nodes
+  // resolving their configurations through ONE shared tuning service must
+  // settle on bit-identical configs to N private exhaustive searches —
+  // and pay for one search per region, not one per (node, region).
+  auto opts = base_options(3);
+  opts.load_spread = 0.0;  // identical nodes, so private optima agree
+  opts.timesteps_override = 8;
+  opts.max_search_passes = 80;
+  const auto app = kn::synthetic_app(8);
+
+  auto private_opts = opts;
+  private_opts.node_strategy = arcs::TuningStrategy::OfflineReplay;
+  const auto priv = cl::run_job(app, sc::testbox(), private_opts);
+
+  arcs::serve::TuningServer server;
+  arcs::serve::LocalClient client{server};
+  auto shared_opts = opts;
+  shared_opts.node_strategy = arcs::TuningStrategy::Remote;
+  shared_opts.remote = &client;
+  const auto shared = cl::run_job(app, sc::testbox(), shared_opts);
+
+  ASSERT_EQ(shared.nodes.size(), priv.nodes.size());
+  for (std::size_t i = 0; i < shared.nodes.size(); ++i) {
+    ASSERT_EQ(shared.nodes[i].region_configs.size(),
+              app.regions.size());
+    EXPECT_EQ(shared.nodes[i].region_configs,
+              priv.nodes[i].region_configs);
+  }
+  // One search per region across the whole job, every other node reused.
+  EXPECT_EQ(server.metrics().searches_started.load(), app.regions.size());
+}
+
+TEST(RemoteNodes, RemoteWithoutClientRejected) {
+  auto opts = base_options(2);
+  opts.node_strategy = arcs::TuningStrategy::Remote;
+  EXPECT_THROW(cl::run_job(kn::synthetic_app(4), sc::testbox(), opts),
+               arcs::common::ContractError);
+}
+
+TEST(RemoteNodes, HeterogeneousMachinesSearchPerArchitecture) {
+  // Different architectures have different optima (paper §V.D), so the
+  // HistoryKey's machine field must split the shared cache: a two-machine
+  // job costs one search per (region, machine), and every node still
+  // converges on a config.
+  auto opts = base_options(4);
+  opts.load_spread = 0.0;
+  opts.timesteps_override = 8;
+  opts.max_search_passes = 80;
+  opts.machines = {sc::testbox(), sc::testbox(), sc::crill(), sc::crill()};
+  opts.node_strategy = arcs::TuningStrategy::Remote;
+  arcs::serve::TuningServer server;
+  arcs::serve::LocalClient client{server};
+  opts.remote = &client;
+  const auto app = kn::synthetic_app(8);
+  const auto result = cl::run_job(app, sc::testbox(), opts);
+
+  ASSERT_EQ(result.nodes.size(), 4u);
+  for (const auto& node : result.nodes)
+    EXPECT_EQ(node.region_configs.size(), app.regions.size());
+  // Same machine, same key: nodes 0/1 share decisions, as do 2/3.
+  EXPECT_EQ(result.nodes[0].region_configs, result.nodes[1].region_configs);
+  EXPECT_EQ(result.nodes[2].region_configs, result.nodes[3].region_configs);
+  EXPECT_EQ(server.metrics().searches_started.load(),
+            2 * app.regions.size());
 }
 
 TEST(CapGranularity, BucketsShareSessions) {

@@ -2,6 +2,8 @@
 // store round-trips, and the ArcsPolicy state machine.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 
@@ -142,6 +144,92 @@ TEST(History, FileRoundTrip) {
 TEST(History, LoadMissingFileThrows) {
   EXPECT_THROW(arcs::HistoryStore::load("/nonexistent/arcs.hist"),
                arcs::common::ContractError);
+}
+
+TEST(History, MergeOverwritesCollisionsKeepsRest) {
+  arcs::HistoryStore base;
+  base.put(make_key("shared"), {{8, {}}, 1.0, 1});
+  base.put(make_key("only_base"), {{4, {}}, 2.0, 2});
+  arcs::HistoryStore fresh;
+  fresh.put(make_key("shared"), {{16, {sp::ScheduleKind::Guided, 8}}, 0.5, 9});
+  fresh.put(make_key("only_fresh"), {{2, {}}, 3.0, 3});
+  base.merge(fresh);
+  EXPECT_EQ(base.size(), 3u);
+  // The merged-in store wins on collision (fresh results over stale).
+  EXPECT_EQ(base.get(make_key("shared"))->config.num_threads, 16);
+  EXPECT_EQ(base.get(make_key("shared"))->evaluations, 9u);
+  EXPECT_EQ(base.get(make_key("only_base"))->config.num_threads, 4);
+  EXPECT_EQ(base.get(make_key("only_fresh"))->config.num_threads, 2);
+}
+
+TEST(History, SerializeEmitsV2HeaderAndCountFooter) {
+  arcs::HistoryStore store;
+  store.put(make_key("r"), {{8, {}}, 1.0, 1});
+  const auto text = store.serialize();
+  EXPECT_TRUE(text.starts_with("#%arcs-history v2\n"));
+  EXPECT_NE(text.find("\n#%count 1\n"), std::string::npos);
+}
+
+TEST(History, V1FilesWithoutFooterStillParse) {
+  // Pre-versioning files: plain comments, no header, no footer.
+  const auto store = arcs::HistoryStore::deserialize(
+      "# old style\nSP|crill|85.0|B|r|(8, static, default)|1.0|5\n");
+  EXPECT_EQ(store.size(), 1u);
+  // An explicit v1 header is also accepted.
+  const auto tagged = arcs::HistoryStore::deserialize(
+      "#%arcs-history v1\nSP|crill|85.0|B|r|(8, static, default)|1.0|5\n");
+  EXPECT_EQ(tagged.size(), 1u);
+}
+
+TEST(History, TornV2FileRejected) {
+  arcs::HistoryStore store;
+  store.put(make_key("a"), {{8, {}}, 1.0, 1});
+  store.put(make_key("b"), {{4, {}}, 2.0, 2});
+  const auto text = store.serialize();
+  // Drop one entry line but keep the footer: count mismatch.
+  const auto first_entry_end = text.find('\n', text.find("cap_w") + 1);
+  const auto second_entry_end = text.find('\n', first_entry_end + 1);
+  auto torn = text;
+  torn.erase(first_entry_end + 1, second_entry_end - first_entry_end);
+  EXPECT_THROW(arcs::HistoryStore::deserialize(torn),
+               arcs::common::ContractError);
+  // A v2 file truncated before its footer is just as dead.
+  const auto footer = text.rfind("#%count");
+  EXPECT_THROW(arcs::HistoryStore::deserialize(text.substr(0, footer)),
+               arcs::common::ContractError);
+}
+
+TEST(History, UnsupportedVersionRejected) {
+  EXPECT_THROW(arcs::HistoryStore::deserialize("#%arcs-history v3\n"),
+               arcs::common::ContractError);
+  EXPECT_THROW(arcs::HistoryStore::deserialize("#%arcs-history\n"),
+               arcs::common::ContractError);
+}
+
+TEST(History, SaveIsAtomicAndLeavesNoTempFiles) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("arcs_history_atomic." + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "h.hist";
+  arcs::HistoryStore first;
+  first.put(make_key("r"), {{8, {}}, 1.0, 1});
+  first.save(path.string());
+  // Overwrite with new contents: the replacement is rename-based, so the
+  // directory never holds a partial file and no temp siblings survive.
+  arcs::HistoryStore second;
+  second.put(make_key("r"), {{24, {sp::ScheduleKind::Dynamic, 64}}, 0.5, 9});
+  second.save(path.string());
+  EXPECT_EQ(arcs::HistoryStore::load(path.string())
+                .get(make_key("r"))
+                ->config.num_threads,
+            24);
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+  std::filesystem::remove_all(dir);
 }
 
 // ---------- ArcsPolicy ----------

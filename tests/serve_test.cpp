@@ -1,0 +1,649 @@
+// Tests for the tuning service: decision cache LRU/sharding, the
+// arcs-serve/v1 protocol codecs, the session-ownership state machine
+// (one search per key, ever), transports, and the RemoteTuner seam.
+//
+// The contention suites double as the TSan targets of tools/ci.sh:
+// they put 16 clients on one key and assert exactly one search ran.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/arcs.hpp"
+#include "kernels/regions.hpp"
+#include "serve/serve.hpp"
+#include "sim/presets.hpp"
+
+namespace sv = arcs::serve;
+namespace sp = arcs::somp;
+namespace sc = arcs::sim;
+
+namespace {
+
+arcs::HistoryKey make_key(const std::string& region,
+                          const std::string& machine = "testbox",
+                          double cap = 40.0) {
+  return {"SP", machine, cap, "B", region};
+}
+
+sp::LoopConfig make_config(int threads, int chunk = 8) {
+  return {threads, {sp::ScheduleKind::Guided, chunk}};
+}
+
+sv::CachedDecision make_decision(int threads) {
+  sv::CachedDecision d;
+  d.config = make_config(threads);
+  d.best_value = 1.0 / threads;
+  d.evaluations = 10;
+  return d;
+}
+
+/// Mirrors what a tuning client does: ask, measure, report, repeat.
+/// The objective prefers mid-sized teams so the search has a real optimum.
+double synthetic_objective(const sp::LoopConfig& config) {
+  const double threads =
+      config.num_threads == 0 ? 8.0 : static_cast<double>(config.num_threads);
+  const double chunk = config.schedule.chunk == 0
+                           ? 16.0
+                           : static_cast<double>(config.schedule.chunk);
+  const double t = threads - 6.0;
+  const double c = (chunk - 32.0) / 32.0;
+  return 1.0 + 0.01 * (t * t) + 0.005 * (c * c);
+}
+
+std::size_t drive_to_convergence(sv::Client& client,
+                                 const arcs::HistoryKey& key,
+                                 double wait_ms = 1000.0) {
+  std::size_t evaluations = 0;
+  for (;;) {
+    const auto decision = client.decide(key, wait_ms);
+    if (decision.kind == arcs::RemoteDecision::Kind::Apply)
+      return evaluations;
+    if (decision.kind == arcs::RemoteDecision::Kind::Evaluate) {
+      client.report(key, decision.ticket,
+                    synthetic_objective(decision.config));
+      ++evaluations;
+    }
+  }
+}
+
+std::filesystem::path temp_path(const std::string& name) {
+  return std::filesystem::temp_directory_path() /
+         (name + "." + std::to_string(::getpid()));
+}
+
+}  // namespace
+
+// ---------- DecisionCache ----------
+
+TEST(ServeCache, PutGetRoundTrip) {
+  sv::DecisionCache cache;
+  cache.put(make_key("r"), make_decision(16));
+  const auto got = cache.get(make_key("r"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->config, make_config(16));
+  EXPECT_EQ(got->evaluations, 10u);
+  EXPECT_FALSE(cache.get(make_key("other")).has_value());
+}
+
+TEST(ServeCache, KeyComponentsAllMatter) {
+  sv::DecisionCache cache;
+  cache.put(make_key("r"), make_decision(16));
+  EXPECT_FALSE(cache.get(make_key("r", "crill")).has_value());
+  EXPECT_FALSE(cache.get(make_key("r", "testbox", 55.0)).has_value());
+}
+
+TEST(ServeCache, LruEvictsOldestWithinShard) {
+  sv::DecisionCache cache{{/*capacity=*/2, /*shards=*/1}};
+  cache.put(make_key("a"), make_decision(2));
+  cache.put(make_key("b"), make_decision(4));
+  // Touch "a" so "b" is the least recently used...
+  EXPECT_TRUE(cache.get(make_key("a")).has_value());
+  cache.put(make_key("c"), make_decision(8));
+  // ...and gets evicted by "c".
+  EXPECT_FALSE(cache.get(make_key("b")).has_value());
+  EXPECT_TRUE(cache.get(make_key("a")).has_value());
+  EXPECT_TRUE(cache.get(make_key("c")).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ServeCache, PutOverwritesInPlace) {
+  sv::DecisionCache cache{{2, 1}};
+  cache.put(make_key("a"), make_decision(2));
+  cache.put(make_key("a"), make_decision(16));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get(make_key("a"))->config.num_threads, 16);
+}
+
+TEST(ServeCache, SnapshotLoadRoundTrip) {
+  sv::DecisionCache cache;
+  cache.put(make_key("a"), make_decision(2));
+  cache.put(make_key("b"), make_decision(8));
+  const arcs::HistoryStore store = cache.snapshot();
+  EXPECT_EQ(store.size(), 2u);
+  sv::DecisionCache reloaded;
+  reloaded.load(store);
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_EQ(reloaded.get(make_key("b"))->config, make_config(8));
+}
+
+TEST(ServeCache, KeyHashSeparatesFields) {
+  // ("ab","c") vs ("a","bc") style collisions must not happen across the
+  // string fields, and the cap participates at deciwatt granularity.
+  const auto base = sv::DecisionCache::key_hash(make_key("r"));
+  arcs::HistoryKey shifted = make_key("r");
+  shifted.app = "SPB";
+  shifted.workload = "";
+  EXPECT_NE(sv::DecisionCache::key_hash(shifted), base);
+  arcs::HistoryKey capped = make_key("r");
+  capped.power_cap += 0.1;
+  EXPECT_NE(sv::DecisionCache::key_hash(capped), base);
+  // Sub-deciwatt formatting noise must NOT split shards.
+  arcs::HistoryKey noisy = make_key("r");
+  noisy.power_cap += 1e-6;
+  EXPECT_EQ(sv::DecisionCache::key_hash(noisy), base);
+}
+
+TEST(ServeCache, RejectsZeroCapacityAndShards) {
+  EXPECT_THROW(sv::DecisionCache({0, 1}), arcs::common::ContractError);
+  EXPECT_THROW(sv::DecisionCache({8, 0}), arcs::common::ContractError);
+}
+
+// ---------- protocol codecs ----------
+
+TEST(ServeProtocol, RequestJsonRoundTrip) {
+  // Each op carries exactly its own fields on the wire.
+  sv::Request get;
+  get.op = sv::Op::Get;
+  get.key = make_key("x_solve");
+  get.wait_ms = 250.0;
+  const auto get_back = sv::request_from_json(sv::to_json(get));
+  EXPECT_EQ(get_back.op, sv::Op::Get);
+  EXPECT_EQ(get_back.key, get.key);
+  EXPECT_DOUBLE_EQ(get_back.wait_ms, 250.0);
+
+  sv::Request report;
+  report.op = sv::Op::Report;
+  report.key = make_key("x_solve");
+  report.ticket = 42;
+  report.value = 0.125;
+  const auto report_back = sv::request_from_json(sv::to_json(report));
+  EXPECT_EQ(report_back.op, sv::Op::Report);
+  EXPECT_EQ(report_back.key, report.key);
+  EXPECT_EQ(report_back.ticket, 42u);
+  EXPECT_DOUBLE_EQ(report_back.value, 0.125);
+
+  sv::Request put;
+  put.op = sv::Op::Put;
+  put.key = make_key("x_solve");
+  put.config = make_config(24, 64);
+  put.value = 0.5;
+  put.evaluations = 7;
+  const auto put_back = sv::request_from_json(sv::to_json(put));
+  EXPECT_EQ(put_back.op, sv::Op::Put);
+  EXPECT_EQ(put_back.config, put.config);
+  EXPECT_DOUBLE_EQ(put_back.value, 0.5);
+  EXPECT_EQ(put_back.evaluations, 7u);
+}
+
+TEST(ServeProtocol, ResponseJsonRoundTrip) {
+  sv::Response response;
+  response.status = sv::Status::Evaluate;
+  response.config = make_config(8, 1);
+  response.ticket = 9;
+  const auto back = sv::response_from_json(sv::to_json(response));
+  EXPECT_EQ(back.status, sv::Status::Evaluate);
+  EXPECT_EQ(back.config, response.config);
+  EXPECT_EQ(back.ticket, 9u);
+}
+
+TEST(ServeProtocol, RejectsVersionSkew) {
+  auto j = sv::to_json(sv::Request{});
+  j.set("proto", "arcs-serve/v999");
+  EXPECT_THROW(sv::request_from_json(j), arcs::common::ContractError);
+  j.set("proto", 7);
+  EXPECT_THROW(sv::request_from_json(j), arcs::common::ContractError);
+}
+
+TEST(ServeProtocol, RejectsUnknownOpAndStatus) {
+  EXPECT_THROW(sv::op_from_string("frobnicate"),
+               arcs::common::ContractError);
+  EXPECT_THROW(sv::status_from_string("maybe"),
+               arcs::common::ContractError);
+  // Round-trip every member through its string name.
+  for (const auto op : {sv::Op::Ping, sv::Op::Get, sv::Op::Report,
+                        sv::Op::Put, sv::Op::Metrics, sv::Op::Save,
+                        sv::Op::Shutdown})
+    EXPECT_EQ(sv::op_from_string(sv::to_string(op)), op);
+  for (const auto st :
+       {sv::Status::Ok, sv::Status::Hit, sv::Status::Evaluate,
+        sv::Status::Pending, sv::Status::Overloaded, sv::Status::Timeout,
+        sv::Status::Error})
+    EXPECT_EQ(sv::status_from_string(sv::to_string(st)), st);
+}
+
+// ---------- TuningServer state machine ----------
+
+namespace {
+
+sv::Request get_request(const arcs::HistoryKey& key, double wait_ms = 0.0) {
+  sv::Request r;
+  r.op = sv::Op::Get;
+  r.key = key;
+  r.wait_ms = wait_ms;
+  return r;
+}
+
+sv::Request put_request(const arcs::HistoryKey& key, int threads) {
+  sv::Request r;
+  r.op = sv::Op::Put;
+  r.key = key;
+  r.config = make_config(threads);
+  r.value = 1.0;
+  r.evaluations = 5;
+  return r;
+}
+
+}  // namespace
+
+TEST(ServeServer, PingOk) {
+  sv::TuningServer server;
+  sv::Request ping;
+  EXPECT_EQ(server.handle(ping).status, sv::Status::Ok);
+}
+
+TEST(ServeServer, PutThenGetHits) {
+  sv::TuningServer server;
+  EXPECT_EQ(server.handle(put_request(make_key("r"), 16)).status,
+            sv::Status::Ok);
+  const auto got = server.handle(get_request(make_key("r")));
+  EXPECT_EQ(got.status, sv::Status::Hit);
+  EXPECT_EQ(got.config, make_config(16));
+  EXPECT_EQ(server.metrics().hits.load(), 1u);
+  EXPECT_EQ(server.metrics().puts.load(), 1u);
+}
+
+TEST(ServeServer, MissBecomesDriverWithTicket) {
+  sv::TuningServer server;
+  const auto got = server.handle(get_request(make_key("r")));
+  EXPECT_EQ(got.status, sv::Status::Evaluate);
+  EXPECT_GT(got.ticket, 0u);
+  EXPECT_EQ(server.metrics().misses.load(), 1u);
+  EXPECT_EQ(server.metrics().searches_started.load(), 1u);
+  EXPECT_EQ(server.inflight(), 1u);
+}
+
+TEST(ServeServer, DriveToConvergenceCachesTheOptimum) {
+  sv::TuningServer server;
+  sv::LocalClient client{server};
+  const auto key = make_key("r");
+  const std::size_t evaluations = drive_to_convergence(client, key);
+  // testbox space: 3 thread values x 4 schedules x 9 chunks.
+  EXPECT_EQ(evaluations,
+            arcs::arcs_search_space(sc::testbox()).size());
+  EXPECT_EQ(server.metrics().searches_started.load(), 1u);
+  EXPECT_EQ(server.metrics().searches_completed.load(), 1u);
+  EXPECT_EQ(server.metrics().reports.load(), evaluations);
+  EXPECT_EQ(server.inflight(), 0u);
+  // The cached decision is the synthetic objective's argmin.
+  const auto cached = server.cache().get(key);
+  ASSERT_TRUE(cached.has_value());
+  const auto direct = server.handle(get_request(key));
+  EXPECT_EQ(direct.status, sv::Status::Hit);
+  EXPECT_EQ(direct.config, cached->config);
+  EXPECT_DOUBLE_EQ(cached->best_value,
+                   synthetic_objective(cached->config));
+}
+
+TEST(ServeServer, SecondClientJoinsBetweenProposals) {
+  sv::TuningServer server;
+  const auto key = make_key("r");
+  const auto first = server.handle(get_request(key));
+  ASSERT_EQ(first.status, sv::Status::Evaluate);
+  sv::Request report;
+  report.op = sv::Op::Report;
+  report.key = key;
+  report.ticket = first.ticket;
+  report.value = 1.0;
+  ASSERT_EQ(server.handle(report).status, sv::Status::Ok);
+  // No proposal outstanding now: a second client joins the SAME search
+  // (a fresh ticket, not a fresh session).
+  const auto second = server.handle(get_request(key));
+  EXPECT_EQ(second.status, sv::Status::Evaluate);
+  EXPECT_NE(second.ticket, first.ticket);
+  EXPECT_EQ(server.metrics().joins.load(), 1u);
+  EXPECT_EQ(server.metrics().searches_started.load(), 1u);
+}
+
+TEST(ServeServer, OutstandingProposalMeansPending) {
+  sv::TuningServer server;
+  const auto key = make_key("r");
+  ASSERT_EQ(server.handle(get_request(key)).status, sv::Status::Evaluate);
+  const auto second = server.handle(get_request(key, /*wait_ms=*/0.0));
+  EXPECT_EQ(second.status, sv::Status::Pending);
+  EXPECT_EQ(server.metrics().pending_replies.load(), 1u);
+}
+
+TEST(ServeServer, WaitExpiresAsTimeout) {
+  sv::TuningServer server;
+  const auto key = make_key("r");
+  ASSERT_EQ(server.handle(get_request(key)).status, sv::Status::Evaluate);
+  // Nobody ever reports, so a blocking Get must give up at its deadline.
+  const auto waited = server.handle(get_request(key, /*wait_ms=*/30.0));
+  EXPECT_EQ(waited.status, sv::Status::Timeout);
+  EXPECT_EQ(server.metrics().waits.load(), 1u);
+  EXPECT_EQ(server.metrics().timeouts.load(), 1u);
+}
+
+TEST(ServeServer, StaleTicketReportIsDropped) {
+  sv::TuningServer server;
+  const auto key = make_key("r");
+  const auto first = server.handle(get_request(key));
+  ASSERT_EQ(first.status, sv::Status::Evaluate);
+  sv::Request stale;
+  stale.op = sv::Op::Report;
+  stale.key = key;
+  stale.ticket = first.ticket + 1000;
+  stale.value = 1.0;
+  EXPECT_EQ(server.handle(stale).status, sv::Status::Ok);
+  EXPECT_EQ(server.metrics().stale_reports.load(), 1u);
+  EXPECT_EQ(server.metrics().reports.load(), 0u);
+}
+
+TEST(ServeServer, AdmissionControlRejectsNewSearches) {
+  sv::ServerOptions options;
+  options.max_inflight = 1;
+  sv::TuningServer server{options};
+  ASSERT_EQ(server.handle(get_request(make_key("a"))).status,
+            sv::Status::Evaluate);
+  // A second key would need a second concurrent search: rejected.
+  EXPECT_EQ(server.handle(get_request(make_key("b"))).status,
+            sv::Status::Overloaded);
+  EXPECT_EQ(server.metrics().overloaded.load(), 1u);
+  // The first key's search is unaffected.
+  EXPECT_EQ(server.inflight(), 1u);
+}
+
+TEST(ServeServer, UnknownMachineIsAnError) {
+  sv::TuningServer server;
+  const auto got = server.handle(get_request(make_key("r", "cray-1")));
+  EXPECT_EQ(got.status, sv::Status::Error);
+  EXPECT_NE(got.error.find("cray-1"), std::string::npos);
+}
+
+TEST(ServeServer, HistorySeedingHitsImmediately) {
+  arcs::HistoryStore store;
+  store.put(make_key("x_solve"), {make_config(24), 0.5, 252});
+  sv::TuningServer server;
+  server.cache().load(store);
+  const auto got = server.handle(get_request(make_key("x_solve")));
+  EXPECT_EQ(got.status, sv::Status::Hit);
+  EXPECT_EQ(got.config, make_config(24));
+  EXPECT_EQ(server.metrics().searches_started.load(), 0u);
+}
+
+TEST(ServeServer, SaveNeedsAPathAndWritesOne) {
+  sv::TuningServer no_path;
+  sv::Request save;
+  save.op = sv::Op::Save;
+  EXPECT_EQ(no_path.handle(save).status, sv::Status::Error);
+
+  const auto path = temp_path("arcs_serve_save.hist");
+  sv::ServerOptions options;
+  options.history_path = path.string();
+  sv::TuningServer server{options};
+  server.handle(put_request(make_key("r"), 8));
+  EXPECT_EQ(server.handle(save).status, sv::Status::Ok);
+  const auto loaded = arcs::HistoryStore::load(path.string());
+  EXPECT_EQ(loaded.get(make_key("r"))->config, make_config(8));
+  std::filesystem::remove(path);
+}
+
+TEST(ServeServer, ShutdownRaisesTheFlag) {
+  sv::TuningServer server;
+  EXPECT_FALSE(server.shutdown_requested());
+  sv::Request shutdown;
+  shutdown.op = sv::Op::Shutdown;
+  EXPECT_EQ(server.handle(shutdown).status, sv::Status::Ok);
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST(ServeServer, MetricsJsonHasTheDocumentedShape) {
+  sv::TuningServer server;
+  server.handle(put_request(make_key("r"), 8));
+  server.handle(get_request(make_key("r")));
+  const auto j = server.metrics_json();
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.find("proto")->as_string(), sv::kProtocol);
+  const auto* counters = j.find("counters");
+  ASSERT_NE(counters, nullptr);
+  for (const char* name :
+       {"requests", "hits", "misses", "joins", "pending_replies", "waits",
+        "timeouts", "overloaded", "reports", "stale_reports", "puts",
+        "searches_started", "searches_completed"}) {
+    ASSERT_NE(counters->find(name), nullptr) << name;
+    EXPECT_TRUE(counters->find(name)->is_number()) << name;
+  }
+  EXPECT_DOUBLE_EQ(counters->find("hits")->as_number(), 1.0);
+  const auto* gauges = j.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("cache_size")->as_number(), 1.0);
+  const auto* latency = j.find("latency");
+  ASSERT_NE(latency, nullptr);
+  ASSERT_NE(latency->find("p50_us"), nullptr);
+  ASSERT_NE(latency->find("p95_us"), nullptr);
+}
+
+// ---------- contention (the TSan targets) ----------
+
+TEST(ServeContention, SixteenClientsOneKeyOneSearch) {
+  sv::TuningServer server;
+  const auto key = make_key("hot_region");
+  std::atomic<std::size_t> fleet_evaluations{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 16; ++c) {
+    threads.emplace_back([&server, &fleet_evaluations, key] {
+      sv::LocalClient client{server};
+      fleet_evaluations.fetch_add(drive_to_convergence(client, key),
+                                  std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The whole point of the service: 16 clients, ONE search.
+  EXPECT_EQ(server.metrics().searches_started.load(), 1u);
+  EXPECT_EQ(server.metrics().searches_completed.load(), 1u);
+  EXPECT_EQ(fleet_evaluations.load(),
+            arcs::arcs_search_space(sc::testbox()).size());
+  EXPECT_EQ(server.inflight(), 0u);
+  EXPECT_TRUE(server.cache().get(key).has_value());
+}
+
+TEST(ServeContention, DistinctKeysSearchIndependently) {
+  sv::TuningServer server;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 8; ++c) {
+    threads.emplace_back([&server, c] {
+      sv::LocalClient client{server};
+      drive_to_convergence(client,
+                           make_key("region_" + std::to_string(c)));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(server.metrics().searches_started.load(), 8u);
+  EXPECT_EQ(server.metrics().searches_completed.load(), 8u);
+  EXPECT_EQ(server.cache().size(), 8u);
+}
+
+TEST(ServeContention, BlockedGetIsWokenByThePublishedDecision) {
+  sv::TuningServer server;
+  const auto key = make_key("r");
+  // Start a search so the proposal is outstanding: the next Get blocks.
+  ASSERT_EQ(server.handle(get_request(key)).status, sv::Status::Evaluate);
+  sv::Response waited;
+  std::thread waiter([&server, &waited, key] {
+    waited = server.handle(get_request(key, /*wait_ms=*/30'000.0));
+  });
+  // waiting_now() rises only after the waiter holds sessions_mu_, and Put
+  // needs that mutex too — so once we observe 1, the Put below cannot
+  // race past the cv wait (no lost wake-up).
+  while (server.waiting_now() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  server.handle(put_request(key, 16));
+  waiter.join();
+  EXPECT_EQ(waited.status, sv::Status::Hit);
+  EXPECT_EQ(waited.config, make_config(16));
+  EXPECT_EQ(server.metrics().waits.load(), 1u);
+  EXPECT_EQ(server.metrics().timeouts.load(), 0u);
+}
+
+// ---------- socket transport ----------
+
+namespace {
+
+struct SocketRig {
+  explicit SocketRig(sv::ServerOptions server_options = {},
+                     sv::SocketServerOptions socket_options = {})
+      : server(std::move(server_options)),
+        socket(server, temp_path("arcs_serve_test.sock").string(),
+               socket_options) {}
+  sv::TuningServer server;
+  sv::SocketServer socket;
+};
+
+}  // namespace
+
+TEST(ServeSocket, PingPutGetRoundTrip) {
+  SocketRig rig;
+  sv::SocketClient client{rig.socket.path()};
+  EXPECT_EQ(client.call(sv::Request{}).status, sv::Status::Ok);
+  EXPECT_EQ(client.call(put_request(make_key("r"), 16)).status,
+            sv::Status::Ok);
+  const auto got = client.call(get_request(make_key("r")));
+  EXPECT_EQ(got.status, sv::Status::Hit);
+  EXPECT_EQ(got.config, make_config(16));
+  EXPECT_FALSE(client.transport_failed());
+}
+
+TEST(ServeSocket, DriveSearchOverTheWire) {
+  SocketRig rig;
+  sv::SocketClient client{rig.socket.path()};
+  const auto key = make_key("r");
+  const auto evaluations = drive_to_convergence(client, key);
+  EXPECT_EQ(evaluations, arcs::arcs_search_space(sc::testbox()).size());
+  EXPECT_EQ(rig.server.metrics().searches_started.load(), 1u);
+  // Hermetic and socket transports answer from the same cache.
+  EXPECT_TRUE(rig.server.cache().get(key).has_value());
+}
+
+TEST(ServeSocket, ConcurrentClientsShareOneSearch) {
+  SocketRig rig;
+  const auto key = make_key("hot");
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&rig, key] {
+      sv::SocketClient client{rig.socket.path()};
+      drive_to_convergence(client, key);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(rig.server.metrics().searches_started.load(), 1u);
+  EXPECT_EQ(rig.server.metrics().searches_completed.load(), 1u);
+}
+
+TEST(ServeSocket, MetricsTravelAsJson) {
+  SocketRig rig;
+  sv::SocketClient client{rig.socket.path()};
+  client.call(put_request(make_key("r"), 4));
+  sv::Request metrics;
+  metrics.op = sv::Op::Metrics;
+  const auto got = client.call(metrics);
+  EXPECT_EQ(got.status, sv::Status::Ok);
+  ASSERT_TRUE(got.metrics.is_object());
+  EXPECT_DOUBLE_EQ(
+      got.metrics.find("counters")->find("puts")->as_number(), 1.0);
+}
+
+TEST(ServeSocket, StoppedServerMeansTransportError) {
+  auto rig = std::make_unique<SocketRig>();
+  sv::SocketClient client{rig->socket.path()};
+  ASSERT_EQ(client.call(sv::Request{}).status, sv::Status::Ok);
+  rig->socket.stop();
+  const auto got = client.call(sv::Request{});
+  EXPECT_EQ(got.status, sv::Status::Error);
+  EXPECT_TRUE(client.transport_failed());
+  // And the RemoteTuner mapping degrades to Unavailable, never throws.
+  EXPECT_EQ(client.decide(make_key("r"), 0.0).kind,
+            arcs::RemoteDecision::Kind::Unavailable);
+}
+
+TEST(ServeSocket, ConnectToMissingPathThrows) {
+  EXPECT_THROW(
+      sv::SocketClient{temp_path("arcs_serve_nowhere.sock").string()},
+      arcs::common::ContractError);
+}
+
+// ---------- RemoteTuner seam: ArcsPolicy against a live server ----------
+
+TEST(ServeRemotePolicy, PolicyConvergesThroughTheService) {
+  sv::TuningServer server;
+  sv::LocalClient client{server};
+
+  sc::Machine machine{sc::testbox()};
+  sp::Runtime runtime{machine};
+  arcs::apex::Apex apex{runtime};
+  arcs::ArcsOptions options;
+  options.strategy = arcs::TuningStrategy::Remote;
+  options.remote = &client;
+  options.remote_timeout_ms = 0.0;
+  options.app_name = "unit";
+  options.workload = "w";
+  arcs::ArcsPolicy policy{apex, runtime, options};
+
+  const auto region = arcs::kernels::simple_region("r", 128, 2e5).build(1);
+  const std::size_t space =
+      arcs::arcs_search_space(sc::testbox()).size();
+  for (std::size_t i = 0; i < space + 8 && !policy.all_converged(); ++i)
+    runtime.parallel_for(region);
+  EXPECT_TRUE(policy.all_converged());
+  EXPECT_EQ(server.metrics().searches_started.load(), 1u);
+  // The policy's final config is exactly the cached decision. An uncapped
+  // machine programs its cap at TDP, which is what the key carries.
+  const auto cached = server.cache().get(
+      {"unit", "testbox", machine.programmed_power_cap(), "w", "r"});
+  ASSERT_TRUE(cached.has_value());
+  const auto best = policy.best_config("r");
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, cached->config);
+}
+
+TEST(ServeRemotePolicy, SeededCacheAppliesOnFirstCall) {
+  sc::Machine machine{sc::testbox()};
+  sv::TuningServer server;
+  server.handle(put_request(
+      {"unit", "testbox", machine.programmed_power_cap(), "w", "r"}, 2));
+  sv::LocalClient client{server};
+
+  sp::Runtime runtime{machine};
+  arcs::apex::Apex apex{runtime};
+  arcs::ArcsOptions options;
+  options.strategy = arcs::TuningStrategy::Remote;
+  options.remote = &client;
+  options.app_name = "unit";
+  options.workload = "w";
+  arcs::ArcsPolicy policy{apex, runtime, options};
+
+  const auto rec = runtime.parallel_for(
+      arcs::kernels::simple_region("r", 64, 2e5).build(1));
+  EXPECT_EQ(rec.team_size, 2);
+  EXPECT_TRUE(policy.all_converged());
+  EXPECT_EQ(server.metrics().searches_started.load(), 0u);
+}

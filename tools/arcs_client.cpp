@@ -1,0 +1,147 @@
+// arcs_client — command-line client for an arcsd tuning daemon.
+//
+//   $ arcs_client ping     /tmp/arcs.sock
+//   $ arcs_client get      /tmp/arcs.sock SP crill 85 B x_solve [wait_ms]
+//   $ arcs_client report   /tmp/arcs.sock SP crill 85 B x_solve TICKET SECS
+//   $ arcs_client drive    /tmp/arcs.sock SP crill 85 B x_solve
+//   $ arcs_client metrics  /tmp/arcs.sock
+//   $ arcs_client save     /tmp/arcs.sock
+//   $ arcs_client shutdown /tmp/arcs.sock
+//
+// `drive` runs the full client loop — get, measure (here: a deterministic
+// synthetic objective), report — until the server answers Hit; it is the
+// CI smoke test's way of pushing one key through a whole search without
+// simulating an application.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/serve.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> <socket> [args]\n"
+      "  ping     SOCKET\n"
+      "  get      SOCKET APP MACHINE CAP_W WORKLOAD REGION [WAIT_MS]\n"
+      "  report   SOCKET APP MACHINE CAP_W WORKLOAD REGION TICKET VALUE\n"
+      "  drive    SOCKET APP MACHINE CAP_W WORKLOAD REGION\n"
+      "  metrics  SOCKET\n"
+      "  save     SOCKET\n"
+      "  shutdown SOCKET\n",
+      argv0);
+  return 2;
+}
+
+arcs::HistoryKey key_from_args(char** argv) {
+  arcs::HistoryKey key;
+  key.app = argv[0];
+  key.machine = argv[1];
+  key.power_cap = std::atof(argv[2]);
+  key.workload = argv[3];
+  key.region = argv[4];
+  return key;
+}
+
+/// Deterministic synthetic objective for `drive`: a stable function of
+/// the proposed configuration, so repeated drives (and drives from
+/// different client processes) are reproducible.
+double synthetic_objective(const arcs::somp::LoopConfig& config) {
+  const double threads = config.num_threads == 0
+                             ? 8.0
+                             : static_cast<double>(config.num_threads);
+  const double chunk = config.schedule.chunk == 0
+                           ? 16.0
+                           : static_cast<double>(config.schedule.chunk);
+  const double kind =
+      static_cast<double>(static_cast<int>(config.schedule.kind));
+  // Convex-ish bowl with a unique minimum inside the space.
+  const double t = threads - 6.0;
+  const double c = (chunk - 32.0) / 32.0;
+  return 1.0 + 0.01 * (t * t) + 0.005 * (c * c) + 0.002 * kind;
+}
+
+int print_response(const arcs::serve::Response& response) {
+  std::printf("%s\n", arcs::serve::to_json(response).dump(2).c_str());
+  return response.status == arcs::serve::Status::Error ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace arcs::serve;
+  if (argc < 3) return usage(argv[0]);
+  const std::string command = argv[1];
+  const std::string socket_path = argv[2];
+
+  try {
+    SocketClient client{socket_path};
+    Request request;
+
+    if (command == "ping" || command == "metrics" || command == "save" ||
+        command == "shutdown") {
+      request.op = command == "ping"      ? Op::Ping
+                   : command == "metrics" ? Op::Metrics
+                   : command == "save"    ? Op::Save
+                                          : Op::Shutdown;
+      return print_response(client.call(request));
+    }
+
+    if (command == "get") {
+      if (argc < 8) return usage(argv[0]);
+      request.op = Op::Get;
+      request.key = key_from_args(argv + 3);
+      request.wait_ms = argc > 8 ? std::atof(argv[8]) : 0.0;
+      return print_response(client.call(request));
+    }
+
+    if (command == "report") {
+      if (argc < 10) return usage(argv[0]);
+      request.op = Op::Report;
+      request.key = key_from_args(argv + 3);
+      request.ticket = std::strtoull(argv[8], nullptr, 10);
+      request.value = std::atof(argv[9]);
+      return print_response(client.call(request));
+    }
+
+    if (command == "drive") {
+      if (argc < 8) return usage(argv[0]);
+      const arcs::HistoryKey key = key_from_args(argv + 3);
+      std::size_t evaluations = 0;
+      for (;;) {
+        Request get;
+        get.op = Op::Get;
+        get.key = key;
+        get.wait_ms = 1000.0;
+        const Response response = client.call(get);
+        if (response.status == Status::Hit) {
+          std::printf("converged after %zu evaluations: %s\n", evaluations,
+                      response.config.to_string().c_str());
+          return 0;
+        }
+        if (response.status == Status::Evaluate) {
+          Request report;
+          report.op = Op::Report;
+          report.key = key;
+          report.ticket = response.ticket;
+          report.value = synthetic_objective(response.config);
+          const Response ack = client.call(report);
+          if (ack.status == Status::Error) return print_response(ack);
+          ++evaluations;
+          continue;
+        }
+        if (response.status == Status::Pending ||
+            response.status == Status::Timeout)
+          continue;  // someone else is driving; ask again
+        return print_response(response);
+      }
+    }
+
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "arcs_client: %s\n", e.what());
+    return 1;
+  }
+}

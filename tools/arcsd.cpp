@@ -1,0 +1,151 @@
+// arcsd (a.k.a. harmonyd) — the ARCS tuning daemon.
+//
+// Owns one serve::TuningServer behind a Unix-domain socket so any number
+// of ARCS runs on the node share one search per (app, machine, cap,
+// workload, region) and one decision cache across runs:
+//
+//   $ arcsd --socket /tmp/arcs.sock --history cluster.hist &
+//   $ arcs_tune ... &  arcs_tune ... &        # clients share the daemon
+//   $ arcs_client shutdown /tmp/arcs.sock
+//
+// The --history file is loaded into the cache at boot (warm start) and
+// written back (atomic replace) at shutdown and on Op::Save.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "serve/serve.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [options]\n"
+      "  --socket PATH        unix socket to serve on (required)\n"
+      "  --history FILE       cache warm-start / save file\n"
+      "  --metrics-json FILE  dump metrics JSON at exit\n"
+      "  --capacity N         decision-cache capacity (default 1024)\n"
+      "  --shards N           decision-cache lock shards (default 8)\n"
+      "  --workers N          request worker threads (default 4)\n"
+      "  --queue N            dispatch queue depth (default 128)\n"
+      "  --method NAME        search method: exhaustive|nelder-mead|\n"
+      "                       pro|random|annealing (default exhaustive)\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace arcs;
+
+  std::string socket_path;
+  std::string history_path;
+  std::string metrics_path;
+  serve::ServerOptions server_opts;
+  serve::SocketServerOptions socket_opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--history") {
+      history_path = next();
+    } else if (arg == "--metrics-json") {
+      metrics_path = next();
+    } else if (arg == "--capacity") {
+      server_opts.cache.capacity =
+          static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--shards") {
+      server_opts.cache.shards =
+          static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--workers") {
+      socket_opts.workers =
+          static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--queue") {
+      socket_opts.queue_capacity =
+          static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--method") {
+      const std::string name = next();
+      if (name == "exhaustive")
+        server_opts.method = harmony::StrategyKind::Exhaustive;
+      else if (name == "nelder-mead")
+        server_opts.method = harmony::StrategyKind::NelderMead;
+      else if (name == "pro")
+        server_opts.method = harmony::StrategyKind::ParallelRankOrder;
+      else if (name == "random")
+        server_opts.method = harmony::StrategyKind::Random;
+      else if (name == "annealing")
+        server_opts.method = harmony::StrategyKind::SimulatedAnnealing;
+      else {
+        std::fprintf(stderr, "unknown search method: %s\n", name.c_str());
+        return 2;
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) return usage(argv[0]);
+
+  server_opts.history_path = history_path;
+  serve::TuningServer server{server_opts};
+
+  if (!history_path.empty()) {
+    if (std::ifstream probe(history_path); probe.good()) {
+      try {
+        const HistoryStore warm = HistoryStore::load(history_path);
+        server.cache().load(warm);
+        std::printf("arcsd: warmed cache with %zu decisions from %s\n",
+                    warm.size(), history_path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "arcsd: ignoring unreadable history: %s\n",
+                     e.what());
+      }
+    }
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    serve::SocketServer transport{server, socket_path, socket_opts};
+    std::printf("arcsd: serving %s on %s (%zu workers)\n",
+                std::string(serve::kProtocol).c_str(),
+                transport.path().c_str(), socket_opts.workers);
+    std::fflush(stdout);
+    while (g_signalled == 0 && !server.shutdown_requested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    transport.stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "arcsd: %s\n", e.what());
+    return 1;
+  }
+
+  if (!history_path.empty()) {
+    server.cache().snapshot().save(history_path);
+    std::printf("arcsd: saved %zu decisions to %s\n", server.cache().size(),
+                history_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << server.metrics_json().dump(2) << '\n';
+    std::printf("arcsd: metrics written to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}

@@ -30,19 +30,22 @@ run_mode plain -DARCS_WERROR=ON
 # suite is a real "no UB observed" statement.
 run_mode sanitize -DARCS_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
 
-# TSan build: the exec pool, the ported bench harness, and the verifier
-# registry are the code that actually crosses threads — run the suites
-# that exercise them (a full TSan ctest pass is 10x+ slower and mostly
-# re-runs single-threaded code).
+# TSan build: the exec pool, the ported bench harness, the verifier
+# registry, and the tuning service are the code that actually crosses
+# threads — run the suites that exercise them (a full TSan ctest pass is
+# 10x+ slower and mostly re-runs single-threaded code). The Serve suites
+# include the 16-clients-one-key contention test, which is the
+# no-duplicate-search acceptance check under TSan.
 echo "=== [tsan] configure: -DARCS_SANITIZE=thread ==="
 cmake -B "$ROOT/tsan" -S . -DARCS_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug \
   >/dev/null
 echo "=== [tsan] build ==="
 cmake --build "$ROOT/tsan" -j "$JOBS" \
-  --target exec_test golden_test somp_test analysis_test somp_verify
-echo "=== [tsan] exec + somp suites under TSan ==="
+  --target exec_test golden_test somp_test analysis_test serve_test \
+           somp_verify
+echo "=== [tsan] exec + somp + serve suites under TSan ==="
 (cd "$ROOT/tsan" && ctest --output-on-failure -j "$JOBS" \
-  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest')
+  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve')
 "$ROOT/tsan/tools/somp_verify" --app synthetic --steps 3
 
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -90,6 +93,63 @@ for path in reports:
           f"({jobs['done']} jobs, {r['workers']} workers, "
           f"speedup {r['host_parallelism_speedup']:.2f}x)")
 print("bench smoke: schema valid")
+PYEOF
+
+echo "=== serve smoke: daemon round trip over the socket ==="
+SERVE_DIR="$ROOT/serve-smoke"
+rm -rf "$SERVE_DIR" && mkdir -p "$SERVE_DIR"
+SOCK="$SERVE_DIR/arcsd.sock"
+TOOLS_BIN="$ROOT/plain/tools"
+"$TOOLS_BIN/arcsd" --socket "$SOCK" --history "$SERVE_DIR/arcsd.hist" \
+  --metrics-json "$SERVE_DIR/metrics.json" >"$SERVE_DIR/arcsd.log" 2>&1 &
+ARCSD_PID=$!
+trap 'kill "$ARCSD_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  [ -S "$SOCK" ] && "$TOOLS_BIN/arcs_client" ping "$SOCK" >/dev/null 2>&1 \
+    && break
+  sleep 0.1
+done
+"$TOOLS_BIN/arcs_client" ping "$SOCK"
+# A full search through the daemon, then the same key must be a cache hit.
+"$TOOLS_BIN/arcs_client" drive "$SOCK" SP testbox 40 B ci_region
+"$TOOLS_BIN/arcs_client" get "$SOCK" SP testbox 40 B ci_region \
+  | grep -q '"status": "hit"' \
+  || { echo "serve smoke: expected a cache hit"; exit 1; }
+"$TOOLS_BIN/arcs_client" shutdown "$SOCK"
+wait "$ARCSD_PID"
+trap - EXIT
+python3 - "$SERVE_DIR/metrics.json" "$SERVE_DIR/arcsd.hist" <<'PYEOF'
+import json, pathlib, sys
+
+metrics = json.loads(pathlib.Path(sys.argv[1]).read_text())
+assert metrics["proto"] == "arcs-serve/v1", metrics
+c = metrics["counters"]
+for key in ("requests", "hits", "misses", "joins", "reports",
+            "searches_started", "searches_completed"):
+    assert key in c, f"metrics missing counter {key}"
+assert c["searches_started"] == c["searches_completed"] == 1, c
+assert c["hits"] >= 1 and c["requests"] > c["reports"] > 0, c
+assert "p95_us" in metrics["latency"], metrics
+hist = pathlib.Path(sys.argv[2]).read_text()
+assert hist.startswith("#%arcs-history v2"), hist[:40]
+assert "#%count 1" in hist, hist
+print(f"serve smoke: ok ({int(c['requests'])} requests, "
+      f"{int(c['reports'])} evaluations, history saved)")
+PYEOF
+
+echo "=== serve bench smoke: BENCH_x13_serve.json ==="
+(cd "$SERVE_DIR" && ARCS_BENCH_FAST=1 "$ROOT/plain/bench/bench_x13_serve" \
+  --json >/dev/null)
+python3 - "$SERVE_DIR/BENCH_x13_serve.json" <<'PYEOF'
+import json, pathlib, sys
+
+r = json.loads(pathlib.Path(sys.argv[1]).read_text())
+assert r["schema"] == "arcs-bench-report/v1", r["schema"]
+series = {row["series"] for row in r["rows"]}
+assert {"serve_hit_throughput", "serve_search_dedup"} <= series, series
+dedup = [row for row in r["rows"] if row["series"] == "serve_search_dedup"]
+assert dedup[0]["searches_started"] == 1, dedup
+print("serve bench smoke: report valid, one shared search")
 PYEOF
 
 echo "CI: all modes green"

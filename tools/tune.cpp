@@ -17,8 +17,10 @@
 // tool bit-for-bit.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <string>
+#include <vector>
 
 #include "exec/experiment.hpp"
 #include "exec/pool.hpp"
@@ -60,6 +62,24 @@ std::future<ex::JobOutcome<kn::RunResult>> submit_run(
       std::move(job));
 }
 
+/// Writes `fresh` into the history file at `path`, merging over whatever
+/// the file already holds (fresh entries win on key collisions) — so one
+/// file can accumulate bests across apps, caps, and machines. The save
+/// itself is atomic (temp file + rename).
+void save_history_merged(const std::string& path,
+                         const arcs::HistoryStore& fresh) {
+  arcs::HistoryStore merged;
+  if (std::ifstream probe(path); probe.good()) {
+    merged = arcs::HistoryStore::load(path);
+    std::printf("merging over %zu existing entries in %s\n", merged.size(),
+                path.c_str());
+  }
+  merged.merge(fresh);
+  merged.save(path);
+  std::printf("history (%zu entries) written to %s\n", merged.size(),
+              path.c_str());
+}
+
 kn::RunResult take(std::future<ex::JobOutcome<kn::RunResult>>& future,
                    const char* what) {
   ex::JobOutcome<kn::RunResult> outcome = future.get();
@@ -77,21 +97,40 @@ kn::RunResult take(std::future<ex::JobOutcome<kn::RunResult>>& future,
 
 int main(int argc, char** argv) {
   using namespace arcs;
-  if (argc < 4) {
+  // `--history <path>` may appear anywhere; the remaining arguments are
+  // positional. (The trailing positional history file is kept working.)
+  std::string history_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--history") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--history needs a file path\n");
+        return 1;
+      }
+      history_path = argv[++i];
+      continue;
+    }
+    args.emplace_back(argv[i]);
+  }
+  if (args.size() < 3) {
     std::fprintf(stderr,
                  "usage: %s <search|replay|online|default> <app> "
-                 "<workload> [machine] [cap_w] [history_file]\n",
+                 "<workload> [machine] [cap_w] [--history <file>]\n"
+                 "  search/online with --history: merge this run's bests "
+                 "into the file (atomic replace)\n"
+                 "  replay with --history: load configurations from the "
+                 "file\n",
                  argv[0]);
     return 1;
   }
-  const std::string mode = argv[1];
+  const std::string mode = args[0];
 
   ex::ExperimentDesc desc;
-  desc.app = argv[2];
-  desc.workload = argv[3];
-  desc.machine = argc > 4 ? argv[4] : "crill";
-  desc.power_cap = argc > 5 ? std::atof(argv[5]) : 0.0;
-  const std::string history_path = argc > 6 ? argv[6] : "";
+  desc.app = args[1];
+  desc.workload = args[2];
+  desc.machine = args.size() > 3 ? args[3] : "crill";
+  desc.power_cap = args.size() > 4 ? std::atof(args[4].c_str()) : 0.0;
+  if (history_path.empty() && args.size() > 5) history_path = args[5];
 
   kn::AppSpec app;
   sim::MachineSpec machine;
@@ -158,16 +197,15 @@ int main(int argc, char** argv) {
   if (mode == "online") {
     print_result("online", run, machine.energy_counters);
     std::printf("\nspeedup %.2fx\n", baseline.elapsed / run.elapsed);
+    if (!history_path.empty())
+      save_history_merged(history_path, run.history);
     return 0;
   }
   if (mode == "search") {
     print_result("offline", run, machine.energy_counters);
     std::printf("\nspeedup %.2fx\n", baseline.elapsed / run.elapsed);
-    if (!history_path.empty()) {
-      run.history.save(history_path);
-      std::printf("history (%zu entries) written to %s\n",
-                  run.history.size(), history_path.c_str());
-    }
+    if (!history_path.empty())
+      save_history_merged(history_path, run.history);
     return 0;
   }
   // replay
