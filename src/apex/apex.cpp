@@ -1,6 +1,7 @@
 #include "apex/apex.hpp"
 
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace arcs::apex {
 
@@ -52,6 +53,15 @@ std::vector<std::string> Apex::counter_names() const {
   return names;
 }
 
+void Apex::publish_counters(telemetry::MetricsRegistry& registry) const {
+  for (const auto& [name, profile] : counters_) {
+    registry.gauge("apex/" + name).set(profile.last);
+    registry.gauge("apex/" + name + "/mean").set(profile.mean());
+    registry.gauge("apex/" + name + "/samples")
+        .set(static_cast<double>(profile.calls));
+  }
+}
+
 void Apex::on_parallel_begin(const ompt::ParallelBeginRecord& r) {
   LiveRegion live;
   live.name = r.region.name;
@@ -84,6 +94,24 @@ void Apex::on_parallel_end(const ompt::ParallelEndRecord& r) {
   }
 
   ++regions_observed_;
+
+  // Mirror the finished timer onto the trace as a virtual-time span —
+  // "the OMPT interface starts a timer upon entry ... stops upon exit",
+  // now visible on its own lane next to the raw somp spans.
+  telemetry::Tracer& tracer = telemetry::Tracer::instance();
+  if (tracer.enabled()) {
+    if (!trace_lane_claimed_) {
+      trace_lane_ = tracer.allocate_virtual_tracks(1);
+      tracer.name_track(telemetry::TimeDomain::Virtual, trace_lane_,
+                        "apex timers");
+      trace_lane_claimed_ = true;
+    }
+    tracer.complete(telemetry::Category::Apex,
+                    telemetry::TimeDomain::Virtual, "timer:" + live.name,
+                    trace_lane_, live.start_time, duration, 0, 0, 0,
+                    r.parallel_id);
+  }
+
   const TimerEvent stop{live.name, r.parallel_id, r.time, duration};
   live_.erase(it);
   policies_.fire_stop(stop);

@@ -22,6 +22,7 @@
 #include "apex/profile.hpp"
 #include "ompt/ompt.hpp"
 #include "somp/runtime.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace arcs::apex {
 
@@ -59,6 +60,11 @@ class Apex {
   /// Number of region instances observed.
   std::uint64_t regions_observed() const { return regions_observed_; }
 
+  /// Mirrors every user counter's latest statistics into named telemetry
+  /// gauges ("apex/<counter>", mean over samples so far) — the bridge
+  /// that absorbs apex counters into the shared metrics registry.
+  void publish_counters(telemetry::MetricsRegistry& registry) const;
+
   somp::Runtime& runtime() { return runtime_; }
 
  private:
@@ -77,6 +83,11 @@ class Apex {
   std::map<std::string, Profile, std::less<>> counters_;
   PolicyEngine policies_;
   std::uint64_t regions_observed_ = 0;
+
+  /// Telemetry lane for this instance's timer spans (claimed lazily on
+  /// the first region traced).
+  std::uint32_t trace_lane_ = 0;
+  bool trace_lane_claimed_ = false;
 
   /// In-flight region state (one per live parallel id).
   struct LiveRegion {

@@ -71,4 +71,13 @@ void write_counter_report(const Apex& apex, std::ostream& os) {
   table.print(os);
 }
 
+void write_trace_status(const TraceBuffer& trace, std::ostream& os) {
+  os << "APEX trace: " << trace.size() << " events retained (capacity "
+     << trace.capacity() << "), " << trace.dropped_events()
+     << " dropped by ring overflow";
+  if (trace.dropped_events() > 0)
+    os << " — timeline is TRUNCATED; oldest events were overwritten";
+  os << "\n";
+}
+
 }  // namespace arcs::apex

@@ -6,6 +6,7 @@
 #include <iosfwd>
 
 #include "apex/apex.hpp"
+#include "apex/trace.hpp"
 
 namespace arcs::apex {
 
@@ -24,5 +25,10 @@ void write_profile_report(const Apex& apex, std::ostream& os,
 
 /// Writes the user-counter statistics table (alphabetical).
 void write_counter_report(const Apex& apex, std::ostream& os);
+
+/// Writes one line of trace-buffer health: retained events, ring
+/// capacity, and how many events overflow discarded — so a truncated
+/// timeline is never mistaken for a complete one.
+void write_trace_status(const TraceBuffer& trace, std::ostream& os);
 
 }  // namespace arcs::apex

@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 
 namespace arcs::apex {
 
@@ -61,10 +62,16 @@ TraceBuffer::~TraceBuffer() { runtime_.tools().unregister_tool(handle_); }
 void TraceBuffer::push(TraceEvent event) {
   ring_[head_] = std::move(event);
   head_ = (head_ + 1) % ring_.size();
-  if (count_ < ring_.size())
+  if (count_ < ring_.size()) {
     ++count_;
-  else
+  } else {
+    if (dropped_ == 0)
+      common::log_warn()
+          << "apex: trace ring full (capacity " << ring_.size()
+          << " events), overwriting oldest; pass a larger capacity to "
+          << "TraceBuffer to keep the full timeline";
     ++dropped_;
+  }
 }
 
 std::vector<TraceEvent> TraceBuffer::events() const {

@@ -51,7 +51,12 @@ class TraceBuffer {
   std::vector<TraceEvent> events() const;
 
   std::size_t size() const { return count_; }
+  /// Events lost to ring overflow (oldest are overwritten). A one-line
+  /// warning is logged on the first drop; write_trace_status() surfaces
+  /// the total in reports.
   std::size_t dropped_events() const { return dropped_; }
+  /// Ring capacity in events (the ctor argument).
+  std::size_t capacity() const { return ring_.size(); }
   void clear();
 
   /// CSV: kind,parallel_id,region,thread,time

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace arcs {
 
@@ -129,7 +130,38 @@ HistoryKey ArcsPolicy::key_for(const std::string& region) const {
   return key;
 }
 
+std::uint32_t ArcsPolicy::trace_lane() {
+  if (!trace_lane_claimed_) {
+    telemetry::Tracer& tracer = telemetry::Tracer::instance();
+    trace_lane_ = tracer.allocate_virtual_tracks(1);
+    tracer.name_track(telemetry::TimeDomain::Virtual, trace_lane_,
+                      "arcs policy");
+    trace_lane_claimed_ = true;
+  }
+  return trace_lane_;
+}
+
 std::optional<somp::LoopConfig> ArcsPolicy::provide(
+    const ompt::RegionIdentifier& id) {
+  std::optional<somp::LoopConfig> config = provide_impl(id);
+  // Mark configuration switches on the timeline: an instant whenever the
+  // config handed to the runtime differs from the previous one for this
+  // region. Pure observation — the decision above is already made.
+  telemetry::Tracer& tracer = telemetry::Tracer::instance();
+  if (tracer.enabled() && config) {
+    RegionState& state = regions_[key_now(id.name)];
+    if (!state.last_provided || !(*state.last_provided == *config)) {
+      state.last_provided = *config;
+      tracer.instant(telemetry::Category::Harmony,
+                     telemetry::TimeDomain::Virtual,
+                     "config_switch:" + id.name, trace_lane(),
+                     runtime_.machine().now(), id.codeptr);
+    }
+  }
+  return config;
+}
+
+std::optional<somp::LoopConfig> ArcsPolicy::provide_impl(
     const ompt::RegionIdentifier& id) {
   RegionState& state = regions_[key_now(id.name)];
 
@@ -245,6 +277,18 @@ void ArcsPolicy::on_timer_stop(const apex::TimerEvent& event) {
 
   if (!state.pending) return;
   state.pending = false;
+
+  // One search iteration just finished measuring: the region ran under a
+  // proposed configuration from entry to timer stop. Span it in virtual
+  // time so the search's probing phase is visible on the timeline.
+  telemetry::Tracer& tracer = telemetry::Tracer::instance();
+  if (tracer.enabled())
+    tracer.complete(telemetry::Category::Harmony,
+                    telemetry::TimeDomain::Virtual, "search:" + event.task,
+                    trace_lane(), event.timestamp - event.duration,
+                    event.duration, 0, 0, 0, event.instance,
+                    state.remote_ticket);
+
   if (options_.strategy == TuningStrategy::Remote) {
     ++state.remote_evaluations;
     options_.remote->report(key_for(event.task), state.remote_ticket,

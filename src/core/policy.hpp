@@ -159,6 +159,8 @@ class ArcsPolicy {
     std::optional<somp::LoopConfig> remote_config;
     std::uint64_t remote_ticket = 0;
     std::size_t remote_evaluations = 0;
+    // Telemetry: last config handed to the runtime, to detect switches.
+    std::optional<somp::LoopConfig> last_provided;
   };
 
   /// Tuning state is per (region, power cap): a cap change mid-run gets
@@ -168,6 +170,10 @@ class ArcsPolicy {
   long cap_key_now() const;
 
   std::optional<somp::LoopConfig> provide(const ompt::RegionIdentifier& id);
+  std::optional<somp::LoopConfig> provide_impl(
+      const ompt::RegionIdentifier& id);
+  /// Claims (once) and returns this policy's virtual-time telemetry lane.
+  std::uint32_t trace_lane();
   std::optional<HistoryEntry> nearest_cap_entry(
       const std::string& region) const;
   void on_timer_stop(const apex::TimerEvent& event);
@@ -183,6 +189,8 @@ class ArcsPolicy {
   std::map<StateKey, RegionState> regions_;
   harmony::SearchSpace space_;
   std::uint64_t session_seed_ = 0;
+  std::uint32_t trace_lane_ = 0;
+  bool trace_lane_claimed_ = false;
 };
 
 }  // namespace arcs

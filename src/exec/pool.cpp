@@ -116,6 +116,8 @@ PoolStats ExperimentPool::stats() const {
 }
 
 void ExperimentPool::worker_main(std::size_t wid) {
+  telemetry::Tracer::instance().name_host_thread(
+      "exec worker " + std::to_string(wid));
   for (;;) {
     std::optional<detail::Task> task = next_task(wid);
     if (!task) return;

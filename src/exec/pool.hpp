@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "exec/queue.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace arcs::exec {
 
@@ -174,6 +175,11 @@ class ExperimentPool {
         outcome.status = JobStatus::Cancelled;
       } else {
         pool.begin_job(state);
+        // The job's host-time span; nested work (client RPCs, traced
+        // runtimes) inherits it as the causal parent on this thread.
+        const telemetry::ScopedSpan span(
+            telemetry::Category::Exec,
+            state->label.empty() ? std::string("job") : state->label);
         try {
           JobContext ctx(*state);
           outcome.value = fn(ctx);

@@ -148,6 +148,7 @@ RunResult run_app(const AppSpec& app, const sim::MachineSpec& machine_spec,
     } else {
       sim::Machine machine = make_machine(machine_spec, options.power_cap);
       somp::Runtime runtime{machine};
+      if (options.runtime_hook) options.runtime_hook(runtime);
       apex::Apex apex{runtime};
       ArcsPolicy policy{
           apex, runtime,
@@ -201,6 +202,7 @@ RunResult run_app(const AppSpec& app, const sim::MachineSpec& machine_spec,
       machine.advance_idle(kCapSettleIdle);
     }
     somp::Runtime runtime{machine};
+    if (options.runtime_hook) options.runtime_hook(runtime);
     std::unique_ptr<apex::Apex> apex;
     std::unique_ptr<ArcsPolicy> policy;
     if (options.strategy != TuningStrategy::Default) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -116,6 +117,13 @@ struct RunOptions {
   /// how the experiment pool enforces wall-clock timeouts and
   /// cancellation without being able to kill a worker thread.
   const std::atomic<bool>* stop = nullptr;
+  /// Called after each somp::Runtime this run constructs (the offline
+  /// search runtime and every measured repetition's). Tooling uses it to
+  /// attach Observer-kind OMPT tools — e.g. telemetry::attach_tracing —
+  /// without run_app knowing about them. Must not perturb the run:
+  /// Observer tools charge no instrumentation time, so results stay
+  /// bit-identical with and without a hook (telemetry_test asserts this).
+  std::function<void(somp::Runtime&)> runtime_hook;
 };
 
 /// Runs the full protocol for one (app, machine, options) combination.

@@ -1,12 +1,17 @@
 #include "serve/client.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace arcs::serve {
 
 RemoteDecision Client::decide(const HistoryKey& key, double timeout_ms) {
+  const telemetry::ScopedSpan span(telemetry::Category::Client,
+                                   "client/decide");
   Request request;
   request.op = Op::Get;
   request.key = key;
   request.wait_ms = timeout_ms;
+  request.ctx = span.context();
   const Response response = call(request);
   RemoteDecision decision;
   switch (response.status) {
@@ -34,11 +39,14 @@ RemoteDecision Client::decide(const HistoryKey& key, double timeout_ms) {
 
 void Client::report(const HistoryKey& key, std::uint64_t ticket,
                     double value) {
+  const telemetry::ScopedSpan span(telemetry::Category::Client,
+                                   "client/report", {}, 0, ticket);
   Request request;
   request.op = Op::Report;
   request.key = key;
   request.ticket = ticket;
   request.value = value;
+  request.ctx = span.context();
   call(request);  // Ok either way: stale reports are dropped server-side
 }
 

@@ -178,11 +178,21 @@ common::Json to_json(const Request& request) {
       j.set("value", request.value);
       j.set("evaluations", request.evaluations);
       break;
-    case Op::Ping:
     case Op::Metrics:
+      if (!request.format.empty()) j.set("format", request.format);
+      break;
+    case Op::Ping:
     case Op::Save:
     case Op::Shutdown:
       break;
+  }
+  // Tracing context rides along only when the caller has one; peers that
+  // predate it never see the field, peers that lack it leave it unset.
+  if (request.ctx.valid()) {
+    common::Json ctx = common::Json::object();
+    ctx.set("trace", request.ctx.trace_id);
+    ctx.set("parent", request.ctx.parent_id);
+    j.set("ctx", std::move(ctx));
   }
   return j;
 }
@@ -210,11 +220,23 @@ Request request_from_json(const common::Json& json) {
       request.evaluations =
           static_cast<std::uint64_t>(require_number(json, "evaluations"));
       break;
-    case Op::Ping:
     case Op::Metrics:
+      if (const common::Json* format = json.find("format")) {
+        ARCS_CHECK_MSG(format->is_string(),
+                       "serve message field is not a string: format");
+        request.format = format->as_string();
+      }
+      break;
+    case Op::Ping:
     case Op::Save:
     case Op::Shutdown:
       break;
+  }
+  if (const common::Json* ctx = json.find("ctx")) {
+    request.ctx.trace_id =
+        static_cast<std::uint64_t>(require_number(*ctx, "trace"));
+    request.ctx.parent_id =
+        static_cast<std::uint64_t>(require_number(*ctx, "parent"));
   }
   return request;
 }

@@ -20,6 +20,7 @@
 
 #include "common/json.hpp"
 #include "core/history.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace arcs::serve {
 
@@ -51,6 +52,12 @@ struct Request {
   double wait_ms = 0.0;         ///< Get: block up to this long on an
                                 ///< in-flight search (0 = never block)
   std::uint64_t evaluations = 0;  ///< Put: evaluations behind the decision
+  std::string format;           ///< Metrics: "" = JSON, "prom" = Prometheus
+                                ///< text exposition
+  /// Distributed-tracing context of the caller's span. Encoded only when
+  /// valid; decoders treat it as optional, so contextless (older) peers
+  /// interoperate unchanged in both directions.
+  telemetry::SpanContext ctx;
 };
 
 enum class Status {

@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "sim/presets.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace arcs::serve {
 
@@ -68,6 +69,12 @@ Response TuningServer::handle(const Request& request) {
   // serialization point of an otherwise shard-parallel hit path.
   const bool sample_latency = (index & 0xff) == 0;
   const auto start = sample_latency ? Clock::now() : Clock::time_point{};
+  // The request's span, causally linked to the caller's span when the
+  // frame carried a SpanContext (contextless peers start a new trace).
+  const telemetry::ScopedSpan span(
+      telemetry::Category::Serve,
+      "serve/" + std::string(to_string(request.op)), request.ctx, 0,
+      request.ticket);
   Response response;
   try {
     switch (request.op) {
@@ -85,7 +92,10 @@ Response TuningServer::handle(const Request& request) {
         break;
       case Op::Metrics:
         response.status = Status::Ok;
-        response.metrics = metrics_json();
+        if (request.format == "prom")
+          response.metrics = prometheus_text();
+        else
+          response.metrics = metrics_json();
         break;
       case Op::Save:
         response = handle_save();
@@ -101,9 +111,12 @@ Response TuningServer::handle(const Request& request) {
     response.status = Status::Error;
     response.error = e.what();
   }
-  if (sample_latency)
-    record_latency(
-        std::chrono::duration<double>(Clock::now() - start).count());
+  if (sample_latency) {
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    record_latency(seconds);
+    metrics_.latency.observe(seconds);
+  }
   return response;
 }
 
@@ -113,6 +126,7 @@ Response TuningServer::handle_get(const Request& request) {
   // Fast path: finished decisions never need the sessions lock.
   if (const auto hit = cache_.get(request.key)) {
     metrics_.hits.add();
+    sample_cache_hit_rate();
     response.status = Status::Hit;
     response.config = hit->config;
     return response;
@@ -131,6 +145,7 @@ Response TuningServer::handle_get(const Request& request) {
     // fast path (or our cv wake-up) and here.
     if (const auto hit = cache_.get(request.key)) {
       metrics_.hits.add();
+      sample_cache_hit_rate();
       response.status = Status::Hit;
       response.config = hit->config;
       return response;
@@ -141,7 +156,7 @@ Response TuningServer::handle_get(const Request& request) {
       // This client becomes the key's driver — unless admission says no.
       if (options_.max_inflight > 0 &&
           sessions_.size() >= options_.max_inflight) {
-        metrics_.overloaded.fetch_add(1, std::memory_order_relaxed);
+        metrics_.overloaded.add();
         response.status = Status::Overloaded;
         return response;
       }
@@ -155,18 +170,22 @@ Response TuningServer::handle_get(const Request& request) {
       session_opts.memoize =
           options_.method != harmony::StrategyKind::Exhaustive;
       auto inflight = std::make_unique<InFlight>();
-      inflight->session = std::make_unique<harmony::Session>(
-          space, harmony::make_strategy(options_.method, search),
-          session_opts);
-      inflight->proposal = inflight->session->next_values();
+      {
+        const telemetry::ScopedSpan propose(telemetry::Category::Harmony,
+                                            "harmony/propose");
+        inflight->session = std::make_unique<harmony::Session>(
+            space, harmony::make_strategy(options_.method, search),
+            session_opts);
+        inflight->proposal = inflight->session->next_values();
+      }
       inflight->outstanding = true;
       inflight->ticket = next_ticket_++;
       response.status = Status::Evaluate;
       response.config = config_from_values(inflight->proposal);
       response.ticket = inflight->ticket;
       sessions_.emplace(request.key, std::move(inflight));
-      metrics_.misses.fetch_add(1, std::memory_order_relaxed);
-      metrics_.searches_started.fetch_add(1, std::memory_order_relaxed);
+      metrics_.misses.add();
+      metrics_.searches_started.add();
       return response;
     }
 
@@ -182,8 +201,7 @@ Response TuningServer::handle_get(const Request& request) {
         decision.evaluations = inflight.evaluations;
         cache_.put(request.key, decision);
         sessions_.erase(it);
-        metrics_.searches_completed.fetch_add(1,
-                                              std::memory_order_relaxed);
+        metrics_.searches_completed.add();
         metrics_.hits.add();
         lock.unlock();
         sessions_cv_.notify_all();
@@ -192,10 +210,14 @@ Response TuningServer::handle_get(const Request& request) {
         return response;
       }
       // Join the in-flight search as its next evaluation worker.
-      inflight.proposal = inflight.session->next_values();
+      {
+        const telemetry::ScopedSpan propose(telemetry::Category::Harmony,
+                                            "harmony/propose");
+        inflight.proposal = inflight.session->next_values();
+      }
       inflight.outstanding = true;
       inflight.ticket = next_ticket_++;
-      metrics_.joins.fetch_add(1, std::memory_order_relaxed);
+      metrics_.joins.add();
       response.status = Status::Evaluate;
       response.config = config_from_values(inflight.proposal);
       response.ticket = inflight.ticket;
@@ -204,12 +226,12 @@ Response TuningServer::handle_get(const Request& request) {
 
     // A proposal is out with another client.
     if (!can_wait) {
-      metrics_.pending_replies.fetch_add(1, std::memory_order_relaxed);
+      metrics_.pending_replies.add();
       response.status = Status::Pending;
       return response;
     }
     if (!counted_wait) {
-      metrics_.waits.fetch_add(1, std::memory_order_relaxed);
+      metrics_.waits.add();
       counted_wait = true;
     }
     waiting_now_.fetch_add(1, std::memory_order_relaxed);
@@ -217,7 +239,7 @@ Response TuningServer::handle_get(const Request& request) {
         sessions_cv_.wait_until(lock, deadline);
     waiting_now_.fetch_sub(1, std::memory_order_relaxed);
     if (wait_status == std::cv_status::timeout) {
-      metrics_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      metrics_.timeouts.add();
       response.status = Status::Timeout;
       return response;
     }
@@ -232,15 +254,20 @@ Response TuningServer::handle_report(const Request& request) {
       it->second->ticket != request.ticket) {
     // The search finished (or was restarted) while this measurement ran;
     // drop it — reports are idempotent from the client's point of view.
-    metrics_.stale_reports.fetch_add(1, std::memory_order_relaxed);
+    metrics_.stale_reports.add();
     response.status = Status::Ok;
     return response;
   }
   InFlight& inflight = *it->second;
-  inflight.session->report(request.value);
+  {
+    const telemetry::ScopedSpan report(telemetry::Category::Harmony,
+                                       "harmony/report", {}, 0,
+                                       request.ticket);
+    inflight.session->report(request.value);
+  }
   inflight.outstanding = false;
   ++inflight.evaluations;
-  metrics_.reports.fetch_add(1, std::memory_order_relaxed);
+  metrics_.reports.add();
   if (inflight.session->converged()) {
     CachedDecision decision;
     decision.config = config_from_values(inflight.session->best_values());
@@ -251,7 +278,7 @@ Response TuningServer::handle_report(const Request& request) {
     // result, never neither (which would start a duplicate search).
     cache_.put(request.key, decision);
     sessions_.erase(it);
-    metrics_.searches_completed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.searches_completed.add();
   }
   lock.unlock();
   sessions_cv_.notify_all();
@@ -271,7 +298,7 @@ Response TuningServer::handle_put(const Request& request) {
     cache_.put(request.key, decision);
   }
   sessions_cv_.notify_all();
-  metrics_.puts.fetch_add(1, std::memory_order_relaxed);
+  metrics_.puts.add();
   Response response;
   response.status = Status::Ok;
   return response;
@@ -287,6 +314,18 @@ Response TuningServer::handle_save() {
   cache_.snapshot().save(options_.history_path);
   response.status = Status::Ok;
   return response;
+}
+
+void TuningServer::sample_cache_hit_rate() const {
+  telemetry::Tracer& tracer = telemetry::Tracer::instance();
+  if (!tracer.enabled()) return;
+  const double hits = static_cast<double>(metrics_.hits.load());
+  const double misses = static_cast<double>(metrics_.misses.load());
+  const double lookups = hits + misses;
+  if (lookups <= 0) return;
+  tracer.counter(telemetry::Category::Serve, telemetry::TimeDomain::Host,
+                 "serve_cache_hit_rate", tracer.host_track(), tracer.now(),
+                 hits / lookups);
 }
 
 void TuningServer::record_latency(double seconds) {
@@ -333,6 +372,18 @@ common::Json TuningServer::metrics_json() const {
   latency.set("p95_us", percentile(scratch, 0.95) * 1e6);
   j.set("latency", latency);
   return j;
+}
+
+std::string TuningServer::prometheus_text() const {
+  // Gauges are point-in-time: refresh them in the registry at scrape
+  // time so the exposition matches metrics_json()'s values.
+  registry_.gauge("serve/inflight").set(static_cast<double>(inflight()));
+  registry_.gauge("serve/waiting_now")
+      .set(static_cast<double>(waiting_now()));
+  registry_.gauge("serve/cache_size").set(static_cast<double>(cache_.size()));
+  registry_.gauge("serve/cache_evictions")
+      .set(static_cast<double>(cache_.evictions()));
+  return registry_.prometheus_text();
 }
 
 void TuningServer::publish_metrics(apex::Apex& apex) const {

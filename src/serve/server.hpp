@@ -46,6 +46,7 @@
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
 #include "sim/machine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace arcs::serve {
 
@@ -70,56 +71,45 @@ struct ServerOptions {
   std::vector<sim::MachineSpec> machines;
 };
 
-/// A monotonic counter striped across cache lines: concurrent add()ers
-/// land on per-thread slots instead of ping-ponging one line between
-/// cores — the difference between a hit path that scales with clients
-/// and one serialized on its own bookkeeping. load() sums the slots
-/// (monotone, but not a point-in-time snapshot across threads).
-class StripedCounter {
- public:
-  /// Adds 1; returns this slot's previous count (for cheap sampling).
-  std::uint64_t add() {
-    return slots_[slot_index()].value.fetch_add(
-        1, std::memory_order_relaxed);
-  }
-  std::uint64_t load() const {
-    std::uint64_t sum = 0;
-    for (const Slot& slot : slots_)
-      sum += slot.value.load(std::memory_order_relaxed);
-    return sum;
-  }
-
- private:
-  static constexpr std::size_t kSlots = 16;
-  struct alignas(64) Slot {
-    std::atomic<std::uint64_t> value{0};
-  };
-  static std::size_t slot_index() {
-    static std::atomic<std::size_t> next{0};
-    thread_local const std::size_t index =
-        next.fetch_add(1, std::memory_order_relaxed) % kSlots;
-    return index;
-  }
-  Slot slots_[kSlots];
-};
-
-/// Monotonic counters + a latency reservoir, all safe under concurrency.
-/// The two hit-path counters are striped; the rest fire at most once per
-/// search step and stay plain atomics.
+/// The server's named instruments, registered in a telemetry
+/// MetricsRegistry (one per server) and exposed as references so call
+/// sites read like plain fields. All counters are the striped
+/// telemetry::Counter — concurrent add()ers land on per-thread slots, so
+/// the hit path scales with clients instead of serializing on its own
+/// bookkeeping. The registry behind them renders the same instruments as
+/// Prometheus text and JSON snapshots (arcsd `metrics` op,
+/// --metrics-interval).
 struct ServerMetrics {
-  StripedCounter hits;
-  std::atomic<std::uint64_t> misses{0};          ///< searches this Get started
-  std::atomic<std::uint64_t> joins{0};           ///< Evaluate from an existing search
-  std::atomic<std::uint64_t> pending_replies{0};
-  std::atomic<std::uint64_t> waits{0};           ///< Gets that blocked on a cv
-  std::atomic<std::uint64_t> timeouts{0};
-  std::atomic<std::uint64_t> overloaded{0};
-  std::atomic<std::uint64_t> reports{0};
-  std::atomic<std::uint64_t> stale_reports{0};
-  std::atomic<std::uint64_t> puts{0};
-  std::atomic<std::uint64_t> searches_started{0};
-  std::atomic<std::uint64_t> searches_completed{0};
-  StripedCounter requests;
+  explicit ServerMetrics(telemetry::MetricsRegistry& registry)
+      : hits(registry.counter("serve/hits")),
+        misses(registry.counter("serve/misses")),
+        joins(registry.counter("serve/joins")),
+        pending_replies(registry.counter("serve/pending_replies")),
+        waits(registry.counter("serve/waits")),
+        timeouts(registry.counter("serve/timeouts")),
+        overloaded(registry.counter("serve/overloaded")),
+        reports(registry.counter("serve/reports")),
+        stale_reports(registry.counter("serve/stale_reports")),
+        puts(registry.counter("serve/puts")),
+        searches_started(registry.counter("serve/searches_started")),
+        searches_completed(registry.counter("serve/searches_completed")),
+        requests(registry.counter("serve/requests")),
+        latency(registry.histogram("serve/request_seconds")) {}
+
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;    ///< searches this Get started
+  telemetry::Counter& joins;     ///< Evaluate from an existing search
+  telemetry::Counter& pending_replies;
+  telemetry::Counter& waits;     ///< Gets that blocked on a cv
+  telemetry::Counter& timeouts;
+  telemetry::Counter& overloaded;
+  telemetry::Counter& reports;
+  telemetry::Counter& stale_reports;
+  telemetry::Counter& puts;
+  telemetry::Counter& searches_started;
+  telemetry::Counter& searches_completed;
+  telemetry::Counter& requests;
+  telemetry::Histogram& latency;  ///< sampled request latency (seconds)
 };
 
 class TuningServer {
@@ -148,6 +138,11 @@ class TuningServer {
 
   /// Counters, gauges, and latency percentiles as one JSON object.
   common::Json metrics_json() const;
+  /// Prometheus text exposition of the server's instruments (gauges
+  /// refreshed first). The `metrics` op serves this for format="prom".
+  std::string prometheus_text() const;
+  /// The registry all server instruments live in.
+  telemetry::MetricsRegistry& registry() const { return registry_; }
   /// Mirrors the counters into APEX user counters ("serve/hits", ...).
   void publish_metrics(apex::Apex& apex) const;
 
@@ -170,10 +165,14 @@ class TuningServer {
   const harmony::SearchSpace& space_for(const std::string& machine);
 
   void record_latency(double seconds);
+  /// Emits a "serve_cache_hit_rate" counter sample onto the trace (no-op
+  /// when tracing is off).
+  void sample_cache_hit_rate() const;
 
   ServerOptions options_;
   DecisionCache cache_;
-  ServerMetrics metrics_;
+  mutable telemetry::MetricsRegistry registry_;  ///< declared before metrics_
+  ServerMetrics metrics_{registry_};
 
   std::map<std::string, sim::MachineSpec> machines_;
   std::mutex spaces_mu_;

@@ -10,6 +10,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace arcs::serve {
 
@@ -50,7 +51,7 @@ SocketServer::SocketServer(TuningServer& server, std::string path,
   const std::size_t workers = std::max<std::size_t>(1, options_.workers);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -105,7 +106,9 @@ void SocketServer::reader_loop(std::shared_ptr<Connection> conn) {
   }
 }
 
-void SocketServer::worker_loop() {
+void SocketServer::worker_loop(std::size_t index) {
+  telemetry::Tracer::instance().name_host_thread(
+      "serve worker " + std::to_string(index));
   for (;;) {
     auto work = queue_.pop();
     if (!work) return;  // queue closed and drained

@@ -69,7 +69,7 @@ class SocketServer {
 
   void accept_loop();
   void reader_loop(std::shared_ptr<Connection> conn);
-  void worker_loop();
+  void worker_loop(std::size_t index);
   void send_response(Connection& conn, const Response& response);
 
   TuningServer& server_;

@@ -1,0 +1,171 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/log.hpp"
+
+namespace arcs::telemetry {
+
+namespace {
+
+constexpr int kVirtualPid = 1;
+constexpr int kHostPid = 2;
+
+int pid_for(TimeDomain domain) {
+  return domain == TimeDomain::Virtual ? kVirtualPid : kHostPid;
+}
+
+double to_micros(double seconds) { return seconds * 1e6; }
+
+common::Json metadata_event(const std::string& name, int pid, int tid,
+                            const std::string& value) {
+  common::Json e = common::Json::object();
+  e.set("ph", "M");
+  e.set("pid", pid);
+  e.set("tid", tid);
+  e.set("name", name);
+  common::Json args = common::Json::object();
+  args.set("name", value);
+  e.set("args", std::move(args));
+  return e;
+}
+
+common::Json trace_event(const Event& event) {
+  common::Json e = common::Json::object();
+  switch (event.phase) {
+    case Phase::Complete:
+      e.set("ph", "X");
+      break;
+    case Phase::Counter:
+      e.set("ph", "C");
+      break;
+    case Phase::Instant:
+      e.set("ph", "i");
+      break;
+  }
+  e.set("pid", pid_for(event.domain));
+  e.set("tid", event.track);
+  e.set("ts", to_micros(event.ts));
+  e.set("name", std::string(event.name));
+  e.set("cat", std::string(to_string(event.category)));
+  if (event.phase == Phase::Complete)
+    e.set("dur", to_micros(event.dur));
+  if (event.phase == Phase::Instant) e.set("s", "t");
+  common::Json args = common::Json::object();
+  if (event.phase == Phase::Counter) {
+    args.set("value", event.value);
+  } else {
+    if (event.id != 0) args.set("span", event.id);
+    if (event.trace != 0) args.set("trace", event.trace);
+    if (event.parent != 0) args.set("parent", event.parent);
+    if (event.arg0 != 0) args.set("arg0", event.arg0);
+    if (event.arg1 != 0) args.set("arg1", event.arg1);
+  }
+  if (args.size() > 0) e.set("args", std::move(args));
+  return e;
+}
+
+}  // namespace
+
+common::Json chrome_trace_json(
+    const std::vector<Event>& events,
+    const std::map<std::pair<int, std::uint32_t>, std::string>& track_names,
+    std::uint64_t dropped) {
+  // Stable presentation order: group by pid, then tid, then timestamp;
+  // seq breaks ties so the document is a pure function of the events.
+  std::vector<const Event*> ordered;
+  ordered.reserve(events.size());
+  for (const Event& e : events) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) {
+                     const int pa = pid_for(a->domain);
+                     const int pb = pid_for(b->domain);
+                     if (pa != pb) return pa < pb;
+                     if (a->track != b->track) return a->track < b->track;
+                     if (a->ts != b->ts) return a->ts < b->ts;
+                     return a->seq < b->seq;
+                   });
+
+  common::Json trace_events = common::Json::array();
+  trace_events.push_back(
+      metadata_event("process_name", kVirtualPid, 0, "arcs virtual time"));
+  trace_events.push_back(
+      metadata_event("process_name", kHostPid, 0, "arcs host time"));
+  for (const auto& [key, name] : track_names) {
+    const int pid =
+        key.first == static_cast<int>(TimeDomain::Virtual) ? kVirtualPid
+                                                           : kHostPid;
+    trace_events.push_back(metadata_event("thread_name", pid,
+                                          static_cast<int>(key.second),
+                                          name));
+  }
+  for (const Event* e : ordered) trace_events.push_back(trace_event(*e));
+
+  common::Json root = common::Json::object();
+  root.set("displayTimeUnit", "ms");
+  common::Json other = common::Json::object();
+  other.set("schema", std::string(kTraceSchema));
+  other.set("dropped_events", dropped);
+  root.set("otherData", std::move(other));
+  root.set("traceEvents", std::move(trace_events));
+  return root;
+}
+
+common::Json drain_chrome_trace(Tracer& tracer) {
+  const std::vector<Event> events = tracer.drain();
+  return chrome_trace_json(events, tracer.track_names(), tracer.dropped());
+}
+
+bool write_chrome_trace(const std::string& path, Tracer& tracer) {
+  const common::Json doc = drain_chrome_trace(tracer);
+  std::ofstream out(path);
+  if (!out) {
+    common::log_error() << "telemetry: cannot open trace file " << path;
+    return false;
+  }
+  out << doc.dump(1) << "\n";
+  if (!out) {
+    common::log_error() << "telemetry: short write to trace file " << path;
+    return false;
+  }
+  return true;
+}
+
+common::Json merge_chrome_traces(const std::vector<common::Json>& traces) {
+  common::Json merged_events = common::Json::array();
+  std::uint64_t dropped = 0;
+  // Deduplicate metadata by (ph, pid, tid, name-arg) so merged traces
+  // don't repeat process/thread names per input.
+  std::vector<std::string> seen_metadata;
+  for (const common::Json& trace : traces) {
+    if (const common::Json* other = trace.find("otherData")) {
+      if (const common::Json* d = other->find("dropped_events"))
+        dropped += static_cast<std::uint64_t>(d->as_number());
+    }
+    const common::Json* events = trace.find("traceEvents");
+    if (events == nullptr || !events->is_array()) continue;
+    for (const common::Json& event : events->items()) {
+      const common::Json* ph = event.find("ph");
+      if (ph != nullptr && ph->is_string() && ph->as_string() == "M") {
+        const std::string key = event.dump(0);
+        if (std::find(seen_metadata.begin(), seen_metadata.end(), key) !=
+            seen_metadata.end())
+          continue;
+        seen_metadata.push_back(key);
+      }
+      merged_events.push_back(event);
+    }
+  }
+  common::Json root = common::Json::object();
+  root.set("displayTimeUnit", "ms");
+  common::Json other = common::Json::object();
+  other.set("schema", std::string(kTraceSchema));
+  other.set("dropped_events", dropped);
+  other.set("merged_from", traces.size());
+  root.set("otherData", std::move(other));
+  root.set("traceEvents", std::move(merged_events));
+  return root;
+}
+
+}  // namespace arcs::telemetry

@@ -1,0 +1,54 @@
+// Chrome Trace Event Format export (Perfetto-loadable).
+//
+// Drained telemetry events become one JSON document in the Trace Event
+// Format ("JSON Object Format" flavor): {"traceEvents": [...], ...}.
+// Open the file at https://ui.perfetto.dev or chrome://tracing.
+//
+// Mapping:
+//  * TimeDomain::Virtual → pid 1 ("arcs virtual time"), TimeDomain::Host
+//    → pid 2 ("arcs host time"); the two clocks never share a lane, so
+//    virtual seconds are not misread as wall time.
+//  * Event::track → tid within its pid; track names become thread_name
+//    metadata ("M" events).
+//  * Phase::Complete → "X" with ts/dur in microseconds; Phase::Counter
+//    → "C"; Phase::Instant → "i" (scope "t").
+//  * Span/trace/parent ids and layer args ride in each event's "args" so
+//    cross-process causality (SpanContext) survives into the trace.
+//
+// Export is deterministic: events are ordered by (pid, tid, ts, seq) and
+// written through common::Json (stable key order), so identical runs
+// produce byte-identical files — asserted by tests/telemetry_test.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace arcs::telemetry {
+
+inline constexpr std::string_view kTraceSchema = "arcs-trace/v1";
+
+/// Builds the full trace document. `track_names` come from
+/// Tracer::track_names(); `dropped` from Tracer::dropped().
+common::Json chrome_trace_json(
+    const std::vector<Event>& events,
+    const std::map<std::pair<int, std::uint32_t>, std::string>& track_names,
+    std::uint64_t dropped);
+
+/// Convenience: drains the process Tracer and builds the document.
+common::Json drain_chrome_trace(Tracer& tracer = Tracer::instance());
+
+/// Drains the Tracer and writes the document to `path` (pretty-printed).
+/// Returns false (and logs) on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        Tracer& tracer = Tracer::instance());
+
+/// Merges parsed trace documents into one (concatenated traceEvents,
+/// merged process/thread metadata, summed dropped_events). Inputs must
+/// be chrome_trace_json() documents; pids are kept as-is because all
+/// producers share the virtual/host pid convention.
+common::Json merge_chrome_traces(const std::vector<common::Json>& traces);
+
+}  // namespace arcs::telemetry

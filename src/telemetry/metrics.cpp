@@ -1,0 +1,166 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace arcs::telemetry {
+
+namespace {
+
+/// Precomputed upper bounds kLowestBound * 2^i.
+const std::array<double, Histogram::kBuckets>& bucket_bounds() {
+  static const std::array<double, Histogram::kBuckets> bounds = [] {
+    std::array<double, Histogram::kBuckets> b{};
+    double bound = Histogram::kLowestBound;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      b[i] = bound;
+      bound *= 2.0;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out = "arcs_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Short round-trippable number for exposition ("0.001048576", "+Inf").
+std::string format_number(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  const auto& bounds = bucket_bounds();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  const auto index = static_cast<std::size_t>(it - bounds.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) {
+  if (i >= kBuckets) return std::numeric_limits<double>::infinity();
+  return bucket_bounds()[i];
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= kBuckets; ++i) {
+    cumulative += bucket_count(i);
+    if (cumulative >= rank && cumulative > 0)
+      return bucket_upper_bound(i);
+  }
+  return bucket_upper_bound(kBuckets);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+common::Json MetricsRegistry::json_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  common::Json root = common::Json::object();
+  common::Json counters = common::Json::object();
+  for (const auto& [name, counter] : counters_)
+    counters.set(name, counter->load());
+  root.set("counters", std::move(counters));
+  common::Json gauges = common::Json::object();
+  for (const auto& [name, gauge] : gauges_) gauges.set(name, gauge->load());
+  root.set("gauges", std::move(gauges));
+  common::Json histograms = common::Json::object();
+  for (const auto& [name, histogram] : histograms_) {
+    common::Json h = common::Json::object();
+    h.set("count", histogram->count());
+    h.set("sum", histogram->sum());
+    h.set("p50", histogram->quantile(0.50));
+    h.set("p95", histogram->quantile(0.95));
+    h.set("p99", histogram->quantile(0.99));
+    histograms.set(name, std::move(h));
+  }
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    const std::string metric = sanitize_metric_name(name);
+    os << "# TYPE " << metric << " counter\n";
+    os << metric << " " << counter->load() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string metric = sanitize_metric_name(name);
+    os << "# TYPE " << metric << " gauge\n";
+    os << metric << " " << format_number(gauge->load()) << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string metric = sanitize_metric_name(name);
+    os << "# TYPE " << metric << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+      const std::uint64_t in_bucket = histogram->bucket_count(i);
+      cumulative += in_bucket;
+      // Keep the exposition short: only emit a bucket line when the
+      // cumulative count changed (plus the mandatory +Inf line).
+      if (in_bucket == 0 && i != Histogram::kBuckets) continue;
+      os << metric << "_bucket{le=\""
+         << format_number(Histogram::bucket_upper_bound(i)) << "\"} "
+         << cumulative << "\n";
+    }
+    os << metric << "_sum " << format_number(histogram->sum()) << "\n";
+    os << metric << "_count " << histogram->count() << "\n";
+  }
+  return os.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace arcs::telemetry

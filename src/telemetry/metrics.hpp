@@ -1,0 +1,136 @@
+// Metrics registry: Counter / Gauge / Histogram behind one interface.
+//
+// Replaces the per-layer bookkeeping that grew organically — serve's
+// private striped counters, apex's ad-hoc user counters — with named
+// instruments owned by a registry that can render itself two ways:
+//  * prometheus_text(): Prometheus text exposition (scrapeable via the
+//    arcsd `metrics` op with format="prom");
+//  * json_snapshot(): a common::Json object (arcsd --metrics-interval
+//    periodic snapshots, tests).
+//
+// Instruments are created once (first use) and live as long as the
+// registry; lookups return stable references so hot paths hold a
+// `Counter&` and never touch the registry map again. All instruments are
+// safe under unsynchronized concurrent use.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+
+namespace arcs::telemetry {
+
+/// A monotonic counter striped across cache lines: concurrent add()ers
+/// land on per-thread slots instead of ping-ponging one line between
+/// cores. load() sums the slots (monotone, but not a point-in-time
+/// snapshot across threads). This is serve's proven hit-path design,
+/// promoted to the shared layer.
+class Counter {
+ public:
+  /// Adds 1; returns this slot's previous count (for cheap sampling:
+  /// `(add() & 0xff) == 0` fires once per 256 bumps per thread).
+  std::uint64_t add() { return add(1); }
+  /// Adds n; returns this slot's previous count.
+  std::uint64_t add(std::uint64_t n) {
+    return slots_[slot_index()].value.fetch_add(n,
+                                                std::memory_order_relaxed);
+  }
+  std::uint64_t load() const {
+    std::uint64_t sum = 0;
+    for (const Slot& slot : slots_)
+      sum += slot.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  static constexpr std::size_t kSlots = 16;
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> value{0};
+  };
+  static std::size_t slot_index() {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t index =
+        next.fetch_add(1, std::memory_order_relaxed) % kSlots;
+    return index;
+  }
+  Slot slots_[kSlots];
+};
+
+/// A last-write-wins instantaneous value (queue depth, cache size).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double load() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed log-scale histogram: 64 buckets with upper bounds
+/// kLowestBound * 2^i (1 ns .. ~9.2 Gs when observing seconds), plus an
+/// implicit +Inf overflow. One layout for every metric keeps exposition
+/// and diffing trivial; base-2 bounds make bucket lookup a branch-free
+/// binary search and merging across runs exact.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  static constexpr double kLowestBound = 1e-9;
+
+  void observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Observations in bucket i (v <= bucket_upper_bound(i), above the
+  /// previous bound). i == kBuckets is the +Inf overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  static double bucket_upper_bound(std::size_t i);
+
+  /// Bound of the bucket holding quantile q in [0,1] (upper-bound
+  /// estimate; exact value is somewhere at or below it). 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets + 1> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Named-instrument registry. Lookup-or-create is mutex-guarded; the
+/// returned references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {"count","sum","p50","p95","p99"}}} — insertion-ordered, diffable.
+  common::Json json_snapshot() const;
+
+  /// Prometheus text exposition. Instrument names are sanitized to
+  /// [a-zA-Z0-9_] and prefixed "arcs_"; histograms render cumulative
+  /// _bucket{le="..."} series plus _sum and _count.
+  std::string prometheus_text() const;
+
+  /// Process-wide default registry (tools, arcsd).
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace arcs::telemetry

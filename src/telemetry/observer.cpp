@@ -1,0 +1,145 @@
+#include "telemetry/observer.hpp"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "somp/runtime.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace arcs::telemetry {
+
+namespace {
+
+/// Virtual-time lanes reserved per attached runtime: lane 0 is the
+/// region track, lanes 1.. are per-thread loop/barrier tracks. Disjoint
+/// ranges keep concurrent exec-pool runtimes from sharing a track.
+constexpr std::uint32_t kLanesPerRuntime = 64;
+
+/// Per-runtime observer state. somp delivers all events synchronously on
+/// the (single) thread simulating this runtime, so no locking.
+struct ObserverState {
+  explicit ObserverState(sim::Machine& m) : machine(&m) {}
+
+  sim::Machine* machine;
+  std::uint32_t lane_base = 0;
+  bool lanes_named = false;
+
+  // Current region (regions are sequential in virtual time).
+  ompt::ParallelId parallel_id = 0;
+  std::uint64_t region_span = 0;
+  double region_t0 = 0;
+  std::string region_name;
+
+  struct ThreadState {
+    double loop_t0 = -1;
+    double barrier_t0 = -1;
+    bool named = false;
+  };
+  std::vector<ThreadState> threads;
+
+  ThreadState& thread(int thread_num) {
+    const auto index = static_cast<std::size_t>(thread_num < 0 ? 0
+                                                               : thread_num);
+    if (index >= threads.size()) threads.resize(index + 1);
+    return threads[index];
+  }
+
+  std::uint32_t thread_lane(int thread_num) {
+    return lane_base + 1 +
+           static_cast<std::uint32_t>(thread_num < 0 ? 0 : thread_num);
+  }
+};
+
+}  // namespace
+
+void attach_tracing(somp::Runtime& runtime) {
+  auto state = std::make_shared<ObserverState>(runtime.machine());
+
+  ompt::ToolCallbacks callbacks;
+
+  callbacks.parallel_begin = [state](const ompt::ParallelBeginRecord& r) {
+    Tracer& tracer = Tracer::instance();
+    if (!tracer.enabled()) return;
+    // Lanes are claimed on first traced region, not at attach time, so
+    // runtimes that never run while tracing is on consume none.
+    if (!state->lanes_named) {
+      state->lane_base = tracer.allocate_virtual_tracks(kLanesPerRuntime);
+      tracer.name_track(TimeDomain::Virtual, state->lane_base,
+                        "somp regions");
+      state->lanes_named = true;
+    }
+    state->parallel_id = r.parallel_id;
+    state->region_span = tracer.next_id();
+    state->region_t0 = r.time;
+    state->region_name = "region:" + r.region.name;
+  };
+
+  callbacks.parallel_end = [state](const ompt::ParallelEndRecord& r) {
+    Tracer& tracer = Tracer::instance();
+    if (!tracer.enabled() || r.parallel_id != state->parallel_id) return;
+    tracer.complete(Category::Somp, TimeDomain::Virtual, state->region_name,
+                    state->lane_base, state->region_t0,
+                    r.time - state->region_t0, state->region_span,
+                    state->region_span, 0, r.parallel_id,
+                    static_cast<std::uint64_t>(r.team_size));
+    // RAPL samples at region exit: the power the last advance() segment
+    // drew and the cumulative package energy — the power-over-time track.
+    tracer.counter(Category::Sim, TimeDomain::Virtual, "power_w",
+                   state->lane_base, r.time, state->machine->last_power());
+    tracer.counter(Category::Sim, TimeDomain::Virtual, "energy_j",
+                   state->lane_base, r.time, state->machine->energy());
+    state->parallel_id = 0;
+  };
+
+  callbacks.work_loop = [state](const ompt::WorkLoopRecord& r) {
+    Tracer& tracer = Tracer::instance();
+    if (!tracer.enabled() || r.parallel_id != state->parallel_id) return;
+    ObserverState::ThreadState& t = state->thread(r.thread_num);
+    if (r.endpoint == ompt::Endpoint::Begin) {
+      t.loop_t0 = r.time;
+      if (!t.named) {
+        tracer.name_track(TimeDomain::Virtual,
+                          state->thread_lane(r.thread_num),
+                          "somp thread " + std::to_string(r.thread_num));
+        t.named = true;
+      }
+      return;
+    }
+    if (t.loop_t0 < 0) return;
+    tracer.complete(Category::Somp, TimeDomain::Virtual, "loop",
+                    state->thread_lane(r.thread_num), t.loop_t0,
+                    r.time - t.loop_t0, 0, state->region_span,
+                    state->region_span, r.parallel_id,
+                    static_cast<std::uint64_t>(r.thread_num < 0
+                                                   ? 0
+                                                   : r.thread_num));
+    t.loop_t0 = -1;
+  };
+
+  callbacks.sync_region = [state](const ompt::SyncRegionRecord& r) {
+    Tracer& tracer = Tracer::instance();
+    if (!tracer.enabled() || r.parallel_id != state->parallel_id) return;
+    ObserverState::ThreadState& t = state->thread(r.thread_num);
+    if (r.endpoint == ompt::Endpoint::Begin) {
+      t.barrier_t0 = r.time;
+      return;
+    }
+    if (t.barrier_t0 < 0) return;
+    tracer.complete(Category::Somp, TimeDomain::Virtual, "barrier",
+                    state->thread_lane(r.thread_num), t.barrier_t0,
+                    r.time - t.barrier_t0, 0, state->region_span,
+                    state->region_span, r.parallel_id,
+                    static_cast<std::uint64_t>(r.thread_num < 0
+                                                   ? 0
+                                                   : r.thread_num));
+    t.barrier_t0 = -1;
+  };
+
+  runtime.tools().register_tool(std::move(callbacks),
+                                ompt::ToolKind::Observer);
+}
+
+}  // namespace arcs::telemetry

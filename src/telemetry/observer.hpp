@@ -1,0 +1,32 @@
+// Observer-kind OMPT tool that mirrors somp runtime events into the
+// Tracer as virtual-time spans and counters.
+//
+// Registered with ToolKind::Observer, so the runtime charges no
+// instrumentation time for it (somp only bills overhead for Client
+// tools) — attaching tracing keeps tuned results bit-identical to an
+// untraced run, which tests/telemetry_test.cpp asserts differentially.
+//
+// Per region execution the observer emits, all in TimeDomain::Virtual:
+//  * one "region:<name>" Complete span on the runtime's region lane;
+//  * per-thread "loop" and "barrier" Complete spans (children of the
+//    region span) on per-thread lanes;
+//  * "power_w" and "energy_j" Counter samples read from the machine's
+//    RAPL model at region exit — the power-over-time track.
+//
+// Concurrent runtimes (exec pool jobs) each get a disjoint lane range so
+// their virtual timelines don't interleave on one track.
+#pragma once
+
+namespace arcs::somp {
+class Runtime;
+}
+
+namespace arcs::telemetry {
+
+/// Subscribes the tracing observer to `runtime`'s tool registry. The
+/// callbacks own their state (shared_ptr captures) and are never
+/// unregistered — they die with the runtime. Cheap no-ops when the
+/// Tracer is disabled. Safe to call for every runtime a program builds.
+void attach_tracing(somp::Runtime& runtime);
+
+}  // namespace arcs::telemetry

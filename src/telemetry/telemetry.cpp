@@ -1,0 +1,301 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace arcs::telemetry {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Innermost open ScopedSpan on this thread ({0,0} outside any span).
+thread_local SpanContext tls_context;
+
+struct LocalSlot {
+  std::uint64_t epoch = ~0ull;
+  void* buffer = nullptr;  ///< Tracer::ThreadBuffer*, valid for `epoch`
+  std::uint32_t host_track = ~0u;
+  std::uint64_t track_epoch = ~0ull;
+};
+thread_local LocalSlot tls_slot;
+
+}  // namespace
+
+std::string_view to_string(Category category) {
+  switch (category) {
+    case Category::Somp:
+      return "somp";
+    case Category::Apex:
+      return "apex";
+    case Category::Harmony:
+      return "harmony";
+    case Category::Exec:
+      return "exec";
+    case Category::Serve:
+      return "serve";
+    case Category::Sim:
+      return "sim";
+    case Category::Client:
+      return "client";
+  }
+  return "unknown";
+}
+
+void Event::set_name(std::string_view n) {
+  const std::size_t len = std::min(n.size(), kMaxName);
+  std::memcpy(name, n.data(), len);
+  name[len] = '\0';
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(TracerOptions options) {
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  ring_capacity_ = std::max<std::size_t>(options.ring_capacity, 16);
+  id_prefix_ = (options.id_seed & 0xfffffu) << 32;
+  clock_ = std::move(options.clock);
+  clock_origin_ = clock_ ? 0.0 : steady_seconds();
+  buffers_.clear();
+  next_seq_.store(0, std::memory_order_relaxed);
+  next_id_.store(0, std::memory_order_relaxed);
+  next_host_track_.store(0, std::memory_order_relaxed);
+  next_virtual_track_.store(0, std::memory_order_relaxed);
+  warned_drop_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> names_lock(names_mu_);
+    track_names_.clear();
+  }
+  // Release: a thread that observes the epoch bump must also see the new
+  // capacity/prefix/clock written above.
+  epoch_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::reset() {
+  disable();
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  buffers_.clear();
+  next_seq_.store(0, std::memory_order_relaxed);
+  next_id_.store(0, std::memory_order_relaxed);
+  next_host_track_.store(0, std::memory_order_relaxed);
+  next_virtual_track_.store(0, std::memory_order_relaxed);
+  warned_drop_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> names_lock(names_mu_);
+    track_names_.clear();
+  }
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+double Tracer::now() const {
+  if (clock_) return clock_();
+  return steady_seconds() - clock_origin_;
+}
+
+std::uint64_t Tracer::next_id() {
+  return id_prefix_ | (next_id_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+Tracer::ThreadBuffer* Tracer::local_buffer() {
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (tls_slot.epoch == epoch)
+    return static_cast<ThreadBuffer*>(tls_slot.buffer);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  {
+    std::lock_guard<std::mutex> lock(buffers_mu_);
+    // An enable()/reset() racing with us would clear buffers_ after our
+    // push; re-check the epoch under the lock so a stale buffer is never
+    // cached past its lifetime.
+    if (epoch_.load(std::memory_order_relaxed) != epoch) return nullptr;
+    buffer->ring.resize(ring_capacity_);
+    buffers_.push_back(std::move(buffer));
+    tls_slot.buffer = buffers_.back().get();
+  }
+  tls_slot.epoch = epoch;
+  return static_cast<ThreadBuffer*>(tls_slot.buffer);
+}
+
+void Tracer::emit(Event event) {
+  if (!enabled()) return;
+  ThreadBuffer* buffer = local_buffer();
+  if (buffer == nullptr) return;
+  const std::size_t count = buffer->count.load(std::memory_order_relaxed);
+  if (count >= buffer->ring.size()) {
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+    if (!warned_drop_.exchange(true, std::memory_order_relaxed)) {
+      common::log_warn()
+          << "telemetry: trace ring full (capacity " << buffer->ring.size()
+          << " events/thread), dropping newest events; "
+          << "raise TracerOptions::ring_capacity to keep them";
+    }
+    return;
+  }
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  buffer->ring[count] = event;
+  // Release pairs with drain()'s acquire load: the drainer sees the fully
+  // written slot before it trusts the new count.
+  buffer->count.store(count + 1, std::memory_order_release);
+}
+
+void Tracer::complete(Category category, TimeDomain domain,
+                      std::string_view name, std::uint32_t track, double ts,
+                      double dur, std::uint64_t id, std::uint64_t trace,
+                      std::uint64_t parent, std::uint64_t arg0,
+                      std::uint64_t arg1) {
+  if (!enabled()) return;
+  Event e;
+  e.phase = Phase::Complete;
+  e.category = category;
+  e.domain = domain;
+  e.set_name(name);
+  e.track = track;
+  e.ts = ts;
+  e.dur = dur;
+  e.id = id;
+  e.trace = trace;
+  e.parent = parent;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  emit(e);
+}
+
+void Tracer::counter(Category category, TimeDomain domain,
+                     std::string_view name, std::uint32_t track, double ts,
+                     double value) {
+  if (!enabled()) return;
+  Event e;
+  e.phase = Phase::Counter;
+  e.category = category;
+  e.domain = domain;
+  e.set_name(name);
+  e.track = track;
+  e.ts = ts;
+  e.value = value;
+  emit(e);
+}
+
+void Tracer::instant(Category category, TimeDomain domain,
+                     std::string_view name, std::uint32_t track, double ts,
+                     std::uint64_t arg0) {
+  if (!enabled()) return;
+  Event e;
+  e.phase = Phase::Instant;
+  e.category = category;
+  e.domain = domain;
+  e.set_name(name);
+  e.track = track;
+  e.ts = ts;
+  e.arg0 = arg0;
+  emit(e);
+}
+
+std::uint32_t Tracer::host_track() {
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (tls_slot.track_epoch != epoch) {
+    tls_slot.host_track =
+        next_host_track_.fetch_add(1, std::memory_order_relaxed);
+    tls_slot.track_epoch = epoch;
+  }
+  return tls_slot.host_track;
+}
+
+std::uint32_t Tracer::allocate_virtual_tracks(std::uint32_t count) {
+  return next_virtual_track_.fetch_add(count, std::memory_order_relaxed);
+}
+
+void Tracer::name_track(TimeDomain domain, std::uint32_t track,
+                        std::string_view name) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(names_mu_);
+  track_names_.emplace(std::pair<int, std::uint32_t>{static_cast<int>(domain),
+                                                     track},
+                       std::string(name));
+}
+
+void Tracer::name_host_thread(std::string_view name) {
+  if (!enabled()) return;
+  name_track(TimeDomain::Host, host_track(), name);
+}
+
+std::vector<Event> Tracer::drain() {
+  std::vector<Event> events;
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  for (auto& buffer : buffers_) {
+    const std::size_t count = buffer->count.load(std::memory_order_acquire);
+    events.insert(events.end(), buffer->ring.begin(),
+                  buffer->ring.begin() + static_cast<std::ptrdiff_t>(count));
+    buffer->count.store(0, std::memory_order_relaxed);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return events;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(buffers_mu_);
+  for (const auto& buffer : buffers_)
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::map<std::pair<int, std::uint32_t>, std::string> Tracer::track_names()
+    const {
+  std::lock_guard<std::mutex> lock(names_mu_);
+  return track_names_;
+}
+
+SpanContext current_context() { return tls_context; }
+
+ScopedSpan::ScopedSpan(Category category, std::string_view name,
+                       SpanContext parent, std::uint64_t arg0,
+                       std::uint64_t arg1) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  category_ = category;
+  const std::size_t len = std::min(name.size(), kMaxName);
+  std::memcpy(name_, name.data(), len);
+  name_[len] = '\0';
+  id_ = tracer.next_id();
+  if (!parent.valid()) parent = tls_context;
+  if (parent.valid()) {
+    trace_ = parent.trace_id;
+    parent_ = parent.parent_id;
+  } else {
+    trace_ = id_;  // root span: the span id names the whole trace
+    parent_ = 0;
+  }
+  arg0_ = arg0;
+  arg1_ = arg1;
+  track_ = tracer.host_track();
+  t0_ = tracer.now();
+  saved_ = tls_context;
+  tls_context = SpanContext{trace_, id_};
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  tls_context = saved_;
+  Tracer& tracer = Tracer::instance();
+  // Even if tracing was disabled mid-span, record the close so the trace
+  // stays balanced; emit() itself re-checks enabled and may drop it.
+  const double t1 = tracer.now();
+  tracer.complete(category_, TimeDomain::Host, name_, track_, t0_, t1 - t0_,
+                  id_, trace_, parent_, arg0_, arg1_);
+}
+
+}  // namespace arcs::telemetry

@@ -1,0 +1,253 @@
+// Unified telemetry layer — cross-layer span tracks (docs/OBSERVABILITY.md).
+//
+// ARCS is a measurement-driven runtime: the whole loop is "observe region
+// timing and RAPL power, then decide". This subsystem gives every layer
+// one place to record what it observed, on a timeline a human can open:
+//
+//  * spans — typed intervals (somp parallel/loop/barrier, apex timers,
+//    Harmony search iterations, exec pool jobs, serve request handling)
+//    recorded into per-thread lock-free ring buffers;
+//  * counter tracks — sampled values (sim RAPL power/energy, serve cache
+//    hit totals) on the same timeline;
+//  * SpanContext — a {trace_id, parent_id} pair that crosses process
+//    boundaries inside arcs-serve/v1 frames, so a client request, its
+//    server worker dispatch, and the Harmony session driving it appear as
+//    one causally linked trace.
+//
+// Two time domains share the trace: *virtual* seconds (the simulator's
+// clocks: somp/apex/sim events carry exact virtual timestamps) and *host*
+// seconds (real threads doing real work: exec workers, serve handlers).
+// They export as two Chrome-trace "processes" so neither lies about the
+// other's scale.
+//
+// Recording discipline: emission is wait-free on the hot path — one
+// relaxed enabled-check when tracing is off, one striped-atomic sequence
+// grab plus a write into the calling thread's own ring when on. Rings are
+// single-writer (the owning thread); drain() is called after emitters
+// quiesce. A full ring drops the *newest* events (keeping every span that
+// already completed balanced) and counts the loss; the first drop logs
+// one warning so silent truncation is visible.
+//
+// Tracing must never perturb the simulation it observes: all somp-side
+// emission happens through an Observer-kind OMPT tool (observer.hpp), so
+// no instrumentation time is charged and tuned results stay bit-identical
+// with tracing on (tests/telemetry_test.cpp asserts this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arcs::telemetry {
+
+/// Which layer emitted an event (the Chrome-trace "cat" field).
+enum class Category : std::uint8_t {
+  Somp,     ///< simulated OpenMP runtime (regions, loops, barriers)
+  Apex,     ///< APEX timers
+  Harmony,  ///< search iterations and configuration switches
+  Exec,     ///< experiment-pool jobs
+  Serve,    ///< tuning-service request handling
+  Sim,      ///< machine counters (RAPL power/energy)
+  Client,   ///< serve-client request spans (the caller side of an RPC)
+};
+
+std::string_view to_string(Category category);
+
+/// Which clock an event's timestamp belongs to. Virtual events carry the
+/// simulator's deterministic clocks; Host events carry real wall time
+/// (or the Tracer's injected clock in deterministic tests).
+enum class TimeDomain : std::uint8_t { Virtual, Host };
+
+enum class Phase : std::uint8_t {
+  Complete,  ///< an interval: ts .. ts+dur (Chrome "X")
+  Counter,   ///< a sampled value at ts (Chrome "C")
+  Instant,   ///< a point event at ts (Chrome "i")
+};
+
+/// Distributed-tracing context: propagated as an optional field in
+/// arcs-serve/v1 frames. trace_id identifies the whole causal chain;
+/// parent_id the span that caused this one. Ids are allocated below
+/// 2^53 so they survive a JSON number round trip exactly.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+  bool operator==(const SpanContext&) const = default;
+};
+
+/// Fixed-size event record (fits a ring slot; name is copied, truncated
+/// if longer than kMaxName).
+inline constexpr std::size_t kMaxName = 47;
+
+struct Event {
+  Phase phase = Phase::Complete;
+  Category category = Category::Somp;
+  TimeDomain domain = TimeDomain::Host;
+  char name[kMaxName + 1] = {};
+  std::uint32_t track = 0;       ///< logical lane (Chrome "tid")
+  double ts = 0;                 ///< seconds in `domain`
+  double dur = 0;                ///< Complete only
+  double value = 0;              ///< Counter only
+  std::uint64_t id = 0;          ///< span id (0 = none)
+  std::uint64_t trace = 0;       ///< trace id this span belongs to
+  std::uint64_t parent = 0;      ///< parent span id (0 = root)
+  std::uint64_t arg0 = 0;        ///< layer-specific (e.g. parallel_id)
+  std::uint64_t arg1 = 0;        ///< layer-specific (e.g. ticket)
+  std::uint64_t seq = 0;         ///< global emission order (drain sort key)
+
+  void set_name(std::string_view n);
+};
+
+struct TracerOptions {
+  /// Per-thread ring capacity in events (~120 B each).
+  std::size_t ring_capacity = 1u << 16;
+  /// Folded into span/trace ids (low 20 bits become the id prefix) so
+  /// ids from different processes on one trace rarely collide while
+  /// staying below 2^53 for exact JSON round trips. 0 = ids start at 1.
+  std::uint64_t id_seed = 0;
+  /// Host-domain clock override (seconds; must be monotone). Tests
+  /// install a manual clock for byte-identical traces; the default is
+  /// steady_clock seconds since enable().
+  std::function<double()> clock;
+};
+
+/// Process-wide trace recorder. All methods are thread-safe; emission
+/// into the calling thread's ring is lock-free.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Starts recording. Rings are (re)created lazily per emitting thread.
+  void enable(TracerOptions options = {});
+  /// Stops recording; already-buffered events stay drainable.
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Discards all buffered events, drop counts, id/seq state, and track
+  /// names (tests; also the way one process records two separate runs).
+  void reset();
+
+  /// Host-domain clock (seconds since enable, or the injected clock).
+  double now() const;
+
+  /// Allocates a span/trace id: (id_seed & 0xfffff) << 32 | counter.
+  std::uint64_t next_id();
+
+  // --- emission -----------------------------------------------------
+  /// Copies `event` (seq assigned here) into this thread's ring. No-op
+  /// when disabled. Drops the event (counted, warn-once) when full.
+  void emit(Event event);
+
+  void complete(Category category, TimeDomain domain, std::string_view name,
+                std::uint32_t track, double ts, double dur,
+                std::uint64_t id = 0, std::uint64_t trace = 0,
+                std::uint64_t parent = 0, std::uint64_t arg0 = 0,
+                std::uint64_t arg1 = 0);
+  void counter(Category category, TimeDomain domain, std::string_view name,
+               std::uint32_t track, double ts, double value);
+  void instant(Category category, TimeDomain domain, std::string_view name,
+               std::uint32_t track, double ts, std::uint64_t arg0 = 0);
+
+  // --- tracks -------------------------------------------------------
+  /// Stable per-thread host-domain lane id (assigned on first use).
+  std::uint32_t host_track();
+  /// Reserves `count` consecutive virtual-domain lanes and returns the
+  /// first. Concurrent emitters (exec-pool runtimes, apex instances) get
+  /// disjoint ranges so their virtual timelines never share a track.
+  std::uint32_t allocate_virtual_tracks(std::uint32_t count);
+  /// Names a lane in the exported trace ("exec worker 3"). Idempotent;
+  /// cheap enough to call unconditionally at thread start.
+  void name_track(TimeDomain domain, std::uint32_t track,
+                  std::string_view name);
+  /// Convenience: names the calling thread's host lane.
+  void name_host_thread(std::string_view name);
+
+  // --- draining -----------------------------------------------------
+  /// Collects every thread's buffered events in emission (seq) order and
+  /// clears the rings. Call after emitters quiesce.
+  std::vector<Event> drain();
+
+  /// Events discarded because a ring was full (since enable/reset).
+  std::uint64_t dropped() const;
+
+  /// Snapshot of the registered track names, keyed by (domain, track).
+  std::map<std::pair<int, std::uint32_t>, std::string> track_names() const;
+
+ private:
+  struct ThreadBuffer {
+    std::vector<Event> ring;
+    std::atomic<std::size_t> count{0};
+    std::atomic<std::uint64_t> dropped{0};
+  };
+
+  Tracer() = default;
+  ThreadBuffer* local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> epoch_{0};  ///< bumped by enable()/reset()
+  std::atomic<bool> warned_drop_{false};
+  std::uint64_t id_prefix_ = 0;          ///< set by enable()
+  std::size_t ring_capacity_ = 1u << 16;
+  std::function<double()> clock_;        ///< written by enable() only
+  double clock_origin_ = 0;
+
+  mutable std::mutex buffers_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+
+  std::atomic<std::uint32_t> next_host_track_{0};
+  std::atomic<std::uint32_t> next_virtual_track_{0};
+
+  mutable std::mutex names_mu_;
+  std::map<std::pair<int, std::uint32_t>, std::string> track_names_;
+};
+
+/// The thread-local span a ScopedSpan nests under (causal default for
+/// children on the same thread). {0,0} when no span is open.
+SpanContext current_context();
+
+/// RAII host-domain span: captures the clock at construction, emits one
+/// Complete event at destruction, and exposes a SpanContext children can
+/// inherit (same-thread children pick it up automatically). Inert when
+/// tracing is disabled at construction.
+class ScopedSpan {
+ public:
+  /// `parent`: explicit causal parent (e.g. from a request frame);
+  /// defaults to the innermost open span on this thread.
+  explicit ScopedSpan(Category category, std::string_view name,
+                      SpanContext parent = {}, std::uint64_t arg0 = 0,
+                      std::uint64_t arg1 = 0);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  std::uint64_t id() const { return id_; }
+  /// Context for work this span causes: {its trace, itself as parent}.
+  SpanContext context() const { return active_ ? SpanContext{trace_, id_}
+                                              : SpanContext{}; }
+
+ private:
+  bool active_ = false;
+  Category category_ = Category::Serve;
+  char name_[kMaxName + 1] = {};
+  std::uint64_t id_ = 0;
+  std::uint64_t trace_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t arg0_ = 0;
+  std::uint64_t arg1_ = 0;
+  std::uint32_t track_ = 0;
+  double t0_ = 0;
+  SpanContext saved_;  ///< restored on destruction
+};
+
+}  // namespace arcs::telemetry

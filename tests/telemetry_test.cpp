@@ -1,0 +1,419 @@
+// Telemetry subsystem tests: tracer determinism, ring accounting,
+// SpanContext propagation through the serve protocol (including
+// contextless-peer compatibility), metrics instruments, and the
+// traced-vs-untraced differential (Observer tracing must not perturb
+// the simulation). The ConcurrentEmitters suite is the TSan target for
+// the lock-free emission path.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernels/apps.hpp"
+#include "kernels/driver.hpp"
+#include "serve/serve.hpp"
+#include "sim/presets.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/observer.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace tl = arcs::telemetry;
+namespace sv = arcs::serve;
+namespace kn = arcs::kernels;
+namespace sc = arcs::sim;
+
+namespace {
+
+/// Leaves the process-wide Tracer disabled and empty no matter how the
+/// test exits, so suites cannot leak trace state into each other.
+struct TracerGuard {
+  TracerGuard() { tl::Tracer::instance().reset(); }
+  ~TracerGuard() {
+    tl::Tracer::instance().disable();
+    tl::Tracer::instance().reset();
+  }
+};
+
+std::filesystem::path temp_path(const std::string& name) {
+  return std::filesystem::temp_directory_path() /
+         (name + "." + std::to_string(::getpid()));
+}
+
+/// One fixed emission sequence under a manual clock; returns the
+/// exported document as a string.
+std::string record_fixed_sequence() {
+  tl::Tracer& tracer = tl::Tracer::instance();
+  tracer.reset();
+  tl::TracerOptions options;
+  options.id_seed = 7;
+  double fake_now = 0.0;
+  options.clock = [&fake_now] { return fake_now; };
+  tracer.enable(options);
+
+  tracer.name_host_thread("main");
+  const std::uint32_t lane = tracer.allocate_virtual_tracks(1);
+  tracer.name_track(tl::TimeDomain::Virtual, lane, "fixed lane");
+  {
+    const tl::ScopedSpan outer(tl::Category::Serve, "outer");
+    fake_now = 0.5;
+    {
+      const tl::ScopedSpan inner(tl::Category::Harmony, "inner", {}, 11,
+                                 22);
+      fake_now = 0.75;
+    }
+    fake_now = 1.0;
+  }
+  tracer.counter(tl::Category::Sim, tl::TimeDomain::Virtual, "power_w",
+                 lane, 0.25, 42.5);
+  tracer.instant(tl::Category::Harmony, tl::TimeDomain::Virtual,
+                 "config_switch:r", lane, 0.3, 99);
+  tracer.disable();
+  return tl::drain_chrome_trace(tracer).dump(1);
+}
+
+}  // namespace
+
+// ---------- tracer core ----------
+
+TEST(TelemetryTracer, ExporterIsDeterministicForIdenticalRuns) {
+  TracerGuard guard;
+  const std::string first = record_fixed_sequence();
+  const std::string second = record_fixed_sequence();
+  EXPECT_EQ(first, second) << "same emission sequence must export "
+                              "byte-identical JSON";
+  // And the document self-identifies with schema + drop accounting.
+  EXPECT_NE(first.find("arcs-trace/v1"), std::string::npos);
+  EXPECT_NE(first.find("dropped_events"), std::string::npos);
+  EXPECT_NE(first.find("arcs virtual time"), std::string::npos);
+  EXPECT_NE(first.find("arcs host time"), std::string::npos);
+}
+
+TEST(TelemetryTracer, RingOverflowDropsNewestAndCounts) {
+  TracerGuard guard;
+  tl::Tracer& tracer = tl::Tracer::instance();
+  tl::TracerOptions options;
+  options.ring_capacity = 16;  // the enforced minimum
+  tracer.enable(options);
+  for (int i = 0; i < 20; ++i)
+    tracer.instant(tl::Category::Exec, tl::TimeDomain::Host,
+                   "e" + std::to_string(i), 0, static_cast<double>(i));
+  tracer.disable();
+  EXPECT_EQ(tracer.dropped(), 4u);
+  const std::vector<tl::Event> events = tracer.drain();
+  ASSERT_EQ(events.size(), 16u);
+  // Drop-newest: the retained events are the first 16 emitted.
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_STREQ(events[i].name, ("e" + std::to_string(i)).c_str());
+  // Drain clears the rings but preserves the drop count.
+  EXPECT_TRUE(tracer.drain().empty());
+  EXPECT_EQ(tracer.dropped(), 4u);
+}
+
+TEST(TelemetryTracer, ScopedSpanNestingBuildsCausalChain) {
+  TracerGuard guard;
+  tl::Tracer& tracer = tl::Tracer::instance();
+  tracer.enable();
+  EXPECT_FALSE(tl::current_context().valid());
+  std::uint64_t outer_id = 0, inner_parent = 0, inner_trace = 0;
+  {
+    const tl::ScopedSpan outer(tl::Category::Client, "outer");
+    outer_id = outer.id();
+    EXPECT_EQ(tl::current_context().parent_id, outer_id);
+    {
+      const tl::ScopedSpan inner(tl::Category::Client, "inner");
+      inner_parent = tl::current_context().parent_id;
+      EXPECT_EQ(inner_parent, inner.id());
+      inner_trace = inner.context().trace_id;
+    }
+    // Inner closed: the open context is the outer span again.
+    EXPECT_EQ(tl::current_context().parent_id, outer_id);
+  }
+  EXPECT_FALSE(tl::current_context().valid());
+  tracer.disable();
+  const std::vector<tl::Event> events = tracer.drain();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first; it must point at outer and share its trace.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].parent, outer_id);
+  EXPECT_EQ(events[0].trace, inner_trace);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].trace, inner_trace) << "root span defines the trace";
+}
+
+TEST(TelemetryTracer, DisabledTracerEmitsNothing) {
+  TracerGuard guard;
+  tl::Tracer& tracer = tl::Tracer::instance();
+  {
+    const tl::ScopedSpan span(tl::Category::Client, "ignored");
+    EXPECT_FALSE(span.active());
+  }
+  tracer.instant(tl::Category::Exec, tl::TimeDomain::Host, "ignored", 0,
+                 0.0);
+  EXPECT_TRUE(tracer.drain().empty());
+}
+
+TEST(TelemetryChromeTrace, MergeSumsDropsAndDedupsMetadata) {
+  TracerGuard guard;
+  tl::Tracer& tracer = tl::Tracer::instance();
+  auto one_trace = [&](const char* name) {
+    tracer.reset();
+    tracer.enable();
+    tracer.name_host_thread("worker");
+    tracer.instant(tl::Category::Exec, tl::TimeDomain::Host, name, 0, 0.0);
+    tracer.disable();
+    return tl::drain_chrome_trace(tracer);
+  };
+  const std::vector<arcs::common::Json> traces{one_trace("a"),
+                                               one_trace("b")};
+  const arcs::common::Json merged = tl::merge_chrome_traces(traces);
+  EXPECT_EQ(merged.find("otherData")->find("merged_from")->as_number(), 2.0);
+  // Both instants survive; the identical process/thread metadata from
+  // the two inputs appears once.
+  std::size_t instants = 0, process_names = 0;
+  for (const auto& event : merged.find("traceEvents")->items()) {
+    const std::string ph = event.find("ph")->as_string();
+    if (ph == "i") ++instants;
+    if (ph == "M" &&
+        event.find("name")->as_string() == "process_name")
+      ++process_names;
+  }
+  EXPECT_EQ(instants, 2u);
+  EXPECT_EQ(process_names, 2u) << "one per pid, not one per input trace";
+}
+
+// ---------- SpanContext through the serve protocol ----------
+
+TEST(TelemetrySpanContext, RoundTripsThroughRequestJson) {
+  sv::Request request;
+  request.op = sv::Op::Get;
+  request.key = arcs::HistoryKey{"SP", "testbox", 40.0, "B", "x_solve"};
+  request.ctx = tl::SpanContext{0x1234567890abcdULL, 0x42ULL};
+  const sv::Request back = sv::request_from_json(sv::to_json(request));
+  EXPECT_EQ(back.ctx, request.ctx);
+}
+
+TEST(TelemetrySpanContext, ContextlessRequestOmitsTheField) {
+  sv::Request request;
+  request.op = sv::Op::Ping;
+  const arcs::common::Json json = sv::to_json(request);
+  EXPECT_EQ(json.find("ctx"), nullptr)
+      << "invalid context must not appear on the wire";
+  // And a frame from an older, context-unaware peer decodes cleanly.
+  const sv::Request back = sv::request_from_json(json);
+  EXPECT_FALSE(back.ctx.valid());
+}
+
+TEST(TelemetrySpanContext, CrossesTheSocketIntoTheServerSpan) {
+  TracerGuard guard;
+  tl::Tracer& tracer = tl::Tracer::instance();
+  tracer.enable();
+
+  sv::TuningServer server{sv::ServerOptions{}};
+  sv::SocketServer transport{server,
+                             temp_path("arcs_telemetry_test.sock").string()};
+  sv::SocketClient client{transport.path()};
+
+  std::uint64_t client_span = 0, client_trace = 0;
+  {
+    const tl::ScopedSpan span(tl::Category::Client, "client/ping");
+    client_span = span.id();
+    client_trace = span.context().trace_id;
+    sv::Request request;
+    request.op = sv::Op::Ping;
+    request.ctx = span.context();
+    EXPECT_EQ(client.call(request).status, sv::Status::Ok);
+  }
+  transport.stop();
+  tracer.disable();
+
+  const std::vector<tl::Event> events = tracer.drain();
+  const auto server_span =
+      std::find_if(events.begin(), events.end(), [](const tl::Event& e) {
+        return std::string_view(e.name) == "serve/ping";
+      });
+  ASSERT_NE(server_span, events.end())
+      << "server must record a span for the handled request";
+  EXPECT_EQ(server_span->parent, client_span)
+      << "server span must be causally linked to the client span";
+  EXPECT_EQ(server_span->trace, client_trace);
+}
+
+// ---------- metrics instruments ----------
+
+TEST(TelemetryMetrics, CounterSumsAcrossThreads) {
+  tl::Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 1000; ++i) counter.add();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.load(), 8000u);
+  const std::uint64_t before = counter.load();
+  counter.add(5);
+  EXPECT_EQ(counter.load(), before + 5);
+}
+
+TEST(TelemetryMetrics, CounterAddReturnsSlotPreviousForSampling) {
+  // The 1-in-N sampling idiom relies on add() returning this slot's
+  // previous count: single-threaded, that is exactly 0, 1, 2, ...
+  tl::Counter counter;
+  EXPECT_EQ(counter.add(), 0u);
+  EXPECT_EQ(counter.add(), 1u);
+  EXPECT_EQ(counter.add(3), 2u);
+  EXPECT_EQ(counter.add(), 5u);
+}
+
+TEST(TelemetryMetrics, HistogramBucketBoundaries) {
+  using H = tl::Histogram;
+  // Bounds are kLowestBound * 2^i.
+  EXPECT_DOUBLE_EQ(H::bucket_upper_bound(0), 1e-9);
+  EXPECT_DOUBLE_EQ(H::bucket_upper_bound(1), 2e-9);
+  EXPECT_DOUBLE_EQ(H::bucket_upper_bound(10), 1e-9 * 1024.0);
+
+  H h;
+  h.observe(1e-9);  // exactly on bound 0 → bucket 0 (v <= bound)
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  h.observe(1.5e-9);  // between bounds 0 and 1 → bucket 1
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  h.observe(0.0);  // below the lowest bound → bucket 0
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  h.observe(1e300);  // beyond every bound → +Inf overflow bucket
+  EXPECT_EQ(h.bucket_count(H::kBuckets), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_GT(h.sum(), 1e299);
+
+  // Quantile returns an upper-bound estimate from the bucket bounds.
+  tl::Histogram latencies;
+  for (int i = 0; i < 100; ++i) latencies.observe(1e-3);  // bucket of 1ms
+  const double p50 = latencies.quantile(0.5);
+  EXPECT_GE(p50, 1e-3);
+  EXPECT_LT(p50, 4e-3) << "p50 of identical 1 ms samples stays in range";
+}
+
+TEST(TelemetryMetrics, RegistryReturnsStableRefsAndRenders) {
+  tl::MetricsRegistry registry;
+  tl::Counter& c1 = registry.counter("serve/hits");
+  tl::Counter& c2 = registry.counter("serve/hits");
+  EXPECT_EQ(&c1, &c2) << "same name, same instrument";
+  c1.add(3);
+  registry.gauge("pool/depth").set(7.5);
+  registry.histogram("serve/request_seconds").observe(0.010);
+
+  const arcs::common::Json snapshot = registry.json_snapshot();
+  EXPECT_EQ(snapshot.find("counters")->find("serve/hits")->as_number(),
+            3.0);
+  EXPECT_EQ(snapshot.find("gauges")->find("pool/depth")->as_number(), 7.5);
+  EXPECT_EQ(snapshot.find("histograms")
+                ->find("serve/request_seconds")
+                ->find("count")
+                ->as_number(),
+            1.0);
+
+  const std::string prom = registry.prometheus_text();
+  EXPECT_NE(prom.find("# TYPE arcs_serve_hits counter"), std::string::npos);
+  EXPECT_NE(prom.find("arcs_serve_hits 3"), std::string::npos);
+  EXPECT_NE(prom.find("arcs_pool_depth 7.5"), std::string::npos);
+  EXPECT_NE(prom.find("arcs_serve_request_seconds_count 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+}
+
+// ---------- traced runs must not perturb the simulation ----------
+
+TEST(TelemetryObserver, TracedRunIsBitIdenticalToUntraced) {
+  TracerGuard guard;
+  const auto app = kn::synthetic_app(5);
+  kn::RunOptions plain;
+  plain.strategy = arcs::TuningStrategy::Online;
+  const kn::RunResult untraced = kn::run_app(app, sc::testbox(), plain);
+
+  tl::Tracer::instance().enable();
+  kn::RunOptions traced_opts = plain;
+  traced_opts.runtime_hook = [](arcs::somp::Runtime& runtime) {
+    tl::attach_tracing(runtime);
+  };
+  const kn::RunResult traced = kn::run_app(app, sc::testbox(), traced_opts);
+  tl::Tracer::instance().disable();
+
+  // Observer-kind OMPT tools charge no instrumentation time: every
+  // simulated quantity must match exactly, not approximately.
+  EXPECT_EQ(untraced.elapsed, traced.elapsed);
+  EXPECT_EQ(untraced.energy, traced.energy);
+  EXPECT_EQ(untraced.search_evaluations, traced.search_evaluations);
+  ASSERT_EQ(untraced.regions.size(), traced.regions.size());
+  for (const auto& [name, stats] : untraced.regions) {
+    const auto& t = traced.regions.at(name);
+    EXPECT_EQ(stats.calls, t.calls) << name;
+    EXPECT_EQ(stats.time_total, t.time_total) << name;
+    EXPECT_EQ(stats.energy_total, t.energy_total) << name;
+    EXPECT_EQ(stats.barrier_total, t.barrier_total) << name;
+  }
+
+  // ...and the traced run actually produced a cross-layer timeline.
+  const std::vector<tl::Event> events = tl::Tracer::instance().drain();
+  std::set<tl::Category> cats;
+  for (const tl::Event& e : events) cats.insert(e.category);
+  EXPECT_TRUE(cats.count(tl::Category::Somp));
+  EXPECT_TRUE(cats.count(tl::Category::Harmony));
+  EXPECT_TRUE(cats.count(tl::Category::Apex));
+  EXPECT_TRUE(cats.count(tl::Category::Sim));
+}
+
+// ---------- concurrency (the TSan target) ----------
+
+TEST(TelemetryConcurrency, ConcurrentEmittersAndInstruments) {
+  TracerGuard guard;
+  tl::Tracer& tracer = tl::Tracer::instance();
+  tl::TracerOptions options;
+  options.ring_capacity = 1u << 14;
+  tracer.enable(options);
+
+  tl::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      tl::Tracer& tr = tl::Tracer::instance();
+      tr.name_host_thread("emitter " + std::to_string(t));
+      tl::Counter& hits = registry.counter("hits");
+      tl::Histogram& lat = registry.histogram("lat");
+      for (int i = 0; i < kPerThread; ++i) {
+        const tl::ScopedSpan span(tl::Category::Exec,
+                                  "job " + std::to_string(t));
+        hits.add();
+        lat.observe(1e-6 * (t + 1));
+        if ((i & 63) == 0)
+          tr.counter(tl::Category::Exec, tl::TimeDomain::Host, "depth",
+                     tr.host_track(), tr.now(),
+                     static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  tracer.disable();
+
+  EXPECT_EQ(registry.counter("hits").load(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.histogram("lat").count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+
+  const std::vector<tl::Event> events = tracer.drain();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  // One span per iteration plus the sampled counters (i = 0, 64, ...).
+  EXPECT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads) *
+                (kPerThread + (kPerThread + 63) / 64));
+  // Every event got a unique global sequence number.
+  std::set<std::uint64_t> seqs;
+  for (const tl::Event& e : events) seqs.insert(e.seq);
+  EXPECT_EQ(seqs.size(), events.size());
+}

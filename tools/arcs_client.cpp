@@ -5,6 +5,7 @@
 //   $ arcs_client report   /tmp/arcs.sock SP crill 85 B x_solve TICKET SECS
 //   $ arcs_client drive    /tmp/arcs.sock SP crill 85 B x_solve
 //   $ arcs_client metrics  /tmp/arcs.sock
+//   $ arcs_client prom     /tmp/arcs.sock
 //   $ arcs_client save     /tmp/arcs.sock
 //   $ arcs_client shutdown /tmp/arcs.sock
 //
@@ -29,6 +30,7 @@ int usage(const char* argv0) {
       "  report   SOCKET APP MACHINE CAP_W WORKLOAD REGION TICKET VALUE\n"
       "  drive    SOCKET APP MACHINE CAP_W WORKLOAD REGION\n"
       "  metrics  SOCKET\n"
+      "  prom     SOCKET        (metrics in Prometheus text format)\n"
       "  save     SOCKET\n"
       "  shutdown SOCKET\n",
       argv0);
@@ -87,6 +89,18 @@ int main(int argc, char** argv) {
                    : command == "save"    ? Op::Save
                                           : Op::Shutdown;
       return print_response(client.call(request));
+    }
+
+    if (command == "prom") {
+      // Prometheus text exposition: print the body verbatim so the
+      // output can be piped straight into a scraper or promtool.
+      request.op = Op::Metrics;
+      request.format = "prom";
+      const Response response = client.call(request);
+      if (response.status == Status::Error || !response.metrics.is_string())
+        return print_response(response);
+      std::fputs(response.metrics.as_string().c_str(), stdout);
+      return 0;
     }
 
     if (command == "get") {

@@ -1,0 +1,328 @@
+// arcs_trace — offline analysis of arcs-trace/v1 Chrome-trace files.
+//
+//   $ arcs_trace summary run.trace.json [--top N]
+//   $ arcs_trace merge   merged.json a.trace.json b.trace.json ...
+//   $ arcs_trace diff    before.trace.json after.trace.json
+//
+// `summary` prints what a human scans a timeline for: the per-region
+// time breakdown, how much of the parallel time was barrier wait, the
+// package power over (virtual) time, and the slowest serve requests with
+// their causal ids. `merge` concatenates traces from several processes
+// (e.g. arcsd plus its clients) into one Perfetto-loadable document.
+// `diff` compares per-region totals between two traces.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "telemetry/chrome_trace.hpp"
+
+namespace {
+
+using arcs::common::Json;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <command> [args]\n"
+               "  summary FILE [--top N]   per-region breakdown, barrier\n"
+               "                           share, power over time, slowest\n"
+               "                           serve requests\n"
+               "  merge   OUT FILE...      merge traces into OUT\n"
+               "  diff    A B              compare per-region totals\n",
+               argv0);
+  return 2;
+}
+
+Json load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "arcs_trace: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    Json doc = Json::parse(buffer.str());
+    const Json* events = doc.find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      std::fprintf(stderr, "arcs_trace: %s has no traceEvents array\n",
+                   path.c_str());
+      std::exit(1);
+    }
+    return doc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "arcs_trace: %s: %s\n", path.c_str(), e.what());
+    std::exit(1);
+  }
+}
+
+std::string field_string(const Json& event, const char* key) {
+  const Json* v = event.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
+
+double field_number(const Json& event, const char* key) {
+  const Json* v = event.find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+}
+
+double arg_number(const Json& event, const char* key) {
+  const Json* args = event.find("args");
+  return args != nullptr ? field_number(*args, key) : 0.0;
+}
+
+struct RegionAgg {
+  std::size_t calls = 0;
+  double total = 0;  ///< seconds
+};
+
+int run_summary(const std::string& path, std::size_t top) {
+  const Json doc = load_trace(path);
+  const Json& events = *doc.find("traceEvents");
+
+  std::map<std::string, RegionAgg> regions;   // "region:*" spans
+  double region_total = 0, barrier_total = 0, loop_total = 0;
+  std::size_t search_iterations = 0, config_switches = 0;
+  struct Power {
+    double ts;
+    double watts;
+  };
+  std::vector<Power> power;
+  struct ServeSpan {
+    std::string name;
+    double ts, dur;  ///< seconds
+    std::uint64_t span, trace, parent;
+  };
+  std::vector<ServeSpan> serve;
+  std::size_t total_events = 0;
+
+  for (const Json& event : events.items()) {
+    const std::string ph = field_string(event, "ph");
+    if (ph == "M") continue;
+    ++total_events;
+    const std::string cat = field_string(event, "cat");
+    const std::string name = field_string(event, "name");
+    const double ts = field_number(event, "ts") * 1e-6;
+    const double dur = field_number(event, "dur") * 1e-6;
+
+    if (ph == "X" && cat == "somp") {
+      if (name.rfind("region:", 0) == 0) {
+        RegionAgg& agg = regions[name.substr(7)];
+        ++agg.calls;
+        agg.total += dur;
+        region_total += dur;
+      } else if (name == "barrier") {
+        barrier_total += dur;
+      } else if (name == "loop") {
+        loop_total += dur;
+      }
+    } else if (cat == "harmony") {
+      if (name.rfind("search:", 0) == 0) ++search_iterations;
+      if (name.rfind("config_switch:", 0) == 0) ++config_switches;
+    } else if (ph == "C" && name == "power_w") {
+      power.push_back({ts, field_number(*event.find("args"), "value")});
+    } else if (ph == "X" && cat == "serve") {
+      serve.push_back(
+          {name, ts, dur,
+           static_cast<std::uint64_t>(arg_number(event, "span")),
+           static_cast<std::uint64_t>(arg_number(event, "trace")),
+           static_cast<std::uint64_t>(arg_number(event, "parent"))});
+    }
+  }
+
+  const Json* other = doc.find("otherData");
+  const double dropped =
+      other != nullptr ? field_number(*other, "dropped_events") : 0.0;
+  std::printf("%s: %zu events", path.c_str(), total_events);
+  if (dropped > 0) std::printf(" (%.0f DROPPED — truncated!)", dropped);
+  std::printf("\n\n");
+
+  if (!regions.empty()) {
+    std::vector<std::pair<std::string, RegionAgg>> rows(regions.begin(),
+                                                        regions.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.total > b.second.total;
+    });
+    if (top > 0 && rows.size() > top) rows.resize(top);
+    arcs::common::Table table(
+        {"region", "calls", "total (s)", "mean (ms)", "share %"});
+    for (const auto& [name, agg] : rows) {
+      table.row()
+          .cell(name)
+          .cell(agg.calls)
+          .cell(agg.total, 3)
+          .cell(agg.calls ? agg.total / static_cast<double>(agg.calls) * 1e3
+                          : 0.0,
+                3)
+          .cell(region_total > 0 ? 100.0 * agg.total / region_total : 0.0,
+                1);
+    }
+    std::printf("Per-region time (somp parallel regions)\n");
+    table.print(std::cout);
+    if (loop_total > 0 || barrier_total > 0)
+      std::printf(
+          "barrier wait: %.3f s over %.3f s of per-thread loop+barrier "
+          "time (%.1f%%)\n",
+          barrier_total, loop_total + barrier_total,
+          loop_total + barrier_total > 0
+              ? 100.0 * barrier_total / (loop_total + barrier_total)
+              : 0.0);
+    std::printf("\n");
+  }
+
+  if (search_iterations > 0 || config_switches > 0)
+    std::printf("Harmony: %zu search iterations, %zu config switches\n\n",
+                search_iterations, config_switches);
+
+  if (!power.empty()) {
+    // Bucket the samples into at most 12 equal windows of virtual time.
+    std::sort(power.begin(), power.end(),
+              [](const Power& a, const Power& b) { return a.ts < b.ts; });
+    const double t0 = power.front().ts, t1 = power.back().ts;
+    const std::size_t buckets =
+        std::min<std::size_t>(12, std::max<std::size_t>(1, power.size()));
+    const double width = t1 > t0 ? (t1 - t0) / static_cast<double>(buckets)
+                                 : 1.0;
+    arcs::common::Table table({"t (s)", "mean W", "max W", "samples"});
+    std::size_t i = 0;
+    for (std::size_t b = 0; b < buckets && i < power.size(); ++b) {
+      const double end = b + 1 == buckets
+                             ? t1 + 1.0
+                             : t0 + static_cast<double>(b + 1) * width;
+      double sum = 0, peak = 0;
+      std::size_t n = 0;
+      while (i < power.size() && power[i].ts < end) {
+        sum += power[i].watts;
+        peak = std::max(peak, power[i].watts);
+        ++n;
+        ++i;
+      }
+      if (n == 0) continue;
+      table.row()
+          .cell(t0 + static_cast<double>(b) * width, 3)
+          .cell(sum / static_cast<double>(n), 1)
+          .cell(peak, 1)
+          .cell(n);
+    }
+    std::printf("Package power over virtual time\n");
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  if (!serve.empty()) {
+    std::sort(serve.begin(), serve.end(),
+              [](const ServeSpan& a, const ServeSpan& b) {
+                return a.dur > b.dur;
+              });
+    const std::size_t n = std::min<std::size_t>(serve.size(),
+                                                top > 0 ? top : 10);
+    arcs::common::Table table(
+        {"request", "dur (ms)", "span", "trace", "parent"});
+    for (std::size_t k = 0; k < n; ++k) {
+      const ServeSpan& s = serve[k];
+      table.row()
+          .cell(s.name)
+          .cell(s.dur * 1e3, 3)
+          .cell(s.span)
+          .cell(s.trace)
+          .cell(s.parent);
+    }
+    std::printf("Slowest serve requests (%zu of %zu)\n", n, serve.size());
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int run_merge(const std::string& out_path,
+              const std::vector<std::string>& inputs) {
+  std::vector<Json> traces;
+  traces.reserve(inputs.size());
+  for (const std::string& path : inputs) traces.push_back(load_trace(path));
+  const Json merged = arcs::telemetry::merge_chrome_traces(traces);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "arcs_trace: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << merged.dump(1) << "\n";
+  const Json* events = merged.find("traceEvents");
+  std::printf("merged %zu traces (%zu events) into %s\n", inputs.size(),
+              events != nullptr ? events->size() : 0, out_path.c_str());
+  return 0;
+}
+
+std::map<std::string, RegionAgg> region_totals(const Json& doc) {
+  std::map<std::string, RegionAgg> regions;
+  for (const Json& event : doc.find("traceEvents")->items()) {
+    if (field_string(event, "ph") != "X") continue;
+    if (field_string(event, "cat") != "somp") continue;
+    const std::string name = field_string(event, "name");
+    if (name.rfind("region:", 0) != 0) continue;
+    RegionAgg& agg = regions[name.substr(7)];
+    ++agg.calls;
+    agg.total += field_number(event, "dur") * 1e-6;
+  }
+  return regions;
+}
+
+int run_diff(const std::string& path_a, const std::string& path_b) {
+  const auto a = region_totals(load_trace(path_a));
+  const auto b = region_totals(load_trace(path_b));
+  std::map<std::string, std::pair<RegionAgg, RegionAgg>> joined;
+  for (const auto& [name, agg] : a) joined[name].first = agg;
+  for (const auto& [name, agg] : b) joined[name].second = agg;
+
+  arcs::common::Table table(
+      {"region", "A (s)", "B (s)", "delta (s)", "delta %"});
+  double total_a = 0, total_b = 0;
+  for (const auto& [name, pair] : joined) {
+    total_a += pair.first.total;
+    total_b += pair.second.total;
+    const double delta = pair.second.total - pair.first.total;
+    table.row()
+        .cell(name)
+        .cell(pair.first.total, 3)
+        .cell(pair.second.total, 3)
+        .cell(delta, 3)
+        .cell(pair.first.total > 0 ? 100.0 * delta / pair.first.total : 0.0,
+              1);
+  }
+  std::printf("Per-region time: A=%s  B=%s\n", path_a.c_str(),
+              path_b.c_str());
+  table.print(std::cout);
+  std::printf("total: A %.3f s, B %.3f s (%+.1f%%)\n", total_a, total_b,
+              total_a > 0 ? 100.0 * (total_b - total_a) / total_a : 0.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string command = argv[1];
+
+  if (command == "summary") {
+    if (argc < 3) return usage(argv[0]);
+    std::size_t top = 0;
+    for (int i = 3; i + 1 < argc; ++i)
+      if (std::string(argv[i]) == "--top")
+        top = std::strtoul(argv[i + 1], nullptr, 10);
+    return run_summary(argv[2], top);
+  }
+  if (command == "merge") {
+    if (argc < 4) return usage(argv[0]);
+    return run_merge(argv[2], {argv + 3, argv + argc});
+  }
+  if (command == "diff") {
+    if (argc != 4) return usage(argv[0]);
+    return run_diff(argv[2], argv[3]);
+  }
+  return usage(argv[0]);
+}

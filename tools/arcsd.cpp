@@ -10,6 +10,7 @@
 //
 // The --history file is loaded into the cache at boot (warm start) and
 // written back (atomic replace) at shutdown and on Op::Save.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -32,7 +33,11 @@ int usage(const char* argv0) {
       "usage: %s --socket PATH [options]\n"
       "  --socket PATH        unix socket to serve on (required)\n"
       "  --history FILE       cache warm-start / save file\n"
-      "  --metrics-json FILE  dump metrics JSON at exit\n"
+      "  --metrics-json FILE  dump metrics JSON at exit (and periodically\n"
+      "                       with --metrics-interval)\n"
+      "  --metrics-interval S rewrite the metrics file every S seconds\n"
+      "                       (atomic replace; scrapers never see a\n"
+      "                       partial file)\n"
       "  --capacity N         decision-cache capacity (default 1024)\n"
       "  --shards N           decision-cache lock shards (default 8)\n"
       "  --workers N          request worker threads (default 4)\n"
@@ -43,6 +48,25 @@ int usage(const char* argv0) {
   return 2;
 }
 
+/// Writes `text` to `path` via temp file + rename — the same atomic
+/// discipline as HistoryStore::save, so a concurrent scraper reads
+/// either the previous complete snapshot or the new one, never a
+/// partial file.
+bool write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text << '\n';
+    if (!out) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,6 +75,7 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::string history_path;
   std::string metrics_path;
+  double metrics_interval = 0.0;
   serve::ServerOptions server_opts;
   serve::SocketServerOptions socket_opts;
 
@@ -69,6 +94,8 @@ int main(int argc, char** argv) {
       history_path = next();
     } else if (arg == "--metrics-json") {
       metrics_path = next();
+    } else if (arg == "--metrics-interval") {
+      metrics_interval = std::atof(next());
     } else if (arg == "--capacity") {
       server_opts.cache.capacity =
           static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
@@ -129,8 +156,22 @@ int main(int argc, char** argv) {
                 std::string(serve::kProtocol).c_str(),
                 transport.path().c_str(), socket_opts.workers);
     std::fflush(stdout);
-    while (g_signalled == 0 && !server.shutdown_requested())
+    auto last_snapshot = std::chrono::steady_clock::now();
+    while (g_signalled == 0 && !server.shutdown_requested()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (metrics_interval > 0 && !metrics_path.empty()) {
+        const auto now = std::chrono::steady_clock::now();
+        const double since =
+            std::chrono::duration<double>(now - last_snapshot).count();
+        if (since >= metrics_interval) {
+          if (!write_file_atomic(metrics_path,
+                                 server.metrics_json().dump(2)))
+            std::fprintf(stderr, "arcsd: metrics snapshot to %s failed\n",
+                         metrics_path.c_str());
+          last_snapshot = now;
+        }
+      }
+    }
     transport.stop();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "arcsd: %s\n", e.what());
@@ -143,9 +184,13 @@ int main(int argc, char** argv) {
                 history_path.c_str());
   }
   if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
-    out << server.metrics_json().dump(2) << '\n';
-    std::printf("arcsd: metrics written to %s\n", metrics_path.c_str());
+    // Final snapshot on clean shutdown, same atomic-replace discipline
+    // as the periodic ones.
+    if (write_file_atomic(metrics_path, server.metrics_json().dump(2)))
+      std::printf("arcsd: metrics written to %s\n", metrics_path.c_str());
+    else
+      std::fprintf(stderr, "arcsd: final metrics write to %s failed\n",
+                   metrics_path.c_str());
   }
   return 0;
 }

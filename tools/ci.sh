@@ -31,21 +31,22 @@ run_mode plain -DARCS_WERROR=ON
 run_mode sanitize -DARCS_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
 
 # TSan build: the exec pool, the ported bench harness, the verifier
-# registry, and the tuning service are the code that actually crosses
-# threads — run the suites that exercise them (a full TSan ctest pass is
-# 10x+ slower and mostly re-runs single-threaded code). The Serve suites
-# include the 16-clients-one-key contention test, which is the
-# no-duplicate-search acceptance check under TSan.
+# registry, the tuning service, and the telemetry rings are the code
+# that actually crosses threads — run the suites that exercise them (a
+# full TSan ctest pass is 10x+ slower and mostly re-runs single-threaded
+# code). The Serve suites include the 16-clients-one-key contention
+# test, which is the no-duplicate-search acceptance check under TSan;
+# the Telemetry suites include the concurrent-emitters stress test.
 echo "=== [tsan] configure: -DARCS_SANITIZE=thread ==="
 cmake -B "$ROOT/tsan" -S . -DARCS_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug \
   >/dev/null
 echo "=== [tsan] build ==="
 cmake --build "$ROOT/tsan" -j "$JOBS" \
   --target exec_test golden_test somp_test analysis_test serve_test \
-           somp_verify
-echo "=== [tsan] exec + somp + serve suites under TSan ==="
+           telemetry_test somp_verify
+echo "=== [tsan] exec + somp + serve + telemetry suites under TSan ==="
 (cd "$ROOT/tsan" && ctest --output-on-failure -j "$JOBS" \
-  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve')
+  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve|Telemetry')
 "$ROOT/tsan/tools/somp_verify" --app synthetic --steps 3
 
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -101,7 +102,8 @@ rm -rf "$SERVE_DIR" && mkdir -p "$SERVE_DIR"
 SOCK="$SERVE_DIR/arcsd.sock"
 TOOLS_BIN="$ROOT/plain/tools"
 "$TOOLS_BIN/arcsd" --socket "$SOCK" --history "$SERVE_DIR/arcsd.hist" \
-  --metrics-json "$SERVE_DIR/metrics.json" >"$SERVE_DIR/arcsd.log" 2>&1 &
+  --metrics-json "$SERVE_DIR/metrics.json" --metrics-interval 1 \
+  >"$SERVE_DIR/arcsd.log" 2>&1 &
 ARCSD_PID=$!
 trap 'kill "$ARCSD_PID" 2>/dev/null || true' EXIT
 for _ in $(seq 1 50); do
@@ -115,6 +117,19 @@ done
 "$TOOLS_BIN/arcs_client" get "$SOCK" SP testbox 40 B ci_region \
   | grep -q '"status": "hit"' \
   || { echo "serve smoke: expected a cache hit"; exit 1; }
+# Prometheus exposition over the same socket.
+"$TOOLS_BIN/arcs_client" prom "$SOCK" | tee "$SERVE_DIR/metrics.prom" \
+  | grep -q '^# TYPE arcs_serve_requests counter' \
+  || { echo "serve smoke: bad Prometheus exposition"; exit 1; }
+grep -q '_bucket{le="+Inf"}' "$SERVE_DIR/metrics.prom" \
+  || { echo "serve smoke: latency histogram missing +Inf bucket"; exit 1; }
+# --metrics-interval 1: a periodic snapshot must land while the daemon
+# is still up (written atomically, so a partial read is impossible).
+for _ in $(seq 1 30); do [ -s "$SERVE_DIR/metrics.json" ] && break; sleep 0.1; done
+[ -s "$SERVE_DIR/metrics.json" ] \
+  || { echo "serve smoke: no periodic metrics snapshot"; exit 1; }
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+  "$SERVE_DIR/metrics.json"
 "$TOOLS_BIN/arcs_client" shutdown "$SOCK"
 wait "$ARCSD_PID"
 trap - EXIT
@@ -150,6 +165,54 @@ assert {"serve_hit_throughput", "serve_search_dedup"} <= series, series
 dedup = [row for row in r["rows"] if row["series"] == "serve_search_dedup"]
 assert dedup[0]["searches_started"] == 1, dedup
 print("serve bench smoke: report valid, one shared search")
+PYEOF
+
+echo "=== trace smoke: record a traced remote-tuned run, validate the JSON ==="
+TRACE_DIR="$ROOT/trace-smoke"
+rm -rf "$TRACE_DIR" && mkdir -p "$TRACE_DIR"
+"$TOOLS_BIN/arcs_tune" remote SP B crill 85 --steps 10 \
+  --trace "$TRACE_DIR/run.trace.json" >"$TRACE_DIR/tune.log"
+# The trace tooling must at least parse its own output.
+"$TOOLS_BIN/arcs_trace" summary "$TRACE_DIR/run.trace.json" >/dev/null
+python3 - "$TRACE_DIR/run.trace.json" <<'PYEOF'
+import json, pathlib, sys
+
+trace = json.loads(pathlib.Path(sys.argv[1]).read_text())
+other = trace["otherData"]
+assert other["schema"] == "arcs-trace/v1", other
+events = trace["traceEvents"]
+meta = [e for e in events if e["ph"] == "M"]
+names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+assert {"arcs virtual time", "arcs host time"} <= names, names
+
+# Spans are well-formed: non-negative durations, timestamps monotone
+# non-decreasing within each (pid, tid) track in file order.
+last = {}
+cats = set()
+for e in events:
+    if e["ph"] == "M":
+        continue
+    cats.add(e.get("cat", ""))
+    assert e["ts"] >= 0, e
+    if e["ph"] == "X":
+        assert e["dur"] >= 0, e
+    track = (e["pid"], e["tid"])
+    assert e["ts"] >= last.get(track, 0), f"non-monotonic track {track}: {e}"
+    last[track] = e["ts"]
+
+# The acceptance criterion: spans from >= 4 layers in one trace, with
+# serve requests causally linked to the client spans that issued them.
+assert len(cats - {""}) >= 4, f"expected >=4 layer categories, got {cats}"
+client = {e["args"]["span"] for e in events
+          if e.get("cat") == "client" and e["ph"] == "X"}
+serve = [e for e in events if e.get("cat") == "serve" and e["ph"] == "X"]
+linked = sum(1 for e in serve if e["args"].get("parent") in client)
+assert serve and linked == len(serve), \
+    f"{linked}/{len(serve)} serve spans linked to client spans"
+if other.get("dropped_events", 0):
+    print(f"note: {other['dropped_events']} events dropped (ring full)")
+print(f"trace smoke: ok ({len(events)} events, layers {sorted(cats - {''})}, "
+      f"{linked} serve spans causally linked)")
 PYEOF
 
 echo "CI: all modes green"

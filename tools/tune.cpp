@@ -4,12 +4,21 @@
 //            write the history file;
 //   replay:  run the app applying a history file (no searching);
 //   online:  run ARCS-Online (search + deploy in one execution);
+//   remote:  run against an in-process tuning service (the Remote
+//            strategy end-to-end without a daemon);
 //   default: untuned baseline.
 //
 //   $ arcs_tune search SP B crill 85 sp85.hist
 //   $ arcs_tune replay SP B crill 85 sp85.hist
 //   $ arcs_tune online LULESH 45 crill 55
 //   $ arcs_tune default BT B minotaur
+//
+// `--trace FILE` records a cross-layer timeline of the whole invocation
+// (somp regions via an Observer OMPT tool, Harmony search iterations,
+// serve requests, exec-pool jobs) and writes one Chrome-trace JSON —
+// open it in Perfetto, or summarize with arcs_trace. Tracing attaches
+// only Observer-kind tools, so results are bit-identical with and
+// without it. `--steps N` overrides the app's timestep count.
 //
 // The baseline and the tuned run are independent simulations, so they
 // execute concurrently on the experiment pool; results and seeds are
@@ -19,6 +28,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <future>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,7 +36,11 @@
 #include "exec/pool.hpp"
 #include "kernels/apps.hpp"
 #include "kernels/driver.hpp"
+#include "serve/serve.hpp"
 #include "sim/presets.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/observer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ex = arcs::exec;
 namespace kn = arcs::kernels;
@@ -97,29 +111,43 @@ kn::RunResult take(std::future<ex::JobOutcome<kn::RunResult>>& future,
 
 int main(int argc, char** argv) {
   using namespace arcs;
-  // `--history <path>` may appear anywhere; the remaining arguments are
-  // positional. (The trailing positional history file is kept working.)
+  // `--history <path>`, `--trace <path>`, and `--steps <n>` may appear
+  // anywhere; the remaining arguments are positional. (The trailing
+  // positional history file is kept working.)
   std::string history_path;
+  std::string trace_path;
+  int steps_override = 0;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--history") {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "--history needs a file path\n");
-        return 1;
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(1);
       }
-      history_path = argv[++i];
-      continue;
+      return argv[++i];
+    };
+    if (arg == "--history") {
+      history_path = value();
+    } else if (arg == "--trace") {
+      trace_path = value();
+    } else if (arg == "--steps") {
+      steps_override = std::atoi(value());
+    } else {
+      args.emplace_back(argv[i]);
     }
-    args.emplace_back(argv[i]);
   }
   if (args.size() < 3) {
     std::fprintf(stderr,
-                 "usage: %s <search|replay|online|default> <app> "
+                 "usage: %s <search|replay|online|remote|default> <app> "
                  "<workload> [machine] [cap_w] [--history <file>]\n"
+                 "       [--trace <file>] [--steps <n>]\n"
                  "  search/online with --history: merge this run's bests "
                  "into the file (atomic replace)\n"
                  "  replay with --history: load configurations from the "
-                 "file\n",
+                 "file\n"
+                 "  remote: tune against an in-process serve service\n"
+                 "  --trace: write a Chrome-trace JSON of the whole run\n",
                  argv[0]);
     return 1;
   }
@@ -145,6 +173,24 @@ int main(int argc, char** argv) {
   kn::RunOptions opts;
   opts.power_cap = desc.power_cap;
   opts.repetitions = 3;  // the paper's protocol
+  if (steps_override > 0) opts.timesteps_override = steps_override;
+
+  // Tracing must be enabled before the pool exists so worker threads
+  // register named host lanes; the runtime hook attaches the Observer
+  // OMPT tool to every runtime the driver constructs.
+  if (!trace_path.empty()) {
+    telemetry::Tracer::instance().enable();
+    opts.runtime_hook = [](somp::Runtime& runtime) {
+      telemetry::attach_tracing(runtime);
+    };
+  }
+  auto write_trace = [&] {
+    if (trace_path.empty()) return;
+    if (telemetry::write_chrome_trace(trace_path))
+      std::printf("\ntrace written to %s (open in Perfetto, or run "
+                  "arcs_trace summary)\n",
+                  trace_path.c_str());
+  };
 
   std::printf("%s %s (%s) on %s at %s\n\n", mode.c_str(), app.name.c_str(),
               app.workload.c_str(), machine.name.c_str(),
@@ -152,6 +198,11 @@ int main(int argc, char** argv) {
                   ? (std::to_string(static_cast<int>(desc.power_cap)) + " W")
                         .c_str()
                   : "TDP");
+
+  // Remote mode's in-process service: declared before the pool so every
+  // in-flight job finishes (pool destructor joins) before it goes away.
+  std::optional<serve::TuningServer> server;
+  std::optional<serve::LocalClient> remote_client;
 
   ex::ExperimentPool pool;
 
@@ -163,6 +214,7 @@ int main(int argc, char** argv) {
   if (mode == "default") {
     print_result("default", take(baseline_future, "default"),
                  machine.energy_counters);
+    write_trace();
     return 0;
   }
 
@@ -170,6 +222,16 @@ int main(int argc, char** argv) {
   HistoryStore history;  // must outlive the replay run
   if (mode == "online") {
     tuned_opts.strategy = TuningStrategy::Online;
+  } else if (mode == "remote") {
+    // Nelder-Mead, not the daemon's exhaustive default: a single
+    // invocation should converge within its own run.
+    serve::ServerOptions server_opts;
+    server_opts.method = harmony::StrategyKind::NelderMead;
+    server.emplace(server_opts);
+    remote_client.emplace(*server);
+    tuned_opts.strategy = TuningStrategy::Remote;
+    tuned_opts.remote = &*remote_client;
+    tuned_opts.remote_timeout_ms = 0.0;  // never block a pool worker
   } else if (mode == "search") {
     tuned_opts.strategy = TuningStrategy::OfflineReplay;  // search + replay
   } else if (mode == "replay") {
@@ -199,6 +261,23 @@ int main(int argc, char** argv) {
     std::printf("\nspeedup %.2fx\n", baseline.elapsed / run.elapsed);
     if (!history_path.empty())
       save_history_merged(history_path, run.history);
+    write_trace();
+    return 0;
+  }
+  if (mode == "remote") {
+    print_result("remote", run, machine.energy_counters);
+    const auto& m = server->metrics();
+    std::printf("\nspeedup %.2fx\n", baseline.elapsed / run.elapsed);
+    std::printf("service: %llu hits, %llu misses, %zu cached decisions, "
+                "%llu searches completed\n",
+                static_cast<unsigned long long>(m.hits.load()),
+                static_cast<unsigned long long>(m.misses.load()),
+                server->cache().size(),
+                static_cast<unsigned long long>(
+                    m.searches_completed.load()));
+    if (!history_path.empty())
+      save_history_merged(history_path, server->cache().snapshot());
+    write_trace();
     return 0;
   }
   if (mode == "search") {
@@ -206,11 +285,13 @@ int main(int argc, char** argv) {
     std::printf("\nspeedup %.2fx\n", baseline.elapsed / run.elapsed);
     if (!history_path.empty())
       save_history_merged(history_path, run.history);
+    write_trace();
     return 0;
   }
   // replay
   print_result("replay", run, machine.energy_counters);
   std::printf("\nspeedup %.2fx (zero search executions in this run)\n",
               baseline.elapsed / run.elapsed);
+  write_trace();
   return 0;
 }
