@@ -1,0 +1,268 @@
+// x15 — predictive configuration models: cold-start cost on the Crill
+// cap ladder.
+//
+// The claim behind src/model: a predictor trained on tuning history from
+// *other* power caps seeds the search so close to the optimum that the
+// evaluations-to-within-5%-of-exhaustive-best collapse. For each cap in
+// the fig-7 ladder we hold that cap out, train on the other four, and
+// race three searches on every SP class-C hot region:
+//
+//   exhaustive        — enumeration order, the Offline baseline;
+//   center NM         — Nelder-Mead from the space center (no model);
+//   model-seeded NM   — Nelder-Mead whose first proposal IS the
+//                       prediction (what ArcsPolicy/serve actually run).
+//
+// Hard gates: every model-seeded run must reach within 5% of the
+// exhaustive best, and the ladder-wide seeded evaluation total must be
+// at least 50% below center NM's. A final section shows the serve-layer
+// payoff: a cache miss with a trained model is answered in ONE round
+// trip with zero search evaluations on the client's critical path.
+#include <future>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harmony/session.hpp"
+#include "harmony/strategy_factory.hpp"
+#include "kernels/model_bridge.hpp"
+#include "model/dataset.hpp"
+#include "model/model.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using namespace arcs;
+
+struct SearchRun {
+  std::size_t to_within = 0;  // evaluations until first value <= threshold
+  std::size_t total = 0;
+  bool hit = false;
+};
+
+/// Drives one harmony session against the simulator (one fresh region
+/// execution per proposal, exactly like ArcsPolicy) and records when it
+/// first lands within the 5% band.
+SearchRun drive(const harmony::SearchSpace& space, harmony::StrategyKind kind,
+                const harmony::StrategyOptions& opts,
+                const kernels::AppSpec& app, const std::string& region,
+                const sim::MachineSpec& machine, double cap,
+                double threshold) {
+  harmony::Session session(space, harmony::make_strategy(kind, opts));
+  SearchRun run;
+  while (!session.converged()) {
+    const auto values = session.next_values();
+    const auto out = kernels::run_region_once(app, region, machine, cap,
+                                              config_from_values(values));
+    session.report(out.record.duration);
+    ++run.total;
+    if (!run.hit && out.record.duration <= threshold) {
+      run.hit = true;
+      run.to_within = run.total;
+    }
+  }
+  if (!run.hit) run.to_within = run.total;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "x15_model");
+  bench::banner(
+      "x15 — predictive models vs cold-start search (SP class C, Crill)",
+      "model-seeded NM reaches within 5% of the exhaustive best with "
+      ">= 50% fewer evaluations than center-started NM, ladder-wide");
+
+  const auto app = kernels::sp_app("C");
+  const auto machine = sim::crill();
+  const auto space = arcs_search_space(machine);
+  const auto caps = bench::crill_caps();
+  const bool fast = std::getenv("ARCS_BENCH_FAST") != nullptr &&
+                    std::getenv("ARCS_BENCH_FAST")[0] == '1';
+  std::vector<std::string> regions;
+  for (const auto& spec : app.regions) {
+    regions.push_back(spec.name);
+    if (fast && regions.size() == 2) break;
+  }
+
+  // ---- Ground truth + training corpus: sweep every (region, cap). ----
+  std::map<double, std::map<std::string, std::vector<kernels::ConfigOutcome>>>
+      sweeps;
+  {
+    std::vector<std::future<exec::JobOutcome<std::vector<
+        kernels::ConfigOutcome>>>> futures;
+    for (const double cap : caps)
+      for (const auto& region : regions)
+        futures.push_back(bench::pool().submit(
+            [&app, &machine, region, cap](exec::JobContext&) {
+              return kernels::sweep_region(app, region, machine, cap);
+            }));
+    std::size_t i = 0;
+    for (const double cap : caps)
+      for (const auto& region : regions) {
+        auto outcome = futures[i++].get();
+        if (!outcome.ok()) {
+          std::cout << "sweep failed: " << outcome.error << "\n";
+          return 1;
+        }
+        sweeps[cap][region] = std::move(*outcome.value);
+      }
+  }
+  std::map<double, model::Dataset> per_cap;
+  for (const double cap : caps)
+    for (const auto& region : regions)
+      for (const auto& outcome : sweeps[cap][region])
+        per_cap[cap].add(kernels::example_from_outcome(
+            app, app.region(region), machine, cap, outcome));
+
+  // ---- Hold out each cap; train on the other four; race the searches.
+  common::Table table({"cap", "region", "exhaustive", "center NM",
+                       "seeded NM", "prediction vs best"});
+  std::size_t total_exhaustive = 0, total_nm = 0, total_seeded = 0;
+  bool all_seeded_hit = true;
+  for (const double cap : caps) {
+    model::Dataset train;
+    for (const double other : caps)
+      if (other != cap)
+        for (const auto& e : per_cap[other].examples()) train.add(e);
+    model::PredictiveModel model;
+    model.train(train);
+    model.set_resolver(kernels::model_resolver());
+    for (const auto& region : regions) {
+      const auto& sweep = sweeps[cap][region];
+      const double best = kernels::best_outcome(sweep).record.duration;
+      const double threshold = best * 1.05;
+
+      // Exhaustive proposes in enumeration order — the same order the
+      // sweep was collected in, so the count reads straight off it.
+      SearchRun exhaustive;
+      for (const auto& outcome : sweep) {
+        ++exhaustive.total;
+        if (!exhaustive.hit && outcome.record.duration <= threshold) {
+          exhaustive.hit = true;
+          exhaustive.to_within = exhaustive.total;
+        }
+      }
+
+      harmony::StrategyOptions center;
+      center.seed = 7;
+      center.nelder_mead.initial_center_frac = {0.5, 0.5, 0.5};
+      center.nelder_mead.initial_step = 0.25;
+      const SearchRun nm = drive(space, harmony::StrategyKind::NelderMead,
+                                 center, app, region, machine, cap,
+                                 threshold);
+
+      const HistoryKey key{app.name, machine.name, cap, app.workload,
+                           region};
+      const auto predicted = model.predict_config(key);
+      if (!predicted.has_value()) {
+        std::cout << "FAIL: trained model declined to predict "
+                  << region << " at " << bench::cap_label(cap) << "\n";
+        return 1;
+      }
+      harmony::StrategyOptions seeded_opts;
+      seeded_opts.seed = 7;
+      seeded_opts.model_seeded.center_frac =
+          center_frac_for(space, *predicted);
+      const SearchRun seeded =
+          drive(space, harmony::StrategyKind::ModelSeeded, seeded_opts, app,
+                region, machine, cap, threshold);
+      all_seeded_hit = all_seeded_hit && seeded.hit;
+
+      // How good was the raw prediction, before any refinement?
+      double charged = 0.0;
+      for (const auto& outcome : sweep)
+        if (outcome.config == *predicted) charged = outcome.record.duration;
+      const double prediction_ratio = charged > 0 ? charged / best : -1.0;
+
+      total_exhaustive += exhaustive.to_within;
+      total_nm += nm.to_within;
+      total_seeded += seeded.to_within;
+      table.row()
+          .cell(bench::cap_label(cap))
+          .cell(region)
+          .cell(exhaustive.to_within)
+          .cell(nm.to_within)
+          .cell(seeded.to_within)
+          .cell(common::format_fixed(prediction_ratio, 3) + "x");
+      common::Json row = common::Json::object();
+      row.set("series", "evals_to_within_5pct");
+      row.set("cap_w", cap);
+      row.set("region", region);
+      row.set("exhaustive", exhaustive.to_within);
+      row.set("center_nm", nm.to_within);
+      row.set("center_nm_hit", nm.hit);
+      row.set("seeded_nm", seeded.to_within);
+      row.set("seeded_nm_hit", seeded.hit);
+      row.set("prediction_vs_best", prediction_ratio);
+      bench::add_row(std::move(row));
+    }
+  }
+  std::cout << "evaluations until within 5% of the exhaustive best\n"
+            << "(each cap's model trained only on the other four caps)\n\n";
+  table.print(std::cout);
+  bench::maybe_export_csv("evals_to_within_5pct", table);
+
+  const double ratio =
+      total_nm > 0 ? static_cast<double>(total_seeded) /
+                         static_cast<double>(total_nm)
+                   : 1.0;
+  std::cout << "\nladder totals: exhaustive " << total_exhaustive
+            << ", center NM " << total_nm << ", seeded NM " << total_seeded
+            << "  (seeded/NM = " << common::format_fixed(ratio, 3)
+            << ", target <= 0.5)\n";
+  common::Json summary = common::Json::object();
+  summary.set("series", "ladder_totals");
+  summary.set("exhaustive", total_exhaustive);
+  summary.set("center_nm", total_nm);
+  summary.set("seeded_nm", total_seeded);
+  summary.set("seeded_over_nm", ratio);
+  bench::add_row(std::move(summary));
+
+  // ---- Serve payoff: a trained model answers cold misses instantly.
+  model::PredictiveModel full;
+  {
+    model::Dataset everything;
+    for (const double cap : caps)
+      for (const auto& e : per_cap[cap].examples()) everything.add(e);
+    full.train(everything);
+    full.set_resolver(kernels::model_resolver());
+  }
+  serve::ServerOptions server_opts;
+  server_opts.predictor = &full;
+  serve::TuningServer server{server_opts};
+  serve::LocalClient client{server};
+  const auto decision = client.decide(
+      {app.name, machine.name, 55.0, app.workload, regions.front()}, 0.0);
+  const bool one_round_trip =
+      decision.kind == RemoteDecision::Kind::Apply && decision.predicted &&
+      server.metrics().reports.load() == 0;
+  std::cout << "serve cold miss with model: "
+            << (one_round_trip ? "Apply in one round trip, zero client-side "
+                                 "evaluations"
+                               : "NOT answered in one round trip")
+            << " (config " << decision.config.to_string() << ")\n";
+  common::Json serve_row = common::Json::object();
+  serve_row.set("series", "serve_cold_start");
+  serve_row.set("one_round_trip", one_round_trip);
+  serve_row.set("config", decision.config.to_string());
+  bench::add_row(std::move(serve_row));
+
+  if (!all_seeded_hit) {
+    std::cout << "FAIL: a model-seeded search never reached within 5% of "
+                 "the exhaustive best\n";
+    return 1;
+  }
+  if (ratio > 0.5) {
+    std::cout << "FAIL: seeded NM used more than half of center NM's "
+                 "evaluations\n";
+    return 1;
+  }
+  if (!one_round_trip) {
+    std::cout << "FAIL: serve cold start was not answered by the model\n";
+    return 1;
+  }
+  std::cout << "PASS\n";
+  return bench::finish();
+}

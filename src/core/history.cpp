@@ -16,8 +16,14 @@ void HistoryStore::put(const HistoryKey& key, const HistoryEntry& entry) {
   entries_[key] = entry;
 }
 
+void HistoryStore::add_sample(const HistorySample& sample) {
+  samples_.push_back(sample);
+}
+
 void HistoryStore::merge(const HistoryStore& other) {
   for (const auto& [key, entry] : other.entries_) entries_[key] = entry;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
 }
 
 std::optional<HistoryEntry> HistoryStore::get(const HistoryKey& key) const {
@@ -28,8 +34,9 @@ std::optional<HistoryEntry> HistoryStore::get(const HistoryKey& key) const {
 
 std::string HistoryStore::serialize() const {
   std::ostringstream os;
-  os << "#%arcs-history v2\n"
-     << "# app|machine|cap_w|workload|region|config|best_s|evals\n";
+  os << "#%arcs-history v3\n"
+     << "# app|machine|cap_w|workload|region|config|best_s|evals\n"
+     << "# *app|machine|cap_w|workload|region|config|value_s|energy_j\n";
   for (const auto& [key, entry] : entries_) {
     os << key.app << '|' << key.machine << '|'
        << common::format_fixed(key.power_cap, 1) << '|' << key.workload
@@ -37,10 +44,21 @@ std::string HistoryStore::serialize() const {
        << common::format_fixed(entry.best_value, 9) << '|'
        << entry.evaluations << '\n';
   }
-  // Entry-count footer: a torn/truncated file (crash mid-write, partial
-  // copy) fails the count check instead of silently replaying half a
-  // history. v2 readers require it; v1 files never had one.
+  // Per-candidate sample lines (v3): everything a search measured, not
+  // just the winners — the model layer's training data.
+  for (const HistorySample& s : samples_) {
+    os << '*' << s.key.app << '|' << s.key.machine << '|'
+       << common::format_fixed(s.key.power_cap, 1) << '|' << s.key.workload
+       << '|' << s.key.region << '|' << s.config.to_string() << '|'
+       << common::format_fixed(s.value, 9) << '|'
+       << common::format_fixed(s.energy, 6) << '\n';
+  }
+  // Count footers: a torn/truncated file (crash mid-write, partial copy)
+  // fails a count check instead of silently replaying half a history.
+  // v2+ readers require #%count; v3 readers additionally require
+  // #%samples; v1 files never had either.
   os << "#%count " << entries_.size() << '\n';
+  os << "#%samples " << samples_.size() << '\n';
   return os.str();
 }
 
@@ -50,7 +68,9 @@ HistoryStore HistoryStore::deserialize(const std::string& text) {
   std::string line;
   int version = 1;  // headerless / plain-comment files are v1
   bool saw_count = false;
+  bool saw_samples = false;
   std::size_t expected_count = 0;
+  std::size_t expected_samples = 0;
   std::size_t parsed = 0;
   while (std::getline(is, line)) {
     const auto trimmed = common::trim(line);
@@ -59,9 +79,10 @@ HistoryStore HistoryStore::deserialize(const std::string& text) {
       const auto fields = common::split(trimmed, ' ');
       ARCS_CHECK_MSG(fields.size() == 2,
                      "malformed history header: " + std::string(trimmed));
-      ARCS_CHECK_MSG(fields[1] == "v1" || fields[1] == "v2",
-                     "unsupported history format version: " + fields[1]);
-      version = fields[1] == "v2" ? 2 : 1;
+      ARCS_CHECK_MSG(
+          fields[1] == "v1" || fields[1] == "v2" || fields[1] == "v3",
+          "unsupported history format version: " + fields[1]);
+      version = fields[1] == "v3" ? 3 : fields[1] == "v2" ? 2 : 1;
       continue;
     }
     if (common::starts_with(trimmed, "#%count")) {
@@ -72,7 +93,33 @@ HistoryStore HistoryStore::deserialize(const std::string& text) {
       saw_count = true;
       continue;
     }
+    if (common::starts_with(trimmed, "#%samples")) {
+      const auto fields = common::split(trimmed, ' ');
+      ARCS_CHECK_MSG(fields.size() == 2,
+                     "malformed history footer: " + std::string(trimmed));
+      expected_samples = static_cast<std::size_t>(std::stoull(fields[1]));
+      saw_samples = true;
+      continue;
+    }
     if (trimmed.front() == '#') continue;  // v1 comment lines
+    if (trimmed.front() == '*') {
+      // v3 per-candidate sample line.
+      const auto fields = common::split(trimmed.substr(1), '|');
+      ARCS_CHECK_MSG(fields.size() == 8,
+                     "history sample needs 8 fields: " +
+                         std::string(trimmed));
+      HistorySample sample;
+      sample.key.app = fields[0];
+      sample.key.machine = fields[1];
+      sample.key.power_cap = std::stod(fields[2]);
+      sample.key.workload = fields[3];
+      sample.key.region = fields[4];
+      sample.config = somp::LoopConfig::from_string(fields[5]);
+      sample.value = std::stod(fields[6]);
+      sample.energy = std::stod(fields[7]);
+      store.add_sample(sample);
+      continue;
+    }
     const auto fields = common::split(trimmed, '|');
     ARCS_CHECK_MSG(fields.size() == 8,
                    "history line needs 8 fields: " + std::string(trimmed));
@@ -90,13 +137,23 @@ HistoryStore HistoryStore::deserialize(const std::string& text) {
     ++parsed;
   }
   if (version >= 2)
-    ARCS_CHECK_MSG(saw_count, "v2 history is missing its #%count footer "
+    ARCS_CHECK_MSG(saw_count, "v2+ history is missing its #%count footer "
                               "(truncated file?)");
+  if (version >= 3)
+    ARCS_CHECK_MSG(saw_samples,
+                   "v3 history is missing its #%samples footer "
+                   "(truncated file?)");
   if (saw_count)
     ARCS_CHECK_MSG(parsed == expected_count,
                    "history is torn: footer promises " +
                        std::to_string(expected_count) + " entries, found " +
                        std::to_string(parsed));
+  if (saw_samples)
+    ARCS_CHECK_MSG(store.samples_.size() == expected_samples,
+                   "history is torn: footer promises " +
+                       std::to_string(expected_samples) +
+                       " samples, found " +
+                       std::to_string(store.samples_.size()));
   return store;
 }
 

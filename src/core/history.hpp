@@ -14,6 +14,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/units.hpp"
 #include "somp/schedule.hpp"
@@ -39,27 +40,53 @@ struct HistoryEntry {
   std::size_t evaluations = 0;
 };
 
+/// One candidate measurement from a search — not just the winner. The
+/// full set of samples for a key is the training data the model layer
+/// learns from (and the "recorded exhaustive best" regret is computed
+/// against).
+struct HistorySample {
+  HistoryKey key;
+  somp::LoopConfig config;
+  /// Measured objective (seconds).
+  double value = 0.0;
+  /// Package energy for the measurement (J); 0 when not recorded.
+  double energy = 0.0;
+};
+
 class HistoryStore {
  public:
   void put(const HistoryKey& key, const HistoryEntry& entry);
 
+  /// Records one per-candidate measurement (v3 data). Samples accumulate
+  /// in insertion order; they are independent of the best-entry map.
+  void add_sample(const HistorySample& sample);
+
   /// Adds (overwriting on key collision) every entry of `other` — used to
-  /// assemble a multi-cap history from per-cap search runs.
+  /// assemble a multi-cap history from per-cap search runs — and appends
+  /// its samples.
   void merge(const HistoryStore& other);
   std::optional<HistoryEntry> get(const HistoryKey& key) const;
   std::size_t size() const { return entries_.size(); }
-  void clear() { entries_.clear(); }
+  std::size_t sample_count() const { return samples_.size(); }
+  void clear() {
+    entries_.clear();
+    samples_.clear();
+  }
 
-  /// Serializes to the ARCS history text format v2: a `#%arcs-history v2`
-  /// version line, one entry per line
-  /// (app|machine|cap|workload|region|config|best|evals), and a
-  /// `#%count N` footer that lets readers detect torn files.
+  /// Serializes to the ARCS history text format v3: a `#%arcs-history v3`
+  /// version line; one entry per line
+  /// (app|machine|cap|workload|region|config|best|evals); one
+  /// `*`-prefixed line per candidate sample
+  /// (*app|machine|cap|workload|region|config|value|energy); and
+  /// `#%count N` / `#%samples M` footers that let readers detect torn
+  /// files.
   std::string serialize() const;
 
-  /// Parses the serialize() format, replacing current contents. Reads v2
-  /// and legacy v1 (plain-comment header, no footer) files. Throws
+  /// Parses the serialize() format, replacing current contents. Reads
+  /// v3, v2 (no sample lines, single footer) and legacy v1
+  /// (plain-comment header, no footer) files. Throws
   /// common::ContractError on malformed input, an unsupported version,
-  /// or a v2 entry count that disagrees with the footer.
+  /// or an entry/sample count that disagrees with a footer.
   static HistoryStore deserialize(const std::string& text);
 
   /// File round-trip helpers. save() is atomic: it writes a sibling
@@ -70,9 +97,11 @@ class HistoryStore {
   const std::map<HistoryKey, HistoryEntry>& entries() const {
     return entries_;
   }
+  const std::vector<HistorySample>& samples() const { return samples_; }
 
  private:
   std::map<HistoryKey, HistoryEntry> entries_;
+  std::vector<HistorySample> samples_;
 };
 
 }  // namespace arcs

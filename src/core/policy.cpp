@@ -20,6 +20,8 @@ std::string_view to_string(TuningStrategy s) {
       return "ARCS-Offline";
     case TuningStrategy::Remote:
       return "ARCS-Remote";
+    case TuningStrategy::Predicted:
+      return "ARCS-Predicted";
   }
   return "unknown";
 }
@@ -44,6 +46,10 @@ ArcsPolicy::ArcsPolicy(apex::Apex& apex, somp::Runtime& runtime,
   if (options_.strategy == TuningStrategy::Remote) {
     ARCS_CHECK_MSG(options_.remote != nullptr,
                    "Remote strategy needs a RemoteTuner client");
+  }
+  if (options_.strategy == TuningStrategy::Predicted) {
+    ARCS_CHECK_MSG(options_.predictor != nullptr,
+                   "Predicted strategy needs a ConfigPredictor");
   }
   if (options_.objective != Objective::Time) {
     ARCS_CHECK_MSG(runtime_.machine().spec().energy_counters,
@@ -228,15 +234,28 @@ std::optional<somp::LoopConfig> ArcsPolicy::provide_impl(
     harmony::StrategyOptions search = options_.search;
     search.seed = common::hash_combine(session_seed_,
                                        common::hash64(id.codeptr + 1));
+    harmony::StrategyKind method = active_method();
+    if (options_.strategy == TuningStrategy::Predicted) {
+      // Ask the model first. A prediction turns the search into a
+      // ModelSeeded refinement whose very first proposal IS the
+      // predicted config — applied on this invocation, zero cold-start
+      // cost. No prediction (untrained model, unknown region) falls
+      // back to the plain online method.
+      if (const auto predicted =
+              options_.predictor->predict_config(key_for(id.name))) {
+        method = harmony::StrategyKind::ModelSeeded;
+        search.model_seeded.center_frac =
+            center_frac_for(space_, *predicted);
+        state.model_seeded = true;
+      }
+    }
     harmony::SessionOptions session_opts;
     // Memoize online searches: re-proposed points cost nothing. The
     // exhaustive offline search never repeats a point, so leave it off
     // (and its memory footprint) there.
-    session_opts.memoize =
-        active_method() != harmony::StrategyKind::Exhaustive;
+    session_opts.memoize = method != harmony::StrategyKind::Exhaustive;
     state.session = std::make_unique<harmony::Session>(
-        space_, harmony::make_strategy(active_method(), search),
-        session_opts);
+        space_, harmony::make_strategy(method, search), session_opts);
   }
   if (state.session->converged())
     return config_from_values(state.session->best_values());
@@ -245,7 +264,8 @@ std::optional<somp::LoopConfig> ArcsPolicy::provide_impl(
                  "region re-entered before its measurement completed");
   const auto values = state.session->next_values();
   state.pending = true;
-  return config_from_values(values);
+  state.pending_config = config_from_values(values);
+  return state.pending_config;
 }
 
 void ArcsPolicy::on_timer_stop(const apex::TimerEvent& event) {
@@ -296,7 +316,29 @@ void ArcsPolicy::on_timer_stop(const apex::TimerEvent& event) {
     return;
   }
   ARCS_CHECK(state.session != nullptr);
-  state.session->report(objective_value(event));
+  const double value = objective_value(event);
+  state.session->report(value);
+
+  // Record the per-candidate measurement (history v3): every config a
+  // search tried, not just the eventual winner — the model layer's
+  // training data.
+  if (history_ != nullptr && state.pending_config) {
+    HistorySample sample;
+    sample.key = key_for(event.task);
+    if (runtime_.machine().spec().power_cappable &&
+        options_.cap_granularity <= 0) {
+      // Deciwatt snap, matching save_history's cap-bucket key, so the
+      // sample group and the best entry share a key.
+      sample.key.power_cap = static_cast<double>(cap_key_now()) / 10.0;
+    }
+    sample.config = *state.pending_config;
+    sample.value = value;
+    const apex::Profile* p =
+        apex_.profiles().find(event.task, apex::Metric::RegionEnergy);
+    sample.energy = p && p->calls ? p->last : 0.0;
+    history_->add_sample(sample);
+  }
+  state.pending_config.reset();
 }
 
 double ArcsPolicy::objective_value(const apex::TimerEvent& event) const {
@@ -349,6 +391,13 @@ std::size_t ArcsPolicy::blacklisted_regions() const {
   std::size_t n = 0;
   for (const auto& [key, state] : regions_)
     if (state.blacklisted) ++n;
+  return n;
+}
+
+std::size_t ArcsPolicy::model_seeded_regions() const {
+  std::size_t n = 0;
+  for (const auto& [key, state] : regions_)
+    if (state.model_seeded) ++n;
   return n;
 }
 

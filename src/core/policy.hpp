@@ -45,6 +45,7 @@
 
 #include "apex/apex.hpp"
 #include "core/history.hpp"
+#include "core/predictor.hpp"
 #include "core/remote.hpp"
 #include "core/search_space.hpp"
 #include "harmony/session.hpp"
@@ -59,6 +60,11 @@ enum class TuningStrategy {
   OfflineSearch,  ///< exhaustive search execution, then save_history()
   OfflineReplay,  ///< apply history, never search
   Remote,         ///< ask a shared tuning service (src/serve/) per region
+  /// Apply a learned model's predicted configuration immediately (the
+  /// very first region invocation already runs near-optimal) and refine
+  /// it with a ModelSeeded search across subsequent invocations. Regions
+  /// the model cannot predict fall back to the plain online method.
+  Predicted,
 };
 
 std::string_view to_string(TuningStrategy s);
@@ -97,6 +103,10 @@ struct ArcsOptions {
   std::string app_name = "app";
   std::string workload = "default";
 
+  /// Predicted strategy: the trained model consulted per region (must
+  /// outlive the policy).
+  const ConfigPredictor* predictor = nullptr;
+
   /// Remote strategy: the tuning-service client (must outlive the
   /// policy). The policy asks it for a per-region decision instead of
   /// owning a search session; the service deduplicates searches across
@@ -131,6 +141,9 @@ class ArcsPolicy {
   bool region_converged(const std::string& region) const;
   std::size_t blacklisted_regions() const;
   std::size_t total_evaluations() const;
+  /// Regions whose search was seeded from a model prediction (Predicted
+  /// strategy; 0 when the model declined every region).
+  std::size_t model_seeded_regions() const;
 
   /// Best configuration found for a region (nullopt before any report).
   std::optional<somp::LoopConfig> best_config(
@@ -154,6 +167,12 @@ class ArcsPolicy {
     // Offline replay.
     bool replay_resolved = false;
     std::optional<somp::LoopConfig> replay_config;
+    // Predicted strategy: this region's session started from a model
+    // prediction (vs. the plain-online fallback).
+    bool model_seeded = false;
+    // The config proposed for the in-flight measurement, recorded as a
+    // per-candidate history sample (v3) when the report arrives.
+    std::optional<somp::LoopConfig> pending_config;
     // Remote strategy.
     bool remote_apply = false;  ///< service answered Hit; config is final
     std::optional<somp::LoopConfig> remote_config;

@@ -1,0 +1,28 @@
+// The learned-model seam.
+//
+// core (and serve, which sits above it) consult a trained configuration
+// model through this interface without depending on the model layer —
+// the same inversion RemoteTuner uses for the serve client. The concrete
+// implementation is model::PredictiveModel.
+#pragma once
+
+#include <optional>
+
+#include "core/history.hpp"
+#include "somp/schedule.hpp"
+
+namespace arcs {
+
+class ConfigPredictor {
+ public:
+  virtual ~ConfigPredictor() = default;
+
+  /// Predicts a near-best configuration for a (possibly never-measured)
+  /// key. nullopt when the model has nothing to say — untrained, unknown
+  /// machine or region, unsupported cap. Must be safe to call from
+  /// multiple threads concurrently (serve calls it under load).
+  virtual std::optional<somp::LoopConfig> predict_config(
+      const HistoryKey& key) const = 0;
+};
+
+}  // namespace arcs

@@ -35,6 +35,10 @@ struct RemoteDecision {
   somp::LoopConfig config;
   /// Identifies the proposal a measurement belongs to (Evaluate only).
   std::uint64_t ticket = 0;
+  /// Apply only: `config` came from a learned model, not a finished
+  /// search — the service answered a cold start with a prediction while
+  /// a refinement search proceeds off this client's critical path.
+  bool predicted = false;
 };
 
 /// The tuning-service client seam used by ArcsPolicy under

@@ -1,5 +1,8 @@
 #include "core/search_space.hpp"
 
+#include <cstdlib>
+#include <limits>
+
 #include "common/check.hpp"
 
 namespace arcs {
@@ -79,6 +82,41 @@ somp::LoopConfig config_from_values(const std::vector<harmony::Value>& v) {
     cfg.placement = static_cast<sim::PlacementPolicy>(v[4]);
   }
   return cfg;
+}
+
+std::vector<double> center_frac_for(const harmony::SearchSpace& space,
+                                    const somp::LoopConfig& c) {
+  std::vector<double> frac(space.num_dimensions(), 0.5);
+  for (std::size_t d = 0; d < space.num_dimensions(); ++d) {
+    const harmony::Dimension& dim = space.dimension(d);
+    harmony::Value want = 0;
+    if (dim.name == "threads")
+      want = static_cast<harmony::Value>(c.num_threads);
+    else if (dim.name == "schedule")
+      want = static_cast<harmony::Value>(c.schedule.kind);
+    else if (dim.name == "chunk")
+      want = static_cast<harmony::Value>(c.schedule.chunk);
+    else if (dim.name == "frequency_mhz")
+      want = static_cast<harmony::Value>(c.frequency_mhz);
+    else if (dim.name == "placement")
+      want = static_cast<harmony::Value>(c.placement);
+    else
+      ARCS_CHECK_MSG(false, "unknown search dimension: " + dim.name);
+    std::size_t best = 0;
+    long long best_delta = std::numeric_limits<long long>::max();
+    for (std::size_t i = 0; i < dim.values.size(); ++i) {
+      const long long delta = std::llabs(dim.values[i] - want);
+      if (delta < best_delta) {
+        best_delta = delta;
+        best = i;
+      }
+      if (delta == 0) break;
+    }
+    if (dim.values.size() > 1)
+      frac[d] = static_cast<double>(best) /
+                static_cast<double>(dim.values.size() - 1);
+  }
+  return frac;
 }
 
 std::vector<harmony::Value> values_from_config(const somp::LoopConfig& c,

@@ -36,4 +36,12 @@ somp::LoopConfig config_from_values(const std::vector<harmony::Value>& v);
 std::vector<harmony::Value> values_from_config(const somp::LoopConfig& c,
                                                bool with_frequency = false);
 
+/// Fractional index-space position of a configuration, one value per
+/// dimension (0 = first candidate, 1 = last; 0.5 for single-value
+/// dimensions). Configuration values not in the candidate list snap to
+/// the nearest candidate. This is how a model prediction becomes a
+/// ModelSeeded search's initial_center_frac.
+std::vector<double> center_frac_for(const harmony::SearchSpace& space,
+                                    const somp::LoopConfig& c);
+
 }  // namespace arcs

@@ -26,8 +26,9 @@ void NelderMead::ensure_initialized(const SearchSpace& space) {
     const double center = i < opts_.initial_center_frac.size()
                               ? opts_.initial_center_frac[i]
                               : 0.5;
-    start[i] = std::clamp(center * hi + 0.05 * rng_.uniform(-1.0, 1.0) * hi,
-                          0.0, hi);
+    start[i] = std::clamp(
+        center * hi + opts_.center_jitter * rng_.uniform(-1.0, 1.0) * hi,
+        0.0, hi);
     step[i] = std::max(1.0, opts_.initial_step * hi);
   }
   build_queue_.push_back(start);

@@ -33,6 +33,11 @@ struct NelderMeadOptions {
   double shrink = 0.5;       // sigma
   /// Initial step as a fraction of each dimension's index range.
   double initial_step = 0.35;
+  /// Random jitter applied to the initial simplex center, as a fraction
+  /// of each dimension's index range. The default breaks exact ties on
+  /// plateaued discrete landscapes; ModelSeeded sets 0 so the very first
+  /// proposal IS the model's prediction.
+  double center_jitter = 0.05;
   /// Fractional position of the initial simplex center per dimension
   /// (0 = first value, 1 = last). Empty = 0.5 everywhere. ARCS seeds the
   /// threads dimension near the default (high) end so early trials are

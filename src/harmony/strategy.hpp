@@ -37,6 +37,10 @@ enum class StrategyKind {
   ParallelRankOrder,  ///< Active Harmony's PRO method
   Random,             ///< baseline for ablations
   SimulatedAnnealing, ///< extension: escapes the plateaus NM stalls on
+  /// Nelder–Mead started at a learned model's predicted configuration
+  /// (jitter-free, small initial step) instead of the space center — the
+  /// model layer's "search demoted to refinement" mode.
+  ModelSeeded,
 };
 
 std::string_view to_string(StrategyKind kind);

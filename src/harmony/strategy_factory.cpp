@@ -18,6 +18,8 @@ std::string_view to_string(StrategyKind kind) {
       return "random";
     case StrategyKind::SimulatedAnnealing:
       return "annealing";
+    case StrategyKind::ModelSeeded:
+      return "model-seeded";
   }
   return "unknown";
 }
@@ -37,6 +39,19 @@ std::unique_ptr<Strategy> make_strategy(StrategyKind kind,
     case StrategyKind::SimulatedAnnealing:
       return std::make_unique<SimulatedAnnealing>(options.annealing,
                                                   options.seed);
+    case StrategyKind::ModelSeeded: {
+      ARCS_CHECK_MSG(!options.model_seeded.center_frac.empty(),
+                     "ModelSeeded needs a predicted center "
+                     "(model_seeded.center_frac)");
+      // Nelder–Mead, but the simplex starts exactly at the prediction:
+      // no center jitter (the first proposal IS the predicted config)
+      // and a tight refinement step.
+      NelderMeadOptions opts = options.nelder_mead;
+      opts.initial_center_frac = options.model_seeded.center_frac;
+      opts.initial_step = options.model_seeded.initial_step;
+      opts.center_jitter = 0.0;
+      return std::make_unique<NelderMead>(opts, options.seed);
+    }
   }
   ARCS_CHECK_MSG(false, "unknown strategy kind");
   return nullptr;

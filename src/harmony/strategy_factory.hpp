@@ -12,6 +12,16 @@
 
 namespace arcs::harmony {
 
+struct ModelSeededOptions {
+  /// Where the prediction sits in index space, one fraction per
+  /// dimension (0 = first candidate value, 1 = last). Must be set by the
+  /// caller — it is the whole point of the strategy.
+  std::vector<double> center_frac;
+  /// Refinement radius: much smaller than plain Nelder–Mead's 0.35
+  /// because the start is presumed near-optimal.
+  double initial_step = 0.15;
+};
+
 struct StrategyOptions {
   std::uint64_t seed = 1;
   /// Random search trial budget.
@@ -19,6 +29,7 @@ struct StrategyOptions {
   NelderMeadOptions nelder_mead;
   ParallelRankOrderOptions pro;
   SimulatedAnnealingOptions annealing;
+  ModelSeededOptions model_seeded;
 };
 
 std::unique_ptr<Strategy> make_strategy(StrategyKind kind,

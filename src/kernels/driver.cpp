@@ -124,6 +124,7 @@ ArcsOptions make_policy_options(const AppSpec& app, const RunOptions& opts,
   policy_opts.search.seed = opts.seed;
   policy_opts.app_name = app.name;
   policy_opts.workload = app.workload;
+  policy_opts.predictor = opts.predictor;
   policy_opts.remote = opts.remote;
   policy_opts.remote_timeout_ms = opts.remote_timeout_ms;
   return policy_opts;
@@ -224,9 +225,11 @@ RunResult run_app(const AppSpec& app, const sim::MachineSpec& machine_spec,
     r.elapsed = machine.now() - t0;
     r.energy = machine.energy() - e0;
     r.dram_energy = machine.dram_energy() - d0;
-    if (policy && options.strategy == TuningStrategy::Online) {
+    if (policy && (options.strategy == TuningStrategy::Online ||
+                   options.strategy == TuningStrategy::Predicted)) {
       r.search_evaluations = policy->total_evaluations();
       r.blacklisted = policy->blacklisted_regions();
+      r.model_seeded = policy->model_seeded_regions();
       policy->save_history();  // paper: save bests at program completion
     } else if (policy && options.strategy == TuningStrategy::Remote) {
       // Evaluations this client performed for the shared service; the
@@ -261,7 +264,8 @@ RunResult run_app(const AppSpec& app, const sim::MachineSpec& machine_spec,
   measured.strategy = result.strategy;
   measured.search_passes = result.search_passes;
   if (options.strategy != TuningStrategy::Online &&
-      options.strategy != TuningStrategy::Remote) {
+      options.strategy != TuningStrategy::Remote &&
+      options.strategy != TuningStrategy::Predicted) {
     measured.search_evaluations = result.search_evaluations;
     measured.blacklisted = result.blacklisted;
   }

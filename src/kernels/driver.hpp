@@ -65,6 +65,8 @@ struct RunResult {
   std::size_t search_evaluations = 0;
   std::size_t search_passes = 0;  ///< app executions spent searching
   std::size_t blacklisted = 0;
+  /// Regions whose search started from a model prediction (Predicted).
+  std::size_t model_seeded = 0;
   HistoryStore history;  ///< per-region bests (offline strategies)
 };
 
@@ -96,6 +98,9 @@ struct RunOptions {
   /// Reuse a previous search's history instead of searching again
   /// (OfflineReplay path). The store must outlive the call.
   const HistoryStore* reuse_history = nullptr;
+  /// Predicted strategy: the trained model consulted per region (must
+  /// outlive the call).
+  const ConfigPredictor* predictor = nullptr;
   /// Remote strategy: shared tuning-service client (must outlive the
   /// call). The measured run queries it per region; the service owns the
   /// search sessions and the cross-run decision cache.

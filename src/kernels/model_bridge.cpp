@@ -1,0 +1,80 @@
+#include "kernels/model_bridge.hpp"
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace arcs::kernels {
+
+model::RegionDescriptor describe_region(const RegionSpec& spec) {
+  model::RegionDescriptor d;
+  d.iterations = static_cast<double>(spec.iterations);
+  d.cycles_per_iter = spec.cycles_per_iter;
+  d.bytes_per_iter = spec.memory.bytes_per_iter;
+  d.access_bytes_per_iter = spec.memory.access_bytes_per_iter;
+  d.reuse_window = spec.memory.reuse_window;
+  d.stride_factor = spec.memory.stride_factor;
+  d.base_miss_l1 = spec.memory.base_miss_l1;
+  d.base_miss_l2 = spec.memory.base_miss_l2;
+  d.base_miss_l3 = spec.memory.base_miss_l3;
+  d.mlp = spec.memory.mlp;
+  d.imbalance = spec.imbalance.kind == ImbalanceKind::None
+                    ? 0.0
+                    : spec.imbalance.magnitude;
+  d.has_reduction = spec.has_reduction;
+  return d;
+}
+
+namespace {
+
+std::optional<AppSpec> app_by_name(const std::string& app,
+                                   const std::string& workload) {
+  const std::string lower = common::to_lower(app);
+  if (lower == "sp") return sp_app(workload);
+  if (lower == "bt") return bt_app(workload);
+  if (lower == "lulesh") return lulesh_app(workload);
+  if (lower == "cg") return cg_app(workload);
+  if (lower == "synthetic") return synthetic_app();
+  return std::nullopt;
+}
+
+}  // namespace
+
+model::DescriptorResolver model_resolver() {
+  return [](const HistoryKey& key) -> std::optional<model::ResolvedRegion> {
+    const auto machine = model::preset_machine(key.machine);
+    if (!machine) return std::nullopt;
+    try {
+      const auto app = app_by_name(key.app, key.workload);
+      if (!app) return std::nullopt;
+      // region() throws on an unknown region name; workloads the app
+      // rejects throw above. Either way: the model has nothing to say.
+      return model::ResolvedRegion{describe_region(app->region(key.region)),
+                                   *machine};
+    } catch (const common::ContractError&) {
+      return std::nullopt;
+    }
+  };
+}
+
+model::Example example_from_outcome(const AppSpec& app,
+                                    const RegionSpec& spec,
+                                    const sim::MachineSpec& machine,
+                                    double power_cap,
+                                    const ConfigOutcome& outcome) {
+  model::Example e;
+  e.key.app = app.name;
+  e.key.machine = machine.name;
+  e.key.power_cap = power_cap;
+  e.key.workload = app.workload;
+  e.key.region = spec.name;
+  e.features =
+      model::extract_features(describe_region(spec), machine, power_cap);
+  e.hw_threads = machine.topology.hw_threads();
+  e.iterations = static_cast<double>(spec.iterations);
+  e.config = outcome.config;
+  e.value = outcome.record.duration;
+  e.energy = outcome.record.energy;
+  return e;
+}
+
+}  // namespace arcs::kernels

@@ -1,0 +1,39 @@
+// Bridge from kernels' workload models to the model layer.
+//
+// The model library sits *below* kernels in the stack (so core/serve can
+// use it without dragging in workload models); this header provides the
+// kernels-side adapters: turning a RegionSpec into the model's
+// config-independent RegionDescriptor, resolving HistoryKeys against the
+// built-in app specs and machine presets, and distilling a sweep outcome
+// into a training example.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "kernels/apps.hpp"
+#include "kernels/driver.hpp"
+#include "model/dataset.hpp"
+#include "model/features.hpp"
+
+namespace arcs::kernels {
+
+/// Config-independent descriptor of a region spec (feature-extractor
+/// input).
+model::RegionDescriptor describe_region(const RegionSpec& spec);
+
+/// A DescriptorResolver over the built-in applications (SP, BT, LULESH,
+/// CG, synthetic — matched case-insensitively by HistoryKey::app, with
+/// HistoryKey::workload selecting the class/mesh) and the machine
+/// presets. Keys naming anything else resolve to nullopt. Stateless and
+/// thread-safe.
+model::DescriptorResolver model_resolver();
+
+/// One measured sweep outcome as a training example.
+model::Example example_from_outcome(const AppSpec& app,
+                                    const RegionSpec& spec,
+                                    const sim::MachineSpec& machine,
+                                    double power_cap,
+                                    const ConfigOutcome& outcome);
+
+}  // namespace arcs::kernels

@@ -1,0 +1,164 @@
+#include "model/dataset.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "common/strings.hpp"
+#include "sim/presets.hpp"
+
+namespace arcs::model {
+
+namespace {
+
+constexpr std::string_view kSchema = "arcs-model-dataset/v1";
+
+double num_field(const common::Json& row, const std::string& key) {
+  const common::Json* member = row.find(key);
+  ARCS_CHECK_MSG(member != nullptr && member->is_number(),
+                 "dataset row missing numeric field: " + key);
+  return member->as_number();
+}
+
+std::string str_field(const common::Json& row, const std::string& key) {
+  const common::Json* member = row.find(key);
+  ARCS_CHECK_MSG(member != nullptr && member->is_string(),
+                 "dataset row missing string field: " + key);
+  return member->as_string();
+}
+
+}  // namespace
+
+void Dataset::add(Example example) {
+  ARCS_CHECK_MSG(example.features.size() == kFeatureCount,
+                 "dataset example has a wrong-sized feature vector");
+  examples_.push_back(std::move(example));
+}
+
+std::map<HistoryKey, std::vector<std::size_t>> Dataset::groups() const {
+  std::map<HistoryKey, std::vector<std::size_t>> by_key;
+  for (std::size_t i = 0; i < examples_.size(); ++i)
+    by_key[examples_[i].key].push_back(i);
+  return by_key;
+}
+
+std::string Dataset::to_jsonl() const {
+  std::string out;
+  for (const Example& e : examples_) {
+    common::Json row = common::Json::object();
+    row.set("schema", std::string(kSchema));
+    row.set("app", e.key.app);
+    row.set("machine", e.key.machine);
+    row.set("cap_w", e.key.power_cap);
+    row.set("workload", e.key.workload);
+    row.set("region", e.key.region);
+    row.set("config", e.config.to_string());
+    row.set("value_s", e.value);
+    row.set("energy_j", e.energy);
+    row.set("hw_threads", e.hw_threads);
+    row.set("iterations", e.iterations);
+    common::Json features = common::Json::array();
+    for (const double f : e.features) features.push_back(f);
+    row.set("features", std::move(features));
+    out += row.dump(0);
+    out += '\n';
+  }
+  return out;
+}
+
+Dataset Dataset::from_jsonl(const std::string& text) {
+  Dataset data;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto trimmed = common::trim(line);
+    if (trimmed.empty()) continue;
+    std::string error;
+    const common::Json row = common::Json::parse(std::string(trimmed),
+                                                 &error);
+    ARCS_CHECK_MSG(row.is_object(), "malformed dataset row: " + error);
+    ARCS_CHECK_MSG(str_field(row, "schema") == kSchema,
+                   "dataset row has an unsupported schema tag");
+    Example e;
+    e.key.app = str_field(row, "app");
+    e.key.machine = str_field(row, "machine");
+    e.key.power_cap = num_field(row, "cap_w");
+    e.key.workload = str_field(row, "workload");
+    e.key.region = str_field(row, "region");
+    e.config = somp::LoopConfig::from_string(str_field(row, "config"));
+    e.value = num_field(row, "value_s");
+    e.energy = num_field(row, "energy_j");
+    e.hw_threads = static_cast<int>(num_field(row, "hw_threads"));
+    e.iterations = num_field(row, "iterations");
+    const common::Json* features = row.find("features");
+    ARCS_CHECK_MSG(features != nullptr && features->is_array() &&
+                       features->size() == kFeatureCount,
+                   "dataset row has a malformed feature array");
+    for (const common::Json& f : features->items()) {
+      ARCS_CHECK_MSG(f.is_number(), "dataset feature is not a number");
+      e.features.push_back(f.as_number());
+    }
+    data.add(std::move(e));
+  }
+  return data;
+}
+
+void Dataset::append_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::app);
+  ARCS_CHECK_MSG(out.good(), "cannot open dataset file for append: " + path);
+  out << to_jsonl();
+  out.flush();
+  ARCS_CHECK_MSG(out.good(), "failed writing dataset file: " + path);
+}
+
+Dataset Dataset::load_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  ARCS_CHECK_MSG(in.good(), "cannot open dataset file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_jsonl(buffer.str());
+}
+
+Dataset dataset_from_history(const HistoryStore& store,
+                             const DescriptorResolver& resolver) {
+  ARCS_CHECK_MSG(resolver != nullptr,
+                 "dataset_from_history needs a resolver");
+  Dataset data;
+  auto make_example = [&](const HistoryKey& key,
+                          const somp::LoopConfig& config, double value,
+                          double energy) -> bool {
+    const auto resolved = resolver(key);
+    if (!resolved) return false;
+    Example e;
+    e.key = key;
+    e.features = extract_features(resolved->descriptor, resolved->machine,
+                                  key.power_cap);
+    e.hw_threads = resolved->machine.topology.hw_threads();
+    e.iterations = resolved->descriptor.iterations;
+    e.config = config;
+    e.value = value;
+    e.energy = energy;
+    data.add(std::move(e));
+    return true;
+  };
+  std::map<HistoryKey, bool> has_samples;
+  for (const HistorySample& s : store.samples())
+    if (make_example(s.key, s.config, s.value, s.energy))
+      has_samples[s.key] = true;
+  // v1/v2 files carry only the winners; a best-only example is still a
+  // usable (if lone) training point for its group.
+  for (const auto& [key, entry] : store.entries())
+    if (!has_samples.count(key))
+      make_example(key, entry.config, entry.best_value, 0.0);
+  return data;
+}
+
+std::optional<sim::MachineSpec> preset_machine(const std::string& name) {
+  for (const auto& spec :
+       {sim::crill(), sim::minotaur(), sim::haswell(), sim::testbox()})
+    if (spec.name == name) return spec;
+  return std::nullopt;
+}
+
+}  // namespace arcs::model

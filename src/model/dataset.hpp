@@ -1,0 +1,84 @@
+// Training data for the configuration predictor.
+//
+// One Example is one measured evaluation: "region×machine×cap signature S
+// under configuration C took V seconds (E joules)". Examples sharing a
+// HistoryKey form a *group* — all the candidates one search measured for
+// one (app, machine, cap, workload, region); the group's minimum is the
+// recorded exhaustive/searched best the regret methodology compares
+// against.
+//
+// Two sources: HistoryStore v3 files (per-candidate sample lines) via a
+// DescriptorResolver, and `--dataset` JSONL dumps (schema
+// arcs-model-dataset/v1, one compact JSON row per evaluation).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+#include "model/features.hpp"
+#include "somp/schedule.hpp"
+
+namespace arcs::model {
+
+/// What a HistoryKey resolves to: the region's descriptor plus the
+/// machine it ran on. kernels/model_bridge.hpp provides the concrete
+/// resolver over the built-in app specs and machine presets.
+struct ResolvedRegion {
+  RegionDescriptor descriptor;
+  sim::MachineSpec machine;
+};
+
+using DescriptorResolver =
+    std::function<std::optional<ResolvedRegion>(const HistoryKey&)>;
+
+struct Example {
+  HistoryKey key;
+  FeatureVector features;  ///< extract_features(descriptor, machine, cap)
+  int hw_threads = 0;      ///< resolves config.num_threads == 0
+  double iterations = 0.0; ///< resolves default static chunk
+  somp::LoopConfig config;
+  double value = 0.0;      ///< measured objective (seconds)
+  double energy = 0.0;     ///< package energy (J); 0 when not recorded
+};
+
+class Dataset {
+ public:
+  void add(Example example);
+  std::size_t size() const { return examples_.size(); }
+  bool empty() const { return examples_.empty(); }
+  const std::vector<Example>& examples() const { return examples_; }
+
+  /// Example indices grouped by HistoryKey, in key order (deterministic).
+  std::map<HistoryKey, std::vector<std::size_t>> groups() const;
+
+  /// One arcs-model-dataset/v1 JSON row per example, newline-terminated.
+  std::string to_jsonl() const;
+  /// Parses to_jsonl() output (unknown fields ignored; rows with another
+  /// schema tag are rejected). Throws common::ContractError on malformed
+  /// rows.
+  static Dataset from_jsonl(const std::string& text);
+
+  /// Appends this dataset's rows to a JSONL file (creates it if absent).
+  void append_jsonl(const std::string& path) const;
+  static Dataset load_jsonl(const std::string& path);
+
+ private:
+  std::vector<Example> examples_;
+};
+
+/// Builds a dataset from a history store: every per-candidate sample
+/// (HistoryStore v3), plus — for keys that have no samples, e.g. v1/v2
+/// files — the best-entry itself as a single example. Keys the resolver
+/// cannot resolve are skipped.
+Dataset dataset_from_history(const HistoryStore& store,
+                             const DescriptorResolver& resolver);
+
+/// Machine preset lookup by name (crill, minotaur, haswell, testbox);
+/// nullopt for anything else.
+std::optional<sim::MachineSpec> preset_machine(const std::string& name);
+
+}  // namespace arcs::model

@@ -1,0 +1,120 @@
+#include "model/features.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace arcs::model {
+
+namespace {
+
+double log10_floor(double x, double floor) {
+  return std::log10(std::max(x, floor));
+}
+
+}  // namespace
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> kNames = {
+      "log_iterations",      // 0
+      "log_cycles_per_iter", // 1
+      "log_footprint",       // 2: bytes_per_iter * iterations
+      "log_bytes_per_cycle", // 3: memory/compute character
+      "log_reuse_window",    // 4
+      "stride_factor",       // 5
+      "base_miss_l1",        // 6
+      "base_miss_l2",        // 7
+      "base_miss_l3",        // 8
+      "mlp",                 // 9
+      "imbalance",           // 10
+      "has_reduction",       // 11
+      "log2_hw_threads",     // 12
+      "smt_per_core",        // 13
+      "sockets",             // 14
+      "log_l3_per_thread",   // 15
+      "log_bw_per_thread",   // 16
+      "cap_fraction",        // 17
+  };
+  return kNames;
+}
+
+FeatureVector extract_features(const RegionDescriptor& region,
+                               const sim::MachineSpec& machine,
+                               double power_cap) {
+  const double iters = std::max(region.iterations, 1.0);
+  const double cycles = std::max(region.cycles_per_iter, 1.0);
+  const double access = region.access_bytes_per_iter > 0
+                            ? region.access_bytes_per_iter
+                            : region.bytes_per_iter;
+  const int hw = std::max(machine.topology.hw_threads(), 1);
+  const double l3 = std::max(machine.caches.l3.capacity, 1.0);
+  const double bw_bytes =
+      std::max(machine.caches.dram_bandwidth_gbs, 1e-3) * 1e9 *
+      static_cast<double>(std::max(machine.topology.sockets, 1));
+
+  FeatureVector f(kFeatureCount, 0.0);
+  f[0] = log10_floor(iters, 1.0);
+  f[1] = log10_floor(cycles, 1.0);
+  f[2] = log10_floor(region.bytes_per_iter * iters, 1.0);
+  f[3] = log10_floor(access / cycles, 1e-6);
+  f[4] = log10_floor(region.reuse_window, 1.0);
+  f[5] = region.stride_factor;
+  f[6] = region.base_miss_l1;
+  f[7] = region.base_miss_l2;
+  f[8] = region.base_miss_l3;
+  f[9] = region.mlp;
+  f[10] = region.imbalance;
+  f[11] = region.has_reduction ? 1.0 : 0.0;
+  f[12] = std::log2(static_cast<double>(hw));
+  f[13] = static_cast<double>(machine.topology.smt_per_core);
+  f[14] = static_cast<double>(machine.topology.sockets);
+  f[15] = log10_floor(l3 / static_cast<double>(hw), 1.0);
+  f[16] = log10_floor(bw_bytes / static_cast<double>(hw), 1.0);
+  f[17] = power_cap > 0.0 && machine.tdp > 0.0
+              ? power_cap / machine.tdp
+              : 1.0;
+  return f;
+}
+
+void Normalizer::fit(const std::vector<FeatureVector>& rows) {
+  ARCS_CHECK_MSG(!rows.empty(), "cannot fit a normalizer on no rows");
+  const std::size_t d = rows.front().size();
+  mean.assign(d, 0.0);
+  stddev.assign(d, 0.0);
+  for (const auto& row : rows) {
+    ARCS_CHECK(row.size() == d);
+    for (std::size_t i = 0; i < d; ++i) mean[i] += row[i];
+  }
+  const double n = static_cast<double>(rows.size());
+  for (std::size_t i = 0; i < d; ++i) mean[i] /= n;
+  for (const auto& row : rows)
+    for (std::size_t i = 0; i < d; ++i) {
+      const double dx = row[i] - mean[i];
+      stddev[i] += dx * dx;
+    }
+  for (std::size_t i = 0; i < d; ++i) {
+    stddev[i] = std::sqrt(stddev[i] / n);
+    if (stddev[i] < 1e-12) stddev[i] = 1.0;  // constant dim: pass through
+  }
+}
+
+FeatureVector Normalizer::apply(const FeatureVector& x) const {
+  ARCS_CHECK_MSG(fitted(), "normalizer not fitted");
+  ARCS_CHECK(x.size() == mean.size());
+  FeatureVector z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    z[i] = (x[i] - mean[i]) / stddev[i];
+  return z;
+}
+
+double signature_distance(const FeatureVector& a, const FeatureVector& b) {
+  ARCS_CHECK(a.size() == b.size() && !a.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+}  // namespace arcs::model

@@ -1,0 +1,73 @@
+// Feature extraction for the learned configuration predictor.
+//
+// A (region, machine, power cap) triple is turned into a fixed-length
+// numeric signature. The schema deliberately mirrors what the paper's
+// analysis says drives the optimum: trip count and per-iteration cost
+// (how much work a team amortizes its fork/join over), memory-vs-compute
+// character (the cache/bandwidth regime behind low-thread-count optima),
+// load imbalance (what dynamic scheduling buys), machine topology, and
+// the cap as a fraction of TDP (the paper's per-power-level optima).
+//
+// Everything here is config-independent: the same signature describes a
+// region×cap no matter which {threads, schedule, chunk} is being scored.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace arcs::model {
+
+/// Config-independent description of one parallel region — the model-layer
+/// mirror of kernels::RegionSpec, kept free of a kernels dependency so the
+/// model library stays below kernels in the stack (kernels provides the
+/// adapter, see kernels/model_bridge.hpp).
+struct RegionDescriptor {
+  double iterations = 0.0;
+  double cycles_per_iter = 0.0;
+  /// Unique bytes resident per iteration (capacity pressure).
+  double bytes_per_iter = 0.0;
+  /// Cache-access volume per iteration; 0 = same as bytes_per_iter.
+  double access_bytes_per_iter = 0.0;
+  double reuse_window = 1.0;
+  double stride_factor = 1.0;
+  double base_miss_l1 = 0.0;
+  double base_miss_l2 = 0.0;
+  double base_miss_l3 = 0.0;
+  double mlp = 1.0;
+  /// Imbalance-shape strength (kernels::ImbalanceSpec::magnitude; 0 for
+  /// a uniform region).
+  double imbalance = 0.0;
+  bool has_reduction = false;
+};
+
+using FeatureVector = std::vector<double>;
+
+/// Number of features in the schema (== feature_names().size()).
+inline constexpr std::size_t kFeatureCount = 18;
+
+/// Stable, ordered feature names — persisted in ModelStore files so a
+/// loaded model can reject a schema mismatch.
+const std::vector<std::string>& feature_names();
+
+/// Extracts the signature. `power_cap` in watts; 0 = uncapped (TDP).
+FeatureVector extract_features(const RegionDescriptor& region,
+                               const sim::MachineSpec& machine,
+                               double power_cap);
+
+/// Z-score normalization statistics fit on a training set. Dimensions
+/// with zero variance keep stddev 1 so they pass through unscaled.
+struct Normalizer {
+  FeatureVector mean;
+  FeatureVector stddev;
+
+  void fit(const std::vector<FeatureVector>& rows);
+  FeatureVector apply(const FeatureVector& x) const;
+  bool fitted() const { return !mean.empty(); }
+};
+
+/// Root-mean-square distance between two (normalized) signatures.
+double signature_distance(const FeatureVector& a, const FeatureVector& b);
+
+}  // namespace arcs::model

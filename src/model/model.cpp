@@ -1,0 +1,81 @@
+#include "model/model.hpp"
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+#include "core/search_space.hpp"
+#include "model/store.hpp"
+
+namespace arcs::model {
+
+std::string_view to_string(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::Knn:
+      return "knn";
+    case PredictorKind::Linear:
+      return "linear";
+  }
+  return "unknown";
+}
+
+PredictorKind predictor_kind_from_string(std::string_view s) {
+  const std::string lower = common::to_lower(common::trim(s));
+  if (lower == "knn") return PredictorKind::Knn;
+  if (lower == "linear") return PredictorKind::Linear;
+  ARCS_CHECK_MSG(false, "unknown predictor kind: " + lower);
+  return PredictorKind::Knn;  // unreachable
+}
+
+PredictiveModel::PredictiveModel(ModelOptions options)
+    : options_(options), knn_(options.knn_k), linear_(options.ridge) {}
+
+void PredictiveModel::train(const Dataset& data) {
+  knn_.fit(data);
+  linear_.fit(data);
+}
+
+bool PredictiveModel::trained() const { return active().trained(); }
+
+const Predictor& PredictiveModel::active() const {
+  if (options_.kind == PredictorKind::Linear) return linear_;
+  return knn_;
+}
+
+std::optional<somp::LoopConfig> PredictiveModel::predict(
+    const Query& query, const harmony::SearchSpace& space) const {
+  return active().predict(query, space);
+}
+
+void PredictiveModel::set_resolver(DescriptorResolver resolver) {
+  resolver_ = std::move(resolver);
+}
+
+std::optional<somp::LoopConfig> PredictiveModel::predict_config(
+    const HistoryKey& key) const {
+  if (!resolver_ || !active().trained()) return std::nullopt;
+  const auto resolved = resolver_(key);
+  if (!resolved) return std::nullopt;
+  Query query;
+  query.features = extract_features(resolved->descriptor, resolved->machine,
+                                    key.power_cap);
+  query.hw_threads = resolved->machine.topology.hw_threads();
+  query.iterations = resolved->descriptor.iterations;
+  return predict(query, arcs_search_space(resolved->machine));
+}
+
+std::string PredictiveModel::serialize() const {
+  return ModelStore::serialize(*this);
+}
+
+PredictiveModel PredictiveModel::deserialize(const std::string& text) {
+  return ModelStore::deserialize(text);
+}
+
+void PredictiveModel::save(const std::string& path) const {
+  ModelStore::save(*this, path);
+}
+
+PredictiveModel PredictiveModel::load(const std::string& path) {
+  return ModelStore::load(path);
+}
+
+}  // namespace arcs::model

@@ -1,0 +1,77 @@
+// PredictiveModel — the subsystem facade.
+//
+// Owns both predictors (trained together on the same dataset; the
+// configured kind answers queries), resolves HistoryKeys to signatures
+// through a pluggable DescriptorResolver, and implements the
+// arcs::ConfigPredictor seam that core::ArcsPolicy and serve::TuningServer
+// consume. Persistence lives in store.hpp (ModelStore).
+//
+// Thread-safety: train()/set_resolver()/restore are setup-phase; after
+// that every method is const and safe to call concurrently (serve does).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/predictor.hpp"
+#include "model/dataset.hpp"
+#include "model/predictor.hpp"
+
+namespace arcs::model {
+
+enum class PredictorKind { Knn, Linear };
+
+std::string_view to_string(PredictorKind kind);
+/// Parses "knn|linear" (case-insensitive); throws on unknown input.
+PredictorKind predictor_kind_from_string(std::string_view s);
+
+struct ModelOptions {
+  PredictorKind kind = PredictorKind::Knn;  ///< which predictor answers
+  std::size_t knn_k = 5;
+  double ridge = 1e-3;
+};
+
+class PredictiveModel final : public ConfigPredictor {
+ public:
+  explicit PredictiveModel(ModelOptions options = {});
+
+  /// Fits both predictors from scratch. Throws on an empty dataset.
+  void train(const Dataset& data);
+  bool trained() const;
+
+  const ModelOptions& options() const { return options_; }
+  const KnnPredictor& knn() const { return knn_; }
+  KnnPredictor& knn() { return knn_; }
+  const LinearPredictor& linear() const { return linear_; }
+  LinearPredictor& linear() { return linear_; }
+  /// The predictor selected by options().kind.
+  const Predictor& active() const;
+
+  /// Direct query (signature already extracted).
+  std::optional<somp::LoopConfig> predict(
+      const Query& query, const harmony::SearchSpace& space) const;
+
+  /// Attaches the resolver predict_config() uses to turn a HistoryKey
+  /// into a signature + search space (kernels::model_resolver() for the
+  /// built-in apps). Must itself be thread-safe.
+  void set_resolver(DescriptorResolver resolver);
+  bool has_resolver() const { return resolver_ != nullptr; }
+
+  // arcs::ConfigPredictor
+  std::optional<somp::LoopConfig> predict_config(
+      const HistoryKey& key) const override;
+
+  /// Persistence conveniences — see ModelStore for the format.
+  std::string serialize() const;
+  static PredictiveModel deserialize(const std::string& text);
+  void save(const std::string& path) const;
+  static PredictiveModel load(const std::string& path);
+
+ private:
+  ModelOptions options_;
+  KnnPredictor knn_;
+  LinearPredictor linear_;
+  DescriptorResolver resolver_;
+};
+
+}  // namespace arcs::model

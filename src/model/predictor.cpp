@@ -1,0 +1,291 @@
+#include "model/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "core/search_space.hpp"
+
+namespace arcs::model {
+
+namespace {
+
+/// The configuration value a LoopConfig carries for a named search-space
+/// dimension (mirrors core::config_from_values' encoding).
+harmony::Value config_value_for(const somp::LoopConfig& config,
+                                const std::string& dim_name) {
+  if (dim_name == "threads")
+    return static_cast<harmony::Value>(config.num_threads);
+  if (dim_name == "schedule")
+    return static_cast<harmony::Value>(config.schedule.kind);
+  if (dim_name == "chunk")
+    return static_cast<harmony::Value>(config.schedule.chunk);
+  if (dim_name == "frequency_mhz")
+    return static_cast<harmony::Value>(config.frequency_mhz);
+  if (dim_name == "placement")
+    return static_cast<harmony::Value>(config.placement);
+  ARCS_CHECK_MSG(false, "unknown search dimension: " + dim_name);
+  return 0;
+}
+
+/// Index of the candidate value closest to `v`: exact match first, then
+/// nearest by absolute difference (ties break to the lower index, so
+/// prediction order is stable across platforms).
+std::size_t snap_to_dimension(const harmony::Dimension& dim,
+                              harmony::Value v) {
+  ARCS_CHECK(!dim.values.empty());
+  std::size_t best = 0;
+  long long best_delta = std::numeric_limits<long long>::max();
+  for (std::size_t i = 0; i < dim.values.size(); ++i) {
+    const long long delta = std::llabs(dim.values[i] - v);
+    if (delta < best_delta) {
+      best_delta = delta;
+      best = i;
+    }
+    if (delta == 0) break;
+  }
+  return best;
+}
+
+int effective_threads(const somp::LoopConfig& config, int hw_threads) {
+  return config.num_threads > 0 ? config.num_threads
+                                : std::max(hw_threads, 1);
+}
+
+double effective_chunk(const somp::LoopConfig& config, double iterations,
+                       int hw_threads) {
+  if (config.schedule.chunk > 0)
+    return static_cast<double>(config.schedule.chunk);
+  // OpenMP defaults: dynamic/guided start from chunk 1; static splits the
+  // trip count evenly across the team.
+  if (config.schedule.kind == somp::ScheduleKind::Dynamic ||
+      config.schedule.kind == somp::ScheduleKind::Guided)
+    return 1.0;
+  const double t = effective_threads(config, hw_threads);
+  return std::max(iterations / std::max(t, 1.0), 1.0);
+}
+
+}  // namespace
+
+harmony::Point snap_config(const harmony::SearchSpace& space,
+                           const somp::LoopConfig& config) {
+  harmony::Point p(space.num_dimensions(), 0);
+  for (std::size_t d = 0; d < space.num_dimensions(); ++d) {
+    const harmony::Dimension& dim = space.dimension(d);
+    p[d] = snap_to_dimension(dim, config_value_for(config, dim.name));
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// KnnPredictor
+
+void KnnPredictor::fit(const Dataset& data) {
+  ARCS_CHECK_MSG(!data.empty(), "cannot fit a predictor on no examples");
+  neighbors_.clear();
+  for (const auto& [key, indices] : data.groups()) {
+    std::size_t best = indices.front();
+    for (const std::size_t i : indices)
+      if (data.examples()[i].value < data.examples()[best].value) best = i;
+    const Example& e = data.examples()[best];
+    neighbors_.push_back(
+        {e.features, e.config, e.value, e.hw_threads, e.iterations});
+  }
+  std::vector<FeatureVector> signatures;
+  signatures.reserve(neighbors_.size());
+  for (const Neighbor& n : neighbors_) signatures.push_back(n.signature);
+  normalizer_.fit(signatures);
+}
+
+std::optional<somp::LoopConfig> KnnPredictor::predict(
+    const Query& query, const harmony::SearchSpace& space) const {
+  if (!trained()) return std::nullopt;
+  const FeatureVector z = normalizer_.apply(query.features);
+
+  // (distance, neighbor index) sorted ascending; index tie-break keeps
+  // the vote deterministic when distances collide.
+  std::vector<std::pair<double, std::size_t>> order;
+  order.reserve(neighbors_.size());
+  for (std::size_t i = 0; i < neighbors_.size(); ++i)
+    order.emplace_back(
+        signature_distance(z, normalizer_.apply(neighbors_[i].signature)),
+        i);
+  std::sort(order.begin(), order.end());
+  const std::size_t k = std::min(k_, order.size());
+
+  harmony::Point point(space.num_dimensions(), 0);
+  for (std::size_t d = 0; d < space.num_dimensions(); ++d) {
+    const harmony::Dimension& dim = space.dimension(d);
+    std::vector<double> votes(dim.values.size(), 0.0);
+    for (std::size_t rank = 0; rank < k; ++rank) {
+      const auto& [dist, idx] = order[rank];
+      const harmony::Value v =
+          config_value_for(neighbors_[idx].config, dim.name);
+      votes[snap_to_dimension(dim, v)] += 1.0 / (dist + 1e-9);
+    }
+    std::size_t winner = 0;
+    for (std::size_t i = 1; i < votes.size(); ++i)
+      if (votes[i] > votes[winner]) winner = i;
+    point[d] = winner;
+  }
+  return config_from_values(space.decode(point));
+}
+
+void KnnPredictor::restore(Normalizer normalizer,
+                           std::vector<Neighbor> neighbors) {
+  ARCS_CHECK_MSG(normalizer.fitted() && !neighbors.empty(),
+                 "restoring an untrained kNN model");
+  normalizer_ = std::move(normalizer);
+  neighbors_ = std::move(neighbors);
+}
+
+// ---------------------------------------------------------------------------
+// LinearPredictor
+
+std::vector<double> LinearPredictor::phi(
+    const Query& query, const somp::LoopConfig& config) const {
+  ARCS_CHECK_MSG(normalizer_.fitted(), "φ needs a fitted normalizer");
+  const FeatureVector z = normalizer_.apply(query.features);
+  const double hw = std::max(query.hw_threads, 1);
+  const double t = effective_threads(config, query.hw_threads);
+  const double t_frac = t / hw;
+  const double log_t = std::log2(t) / 5.0;
+  const double is_dynamic =
+      config.schedule.kind == somp::ScheduleKind::Dynamic ? 1.0 : 0.0;
+  const double is_guided =
+      config.schedule.kind == somp::ScheduleKind::Guided ? 1.0 : 0.0;
+  const double chunk = effective_chunk(config, query.iterations,
+                                       query.hw_threads);
+  const double log_chunk = std::log2(chunk + 1.0) / 9.0;  // 512 → ~1
+  const double inv_chunk = 1.0 / (1.0 + chunk);
+
+  std::vector<double> p;
+  p.reserve(kPhiCount);
+  p.push_back(1.0);
+  p.insert(p.end(), z.begin(), z.end());
+  p.push_back(t_frac);
+  p.push_back(log_t);
+  p.push_back(is_dynamic);
+  p.push_back(is_guided);
+  p.push_back(log_chunk);
+  p.push_back(inv_chunk);
+  // Interactions the paper's analysis predicts matter: the best thread
+  // count shifts with the cap and with memory pressure; dynamic/chunk
+  // only pay off under imbalance; chunk trades against locality.
+  p.push_back(t_frac * z[17]);       // threads × cap fraction
+  p.push_back(t_frac * z[10]);       // threads × imbalance
+  p.push_back(is_dynamic * z[10]);   // dynamic × imbalance
+  p.push_back(log_chunk * z[4]);     // chunk × reuse window
+  p.push_back(t_frac * z[8]);        // threads × L3 miss floor
+  p.push_back(is_dynamic * log_chunk);
+  ARCS_CHECK(p.size() == kPhiCount);
+  return p;
+}
+
+void LinearPredictor::fit(const Dataset& data) {
+  ARCS_CHECK_MSG(!data.empty(), "cannot fit a predictor on no examples");
+  std::vector<FeatureVector> rows;
+  rows.reserve(data.size());
+  for (const Example& e : data.examples()) rows.push_back(e.features);
+  normalizer_.fit(rows);
+  ata_.assign(kPhiCount, std::vector<double>(kPhiCount, 0.0));
+  atb_.assign(kPhiCount, 0.0);
+  observed_ = 0;
+  weights_.clear();
+  for (const Example& e : data.examples())
+    observe({e.features, e.hw_threads, e.iterations}, e.config, e.value);
+  refit();
+}
+
+void LinearPredictor::observe(const Query& query,
+                              const somp::LoopConfig& config, double value) {
+  ARCS_CHECK_MSG(normalizer_.fitted(),
+                 "observe() needs a prior fit() to set the normalizer");
+  const std::vector<double> p = phi(query, config);
+  const double y = std::log(std::max(value, 1e-12));
+  for (std::size_t i = 0; i < kPhiCount; ++i) {
+    for (std::size_t j = i; j < kPhiCount; ++j) ata_[i][j] += p[i] * p[j];
+    atb_[i] += p[i] * y;
+  }
+  ++observed_;
+}
+
+void LinearPredictor::refit() {
+  ARCS_CHECK_MSG(observed_ > 0, "refit() with no observations");
+  // Solve (ΦᵀΦ + λI) w = Φᵀy by Gaussian elimination with partial
+  // pivoting; the ridge term keeps the system full-rank for any sample
+  // count.
+  const std::size_t n = kPhiCount;
+  std::vector<std::vector<double>> a(n, std::vector<double>(n + 1, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j)
+      a[i][j] = i <= j ? ata_[i][j] : ata_[j][i];
+    a[i][i] += ridge_;
+    a[i][n] = atb_[i];
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row)
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    std::swap(a[col], a[pivot]);
+    ARCS_CHECK_MSG(std::fabs(a[col][col]) > 1e-30,
+                   "singular normal equations despite ridge term");
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (std::size_t j = col; j <= n; ++j) a[row][j] -= factor * a[col][j];
+    }
+  }
+  std::vector<double> w(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = a[i][n];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= a[i][j] * w[j];
+    w[i] = sum / a[i][i];
+  }
+  weights_ = std::move(w);
+}
+
+std::optional<double> LinearPredictor::score(
+    const Query& query, const somp::LoopConfig& config) const {
+  if (!trained()) return std::nullopt;
+  const std::vector<double> p = phi(query, config);
+  double log_time = 0.0;
+  for (std::size_t i = 0; i < kPhiCount; ++i)
+    log_time += weights_[i] * p[i];
+  return std::exp(log_time);
+}
+
+std::optional<somp::LoopConfig> LinearPredictor::predict(
+    const Query& query, const harmony::SearchSpace& space) const {
+  if (!trained()) return std::nullopt;
+  // Rank the entire space; first point in enumeration order wins ties so
+  // prediction is reproducible.
+  harmony::Point p = space.origin();
+  somp::LoopConfig best_config;
+  double best_score = std::numeric_limits<double>::infinity();
+  bool any = false;
+  do {
+    const somp::LoopConfig candidate = config_from_values(space.decode(p));
+    const double s = *score(query, candidate);
+    if (!any || s < best_score) {
+      any = true;
+      best_score = s;
+      best_config = candidate;
+    }
+  } while (space.advance(p));
+  if (!any) return std::nullopt;
+  return best_config;
+}
+
+void LinearPredictor::restore(Normalizer normalizer,
+                              std::vector<double> weights) {
+  ARCS_CHECK_MSG(normalizer.fitted() && weights.size() == kPhiCount,
+                 "restoring a malformed linear model");
+  normalizer_ = std::move(normalizer);
+  weights_ = std::move(weights);
+  ata_.clear();
+  atb_.clear();
+  observed_ = 0;
+}
+
+}  // namespace arcs::model

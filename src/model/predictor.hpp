@@ -1,0 +1,151 @@
+// Learned configuration predictors.
+//
+// Two models behind one interface, per the two natural framings of the
+// problem:
+//
+//  * KnnPredictor — a *recommender*. Each training group (one region ×
+//    machine × cap) collapses to its best measured configuration; a query
+//    is answered by the k nearest signatures voting, distance-weighted,
+//    per search-space dimension. Cheap, needs no per-candidate data, and
+//    inherits the paper's observation that similar regions under similar
+//    caps share optima.
+//
+//  * LinearPredictor — a *performance model*. Incremental ridge
+//    regression on log(time) over signature × configuration features
+//    (plus hand-picked interactions like threads×cap and
+//    dynamic×imbalance), so it can score ANY candidate and rank the full
+//    Table-I space, including configurations never measured for any
+//    neighbor.
+//
+// Both are deterministic: same training data, same prediction.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harmony/space.hpp"
+#include "model/dataset.hpp"
+#include "model/features.hpp"
+#include "somp/schedule.hpp"
+
+namespace arcs::model {
+
+/// What a prediction is asked about: the region×machine×cap signature
+/// plus the two machine/region facts needed to interpret "default"
+/// configuration values (threads 0 → hw_threads, static chunk 0 →
+/// iterations/threads).
+struct Query {
+  FeatureVector features;
+  int hw_threads = 1;
+  double iterations = 0.0;
+};
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Trains from scratch on a dataset. Throws on an empty dataset.
+  virtual void fit(const Dataset& data) = 0;
+  virtual bool trained() const = 0;
+
+  /// Best configuration for the query, restricted to `space`'s candidate
+  /// values. nullopt when untrained.
+  virtual std::optional<somp::LoopConfig> predict(
+      const Query& query, const harmony::SearchSpace& space) const = 0;
+
+  /// Predicted objective (seconds, lower is better) for one candidate.
+  /// nullopt when the model cannot score configs (kNN) or is untrained.
+  virtual std::optional<double> score(const Query& query,
+                                      const somp::LoopConfig& config) const {
+    (void)query;
+    (void)config;
+    return std::nullopt;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+/// Number of φ features the linear model regresses over:
+/// bias + signature + config terms + interactions.
+inline constexpr std::size_t kPhiCount = 1 + kFeatureCount + 6 + 6;
+
+/// Index vector of the candidate values nearest to `config`, one per
+/// space dimension (exact match first, then nearest by absolute value,
+/// ties to the lower index). The discretization both the kNN vote and
+/// the cross-validation regret charge live in.
+harmony::Point snap_config(const harmony::SearchSpace& space,
+                           const somp::LoopConfig& config);
+
+class KnnPredictor final : public Predictor {
+ public:
+  /// One training group's distilled row.
+  struct Neighbor {
+    FeatureVector signature;  ///< raw (unnormalized) features
+    somp::LoopConfig config;  ///< the group's best measured config
+    double best_value = 0.0;
+    int hw_threads = 1;
+    double iterations = 0.0;
+  };
+
+  explicit KnnPredictor(std::size_t k = 5) : k_(k) {}
+
+  void fit(const Dataset& data) override;
+  bool trained() const override { return !neighbors_.empty(); }
+  std::optional<somp::LoopConfig> predict(
+      const Query& query, const harmony::SearchSpace& space) const override;
+  std::string name() const override { return "knn"; }
+
+  std::size_t k() const { return k_; }
+  const Normalizer& normalizer() const { return normalizer_; }
+  const std::vector<Neighbor>& neighbors() const { return neighbors_; }
+  /// Restores a trained state loaded from a ModelStore file.
+  void restore(Normalizer normalizer, std::vector<Neighbor> neighbors);
+
+ private:
+  std::size_t k_;
+  Normalizer normalizer_;
+  std::vector<Neighbor> neighbors_;
+};
+
+class LinearPredictor final : public Predictor {
+ public:
+  explicit LinearPredictor(double ridge = 1e-3) : ridge_(ridge) {}
+
+  void fit(const Dataset& data) override;
+  bool trained() const override { return !weights_.empty(); }
+  std::optional<somp::LoopConfig> predict(
+      const Query& query, const harmony::SearchSpace& space) const override;
+  std::optional<double> score(const Query& query,
+                              const somp::LoopConfig& config) const override;
+  std::string name() const override { return "linear"; }
+
+  /// Incremental API: fold one more measurement into the normal
+  /// equations (requires a prior fit(), which sets the normalizer), then
+  /// refit() to refresh the weights. fit() == observe-all + refit().
+  void observe(const Query& query, const somp::LoopConfig& config,
+               double value);
+  void refit();
+
+  double ridge() const { return ridge_; }
+  const Normalizer& normalizer() const { return normalizer_; }
+  const std::vector<double>& weights() const { return weights_; }
+  /// Restores a trained state loaded from a ModelStore file. A restored
+  /// model predicts/scores; continuing observe() needs a fresh fit().
+  void restore(Normalizer normalizer, std::vector<double> weights);
+
+  /// The φ feature map (exposed for tests): bias, normalized signature,
+  /// configuration terms, interactions. Size kPhiCount.
+  std::vector<double> phi(const Query& query,
+                          const somp::LoopConfig& config) const;
+
+ private:
+  double ridge_;
+  Normalizer normalizer_;
+  std::vector<double> weights_;           ///< empty until trained
+  std::vector<std::vector<double>> ata_;  ///< ΦᵀΦ accumulator
+  std::vector<double> atb_;               ///< Φᵀy accumulator
+  std::size_t observed_ = 0;
+};
+
+}  // namespace arcs::model

@@ -1,0 +1,215 @@
+#include "model/store.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace arcs::model {
+
+namespace {
+
+std::string join_hex(const std::vector<double>& xs) {
+  std::string out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += hex_double(xs[i]);
+  }
+  return out;
+}
+
+std::vector<double> split_hex(const std::string& field,
+                              std::size_t expected,
+                              const std::string& what) {
+  const auto parts = common::split(field, ' ');
+  ARCS_CHECK_MSG(parts.size() == expected,
+                 "model file " + what + " holds " +
+                     std::to_string(parts.size()) + " values, expected " +
+                     std::to_string(expected));
+  std::vector<double> xs;
+  xs.reserve(parts.size());
+  for (const auto& p : parts) xs.push_back(parse_hex_double(p));
+  return xs;
+}
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ',';
+    out += names[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string hex_double(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", x);
+  return buf;
+}
+
+double parse_hex_double(const std::string& s) {
+  char* end = nullptr;
+  const double x = std::strtod(s.c_str(), &end);
+  ARCS_CHECK_MSG(end == s.c_str() + s.size() && !s.empty(),
+                 "bad hexfloat in model file: " + s);
+  return x;
+}
+
+std::string ModelStore::serialize(const PredictiveModel& model) {
+  std::ostringstream os;
+  os << "#%arcs-model v1\n";
+  os << "kind|" << to_string(model.options().kind) << '\n';
+  os << "knn_k|" << model.options().knn_k << '\n';
+  os << "ridge|" << hex_double(model.options().ridge) << '\n';
+  os << "features|" << kFeatureCount << '|' << join_names(feature_names())
+     << '\n';
+  if (model.knn().trained()) {
+    os << "knn_mean|" << join_hex(model.knn().normalizer().mean) << '\n';
+    os << "knn_std|" << join_hex(model.knn().normalizer().stddev) << '\n';
+    os << "#%rows " << model.knn().neighbors().size() << '\n';
+    for (const KnnPredictor::Neighbor& n : model.knn().neighbors()) {
+      os << "row|" << n.config.to_string() << '|' << hex_double(n.best_value)
+         << '|' << n.hw_threads << '|' << hex_double(n.iterations) << '|'
+         << join_hex(n.signature) << '\n';
+    }
+  }
+  if (model.linear().trained()) {
+    os << "lin_mean|" << join_hex(model.linear().normalizer().mean) << '\n';
+    os << "lin_std|" << join_hex(model.linear().normalizer().stddev) << '\n';
+    os << "weights|" << join_hex(model.linear().weights()) << '\n';
+  }
+  os << "#%end\n";
+  return os.str();
+}
+
+PredictiveModel ModelStore::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+
+  ModelOptions options;
+  bool saw_header = false;
+  bool saw_end = false;
+  Normalizer knn_norm;
+  std::vector<KnnPredictor::Neighbor> neighbors;
+  bool expecting_rows = false;
+  std::size_t expected_rows = 0;
+  Normalizer lin_norm;
+  std::vector<double> weights;
+
+  while (std::getline(is, line)) {
+    const auto trimmed = common::trim(line);
+    if (trimmed.empty()) continue;
+    if (common::starts_with(trimmed, "#%arcs-model")) {
+      const auto fields = common::split(trimmed, ' ');
+      ARCS_CHECK_MSG(fields.size() == 2 && fields[1] == "v1",
+                     "unsupported model format: " + std::string(trimmed));
+      saw_header = true;
+      continue;
+    }
+    if (common::starts_with(trimmed, "#%rows")) {
+      const auto fields = common::split(trimmed, ' ');
+      ARCS_CHECK_MSG(fields.size() == 2,
+                     "malformed model rows marker: " + std::string(trimmed));
+      expected_rows = static_cast<std::size_t>(std::stoull(fields[1]));
+      expecting_rows = true;
+      continue;
+    }
+    if (trimmed == "#%end") {
+      saw_end = true;
+      continue;
+    }
+    if (trimmed.front() == '#') continue;
+    ARCS_CHECK_MSG(saw_header, "model file is missing its version header");
+    const auto fields = common::split(trimmed, '|');
+    const std::string& tag = fields[0];
+    if (tag == "kind") {
+      ARCS_CHECK_MSG(fields.size() == 2, "malformed kind line");
+      options.kind = predictor_kind_from_string(fields[1]);
+    } else if (tag == "knn_k") {
+      ARCS_CHECK_MSG(fields.size() == 2, "malformed knn_k line");
+      options.knn_k = static_cast<std::size_t>(std::stoull(fields[1]));
+    } else if (tag == "ridge") {
+      ARCS_CHECK_MSG(fields.size() == 2, "malformed ridge line");
+      options.ridge = parse_hex_double(fields[1]);
+    } else if (tag == "features") {
+      ARCS_CHECK_MSG(fields.size() == 3, "malformed features line");
+      ARCS_CHECK_MSG(std::stoull(fields[1]) == kFeatureCount &&
+                         fields[2] == join_names(feature_names()),
+                     "model file was trained with a different feature "
+                     "schema than this build");
+    } else if (tag == "knn_mean") {
+      ARCS_CHECK_MSG(fields.size() == 2, "malformed knn_mean line");
+      knn_norm.mean = split_hex(fields[1], kFeatureCount, "knn_mean");
+    } else if (tag == "knn_std") {
+      ARCS_CHECK_MSG(fields.size() == 2, "malformed knn_std line");
+      knn_norm.stddev = split_hex(fields[1], kFeatureCount, "knn_std");
+    } else if (tag == "row") {
+      ARCS_CHECK_MSG(fields.size() == 6,
+                     "model row needs 6 fields: " + std::string(trimmed));
+      KnnPredictor::Neighbor n;
+      n.config = somp::LoopConfig::from_string(fields[1]);
+      n.best_value = parse_hex_double(fields[2]);
+      n.hw_threads = static_cast<int>(std::stol(fields[3]));
+      n.iterations = parse_hex_double(fields[4]);
+      n.signature = split_hex(fields[5], kFeatureCount, "row signature");
+      neighbors.push_back(std::move(n));
+    } else if (tag == "lin_mean") {
+      ARCS_CHECK_MSG(fields.size() == 2, "malformed lin_mean line");
+      lin_norm.mean = split_hex(fields[1], kFeatureCount, "lin_mean");
+    } else if (tag == "lin_std") {
+      ARCS_CHECK_MSG(fields.size() == 2, "malformed lin_std line");
+      lin_norm.stddev = split_hex(fields[1], kFeatureCount, "lin_std");
+    } else if (tag == "weights") {
+      ARCS_CHECK_MSG(fields.size() == 2, "malformed weights line");
+      weights = split_hex(fields[1], kPhiCount, "weights");
+    } else {
+      ARCS_CHECK_MSG(false, "unknown model line: " + std::string(trimmed));
+    }
+  }
+  ARCS_CHECK_MSG(saw_header, "model file is missing its version header");
+  ARCS_CHECK_MSG(saw_end,
+                 "model file is missing its #%end footer (truncated file?)");
+  if (expecting_rows)
+    ARCS_CHECK_MSG(neighbors.size() == expected_rows,
+                   "model file is torn: promises " +
+                       std::to_string(expected_rows) + " rows, found " +
+                       std::to_string(neighbors.size()));
+
+  PredictiveModel model(options);
+  if (!neighbors.empty()) model.knn().restore(knn_norm, std::move(neighbors));
+  if (!weights.empty()) model.linear().restore(lin_norm, std::move(weights));
+  return model;
+}
+
+void ModelStore::save(const PredictiveModel& model, const std::string& path) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp);
+    ARCS_CHECK_MSG(out.good(), "cannot open model file for write: " + tmp);
+    out << serialize(model);
+    out.flush();
+    ARCS_CHECK_MSG(out.good(), "failed writing model file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    ARCS_CHECK_MSG(false, "cannot rename model file into place: " + path);
+  }
+}
+
+PredictiveModel ModelStore::load(const std::string& path) {
+  std::ifstream in(path);
+  ARCS_CHECK_MSG(in.good(), "cannot open model file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return deserialize(buffer.str());
+}
+
+}  // namespace arcs::model

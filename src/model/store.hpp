@@ -1,0 +1,48 @@
+// ModelStore — versioned text persistence for trained models.
+//
+// Format (arcs-model v1), mirroring HistoryStore's conventions: a
+// `#%arcs-model v1` version line, pipe-separated fields, hexfloat (%a)
+// doubles so serialize→deserialize→serialize is bit-identical, section
+// counts (`#%rows N`) plus a `#%end` footer so torn files are rejected,
+// and atomic save via sibling-temp-file + rename.
+//
+//   #%arcs-model v1
+//   kind|knn
+//   knn_k|5
+//   ridge|0x1.0c6f7a0b5ed8dp-10
+//   features|18|log_iterations,log_cycles_per_iter,...
+//   knn_mean|<18 hexfloats>          ┐ present only when the kNN
+//   knn_std|<18 hexfloats>           │ predictor is trained
+//   #%rows 12                        │
+//   row|<config>|<best>|<hw>|<iters>|<18 hexfloats>   (× 12)
+//   lin_mean|<18 hexfloats>          ┐ present only when the linear
+//   lin_std|<18 hexfloats>           │ predictor is trained
+//   weights|<kPhiCount hexfloats>    ┘
+//   #%end
+#pragma once
+
+#include <string>
+
+#include "model/model.hpp"
+
+namespace arcs::model {
+
+class ModelStore {
+ public:
+  static std::string serialize(const PredictiveModel& model);
+
+  /// Parses serialize() output. Throws common::ContractError on a
+  /// malformed/torn file, an unsupported version, or a feature-schema
+  /// mismatch with this build.
+  static PredictiveModel deserialize(const std::string& text);
+
+  /// Atomic: writes a sibling temp file and renames it over `path`.
+  static void save(const PredictiveModel& model, const std::string& path);
+  static PredictiveModel load(const std::string& path);
+};
+
+/// Hexfloat (%a) round-trip helpers, exposed for tests.
+std::string hex_double(double x);
+double parse_hex_double(const std::string& s);
+
+}  // namespace arcs::model

@@ -1,0 +1,120 @@
+#include "model/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "core/search_space.hpp"
+
+namespace arcs::model {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= 0xff;  // field separator so ("ab","c") != ("a","bc")
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+/// L1 distance between two configs after snapping both into the space.
+std::size_t index_distance(const harmony::SearchSpace& space,
+                           const harmony::Point& a,
+                           const somp::LoopConfig& b) {
+  const harmony::Point pb = snap_config(space, b);
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    d += a[i] > pb[i] ? a[i] - pb[i] : pb[i] - a[i];
+  return d;
+}
+
+}  // namespace
+
+std::size_t fold_for_key(const HistoryKey& key, std::size_t folds) {
+  ARCS_CHECK_MSG(folds >= 2, "cross-validation needs at least two folds");
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, key.app);
+  h = fnv1a(h, key.machine);
+  // 1dp, matching the history format's cap resolution, so 55 and 55.0
+  // land in the same fold.
+  h = fnv1a(h, std::to_string(std::llround(key.power_cap * 10.0)));
+  h = fnv1a(h, key.workload);
+  h = fnv1a(h, key.region);
+  return static_cast<std::size_t>(h % folds);
+}
+
+CrossValReport cross_validate(const Dataset& data,
+                              const ModelOptions& options,
+                              std::size_t folds) {
+  ARCS_CHECK_MSG(!data.empty(), "cannot cross-validate an empty dataset");
+  ARCS_CHECK_MSG(folds >= 2, "cross-validation needs at least two folds");
+
+  const auto groups = data.groups();
+  CrossValReport report;
+  report.folds = folds;
+  report.groups = groups.size();
+
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    Dataset train;
+    for (const auto& [key, indices] : groups) {
+      if (fold_for_key(key, folds) == fold) continue;
+      for (const std::size_t i : indices) train.add(data.examples()[i]);
+    }
+    if (train.empty()) continue;  // everything hashed into this fold
+    PredictiveModel model(options);
+    model.train(train);
+
+    for (const auto& [key, indices] : groups) {
+      if (fold_for_key(key, folds) != fold) continue;
+      const auto machine = preset_machine(key.machine);
+      if (!machine) continue;
+      const Example& probe = data.examples()[indices.front()];
+      const harmony::SearchSpace space = arcs_search_space(*machine);
+      const auto predicted = model.predict(
+          {probe.features, probe.hw_threads, probe.iterations}, space);
+      if (!predicted) continue;
+
+      // Charge the prediction the group's measured value for the nearest
+      // measured config; regret is relative to the group's best.
+      const harmony::Point snapped = snap_config(space, *predicted);
+      double best = data.examples()[indices.front()].value;
+      double charged = 0.0;
+      std::size_t charged_distance = 0;
+      bool have_charge = false;
+      for (const std::size_t i : indices) {
+        const Example& e = data.examples()[i];
+        best = std::min(best, e.value);
+        const std::size_t dist = index_distance(space, snapped, e.config);
+        if (!have_charge || dist < charged_distance ||
+            (dist == charged_distance && e.value < charged)) {
+          have_charge = true;
+          charged = e.value;
+          charged_distance = dist;
+        }
+      }
+      if (!have_charge || best <= 0.0) continue;
+      report.regrets.push_back(charged / best - 1.0);
+      ++report.predicted;
+    }
+  }
+
+  if (!report.regrets.empty()) {
+    std::vector<double> sorted = report.regrets;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (const double r : sorted) sum += r;
+    report.mean_regret = sum / static_cast<double>(sorted.size());
+    const std::size_t mid = sorted.size() / 2;
+    report.median_regret = sorted.size() % 2 == 1
+                               ? sorted[mid]
+                               : 0.5 * (sorted[mid - 1] + sorted[mid]);
+    report.max_regret = sorted.back();
+  }
+  return report;
+}
+
+}  // namespace arcs::model

@@ -1,0 +1,51 @@
+// k-fold cross-validation of a predictor against recorded search bests.
+//
+// Folds are assigned per GROUP (all of one region×machine×cap's
+// measurements stay together — splitting a group would leak its optimum
+// into training). Assignment is a pure hash of the group's HistoryKey —
+// the repository's descriptor-seed rule — so the same dataset always
+// produces the same folds on every platform, with no RNG and no
+// dependence on insertion order.
+//
+// Regret for one held-out group: the model predicts a config from the
+// other folds' data; the prediction is charged the group's *measured*
+// value for that config (exact measurement if present, else the
+// measurement whose config is closest in index space), and
+//
+//   regret = predicted_measured_value / group_best_value − 1
+//
+// i.e. 0.05 means the model's pick ran 5% slower than the recorded
+// search best.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/dataset.hpp"
+#include "model/model.hpp"
+
+namespace arcs::model {
+
+struct CrossValReport {
+  std::size_t folds = 0;
+  std::size_t groups = 0;     ///< total held-out groups
+  std::size_t predicted = 0;  ///< groups the model produced a config for
+  double mean_regret = 0.0;
+  double median_regret = 0.0;
+  double max_regret = 0.0;
+  /// One regret per predicted group, in group (key) order.
+  std::vector<double> regrets;
+};
+
+/// Deterministic fold index for a key (exposed for tests): a pure FNV-1a
+/// hash of the key's fields, modulo `folds`.
+std::size_t fold_for_key(const HistoryKey& key, std::size_t folds);
+
+/// Trains `folds` models, each on the dataset minus one fold, and scores
+/// the held-out groups. Groups whose fold ends up empty of training data
+/// (or that the model declines to predict) count in `groups` but not
+/// `predicted`. Requires folds >= 2 and a non-empty dataset.
+CrossValReport cross_validate(const Dataset& data, const ModelOptions& options,
+                              std::size_t folds = 5);
+
+}  // namespace arcs::model

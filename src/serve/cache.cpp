@@ -97,6 +97,16 @@ std::size_t DecisionCache::size() const {
   return n;
 }
 
+std::size_t DecisionCache::provisional_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, decision] : shard->lru)
+      if (decision.provisional) ++n;
+  }
+  return n;
+}
+
 void DecisionCache::load(const HistoryStore& store) {
   for (const auto& [key, entry] : store.entries()) {
     CachedDecision decision;
@@ -112,6 +122,7 @@ HistoryStore DecisionCache::snapshot() const {
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mu);
     for (const auto& [key, decision] : shard->lru) {
+      if (decision.provisional) continue;
       HistoryEntry entry;
       entry.config = decision.config;
       entry.best_value = decision.best_value;

@@ -40,6 +40,12 @@ struct CachedDecision {
   somp::LoopConfig config;
   double best_value = 0.0;
   std::uint64_t evaluations = 0;
+  /// A model prediction published before any measurement: served to keep
+  /// cold-start clients off the search critical path, replaced in place
+  /// by the final decision when the refinement search retires. Never
+  /// included in snapshot() — predictions must not masquerade as
+  /// measured bests in a saved history file.
+  bool provisional = false;
 };
 
 class DecisionCache {
@@ -53,6 +59,8 @@ class DecisionCache {
   void put(const HistoryKey& key, const CachedDecision& decision);
 
   std::size_t size() const;
+  /// Entries currently provisional (model predictions awaiting a search).
+  std::size_t provisional_count() const;
   std::uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
@@ -60,7 +68,8 @@ class DecisionCache {
   /// Bulk-seed from a history store (e.g. the daemon's --history file).
   void load(const HistoryStore& store);
 
-  /// Every cached decision as a HistoryStore (for Save / persistence).
+  /// Every *final* cached decision as a HistoryStore (for Save /
+  /// persistence). Provisional predictions are skipped.
   HistoryStore snapshot() const;
 
   /// Stable (process-independent) shard hash, exposed for tests.

@@ -18,6 +18,7 @@ RemoteDecision Client::decide(const HistoryKey& key, double timeout_ms) {
     case Status::Hit:
       decision.kind = RemoteDecision::Kind::Apply;
       decision.config = response.config;
+      decision.predicted = response.predicted;
       break;
     case Status::Evaluate:
       decision.kind = RemoteDecision::Kind::Evaluate;

@@ -248,6 +248,7 @@ common::Json to_json(const Response& response) {
   switch (response.status) {
     case Status::Hit:
       j.set("config", response.config.to_string());
+      if (response.predicted) j.set("predicted", true);
       break;
     case Status::Evaluate:
       j.set("config", response.config.to_string());
@@ -274,6 +275,11 @@ Response response_from_json(const common::Json& json) {
     case Status::Hit:
       response.config =
           somp::LoopConfig::from_string(require_string(json, "config"));
+      if (const common::Json* predicted = json.find("predicted")) {
+        ARCS_CHECK_MSG(predicted->is_bool(),
+                       "serve message field is not a bool: predicted");
+        response.predicted = predicted->as_bool();
+      }
       break;
     case Status::Evaluate:
       response.config =

@@ -80,6 +80,10 @@ struct Response {
   std::uint64_t ticket = 0;  ///< Evaluate
   std::string error;         ///< Error
   common::Json metrics;      ///< Metrics op only
+  /// Hit only: `config` is a model prediction, not (yet) a measured
+  /// search result. Encoded only when true; decoders treat the field as
+  /// optional, so predictor-less (older) peers interoperate unchanged.
+  bool predicted = false;
 };
 
 /// JSON codecs. Decoders throw common::ContractError on missing fields,

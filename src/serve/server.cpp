@@ -124,12 +124,16 @@ Response TuningServer::handle_get(const Request& request) {
   Response response;
 
   // Fast path: finished decisions never need the sessions lock.
+  // Provisional (predicted) entries fall through to the locked path so a
+  // refinement search keeps attracting evaluation workers.
   if (const auto hit = cache_.get(request.key)) {
-    metrics_.hits.add();
-    sample_cache_hit_rate();
-    response.status = Status::Hit;
-    response.config = hit->config;
-    return response;
+    if (!hit->provisional) {
+      metrics_.hits.add();
+      sample_cache_hit_rate();
+      response.status = Status::Hit;
+      response.config = hit->config;
+      return response;
+    }
   }
 
   const bool can_wait = request.wait_ms > 0;
@@ -143,39 +147,83 @@ Response TuningServer::handle_get(const Request& request) {
   for (;;) {
     // Re-check under the lock: the search may have finished between the
     // fast path (or our cv wake-up) and here.
-    if (const auto hit = cache_.get(request.key)) {
+    std::optional<CachedDecision> cached = cache_.get(request.key);
+    if (cached && !cached->provisional) {
       metrics_.hits.add();
       sample_cache_hit_rate();
       response.status = Status::Hit;
-      response.config = hit->config;
+      response.config = cached->config;
       return response;
     }
 
     const auto it = sessions_.find(request.key);
     if (it == sessions_.end()) {
-      // This client becomes the key's driver — unless admission says no.
-      if (options_.max_inflight > 0 &&
-          sessions_.size() >= options_.max_inflight) {
+      if (cached) {
+        // A provisional prediction with no refinement in flight (either
+        // refinement is off, or admission was full when it was made):
+        // serve the prediction as-is.
+        metrics_.provisional_hits.add();
+        response.status = Status::Hit;
+        response.config = cached->config;
+        response.predicted = true;
+        return response;
+      }
+      // Cold start. With a trained model the client gets its prediction
+      // in this one round trip; the search (if any) runs off the
+      // client's critical path, driven by later Gets.
+      std::optional<somp::LoopConfig> predicted;
+      if (options_.predictor != nullptr)
+        predicted = options_.predictor->predict_config(request.key);
+      const bool admission_full = options_.max_inflight > 0 &&
+                                  sessions_.size() >= options_.max_inflight;
+      if (admission_full && !predicted) {
         metrics_.overloaded.add();
         response.status = Status::Overloaded;
         return response;
       }
       const harmony::SearchSpace& space = space_for(request.key.machine);
+      harmony::StrategyKind method = options_.method;
       harmony::StrategyOptions search = options_.search;
       // Deterministic per-key seed: the same key gets the same search no
       // matter which client arrives first or when.
       search.seed = common::hash_combine(options_.search.seed,
                                          DecisionCache::key_hash(request.key));
+      if (predicted) {
+        metrics_.predictions.add();
+        metrics_.misses.add();
+        CachedDecision provisional;
+        provisional.config = *predicted;
+        provisional.provisional = true;
+        cache_.put(request.key, provisional);
+        if (options_.refine_predictions && !admission_full) {
+          // Refinement session, seeded at the prediction, created with
+          // no outstanding proposal: the next Get joins as its first
+          // evaluation worker.
+          method = harmony::StrategyKind::ModelSeeded;
+          search.model_seeded.center_frac =
+              center_frac_for(space, *predicted);
+          harmony::SessionOptions session_opts;
+          session_opts.memoize = true;
+          auto inflight = std::make_unique<InFlight>();
+          inflight->session = std::make_unique<harmony::Session>(
+              space, harmony::make_strategy(method, search), session_opts);
+          sessions_.emplace(request.key, std::move(inflight));
+          metrics_.searches_started.add();
+        }
+        response.status = Status::Hit;
+        response.config = *predicted;
+        response.predicted = true;
+        return response;
+      }
+      // This client becomes the key's driver — admission said yes above.
       harmony::SessionOptions session_opts;
-      session_opts.memoize =
-          options_.method != harmony::StrategyKind::Exhaustive;
+      session_opts.memoize = method != harmony::StrategyKind::Exhaustive;
       auto inflight = std::make_unique<InFlight>();
       {
         const telemetry::ScopedSpan propose(telemetry::Category::Harmony,
                                             "harmony/propose");
         inflight->session = std::make_unique<harmony::Session>(
-            space, harmony::make_strategy(options_.method, search),
-            session_opts);
+            space, harmony::make_strategy(method, search), session_opts);
         inflight->proposal = inflight->session->next_values();
       }
       inflight->outstanding = true;
@@ -224,7 +272,17 @@ Response TuningServer::handle_get(const Request& request) {
       return response;
     }
 
-    // A proposal is out with another client.
+    // A proposal is out with another client. If a provisional
+    // prediction exists for the key, serve it instead of making the
+    // caller wait or retry — the refinement is making progress through
+    // the client holding the proposal.
+    if (cached) {
+      metrics_.provisional_hits.add();
+      response.status = Status::Hit;
+      response.config = cached->config;
+      response.predicted = true;
+      return response;
+    }
     if (!can_wait) {
       metrics_.pending_replies.add();
       response.status = Status::Pending;
@@ -352,11 +410,14 @@ common::Json TuningServer::metrics_json() const {
   counters.set("puts", metrics_.puts.load());
   counters.set("searches_started", metrics_.searches_started.load());
   counters.set("searches_completed", metrics_.searches_completed.load());
+  counters.set("predictions", metrics_.predictions.load());
+  counters.set("provisional_hits", metrics_.provisional_hits.load());
   j.set("counters", counters);
   common::Json gauges = common::Json::object();
   gauges.set("inflight", inflight());
   gauges.set("waiting_now", waiting_now());
   gauges.set("cache_size", cache_.size());
+  gauges.set("cache_provisional", cache_.provisional_count());
   gauges.set("cache_evictions", cache_.evictions());
   j.set("gauges", gauges);
   std::vector<double> scratch;
@@ -381,6 +442,8 @@ std::string TuningServer::prometheus_text() const {
   registry_.gauge("serve/waiting_now")
       .set(static_cast<double>(waiting_now()));
   registry_.gauge("serve/cache_size").set(static_cast<double>(cache_.size()));
+  registry_.gauge("serve/cache_provisional")
+      .set(static_cast<double>(cache_.provisional_count()));
   registry_.gauge("serve/cache_evictions")
       .set(static_cast<double>(cache_.evictions()));
   return registry_.prometheus_text();
@@ -404,6 +467,10 @@ void TuningServer::publish_metrics(apex::Apex& apex) const {
   apex.sample_counter("serve/searches_completed",
                       static_cast<double>(
                           metrics_.searches_completed.load()));
+  apex.sample_counter("serve/predictions",
+                      static_cast<double>(metrics_.predictions.load()));
+  apex.sample_counter("serve/provisional_hits",
+                      static_cast<double>(metrics_.provisional_hits.load()));
   apex.sample_counter("serve/cache_evictions",
                       static_cast<double>(cache_.evictions()));
 }

@@ -28,6 +28,17 @@
 // is published to the cache *before* the in-flight session is retired,
 // both under the sessions mutex, so there is no window in which a new
 // Get could see neither.
+//
+// With a ServerOptions::predictor attached, a cold-start miss is instead
+// answered Hit(predicted) in one round trip: the model's configuration is
+// published to the cache as a *provisional* entry and (by default) a
+// model-seeded refinement search is started with no outstanding proposal,
+// so later Gets join it as evaluation workers exactly like any in-flight
+// search. While the refinement's proposal is out with another client,
+// Gets are served the provisional prediction instead of Pending; when the
+// search retires, its final decision replaces the provisional entry in
+// place. Provisional entries never reach the hit fast path, snapshot(),
+// or Save — they are a stand-in, not a measured best.
 #pragma once
 
 #include <atomic>
@@ -40,6 +51,7 @@
 #include <vector>
 
 #include "apex/apex.hpp"
+#include "core/predictor.hpp"
 #include "core/search_space.hpp"
 #include "harmony/session.hpp"
 #include "harmony/strategy_factory.hpp"
@@ -69,6 +81,17 @@ struct ServerOptions {
   /// built-in presets (crill, minotaur, haswell, testbox). A Get for an
   /// unknown machine is answered with Error.
   std::vector<sim::MachineSpec> machines;
+  /// Learned model consulted on cache misses (must outlive the server;
+  /// implementations must be thread-safe). When it has a prediction for
+  /// the missed key, the Get is answered Hit(predicted) in one round trip
+  /// — zero search evaluations on the client's critical path — and the
+  /// prediction is published to the cache as a provisional entry.
+  const ConfigPredictor* predictor = nullptr;
+  /// Also start a model-seeded refinement search for each predicted key;
+  /// later Gets join it as evaluation workers and the final result
+  /// replaces the provisional entry when the search retires. Off =
+  /// predictions are served as-is, forever.
+  bool refine_predictions = true;
 };
 
 /// The server's named instruments, registered in a telemetry
@@ -93,6 +116,8 @@ struct ServerMetrics {
         puts(registry.counter("serve/puts")),
         searches_started(registry.counter("serve/searches_started")),
         searches_completed(registry.counter("serve/searches_completed")),
+        predictions(registry.counter("serve/predictions")),
+        provisional_hits(registry.counter("serve/provisional_hits")),
         requests(registry.counter("serve/requests")),
         latency(registry.histogram("serve/request_seconds")) {}
 
@@ -108,6 +133,8 @@ struct ServerMetrics {
   telemetry::Counter& puts;
   telemetry::Counter& searches_started;
   telemetry::Counter& searches_completed;
+  telemetry::Counter& predictions;       ///< misses answered by the model
+  telemetry::Counter& provisional_hits;  ///< Gets served a cached prediction
   telemetry::Counter& requests;
   telemetry::Histogram& latency;  ///< sampled request latency (seconds)
 };

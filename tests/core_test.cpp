@@ -162,12 +162,42 @@ TEST(History, MergeOverwritesCollisionsKeepsRest) {
   EXPECT_EQ(base.get(make_key("only_fresh"))->config.num_threads, 2);
 }
 
-TEST(History, SerializeEmitsV2HeaderAndCountFooter) {
+TEST(History, SerializeEmitsV3HeaderAndCountFooters) {
   arcs::HistoryStore store;
   store.put(make_key("r"), {{8, {}}, 1.0, 1});
   const auto text = store.serialize();
-  EXPECT_TRUE(text.starts_with("#%arcs-history v2\n"));
+  EXPECT_TRUE(text.starts_with("#%arcs-history v3\n"));
   EXPECT_NE(text.find("\n#%count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("\n#%samples 0\n"), std::string::npos);
+}
+
+TEST(History, V3SamplesRoundTrip) {
+  arcs::HistoryStore store;
+  store.put(make_key("r"), {{16, {sp::ScheduleKind::Guided, 8}}, 0.25, 9});
+  store.add_sample({make_key("r"),
+                    {8, {sp::ScheduleKind::Dynamic, 32}},
+                    0.375,
+                    12.5});
+  store.add_sample(
+      {make_key("r"), {16, {sp::ScheduleKind::Guided, 8}}, 0.25, 10.0});
+  const auto loaded = arcs::HistoryStore::deserialize(store.serialize());
+  EXPECT_EQ(loaded.size(), 1u);
+  ASSERT_EQ(loaded.sample_count(), 2u);
+  EXPECT_EQ(loaded.samples()[0].config.num_threads, 8);
+  EXPECT_EQ(loaded.samples()[0].config.schedule.kind,
+            sp::ScheduleKind::Dynamic);
+  EXPECT_DOUBLE_EQ(loaded.samples()[0].value, 0.375);
+  EXPECT_DOUBLE_EQ(loaded.samples()[0].energy, 12.5);
+  EXPECT_EQ(loaded.samples()[1].config.num_threads, 16);
+}
+
+TEST(History, V2FilesWithoutSamplesFooterStillParse) {
+  const auto store = arcs::HistoryStore::deserialize(
+      "#%arcs-history v2\n"
+      "SP|crill|85.0|B|r|(8, static, default)|1.0|5\n"
+      "#%count 1\n");
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.sample_count(), 0u);
 }
 
 TEST(History, V1FilesWithoutFooterStillParse) {
@@ -181,26 +211,46 @@ TEST(History, V1FilesWithoutFooterStillParse) {
   EXPECT_EQ(tagged.size(), 1u);
 }
 
-TEST(History, TornV2FileRejected) {
+TEST(History, TornFileRejected) {
   arcs::HistoryStore store;
   store.put(make_key("a"), {{8, {}}, 1.0, 1});
   store.put(make_key("b"), {{4, {}}, 2.0, 2});
   const auto text = store.serialize();
-  // Drop one entry line but keep the footer: count mismatch.
-  const auto first_entry_end = text.find('\n', text.find("cap_w") + 1);
-  const auto second_entry_end = text.find('\n', first_entry_end + 1);
+  // Drop one entry line but keep the footers: count mismatch.
+  const auto first_entry = text.find("\nSP|") + 1;
+  const auto first_entry_end = text.find('\n', first_entry);
   auto torn = text;
-  torn.erase(first_entry_end + 1, second_entry_end - first_entry_end);
+  torn.erase(first_entry, first_entry_end - first_entry + 1);
   EXPECT_THROW(arcs::HistoryStore::deserialize(torn),
                arcs::common::ContractError);
-  // A v2 file truncated before its footer is just as dead.
+  // A file truncated before its footers is just as dead.
   const auto footer = text.rfind("#%count");
   EXPECT_THROW(arcs::HistoryStore::deserialize(text.substr(0, footer)),
                arcs::common::ContractError);
 }
 
+TEST(History, TornSampleSectionRejected) {
+  arcs::HistoryStore store;
+  store.put(make_key("r"), {{8, {}}, 1.0, 2});
+  store.add_sample({make_key("r"), {8, {}}, 1.0, 5.0});
+  store.add_sample({make_key("r"), {4, {}}, 2.0, 6.0});
+  const auto text = store.serialize();
+  // Drop one sample line but keep the footers: sample-count mismatch.
+  const auto first_sample = text.find("\n*") + 1;
+  const auto first_sample_end = text.find('\n', first_sample);
+  auto torn = text;
+  torn.erase(first_sample, first_sample_end - first_sample + 1);
+  EXPECT_THROW(arcs::HistoryStore::deserialize(torn),
+               arcs::common::ContractError);
+  // A v3 file truncated between its two footers is also dead.
+  const auto samples_footer = text.rfind("#%samples");
+  EXPECT_THROW(
+      arcs::HistoryStore::deserialize(text.substr(0, samples_footer)),
+      arcs::common::ContractError);
+}
+
 TEST(History, UnsupportedVersionRejected) {
-  EXPECT_THROW(arcs::HistoryStore::deserialize("#%arcs-history v3\n"),
+  EXPECT_THROW(arcs::HistoryStore::deserialize("#%arcs-history v4\n"),
                arcs::common::ContractError);
   EXPECT_THROW(arcs::HistoryStore::deserialize("#%arcs-history\n"),
                arcs::common::ContractError);

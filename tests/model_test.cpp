@@ -1,0 +1,475 @@
+// Tests for the predictive-configuration subsystem (src/model):
+// feature extraction, dataset (de)serialization, both predictors, the
+// ModelStore persistence format, k-fold cross-validation, and the
+// Predicted tuning strategy that consumes the model through the
+// core::ConfigPredictor seam.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/search_space.hpp"
+#include "kernels/apps.hpp"
+#include "kernels/driver.hpp"
+#include "kernels/model_bridge.hpp"
+#include "model/dataset.hpp"
+#include "model/features.hpp"
+#include "model/model.hpp"
+#include "model/predictor.hpp"
+#include "model/store.hpp"
+#include "model/validate.hpp"
+#include "sim/presets.hpp"
+
+namespace kn = arcs::kernels;
+namespace md = arcs::model;
+namespace sc = arcs::sim;
+namespace sp = arcs::somp;
+
+namespace {
+
+md::RegionDescriptor sample_region() {
+  md::RegionDescriptor d;
+  d.iterations = 4096;
+  d.cycles_per_iter = 900;
+  d.bytes_per_iter = 256;
+  d.access_bytes_per_iter = 512;
+  d.reuse_window = 64;
+  d.stride_factor = 1.0;
+  d.base_miss_l1 = 0.04;
+  d.base_miss_l2 = 0.01;
+  d.base_miss_l3 = 0.004;
+  d.mlp = 4.0;
+  d.imbalance = 0.3;
+  d.has_reduction = false;
+  return d;
+}
+
+arcs::HistoryKey key_for(const std::string& region, double cap) {
+  return {"synthetic", "testbox", cap, "unit", region};
+}
+
+/// A tiny hand-built dataset: two groups with far-apart signatures and
+/// different best configurations, enough rows per group for the linear
+/// model to rank within it.
+md::Dataset toy_dataset() {
+  md::Dataset data;
+  const sc::MachineSpec machine = sc::testbox();
+  md::RegionDescriptor small = sample_region();
+  small.iterations = 128;
+  small.imbalance = 0.0;
+  md::RegionDescriptor large = sample_region();
+  large.iterations = 65536;
+  large.imbalance = 0.6;
+  const auto add_group = [&](const md::RegionDescriptor& d,
+                             const std::string& region, int best_threads,
+                             sp::ScheduleKind best_kind) {
+    const md::FeatureVector features =
+        md::extract_features(d, machine, 0.0);
+    for (const int threads : {1, 2, 4}) {
+      for (const auto kind :
+           {sp::ScheduleKind::Static, sp::ScheduleKind::Dynamic}) {
+        md::Example e;
+        e.key = key_for(region, 0.0);
+        e.features = features;
+        e.hw_threads = machine.topology.hw_threads();
+        e.iterations = d.iterations;
+        e.config = {threads, {kind, 8}};
+        // Unique minimum at (best_threads, best_kind).
+        e.value = 1.0 + std::abs(threads - best_threads) +
+                  (kind == best_kind ? 0.0 : 0.5);
+        e.energy = e.value * 10.0;
+        data.add(e);
+      }
+    }
+  };
+  add_group(small, "small_loop", 2, sp::ScheduleKind::Static);
+  add_group(large, "large_loop", 4, sp::ScheduleKind::Dynamic);
+  return data;
+}
+
+}  // namespace
+
+// ---------- features ----------
+
+TEST(ModelFeatures, SchemaSizeAndDeterminism) {
+  EXPECT_EQ(md::feature_names().size(), md::kFeatureCount);
+  const auto a = md::extract_features(sample_region(), sc::crill(), 85.0);
+  const auto b = md::extract_features(sample_region(), sc::crill(), 85.0);
+  EXPECT_EQ(a.size(), md::kFeatureCount);
+  EXPECT_EQ(a, b);  // bit-identical: pure function of its inputs
+}
+
+TEST(ModelFeatures, CapFractionDistinguishesPowerLevels) {
+  const auto capped = md::extract_features(sample_region(), sc::crill(), 55.0);
+  const auto tdp = md::extract_features(sample_region(), sc::crill(), 0.0);
+  // cap_fraction is the last feature; 0 W means uncapped (fraction 1).
+  EXPECT_DOUBLE_EQ(tdp.back(), 1.0);
+  EXPECT_LT(capped.back(), 1.0);
+  // Everything else is cap-independent.
+  for (std::size_t i = 0; i + 1 < capped.size(); ++i)
+    EXPECT_DOUBLE_EQ(capped[i], tdp[i]) << "feature " << i;
+}
+
+TEST(ModelFeatures, NormalizerZeroVariancePassThrough) {
+  md::Normalizer norm;
+  norm.fit({{1.0, 5.0}, {3.0, 5.0}});
+  const auto z = norm.apply({2.0, 7.0});
+  EXPECT_DOUBLE_EQ(z[0], 0.0);  // 2 is the mean of {1, 3}
+  EXPECT_DOUBLE_EQ(z[1], 2.0);  // stddev clamps to 1, so offset passes
+}
+
+// ---------- dataset ----------
+
+TEST(ModelDataset, JsonlRoundTrip) {
+  const md::Dataset data = toy_dataset();
+  const md::Dataset loaded = md::Dataset::from_jsonl(data.to_jsonl());
+  ASSERT_EQ(loaded.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const md::Example& a = data.examples()[i];
+    const md::Example& b = loaded.examples()[i];
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.features, b.features);
+    EXPECT_DOUBLE_EQ(a.value, b.value);
+    EXPECT_DOUBLE_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.hw_threads, b.hw_threads);
+  }
+}
+
+TEST(ModelDataset, RejectsForeignSchemaRows) {
+  EXPECT_THROW(md::Dataset::from_jsonl(R"({"schema": "other/v1"})"
+                                       "\n"),
+               arcs::common::ContractError);
+  EXPECT_THROW(md::Dataset::from_jsonl("not json\n"),
+               arcs::common::ContractError);
+}
+
+TEST(ModelDataset, GroupsSplitByHistoryKey) {
+  const md::Dataset data = toy_dataset();
+  const auto groups = data.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  for (const auto& [key, indices] : groups) {
+    EXPECT_EQ(indices.size(), 6u);
+    for (const std::size_t idx : indices)
+      EXPECT_EQ(data.examples()[idx].key, key);
+  }
+}
+
+TEST(ModelDataset, FromHistorySamplesAndBestEntries) {
+  arcs::HistoryStore store;
+  const arcs::HistoryKey with_samples = key_for("imbalanced_loop", 0.0);
+  store.put(with_samples, {{4, {sp::ScheduleKind::Static, 1}}, 0.5, 3});
+  store.add_sample({with_samples, {2, {}}, 0.9, 1.0});
+  store.add_sample({with_samples, {4, {sp::ScheduleKind::Static, 1}}, 0.5,
+                    0.8});
+  // Best-entry only (a v1/v2-era key): becomes a single example.
+  store.put(key_for("uniform_loop", 0.0), {{4, {}}, 0.25, 5});
+  // Unresolvable keys are skipped, not fatal.
+  store.put({"no_such_app", "testbox", 0.0, "unit", "r"}, {{2, {}}, 1.0, 1});
+  const md::Dataset data =
+      md::dataset_from_history(store, kn::model_resolver());
+  EXPECT_EQ(data.size(), 3u);
+  EXPECT_EQ(data.groups().size(), 2u);
+}
+
+// ---------- predictors ----------
+
+TEST(ModelPredictor, SnapConfigExactAndNearest) {
+  const auto space = arcs::arcs_search_space(sc::crill());
+  // Crill threads: {2, 4, 8, 16, 24, 32, 0}.
+  const auto exact =
+      md::snap_config(space, {16, {sp::ScheduleKind::Guided, 8}});
+  EXPECT_EQ(arcs::config_from_values(space.decode(exact)).num_threads, 16);
+  const auto nearest =
+      md::snap_config(space, {20, {sp::ScheduleKind::Guided, 8}});
+  // 20 ties between 16 and 24; the lower index wins.
+  EXPECT_EQ(arcs::config_from_values(space.decode(nearest)).num_threads, 16);
+}
+
+TEST(ModelPredictor, UntrainedPredictsNothing) {
+  const auto space = arcs::arcs_search_space(sc::testbox());
+  md::Query query;
+  query.features = md::extract_features(sample_region(), sc::testbox(), 0.0);
+  EXPECT_FALSE(md::KnnPredictor{}.predict(query, space).has_value());
+  EXPECT_FALSE(md::LinearPredictor{}.predict(query, space).has_value());
+  EXPECT_FALSE(
+      md::LinearPredictor{}.score(query, sp::LoopConfig{}).has_value());
+}
+
+TEST(ModelPredictor, KnnRecallsNearestGroupBest) {
+  const md::Dataset data = toy_dataset();
+  md::KnnPredictor knn{1};
+  knn.fit(data);
+  ASSERT_TRUE(knn.trained());
+  EXPECT_EQ(knn.neighbors().size(), 2u);  // one distilled row per group
+  const auto space = arcs::arcs_search_space(sc::testbox());
+  for (const md::Example& e : data.examples()) {
+    md::Query query{e.features, e.hw_threads, e.iterations};
+    const auto predicted = knn.predict(query, space);
+    ASSERT_TRUE(predicted.has_value());
+    // k=1 on a training signature returns that group's best config
+    // (threads and schedule; chunk snaps into the space's candidates).
+    const bool small = e.key.region == "small_loop";
+    EXPECT_EQ(predicted->num_threads, small ? 2 : 4);
+    EXPECT_EQ(predicted->schedule.kind, small ? sp::ScheduleKind::Static
+                                              : sp::ScheduleKind::Dynamic);
+  }
+}
+
+TEST(ModelPredictor, LinearPhiHasDocumentedArity) {
+  md::LinearPredictor linear;
+  linear.fit(toy_dataset());
+  md::Query query;
+  query.features =
+      md::extract_features(sample_region(), sc::testbox(), 0.0);
+  query.hw_threads = 4;
+  query.iterations = 4096;
+  EXPECT_EQ(linear.phi(query, sp::LoopConfig{}).size(), md::kPhiCount);
+}
+
+TEST(ModelPredictor, LinearScoreRanksTrainingGroups) {
+  const md::Dataset data = toy_dataset();
+  md::LinearPredictor linear;
+  linear.fit(data);
+  ASSERT_TRUE(linear.trained());
+  // Within each group, the measured-best config must out-score (lower
+  // predicted seconds) the measured-worst one.
+  for (const auto& [key, indices] : data.groups()) {
+    std::size_t best = indices.front(), worst = indices.front();
+    for (const std::size_t idx : indices) {
+      if (data.examples()[idx].value < data.examples()[best].value)
+        best = idx;
+      if (data.examples()[idx].value > data.examples()[worst].value)
+        worst = idx;
+    }
+    const md::Example& b = data.examples()[best];
+    const md::Example& w = data.examples()[worst];
+    md::Query query{b.features, b.hw_threads, b.iterations};
+    const auto score_best = linear.score(query, b.config);
+    const auto score_worst = linear.score(query, w.config);
+    ASSERT_TRUE(score_best.has_value() && score_worst.has_value());
+    EXPECT_LT(*score_best, *score_worst) << key.region;
+  }
+}
+
+TEST(ModelPredictor, IncrementalObserveMatchesBatchFit) {
+  const md::Dataset data = toy_dataset();
+  md::LinearPredictor batch;
+  batch.fit(data);
+  // fit() is specified as observe-all + refit: replaying the same rows
+  // through the incremental API reproduces the weights exactly.
+  md::LinearPredictor incremental;
+  incremental.fit(data);  // establishes the normalizer
+  for (const md::Example& e : data.examples())
+    incremental.observe({e.features, e.hw_threads, e.iterations}, e.config,
+                        e.value);
+  incremental.refit();
+  ASSERT_EQ(incremental.weights().size(), batch.weights().size());
+  // Doubling every observation scales both sides of the normal
+  // equations; ridge keeps it from being exactly identical, but the
+  // ranking weights stay finite and well-conditioned.
+  for (const double w : incremental.weights()) EXPECT_TRUE(std::isfinite(w));
+}
+
+// ---------- persistence ----------
+
+TEST(ModelStore, SerializeIsBitStableThroughRoundTrip) {
+  for (const md::PredictorKind kind :
+       {md::PredictorKind::Knn, md::PredictorKind::Linear}) {
+    md::ModelOptions options;
+    options.kind = kind;
+    md::PredictiveModel model{options};
+    model.train(toy_dataset());
+    const std::string text = model.serialize();
+    const md::PredictiveModel loaded = md::PredictiveModel::deserialize(text);
+    // Hexfloat persistence: deserialize(serialize(m)) serializes to the
+    // byte-identical document.
+    EXPECT_EQ(loaded.serialize(), text);
+    EXPECT_TRUE(loaded.trained());
+  }
+}
+
+TEST(ModelStore, RoundTripPreservesPredictions) {
+  md::PredictiveModel model;
+  model.train(toy_dataset());
+  const md::PredictiveModel loaded =
+      md::PredictiveModel::deserialize(model.serialize());
+  const auto space = arcs::arcs_search_space(sc::testbox());
+  const md::Dataset data = toy_dataset();
+  for (const md::Example& e : data.examples()) {
+    const md::Query query{e.features, e.hw_threads, e.iterations};
+    EXPECT_EQ(model.predict(query, space), loaded.predict(query, space));
+  }
+}
+
+TEST(ModelStore, RejectsBadHeaderSchemaAndTruncation) {
+  md::PredictiveModel model;
+  model.train(toy_dataset());
+  const std::string text = model.serialize();
+  EXPECT_THROW(md::PredictiveModel::deserialize("#%arcs-model v9\n"),
+               arcs::common::ContractError);
+  // Truncation loses the #%end footer.
+  EXPECT_THROW(
+      md::PredictiveModel::deserialize(text.substr(0, text.size() / 2)),
+      arcs::common::ContractError);
+  // A renamed feature is a schema mismatch, not silently misread data.
+  std::string renamed = text;
+  const auto pos = renamed.find("log_iterations");
+  ASSERT_NE(pos, std::string::npos);
+  renamed.replace(pos, 14, "iteration_logs");
+  EXPECT_THROW(md::PredictiveModel::deserialize(renamed),
+               arcs::common::ContractError);
+}
+
+TEST(ModelStore, SaveLoadFileRoundTrip) {
+  md::PredictiveModel model;
+  model.train(toy_dataset());
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("arcs_model_test." + std::to_string(::getpid()));
+  model.save(path.string());
+  const md::PredictiveModel loaded =
+      md::PredictiveModel::load(path.string());
+  EXPECT_EQ(loaded.serialize(), model.serialize());
+  std::filesystem::remove(path);
+}
+
+// ---------- cross-validation ----------
+
+TEST(ModelValidate, FoldAssignmentIsDeterministic) {
+  const arcs::HistoryKey key = key_for("small_loop", 55.0);
+  const std::size_t fold = md::fold_for_key(key, 5);
+  EXPECT_LT(fold, 5u);
+  EXPECT_EQ(md::fold_for_key(key, 5), fold);  // pure hash, no state
+  // Different keys spread: at least two distinct folds across regions.
+  std::map<std::size_t, int> seen;
+  for (int i = 0; i < 16; ++i)
+    ++seen[md::fold_for_key(key_for("region" + std::to_string(i), 0.0), 5)];
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(ModelValidate, ReportIsDeterministicAndConsistent) {
+  const md::Dataset data = toy_dataset();
+  md::ModelOptions options;
+  options.kind = md::PredictorKind::Linear;
+  const md::CrossValReport a = md::cross_validate(data, options, 3);
+  const md::CrossValReport b = md::cross_validate(data, options, 3);
+  EXPECT_EQ(a.regrets, b.regrets);
+  EXPECT_EQ(a.groups, 2u);
+  EXPECT_EQ(a.predicted, a.regrets.size());
+  for (const double regret : a.regrets) EXPECT_GE(regret, 0.0);
+  EXPECT_GE(a.max_regret, a.median_regret);
+}
+
+// ---------- differential on a real landscape ----------
+
+// Both predictors, trained on full sweeps of the synthetic app at two
+// caps, must pick near-optimal configurations for the cap they saw —
+// the in-test analogue of the SP-class-C bench differential
+// (bench_x15_model runs the full fig-7 cap ladder).
+TEST(ModelDifferential, PredictorsPickNearOptimalOnSweptLandscape) {
+  const kn::AppSpec app = kn::synthetic_app();
+  const sc::MachineSpec machine = sc::testbox();
+  md::Dataset data;
+  std::map<std::string, std::vector<kn::ConfigOutcome>> sweeps;
+  for (const auto& spec : app.regions) {
+    const auto sweep = kn::sweep_region(app, spec.name, machine, 0.0);
+    for (const auto& outcome : sweep)
+      data.add(kn::example_from_outcome(app, spec, machine, 0.0, outcome));
+    sweeps[spec.name] = sweep;
+  }
+  const auto space = arcs::arcs_search_space(machine);
+  for (const md::PredictorKind kind :
+       {md::PredictorKind::Knn, md::PredictorKind::Linear}) {
+    md::ModelOptions options;
+    options.kind = kind;
+    md::PredictiveModel model{options};
+    model.train(data);
+    for (const auto& spec : app.regions) {
+      const md::Query query{
+          md::extract_features(kn::describe_region(spec), machine, 0.0),
+          machine.topology.hw_threads(),
+          static_cast<double>(spec.iterations)};
+      const auto predicted = model.predict(query, space);
+      ASSERT_TRUE(predicted.has_value());
+      // Charge the prediction its measured value from the sweep.
+      const auto& sweep = sweeps[spec.name];
+      double charged = 0.0, best = sweep.front().record.duration;
+      for (const auto& outcome : sweep) {
+        if (outcome.config == *predicted)
+          charged = outcome.record.duration;
+        best = std::min(best, outcome.record.duration);
+      }
+      ASSERT_GT(charged, 0.0)
+          << "prediction outside the swept space: "
+          << predicted->to_string();
+      // Trained on this very landscape, both models must land within
+      // 25% of the sweep optimum (kNN memorizes; linear approximates).
+      EXPECT_LE(charged, best * 1.25)
+          << to_string(kind) << " on " << spec.name;
+    }
+  }
+}
+
+// ---------- the Predicted tuning strategy ----------
+
+namespace {
+
+/// Scripted stand-in for a trained model.
+class StubPredictor final : public arcs::ConfigPredictor {
+ public:
+  explicit StubPredictor(std::optional<sp::LoopConfig> answer)
+      : answer_(answer) {}
+  std::optional<sp::LoopConfig> predict_config(
+      const arcs::HistoryKey&) const override {
+    return answer_;
+  }
+
+ private:
+  std::optional<sp::LoopConfig> answer_;
+};
+
+}  // namespace
+
+TEST(PredictedStrategy, SeedsEveryRegionFromTheModel) {
+  const kn::AppSpec app = kn::synthetic_app(40);
+  kn::RunOptions opts;
+  opts.strategy = arcs::TuningStrategy::Predicted;
+  const StubPredictor predictor{sp::LoopConfig{4, {sp::ScheduleKind::Static,
+                                                   1}}};
+  opts.predictor = &predictor;
+  const auto result = kn::run_app(app, sc::testbox(), opts);
+  EXPECT_EQ(result.model_seeded, app.regions.size());
+  EXPECT_GT(result.search_evaluations, 0u);  // refinement still measures
+}
+
+TEST(PredictedStrategy, FallsBackToOnlineWhenModelDeclines) {
+  const kn::AppSpec app = kn::synthetic_app(40);
+  kn::RunOptions opts;
+  opts.strategy = arcs::TuningStrategy::Predicted;
+  const StubPredictor predictor{std::nullopt};
+  opts.predictor = &predictor;
+  const auto result = kn::run_app(app, sc::testbox(), opts);
+  EXPECT_EQ(result.model_seeded, 0u);
+  EXPECT_GT(result.search_evaluations, 0u);  // plain online search ran
+}
+
+TEST(PredictedStrategy, SeededSearchConvergesNoWorseEnough) {
+  // A good seed must not hurt: the predicted run ends at least as fast
+  // as default, and records per-candidate samples for future training.
+  const kn::AppSpec app = kn::synthetic_app(60);
+  kn::RunOptions def;
+  const auto baseline = kn::run_app(app, sc::testbox(), def);
+  kn::RunOptions opts;
+  opts.strategy = arcs::TuningStrategy::Predicted;
+  const StubPredictor predictor{sp::LoopConfig{4, {sp::ScheduleKind::Static,
+                                                   1}}};
+  opts.predictor = &predictor;
+  const auto tuned = kn::run_app(app, sc::testbox(), opts);
+  EXPECT_LT(tuned.elapsed, baseline.elapsed * 1.05);
+  EXPECT_GT(tuned.history.sample_count(), 0u);
+}

@@ -206,6 +206,22 @@ TEST(ServeProtocol, ResponseJsonRoundTrip) {
   EXPECT_EQ(back.ticket, 9u);
 }
 
+TEST(ServeProtocol, PredictedFlagRoundTripsAndDefaultsFalse) {
+  sv::Response hit;
+  hit.status = sv::Status::Hit;
+  hit.config = make_config(8);
+  hit.predicted = true;
+  EXPECT_TRUE(sv::response_from_json(sv::to_json(hit)).predicted);
+  // The field is optional on the wire: absent means false, so v1 peers
+  // that predate predictions interoperate unchanged.
+  sv::Response plain;
+  plain.status = sv::Status::Hit;
+  plain.config = make_config(8);
+  const auto j = sv::to_json(plain);
+  EXPECT_EQ(j.find("predicted"), nullptr);
+  EXPECT_FALSE(sv::response_from_json(j).predicted);
+}
+
 TEST(ServeProtocol, RejectsVersionSkew) {
   auto j = sv::to_json(sv::Request{});
   j.set("proto", "arcs-serve/v999");
@@ -429,7 +445,8 @@ TEST(ServeServer, MetricsJsonHasTheDocumentedShape) {
   for (const char* name :
        {"requests", "hits", "misses", "joins", "pending_replies", "waits",
         "timeouts", "overloaded", "reports", "stale_reports", "puts",
-        "searches_started", "searches_completed"}) {
+        "searches_started", "searches_completed", "predictions",
+        "provisional_hits"}) {
     ASSERT_NE(counters->find(name), nullptr) << name;
     EXPECT_TRUE(counters->find(name)->is_number()) << name;
   }
@@ -505,6 +522,163 @@ TEST(ServeContention, BlockedGetIsWokenByThePublishedDecision) {
   EXPECT_EQ(server.metrics().timeouts.load(), 0u);
 }
 
+// ---------- predicted cold starts ----------
+
+namespace {
+
+/// Thread-safe scripted model: always predicts the same configuration.
+/// Stands in for a trained model::PredictiveModel behind the seam.
+class StubServePredictor final : public arcs::ConfigPredictor {
+ public:
+  explicit StubServePredictor(sp::LoopConfig answer) : answer_(answer) {}
+  std::optional<sp::LoopConfig> predict_config(
+      const arcs::HistoryKey&) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return answer_;
+  }
+  std::size_t calls() const { return calls_.load(); }
+
+ private:
+  sp::LoopConfig answer_;
+  mutable std::atomic<std::size_t> calls_{0};
+};
+
+}  // namespace
+
+TEST(ServePredicted, ColdStartAnswersInOneRoundTrip) {
+  const StubServePredictor predictor{make_config(4)};
+  sv::ServerOptions options;
+  options.predictor = &predictor;
+  sv::TuningServer server{options};
+  sv::LocalClient client{server};
+  // The whole point: a cache miss with a trained model is an Apply in a
+  // single round trip, with zero search evaluations on the client's
+  // critical path.
+  const auto decision = client.decide(make_key("cold"), 0.0);
+  EXPECT_EQ(decision.kind, arcs::RemoteDecision::Kind::Apply);
+  EXPECT_TRUE(decision.predicted);
+  EXPECT_EQ(decision.config, make_config(4));
+  EXPECT_EQ(predictor.calls(), 1u);
+  EXPECT_EQ(server.metrics().predictions.load(), 1u);
+  EXPECT_EQ(server.metrics().misses.load(), 1u);
+  EXPECT_EQ(server.metrics().reports.load(), 0u);
+  // A model-seeded refinement search started in the background...
+  EXPECT_EQ(server.metrics().searches_started.load(), 1u);
+  // ...and until it retires, the decision is provisional.
+  EXPECT_EQ(server.cache().provisional_count(), 1u);
+}
+
+TEST(ServePredicted, ProvisionalIsUpgradedByRefinement) {
+  const StubServePredictor predictor{make_config(4)};
+  sv::ServerOptions options;
+  options.predictor = &predictor;
+  sv::TuningServer server{options};
+  sv::LocalClient client{server};
+  const auto key = make_key("cold");
+  ASSERT_EQ(client.decide(key, 0.0).kind, arcs::RemoteDecision::Kind::Apply);
+  // Later Gets from the same (or any) client join the refinement as
+  // evaluators until it converges.
+  std::size_t evaluations = 0;
+  while (server.metrics().searches_completed.load() == 0) {
+    const auto d = client.decide(key, 0.0);
+    if (d.kind == arcs::RemoteDecision::Kind::Evaluate) {
+      client.report(key, d.ticket, synthetic_objective(d.config));
+      ++evaluations;
+    }
+  }
+  EXPECT_GT(evaluations, 0u);
+  // Seeded Nelder-Mead refines with far fewer evaluations than the
+  // exhaustive sweep a cold search would have run.
+  EXPECT_LT(evaluations, arcs::arcs_search_space(sc::testbox()).size());
+  // The provisional entry was upgraded in place to the search optimum.
+  const auto cached = server.cache().get(key);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_FALSE(cached->provisional);
+  EXPECT_EQ(server.cache().provisional_count(), 0u);
+  EXPECT_DOUBLE_EQ(cached->best_value, synthetic_objective(cached->config));
+  const auto after = client.decide(key, 0.0);
+  EXPECT_EQ(after.kind, arcs::RemoteDecision::Kind::Apply);
+  EXPECT_FALSE(after.predicted);
+}
+
+TEST(ServePredicted, NoRefineServesProvisionalForever) {
+  const StubServePredictor predictor{make_config(4)};
+  sv::ServerOptions options;
+  options.predictor = &predictor;
+  options.refine_predictions = false;
+  sv::TuningServer server{options};
+  const auto key = make_key("cold");
+  const auto first = server.handle(get_request(key));
+  EXPECT_EQ(first.status, sv::Status::Hit);
+  EXPECT_TRUE(first.predicted);
+  EXPECT_EQ(server.metrics().searches_started.load(), 0u);
+  const auto second = server.handle(get_request(key));
+  EXPECT_EQ(second.status, sv::Status::Hit);
+  EXPECT_TRUE(second.predicted);
+  EXPECT_EQ(server.metrics().provisional_hits.load(), 1u);
+  // Provisional decisions never leak into the persisted history...
+  EXPECT_EQ(server.cache().provisional_count(), 1u);
+  EXPECT_EQ(server.cache().snapshot().size(), 0u);
+  // ...but a real measured Put upgrades the entry in place.
+  server.handle(put_request(key, 8));
+  EXPECT_EQ(server.cache().provisional_count(), 0u);
+  EXPECT_EQ(server.cache().snapshot().size(), 1u);
+}
+
+TEST(ServePredicted, AdmissionFullStillAnswersWithThePrediction) {
+  const StubServePredictor predictor{make_config(4)};
+  sv::ServerOptions options;
+  options.predictor = &predictor;
+  options.max_inflight = 1;
+  sv::TuningServer server{options};
+  // First key claims the only search slot (its own refinement).
+  ASSERT_EQ(server.handle(get_request(make_key("a"))).status,
+            sv::Status::Hit);
+  ASSERT_EQ(server.inflight(), 1u);
+  // A predictorless server would answer Overloaded here; the model
+  // turns that into a useful (unrefined) prediction.
+  const auto got = server.handle(get_request(make_key("b")));
+  EXPECT_EQ(got.status, sv::Status::Hit);
+  EXPECT_TRUE(got.predicted);
+  EXPECT_EQ(server.metrics().overloaded.load(), 0u);
+  EXPECT_EQ(server.inflight(), 1u);  // no second search was admitted
+  EXPECT_EQ(server.metrics().predictions.load(), 2u);
+}
+
+TEST(ServeContention, PredictedColdStartUnderFleetPressure) {
+  const StubServePredictor predictor{make_config(4)};
+  sv::ServerOptions options;
+  options.predictor = &predictor;
+  sv::TuningServer server{options};
+  const auto key = make_key("hot_predicted");
+  std::atomic<std::size_t> predicted_applies{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 8; ++c) {
+    threads.emplace_back([&server, &predicted_applies, key] {
+      sv::LocalClient client{server};
+      for (;;) {
+        const auto d = client.decide(key, 50.0);
+        if (d.kind == arcs::RemoteDecision::Kind::Evaluate) {
+          client.report(key, d.ticket, synthetic_objective(d.config));
+        } else if (d.kind == arcs::RemoteDecision::Kind::Apply) {
+          if (d.predicted)
+            predicted_applies.fetch_add(1, std::memory_order_relaxed);
+          if (server.metrics().searches_completed.load() > 0) return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // One prediction, one refinement search, a fleet of beneficiaries.
+  EXPECT_EQ(server.metrics().searches_started.load(), 1u);
+  EXPECT_EQ(server.metrics().searches_completed.load(), 1u);
+  EXPECT_GE(predicted_applies.load(), 1u);
+  const auto cached = server.cache().get(key);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_FALSE(cached->provisional);
+  EXPECT_EQ(server.inflight(), 0u);
+}
+
 // ---------- socket transport ----------
 
 namespace {
@@ -520,6 +694,18 @@ struct SocketRig {
 };
 
 }  // namespace
+
+TEST(ServeSocket, PredictedFlagTravelsOverTheWire) {
+  const StubServePredictor predictor{make_config(4)};
+  sv::ServerOptions options;
+  options.predictor = &predictor;
+  SocketRig rig{std::move(options)};
+  sv::SocketClient client{rig.socket.path()};
+  const auto decision = client.decide(make_key("cold"), 0.0);
+  EXPECT_EQ(decision.kind, arcs::RemoteDecision::Kind::Apply);
+  EXPECT_TRUE(decision.predicted);
+  EXPECT_EQ(decision.config, make_config(4));
+}
 
 TEST(ServeSocket, PingPutGetRoundTrip) {
   SocketRig rig;

@@ -16,9 +16,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <thread>
 
+#include "kernels/model_bridge.hpp"
+#include "model/model.hpp"
 #include "serve/serve.hpp"
 
 namespace {
@@ -43,7 +46,13 @@ int usage(const char* argv0) {
       "  --workers N          request worker threads (default 4)\n"
       "  --queue N            dispatch queue depth (default 128)\n"
       "  --method NAME        search method: exhaustive|nelder-mead|\n"
-      "                       pro|random|annealing (default exhaustive)\n",
+      "                       pro|random|annealing (default exhaustive)\n"
+      "  --model FILE         trained predictor (arcs_tune train); cache\n"
+      "                       misses are answered with its prediction in\n"
+      "                       one round trip while a model-seeded search\n"
+      "                       refines it\n"
+      "  --no-refine          serve --model predictions as-is (no\n"
+      "                       refinement searches)\n",
       argv0);
   return 2;
 }
@@ -75,6 +84,7 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::string history_path;
   std::string metrics_path;
+  std::string model_path;
   double metrics_interval = 0.0;
   serve::ServerOptions server_opts;
   serve::SocketServerOptions socket_opts;
@@ -96,6 +106,10 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (arg == "--metrics-interval") {
       metrics_interval = std::atof(next());
+    } else if (arg == "--model") {
+      model_path = next();
+    } else if (arg == "--no-refine") {
+      server_opts.refine_predictions = false;
     } else if (arg == "--capacity") {
       server_opts.cache.capacity =
           static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
@@ -129,6 +143,21 @@ int main(int argc, char** argv) {
     }
   }
   if (socket_path.empty()) return usage(argv[0]);
+
+  // Loaded before the server, destroyed after it: ServerOptions keeps a
+  // raw pointer to the model for the server's whole lifetime.
+  std::optional<model::PredictiveModel> trained_model;
+  if (!model_path.empty()) {
+    try {
+      trained_model.emplace(model::PredictiveModel::load(model_path));
+      trained_model->set_resolver(kernels::model_resolver());
+      server_opts.predictor = &*trained_model;
+      std::printf("arcsd: predictor loaded from %s\n", model_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "arcsd: cannot load model: %s\n", e.what());
+      return 1;
+    }
+  }
 
   server_opts.history_path = history_path;
   serve::TuningServer server{server_opts};

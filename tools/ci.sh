@@ -43,10 +43,10 @@ cmake -B "$ROOT/tsan" -S . -DARCS_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug \
 echo "=== [tsan] build ==="
 cmake --build "$ROOT/tsan" -j "$JOBS" \
   --target exec_test golden_test somp_test analysis_test serve_test \
-           telemetry_test somp_verify
-echo "=== [tsan] exec + somp + serve + telemetry suites under TSan ==="
+           telemetry_test model_test somp_verify
+echo "=== [tsan] exec + somp + serve + telemetry + model suites under TSan ==="
 (cd "$ROOT/tsan" && ctest --output-on-failure -j "$JOBS" \
-  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve|Telemetry')
+  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve|Telemetry|Model|PredictedStrategy')
 "$ROOT/tsan/tools/somp_verify" --app synthetic --steps 3
 
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -146,14 +146,15 @@ assert c["searches_started"] == c["searches_completed"] == 1, c
 assert c["hits"] >= 1 and c["requests"] > c["reports"] > 0, c
 assert "p95_us" in metrics["latency"], metrics
 hist = pathlib.Path(sys.argv[2]).read_text()
-assert hist.startswith("#%arcs-history v2"), hist[:40]
+assert hist.startswith("#%arcs-history v3"), hist[:40]
 assert "#%count 1" in hist, hist
+assert "#%samples" in hist, hist
 print(f"serve smoke: ok ({int(c['requests'])} requests, "
       f"{int(c['reports'])} evaluations, history saved)")
 PYEOF
 
 echo "=== serve bench smoke: BENCH_x13_serve.json ==="
-(cd "$SERVE_DIR" && ARCS_BENCH_FAST=1 "$ROOT/plain/bench/bench_x13_serve" \
+(cd "$SERVE_DIR" && ARCS_BENCH_FAST=1 "$BENCH_BIN/bench_x13_serve" \
   --json >/dev/null)
 python3 - "$SERVE_DIR/BENCH_x13_serve.json" <<'PYEOF'
 import json, pathlib, sys
@@ -213,6 +214,72 @@ if other.get("dropped_events", 0):
     print(f"note: {other['dropped_events']} events dropped (ring full)")
 print(f"trace smoke: ok ({len(events)} events, layers {sorted(cats - {''})}, "
       f"{linked} serve spans causally linked)")
+PYEOF
+
+echo "=== model smoke: sweep -> train -> cross-validate -> seeded tune ==="
+MODEL_DIR="$ROOT/model-smoke"
+rm -rf "$MODEL_DIR" && mkdir -p "$MODEL_DIR"
+# Training corpus: full landscape sweeps of the synthetic app at three
+# power levels (648 rows, 6 region/cap groups).
+"$TOOLS_BIN/arcs_landscape" synthetic unit testbox - 30 40 0 \
+  --dataset "$MODEL_DIR/train.jsonl" >/dev/null
+# Train + k-fold cross-validate; --max-regret makes the regret bound a
+# hard exit code. kNN recalls the held-out cap's optimum exactly here.
+"$TOOLS_BIN/arcs_tune" train --dataset "$MODEL_DIR/train.jsonl" \
+  --model "$MODEL_DIR/knn.model" --max-regret 0.05 \
+  | tee "$MODEL_DIR/train.log"
+grep -q 'cross-validation' "$MODEL_DIR/train.log" \
+  || { echo "model smoke: no cross-validation report"; exit 1; }
+# The linear model is the fallback for sparse history; looser bound.
+"$TOOLS_BIN/arcs_tune" train --dataset "$MODEL_DIR/train.jsonl" \
+  --kind linear --max-regret 0.25 >/dev/null
+# End-to-end: a ModelSeeded tune must actually seed from the model.
+"$TOOLS_BIN/arcs_tune" predicted synthetic unit testbox \
+  --model "$MODEL_DIR/knn.model" --steps 20 \
+  | tee "$MODEL_DIR/tune.log"
+grep -q '(2 regions model-seeded)' "$MODEL_DIR/tune.log" \
+  || { echo "model smoke: tune was not model-seeded"; exit 1; }
+# The daemon accepts the same model file and reports it loaded.
+"$TOOLS_BIN/arcsd" --socket "$MODEL_DIR/arcsd.sock" \
+  --model "$MODEL_DIR/knn.model" >"$MODEL_DIR/arcsd.log" 2>&1 &
+MODEL_ARCSD_PID=$!
+trap 'kill "$MODEL_ARCSD_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  [ -S "$MODEL_DIR/arcsd.sock" ] \
+    && "$TOOLS_BIN/arcs_client" ping "$MODEL_DIR/arcsd.sock" \
+       >/dev/null 2>&1 && break
+  sleep 0.1
+done
+# A cold Get for a key the model can resolve: answered as a predicted
+# hit in one round trip, no client-side evaluations.
+"$TOOLS_BIN/arcs_client" get "$MODEL_DIR/arcsd.sock" \
+  synthetic testbox 0 unit imbalanced_loop \
+  | grep -q '"predicted": true' \
+  || { echo "model smoke: daemon did not answer with a prediction"; exit 1; }
+"$TOOLS_BIN/arcs_client" shutdown "$MODEL_DIR/arcsd.sock"
+wait "$MODEL_ARCSD_PID"
+trap - EXIT
+grep -q 'predictor loaded' "$MODEL_DIR/arcsd.log" \
+  || { echo "model smoke: daemon ignored --model"; exit 1; }
+echo "model smoke: ok"
+
+echo "=== model bench smoke: BENCH_x15_model.json ==="
+(cd "$MODEL_DIR" && ARCS_BENCH_FAST=1 "$BENCH_BIN/bench_x15_model" \
+  --json >/dev/null)
+python3 - "$MODEL_DIR/BENCH_x15_model.json" <<'PYEOF'
+import json, pathlib, sys
+
+r = json.loads(pathlib.Path(sys.argv[1]).read_text())
+assert r["schema"] == "arcs-bench-report/v1", r["schema"]
+series = {row["series"] for row in r["rows"]}
+assert {"evals_to_within_5pct", "ladder_totals",
+        "serve_cold_start"} <= series, series
+totals = [row for row in r["rows"] if row["series"] == "ladder_totals"][0]
+assert totals["seeded_over_nm"] <= 0.5, totals
+cold = [row for row in r["rows"] if row["series"] == "serve_cold_start"][0]
+assert cold["one_round_trip"], cold
+print("model bench smoke: seeded/NM = "
+      f"{totals['seeded_over_nm']:.3f}, cold start in one round trip")
 PYEOF
 
 echo "CI: all modes green"

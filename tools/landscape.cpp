@@ -7,6 +7,10 @@
 //   $ arcs_landscape SP B crill x_solve 55 115
 //   $ arcs_landscape LULESH 45 crill            # summary of all regions
 //
+// `--dataset FILE` additionally appends every swept evaluation as an
+// arcs-model-dataset/v1 JSONL row — the training corpus the predictive
+// models (src/model) learn from.
+//
 // Each configuration evaluation is an independent simulation, so the
 // sweep fans out across the experiment pool; outcomes are collected in
 // search-space enumeration order, matching kernels::sweep_region exactly.
@@ -23,6 +27,8 @@
 #include "exec/pool.hpp"
 #include "kernels/apps.hpp"
 #include "kernels/driver.hpp"
+#include "kernels/model_bridge.hpp"
+#include "model/dataset.hpp"
 #include "sim/presets.hpp"
 
 namespace ex = arcs::exec;
@@ -67,10 +73,23 @@ std::vector<kn::ConfigOutcome> parallel_sweep_region(
   return outcomes;
 }
 
+/// Appends one sweep's outcomes to the training dataset (no-op when the
+/// user asked for no --dataset).
+void collect_examples(arcs::model::Dataset* dataset, const kn::AppSpec& app,
+                      const kn::RegionSpec& spec,
+                      const sc::MachineSpec& machine, double cap,
+                      const std::vector<kn::ConfigOutcome>& sweep) {
+  if (dataset == nullptr) return;
+  for (const auto& outcome : sweep)
+    dataset->add(kn::example_from_outcome(app, spec, machine, cap, outcome));
+}
+
 void print_region_landscape(ex::ExperimentPool& pool, const kn::AppSpec& app,
                             const std::string& region,
-                            const sc::MachineSpec& machine, double cap) {
+                            const sc::MachineSpec& machine, double cap,
+                            arcs::model::Dataset* dataset) {
   const auto sweep = parallel_sweep_region(pool, app, region, machine, cap);
+  collect_examples(dataset, app, app.region(region), machine, cap, sweep);
   const auto& best = kn::best_outcome(sweep);
   const auto default_out = kn::run_region_once(app, region, machine, cap,
                                                sp::LoopConfig{});
@@ -113,7 +132,8 @@ void print_region_landscape(ex::ExperimentPool& pool, const kn::AppSpec& app,
 }
 
 void print_app_summary(ex::ExperimentPool& pool, const kn::AppSpec& app,
-                       const sc::MachineSpec& machine, double cap) {
+                       const sc::MachineSpec& machine, double cap,
+                       arcs::model::Dataset* dataset) {
   std::printf("\n== %s (%s) on %s at %s — per-region default vs best ==\n",
               app.name.c_str(), app.workload.c_str(), machine.name.c_str(),
               cap > 0 ? (std::to_string(static_cast<int>(cap)) + "W").c_str()
@@ -123,6 +143,7 @@ void print_app_summary(ex::ExperimentPool& pool, const kn::AppSpec& app,
   for (const auto& spec : app.regions) {
     const auto sweep =
         parallel_sweep_region(pool, app, spec.name, machine, cap);
+    collect_examples(dataset, app, spec, machine, cap, sweep);
     const auto& best = kn::best_outcome(sweep);
     const auto d = kn::run_region_once(app, spec.name, machine, cap,
                                        sp::LoopConfig{});
@@ -147,16 +168,33 @@ void print_app_summary(ex::ExperimentPool& pool, const kn::AppSpec& app,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4) {
+  std::string dataset_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dataset") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--dataset needs a value\n");
+        return 1;
+      }
+      dataset_path = argv[++i];
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.size() < 3) {
     std::fprintf(stderr,
-                 "usage: %s <app> <workload> <machine> [region|-] [cap...]\n",
+                 "usage: %s <app> <workload> <machine> [region|-] [cap...]\n"
+                 "       [--dataset <file>]\n"
+                 "  --dataset: append every swept evaluation as a JSONL "
+                 "training row\n",
                  argv[0]);
     return 1;
   }
   ex::ExperimentDesc desc;
-  desc.app = argv[1];
-  desc.workload = argv[2];
-  desc.machine = argv[3];
+  desc.app = args[0];
+  desc.workload = args[1];
+  desc.machine = args[2];
   kn::AppSpec app;
   sc::MachineSpec machine;
   try {
@@ -166,17 +204,26 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
-  const std::string region = argc > 4 ? argv[4] : "-";
+  const std::string region = args.size() > 3 ? args[3] : "-";
   std::vector<double> caps;
-  for (int i = 5; i < argc; ++i) caps.push_back(std::atof(argv[i]));
+  for (std::size_t i = 4; i < args.size(); ++i)
+    caps.push_back(std::atof(args[i].c_str()));
   if (caps.empty()) caps.push_back(0.0);
 
+  arcs::model::Dataset dataset;
+  arcs::model::Dataset* collect =
+      dataset_path.empty() ? nullptr : &dataset;
   ex::ExperimentPool pool;
   for (const double cap : caps) {
     if (region == "-")
-      print_app_summary(pool, app, machine, cap);
+      print_app_summary(pool, app, machine, cap, collect);
     else
-      print_region_landscape(pool, app, region, machine, cap);
+      print_region_landscape(pool, app, region, machine, cap, collect);
+  }
+  if (collect != nullptr) {
+    dataset.append_jsonl(dataset_path);
+    std::printf("\nappended %zu training examples to %s\n", dataset.size(),
+                dataset_path.c_str());
   }
   return 0;
 }

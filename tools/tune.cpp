@@ -6,11 +6,18 @@
 //   online:  run ARCS-Online (search + deploy in one execution);
 //   remote:  run against an in-process tuning service (the Remote
 //            strategy end-to-end without a daemon);
+//   train:   fit a configuration predictor from a --dataset JSONL dump,
+//            report k-fold cross-validation regret, optionally save the
+//            model (--model) and gate on --max-regret;
+//   predicted: run ARCS-Predicted — apply a trained --model's prediction
+//            per region immediately and refine from there;
 //   default: untuned baseline.
 //
-//   $ arcs_tune search SP B crill 85 sp85.hist
+//   $ arcs_tune search SP B crill 85 sp85.hist --dataset sweeps.jsonl
 //   $ arcs_tune replay SP B crill 85 sp85.hist
 //   $ arcs_tune online LULESH 45 crill 55
+//   $ arcs_tune train --dataset sweeps.jsonl --model arcs.model
+//   $ arcs_tune predicted SP C crill 85 --model arcs.model
 //   $ arcs_tune default BT B minotaur
 //
 // `--trace FILE` records a cross-layer timeline of the whole invocation
@@ -36,6 +43,9 @@
 #include "exec/pool.hpp"
 #include "kernels/apps.hpp"
 #include "kernels/driver.hpp"
+#include "kernels/model_bridge.hpp"
+#include "model/model.hpp"
+#include "model/validate.hpp"
 #include "serve/serve.hpp"
 #include "sim/presets.hpp"
 #include "telemetry/chrome_trace.hpp"
@@ -116,6 +126,10 @@ int main(int argc, char** argv) {
   // positional history file is kept working.)
   std::string history_path;
   std::string trace_path;
+  std::string dataset_path;
+  std::string model_path;
+  std::string model_kind = "knn";
+  double max_regret = 0.0;
   int steps_override = 0;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -131,24 +145,84 @@ int main(int argc, char** argv) {
       history_path = value();
     } else if (arg == "--trace") {
       trace_path = value();
+    } else if (arg == "--dataset") {
+      dataset_path = value();
+    } else if (arg == "--model") {
+      model_path = value();
+    } else if (arg == "--kind") {
+      model_kind = value();
+    } else if (arg == "--max-regret") {
+      max_regret = std::atof(value());
     } else if (arg == "--steps") {
       steps_override = std::atoi(value());
     } else {
       args.emplace_back(argv[i]);
     }
   }
+
+  // `train` is purely a model workflow — no app run, no pool.
+  if (!args.empty() && args[0] == "train") {
+    if (dataset_path.empty()) {
+      std::fprintf(stderr, "train needs --dataset <file>\n");
+      return 1;
+    }
+    try {
+      const model::Dataset data = model::Dataset::load_jsonl(dataset_path);
+      model::ModelOptions model_opts;
+      model_opts.kind = model::predictor_kind_from_string(model_kind);
+      std::printf("loaded %zu examples (%zu groups) from %s\n", data.size(),
+                  data.groups().size(), dataset_path.c_str());
+      const model::CrossValReport report =
+          model::cross_validate(data, model_opts);
+      std::printf("%s cross-validation (%zu folds): %zu/%zu groups "
+                  "predicted\n"
+                  "regret  mean %.4f  median %.4f  max %.4f\n",
+                  std::string(to_string(model_opts.kind)).c_str(),
+                  report.folds, report.predicted, report.groups,
+                  report.mean_regret, report.median_regret,
+                  report.max_regret);
+      if (!model_path.empty()) {
+        model::PredictiveModel trained{model_opts};
+        trained.train(data);
+        trained.save(model_path);
+        std::printf("model written to %s\n", model_path.c_str());
+      }
+      if (max_regret > 0.0 && report.mean_regret > max_regret) {
+        std::fprintf(stderr,
+                     "mean regret %.4f exceeds --max-regret %.4f\n",
+                     report.mean_regret, max_regret);
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
   if (args.size() < 3) {
     std::fprintf(stderr,
-                 "usage: %s <search|replay|online|remote|default> <app> "
-                 "<workload> [machine] [cap_w] [--history <file>]\n"
-                 "       [--trace <file>] [--steps <n>]\n"
+                 "usage: %s <search|replay|online|remote|predicted|default> "
+                 "<app> <workload> [machine] [cap_w] [--history <file>]\n"
+                 "       [--trace <file>] [--steps <n>] [--dataset <file>]\n"
+                 "       [--model <file>]\n"
+                 "   or: %s train --dataset <file> [--model <file>]\n"
+                 "       [--kind knn|linear] [--max-regret <x>]\n"
                  "  search/online with --history: merge this run's bests "
                  "into the file (atomic replace)\n"
                  "  replay with --history: load configurations from the "
                  "file\n"
                  "  remote: tune against an in-process serve service\n"
+                 "  remote with --model: service answers cold starts with "
+                 "model predictions\n"
+                 "  predicted: apply --model's per-region predictions, "
+                 "refine from there\n"
+                 "  train: cross-validate (and save) a predictor from a "
+                 "--dataset dump\n"
+                 "  --dataset: append this run's per-candidate "
+                 "measurements as JSONL training rows\n"
                  "  --trace: write a Chrome-trace JSON of the whole run\n",
-                 argv[0]);
+                 argv[0], argv[0]);
     return 1;
   }
   const std::string mode = args[0];
@@ -201,8 +275,30 @@ int main(int argc, char** argv) {
 
   // Remote mode's in-process service: declared before the pool so every
   // in-flight job finishes (pool destructor joins) before it goes away.
+  // The model (predicted/remote --model) likewise outlives both.
+  std::optional<model::PredictiveModel> trained_model;
   std::optional<serve::TuningServer> server;
   std::optional<serve::LocalClient> remote_client;
+
+  auto load_model = [&]() -> bool {
+    try {
+      trained_model.emplace(model::PredictiveModel::load(model_path));
+      trained_model->set_resolver(kn::model_resolver());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return false;
+    }
+    return true;
+  };
+  // Appends a finished run's per-candidate measurements as training rows.
+  auto dump_dataset = [&](const arcs::HistoryStore& hist) {
+    if (dataset_path.empty()) return;
+    const model::Dataset data =
+        model::dataset_from_history(hist, kn::model_resolver());
+    data.append_jsonl(dataset_path);
+    std::printf("appended %zu training examples to %s\n", data.size(),
+                dataset_path.c_str());
+  };
 
   ex::ExperimentPool pool;
 
@@ -227,11 +323,23 @@ int main(int argc, char** argv) {
     // invocation should converge within its own run.
     serve::ServerOptions server_opts;
     server_opts.method = harmony::StrategyKind::NelderMead;
+    if (!model_path.empty()) {
+      if (!load_model()) return 1;
+      server_opts.predictor = &*trained_model;
+    }
     server.emplace(server_opts);
     remote_client.emplace(*server);
     tuned_opts.strategy = TuningStrategy::Remote;
     tuned_opts.remote = &*remote_client;
     tuned_opts.remote_timeout_ms = 0.0;  // never block a pool worker
+  } else if (mode == "predicted") {
+    if (model_path.empty()) {
+      std::fprintf(stderr, "predicted needs --model <file>\n");
+      return 1;
+    }
+    if (!load_model()) return 1;
+    tuned_opts.strategy = TuningStrategy::Predicted;
+    tuned_opts.predictor = &*trained_model;
   } else if (mode == "search") {
     tuned_opts.strategy = TuningStrategy::OfflineReplay;  // search + replay
   } else if (mode == "replay") {
@@ -261,6 +369,17 @@ int main(int argc, char** argv) {
     std::printf("\nspeedup %.2fx\n", baseline.elapsed / run.elapsed);
     if (!history_path.empty())
       save_history_merged(history_path, run.history);
+    dump_dataset(run.history);
+    write_trace();
+    return 0;
+  }
+  if (mode == "predicted") {
+    print_result("predicted", run, machine.energy_counters);
+    std::printf("\nspeedup %.2fx (%zu regions model-seeded)\n",
+                baseline.elapsed / run.elapsed, run.model_seeded);
+    if (!history_path.empty())
+      save_history_merged(history_path, run.history);
+    dump_dataset(run.history);
     write_trace();
     return 0;
   }
@@ -268,10 +387,11 @@ int main(int argc, char** argv) {
     print_result("remote", run, machine.energy_counters);
     const auto& m = server->metrics();
     std::printf("\nspeedup %.2fx\n", baseline.elapsed / run.elapsed);
-    std::printf("service: %llu hits, %llu misses, %zu cached decisions, "
-                "%llu searches completed\n",
+    std::printf("service: %llu hits, %llu misses, %llu predictions, "
+                "%zu cached decisions, %llu searches completed\n",
                 static_cast<unsigned long long>(m.hits.load()),
                 static_cast<unsigned long long>(m.misses.load()),
+                static_cast<unsigned long long>(m.predictions.load()),
                 server->cache().size(),
                 static_cast<unsigned long long>(
                     m.searches_completed.load()));
@@ -285,6 +405,7 @@ int main(int argc, char** argv) {
     std::printf("\nspeedup %.2fx\n", baseline.elapsed / run.elapsed);
     if (!history_path.empty())
       save_history_merged(history_path, run.history);
+    dump_dataset(run.history);
     write_trace();
     return 0;
   }
