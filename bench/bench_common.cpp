@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 
+#include "analysis/sync.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
 
@@ -90,6 +91,7 @@ void init(int argc, char** argv, const std::string& artifact) {
   HarnessState& s = state();
   s.artifact = artifact;
   s.start = Clock::now();
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded bench main.
   if (const char* dir = std::getenv("ARCS_BENCH_JSON");
       dir != nullptr && dir[0] != '\0') {
     s.json = true;
@@ -131,6 +133,12 @@ int finish() {
       std::chrono::duration<double>(Clock::now() - s.start).count();
   exec::PoolStats stats;
   if (s.pool) stats = s.pool->stats();
+#if defined(ARCS_SYNC_CHECK_ENABLED)
+  // Checked builds: a bench run doubles as a serialization profile —
+  // the census shows which lock classes the measured path contends on
+  // (docs/ANALYSIS.md records the bench_x13 baseline).
+  std::cerr << analysis::sync::SyncRegistry::instance().census_table();
+#endif
   if (!s.json) {
     if (s.pool) s.pool->shutdown();
     return 0;
@@ -141,6 +149,7 @@ int finish() {
   j.set("artifact", s.artifact);
   j.set("title", s.title);
   j.set("paper_expectation", s.expectation);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded bench main.
   const char* fast = std::getenv("ARCS_BENCH_FAST");
   j.set("fast_mode", fast != nullptr && fast[0] == '1');
   j.set("rows", s.series);
@@ -284,6 +293,7 @@ void banner(const std::string& artifact, const std::string& expectation) {
 }
 
 int effective_timesteps(int full) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded bench main.
   const char* fast = std::getenv("ARCS_BENCH_FAST");
   if (fast != nullptr && fast[0] == '1') return std::max(full / 5, 4);
   return full;
@@ -292,6 +302,7 @@ int effective_timesteps(int full) {
 void maybe_export_csv(const std::string& name,
                       const common::Table& table) {
   if (json_enabled()) state().tables.push_back(table_to_json(name, table));
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded bench main.
   const char* dir = std::getenv("ARCS_BENCH_CSV");
   if (dir == nullptr || dir[0] == '\0') return;
   std::filesystem::create_directories(dir);

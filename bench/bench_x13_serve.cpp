@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
       "hit-path throughput scales >= 3x from 1 to 8 clients; N clients "
       "sharing one key cost ~1 search, not N");
 
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded bench main.
   const bool fast = std::getenv("ARCS_BENCH_FAST") != nullptr &&
                     std::getenv("ARCS_BENCH_FAST")[0] == '1';
   const std::size_t kKeys = 64;

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
                 "traced runs are bit-identical to untraced (Observer tool, "
                 "no charged time); host-side recording cost is bounded");
 
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded bench main.
   const bool fast = std::getenv("ARCS_BENCH_FAST") != nullptr &&
                     std::getenv("ARCS_BENCH_FAST")[0] == '1';
   const int kReps = fast ? 3 : 7;

@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
   const auto machine = sim::crill();
   const auto space = arcs_search_space(machine);
   const auto caps = bench::crill_caps();
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded bench main.
   const bool fast = std::getenv("ARCS_BENCH_FAST") != nullptr &&
                     std::getenv("ARCS_BENCH_FAST")[0] == '1';
   std::vector<std::string> regions;

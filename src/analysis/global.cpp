@@ -10,26 +10,26 @@ GlobalVerifier& GlobalVerifier::instance() {
 }
 
 void GlobalVerifier::install() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<Mutex> lock(mu_);
   if (installed_) return;
   somp::Runtime::set_construction_observer([this](somp::Runtime& runtime) {
     std::unique_ptr<Checker> checker = std::make_unique<Checker>();
     checker->attach(runtime);
-    const std::lock_guard<std::mutex> observer_lock(mu_);
+    const std::lock_guard<Mutex> observer_lock(mu_);
     checkers_.push_back(std::move(checker));
   });
   installed_ = true;
 }
 
 void GlobalVerifier::uninstall() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<Mutex> lock(mu_);
   if (!installed_) return;
   somp::Runtime::clear_construction_observer();
   installed_ = false;
 }
 
 std::string GlobalVerifier::drain_report() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<Mutex> lock(mu_);
   std::ostringstream os;
   bool any = false;
   for (const auto& checker : checkers_) {
@@ -45,7 +45,7 @@ std::string GlobalVerifier::drain_report() {
 }
 
 CheckerStats GlobalVerifier::total_stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<Mutex> lock(mu_);
   CheckerStats total;
   for (const auto& checker : checkers_) {
     const CheckerStats& s = checker->stats();
@@ -59,7 +59,7 @@ CheckerStats GlobalVerifier::total_stats() const {
 }
 
 std::size_t GlobalVerifier::checkers_created() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<Mutex> lock(mu_);
   return checkers_.size();
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analysis/checker.hpp"
+#include "analysis/sync.hpp"
 
 namespace arcs::analysis {
 
@@ -33,7 +34,7 @@ class GlobalVerifier {
   /// Stops attaching (existing checkers keep observing their runtimes).
   void uninstall();
   bool installed() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const std::lock_guard<Mutex> lock(mu_);
     return installed_;
   }
 
@@ -55,7 +56,7 @@ class GlobalVerifier {
   // owns its runtime; only the registry needs the lock. drain_report()
   // and total_stats() must run at a quiescent point (pool joined) — the
   // lock protects the vector, not the per-checker event streams.
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"analysis/global", sync::rank::kAnalysisGlobal};
   bool installed_ = false;
   std::vector<std::unique_ptr<Checker>> checkers_;
 };

@@ -1,0 +1,380 @@
+#include "analysis/sync.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bitset>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace arcs::analysis::sync {
+
+namespace {
+
+constexpr std::size_t kMaxClasses = 128;
+constexpr std::size_t kMaxStoredViolations = 64;
+
+struct Held {
+  std::uint32_t cls;
+  const void* inst;
+};
+
+// The held-lock stack is thread-local state of the process-wide
+// registry; a plain function-local thread_local keeps it off every
+// include path.
+std::vector<Held>& held_stack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+std::string thread_id_string() {
+  std::ostringstream os;
+  os << std::this_thread::get_id();
+  return os.str();
+}
+
+}  // namespace
+
+struct SyncRegistry::Impl {
+  struct LockClass {
+    std::string name;
+    int rank = 0;
+    unsigned flags = 0;
+    std::atomic<std::uint64_t> acquisitions{0};
+    std::atomic<std::uint64_t> contended{0};
+    std::atomic<std::uint64_t> wait_ns{0};
+    std::atomic<std::uint64_t> live{0};
+  };
+
+  // Class table: append-only, index = class id. Slots are constructed up
+  // front so readers never race a vector reallocation; registration is
+  // serialized by mu, reads are lock-free.
+  std::array<LockClass, kMaxClasses> classes;
+  std::atomic<std::uint32_t> class_count{0};
+
+  // Lock-order graph over class ids, plus one witness (the acquisition
+  // context that first created the edge) per edge for diagnostics.
+  // Touched only on *nested* acquisitions, which keeps the hot
+  // uncontended single-lock path free of this mutex.
+  std::mutex graph_mu;
+  std::array<std::bitset<kMaxClasses>, kMaxClasses> edges;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> witnesses;
+
+  std::mutex violations_mu;
+  std::vector<std::string> violations;
+  std::uint64_t dropped_violations = 0;
+
+  std::string stack_names(const std::vector<Held>& stack) {
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      if (i) os << " -> ";
+      os << '\'' << classes[stack[i].cls].name << '\'';
+    }
+    os << ']';
+    return os.str();
+  }
+
+  /// True when `to` is reachable from `from` in the current graph.
+  /// Caller holds graph_mu.
+  bool reachable(std::uint32_t from, std::uint32_t to) {
+    std::bitset<kMaxClasses> visited;
+    std::vector<std::uint32_t> frontier{from};
+    visited.set(from);
+    while (!frontier.empty()) {
+      const std::uint32_t node = frontier.back();
+      frontier.pop_back();
+      if (node == to) return true;
+      for (std::uint32_t next = 0;
+           next < class_count.load(std::memory_order_acquire); ++next) {
+        if (edges[node].test(next) && !visited.test(next)) {
+          visited.set(next);
+          frontier.push_back(next);
+        }
+      }
+    }
+    return false;
+  }
+};
+
+SyncRegistry& SyncRegistry::instance() {
+  // Leaked: checked locks are used from static destructors (the log
+  // mutex outlives main), so the registry must never be destroyed.
+  static SyncRegistry* registry = new SyncRegistry();
+  return *registry;
+}
+
+SyncRegistry::Impl& SyncRegistry::impl() {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+void SyncRegistry::add_violation(std::string message) {
+  Impl& im = impl();
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; the
+  // process never calls setenv after startup.
+  if (const char* fatal = std::getenv("ARCS_SYNC_FATAL");
+      fatal != nullptr && fatal[0] == '1') {
+    std::fprintf(stderr, "arcs sync verifier (fatal): %s\n",
+                 message.c_str());
+    std::abort();
+  }
+  const std::lock_guard<std::mutex> lock(im.violations_mu);
+  if (im.violations.size() >= kMaxStoredViolations) {
+    ++im.dropped_violations;
+    return;
+  }
+  im.violations.push_back(std::move(message));
+}
+
+std::uint32_t SyncRegistry::register_class(const char* name, int lock_rank,
+                                           unsigned flags) {
+  Impl& im = impl();
+  // Registration is rare (one per declaration site / first construction);
+  // serialize it on the graph mutex rather than a dedicated one.
+  const std::lock_guard<std::mutex> lock(im.graph_mu);
+  const std::uint32_t count = im.class_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (im.classes[i].name == name) {
+      if (im.classes[i].rank != lock_rank)
+        add_violation("lock class '" + std::string(name) +
+                      "' re-registered with a different rank (" +
+                      std::to_string(im.classes[i].rank) + " vs " +
+                      std::to_string(lock_rank) + ")");
+      return i;
+    }
+  }
+  if (count >= kMaxClasses) {
+    add_violation("lock class table full; '" + std::string(name) +
+                  "' shares the last slot");
+    return kMaxClasses - 1;
+  }
+  im.classes[count].name = name;
+  im.classes[count].rank = lock_rank;
+  im.classes[count].flags = flags;
+  im.class_count.store(count + 1, std::memory_order_release);
+  return count;
+}
+
+void SyncRegistry::instance_created(std::uint32_t cls) {
+  impl().classes[cls].live.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SyncRegistry::instance_destroyed(std::uint32_t cls) {
+  impl().classes[cls].live.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void SyncRegistry::check_acquire(std::uint32_t cls, const void* inst) {
+  if (!checking()) return;
+  std::vector<Held>& stack = held_stack();
+  if (stack.empty()) return;  // hot path: first lock on this thread
+  Impl& im = impl();
+  const Impl::LockClass& acquiring = im.classes[cls];
+
+  int max_held_rank = 0;
+  std::uint32_t max_held_cls = 0;
+  for (const Held& held : stack) {
+    if (held.inst == inst && held.cls == cls) {
+      add_violation("recursive acquisition of '" + acquiring.name +
+                    "' (self-deadlock); held stack " +
+                    im.stack_names(stack));
+      return;
+    }
+    if (im.classes[held.cls].rank >= max_held_rank) {
+      max_held_rank = im.classes[held.cls].rank;
+      max_held_cls = held.cls;
+    }
+  }
+  if (max_held_rank >= acquiring.rank) {
+    add_violation(
+        "lock-order rank violation: acquiring '" + acquiring.name +
+        "' (rank " + std::to_string(acquiring.rank) + ") while holding '" +
+        im.classes[max_held_cls].name + "' (rank " +
+        std::to_string(max_held_rank) +
+        "); ranks must strictly increase; held stack " +
+        im.stack_names(stack));
+  }
+
+  // Order graph: one edge per (held -> acquiring) pair. A new edge that
+  // closes a cycle is an ABBA: some other acquisition chain already
+  // established a path acquiring ->* held.
+  const std::lock_guard<std::mutex> lock(im.graph_mu);
+  for (const Held& held : stack) {
+    if (held.cls == cls) continue;  // distinct instances, same class:
+                                    // already reported by the rank check
+    if (im.edges[held.cls].test(cls)) continue;
+    if (im.reachable(cls, held.cls)) {
+      const auto reverse_witness =
+          im.witnesses.find({cls, held.cls});
+      std::string other =
+          reverse_witness != im.witnesses.end()
+              ? reverse_witness->second
+              : std::string("an earlier acquisition chain through '") +
+                    im.classes[cls].name + "'";
+      add_violation(
+          "lock-order cycle (ABBA): thread " + thread_id_string() +
+          " acquires '" + acquiring.name + "' while holding " +
+          im.stack_names(stack) + ", but the reverse order exists: " +
+          other);
+    }
+    im.edges[held.cls].set(cls);
+    im.witnesses.emplace(
+        std::make_pair(held.cls, cls),
+        "thread " + thread_id_string() + " acquired '" + acquiring.name +
+            "' with held stack " + im.stack_names(stack));
+  }
+}
+
+void SyncRegistry::record_acquired(std::uint32_t cls, const void* inst,
+                                   bool contended,
+                                   std::uint64_t wait_ns) {
+  Impl& im = impl();
+  Impl::LockClass& c = im.classes[cls];
+  c.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (contended) {
+    c.contended.fetch_add(1, std::memory_order_relaxed);
+    c.wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+  }
+  if (checking()) held_stack().push_back({cls, inst});
+}
+
+void SyncRegistry::record_release(std::uint32_t cls, const void* inst) {
+  std::vector<Held>& stack = held_stack();
+  // Tolerant pop (search from the top): releases out of stack order are
+  // legal C++ and must not corrupt the bookkeeping.
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    if (stack[i].inst == inst && stack[i].cls == cls) {
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void SyncRegistry::begin_wait(std::uint32_t cls, const void* inst) {
+  if (!checking()) return;
+  Impl& im = impl();
+  std::vector<Held>& stack = held_stack();
+  for (const Held& held : stack) {
+    if (held.inst == inst && held.cls == cls) continue;
+    if ((im.classes[held.cls].flags & kAllowHeldDuringWait) != 0) continue;
+    add_violation("'" + im.classes[held.cls].name +
+                  "' is held across CondVar::wait on '" +
+                  im.classes[cls].name +
+                  "': the wait releases only its own mutex; held stack " +
+                  im.stack_names(stack));
+  }
+  record_release(cls, inst);
+}
+
+void SyncRegistry::end_wait(std::uint32_t cls, const void* inst) {
+  Impl& im = impl();
+  // The wake-up reacquired the mutex inside the native wait; count it as
+  // an (untimed) acquisition so the census reflects wait-loop traffic.
+  im.classes[cls].acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (checking()) held_stack().push_back({cls, inst});
+}
+
+void SyncRegistry::check_blocking(const char* what) {
+  if (!checking()) return;
+  const std::vector<Held>& stack = held_stack();
+  if (stack.empty()) return;
+  Impl& im = impl();
+  for (const Held& held : stack) {
+    if ((im.classes[held.cls].flags & kAllowBlockingWhileHeld) != 0)
+      continue;
+    add_violation("blocking syscall region '" + std::string(what) +
+                  "' entered while holding '" +
+                  im.classes[held.cls].name + "'; held stack " +
+                  im.stack_names(stack));
+  }
+}
+
+bool SyncRegistry::ok() const { return violation_count() == 0; }
+
+std::size_t SyncRegistry::violation_count() const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.violations_mu);
+  return im.violations.size() +
+         static_cast<std::size_t>(im.dropped_violations);
+}
+
+std::string SyncRegistry::drain_report() {
+  Impl& im = impl();
+  std::vector<std::string> drained;
+  std::uint64_t dropped = 0;
+  {
+    const std::lock_guard<std::mutex> lock(im.violations_mu);
+    drained.swap(im.violations);
+    dropped = im.dropped_violations;
+    im.dropped_violations = 0;
+  }
+  if (drained.empty() && dropped == 0) return {};
+  std::ostringstream os;
+  os << "sync verifier: " << drained.size() + dropped
+     << " violation(s)\n";
+  for (const std::string& v : drained) os << "  * " << v << '\n';
+  if (dropped > 0)
+    os << "  * (+" << dropped << " further violations not stored)\n";
+  return os.str();
+}
+
+std::vector<CensusRow> SyncRegistry::census() const {
+  Impl& im = impl();
+  const std::uint32_t count =
+      im.class_count.load(std::memory_order_acquire);
+  std::vector<CensusRow> rows;
+  rows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Impl::LockClass& c = im.classes[i];
+    CensusRow row;
+    row.name = c.name;
+    row.rank = c.rank;
+    row.acquisitions = c.acquisitions.load(std::memory_order_relaxed);
+    row.contended = c.contended.load(std::memory_order_relaxed);
+    row.wait_ns = c.wait_ns.load(std::memory_order_relaxed);
+    row.live_instances = c.live.load(std::memory_order_relaxed);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const CensusRow& a, const CensusRow& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+void SyncRegistry::reset_census() {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.graph_mu);
+  const std::uint32_t count =
+      im.class_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    im.classes[i].acquisitions.store(0, std::memory_order_relaxed);
+    im.classes[i].contended.store(0, std::memory_order_relaxed);
+    im.classes[i].wait_ns.store(0, std::memory_order_relaxed);
+    im.edges[i].reset();
+  }
+  im.witnesses.clear();
+}
+
+std::string SyncRegistry::census_table() const {
+  std::ostringstream os;
+  os << "lock contention census (per lock class)\n";
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-28s %5s %12s %12s %12s\n", "lock",
+                "rank", "acquired", "contended", "wait_us");
+  os << line;
+  for (const CensusRow& row : census()) {
+    std::snprintf(line, sizeof line, "  %-28s %5d %12llu %12llu %12llu\n",
+                  row.name.c_str(), row.rank,
+                  static_cast<unsigned long long>(row.acquisitions),
+                  static_cast<unsigned long long>(row.contended),
+                  static_cast<unsigned long long>(row.wait_ns / 1000));
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace arcs::analysis::sync

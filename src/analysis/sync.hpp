@@ -1,0 +1,471 @@
+// Concurrency-discipline verification: checked synchronization wrappers.
+//
+// Every production mutex/condvar in the repo is an analysis::Mutex /
+// analysis::SharedMutex / analysis::CondVar declared with a *name* and a
+// static *rank* from the lock-order table below. The aliases are
+// compile-time selected by the ARCS_SYNC_CHECK CMake option:
+//
+//  * OFF (default): Plain* passthroughs — a thin inline shell over the
+//    std primitive, zero cost, nothing registered;
+//  * ON: Checked* wrappers that register each lock class with the
+//    process-wide SyncRegistry and, on every acquisition, verify the
+//    discipline that makes the concurrent layers deadlock-free:
+//      - ranks must strictly increase down the held-lock stack (the
+//        static total order: a thread holding rank r may only acquire
+//        rank > r);
+//      - independently of ranks, a global lock-order graph accumulates
+//        an edge (held -> acquired) per nested acquisition and detects
+//        cycles on edge insertion — an ABBA pattern is reported
+//        immediately with both acquisition stacks' lock names;
+//      - a CondVar::wait releases only its own mutex, so waiting while
+//        holding any *other* checked lock (not flagged
+//        kAllowHeldDuringWait) is reported;
+//      - a BlockingGuard marks a blocking syscall region (socket
+//        read/write/accept): entering one while holding a lock not
+//        flagged kAllowBlockingWhileHeld is reported.
+//    Each lock class also feeds a contention census — acquisitions,
+//    contended acquisitions, total wait time — queryable as structured
+//    rows and publishable into a telemetry MetricsRegistry, so the
+//    metrics/prom output shows exactly which locks serialize a path.
+//
+// The Checked* classes and the SyncRegistry are compiled in *every*
+// build (the negative tests seed violations through them directly); the
+// option only decides which implementation the production aliases name.
+// Violations are recorded, not thrown: the test harness
+// (tests/checked_main.cpp) drains the registry after each test and fails
+// the test that produced findings, mirroring the GlobalVerifier.
+//
+// This file is the one place in the repo allowed to name std::mutex /
+// std::condition_variable (enforced by tools/arcs_lint).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace arcs::analysis {
+
+namespace sync {
+
+/// Per-class behavior flags, declared at the lock's construction site.
+enum LockFlags : unsigned {
+  kNone = 0,
+  /// May be held across a marked blocking syscall (BlockingGuard) — the
+  /// per-connection write mutex exists to serialize frame writes, so it
+  /// is *supposed* to be held across ::send.
+  kAllowBlockingWhileHeld = 1u << 0,
+  /// May stay held while this thread waits on another lock's CondVar.
+  kAllowHeldDuringWait = 1u << 1,
+};
+
+/// The static lock-order table. Ranks must strictly increase along any
+/// nested acquisition chain (outermost lowest). Gaps are deliberate —
+/// new locks slot in without renumbering. docs/ANALYSIS.md holds the
+/// annotated table; keep both in sync.
+namespace rank {
+inline constexpr int kExecPoolWorker = 100;  ///< per-worker deque locks
+inline constexpr int kExecPoolIdle = 110;
+inline constexpr int kExecPoolWatchdog = 120;
+inline constexpr int kExecPoolStats = 130;   ///< nested under worker (steal)
+inline constexpr int kExecQueue = 140;       ///< injection + dispatch queues
+inline constexpr int kServeConns = 200;
+inline constexpr int kServeConnWrite = 210;  ///< held across write_frame
+inline constexpr int kServeClient = 215;     ///< held across call round trip
+inline constexpr int kServeSessions = 300;
+inline constexpr int kServeSpaces = 310;     ///< nested under sessions
+inline constexpr int kServeCacheShard = 320; ///< nested under sessions
+inline constexpr int kServeLatency = 330;
+inline constexpr int kTelemetryBuffers = 400;
+inline constexpr int kTelemetryNames = 410;  ///< nested under buffers
+inline constexpr int kTelemetryMetrics = 420;
+inline constexpr int kAnalysisGlobal = 500;
+inline constexpr int kCommonLog = 900;       ///< leaf: loggable from anywhere
+}  // namespace rank
+
+/// One census row per lock *class* (a class is a name+rank declaration
+/// site; all instances of e.g. the 8 cache shards share one class).
+struct CensusRow {
+  std::string name;
+  int rank = 0;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended = 0;   ///< acquisitions that had to block
+  std::uint64_t wait_ns = 0;     ///< total time blocked acquiring
+  std::uint64_t live_instances = 0;
+};
+
+/// Process-wide verifier state. All members are internally synchronized
+/// with raw std primitives (this layer cannot verify itself). The
+/// instance is leaked on purpose: checked locks (including function-local
+/// statics like the log mutex) may be used during static destruction.
+class SyncRegistry {
+ public:
+  static SyncRegistry& instance();
+
+  /// Runtime kill switch (default on). When off, acquisitions skip the
+  /// held-stack and graph machinery entirely; census counting continues.
+  /// The differential test toggles this to prove checking never perturbs
+  /// results.
+  void set_checking(bool on) {
+    checking_.store(on, std::memory_order_relaxed);
+  }
+  bool checking() const {
+    return checking_.load(std::memory_order_relaxed);
+  }
+
+  /// Interns a lock class; same (name) registers once. Returns the
+  /// class id. Thread-safe, lock classes are never removed.
+  std::uint32_t register_class(const char* name, int lock_rank,
+                               unsigned flags);
+  void instance_created(std::uint32_t cls);
+  void instance_destroyed(std::uint32_t cls);
+
+  // --- acquisition hooks (called by the Checked wrappers) ---
+  /// Rank + order-graph checks against this thread's held stack. Called
+  /// *before* blocking on the OS lock so an ABBA is diagnosed even when
+  /// it would deadlock for real.
+  void check_acquire(std::uint32_t cls, const void* inst);
+  /// Pushes onto the held stack and updates the census.
+  void record_acquired(std::uint32_t cls, const void* inst, bool contended,
+                       std::uint64_t wait_ns);
+  void record_release(std::uint32_t cls, const void* inst);
+  /// CondVar wait on `cls`: checks no *other* lock is held (unless
+  /// flagged) and pops the mutex for the wait's duration.
+  void begin_wait(std::uint32_t cls, const void* inst);
+  void end_wait(std::uint32_t cls, const void* inst);
+  /// Marked blocking syscall: checks every held lock allows it.
+  void check_blocking(const char* what);
+
+  // --- findings ---
+  bool ok() const;
+  std::size_t violation_count() const;
+  /// Human-readable report of all findings since the last drain, then
+  /// clears them. Empty string when clean.
+  std::string drain_report();
+
+  // --- census ---
+  /// Rows sorted by name (deterministic across runs and thread timing).
+  std::vector<CensusRow> census() const;
+  /// Forgets census counts and the order graph (tests). Held stacks and
+  /// class registrations survive.
+  void reset_census();
+
+  /// Renders the census into any registry with gauge(name).set(value)
+  /// (e.g. telemetry::MetricsRegistry) as sync/<lock>/{acquisitions,
+  /// contended,wait_seconds}. A template so this layer stays free of a
+  /// telemetry dependency (telemetry's own locks are checked ones).
+  template <typename Registry>
+  void publish_census(Registry& registry) const {
+    for (const CensusRow& row : census()) {
+      registry.gauge("sync/" + row.name + "/acquisitions")
+          .set(static_cast<double>(row.acquisitions));
+      registry.gauge("sync/" + row.name + "/contended")
+          .set(static_cast<double>(row.contended));
+      registry.gauge("sync/" + row.name + "/wait_seconds")
+          .set(static_cast<double>(row.wait_ns) * 1e-9);
+    }
+  }
+
+  /// Formatted census table (bench/tool output).
+  std::string census_table() const;
+
+ private:
+  SyncRegistry() = default;
+  struct Impl;
+  static Impl& impl();
+  void add_violation(std::string message);
+
+  std::atomic<bool> checking_{true};
+};
+
+/// RAII marker for a blocking syscall region (accept/read/write on
+/// sockets). Checked in every build; with no checked locks registered
+/// (the default build) the held stack is empty and this is a no-op.
+class BlockingGuard {
+ public:
+  explicit BlockingGuard(const char* what) {
+    SyncRegistry::instance().check_blocking(what);
+  }
+};
+
+}  // namespace sync
+
+using sync::BlockingGuard;
+
+// ---------------------------------------------------------------------------
+// Checked wrappers: always compiled, selected as the production aliases
+// by ARCS_SYNC_CHECK.
+// ---------------------------------------------------------------------------
+
+class CheckedMutex {
+ public:
+  CheckedMutex(const char* name, int lock_rank,
+               unsigned flags = sync::kNone)
+      : cls_(sync::SyncRegistry::instance().register_class(name, lock_rank,
+                                                           flags)) {
+    sync::SyncRegistry::instance().instance_created(cls_);
+  }
+  ~CheckedMutex() { sync::SyncRegistry::instance().instance_destroyed(cls_); }
+  CheckedMutex(const CheckedMutex&) = delete;
+  CheckedMutex& operator=(const CheckedMutex&) = delete;
+
+  void lock() {
+    auto& reg = sync::SyncRegistry::instance();
+    reg.check_acquire(cls_, this);
+    if (mu_.try_lock()) {
+      reg.record_acquired(cls_, this, false, 0);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    mu_.lock();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    reg.record_acquired(cls_, this, true, static_cast<std::uint64_t>(ns));
+  }
+
+  /// try_lock acquisitions cannot deadlock, so they skip the order
+  /// checks; the census still counts them.
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    sync::SyncRegistry::instance().record_acquired(cls_, this, false, 0);
+    return true;
+  }
+
+  void unlock() {
+    sync::SyncRegistry::instance().record_release(cls_, this);
+    mu_.unlock();
+  }
+
+  std::mutex& native() { return mu_; }
+  std::uint32_t lock_class() const { return cls_; }
+
+ private:
+  std::mutex mu_;
+  std::uint32_t cls_;
+};
+
+class CheckedSharedMutex {
+ public:
+  CheckedSharedMutex(const char* name, int lock_rank,
+                     unsigned flags = sync::kNone)
+      : cls_(sync::SyncRegistry::instance().register_class(name, lock_rank,
+                                                           flags)) {
+    sync::SyncRegistry::instance().instance_created(cls_);
+  }
+  ~CheckedSharedMutex() {
+    sync::SyncRegistry::instance().instance_destroyed(cls_);
+  }
+  CheckedSharedMutex(const CheckedSharedMutex&) = delete;
+  CheckedSharedMutex& operator=(const CheckedSharedMutex&) = delete;
+
+  void lock() {
+    auto& reg = sync::SyncRegistry::instance();
+    reg.check_acquire(cls_, this);
+    if (mu_.try_lock()) {
+      reg.record_acquired(cls_, this, false, 0);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    mu_.lock();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    reg.record_acquired(cls_, this, true, static_cast<std::uint64_t>(ns));
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    sync::SyncRegistry::instance().record_acquired(cls_, this, false, 0);
+    return true;
+  }
+  void unlock() {
+    sync::SyncRegistry::instance().record_release(cls_, this);
+    mu_.unlock();
+  }
+
+  // Shared (reader) side. Readers participate in ordering exactly like
+  // writers — a reader blocked behind a writer deadlocks the same way.
+  void lock_shared() {
+    auto& reg = sync::SyncRegistry::instance();
+    reg.check_acquire(cls_, this);
+    if (mu_.try_lock_shared()) {
+      reg.record_acquired(cls_, this, false, 0);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    mu_.lock_shared();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    reg.record_acquired(cls_, this, true, static_cast<std::uint64_t>(ns));
+  }
+  bool try_lock_shared() {
+    if (!mu_.try_lock_shared()) return false;
+    sync::SyncRegistry::instance().record_acquired(cls_, this, false, 0);
+    return true;
+  }
+  void unlock_shared() {
+    sync::SyncRegistry::instance().record_release(cls_, this);
+    mu_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+  std::uint32_t cls_;
+};
+
+/// Condition variable bound to CheckedMutex. Implemented over the plain
+/// std::condition_variable via adopt/release so no condition_variable_any
+/// overhead is added: the wait temporarily hands the already-held native
+/// mutex to an inner std::unique_lock.
+class CheckedCondVar {
+ public:
+  CheckedCondVar() = default;
+  CheckedCondVar(const CheckedCondVar&) = delete;
+  CheckedCondVar& operator=(const CheckedCondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(std::unique_lock<CheckedMutex>& lk) {
+    CheckedMutex& m = *lk.mutex();
+    auto& reg = sync::SyncRegistry::instance();
+    reg.begin_wait(m.lock_class(), &m);
+    std::unique_lock<std::mutex> inner(m.native(), std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();
+    reg.end_wait(m.lock_class(), &m);
+  }
+
+  template <typename Pred>
+  void wait(std::unique_lock<CheckedMutex>& lk, Pred pred) {
+    while (!pred()) wait(lk);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      std::unique_lock<CheckedMutex>& lk,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    CheckedMutex& m = *lk.mutex();
+    auto& reg = sync::SyncRegistry::instance();
+    reg.begin_wait(m.lock_class(), &m);
+    std::unique_lock<std::mutex> inner(m.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(inner, deadline);
+    inner.release();
+    reg.end_wait(m.lock_class(), &m);
+    return status;
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(std::unique_lock<CheckedMutex>& lk,
+                const std::chrono::duration<Rep, Period>& timeout,
+                Pred pred) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!pred()) {
+      if (wait_until(lk, deadline) == std::cv_status::timeout)
+        return pred();
+    }
+    return true;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// ---------------------------------------------------------------------------
+// Passthrough wrappers: the default-build aliases. Same construction
+// signature (name/rank/flags are discarded), inline forwarding only.
+// ---------------------------------------------------------------------------
+
+class PlainMutex {
+ public:
+  PlainMutex(const char*, int, unsigned = sync::kNone) {}
+  PlainMutex(const PlainMutex&) = delete;
+  PlainMutex& operator=(const PlainMutex&) = delete;
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+class PlainSharedMutex {
+ public:
+  PlainSharedMutex(const char*, int, unsigned = sync::kNone) {}
+  PlainSharedMutex(const PlainSharedMutex&) = delete;
+  PlainSharedMutex& operator=(const PlainSharedMutex&) = delete;
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+  void lock_shared() { mu_.lock_shared(); }
+  bool try_lock_shared() { return mu_.try_lock_shared(); }
+  void unlock_shared() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+class PlainCondVar {
+ public:
+  PlainCondVar() = default;
+  PlainCondVar(const PlainCondVar&) = delete;
+  PlainCondVar& operator=(const PlainCondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(std::unique_lock<PlainMutex>& lk) {
+    std::unique_lock<std::mutex> inner(lk.mutex()->native(),
+                                       std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();
+  }
+  template <typename Pred>
+  void wait(std::unique_lock<PlainMutex>& lk, Pred pred) {
+    std::unique_lock<std::mutex> inner(lk.mutex()->native(),
+                                       std::adopt_lock);
+    cv_.wait(inner, std::move(pred));
+    inner.release();
+  }
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      std::unique_lock<PlainMutex>& lk,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> inner(lk.mutex()->native(),
+                                       std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(inner, deadline);
+    inner.release();
+    return status;
+  }
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(std::unique_lock<PlainMutex>& lk,
+                const std::chrono::duration<Rep, Period>& timeout,
+                Pred pred) {
+    std::unique_lock<std::mutex> inner(lk.mutex()->native(),
+                                       std::adopt_lock);
+    const bool satisfied = cv_.wait_for(inner, timeout, std::move(pred));
+    inner.release();
+    return satisfied;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+#if defined(ARCS_SYNC_CHECK_ENABLED)
+using Mutex = CheckedMutex;
+using SharedMutex = CheckedSharedMutex;
+using CondVar = CheckedCondVar;
+#else
+using Mutex = PlainMutex;
+using SharedMutex = PlainSharedMutex;
+using CondVar = PlainCondVar;
+#endif
+
+}  // namespace arcs::analysis

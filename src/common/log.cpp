@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "analysis/sync.hpp"
 
 namespace arcs::common {
 
@@ -33,9 +34,11 @@ LogLevel log_level() { return g_level.load(); }
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
   // Experiment-pool workers log concurrently; serialize so lines never
-  // interleave mid-message.
-  static std::mutex mu;
-  const std::lock_guard<std::mutex> lock(mu);
+  // interleave mid-message. Highest rank: any subsystem may log while
+  // holding its own locks, never the reverse.
+  static analysis::Mutex mu{"common/log",
+                            analysis::sync::rank::kCommonLog};
+  const std::lock_guard<analysis::Mutex> lock(mu);
   std::cerr << "[arcs " << level_tag(level) << "] " << message << '\n';
 }
 

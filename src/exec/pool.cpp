@@ -34,6 +34,8 @@ std::string_view to_string(JobStatus status) {
 }
 
 std::size_t ExperimentPool::recommended_workers() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at pool start,
+  // before workers exist; nothing writes the environment concurrently.
   if (const char* env = std::getenv("ARCS_EXEC_WORKERS")) {
     const long n = std::strtol(env, nullptr, 10);
     if (n > 0) return static_cast<std::size_t>(std::min(n, 512L));
@@ -50,7 +52,7 @@ ExperimentPool::ExperimentPool(PoolOptions options)
   for (std::size_t i = 0; i < n; ++i)
     locals_.push_back(std::make_unique<Worker>());
   {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const std::lock_guard<analysis::Mutex> lock(stats_mu_);
     stats_.workers = n;
   }
   threads_.reserve(n);
@@ -64,13 +66,13 @@ ExperimentPool::~ExperimentPool() { shutdown(); }
 bool ExperimentPool::enqueue(detail::Task task) {
   if (shutdown_.load(std::memory_order_acquire)) return false;
   {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const std::lock_guard<analysis::Mutex> lock(stats_mu_);
     ++stats_.jobs_submitted;
   }
   if (cancel_.load(std::memory_order_acquire))
     task.state->request_stop(detail::StopReason::Cancel);
   if (!injection_.push(std::move(task))) {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const std::lock_guard<analysis::Mutex> lock(stats_mu_);
     --stats_.jobs_submitted;
     return false;
   }
@@ -90,7 +92,7 @@ void ExperimentPool::shutdown() {
   for (std::thread& t : threads_) t.join();
   threads_.clear();
   {
-    const std::lock_guard<std::mutex> lock(wd_mu_);
+    const std::lock_guard<analysis::Mutex> lock(wd_mu_);
     wd_exit_ = true;
   }
   wd_cv_.notify_all();
@@ -101,7 +103,7 @@ void ExperimentPool::cancel_all() {
   cancel_.store(true, std::memory_order_release);
   // Raise the token on everything currently executing; queued tasks are
   // caught by the cancel_ check in the job wrapper when they surface.
-  const std::lock_guard<std::mutex> lock(stats_mu_);
+  const std::lock_guard<analysis::Mutex> lock(stats_mu_);
   for (const auto& state : running_)
     state->request_stop(detail::StopReason::Cancel);
 }
@@ -111,7 +113,7 @@ void ExperimentPool::reset_cancel() {
 }
 
 PoolStats ExperimentPool::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mu_);
+  const std::lock_guard<analysis::Mutex> lock(stats_mu_);
   return stats_;
 }
 
@@ -130,7 +132,7 @@ std::optional<detail::Task> ExperimentPool::next_task(std::size_t wid) {
     if (auto task = pop_local(wid)) return task;
     if (refill_from_injection(wid)) continue;
     if (auto task = steal(wid)) return task;
-    std::unique_lock<std::mutex> lock(idle_mu_);
+    std::unique_lock<analysis::Mutex> lock(idle_mu_);
     if (shutdown_.load(std::memory_order_acquire) &&
         injection_.size() == 0 &&
         local_items_.load(std::memory_order_acquire) == 0)
@@ -145,7 +147,7 @@ std::optional<detail::Task> ExperimentPool::next_task(std::size_t wid) {
 
 std::optional<detail::Task> ExperimentPool::pop_local(std::size_t wid) {
   Worker& w = *locals_[wid];
-  const std::lock_guard<std::mutex> lock(w.mu);
+  const std::lock_guard<analysis::Mutex> lock(w.mu);
   if (w.deque.empty()) return std::nullopt;
   detail::Task task = std::move(w.deque.back());
   w.deque.pop_back();
@@ -160,7 +162,7 @@ bool ExperimentPool::refill_from_injection(std::size_t wid) {
     std::optional<detail::Task> task = injection_.try_pop();
     if (!task) break;
     {
-      const std::lock_guard<std::mutex> lock(w.mu);
+      const std::lock_guard<analysis::Mutex> lock(w.mu);
       w.deque.push_back(std::move(*task));
     }
     local_items_.fetch_add(1, std::memory_order_acq_rel);
@@ -175,13 +177,13 @@ std::optional<detail::Task> ExperimentPool::steal(std::size_t thief) {
   for (std::size_t i = 1; i < n; ++i) {
     const std::size_t victim = (thief + i) % n;
     Worker& w = *locals_[victim];
-    const std::lock_guard<std::mutex> lock(w.mu);
+    const std::lock_guard<analysis::Mutex> lock(w.mu);
     if (w.deque.empty()) continue;
     detail::Task task = std::move(w.deque.front());
     w.deque.pop_front();
     local_items_.fetch_sub(1, std::memory_order_acq_rel);
     {
-      const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      const std::lock_guard<analysis::Mutex> stats_lock(stats_mu_);
       ++stats_.steals;
     }
     return task;
@@ -192,7 +194,7 @@ std::optional<detail::Task> ExperimentPool::steal(std::size_t thief) {
 void ExperimentPool::begin_job(
     const std::shared_ptr<detail::JobState>& state) {
   {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const std::lock_guard<analysis::Mutex> lock(stats_mu_);
     running_.push_back(state);
   }
   if (state->timeout_seconds > 0.0) {
@@ -201,7 +203,7 @@ void ExperimentPool::begin_job(
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(state->timeout_seconds));
     {
-      const std::lock_guard<std::mutex> lock(wd_mu_);
+      const std::lock_guard<analysis::Mutex> lock(wd_mu_);
       wd_jobs_.emplace_back(deadline, state);
     }
     wd_cv_.notify_one();
@@ -211,12 +213,12 @@ void ExperimentPool::begin_job(
 void ExperimentPool::end_job(
     const std::shared_ptr<detail::JobState>& state) {
   {
-    const std::lock_guard<std::mutex> lock(stats_mu_);
+    const std::lock_guard<analysis::Mutex> lock(stats_mu_);
     running_.erase(std::remove(running_.begin(), running_.end(), state),
                    running_.end());
   }
   if (state->timeout_seconds > 0.0) {
-    const std::lock_guard<std::mutex> lock(wd_mu_);
+    const std::lock_guard<analysis::Mutex> lock(wd_mu_);
     wd_jobs_.erase(
         std::remove_if(wd_jobs_.begin(), wd_jobs_.end(),
                        [&](const auto& entry) {
@@ -227,7 +229,7 @@ void ExperimentPool::end_job(
 }
 
 void ExperimentPool::record_outcome(JobStatus status, double seconds) {
-  const std::lock_guard<std::mutex> lock(stats_mu_);
+  const std::lock_guard<analysis::Mutex> lock(stats_mu_);
   switch (status) {
     case JobStatus::Done:
       ++stats_.jobs_done;
@@ -246,7 +248,7 @@ void ExperimentPool::record_outcome(JobStatus status, double seconds) {
 }
 
 void ExperimentPool::watchdog_main() {
-  std::unique_lock<std::mutex> lock(wd_mu_);
+  std::unique_lock<analysis::Mutex> lock(wd_mu_);
   for (;;) {
     if (wd_exit_) return;
     if (wd_jobs_.empty()) {

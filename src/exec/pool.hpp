@@ -43,6 +43,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "analysis/sync.hpp"
 #include "exec/queue.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -261,7 +262,11 @@ class ExperimentPool {
   void watchdog_main();
 
   struct Worker {
-    std::mutex mu;
+    // One class for all workers: steal() takes a *victim's* lock with no
+    // other worker lock held (pop_local releases before stealing), so no
+    // two instances ever nest.
+    analysis::Mutex mu{"exec/pool/worker",
+                       analysis::sync::rank::kExecPoolWorker};
     std::deque<detail::Task> deque;
   };
 
@@ -272,20 +277,24 @@ class ExperimentPool {
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> cancel_{false};
 
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  analysis::Mutex idle_mu_{"exec/pool/idle",
+                           analysis::sync::rank::kExecPoolIdle};
+  analysis::CondVar idle_cv_;
 
   // Watchdog: running jobs with deadlines, ordered by expiry.
   std::thread watchdog_;
-  std::mutex wd_mu_;
-  std::condition_variable wd_cv_;
+  analysis::Mutex wd_mu_{"exec/pool/watchdog",
+                         analysis::sync::rank::kExecPoolWatchdog};
+  analysis::CondVar wd_cv_;
   std::vector<std::pair<std::chrono::steady_clock::time_point,
                         std::shared_ptr<detail::JobState>>>
       wd_jobs_;
   bool wd_exit_ = false;
 
-  // Running-job registry (for cancel_all) and stats.
-  mutable std::mutex stats_mu_;
+  // Running-job registry (for cancel_all) and stats. Ranked above the
+  // worker locks: steal() bumps the steal counter under a victim's lock.
+  mutable analysis::Mutex stats_mu_{"exec/pool/stats",
+                                    analysis::sync::rank::kExecPoolStats};
   std::vector<std::shared_ptr<detail::JobState>> running_;
   PoolStats stats_;
 };

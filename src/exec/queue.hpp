@@ -9,13 +9,13 @@
 // simplicity win over a lock-free design here.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "analysis/sync.hpp"
 #include "common/check.hpp"
 
 namespace arcs::exec {
@@ -29,7 +29,7 @@ class BoundedMpmcQueue {
 
   /// Blocks while full. Returns false (drops the item) once closed.
   bool push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<analysis::Mutex> lock(mu_);
     not_full_.wait(lock,
                    [&] { return closed_ || size_ < buffer_.size(); });
     if (closed_) return false;
@@ -43,7 +43,7 @@ class BoundedMpmcQueue {
   /// Non-blocking push; false when full or closed.
   bool try_push(T item) {
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const std::lock_guard<analysis::Mutex> lock(mu_);
       if (closed_ || size_ == buffer_.size()) return false;
       buffer_[(head_ + size_) % buffer_.size()] = std::move(item);
       ++size_;
@@ -54,7 +54,7 @@ class BoundedMpmcQueue {
 
   /// Blocks while empty. Empty optional once closed *and* drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<analysis::Mutex> lock(mu_);
     not_empty_.wait(lock, [&] { return closed_ || size_ > 0; });
     if (size_ == 0) return std::nullopt;
     return pop_locked(lock);
@@ -62,7 +62,7 @@ class BoundedMpmcQueue {
 
   /// Non-blocking pop; empty optional when nothing is queued.
   std::optional<T> try_pop() {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<analysis::Mutex> lock(mu_);
     if (size_ == 0) return std::nullopt;
     return pop_locked(lock);
   }
@@ -70,7 +70,7 @@ class BoundedMpmcQueue {
   /// Wakes every waiter; pushes start failing, pops drain then fail.
   void close() {
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const std::lock_guard<analysis::Mutex> lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -78,19 +78,19 @@ class BoundedMpmcQueue {
   }
 
   bool closed() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const std::lock_guard<analysis::Mutex> lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const std::lock_guard<analysis::Mutex> lock(mu_);
     return size_;
   }
 
   std::size_t capacity() const { return buffer_.size(); }
 
  private:
-  std::optional<T> pop_locked(std::unique_lock<std::mutex>& lock) {
+  std::optional<T> pop_locked(std::unique_lock<analysis::Mutex>& lock) {
     T item = std::move(buffer_[head_]);
     head_ = (head_ + 1) % buffer_.size();
     --size_;
@@ -99,9 +99,10 @@ class BoundedMpmcQueue {
     return item;
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
+  mutable analysis::Mutex mu_{"exec/queue",
+                              analysis::sync::rank::kExecQueue};
+  analysis::CondVar not_empty_;
+  analysis::CondVar not_full_;
   std::vector<T> buffer_;
   std::size_t head_ = 0;
   std::size_t size_ = 0;

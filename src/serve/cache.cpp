@@ -61,7 +61,7 @@ const DecisionCache::Shard& DecisionCache::shard_of(
 
 std::optional<CachedDecision> DecisionCache::get(const HistoryKey& key) {
   Shard& shard = shard_of(key);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const std::lock_guard<analysis::Mutex> lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) return std::nullopt;
   if (it->second != shard.lru.begin())
@@ -72,7 +72,7 @@ std::optional<CachedDecision> DecisionCache::get(const HistoryKey& key) {
 void DecisionCache::put(const HistoryKey& key,
                         const CachedDecision& decision) {
   Shard& shard = shard_of(key);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const std::lock_guard<analysis::Mutex> lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->second = decision;
@@ -91,7 +91,7 @@ void DecisionCache::put(const HistoryKey& key,
 std::size_t DecisionCache::size() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const std::lock_guard<analysis::Mutex> lock(shard->mu);
     n += shard->lru.size();
   }
   return n;
@@ -100,7 +100,7 @@ std::size_t DecisionCache::size() const {
 std::size_t DecisionCache::provisional_count() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const std::lock_guard<analysis::Mutex> lock(shard->mu);
     for (const auto& [key, decision] : shard->lru)
       if (decision.provisional) ++n;
   }
@@ -120,7 +120,7 @@ void DecisionCache::load(const HistoryStore& store) {
 HistoryStore DecisionCache::snapshot() const {
   HistoryStore store;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const std::lock_guard<analysis::Mutex> lock(shard->mu);
     for (const auto& [key, decision] : shard->lru) {
       if (decision.provisional) continue;
       HistoryEntry entry;

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/sync.hpp"
 #include "core/history.hpp"
 
 namespace arcs::serve {
@@ -77,7 +78,11 @@ class DecisionCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    // One class for all shards: shard_of() picks exactly one shard per
+    // operation and publish-then-retire touches one at a time under the
+    // sessions lock, so shard locks never nest with each other.
+    mutable analysis::Mutex mu{"serve/cache_shard",
+                               analysis::sync::rank::kServeCacheShard};
     /// Front = most recently used.
     std::list<std::pair<HistoryKey, CachedDecision>> lru;
     std::map<HistoryKey,

@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "analysis/sync.hpp"
 #include "common/check.hpp"
 
 namespace arcs::serve {
@@ -302,6 +303,9 @@ Response response_from_json(const common::Json& json) {
 }
 
 bool write_frame(int fd, std::string_view payload) {
+  // Blocking socket I/O: any lock held here must carry the
+  // kAllowBlockingWhileHeld flag (the per-connection write mutex does).
+  const analysis::BlockingGuard guard("serve/write_frame");
   if (payload.size() > kMaxFrameBytes) return false;
   const auto n = static_cast<std::uint32_t>(payload.size());
   unsigned char header[4] = {
@@ -317,6 +321,7 @@ bool write_frame(int fd, std::string_view payload) {
 }
 
 std::optional<std::string> read_frame(int fd) {
+  const analysis::BlockingGuard guard("serve/read_frame");
   unsigned char header[4];
   if (!read_all(fd, header, sizeof header)) return std::nullopt;
   const std::uint32_t n = (static_cast<std::uint32_t>(header[0]) << 24) |

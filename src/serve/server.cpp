@@ -45,7 +45,7 @@ TuningServer::TuningServer(ServerOptions options)
 
 const harmony::SearchSpace& TuningServer::space_for(
     const std::string& machine) {
-  const std::lock_guard<std::mutex> lock(spaces_mu_);
+  const std::lock_guard<analysis::Mutex> lock(spaces_mu_);
   const auto cached = spaces_.find(machine);
   if (cached != spaces_.end()) return cached->second;
   const auto spec = machines_.find(machine);
@@ -59,7 +59,7 @@ const harmony::SearchSpace& TuningServer::space_for(
 }
 
 std::size_t TuningServer::inflight() const {
-  const std::lock_guard<std::mutex> lock(sessions_mu_);
+  const std::lock_guard<analysis::Mutex> lock(sessions_mu_);
   return sessions_.size();
 }
 
@@ -143,7 +143,7 @@ Response TuningServer::handle_get(const Request& request) {
                              std::max(0.0, request.wait_ms)));
   bool counted_wait = false;
 
-  std::unique_lock<std::mutex> lock(sessions_mu_);
+  std::unique_lock<analysis::Mutex> lock(sessions_mu_);
   for (;;) {
     // Re-check under the lock: the search may have finished between the
     // fast path (or our cv wake-up) and here.
@@ -306,7 +306,7 @@ Response TuningServer::handle_get(const Request& request) {
 
 Response TuningServer::handle_report(const Request& request) {
   Response response;
-  std::unique_lock<std::mutex> lock(sessions_mu_);
+  std::unique_lock<analysis::Mutex> lock(sessions_mu_);
   const auto it = sessions_.find(request.key);
   if (it == sessions_.end() || !it->second->outstanding ||
       it->second->ticket != request.ticket) {
@@ -352,7 +352,7 @@ Response TuningServer::handle_put(const Request& request) {
   {
     // Under sessions_mu_ so a Get blocked between its cache check and its
     // cv wait cannot miss the wake-up for this key.
-    const std::lock_guard<std::mutex> lock(sessions_mu_);
+    const std::lock_guard<analysis::Mutex> lock(sessions_mu_);
     cache_.put(request.key, decision);
   }
   sessions_cv_.notify_all();
@@ -387,7 +387,7 @@ void TuningServer::sample_cache_hit_rate() const {
 }
 
 void TuningServer::record_latency(double seconds) {
-  const std::lock_guard<std::mutex> lock(latency_mu_);
+  const std::lock_guard<analysis::Mutex> lock(latency_mu_);
   latency_ring_[latency_next_] = seconds;
   latency_next_ = (latency_next_ + 1) % latency_ring_.size();
   latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
@@ -422,7 +422,7 @@ common::Json TuningServer::metrics_json() const {
   j.set("gauges", gauges);
   std::vector<double> scratch;
   {
-    const std::lock_guard<std::mutex> lock(latency_mu_);
+    const std::lock_guard<analysis::Mutex> lock(latency_mu_);
     scratch.assign(latency_ring_.begin(),
                    latency_ring_.begin() +
                        static_cast<std::ptrdiff_t>(latency_count_));

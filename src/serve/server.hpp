@@ -42,7 +42,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -50,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/sync.hpp"
 #include "apex/apex.hpp"
 #include "core/predictor.hpp"
 #include "core/search_space.hpp"
@@ -202,18 +202,22 @@ class TuningServer {
   ServerMetrics metrics_{registry_};
 
   std::map<std::string, sim::MachineSpec> machines_;
-  std::mutex spaces_mu_;
+  // Ranked above sessions_mu_: space_for() runs under the sessions lock.
+  analysis::Mutex spaces_mu_{"serve/spaces",
+                             analysis::sync::rank::kServeSpaces};
   std::map<std::string, harmony::SearchSpace> spaces_;
 
-  mutable std::mutex sessions_mu_;
-  std::condition_variable sessions_cv_;
+  mutable analysis::Mutex sessions_mu_{
+      "serve/sessions", analysis::sync::rank::kServeSessions};
+  analysis::CondVar sessions_cv_;
   std::map<HistoryKey, std::unique_ptr<InFlight>> sessions_;
   std::uint64_t next_ticket_ = 1;
 
   std::atomic<std::size_t> waiting_now_{0};
   std::atomic<bool> shutdown_{false};
 
-  mutable std::mutex latency_mu_;
+  mutable analysis::Mutex latency_mu_{
+      "serve/latency", analysis::sync::rank::kServeLatency};
   std::vector<double> latency_ring_;
   std::size_t latency_next_ = 0;
   std::size_t latency_count_ = 0;

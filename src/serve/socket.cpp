@@ -59,7 +59,11 @@ SocketServer::~SocketServer() { stop(); }
 
 void SocketServer::accept_loop() {
   for (;;) {
-    const int conn_fd = ::accept(listen_fd_, nullptr, nullptr);
+    int conn_fd = -1;
+    {
+      const analysis::BlockingGuard guard("serve/accept");
+      conn_fd = ::accept(listen_fd_, nullptr, nullptr);
+    }
     if (conn_fd < 0) {
       if (!stopping_.load(std::memory_order_acquire) && errno == EINTR)
         continue;
@@ -67,7 +71,7 @@ void SocketServer::accept_loop() {
     }
     auto conn = std::make_shared<Connection>();
     conn->fd = conn_fd;
-    const std::lock_guard<std::mutex> lock(conns_mu_);
+    const std::lock_guard<analysis::Mutex> lock(conns_mu_);
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(conn_fd);
       return;
@@ -120,7 +124,7 @@ void SocketServer::worker_loop(std::size_t index) {
 void SocketServer::send_response(Connection& conn,
                                  const Response& response) {
   const std::string payload = to_json(response).dump(0);
-  const std::lock_guard<std::mutex> lock(conn.write_mu);
+  const std::lock_guard<analysis::Mutex> lock(conn.write_mu);
   if (!write_frame(conn.fd, payload) &&
       !stopping_.load(std::memory_order_acquire))
     common::log_warn() << "serve: dropped reply on a broken connection";
@@ -131,7 +135,7 @@ void SocketServer::stop() {
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (acceptor_.joinable()) acceptor_.join();
   {
-    const std::lock_guard<std::mutex> lock(conns_mu_);
+    const std::lock_guard<analysis::Mutex> lock(conns_mu_);
     for (const auto& conn : conns_)
       if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
   }
@@ -141,7 +145,7 @@ void SocketServer::stop() {
   for (auto& worker : workers_)
     if (worker.joinable()) worker.join();
   {
-    const std::lock_guard<std::mutex> lock(conns_mu_);
+    const std::lock_guard<analysis::Mutex> lock(conns_mu_);
     for (const auto& conn : conns_) {
       if (conn->fd >= 0) ::close(conn->fd);
       conn->fd = -1;
@@ -173,7 +177,7 @@ SocketClient::~SocketClient() {
 
 Response SocketClient::call(const Request& request) {
   Response response;
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<analysis::Mutex> lock(mu_);
   if (fd_ < 0 || !write_frame(fd_, to_json(request).dump(0))) {
     transport_failed_ = true;
     response.status = Status::Error;

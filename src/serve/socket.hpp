@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/sync.hpp"
 #include "exec/queue.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -60,7 +61,11 @@ class SocketServer {
  private:
   struct Connection {
     int fd = -1;
-    std::mutex write_mu;
+    // Held across write_frame() by design: whole-frame writes are the
+    // interleaving guarantee. The allowlist flag records that intent.
+    analysis::Mutex write_mu{
+        "serve/conn_write", analysis::sync::rank::kServeConnWrite,
+        analysis::sync::kAllowBlockingWhileHeld};
   };
   struct Work {
     std::shared_ptr<Connection> conn;
@@ -82,7 +87,8 @@ class SocketServer {
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;
-  std::mutex conns_mu_;
+  analysis::Mutex conns_mu_{"serve/conns",
+                            analysis::sync::rank::kServeConns};
   std::vector<std::shared_ptr<Connection>> conns_;
   std::vector<std::thread> readers_;
 };
@@ -104,7 +110,10 @@ class SocketClient : public Client {
 
  private:
   int fd_ = -1;
-  std::mutex mu_;
+  // Held across the full call() round trip by design (one request in
+  // flight per connection); allowlisted for blocking-while-held.
+  analysis::Mutex mu_{"serve/client", analysis::sync::rank::kServeClient,
+                      analysis::sync::kAllowBlockingWhileHeld};
 };
 
 }  // namespace arcs::serve

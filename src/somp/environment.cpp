@@ -54,6 +54,8 @@ Environment Environment::from_getter(
 }
 
 Environment Environment::from_process_environment() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): env read at runtime
+  // construction, single-threaded by contract.
   return from_getter([](const char* name) { return std::getenv(name); });
 }
 

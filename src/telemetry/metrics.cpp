@@ -74,7 +74,7 @@ double Histogram::quantile(double q) const {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::Mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_
@@ -84,7 +84,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::Mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -92,7 +92,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::Mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_
@@ -102,7 +102,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 }
 
 common::Json MetricsRegistry::json_snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::Mutex> lock(mu_);
   common::Json root = common::Json::object();
   common::Json counters = common::Json::object();
   for (const auto& [name, counter] : counters_)
@@ -126,7 +126,7 @@ common::Json MetricsRegistry::json_snapshot() const {
 }
 
 std::string MetricsRegistry::prometheus_text() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<analysis::Mutex> lock(mu_);
   std::ostringstream os;
   for (const auto& [name, counter] : counters_) {
     const std::string metric = sanitize_metric_name(name);

@@ -23,6 +23,7 @@
 #include <string>
 #include <string_view>
 
+#include "analysis/sync.hpp"
 #include "common/json.hpp"
 
 namespace arcs::telemetry {
@@ -127,7 +128,8 @@ class MetricsRegistry {
   static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mu_;
+  mutable analysis::Mutex mu_{"telemetry/metrics",
+                              analysis::sync::rank::kTelemetryMetrics};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

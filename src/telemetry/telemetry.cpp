@@ -61,7 +61,7 @@ Tracer& Tracer::instance() {
 }
 
 void Tracer::enable(TracerOptions options) {
-  std::lock_guard<std::mutex> lock(buffers_mu_);
+  std::lock_guard<analysis::Mutex> lock(buffers_mu_);
   ring_capacity_ = std::max<std::size_t>(options.ring_capacity, 16);
   id_prefix_ = (options.id_seed & 0xfffffu) << 32;
   clock_ = std::move(options.clock);
@@ -73,7 +73,7 @@ void Tracer::enable(TracerOptions options) {
   next_virtual_track_.store(0, std::memory_order_relaxed);
   warned_drop_.store(false, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> names_lock(names_mu_);
+    std::lock_guard<analysis::Mutex> names_lock(names_mu_);
     track_names_.clear();
   }
   // Release: a thread that observes the epoch bump must also see the new
@@ -86,7 +86,7 @@ void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
 
 void Tracer::reset() {
   disable();
-  std::lock_guard<std::mutex> lock(buffers_mu_);
+  std::lock_guard<analysis::Mutex> lock(buffers_mu_);
   buffers_.clear();
   next_seq_.store(0, std::memory_order_relaxed);
   next_id_.store(0, std::memory_order_relaxed);
@@ -94,7 +94,7 @@ void Tracer::reset() {
   next_virtual_track_.store(0, std::memory_order_relaxed);
   warned_drop_.store(false, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> names_lock(names_mu_);
+    std::lock_guard<analysis::Mutex> names_lock(names_mu_);
     track_names_.clear();
   }
   epoch_.fetch_add(1, std::memory_order_release);
@@ -115,7 +115,7 @@ Tracer::ThreadBuffer* Tracer::local_buffer() {
     return static_cast<ThreadBuffer*>(tls_slot.buffer);
   auto buffer = std::make_unique<ThreadBuffer>();
   {
-    std::lock_guard<std::mutex> lock(buffers_mu_);
+    std::lock_guard<analysis::Mutex> lock(buffers_mu_);
     // An enable()/reset() racing with us would clear buffers_ after our
     // push; re-check the epoch under the lock so a stale buffer is never
     // cached past its lifetime.
@@ -219,7 +219,7 @@ std::uint32_t Tracer::allocate_virtual_tracks(std::uint32_t count) {
 void Tracer::name_track(TimeDomain domain, std::uint32_t track,
                         std::string_view name) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(names_mu_);
+  std::lock_guard<analysis::Mutex> lock(names_mu_);
   track_names_.emplace(std::pair<int, std::uint32_t>{static_cast<int>(domain),
                                                      track},
                        std::string(name));
@@ -232,7 +232,7 @@ void Tracer::name_host_thread(std::string_view name) {
 
 std::vector<Event> Tracer::drain() {
   std::vector<Event> events;
-  std::lock_guard<std::mutex> lock(buffers_mu_);
+  std::lock_guard<analysis::Mutex> lock(buffers_mu_);
   for (auto& buffer : buffers_) {
     const std::size_t count = buffer->count.load(std::memory_order_acquire);
     events.insert(events.end(), buffer->ring.begin(),
@@ -246,7 +246,7 @@ std::vector<Event> Tracer::drain() {
 
 std::uint64_t Tracer::dropped() const {
   std::uint64_t total = 0;
-  std::lock_guard<std::mutex> lock(buffers_mu_);
+  std::lock_guard<analysis::Mutex> lock(buffers_mu_);
   for (const auto& buffer : buffers_)
     total += buffer->dropped.load(std::memory_order_relaxed);
   return total;
@@ -254,7 +254,7 @@ std::uint64_t Tracer::dropped() const {
 
 std::map<std::pair<int, std::uint32_t>, std::string> Tracer::track_names()
     const {
-  std::lock_guard<std::mutex> lock(names_mu_);
+  std::lock_guard<analysis::Mutex> lock(names_mu_);
   return track_names_;
 }
 

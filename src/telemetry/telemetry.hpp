@@ -44,6 +44,8 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/sync.hpp"
+
 namespace arcs::telemetry {
 
 /// Which layer emitted an event (the Chrome-trace "cat" field).
@@ -200,13 +202,16 @@ class Tracer {
   std::function<double()> clock_;        ///< written by enable() only
   double clock_origin_ = 0;
 
-  mutable std::mutex buffers_mu_;
+  // enable()/reset() nest buffers_mu_ -> names_mu_; ranks encode that.
+  mutable analysis::Mutex buffers_mu_{
+      "telemetry/buffers", analysis::sync::rank::kTelemetryBuffers};
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 
   std::atomic<std::uint32_t> next_host_track_{0};
   std::atomic<std::uint32_t> next_virtual_track_{0};
 
-  mutable std::mutex names_mu_;
+  mutable analysis::Mutex names_mu_{
+      "telemetry/names", analysis::sync::rank::kTelemetryNames};
   std::map<std::pair<int, std::uint32_t>, std::string> track_names_;
 };
 

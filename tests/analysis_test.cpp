@@ -4,15 +4,24 @@
 //  * the physics lints catch clock regression and negative energy.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/checker.hpp"
 #include "analysis/global.hpp"
 #include "analysis/inject.hpp"
+#include "analysis/sync.hpp"
 #include "analysis/trace.hpp"
+#include "exec/pool.hpp"
 #include "sim/presets.hpp"
 #include "somp/runtime.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace an = arcs::analysis;
 namespace om = arcs::ompt;
@@ -325,4 +334,231 @@ TEST(GlobalVerifier, AttachesToEveryRuntimeAndStaysClean) {
   const an::CheckerStats after = verifier.total_stats();
   EXPECT_EQ(after.regions_checked, before.regions_checked + 1);
   EXPECT_GE(after.iterations_audited, before.iterations_audited + 32);
+}
+
+// ---------------------------------------------------------------------
+// Sync-discipline verifier (analysis/sync.hpp). The Checked* wrappers
+// are compiled in every build, so these negatives run even when the
+// production aliases are the Plain passthroughs. Each test drains the
+// registry itself: checked_main fails any test that leaves findings.
+
+namespace {
+
+namespace sy = arcs::analysis::sync;
+
+std::string drain() { return sy::SyncRegistry::instance().drain_report(); }
+
+}  // namespace
+
+TEST(SyncVerifierTest, CleanNestingInRankOrderReportsNothing) {
+  an::CheckedMutex outer{"test/sync_clean_outer", 10};
+  an::CheckedMutex inner{"test/sync_clean_inner", 20};
+  {
+    const std::lock_guard<an::CheckedMutex> a(outer);
+    const std::lock_guard<an::CheckedMutex> b(inner);
+  }
+  EXPECT_EQ(drain(), "");
+}
+
+TEST(SyncVerifierTest, RankInversionIsReported) {
+  an::CheckedMutex high{"test/sync_rank_high", 40};
+  an::CheckedMutex low{"test/sync_rank_low", 30};
+  {
+    const std::lock_guard<an::CheckedMutex> a(high);
+    const std::lock_guard<an::CheckedMutex> b(low);
+  }
+  const std::string report = drain();
+  EXPECT_NE(report.find("rank violation"), std::string::npos) << report;
+  EXPECT_NE(report.find("test/sync_rank_low"), std::string::npos) << report;
+  EXPECT_NE(report.find("test/sync_rank_high"), std::string::npos) << report;
+}
+
+TEST(SyncVerifierTest, AbbaCycleIsReportedWithBothChains) {
+  // Same rank on both sides keeps this a pure order-graph finding (the
+  // rank check fires too — both diagnostics must name the locks).
+  an::CheckedMutex a{"test/sync_abba_a", 50};
+  an::CheckedMutex b{"test/sync_abba_b", 50};
+  {
+    const std::lock_guard<an::CheckedMutex> la(a);
+    const std::lock_guard<an::CheckedMutex> lb(b);  // edge a -> b
+  }
+  {
+    const std::lock_guard<an::CheckedMutex> lb(b);
+    const std::lock_guard<an::CheckedMutex> la(a);  // closes the cycle
+  }
+  const std::string report = drain();
+  EXPECT_NE(report.find("ABBA"), std::string::npos) << report;
+  EXPECT_NE(report.find("test/sync_abba_a"), std::string::npos) << report;
+  EXPECT_NE(report.find("test/sync_abba_b"), std::string::npos) << report;
+}
+
+TEST(SyncVerifierTest, RecursiveAcquisitionIsReported) {
+  // Driven through the registry hooks: actually calling lock() twice
+  // would deadlock for real (which is the point of the diagnostic).
+  auto& reg = sy::SyncRegistry::instance();
+  const std::uint32_t cls = reg.register_class("test/sync_recursive", 60,
+                                               sy::kNone);
+  int dummy = 0;
+  reg.record_acquired(cls, &dummy, false, 0);
+  reg.check_acquire(cls, &dummy);
+  reg.record_release(cls, &dummy);
+  const std::string report = drain();
+  EXPECT_NE(report.find("recursive acquisition"), std::string::npos)
+      << report;
+}
+
+TEST(SyncVerifierTest, ReRegisteringWithDifferentRankIsReported) {
+  auto& reg = sy::SyncRegistry::instance();
+  const std::uint32_t first =
+      reg.register_class("test/sync_rerank", 70, sy::kNone);
+  const std::uint32_t second =
+      reg.register_class("test/sync_rerank", 71, sy::kNone);
+  EXPECT_EQ(first, second);  // interned by name
+  const std::string report = drain();
+  EXPECT_NE(report.find("different rank"), std::string::npos) << report;
+}
+
+TEST(SyncVerifierTest, HoldingAnotherLockAcrossWaitIsReported) {
+  an::CheckedMutex other{"test/sync_wait_other", 80};
+  an::CheckedMutex waited{"test/sync_wait_mutex", 90};
+  an::CheckedCondVar cv;
+  {
+    const std::lock_guard<an::CheckedMutex> held(other);
+    std::unique_lock<an::CheckedMutex> lk(waited);
+    cv.wait_until(lk, std::chrono::steady_clock::now());  // expires now
+  }
+  const std::string report = drain();
+  EXPECT_NE(report.find("held across CondVar::wait"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("test/sync_wait_other"), std::string::npos)
+      << report;
+}
+
+TEST(SyncVerifierTest, AllowHeldDuringWaitFlagSilencesTheWaitCheck) {
+  an::CheckedMutex other{"test/sync_wait_allowed", 81,
+                         sy::kAllowHeldDuringWait};
+  an::CheckedMutex waited{"test/sync_wait_mutex2", 91};
+  an::CheckedCondVar cv;
+  {
+    const std::lock_guard<an::CheckedMutex> held(other);
+    std::unique_lock<an::CheckedMutex> lk(waited);
+    cv.wait_until(lk, std::chrono::steady_clock::now());
+  }
+  EXPECT_EQ(drain(), "");
+}
+
+TEST(SyncVerifierTest, BlockingGuardFlagsUnmarkedHeldLocks) {
+  an::CheckedMutex plain{"test/sync_block_plain", 55};
+  {
+    const std::lock_guard<an::CheckedMutex> held(plain);
+    const an::BlockingGuard guard("test/blocking_region");
+  }
+  const std::string report = drain();
+  EXPECT_NE(report.find("blocking syscall region"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("test/sync_block_plain"), std::string::npos)
+      << report;
+}
+
+TEST(SyncVerifierTest, BlockingGuardHonorsAllowFlag) {
+  an::CheckedMutex allowed{"test/sync_block_allowed", 56,
+                           sy::kAllowBlockingWhileHeld};
+  {
+    const std::lock_guard<an::CheckedMutex> held(allowed);
+    const an::BlockingGuard guard("test/blocking_region");
+  }
+  EXPECT_EQ(drain(), "");
+}
+
+TEST(SyncVerifierTest, TryLockSkipsOrderChecks) {
+  an::CheckedMutex high2{"test/sync_try_high", 45};
+  an::CheckedMutex low2{"test/sync_try_low", 35};
+  {
+    const std::lock_guard<an::CheckedMutex> a(high2);
+    ASSERT_TRUE(low2.try_lock());  // inversion, but cannot deadlock
+    low2.unlock();
+  }
+  EXPECT_EQ(drain(), "");
+}
+
+TEST(SyncVerifierTest, SharedMutexReadersParticipateInOrdering) {
+  an::CheckedSharedMutex rw{"test/sync_shared", 65};
+  an::CheckedMutex low3{"test/sync_shared_low", 44};
+  {
+    std::shared_lock<an::CheckedSharedMutex> r(rw);
+    const std::lock_guard<an::CheckedMutex> a(low3);  // 65 -> 44: inversion
+  }
+  const std::string report = drain();
+  EXPECT_NE(report.find("rank violation"), std::string::npos) << report;
+}
+
+TEST(SyncVerifierTest, CensusCountsAcquisitionsAndContention) {
+  auto& reg = sy::SyncRegistry::instance();
+  an::CheckedMutex mu{"test/sync_census", 75};
+  for (int i = 0; i < 10; ++i) {
+    const std::lock_guard<an::CheckedMutex> lock(mu);
+  }
+  mu.lock();
+  std::thread contender([&] {
+    const std::lock_guard<an::CheckedMutex> lock(mu);  // must block
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  mu.unlock();
+  contender.join();
+
+  bool found = false;
+  for (const sy::CensusRow& row : reg.census()) {
+    if (row.name != "test/sync_census") continue;
+    found = true;
+    EXPECT_EQ(row.rank, 75);
+    EXPECT_GE(row.acquisitions, 11u);
+    EXPECT_GE(row.contended, 1u);
+    EXPECT_GT(row.wait_ns, 0u);
+    EXPECT_EQ(row.live_instances, 1u);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(drain(), "");
+}
+
+TEST(SyncVerifierTest, PublishCensusRendersGaugesIntoMetricsRegistry) {
+  an::CheckedMutex mu{"test/sync_publish", 76};
+  {
+    const std::lock_guard<an::CheckedMutex> lock(mu);
+  }
+  arcs::telemetry::MetricsRegistry metrics;
+  sy::SyncRegistry::instance().publish_census(metrics);
+  EXPECT_GE(metrics.gauge("sync/test/sync_publish/acquisitions").load(),
+            1.0);
+  const std::string table = sy::SyncRegistry::instance().census_table();
+  EXPECT_NE(table.find("test/sync_publish"), std::string::npos) << table;
+  EXPECT_EQ(drain(), "");
+}
+
+TEST(SyncVerifierTest, CheckingToggleIsDifferentiallyInert) {
+  // The same campaign, checking off then on, must be bit-identical:
+  // verification observes scheduling, never what jobs compute.
+  auto& reg = sy::SyncRegistry::instance();
+  auto run_campaign = [] {
+    arcs::exec::ExperimentPool pool({.workers = 4, .queue_capacity = 8});
+    std::vector<std::future<arcs::exec::JobOutcome<double>>> futures;
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(pool.submit(
+          [i](arcs::exec::JobContext&) {
+            double acc = 0;
+            for (int k = 0; k < 1000; ++k)
+              acc += static_cast<double>((i * 1000 + k) % 7) * 0.125;
+            return acc;
+          },
+          {.label = "diff"}));
+    }
+    std::vector<double> values;
+    for (auto& f : futures) values.push_back(*f.get().value);
+    return values;
+  };
+  reg.set_checking(false);
+  const std::vector<double> without = run_campaign();
+  reg.set_checking(true);
+  const std::vector<double> with = run_campaign();
+  EXPECT_EQ(without, with);
+  EXPECT_EQ(drain(), "");
 }

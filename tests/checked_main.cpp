@@ -6,9 +6,13 @@
 // not clean. This is the "always-on" half of the verification subsystem:
 // the whole existing suite doubles as a workload generator for the
 // checker.
+// The sync-discipline registry is drained the same way: with
+// ARCS_SYNC_CHECK=ON every lock acquisition in a test is order-checked,
+// and the test that created a cycle/rank inversion is the one that fails.
 #include <gtest/gtest.h>
 
 #include "analysis/global.hpp"
+#include "analysis/sync.hpp"
 
 namespace {
 
@@ -20,6 +24,13 @@ class VerifierListener : public ::testing::EmptyTestEventListener {
       ADD_FAILURE() << "runtime verification failed during "
                     << info.test_suite_name() << "." << info.name() << ":\n"
                     << report;
+    }
+    const std::string sync_report =
+        arcs::analysis::sync::SyncRegistry::instance().drain_report();
+    if (!sync_report.empty()) {
+      ADD_FAILURE() << "sync-discipline verification failed during "
+                    << info.test_suite_name() << "." << info.name() << ":\n"
+                    << sync_report;
     }
   }
 };

@@ -15,6 +15,7 @@
 
 #include "analysis/checker.hpp"
 #include "analysis/inject.hpp"
+#include "analysis/sync.hpp"
 #include "analysis/trace.hpp"
 #include "exec/experiment.hpp"
 #include "exec/pool.hpp"
@@ -24,6 +25,7 @@
 #include "sim/presets.hpp"
 #include "somp/runtime.hpp"
 
+namespace analysis = arcs::analysis;
 namespace exec = arcs::exec;
 namespace kernels = arcs::kernels;
 
@@ -87,14 +89,14 @@ TEST(BoundedMpmcQueueTest, ConcurrentProducersConsumersLoseNothing) {
   constexpr int kPerProducer = 500;
   exec::BoundedMpmcQueue<int> q(8);  // small bound: forces backpressure
   std::vector<std::thread> threads;
-  std::mutex seen_mu;
+  analysis::Mutex seen_mu{"test/exec_seen", 850};
   std::set<int> seen;
   for (int c = 0; c < kConsumers; ++c) {
     threads.emplace_back([&] {
       while (true) {
         const auto item = q.pop();
         if (!item.has_value()) return;
-        const std::lock_guard<std::mutex> lock(seen_mu);
+        const std::lock_guard<analysis::Mutex> lock(seen_mu);
         EXPECT_TRUE(seen.insert(*item).second) << "duplicate " << *item;
       }
     });

@@ -1,0 +1,212 @@
+// Tests for the arcs_lint core (tools/lint_core.hpp): every rule fires
+// on a minimal synthetic source, every stripping/suppression mechanism
+// keeps it quiet, and --fix's one rewrite is exact. The fixtures embed
+// the banned tokens inside C++ string literals, which the scanner blanks
+// — so this file itself lints clean under the binary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace lint = arcs::lint;
+
+namespace {
+
+std::vector<lint::Finding> run(const std::string& file,
+                               const std::string& text) {
+  lint::Suppressions none;
+  return lint::lint_source(file, text, none).findings;
+}
+
+bool has_rule(const std::vector<lint::Finding>& findings,
+              const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const lint::Finding& f) { return f.rule == rule; });
+}
+
+}  // namespace
+
+TEST(LintScannerTest, CommentsAndStringsAreBlankedLinePreserving) {
+  const std::string text =
+      "int a; // std::mutex in a comment\n"
+      "const char* s = \"std::mutex in a string\";\n"
+      "/* block\n   std::mutex\n*/ int b;\n";
+  const lint::ScanResult s = lint::scan_source(text);
+  EXPECT_EQ(s.code.find("std::mutex"), std::string::npos);
+  EXPECT_EQ(std::count(s.code.begin(), s.code.end(), '\n'),
+            std::count(text.begin(), text.end(), '\n'));
+  EXPECT_NE(s.code.find("int a;"), std::string::npos);
+  EXPECT_NE(s.code.find("int b;"), std::string::npos);
+  // no_comments keeps literals (float-printf reads them) but not comments.
+  EXPECT_NE(s.no_comments.find("in a string"), std::string::npos);
+  EXPECT_EQ(s.no_comments.find("in a comment"), std::string::npos);
+}
+
+TEST(LintScannerTest, RawStringsAreBlanked) {
+  const std::string text =
+      "const char* r = R\"(std::mutex rand() %f)\";\nint x;\n";
+  const lint::ScanResult s = lint::scan_source(text);
+  EXPECT_EQ(s.code.find("std::mutex"), std::string::npos);
+  EXPECT_NE(s.code.find("int x;"), std::string::npos);
+  EXPECT_TRUE(run("src/a.cpp", text).empty());
+}
+
+TEST(LintRuleTest, RawSyncFiresOutsideSyncHome) {
+  const auto findings =
+      run("src/serve/thing.cpp", "static std::mutex mu;\n");
+  ASSERT_TRUE(has_rule(findings, "raw-sync"));
+  EXPECT_EQ(findings[0].line, 1);
+  const auto cv = run("src/x.cpp", "std::condition_variable cv;\n");
+  EXPECT_TRUE(has_rule(cv, "raw-sync"));
+  EXPECT_TRUE(has_rule(run("src/x.cpp", "std::shared_mutex rw;\n"),
+                       "raw-sync"));
+}
+
+TEST(LintRuleTest, RawSyncAllowsTheSyncLayerItself) {
+  EXPECT_TRUE(
+      run("src/analysis/sync.hpp", "#pragma once\nstd::mutex mu_;\n")
+          .empty());
+  EXPECT_TRUE(run("src/analysis/sync.cpp", "std::mutex graph_mu;\n").empty());
+}
+
+TEST(LintRuleTest, RawRandomFiresOnUnseededSources) {
+  EXPECT_TRUE(has_rule(run("src/a.cpp", "int x = rand();\n"), "raw-random"));
+  EXPECT_TRUE(
+      has_rule(run("src/a.cpp", "srand(42);\n"), "raw-random"));
+  EXPECT_TRUE(has_rule(run("src/a.cpp", "std::random_device rd;\n"),
+                       "raw-random"));
+  EXPECT_TRUE(has_rule(run("src/a.cpp", "auto t = time(nullptr);\n"),
+                       "raw-random"));
+  EXPECT_TRUE(has_rule(run("src/a.cpp", "auto t = time(NULL);\n"),
+                       "raw-random"));
+  // Identifier boundaries: neither a member nor a longer name matches.
+  EXPECT_TRUE(run("src/a.cpp", "int my_rand(int); x = my_rand(1);\n").empty());
+  EXPECT_TRUE(run("src/a.cpp", "double time(Clock c); time(clock);\n").empty());
+  EXPECT_TRUE(run("src/common/rng.cpp", "std::random_device rd;\n").empty());
+}
+
+TEST(LintRuleTest, UnorderedContainerFires) {
+  EXPECT_TRUE(has_rule(
+      run("src/a.hpp",
+          "#pragma once\n#include <unordered_map>\n"
+          "std::unordered_map<int, int> m;\n"),
+      "unordered-container"));
+  EXPECT_TRUE(
+      has_rule(run("src/a.cpp", "std::unordered_set<int> s;\n"),
+               "unordered-container"));
+}
+
+TEST(LintRuleTest, FloatPrintfFiresOnDecimalConversions) {
+  EXPECT_TRUE(has_rule(
+      run("src/a.cpp", "std::printf(\"%7.3f\\n\", x);\n"), "float-printf"));
+  EXPECT_TRUE(has_rule(
+      run("src/a.cpp", "fprintf(stderr, \"%e\", x);\n"), "float-printf"));
+  EXPECT_TRUE(has_rule(
+      run("src/a.cpp", "snprintf(buf, n, \"%.*g\", p, x);\n"),
+      "float-printf"));
+  // Concatenated multi-line format literals are still one call.
+  EXPECT_TRUE(has_rule(run("src/a.cpp",
+                           "std::printf(\"a %d\"\n"
+                           "            \"b %8.4f\\n\", i, x);\n"),
+                       "float-printf"));
+}
+
+TEST(LintRuleTest, FloatPrintfAllowsHexfloatIntegersAndPercentEscape) {
+  EXPECT_TRUE(run("src/a.cpp", "std::snprintf(b, n, \"%a\", x);\n").empty());
+  EXPECT_TRUE(run("src/a.cpp", "std::printf(\"%d %s %zu\\n\", i, s, n);\n")
+                  .empty());
+  EXPECT_TRUE(run("src/a.cpp", "std::printf(\"100%% of %d\\n\", i);\n")
+                  .empty());
+}
+
+TEST(LintRuleTest, PragmaOnceRequiredInHeaders) {
+  EXPECT_TRUE(has_rule(run("src/a.hpp", "int f();\n"), "pragma-once"));
+  EXPECT_TRUE(run("src/a.hpp", "#pragma once\nint f();\n").empty());
+  EXPECT_TRUE(run("src/a.cpp", "int f() { return 1; }\n").empty());
+}
+
+TEST(LintRuleTest, UsingNamespaceOnlyFlaggedInHeaders) {
+  EXPECT_TRUE(has_rule(
+      run("src/a.hpp", "#pragma once\nusing namespace std;\n"),
+      "using-namespace-header"));
+  EXPECT_TRUE(run("src/a.cpp", "using namespace std;\n").empty());
+  // `using foo::bar;` and a `namespace x {}` block are fine.
+  EXPECT_TRUE(
+      run("src/a.hpp", "#pragma once\nusing std::vector;\nnamespace q {}\n")
+          .empty());
+}
+
+TEST(LintSuppressionTest, InlineAllowSilencesSameAndNextLine) {
+  const std::string same =
+      "static std::mutex mu;  // arcs-lint: allow(raw-sync)\n";
+  EXPECT_TRUE(run("src/a.cpp", same).empty());
+  const std::string above =
+      "// arcs-lint: allow(raw-sync) — fixture, never locked\n"
+      "static std::mutex mu;\n";
+  EXPECT_TRUE(run("src/a.cpp", above).empty());
+  // The allow is rule-specific.
+  const std::string wrong =
+      "static std::mutex mu;  // arcs-lint: allow(raw-random)\n";
+  EXPECT_FALSE(run("src/a.cpp", wrong).empty());
+}
+
+TEST(LintSuppressionTest, FileEntriesMatchExactOrSuffixAndCountUse) {
+  lint::Suppressions s = lint::Suppressions::parse(
+      "# comment line\n"
+      "float-printf tools/landscape.cpp\n"
+      "raw-sync legacy/old.cpp\n");
+  ASSERT_EQ(s.entries.size(), 2u);
+  EXPECT_TRUE(s.matches("float-printf", "tools/landscape.cpp"));
+  EXPECT_TRUE(s.matches("float-printf", "repo/tools/landscape.cpp"));
+  EXPECT_FALSE(s.matches("float-printf", "xtools/landscape.cpp"));
+  EXPECT_FALSE(s.matches("raw-sync", "src/new.cpp"));
+  const auto unused = s.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "raw-sync legacy/old.cpp");
+}
+
+TEST(LintSuppressionTest, SuppressedFindingsMoveAside) {
+  lint::Suppressions s =
+      lint::Suppressions::parse("raw-sync src/a.cpp\n");
+  const lint::LintResult result =
+      lint::lint_source("src/a.cpp", "std::mutex mu;\n", s);
+  EXPECT_TRUE(result.findings.empty());
+  ASSERT_EQ(result.suppressed.size(), 1u);
+  EXPECT_EQ(result.suppressed[0].rule, "raw-sync");
+}
+
+TEST(LintFixTest, FixInsertsPragmaOnceAfterLeadingComment) {
+  lint::Suppressions none;
+  const std::string text =
+      "// Header comment\n// continues\n\nint f();\n";
+  const lint::LintResult result =
+      lint::lint_source("src/a.hpp", text, none, {.fix = true});
+  EXPECT_TRUE(result.rewrote);
+  EXPECT_EQ(result.fixed_text,
+            "// Header comment\n// continues\n\n#pragma once\nint f();\n");
+  EXPECT_FALSE(has_rule(result.findings, "pragma-once"));
+  // The fixed text lints clean.
+  EXPECT_TRUE(run("src/a.hpp", result.fixed_text).empty());
+}
+
+TEST(LintFixTest, NoRewriteWhenNothingToFix) {
+  lint::Suppressions none;
+  const lint::LintResult result = lint::lint_source(
+      "src/a.hpp", "#pragma once\nint f();\n", none, {.fix = true});
+  EXPECT_FALSE(result.rewrote);
+}
+
+TEST(LintRuleTest, FindingsAreSortedAndCarryFilenames) {
+  const auto findings = run("src/multi.cpp",
+                            "int a = rand();\n"
+                            "std::mutex mu;\n"
+                            "std::unordered_map<int,int> m;\n");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_EQ(findings[2].line, 3);
+  for (const lint::Finding& f : findings) EXPECT_EQ(f.file, "src/multi.cpp");
+}

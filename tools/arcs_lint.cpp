@@ -1,0 +1,202 @@
+// arcs_lint: the repo's source gate (rules in lint_core.hpp).
+//
+//   arcs_lint [--root DIR] [--suppressions FILE] [--json] [--fix] [FILE...]
+//
+// With no FILE arguments, lints every .hpp/.cpp under src/, tools/,
+// tests/ and bench/ below --root (default: the current directory).
+// Exit status: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+//
+// tools/ci.sh runs this as its `lint` stage; a finding either gets fixed
+// at the source, an inline `arcs-lint: allow(rule)` with an obvious
+// local justification, or a line in tools/lint_suppressions.txt.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace fs = std::filesystem;
+using arcs::lint::Finding;
+using arcs::lint::LintOptions;
+using arcs::lint::LintResult;
+using arcs::lint::Suppressions;
+
+namespace {
+
+std::string read_file(const fs::path& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ok = true;
+  return buf.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Repo-relative path with forward slashes (stable across platforms and
+/// what the suppressions file matches against).
+std::string relative_name(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root, ec);
+  std::string name = (ec || rel.empty() ? path : rel).generic_string();
+  while (name.rfind("./", 0) == 0) name = name.substr(2);
+  return name;
+}
+
+void collect_tree(const fs::path& root, std::vector<fs::path>& files) {
+  static const char* kTrees[] = {"src", "tools", "tests", "bench"};
+  for (const char* tree : kTrees) {
+    const fs::path dir = root / tree;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h")
+        files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: arcs_lint [--root DIR] [--suppressions FILE] [--json] "
+      "[--fix] [FILE...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  fs::path suppressions_path;
+  bool json = false;
+  LintOptions options;
+  std::vector<fs::path> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--suppressions" && i + 1 < argc) {
+      suppressions_path = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--fix") {
+      options.fix = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      explicit_files.emplace_back(arg);
+    }
+  }
+
+  if (suppressions_path.empty()) {
+    const fs::path checked_in = root / "tools" / "lint_suppressions.txt";
+    if (fs::exists(checked_in)) suppressions_path = checked_in;
+  }
+  Suppressions suppressions;
+  if (!suppressions_path.empty()) {
+    bool ok = false;
+    const std::string text = read_file(suppressions_path, ok);
+    if (!ok) {
+      std::fprintf(stderr, "arcs_lint: cannot read suppressions %s\n",
+                   suppressions_path.string().c_str());
+      return 2;
+    }
+    suppressions = Suppressions::parse(text);
+  }
+
+  std::vector<fs::path> files = explicit_files;
+  if (files.empty()) collect_tree(root, files);
+  if (files.empty()) {
+    std::fprintf(stderr, "arcs_lint: nothing to lint under %s\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  std::size_t suppressed = 0;
+  std::size_t fixed_files = 0;
+  for (const fs::path& path : files) {
+    bool ok = false;
+    const std::string text = read_file(path, ok);
+    if (!ok) {
+      std::fprintf(stderr, "arcs_lint: cannot read %s\n",
+                   path.string().c_str());
+      return 2;
+    }
+    LintResult result = arcs::lint::lint_source(relative_name(path, root),
+                                                text, suppressions, options);
+    if (result.rewrote) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << result.fixed_text;
+      if (!out) {
+        std::fprintf(stderr, "arcs_lint: cannot rewrite %s\n",
+                     path.string().c_str());
+        return 2;
+      }
+      ++fixed_files;
+    }
+    suppressed += result.suppressed.size();
+    findings.insert(findings.end(),
+                    std::make_move_iterator(result.findings.begin()),
+                    std::make_move_iterator(result.findings.end()));
+  }
+
+  if (json) {
+    std::string out = "{\"findings\":[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      if (i > 0) out += ",";
+      out += "{\"file\":\"" + json_escape(f.file) + "\",\"line\":" +
+             std::to_string(f.line) + ",\"rule\":\"" + json_escape(f.rule) +
+             "\",\"message\":\"" + json_escape(f.message) + "\"}";
+    }
+    out += "],\"files\":" + std::to_string(files.size()) +
+           ",\"suppressed\":" + std::to_string(suppressed) +
+           ",\"fixed\":" + std::to_string(fixed_files) + "}";
+    std::printf("%s\n", out.c_str());
+  } else {
+    for (const Finding& f : findings)
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    for (const std::string& entry : suppressions.unused())
+      std::fprintf(stderr,
+                   "arcs_lint: note: unused suppression: %s\n",
+                   entry.c_str());
+    std::printf(
+        "arcs_lint: %zu file(s), %zu finding(s), %zu suppressed%s\n",
+        files.size(), findings.size(), suppressed,
+        fixed_files > 0
+            ? (", " + std::to_string(fixed_files) + " fixed").c_str()
+            : "");
+  }
+  return findings.empty() ? 0 : 1;
+}

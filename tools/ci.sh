@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Local CI for ARCS: builds and runs the full ctest suite in
-#   1. plain mode (warnings-as-errors),
-#   2. ASan+UBSan mode (-DARCS_SANITIZE=ON), and
-#   3. TSan mode (-DARCS_SANITIZE=thread) for the concurrent exec layer,
+#   1. plain mode (warnings-as-errors), then gates the tree on arcs_lint,
+#   2. sync-check mode (-DARCS_SYNC_CHECK=ON: every lock order-checked),
+#   3. ASan+UBSan mode (-DARCS_SANITIZE=ON), and
+#   4. TSan mode (-DARCS_SANITIZE=thread, with the sync verifier on) for
+#      the concurrent exec layer,
 # and, when clang-tidy is available, a clang-tidy build as well.
 # Finishes with the somp_verify sweep and a bench smoke step that checks
 # the machine-readable BENCH_*.json reports against their schema.
@@ -26,6 +28,16 @@ run_mode() {
 
 run_mode plain -DARCS_WERROR=ON
 
+echo "=== [lint] arcs_lint source gate ==="
+# Zero unsuppressed findings or the build is red; suppressions live in
+# tools/lint_suppressions.txt and each carries a justification.
+"$ROOT/plain/tools/arcs_lint" --root .
+
+# Every production mutex/condvar routed through the checked wrappers:
+# rank order, ABBA cycle detection, and the held-across-wait/blocking
+# checks run on the full suite (checked_main drains per test).
+run_mode sync-check -DARCS_SYNC_CHECK=ON
+
 # UBSan halts on the first report (-fno-sanitize-recover=all), so a green
 # suite is a real "no UB observed" statement.
 run_mode sanitize -DARCS_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
@@ -37,16 +49,18 @@ run_mode sanitize -DARCS_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
 # code). The Serve suites include the 16-clients-one-key contention
 # test, which is the no-duplicate-search acceptance check under TSan;
 # the Telemetry suites include the concurrent-emitters stress test.
-echo "=== [tsan] configure: -DARCS_SANITIZE=thread ==="
-cmake -B "$ROOT/tsan" -S . -DARCS_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug \
-  >/dev/null
+# The sync verifier rides along (-DARCS_SYNC_CHECK=ON): TSan validates
+# the registry's own synchronization while the wrappers check lock order.
+echo "=== [tsan] configure: -DARCS_SANITIZE=thread -DARCS_SYNC_CHECK=ON ==="
+cmake -B "$ROOT/tsan" -S . -DARCS_SANITIZE=thread -DARCS_SYNC_CHECK=ON \
+  -DCMAKE_BUILD_TYPE=Debug >/dev/null
 echo "=== [tsan] build ==="
 cmake --build "$ROOT/tsan" -j "$JOBS" \
   --target exec_test golden_test somp_test analysis_test serve_test \
            telemetry_test model_test somp_verify
 echo "=== [tsan] exec + somp + serve + telemetry + model suites under TSan ==="
 (cd "$ROOT/tsan" && ctest --output-on-failure -j "$JOBS" \
-  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve|Telemetry|Model|PredictedStrategy')
+  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve|Telemetry|Model|PredictedStrategy|SyncVerifier')
 "$ROOT/tsan/tools/somp_verify" --app synthetic --steps 3
 
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -1,0 +1,580 @@
+// arcs_lint core: a dependency-free, token-level C++ source gate.
+//
+// Not a parser — a character-level scanner that blanks comments and
+// string/char literals (preserving line structure) and then matches
+// identifier-boundary patterns against the remaining code. That is
+// exactly enough to enforce the repo's mechanical disciplines:
+//
+//   raw-sync          no std::mutex / std::condition_variable outside
+//                     analysis/sync.* — every production lock must carry
+//                     a name and a rank (docs/ANALYSIS.md)
+//   raw-random        no rand()/srand()/std::random_device/time(nullptr)
+//                     outside common/rng — all randomness is seeded
+//   unordered-container
+//                     no std::unordered_{map,set}: iteration order is
+//                     process-random and poisons serialized output
+//   float-printf      no %f/%e/%g conversions in printf-family format
+//                     literals — float text belongs to the common::json
+//                     / format helpers or exact hexfloat %a (allowed)
+//   pragma-once       every header starts its code with #pragma once
+//                     (the only rule --fix rewrites)
+//   using-namespace-header
+//                     no using-namespace at header scope
+//
+// Suppression, in priority order:
+//   * inline: a comment containing `arcs-lint: allow(<rule>)` silences
+//     that rule on its own line and the line after it (so the marker can
+//     sit in a comment above the offending statement);
+//   * checked in: tools/lint_suppressions.txt lines of `<rule> <path>`
+//     (path matched exactly or as a suffix of the linted path).
+//
+// Header-only so tests/lint_test.cpp drives the rules on synthetic
+// sources without shelling out to the binary.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace arcs::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Scanner: one pass that produces both stripped views plus the inline
+// allow() markers, with every blanked character replaced by a space so
+// byte offsets (and therefore line numbers) are preserved.
+// ---------------------------------------------------------------------------
+
+struct ScanResult {
+  /// Comments and string/char literals blanked.
+  std::string code;
+  /// Comments blanked, literals kept (float-printf reads format strings).
+  std::string no_comments;
+  /// (line, rule) pairs from `arcs-lint: allow(rule)` comments.
+  std::vector<std::pair<int, std::string>> allows;
+};
+
+inline bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+inline ScanResult scan_source(std::string_view text) {
+  ScanResult out;
+  out.code.assign(text.begin(), text.end());
+  out.no_comments.assign(text.begin(), text.end());
+  int line = 1;
+  std::string comment;  // text of the comment currently being consumed
+  auto flush_comment = [&](int comment_line) {
+    static constexpr std::string_view kMarker = "arcs-lint: allow(";
+    std::size_t at = 0;
+    while ((at = comment.find(kMarker, at)) != std::string::npos) {
+      const std::size_t open = at + kMarker.size();
+      const std::size_t close = comment.find(')', open);
+      if (close == std::string::npos) break;
+      out.allows.emplace_back(comment_line,
+                              comment.substr(open, close - open));
+      at = close;
+    }
+    comment.clear();
+  };
+
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  auto blank_both = [&](std::size_t pos) {
+    if (text[pos] != '\n') {
+      out.code[pos] = ' ';
+      out.no_comments[pos] = ' ';
+    }
+  };
+  auto blank_code = [&](std::size_t pos) {
+    if (text[pos] != '\n') out.code[pos] = ' ';
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const int start_line = line;
+      while (i < n && text[i] != '\n') {
+        comment.push_back(text[i]);
+        blank_both(i);
+        ++i;
+      }
+      flush_comment(start_line);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int start_line = line;
+      blank_both(i);
+      blank_both(i + 1);
+      i += 2;
+      while (i < n && !(text[i] == '*' && i + 1 < n && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        comment.push_back(text[i]);
+        blank_both(i);
+        ++i;
+      }
+      if (i < n) {
+        blank_both(i);
+        blank_both(i + 1);
+        i += 2;
+      }
+      flush_comment(start_line);
+      continue;
+    }
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+        (i == 0 || !is_ident_char(text[i - 1]))) {
+      // Raw string R"delim( ... )delim". Blank only in `code`.
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim.push_back(text[j++]);
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = text.find(closer, j);
+      if (end == std::string_view::npos) end = n;
+      else end += closer.size();
+      for (std::size_t k = i; k < end; ++k) {
+        if (text[k] == '\n') ++line;
+        blank_code(k);
+      }
+      i = end;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      blank_code(i);
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          blank_code(i);
+          ++i;
+        }
+        if (i < n) {
+          if (text[i] == '\n') ++line;  // unterminated; keep counting
+          blank_code(i);
+          ++i;
+        }
+      }
+      if (i < n) {
+        blank_code(i);
+        ++i;
+      }
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+inline int line_of(std::string_view text, std::size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(),
+                            text.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(pos, text.size())),
+                            '\n'));
+}
+
+/// Next identifier-boundary occurrence of `pattern` at or after `from`:
+/// neither neighbor may be an identifier char (so "my_rand" never
+/// matches "rand", but "std::printf" still matches "printf").
+inline std::size_t find_token(std::string_view code, std::string_view pattern,
+                              std::size_t from) {
+  std::size_t at = from;
+  while ((at = code.find(pattern, at)) != std::string_view::npos) {
+    const bool left_ok = at == 0 || !is_ident_char(code[at - 1]);
+    const std::size_t end = at + pattern.size();
+    const bool right_ok = end >= code.size() || !is_ident_char(code[end]);
+    if (left_ok && right_ok) return at;
+    at += 1;
+  }
+  return std::string_view::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  struct Entry {
+    std::string rule;
+    std::string path;
+    int hits = 0;
+  };
+  std::vector<Entry> entries;
+
+  /// Parses `<rule> <path>` lines; '#' starts a comment.
+  static Suppressions parse(std::string_view text) {
+    Suppressions s;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      std::size_t eol = text.find('\n', start);
+      if (eol == std::string_view::npos) eol = text.size();
+      std::string_view raw = text.substr(start, eol - start);
+      start = eol + 1;
+      const std::size_t hash = raw.find('#');
+      if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+      std::string lineText(raw);
+      const std::size_t first = lineText.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;
+      const std::size_t sp = lineText.find_first_of(" \t", first);
+      if (sp == std::string::npos) continue;
+      const std::size_t path_at = lineText.find_first_not_of(" \t", sp);
+      if (path_at == std::string::npos) continue;
+      const std::size_t path_end = lineText.find_last_not_of(" \t\r");
+      s.entries.push_back({lineText.substr(first, sp - first),
+                           lineText.substr(path_at, path_end - path_at + 1),
+                           0});
+    }
+    return s;
+  }
+
+  bool matches(const std::string& rule, const std::string& file) {
+    for (Entry& e : entries) {
+      if (e.rule != rule && e.rule != "*") continue;
+      if (file == e.path ||
+          (file.size() > e.path.size() &&
+           file.compare(file.size() - e.path.size(), e.path.size(),
+                        e.path) == 0 &&
+           file[file.size() - e.path.size() - 1] == '/')) {
+        ++e.hits;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::string> unused() const {
+    std::vector<std::string> out;
+    for (const Entry& e : entries)
+      if (e.hits == 0) out.push_back(e.rule + " " + e.path);
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+struct LintOptions {
+  bool fix = false;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;    ///< unsuppressed
+  std::vector<Finding> suppressed;  ///< matched an allow/suppression
+  bool rewrote = false;             ///< fixed_text differs from the input
+  std::string fixed_text;           ///< set when rewrote
+};
+
+namespace detail {
+
+inline bool path_ends_with(const std::string& file, std::string_view tail) {
+  return file.size() >= tail.size() &&
+         file.compare(file.size() - tail.size(), tail.size(), tail) == 0;
+}
+
+inline bool is_header(const std::string& file) {
+  return path_ends_with(file, ".hpp") || path_ends_with(file, ".h");
+}
+
+inline void add(std::vector<Finding>& out, const std::string& file, int line,
+                const char* rule, std::string message) {
+  out.push_back({file, line, rule, std::move(message)});
+}
+
+inline void rule_raw_sync(const std::string& file, const ScanResult& s,
+                          std::vector<Finding>& out) {
+  if (path_ends_with(file, "analysis/sync.hpp") ||
+      path_ends_with(file, "analysis/sync.cpp"))
+    return;  // the one sanctioned home of the raw primitives
+  static constexpr std::string_view kTypes[] = {
+      "std::mutex",         "std::timed_mutex",
+      "std::recursive_mutex", "std::recursive_timed_mutex",
+      "std::shared_mutex",  "std::shared_timed_mutex",
+      "std::condition_variable", "std::condition_variable_any",
+  };
+  for (std::string_view type : kTypes) {
+    std::size_t at = 0;
+    while ((at = find_token(s.code, type, at)) != std::string_view::npos) {
+      add(out, file, line_of(s.code, at), "raw-sync",
+          "raw " + std::string(type) +
+              "; declare an analysis::Mutex/CondVar with a name and rank "
+              "(analysis/sync.hpp)");
+      at += type.size();
+    }
+  }
+}
+
+inline void rule_raw_random(const std::string& file, const ScanResult& s,
+                            std::vector<Finding>& out) {
+  if (path_ends_with(file, "common/rng.hpp") ||
+      path_ends_with(file, "common/rng.cpp"))
+    return;
+  static constexpr std::string_view kCalls[] = {"rand", "srand"};
+  for (std::string_view fn : kCalls) {
+    std::size_t at = 0;
+    while ((at = find_token(s.code, fn, at)) != std::string_view::npos) {
+      std::size_t j = at + fn.size();
+      while (j < s.code.size() &&
+             (s.code[j] == ' ' || s.code[j] == '\t' || s.code[j] == '\n'))
+        ++j;
+      if (j < s.code.size() && s.code[j] == '(')
+        add(out, file, line_of(s.code, at), "raw-random",
+            std::string(fn) +
+                "() is unseeded global state; derive randomness from "
+                "common::rng");
+      at += fn.size();
+    }
+  }
+  std::size_t at = 0;
+  while ((at = find_token(s.code, "std::random_device", at)) !=
+         std::string_view::npos) {
+    add(out, file, line_of(s.code, at), "raw-random",
+        "std::random_device is nondeterministic; seed through common::rng");
+    at += 1;
+  }
+  at = 0;
+  while ((at = find_token(s.code, "time", at)) != std::string_view::npos) {
+    std::size_t j = at + 4;
+    while (j < s.code.size() && std::isspace(static_cast<unsigned char>(
+                                    s.code[j])) != 0)
+      ++j;
+    if (j < s.code.size() && s.code[j] == '(') {
+      ++j;
+      while (j < s.code.size() && std::isspace(static_cast<unsigned char>(
+                                      s.code[j])) != 0)
+        ++j;
+      for (std::string_view arg : {std::string_view("nullptr"),
+                                   std::string_view("NULL"),
+                                   std::string_view("0")}) {
+        if (s.code.compare(j, arg.size(), arg) == 0) {
+          std::size_t k = j + arg.size();
+          while (k < s.code.size() &&
+                 std::isspace(static_cast<unsigned char>(s.code[k])) != 0)
+            ++k;
+          if (k < s.code.size() && s.code[k] == ')') {
+            add(out, file, line_of(s.code, at), "raw-random",
+                "time(" + std::string(arg) +
+                    ") as a seed breaks reproducibility; use common::rng");
+          }
+          break;
+        }
+      }
+    }
+    at += 4;
+  }
+}
+
+inline void rule_unordered(const std::string& file, const ScanResult& s,
+                           std::vector<Finding>& out) {
+  static constexpr std::string_view kTypes[] = {
+      "std::unordered_map", "std::unordered_multimap",
+      "std::unordered_set", "std::unordered_multiset"};
+  for (std::string_view type : kTypes) {
+    std::size_t at = 0;
+    while ((at = find_token(s.code, type, at)) != std::string_view::npos) {
+      add(out, file, line_of(s.code, at), "unordered-container",
+          std::string(type) +
+              " iterates in process-random order; use std::map/std::set "
+              "or sort before anything serialized");
+      at += type.size();
+    }
+  }
+}
+
+/// Does `fmt` (the contents of a format literal) hold a decimal
+/// floating-point conversion? %a/%A hexfloat is exact and allowed.
+inline bool has_float_conversion(std::string_view fmt) {
+  std::size_t i = 0;
+  while ((i = fmt.find('%', i)) != std::string_view::npos) {
+    ++i;
+    if (i >= fmt.size()) break;
+    if (fmt[i] == '%') {
+      ++i;
+      continue;
+    }
+    while (i < fmt.size() &&
+           (std::isdigit(static_cast<unsigned char>(fmt[i])) != 0 ||
+            fmt[i] == '-' || fmt[i] == '+' || fmt[i] == ' ' ||
+            fmt[i] == '#' || fmt[i] == '.' || fmt[i] == '*' ||
+            fmt[i] == '\''))
+      ++i;
+    while (i < fmt.size() && (fmt[i] == 'l' || fmt[i] == 'L' ||
+                              fmt[i] == 'h' || fmt[i] == 'z' ||
+                              fmt[i] == 'j' || fmt[i] == 't'))
+      ++i;
+    if (i < fmt.size()) {
+      const char conv = fmt[i];
+      if (conv == 'f' || conv == 'F' || conv == 'e' || conv == 'E' ||
+          conv == 'g' || conv == 'G')
+        return true;
+    }
+  }
+  return false;
+}
+
+inline void rule_float_printf(const std::string& file, const ScanResult& s,
+                              std::vector<Finding>& out) {
+  static constexpr std::string_view kFns[] = {
+      "printf",  "fprintf",  "sprintf",  "snprintf",
+      "vprintf", "vfprintf", "vsprintf", "vsnprintf"};
+  const std::string& text = s.no_comments;
+  for (std::string_view fn : kFns) {
+    std::size_t at = 0;
+    while ((at = find_token(s.code, fn, at)) != std::string_view::npos) {
+      std::size_t j = at + fn.size();
+      while (j < s.code.size() && std::isspace(static_cast<unsigned char>(
+                                      s.code[j])) != 0)
+        ++j;
+      if (j >= s.code.size() || s.code[j] != '(') {
+        at += fn.size();
+        continue;
+      }
+      // Walk the argument span (depth-matched in the literal-blanked
+      // view) and inspect every string literal inside it in the
+      // literal-preserving view — this catches multi-line concatenated
+      // format strings.
+      int depth = 0;
+      std::size_t k = j;
+      std::size_t end = s.code.size();
+      for (; k < s.code.size(); ++k) {
+        if (s.code[k] == '(') ++depth;
+        if (s.code[k] == ')' && --depth == 0) {
+          end = k;
+          break;
+        }
+      }
+      bool flagged = false;
+      for (std::size_t p = j; p < end && !flagged; ++p) {
+        if (text[p] != '"' || s.code[p] == '"') continue;  // literal start
+        std::size_t q = p + 1;
+        std::string fmt;
+        while (q < end && text[q] != '"') {
+          if (text[q] == '\\' && q + 1 < end) ++q;  // skip escape target
+          else fmt.push_back(text[q]);
+          ++q;
+        }
+        if (has_float_conversion(fmt)) {
+          add(out, file, line_of(s.code, at), "float-printf",
+              std::string(fn) +
+                  " formats floating point with %f/%e/%g; route through "
+                  "the common json/format helpers or exact hexfloat %a");
+          flagged = true;
+        }
+        p = q;
+      }
+      at = end;
+    }
+  }
+}
+
+inline void rule_pragma_once(const std::string& file, const ScanResult& s,
+                             std::vector<Finding>& out) {
+  if (!is_header(file)) return;
+  if (s.code.find("#pragma once") != std::string::npos) return;
+  add(out, file, 1, "pragma-once",
+      "header is missing #pragma once (fixable with --fix)");
+}
+
+inline void rule_using_namespace(const std::string& file, const ScanResult& s,
+                                 std::vector<Finding>& out) {
+  if (!is_header(file)) return;
+  std::size_t at = 0;
+  while ((at = find_token(s.code, "using", at)) != std::string_view::npos) {
+    std::size_t j = at + 5;
+    while (j < s.code.size() &&
+           std::isspace(static_cast<unsigned char>(s.code[j])) != 0)
+      ++j;
+    if (s.code.compare(j, 9, "namespace") == 0 &&
+        (j + 9 >= s.code.size() || !is_ident_char(s.code[j + 9])))
+      add(out, file, line_of(s.code, at), "using-namespace-header",
+          "using-namespace in a header leaks into every includer");
+    at += 5;
+  }
+}
+
+/// Inserts `#pragma once` after the leading comment block.
+inline std::string fix_pragma_once(const std::string& text,
+                                   const ScanResult& s) {
+  std::size_t pos = 0;
+  std::size_t line_start = 0;
+  while (pos < s.code.size()) {
+    std::size_t eol = s.code.find('\n', pos);
+    if (eol == std::string::npos) eol = s.code.size();
+    const std::string_view code_line =
+        std::string_view(s.code).substr(pos, eol - pos);
+    const bool blank =
+        code_line.find_first_not_of(" \t\r") == std::string_view::npos;
+    line_start = pos;
+    if (!blank) break;
+    pos = eol + 1;
+    line_start = pos;
+  }
+  return text.substr(0, line_start) + "#pragma once\n" +
+         text.substr(line_start);
+}
+
+}  // namespace detail
+
+inline LintResult lint_source(const std::string& file,
+                              const std::string& text,
+                              Suppressions& suppressions,
+                              const LintOptions& options = {}) {
+  const ScanResult s = scan_source(text);
+  std::vector<Finding> raw;
+  detail::rule_raw_sync(file, s, raw);
+  detail::rule_raw_random(file, s, raw);
+  detail::rule_unordered(file, s, raw);
+  detail::rule_float_printf(file, s, raw);
+  detail::rule_pragma_once(file, s, raw);
+  detail::rule_using_namespace(file, s, raw);
+
+  std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+
+  LintResult result;
+  for (Finding& f : raw) {
+    const bool inline_allowed =
+        std::any_of(s.allows.begin(), s.allows.end(), [&](const auto& a) {
+          return (a.first == f.line || a.first + 1 == f.line) &&
+                 (a.second == f.rule || a.second == "*");
+        });
+    if (inline_allowed || suppressions.matches(f.rule, f.file))
+      result.suppressed.push_back(std::move(f));
+    else
+      result.findings.push_back(std::move(f));
+  }
+
+  if (options.fix) {
+    const bool missing_pragma = std::any_of(
+        result.findings.begin(), result.findings.end(),
+        [](const Finding& f) { return f.rule == "pragma-once"; });
+    if (missing_pragma) {
+      result.fixed_text = detail::fix_pragma_once(text, s);
+      result.rewrote = true;
+      result.findings.erase(
+          std::remove_if(result.findings.begin(), result.findings.end(),
+                         [](const Finding& f) {
+                           return f.rule == "pragma-once";
+                         }),
+          result.findings.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace arcs::lint

@@ -173,6 +173,7 @@ int run_sweep(const Options& opt) {
       {"auto", {ScheduleKind::Auto, 0}},
   };
 
+  // arcs-lint: allow(float-printf) — CLI banner, not serialized output.
   std::printf("somp_verify: app=%s/%s machine=%s steps=%d cap=%.0fW\n",
               app.name.c_str(), app.workload.c_str(), spec.name.c_str(),
               opt.steps, opt.cap);
