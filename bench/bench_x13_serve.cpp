@@ -86,20 +86,26 @@ int main(int argc, char** argv) {
   options.cache.capacity = 4096;
   options.cache.shards = 16;
   serve::TuningServer server{options};
+  // Keys are prebuilt so the timed loops measure the serve path, not
+  // std::to_string.
+  std::vector<HistoryKey> keys;
+  keys.reserve(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) keys.push_back(make_key(i));
   for (std::size_t i = 0; i < kKeys; ++i) {
     serve::Request put;
     put.op = serve::Op::Put;
-    put.key = make_key(i);
+    put.key = keys[i];
     put.config.num_threads = 4;
     put.value = 1.0;
     put.evaluations = 108;
     server.handle(put);
   }
 
-  arcs::common::Table table{
-      {"clients", "requests", "wall s", "req/s", "speedup vs 1"}};
+  arcs::common::Table table{{"clients", "requests", "wall s", "req/s",
+                             "speedup vs 1", "hit p50 us", "hit p99 us"}};
   double rps_1 = 0.0;
   double speedup_8 = 0.0;
+  double rps_8 = 0.0;
   for (const std::size_t clients : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}, std::size_t{8}}) {
     const std::size_t per_client = kTotalRequests / clients;
@@ -108,14 +114,14 @@ int main(int argc, char** argv) {
     std::vector<std::thread> threads;
     threads.reserve(clients);
     for (std::size_t c = 0; c < clients; ++c) {
-      threads.emplace_back([&server, &misses, per_client, c] {
+      threads.emplace_back([&server, &keys, &misses, per_client, c] {
         serve::LocalClient client{server};
         std::size_t local_misses = 0;
         for (std::size_t i = 0; i < per_client; ++i) {
           serve::Request get;
           get.op = serve::Op::Get;
           // Stride by a client-specific offset so shards interleave.
-          get.key = make_key((i + c * 17) % kKeys);
+          get.key = keys[(i + c * 17) % kKeys];
           get.wait_ms = 0.0;
           if (server.handle(get).status != serve::Status::Hit)
             ++local_misses;
@@ -130,13 +136,24 @@ int main(int argc, char** argv) {
         wall > 0 ? static_cast<double>(per_client * clients) / wall : 0.0;
     if (clients == 1) rps_1 = rps;
     const double speedup = rps_1 > 0 ? rps / rps_1 : 0.0;
-    if (clients == 8) speedup_8 = speedup;
+    if (clients == 8) {
+      speedup_8 = speedup;
+      rps_8 = rps;
+    }
+    // Sampled hit latency (1-in-16), cumulative across rows — the tail
+    // belongs to the most contended configuration run so far.
+    const double hit_p50_us =
+        server.metrics().hit_latency.quantile(0.50) * 1e6;
+    const double hit_p99_us =
+        server.metrics().hit_latency.quantile(0.99) * 1e6;
     table.row()
         .cell(static_cast<double>(clients), 0)
         .cell(static_cast<double>(per_client * clients), 0)
         .cell(wall, 3)
         .cell(rps, 0)
-        .cell(speedup, 2);
+        .cell(speedup, 2)
+        .cell(hit_p50_us, 3)
+        .cell(hit_p99_us, 3);
     if (misses.load() != 0) {
       std::cout << "unexpected cache misses: " << misses.load() << "\n";
       return 1;
@@ -148,6 +165,9 @@ int main(int argc, char** argv) {
     row.set("wall_s", wall);
     row.set("requests_per_second", rps);
     row.set("speedup_vs_1", speedup);
+    row.set("hit_p50_us", hit_p50_us);
+    row.set("hit_p99_us", hit_p99_us);
+    row.set("hit_latency_samples", server.metrics().hit_latency.count());
     row.set("host_cpus", static_cast<std::size_t>(host_cpus));
     bench::add_row(std::move(row));
   }
@@ -194,7 +214,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const bool pass = speedup_8 >= target;
+  // Absolute-throughput gate: the lock-free hit path should sustain
+  // >= 10M hits/s aggregate, but only a multi-core host can show it.
+  const bool agg_pass = !can_measure_scaling || rps_8 >= 10e6;
+  if (can_measure_scaling)
+    std::cout << "aggregate 8-client throughput: " << rps_8
+              << " hits/s (target >= 1e7)\n";
+  const bool pass = speedup_8 >= target && agg_pass;
   std::cout << (pass ? "PASS" : "WARN") << ": throughput "
             << (can_measure_scaling ? "scaling" : "no-collapse")
             << " target " << (pass ? "met" : "missed") << "\n";

@@ -73,8 +73,7 @@ inline constexpr int kExecPoolIdle = 110;
 inline constexpr int kExecPoolWatchdog = 120;
 inline constexpr int kExecPoolStats = 130;   ///< nested under worker (steal)
 inline constexpr int kExecQueue = 140;       ///< injection + dispatch queues
-inline constexpr int kServeConns = 200;
-inline constexpr int kServeConnWrite = 210;  ///< held across write_frame
+inline constexpr int kServeCompletions = 200;  ///< worker→loop handoff
 inline constexpr int kServeClient = 215;     ///< held across call round trip
 inline constexpr int kServeSessions = 300;
 inline constexpr int kServeSpaces = 310;     ///< nested under sessions

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace arcs::serve {
 
@@ -11,6 +12,12 @@ namespace {
 
 constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+// Second fingerprint: different basis, different (odd) multiplier,
+// different separator — an independent function, not a reparameterized
+// copy. A 64-bit collision between same-length keys in key_hash does not
+// imply one here, so the 128-bit pair is collision-safe in practice.
+constexpr std::uint64_t kAltOffset = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kAltPrime = 0x00000100000001b5ull;
 
 void fnv_mix(std::uint64_t& h, std::string_view s) {
   for (const char c : s) {
@@ -21,6 +28,26 @@ void fnv_mix(std::uint64_t& h, std::string_view s) {
   h *= kFnvPrime;
 }
 
+void alt_mix(std::uint64_t& h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kAltPrime;
+  }
+  h ^= 0x3b;
+  h *= kAltPrime;
+}
+
+/// Deciwatt-quantized cap so float formatting noise cannot split shards.
+std::uint64_t quantized_cap(const HistoryKey& key) {
+  return static_cast<std::uint64_t>(std::llround(key.power_cap * 10.0));
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
 std::uint64_t DecisionCache::key_hash(const HistoryKey& key) {
@@ -29,9 +56,7 @@ std::uint64_t DecisionCache::key_hash(const HistoryKey& key) {
   fnv_mix(h, key.machine);
   fnv_mix(h, key.workload);
   fnv_mix(h, key.region);
-  // Deciwatt-quantized cap so float formatting noise cannot split shards.
-  const auto cap = static_cast<std::uint64_t>(
-      std::llround(key.power_cap * 10.0));
+  const std::uint64_t cap = quantized_cap(key);
   for (int shift = 0; shift < 64; shift += 8) {
     h ^= (cap >> shift) & 0xff;
     h *= kFnvPrime;
@@ -39,61 +64,245 @@ std::uint64_t DecisionCache::key_hash(const HistoryKey& key) {
   return h;
 }
 
-DecisionCache::DecisionCache(CacheOptions options)
-    : options_(options) {
+std::uint64_t DecisionCache::key_hash2(const HistoryKey& key) {
+  std::uint64_t h = kAltOffset;
+  alt_mix(h, key.app);
+  alt_mix(h, key.machine);
+  alt_mix(h, key.workload);
+  alt_mix(h, key.region);
+  const std::uint64_t cap = quantized_cap(key);
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (cap >> shift) & 0xff;
+    h *= kAltPrime;
+  }
+  // Avalanche so low-entropy tails still differ in every bit.
+  return common::hash64(h);
+}
+
+DecisionCache::DecisionCache(CacheOptions options) : options_(options) {
   ARCS_CHECK_MSG(options_.capacity > 0, "cache capacity must be positive");
   ARCS_CHECK_MSG(options_.shards > 0, "cache needs at least one shard");
   per_shard_capacity_ =
       std::max<std::size_t>(1, options_.capacity / options_.shards);
+  // <= 50% load factor keeps lock-free probes short; power-of-two size
+  // makes the probe stride a mask instead of a division.
+  const std::size_t slot_count =
+      next_pow2(std::max<std::size_t>(8, 2 * per_shard_capacity_));
   shards_.reserve(options_.shards);
-  for (std::size_t i = 0; i < options_.shards; ++i)
-    shards_.push_back(std::make_unique<Shard>());
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->slots = std::vector<Slot>(slot_count);
+    shards_.push_back(std::move(shard));
+  }
 }
 
-DecisionCache::Shard& DecisionCache::shard_of(const HistoryKey& key) {
-  return *shards_[key_hash(key) % shards_.size()];
+CachedDecision DecisionCache::decision_from(
+    std::int32_t threads, std::int32_t sched_kind, std::int64_t chunk,
+    std::int64_t frequency_mhz, std::int32_t placement, double best_value,
+    std::uint64_t evaluations, std::uint8_t provisional) {
+  CachedDecision decision;
+  decision.config.num_threads = threads;
+  decision.config.schedule.kind =
+      static_cast<somp::ScheduleKind>(sched_kind);
+  decision.config.schedule.chunk = chunk;
+  decision.config.frequency_mhz = frequency_mhz;
+  decision.config.placement = static_cast<sim::PlacementPolicy>(placement);
+  decision.best_value = best_value;
+  decision.evaluations = evaluations;
+  decision.provisional = provisional != 0;
+  return decision;
 }
 
-const DecisionCache::Shard& DecisionCache::shard_of(
-    const HistoryKey& key) const {
-  return *shards_[key_hash(key) % shards_.size()];
+DecisionCache::ProbeResult DecisionCache::probe_lockfree(
+    Shard& shard, std::uint64_t hash_a, std::uint64_t hash_b,
+    CachedDecision& out) const {
+  const std::size_t mask = shard.slots.size() - 1;
+  for (std::size_t i = 0; i <= mask; ++i) {
+    Slot& slot = shard.slots[(hash_a + i) & mask];
+    // Seqlock read: acquire the sequence, relaxed-load every field, then
+    // re-check the sequence behind an acquire fence. A mismatch or an odd
+    // value means a writer was mid-mutation — the whole probe restarts,
+    // because a slot changing state can also change where the key lives.
+    const std::uint32_t s0 = slot.seq.load(std::memory_order_acquire);
+    const std::uint8_t state = slot.state.load(std::memory_order_relaxed);
+    const std::uint64_t a = slot.hash_a.load(std::memory_order_relaxed);
+    const std::uint64_t b = slot.hash_b.load(std::memory_order_relaxed);
+    const std::int32_t threads =
+        slot.threads.load(std::memory_order_relaxed);
+    const std::int32_t sched_kind =
+        slot.sched_kind.load(std::memory_order_relaxed);
+    const std::int64_t chunk = slot.chunk.load(std::memory_order_relaxed);
+    const std::int64_t frequency =
+        slot.frequency_mhz.load(std::memory_order_relaxed);
+    const std::int32_t placement =
+        slot.placement.load(std::memory_order_relaxed);
+    const double best_value =
+        slot.best_value.load(std::memory_order_relaxed);
+    const std::uint64_t evaluations =
+        slot.evaluations.load(std::memory_order_relaxed);
+    const std::uint8_t provisional =
+        slot.provisional.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint32_t s1 = slot.seq.load(std::memory_order_relaxed);
+    if (s0 != s1 || (s0 & 1u) != 0) return ProbeResult::Unstable;
+    if (state == kEmpty) return ProbeResult::Miss;  // probe chain ends
+    if (state == kFull && a == hash_a && b == hash_b) {
+      // Exact-LRU stamp. A relaxed RMW on the shard tick is the one
+      // shared line the hit path touches — orders of magnitude cheaper
+      // than the old mutex+list splice, and split across shards.
+      slot.last_used.store(
+          1 + shard.tick.fetch_add(1, std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      out = decision_from(threads, sched_kind, chunk, frequency, placement,
+                          best_value, evaluations, provisional);
+      return ProbeResult::Hit;
+    }
+    // Tombstone or a different key: keep probing.
+  }
+  return ProbeResult::Miss;  // table fully scanned
+}
+
+DecisionCache::Slot* DecisionCache::find_locked(
+    Shard& shard, const HistoryKey& key, std::uint64_t hash_a,
+    std::uint64_t hash_b) const {
+  const std::size_t mask = shard.slots.size() - 1;
+  for (std::size_t i = 0; i <= mask; ++i) {
+    Slot& slot = shard.slots[(hash_a + i) & mask];
+    const std::uint8_t state = slot.state.load(std::memory_order_relaxed);
+    if (state == kEmpty) return nullptr;
+    if (state == kFull &&
+        slot.hash_a.load(std::memory_order_relaxed) == hash_a &&
+        slot.hash_b.load(std::memory_order_relaxed) == hash_b &&
+        slot.key == key)
+      return &slot;
+  }
+  return nullptr;
 }
 
 std::optional<CachedDecision> DecisionCache::get(const HistoryKey& key) {
-  Shard& shard = shard_of(key);
+  const std::uint64_t hash_a = key_hash(key);
+  const std::uint64_t hash_b = key_hash2(key);
+  Shard& shard = shard_of(hash_a);
+  CachedDecision decision;
+  for (int attempt = 0; attempt < kReadRetries; ++attempt) {
+    switch (probe_lockfree(shard, hash_a, hash_b, decision)) {
+      case ProbeResult::Hit:
+        return decision;
+      case ProbeResult::Miss:
+        return std::nullopt;
+      case ProbeResult::Unstable:
+        read_retries_.fetch_add(1, std::memory_order_relaxed);
+        break;  // go around
+    }
+  }
+  // Writer storm: fall back to the locked exact lookup so readers are
+  // never livelocked.
   const std::lock_guard<analysis::Mutex> lock(shard.mu);
-  const auto it = shard.index.find(key);
-  if (it == shard.index.end()) return std::nullopt;
-  if (it->second != shard.lru.begin())
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->second;
+  Slot* slot = find_locked(shard, key, hash_a, hash_b);
+  if (slot == nullptr) return std::nullopt;
+  slot->last_used.store(
+      1 + shard.tick.fetch_add(1, std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return decision_from(slot->threads.load(std::memory_order_relaxed),
+                       slot->sched_kind.load(std::memory_order_relaxed),
+                       slot->chunk.load(std::memory_order_relaxed),
+                       slot->frequency_mhz.load(std::memory_order_relaxed),
+                       slot->placement.load(std::memory_order_relaxed),
+                       slot->best_value.load(std::memory_order_relaxed),
+                       slot->evaluations.load(std::memory_order_relaxed),
+                       slot->provisional.load(std::memory_order_relaxed));
+}
+
+void DecisionCache::store_slot(Shard& shard, Slot& slot,
+                               const HistoryKey& key, std::uint64_t hash_a,
+                               std::uint64_t hash_b,
+                               const CachedDecision& decision) {
+  const bool inserting = slot.state.load(std::memory_order_relaxed) != kFull;
+  slot.key = key;  // mutex-only field; never read lock-free
+  // Seqlock write: odd sequence + release fence open the critical
+  // section, the final release store closes it.
+  slot.seq.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.state.store(kFull, std::memory_order_relaxed);
+  slot.hash_a.store(hash_a, std::memory_order_relaxed);
+  slot.hash_b.store(hash_b, std::memory_order_relaxed);
+  slot.threads.store(decision.config.num_threads,
+                     std::memory_order_relaxed);
+  slot.sched_kind.store(
+      static_cast<std::int32_t>(decision.config.schedule.kind),
+      std::memory_order_relaxed);
+  slot.chunk.store(decision.config.schedule.chunk,
+                   std::memory_order_relaxed);
+  slot.frequency_mhz.store(decision.config.frequency_mhz,
+                           std::memory_order_relaxed);
+  slot.placement.store(static_cast<std::int32_t>(decision.config.placement),
+                       std::memory_order_relaxed);
+  slot.best_value.store(decision.best_value, std::memory_order_relaxed);
+  slot.evaluations.store(decision.evaluations, std::memory_order_relaxed);
+  slot.provisional.store(decision.provisional ? 1 : 0,
+                         std::memory_order_relaxed);
+  slot.seq.fetch_add(1, std::memory_order_release);
+  slot.last_used.store(
+      1 + shard.tick.fetch_add(1, std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  if (inserting) shard.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DecisionCache::evict_lru(Shard& shard) {
+  Slot* victim = nullptr;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (Slot& slot : shard.slots) {
+    if (slot.state.load(std::memory_order_relaxed) != kFull) continue;
+    const std::uint64_t used =
+        slot.last_used.load(std::memory_order_relaxed);
+    if (victim == nullptr || used < oldest) {
+      victim = &slot;
+      oldest = used;
+    }
+  }
+  if (victim == nullptr) return;
+  victim->seq.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  // Tombstone, never Empty: concurrent readers probing *past* this slot
+  // must not have their chain cut mid-scan.
+  victim->state.store(kTombstone, std::memory_order_relaxed);
+  victim->seq.fetch_add(1, std::memory_order_release);
+  victim->key = HistoryKey{};
+  shard.count.fetch_sub(1, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void DecisionCache::put(const HistoryKey& key,
                         const CachedDecision& decision) {
-  Shard& shard = shard_of(key);
+  const std::uint64_t hash_a = key_hash(key);
+  const std::uint64_t hash_b = key_hash2(key);
+  Shard& shard = shard_of(hash_a);
   const std::lock_guard<analysis::Mutex> lock(shard.mu);
-  const auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    it->second->second = decision;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (Slot* existing = find_locked(shard, key, hash_a, hash_b)) {
+    store_slot(shard, *existing, key, hash_a, hash_b, decision);
     return;
   }
-  shard.lru.emplace_front(key, decision);
-  shard.index.emplace(key, shard.lru.begin());
-  if (shard.lru.size() > per_shard_capacity_) {
-    shard.index.erase(shard.lru.back().first);
-    shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.count.load(std::memory_order_relaxed) >= per_shard_capacity_)
+    evict_lru(shard);
+  // First tombstone on the probe path is reused; otherwise the Empty
+  // that terminates it. The table is at most half full, so a free slot
+  // always exists.
+  const std::size_t mask = shard.slots.size() - 1;
+  Slot* dest = nullptr;
+  for (std::size_t i = 0; i <= mask; ++i) {
+    Slot& slot = shard.slots[(hash_a + i) & mask];
+    if (slot.state.load(std::memory_order_relaxed) == kFull) continue;
+    dest = &slot;  // first tombstone or the terminating empty
+    break;
   }
+  ARCS_CHECK_MSG(dest != nullptr, "decision cache shard has no free slot");
+  store_slot(shard, *dest, key, hash_a, hash_b, decision);
 }
 
 std::size_t DecisionCache::size() const {
   std::size_t n = 0;
-  for (const auto& shard : shards_) {
-    const std::lock_guard<analysis::Mutex> lock(shard->mu);
-    n += shard->lru.size();
-  }
+  for (const auto& shard : shards_)
+    n += shard->count.load(std::memory_order_relaxed);
   return n;
 }
 
@@ -101,8 +310,10 @@ std::size_t DecisionCache::provisional_count() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
     const std::lock_guard<analysis::Mutex> lock(shard->mu);
-    for (const auto& [key, decision] : shard->lru)
-      if (decision.provisional) ++n;
+    for (const Slot& slot : shard->slots)
+      if (slot.state.load(std::memory_order_relaxed) == kFull &&
+          slot.provisional.load(std::memory_order_relaxed) != 0)
+        ++n;
   }
   return n;
 }
@@ -121,13 +332,22 @@ HistoryStore DecisionCache::snapshot() const {
   HistoryStore store;
   for (const auto& shard : shards_) {
     const std::lock_guard<analysis::Mutex> lock(shard->mu);
-    for (const auto& [key, decision] : shard->lru) {
-      if (decision.provisional) continue;
+    for (const Slot& slot : shard->slots) {
+      if (slot.state.load(std::memory_order_relaxed) != kFull) continue;
+      if (slot.provisional.load(std::memory_order_relaxed) != 0) continue;
       HistoryEntry entry;
+      const CachedDecision decision = decision_from(
+          slot.threads.load(std::memory_order_relaxed),
+          slot.sched_kind.load(std::memory_order_relaxed),
+          slot.chunk.load(std::memory_order_relaxed),
+          slot.frequency_mhz.load(std::memory_order_relaxed),
+          slot.placement.load(std::memory_order_relaxed),
+          slot.best_value.load(std::memory_order_relaxed),
+          slot.evaluations.load(std::memory_order_relaxed), 0);
       entry.config = decision.config;
       entry.best_value = decision.best_value;
       entry.evaluations = decision.evaluations;
-      store.put(key, entry);
+      store.put(slot.key, entry);
     }
   }
   return store;

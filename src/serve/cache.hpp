@@ -3,21 +3,50 @@
 // The server-side analogue of the ARCS history file: finished searches
 // deposit their best configuration here keyed by the full HistoryKey, and
 // every later request for the same (app, machine, cap, workload, region)
-// is a lock-cheap cache hit instead of a repeated search — the paper's
-// "saved values can be used instead of repeating the search process",
-// lifted from one process's files to a service shared by many clients.
+// is a cache hit instead of a repeated search — the paper's "saved values
+// can be used instead of repeating the search process", lifted from one
+// process's files to a service shared by many clients.
 //
-// Concurrency: the key space is split across `shards` independently
-// locked LRU lists (shard = stable hash of the key), so concurrent
-// hit-path readers on different keys do not serialize on one mutex.
-// Capacity is enforced per shard (capacity/shards each) with
-// least-recently-used eviction; get() counts as a use.
+// Concurrency: the key space is split across `shards`, each an
+// open-addressed slot table with a **per-slot seqlock**, so the hit path
+// takes NO locks at all:
+//
+//   writer (under the shard's ranked analysis::Mutex):
+//     seq.fetch_add(1, relaxed)            // odd: entry is being mutated
+//     atomic_thread_fence(release)
+//     ... field stores, all relaxed ...
+//     seq.fetch_add(1, release)            // even again: entry is stable
+//
+//   reader (no lock):
+//     s0 = seq.load(acquire)
+//     ... field loads, all relaxed ...
+//     atomic_thread_fence(acquire)
+//     s1 = seq.load(relaxed)
+//     consistent iff s0 == s1 && s0 is even — otherwise retry
+//
+// Every slot field a reader touches is a std::atomic, so the protocol is
+// data-race-free by construction (TSan-clean, no UB); torn reads are
+// *detected* by the sequence sandwich and retried. After a bounded number
+// of unstable probes the reader falls back to a locked lookup, so progress
+// is guaranteed even under a pathological writer storm. Writers — put(),
+// load(), eviction, the provisional→final upgrade — all serialize on the
+// shard's `analysis::Mutex` (rank kServeCacheShard), which keeps the
+// entire write side under the ARCS_SYNC_CHECK lock-order verifier.
+//
+// Entries are matched lock-free by a 128-bit key fingerprint (two
+// independent 64-bit hashes); the full HistoryKey string is stored per
+// slot but only ever touched under the shard mutex (writers compare it
+// exactly, so two keys colliding in 64 bits still occupy distinct slots).
+// Probes terminate at Empty slots; eviction leaves Tombstones, which
+// inserts reuse, so a concurrent reader's probe path is never cut short.
+//
+// Eviction is exact LRU per shard: every get() stamps the slot with a
+// per-shard monotonic tick, and eviction removes the slot with the
+// smallest stamp. Capacity is enforced per shard (capacity/shards each).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <list>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -32,7 +61,7 @@ struct CacheOptions {
   /// Total decisions kept (split evenly across shards; at least one per
   /// shard). 0 is invalid.
   std::size_t capacity = 1024;
-  /// Lock shards. Use 1 in tests that assert exact eviction order.
+  /// Shards. Use 1 in tests that assert exact eviction order.
   std::size_t shards = 8;
 };
 
@@ -53,10 +82,11 @@ class DecisionCache {
  public:
   explicit DecisionCache(CacheOptions options = {});
 
-  /// Lookup; promotes the entry to most-recently-used.
+  /// Lock-free lookup; stamps the entry most-recently-used.
   std::optional<CachedDecision> get(const HistoryKey& key);
 
-  /// Insert or overwrite; may evict the shard's least-recently-used entry.
+  /// Insert or overwrite; may evict the shard's least-recently-used
+  /// entry. Takes the shard's mutex (the certified write side).
   void put(const HistoryKey& key, const CachedDecision& decision);
 
   std::size_t size() const;
@@ -64,6 +94,11 @@ class DecisionCache {
   std::size_t provisional_count() const;
   std::uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Lock-free probes that observed a torn slot and went around again
+  /// (monitoring; the locked fallback triggers after kReadRetries).
+  std::uint64_t read_retries() const {
+    return read_retries_.load(std::memory_order_relaxed);
   }
 
   /// Bulk-seed from a history store (e.g. the daemon's --history file).
@@ -75,28 +110,84 @@ class DecisionCache {
 
   /// Stable (process-independent) shard hash, exposed for tests.
   static std::uint64_t key_hash(const HistoryKey& key);
+  /// Second, independent fingerprint half: lock-free probes match on the
+  /// 128-bit (key_hash, key_hash2) pair.
+  static std::uint64_t key_hash2(const HistoryKey& key);
+
+  /// Unstable-probe attempts before a reader falls back to the lock.
+  static constexpr int kReadRetries = 8;
 
  private:
+  enum : std::uint8_t { kEmpty = 0, kTombstone = 1, kFull = 2 };
+
+  /// One open-addressing slot. Everything a lock-free reader touches is
+  /// atomic; `key` is the exact-match/eviction record and is only ever
+  /// accessed under the shard mutex.
+  struct Slot {
+    std::atomic<std::uint32_t> seq{0};
+    std::atomic<std::uint8_t> state{kEmpty};
+    std::atomic<std::uint8_t> provisional{0};
+    std::atomic<std::uint64_t> hash_a{0};
+    std::atomic<std::uint64_t> hash_b{0};
+    // somp::LoopConfig, exploded into atomic PODs.
+    std::atomic<std::int32_t> threads{0};
+    std::atomic<std::int32_t> sched_kind{0};
+    std::atomic<std::int64_t> chunk{0};
+    std::atomic<std::int64_t> frequency_mhz{0};
+    std::atomic<std::int32_t> placement{0};
+    std::atomic<double> best_value{0.0};
+    std::atomic<std::uint64_t> evaluations{0};
+    /// LRU stamp (per-shard tick); relaxed — a stale stamp only skews
+    /// eviction order, never correctness.
+    std::atomic<std::uint64_t> last_used{0};
+    HistoryKey key;  ///< shard-mutex only
+  };
+
   struct Shard {
     // One class for all shards: shard_of() picks exactly one shard per
     // operation and publish-then-retire touches one at a time under the
     // sessions lock, so shard locks never nest with each other.
     mutable analysis::Mutex mu{"serve/cache_shard",
                                analysis::sync::rank::kServeCacheShard};
-    /// Front = most recently used.
-    std::list<std::pair<HistoryKey, CachedDecision>> lru;
-    std::map<HistoryKey,
-             std::list<std::pair<HistoryKey, CachedDecision>>::iterator>
-        index;
+    std::vector<Slot> slots;  ///< power-of-two, fixed after construction
+    std::atomic<std::uint64_t> tick{0};   ///< LRU clock
+    std::atomic<std::size_t> count{0};    ///< kFull slots
   };
 
-  Shard& shard_of(const HistoryKey& key);
-  const Shard& shard_of(const HistoryKey& key) const;
+  enum class ProbeResult { Hit, Miss, Unstable };
+
+  Shard& shard_of(std::uint64_t hash_a) {
+    return *shards_[hash_a % shards_.size()];
+  }
+  const Shard& shard_of(std::uint64_t hash_a) const {
+    return *shards_[hash_a % shards_.size()];
+  }
+
+  /// One full lock-free probe round. Unstable = a torn slot was seen.
+  ProbeResult probe_lockfree(Shard& shard, std::uint64_t hash_a,
+                             std::uint64_t hash_b,
+                             CachedDecision& out) const;
+  /// Exact lookup under the shard mutex (fallback + writer path).
+  /// Returns the matching slot or nullptr.
+  Slot* find_locked(Shard& shard, const HistoryKey& key,
+                    std::uint64_t hash_a, std::uint64_t hash_b) const;
+  /// Seqlock-writes `decision` into `slot` (shard mutex held).
+  void store_slot(Shard& shard, Slot& slot, const HistoryKey& key,
+                  std::uint64_t hash_a, std::uint64_t hash_b,
+                  const CachedDecision& decision);
+  /// Tombstones the least-recently-used kFull slot (shard mutex held).
+  void evict_lru(Shard& shard);
+
+  static CachedDecision decision_from(
+      std::int32_t threads, std::int32_t sched_kind, std::int64_t chunk,
+      std::int64_t frequency_mhz, std::int32_t placement, double best_value,
+      std::uint64_t evaluations, std::uint8_t provisional);
 
   CacheOptions options_;
   std::size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> read_retries_{0};
 };
 
 }  // namespace arcs::serve

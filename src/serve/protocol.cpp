@@ -320,6 +320,44 @@ bool write_frame(int fd, std::string_view payload) {
       payload.size());
 }
 
+std::string encode_frame(std::string_view payload) {
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xff));
+  frame.push_back(static_cast<char>((n >> 16) & 0xff));
+  frame.push_back(static_cast<char>((n >> 8) & 0xff));
+  frame.push_back(static_cast<char>(n & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  // Compact before growing: pos_ bytes at the front are already
+  // delivered frames, so the buffer stays bounded by one max frame plus
+  // one read's overshoot instead of growing with connection lifetime.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > kMaxFrameBytes)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameDecoder::Result FrameDecoder::next(std::string& frame) {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return Result::NeedMore;
+  const auto* p = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  const std::uint32_t n = (static_cast<std::uint32_t>(p[0]) << 24) |
+                          (static_cast<std::uint32_t>(p[1]) << 16) |
+                          (static_cast<std::uint32_t>(p[2]) << 8) |
+                          static_cast<std::uint32_t>(p[3]);
+  if (n > kMaxFrameBytes) return Result::Corrupt;
+  if (avail < 4 + static_cast<std::size_t>(n)) return Result::NeedMore;
+  frame.assign(buf_, pos_ + 4, n);
+  pos_ += 4 + static_cast<std::size_t>(n);
+  return Result::Frame;
+}
+
 std::optional<std::string> read_frame(int fd) {
   const analysis::BlockingGuard guard("serve/read_frame");
   unsigned char header[4];

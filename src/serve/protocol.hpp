@@ -100,4 +100,33 @@ bool write_frame(int fd, std::string_view payload);
 /// length prefix beyond kMaxFrameBytes.
 std::optional<std::string> read_frame(int fd);
 
+/// One length-prefixed frame as bytes (header + payload), for callers
+/// that buffer writes instead of writing a socket directly.
+std::string encode_frame(std::string_view payload);
+
+/// Incremental frame reassembly for nonblocking reads: feed() whatever
+/// the socket produced — any split, including mid-header — and next()
+/// yields complete frames as they close. A length prefix beyond
+/// kMaxFrameBytes is Corrupt: the stream has lost sync and the caller
+/// must drop the connection (resynchronizing a length-prefixed stream is
+/// impossible). Buffered bytes are bounded by kMaxFrameBytes plus one
+/// read's worth of overshoot.
+class FrameDecoder {
+ public:
+  enum class Result {
+    NeedMore,  ///< no complete frame buffered yet
+    Frame,     ///< one frame extracted into the out-param
+    Corrupt,   ///< oversized length prefix; connection must die
+  };
+
+  void feed(const char* data, std::size_t n);
+  Result next(std::string& frame);
+
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix, compacted lazily
+};
+
 }  // namespace arcs::serve

@@ -68,7 +68,14 @@ Response TuningServer::handle(const Request& request) {
   // Sample 1-in-256 latencies per stripe: the reservoir mutex must not become the
   // serialization point of an otherwise shard-parallel hit path.
   const bool sample_latency = (index & 0xff) == 0;
-  const auto start = sample_latency ? Clock::now() : Clock::time_point{};
+  // Per-op histograms: every Get is timed (misses and predicted answers
+  // are observed exhaustively — they are rare), but *hit* observations
+  // are sampled 1-in-16 per stripe so the histogram's shared buckets
+  // never become the hit path's serialization point.
+  const bool is_get = request.op == Op::Get;
+  const bool sample_hit = (index & 0xf) == 0;
+  const bool timed = sample_latency || is_get;
+  const auto start = timed ? Clock::now() : Clock::time_point{};
   // The request's span, causally linked to the caller's span when the
   // frame carried a SpanContext (contextless peers start a new trace).
   const telemetry::ScopedSpan span(
@@ -111,11 +118,23 @@ Response TuningServer::handle(const Request& request) {
     response.status = Status::Error;
     response.error = e.what();
   }
-  if (sample_latency) {
+  if (timed) {
     const double seconds =
         std::chrono::duration<double>(Clock::now() - start).count();
-    record_latency(seconds);
-    metrics_.latency.observe(seconds);
+    if (sample_latency) {
+      record_latency(seconds);
+      metrics_.latency.observe(seconds);
+    }
+    if (is_get) {
+      if (response.status == Status::Hit) {
+        if (response.predicted)
+          metrics_.predicted_latency.observe(seconds);
+        else if (sample_hit)
+          metrics_.hit_latency.observe(seconds);
+      } else {
+        metrics_.miss_latency.observe(seconds);
+      }
+    }
   }
   return response;
 }
@@ -432,6 +451,18 @@ common::Json TuningServer::metrics_json() const {
   latency.set("p50_us", percentile(scratch, 0.50) * 1e6);
   latency.set("p95_us", percentile(scratch, 0.95) * 1e6);
   j.set("latency", latency);
+  common::Json per_op = common::Json::object();
+  const auto op_block = [](const telemetry::Histogram& h) {
+    common::Json block = common::Json::object();
+    block.set("count", h.count());
+    block.set("p50_us", h.quantile(0.50) * 1e6);
+    block.set("p99_us", h.quantile(0.99) * 1e6);
+    return block;
+  };
+  per_op.set("hit", op_block(metrics_.hit_latency));
+  per_op.set("miss", op_block(metrics_.miss_latency));
+  per_op.set("predicted", op_block(metrics_.predicted_latency));
+  j.set("latency_per_op", per_op);
   return j;
 }
 

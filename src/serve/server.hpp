@@ -119,7 +119,10 @@ struct ServerMetrics {
         predictions(registry.counter("serve/predictions")),
         provisional_hits(registry.counter("serve/provisional_hits")),
         requests(registry.counter("serve/requests")),
-        latency(registry.histogram("serve/request_seconds")) {}
+        latency(registry.histogram("serve/request_seconds")),
+        hit_latency(registry.histogram("serve/hit_seconds")),
+        miss_latency(registry.histogram("serve/miss_seconds")),
+        predicted_latency(registry.histogram("serve/predicted_seconds")) {}
 
   telemetry::Counter& hits;
   telemetry::Counter& misses;    ///< searches this Get started
@@ -137,6 +140,14 @@ struct ServerMetrics {
   telemetry::Counter& provisional_hits;  ///< Gets served a cached prediction
   telemetry::Counter& requests;
   telemetry::Histogram& latency;  ///< sampled request latency (seconds)
+  // Per-op Get latency, split by outcome so a p99 regression on the
+  // lock-free hit path cannot hide inside search-driven miss latency.
+  // Hits are sampled 1-in-16 per counter stripe (two clock reads would
+  // otherwise be the hit path's biggest cost); misses and predicted
+  // answers are rare and observed exhaustively.
+  telemetry::Histogram& hit_latency;        ///< Get → Hit (measured)
+  telemetry::Histogram& miss_latency;       ///< Get → anything else
+  telemetry::Histogram& predicted_latency;  ///< Get → Hit (predicted)
 };
 
 class TuningServer {

@@ -1,10 +1,14 @@
 #include "serve/socket.hpp"
 
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
 
@@ -16,6 +20,10 @@ namespace arcs::serve {
 
 namespace {
 
+constexpr std::uint64_t kListenId = 0;
+constexpr std::uint64_t kWakeId = 1;
+constexpr std::size_t kReadChunk = 16 * 1024;
+
 sockaddr_un make_address(const std::string& path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -23,6 +31,20 @@ sockaddr_un make_address(const std::string& path) {
                  "socket path too long: " + path);
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   return addr;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ARCS_CHECK_MSG(flags >= 0, "fcntl(F_GETFL) failed");
+  ARCS_CHECK_MSG(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                 "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+/// Ops that may block the handling thread (cv wait, file I/O) go to the
+/// worker pool; everything else runs inline on the loop thread.
+bool needs_worker(const Request& request) {
+  if (request.op == Op::Save) return true;
+  return request.op == Op::Get && request.wait_ms > 0;
 }
 
 }  // namespace
@@ -48,66 +70,180 @@ SocketServer::SocketServer(TuningServer& server, std::string path,
     listen_fd_ = -1;
     ARCS_CHECK_MSG(false, "cannot listen on unix socket at " + path_);
   }
+  set_nonblocking(listen_fd_);
+  epoll_fd_ = ::epoll_create1(0);
+  ARCS_CHECK_MSG(epoll_fd_ >= 0, "cannot create epoll instance");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  ARCS_CHECK_MSG(wake_fd_ >= 0, "cannot create eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  ARCS_CHECK_MSG(
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0,
+      "cannot register listen socket with epoll");
+  ev.data.u64 = kWakeId;
+  ARCS_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
+                 "cannot register wake eventfd with epoll");
   const std::size_t workers = std::max<std::size_t>(1, options_.workers);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
-  acceptor_ = std::thread([this] { accept_loop(); });
+  loop_thread_ = std::thread([this] { loop(); });
 }
 
 SocketServer::~SocketServer() { stop(); }
 
-void SocketServer::accept_loop() {
+void SocketServer::wake() {
+  const std::uint64_t one = 1;
   for (;;) {
-    int conn_fd = -1;
-    {
-      const analysis::BlockingGuard guard("serve/accept");
-      conn_fd = ::accept(listen_fd_, nullptr, nullptr);
-    }
-    if (conn_fd < 0) {
-      if (!stopping_.load(std::memory_order_acquire) && errno == EINTR)
-        continue;
-      return;  // listening socket shut down
-    }
-    auto conn = std::make_shared<Connection>();
-    conn->fd = conn_fd;
-    const std::lock_guard<analysis::Mutex> lock(conns_mu_);
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(conn_fd);
-      return;
-    }
-    conns_.push_back(conn);
-    readers_.emplace_back([this, conn] { reader_loop(conn); });
+    const ssize_t rc = ::write(wake_fd_, &one, sizeof one);
+    if (rc >= 0 || errno != EINTR) return;  // EAGAIN = already pending
   }
 }
 
-void SocketServer::reader_loop(std::shared_ptr<Connection> conn) {
+void SocketServer::loop() {
+  telemetry::Tracer::instance().name_host_thread("serve loop");
+  // A finite tick keeps the idle sweep running and bounds how stale a
+  // missed wake-up could ever get.
+  const int timeout_ms = options_.idle_timeout_s > 0 ? 50 : 500;
+  std::array<epoll_event, 64> events{};
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = 0;
+    {
+      const analysis::BlockingGuard guard("serve/epoll_wait");
+      n = ::epoll_wait(epoll_fd_, events.data(),
+                       static_cast<int>(events.size()), timeout_ms);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[static_cast<std::size_t>(i)].data.u64;
+      const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+      if (id == kWakeId) {
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof drained) > 0) {
+        }
+        drain_completions();
+        continue;
+      }
+      if (id == kListenId) {
+        accept_ready();
+        continue;
+      }
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      Connection& conn = *it->second;
+      if ((mask & (EPOLLERR | EPOLLHUP)) != 0) {
+        close_connection(id);
+        continue;
+      }
+      if ((mask & EPOLLOUT) != 0) write_ready(conn);
+      if (conns_.find(id) == conns_.end()) continue;  // write_ready closed
+      if ((mask & EPOLLIN) != 0) read_ready(conn);
+    }
+    drain_completions();
+    if (options_.idle_timeout_s > 0) sweep_idle();
+  }
+  // Loop exit: close every connection so blocked clients see EOF.
+  while (!conns_.empty()) close_connection(conns_.begin()->first);
+}
+
+void SocketServer::accept_ready() {
   for (;;) {
-    const auto frame = read_frame(conn->fd);
-    if (!frame) return;  // peer closed (or stop() shut the socket down)
-    Request request;
-    try {
-      std::string parse_error;
-      const common::Json json = common::Json::parse(*frame, &parse_error);
-      ARCS_CHECK_MSG(!json.is_null(), "bad JSON frame: " + parse_error);
-      request = request_from_json(json);
-    } catch (const common::ContractError& e) {
-      Response response;
-      response.status = Status::Error;
-      response.error = e.what();
-      send_response(*conn, response);
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: accepted everything pending
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->last_activity = Clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
       continue;
     }
-    // The BoundedMpmcQueue is the admission valve: a full queue means
-    // the worker pool is saturated, so shed the request *now* instead
-    // of queueing unbounded work.
-    if (!queue_.try_push(Work{conn, request})) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      Response response;
-      response.status = Status::Overloaded;
-      send_response(*conn, response);
+    conns_.emplace(conn->id, std::move(conn));
+    connections_now_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SocketServer::read_ready(Connection& conn) {
+  const std::uint64_t id = conn.id;  // handlers below may destroy conn
+  char buf[kReadChunk];
+  for (;;) {
+    if (!conn.reading) break;  // backpressure kicked in mid-burst
+    const ssize_t rc = ::read(conn.fd, buf, sizeof buf);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_connection(id);
+      return;
+    }
+    if (rc == 0) {  // peer closed; anything half-framed dies with it
+      close_connection(id);
+      return;
+    }
+    conn.last_activity = Clock::now();
+    conn.decoder.feed(buf, static_cast<std::size_t>(rc));
+    std::string frame;
+    for (;;) {
+      const FrameDecoder::Result result = conn.decoder.next(frame);
+      if (result == FrameDecoder::Result::NeedMore) break;
+      if (result == FrameDecoder::Result::Corrupt) {
+        // A length-prefixed stream cannot resync after a bad prefix:
+        // stop reading, flush what we owe, then drop the connection.
+        corrupt_conns_.fetch_add(1, std::memory_order_relaxed);
+        conn.corrupt = true;
+        conn.reading = false;
+        update_events(conn);
+        if (conns_.find(id) != conns_.end() &&
+            conn.write_pos >= conn.write_buf.size())
+          close_connection(id);
+        return;
+      }
+      handle_frame(conn, frame);
+      if (conns_.find(id) == conns_.end()) return;  // closed under us
     }
   }
+}
+
+void SocketServer::handle_frame(Connection& conn, const std::string& frame) {
+  Request request;
+  try {
+    std::string parse_error;
+    const common::Json json = common::Json::parse(frame, &parse_error);
+    ARCS_CHECK_MSG(!json.is_null(), "bad JSON frame: " + parse_error);
+    request = request_from_json(json);
+  } catch (const common::ContractError& e) {
+    // Garbage *inside* a well-formed frame is the peer's bug, not a
+    // framing desync: answer Error and keep serving the connection.
+    Response response;
+    response.status = Status::Error;
+    response.error = e.what();
+    enqueue_response(conn, response);
+    return;
+  }
+  if (!needs_worker(request)) {
+    enqueue_response(conn, server_.handle(request));
+    return;
+  }
+  // The BoundedMpmcQueue is the admission valve: a full queue means the
+  // worker pool is saturated, so shed the request *now* instead of
+  // queueing unbounded work.
+  if (!queue_.try_push(Work{conn.id, request})) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.status = Status::Overloaded;
+    enqueue_response(conn, response);
+    return;
+  }
+  ++conn.inflight;
 }
 
 void SocketServer::worker_loop(std::size_t index) {
@@ -117,44 +253,164 @@ void SocketServer::worker_loop(std::size_t index) {
     auto work = queue_.pop();
     if (!work) return;  // queue closed and drained
     const Response response = server_.handle(work->request);
-    send_response(*work->conn, response);
+    {
+      const std::lock_guard<analysis::Mutex> lock(completions_mu_);
+      completions_.push_back(
+          Completion{work->conn_id, to_json(response).dump(0)});
+    }
+    wake();
   }
 }
 
-void SocketServer::send_response(Connection& conn,
-                                 const Response& response) {
-  const std::string payload = to_json(response).dump(0);
-  const std::lock_guard<analysis::Mutex> lock(conn.write_mu);
-  if (!write_frame(conn.fd, payload) &&
-      !stopping_.load(std::memory_order_acquire))
-    common::log_warn() << "serve: dropped reply on a broken connection";
+void SocketServer::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    const std::lock_guard<analysis::Mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (const Completion& completion : batch) {
+    const auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // connection died while handling
+    Connection& conn = *it->second;
+    if (conn.inflight > 0) --conn.inflight;
+    enqueue_payload(conn, completion.payload);
+  }
+}
+
+void SocketServer::enqueue_response(Connection& conn,
+                                    const Response& response) {
+  enqueue_payload(conn, to_json(response).dump(0));
+}
+
+void SocketServer::enqueue_payload(Connection& conn,
+                                   std::string_view payload) {
+  const std::uint64_t id = conn.id;  // flush() may destroy conn
+  conn.write_buf.append(encode_frame(payload));
+  flush(conn);
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;  // flush closed it
+  const std::size_t pending = conn.write_buf.size() - conn.write_pos;
+  if (conn.reading && pending > options_.max_pending_write_bytes) {
+    // The client is not draining its socket. Stop reading from it so its
+    // own sends eventually block — backpressure lands on the slow party,
+    // and this connection's buffer stops growing from new requests.
+    // (Worker completions still land here; they are bounded by the
+    // dispatch queue.)
+    conn.reading = false;
+    suspended_reads_.fetch_add(1, std::memory_order_relaxed);
+    update_events(conn);
+  }
+}
+
+void SocketServer::flush(Connection& conn) {
+  while (conn.write_pos < conn.write_buf.size()) {
+    const ssize_t rc =
+        ::send(conn.fd, conn.write_buf.data() + conn.write_pos,
+               conn.write_buf.size() - conn.write_pos, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn.want_write) {
+          conn.want_write = true;
+          update_events(conn);
+        }
+        return;
+      }
+      if (!stopping_.load(std::memory_order_acquire))
+        common::log_warn() << "serve: dropped reply on a broken connection";
+      close_connection(conn.id);
+      return;
+    }
+    conn.write_pos += static_cast<std::size_t>(rc);
+  }
+  // Fully drained: batched frames went out in as few send()s as the
+  // kernel allowed. Reset the buffer and rearm reads if backpressure had
+  // paused them.
+  conn.write_buf.clear();
+  conn.write_pos = 0;
+  bool events_changed = false;
+  if (conn.want_write) {
+    conn.want_write = false;
+    events_changed = true;
+  }
+  if (conn.corrupt) {
+    close_connection(conn.id);
+    return;
+  }
+  if (!conn.reading) {
+    conn.reading = true;
+    events_changed = true;
+  }
+  if (events_changed) update_events(conn);
+}
+
+void SocketServer::write_ready(Connection& conn) {
+  const std::uint64_t id = conn.id;  // flush() may destroy conn
+  flush(conn);
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  // Partial drain below half the cap also rearms reads: the client is
+  // consuming again.
+  if (!conn.reading && !conn.corrupt &&
+      conn.write_buf.size() - conn.write_pos <=
+          options_.max_pending_write_bytes / 2) {
+    conn.reading = true;
+    update_events(conn);
+  }
+}
+
+void SocketServer::update_events(Connection& conn) {
+  epoll_event ev{};
+  ev.events = (conn.reading ? EPOLLIN : 0u) |
+              (conn.want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = conn.id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) != 0)
+    close_connection(conn.id);
+}
+
+void SocketServer::close_connection(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  conns_.erase(it);
+  connections_now_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void SocketServer::sweep_idle() {
+  const auto now = Clock::now();
+  const auto limit = std::chrono::duration<double>(options_.idle_timeout_s);
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->inflight > 0) continue;  // a worker still owes it a reply
+    if (conn->write_pos < conn->write_buf.size()) continue;
+    if (now - conn->last_activity >= limit) expired.push_back(id);
+  }
+  for (const std::uint64_t id : expired) {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+    close_connection(id);
+  }
 }
 
 void SocketServer::stop() {
   if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (acceptor_.joinable()) acceptor_.join();
-  {
-    const std::lock_guard<analysis::Mutex> lock(conns_mu_);
-    for (const auto& conn : conns_)
-      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
-  }
-  for (auto& reader : readers_)
-    if (reader.joinable()) reader.join();
+  wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
   queue_.close();
   for (auto& worker : workers_)
     if (worker.joinable()) worker.join();
-  {
-    const std::lock_guard<analysis::Mutex> lock(conns_mu_);
-    for (const auto& conn : conns_) {
-      if (conn->fd >= 0) ::close(conn->fd);
-      conn->fd = -1;
-    }
-    conns_.clear();
-  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
   }
   ::unlink(path_.c_str());
 }

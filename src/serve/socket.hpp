@@ -1,22 +1,34 @@
 // Unix-domain socket transport for the tuning service.
 //
-// SocketServer owns the listening socket of a harmonyd daemon. One
-// acceptor thread admits connections; each connection gets a reader
-// thread that decodes frames into Requests and pushes them onto a
-// BoundedMpmcQueue shared by a fixed worker pool — the queue IS the
-// admission control: when the pool is `queue_capacity` requests behind,
-// try_push fails and the reader answers Overloaded immediately instead
-// of letting the backlog grow without bound. Workers may block inside
-// TuningServer::handle (Get with wait_ms), which is why dispatch is
-// decoupled from reading: a blocked worker never stops other
-// connections' frames from being read or rejected.
+// SocketServer is an epoll event loop: ONE loop thread owns the
+// listening socket and every connection's state (frame reassembly
+// buffer, pending-write buffer, idle clock), so the read/accept/write
+// paths take no locks at all. All fds are nonblocking; reads feed a
+// per-connection FrameDecoder, and complete frames are either handled
+// inline on the loop (everything that cannot block: Ping, hit-path Get,
+// Report, Put, Metrics, Shutdown) or — for requests that may block the
+// caller (Get with wait_ms > 0) or touch the filesystem (Save) — pushed
+// onto a BoundedMpmcQueue drained by a fixed worker pool. The queue IS
+// the admission control: when the pool falls `queue_capacity` requests
+// behind, try_push fails and the loop answers Overloaded immediately.
+// Workers hand finished responses back to the loop through a small
+// completions vector + eventfd wake-up, so every socket write happens on
+// the loop thread and responses to one connection batch naturally into
+// single send() calls.
 //
-// Responses are written by whichever thread produced them, serialized
-// per connection by a write mutex (reader-side Overloaded replies and
-// worker replies interleave safely).
+// Backpressure: responses append to a per-connection write buffer that
+// drains as EPOLLOUT allows. When a client stops reading and the buffer
+// passes `max_pending_write_bytes`, the loop stops *reading* that
+// connection (EPOLLIN off) until the backlog drains below half — a slow
+// client throttles itself, never the loop or other connections.
+// Connections idle longer than `idle_timeout_s` with nothing in flight
+// are closed by a periodic sweep.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,8 +44,14 @@ namespace arcs::serve {
 
 struct SocketServerOptions {
   std::size_t workers = 4;
-  /// Dispatch-queue depth; the backpressure threshold.
+  /// Dispatch-queue depth; the blocking-op backpressure threshold.
   std::size_t queue_capacity = 128;
+  /// Per-connection pending-write cap: past this the connection's reads
+  /// pause until the client drains half the backlog.
+  std::size_t max_pending_write_bytes = 1u << 20;
+  /// Close connections idle this long with no request in flight.
+  /// 0 = never.
+  double idle_timeout_s = 0.0;
 };
 
 class SocketServer {
@@ -47,50 +65,98 @@ class SocketServer {
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  /// Stops accepting, unblocks every thread, joins them, unlinks the
+  /// Stops the loop, unblocks every worker, joins them, unlinks the
   /// socket path. Idempotent.
   void stop();
 
   const std::string& path() const { return path_; }
 
-  /// Requests rejected by queue backpressure (reader-side Overloaded).
+  /// Requests rejected by queue backpressure (answered Overloaded).
   std::uint64_t rejected() const {
     return rejected_.load(std::memory_order_relaxed);
   }
+  /// Connections currently open (loop-thread gauge; racy reads fine).
+  std::size_t connections() const {
+    return connections_now_.load(std::memory_order_relaxed);
+  }
+  /// Connections closed by the idle sweep.
+  std::uint64_t timed_out_connections() const {
+    return timed_out_.load(std::memory_order_relaxed);
+  }
+  /// Times a connection's reads were paused by write-buffer backpressure.
+  std::uint64_t suspended_reads() const {
+    return suspended_reads_.load(std::memory_order_relaxed);
+  }
+  /// Connections dropped for unrecoverable framing corruption.
+  std::uint64_t corrupt_connections() const {
+    return corrupt_conns_.load(std::memory_order_relaxed);
+  }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// All per-connection state; touched only by the loop thread.
   struct Connection {
     int fd = -1;
-    // Held across write_frame() by design: whole-frame writes are the
-    // interleaving guarantee. The allowlist flag records that intent.
-    analysis::Mutex write_mu{
-        "serve/conn_write", analysis::sync::rank::kServeConnWrite,
-        analysis::sync::kAllowBlockingWhileHeld};
+    std::uint64_t id = 0;
+    FrameDecoder decoder;
+    std::string write_buf;     ///< encoded frames awaiting the socket
+    std::size_t write_pos = 0;
+    std::size_t inflight = 0;  ///< requests at the worker pool
+    bool reading = true;       ///< EPOLLIN currently armed
+    bool want_write = false;   ///< EPOLLOUT currently armed
+    bool corrupt = false;      ///< close once write_buf drains
+    Clock::time_point last_activity{};
   };
   struct Work {
-    std::shared_ptr<Connection> conn;
+    std::uint64_t conn_id = 0;
     Request request;
   };
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::string payload;  ///< response JSON, not yet framed
+  };
 
-  void accept_loop();
-  void reader_loop(std::shared_ptr<Connection> conn);
+  void loop();
   void worker_loop(std::size_t index);
-  void send_response(Connection& conn, const Response& response);
+  void accept_ready();
+  void read_ready(Connection& conn);
+  void write_ready(Connection& conn);
+  void handle_frame(Connection& conn, const std::string& frame);
+  void enqueue_response(Connection& conn, const Response& response);
+  void enqueue_payload(Connection& conn, std::string_view payload);
+  void flush(Connection& conn);
+  void update_events(Connection& conn);
+  void close_connection(std::uint64_t id);
+  void drain_completions();
+  void sweep_idle();
+  void wake();
 
   TuningServer& server_;
   std::string path_;
   SocketServerOptions options_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
   std::atomic<bool> stopping_{false};
   exec::BoundedMpmcQueue<Work> queue_;
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::size_t> connections_now_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> suspended_reads_{0};
+  std::atomic<std::uint64_t> corrupt_conns_{0};
 
-  std::thread acceptor_;
+  // Loop-thread-only state (no lock: single owner).
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 2;  // 0 = listen fd, 1 = wake fd
+
+  // The one lock in the transport: the worker→loop completion handoff.
+  analysis::Mutex completions_mu_{
+      "serve/completions", analysis::sync::rank::kServeCompletions};
+  std::vector<Completion> completions_;
+
+  std::thread loop_thread_;
   std::vector<std::thread> workers_;
-  analysis::Mutex conns_mu_{"serve/conns",
-                            analysis::sync::rank::kServeConns};
-  std::vector<std::shared_ptr<Connection>> conns_;
-  std::vector<std::thread> readers_;
 };
 
 /// Blocking client over one connection; call() is mutex-serialized so a

@@ -1,0 +1,324 @@
+// Property tests for the DecisionCache's lock-free (seqlock) read path.
+//
+// The protocol under test: readers take no locks and must either see a
+// fully consistent entry or detect the tear and retry. Two attack
+// angles here:
+//   1. field-consistency under a writer storm — every field of every
+//      observed decision must belong to ONE published generation, never
+//      a mix of two (the torn-read invariant);
+//   2. a differential against the seed implementation (mutexed
+//      std::map + LRU list) proving the lock-free cache returns
+//      bit-identical decisions for identical operation sequences.
+//
+// These suites run in the TSan and ARCS_SYNC_CHECK CI stages (suite
+// names start with "Serve", which the tsan stage's -R filter matches).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <list>
+#include <map>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/serve.hpp"
+
+namespace sv = arcs::serve;
+namespace sp = arcs::somp;
+
+namespace {
+
+arcs::HistoryKey make_key(const std::string& region) {
+  return {"SP", "testbox", 40.0, "B", region};
+}
+
+/// Every field is a deterministic function of one generation number, so
+/// a reader can detect a torn entry by checking cross-field consistency
+/// against the generation it carries (evaluations).
+sv::CachedDecision decision_for_generation(std::uint64_t g) {
+  sv::CachedDecision d;
+  d.config.num_threads = static_cast<int>(g % 64) + 1;
+  d.config.schedule.kind =
+      (g % 2 == 0) ? sp::ScheduleKind::Guided : sp::ScheduleKind::Dynamic;
+  d.config.schedule.chunk = static_cast<std::int64_t>((g % 100) * 4 + 1);
+  d.config.frequency_mhz = 1000 + static_cast<long>(g % 1000);
+  d.config.placement = (g % 3 == 0) ? arcs::sim::PlacementPolicy::Close
+                                    : arcs::sim::PlacementPolicy::Spread;
+  d.best_value = 0.25 + 0.5 * static_cast<double>(g);
+  d.evaluations = g;
+  d.provisional = (g % 5 == 0);
+  return d;
+}
+
+testing::AssertionResult consistent(const sv::CachedDecision& got) {
+  const sv::CachedDecision want = decision_for_generation(got.evaluations);
+  if (got.config == want.config && got.best_value == want.best_value &&
+      got.provisional == want.provisional)
+    return testing::AssertionSuccess();
+  return testing::AssertionFailure()
+         << "torn entry for generation " << got.evaluations << ": config "
+         << got.config.to_string() << " want " << want.config.to_string()
+         << ", best_value " << got.best_value << " want " << want.best_value
+         << ", provisional " << got.provisional << " want "
+         << want.provisional;
+}
+
+/// The seed DecisionCache semantics (pre-seqlock): one mutex-guarded LRU
+/// list + index per shard. The differential oracle.
+class ReferenceCache {
+ public:
+  explicit ReferenceCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::optional<sv::CachedDecision> get(const arcs::HistoryKey& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+
+  void put(const arcs::HistoryKey& key, const sv::CachedDecision& decision) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = decision;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, decision);
+    index_.emplace(key, lru_.begin());
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  std::size_t size() const { return lru_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<arcs::HistoryKey, sv::CachedDecision>> lru_;
+  std::map<arcs::HistoryKey,
+           std::list<std::pair<arcs::HistoryKey, sv::CachedDecision>>::iterator>
+      index_;
+  std::uint64_t evictions_ = 0;
+};
+
+testing::AssertionResult same_decision(
+    const std::optional<sv::CachedDecision>& got,
+    const std::optional<sv::CachedDecision>& want) {
+  if (got.has_value() != want.has_value())
+    return testing::AssertionFailure()
+           << "presence mismatch: got " << got.has_value() << " want "
+           << want.has_value();
+  if (!got) return testing::AssertionSuccess();
+  if (got->config == want->config && got->best_value == want->best_value &&
+      got->evaluations == want->evaluations &&
+      got->provisional == want->provisional)
+    return testing::AssertionSuccess();
+  return testing::AssertionFailure()
+         << "decision mismatch: got {" << got->config.to_string() << ", "
+         << got->best_value << ", " << got->evaluations << ", "
+         << got->provisional << "} want {" << want->config.to_string()
+         << ", " << want->best_value << ", " << want->evaluations << ", "
+         << want->provisional << "}";
+}
+
+}  // namespace
+
+// N readers hammer one shard while a writer republished every key; no
+// reader may ever observe a mix of two generations. In-place overwrites
+// are the highest-frequency seqlock write, so all keys fit the shard.
+TEST(ServeSeqlock, ReadersNeverObserveTornEntries) {
+  sv::DecisionCache cache{{/*capacity=*/64, /*shards=*/1}};
+  const std::vector<arcs::HistoryKey> keys = {
+      make_key("r0"), make_key("r1"), make_key("r2"), make_key("r3")};
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    cache.put(keys[i], decision_for_generation(i + 1));
+
+  constexpr std::uint64_t kGenerations = 8000;
+  constexpr int kReaders = 4;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> observed{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&cache, &keys, &done, &observed, r] {
+      std::size_t i = static_cast<std::size_t>(r);
+      while (!done.load(std::memory_order_acquire)) {
+        const auto got = cache.get(keys[i++ % keys.size()]);
+        if (!got) continue;
+        observed.fetch_add(1, std::memory_order_relaxed);
+        ASSERT_TRUE(consistent(*got));
+      }
+    });
+  }
+  // Keep publishing until the readers demonstrably raced us: on a
+  // single-CPU host the minimum generation count can finish before any
+  // reader gets a time slice. The yield hands them one; the hard cap
+  // keeps a broken reader from hanging the test.
+  for (std::uint64_t g = 1;
+       g <= kGenerations || observed.load(std::memory_order_relaxed) == 0;
+       ++g) {
+    cache.put(keys[g % keys.size()], decision_for_generation(g));
+    if ((g & 1023) == 0) std::this_thread::yield();
+    ASSERT_LT(g, 4'000'000u) << "readers never observed a single entry";
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  // The point of the exercise is that readers actually raced the writer.
+  EXPECT_GT(observed.load(), 0u);
+}
+
+// Same invariant under eviction churn: capacity 2 with 4 keys keeps the
+// writer tombstoning and re-inserting, so readers race slot-state
+// transitions (Full -> Tombstone -> Full with a different key), not just
+// in-place field updates.
+TEST(ServeSeqlock, EvictionChurnNeverTearsEntries) {
+  sv::DecisionCache cache{{/*capacity=*/2, /*shards=*/1}};
+  const std::vector<arcs::HistoryKey> keys = {
+      make_key("r0"), make_key("r1"), make_key("r2"), make_key("r3")};
+
+  constexpr std::uint64_t kGenerations = 6000;
+  constexpr int kReaders = 3;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&cache, &keys, &done, &hits, r] {
+      std::size_t i = static_cast<std::size_t>(r);
+      while (!done.load(std::memory_order_acquire)) {
+        const auto got = cache.get(keys[i++ % keys.size()]);
+        if (!got) continue;
+        hits.fetch_add(1, std::memory_order_relaxed);
+        ASSERT_TRUE(consistent(*got));
+      }
+    });
+  }
+  // As above: run past the minimum until the readers have raced at
+  // least one real hit, yielding so a single-CPU host schedules them.
+  for (std::uint64_t g = 1;
+       g <= kGenerations || hits.load(std::memory_order_relaxed) == 0;
+       ++g) {
+    cache.put(keys[g % keys.size()], decision_for_generation(g));
+    if ((g & 1023) == 0) std::this_thread::yield();
+    ASSERT_LT(g, 4'000'000u) << "readers never observed a single entry";
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_GT(hits.load(), 0u);
+}
+
+// Identical op sequences against the lock-free cache and the seed
+// implementation must produce bit-identical results: same hits, same
+// misses, same decision fields, same eviction count. Single shard so
+// the reference's capacity accounting matches per-shard enforcement.
+TEST(ServeSeqlock, DifferentialMatchesSeedMutexCache) {
+  constexpr std::size_t kCapacity = 4;
+  sv::DecisionCache cache{{kCapacity, /*shards=*/1}};
+  ReferenceCache reference{kCapacity};
+
+  arcs::common::Rng rng{20260809};
+  std::vector<arcs::HistoryKey> keys;
+  keys.reserve(12);
+  for (int i = 0; i < 12; ++i)
+    keys.push_back(make_key("k" + std::to_string(i)));
+
+  for (std::uint64_t op = 1; op <= 4000; ++op) {
+    const auto& key = keys[rng.uniform_index(keys.size())];
+    if (rng.uniform_index(10) < 7) {
+      ASSERT_TRUE(same_decision(cache.get(key), reference.get(key)))
+          << "op " << op;
+    } else {
+      const sv::CachedDecision decision = decision_for_generation(op);
+      cache.put(key, decision);
+      reference.put(key, decision);
+    }
+    ASSERT_EQ(cache.size(), reference.size()) << "op " << op;
+  }
+  EXPECT_EQ(cache.evictions(), reference.evictions());
+  // Closing sweep: every key answered identically.
+  for (const auto& key : keys)
+    ASSERT_TRUE(same_decision(cache.get(key), reference.get(key)));
+  // Single-threaded runs must never hit the torn-read retry path.
+  EXPECT_EQ(cache.read_retries(), 0u);
+}
+
+// Multi-shard differential without evictions: the sharding itself must
+// not change observable behavior vs one flat map.
+TEST(ServeSeqlock, ShardedDifferentialMatchesFlatMap) {
+  sv::DecisionCache cache{{/*capacity=*/256, /*shards=*/8}};
+  std::map<arcs::HistoryKey, sv::CachedDecision> flat;
+
+  arcs::common::Rng rng{7};
+  std::vector<arcs::HistoryKey> keys;
+  keys.reserve(24);
+  for (int i = 0; i < 24; ++i)
+    keys.push_back(make_key("s" + std::to_string(i)));
+  for (std::uint64_t op = 1; op <= 2000; ++op) {
+    const auto& key = keys[rng.uniform_index(keys.size())];
+    if (rng.uniform_index(2) == 0) {
+      const auto it = flat.find(key);
+      const auto want = it == flat.end()
+                            ? std::optional<sv::CachedDecision>{}
+                            : std::optional<sv::CachedDecision>{it->second};
+      ASSERT_TRUE(same_decision(cache.get(key), want)) << "op " << op;
+    } else {
+      const sv::CachedDecision decision = decision_for_generation(op);
+      cache.put(key, decision);
+      flat[key] = decision;
+    }
+  }
+  EXPECT_EQ(cache.size(), flat.size());
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+// Tombstone bookkeeping: heavy sequential insertion through a tiny shard
+// must keep exactly the newest `capacity` keys reachable — probe chains
+// survive eviction (tombstones, never empties) and inserts reuse them.
+TEST(ServeSeqlock, EvictionKeepsNewestKeysReachable) {
+  constexpr std::size_t kCapacity = 4;
+  sv::DecisionCache cache{{kCapacity, /*shards=*/1}};
+  constexpr int kKeys = 20;
+  for (int i = 0; i < kKeys; ++i)
+    cache.put(make_key("k" + std::to_string(i)),
+              decision_for_generation(static_cast<std::uint64_t>(i) + 1));
+  EXPECT_EQ(cache.size(), kCapacity);
+  EXPECT_EQ(cache.evictions(), kKeys - kCapacity);
+  for (int i = 0; i < kKeys - static_cast<int>(kCapacity); ++i)
+    EXPECT_FALSE(cache.get(make_key("k" + std::to_string(i))).has_value());
+  for (int i = kKeys - static_cast<int>(kCapacity); i < kKeys; ++i) {
+    const auto got = cache.get(make_key("k" + std::to_string(i)));
+    ASSERT_TRUE(got.has_value()) << "k" << i;
+    EXPECT_TRUE(consistent(*got));
+  }
+}
+
+// The 128-bit fingerprint halves must be independent: keys differing in
+// any single field produce different values in BOTH hashes, and the two
+// hashes never coincide for the same key (they use different bases,
+// multipliers, and finalizers).
+TEST(ServeSeqlock, FingerprintHalvesAreIndependent) {
+  const std::vector<arcs::HistoryKey> keys = {
+      {"SP", "testbox", 40.0, "B", "r"},
+      {"BT", "testbox", 40.0, "B", "r"},   // app differs
+      {"SP", "crill", 40.0, "B", "r"},     // machine differs
+      {"SP", "testbox", 55.0, "B", "r"},   // cap differs
+      {"SP", "testbox", 40.0, "C", "r"},   // workload differs
+      {"SP", "testbox", 40.0, "B", "r2"},  // region differs
+  };
+  std::map<std::uint64_t, int> seen_a;
+  std::map<std::uint64_t, int> seen_b;
+  for (const auto& key : keys) {
+    const std::uint64_t a = sv::DecisionCache::key_hash(key);
+    const std::uint64_t b = sv::DecisionCache::key_hash2(key);
+    EXPECT_NE(a, b);
+    ++seen_a[a];
+    ++seen_b[b];
+  }
+  EXPECT_EQ(seen_a.size(), keys.size());
+  EXPECT_EQ(seen_b.size(), keys.size());
+}

@@ -833,3 +833,82 @@ TEST(ServeRemotePolicy, SeededCacheAppliesOnFirstCall) {
   EXPECT_TRUE(policy.all_converged());
   EXPECT_EQ(server.metrics().searches_started.load(), 0u);
 }
+
+// ---------- per-op latency histograms ----------
+
+TEST(ServeLatency, PerOpHistogramsSeparateHitFromMiss) {
+  sv::TuningServer server;
+  server.handle(put_request(make_key("lat"), 8));
+  for (int i = 0; i < 64; ++i)
+    ASSERT_EQ(server.handle(get_request(make_key("lat"))).status,
+              sv::Status::Hit);
+  const auto& m = server.metrics();
+  // Hits are sampled 1-in-16 per stripe (two clock reads would dominate
+  // the lock-free path), so 64 hits land between 1 and 64 observations.
+  EXPECT_GE(m.hit_latency.count(), 1u);
+  EXPECT_LE(m.hit_latency.count(), 64u);
+  EXPECT_EQ(m.miss_latency.count(), 0u);
+
+  // A miss (Evaluate answer) is observed exhaustively — and never
+  // pollutes the hit histogram, so a p99 regression on the lock-free
+  // path cannot hide inside search-driven miss latency.
+  ASSERT_EQ(server.handle(get_request(make_key("cold"))).status,
+            sv::Status::Evaluate);
+  EXPECT_EQ(m.miss_latency.count(), 1u);
+  EXPECT_EQ(m.predicted_latency.count(), 0u);
+
+  EXPECT_GT(m.hit_latency.quantile(0.50), 0.0);
+  EXPECT_GE(m.hit_latency.quantile(0.99), m.hit_latency.quantile(0.50));
+}
+
+TEST(ServeLatency, PredictedAnswersLandInTheirOwnHistogram) {
+  const StubServePredictor predictor{make_config(4)};
+  sv::ServerOptions options;
+  options.predictor = &predictor;
+  options.refine_predictions = false;
+  sv::TuningServer server{options};
+  ASSERT_EQ(server.handle(get_request(make_key("cold"))).status,
+            sv::Status::Hit);
+  EXPECT_EQ(server.metrics().predicted_latency.count(), 1u);
+  EXPECT_EQ(server.metrics().miss_latency.count(), 0u);
+  EXPECT_EQ(server.metrics().hit_latency.count(), 0u);
+}
+
+TEST(ServeLatency, MetricsJsonLatencyPerOpShape) {
+  sv::TuningServer server;
+  server.handle(put_request(make_key("r"), 8));
+  server.handle(get_request(make_key("r")));
+  server.handle(get_request(make_key("miss")));
+  const auto j = server.metrics_json();
+  const auto* per_op = j.find("latency_per_op");
+  ASSERT_NE(per_op, nullptr);
+  for (const char* op : {"hit", "miss", "predicted"}) {
+    const auto* block = per_op->find(op);
+    ASSERT_NE(block, nullptr) << op;
+    for (const char* field : {"count", "p50_us", "p99_us"}) {
+      ASSERT_NE(block->find(field), nullptr) << op << "." << field;
+      EXPECT_TRUE(block->find(field)->is_number()) << op << "." << field;
+    }
+  }
+  EXPECT_DOUBLE_EQ(per_op->find("miss")->find("count")->as_number(), 1.0);
+  EXPECT_GT(per_op->find("miss")->find("p99_us")->as_number(), 0.0);
+  // Empty histograms render zero quantiles, not garbage.
+  EXPECT_DOUBLE_EQ(per_op->find("predicted")->find("count")->as_number(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(per_op->find("predicted")->find("p50_us")->as_number(),
+                   0.0);
+}
+
+TEST(ServeLatency, PrometheusExposesPerOpHistograms) {
+  sv::TuningServer server;
+  server.handle(put_request(make_key("r"), 8));
+  server.handle(get_request(make_key("miss")));
+  const std::string text = server.prometheus_text();
+  for (const char* needle :
+       {"arcs_serve_hit_seconds_bucket", "arcs_serve_hit_seconds_count",
+        "arcs_serve_hit_seconds_sum", "arcs_serve_miss_seconds_bucket",
+        "arcs_serve_miss_seconds_count",
+        "arcs_serve_predicted_seconds_count"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}

@@ -1,0 +1,562 @@
+// Torture tests for the socket transport: the epoll loop must survive
+// every way a client can mangle the arcs-serve/v1 framing — truncated
+// and oversized length prefixes, frames split across reads, binary
+// garbage, mid-frame disconnects, slow-loris dribbles — without
+// crashing, leaking a session, or refusing well-formed frames
+// afterwards. Plus the event-loop behaviors that only show under load:
+// per-connection backpressure, idle-connection sweeping, and a
+// 32-client mixed hit/miss/predicted soak asserting the one-search-
+// per-key invariant end to end.
+//
+// Suite names start with "Serve" so the TSan CI stage's -R filter picks
+// them up; tools/ci.sh additionally runs them under ASan in the
+// serve-stress stage.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/predictor.hpp"
+#include "serve/serve.hpp"
+
+namespace sv = arcs::serve;
+namespace sp = arcs::somp;
+
+namespace {
+
+arcs::HistoryKey make_key(const std::string& region) {
+  return {"SP", "testbox", 40.0, "B", region};
+}
+
+sp::LoopConfig make_config(int threads, int chunk = 8) {
+  return {threads, {sp::ScheduleKind::Guided, chunk}};
+}
+
+sv::Request get_request(const arcs::HistoryKey& key, double wait_ms = 0.0) {
+  sv::Request r;
+  r.op = sv::Op::Get;
+  r.key = key;
+  r.wait_ms = wait_ms;
+  return r;
+}
+
+sv::Request put_request(const arcs::HistoryKey& key, int threads) {
+  sv::Request r;
+  r.op = sv::Op::Put;
+  r.key = key;
+  r.config = make_config(threads);
+  r.value = 1.0 / threads;
+  r.evaluations = 10;
+  return r;
+}
+
+std::string encode_request(const sv::Request& request) {
+  return sv::encode_frame(sv::to_json(request).dump(0));
+}
+
+double synthetic_objective(const sp::LoopConfig& config) {
+  const double threads =
+      config.num_threads == 0 ? 8.0 : static_cast<double>(config.num_threads);
+  const double chunk = config.schedule.chunk == 0
+                           ? 16.0
+                           : static_cast<double>(config.schedule.chunk);
+  const double t = threads - 6.0;
+  const double c = (chunk - 32.0) / 32.0;
+  return 1.0 + 0.01 * (t * t) + 0.005 * (c * c);
+}
+
+std::filesystem::path temp_path(const std::string& name) {
+  return std::filesystem::temp_directory_path() /
+         (name + "." + std::to_string(::getpid()));
+}
+
+struct SocketRig {
+  explicit SocketRig(sv::ServerOptions server_options = {},
+                     sv::SocketServerOptions socket_options = {})
+      : server(std::move(server_options)),
+        socket(server, temp_path("arcs_torture_test.sock").string(),
+               socket_options) {}
+  sv::TuningServer server;
+  sv::SocketServer socket;
+};
+
+/// A raw Unix-socket connection the tests use to speak *broken*
+/// protocol — everything SocketClient refuses to do. Receives are
+/// bounded by SO_RCVTIMEO so a daemon bug hangs a test at ~5s, not
+/// forever.
+class RawConn {
+ public:
+  explicit RawConn(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ARCS_CHECK(fd_ >= 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ARCS_CHECK(path.size() < sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ARCS_CHECK(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr)) == 0);
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~RawConn() { close(); }
+  RawConn(const RawConn&) = delete;
+  RawConn& operator=(const RawConn&) = delete;
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  void set_nonblocking() {
+    ARCS_CHECK(::fcntl(fd_, F_SETFL,
+                       ::fcntl(fd_, F_GETFL, 0) | O_NONBLOCK) == 0);
+  }
+
+  bool send_all(std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Nonblocking send; returns bytes written (0 on EAGAIN), -1 on error.
+  ssize_t send_some(std::string_view bytes) {
+    const ssize_t n =
+        ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return 0;
+    return n;
+  }
+
+  /// Reads exactly one length-prefixed frame; nullopt on EOF/timeout.
+  std::optional<std::string> recv_frame() {
+    unsigned char header[4];
+    if (!recv_exact(header, 4)) return std::nullopt;
+    const std::size_t n = (static_cast<std::size_t>(header[0]) << 24) |
+                          (static_cast<std::size_t>(header[1]) << 16) |
+                          (static_cast<std::size_t>(header[2]) << 8) |
+                          static_cast<std::size_t>(header[3]);
+    std::string payload(n, '\0');
+    if (n > 0 && !recv_exact(payload.data(), n)) return std::nullopt;
+    return payload;
+  }
+
+  std::optional<sv::Response> recv_response() {
+    const auto payload = recv_frame();
+    if (!payload) return std::nullopt;
+    std::string error;
+    const auto json = arcs::common::Json::parse(*payload, &error);
+    ARCS_CHECK_MSG(error.empty(), "bad response JSON: " + error);
+    return sv::response_from_json(json);
+  }
+
+  /// True when the peer half-closed (recv returns 0) within the timeout.
+  bool saw_eof() {
+    char byte;
+    return ::recv(fd_, &byte, 1, 0) == 0;
+  }
+
+ private:
+  bool recv_exact(void* out, std::size_t n) {
+    auto* dst = static_cast<char*>(out);
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t got = ::recv(fd_, dst + off, n - off, 0);
+      if (got <= 0) return false;
+      off += static_cast<std::size_t>(got);
+    }
+    return true;
+  }
+
+  int fd_ = -1;
+};
+
+void wait_for_connections(const sv::SocketServer& socket, std::size_t want) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (socket.connections() != want &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(socket.connections(), want);
+}
+
+}  // namespace
+
+// ---------- FrameDecoder units ----------
+
+TEST(ServeTortureDecoder, ReassemblesByteByByte) {
+  const std::string encoded = sv::encode_frame("{\"op\":\"ping\"}");
+  sv::FrameDecoder decoder;
+  std::string frame;
+  for (std::size_t i = 0; i + 1 < encoded.size(); ++i) {
+    decoder.feed(&encoded[i], 1);
+    ASSERT_EQ(decoder.next(frame), sv::FrameDecoder::Result::NeedMore)
+        << "after byte " << i;
+  }
+  decoder.feed(&encoded[encoded.size() - 1], 1);
+  ASSERT_EQ(decoder.next(frame), sv::FrameDecoder::Result::Frame);
+  EXPECT_EQ(frame, "{\"op\":\"ping\"}");
+  EXPECT_EQ(decoder.next(frame), sv::FrameDecoder::Result::NeedMore);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(ServeTortureDecoder, ExtractsMultipleFramesFromOneFeed) {
+  const std::string batch = sv::encode_frame("one") + sv::encode_frame("") +
+                            sv::encode_frame("three");
+  sv::FrameDecoder decoder;
+  decoder.feed(batch.data(), batch.size());
+  std::string frame;
+  ASSERT_EQ(decoder.next(frame), sv::FrameDecoder::Result::Frame);
+  EXPECT_EQ(frame, "one");
+  ASSERT_EQ(decoder.next(frame), sv::FrameDecoder::Result::Frame);
+  EXPECT_EQ(frame, "");  // zero-length frames are legal at this layer
+  ASSERT_EQ(decoder.next(frame), sv::FrameDecoder::Result::Frame);
+  EXPECT_EQ(frame, "three");
+  EXPECT_EQ(decoder.next(frame), sv::FrameDecoder::Result::NeedMore);
+}
+
+TEST(ServeTortureDecoder, OversizedLengthPrefixIsCorrupt) {
+  const std::size_t n = sv::kMaxFrameBytes + 1;
+  const char header[4] = {static_cast<char>(n >> 24),
+                          static_cast<char>(n >> 16),
+                          static_cast<char>(n >> 8), static_cast<char>(n)};
+  sv::FrameDecoder decoder;
+  decoder.feed(header, 4);
+  std::string frame;
+  EXPECT_EQ(decoder.next(frame), sv::FrameDecoder::Result::Corrupt);
+  // Corruption is sticky — a desynced length-prefixed stream cannot be
+  // resynchronized, so the decoder must not "recover".
+  decoder.feed(header, 4);
+  EXPECT_EQ(decoder.next(frame), sv::FrameDecoder::Result::Corrupt);
+}
+
+TEST(ServeTortureDecoder, CompactsConsumedPrefix) {
+  sv::FrameDecoder decoder;
+  std::string frame;
+  // Cycle enough frames through that an unbounded buffer would be
+  // obvious: buffered() must return to zero once everything is consumed.
+  const std::string payload(1024, 'x');
+  const std::string encoded = sv::encode_frame(payload);
+  for (int i = 0; i < 2048; ++i) {
+    decoder.feed(encoded.data(), encoded.size());
+    ASSERT_EQ(decoder.next(frame), sv::FrameDecoder::Result::Frame);
+    ASSERT_EQ(frame.size(), payload.size());
+  }
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+// ---------- protocol fuzzing against a live daemon ----------
+
+TEST(ServeTortureFuzzer, GarbageJsonAnswersErrorAndConnectionSurvives) {
+  SocketRig rig;
+  RawConn conn{rig.socket.path()};
+  ASSERT_TRUE(conn.send_all(sv::encode_frame("this is not json")));
+  const auto error = conn.recv_response();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->status, sv::Status::Error);
+  // The framing is intact, so the session must keep serving.
+  ASSERT_TRUE(conn.send_all(encode_request(sv::Request{})));
+  const auto pong = conn.recv_response();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->status, sv::Status::Ok);
+}
+
+TEST(ServeTortureFuzzer, OversizedPrefixDropsOnlyThatConnection) {
+  SocketRig rig;
+  RawConn corrupt{rig.socket.path()};
+  // A well-formed ping riding in front of the corruption must still be
+  // answered before the connection dies (flush what is owed, then cut).
+  std::string bytes = encode_request(sv::Request{});
+  const std::size_t n = sv::kMaxFrameBytes + 7;
+  bytes.push_back(static_cast<char>(n >> 24));
+  bytes.push_back(static_cast<char>(n >> 16));
+  bytes.push_back(static_cast<char>(n >> 8));
+  bytes.push_back(static_cast<char>(n));
+  ASSERT_TRUE(corrupt.send_all(bytes));
+  const auto pong = corrupt.recv_response();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->status, sv::Status::Ok);
+  EXPECT_TRUE(corrupt.saw_eof());
+  EXPECT_EQ(rig.socket.corrupt_connections(), 1u);
+  // Fresh connections are unaffected.
+  sv::SocketClient client{rig.socket.path()};
+  EXPECT_EQ(client.call(sv::Request{}).status, sv::Status::Ok);
+  EXPECT_FALSE(client.transport_failed());
+}
+
+// The deterministic frame fuzzer: seeded common::Rng drives ~60 rounds
+// of hostile client behavior. The invariants, checked every round and
+// once more at the end: the daemon never crashes, answers every
+// well-formed frame, and drains every session it was left holding.
+TEST(ServeTortureFuzzer, DeterministicFrameFuzz) {
+  SocketRig rig;
+  const arcs::HistoryKey key = make_key("fuzz");
+  {
+    sv::SocketClient seed{rig.socket.path()};
+    ASSERT_EQ(seed.call(put_request(key, 16)).status, sv::Status::Ok);
+  }
+  wait_for_connections(rig.socket, 0);
+
+  arcs::common::Rng rng{0xf022a11edull};
+  std::uint64_t eofs_expected = 0;
+  for (int round = 0; round < 60; ++round) {
+    RawConn conn{rig.socket.path()};
+    switch (rng.uniform_index(7)) {
+      case 0: {  // whole well-formed ping
+        ASSERT_TRUE(conn.send_all(encode_request(sv::Request{})));
+        const auto r = conn.recv_response();
+        ASSERT_TRUE(r.has_value()) << "round " << round;
+        EXPECT_EQ(r->status, sv::Status::Ok);
+        break;
+      }
+      case 1: {  // get split into random chunks
+        const std::string bytes = encode_request(get_request(key));
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+          const auto n = static_cast<std::size_t>(
+              rng.uniform_int(1, static_cast<std::int64_t>(
+                                     bytes.size() - off)));
+          ASSERT_TRUE(conn.send_all({bytes.data() + off, n}));
+          off += n;
+        }
+        const auto r = conn.recv_response();
+        ASSERT_TRUE(r.has_value()) << "round " << round;
+        EXPECT_EQ(r->status, sv::Status::Hit);
+        EXPECT_EQ(r->config, make_config(16));
+        break;
+      }
+      case 2: {  // truncated frame, then abrupt disconnect
+        const std::string bytes = encode_request(get_request(key));
+        const auto keep = static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<std::int64_t>(bytes.size() - 1)));
+        ASSERT_TRUE(conn.send_all({bytes.data(), keep}));
+        conn.close();
+        break;
+      }
+      case 3: {  // garbage JSON in a valid frame; connection survives
+        ASSERT_TRUE(conn.send_all(sv::encode_frame("][ nope")));
+        const auto r = conn.recv_response();
+        ASSERT_TRUE(r.has_value()) << "round " << round;
+        EXPECT_EQ(r->status, sv::Status::Error);
+        ASSERT_TRUE(conn.send_all(encode_request(sv::Request{})));
+        const auto pong = conn.recv_response();
+        ASSERT_TRUE(pong.has_value()) << "round " << round;
+        EXPECT_EQ(pong->status, sv::Status::Ok);
+        break;
+      }
+      case 4: {  // valid length prefix, binary-garbage payload
+        std::string payload(1 + rng.uniform_index(64), '\0');
+        for (auto& byte : payload)
+          byte = static_cast<char>(rng.uniform_index(256));
+        ASSERT_TRUE(conn.send_all(sv::encode_frame(payload)));
+        const auto r = conn.recv_response();
+        ASSERT_TRUE(r.has_value()) << "round " << round;
+        EXPECT_EQ(r->status, sv::Status::Error);
+        break;
+      }
+      case 5: {  // oversized prefix: daemon must cut the connection
+        const std::size_t n =
+            sv::kMaxFrameBytes + 1 + rng.uniform_index(1024);
+        const char header[4] = {
+            static_cast<char>(n >> 24), static_cast<char>(n >> 16),
+            static_cast<char>(n >> 8), static_cast<char>(n)};
+        ASSERT_TRUE(conn.send_all({header, 4}));
+        EXPECT_TRUE(conn.saw_eof()) << "round " << round;
+        ++eofs_expected;
+        break;
+      }
+      case 6: {  // slow-loris: dribble a valid ping with pauses
+        const std::string bytes = encode_request(sv::Request{});
+        for (std::size_t off = 0; off < bytes.size(); ++off) {
+          ASSERT_TRUE(conn.send_all({bytes.data() + off, 1}));
+          if (rng.uniform_index(3) == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        const auto r = conn.recv_response();
+        ASSERT_TRUE(r.has_value()) << "round " << round;
+        EXPECT_EQ(r->status, sv::Status::Ok);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(rig.socket.corrupt_connections(), eofs_expected);
+  // No leaked sessions: every fuzz connection is reaped once its RawConn
+  // closed, and a well-behaved client still gets full service.
+  wait_for_connections(rig.socket, 0);
+  EXPECT_EQ(rig.server.inflight(), 0u);
+  sv::SocketClient client{rig.socket.path()};
+  const auto got = client.call(get_request(key));
+  EXPECT_EQ(got.status, sv::Status::Hit);
+  EXPECT_EQ(got.config, make_config(16));
+  EXPECT_FALSE(client.transport_failed());
+}
+
+// ---------- event-loop behaviors ----------
+
+// A client that floods requests and never reads responses must throttle
+// only itself: the loop parks its reads once the pending-write buffer
+// passes the cap, while other connections stay fully served.
+TEST(ServeTortureLoop, BackpressureSlowClientDoesNotStallOthers) {
+  sv::SocketServerOptions socket_options;
+  socket_options.max_pending_write_bytes = 1024;
+  SocketRig rig{{}, socket_options};
+
+  RawConn slow{rig.socket.path()};
+  slow.set_nonblocking();
+  const std::string ping = encode_request(sv::Request{});
+  constexpr std::size_t kFloodCap = 8u << 20;
+  std::size_t sent = 0;
+  while (rig.socket.suspended_reads() == 0 && sent < kFloodCap) {
+    const ssize_t n = slow.send_some(ping);
+    ASSERT_GE(n, 0) << "flood connection died";
+    if (n == 0)  // our own send buffer is full; give the loop a beat
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    sent += static_cast<std::size_t>(n);
+  }
+  ASSERT_GT(rig.socket.suspended_reads(), 0u)
+      << "flooded " << sent << " bytes without tripping backpressure";
+
+  // The loop is NOT stalled: a well-behaved client gets served while the
+  // slow one sits parked.
+  sv::SocketClient good{rig.socket.path()};
+  for (int i = 0; i < 10; ++i)
+    ASSERT_EQ(good.call(sv::Request{}).status, sv::Status::Ok);
+  EXPECT_FALSE(good.transport_failed());
+
+  // Draining the backlog resumes the flooded connection's service.
+  std::size_t drained = 0;
+  while (slow.recv_frame().has_value()) ++drained;
+  EXPECT_GT(drained, 0u);
+}
+
+TEST(ServeTortureLoop, IdleTimeoutClosesQuietConnections) {
+  sv::SocketServerOptions socket_options;
+  socket_options.idle_timeout_s = 0.2;
+  SocketRig rig{{}, socket_options};
+
+  RawConn idle{rig.socket.path()};
+  ASSERT_TRUE(idle.send_all(encode_request(sv::Request{})));
+  const auto pong = idle.recv_response();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->status, sv::Status::Ok);
+  // Go quiet; the sweep must cut us loose (EOF) well within the recv
+  // timeout.
+  EXPECT_TRUE(idle.saw_eof());
+  EXPECT_GE(rig.socket.timed_out_connections(), 1u);
+  wait_for_connections(rig.socket, 0);
+
+  // The server keeps accepting fresh connections afterwards.
+  sv::SocketClient client{rig.socket.path()};
+  EXPECT_EQ(client.call(sv::Request{}).status, sv::Status::Ok);
+}
+
+namespace {
+
+/// Predicts only for regions named "pred_*" — the soak needs model
+/// answers for some keys while others still exercise real searches.
+class SelectivePredictor final : public arcs::ConfigPredictor {
+ public:
+  std::optional<sp::LoopConfig> predict_config(
+      const arcs::HistoryKey& key) const override {
+    if (key.region.rfind("pred_", 0) == 0) return make_config(4);
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+// The full-system soak: 32 clients × mixed hit/predicted/miss traffic
+// through the epoll loop and worker pool. The load-bearing assertion is
+// the server's core invariant surviving transport concurrency: exactly
+// ONE search ever runs per missed key, no matter how many clients pile
+// onto it.
+TEST(ServeTortureLoop, MixedSoak32ClientsOneSearchPerKey) {
+  SelectivePredictor predictor;
+  sv::ServerOptions server_options;
+  server_options.predictor = &predictor;
+  server_options.refine_predictions = false;
+  SocketRig rig{std::move(server_options)};
+
+  const std::vector<arcs::HistoryKey> hit_keys = {
+      make_key("hit_a"), make_key("hit_b"), make_key("hit_c"),
+      make_key("hit_d")};
+  const std::vector<arcs::HistoryKey> pred_keys = {
+      make_key("pred_a"), make_key("pred_b"), make_key("pred_c"),
+      make_key("pred_d")};
+  const std::vector<arcs::HistoryKey> miss_keys = {make_key("miss_a"),
+                                                   make_key("miss_b")};
+  {
+    sv::SocketClient seeder{rig.socket.path()};
+    for (std::size_t i = 0; i < hit_keys.size(); ++i)
+      ASSERT_EQ(seeder
+                    .call(put_request(hit_keys[i], static_cast<int>(i) + 2))
+                    .status,
+                sv::Status::Ok);
+  }
+
+  constexpr int kClients = 32;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      sv::SocketClient client{rig.socket.path()};
+      // Drive "my" miss key to convergence; with 32 clients per 2 keys,
+      // one client becomes the driver and the rest join/wait/retry.
+      const auto& miss = miss_keys[static_cast<std::size_t>(c) % 2];
+      for (;;) {
+        const auto decision = client.decide(miss, 50.0);
+        if (decision.kind == arcs::RemoteDecision::Kind::Apply) break;
+        if (decision.kind == arcs::RemoteDecision::Kind::Evaluate)
+          client.report(miss, decision.ticket,
+                        synthetic_objective(decision.config));
+      }
+      // Then a burst of mixed hit/predicted traffic.
+      for (int i = 0; i < 25; ++i) {
+        const auto& hit = hit_keys[static_cast<std::size_t>(i + c) % 4];
+        const auto h = client.decide(hit, 0.0);
+        if (h.kind != arcs::RemoteDecision::Kind::Apply || h.predicted)
+          failures.fetch_add(1, std::memory_order_relaxed);
+        const auto& pred = pred_keys[static_cast<std::size_t>(i) % 4];
+        const auto p = client.decide(pred, 0.0);
+        if (p.kind != arcs::RemoteDecision::Kind::Apply || !p.predicted)
+          failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (client.transport_failed())
+        failures.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // The invariant: two missed keys, exactly two searches, both retired.
+  EXPECT_EQ(rig.server.metrics().searches_started.load(), 2u);
+  EXPECT_EQ(rig.server.metrics().searches_completed.load(), 2u);
+  EXPECT_EQ(rig.server.inflight(), 0u);
+  // Predicted keys were answered by the model (once each) and then from
+  // the provisional cache entries.
+  EXPECT_EQ(rig.server.metrics().predictions.load(), 4u);
+  EXPECT_GT(rig.server.metrics().provisional_hits.load(), 0u);
+  // Nothing was rejected (32 in-flight requests fit the default queue)
+  // and every connection drains once its client goes away.
+  EXPECT_EQ(rig.socket.rejected(), 0u);
+  wait_for_connections(rig.socket, 0);
+}

@@ -45,6 +45,8 @@ int usage(const char* argv0) {
       "  --shards N           decision-cache lock shards (default 8)\n"
       "  --workers N          request worker threads (default 4)\n"
       "  --queue N            dispatch queue depth (default 128)\n"
+      "  --idle-timeout S     close connections idle longer than S\n"
+      "                       seconds (default 0 = never)\n"
       "  --method NAME        search method: exhaustive|nelder-mead|\n"
       "                       pro|random|annealing (default exhaustive)\n"
       "  --model FILE         trained predictor (arcs_tune train); cache\n"
@@ -122,6 +124,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--queue") {
       socket_opts.queue_capacity =
           static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--idle-timeout") {
+      socket_opts.idle_timeout_s = std::atof(next());
     } else if (arg == "--method") {
       const std::string name = next();
       if (name == "exhaustive")

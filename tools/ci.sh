@@ -5,7 +5,9 @@
 #   3. ASan+UBSan mode (-DARCS_SANITIZE=ON), and
 #   4. TSan mode (-DARCS_SANITIZE=thread, with the sync verifier on) for
 #      the concurrent exec layer,
-# and, when clang-tidy is available, a clang-tidy build as well.
+# and, when clang-tidy is available, a clang-tidy build as well. The
+# serve-stress stage re-runs the transport torture tests (frame fuzzer,
+# seqlock property suite, 32-client soak) under both ASan and TSan.
 # Finishes with the somp_verify sweep and a bench smoke step that checks
 # the machine-readable BENCH_*.json reports against their schema.
 #
@@ -57,11 +59,24 @@ cmake -B "$ROOT/tsan" -S . -DARCS_SANITIZE=thread -DARCS_SYNC_CHECK=ON \
 echo "=== [tsan] build ==="
 cmake --build "$ROOT/tsan" -j "$JOBS" \
   --target exec_test golden_test somp_test analysis_test serve_test \
+           serve_seqlock_test serve_torture_test \
            telemetry_test model_test somp_verify
 echo "=== [tsan] exec + somp + serve + telemetry + model suites under TSan ==="
 (cd "$ROOT/tsan" && ctest --output-on-failure -j "$JOBS" \
   -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve|Telemetry|Model|PredictedStrategy|SyncVerifier')
 "$ROOT/tsan/tools/somp_verify" --app synthetic --steps 3
+
+# The serve torture suites — frame fuzzer, seqlock property tests, and
+# the 32-client soak — re-run as a dedicated stage under BOTH sanitizers:
+# ASan catches the use-after-close bugs an event loop invites, TSan the
+# torn reads a seqlock invites. (The sanitize/tsan trees above already
+# exist; this is a targeted re-run, not a rebuild.)
+echo "=== [serve-stress] torture + seqlock suites under ASan ==="
+(cd "$ROOT/sanitize" && ctest --output-on-failure -j "$JOBS" \
+  -R 'ServeTorture|ServeSeqlock')
+echo "=== [serve-stress] torture + seqlock suites under TSan ==="
+(cd "$ROOT/tsan" && ctest --output-on-failure -j "$JOBS" \
+  -R 'ServeTorture|ServeSeqlock')
 
 if command -v clang-tidy >/dev/null 2>&1; then
   run_mode tidy -DARCS_CLANG_TIDY=ON
@@ -179,7 +194,14 @@ series = {row["series"] for row in r["rows"]}
 assert {"serve_hit_throughput", "serve_search_dedup"} <= series, series
 dedup = [row for row in r["rows"] if row["series"] == "serve_search_dedup"]
 assert dedup[0]["searches_started"] == 1, dedup
-print("serve bench smoke: report valid, one shared search")
+hits = [row for row in r["rows"] if row["series"] == "serve_hit_throughput"]
+for row in hits:
+    for key in ("hit_p50_us", "hit_p99_us", "hit_latency_samples"):
+        assert key in row, f"missing {key}: {row}"
+    assert row["hit_p99_us"] >= row["hit_p50_us"] > 0, row
+print("serve bench smoke: report valid, one shared search, "
+      f"hit p50 {hits[-1]['hit_p50_us']:.3f}us / "
+      f"p99 {hits[-1]['hit_p99_us']:.3f}us")
 PYEOF
 
 echo "=== trace smoke: record a traced remote-tuned run, validate the JSON ==="
