@@ -1,0 +1,498 @@
+// x16 — the fleet tier: sharded daemons behaving as one service.
+//
+// Four hard gates on src/fleet/ (see docs/FLEET.md):
+//   A. fleet-wide search dedup — 8 clients asking 4 daemons for ONE key
+//      through the router run exactly one search among the live
+//      replicas (sum of searches_started across every daemon == 1);
+//   B. routed hit throughput — millions of requests spread over the
+//      ring, zero errors, and hot keys actually replicate (read fan-out
+//      serves from mirrors);
+//   C. failure handling — a daemon killed mid-run costs ZERO failed
+//      client requests (its arc re-routes to the successor inside the
+//      failing call), and the rejoin is probe-driven with a warm start;
+//   D. global power budget — hundreds of jobs churning through the
+//      BudgetArbiter never push the allocated total above the cluster
+//      cap, renegotiations invalidate stale cache entries fleet-wide,
+//      and a live cluster::run_job tracks its renegotiated share via
+//      budget_provider.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/job.hpp"
+#include "common/table.hpp"
+#include "fleet/fleet.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using arcs::HistoryKey;
+namespace fleet = arcs::fleet;
+namespace serve = arcs::serve;
+namespace bench = arcs::bench;
+using Clock = std::chrono::steady_clock;
+
+// Aggregate-init + noinline: GCC 12 at -O3 raises a spurious -Wrestrict
+// on member-by-member string assignment inlined into the bench loops.
+__attribute__((noinline)) HistoryKey make_key(std::size_t i) {
+  return HistoryKey{"SP", "testbox",
+                    40.0 + 5.0 * static_cast<double>(i % 8), "B",
+                    "region_" + std::to_string(i)};
+}
+
+double synthetic_objective(const arcs::somp::LoopConfig& config) {
+  const double threads = config.num_threads == 0
+                             ? 8.0
+                             : static_cast<double>(config.num_threads);
+  const double chunk = config.schedule.chunk == 0
+                           ? 16.0
+                           : static_cast<double>(config.schedule.chunk);
+  const double t = threads - 6.0;
+  const double c = (chunk - 32.0) / 32.0;
+  return 1.0 + 0.01 * (t * t) + 0.005 * (c * c);
+}
+
+/// An in-process daemon connection with a kill switch: while killed,
+/// every call fails at the "transport" level exactly like a SocketClient
+/// whose daemon got SIGKILLed, and reopen() succeeds only after revive()
+/// — so the router's organic failure path (mark dead, re-route, probe,
+/// warm-start) runs without real processes.
+class FlakyClient : public serve::Client {
+ public:
+  explicit FlakyClient(serve::TuningServer& server) : server_(server) {}
+
+  serve::Response call(const serve::Request& request) override {
+    if (killed_.load(std::memory_order_acquire)) {
+      transport_failed_.store(true, std::memory_order_release);
+      serve::Response response;
+      response.status = serve::Status::Error;
+      response.error = "connection reset by peer";
+      return response;
+    }
+    transport_failed_.store(false, std::memory_order_release);
+    return server_.handle(request);
+  }
+
+  bool reopen() override {
+    if (killed_.load(std::memory_order_acquire)) return false;
+    transport_failed_.store(false, std::memory_order_release);
+    return true;
+  }
+
+  void kill() { killed_.store(true, std::memory_order_release); }
+  void revive() { killed_.store(false, std::memory_order_release); }
+
+ private:
+  serve::TuningServer& server_;
+  std::atomic<bool> killed_{false};
+};
+
+/// Four in-process daemons plus one router — the whole fleet in a box.
+struct Fleet {
+  static constexpr std::size_t kDaemons = 4;
+
+  explicit Fleet(fleet::RouterOptions options) : router(options) {
+    serve::ServerOptions server_options;
+    server_options.cache.capacity = 8192;
+    server_options.cache.shards = 16;
+    for (std::size_t i = 0; i < kDaemons; ++i) {
+      servers.push_back(
+          std::make_unique<serve::TuningServer>(server_options));
+      clients.push_back(std::make_unique<FlakyClient>(*servers.back()));
+      names.push_back("daemon-" + std::string(1, char('a' + i)));
+      router.add_endpoint(names.back(), clients.back().get());
+    }
+  }
+
+  std::uint64_t total_searches() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : servers) sum += s->metrics().searches_started.load();
+    return sum;
+  }
+
+  std::vector<std::unique_ptr<serve::TuningServer>> servers;
+  std::vector<std::unique_ptr<FlakyClient>> clients;
+  std::vector<std::string> names;
+  fleet::Router router;
+};
+
+std::size_t drive_to_convergence(serve::Client& client,
+                                 const HistoryKey& key) {
+  std::size_t evaluations = 0;
+  for (;;) {
+    const auto decision = client.decide(key, 1000.0);
+    if (decision.kind == arcs::RemoteDecision::Kind::Apply)
+      return evaluations;
+    if (decision.kind == arcs::RemoteDecision::Kind::Evaluate) {
+      client.report(key, decision.ticket,
+                    synthetic_objective(decision.config));
+      ++evaluations;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "x16_fleet");
+  bench::banner(
+      "x16: fleet tier — sharded daemons, one logical service",
+      "one search per key fleet-wide; a daemon kill costs zero failed "
+      "requests; allocated power never exceeds the cluster cap");
+
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded bench main.
+  const bool fast = std::getenv("ARCS_BENCH_FAST") != nullptr &&
+                    std::getenv("ARCS_BENCH_FAST")[0] == '1';
+  const std::size_t kClients = 8;
+  const std::size_t kKeys = 256;
+  const std::size_t kTotalRequests = fast ? 400'000 : 2'000'000;
+  bool all_pass = true;
+
+  fleet::RouterOptions router_options;
+  router_options.virtual_nodes = 64;
+  router_options.replicas = 1;
+  router_options.hot_key_threshold = 64;
+  router_options.probe_backoff_initial_s = 0.01;
+
+  // ---- Phase A: fleet-wide search dedup. ----
+  {
+    Fleet fleet_box{router_options};
+    const HistoryKey shared_key = make_key(4096);
+    std::atomic<std::size_t> fleet_evaluations{0};
+    std::vector<std::thread> drivers;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      drivers.emplace_back([&fleet_box, &fleet_evaluations, shared_key] {
+        fleet_evaluations.fetch_add(
+            drive_to_convergence(fleet_box.router, shared_key),
+            std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : drivers) t.join();
+    const std::uint64_t searches = fleet_box.total_searches();
+    std::cout << "A. dedup: " << kClients << " clients x "
+              << Fleet::kDaemons << " daemons, one key -> " << searches
+              << " search(es) fleet-wide, " << fleet_evaluations.load()
+              << " evaluations\n";
+    arcs::common::Json row = arcs::common::Json::object();
+    row.set("series", "fleet_search_dedup");
+    row.set("clients", kClients);
+    row.set("daemons", Fleet::kDaemons);
+    row.set("searches_started_fleetwide", searches);
+    row.set("fleet_evaluations", fleet_evaluations.load());
+    bench::add_row(std::move(row));
+    if (searches != 1) {
+      std::cout << "FAIL: expected exactly one search fleet-wide\n";
+      all_pass = false;
+    }
+  }
+
+  // ---- Phase B: routed throughput + hot-key replication. ----
+  {
+    Fleet fleet_box{router_options};
+    std::vector<HistoryKey> keys;
+    keys.reserve(kKeys);
+    for (std::size_t i = 0; i < kKeys; ++i) keys.push_back(make_key(i));
+    for (const auto& key : keys) {
+      serve::Request put;
+      put.op = serve::Op::Put;
+      put.key = key;
+      put.config.num_threads = 4;
+      put.value = 1.0;
+      put.evaluations = 108;
+      if (fleet_box.router.call(put).status != serve::Status::Ok) {
+        std::cout << "FAIL: seeding Put rejected\n";
+        all_pass = false;
+      }
+    }
+    std::atomic<std::size_t> errors{0};
+    std::atomic<std::size_t> misses{0};
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    const std::size_t per_client = kTotalRequests / kClients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&fleet_box, &keys, &errors, &misses,
+                            per_client, c] {
+        std::size_t local_errors = 0;
+        std::size_t local_misses = 0;
+        for (std::size_t i = 0; i < per_client; ++i) {
+          serve::Request get;
+          get.op = serve::Op::Get;
+          // A skewed stride: low keys dominate, so some cross the
+          // hot-key threshold while the tail stays cold.
+          get.key = keys[(i * i + c * 17) % keys.size()];
+          const serve::Response response = fleet_box.router.call(get);
+          if (response.status == serve::Status::Error) ++local_errors;
+          else if (response.status != serve::Status::Hit) ++local_misses;
+        }
+        errors.fetch_add(local_errors, std::memory_order_relaxed);
+        misses.fetch_add(local_misses, std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    const double rps =
+        wall > 0 ? static_cast<double>(per_client * kClients) / wall : 0.0;
+    auto& registry = fleet_box.router.registry();
+    const std::uint64_t replicated =
+        registry.counter("fleet/replicated_keys").load();
+    const std::uint64_t fanout_hits =
+        registry.counter("fleet/fanout_hits").load();
+    const std::uint64_t mirror_puts =
+        registry.counter("fleet/mirror_puts").load();
+    std::cout << "B. throughput: " << per_client * kClients
+              << " routed requests in " << wall << " s (" << rps
+              << " req/s); " << replicated << " keys went hot, "
+              << mirror_puts << " mirror puts, " << fanout_hits
+              << " reads served off replicas; " << errors.load()
+              << " errors, " << misses.load() << " misses\n";
+    arcs::common::Json row = arcs::common::Json::object();
+    row.set("series", "fleet_throughput");
+    row.set("requests", per_client * kClients);
+    row.set("wall_s", wall);
+    row.set("requests_per_second", rps);
+    row.set("replicated_keys", replicated);
+    row.set("mirror_puts", mirror_puts);
+    row.set("fanout_hits", fanout_hits);
+    row.set("errors", errors.load());
+    row.set("misses", misses.load());
+    bench::add_row(std::move(row));
+    if (errors.load() != 0 || misses.load() != 0) {
+      std::cout << "FAIL: routed hits must never error or miss\n";
+      all_pass = false;
+    }
+    if (replicated == 0 || fanout_hits == 0 || mirror_puts == 0) {
+      std::cout << "FAIL: hot keys never replicated / fanned out\n";
+      all_pass = false;
+    }
+  }
+
+  // ---- Phase C: kill a daemon mid-run, rejoin with warm start. ----
+  {
+    Fleet fleet_box{router_options};
+    std::vector<HistoryKey> keys;
+    for (std::size_t i = 0; i < kKeys; ++i) keys.push_back(make_key(i));
+    for (const auto& key : keys) {
+      serve::Request put;
+      put.op = serve::Op::Put;
+      put.key = key;
+      put.config.num_threads = 4;
+      put.value = 1.0;
+      put.evaluations = 108;
+      fleet_box.router.call(put);
+    }
+    const std::size_t kill_index = 1;  // daemon-b
+    std::atomic<std::size_t> errors{0};
+    std::atomic<bool> killed{false};
+    const std::size_t per_client = (fast ? 100'000 : 400'000) / kClients;
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&fleet_box, &keys, &errors, &killed,
+                            per_client, kill_index, c] {
+        std::size_t local_errors = 0;
+        for (std::size_t i = 0; i < per_client; ++i) {
+          if (c == 0 && i == per_client / 2)  // one thread pulls the plug
+            if (!killed.exchange(true))
+              fleet_box.clients[kill_index]->kill();
+          serve::Request get;
+          get.op = serve::Op::Get;
+          get.key = keys[(i + c * 31) % keys.size()];
+          if (fleet_box.router.call(get).status == serve::Status::Error)
+            ++local_errors;
+        }
+        errors.fetch_add(local_errors, std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const bool down =
+        !fleet_box.router.alive(fleet_box.names[kill_index]);
+    auto& registry = fleet_box.router.registry();
+    const std::uint64_t rerouted =
+        registry.counter("fleet/rerouted").load();
+
+    // Rejoin: revive the "daemon", wait out the probe backoff, and let
+    // the router pull it back in with a warm start.
+    fleet_box.clients[kill_index]->revive();
+    std::size_t revived = 0;
+    for (int attempt = 0; attempt < 200 && revived == 0; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      revived = fleet_box.router.probe();
+    }
+    const std::uint64_t warm_starts =
+        registry.counter("fleet/warm_starts").load();
+    // The rejoined daemon must already hold its arcs' entries: every
+    // key it owns answers read_only (cache-only, no search possible).
+    std::size_t rejoined_hits = 0;
+    std::size_t rejoined_keys = 0;
+    for (const auto& key : keys) {
+      serve::Request probe;
+      probe.op = serve::Op::Get;
+      probe.key = key;
+      probe.read_only = true;
+      if (fleet_box.servers[kill_index]
+              ->handle(probe)
+              .status == serve::Status::Hit)
+        ++rejoined_hits;
+      ++rejoined_keys;
+    }
+    std::cout << "C. kill/rejoin: daemon-b killed mid-run -> "
+              << errors.load() << " failed client requests, " << rerouted
+              << " re-routed; rejoin revived=" << revived
+              << " warm_starts=" << warm_starts << ", " << rejoined_hits
+              << "/" << rejoined_keys
+              << " keys answer read-only on the rejoined daemon\n";
+    arcs::common::Json row = arcs::common::Json::object();
+    row.set("series", "fleet_kill_rejoin");
+    row.set("failed_requests", errors.load());
+    row.set("rerouted", rerouted);
+    row.set("marked_down", down);
+    row.set("revived", revived);
+    row.set("warm_starts", warm_starts);
+    row.set("rejoined_readonly_hits", rejoined_hits);
+    bench::add_row(std::move(row));
+    if (errors.load() != 0) {
+      std::cout << "FAIL: a daemon kill must cost zero failed requests\n";
+      all_pass = false;
+    }
+    if (!down || rerouted == 0) {
+      std::cout << "FAIL: the kill was never detected/re-routed\n";
+      all_pass = false;
+    }
+    if (revived != 1 || warm_starts == 0) {
+      std::cout << "FAIL: probe-driven rejoin/warm-start did not happen\n";
+      all_pass = false;
+    }
+    if (rejoined_hits == 0) {
+      std::cout << "FAIL: warm start loaded nothing\n";
+      all_pass = false;
+    }
+  }
+
+  // ---- Phase D: global power budget arbitration under churn. ----
+  {
+    Fleet fleet_box{router_options};
+    const double cluster_cap = 3600.0;
+    fleet::ArbiterOptions arbiter_options;
+    arbiter_options.cluster_power_cap = cluster_cap;
+    arbiter_options.min_job_cap = 4 * 50.0;  // 4-node jobs, 50 W floor
+    fleet::BudgetArbiter arbiter{arbiter_options};
+
+    // Renegotiations invalidate the affected (app, machine, old-cap)
+    // entries fleet-wide through the router.
+    std::atomic<std::size_t> invalidated{0};
+    arcs::HistoryStore fleet_history;
+    for (std::size_t i = 0; i < 64; ++i) {
+      arcs::HistoryEntry entry;
+      entry.best_value = 1.0;
+      entry.evaluations = 10;
+      fleet_history.put(make_key(i), entry);
+    }
+    arbiter.set_hook([&](const std::vector<fleet::CapChange>& changes) {
+      for (const auto& change : changes)
+        for (const auto& key : fleet::BudgetArbiter::keys_for(
+                 fleet_history, change.app, change.machine,
+                 change.old_cap))
+          invalidated.fetch_add(fleet_box.router.invalidate(key),
+                                std::memory_order_relaxed);
+    });
+
+    // Churn: hundreds of jobs arrive and depart; the invariant must
+    // hold after EVERY event, not just at the end.
+    const std::size_t kJobs = fast ? 120 : 300;
+    std::size_t cap_violations = 0;
+    double max_total = 0.0;
+    std::size_t renegotiations = 0;
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      const double sensitivity =
+          0.5 + static_cast<double>(i % 7);  // heterogeneous workloads
+      renegotiations +=
+          arbiter
+              .add_job("job-" + std::to_string(i), "SP", "testbox",
+                       sensitivity)
+              .size();
+      const double total = arbiter.total_allocated();
+      max_total = std::max(max_total, total);
+      if (total > cluster_cap + 1e-6) ++cap_violations;
+      if (i % 3 == 2) {  // every third arrival, the oldest job departs
+        renegotiations +=
+            arbiter.remove_job("job-" + std::to_string(i / 3)).size();
+        const double after = arbiter.total_allocated();
+        max_total = std::max(max_total, after);
+        if (after > cluster_cap + 1e-6) ++cap_violations;
+      }
+    }
+    std::cout << "D. arbiter: " << kJobs << " jobs churned, "
+              << renegotiations << " cap renegotiations, max total "
+              << max_total << " W vs cap " << cluster_cap << " W, "
+              << cap_violations << " violations; " << invalidated.load()
+              << " fleet cache invalidations\n";
+
+    // Drain the churn (jobs finish) so the live demo below negotiates
+    // against a quiet cluster.
+    for (std::size_t i = 0; i < kJobs; ++i)
+      arbiter.remove_job("job-" + std::to_string(i));
+
+    // A live job tracks its renegotiated share: set its static budget
+    // to the cap it holds alone, then register a hungrier rival — the
+    // arbiter renegotiates, and the job discovers its smaller share via
+    // budget_provider at its first rebalance point.
+    const auto changes = arbiter.add_job("live", "SP", "crill", 2.0);
+    const double cap_alone = arbiter.cap_of("live");
+    arbiter.add_job("rival", "BT", "crill", 6.0);
+    const double cap_shared = arbiter.cap_of("live");
+    auto app = arcs::kernels::sp_app("B");
+    app.timesteps = 24;
+    arcs::cluster::JobOptions job_options;
+    job_options.nodes = 4;
+    job_options.policy = arcs::cluster::BudgetPolicy::AdaptiveRebalance;
+    job_options.rebalance_steps = 6;
+    job_options.min_node_cap = 50.0;
+    job_options.job_power_budget = cap_alone;
+    job_options.budget_provider = arbiter.budget_provider("live");
+    job_options.timesteps_override = app.timesteps;
+    const auto job_result =
+        arcs::cluster::run_job(app, arcs::sim::crill(), job_options);
+    arbiter.remove_job("live");
+    arbiter.remove_job("rival");
+
+    arcs::common::Json row = arcs::common::Json::object();
+    row.set("series", "fleet_budget_arbiter");
+    row.set("jobs", kJobs);
+    row.set("renegotiations", renegotiations);
+    row.set("max_total_w", max_total);
+    row.set("cluster_cap_w", cluster_cap);
+    row.set("cap_violations", cap_violations);
+    row.set("invalidations", invalidated.load());
+    row.set("live_job_cap_alone_w", cap_alone);
+    row.set("live_job_cap_shared_w", cap_shared);
+    row.set("live_job_makespan_s", job_result.makespan);
+    row.set("live_job_rebalances", job_result.rebalances);
+    bench::add_row(std::move(row));
+    if (cap_violations != 0) {
+      std::cout << "FAIL: allocated power exceeded the cluster cap\n";
+      all_pass = false;
+    }
+    if (changes.empty() || invalidated.load() == 0) {
+      std::cout << "FAIL: renegotiation never invalidated fleet-wide\n";
+      all_pass = false;
+    }
+    if (cap_shared >= cap_alone) {
+      std::cout << "FAIL: the rival never shrank the live job's cap\n";
+      all_pass = false;
+    }
+    if (job_result.rebalances == 0) {
+      std::cout << "FAIL: the live job never rebalanced\n";
+      all_pass = false;
+    }
+  }
+
+  std::cout << (all_pass ? "\nPASS" : "\nFAIL")
+            << ": fleet gates (dedup, zero-failure kill, cluster cap)\n";
+  if (!all_pass) return 1;
+  return bench::finish();
+}

@@ -73,6 +73,15 @@ inline constexpr int kExecPoolIdle = 110;
 inline constexpr int kExecPoolWatchdog = 120;
 inline constexpr int kExecPoolStats = 130;   ///< nested under worker (steal)
 inline constexpr int kExecQueue = 140;       ///< injection + dispatch queues
+// Fleet locks rank below every serve lock: the router copies its state
+// snapshot and RELEASES before calling an endpoint (a SocketClient call
+// blocks, and these are not kAllowBlockingWhileHeld), so fleet locks
+// never actually nest over serve ones — the ranks only fix the order if
+// someone ever tries.
+inline constexpr int kFleetProbe = 150;      ///< one prober at a time; held
+                                             ///< across probe I/O (flagged)
+inline constexpr int kFleetTopology = 160;   ///< router ring + endpoint swap
+inline constexpr int kFleetArbiter = 170;    ///< cluster budget allocations
 inline constexpr int kServeCompletions = 200;  ///< worker→loop handoff
 inline constexpr int kServeClient = 215;     ///< held across call round trip
 inline constexpr int kServeSessions = 300;

@@ -103,7 +103,10 @@ JobResult run_job(const kernels::AppSpec& app,
   const int timesteps = options.timesteps_override > 0
                             ? options.timesteps_override
                             : app.timesteps;
-  const bool capped = options.job_power_budget > 0;
+  // The live budget: starts at the static option, refreshed from
+  // budget_provider at every rebalance point.
+  double job_budget = options.job_power_budget;
+  const bool capped = job_budget > 0;
   if (capped) {
     ARCS_CHECK_MSG(options.job_power_budget >=
                        options.min_node_cap * options.nodes,
@@ -243,6 +246,15 @@ JobResult run_job(const kernels::AppSpec& app,
     // resulting caps sum to the budget.
     if (capped && options.policy == BudgetPolicy::AdaptiveRebalance &&
         step > 0 && step % options.rebalance_steps == 0) {
+      // A cluster arbiter may have renegotiated our share since the
+      // last rebalance; the caps below divide the fresh budget.
+      if (options.budget_provider) {
+        const double fresh = options.budget_provider();
+        if (fresh > 0)
+          job_budget = std::max(
+              fresh, options.min_node_cap * static_cast<double>(
+                         options.nodes));
+      }
       double window_sum = 0.0;
       double window_max = 0.0;
       for (const auto& node : nodes) {
@@ -277,7 +289,7 @@ JobResult run_job(const kernels::AppSpec& app,
             f_max_all / (window_sum / static_cast<double>(nodes.size()));
         for (int it = 0; it < 48; ++it) {
           const double mid = 0.5 * (lo + hi);
-          (total_at(mid) > options.job_power_budget ? hi : lo) = mid;
+          (total_at(mid) > job_budget ? hi : lo) = mid;
         }
         for (auto& node : nodes) {
           node.cap = cap_for(lo, node);

@@ -21,6 +21,7 @@
 // factor drawn from `load_spread`.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -67,6 +68,16 @@ struct JobOptions {
   /// size must equal `nodes`. The budget policies account for each
   /// node's own power curve.
   std::vector<sim::MachineSpec> machines;
+  /// Live job budget in watts, polled at every AdaptiveRebalance point
+  /// (null = job_power_budget is fixed for the whole run). This is how
+  /// a cluster-level arbiter (fleet::BudgetArbiter::budget_provider)
+  /// renegotiates a running job's share mid-run: the job re-divides the
+  /// fresh budget across its nodes at the next rebalance. Values are
+  /// clamped to the min_node_cap * nodes floor — node caps cannot drop
+  /// below the floor, so a smaller budget could not be honored anyway.
+  /// A non-positive value keeps the previous budget (arbiter shutdown
+  /// races resolve to "no change").
+  std::function<double()> budget_provider;
 };
 
 struct NodeResult {

@@ -1,0 +1,220 @@
+#include "fleet/arbiter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace arcs::fleet {
+
+namespace {
+
+/// Caps within this are "unchanged" — renegotiation noise below a
+/// milliwatt is not worth an invalidation storm.
+constexpr double kCapEpsilon = 1e-3;
+
+}  // namespace
+
+BudgetArbiter::BudgetArbiter(ArbiterOptions options)
+    : options_(options) {
+  ARCS_CHECK_MSG(options_.cluster_power_cap > 0.0,
+                 "arbiter needs a positive cluster_power_cap");
+  ARCS_CHECK_MSG(options_.min_job_cap >= 0.0,
+                 "min_job_cap cannot be negative");
+  ARCS_CHECK_MSG(
+      options_.max_job_cap == 0.0 ||
+          options_.max_job_cap >= options_.min_job_cap,
+      "max_job_cap must be 0 (unbounded) or >= min_job_cap");
+}
+
+std::vector<CapChange> BudgetArbiter::renegotiate_locked() {
+  std::vector<CapChange> changes;
+  if (jobs_.empty()) return changes;
+
+  const double n = static_cast<double>(jobs_.size());
+  // The floor always fits: scale it down uniformly before dividing the
+  // surplus, so the cap invariant survives arbitrary arrival storms.
+  const double floor_cap =
+      std::min(options_.min_job_cap, options_.cluster_power_cap / n);
+  double remaining = options_.cluster_power_cap - floor_cap * n;
+
+  std::map<std::string, double> alloc;
+  for (const auto& [id, job] : jobs_) alloc[id] = floor_cap;
+
+  // Water-filling with per-job ceilings: divide the surplus in
+  // proportion to sensitivity; any job hitting its ceiling freezes
+  // there and the rest re-divide what it could not absorb.
+  std::set<std::string> active;
+  for (const auto& [id, job] : jobs_) active.insert(id);
+  while (!active.empty() && remaining > kCapEpsilon) {
+    double sum_s = 0.0;
+    for (const auto& id : active) sum_s += jobs_[id].sensitivity;
+    bool clamped = false;
+    if (sum_s <= 0.0) {
+      // All-insensitive tier: split the surplus evenly.
+      const double share = remaining / static_cast<double>(active.size());
+      for (const auto& id : active) alloc[id] += share;
+      remaining = 0.0;
+      if (options_.max_job_cap > 0.0) {
+        for (const auto& id : active) {
+          if (alloc[id] > options_.max_job_cap) {
+            remaining += alloc[id] - options_.max_job_cap;
+            alloc[id] = options_.max_job_cap;
+          }
+        }
+        // Even shares over a uniform ceiling cannot free capacity for
+        // anyone else in this tier; stop rather than loop forever.
+      }
+      break;
+    }
+    const double unit = remaining / sum_s;
+    std::vector<std::string> frozen;
+    for (const auto& id : active) {
+      const double want = alloc[id] + unit * jobs_[id].sensitivity;
+      if (options_.max_job_cap > 0.0 && want > options_.max_job_cap) {
+        frozen.push_back(id);
+        clamped = true;
+      }
+    }
+    if (!clamped) {
+      for (const auto& id : active)
+        alloc[id] += unit * jobs_[id].sensitivity;
+      remaining = 0.0;
+      break;
+    }
+    for (const auto& id : frozen) {
+      remaining -= options_.max_job_cap - alloc[id];
+      alloc[id] = options_.max_job_cap;
+      active.erase(id);
+    }
+  }
+
+  for (auto& [id, job] : jobs_) {
+    const double next = alloc[id];
+    if (std::abs(next - job.cap) > kCapEpsilon)
+      changes.push_back(
+          CapChange{id, job.app, job.machine, job.cap, next});
+    job.cap = next;
+  }
+  return changes;
+}
+
+std::vector<CapChange> BudgetArbiter::add_job(const std::string& job_id,
+                                              const std::string& app,
+                                              const std::string& machine,
+                                              double sensitivity) {
+  ARCS_CHECK_MSG(sensitivity >= 0.0,
+                 "job power sensitivity cannot be negative");
+  std::vector<CapChange> changes;
+  RenegotiationHook hook;
+  {
+    const std::lock_guard<analysis::Mutex> lock(mu_);
+    ARCS_CHECK_MSG(jobs_.find(job_id) == jobs_.end(),
+                   "duplicate arbiter job id: " + job_id);
+    jobs_.emplace(job_id, Job{app, machine, sensitivity, 0.0});
+    changes = renegotiate_locked();
+    hook = hook_;
+  }
+  // Outside the lock: the hook issues blocking fleet traffic
+  // (invalidations), and kFleetArbiter must never be held across it.
+  if (hook && !changes.empty()) hook(changes);
+  return changes;
+}
+
+std::vector<CapChange> BudgetArbiter::remove_job(
+    const std::string& job_id) {
+  std::vector<CapChange> changes;
+  RenegotiationHook hook;
+  {
+    const std::lock_guard<analysis::Mutex> lock(mu_);
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return changes;
+    const Job departed = it->second;
+    jobs_.erase(it);
+    changes = renegotiate_locked();
+    if (departed.cap > 0.0)
+      changes.push_back(CapChange{job_id, departed.app, departed.machine,
+                                  departed.cap, 0.0});
+    hook = hook_;
+  }
+  if (hook && !changes.empty()) hook(changes);
+  return changes;
+}
+
+double BudgetArbiter::cap_of(const std::string& job_id) const {
+  const std::lock_guard<analysis::Mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  return it == jobs_.end() ? 0.0 : it->second.cap;
+}
+
+double BudgetArbiter::total_allocated() const {
+  const std::lock_guard<analysis::Mutex> lock(mu_);
+  double total = 0.0;
+  for (const auto& [id, job] : jobs_) total += job.cap;
+  return total;
+}
+
+std::size_t BudgetArbiter::job_count() const {
+  const std::lock_guard<analysis::Mutex> lock(mu_);
+  return jobs_.size();
+}
+
+std::function<double()> BudgetArbiter::budget_provider(
+    const std::string& job_id) const {
+  return [this, job_id] { return cap_of(job_id); };
+}
+
+void BudgetArbiter::set_hook(RenegotiationHook hook) {
+  const std::lock_guard<analysis::Mutex> lock(mu_);
+  hook_ = std::move(hook);
+}
+
+double BudgetArbiter::power_sensitivity(const HistoryStore& store,
+                                        const std::string& app,
+                                        const std::string& machine) {
+  // Average best objective per distinct cap, then the least-squares
+  // slope of objective vs watts. Lower objective = better, so a
+  // power-hungry workload has a negative slope; sensitivity is its
+  // magnitude.
+  std::map<double, std::pair<double, std::size_t>> by_cap;
+  for (const auto& [key, entry] : store.entries()) {
+    if (key.app != app || key.machine != machine || key.power_cap <= 0.0)
+      continue;
+    auto& [sum, count] = by_cap[key.power_cap];
+    sum += entry.best_value;
+    ++count;
+  }
+  if (by_cap.size() < 2) return 1.0;
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const double n = static_cast<double>(by_cap.size());
+  for (const auto& [cap, agg] : by_cap) {
+    const double y = agg.first / static_cast<double>(agg.second);
+    sx += cap;
+    sy += y;
+    sxx += cap * cap;
+    sxy += cap * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom <= 0.0) return 1.0;
+  const double slope = (n * sxy - sx * sy) / denom;
+  return std::max(0.0, -slope);
+}
+
+std::vector<HistoryKey> BudgetArbiter::keys_for(const HistoryStore& store,
+                                                const std::string& app,
+                                                const std::string& machine,
+                                                double old_cap) {
+  std::vector<HistoryKey> keys;
+  for (const auto& [key, entry] : store.entries()) {
+    if (key.app == app && key.machine == machine &&
+        std::abs(key.power_cap - old_cap) <= kCapEpsilon)
+      keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace arcs::fleet

@@ -1,0 +1,131 @@
+// fleet::BudgetArbiter — one cluster-wide power cap, many jobs.
+//
+// src/cluster/ jobs each enforce a *job* power budget (bisecting a
+// frequency scale against the model at rebalance points); the arbiter
+// closes the loop above them: every running job registers with its
+// power sensitivity (how much objective improves per extra watt, read
+// from history via power_sensitivity()), and the arbiter water-fills
+// the cluster cap across the registry. Arrivals and departures
+// renegotiate every cap; the invariant — the sum of allocated job caps
+// never exceeds the cluster cap — holds after every event, which is
+// what bench_x16_fleet gates on.
+//
+// Water-filling: each job first gets the floor (min_job_cap, scaled
+// down uniformly when the floor alone is infeasible), then the
+// remaining watts are divided proportionally to sensitivity, with
+// per-job ceilings (max_job_cap) respected by iteratively freezing
+// clamped jobs and re-dividing among the rest. Linear-utility
+// water-filling with box constraints; deterministic given the same
+// registry.
+//
+// A renegotiation changes the power_cap field of every affected job's
+// HistoryKeys, so cached decisions made at the old cap are stale
+// fleet-wide. The hook (set_hook) fires with the cap changes AFTER the
+// arbiter lock is released — rank kFleetArbiter sits below the serve
+// locks, and the hook typically issues fleet Invalidate traffic (see
+// keys_for), which blocks.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/sync.hpp"
+#include "core/history.hpp"
+
+namespace arcs::fleet {
+
+struct ArbiterOptions {
+  /// Cluster-wide cap in watts shared by every registered job.
+  double cluster_power_cap = 0.0;
+  /// Per-job floor; scaled down uniformly when jobs * floor exceeds the
+  /// cluster cap (the invariant always wins).
+  double min_job_cap = 10.0;
+  /// Per-job ceiling; 0 = unbounded. Watts a clamped job cannot absorb
+  /// flow to the others.
+  double max_job_cap = 0.0;
+};
+
+/// One job's cap before/after a renegotiation (old_cap 0 = arriving,
+/// new_cap 0 = departing). Carries the job's workload identity so the
+/// hook can invalidate the cache entries keyed at the old cap.
+struct CapChange {
+  std::string job_id;
+  std::string app;
+  std::string machine;
+  double old_cap = 0.0;
+  double new_cap = 0.0;
+};
+
+class BudgetArbiter {
+ public:
+  using RenegotiationHook =
+      std::function<void(const std::vector<CapChange>&)>;
+
+  explicit BudgetArbiter(ArbiterOptions options);
+
+  /// Registers a job and renegotiates every cap. `sensitivity` is the
+  /// job's objective-per-watt slope (>= 0; see power_sensitivity).
+  /// Returns every cap that moved, the new arrival included.
+  std::vector<CapChange> add_job(const std::string& job_id,
+                                 const std::string& app,
+                                 const std::string& machine,
+                                 double sensitivity);
+  /// Unregisters and renegotiates; the departed job's watts flow back
+  /// to the survivors. No-op (empty result) for unknown ids.
+  std::vector<CapChange> remove_job(const std::string& job_id);
+
+  /// The job's current allocation (0 for unknown ids).
+  double cap_of(const std::string& job_id) const;
+  /// Sum of all current allocations — always <= cluster_power_cap.
+  double total_allocated() const;
+  std::size_t job_count() const;
+  const ArbiterOptions& options() const { return options_; }
+
+  /// A closure over cap_of(job_id), shaped for
+  /// cluster::JobOptions::budget_provider: the job polls it at every
+  /// rebalance point and tracks renegotiations mid-run.
+  std::function<double()> budget_provider(const std::string& job_id) const;
+
+  /// Fires with the change set after every renegotiation, outside the
+  /// arbiter lock.
+  void set_hook(RenegotiationHook hook);
+
+  /// Estimates a workload's power sensitivity from history: the
+  /// negated least-squares slope of best objective vs power cap across
+  /// the store's entries for (app, machine), clamped at 0 (more watts
+  /// never hurt). Falls back to 1.0 when fewer than two distinct caps
+  /// are recorded — every job equal until the data says otherwise.
+  static double power_sensitivity(const HistoryStore& store,
+                                  const std::string& app,
+                                  const std::string& machine);
+
+  /// The history keys a renegotiation stales: every entry for
+  /// (app, machine) recorded at exactly old_cap. Feed each to
+  /// Router::invalidate.
+  static std::vector<HistoryKey> keys_for(const HistoryStore& store,
+                                          const std::string& app,
+                                          const std::string& machine,
+                                          double old_cap);
+
+ private:
+  struct Job {
+    std::string app;
+    std::string machine;
+    double sensitivity = 0.0;
+    double cap = 0.0;
+  };
+
+  /// Recomputes every cap in place; returns the moved set.
+  std::vector<CapChange> renegotiate_locked();
+
+  ArbiterOptions options_;
+  mutable analysis::Mutex mu_{"fleet/arbiter",
+                              analysis::sync::rank::kFleetArbiter};
+  std::map<std::string, Job> jobs_;
+  RenegotiationHook hook_;
+};
+
+}  // namespace arcs::fleet

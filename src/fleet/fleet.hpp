@@ -1,0 +1,23 @@
+// Umbrella header for the ARCS fleet tier (see docs/FLEET.md).
+//
+// The fleet tier turns N independent arcsd daemons into one logical
+// tuning service:
+//
+//   fleet::Topology topo = fleet::Topology::load("fleet.json");
+//   fleet::Router router{fleet::RouterOptions::from(topo)};
+//   router.add_endpoint("shard-a", &client_a);   // serve::Client per daemon
+//   router.add_endpoint("shard-b", &client_b);
+//   // router IS a serve::Client: hand it to TuningStrategy::Remote…
+//   // …and a serve::RequestHandler: put a SocketServer in front of it
+//   // and it is the arcs_fleetd proxy.
+//
+// Jobs sharing the cluster under one power cap register with the
+// BudgetArbiter; renegotiated caps reach running jobs through
+// cluster::JobOptions::budget_provider and stale cache entries are
+// invalidated fleet-wide through Router::invalidate.
+#pragma once
+
+#include "fleet/arbiter.hpp"   // IWYU pragma: export
+#include "fleet/ring.hpp"      // IWYU pragma: export
+#include "fleet/router.hpp"    // IWYU pragma: export
+#include "fleet/topology.hpp"  // IWYU pragma: export

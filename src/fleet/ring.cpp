@@ -1,0 +1,168 @@
+#include "fleet/ring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace arcs::fleet {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv(std::string_view s) {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Ring::point_hash(const std::string& name, std::size_t vnode) {
+  // Avalanched combine of the name hash and the vnode index: point
+  // positions depend only on the pair, never on membership order.
+  return common::hash_combine(fnv(name),
+                              static_cast<std::uint64_t>(vnode) + 1);
+}
+
+Ring::Ring(std::vector<std::string> nodes, std::size_t virtual_nodes)
+    : nodes_(std::move(nodes)), virtual_nodes_(virtual_nodes) {
+  ARCS_CHECK_MSG(virtual_nodes_ > 0, "ring needs at least one virtual node");
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+  points_.reserve(nodes_.size() * virtual_nodes_);
+  for (std::size_t n = 0; n < nodes_.size(); ++n)
+    for (std::size_t v = 0; v < virtual_nodes_; ++v)
+      points_.push_back(Point{point_hash(nodes_[n], v),
+                              static_cast<std::uint32_t>(n)});
+  // Hash ties (astronomically rare) break by node index, which is
+  // deterministic because nodes_ is sorted.
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+            });
+}
+
+bool Ring::contains(const std::string& name) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), name);
+}
+
+std::size_t Ring::owner_point(std::uint64_t hash) const {
+  ARCS_CHECK_MSG(!points_.empty(), "ring has no members");
+  // First point at or after the hash; wrap to the first point.
+  std::size_t lo = 0;
+  std::size_t hi = points_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (points_[mid].hash < hash)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo == points_.size() ? 0 : lo;
+}
+
+const std::string& Ring::owner(std::uint64_t hash) const {
+  return nodes_[points_[owner_point(hash)].node];
+}
+
+std::vector<std::string> Ring::successors(std::uint64_t hash,
+                                          std::size_t count) const {
+  std::vector<std::string> out;
+  if (points_.empty()) return out;
+  count = std::min(count, nodes_.size());
+  out.reserve(count);
+  std::vector<bool> seen(nodes_.size(), false);
+  std::size_t i = owner_point(hash);
+  for (std::size_t step = 0; step < points_.size() && out.size() < count;
+       ++step) {
+    const std::uint32_t node = points_[(i + step) % points_.size()].node;
+    if (seen[node]) continue;
+    seen[node] = true;
+    out.push_back(nodes_[node]);
+  }
+  return out;
+}
+
+std::vector<Ring::Arc> Ring::arcs_of(const std::string& name) const {
+  std::vector<Arc> arcs;
+  if (points_.empty()) return arcs;
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), name);
+  if (it == nodes_.end() || *it != name) return arcs;
+  const auto node =
+      static_cast<std::uint32_t>(std::distance(nodes_.begin(), it));
+  if (nodes_.size() == 1) {
+    // Sole member: one arc covering the whole ring, expressed as the
+    // wrapping interval just after its first point.
+    arcs.push_back(Arc{points_[0].hash + 1, points_[0].hash});
+    return arcs;
+  }
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].node != node) continue;
+    const std::size_t prev = (i + points_.size() - 1) % points_.size();
+    const Arc arc{points_[prev].hash + 1, points_[i].hash};
+    // Merge with the previous arc when the predecessor point is also
+    // ours (consecutive vnodes of one daemon form one interval).
+    if (!arcs.empty() && points_[prev].node == node &&
+        arcs.back().hi + 1 == arc.lo) {
+      arcs.back().hi = arc.hi;
+      continue;
+    }
+    arcs.push_back(arc);
+  }
+  return arcs;
+}
+
+Ring Ring::with_node(const std::string& name) const {
+  if (contains(name)) return *this;
+  std::vector<std::string> nodes = nodes_;
+  nodes.push_back(name);
+  return Ring{std::move(nodes), std::max<std::size_t>(1, virtual_nodes_)};
+}
+
+Ring Ring::without_node(const std::string& name) const {
+  if (!contains(name)) return *this;
+  std::vector<std::string> nodes;
+  nodes.reserve(nodes_.size() - 1);
+  for (const auto& n : nodes_)
+    if (n != name) nodes.push_back(n);
+  return Ring{std::move(nodes), std::max<std::size_t>(1, virtual_nodes_)};
+}
+
+std::map<std::string, std::vector<std::uint64_t>> Ring::assign_bounded(
+    std::vector<std::uint64_t> hashes, double load_factor) const {
+  ARCS_CHECK_MSG(load_factor >= 1.0,
+                 "bounded-load factor must be >= 1 (c*K/N capacity)");
+  ARCS_CHECK_MSG(!nodes_.empty(), "ring has no members");
+  std::map<std::string, std::vector<std::uint64_t>> out;
+  for (const auto& n : nodes_) out.emplace(n, std::vector<std::uint64_t>{});
+  if (hashes.empty()) return out;
+  // Sorted key order makes the placement a function of the set alone.
+  std::sort(hashes.begin(), hashes.end());
+  const auto capacity = static_cast<std::size_t>(std::ceil(
+      load_factor * static_cast<double>(hashes.size()) /
+      static_cast<double>(nodes_.size())));
+  for (const std::uint64_t h : hashes) {
+    const std::vector<std::string> order = successors(h, nodes_.size());
+    bool placed = false;
+    for (const auto& name : order) {
+      auto& bucket = out[name];
+      if (bucket.size() < capacity) {
+        bucket.push_back(h);
+        placed = true;
+        break;
+      }
+    }
+    // ceil(c*K/N)*N >= K for c >= 1, so a non-full node always exists.
+    ARCS_CHECK_MSG(placed, "bounded-load placement found no free node");
+  }
+  return out;
+}
+
+}  // namespace arcs::fleet

@@ -1,0 +1,96 @@
+// Consistent-hash ring with virtual nodes.
+//
+// The fleet's placement function: every HistoryKey hashes to a point on
+// a 64-bit ring, and the daemon owning the first virtual-node point at
+// or after it (wrapping) serves the key. Virtual nodes (default 64 per
+// daemon) smooth the arc lengths so per-daemon load is near-uniform;
+// removing a daemon moves only its own arcs to their successors (~K/N
+// keys for K keys over N daemons), which is the whole point — a daemon
+// kill or join never reshuffles the fleet.
+//
+// Construction is deterministic: node names are sorted before points
+// are laid, point hashes depend only on (name, vnode index), and hash
+// ties break by node order — the same member set yields bit-identical
+// rings no matter the insertion order, so every router in a fleet
+// agrees on placement without coordination.
+//
+// A Ring is an immutable value. Topology changes build a new Ring (see
+// with_node/without_node) and the router swaps the snapshot atomically;
+// concurrent readers keep routing against the old value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace arcs::fleet {
+
+class Ring {
+ public:
+  /// An inclusive wrapping hash interval (lo > hi wraps through
+  /// UINT64_MAX), matching DecisionCache::snapshot_range.
+  struct Arc {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+  };
+
+  Ring() = default;
+  /// Duplicates are collapsed; names are sorted internally.
+  Ring(std::vector<std::string> nodes, std::size_t virtual_nodes);
+
+  bool empty() const { return nodes_.empty(); }
+  std::size_t size() const { return nodes_.size(); }
+  std::size_t virtual_nodes() const { return virtual_nodes_; }
+  /// Member names, sorted.
+  const std::vector<std::string>& nodes() const { return nodes_; }
+  bool contains(const std::string& name) const;
+
+  /// The node owning `hash`. Ring must be non-empty.
+  const std::string& owner(std::uint64_t hash) const;
+
+  /// The first `count` *distinct* nodes in successor order starting at
+  /// the owner — owner first, then the replica successors. Capped at
+  /// size(); this is both the replica set (count = 1 + R) and the
+  /// failover order (count = size()).
+  std::vector<std::string> successors(std::uint64_t hash,
+                                      std::size_t count) const;
+
+  /// Every arc owned by `name`, adjacent same-owner arcs merged. A
+  /// joining daemon warm-starts by snapshotting these ranges from the
+  /// nodes that own them in the ring *without* `name`.
+  std::vector<Arc> arcs_of(const std::string& name) const;
+
+  /// The ring with one more / one fewer member (no-op when already
+  /// present / absent).
+  Ring with_node(const std::string& name) const;
+  Ring without_node(const std::string& name) const;
+
+  /// Bounded-load bulk placement (Mirrokni et al.): each key goes to the
+  /// first successor whose assigned count is below
+  /// ceil(load_factor * K / N). No node ever exceeds that capacity, at
+  /// the cost of spilling a key past its owner when the owner is full.
+  /// Keys are processed in sorted hash order, so the assignment is a
+  /// pure function of the key *set*. load_factor must be >= 1.
+  std::map<std::string, std::vector<std::uint64_t>> assign_bounded(
+      std::vector<std::uint64_t> hashes, double load_factor) const;
+
+  /// The ring point for one virtual node (exposed for tests).
+  static std::uint64_t point_hash(const std::string& name,
+                                  std::size_t vnode);
+
+ private:
+  struct Point {
+    std::uint64_t hash = 0;
+    std::uint32_t node = 0;  ///< index into nodes_
+  };
+
+  /// Index of the point owning `hash` (first point at or after it).
+  std::size_t owner_point(std::uint64_t hash) const;
+
+  std::vector<std::string> nodes_;  ///< sorted, unique
+  std::vector<Point> points_;       ///< sorted by (hash, node)
+  std::size_t virtual_nodes_ = 0;
+};
+
+}  // namespace arcs::fleet

@@ -1,0 +1,479 @@
+#include "fleet/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <shared_mutex>
+
+#include "common/check.hpp"
+#include "serve/cache.hpp"
+
+namespace arcs::fleet {
+
+namespace serve = arcs::serve;
+
+RouterOptions RouterOptions::from(const Topology& topology) {
+  RouterOptions options;
+  options.virtual_nodes = topology.virtual_nodes;
+  options.replicas = topology.replicas;
+  options.hot_key_threshold = topology.hot_key_threshold;
+  return options;
+}
+
+Router::Router(RouterOptions options) : options_(std::move(options)) {
+  ARCS_CHECK_MSG(options_.virtual_nodes > 0,
+                 "router needs at least one virtual node per endpoint");
+}
+
+const Router::Endpoint* Router::State::find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      endpoints.begin(), endpoints.end(), name,
+      [](const Endpoint& ep, const std::string& n) { return ep.name < n; });
+  if (it == endpoints.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+std::shared_ptr<const Router::State> Router::state() const {
+  const std::shared_lock<analysis::SharedMutex> lock(state_mu_);
+  return state_;
+}
+
+void Router::swap_state(std::shared_ptr<const State> next) {
+  const std::unique_lock<analysis::SharedMutex> lock(state_mu_);
+  state_ = std::move(next);
+}
+
+std::int64_t Router::now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Router::add_endpoint(const std::string& name, serve::Client* client) {
+  ARCS_CHECK_MSG(client != nullptr, "fleet endpoint needs a client");
+  const std::shared_ptr<const State> old = state();
+  ARCS_CHECK_MSG(old->find(name) == nullptr,
+                 "duplicate fleet endpoint: " + name);
+
+  auto next = std::make_shared<State>();
+  next->endpoints = old->endpoints;
+  Endpoint ep;
+  ep.name = name;
+  ep.client = client;
+  ep.health = std::make_shared<Health>();
+  // Stable Counter& per endpoint: the hot path never re-hits the
+  // registry map.
+  ep.requests = &registry_.counter("fleet/endpoint/" + name + "/requests");
+  ep.errors = &registry_.counter("fleet/endpoint/" + name + "/errors");
+  next->endpoints.push_back(std::move(ep));
+  std::sort(next->endpoints.begin(), next->endpoints.end(),
+            [](const Endpoint& a, const Endpoint& b) {
+              return a.name < b.name;
+            });
+  // Rebuilt from the full name set every time (not incrementally), so
+  // the ring is a pure function of membership + options.
+  std::vector<std::string> names;
+  names.reserve(next->endpoints.size());
+  for (const auto& e : next->endpoints) names.push_back(e.name);
+  next->ring = Ring{std::move(names), options_.virtual_nodes};
+  swap_state(std::move(next));
+}
+
+void Router::remove_endpoint(const std::string& name) {
+  const std::shared_ptr<const State> old = state();
+  if (old->find(name) == nullptr) return;
+  auto next = std::make_shared<State>();
+  next->endpoints.reserve(old->endpoints.size() - 1);
+  for (const auto& ep : old->endpoints)
+    if (ep.name != name) next->endpoints.push_back(ep);
+  std::vector<std::string> names;
+  names.reserve(next->endpoints.size());
+  for (const auto& e : next->endpoints) names.push_back(e.name);
+  next->ring = Ring{std::move(names), options_.virtual_nodes};
+  swap_state(std::move(next));
+}
+
+std::vector<std::string> Router::endpoint_names() const {
+  const std::shared_ptr<const State> st = state();
+  return st->ring.nodes();
+}
+
+bool Router::alive(const std::string& name) const {
+  const std::shared_ptr<const State> st = state();
+  const Endpoint* ep = st->find(name);
+  return ep != nullptr &&
+         ep->health->alive.load(std::memory_order_acquire);
+}
+
+void Router::mark_down(const std::string& name) {
+  const std::shared_ptr<const State> st = state();
+  const Endpoint* ep = st->find(name);
+  if (ep != nullptr) record_failure(*ep);
+}
+
+void Router::record_failure(const Endpoint& ep) {
+  failures_.add();
+  ep.errors->add();
+  ep.health->alive.store(false, std::memory_order_release);
+  const std::uint32_t n =
+      ep.health->failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Exponential backoff capped at the max; shifts beyond 62 would
+  // overflow, so clamp the exponent first.
+  const double backoff_s =
+      std::min(options_.probe_backoff_max_s,
+               options_.probe_backoff_initial_s *
+                   std::pow(2.0, static_cast<double>(std::min(n - 1u, 30u))));
+  ep.health->next_probe_us.store(
+      now_us() + static_cast<std::int64_t>(backoff_s * 1e6),
+      std::memory_order_release);
+}
+
+serve::Response Router::route_keyed(const serve::Request& request,
+                                    std::uint64_t hash,
+                                    const std::shared_ptr<const State>& st) {
+  // Walk the full successor order: the first live endpoint is the key's
+  // home of record. A transport failure marks the endpoint dead and
+  // falls through to the next — the caller never sees the outage.
+  const std::vector<std::string> order =
+      st->ring.successors(hash, st->ring.size());
+  bool fell_through = false;
+  for (const std::string& name : order) {
+    const Endpoint* ep = st->find(name);
+    if (ep == nullptr ||
+        !ep->health->alive.load(std::memory_order_acquire)) {
+      // Skipping a dead endpoint IS a re-route: the key is about to be
+      // served by someone other than its ring owner.
+      fell_through = true;
+      continue;
+    }
+    ep->requests->add();
+    serve::Response response = ep->client->call(request);
+    if (response.status == serve::Status::Error &&
+        ep->client->transport_failed()) {
+      record_failure(*ep);
+      fell_through = true;
+      continue;
+    }
+    if (fell_through) rerouted_.add();
+    return response;
+  }
+  dead_end_errors_.add();
+  serve::Response response;
+  response.status = serve::Status::Error;
+  response.error = "fleet: no live endpoint for key";
+  return response;
+}
+
+serve::Response Router::route_get(const serve::Request& request) {
+  const std::shared_ptr<const State> st = state();
+  if (st->ring.empty()) {
+    serve::Response response;
+    response.status = serve::Status::Error;
+    response.error = "fleet: no endpoints registered";
+    return response;
+  }
+  const std::uint64_t hash = serve::DecisionCache::key_hash(request.key);
+  const std::size_t slot = hash & (kSketchSlots - 1);
+  const bool replication_on =
+      options_.replicas > 0 && options_.hot_key_threshold > 0;
+
+  // Hot keys fan read-only probes across the replica set first. A
+  // read-only Get can never start/join/wait on a search (protocol
+  // contract), so this is pure load spreading: any Hit answers, any
+  // miss falls through to the plain routed Get below.
+  if (replication_on && !request.read_only &&
+      replicated_[slot].load(std::memory_order_acquire) != 0) {
+    const std::vector<std::string> replica_set =
+        st->ring.successors(hash, 1 + options_.replicas);
+    serve::Request probe = request;
+    probe.read_only = true;
+    probe.wait_ms = 0.0;
+    for (const std::string& name : replica_set) {
+      const Endpoint* ep = st->find(name);
+      if (ep == nullptr ||
+          !ep->health->alive.load(std::memory_order_acquire))
+        continue;
+      ep->requests->add();
+      const serve::Response response = ep->client->call(probe);
+      if (response.status == serve::Status::Error &&
+          ep->client->transport_failed()) {
+        record_failure(*ep);
+        continue;
+      }
+      if (response.status == serve::Status::Hit) {
+        fanout_hits_.add();
+        return response;
+      }
+    }
+    fanout_misses_.add();
+  }
+
+  serve::Response response = route_keyed(request, hash, st);
+  if (response.status == serve::Status::Hit && replication_on) {
+    const std::uint64_t hits =
+        hot_hits_[slot].fetch_add(1, std::memory_order_relaxed) + 1;
+    // Mirror once, at the threshold crossing, and only decisions with
+    // measured provenance (evaluations > 0) — predictions are not worth
+    // replicating and cannot be expressed as a faithful Put.
+    if (hits >= options_.hot_key_threshold && response.evaluations > 0 &&
+        replicated_[slot].exchange(1, std::memory_order_acq_rel) == 0) {
+      replicated_keys_.add();
+      replicate(request, response, hash, st);
+    }
+  }
+  return response;
+}
+
+void Router::replicate(const serve::Request& get,
+                       const serve::Response& hit, std::uint64_t hash,
+                       const std::shared_ptr<const State>& st) {
+  serve::Request put;
+  put.op = serve::Op::Put;
+  put.key = get.key;
+  put.config = hit.config;
+  put.value = hit.best_value;
+  put.evaluations = hit.evaluations;
+  const std::vector<std::string> replica_set =
+      st->ring.successors(hash, 1 + options_.replicas);
+  // Skip the owner (index 0): it already holds the entry.
+  for (std::size_t i = 1; i < replica_set.size(); ++i) {
+    const Endpoint* ep = st->find(replica_set[i]);
+    if (ep == nullptr ||
+        !ep->health->alive.load(std::memory_order_acquire))
+      continue;
+    ep->requests->add();
+    const serve::Response response = ep->client->call(put);
+    if (response.status == serve::Status::Error &&
+        ep->client->transport_failed()) {
+      record_failure(*ep);
+      continue;
+    }
+    if (response.status == serve::Status::Ok) mirror_puts_.add();
+  }
+}
+
+std::size_t Router::invalidate(const HistoryKey& key) {
+  const std::shared_ptr<const State> st = state();
+  if (st->ring.empty()) return 0;
+  const std::uint64_t hash = serve::DecisionCache::key_hash(key);
+  const std::size_t slot = hash & (kSketchSlots - 1);
+  // Reset the hot sketch so the key re-earns replication after the
+  // renegotiated decision lands.
+  replicated_[slot].store(0, std::memory_order_release);
+  hot_hits_[slot].store(0, std::memory_order_relaxed);
+
+  serve::Request request;
+  request.op = serve::Op::Invalidate;
+  request.key = key;
+  // Every possible holder: the owner plus the replica successors.
+  const std::vector<std::string> replica_set =
+      st->ring.successors(hash, 1 + options_.replicas);
+  std::size_t acked = 0;
+  for (const std::string& name : replica_set) {
+    const Endpoint* ep = st->find(name);
+    if (ep == nullptr ||
+        !ep->health->alive.load(std::memory_order_acquire))
+      continue;
+    ep->requests->add();
+    const serve::Response response = ep->client->call(request);
+    if (response.status == serve::Status::Error &&
+        ep->client->transport_failed()) {
+      record_failure(*ep);
+      continue;
+    }
+    if (response.status == serve::Status::Ok) ++acked;
+  }
+  invalidations_.add();
+  return acked;
+}
+
+serve::Response Router::broadcast(const serve::Request& request) {
+  const std::shared_ptr<const State> st = state();
+  serve::Response response;
+  response.status = serve::Status::Ok;
+  for (const Endpoint& ep : st->endpoints) {
+    if (!ep.health->alive.load(std::memory_order_acquire)) continue;
+    ep.requests->add();
+    const serve::Response r = ep.client->call(request);
+    if (r.status == serve::Status::Error &&
+        ep.client->transport_failed()) {
+      record_failure(ep);
+      continue;
+    }
+    if (r.status != serve::Status::Ok && response.error.empty()) {
+      response.status = r.status;
+      response.error = r.error;
+    }
+  }
+  return response;
+}
+
+serve::Response Router::call(const serve::Request& request) {
+  routed_.add();
+  switch (request.op) {
+    case serve::Op::Ping: {
+      // The proxy itself is the liveness target; endpoint liveness is
+      // in the metrics rows.
+      serve::Response response;
+      response.status = serve::Status::Ok;
+      return response;
+    }
+    case serve::Op::Get:
+      return route_get(request);
+    case serve::Op::Report:
+    case serve::Op::Put: {
+      const std::shared_ptr<const State> st = state();
+      if (st->ring.empty()) {
+        serve::Response response;
+        response.status = serve::Status::Error;
+        response.error = "fleet: no endpoints registered";
+        return response;
+      }
+      return route_keyed(request,
+                         serve::DecisionCache::key_hash(request.key), st);
+    }
+    case serve::Op::Invalidate: {
+      serve::Response response;
+      response.status = serve::Status::Ok;
+      invalidate(request.key);
+      return response;
+    }
+    case serve::Op::Metrics: {
+      serve::Response response;
+      response.status = serve::Status::Ok;
+      response.metrics = metrics_json();
+      return response;
+    }
+    case serve::Op::Save:
+      return broadcast(request);
+    case serve::Op::Shutdown: {
+      shutdown_.store(true, std::memory_order_release);
+      if (options_.forward_shutdown) return broadcast(request);
+      serve::Response response;
+      response.status = serve::Status::Ok;
+      return response;
+    }
+    case serve::Op::Snapshot:
+    case serve::Op::WarmStart: {
+      // Peer-to-peer replication ops address a specific daemon; routing
+      // them through placement would be meaningless.
+      serve::Response response;
+      response.status = serve::Status::Error;
+      response.error = "fleet: " +
+                       std::string(serve::to_string(request.op)) +
+                       " is a peer-to-peer op, not routable";
+      return response;
+    }
+  }
+  serve::Response response;
+  response.status = serve::Status::Error;
+  response.error = "fleet: unknown op";
+  return response;
+}
+
+std::size_t Router::probe() {
+  // One prober at a time; the mutex is flagged kAllowBlockingWhileHeld
+  // because probing *is* I/O.
+  const std::lock_guard<analysis::Mutex> lock(probe_mu_);
+  const std::shared_ptr<const State> st = state();
+  const std::int64_t now = now_us();
+  std::size_t revived = 0;
+  for (const Endpoint& ep : st->endpoints) {
+    if (ep.health->alive.load(std::memory_order_acquire)) continue;
+    if (now < ep.health->next_probe_us.load(std::memory_order_acquire))
+      continue;
+    probes_.add();
+    // SocketClient redials here; in-process clients return false but
+    // may still answer the Ping (bench kill simulation toggles back).
+    ep.client->reopen();
+    serve::Request ping;
+    ping.op = serve::Op::Ping;
+    const serve::Response response = ep.client->call(ping);
+    if (response.status == serve::Status::Ok &&
+        !ep.client->transport_failed()) {
+      ep.health->failures.store(0, std::memory_order_relaxed);
+      ep.health->alive.store(true, std::memory_order_release);
+      ++revived;
+      revived_.add();
+      if (options_.warm_start_on_rejoin) warm_start(ep.name);
+    } else {
+      // Still down: stretch the backoff without flipping liveness.
+      const std::uint32_t n =
+          ep.health->failures.fetch_add(1, std::memory_order_relaxed) + 1;
+      const double backoff_s =
+          std::min(options_.probe_backoff_max_s,
+                   options_.probe_backoff_initial_s *
+                       std::pow(2.0, static_cast<double>(
+                                         std::min(n - 1u, 30u))));
+      ep.health->next_probe_us.store(
+          now + static_cast<std::int64_t>(backoff_s * 1e6),
+          std::memory_order_release);
+    }
+  }
+  return revived;
+}
+
+bool Router::warm_start(const std::string& name) {
+  const std::shared_ptr<const State> st = state();
+  const Endpoint* target = st->find(name);
+  if (target == nullptr) return false;
+  // The donors are whoever owns the rejoiner's arcs when it is absent —
+  // exactly the nodes that absorbed its traffic while it was down.
+  const Ring donors = st->ring.without_node(name);
+  if (donors.empty()) return true;  // sole member: nobody to pull from
+  bool ok = true;
+  for (const Ring::Arc& arc : st->ring.arcs_of(name)) {
+    const Endpoint* donor = st->find(donors.owner(arc.hi));
+    if (donor == nullptr ||
+        !donor->health->alive.load(std::memory_order_acquire)) {
+      ok = false;
+      continue;
+    }
+    serve::Request snapshot;
+    snapshot.op = serve::Op::Snapshot;
+    snapshot.hash_lo = arc.lo;
+    snapshot.hash_hi = arc.hi;
+    donor->requests->add();
+    const serve::Response shard = donor->client->call(snapshot);
+    if (shard.status != serve::Status::Ok) {
+      if (donor->client->transport_failed()) record_failure(*donor);
+      ok = false;
+      continue;
+    }
+    if (shard.payload.empty()) continue;  // nothing cached on this arc
+    serve::Request warm;
+    warm.op = serve::Op::WarmStart;
+    warm.payload = shard.payload;
+    target->requests->add();
+    const serve::Response loaded = target->client->call(warm);
+    if (loaded.status != serve::Status::Ok) {
+      if (target->client->transport_failed()) record_failure(*target);
+      ok = false;
+    }
+  }
+  if (ok) warm_starts_.add();
+  return ok;
+}
+
+common::Json Router::metrics_json() const {
+  const std::shared_ptr<const State> st = state();
+  common::Json j = common::Json::object();
+  j.set("proto", std::string(serve::kProtocol));
+  j.set("role", std::string("fleet-router"));
+  common::Json eps = common::Json::array();
+  for (const Endpoint& ep : st->endpoints) {
+    common::Json e = common::Json::object();
+    e.set("name", ep.name);
+    e.set("alive", ep.health->alive.load(std::memory_order_acquire));
+    e.set("failures",
+          ep.health->failures.load(std::memory_order_relaxed));
+    e.set("requests", ep.requests->load());
+    e.set("errors", ep.errors->load());
+    eps.push_back(std::move(e));
+  }
+  j.set("endpoints", std::move(eps));
+  j.set("metrics", registry_.json_snapshot());
+  return j;
+}
+
+}  // namespace arcs::fleet

@@ -1,0 +1,209 @@
+// fleet::Router — N daemons, one logical tuning service.
+//
+// The router owns no cache and no sessions; it is pure placement plus
+// health. Keyed ops (Get/Report/Put/Invalidate) hash the HistoryKey and
+// walk the ring's successor order, skipping endpoints marked dead, so a
+// daemon kill re-routes its arc to the next live successor *inside one
+// client call* — the caller never sees the failure. It is both a
+// serve::Client (plug it into TuningStrategy::Remote / cluster jobs via
+// RemoteTuner) and a serve::RequestHandler (put a SocketServer in front
+// and it becomes the arcs_fleetd proxy).
+//
+// Search dedup stays fleet-wide: a key has exactly one *home* (the
+// first live node in successor order), and only the home ever receives
+// a plain Get — so only the home can start a search, and its own
+// session dedup keeps it to one. Hot keys (router-observed hit count
+// past the topology threshold) are mirrored to the next R ring
+// successors as faithful Puts; subsequent reads fan across the replica
+// set with read_only probes, which by protocol contract can never
+// start, join, or wait on a search — a cold replica answers Pending and
+// the router falls through to the home. Replica reads therefore trade
+// freshness for fan-out only after the decision exists.
+//
+// Health: a transport-level failure marks the endpoint dead and records
+// an exponential-backoff probe deadline. probe() (called by the fleetd
+// loop, a bench, or any caller) re-dials endpoints past their deadline
+// (Client::reopen + Ping) and, on success, optionally warm-starts the
+// rejoiner by snapshotting its ring arcs back from the nodes that
+// absorbed them (serve ops Snapshot/WarmStart).
+//
+// Locking: the ring + endpoint set live in an immutable State snapshot
+// behind a SharedMutex (rank kFleetTopology); every operation copies
+// the shared_ptr and RELEASES before any endpoint I/O, so fleet locks
+// are never held across a blocking call. Health flags are atomics
+// inside the snapshot-shared Health blocks, so marking a daemon dead
+// needs no lock at all. probe() serializes on its own flagged mutex
+// (rank kFleetProbe) so concurrent probers cannot double-warm-start.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/sync.hpp"
+#include "fleet/ring.hpp"
+#include "fleet/topology.hpp"
+#include "serve/client.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace arcs::fleet {
+
+struct RouterOptions {
+  /// Ring points per endpoint.
+  std::size_t virtual_nodes = 64;
+  /// Ring successors a hot key is mirrored to (0 = owner only).
+  std::size_t replicas = 1;
+  /// Router-observed hits at which a key goes hot (0 disables
+  /// replication and fan-out entirely).
+  std::uint64_t hot_key_threshold = 64;
+  /// First re-probe delay after a failure; doubles per consecutive
+  /// failure up to the max.
+  double probe_backoff_initial_s = 0.05;
+  double probe_backoff_max_s = 2.0;
+  /// Pull a rejoining endpoint's ring arcs from the peers that absorbed
+  /// them (Snapshot -> WarmStart) before routing to it again.
+  bool warm_start_on_rejoin = true;
+  /// Forward Op::Shutdown to every live endpoint (true shuts the whole
+  /// fleet down; false stops only the proxy).
+  bool forward_shutdown = false;
+
+  /// Ring/replication geometry from a fleet.json document.
+  static RouterOptions from(const Topology& topology);
+};
+
+class Router : public serve::Client, public serve::RequestHandler {
+ public:
+  explicit Router(RouterOptions options = {});
+
+  /// Registers a daemon. The client must outlive the router; the name
+  /// must be unique. Ring arcs move onto the new endpoint immediately.
+  void add_endpoint(const std::string& name, serve::Client* client);
+  /// Unregisters; the endpoint's arcs fall to their successors.
+  void remove_endpoint(const std::string& name);
+  /// Registered endpoint names, sorted.
+  std::vector<std::string> endpoint_names() const;
+
+  /// serve::Client — one routed request/response exchange.
+  serve::Response call(const serve::Request& request) override;
+  /// serve::RequestHandler — same thing, for a fronting SocketServer.
+  serve::Response handle(const serve::Request& request) override {
+    return call(request);
+  }
+
+  /// Endpoint currently marked reachable? (Unknown names are dead.)
+  bool alive(const std::string& name) const;
+  /// Force-mark an endpoint dead (bench/test kill simulation; the
+  /// organic path is a transport failure during a routed call).
+  void mark_down(const std::string& name);
+  /// Re-dial dead endpoints whose backoff deadline passed; Ping, and on
+  /// success mark live (+ warm-start when configured). Returns how many
+  /// endpoints came back this sweep. Thread-safe; one prober at a time.
+  std::size_t probe();
+  /// Snapshot `name`'s ring arcs from the nodes owning them in the ring
+  /// without `name`, and WarmStart them into `name`. True if every
+  /// donor transfer succeeded.
+  bool warm_start(const std::string& name);
+
+  /// Fleet-wide invalidation: Op::Invalidate to every live member of
+  /// the key's replica set. Returns how many endpoints acknowledged.
+  std::size_t invalidate(const HistoryKey& key);
+
+  /// True once an Op::Shutdown was routed (the fleetd loop polls this).
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Router counters plus per-endpoint request/error/health rows.
+  common::Json metrics_json() const;
+  telemetry::MetricsRegistry& registry() const { return registry_; }
+  const RouterOptions& options() const { return options_; }
+
+ private:
+  struct Health {
+    std::atomic<bool> alive{true};
+    std::atomic<std::uint32_t> failures{0};
+    /// Steady-clock microseconds after which probe() may re-dial.
+    std::atomic<std::int64_t> next_probe_us{0};
+  };
+
+  struct Endpoint {
+    std::string name;
+    serve::Client* client = nullptr;
+    std::shared_ptr<Health> health;
+    telemetry::Counter* requests = nullptr;
+    telemetry::Counter* errors = nullptr;
+  };
+
+  /// Immutable membership snapshot; swapped whole on add/remove.
+  struct State {
+    Ring ring;
+    std::vector<Endpoint> endpoints;  ///< sorted by name
+    const Endpoint* find(const std::string& name) const;
+  };
+
+  std::shared_ptr<const State> state() const;
+  void swap_state(std::shared_ptr<const State> next);
+
+  /// Owner-order walk: first live endpoint serves; transport failures
+  /// mark dead and fall through to the successor.
+  serve::Response route_keyed(const serve::Request& request,
+                              std::uint64_t hash,
+                              const std::shared_ptr<const State>& st);
+  serve::Response route_get(const serve::Request& request);
+  serve::Response broadcast(const serve::Request& request);
+
+  /// Transport failure bookkeeping (dead mark + backoff deadline).
+  void record_failure(const Endpoint& ep);
+  /// Mirror a served-hot decision to the key's replica successors.
+  void replicate(const serve::Request& get, const serve::Response& hit,
+                 std::uint64_t hash,
+                 const std::shared_ptr<const State>& st);
+
+  static std::int64_t now_us();
+
+  RouterOptions options_;
+
+  mutable analysis::SharedMutex state_mu_{
+      "fleet/topology", analysis::sync::rank::kFleetTopology};
+  std::shared_ptr<const State> state_ =
+      std::make_shared<const State>();
+
+  // One prober at a time; held across probe I/O by design (flagged).
+  analysis::Mutex probe_mu_{"fleet/probe",
+                            analysis::sync::rank::kFleetProbe,
+                            analysis::sync::kAllowBlockingWhileHeld};
+
+  // Hot-key hit sketch: fixed array of counters indexed by key hash.
+  // Collisions only make a cold key replicate early — harmless.
+  static constexpr std::size_t kSketchSlots = 4096;
+  std::vector<std::atomic<std::uint32_t>> hot_hits_ =
+      std::vector<std::atomic<std::uint32_t>>(kSketchSlots);
+  std::vector<std::atomic<std::uint8_t>> replicated_ =
+      std::vector<std::atomic<std::uint8_t>>(kSketchSlots);
+
+  std::atomic<bool> shutdown_{false};
+
+  mutable telemetry::MetricsRegistry registry_;
+  telemetry::Counter& routed_{registry_.counter("fleet/routed")};
+  telemetry::Counter& rerouted_{registry_.counter("fleet/rerouted")};
+  telemetry::Counter& failures_{registry_.counter("fleet/endpoint_failures")};
+  telemetry::Counter& fanout_hits_{registry_.counter("fleet/fanout_hits")};
+  telemetry::Counter& fanout_misses_{
+      registry_.counter("fleet/fanout_misses")};
+  telemetry::Counter& replicated_keys_{
+      registry_.counter("fleet/replicated_keys")};
+  telemetry::Counter& mirror_puts_{registry_.counter("fleet/mirror_puts")};
+  telemetry::Counter& probes_{registry_.counter("fleet/probes")};
+  telemetry::Counter& revived_{registry_.counter("fleet/revived")};
+  telemetry::Counter& warm_starts_{registry_.counter("fleet/warm_starts")};
+  telemetry::Counter& invalidations_{
+      registry_.counter("fleet/invalidations")};
+  telemetry::Counter& dead_end_errors_{
+      registry_.counter("fleet/dead_end_errors")};
+};
+
+}  // namespace arcs::fleet

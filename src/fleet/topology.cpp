@@ -1,0 +1,120 @@
+#include "fleet/topology.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace arcs::fleet {
+
+namespace {
+
+const common::Json& require(const common::Json& json, const std::string& key) {
+  const common::Json* member = json.find(key);
+  ARCS_CHECK_MSG(member != nullptr, "fleet topology missing field: " + key);
+  return *member;
+}
+
+std::string require_string(const common::Json& json, const std::string& key) {
+  const common::Json& member = require(json, key);
+  ARCS_CHECK_MSG(member.is_string(),
+                 "fleet topology field is not a string: " + key);
+  return member.as_string();
+}
+
+double number_or(const common::Json& json, const std::string& key,
+                 double fallback) {
+  const common::Json* member = json.find(key);
+  if (member == nullptr) return fallback;
+  ARCS_CHECK_MSG(member->is_number(),
+                 "fleet topology field is not a number: " + key);
+  return member->as_number();
+}
+
+}  // namespace
+
+void Topology::validate() const {
+  ARCS_CHECK_MSG(!endpoints.empty(), "fleet topology has no endpoints");
+  ARCS_CHECK_MSG(virtual_nodes > 0,
+                 "fleet topology needs virtual_nodes >= 1");
+  std::set<std::string> names;
+  std::set<std::string> sockets;
+  for (const auto& ep : endpoints) {
+    ARCS_CHECK_MSG(!ep.name.empty(), "fleet endpoint with an empty name");
+    ARCS_CHECK_MSG(!ep.socket.empty(),
+                   "fleet endpoint '" + ep.name + "' has no socket path");
+    ARCS_CHECK_MSG(names.insert(ep.name).second,
+                   "duplicate fleet endpoint name: " + ep.name);
+    ARCS_CHECK_MSG(sockets.insert(ep.socket).second,
+                   "duplicate fleet endpoint socket: " + ep.socket);
+  }
+  ARCS_CHECK_MSG(cluster_power_cap >= 0.0,
+                 "cluster_power_cap cannot be negative");
+}
+
+common::Json Topology::to_json() const {
+  common::Json j = common::Json::object();
+  j.set("proto", std::string(kTopologyProto));
+  j.set("virtual_nodes", virtual_nodes);
+  j.set("replicas", replicas);
+  j.set("hot_key_threshold", hot_key_threshold);
+  j.set("cluster_power_cap", cluster_power_cap);
+  common::Json eps = common::Json::array();
+  for (const auto& ep : endpoints) {
+    common::Json e = common::Json::object();
+    e.set("name", ep.name);
+    e.set("socket", ep.socket);
+    eps.push_back(std::move(e));
+  }
+  j.set("endpoints", std::move(eps));
+  return j;
+}
+
+Topology Topology::from_json(const common::Json& json) {
+  ARCS_CHECK_MSG(json.is_object(), "fleet topology is not a JSON object");
+  const std::string proto = require_string(json, "proto");
+  ARCS_CHECK_MSG(proto == kTopologyProto,
+                 "fleet topology version skew: got '" + proto + "', want '" +
+                     std::string(kTopologyProto) + "'");
+  Topology topo;
+  topo.virtual_nodes = static_cast<std::size_t>(
+      number_or(json, "virtual_nodes", 64.0));
+  topo.replicas =
+      static_cast<std::size_t>(number_or(json, "replicas", 1.0));
+  topo.hot_key_threshold = static_cast<std::uint64_t>(
+      number_or(json, "hot_key_threshold", 64.0));
+  topo.cluster_power_cap = number_or(json, "cluster_power_cap", 0.0);
+  const common::Json& eps = require(json, "endpoints");
+  ARCS_CHECK_MSG(eps.is_array(), "fleet topology endpoints is not an array");
+  for (const common::Json& e : eps.items()) {
+    TopologyEndpoint ep;
+    ep.name = require_string(e, "name");
+    ep.socket = require_string(e, "socket");
+    topo.endpoints.push_back(std::move(ep));
+  }
+  topo.validate();
+  return topo;
+}
+
+Topology Topology::load(const std::string& path) {
+  std::ifstream in(path);
+  ARCS_CHECK_MSG(in.good(), "cannot open fleet topology file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string parse_error;
+  const common::Json json = common::Json::parse(text.str(), &parse_error);
+  ARCS_CHECK_MSG(!json.is_null(),
+                 "bad JSON in fleet topology file " + path + ": " +
+                     parse_error);
+  return from_json(json);
+}
+
+void Topology::save(const std::string& path) const {
+  validate();
+  std::ofstream out(path, std::ios::trunc);
+  ARCS_CHECK_MSG(out.good(), "cannot write fleet topology file: " + path);
+  out << to_json().dump(2) << "\n";
+}
+
+}  // namespace arcs::fleet

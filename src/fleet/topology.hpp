@@ -1,0 +1,63 @@
+// fleet.json — the declarative fleet topology.
+//
+// One document describes a whole fleet: the member daemons (name +
+// socket path), ring geometry (virtual nodes), replication degree,
+// hot-key threshold, and the cluster-wide power cap the BudgetArbiter
+// enforces. Every router built from the same topology file places keys
+// identically (Ring construction is deterministic), so client-side
+// routers and arcs_fleetd proxies can be mixed freely.
+//
+//   {
+//     "proto": "arcs-fleet/v1",
+//     "virtual_nodes": 64,
+//     "replicas": 1,
+//     "hot_key_threshold": 64,
+//     "cluster_power_cap": 360.0,
+//     "endpoints": [
+//       {"name": "shard-a", "socket": "/tmp/arcs-a.sock"},
+//       {"name": "shard-b", "socket": "/tmp/arcs-b.sock"}
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace arcs::fleet {
+
+inline constexpr std::string_view kTopologyProto = "arcs-fleet/v1";
+
+struct TopologyEndpoint {
+  std::string name;    ///< ring identity; must be unique in the fleet
+  std::string socket;  ///< Unix-socket path of the daemon
+};
+
+struct Topology {
+  std::vector<TopologyEndpoint> endpoints;
+  /// Ring points per daemon; more = smoother arcs, slower membership ops.
+  std::size_t virtual_nodes = 64;
+  /// Hot keys are mirrored to this many ring successors beyond the owner.
+  std::size_t replicas = 1;
+  /// Router-observed hits at which a key counts as hot (0 disables
+  /// replication).
+  std::uint64_t hot_key_threshold = 64;
+  /// Cluster-wide power cap in watts shared by all jobs (0 = none).
+  double cluster_power_cap = 0.0;
+
+  /// Throws common::ContractError on duplicate/empty names or sockets.
+  void validate() const;
+
+  common::Json to_json() const;
+  /// Throws common::ContractError on version skew or malformed fields.
+  static Topology from_json(const common::Json& json);
+
+  /// File round trip (load validates). Throws on I/O or parse failure.
+  static Topology load(const std::string& path);
+  void save(const std::string& path) const;
+};
+
+}  // namespace arcs::fleet

@@ -299,6 +299,24 @@ void DecisionCache::put(const HistoryKey& key,
   store_slot(shard, *dest, key, hash_a, hash_b, decision);
 }
 
+bool DecisionCache::erase(const HistoryKey& key) {
+  const std::uint64_t hash_a = key_hash(key);
+  const std::uint64_t hash_b = key_hash2(key);
+  Shard& shard = shard_of(hash_a);
+  const std::lock_guard<analysis::Mutex> lock(shard.mu);
+  Slot* slot = find_locked(shard, key, hash_a, hash_b);
+  if (slot == nullptr) return false;
+  slot->seq.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  // Tombstone, never Empty: concurrent readers probing past this slot
+  // must not have their chain cut mid-scan (same rule as eviction).
+  slot->state.store(kTombstone, std::memory_order_relaxed);
+  slot->seq.fetch_add(1, std::memory_order_release);
+  slot->key = HistoryKey{};
+  shard.count.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
 std::size_t DecisionCache::size() const {
   std::size_t n = 0;
   for (const auto& shard : shards_)
@@ -329,12 +347,22 @@ void DecisionCache::load(const HistoryStore& store) {
 }
 
 HistoryStore DecisionCache::snapshot() const {
+  return snapshot_range(0, ~std::uint64_t{0});
+}
+
+HistoryStore DecisionCache::snapshot_range(std::uint64_t lo,
+                                           std::uint64_t hi) const {
+  // Wrapping inclusive membership: a ring arc may straddle UINT64_MAX.
+  const auto in_range = [lo, hi](std::uint64_t h) {
+    return lo <= hi ? (h >= lo && h <= hi) : (h >= lo || h <= hi);
+  };
   HistoryStore store;
   for (const auto& shard : shards_) {
     const std::lock_guard<analysis::Mutex> lock(shard->mu);
     for (const Slot& slot : shard->slots) {
       if (slot.state.load(std::memory_order_relaxed) != kFull) continue;
       if (slot.provisional.load(std::memory_order_relaxed) != 0) continue;
+      if (!in_range(slot.hash_a.load(std::memory_order_relaxed))) continue;
       HistoryEntry entry;
       const CachedDecision decision = decision_from(
           slot.threads.load(std::memory_order_relaxed),

@@ -89,6 +89,11 @@ class DecisionCache {
   /// entry. Takes the shard's mutex (the certified write side).
   void put(const HistoryKey& key, const CachedDecision& decision);
 
+  /// Drops one key (fleet invalidation after a budget renegotiation).
+  /// Tombstones the slot like eviction, so concurrent lock-free probes
+  /// keep their chains. Returns whether the key was present.
+  bool erase(const HistoryKey& key);
+
   std::size_t size() const;
   /// Entries currently provisional (model predictions awaiting a search).
   std::size_t provisional_count() const;
@@ -107,6 +112,11 @@ class DecisionCache {
   /// Every *final* cached decision as a HistoryStore (for Save /
   /// persistence). Provisional predictions are skipped.
   HistoryStore snapshot() const;
+
+  /// snapshot() restricted to entries whose key_hash lies in the
+  /// inclusive range [lo, hi]; lo > hi wraps through UINT64_MAX (a
+  /// consistent-hash ring arc). Backs the fleet Snapshot op.
+  HistoryStore snapshot_range(std::uint64_t lo, std::uint64_t hi) const;
 
   /// Stable (process-independent) shard hash, exposed for tests.
   static std::uint64_t key_hash(const HistoryKey& key);

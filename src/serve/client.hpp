@@ -7,6 +7,8 @@
 // to a harmonyd daemon.
 #pragma once
 
+#include <atomic>
+
 #include "core/remote.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -24,11 +26,21 @@ class Client : public RemoteTuner {
   void report(const HistoryKey& key, std::uint64_t ticket,
               double value) override;
 
-  /// True when the last call() failed at the transport level.
-  bool transport_failed() const { return transport_failed_; }
+  /// True when the last call() failed at the transport level. Atomic:
+  /// a fleet router shares one client across request threads and reads
+  /// this flag right after a failing call to decide on a re-route.
+  bool transport_failed() const {
+    return transport_failed_.load(std::memory_order_acquire);
+  }
+
+  /// Re-establish a broken transport, when the concrete client can
+  /// (SocketClient redials its daemon). The fleet router calls this
+  /// before probing an endpoint it marked dead; in-process clients have
+  /// nothing to reopen and return false.
+  virtual bool reopen() { return false; }
 
  protected:
-  bool transport_failed_ = false;
+  std::atomic<bool> transport_failed_{false};
 };
 
 /// The in-process channel: zero-copy dispatch straight into the server.

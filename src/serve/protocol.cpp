@@ -33,6 +33,34 @@ double require_number(const common::Json& json, const std::string& key) {
   return member.as_number();
 }
 
+/// Hashes travel as 16-hex-digit strings: a JSON number is a double, and
+/// doubles cannot hold a full 64-bit hash exactly.
+std::string hex_u64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t hex_u64_parse(const std::string& s) {
+  ARCS_CHECK_MSG(!s.empty() && s.size() <= 16,
+                 "serve message hash field is not a hex u64: " + s);
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9')
+      v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else
+      ARCS_CHECK_MSG(false, "serve message hash field is not a hex u64: " + s);
+  }
+  return v;
+}
+
 void check_protocol(const common::Json& json) {
   ARCS_CHECK_MSG(json.is_object(), "serve message is not a JSON object");
   const std::string proto = require_string(json, "proto");
@@ -111,6 +139,12 @@ std::string_view to_string(Op op) {
       return "save";
     case Op::Shutdown:
       return "shutdown";
+    case Op::Snapshot:
+      return "snapshot";
+    case Op::WarmStart:
+      return "warm_start";
+    case Op::Invalidate:
+      return "invalidate";
   }
   return "unknown";
 }
@@ -123,6 +157,9 @@ Op op_from_string(std::string_view s) {
   if (s == "metrics") return Op::Metrics;
   if (s == "save") return Op::Save;
   if (s == "shutdown") return Op::Shutdown;
+  if (s == "snapshot") return Op::Snapshot;
+  if (s == "warm_start") return Op::WarmStart;
+  if (s == "invalidate") return Op::Invalidate;
   ARCS_CHECK_MSG(false, "unknown serve op: " + std::string(s));
   return Op::Ping;
 }
@@ -167,6 +204,7 @@ common::Json to_json(const Request& request) {
     case Op::Get:
       j.set("key", key_to_json(request.key));
       j.set("wait_ms", request.wait_ms);
+      if (request.read_only) j.set("read_only", true);
       break;
     case Op::Report:
       j.set("key", key_to_json(request.key));
@@ -181,6 +219,16 @@ common::Json to_json(const Request& request) {
       break;
     case Op::Metrics:
       if (!request.format.empty()) j.set("format", request.format);
+      break;
+    case Op::Snapshot:
+      j.set("hash_lo", hex_u64(request.hash_lo));
+      j.set("hash_hi", hex_u64(request.hash_hi));
+      break;
+    case Op::WarmStart:
+      j.set("payload", request.payload);
+      break;
+    case Op::Invalidate:
+      j.set("key", key_to_json(request.key));
       break;
     case Op::Ping:
     case Op::Save:
@@ -206,6 +254,11 @@ Request request_from_json(const common::Json& json) {
     case Op::Get:
       request.key = key_from_json(require(json, "key"));
       request.wait_ms = require_number(json, "wait_ms");
+      if (const common::Json* read_only = json.find("read_only")) {
+        ARCS_CHECK_MSG(read_only->is_bool(),
+                       "serve message field is not a bool: read_only");
+        request.read_only = read_only->as_bool();
+      }
       break;
     case Op::Report:
       request.key = key_from_json(require(json, "key"));
@@ -227,6 +280,16 @@ Request request_from_json(const common::Json& json) {
                        "serve message field is not a string: format");
         request.format = format->as_string();
       }
+      break;
+    case Op::Snapshot:
+      request.hash_lo = hex_u64_parse(require_string(json, "hash_lo"));
+      request.hash_hi = hex_u64_parse(require_string(json, "hash_hi"));
+      break;
+    case Op::WarmStart:
+      request.payload = require_string(json, "payload");
+      break;
+    case Op::Invalidate:
+      request.key = key_from_json(require(json, "key"));
       break;
     case Op::Ping:
     case Op::Save:
@@ -250,6 +313,10 @@ common::Json to_json(const Response& response) {
     case Status::Hit:
       j.set("config", response.config.to_string());
       if (response.predicted) j.set("predicted", true);
+      if (response.evaluations > 0) {
+        j.set("best_value", response.best_value);
+        j.set("evaluations", response.evaluations);
+      }
       break;
     case Status::Evaluate:
       j.set("config", response.config.to_string());
@@ -264,6 +331,7 @@ common::Json to_json(const Response& response) {
     case Status::Timeout:
       break;
   }
+  if (!response.payload.empty()) j.set("payload", response.payload);
   if (!response.metrics.is_null()) j.set("metrics", response.metrics);
   return j;
 }
@@ -281,6 +349,11 @@ Response response_from_json(const common::Json& json) {
                        "serve message field is not a bool: predicted");
         response.predicted = predicted->as_bool();
       }
+      if (json.find("evaluations") != nullptr) {
+        response.best_value = require_number(json, "best_value");
+        response.evaluations =
+            static_cast<std::uint64_t>(require_number(json, "evaluations"));
+      }
       break;
     case Status::Evaluate:
       response.config =
@@ -296,6 +369,11 @@ Response response_from_json(const common::Json& json) {
     case Status::Overloaded:
     case Status::Timeout:
       break;
+  }
+  if (const common::Json* payload = json.find("payload")) {
+    ARCS_CHECK_MSG(payload->is_string(),
+                   "serve message field is not a string: payload");
+    response.payload = payload->as_string();
   }
   if (const common::Json* metrics = json.find("metrics"))
     response.metrics = *metrics;

@@ -37,6 +37,12 @@ enum class Op {
   Metrics,   ///< server counters + latency percentiles as JSON
   Save,      ///< persist the cache to the server's history file
   Shutdown,  ///< ask the daemon to exit its accept loop
+  // Fleet ops (src/fleet/): peer-to-peer cache replication. Encoded in
+  // the same arcs-serve/v1 vocabulary so any daemon can serve a joining
+  // peer with no separate replication channel.
+  Snapshot,    ///< serialize the cache's [hash_lo, hash_hi] key range
+  WarmStart,   ///< bulk-load a peer's serialized snapshot payload
+  Invalidate,  ///< drop one key from the cache (budget renegotiation)
 };
 
 std::string_view to_string(Op op);
@@ -54,6 +60,19 @@ struct Request {
   std::uint64_t evaluations = 0;  ///< Put: evaluations behind the decision
   std::string format;           ///< Metrics: "" = JSON, "prom" = Prometheus
                                 ///< text exposition
+  /// Get: a replica-read probe from a fleet router. A read-only Get
+  /// answers Hit from the cache or Pending on a miss — it never starts,
+  /// joins, or waits on a search, so fanning reads across replicas can
+  /// never start a duplicate search. Encoded only when true; decoders
+  /// treat it as optional, so routerless (older) peers interoperate.
+  bool read_only = false;
+  /// Snapshot: the DecisionCache::key_hash range requested, inclusive
+  /// and wrapping (lo > hi wraps through UINT64_MAX — ring arcs do).
+  /// The defaults select every entry.
+  std::uint64_t hash_lo = 0;
+  std::uint64_t hash_hi = ~std::uint64_t{0};
+  /// WarmStart: a peer's serialized HistoryStore (Snapshot's payload).
+  std::string payload;
   /// Distributed-tracing context of the caller's span. Encoded only when
   /// valid; decoders treat it as optional, so contextless (older) peers
   /// interoperate unchanged in both directions.
@@ -84,6 +103,26 @@ struct Response {
   /// search result. Encoded only when true; decoders treat the field as
   /// optional, so predictor-less (older) peers interoperate unchanged.
   bool predicted = false;
+  /// Hit only: the measured objective and evaluation count behind the
+  /// decision, so a fleet router can mirror a hot entry to replicas as a
+  /// faithful Put instead of a zero-provenance copy. Encoded only when
+  /// evaluations > 0; decoders treat both as optional.
+  double best_value = 0.0;
+  std::uint64_t evaluations = 0;
+  /// Snapshot only: the serialized HistoryStore for the requested hash
+  /// range (WarmStart accepts it verbatim).
+  std::string payload;
+};
+
+/// Anything that can answer an arcs-serve/v1 request: TuningServer is
+/// the terminal implementation, fleet::Router a forwarding one. The
+/// socket transport serves a RequestHandler, so one epoll loop fronts
+/// either a daemon or a whole fleet.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+  /// Serves one request; must be thread-safe, may block.
+  virtual Response handle(const Request& request) = 0;
 };
 
 /// JSON codecs. Decoders throw common::ContractError on missing fields,

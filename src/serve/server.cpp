@@ -107,6 +107,15 @@ Response TuningServer::handle(const Request& request) {
       case Op::Save:
         response = handle_save();
         break;
+      case Op::Snapshot:
+        response = handle_snapshot(request);
+        break;
+      case Op::WarmStart:
+        response = handle_warm_start(request);
+        break;
+      case Op::Invalidate:
+        response = handle_invalidate(request);
+        break;
       case Op::Shutdown:
         shutdown_.store(true, std::memory_order_release);
         sessions_cv_.notify_all();
@@ -151,8 +160,20 @@ Response TuningServer::handle_get(const Request& request) {
       sample_cache_hit_rate();
       response.status = Status::Hit;
       response.config = hit->config;
+      response.best_value = hit->best_value;
+      response.evaluations = hit->evaluations;
       return response;
     }
+  }
+
+  // A replica-read probe (fleet router fan-out) must never become a
+  // search driver, joiner, or waiter: on anything but a finished cached
+  // decision it answers Pending so the router falls through to the
+  // key's owner. Search dedup therefore stays a fleet-wide invariant.
+  if (request.read_only) {
+    metrics_.readonly_misses.add();
+    response.status = Status::Pending;
+    return response;
   }
 
   const bool can_wait = request.wait_ms > 0;
@@ -172,6 +193,8 @@ Response TuningServer::handle_get(const Request& request) {
       sample_cache_hit_rate();
       response.status = Status::Hit;
       response.config = cached->config;
+      response.best_value = cached->best_value;
+      response.evaluations = cached->evaluations;
       return response;
     }
 
@@ -274,6 +297,8 @@ Response TuningServer::handle_get(const Request& request) {
         sessions_cv_.notify_all();
         response.status = Status::Hit;
         response.config = decision.config;
+        response.best_value = decision.best_value;
+        response.evaluations = decision.evaluations;
         return response;
       }
       // Join the in-flight search as its next evaluation worker.
@@ -393,6 +418,50 @@ Response TuningServer::handle_save() {
   return response;
 }
 
+Response TuningServer::handle_snapshot(const Request& request) {
+  // Serialized v3 history text for the requested hash arc. A joining
+  // peer pulls its ring range from the daemon that served it while the
+  // peer was absent, then WarmStarts itself from the payload.
+  Response response;
+  response.payload =
+      cache_.snapshot_range(request.hash_lo, request.hash_hi).serialize();
+  ARCS_CHECK_MSG(response.payload.size() + 256 <= kMaxFrameBytes,
+                 "snapshot payload would exceed the frame limit; "
+                 "request a narrower hash range");
+  metrics_.snapshots.add();
+  response.status = Status::Ok;
+  return response;
+}
+
+Response TuningServer::handle_warm_start(const Request& request) {
+  Response response;
+  const HistoryStore store = HistoryStore::deserialize(request.payload);
+  {
+    // Under sessions_mu_ like Put: a Get blocked between its cache check
+    // and its cv wait must not miss the wake-up for a loaded key.
+    const std::lock_guard<analysis::Mutex> lock(sessions_mu_);
+    cache_.load(store);
+  }
+  sessions_cv_.notify_all();
+  metrics_.warm_starts.add();
+  metrics_.warm_start_entries.add(store.entries().size());
+  common::Json loaded = common::Json::object();
+  loaded.set("loaded", store.entries().size());
+  response.metrics = std::move(loaded);
+  response.status = Status::Ok;
+  return response;
+}
+
+Response TuningServer::handle_invalidate(const Request& request) {
+  // Drops only the cached decision; an in-flight search for the key is
+  // left to finish (its result reflects live measurements and will be
+  // re-invalidated by the arbiter if the cap moved again).
+  Response response;
+  if (cache_.erase(request.key)) metrics_.invalidations.add();
+  response.status = Status::Ok;
+  return response;
+}
+
 void TuningServer::sample_cache_hit_rate() const {
   telemetry::Tracer& tracer = telemetry::Tracer::instance();
   if (!tracer.enabled()) return;
@@ -431,6 +500,11 @@ common::Json TuningServer::metrics_json() const {
   counters.set("searches_completed", metrics_.searches_completed.load());
   counters.set("predictions", metrics_.predictions.load());
   counters.set("provisional_hits", metrics_.provisional_hits.load());
+  counters.set("readonly_misses", metrics_.readonly_misses.load());
+  counters.set("snapshots", metrics_.snapshots.load());
+  counters.set("warm_starts", metrics_.warm_starts.load());
+  counters.set("warm_start_entries", metrics_.warm_start_entries.load());
+  counters.set("invalidations", metrics_.invalidations.load());
   j.set("counters", counters);
   common::Json gauges = common::Json::object();
   gauges.set("inflight", inflight());

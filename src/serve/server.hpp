@@ -118,6 +118,11 @@ struct ServerMetrics {
         searches_completed(registry.counter("serve/searches_completed")),
         predictions(registry.counter("serve/predictions")),
         provisional_hits(registry.counter("serve/provisional_hits")),
+        readonly_misses(registry.counter("serve/readonly_misses")),
+        snapshots(registry.counter("serve/snapshots")),
+        warm_starts(registry.counter("serve/warm_starts")),
+        warm_start_entries(registry.counter("serve/warm_start_entries")),
+        invalidations(registry.counter("serve/invalidations")),
         requests(registry.counter("serve/requests")),
         latency(registry.histogram("serve/request_seconds")),
         hit_latency(registry.histogram("serve/hit_seconds")),
@@ -138,6 +143,11 @@ struct ServerMetrics {
   telemetry::Counter& searches_completed;
   telemetry::Counter& predictions;       ///< misses answered by the model
   telemetry::Counter& provisional_hits;  ///< Gets served a cached prediction
+  telemetry::Counter& readonly_misses;   ///< replica probes answered Pending
+  telemetry::Counter& snapshots;         ///< fleet Snapshot ops served
+  telemetry::Counter& warm_starts;       ///< fleet WarmStart ops served
+  telemetry::Counter& warm_start_entries;  ///< entries loaded by WarmStart
+  telemetry::Counter& invalidations;     ///< keys dropped by Invalidate
   telemetry::Counter& requests;
   telemetry::Histogram& latency;  ///< sampled request latency (seconds)
   // Per-op Get latency, split by outcome so a p99 regression on the
@@ -150,12 +160,12 @@ struct ServerMetrics {
   telemetry::Histogram& predicted_latency;  ///< Get → Hit (predicted)
 };
 
-class TuningServer {
+class TuningServer : public RequestHandler {
  public:
   explicit TuningServer(ServerOptions options = {});
 
   /// Serves one request; thread-safe, may block (Get with wait_ms > 0).
-  Response handle(const Request& request);
+  Response handle(const Request& request) override;
 
   DecisionCache& cache() { return cache_; }
   const ServerOptions& options() const { return options_; }
@@ -197,6 +207,9 @@ class TuningServer {
   Response handle_report(const Request& request);
   Response handle_put(const Request& request);
   Response handle_save();
+  Response handle_snapshot(const Request& request);
+  Response handle_warm_start(const Request& request);
+  Response handle_invalidate(const Request& request);
 
   /// Search space for a machine name (built lazily, cached). Throws
   /// common::ContractError for unknown machines.

@@ -40,18 +40,20 @@ void set_nonblocking(int fd) {
                  "fcntl(F_SETFL, O_NONBLOCK) failed");
 }
 
-/// Ops that may block the handling thread (cv wait, file I/O) go to the
-/// worker pool; everything else runs inline on the loop thread.
+/// Ops that may block the handling thread (cv wait, file I/O) or do
+/// bulk (de)serialization go to the worker pool; everything else runs
+/// inline on the loop thread.
 bool needs_worker(const Request& request) {
   if (request.op == Op::Save) return true;
+  if (request.op == Op::Snapshot || request.op == Op::WarmStart) return true;
   return request.op == Op::Get && request.wait_ms > 0;
 }
 
 }  // namespace
 
-SocketServer::SocketServer(TuningServer& server, std::string path,
+SocketServer::SocketServer(RequestHandler& handler, std::string path,
                            SocketServerOptions options)
-    : server_(server),
+    : server_(handler),
       path_(std::move(path)),
       options_(options),
       queue_(std::max<std::size_t>(1, options.queue_capacity)) {
@@ -415,20 +417,51 @@ void SocketServer::stop() {
   ::unlink(path_.c_str());
 }
 
-SocketClient::SocketClient(const std::string& path) {
-  const sockaddr_un addr = make_address(path);
+SocketClient::SocketClient(const std::string& path) : path_(path) {
+  const sockaddr_un addr = make_address(path_);
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   ARCS_CHECK_MSG(fd_ >= 0, "cannot create unix socket");
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
+    const int err = errno;
     ::close(fd_);
     fd_ = -1;
-    ARCS_CHECK_MSG(false, "cannot connect to tuning service at " + path);
+    // Keep the errno: a missing path means "no daemon ever bound here",
+    // a refusal means "stale socket file, daemon gone" — callers print
+    // different advice and exit with different codes.
+    std::string why = std::strerror(err);
+    if (err == ENOENT)
+      why = "no such socket — is the daemon running with --socket " +
+            path_ + "?";
+    else if (err == ECONNREFUSED)
+      why = "connection refused — stale socket file with no daemon "
+            "behind it?";
+    throw ConnectError(
+        "cannot connect to tuning service at " + path_ + ": " + why, err);
   }
 }
 
 SocketClient::~SocketClient() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+bool SocketClient::reopen() {
+  const std::lock_guard<analysis::Mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const sockaddr_un addr = make_address(path_);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  transport_failed_ = false;
+  return true;
 }
 
 Response SocketClient::call(const Request& request) {

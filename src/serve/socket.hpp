@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "analysis/sync.hpp"
+#include "common/check.hpp"
 #include "exec/queue.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -58,7 +59,9 @@ class SocketServer {
  public:
   /// Binds and starts serving immediately. Throws common::ContractError
   /// when the socket cannot be bound (stale path, name too long, ...).
-  SocketServer(TuningServer& server, std::string path,
+  /// The handler is a TuningServer for a daemon, a fleet::Router for the
+  /// arcs_fleetd proxy — the transport is identical either way.
+  SocketServer(RequestHandler& handler, std::string path,
                SocketServerOptions options = {});
   ~SocketServer();
 
@@ -132,7 +135,7 @@ class SocketServer {
   void sweep_idle();
   void wake();
 
-  TuningServer& server_;
+  RequestHandler& server_;
   std::string path_;
   SocketServerOptions options_;
   int listen_fd_ = -1;
@@ -159,11 +162,27 @@ class SocketServer {
   std::vector<std::thread> workers_;
 };
 
+/// Thrown when a SocketClient cannot reach its daemon. Carries the
+/// connect() errno so callers can distinguish a missing socket path
+/// (ENOENT — the daemon was never started or uses another path) from a
+/// refused connection (ECONNREFUSED — a stale socket file with no
+/// daemon behind it) and exit with distinct codes.
+class ConnectError : public common::ContractError {
+ public:
+  ConnectError(const std::string& message, int code)
+      : common::ContractError(message), code_(code) {}
+  /// The errno from ::connect (ENOENT, ECONNREFUSED, ...).
+  int code() const { return code_; }
+
+ private:
+  int code_;
+};
+
 /// Blocking client over one connection; call() is mutex-serialized so a
 /// single SocketClient may be shared (e.g. by the nodes of run_job).
 class SocketClient : public Client {
  public:
-  /// Connects immediately; throws common::ContractError on failure.
+  /// Connects immediately; throws serve::ConnectError on failure.
   explicit SocketClient(const std::string& path);
   ~SocketClient() override;
 
@@ -174,8 +193,14 @@ class SocketClient : public Client {
   /// connection breaks or the peer answers gibberish.
   Response call(const Request& request) override;
 
+  /// Drops the (possibly broken) connection and dials the daemon again.
+  /// False when the peer is still unreachable. A fleet router calls this
+  /// before probing an endpoint it marked dead.
+  bool reopen() override;
+
  private:
   int fd_ = -1;
+  std::string path_;
   // Held across the full call() round trip by design (one request in
   // flight per connection); allowlisted for blocking-while-held.
   analysis::Mutex mu_{"serve/client", analysis::sync::rank::kServeClient,

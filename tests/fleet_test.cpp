@@ -1,0 +1,882 @@
+// Tests for the fleet tier: consistent-hash ring properties
+// (determinism, bounded disruption, bounded load, replica-set
+// disjointness), fleet.json topology round trips, the arcs-serve/v1
+// fleet ops (snapshot/warm_start/invalidate, read_only reads), the
+// router's failure handling (re-route, probe, warm start) and hot-key
+// replication, the water-filling BudgetArbiter, and the CLI-vs-docs
+// consistency gate for the daemon flag surfaces.
+//
+// RouterSwap* doubles as a TSan target of tools/ci.sh: reader threads
+// route requests while the main thread swaps the topology underneath.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "fleet/fleet.hpp"
+#include "serve/serve.hpp"
+
+namespace ac = arcs::common;
+namespace fl = arcs::fleet;
+namespace sv = arcs::serve;
+namespace sp = arcs::somp;
+
+using arcs::HistoryEntry;
+using arcs::HistoryKey;
+using arcs::HistoryStore;
+
+namespace {
+
+// Deterministic 64-bit mix (splitmix64) for synthetic key hashes.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::vector<std::uint64_t> synthetic_hashes(std::size_t count) {
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) hashes.push_back(mix64(i + 1));
+  return hashes;
+}
+
+bool arc_contains(const fl::Ring::Arc& arc, std::uint64_t hash) {
+  if (arc.lo <= arc.hi) return arc.lo <= hash && hash <= arc.hi;
+  return hash >= arc.lo || hash <= arc.hi;  // wraps through UINT64_MAX
+}
+
+HistoryKey make_key(const std::string& region,
+                    const std::string& machine = "testbox",
+                    double cap = 40.0) {
+  return {"SP", machine, cap, "B", region};
+}
+
+sp::LoopConfig make_config(int threads, int chunk = 8) {
+  return {threads, {sp::ScheduleKind::Guided, chunk}};
+}
+
+double synthetic_objective(const sp::LoopConfig& config) {
+  const double threads =
+      config.num_threads == 0 ? 8.0 : static_cast<double>(config.num_threads);
+  const double t = threads - 6.0;
+  return 1.0 + 0.01 * (t * t);
+}
+
+std::size_t drive_to_convergence(sv::Client& client, const HistoryKey& key) {
+  std::size_t evaluations = 0;
+  for (;;) {
+    const auto decision = client.decide(key, 1000.0);
+    if (decision.kind == arcs::RemoteDecision::Kind::Apply)
+      return evaluations;
+    if (decision.kind == arcs::RemoteDecision::Kind::Evaluate) {
+      client.report(key, decision.ticket,
+                    synthetic_objective(decision.config));
+      ++evaluations;
+    }
+  }
+}
+
+/// In-process client whose transport can be killed and revived — the
+/// router sees exactly what a daemon crash looks like (Error + the
+/// transport_failed flag), without sockets.
+class FlakyClient : public sv::Client {
+ public:
+  explicit FlakyClient(sv::TuningServer& server) : server_(server) {}
+
+  sv::Response call(const sv::Request& request) override {
+    if (killed_.load(std::memory_order_acquire)) {
+      transport_failed_.store(true, std::memory_order_release);
+      sv::Response response;
+      response.status = sv::Status::Error;
+      response.error = "connection reset by peer";
+      return response;
+    }
+    transport_failed_.store(false, std::memory_order_release);
+    return server_.handle(request);
+  }
+
+  bool reopen() override {
+    if (killed_.load(std::memory_order_acquire)) return false;
+    transport_failed_.store(false, std::memory_order_release);
+    return true;
+  }
+
+  void kill() { killed_.store(true, std::memory_order_release); }
+  void revive() { killed_.store(false, std::memory_order_release); }
+
+ private:
+  sv::TuningServer& server_;
+  std::atomic<bool> killed_{false};
+};
+
+/// N in-process daemons plus one router — a whole fleet in a box.
+struct FleetBox {
+  explicit FleetBox(fl::RouterOptions options, std::size_t daemons = 3)
+      : router(options) {
+    sv::ServerOptions server_options;
+    server_options.cache.capacity = 4096;
+    server_options.cache.shards = 8;
+    for (std::size_t i = 0; i < daemons; ++i) {
+      servers.push_back(std::make_unique<sv::TuningServer>(server_options));
+      clients.push_back(std::make_unique<FlakyClient>(*servers.back()));
+      names.push_back("fleet-" + std::string(1, char('a' + i)));
+      router.add_endpoint(names.back(), clients.back().get());
+    }
+  }
+
+  std::size_t index_of(const std::string& name) const {
+    for (std::size_t i = 0; i < names.size(); ++i)
+      if (names[i] == name) return i;
+    ADD_FAILURE() << "unknown fleet member " << name;
+    return 0;
+  }
+
+  std::uint64_t total_searches() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : servers) sum += s->metrics().searches_started.load();
+    return sum;
+  }
+
+  /// The same pure function of membership the router computes.
+  fl::Ring ring() const {
+    return fl::Ring{names, router.options().virtual_nodes};
+  }
+
+  std::vector<std::unique_ptr<sv::TuningServer>> servers;
+  std::vector<std::unique_ptr<FlakyClient>> clients;
+  std::vector<std::string> names;
+  fl::Router router;
+};
+
+sv::Request make_put(const HistoryKey& key, int threads,
+                     std::uint64_t evaluations = 7) {
+  sv::Request put;
+  put.op = sv::Op::Put;
+  put.key = key;
+  put.config = make_config(threads);
+  put.value = synthetic_objective(put.config);
+  put.evaluations = evaluations;
+  return put;
+}
+
+sv::Request make_get(const HistoryKey& key, bool read_only = false) {
+  sv::Request get;
+  get.op = sv::Op::Get;
+  get.key = key;
+  get.read_only = read_only;
+  return get;
+}
+
+}  // namespace
+
+// ---------- Ring properties ----------
+
+TEST(FleetRing, DeterministicAcrossInsertionOrder) {
+  const fl::Ring forward{{"alpha", "bravo", "charlie", "delta"}, 64};
+  const fl::Ring shuffled{{"delta", "bravo", "alpha", "charlie"}, 64};
+  EXPECT_EQ(forward.nodes(), shuffled.nodes());
+  for (const std::uint64_t h : synthetic_hashes(2000)) {
+    EXPECT_EQ(forward.owner(h), shuffled.owner(h));
+    EXPECT_EQ(forward.successors(h, 3), shuffled.successors(h, 3));
+  }
+}
+
+TEST(FleetRing, DuplicateNamesCollapse) {
+  const fl::Ring ring{{"a", "b", "a", "b", "a"}, 16};
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(FleetRing, AddMovesOnlyKeysOntoTheNewNode) {
+  const std::vector<std::string> base{"n0", "n1", "n2", "n3", "n4"};
+  const fl::Ring before{base, 64};
+  const fl::Ring after = before.with_node("n5");
+  const auto hashes = synthetic_hashes(20000);
+  std::size_t moved = 0;
+  for (const std::uint64_t h : hashes) {
+    if (before.owner(h) != after.owner(h)) {
+      ++moved;
+      // Every displaced key lands on the new node, never a bystander.
+      EXPECT_EQ(after.owner(h), "n5");
+    }
+  }
+  // Expectation is K/(N+1); allow 2x for hash variance at 64 vnodes.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(moved, 2 * hashes.size() / (base.size() + 1));
+}
+
+TEST(FleetRing, RemoveMovesOnlyTheDepartedNodesKeys) {
+  const std::vector<std::string> base{"n0", "n1", "n2", "n3", "n4"};
+  const fl::Ring before{base, 64};
+  const fl::Ring after = before.without_node("n2");
+  const auto hashes = synthetic_hashes(20000);
+  std::size_t moved = 0;
+  for (const std::uint64_t h : hashes) {
+    if (before.owner(h) != after.owner(h)) {
+      ++moved;
+      // Only the departed node's keys move (to their successors).
+      EXPECT_EQ(before.owner(h), "n2");
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(moved, 2 * hashes.size() / base.size());
+}
+
+TEST(FleetRing, OwnerMatchesArcsOf) {
+  const fl::Ring ring{{"x", "y", "z"}, 32};
+  for (const std::uint64_t h : synthetic_hashes(500)) {
+    const std::string& owner = ring.owner(h);
+    bool covered = false;
+    for (const auto& arc : ring.arcs_of(owner)) covered |= arc_contains(arc, h);
+    EXPECT_TRUE(covered) << "owner's arcs miss hash " << h;
+    // And nobody else's arcs contain it.
+    for (const std::string& other : ring.nodes()) {
+      if (other == owner) continue;
+      for (const auto& arc : ring.arcs_of(other))
+        EXPECT_FALSE(arc_contains(arc, h));
+    }
+  }
+}
+
+TEST(FleetRing, SuccessorsAreDistinctOwnerFirst) {
+  const fl::Ring ring{{"a", "b", "c", "d", "e"}, 64};
+  for (const std::uint64_t h : synthetic_hashes(1000)) {
+    const auto replicas = ring.successors(h, 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas.front(), ring.owner(h));
+    const std::set<std::string> unique(replicas.begin(), replicas.end());
+    EXPECT_EQ(unique.size(), replicas.size()) << "replica set has repeats";
+  }
+  // Requesting more replicas than members caps at the member count.
+  EXPECT_EQ(ring.successors(42, 99).size(), ring.size());
+}
+
+TEST(FleetRing, BoundedLoadRespectsCapacity) {
+  const fl::Ring ring{{"a", "b", "c", "d", "e"}, 64};
+  const double load_factor = 1.25;
+  auto hashes = synthetic_hashes(10000);
+  const auto assignment = ring.assign_bounded(hashes, load_factor);
+  const std::size_t capacity = static_cast<std::size_t>(
+      std::ceil(load_factor * static_cast<double>(hashes.size()) /
+                static_cast<double>(ring.size())));
+  std::size_t total = 0;
+  for (const auto& [node, keys] : assignment) {
+    EXPECT_LE(keys.size(), capacity) << node << " exceeds bounded load";
+    total += keys.size();
+  }
+  EXPECT_EQ(total, hashes.size());
+  // Pure function of the key *set*: input order must not matter.
+  std::reverse(hashes.begin(), hashes.end());
+  EXPECT_EQ(ring.assign_bounded(hashes, load_factor), assignment);
+}
+
+TEST(FleetRing, SoleMemberOwnsEverything) {
+  const fl::Ring ring{{"only"}, 8};
+  for (const std::uint64_t h : synthetic_hashes(100))
+    EXPECT_EQ(ring.owner(h), "only");
+  bool covered = false;
+  for (const auto& arc : ring.arcs_of("only"))
+    covered |= arc_contains(arc, 0xdeadbeefull);
+  EXPECT_TRUE(covered);
+}
+
+// ---------- Topology ----------
+
+TEST(FleetTopology, JsonRoundTrip) {
+  fl::Topology topology;
+  topology.endpoints = {{"shard-a", "/tmp/a.sock"}, {"shard-b", "/tmp/b.sock"}};
+  topology.virtual_nodes = 32;
+  topology.replicas = 2;
+  topology.hot_key_threshold = 16;
+  topology.cluster_power_cap = 360.0;
+
+  const fl::Topology back = fl::Topology::from_json(topology.to_json());
+  ASSERT_EQ(back.endpoints.size(), 2u);
+  EXPECT_EQ(back.endpoints[0].name, "shard-a");
+  EXPECT_EQ(back.endpoints[1].socket, "/tmp/b.sock");
+  EXPECT_EQ(back.virtual_nodes, 32u);
+  EXPECT_EQ(back.replicas, 2u);
+  EXPECT_EQ(back.hot_key_threshold, 16u);
+  EXPECT_DOUBLE_EQ(back.cluster_power_cap, 360.0);
+
+  const fl::RouterOptions options = fl::RouterOptions::from(back);
+  EXPECT_EQ(options.virtual_nodes, 32u);
+  EXPECT_EQ(options.replicas, 2u);
+  EXPECT_EQ(options.hot_key_threshold, 16u);
+}
+
+TEST(FleetTopology, RejectsVersionSkewAndDuplicates) {
+  fl::Topology topology;
+  topology.endpoints = {{"a", "/tmp/a.sock"}, {"b", "/tmp/b.sock"}};
+  ac::Json skewed = topology.to_json();
+  skewed.set("proto", std::string("arcs-fleet/v2"));
+  EXPECT_THROW(fl::Topology::from_json(skewed), ac::ContractError);
+
+  fl::Topology duped;
+  duped.endpoints = {{"a", "/tmp/a.sock"}, {"a", "/tmp/b.sock"}};
+  EXPECT_THROW(duped.validate(), ac::ContractError);
+
+  fl::Topology empty;
+  EXPECT_THROW(empty.validate(), ac::ContractError);
+}
+
+// ---------- Protocol: fleet ops and fields ----------
+
+TEST(FleetProtocol, SnapshotRequestRoundTripsWrappingRange) {
+  sv::Request request;
+  request.op = sv::Op::Snapshot;
+  request.hash_lo = 0xfedcba9876543210ull;  // lo > hi: wraps through max
+  request.hash_hi = 0x0000000000000012ull;
+  const sv::Request back = sv::request_from_json(sv::to_json(request));
+  EXPECT_EQ(back.op, sv::Op::Snapshot);
+  EXPECT_EQ(back.hash_lo, request.hash_lo);
+  EXPECT_EQ(back.hash_hi, request.hash_hi);
+}
+
+TEST(FleetProtocol, WarmStartAndReadOnlyFieldsRoundTrip) {
+  sv::Request warm;
+  warm.op = sv::Op::WarmStart;
+  warm.payload = "#%arcs-history v3\n#%count 0\n#%samples 0\n";
+  const sv::Request warm_back = sv::request_from_json(sv::to_json(warm));
+  EXPECT_EQ(warm_back.op, sv::Op::WarmStart);
+  EXPECT_EQ(warm_back.payload, warm.payload);
+
+  sv::Request get = make_get(make_key("r0"), /*read_only=*/true);
+  const sv::Request get_back = sv::request_from_json(sv::to_json(get));
+  EXPECT_TRUE(get_back.read_only);
+  // Plain Gets stay wire-compatible with routerless peers: the flag is
+  // only encoded when set.
+  get.read_only = false;
+  EXPECT_FALSE(sv::request_from_json(sv::to_json(get)).read_only);
+
+  sv::Request invalidate;
+  invalidate.op = sv::Op::Invalidate;
+  invalidate.key = make_key("r1");
+  const sv::Request inv_back =
+      sv::request_from_json(sv::to_json(invalidate));
+  EXPECT_EQ(inv_back.op, sv::Op::Invalidate);
+  EXPECT_EQ(inv_back.key, invalidate.key);
+}
+
+TEST(FleetProtocol, ResponseProvenanceAndPayloadRoundTrip) {
+  sv::Response response;
+  response.status = sv::Status::Hit;
+  response.config = make_config(12);
+  response.best_value = 1.25;
+  response.evaluations = 42;
+  const sv::Response back = sv::response_from_json(sv::to_json(response));
+  EXPECT_EQ(back.status, sv::Status::Hit);
+  EXPECT_DOUBLE_EQ(back.best_value, 1.25);
+  EXPECT_EQ(back.evaluations, 42u);
+
+  sv::Response shard;
+  shard.status = sv::Status::Ok;
+  shard.payload = "#%arcs-history v3\n#%count 0\n#%samples 0\n";
+  EXPECT_EQ(sv::response_from_json(sv::to_json(shard)).payload,
+            shard.payload);
+}
+
+// ---------- Server-side fleet ops ----------
+
+TEST(FleetServeOps, SnapshotWarmStartMovesEntries) {
+  sv::TuningServer donor, joiner;
+  for (int i = 0; i < 8; ++i) {
+    const auto put = make_put(make_key("r" + std::to_string(i)), 4 + i);
+    ASSERT_EQ(donor.handle(put).status, sv::Status::Ok);
+  }
+
+  sv::Request snapshot;
+  snapshot.op = sv::Op::Snapshot;  // defaults select every entry
+  const sv::Response shard = donor.handle(snapshot);
+  ASSERT_EQ(shard.status, sv::Status::Ok);
+  ASSERT_FALSE(shard.payload.empty());
+
+  sv::Request warm;
+  warm.op = sv::Op::WarmStart;
+  warm.payload = shard.payload;
+  ASSERT_EQ(joiner.handle(warm).status, sv::Status::Ok);
+  EXPECT_EQ(joiner.metrics().warm_start_entries.load(), 8u);
+
+  for (int i = 0; i < 8; ++i) {
+    const auto got =
+        joiner.handle(make_get(make_key("r" + std::to_string(i)), true));
+    EXPECT_EQ(got.status, sv::Status::Hit) << "key r" << i;
+    EXPECT_GT(got.evaluations, 0u);
+  }
+}
+
+TEST(FleetServeOps, SnapshotRespectsHashRange) {
+  sv::TuningServer donor, joiner;
+  const HistoryKey kept = make_key("kept");
+  const HistoryKey dropped = make_key("dropped");
+  ASSERT_EQ(donor.handle(make_put(kept, 4)).status, sv::Status::Ok);
+  ASSERT_EQ(donor.handle(make_put(dropped, 8)).status, sv::Status::Ok);
+
+  // A degenerate one-hash arc: exactly the kept key's range.
+  sv::Request snapshot;
+  snapshot.op = sv::Op::Snapshot;
+  snapshot.hash_lo = sv::DecisionCache::key_hash(kept);
+  snapshot.hash_hi = snapshot.hash_lo;
+  const sv::Response shard = donor.handle(snapshot);
+  ASSERT_EQ(shard.status, sv::Status::Ok);
+
+  sv::Request warm;
+  warm.op = sv::Op::WarmStart;
+  warm.payload = shard.payload;
+  ASSERT_EQ(joiner.handle(warm).status, sv::Status::Ok);
+  EXPECT_EQ(joiner.handle(make_get(kept, true)).status, sv::Status::Hit);
+  EXPECT_EQ(joiner.handle(make_get(dropped, true)).status,
+            sv::Status::Pending);
+}
+
+TEST(FleetServeOps, ReadOnlyGetNeverStartsASearch) {
+  sv::TuningServer server;
+  const auto response = server.handle(make_get(make_key("cold"), true));
+  EXPECT_EQ(response.status, sv::Status::Pending);
+  EXPECT_EQ(server.metrics().searches_started.load(), 0u);
+  EXPECT_EQ(server.metrics().readonly_misses.load(), 1u);
+  EXPECT_EQ(server.inflight(), 0u);
+}
+
+TEST(FleetServeOps, InvalidateDropsOneKey) {
+  sv::TuningServer server;
+  const HistoryKey key = make_key("stale");
+  ASSERT_EQ(server.handle(make_put(key, 4)).status, sv::Status::Ok);
+  ASSERT_EQ(server.handle(make_get(key, true)).status, sv::Status::Hit);
+
+  sv::Request invalidate;
+  invalidate.op = sv::Op::Invalidate;
+  invalidate.key = key;
+  EXPECT_EQ(server.handle(invalidate).status, sv::Status::Ok);
+  EXPECT_EQ(server.handle(make_get(key, true)).status, sv::Status::Pending);
+  EXPECT_EQ(server.metrics().invalidations.load(), 1u);
+}
+
+// ---------- Router ----------
+
+TEST(FleetRouter, OneSearchFleetWideAcrossConcurrentClients) {
+  fl::RouterOptions options;
+  options.virtual_nodes = 16;
+  FleetBox box{options, 4};
+  const HistoryKey key = make_key("contended");
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] { drive_to_convergence(box.router, key); });
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(box.total_searches(), 1u)
+      << "a single key must cost one search fleet-wide";
+}
+
+TEST(FleetRouter, KillReroutesToSuccessorInsideOneCall) {
+  fl::RouterOptions options;
+  options.virtual_nodes = 16;
+  FleetBox box{options, 3};
+  const HistoryKey key = make_key("survivor");
+  ASSERT_EQ(box.router.call(make_put(key, 6)).status, sv::Status::Ok);
+
+  const std::string owner =
+      box.ring().owner(sv::DecisionCache::key_hash(key));
+  box.clients[box.index_of(owner)]->kill();
+
+  // The very next routed call detects the dead transport and walks to
+  // the successor — the caller sees no Error.
+  const sv::Response after = box.router.call(make_put(key, 6));
+  EXPECT_EQ(after.status, sv::Status::Ok);
+  EXPECT_FALSE(box.router.alive(owner));
+  auto& registry = box.router.registry();
+  EXPECT_GE(registry.counter("fleet/rerouted").load(), 1u);
+  EXPECT_GE(registry.counter("fleet/endpoint_failures").load(), 1u);
+}
+
+TEST(FleetRouter, HotKeyIsMirroredToReplicaAndServedAfterOwnerDies) {
+  fl::RouterOptions options;
+  options.virtual_nodes = 16;
+  options.replicas = 1;
+  options.hot_key_threshold = 3;
+  FleetBox box{options, 3};
+  const HistoryKey key = make_key("hot");
+  ASSERT_EQ(box.router.call(make_put(key, 6)).status, sv::Status::Ok);
+
+  for (int i = 0; i < 6; ++i)
+    ASSERT_EQ(box.router.call(make_get(key)).status, sv::Status::Hit);
+
+  auto& registry = box.router.registry();
+  EXPECT_EQ(registry.counter("fleet/replicated_keys").load(), 1u);
+  EXPECT_GE(registry.counter("fleet/mirror_puts").load(), 1u);
+
+  // The mirror is a faithful Put sitting on the first ring successor.
+  const std::uint64_t hash = sv::DecisionCache::key_hash(key);
+  const auto replica_set = box.ring().successors(hash, 2);
+  ASSERT_EQ(replica_set.size(), 2u);
+  sv::TuningServer& replica = *box.servers[box.index_of(replica_set[1])];
+  const auto mirrored = replica.handle(make_get(key, true));
+  EXPECT_EQ(mirrored.status, sv::Status::Hit);
+  EXPECT_GT(mirrored.evaluations, 0u);
+
+  // With the owner dead the replica keeps answering — zero client
+  // errors across the failover.
+  box.clients[box.index_of(replica_set[0])]->kill();
+  EXPECT_EQ(box.router.call(make_get(key)).status, sv::Status::Hit);
+}
+
+TEST(FleetRouter, InvalidateReachesEveryReplica) {
+  fl::RouterOptions options;
+  options.virtual_nodes = 16;
+  options.replicas = 1;
+  options.hot_key_threshold = 2;
+  FleetBox box{options, 3};
+  const HistoryKey key = make_key("renegotiated");
+  ASSERT_EQ(box.router.call(make_put(key, 6)).status, sv::Status::Ok);
+  for (int i = 0; i < 4; ++i)
+    ASSERT_EQ(box.router.call(make_get(key)).status, sv::Status::Hit);
+  ASSERT_EQ(box.router.registry().counter("fleet/replicated_keys").load(),
+            1u);
+
+  EXPECT_EQ(box.router.invalidate(key), 2u) << "owner + one replica";
+  // No member still serves the stale decision.
+  for (const auto& server : box.servers)
+    EXPECT_NE(server->handle(make_get(key, true)).status, sv::Status::Hit);
+}
+
+TEST(FleetRouter, ProbeRevivesAndWarmStartsARejoiner) {
+  fl::RouterOptions options;
+  options.virtual_nodes = 16;
+  options.probe_backoff_initial_s = 0.001;
+  options.probe_backoff_max_s = 0.01;
+  FleetBox box{options, 3};
+
+  // Keys owned by one victim daemon, found via the deterministic ring.
+  const fl::Ring ring = box.ring();
+  std::vector<HistoryKey> victim_keys;
+  std::string victim;
+  for (int i = 0; victim_keys.size() < 4 && i < 256; ++i) {
+    const HistoryKey key = make_key("vk" + std::to_string(i));
+    const std::string& owner = ring.owner(sv::DecisionCache::key_hash(key));
+    if (victim.empty()) victim = owner;
+    if (owner == victim) victim_keys.push_back(key);
+  }
+  ASSERT_EQ(victim_keys.size(), 4u);
+
+  // Kill the victim, then seed its keys through the router: they land
+  // on the successors (the future warm-start donors).
+  box.clients[box.index_of(victim)]->kill();
+  ASSERT_EQ(box.router.call(make_put(victim_keys[0], 6)).status,
+            sv::Status::Ok);  // organic failure detection marks it dead
+  ASSERT_FALSE(box.router.alive(victim));
+  for (const auto& key : victim_keys)
+    ASSERT_EQ(box.router.call(make_put(key, 6)).status, sv::Status::Ok);
+  // Nothing reached the victim's own cache while it was down.
+  for (const auto& key : victim_keys)
+    ASSERT_EQ(box.servers[box.index_of(victim)]
+                  ->handle(make_get(key, true))
+                  .status,
+              sv::Status::Pending);
+
+  box.clients[box.index_of(victim)]->revive();
+  std::size_t revived = 0;
+  for (int i = 0; i < 400 && revived == 0; ++i) {
+    revived = box.router.probe();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(revived, 1u) << "probe never brought the victim back";
+  EXPECT_TRUE(box.router.alive(victim));
+  EXPECT_GE(box.router.registry().counter("fleet/warm_starts").load(), 1u);
+
+  // The rejoiner now answers its own arc from its own cache.
+  for (const auto& key : victim_keys)
+    EXPECT_EQ(box.servers[box.index_of(victim)]
+                  ->handle(make_get(key, true))
+                  .status,
+              sv::Status::Hit);
+}
+
+TEST(FleetRouter, SnapshotAndWarmStartAreNotRoutable) {
+  fl::RouterOptions options;
+  FleetBox box{options, 2};
+  sv::Request snapshot;
+  snapshot.op = sv::Op::Snapshot;
+  EXPECT_EQ(box.router.call(snapshot).status, sv::Status::Error);
+  sv::Request warm;
+  warm.op = sv::Op::WarmStart;
+  EXPECT_EQ(box.router.call(warm).status, sv::Status::Error);
+}
+
+// TSan target: reader threads route requests while the main thread
+// swaps the topology underneath them (tools/ci.sh runs this suite under
+// -fsanitize=thread).
+TEST(FleetRouterSwap, ConcurrentReadsDuringTopologyChurn) {
+  fl::RouterOptions options;
+  options.virtual_nodes = 8;
+  FleetBox box{options, 3};
+
+  std::vector<HistoryKey> keys;
+  for (int i = 0; i < 32; ++i)
+    keys.push_back(make_key("swap" + std::to_string(i)));
+  for (const auto& key : keys)
+    ASSERT_EQ(box.router.call(make_put(key, 6)).status, sv::Status::Ok);
+
+  sv::ServerOptions extra_options;
+  sv::TuningServer extra_server{extra_options};
+  FlakyClient extra_client{extra_server};
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      for (std::size_t i = 0; !stop.load(std::memory_order_acquire); ++i) {
+        // read_only: landing on the cold joiner answers Pending and can
+        // never start a search — any Error is a routing bug.
+        const auto response = box.router.call(
+            make_get(keys[(i * 7 + static_cast<std::size_t>(t)) %
+                          keys.size()],
+                     true));
+        if (response.status == sv::Status::Error)
+          errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int round = 0; round < 40; ++round) {
+    box.router.add_endpoint("fleet-extra", &extra_client);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    box.router.remove_endpoint("fleet-extra");
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(box.router.endpoint_names().size(), 3u);
+}
+
+// ---------- BudgetArbiter ----------
+
+TEST(FleetArbiter, TotalNeverExceedsClusterCapUnderChurn) {
+  fl::BudgetArbiter arbiter{{/*cluster_power_cap=*/1000.0,
+                             /*min_job_cap=*/50.0,
+                             /*max_job_cap=*/0.0}};
+  std::vector<std::string> live;
+  for (int i = 0; i < 30; ++i) {
+    const std::string id = "job-" + std::to_string(i);
+    arbiter.add_job(id, "SP", "crill", 0.5 + static_cast<double>(i % 5));
+    live.push_back(id);
+    ASSERT_LE(arbiter.total_allocated(), 1000.0 + 1e-6)
+        << "after adding " << id;
+    if (i % 3 == 2) {
+      arbiter.remove_job(live.front());
+      live.erase(live.begin());
+      ASSERT_LE(arbiter.total_allocated(), 1000.0 + 1e-6);
+    }
+  }
+  EXPECT_EQ(arbiter.job_count(), live.size());
+  for (const auto& id : live) EXPECT_GT(arbiter.cap_of(id), 0.0);
+}
+
+TEST(FleetArbiter, WaterFillingIsProportionalToSensitivity) {
+  fl::BudgetArbiter arbiter{{100.0, 10.0, 0.0}};
+  arbiter.add_job("low", "SP", "m", 1.0);
+  EXPECT_NEAR(arbiter.cap_of("low"), 100.0, 1e-9);  // alone: everything
+  arbiter.add_job("high", "SP", "m", 3.0);
+  // Floors 10+10, surplus 80 split 1:3 -> 20/60.
+  EXPECT_NEAR(arbiter.cap_of("low"), 30.0, 1e-9);
+  EXPECT_NEAR(arbiter.cap_of("high"), 70.0, 1e-9);
+  // Departure returns the watts.
+  arbiter.remove_job("high");
+  EXPECT_NEAR(arbiter.cap_of("low"), 100.0, 1e-9);
+}
+
+TEST(FleetArbiter, CeilingFreezesAndRedividesSurplus) {
+  fl::BudgetArbiter arbiter{{100.0, 10.0, 40.0}};
+  arbiter.add_job("a", "SP", "m", 1.0);
+  arbiter.add_job("b", "SP", "m", 3.0);
+  // Unclamped shares would be 30/70; the ceiling freezes b at 40 and
+  // re-divides, then clamps a too.
+  EXPECT_NEAR(arbiter.cap_of("a"), 40.0, 1e-9);
+  EXPECT_NEAR(arbiter.cap_of("b"), 40.0, 1e-9);
+  EXPECT_LE(arbiter.total_allocated(), 100.0 + 1e-9);
+}
+
+TEST(FleetArbiter, FloorScalesDownWhenInfeasible) {
+  fl::BudgetArbiter arbiter{{100.0, 30.0, 0.0}};
+  for (int i = 0; i < 5; ++i)
+    arbiter.add_job("j" + std::to_string(i), "SP", "m", 1.0);
+  // 5 * 30 = 150 > 100: the floor scales to 20 so the invariant wins.
+  for (int i = 0; i < 5; ++i)
+    EXPECT_NEAR(arbiter.cap_of("j" + std::to_string(i)), 20.0, 1e-9);
+  EXPECT_NEAR(arbiter.total_allocated(), 100.0, 1e-9);
+}
+
+TEST(FleetArbiter, HookSeesEveryMovedCapOutsideTheLock) {
+  fl::BudgetArbiter arbiter{{100.0, 10.0, 0.0}};
+  std::vector<fl::CapChange> seen;
+  arbiter.set_hook([&](const std::vector<fl::CapChange>& changes) {
+    for (const auto& c : changes) seen.push_back(c);
+    // Outside the arbiter lock: re-entering the API must be legal.
+    EXPECT_GE(arbiter.total_allocated(), 0.0);
+  });
+  arbiter.add_job("a", "SP", "crill", 1.0);
+  arbiter.add_job("b", "BT", "crill", 3.0);
+
+  bool saw_a = false, saw_b = false;
+  for (const auto& c : seen) {
+    if (c.job_id == "a" && c.old_cap == 100.0 && c.new_cap == 30.0)
+      saw_a = true;
+    if (c.job_id == "b" && c.old_cap == 0.0 && c.new_cap == 70.0)
+      saw_b = true;
+  }
+  EXPECT_TRUE(saw_a) << "a's renegotiated cap never reached the hook";
+  EXPECT_TRUE(saw_b) << "b's arrival never reached the hook";
+
+  // budget_provider tracks renegotiations without re-registration.
+  const auto provider = arbiter.budget_provider("a");
+  EXPECT_NEAR(provider(), 30.0, 1e-9);
+  arbiter.remove_job("b");
+  EXPECT_NEAR(provider(), 100.0, 1e-9);
+}
+
+TEST(FleetArbiter, PowerSensitivityFromHistorySlope) {
+  HistoryStore store;
+  HistoryEntry at50;
+  at50.config = make_config(8);
+  at50.best_value = 2.0;
+  HistoryEntry at100 = at50;
+  at100.best_value = 1.0;
+  store.put(make_key("r0", "m", 50.0), at50);
+  store.put(make_key("r1", "m", 100.0), at100);
+  // Objective drops 1.0 over 50 extra watts: slope -0.02, so the job is
+  // 0.02-per-watt sensitive.
+  EXPECT_NEAR(fl::BudgetArbiter::power_sensitivity(store, "SP", "m"), 0.02,
+              1e-9);
+
+  // Fewer than two distinct caps: every job equal until data arrives.
+  HistoryStore sparse;
+  sparse.put(make_key("r0", "m", 50.0), at50);
+  EXPECT_DOUBLE_EQ(fl::BudgetArbiter::power_sensitivity(sparse, "SP", "m"),
+                   1.0);
+
+  // More watts never hurt: a positive slope clamps to zero.
+  HistoryStore inverted;
+  HistoryEntry worse = at50;
+  worse.best_value = 3.0;
+  inverted.put(make_key("r0", "m", 50.0), at50);
+  inverted.put(make_key("r1", "m", 100.0), worse);
+  EXPECT_DOUBLE_EQ(
+      fl::BudgetArbiter::power_sensitivity(inverted, "SP", "m"), 0.0);
+}
+
+TEST(FleetArbiter, KeysForSelectsExactlyTheOldCap) {
+  HistoryStore store;
+  HistoryEntry entry;
+  entry.config = make_config(8);
+  entry.best_value = 1.0;
+  store.put(make_key("r0", "m", 50.0), entry);
+  store.put(make_key("r1", "m", 50.0), entry);
+  store.put(make_key("r2", "m", 60.0), entry);
+  store.put({"BT", "m", 50.0, "B", "r3"}, entry);  // other app: excluded
+
+  const auto stale = fl::BudgetArbiter::keys_for(store, "SP", "m", 50.0);
+  ASSERT_EQ(stale.size(), 2u);
+  for (const auto& key : stale) {
+    EXPECT_EQ(key.app, "SP");
+    EXPECT_DOUBLE_EQ(key.power_cap, 50.0);
+  }
+}
+
+// ---------- CLI flags vs docs consistency ----------
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool flag_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+}
+
+/// Every `--flag` token following `marker` occurrences in `text`.
+std::set<std::string> flags_after(const std::string& text,
+                                  const std::string& marker) {
+  std::set<std::string> flags;
+  for (std::size_t pos = text.find(marker); pos != std::string::npos;
+       pos = text.find(marker, pos + 1)) {
+    std::size_t begin = pos + marker.size();
+    std::size_t end = begin;
+    while (end < text.size() && flag_char(text[end])) ++end;
+    if (end > begin) flags.insert("--" + text.substr(begin, end - begin));
+  }
+  return flags;
+}
+
+/// Flags a tool's argv loop accepts: every `arg == "--x"` comparison.
+std::set<std::string> accepted_flags(const std::string& source) {
+  return flags_after(source, "arg == \"--");
+}
+
+/// Flags the usage() text documents: string literals of the form
+/// `"  --x ..."` (the repo-wide help layout).
+std::set<std::string> help_flags(const std::string& source) {
+  return flags_after(source, "\"  --");
+}
+
+/// Every `--x` token anywhere in a markdown document.
+std::set<std::string> doc_flags(const std::string& markdown) {
+  return flags_after(markdown, "--");
+}
+
+std::string join(const std::set<std::string>& flags) {
+  std::string out;
+  for (const auto& f : flags) out += f + " ";
+  return out;
+}
+
+void expect_tool_flags_documented(const std::string& tool_source,
+                                  const std::string& doc_path) {
+  const std::string root = ARCS_SOURCE_ROOT;
+  const std::string source = read_file(root + "/" + tool_source);
+  const std::set<std::string> accepted = accepted_flags(source);
+  const std::set<std::string> helped = help_flags(source);
+  ASSERT_FALSE(accepted.empty()) << tool_source << " parses no flags?";
+
+  // Parser <-> --help drift: every accepted flag has a help line and
+  // every help line names a real flag.
+  EXPECT_EQ(accepted, helped)
+      << tool_source << " accepts [" << join(accepted)
+      << "] but its usage text shows [" << join(helped) << "]";
+
+  // --help <-> docs drift: the markdown mentions every daemon option.
+  const std::set<std::string> documented =
+      doc_flags(read_file(root + "/" + doc_path));
+  for (const auto& flag : accepted)
+    EXPECT_TRUE(documented.count(flag) != 0)
+        << flag << " (from " << tool_source << ") is missing from "
+        << doc_path;
+}
+
+}  // namespace
+
+TEST(FleetCli, ArcsdFlagsMatchHelpAndServeDocs) {
+  expect_tool_flags_documented("tools/arcsd.cpp", "docs/SERVE.md");
+}
+
+TEST(FleetCli, FleetdFlagsMatchHelpAndFleetDocs) {
+  expect_tool_flags_documented("tools/arcs_fleetd.cpp", "docs/FLEET.md");
+}

@@ -13,6 +13,7 @@
 // synthetic objective), report — until the server answers Hit; it is the
 // CI smoke test's way of pushing one key through a whole search without
 // simulating an application.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -32,7 +33,10 @@ int usage(const char* argv0) {
       "  metrics  SOCKET\n"
       "  prom     SOCKET        (metrics in Prometheus text format)\n"
       "  save     SOCKET\n"
-      "  shutdown SOCKET\n",
+      "  shutdown SOCKET\n"
+      "exit codes: 0 ok, 1 server/other error, 2 usage,\n"
+      "            3 socket path does not exist (daemon not running?),\n"
+      "            4 connection refused (stale socket file?)\n",
       argv0);
   return 2;
 }
@@ -154,6 +158,15 @@ int main(int argc, char** argv) {
     }
 
     return usage(argv[0]);
+  } catch (const ConnectError& e) {
+    // The message already names the path and the likely cause; the exit
+    // code makes the two common failures scriptable: 3 = nothing at the
+    // path (daemon never started / wrong --socket), 4 = socket file
+    // exists but nobody is listening (daemon died, file left behind).
+    std::fprintf(stderr, "arcs_client: %s\n", e.what());
+    if (e.code() == ENOENT) return 3;
+    if (e.code() == ECONNREFUSED) return 4;
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "arcs_client: %s\n", e.what());
     return 1;

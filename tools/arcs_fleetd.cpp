@@ -1,0 +1,182 @@
+// arcs_fleetd — consistent-hash routing proxy over a fleet of arcsd.
+//
+//   $ arcsd --socket /tmp/arcs-a.sock &   # one daemon per shard
+//   $ arcsd --socket /tmp/arcs-b.sock &
+//   $ arcs_fleetd --topology fleet.json --socket /tmp/arcs.sock &
+//   $ arcs_client drive /tmp/arcs.sock SP crill 85 B x_solve
+//
+// Clients speak plain arcs-serve/v1 to the proxy socket; the proxy
+// routes every key to its ring owner, mirrors hot keys to replicas,
+// re-routes around dead daemons, and warm-starts rejoiners (see
+// docs/FLEET.md). All member daemons must be up when the proxy starts
+// (the topology is the authority on who exists; a member that dies
+// later is probed back in automatically).
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --topology FILE --socket PATH [options]\n"
+      "  --topology FILE      fleet.json (arcs-fleet/v1) naming the\n"
+      "                       member daemons and ring geometry (required)\n"
+      "  --socket PATH        unix socket the proxy serves on (required)\n"
+      "  --metrics-json FILE  dump router metrics JSON at exit (and\n"
+      "                       periodically with --metrics-interval)\n"
+      "  --metrics-interval S rewrite the metrics file every S seconds\n"
+      "                       (atomic replace)\n"
+      "  --probe-interval S   health-probe sweep cadence for dead\n"
+      "                       endpoints (default 0.2)\n"
+      "  --workers N          request worker threads (default 4)\n"
+      "  --queue N            dispatch queue depth (default 128)\n"
+      "  --forward-shutdown   a shutdown op stops the member daemons\n"
+      "                       too, not just the proxy\n",
+      argv0);
+  return 2;
+}
+
+bool write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text << '\n';
+    if (!out) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace arcs;
+
+  std::string topology_path;
+  std::string socket_path;
+  std::string metrics_path;
+  double metrics_interval = 0.0;
+  double probe_interval = 0.2;
+  bool forward_shutdown = false;
+  serve::SocketServerOptions socket_opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--topology") {
+      topology_path = next();
+    } else if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--metrics-json") {
+      metrics_path = next();
+    } else if (arg == "--metrics-interval") {
+      metrics_interval = std::atof(next());
+    } else if (arg == "--probe-interval") {
+      probe_interval = std::atof(next());
+    } else if (arg == "--workers") {
+      socket_opts.workers =
+          static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--queue") {
+      socket_opts.queue_capacity =
+          static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--forward-shutdown") {
+      forward_shutdown = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (topology_path.empty() || socket_path.empty()) return usage(argv[0]);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    const fleet::Topology topology = fleet::Topology::load(topology_path);
+    fleet::RouterOptions router_opts = fleet::RouterOptions::from(topology);
+    router_opts.forward_shutdown = forward_shutdown;
+    fleet::Router router{router_opts};
+
+    // Dial every member now: SocketClient's constructor throws a
+    // ConnectError naming the socket if a daemon is missing, which is
+    // the right startup failure — the topology says it should exist.
+    std::vector<std::unique_ptr<serve::SocketClient>> clients;
+    clients.reserve(topology.endpoints.size());
+    for (const auto& ep : topology.endpoints) {
+      clients.push_back(std::make_unique<serve::SocketClient>(ep.socket));
+      router.add_endpoint(ep.name, clients.back().get());
+      std::printf("arcs_fleetd: member %s at %s\n", ep.name.c_str(),
+                  ep.socket.c_str());
+    }
+
+    serve::SocketServer transport{router, socket_path, socket_opts};
+    std::printf("arcs_fleetd: routing %zu members on %s (%zu vnodes, "
+                "%zu replicas)\n",
+                topology.endpoints.size(), transport.path().c_str(),
+                topology.virtual_nodes, topology.replicas);
+    std::fflush(stdout);
+
+    auto last_snapshot = std::chrono::steady_clock::now();
+    auto last_probe = last_snapshot;
+    while (g_signalled == 0 && !router.shutdown_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const auto now = std::chrono::steady_clock::now();
+      if (probe_interval > 0 &&
+          std::chrono::duration<double>(now - last_probe).count() >=
+              probe_interval) {
+        router.probe();
+        last_probe = now;
+      }
+      if (metrics_interval > 0 && !metrics_path.empty() &&
+          std::chrono::duration<double>(now - last_snapshot).count() >=
+              metrics_interval) {
+        if (!write_file_atomic(metrics_path,
+                               router.metrics_json().dump(2)))
+          std::fprintf(stderr, "arcs_fleetd: metrics snapshot to %s "
+                               "failed\n",
+                       metrics_path.c_str());
+        last_snapshot = now;
+      }
+    }
+    transport.stop();
+
+    if (!metrics_path.empty()) {
+      if (write_file_atomic(metrics_path, router.metrics_json().dump(2)))
+        std::printf("arcs_fleetd: metrics written to %s\n",
+                    metrics_path.c_str());
+      else
+        std::fprintf(stderr, "arcs_fleetd: final metrics write to %s "
+                             "failed\n",
+                     metrics_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "arcs_fleetd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -47,6 +47,8 @@ int usage(const char* argv0) {
       "  --queue N            dispatch queue depth (default 128)\n"
       "  --idle-timeout S     close connections idle longer than S\n"
       "                       seconds (default 0 = never)\n"
+      "  --max-inflight N     concurrent search sessions before Get\n"
+      "                       answers Overloaded (default 0 = unlimited)\n"
       "  --method NAME        search method: exhaustive|nelder-mead|\n"
       "                       pro|random|annealing (default exhaustive)\n"
       "  --model FILE         trained predictor (arcs_tune train); cache\n"
@@ -126,6 +128,9 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--idle-timeout") {
       socket_opts.idle_timeout_s = std::atof(next());
+    } else if (arg == "--max-inflight") {
+      server_opts.max_inflight =
+          static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--method") {
       const std::string name = next();
       if (name == "exhaustive")

@@ -59,11 +59,13 @@ cmake -B "$ROOT/tsan" -S . -DARCS_SANITIZE=thread -DARCS_SYNC_CHECK=ON \
 echo "=== [tsan] build ==="
 cmake --build "$ROOT/tsan" -j "$JOBS" \
   --target exec_test golden_test somp_test analysis_test serve_test \
-           serve_seqlock_test serve_torture_test \
+           serve_seqlock_test serve_torture_test fleet_test \
            telemetry_test model_test somp_verify
-echo "=== [tsan] exec + somp + serve + telemetry + model suites under TSan ==="
+echo "=== [tsan] exec + somp + serve + fleet + telemetry + model suites under TSan ==="
+# The Fleet suites include FleetRouterSwap: reader threads routing
+# requests while the topology snapshot is swapped underneath them.
 (cd "$ROOT/tsan" && ctest --output-on-failure -j "$JOBS" \
-  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve|Telemetry|Model|PredictedStrategy|SyncVerifier')
+  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve|Fleet|Telemetry|Model|PredictedStrategy|SyncVerifier')
 "$ROOT/tsan/tools/somp_verify" --app synthetic --steps 3
 
 # The serve torture suites — frame fuzzer, seqlock property tests, and
@@ -202,6 +204,161 @@ for row in hits:
 print("serve bench smoke: report valid, one shared search, "
       f"hit p50 {hits[-1]['hit_p50_us']:.3f}us / "
       f"p99 {hits[-1]['hit_p99_us']:.3f}us")
+PYEOF
+
+echo "=== fleet smoke: 3 daemons behind arcs_fleetd, kill/rejoin over real sockets ==="
+FLEET_DIR="$ROOT/fleet-smoke"
+rm -rf "$FLEET_DIR" && mkdir -p "$FLEET_DIR"
+FLEET_PIDS=()
+trap 'for p in "${FLEET_PIDS[@]}"; do kill "$p" 2>/dev/null || true; done' EXIT
+for m in a b c; do
+  "$TOOLS_BIN/arcsd" --socket "$FLEET_DIR/$m.sock" \
+    >"$FLEET_DIR/arcsd-$m.log" 2>&1 &
+  FLEET_PIDS+=($!)
+done
+for m in a b c; do
+  for _ in $(seq 1 50); do
+    [ -S "$FLEET_DIR/$m.sock" ] \
+      && "$TOOLS_BIN/arcs_client" ping "$FLEET_DIR/$m.sock" >/dev/null 2>&1 \
+      && break
+    sleep 0.1
+  done
+done
+cat > "$FLEET_DIR/fleet.json" <<JSONEOF
+{
+  "proto": "arcs-fleet/v1",
+  "virtual_nodes": 32,
+  "replicas": 1,
+  "hot_key_threshold": 4,
+  "cluster_power_cap": 360.0,
+  "endpoints": [
+    {"name": "fleet-a", "socket": "$FLEET_DIR/a.sock"},
+    {"name": "fleet-b", "socket": "$FLEET_DIR/b.sock"},
+    {"name": "fleet-c", "socket": "$FLEET_DIR/c.sock"}
+  ]
+}
+JSONEOF
+FLEET_SOCK="$FLEET_DIR/fleet.sock"
+"$TOOLS_BIN/arcs_fleetd" --topology "$FLEET_DIR/fleet.json" \
+  --socket "$FLEET_SOCK" --metrics-json "$FLEET_DIR/fleet-metrics.json" \
+  --metrics-interval 1 --probe-interval 0.2 \
+  >"$FLEET_DIR/fleetd.log" 2>&1 &
+FLEETD_PID=$!
+FLEET_PIDS+=("$FLEETD_PID")
+for _ in $(seq 1 50); do
+  [ -S "$FLEET_SOCK" ] \
+    && "$TOOLS_BIN/arcs_client" ping "$FLEET_SOCK" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+"$TOOLS_BIN/arcs_client" ping "$FLEET_SOCK"
+# One full search through the proxy; the same key must then hit whatever
+# member the ring placed it on.
+"$TOOLS_BIN/arcs_client" drive "$FLEET_SOCK" SP testbox 40 B fleet_region
+"$TOOLS_BIN/arcs_client" get "$FLEET_SOCK" SP testbox 40 B fleet_region \
+  | grep -q '"status": "hit"' \
+  || { echo "fleet smoke: expected a routed cache hit"; exit 1; }
+# Hard-kill one member. Route keys until the router organically detects
+# the dead transport (a key must land on fleet-b's arc; with 32 vnodes a
+# few dozen distinct keys make that certain in practice). Every client
+# call must still succeed — failover happens inside the proxy.
+kill -9 "${FLEET_PIDS[1]}"
+DETECTED=0
+for i in $(seq 1 60); do
+  "$TOOLS_BIN/arcs_client" get "$FLEET_SOCK" SP testbox 40 B "probe_$i" \
+    >/dev/null \
+    || { echo "fleet smoke: client saw an error during failover"; exit 1; }
+  if "$TOOLS_BIN/arcs_client" metrics "$FLEET_SOCK" \
+      | grep -q '"alive": false'; then
+    DETECTED=1
+    break
+  fi
+done
+[ "$DETECTED" = 1 ] \
+  || { echo "fleet smoke: router never marked the killed daemon dead"; exit 1; }
+# Restart the member on the same socket; the probe loop must revive and
+# warm-start it without any client-visible event.
+rm -f "$FLEET_DIR/b.sock"
+"$TOOLS_BIN/arcsd" --socket "$FLEET_DIR/b.sock" \
+  >"$FLEET_DIR/arcsd-b2.log" 2>&1 &
+FLEET_PIDS[1]=$!
+REJOINED=0
+for _ in $(seq 1 100); do
+  if "$TOOLS_BIN/arcs_client" metrics "$FLEET_SOCK" \
+      | grep -q '"fleet/revived": [1-9]'; then
+    REJOINED=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$REJOINED" = 1 ] \
+  || { echo "fleet smoke: killed daemon never rejoined"; exit 1; }
+"$TOOLS_BIN/arcs_client" metrics "$FLEET_SOCK" > "$FLEET_DIR/final-metrics.json"
+python3 - "$FLEET_DIR/final-metrics.json" <<'PYEOF'
+import json, pathlib, sys
+
+response = json.loads(pathlib.Path(sys.argv[1]).read_text())
+m = response["metrics"]
+assert m["role"] == "fleet-router", m
+endpoints = {e["name"]: e for e in m["endpoints"]}
+assert set(endpoints) == {"fleet-a", "fleet-b", "fleet-c"}, endpoints
+for name, e in endpoints.items():
+    assert e["alive"], f"{name} still marked dead after rejoin"
+c = m["metrics"]["counters"]
+assert c["fleet/rerouted"] >= 1, c
+assert c["fleet/endpoint_failures"] >= 1, c
+assert c["fleet/revived"] >= 1, c
+assert c["fleet/warm_starts"] >= 1, c
+assert c["fleet/dead_end_errors"] == 0, c
+print(f"fleet smoke: ok ({int(c['fleet/routed'])} routed, "
+      f"{int(c['fleet/rerouted'])} rerouted, "
+      f"{int(c['fleet/warm_starts'])} warm starts)")
+PYEOF
+# The periodic snapshot file must land while the proxy is up (written
+# atomically; the whole stage can finish inside the first interval, so
+# wait for it like the serve smoke does).
+for _ in $(seq 1 30); do
+  [ -s "$FLEET_DIR/fleet-metrics.json" ] && break
+  sleep 0.1
+done
+[ -s "$FLEET_DIR/fleet-metrics.json" ] \
+  || { echo "fleet smoke: no periodic fleetd metrics snapshot"; exit 1; }
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+  "$FLEET_DIR/fleet-metrics.json"
+"$TOOLS_BIN/arcs_client" shutdown "$FLEET_SOCK"   # stops the proxy only
+wait "$FLEETD_PID"
+for m in a b c; do
+  "$TOOLS_BIN/arcs_client" shutdown "$FLEET_DIR/$m.sock" >/dev/null
+done
+for p in "${FLEET_PIDS[@]}"; do wait "$p" 2>/dev/null || true; done
+trap - EXIT
+
+echo "=== fleet bench smoke: BENCH_x16_fleet.json ==="
+(cd "$FLEET_DIR" && ARCS_BENCH_FAST=1 "$BENCH_BIN/bench_x16_fleet" \
+  --json >/dev/null)
+python3 - "$FLEET_DIR/BENCH_x16_fleet.json" <<'PYEOF'
+import json, pathlib, sys
+
+r = json.loads(pathlib.Path(sys.argv[1]).read_text())
+assert r["schema"] == "arcs-bench-report/v1", r["schema"]
+rows = {row["series"]: row for row in r["rows"]}
+assert {"fleet_search_dedup", "fleet_throughput", "fleet_kill_rejoin",
+        "fleet_budget_arbiter"} <= rows.keys(), sorted(rows)
+assert rows["fleet_search_dedup"]["searches_started_fleetwide"] == 1, rows
+thr = rows["fleet_throughput"]
+assert thr["errors"] == 0 and thr["misses"] == 0, thr
+assert thr["replicated_keys"] > 0 and thr["fanout_hits"] > 0, thr
+kr = rows["fleet_kill_rejoin"]
+assert kr["failed_requests"] == 0, kr
+assert kr["rerouted"] > 0 and kr["revived"] == 1, kr
+assert kr["warm_starts"] >= 1 and kr["rejoined_readonly_hits"] > 0, kr
+ba = rows["fleet_budget_arbiter"]
+assert ba["cap_violations"] == 0, ba
+assert ba["max_total_w"] <= ba["cluster_cap_w"] + 1e-6, ba
+assert ba["invalidations"] > 0 and ba["renegotiations"] > 0, ba
+assert ba["live_job_cap_shared_w"] < ba["live_job_cap_alone_w"], ba
+print("fleet bench smoke: report valid — one search fleet-wide, "
+      f"{int(kr['rerouted'])} rerouted with 0 failed requests, "
+      f"peak {ba['max_total_w']:.0f}W <= cap {ba['cluster_cap_w']:.0f}W")
 PYEOF
 
 echo "=== trace smoke: record a traced remote-tuned run, validate the JSON ==="
