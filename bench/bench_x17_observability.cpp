@@ -1,0 +1,279 @@
+// x17 — the observability plane must watch without slowing the fleet.
+//
+// Two hard gates on src/fleet/collector + src/telemetry (see
+// docs/OBSERVABILITY.md):
+//   A. collector overhead — a collector scraping every daemon at an
+//      aggressive cadence costs <= 2% of routed hit throughput versus
+//      the identical fleet with scraping off;
+//   B. alert detection latency — a daemon killed under a live scrape
+//      loop raises the liveness page within three scrape intervals
+//      (the hysteresis floor is two), measured on a synthetic clock so
+//      the gate is exact, then clears within three intervals of the
+//      rejoin.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fleet/fleet.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using arcs::HistoryKey;
+namespace fleet = arcs::fleet;
+namespace serve = arcs::serve;
+namespace bench = arcs::bench;
+using Clock = std::chrono::steady_clock;
+
+// Aggregate-init + noinline: GCC 12 at -O3 raises a spurious -Wrestrict
+// on member-by-member string assignment inlined into the bench loops.
+__attribute__((noinline)) HistoryKey make_key(std::size_t i) {
+  return HistoryKey{"SP", "testbox",
+                    40.0 + 5.0 * static_cast<double>(i % 8), "B",
+                    "region_" + std::to_string(i)};
+}
+
+/// In-process daemon connection with a kill switch (the x16 shape).
+class FlakyClient : public serve::Client {
+ public:
+  explicit FlakyClient(serve::TuningServer& server) : server_(server) {}
+
+  serve::Response call(const serve::Request& request) override {
+    if (killed_.load(std::memory_order_acquire)) {
+      transport_failed_.store(true, std::memory_order_release);
+      serve::Response response;
+      response.status = serve::Status::Error;
+      response.error = "connection reset by peer";
+      return response;
+    }
+    transport_failed_.store(false, std::memory_order_release);
+    return server_.handle(request);
+  }
+
+  bool reopen() override {
+    if (killed_.load(std::memory_order_acquire)) return false;
+    transport_failed_.store(false, std::memory_order_release);
+    return true;
+  }
+
+  void kill() { killed_.store(true, std::memory_order_release); }
+  void revive() { killed_.store(false, std::memory_order_release); }
+
+ private:
+  serve::TuningServer& server_;
+  std::atomic<bool> killed_{false};
+};
+
+/// Three daemons + router + collector: the observed fleet in a box.
+struct ObservedFleet {
+  static constexpr std::size_t kDaemons = 3;
+
+  ObservedFleet() {
+    fleet::RouterOptions router_options;
+    router_options.probe_backoff_initial_s = 0.0;
+    router_options.probe_backoff_max_s = 0.0;
+    router_options.warm_start_on_rejoin = false;
+    router = std::make_unique<fleet::Router>(router_options);
+    serve::ServerOptions server_options;
+    server_options.cache.capacity = 8192;
+    server_options.cache.shards = 16;
+    for (std::size_t i = 0; i < kDaemons; ++i) {
+      servers.push_back(
+          std::make_unique<serve::TuningServer>(server_options));
+      clients.push_back(std::make_unique<FlakyClient>(*servers.back()));
+      names.push_back("daemon-" + std::string(1, char('a' + i)));
+      router->add_endpoint(names.back(), clients.back().get());
+    }
+    collector =
+        std::make_unique<fleet::Collector>(*router, fleet::CollectorOptions{});
+  }
+
+  void seed(const std::vector<HistoryKey>& keys) {
+    for (const auto& key : keys) {
+      serve::Request put;
+      put.op = serve::Op::Put;
+      put.key = key;
+      put.config.num_threads = 4;
+      put.value = 1.0;
+      put.evaluations = 108;
+      router->call(put);
+    }
+  }
+
+  std::vector<std::unique_ptr<serve::TuningServer>> servers;
+  std::vector<std::unique_ptr<FlakyClient>> clients;
+  std::vector<std::string> names;
+  std::unique_ptr<fleet::Router> router;
+  std::unique_ptr<fleet::Collector> collector;
+};
+
+/// Hammers cached keys through the router with `threads` workers and a
+/// scraper thread running (or not); returns routed hits per second.
+double measure_rps(bool scraping, std::size_t threads,
+                   std::size_t per_thread,
+                   const std::vector<HistoryKey>& keys) {
+  ObservedFleet box;
+  box.seed(keys);
+  std::atomic<bool> stop{false};
+  std::thread scraper;
+  if (scraping) {
+    scraper = std::thread([&box, &stop] {
+      double synthetic_now = 0.0;
+      while (!stop.load(std::memory_order_acquire)) {
+        // ~40 scrapes/s — 40x the 1 Hz production default, so the
+        // measured delta upper-bounds the real overhead while the
+        // scraper's wakeup churn stays honest on small hosts.
+        box.collector->scrape(synthetic_now);
+        synthetic_now += 1.0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    });
+  }
+  std::atomic<std::size_t> errors{0};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> workers;
+  for (std::size_t c = 0; c < threads; ++c) {
+    workers.emplace_back([&box, &keys, &errors, per_thread, c] {
+      std::size_t local_errors = 0;
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        serve::Request get;
+        get.op = serve::Op::Get;
+        get.key = keys[(i + c * 31) % keys.size()];
+        if (box.router->call(get).status != serve::Status::Hit)
+          ++local_errors;
+      }
+      errors.fetch_add(local_errors, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : workers) t.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  stop.store(true, std::memory_order_release);
+  if (scraper.joinable()) scraper.join();
+  if (errors.load() != 0) return 0.0;  // poisons the gate on any error
+  return wall > 0
+             ? static_cast<double>(threads * per_thread) / wall
+             : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "x17_observability");
+  bench::banner(
+      "x17: observability plane — watch the fleet without slowing it",
+      "collector overhead <= 2% of routed throughput; a daemon kill "
+      "pages within three scrape intervals");
+
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded bench main.
+  const bool fast = std::getenv("ARCS_BENCH_FAST") != nullptr &&
+                    std::getenv("ARCS_BENCH_FAST")[0] == '1';
+  const std::size_t kThreads = 4;
+  const std::size_t kKeys = 256;
+  const std::size_t kPerThread = (fast ? 600'000 : 2'000'000) / kThreads;
+  const std::size_t kRounds = 3;
+  bool all_pass = true;
+
+  std::vector<HistoryKey> keys;
+  keys.reserve(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) keys.push_back(make_key(i));
+
+  // ---- Phase A: scrape-on vs scrape-off throughput. ----
+  {
+    // Interleave the modes and take each one's best round: noise only
+    // ever subtracts from a run, so best-of-N converges on the true
+    // capacity of either configuration.
+    double best_off = 0.0;
+    double best_on = 0.0;
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      best_off = std::max(
+          best_off, measure_rps(false, kThreads, kPerThread, keys));
+      best_on = std::max(
+          best_on, measure_rps(true, kThreads, kPerThread, keys));
+    }
+    const double delta =
+        best_off > 0 ? (best_off - best_on) / best_off : 1.0;
+    const double overhead_pct = 100.0 * std::max(0.0, delta);
+    std::cout << "A. overhead: scrape-off " << best_off
+              << " req/s, scrape-on (40 scrapes/s) " << best_on
+              << " req/s -> " << overhead_pct << "% overhead\n";
+    arcs::common::Json row = arcs::common::Json::object();
+    row.set("series", "collector_overhead");
+    row.set("threads", kThreads);
+    row.set("requests_per_mode", kThreads * kPerThread * kRounds);
+    row.set("rps_scrape_off", best_off);
+    row.set("rps_scrape_on", best_on);
+    row.set("overhead_pct", overhead_pct);
+    bench::add_row(std::move(row));
+    if (best_off <= 0 || best_on <= 0) {
+      std::cout << "FAIL: a measured run saw request errors\n";
+      all_pass = false;
+    } else if (overhead_pct > 2.0) {
+      std::cout << "FAIL: collector overhead above the 2% gate\n";
+      all_pass = false;
+    }
+  }
+
+  // ---- Phase B: alert detection latency on a synthetic clock. ----
+  {
+    ObservedFleet box;
+    box.seed(keys);
+    double now_s = 0.0;
+    const auto scrape = [&box, &now_s] {
+      box.collector->scrape(now_s);
+      now_s += 1.0;  // one synthetic scrape interval per scrape
+    };
+    for (int i = 0; i < 5; ++i) scrape();  // steady baseline
+
+    box.clients[1]->kill();
+    std::size_t detect_scrapes = 0;
+    while (box.collector->alerts_fired() == 0 && detect_scrapes < 10) {
+      scrape();
+      ++detect_scrapes;
+    }
+    const bool detected = box.collector->alerts_fired() == 1;
+
+    box.clients[1]->revive();
+    box.router->probe();
+    std::size_t clear_scrapes = 0;
+    const auto cleared = [&box] {
+      const arcs::common::Json status = box.collector->fleet_status();
+      const arcs::common::Json* alerts = status.find("alerts");
+      return alerts != nullptr && alerts->size() == 0;
+    };
+    while (!cleared() && clear_scrapes < 10) {
+      scrape();
+      ++clear_scrapes;
+    }
+
+    std::cout << "B. detection: kill -> page after " << detect_scrapes
+              << " scrape interval(s); rejoin -> clear after "
+              << clear_scrapes << " interval(s)\n";
+    arcs::common::Json row = arcs::common::Json::object();
+    row.set("series", "alert_detection");
+    row.set("detect_scrape_intervals", detect_scrapes);
+    row.set("clear_scrape_intervals", clear_scrapes);
+    row.set("alerts_fired_total", box.collector->alerts_fired());
+    bench::add_row(std::move(row));
+    if (!detected || detect_scrapes > 3) {
+      std::cout << "FAIL: the kill was not paged within 3 scrapes\n";
+      all_pass = false;
+    }
+    if (clear_scrapes > 3) {
+      std::cout << "FAIL: the rejoin did not clear within 3 scrapes\n";
+      all_pass = false;
+    }
+  }
+
+  std::cout << (all_pass ? "\nPASS" : "\nFAIL")
+            << ": observability gates (overhead <= 2%, page <= 3 "
+               "scrapes)\n";
+  if (!all_pass) return 1;
+  return bench::finish();
+}

@@ -82,6 +82,8 @@ inline constexpr int kFleetProbe = 150;      ///< one prober at a time; held
                                              ///< across probe I/O (flagged)
 inline constexpr int kFleetTopology = 160;   ///< router ring + endpoint swap
 inline constexpr int kFleetArbiter = 170;    ///< cluster budget allocations
+inline constexpr int kFleetCollector = 190;  ///< scrape ingest + fleet_status;
+                                             ///< never held across endpoint I/O
 inline constexpr int kServeCompletions = 200;  ///< worker→loop handoff
 inline constexpr int kServeClient = 215;     ///< held across call round trip
 inline constexpr int kServeSessions = 300;
@@ -91,6 +93,9 @@ inline constexpr int kServeLatency = 330;
 inline constexpr int kTelemetryBuffers = 400;
 inline constexpr int kTelemetryNames = 410;  ///< nested under buffers
 inline constexpr int kTelemetryMetrics = 420;
+inline constexpr int kTelemetrySeries = 430;   ///< time-series store maps
+inline constexpr int kTelemetryRecorder = 440; ///< flight-recorder exemplars
+                                               ///< + dump (ring is lock-free)
 inline constexpr int kAnalysisGlobal = 500;
 inline constexpr int kCommonLog = 900;       ///< leaf: loggable from anywhere
 }  // namespace rank

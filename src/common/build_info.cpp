@@ -1,0 +1,54 @@
+#include "common/build_info.hpp"
+
+// CMake injects ARCS_VERSION_STRING / ARCS_GIT_DESCRIBE for this one
+// translation unit; fall back to neutral values so the file also
+// compiles standalone (tests including the header never see these).
+#ifndef ARCS_VERSION_STRING
+#define ARCS_VERSION_STRING "0.0.0"
+#endif
+#ifndef ARCS_GIT_DESCRIBE
+#define ARCS_GIT_DESCRIBE ""
+#endif
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) && !defined(__SANITIZE_ADDRESS__)
+#define __SANITIZE_ADDRESS__ 1
+#endif
+#if __has_feature(thread_sanitizer) && !defined(__SANITIZE_THREAD__)
+#define __SANITIZE_THREAD__ 1
+#endif
+#endif
+
+namespace arcs::common {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+    b.version = ARCS_VERSION_STRING;
+    b.git_describe = ARCS_GIT_DESCRIBE;
+#if defined(ARCS_SYNC_CHECK_ENABLED) && ARCS_SYNC_CHECK_ENABLED
+    b.sync_check = true;
+#endif
+#if defined(__SANITIZE_THREAD__)
+    b.sanitizer = "thread";
+#elif defined(__SANITIZE_ADDRESS__)
+    b.sanitizer = "address";
+#else
+    b.sanitizer = "none";
+#endif
+    return b;
+  }();
+  return info;
+}
+
+Json build_info_json() {
+  const BuildInfo& info = build_info();
+  Json json = Json::object();
+  json.set("version", info.version);
+  json.set("git", info.git_describe);
+  json.set("sync_check", info.sync_check);
+  json.set("sanitizer", info.sanitizer);
+  return json;
+}
+
+}  // namespace arcs::common

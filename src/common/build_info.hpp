@@ -1,0 +1,30 @@
+// Build identity: version, git revision, and compile-time feature flags.
+//
+// Scrapes across a fleet are only interpretable when each sample says
+// what produced it — a sanitizer build's latencies must not be compared
+// against a release build's, and a sync-check build explains its own
+// lock-census overhead. arcsd exposes this block in `metrics_json` and
+// as a prometheus `arcs_build_info` info-style gauge.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+
+namespace arcs::common {
+
+struct BuildInfo {
+  std::string version;       ///< CMake project version ("1.0.0")
+  std::string git_describe;  ///< `git describe` at configure time; "" if
+                             ///< the tree was not a git checkout
+  bool sync_check = false;   ///< ARCS_SYNC_CHECK compiled in
+  std::string sanitizer;     ///< "none", "address", or "thread"
+};
+
+/// The process's build identity (computed once).
+const BuildInfo& build_info();
+
+/// {"version", "git", "sync_check", "sanitizer"} for metrics_json.
+Json build_info_json();
+
+}  // namespace arcs::common

@@ -1,0 +1,345 @@
+#include "fleet/collector.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace arcs::fleet {
+
+namespace serve = arcs::serve;
+
+namespace {
+
+constexpr std::size_t kMaxAnomalies = 32;
+constexpr std::size_t kMaxHistory = 32;
+
+double number_or(const common::Json* j, double fallback) {
+  return (j != nullptr && j->is_number()) ? j->as_number() : fallback;
+}
+
+}  // namespace
+
+Collector::Collector(Router& router, CollectorOptions options)
+    : router_(router),
+      options_(options),
+      store_(options.series),
+      engine_(options.slo) {}
+
+std::size_t Collector::scrape(double now_s) {
+  // Phase 1, lock-free: endpoint I/O through the router's direct path,
+  // so a dead daemon costs a fast local Error (the router already marked
+  // it) and a hung one only this scrape's timeout.
+  const std::vector<std::string> names = router_.endpoint_names();
+  struct Scraped {
+    std::string name;
+    bool ok = false;
+    common::Json doc;
+  };
+  std::vector<Scraped> results;
+  results.reserve(names.size());
+  serve::Request request;
+  request.op = serve::Op::Metrics;
+  std::size_t answered = 0;
+  for (const std::string& name : names) {
+    serve::Response response = router_.call_endpoint(name, request);
+    const bool ok = response.status == serve::Status::Ok &&
+                    response.metrics.is_object();
+    if (ok) ++answered;
+    results.push_back({name, ok, std::move(response.metrics)});
+  }
+
+  // Phase 2, under the collector lock: ingest + SLO evaluation.
+  const std::lock_guard<analysis::Mutex> lock(mu_);
+  for (const Scraped& r : results) ingest(r.name, r.ok, r.doc, now_s);
+  ++scrapes_;
+  last_scrape_s_ = now_s;
+  have_scraped_ = true;
+  evaluate(now_s);
+  return answered;
+}
+
+bool Collector::tick(double now_s) {
+  if (options_.scrape_interval_s <= 0) return false;
+  {
+    const std::lock_guard<analysis::Mutex> lock(mu_);
+    if (have_scraped_ &&
+        now_s - last_scrape_s_ < options_.scrape_interval_s)
+      return false;
+  }
+  scrape(now_s);
+  return true;
+}
+
+void Collector::ingest(const std::string& name, bool ok,
+                       const common::Json& doc, double now_s) {
+  NodeState& node = nodes_.try_emplace(
+      name, NodeState{false, 0, 0, "", 0, 0,
+                      telemetry::AnomalyDetector(
+                          options_.anomaly_alpha, options_.anomaly_z,
+                          options_.anomaly_min_samples)})
+      .first->second;
+  node.scrape_ok = ok;
+  store_.record_gauge(name + "/up", now_s, ok ? 1.0 : 0.0);
+  if (!ok) {
+    ++node.consecutive_failures;
+    return;
+  }
+  node.consecutive_failures = 0;
+  node.last_ok_s = now_s;
+  node.uptime_s = number_or(doc.find("uptime_s"), node.uptime_s);
+  if (const common::Json* build = doc.find("build")) {
+    if (const common::Json* version = build->find("version"))
+      if (version->is_string()) node.version = version->as_string();
+  }
+  // Counters and gauges are ingested generically: the serve schema can
+  // grow keys without the collector needing to learn them.
+  if (const common::Json* counters = doc.find("counters")) {
+    for (const auto& [key, value] : counters->members()) {
+      if (!value.is_number()) continue;
+      store_.record_counter(name + "/serve/" + key, now_s,
+                            value.as_number());
+      if (key == "requests") {
+        const double total = value.as_number();
+        const double delta = std::max(0.0, total - node.requests_total);
+        // Request-rate anomaly: one robust z-score per node over the
+        // per-scrape request delta. Skip the very first reading (the
+        // whole historical total is not a rate).
+        if (node.requests_total > 0 || delta == 0) {
+          if (node.rate_detector.observe(delta))
+            note_anomaly({name, "serve/requests_per_scrape", delta,
+                          node.rate_detector.center(), now_s});
+        }
+        node.requests_total = total;
+      }
+    }
+  }
+  if (const common::Json* gauges = doc.find("gauges")) {
+    for (const auto& [key, value] : gauges->members()) {
+      if (!value.is_number()) continue;
+      store_.record_gauge(name + "/serve/" + key, now_s,
+                          value.as_number());
+    }
+  }
+  if (const common::Json* per_op = doc.find("latency_per_op")) {
+    for (const auto& [key, value] : per_op->members()) {
+      telemetry::HistogramSnapshot snap;
+      if (!telemetry::HistogramSnapshot::from_json(value, &snap))
+        continue;
+      store_.record_histogram(name + "/serve/" + key + "_seconds", now_s,
+                              snap);
+    }
+  }
+}
+
+telemetry::HistogramSnapshot Collector::latency_window(
+    std::string_view node, double now_s) const {
+  const double from = now_s - options_.window_s;
+  telemetry::HistogramSnapshot merged;
+  static constexpr const char* kOps[] = {"hit", "miss", "predicted"};
+  if (!node.empty()) {
+    for (const char* op : kOps)
+      merged.merge(store_.histogram_window(
+          std::string(node) + "/serve/" + op + "_seconds", from, now_s));
+    return merged;
+  }
+  for (const auto& [name, state] : nodes_) {
+    (void)state;
+    for (const char* op : kOps)
+      merged.merge(store_.histogram_window(
+          name + "/serve/" + op + "_seconds", from, now_s));
+  }
+  return merged;
+}
+
+double Collector::window_sum(const std::string& name, double now_s) const {
+  return store_.window(name, now_s - options_.window_s, now_s).sum;
+}
+
+void Collector::note_anomaly(Anomaly a) {
+  telemetry::Tracer& tracer = telemetry::Tracer::instance();
+  if (tracer.enabled())
+    tracer.instant(telemetry::Category::Fleet,
+                   telemetry::TimeDomain::Host,
+                   "anomaly/" + a.node + "/" + a.metric,
+                   tracer.host_track(), tracer.now());
+  anomalies_.push_back(std::move(a));
+  if (anomalies_.size() > kMaxAnomalies)
+    anomalies_.erase(anomalies_.begin(),
+                     anomalies_.begin() +
+                         static_cast<std::ptrdiff_t>(anomalies_.size() -
+                                                     kMaxAnomalies));
+}
+
+void Collector::evaluate(double now_s) {
+  // Per-node liveness: LowerBound against 1.0, so consecutive failed
+  // scrapes burn the hysteresis and the alert fires on the second miss.
+  for (const auto& [name, node] : nodes_)
+    engine_.evaluate(name + "/up", name, now_s,
+                     node.scrape_ok ? 1.0 : 0.0, 1.0,
+                     telemetry::SloKind::LowerBound, "page");
+
+  double requests = 0;
+  double errors = 0;
+  double hits = 0;
+  double misses = 0;
+  for (const auto& [name, node] : nodes_) {
+    (void)node;
+    requests += window_sum(name + "/serve/requests", now_s);
+    errors += window_sum(name + "/serve/timeouts", now_s) +
+              window_sum(name + "/serve/overloaded", now_s);
+    hits += window_sum(name + "/serve/hits", now_s);
+    misses += window_sum(name + "/serve/misses", now_s);
+  }
+
+  const telemetry::HistogramSnapshot fleet_latency =
+      latency_window({}, now_s);
+  if (options_.p99_target_us > 0 && fleet_latency.count > 0)
+    engine_.evaluate("fleet/p99_us", "", now_s,
+                     fleet_latency.quantile(0.99) * 1e6,
+                     options_.p99_target_us,
+                     telemetry::SloKind::UpperBound, "page");
+
+  const bool enough =
+      requests >= static_cast<double>(options_.min_window_requests);
+  if (options_.error_rate_target > 0 && enough)
+    engine_.evaluate("fleet/error_rate", "", now_s, errors / requests,
+                     options_.error_rate_target,
+                     telemetry::SloKind::UpperBound, "page");
+  if (options_.hit_ratio_floor > 0 && enough && hits + misses > 0)
+    engine_.evaluate("fleet/hit_ratio", "", now_s,
+                     hits / (hits + misses), options_.hit_ratio_floor,
+                     telemetry::SloKind::LowerBound, "warn");
+  if (options_.power_violation_budget_s > 0 && have_power_)
+    engine_.evaluate("fleet/power_violation_s", "", now_s,
+                     window_sum("fleet/power_violation_s", now_s),
+                     options_.power_violation_budget_s,
+                     telemetry::SloKind::UpperBound, "page");
+}
+
+void Collector::record_power(double now_s, double watts, double cap_watts) {
+  const std::lock_guard<analysis::Mutex> lock(mu_);
+  store_.record_gauge("fleet/power_watts", now_s, watts);
+  store_.record_gauge("fleet/power_cap_watts", now_s, cap_watts);
+  // Violation seconds accrue over the interval the fleet *was* over cap
+  // (previous sample over → this interval counts), integrated on the
+  // caller's clock and retained as a cumulative counter so windowed
+  // budget checks read an exact per-window sum.
+  if (have_power_ && last_power_over_ && now_s > last_power_t_)
+    power_violation_total_s_ += now_s - last_power_t_;
+  store_.record_counter("fleet/power_violation_s", now_s,
+                        power_violation_total_s_);
+  last_power_t_ = now_s;
+  last_power_over_ = cap_watts > 0 && watts > cap_watts;
+  have_power_ = true;
+}
+
+common::Json Collector::fleet_status() const {
+  const std::lock_guard<analysis::Mutex> lock(mu_);
+  const double now_s = last_scrape_s_;
+  common::Json j = common::Json::object();
+  j.set("schema", std::string("arcs-fleet-status/v1"));
+  j.set("now_s", now_s);
+  j.set("scrapes", scrapes_);
+  j.set("scrape_interval_s", options_.scrape_interval_s);
+  j.set("window_s", options_.window_s);
+
+  common::Json nodes = common::Json::array();
+  std::size_t up = 0;
+  double requests = 0;
+  double errors = 0;
+  double hits = 0;
+  double misses = 0;
+  for (const auto& [name, node] : nodes_) {
+    const double node_requests =
+        window_sum(name + "/serve/requests", now_s);
+    const double node_hits = window_sum(name + "/serve/hits", now_s);
+    const double node_misses = window_sum(name + "/serve/misses", now_s);
+    requests += node_requests;
+    errors += window_sum(name + "/serve/timeouts", now_s) +
+              window_sum(name + "/serve/overloaded", now_s);
+    hits += node_hits;
+    misses += node_misses;
+    if (node.scrape_ok) ++up;
+    common::Json n = common::Json::object();
+    n.set("name", name);
+    n.set("up", node.scrape_ok);
+    n.set("consecutive_failures", node.consecutive_failures);
+    n.set("uptime_s", node.uptime_s);
+    n.set("version", node.version);
+    n.set("requests_total", node.requests_total);
+    n.set("window_requests", node_requests);
+    n.set("window_hit_ratio",
+          node_hits + node_misses > 0
+              ? node_hits / (node_hits + node_misses)
+              : 0.0);
+    const telemetry::HistogramSnapshot latency =
+        latency_window(name, now_s);
+    n.set("window_p99_us",
+          latency.count > 0 ? latency.quantile(0.99) * 1e6 : 0.0);
+    nodes.push_back(std::move(n));
+  }
+  j.set("nodes", std::move(nodes));
+
+  common::Json fleet = common::Json::object();
+  fleet.set("nodes_total", nodes_.size());
+  fleet.set("nodes_up", up);
+  fleet.set("window_requests", requests);
+  fleet.set("requests_per_s",
+            options_.window_s > 0 ? requests / options_.window_s : 0.0);
+  fleet.set("error_rate", requests > 0 ? errors / requests : 0.0);
+  fleet.set("hit_ratio",
+            hits + misses > 0 ? hits / (hits + misses) : 0.0);
+  const telemetry::HistogramSnapshot latency = latency_window({}, now_s);
+  fleet.set("p50_us",
+            latency.count > 0 ? latency.quantile(0.50) * 1e6 : 0.0);
+  fleet.set("p99_us",
+            latency.count > 0 ? latency.quantile(0.99) * 1e6 : 0.0);
+  if (have_power_) {
+    const telemetry::SeriesPoint watts =
+        store_.window("fleet/power_watts", now_s - options_.window_s,
+                      now_s);
+    fleet.set("power_watts", watts.count > 0 ? watts.last : 0.0);
+    fleet.set("power_violation_s", power_violation_total_s_);
+  }
+  j.set("fleet", std::move(fleet));
+
+  common::Json alerts = common::Json::array();
+  for (const telemetry::Alert& a : engine_.active())
+    alerts.push_back(a.to_json());
+  j.set("alerts", std::move(alerts));
+  common::Json recent = common::Json::array();
+  const std::vector<telemetry::Alert>& history = engine_.history();
+  const std::size_t first =
+      history.size() > kMaxHistory ? history.size() - kMaxHistory : 0;
+  for (std::size_t i = first; i < history.size(); ++i)
+    recent.push_back(history[i].to_json());
+  j.set("recent", std::move(recent));
+  common::Json anomalies = common::Json::array();
+  for (const Anomaly& a : anomalies_) {
+    common::Json row = common::Json::object();
+    row.set("node", a.node);
+    row.set("metric", a.metric);
+    row.set("value", a.value);
+    row.set("center", a.center);
+    row.set("t", a.t);
+    anomalies.push_back(std::move(row));
+  }
+  j.set("anomalies", std::move(anomalies));
+  j.set("alerts_fired_total", engine_.fired_total());
+  return j;
+}
+
+std::uint64_t Collector::scrapes() const {
+  const std::lock_guard<analysis::Mutex> lock(mu_);
+  return scrapes_;
+}
+
+std::uint64_t Collector::alerts_fired() const {
+  const std::lock_guard<analysis::Mutex> lock(mu_);
+  return engine_.fired_total();
+}
+
+}  // namespace arcs::fleet

@@ -1,0 +1,145 @@
+// fleet::Collector — the fleet observability plane's scrape loop.
+//
+// Periodically scrapes every topology node's `metrics` op through the
+// Router (Router::call_endpoint, so a scrape failure feeds the same
+// health/backoff state the routing paths consult), merges the per-node
+// documents into node-labelled retained series ("<node>/serve/hits",
+// "<node>/up", ...), computes windowed fleet indicators — p99 serve
+// latency from exact merged histogram deltas, error rate, cache hit
+// ratio, power-cap violation seconds — and feeds them through the SLO
+// engine. The aggregated picture is served as the `fleet_status` op
+// (install via Router::set_status_provider) and consumed by arcs_top.
+//
+// Clocking: every entry point takes the caller's timestamp (seconds on
+// any monotone clock). arcs_fleetd ticks with steady-clock seconds;
+// tests drive a synthetic clock and get fully deterministic series,
+// windows, and alert timing.
+//
+// Locking: scrape I/O happens with no collector lock held (the Router
+// already releases its topology lock before endpoint I/O); only the
+// ingest/evaluate/read phases serialize on mu_ (rank kFleetCollector,
+// below every telemetry rank, so holding it while recording into the
+// TimeSeriesStore nests in order).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/sync.hpp"
+#include "common/json.hpp"
+#include "fleet/router.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace arcs::fleet {
+
+struct CollectorOptions {
+  /// Seconds between scrapes (tick() spacing; <= 0 disables tick()).
+  double scrape_interval_s = 1.0;
+  /// Rolling window for fleet indicators (p99, error rate, hit ratio).
+  double window_s = 10.0;
+  /// Retention geometry for every per-node and fleet series.
+  telemetry::TimeSeriesOptions series;
+  /// Hysteresis: with the default 2/2, a killed node alerts on the
+  /// second consecutive failed scrape — within the 3-scrape budget.
+  telemetry::SloOptions slo;
+
+  // SLO targets; a target <= 0 disables that rule.
+  double p99_target_us = 50'000.0;     ///< fleet p99 serve latency
+  double error_rate_target = 0.05;     ///< timeouts+overloaded / requests
+  double hit_ratio_floor = 0.0;        ///< off by default (cold fleets)
+  /// Seconds above the power cap tolerated per window.
+  double power_violation_budget_s = 0.0;
+  /// Windowed requests below which ratio rules (error rate, hit ratio)
+  /// are skipped — a near-idle window is noise, not an SLO breach.
+  std::uint64_t min_window_requests = 8;
+
+  // Anomaly detection (robust z-score) over per-node request rate.
+  double anomaly_alpha = 0.2;
+  double anomaly_z = 4.0;
+  std::size_t anomaly_min_samples = 8;
+};
+
+class Collector {
+ public:
+  Collector(Router& router, CollectorOptions options = {});
+
+  /// Scrapes every registered endpoint once at time now_s, ingests the
+  /// responses, and evaluates SLO rules. Returns how many endpoints
+  /// answered. Thread-safe; I/O runs outside the collector lock.
+  std::size_t scrape(double now_s);
+
+  /// scrape(now_s) if at least scrape_interval_s elapsed since the last
+  /// one (the fleetd loop calls this every poll tick). Returns true when
+  /// a scrape ran.
+  bool tick(double now_s);
+
+  /// Records a fleet power sample (watts against the active cap) into
+  /// the retained series and the power-cap violation accounting.
+  void record_power(double now_s, double watts, double cap_watts);
+
+  /// The aggregated document served by Op::FleetStatus
+  /// (schema "arcs-fleet-status/v1"); see docs/OBSERVABILITY.md.
+  common::Json fleet_status() const;
+
+  /// Scrapes completed since construction.
+  std::uint64_t scrapes() const;
+
+  /// Alerts fired since construction (bench_x17's detection gate).
+  std::uint64_t alerts_fired() const;
+
+  const telemetry::TimeSeriesStore& store() const { return store_; }
+  const CollectorOptions& options() const { return options_; }
+
+ private:
+  struct NodeState {
+    bool scrape_ok = false;
+    int consecutive_failures = 0;
+    double uptime_s = 0;
+    std::string version;
+    double last_ok_s = 0;
+    double requests_total = 0;
+    telemetry::AnomalyDetector rate_detector;
+  };
+
+  struct Anomaly {
+    std::string node;
+    std::string metric;
+    double value = 0;
+    double center = 0;
+    double t = 0;
+  };
+
+  /// One node's Metrics document into the store; updates NodeState.
+  void ingest(const std::string& name, bool ok, const common::Json& doc,
+              double now_s);
+  void evaluate(double now_s);
+  /// Merged hit+miss+predicted latency delta for `prefix` ("<node>" or
+  /// all nodes when empty) over [now_s - window_s, now_s].
+  telemetry::HistogramSnapshot latency_window(std::string_view node,
+                                              double now_s) const;
+  double window_sum(const std::string& name, double now_s) const;
+  void note_anomaly(Anomaly a);
+
+  Router& router_;
+  CollectorOptions options_;
+  telemetry::TimeSeriesStore store_;
+
+  mutable analysis::Mutex mu_{"fleet/collector",
+                              analysis::sync::rank::kFleetCollector};
+  telemetry::SloEngine engine_;                 ///< guarded by mu_
+  std::map<std::string, NodeState> nodes_;      ///< guarded by mu_
+  std::vector<Anomaly> anomalies_;              ///< guarded by mu_ (cap 32)
+  std::uint64_t scrapes_ = 0;                   ///< guarded by mu_
+  double last_scrape_s_ = 0;                    ///< guarded by mu_
+  bool have_scraped_ = false;                   ///< guarded by mu_
+  double power_violation_total_s_ = 0;          ///< guarded by mu_
+  double last_power_t_ = 0;                     ///< guarded by mu_
+  bool have_power_ = false;                     ///< guarded by mu_
+  bool last_power_over_ = false;                ///< guarded by mu_
+};
+
+}  // namespace arcs::fleet

@@ -17,7 +17,8 @@
 // invalidated fleet-wide through Router::invalidate.
 #pragma once
 
-#include "fleet/arbiter.hpp"   // IWYU pragma: export
-#include "fleet/ring.hpp"      // IWYU pragma: export
-#include "fleet/router.hpp"    // IWYU pragma: export
-#include "fleet/topology.hpp"  // IWYU pragma: export
+#include "fleet/arbiter.hpp"    // IWYU pragma: export
+#include "fleet/collector.hpp"  // IWYU pragma: export
+#include "fleet/ring.hpp"       // IWYU pragma: export
+#include "fleet/router.hpp"     // IWYU pragma: export
+#include "fleet/topology.hpp"   // IWYU pragma: export

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "serve/cache.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace arcs::fleet {
 
@@ -252,6 +253,36 @@ void Router::replicate(const serve::Request& get,
   }
 }
 
+serve::Response Router::call_endpoint(const std::string& name,
+                                      const serve::Request& request) {
+  const std::shared_ptr<const State> st = state();
+  const Endpoint* ep = st->find(name);
+  serve::Response response;
+  if (ep == nullptr) {
+    response.status = serve::Status::Error;
+    response.error = "fleet: unknown endpoint: " + name;
+    return response;
+  }
+  if (!ep->health->alive.load(std::memory_order_acquire)) {
+    response.status = serve::Status::Error;
+    response.error = "fleet: endpoint down: " + name;
+    return response;
+  }
+  ep->requests->add();
+  response = ep->client->call(request);
+  if (response.status == serve::Status::Error &&
+      ep->client->transport_failed())
+    record_failure(*ep);
+  return response;
+}
+
+void Router::set_status_provider(std::function<common::Json()> provider) {
+  auto next = std::make_shared<const std::function<common::Json()>>(
+      std::move(provider));
+  const std::unique_lock<analysis::SharedMutex> lock(state_mu_);
+  status_provider_ = std::move(next);
+}
+
 std::size_t Router::invalidate(const HistoryKey& key) {
   const std::shared_ptr<const State> st = state();
   if (st->ring.empty()) return 0;
@@ -351,6 +382,37 @@ serve::Response Router::call(const serve::Request& request) {
       if (options_.forward_shutdown) return broadcast(request);
       serve::Response response;
       response.status = serve::Status::Ok;
+      return response;
+    }
+    case serve::Op::FleetStatus: {
+      std::shared_ptr<const std::function<common::Json()>> provider;
+      {
+        const std::shared_lock<analysis::SharedMutex> lock(state_mu_);
+        provider = status_provider_;
+      }
+      serve::Response response;
+      if (provider == nullptr || !*provider) {
+        response.status = serve::Status::Error;
+        response.error = "fleet_status: no collector attached";
+        return response;
+      }
+      response.status = serve::Status::Ok;
+      response.metrics = (*provider)();
+      return response;
+    }
+    case serve::Op::Dump: {
+      // The proxy's own flight recorder; per-node dumps go through
+      // call_endpoint / arcs_client dump against the daemon directly.
+      serve::Response response;
+      telemetry::FlightRecorder& recorder =
+          telemetry::FlightRecorder::instance();
+      if (!recorder.attached()) {
+        response.status = serve::Status::Error;
+        response.error = "dump: flight recorder is not attached";
+        return response;
+      }
+      response.status = serve::Status::Ok;
+      response.metrics = recorder.dump();
       return response;
     }
     case serve::Op::Snapshot:

@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -111,6 +112,19 @@ class Router : public serve::Client, public serve::RequestHandler {
   /// Fleet-wide invalidation: Op::Invalidate to every live member of
   /// the key's replica set. Returns how many endpoints acknowledged.
   std::size_t invalidate(const HistoryKey& key);
+
+  /// Sends `request` to the named endpoint directly (no ring placement),
+  /// with the router's usual transport-failure bookkeeping. The fleet
+  /// collector scrapes per-node metrics this way, so a scrape failure
+  /// feeds the same health state the routing paths consult. Unknown
+  /// names and endpoints marked dead answer Error without I/O.
+  serve::Response call_endpoint(const std::string& name,
+                                const serve::Request& request);
+
+  /// Installs the Op::FleetStatus answer (the collector's fleet_status
+  /// document). Unset, the op answers Error. The provider is invoked
+  /// without router locks held and must be thread-safe.
+  void set_status_provider(std::function<common::Json()> provider);
 
   /// True once an Op::Shutdown was routed (the fleetd loop polls this).
   bool shutdown_requested() const {
@@ -186,6 +200,11 @@ class Router : public serve::Client, public serve::RequestHandler {
       std::vector<std::atomic<std::uint8_t>>(kSketchSlots);
 
   std::atomic<bool> shutdown_{false};
+
+  // Swapped whole under state_mu_ like the topology; read via a local
+  // shared_ptr copy so Op::FleetStatus never holds a lock across the
+  // provider call.
+  std::shared_ptr<const std::function<common::Json()>> status_provider_;
 
   mutable telemetry::MetricsRegistry registry_;
   telemetry::Counter& routed_{registry_.counter("fleet/routed")};

@@ -145,6 +145,10 @@ std::string_view to_string(Op op) {
       return "warm_start";
     case Op::Invalidate:
       return "invalidate";
+    case Op::FleetStatus:
+      return "fleet_status";
+    case Op::Dump:
+      return "dump";
   }
   return "unknown";
 }
@@ -160,6 +164,8 @@ Op op_from_string(std::string_view s) {
   if (s == "snapshot") return Op::Snapshot;
   if (s == "warm_start") return Op::WarmStart;
   if (s == "invalidate") return Op::Invalidate;
+  if (s == "fleet_status") return Op::FleetStatus;
+  if (s == "dump") return Op::Dump;
   ARCS_CHECK_MSG(false, "unknown serve op: " + std::string(s));
   return Op::Ping;
 }
@@ -233,6 +239,8 @@ common::Json to_json(const Request& request) {
     case Op::Ping:
     case Op::Save:
     case Op::Shutdown:
+    case Op::FleetStatus:
+    case Op::Dump:
       break;
   }
   // Tracing context rides along only when the caller has one; peers that
@@ -294,6 +302,8 @@ Request request_from_json(const common::Json& json) {
     case Op::Ping:
     case Op::Save:
     case Op::Shutdown:
+    case Op::FleetStatus:
+    case Op::Dump:
       break;
   }
   if (const common::Json* ctx = json.find("ctx")) {

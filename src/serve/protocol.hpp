@@ -43,6 +43,11 @@ enum class Op {
   Snapshot,    ///< serialize the cache's [hash_lo, hash_hi] key range
   WarmStart,   ///< bulk-load a peer's serialized snapshot payload
   Invalidate,  ///< drop one key from the cache (budget renegotiation)
+  // Observability ops (PR 9): both carry no request fields and answer
+  // with a document in `metrics`, so older peers that never send them
+  // are unaffected.
+  FleetStatus,  ///< aggregated fleet series/SLOs/alerts (arcs_fleetd)
+  Dump,         ///< flight-recorder ring as an arcs-trace/v1 document
 };
 
 std::string_view to_string(Op op);

@@ -4,9 +4,12 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/build_info.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "sim/presets.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace arcs::serve {
@@ -16,17 +19,6 @@ namespace {
 constexpr std::size_t kLatencyRingCapacity = 8192;
 
 using Clock = std::chrono::steady_clock;
-
-double percentile(std::vector<double>& sorted_scratch, double q) {
-  if (sorted_scratch.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(sorted_scratch.size() - 1) + 0.5);
-  auto nth = sorted_scratch.begin() +
-             static_cast<std::ptrdiff_t>(
-                 std::min(rank, sorted_scratch.size() - 1));
-  std::nth_element(sorted_scratch.begin(), nth, sorted_scratch.end());
-  return *nth;
-}
 
 }  // namespace
 
@@ -121,6 +113,24 @@ Response TuningServer::handle(const Request& request) {
         sessions_cv_.notify_all();
         response.status = Status::Ok;
         break;
+      case Op::FleetStatus:
+        // Aggregated status lives in the fleet router (arcs_fleetd); a
+        // terminal tuning daemon has nothing fleet-wide to report.
+        response.status = Status::Error;
+        response.error = "fleet_status: not a fleet router";
+        break;
+      case Op::Dump: {
+        telemetry::FlightRecorder& recorder =
+            telemetry::FlightRecorder::instance();
+        if (!recorder.attached()) {
+          response.status = Status::Error;
+          response.error = "dump: flight recorder is not attached";
+          break;
+        }
+        response.status = Status::Ok;
+        response.metrics = recorder.dump();
+        break;
+      }
     }
   } catch (const common::ContractError& e) {
     response = Response{};
@@ -135,13 +145,31 @@ Response TuningServer::handle(const Request& request) {
       metrics_.latency.observe(seconds);
     }
     if (is_get) {
+      // Every timed Get is also a slow-request exemplar candidate: the
+      // flight recorder keeps the top-K slowest per outcome with this
+      // span's trace ids, so a tail-latency spike in a scrape links to
+      // an actual trace. No-op (one relaxed load) when not attached.
+      telemetry::FlightRecorder& recorder =
+          telemetry::FlightRecorder::instance();
+      const auto note = [&](std::string_view metric) {
+        if (!recorder.attached()) return;
+        recorder.note_exemplar(
+            metric, seconds,
+            telemetry::Histogram::bucket_upper_bound(
+                telemetry::Histogram::bucket_index(seconds)),
+            span.context());
+      };
       if (response.status == Status::Hit) {
-        if (response.predicted)
+        if (response.predicted) {
           metrics_.predicted_latency.observe(seconds);
-        else if (sample_hit)
+          note("serve/predicted_seconds");
+        } else if (sample_hit) {
           metrics_.hit_latency.observe(seconds);
+          note("serve/hit_seconds");
+        }
       } else {
         metrics_.miss_latency.observe(seconds);
+        note("serve/miss_seconds");
       }
     }
   }
@@ -484,6 +512,8 @@ void TuningServer::record_latency(double seconds) {
 common::Json TuningServer::metrics_json() const {
   common::Json j = common::Json::object();
   j.set("proto", std::string(kProtocol));
+  j.set("uptime_s", uptime_s());
+  j.set("build", common::build_info_json());
   common::Json counters = common::Json::object();
   counters.set("requests", metrics_.requests.load());
   counters.set("hits", metrics_.hits.load());
@@ -522,15 +552,21 @@ common::Json TuningServer::metrics_json() const {
   }
   common::Json latency = common::Json::object();
   latency.set("samples", scratch.size());
-  latency.set("p50_us", percentile(scratch, 0.50) * 1e6);
-  latency.set("p95_us", percentile(scratch, 0.95) * 1e6);
+  latency.set("p50_us", scratch.empty()
+                            ? 0.0
+                            : common::percentile(scratch, 50.0) * 1e6);
+  latency.set("p95_us", scratch.empty()
+                            ? 0.0
+                            : common::percentile(scratch, 95.0) * 1e6);
   j.set("latency", latency);
   common::Json per_op = common::Json::object();
+  // One snapshot per histogram: the quantile walk and the wire form
+  // (sparse buckets the fleet collector re-merges) read the same state.
   const auto op_block = [](const telemetry::Histogram& h) {
-    common::Json block = common::Json::object();
-    block.set("count", h.count());
-    block.set("p50_us", h.quantile(0.50) * 1e6);
-    block.set("p99_us", h.quantile(0.99) * 1e6);
+    const telemetry::HistogramSnapshot snap = h.snapshot();
+    common::Json block = snap.to_json();
+    block.set("p50_us", snap.quantile(0.50) * 1e6);
+    block.set("p99_us", snap.quantile(0.99) * 1e6);
     return block;
   };
   per_op.set("hit", op_block(metrics_.hit_latency));
@@ -551,7 +587,18 @@ std::string TuningServer::prometheus_text() const {
       .set(static_cast<double>(cache_.provisional_count()));
   registry_.gauge("serve/cache_evictions")
       .set(static_cast<double>(cache_.evictions()));
-  return registry_.prometheus_text();
+  // Identity first: what this process is, then what it measured.
+  const common::BuildInfo& build = common::build_info();
+  std::string out;
+  out += "# TYPE arcs_build_info gauge\n";
+  out += "arcs_build_info{version=\"" + build.version + "\",git=\"" +
+         build.git_describe + "\",sync_check=\"" +
+         (build.sync_check ? "1" : "0") + "\",sanitizer=\"" +
+         build.sanitizer + "\"} 1\n";
+  out += "# TYPE arcs_uptime_seconds gauge\n";
+  out += "arcs_uptime_seconds " + std::to_string(uptime_s()) + "\n";
+  out += registry_.prometheus_text();
+  return out;
 }
 
 void TuningServer::publish_metrics(apex::Apex& apex) const {

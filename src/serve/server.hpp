@@ -42,6 +42,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -184,6 +185,13 @@ class TuningServer : public RequestHandler {
     return shutdown_.load(std::memory_order_acquire);
   }
 
+  /// Seconds since this server was constructed (scrape identity).
+  double uptime_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_time_)
+        .count();
+  }
+
   /// Counters, gauges, and latency percentiles as one JSON object.
   common::Json metrics_json() const;
   /// Prometheus text exposition of the server's instruments (gauges
@@ -221,6 +229,8 @@ class TuningServer : public RequestHandler {
   void sample_cache_hit_rate() const;
 
   ServerOptions options_;
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
   DecisionCache cache_;
   mutable telemetry::MetricsRegistry registry_;  ///< declared before metrics_
   ServerMetrics metrics_{registry_};

@@ -46,6 +46,9 @@ void set_nonblocking(int fd) {
 bool needs_worker(const Request& request) {
   if (request.op == Op::Save) return true;
   if (request.op == Op::Snapshot || request.op == Op::WarmStart) return true;
+  // Both serialize a full document (flight-recorder trace, fleet status)
+  // — too much work for the loop thread.
+  if (request.op == Op::Dump || request.op == Op::FleetStatus) return true;
   return request.op == Op::Get && request.wait_ms > 0;
 }
 

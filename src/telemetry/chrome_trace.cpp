@@ -132,6 +132,49 @@ bool write_chrome_trace(const std::string& path, Tracer& tracer) {
   return true;
 }
 
+bool validate_trace(const common::Json& doc, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (!doc.is_object()) return fail("document is not a JSON object");
+  const common::Json* other = doc.find("otherData");
+  if (other == nullptr || !other->is_object())
+    return fail("missing otherData object");
+  const common::Json* schema = other->find("schema");
+  if (schema == nullptr || !schema->is_string())
+    return fail("otherData.schema missing");
+  if (schema->as_string() != kTraceSchema)
+    return fail("otherData.schema is '" + schema->as_string() +
+                "', expected '" + std::string(kTraceSchema) + "'");
+  const common::Json* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array())
+    return fail("traceEvents missing or not an array");
+  std::size_t index = 0;
+  for (const common::Json& event : events->items()) {
+    const std::string at = "traceEvents[" + std::to_string(index) + "]";
+    ++index;
+    if (!event.is_object()) return fail(at + " is not an object");
+    const common::Json* ph = event.find("ph");
+    if (ph == nullptr || !ph->is_string())
+      return fail(at + " has no string 'ph'");
+    const common::Json* pid = event.find("pid");
+    const common::Json* tid = event.find("tid");
+    if (pid == nullptr || !pid->is_number())
+      return fail(at + " has no numeric 'pid'");
+    if (tid == nullptr || !tid->is_number())
+      return fail(at + " has no numeric 'tid'");
+    if (ph->as_string() == "M") continue;
+    const common::Json* ts = event.find("ts");
+    if (ts == nullptr || !ts->is_number())
+      return fail(at + " has no numeric 'ts'");
+    const common::Json* name = event.find("name");
+    if (name == nullptr || !name->is_string())
+      return fail(at + " has no string 'name'");
+  }
+  return true;
+}
+
 common::Json merge_chrome_traces(const std::vector<common::Json>& traces) {
   common::Json merged_events = common::Json::array();
   std::uint64_t dropped = 0;

@@ -45,6 +45,14 @@ common::Json drain_chrome_trace(Tracer& tracer = Tracer::instance());
 bool write_chrome_trace(const std::string& path,
                         Tracer& tracer = Tracer::instance());
 
+/// Structural validation of a parsed trace document: the otherData
+/// schema tag must be kTraceSchema, traceEvents must be an array, and
+/// every event must carry a string "ph", numeric "pid"/"tid", and (for
+/// non-metadata phases) a numeric "ts" plus a string "name". A truncated
+/// or hand-edited dump fails here with a specific message in *error.
+/// arcs_trace refuses documents that fail this check.
+bool validate_trace(const common::Json& doc, std::string* error);
+
 /// Merges parsed trace documents into one (concatenated traceEvents,
 /// merged process/thread metadata, summed dropped_events). Inputs must
 /// be chrome_trace_json() documents; pids are kept as-is because all

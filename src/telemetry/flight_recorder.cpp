@@ -1,0 +1,174 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.hpp"
+#include "telemetry/chrome_trace.hpp"
+
+namespace arcs::telemetry {
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(options) {
+  options_.capacity = std::max<std::size_t>(options_.capacity, 16);
+  slots_ = std::make_unique<Slot[]>(options_.capacity);
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  // Leaked on purpose: the crash handler may dump during static
+  // destruction, after a function-local static would have been torn down.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::attach(Tracer& tracer) {
+  tracer.attach_sink(this);
+  attached_.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::detach(Tracer& tracer) {
+  tracer.attach_sink(nullptr);
+  attached_.store(false, std::memory_order_relaxed);
+}
+
+void FlightRecorder::record(const Event& event) {
+  // Claim a ticket, then seqlock-commit the slot: odd = write in
+  // progress, even = ticket*2+2 committed. A reader (or a colliding
+  // writer a full ring-lap away — only possible when 4096 emissions
+  // happen mid-write) sees a mismatched commit word and skips the slot.
+  const std::uint64_t ticket =
+      head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % options_.capacity];
+  slot.commit.store(ticket * 2 + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.event = event;
+  slot.commit.store(ticket * 2 + 2, std::memory_order_release);
+}
+
+std::vector<Event> FlightRecorder::events() const {
+  std::vector<Event> out;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t capacity = options_.capacity;
+  const std::uint64_t start = head > capacity ? head - capacity : 0;
+  out.reserve(static_cast<std::size_t>(head - start));
+  for (std::uint64_t ticket = start; ticket < head; ++ticket) {
+    const Slot& slot = slots_[ticket % capacity];
+    const std::uint64_t c1 = slot.commit.load(std::memory_order_acquire);
+    if (c1 != ticket * 2 + 2) {
+      // Mid-write, or already overwritten by a concurrent lap.
+      torn_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Event copy = slot.event;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t c2 = slot.commit.load(std::memory_order_relaxed);
+    if (c2 != c1) {
+      torn_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    out.push_back(copy);
+  }
+  return out;
+}
+
+std::vector<Exemplar> FlightRecorder::exemplars() const {
+  std::lock_guard<analysis::Mutex> lock(mu_);
+  return exemplars_;
+}
+
+std::uint64_t FlightRecorder::overwritten() const {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t lost =
+      head > options_.capacity ? head - options_.capacity : 0;
+  return lost + torn_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::note_exemplar(std::string_view metric, double value,
+                                   double bucket_le, SpanContext ctx) {
+  std::lock_guard<analysis::Mutex> lock(mu_);
+  // Top-K slowest per metric: find this metric's current entries, and
+  // either grow to K or displace its smallest retained value.
+  std::size_t metric_count = 0;
+  std::size_t smallest = exemplars_.size();
+  for (std::size_t i = 0; i < exemplars_.size(); ++i) {
+    if (exemplars_[i].metric != metric) continue;
+    ++metric_count;
+    if (smallest == exemplars_.size() ||
+        exemplars_[i].value < exemplars_[smallest].value)
+      smallest = i;
+  }
+  Exemplar exemplar;
+  exemplar.metric = std::string(metric);
+  exemplar.value = value;
+  exemplar.bucket_le = bucket_le;
+  exemplar.trace = ctx.trace_id;
+  exemplar.span = ctx.parent_id;
+  exemplar.ts = Tracer::instance().now();
+  if (metric_count < options_.exemplars_per_metric) {
+    exemplars_.push_back(std::move(exemplar));
+    return;
+  }
+  if (smallest < exemplars_.size() &&
+      value > exemplars_[smallest].value)
+    exemplars_[smallest] = std::move(exemplar);
+}
+
+common::Json FlightRecorder::dump(Tracer& tracer) const {
+  common::Json doc =
+      chrome_trace_json(events(), tracer.track_names(), overwritten());
+  common::Json exemplar_rows = common::Json::array();
+  for (const Exemplar& exemplar : exemplars()) {
+    common::Json row = common::Json::object();
+    row.set("metric", exemplar.metric);
+    row.set("value", exemplar.value);
+    row.set("bucket_le", exemplar.bucket_le);
+    row.set("trace", exemplar.trace);
+    row.set("span", exemplar.span);
+    row.set("ts", exemplar.ts);
+    exemplar_rows.push_back(std::move(row));
+  }
+  const common::Json* other = doc.find("otherData");
+  common::Json other_copy =
+      other != nullptr ? *other : common::Json::object();
+  other_copy.set("recorder", "flight");
+  other_copy.set("exemplars", std::move(exemplar_rows));
+  doc.set("otherData", std::move(other_copy));
+  return doc;
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path, bool atomic,
+                                  Tracer& tracer) const {
+  const std::string text = dump(tracer).dump(1) + "\n";
+  const std::string target = atomic ? path + ".tmp" : path;
+  {
+    std::ofstream out(target, std::ios::trunc);
+    if (!out) {
+      common::log_error() << "flight recorder: cannot open " << target;
+      return false;
+    }
+    out << text;
+    if (!out) {
+      common::log_error() << "flight recorder: short write to " << target;
+      return false;
+    }
+  }
+  if (atomic && std::rename(target.c_str(), path.c_str()) != 0) {
+    common::log_error() << "flight recorder: rename to " << path
+                        << " failed";
+    return false;
+  }
+  return true;
+}
+
+void FlightRecorder::reset() {
+  std::lock_guard<analysis::Mutex> lock(mu_);
+  head_.store(0, std::memory_order_relaxed);
+  torn_.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < options_.capacity; ++i)
+    slots_[i].commit.store(0, std::memory_order_relaxed);
+  exemplars_.clear();
+}
+
+}  // namespace arcs::telemetry

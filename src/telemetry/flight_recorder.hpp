@@ -1,0 +1,121 @@
+// Always-on crash flight recorder: the last N telemetry events, dumpable
+// as a valid arcs-trace/v1 document at any moment.
+//
+// Tracing (Tracer::enable) retains *everything* until a drain — too much
+// state to leave on in production. The flight recorder is the
+// complement: a fixed preallocated ring of the most recent events,
+// overwriting oldest-first, fed through the Tracer's EventSink tee so
+// spans form even when ring tracing is off. arcsd attaches it at
+// startup; a crash handler (SIGSEGV/SIGABRT), the graceful-exit path, or
+// the `dump` op then materializes the ring into a Chrome-trace document
+// whose otherData carries slow-request *exemplars*: per-histogram top-K
+// slowest observations with their trace/span ids, so a p99 spike in the
+// scrape links to an actual trace.
+//
+// Concurrency: record() is lock-free (slot claim by fetch_add; per-slot
+// seqlock-style commit word so dump() never reads a half-written event).
+// Exemplars and dump() serialize on one mutex (rank kTelemetryRecorder).
+// dump() from a signal handler is best-effort: it takes the exemplar
+// mutex and allocates, which is not async-signal-safe in the strict
+// sense — standard crash-recorder practice, acceptable for a
+// last-breath artifact (the periodic dump file is the reliable copy).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/sync.hpp"
+#include "common/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace arcs::telemetry {
+
+struct FlightRecorderOptions {
+  /// Events retained (ring slots, preallocated). Sized so a full ring's
+  /// compact-JSON dump stays comfortably inside the arcs-serve/v1 frame
+  /// limit when served through the `dump` op.
+  std::size_t capacity = 2048;
+  /// Slowest observations kept per histogram name.
+  std::size_t exemplars_per_metric = 4;
+};
+
+/// One retained slow-request exemplar: the observed value with the trace
+/// ids that let a human open the corresponding spans.
+struct Exemplar {
+  std::string metric;       ///< histogram name ("serve/miss_seconds")
+  double value = 0;         ///< observed value (seconds)
+  double bucket_le = 0;     ///< upper bound of the bucket it landed in
+  std::uint64_t trace = 0;  ///< trace id (0 = none attached)
+  std::uint64_t span = 0;   ///< span id
+  double ts = 0;            ///< host-clock seconds when observed
+};
+
+class FlightRecorder : public EventSink {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+
+  /// Process-wide instance (what arcsd attaches).
+  static FlightRecorder& instance();
+
+  /// Attaches to / detaches from the process Tracer's sink tee.
+  void attach(Tracer& tracer = Tracer::instance());
+  void detach(Tracer& tracer = Tracer::instance());
+  bool attached() const {
+    return attached_.load(std::memory_order_relaxed);
+  }
+
+  // EventSink: called from every emitting thread; lock-free.
+  void record(const Event& event) override;
+
+  /// Records a slow observation candidate for `metric`. Keeps the K
+  /// slowest per metric name. Callers are expected to be off any hot
+  /// path (serve only notes sampled/rare observations).
+  void note_exemplar(std::string_view metric, double value,
+                     double bucket_le, SpanContext ctx);
+
+  /// The retained events, oldest first (seqlock read; torn slots are
+  /// skipped and counted as overwritten).
+  std::vector<Event> events() const;
+
+  std::vector<Exemplar> exemplars() const;
+
+  /// Events pushed out of the ring (or torn mid-read) since reset.
+  std::uint64_t overwritten() const;
+
+  /// Builds the full arcs-trace/v1 document: ring events + the Tracer's
+  /// track names, with exemplars under otherData.exemplars and
+  /// overwritten events reported as dropped_events.
+  common::Json dump(Tracer& tracer = Tracer::instance()) const;
+
+  /// dump() serialized to `path` (atomic tmp+rename when `atomic`;
+  /// direct write otherwise — the signal-handler path cannot rename
+  /// safely if the tmp name needs allocation, so it writes direct).
+  bool dump_to_file(const std::string& path, bool atomic = true,
+                    Tracer& tracer = Tracer::instance()) const;
+
+  /// Clears retained events, exemplars, and counters (tests).
+  void reset();
+
+ private:
+  struct Slot {
+    /// 0 = empty, odd = write in progress, even = committed ticket*2+2.
+    std::atomic<std::uint64_t> commit{0};
+    Event event;
+  };
+
+  FlightRecorderOptions options_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};  ///< next ticket (claims slot i%N)
+  mutable std::atomic<std::uint64_t> torn_{0};
+  std::atomic<bool> attached_{false};
+
+  mutable analysis::Mutex mu_{"telemetry/recorder",
+                              analysis::sync::rank::kTelemetryRecorder};
+  std::vector<Exemplar> exemplars_;  ///< guarded by mu_
+};
+
+}  // namespace arcs::telemetry

@@ -45,12 +45,15 @@ std::string format_number(double v) {
 }  // namespace
 
 void Histogram::observe(double v) {
-  const auto& bounds = bucket_bounds();
-  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
-  const auto index = static_cast<std::size_t>(it - bounds.begin());
-  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::size_t Histogram::bucket_index(double v) {
+  const auto& bounds = bucket_bounds();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  return static_cast<std::size_t>(it - bounds.begin());
 }
 
 double Histogram::bucket_upper_bound(std::size_t i) {
@@ -58,19 +61,90 @@ double Histogram::bucket_upper_bound(std::size_t i) {
   return bucket_bounds()[i];
 }
 
-double Histogram::quantile(double q) const {
-  const std::uint64_t total = count();
-  if (total == 0) return 0;
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i <= kBuckets; ++i)
+    snap.buckets[i] = bucket_count(i);
+  snap.count = count();
+  snap.sum = sum();
+  return snap;
+}
+
+double Histogram::quantile(double q) const { return snapshot().quantile(q); }
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(total)));
+      std::ceil(q * static_cast<double>(count)));
   std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i <= kBuckets; ++i) {
-    cumulative += bucket_count(i);
+  for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+    cumulative += buckets[i];
     if (cumulative >= rank && cumulative > 0)
-      return bucket_upper_bound(i);
+      return Histogram::bucket_upper_bound(i);
   }
-  return bucket_upper_bound(kBuckets);
+  return Histogram::bucket_upper_bound(Histogram::kBuckets);
+}
+
+HistogramSnapshot HistogramSnapshot::delta_since(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot delta;
+  for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+    const std::uint64_t d =
+        buckets[i] >= earlier.buckets[i] ? buckets[i] - earlier.buckets[i] : 0;
+    delta.buckets[i] = d;
+    delta.count += d;
+  }
+  delta.sum = sum >= earlier.sum ? sum - earlier.sum : 0;
+  return delta;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::size_t i = 0; i <= Histogram::kBuckets; ++i)
+    buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+common::Json HistogramSnapshot::to_json() const {
+  common::Json json = common::Json::object();
+  json.set("count", count);
+  json.set("sum", sum);
+  common::Json sparse = common::Json::array();
+  for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    common::Json pair = common::Json::array();
+    pair.push_back(static_cast<std::uint64_t>(i));
+    pair.push_back(buckets[i]);
+    sparse.push_back(std::move(pair));
+  }
+  json.set("buckets", std::move(sparse));
+  return json;
+}
+
+bool HistogramSnapshot::from_json(const common::Json& json,
+                                  HistogramSnapshot* out) {
+  if (!json.is_object()) return false;
+  const common::Json* count = json.find("count");
+  const common::Json* sum = json.find("sum");
+  const common::Json* sparse = json.find("buckets");
+  if (count == nullptr || !count->is_number()) return false;
+  if (sum == nullptr || !sum->is_number()) return false;
+  if (sparse == nullptr || !sparse->is_array()) return false;
+  HistogramSnapshot snap;
+  for (const common::Json& pair : sparse->items()) {
+    if (!pair.is_array() || pair.size() != 2) return false;
+    const common::Json& index_json = pair.items()[0];
+    const common::Json& count_json = pair.items()[1];
+    if (!index_json.is_number() || !count_json.is_number()) return false;
+    const auto index = static_cast<std::size_t>(index_json.as_number());
+    if (index > Histogram::kBuckets) return false;
+    snap.buckets[index] = static_cast<std::uint64_t>(count_json.as_number());
+  }
+  snap.count = static_cast<std::uint64_t>(count->as_number());
+  snap.sum = sum->as_number();
+  *out = snap;
+  return true;
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {

@@ -74,6 +74,8 @@ class Gauge {
   std::atomic<double> value_{0};
 };
 
+struct HistogramSnapshot;
+
 /// Fixed log-scale histogram: 64 buckets with upper bounds
 /// kLowestBound * 2^i (1 ns .. ~9.2 Gs when observing seconds), plus an
 /// implicit +Inf overflow. One layout for every metric keeps exposition
@@ -96,6 +98,12 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
   static double bucket_upper_bound(std::size_t i);
+  /// Index of the bucket observe(v) lands in (kBuckets for overflow).
+  static std::size_t bucket_index(double v);
+
+  /// Value-semantic copy of the current state (not atomic across
+  /// concurrent observers, same caveat as count()).
+  HistogramSnapshot snapshot() const;
 
   /// Bound of the bucket holding quantile q in [0,1] (upper-bound
   /// estimate; exact value is somewhere at or below it). 0 when empty.
@@ -105,6 +113,34 @@ class Histogram {
   std::array<std::atomic<std::uint64_t>, kBuckets + 1> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0};
+};
+
+/// A value-semantic Histogram state: what a scrape carries over the wire
+/// and what the time-series store retains. Same bucket layout as
+/// Histogram (base-2 bounds), so deltas and merges are exact — this is
+/// the shared quantile walk used by serve latency reporting, the fleet
+/// collector, and the SLO engine.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, Histogram::kBuckets + 1> buckets{};
+  std::uint64_t count = 0;
+  double sum = 0;
+
+  /// Bound of the bucket holding quantile q in [0,1] (upper-bound
+  /// estimate, identical semantics to Histogram::quantile). 0 when
+  /// empty.
+  double quantile(double q) const;
+  /// Observations-per-bucket since `earlier` (a previous snapshot of the
+  /// same histogram). Per-bucket saturating: a shrunk count reads as 0.
+  HistogramSnapshot delta_since(const HistogramSnapshot& earlier) const;
+  /// Accumulates `other` into this (exact: identical bucket layout).
+  void merge(const HistogramSnapshot& other);
+
+  /// {"count": n, "sum": s, "buckets": [[index, count], ...]} — sparse,
+  /// only non-empty buckets appear.
+  common::Json to_json() const;
+  /// Parses to_json() output; false (and *out untouched) on malformed
+  /// input.
+  static bool from_json(const common::Json& json, HistogramSnapshot* out);
 };
 
 /// Named-instrument registry. Lookup-or-create is mutex-guarded; the

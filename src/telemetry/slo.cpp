@@ -1,0 +1,159 @@
+#include "telemetry/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "telemetry/telemetry.hpp"
+
+namespace arcs::telemetry {
+
+namespace {
+
+constexpr std::size_t kHistoryCapacity = 64;
+
+/// Maps mean absolute deviation to a normal-distribution sigma.
+constexpr double kMadToSigma = 1.4826;
+
+/// Relative sigma floor: a perfectly steady series collapses the MAD
+/// to zero, which would make any deviation — however large — score an
+/// infinite z and any threshold unreachable via `sigma > 0` guards.
+/// Flooring sigma at a fraction of the center keeps genuine bursts
+/// detectable on flat baselines without firing on proportional noise.
+constexpr double kSigmaFloorFraction = 0.05;
+
+std::string format_value(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+common::Json Alert::to_json() const {
+  common::Json json = common::Json::object();
+  json.set("name", name);
+  json.set("node", node);
+  json.set("severity", severity);
+  json.set("message", message);
+  json.set("since_s", since_s);
+  json.set("value", value);
+  json.set("target", target);
+  json.set("burn_rate", burn_rate);
+  json.set("active", active);
+  return json;
+}
+
+SloEngine::SloEngine(SloOptions options) : options_(options) {
+  if (options_.fire_after < 1) options_.fire_after = 1;
+  if (options_.clear_after < 1) options_.clear_after = 1;
+}
+
+SloEngine::Rule& SloEngine::rule_for(std::string_view name,
+                                     std::string_view node) {
+  for (Rule& rule : rules_)
+    if (rule.name == name && rule.node == node) return rule;
+  Rule rule;
+  rule.name = std::string(name);
+  rule.node = std::string(node);
+  rule.alert.name = rule.name;
+  rule.alert.node = rule.node;
+  rules_.push_back(std::move(rule));
+  return rules_.back();
+}
+
+SloTransition SloEngine::evaluate(std::string_view name,
+                                 std::string_view node, double t,
+                                 double value, double target, SloKind kind,
+                                 std::string_view severity) {
+  Rule& rule = rule_for(name, node);
+  const bool breached = kind == SloKind::UpperBound ? value > target
+                                                    : value < target;
+  // Burn rate: how fast the error budget is being consumed, normalized
+  // so 1.0 means "exactly at target". For a floor-type SLO the budget is
+  // the allowed shortfall below 1.0 (hit ratio style).
+  double burn = 0;
+  if (kind == SloKind::UpperBound) {
+    burn = target > 0 ? value / target : (value > 0 ? 2.0 : 0.0);
+  } else {
+    const double budget = 1.0 - target;
+    burn = budget > 0 ? (1.0 - value) / budget : (breached ? 2.0 : 0.0);
+  }
+
+  Alert& alert = rule.alert;
+  alert.severity = std::string(severity);
+  alert.value = value;
+  alert.target = target;
+  alert.burn_rate = burn;
+
+  SloTransition transition = SloTransition::None;
+  if (breached) {
+    rule.ok_streak = 0;
+    ++rule.breach_streak;
+    if (!alert.active && rule.breach_streak >= options_.fire_after) {
+      alert.active = true;
+      alert.since_s = t;
+      alert.message = alert.name + (alert.node.empty() ? "" : "@" + alert.node) +
+                      ": " + format_value(value) +
+                      (kind == SloKind::UpperBound ? " > " : " < ") +
+                      format_value(target);
+      transition = SloTransition::Fired;
+      ++fired_total_;
+    }
+  } else {
+    rule.breach_streak = 0;
+    ++rule.ok_streak;
+    if (alert.active && rule.ok_streak >= options_.clear_after) {
+      alert.active = false;
+      transition = SloTransition::Cleared;
+    }
+  }
+
+  if (transition != SloTransition::None) {
+    if (history_.size() >= kHistoryCapacity)
+      history_.erase(history_.begin());
+    history_.push_back(alert);
+    Tracer& tracer = Tracer::instance();
+    if (tracer.enabled()) {
+      const std::string event_name =
+          std::string(transition == SloTransition::Fired ? "alert/fired/"
+                                                         : "alert/cleared/") +
+          alert.name;
+      tracer.instant(Category::Fleet, TimeDomain::Host, event_name,
+                     tracer.host_track(), tracer.now());
+    }
+  }
+  return transition;
+}
+
+std::vector<Alert> SloEngine::active() const {
+  std::vector<Alert> out;
+  for (const Rule& rule : rules_)
+    if (rule.alert.active) out.push_back(rule.alert);
+  return out;
+}
+
+bool AnomalyDetector::observe(double v) {
+  if (samples_ == 0) {
+    center_ = v;
+    deviation_ = 0;
+    samples_ = 1;
+    return false;
+  }
+  const double sigma =
+      std::max(kMadToSigma * deviation_,
+               kSigmaFloorFraction * (std::abs(center_) + 1.0));
+  const bool anomalous =
+      samples_ >= min_samples_ && std::abs(v - center_) > z_ * sigma;
+  // Anomalous samples still update the estimates (the detector tracks
+  // the new regime instead of alerting forever), just through the same
+  // smoothing every sample gets.
+  const double error = std::abs(v - center_);
+  center_ += alpha_ * (v - center_);
+  deviation_ += alpha_ * (error - deviation_);
+  ++samples_;
+  return anomalous;
+}
+
+}  // namespace arcs::telemetry

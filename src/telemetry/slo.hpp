@@ -1,0 +1,123 @@
+// SLO evaluation and anomaly detection over retained series.
+//
+// The fleet collector (src/fleet/collector.hpp) computes windowed
+// indicators — p99 serve latency, error rate, cache hit ratio, power-cap
+// violation seconds — each scrape and feeds them through this engine.
+// Rules fire with hysteresis (N consecutive breaches to fire, M
+// consecutive OKs to clear) so one noisy scrape cannot flap an alert,
+// and every transition is emitted as a Category::Fleet telemetry
+// instant so alerts land on the same timeline as the spans that explain
+// them.
+//
+// The anomaly detector is a robust z-score over an EWMA center and an
+// EWMA absolute deviation (the 1.4826 factor maps mean absolute
+// deviation to a normal sigma estimate): cheap, streaming, and
+// indifferent to the metric's absolute scale — exactly the drift story
+// the GNN autotuning work (PAPERS.md) needs retained series for.
+//
+// Both classes are deliberately *unsynchronized*: the collector guards
+// its engine with its own mutex, and tests drive them single-threaded
+// with a synthetic clock.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace arcs::telemetry {
+
+/// Which side of the target is healthy. UpperBound: value must stay at
+/// or below target (latency, error rate). LowerBound: value must stay
+/// at or above target (cache hit ratio).
+enum class SloKind { UpperBound, LowerBound };
+
+enum class SloTransition { None, Fired, Cleared };
+
+struct SloOptions {
+  int fire_after = 2;   ///< consecutive breaching evaluations to fire
+  int clear_after = 2;  ///< consecutive healthy evaluations to clear
+};
+
+struct Alert {
+  std::string name;      ///< rule name ("fleet/p99_us", "node-b/up")
+  std::string node;      ///< "" for fleet-wide rules
+  std::string severity;  ///< "page" or "warn"
+  std::string message;
+  double since_s = 0;    ///< when the alert fired (engine clock)
+  double value = 0;      ///< last evaluated value
+  double target = 0;
+  double burn_rate = 0;  ///< how fast the budget burns (1.0 = at target)
+  bool active = false;
+
+  common::Json to_json() const;
+};
+
+/// Rolling SLO evaluation with per-rule hysteresis. Rules are created on
+/// first evaluate() of a (name, node) pair; the engine retains active
+/// alerts plus a bounded history of transitions.
+class SloEngine {
+ public:
+  explicit SloEngine(SloOptions options = {});
+
+  /// Evaluates one rule at time t. Returns Fired/Cleared exactly once
+  /// per transition (hysteresis); None otherwise. Transitions are also
+  /// emitted as Category::Fleet telemetry instants when tracing or the
+  /// flight recorder is on.
+  SloTransition evaluate(std::string_view name, std::string_view node,
+                         double t, double value, double target,
+                         SloKind kind, std::string_view severity = "page");
+
+  /// Currently firing alerts, in rule-creation order.
+  std::vector<Alert> active() const;
+  /// Recent fired/cleared transitions, oldest first (bounded at 64).
+  const std::vector<Alert>& history() const { return history_; }
+
+  /// Alerts fired since construction (monotone; detection-latency gate
+  /// in bench_x17 reads this).
+  std::uint64_t fired_total() const { return fired_total_; }
+
+ private:
+  struct Rule {
+    std::string name;
+    std::string node;
+    int breach_streak = 0;
+    int ok_streak = 0;
+    Alert alert;
+  };
+
+  Rule& rule_for(std::string_view name, std::string_view node);
+
+  SloOptions options_;
+  std::vector<Rule> rules_;
+  std::vector<Alert> history_;
+  std::uint64_t fired_total_ = 0;
+};
+
+/// Streaming robust z-score: EWMA center + EWMA absolute deviation.
+/// observe() returns true when the sample deviates more than `z` sigma
+/// estimates from the running center (after a warm-up of min_samples).
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(double alpha = 0.2, double z = 4.0,
+                           std::size_t min_samples = 8)
+      : alpha_(alpha), z_(z), min_samples_(min_samples) {}
+
+  bool observe(double v);
+
+  double center() const { return center_; }
+  double deviation() const { return deviation_; }
+  std::size_t samples() const { return samples_; }
+
+ private:
+  double alpha_;
+  double z_;
+  std::size_t min_samples_;
+  double center_ = 0;
+  double deviation_ = 0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace arcs::telemetry

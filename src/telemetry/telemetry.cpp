@@ -45,6 +45,8 @@ std::string_view to_string(Category category) {
       return "sim";
     case Category::Client:
       return "client";
+    case Category::Fleet:
+      return "fleet";
   }
   return "unknown";
 }
@@ -79,10 +81,26 @@ void Tracer::enable(TracerOptions options) {
   // Release: a thread that observes the epoch bump must also see the new
   // capacity/prefix/clock written above.
   epoch_.fetch_add(1, std::memory_order_release);
-  enabled_.store(true, std::memory_order_release);
+  mode_.fetch_or(kModeRing, std::memory_order_release);
 }
 
-void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+void Tracer::disable() {
+  mode_.fetch_and(~kModeRing, std::memory_order_release);
+}
+
+void Tracer::attach_sink(EventSink* sink) {
+  std::lock_guard<analysis::Mutex> lock(buffers_mu_);
+  sink_.store(sink, std::memory_order_release);
+  if (sink != nullptr) {
+    // Sink-only mode still needs a host clock: spans carry seconds since
+    // the first attach unless enable() (re)anchors the origin.
+    if (mode_.load(std::memory_order_relaxed) == 0 && !clock_)
+      clock_origin_ = steady_seconds();
+    mode_.fetch_or(kModeSink, std::memory_order_release);
+  } else {
+    mode_.fetch_and(~kModeSink, std::memory_order_release);
+  }
+}
 
 void Tracer::reset() {
   disable();
@@ -129,7 +147,14 @@ Tracer::ThreadBuffer* Tracer::local_buffer() {
 }
 
 void Tracer::emit(Event event) {
-  if (!enabled()) return;
+  const unsigned mode = mode_.load(std::memory_order_relaxed);
+  if (mode == 0) return;
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  if ((mode & kModeSink) != 0) {
+    if (EventSink* sink = sink_.load(std::memory_order_acquire))
+      sink->record(event);
+  }
+  if ((mode & kModeRing) == 0) return;
   ThreadBuffer* buffer = local_buffer();
   if (buffer == nullptr) return;
   const std::size_t count = buffer->count.load(std::memory_order_relaxed);
@@ -143,7 +168,6 @@ void Tracer::emit(Event event) {
     }
     return;
   }
-  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   buffer->ring[count] = event;
   // Release pairs with drain()'s acquire load: the drainer sees the fully
   // written slot before it trusts the new count.

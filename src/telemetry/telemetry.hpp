@@ -57,6 +57,7 @@ enum class Category : std::uint8_t {
   Serve,    ///< tuning-service request handling
   Sim,      ///< machine counters (RAPL power/energy)
   Client,   ///< serve-client request spans (the caller side of an RPC)
+  Fleet,    ///< fleet collector scrapes, SLO alerts, anomaly instants
 };
 
 std::string_view to_string(Category category);
@@ -107,6 +108,15 @@ struct Event {
   void set_name(std::string_view n);
 };
 
+/// A secondary destination for emitted events. The flight recorder
+/// (flight_recorder.hpp) implements this; record() must be thread-safe
+/// and non-blocking (it runs on every emitting hot path).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void record(const Event& event) = 0;
+};
+
 struct TracerOptions {
   /// Per-thread ring capacity in events (~120 B each).
   std::size_t ring_capacity = 1u << 16;
@@ -126,11 +136,26 @@ class Tracer {
  public:
   static Tracer& instance();
 
-  /// Starts recording. Rings are (re)created lazily per emitting thread.
+  /// Starts recording into the per-thread rings. Rings are (re)created
+  /// lazily per emitting thread.
   void enable(TracerOptions options = {});
-  /// Stops recording; already-buffered events stay drainable.
+  /// Stops ring recording; already-buffered events stay drainable. An
+  /// attached sink (flight recorder) keeps receiving events.
   void disable();
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// True when emission goes anywhere: the rings (enable()) or an
+  /// attached sink. Spans form whenever this is true.
+  bool enabled() const { return mode_.load(std::memory_order_relaxed) != 0; }
+  /// True when the per-thread rings are recording (enable() was called).
+  bool ring_enabled() const {
+    return (mode_.load(std::memory_order_relaxed) & kModeRing) != 0;
+  }
+
+  /// Attaches/detaches the secondary sink. Every emitted event is also
+  /// delivered to the sink (including ones the rings would drop). The
+  /// sink must outlive its attachment; detach with nullptr. Attaching
+  /// when tracing was never enabled starts the host clock so span
+  /// timestamps are seconds since attach.
+  void attach_sink(EventSink* sink);
 
   /// Discards all buffered events, drop counts, id/seq state, and track
   /// names (tests; also the way one process records two separate runs).
@@ -189,10 +214,14 @@ class Tracer {
     std::atomic<std::uint64_t> dropped{0};
   };
 
+  static constexpr unsigned kModeRing = 1u << 0;
+  static constexpr unsigned kModeSink = 1u << 1;
+
   Tracer() = default;
   ThreadBuffer* local_buffer();
 
-  std::atomic<bool> enabled_{false};
+  std::atomic<unsigned> mode_{0};
+  std::atomic<EventSink*> sink_{nullptr};
   std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> epoch_{0};  ///< bumped by enable()/reset()

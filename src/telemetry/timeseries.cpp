@@ -1,0 +1,270 @@
+#include "telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arcs::telemetry {
+
+namespace {
+
+std::int64_t bucket_index(double t, double width) {
+  return static_cast<std::int64_t>(std::floor(t / width));
+}
+
+}  // namespace
+
+Series::Series(const TimeSeriesOptions& options)
+    : options_(options),
+      raw_(options.raw_capacity),
+      mid_(options.mid_capacity),
+      coarse_(options.coarse_capacity) {}
+
+void Series::record(double t, double v) {
+  if (have_last_t_ && t < last_t_) t = last_t_;
+  last_t_ = t;
+  have_last_t_ = true;
+  raw_.push(SeriesPoint{t, v, v, v, v, 1});
+  fold(open_mid_, mid_, options_.mid_width_s, t, v);
+  fold(open_coarse_, coarse_, options_.coarse_width_s, t, v);
+}
+
+void Series::record_cumulative(double t, double cumulative) {
+  if (!have_cumulative_) {
+    have_cumulative_ = true;
+    prev_cumulative_ = cumulative;
+    return;
+  }
+  const double delta =
+      cumulative >= prev_cumulative_ ? cumulative - prev_cumulative_
+                                     : cumulative;
+  prev_cumulative_ = cumulative;
+  record(t, delta);
+}
+
+void Series::fold(Bucket& bucket, detail::Ring<SeriesPoint>& ring,
+                  double width, double t, double v) {
+  const std::int64_t index = bucket_index(t, width);
+  if (bucket.open && bucket.index != index) {
+    ring.push(bucket.point);
+    bucket.open = false;
+  }
+  if (!bucket.open) {
+    bucket.open = true;
+    bucket.index = index;
+    bucket.point =
+        SeriesPoint{static_cast<double>(index) * width, v, v, 0, v, 0};
+  }
+  SeriesPoint& p = bucket.point;
+  p.min = std::min(p.min, v);
+  p.max = std::max(p.max, v);
+  p.sum += v;
+  p.last = v;
+  p.count += 1;
+}
+
+std::vector<SeriesPoint> Series::points(Tier tier) const {
+  std::vector<SeriesPoint> out;
+  const auto collect = [&out](const detail::Ring<SeriesPoint>& ring,
+                              const Bucket& open) {
+    out.reserve(ring.size() + 1);
+    for (std::size_t i = 0; i < ring.size(); ++i) out.push_back(ring.at(i));
+    if (open.open) out.push_back(open.point);
+  };
+  switch (tier) {
+    case Tier::Raw:
+      out.reserve(raw_.size());
+      for (std::size_t i = 0; i < raw_.size(); ++i) out.push_back(raw_.at(i));
+      break;
+    case Tier::Mid:
+      collect(mid_, open_mid_);
+      break;
+    case Tier::Coarse:
+      collect(coarse_, open_coarse_);
+      break;
+  }
+  return out;
+}
+
+SeriesPoint Series::window(double from_t, double to_t) const {
+  SeriesPoint agg;
+  for (std::size_t i = 0; i < raw_.size(); ++i) {
+    const SeriesPoint& p = raw_.at(i);
+    if (p.t < from_t || p.t > to_t) continue;
+    if (agg.count == 0) {
+      agg = p;
+      continue;
+    }
+    agg.min = std::min(agg.min, p.min);
+    agg.max = std::max(agg.max, p.max);
+    agg.sum += p.sum;
+    agg.last = p.last;
+    agg.t = p.t;
+    agg.count += p.count;
+  }
+  return agg;
+}
+
+HistogramSeries::HistogramSeries(const TimeSeriesOptions& options)
+    : options_(options),
+      raw_(options.raw_capacity),
+      mid_(options.mid_capacity),
+      coarse_(options.coarse_capacity) {}
+
+void HistogramSeries::record(double t, const HistogramSnapshot& cumulative) {
+  if (!have_cumulative_) {
+    have_cumulative_ = true;
+    prev_cumulative_ = cumulative;
+    return;
+  }
+  const HistogramSnapshot delta = cumulative.count >= prev_cumulative_.count
+                                      ? cumulative.delta_since(prev_cumulative_)
+                                      : cumulative;
+  prev_cumulative_ = cumulative;
+  if (have_last_t_ && t < last_t_) t = last_t_;
+  last_t_ = t;
+  have_last_t_ = true;
+  raw_.push(Point{t, delta});
+  fold(open_mid_, mid_, options_.mid_width_s, t, delta);
+  fold(open_coarse_, coarse_, options_.coarse_width_s, t, delta);
+}
+
+void HistogramSeries::fold(Bucket& bucket, detail::Ring<Point>& ring,
+                           double width, double t,
+                           const HistogramSnapshot& delta) {
+  const std::int64_t index = bucket_index(t, width);
+  if (bucket.open && bucket.index != index) {
+    ring.push(bucket.point);
+    bucket.open = false;
+  }
+  if (!bucket.open) {
+    bucket.open = true;
+    bucket.index = index;
+    bucket.point = Point{static_cast<double>(index) * width, {}};
+  }
+  bucket.point.delta.merge(delta);
+}
+
+std::vector<HistogramSeries::Point> HistogramSeries::points(Tier tier) const {
+  std::vector<Point> out;
+  const auto collect = [&out](const detail::Ring<Point>& ring,
+                              const Bucket& open) {
+    out.reserve(ring.size() + 1);
+    for (std::size_t i = 0; i < ring.size(); ++i) out.push_back(ring.at(i));
+    if (open.open) out.push_back(open.point);
+  };
+  switch (tier) {
+    case Tier::Raw:
+      out.reserve(raw_.size());
+      for (std::size_t i = 0; i < raw_.size(); ++i) out.push_back(raw_.at(i));
+      break;
+    case Tier::Mid:
+      collect(mid_, open_mid_);
+      break;
+    case Tier::Coarse:
+      collect(coarse_, open_coarse_);
+      break;
+  }
+  return out;
+}
+
+HistogramSnapshot HistogramSeries::window(double from_t, double to_t) const {
+  HistogramSnapshot merged;
+  for (std::size_t i = 0; i < raw_.size(); ++i) {
+    const Point& p = raw_.at(i);
+    if (p.t < from_t || p.t > to_t) continue;
+    merged.merge(p.delta);
+  }
+  return merged;
+}
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesOptions options)
+    : options_(options) {}
+
+void TimeSeriesStore::record_gauge(std::string_view name, double t,
+                                   double v) {
+  std::lock_guard<analysis::Mutex> lock(mu_);
+  auto it = scalars_.find(name);
+  if (it == scalars_.end())
+    it = scalars_
+             .emplace(std::string(name), std::make_unique<Series>(options_))
+             .first;
+  it->second->record(t, v);
+}
+
+void TimeSeriesStore::record_counter(std::string_view name, double t,
+                                     double cumulative) {
+  std::lock_guard<analysis::Mutex> lock(mu_);
+  auto it = scalars_.find(name);
+  if (it == scalars_.end())
+    it = scalars_
+             .emplace(std::string(name), std::make_unique<Series>(options_))
+             .first;
+  it->second->record_cumulative(t, cumulative);
+}
+
+void TimeSeriesStore::record_histogram(std::string_view name, double t,
+                                       const HistogramSnapshot& cumulative) {
+  std::lock_guard<analysis::Mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<HistogramSeries>(options_))
+             .first;
+  it->second->record(t, cumulative);
+}
+
+std::vector<SeriesPoint> TimeSeriesStore::points(std::string_view name,
+                                                 Tier tier) const {
+  std::lock_guard<analysis::Mutex> lock(mu_);
+  const auto it = scalars_.find(name);
+  if (it == scalars_.end()) return {};
+  return it->second->points(tier);
+}
+
+SeriesPoint TimeSeriesStore::window(std::string_view name, double from_t,
+                                    double to_t) const {
+  std::lock_guard<analysis::Mutex> lock(mu_);
+  const auto it = scalars_.find(name);
+  if (it == scalars_.end()) return {};
+  return it->second->window(from_t, to_t);
+}
+
+HistogramSnapshot TimeSeriesStore::histogram_window(std::string_view name,
+                                                    double from_t,
+                                                    double to_t) const {
+  std::lock_guard<analysis::Mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) return {};
+  return it->second->window(from_t, to_t);
+}
+
+std::vector<std::string> TimeSeriesStore::scalar_names() const {
+  std::lock_guard<analysis::Mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(scalars_.size());
+  for (const auto& [name, series] : scalars_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> TimeSeriesStore::histogram_names() const {
+  std::lock_guard<analysis::Mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, series] : histograms_) names.push_back(name);
+  return names;
+}
+
+const char* to_string(Tier tier) {
+  switch (tier) {
+    case Tier::Raw:
+      return "raw";
+    case Tier::Mid:
+      return "mid";
+    case Tier::Coarse:
+      return "coarse";
+  }
+  return "?";
+}
+
+}  // namespace arcs::telemetry

@@ -1,0 +1,221 @@
+// Retained time series: fixed-capacity rings with tiered downsampling.
+//
+// PR 4's telemetry is point-in-time — one prom scrape, one trace file.
+// The fleet observability plane needs *retained* series to evaluate SLO
+// windows and detect drift, so this layer keeps every recorded sample in
+// three tiers:
+//  * Raw:    every sample, newest-wins ring (default 512 points);
+//  * Mid:    10 s aggregate buckets (min/max/sum/last/count);
+//  * Coarse: 60 s aggregate buckets.
+// Buckets close when a sample lands past the bucket's time window, so
+// downsampling is driven purely by the timestamps the caller supplies —
+// tests pass a synthetic clock and the tiers are fully deterministic.
+// Dependency-free by design (common::Json only for exposition).
+//
+// Series/HistogramSeries are unsynchronized building blocks; the
+// TimeSeriesStore wraps a named map of them behind one mutex (rank
+// kTelemetrySeries) for concurrent scrape/read use.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/sync.hpp"
+#include "common/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace arcs::telemetry {
+
+/// One raw sample or one closed aggregate bucket. For raw points `t` is
+/// the sample time and min==max==sum==last==v, count==1; for tier
+/// buckets `t` is the bucket start (floor(sample_t / width) * width).
+struct SeriesPoint {
+  double t = 0;
+  double min = 0;
+  double max = 0;
+  double sum = 0;
+  double last = 0;
+  std::uint64_t count = 0;
+
+  double mean() const {
+    return count == 0 ? 0 : sum / static_cast<double>(count);
+  }
+};
+
+enum class Tier { Raw, Mid, Coarse };
+
+struct TimeSeriesOptions {
+  std::size_t raw_capacity = 512;
+  std::size_t mid_capacity = 360;     ///< 10 s buckets → 1 h retained
+  std::size_t coarse_capacity = 1440; ///< 60 s buckets → 1 day retained
+  double mid_width_s = 10.0;
+  double coarse_width_s = 60.0;
+};
+
+namespace detail {
+
+/// Fixed-capacity drop-oldest ring. index 0 is the oldest element.
+template <typename T>
+class Ring {
+ public:
+  explicit Ring(std::size_t capacity) : capacity_(capacity) {
+    items_.reserve(capacity_);
+  }
+
+  void push(T v) {
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(v));
+    } else {
+      items_[head_] = std::move(v);
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+
+  std::size_t size() const { return items_.size(); }
+  const T& at(std::size_t i) const {
+    return items_[(head_ + i) % items_.size()];
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::vector<T> items_;
+};
+
+}  // namespace detail
+
+/// A scalar series (gauge samples, or counter deltas via
+/// record_cumulative). Not thread-safe; see TimeSeriesStore.
+class Series {
+ public:
+  explicit Series(const TimeSeriesOptions& options);
+
+  /// Records one sample. Timestamps are clamped monotone: a sample older
+  /// than the last one is recorded at the last time (scrape clocks only
+  /// ever skew slightly; the rings must stay sorted).
+  void record(double t, double v);
+
+  /// Records a cumulative (monotone) counter reading; the series stores
+  /// the *delta* since the previous reading. The first reading only
+  /// establishes the baseline (no point recorded); a reading below the
+  /// previous one means the process restarted, so the full new value
+  /// counts as the delta.
+  void record_cumulative(double t, double cumulative);
+
+  /// Chronological points of a tier, including the still-open bucket (so
+  /// readers always see data recorded in the current window).
+  std::vector<SeriesPoint> points(Tier tier) const;
+
+  /// Aggregate of raw points with from_t <= t <= to_t (count == 0 when
+  /// the window is empty or has fallen off the raw ring).
+  SeriesPoint window(double from_t, double to_t) const;
+
+  double last_time() const { return last_t_; }
+
+ private:
+  struct Bucket {
+    bool open = false;
+    std::int64_t index = 0;  ///< floor(t / width)
+    SeriesPoint point;
+  };
+
+  void fold(Bucket& bucket, detail::Ring<SeriesPoint>& ring, double width,
+            double t, double v);
+
+  TimeSeriesOptions options_;
+  detail::Ring<SeriesPoint> raw_;
+  detail::Ring<SeriesPoint> mid_;
+  detail::Ring<SeriesPoint> coarse_;
+  Bucket open_mid_;
+  Bucket open_coarse_;
+  double last_t_ = 0;
+  bool have_last_t_ = false;
+  double prev_cumulative_ = 0;
+  bool have_cumulative_ = false;
+};
+
+/// A histogram series: retains per-interval *delta* snapshots so a
+/// window query can merge exact per-bucket counts and answer "p99 over
+/// the last 60 s". Raw keeps one delta per scrape; mid/coarse keep
+/// merged deltas per bucket.
+class HistogramSeries {
+ public:
+  explicit HistogramSeries(const TimeSeriesOptions& options);
+
+  /// Records a cumulative histogram reading (what a scrape carries). The
+  /// first reading establishes the baseline; later readings store the
+  /// delta. A count regression (process restart) treats the new reading
+  /// as the whole delta.
+  void record(double t, const HistogramSnapshot& cumulative);
+
+  struct Point {
+    double t = 0;
+    HistogramSnapshot delta;
+  };
+
+  std::vector<Point> points(Tier tier) const;
+
+  /// Merged delta over raw points with from_t <= t <= to_t.
+  HistogramSnapshot window(double from_t, double to_t) const;
+
+ private:
+  struct Bucket {
+    bool open = false;
+    std::int64_t index = 0;
+    Point point;
+  };
+
+  void fold(Bucket& bucket, detail::Ring<Point>& ring, double width,
+            double t, const HistogramSnapshot& delta);
+
+  TimeSeriesOptions options_;
+  detail::Ring<Point> raw_;
+  detail::Ring<Point> mid_;
+  detail::Ring<Point> coarse_;
+  Bucket open_mid_;
+  Bucket open_coarse_;
+  double last_t_ = 0;
+  bool have_last_t_ = false;
+  HistogramSnapshot prev_cumulative_;
+  bool have_cumulative_ = false;
+};
+
+/// Named series behind one lock: the fleet collector's backing store.
+/// Gauge/counter/histogram series live in separate namespaces keyed by
+/// name (the collector prefixes "<node>/").
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(TimeSeriesOptions options = {});
+
+  void record_gauge(std::string_view name, double t, double v);
+  void record_counter(std::string_view name, double t, double cumulative);
+  void record_histogram(std::string_view name, double t,
+                        const HistogramSnapshot& cumulative);
+
+  /// Empty vector when the series does not exist.
+  std::vector<SeriesPoint> points(std::string_view name, Tier tier) const;
+  /// count == 0 when the series does not exist or the window is empty.
+  SeriesPoint window(std::string_view name, double from_t,
+                     double to_t) const;
+  HistogramSnapshot histogram_window(std::string_view name, double from_t,
+                                     double to_t) const;
+
+  std::vector<std::string> scalar_names() const;
+  std::vector<std::string> histogram_names() const;
+
+ private:
+  mutable analysis::Mutex mu_{"telemetry/series",
+                              analysis::sync::rank::kTelemetrySeries};
+  TimeSeriesOptions options_;
+  std::map<std::string, std::unique_ptr<Series>, std::less<>> scalars_;
+  std::map<std::string, std::unique_ptr<HistogramSeries>, std::less<>>
+      histograms_;
+};
+
+const char* to_string(Tier tier);
+
+}  // namespace arcs::telemetry

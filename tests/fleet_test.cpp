@@ -880,3 +880,8 @@ TEST(FleetCli, ArcsdFlagsMatchHelpAndServeDocs) {
 TEST(FleetCli, FleetdFlagsMatchHelpAndFleetDocs) {
   expect_tool_flags_documented("tools/arcs_fleetd.cpp", "docs/FLEET.md");
 }
+
+TEST(FleetCli, ArcsTopFlagsMatchHelpAndObservabilityDocs) {
+  expect_tool_flags_documented("tools/arcs_top.cpp",
+                               "docs/OBSERVABILITY.md");
+}

@@ -1,0 +1,742 @@
+// Tests for the fleet observability plane: the tiered time-series store
+// (deterministic downsampling under a synthetic clock, ring wrap,
+// counter-reset handling), the shared HistogramSnapshot quantile walk
+// and its wire form, SLO hysteresis (fires once, clears once) and the
+// robust-z anomaly detector, the crash flight recorder (ring overwrite
+// accounting, valid arcs-trace/v1 dumps with exemplars, truncated dumps
+// rejected, serve bit-identity with the recorder attached), and the
+// fleet collector end to end (scrape-merge, node-down alert within
+// three scrapes, rejoin clears, fleet_status schema, power-cap
+// violation accounting).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "fleet/fleet.hpp"
+#include "serve/serve.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace ac = arcs::common;
+namespace fl = arcs::fleet;
+namespace sv = arcs::serve;
+namespace sp = arcs::somp;
+namespace tl = arcs::telemetry;
+
+using arcs::HistoryKey;
+
+namespace {
+
+HistoryKey make_key(const std::string& region,
+                    const std::string& machine = "testbox",
+                    double cap = 40.0) {
+  return {"SP", machine, cap, "B", region};
+}
+
+sp::LoopConfig make_config(int threads, int chunk = 8) {
+  return {threads, {sp::ScheduleKind::Guided, chunk}};
+}
+
+sv::Request make_put(const HistoryKey& key, int threads) {
+  sv::Request put;
+  put.op = sv::Op::Put;
+  put.key = key;
+  put.config = make_config(threads);
+  put.value = 1.0;
+  put.evaluations = 7;
+  return put;
+}
+
+sv::Request make_get(const HistoryKey& key, bool read_only = false) {
+  sv::Request get;
+  get.op = sv::Op::Get;
+  get.key = key;
+  get.read_only = read_only;
+  return get;
+}
+
+/// In-process client whose transport can be killed and revived (the
+/// same crash shape fleet_test uses: Error + transport_failed).
+class FlakyClient : public sv::Client {
+ public:
+  explicit FlakyClient(sv::TuningServer& server) : server_(server) {}
+
+  sv::Response call(const sv::Request& request) override {
+    if (killed_.load(std::memory_order_acquire)) {
+      transport_failed_.store(true, std::memory_order_release);
+      sv::Response response;
+      response.status = sv::Status::Error;
+      response.error = "connection reset by peer";
+      return response;
+    }
+    transport_failed_.store(false, std::memory_order_release);
+    return server_.handle(request);
+  }
+
+  bool reopen() override {
+    if (killed_.load(std::memory_order_acquire)) return false;
+    transport_failed_.store(false, std::memory_order_release);
+    return true;
+  }
+
+  void kill() { killed_.store(true, std::memory_order_release); }
+  void revive() { killed_.store(false, std::memory_order_release); }
+
+ private:
+  sv::TuningServer& server_;
+  std::atomic<bool> killed_{false};
+};
+
+/// Three in-process daemons, a router, and a collector — the whole
+/// observability plane in a box, clocked by the test.
+struct ObservedFleet {
+  explicit ObservedFleet(fl::CollectorOptions collector_options = {}) {
+    fl::RouterOptions router_options;
+    // Probe deadlines pass immediately so revive tests need no sleeps.
+    router_options.probe_backoff_initial_s = 0.0;
+    router_options.probe_backoff_max_s = 0.0;
+    router_options.warm_start_on_rejoin = false;
+    router = std::make_unique<fl::Router>(router_options);
+    sv::ServerOptions server_options;
+    server_options.cache.capacity = 1024;
+    for (std::size_t i = 0; i < 3; ++i) {
+      servers.push_back(std::make_unique<sv::TuningServer>(server_options));
+      clients.push_back(std::make_unique<FlakyClient>(*servers.back()));
+      names.push_back("node-" + std::string(1, char('a' + i)));
+      router->add_endpoint(names.back(), clients.back().get());
+    }
+    collector = std::make_unique<fl::Collector>(*router, collector_options);
+  }
+
+  /// Per key: a Put, a Get that hits, and a cold Get that misses (the
+  /// miss starts a search and is observed in the miss histogram, so
+  /// scraped latency and hit/miss counters both move).
+  void drive_traffic(std::size_t keys) {
+    for (std::size_t i = 0; i < keys; ++i) {
+      const HistoryKey key = make_key("region-" + std::to_string(i));
+      ASSERT_EQ(router->call(make_put(key, 4)).status, sv::Status::Ok);
+      ASSERT_EQ(router->call(make_get(key)).status, sv::Status::Hit);
+      ASSERT_EQ(router->call(make_get(make_key("cold-" + std::to_string(i))))
+                    .status,
+                sv::Status::Evaluate);
+    }
+  }
+
+  std::vector<std::unique_ptr<sv::TuningServer>> servers;
+  std::vector<std::unique_ptr<FlakyClient>> clients;
+  std::vector<std::string> names;
+  std::unique_ptr<fl::Router> router;
+  std::unique_ptr<fl::Collector> collector;
+};
+
+tl::Event make_event(const char* name, double ts, std::uint64_t seq) {
+  tl::Event event;
+  event.phase = tl::Phase::Instant;
+  event.category = tl::Category::Fleet;
+  event.domain = tl::TimeDomain::Host;
+  event.set_name(name);
+  event.ts = ts;
+  event.seq = seq;
+  return event;
+}
+
+}  // namespace
+
+// ---------- time-series store ----------
+
+TEST(TimeSeries, RawRingDropsOldest) {
+  tl::TimeSeriesOptions options;
+  options.raw_capacity = 4;
+  tl::Series series(options);
+  for (int i = 0; i < 7; ++i)
+    series.record(static_cast<double>(i), static_cast<double>(i * 10));
+  const auto raw = series.points(tl::Tier::Raw);
+  ASSERT_EQ(raw.size(), 4u);
+  EXPECT_DOUBLE_EQ(raw.front().t, 3.0);  // 0..2 dropped oldest-first
+  EXPECT_DOUBLE_EQ(raw.back().t, 6.0);
+  EXPECT_DOUBLE_EQ(raw.back().last, 60.0);
+}
+
+TEST(TimeSeries, MidBucketsCloseExactlyOnTheBoundary) {
+  tl::Series series{tl::TimeSeriesOptions{}};
+  series.record(0.0, 1.0);
+  series.record(5.0, 3.0);
+  series.record(9.999, 2.0);
+  // Still inside [0, 10): only the open bucket exists.
+  auto mid = series.points(tl::Tier::Mid);
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_EQ(mid[0].count, 3u);
+
+  series.record(10.0, 7.0);  // lands in [10, 20) — closes [0, 10)
+  mid = series.points(tl::Tier::Mid);
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_DOUBLE_EQ(mid[0].t, 0.0);
+  EXPECT_EQ(mid[0].count, 3u);
+  EXPECT_DOUBLE_EQ(mid[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(mid[0].max, 3.0);
+  EXPECT_DOUBLE_EQ(mid[0].sum, 6.0);
+  EXPECT_DOUBLE_EQ(mid[0].last, 2.0);
+  EXPECT_DOUBLE_EQ(mid[0].mean(), 2.0);
+  EXPECT_DOUBLE_EQ(mid[1].t, 10.0);  // the open bucket is visible
+  EXPECT_EQ(mid[1].count, 1u);
+}
+
+TEST(TimeSeries, CoarseTierAggregatesSixtySecondBuckets) {
+  tl::Series series{tl::TimeSeriesOptions{}};
+  for (int i = 0; i < 12; ++i)
+    series.record(static_cast<double>(i) * 10.0, 1.0);  // 0..110 s
+  const auto coarse = series.points(tl::Tier::Coarse);
+  ASSERT_EQ(coarse.size(), 2u);
+  EXPECT_DOUBLE_EQ(coarse[0].t, 0.0);
+  EXPECT_EQ(coarse[0].count, 6u);  // samples at 0,10,...,50
+  EXPECT_DOUBLE_EQ(coarse[1].t, 60.0);
+  EXPECT_EQ(coarse[1].count, 6u);
+}
+
+TEST(TimeSeries, BackwardsTimestampsAreClampedMonotone) {
+  tl::Series series{tl::TimeSeriesOptions{}};
+  series.record(5.0, 1.0);
+  series.record(3.0, 2.0);  // clock skew: recorded at t=5
+  const auto raw = series.points(tl::Tier::Raw);
+  ASSERT_EQ(raw.size(), 2u);
+  EXPECT_DOUBLE_EQ(raw[1].t, 5.0);
+  EXPECT_DOUBLE_EQ(series.last_time(), 5.0);
+}
+
+TEST(TimeSeries, CumulativeCounterRecordsDeltasAndSurvivesRestart) {
+  tl::Series series{tl::TimeSeriesOptions{}};
+  series.record_cumulative(1.0, 100.0);  // baseline: no point
+  EXPECT_TRUE(series.points(tl::Tier::Raw).empty());
+  series.record_cumulative(2.0, 110.0);
+  series.record_cumulative(3.0, 125.0);
+  // Regression = process restart: the full new value is the delta.
+  series.record_cumulative(4.0, 5.0);
+  const auto raw = series.points(tl::Tier::Raw);
+  ASSERT_EQ(raw.size(), 3u);
+  EXPECT_DOUBLE_EQ(raw[0].last, 10.0);
+  EXPECT_DOUBLE_EQ(raw[1].last, 15.0);
+  EXPECT_DOUBLE_EQ(raw[2].last, 5.0);
+}
+
+TEST(TimeSeries, WindowAggregatesInclusiveRange) {
+  tl::Series series{tl::TimeSeriesOptions{}};
+  for (int i = 1; i <= 5; ++i)
+    series.record(static_cast<double>(i), static_cast<double>(i));
+  const tl::SeriesPoint window = series.window(2.0, 4.0);
+  EXPECT_EQ(window.count, 3u);
+  EXPECT_DOUBLE_EQ(window.sum, 9.0);
+  EXPECT_DOUBLE_EQ(window.min, 2.0);
+  EXPECT_DOUBLE_EQ(window.max, 4.0);
+  EXPECT_EQ(series.window(10.0, 20.0).count, 0u);
+}
+
+TEST(TimeSeries, HistogramSeriesWindowMergesExactDeltas) {
+  tl::Histogram h;
+  tl::HistogramSeries series{tl::TimeSeriesOptions{}};
+  h.observe(0.001);
+  series.record(1.0, h.snapshot());  // baseline
+  h.observe(0.002);
+  h.observe(0.004);
+  series.record(2.0, h.snapshot());
+  h.observe(0.008);
+  series.record(3.0, h.snapshot());
+  const tl::HistogramSnapshot window = series.window(1.5, 3.5);
+  EXPECT_EQ(window.count, 3u);  // the three post-baseline observations
+  // A count regression (daemon restart) makes the reading the delta.
+  tl::Histogram fresh;
+  fresh.observe(0.016);
+  series.record(4.0, fresh.snapshot());
+  EXPECT_EQ(series.window(3.5, 4.5).count, 1u);
+}
+
+TEST(TimeSeries, StoreNamespacesAndThreadSafety) {
+  tl::TimeSeriesStore store;
+  store.record_gauge("a/up", 1.0, 1.0);
+  store.record_counter("a/requests", 1.0, 10.0);
+  store.record_counter("a/requests", 2.0, 30.0);
+  tl::Histogram h;
+  h.observe(0.001);
+  store.record_histogram("a/latency", 1.0, h.snapshot());
+  EXPECT_EQ(store.points("a/up", tl::Tier::Raw).size(), 1u);
+  EXPECT_DOUBLE_EQ(store.window("a/requests", 0.0, 5.0).sum, 20.0);
+  EXPECT_TRUE(store.points("missing", tl::Tier::Raw).empty());
+  EXPECT_EQ(store.window("missing", 0.0, 5.0).count, 0u);
+  EXPECT_EQ(store.histogram_window("missing", 0.0, 5.0).count, 0u);
+  EXPECT_EQ(store.scalar_names().size(), 2u);
+  EXPECT_EQ(store.histogram_names().size(), 1u);
+}
+
+// ---------- shared histogram snapshot ----------
+
+TEST(HistogramSnapshot, QuantileMatchesHistogramExactly) {
+  tl::Histogram h;
+  for (int i = 0; i < 1000; ++i)
+    h.observe(1e-6 * static_cast<double>(i + 1));
+  const tl::HistogramSnapshot snap = h.snapshot();
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(snap.quantile(q), h.quantile(q)) << "q=" << q;
+  EXPECT_GE(snap.quantile(0.99), snap.quantile(0.50));
+}
+
+TEST(HistogramSnapshot, JsonRoundTripIsExact) {
+  tl::Histogram h;
+  h.observe(1e-7);
+  h.observe(0.5);
+  h.observe(1e12);  // overflow bucket
+  const tl::HistogramSnapshot snap = h.snapshot();
+  const ac::Json wire = snap.to_json();
+  tl::HistogramSnapshot back;
+  ASSERT_TRUE(tl::HistogramSnapshot::from_json(wire, &back));
+  EXPECT_EQ(back.count, snap.count);
+  EXPECT_DOUBLE_EQ(back.sum, snap.sum);
+  for (std::size_t i = 0; i <= tl::Histogram::kBuckets; ++i)
+    EXPECT_EQ(back.buckets[i], snap.buckets[i]) << "bucket " << i;
+}
+
+TEST(HistogramSnapshot, RejectsMalformedWireForms) {
+  tl::HistogramSnapshot out;
+  EXPECT_FALSE(tl::HistogramSnapshot::from_json(ac::Json(1.0), &out));
+  ac::Json missing = ac::Json::object();
+  missing.set("count", 1);
+  EXPECT_FALSE(tl::HistogramSnapshot::from_json(missing, &out));
+  ac::Json bad_bucket = ac::Json::object();
+  bad_bucket.set("count", 1);
+  bad_bucket.set("sum", 0.5);
+  ac::Json buckets = ac::Json::array();
+  ac::Json pair = ac::Json::array();
+  pair.push_back(static_cast<double>(tl::Histogram::kBuckets + 1));
+  pair.push_back(1.0);
+  buckets.push_back(std::move(pair));
+  bad_bucket.set("buckets", std::move(buckets));
+  EXPECT_FALSE(tl::HistogramSnapshot::from_json(bad_bucket, &out));
+}
+
+TEST(HistogramSnapshot, DeltaAndMergeAreExactAndSaturating) {
+  tl::Histogram h;
+  h.observe(0.001);
+  const tl::HistogramSnapshot before = h.snapshot();
+  h.observe(0.002);
+  h.observe(0.002);
+  const tl::HistogramSnapshot after = h.snapshot();
+  const tl::HistogramSnapshot delta = after.delta_since(before);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_DOUBLE_EQ(delta.sum, 0.004);
+  // Saturation: delta against a *larger* earlier snapshot reads as 0.
+  const tl::HistogramSnapshot zero = before.delta_since(after);
+  EXPECT_EQ(zero.count, 0u);
+  tl::HistogramSnapshot merged = before;
+  merged.merge(delta);
+  EXPECT_EQ(merged.count, after.count);
+  EXPECT_DOUBLE_EQ(merged.quantile(0.99), after.quantile(0.99));
+}
+
+// ---------- SLO engine + anomaly detection ----------
+
+TEST(Slo, FiresOnceAfterHysteresisAndClearsOnce) {
+  tl::SloEngine engine;  // fire_after = clear_after = 2
+  using K = tl::SloKind;
+  EXPECT_EQ(engine.evaluate("p99", "", 1.0, 200.0, 100.0, K::UpperBound),
+            tl::SloTransition::None);  // first breach: streak 1
+  EXPECT_EQ(engine.evaluate("p99", "", 2.0, 300.0, 100.0, K::UpperBound),
+            tl::SloTransition::Fired);  // second breach: fires
+  EXPECT_EQ(engine.evaluate("p99", "", 3.0, 400.0, 100.0, K::UpperBound),
+            tl::SloTransition::None);  // still firing: no re-fire
+  ASSERT_EQ(engine.active().size(), 1u);
+  EXPECT_DOUBLE_EQ(engine.active()[0].since_s, 2.0);
+  EXPECT_EQ(engine.fired_total(), 1u);
+
+  EXPECT_EQ(engine.evaluate("p99", "", 4.0, 50.0, 100.0, K::UpperBound),
+            tl::SloTransition::None);  // first OK: streak 1
+  EXPECT_EQ(engine.evaluate("p99", "", 5.0, 50.0, 100.0, K::UpperBound),
+            tl::SloTransition::Cleared);  // second OK: clears
+  EXPECT_TRUE(engine.active().empty());
+  ASSERT_EQ(engine.history().size(), 2u);
+  EXPECT_TRUE(engine.history()[0].active);
+  EXPECT_FALSE(engine.history()[1].active);
+  EXPECT_EQ(engine.fired_total(), 1u);  // clear does not bump fired
+}
+
+TEST(Slo, OneNoisyScrapeCannotFlap) {
+  tl::SloEngine engine;
+  using K = tl::SloKind;
+  engine.evaluate("err", "", 1.0, 0.9, 0.1, K::UpperBound);
+  engine.evaluate("err", "", 2.0, 0.01, 0.1, K::UpperBound);  // recovers
+  engine.evaluate("err", "", 3.0, 0.9, 0.1, K::UpperBound);
+  engine.evaluate("err", "", 4.0, 0.01, 0.1, K::UpperBound);
+  EXPECT_EQ(engine.fired_total(), 0u);
+  EXPECT_TRUE(engine.active().empty());
+}
+
+TEST(Slo, LowerBoundBurnRateAndPerNodeRules) {
+  tl::SloEngine engine;
+  using K = tl::SloKind;
+  // Same rule name on two nodes: independent hysteresis state.
+  engine.evaluate("up", "node-a", 1.0, 0.0, 1.0, K::LowerBound);
+  engine.evaluate("up", "node-b", 1.0, 1.0, 1.0, K::LowerBound);
+  EXPECT_EQ(engine.evaluate("up", "node-a", 2.0, 0.0, 1.0, K::LowerBound),
+            tl::SloTransition::Fired);
+  EXPECT_EQ(engine.evaluate("up", "node-b", 2.0, 1.0, 1.0, K::LowerBound),
+            tl::SloTransition::None);
+  ASSERT_EQ(engine.active().size(), 1u);
+  const tl::Alert alert = engine.active()[0];
+  EXPECT_EQ(alert.node, "node-a");
+  EXPECT_GE(alert.burn_rate, 1.0);
+  const ac::Json wire = alert.to_json();
+  EXPECT_NE(wire.find("message"), nullptr);
+  EXPECT_NE(wire.find("burn_rate"), nullptr);
+}
+
+TEST(Anomaly, WarmupNeverFiresThenSpikeDetected) {
+  tl::AnomalyDetector detector(0.2, 4.0, 8);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_FALSE(detector.observe(100.0 + (i % 2 ? 1.0 : -1.0)))
+        << "sample " << i;
+  EXPECT_TRUE(detector.observe(500.0));  // 400 off a ±1 deviation
+  // Estimates keep adapting: a sustained shift stops being anomalous.
+  bool still_anomalous = true;
+  for (int i = 0; i < 200 && still_anomalous; ++i)
+    still_anomalous = detector.observe(500.0);
+  EXPECT_FALSE(still_anomalous);
+}
+
+// ---------- flight recorder ----------
+
+TEST(FlightRecorder, RetainsRecentEventsAndCountsOverwrites) {
+  tl::FlightRecorderOptions options;
+  options.capacity = 16;  // the recorder clamps below 16
+  tl::FlightRecorder recorder(options);
+  for (std::uint64_t i = 0; i < 40; ++i)
+    recorder.record(make_event("e", static_cast<double>(i), i));
+  const std::vector<tl::Event> events = recorder.events();
+  ASSERT_EQ(events.size(), 16u);
+  EXPECT_DOUBLE_EQ(events.front().ts, 24.0);  // oldest retained
+  EXPECT_DOUBLE_EQ(events.back().ts, 39.0);
+  EXPECT_EQ(recorder.overwritten(), 24u);
+  recorder.reset();
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_EQ(recorder.overwritten(), 0u);
+}
+
+TEST(FlightRecorder, DumpIsValidTraceWithExemplars) {
+  tl::FlightRecorder recorder;
+  recorder.record(make_event("serve/get", 0.5, 1));
+  recorder.note_exemplar("serve/miss_seconds", 0.25,
+                         tl::Histogram::bucket_upper_bound(
+                             tl::Histogram::bucket_index(0.25)),
+                         tl::SpanContext{42, 7});
+  const ac::Json dump = recorder.dump();
+  std::string error;
+  EXPECT_TRUE(tl::validate_trace(dump, &error)) << error;
+  const ac::Json* other = dump.find("otherData");
+  ASSERT_NE(other, nullptr);
+  const ac::Json* exemplars = other->find("exemplars");
+  ASSERT_NE(exemplars, nullptr);
+  ASSERT_EQ(exemplars->size(), 1u);
+  const ac::Json& ex = exemplars->items()[0];
+  EXPECT_EQ(ex.find("metric")->as_string(), "serve/miss_seconds");
+  EXPECT_DOUBLE_EQ(ex.find("value")->as_number(), 0.25);
+  EXPECT_DOUBLE_EQ(ex.find("trace")->as_number(), 42.0);
+}
+
+TEST(FlightRecorder, ExemplarsKeepTheSlowestK) {
+  tl::FlightRecorderOptions options;
+  options.exemplars_per_metric = 2;
+  tl::FlightRecorder recorder(options);
+  for (int i = 1; i <= 5; ++i)
+    recorder.note_exemplar("m", static_cast<double>(i), 0.0,
+                           tl::SpanContext{static_cast<std::uint64_t>(i),
+                                           0});
+  const std::vector<tl::Exemplar> kept = recorder.exemplars();
+  ASSERT_EQ(kept.size(), 2u);
+  double slowest = 0;
+  for (const tl::Exemplar& e : kept) slowest = std::max(slowest, e.value);
+  EXPECT_DOUBLE_EQ(slowest, 5.0);
+  for (const tl::Exemplar& e : kept) EXPECT_GE(e.value, 4.0);
+}
+
+TEST(FlightRecorder, TruncatedDumpIsRejected) {
+  tl::FlightRecorder recorder;
+  recorder.record(make_event("serve/get", 0.5, 1));
+  const std::string text = recorder.dump().dump(2);
+  // A kill mid-write leaves a prefix: must fail JSON parsing outright.
+  std::string parse_error;
+  const ac::Json truncated =
+      ac::Json::parse(text.substr(0, text.size() / 2), &parse_error);
+  EXPECT_FALSE(parse_error.empty());
+  EXPECT_TRUE(truncated.is_null());
+  // Structurally broken documents fail validate_trace with a message.
+  std::string error;
+  ac::Json no_schema = ac::Json::object();
+  no_schema.set("traceEvents", ac::Json::array());
+  EXPECT_FALSE(tl::validate_trace(no_schema, &error));
+  EXPECT_FALSE(error.empty());
+  ac::Json bad_event = ac::Json::parse(text);
+  // Rebuild with one event stripped of its timestamp.
+  ac::Json events = ac::Json::array();
+  ac::Json e = ac::Json::object();
+  e.set("ph", std::string("X"));
+  e.set("pid", 2);
+  e.set("tid", 0);
+  e.set("name", std::string("x"));
+  events.push_back(std::move(e));
+  bad_event.set("traceEvents", std::move(events));
+  EXPECT_FALSE(tl::validate_trace(bad_event, &error));
+  EXPECT_NE(error.find("ts"), std::string::npos) << error;
+}
+
+TEST(FlightRecorder, ServeAnswersAreBitIdenticalWithRecorderAttached) {
+  // The recorder must observe without perturbing: the same request
+  // sequence against identical servers yields byte-identical responses
+  // whether or not the flight recorder is attached.
+  const auto drive = [](bool with_recorder) {
+    tl::Tracer::instance().reset();
+    tl::FlightRecorder recorder;
+    if (with_recorder) recorder.attach();
+    sv::ServerOptions options;
+    options.cache.capacity = 256;
+    sv::TuningServer server(options);
+    std::vector<std::string> answers;
+    for (int i = 0; i < 8; ++i) {
+      const HistoryKey key = make_key("r" + std::to_string(i));
+      answers.push_back(sv::to_json(server.handle(make_put(key, 4))).dump(0));
+      answers.push_back(sv::to_json(server.handle(make_get(key))).dump(0));
+      answers.push_back(
+          sv::to_json(server.handle(make_get(make_key("cold"), true)))
+              .dump(0));
+    }
+    if (with_recorder) {
+      EXPECT_GT(recorder.events().size(), 0u);  // it did observe spans
+      recorder.detach();
+    }
+    tl::Tracer::instance().reset();
+    return answers;
+  };
+  EXPECT_EQ(drive(false), drive(true));
+}
+
+TEST(FlightRecorder, DumpOpServesTheRingThroughTheServer) {
+  sv::TuningServer server{sv::ServerOptions{}};
+  sv::Request dump;
+  dump.op = sv::Op::Dump;
+  // Not attached: a specific error, not a crash.
+  const tl::FlightRecorder& global = tl::FlightRecorder::instance();
+  if (!global.attached()) {
+    const sv::Response refused = server.handle(dump);
+    EXPECT_EQ(refused.status, sv::Status::Error);
+    EXPECT_NE(refused.error.find("not attached"), std::string::npos);
+  }
+  tl::FlightRecorder::instance().attach();
+  server.handle(make_get(make_key("traced"), true));
+  const sv::Response response = server.handle(dump);
+  tl::FlightRecorder::instance().detach();
+  tl::FlightRecorder::instance().reset();
+  tl::Tracer::instance().reset();
+  ASSERT_EQ(response.status, sv::Status::Ok);
+  std::string error;
+  EXPECT_TRUE(tl::validate_trace(response.metrics, &error)) << error;
+}
+
+// ---------- protocol surface ----------
+
+TEST(Protocol, FleetStatusAndDumpOpsRoundTrip) {
+  EXPECT_EQ(sv::to_string(sv::Op::FleetStatus), "fleet_status");
+  EXPECT_EQ(sv::to_string(sv::Op::Dump), "dump");
+  sv::Request request;
+  request.op = sv::Op::FleetStatus;
+  const sv::Request back = sv::request_from_json(sv::to_json(request));
+  EXPECT_EQ(back.op, sv::Op::FleetStatus);
+  sv::Request dump;
+  dump.op = sv::Op::Dump;
+  EXPECT_EQ(sv::request_from_json(sv::to_json(dump)).op, sv::Op::Dump);
+}
+
+TEST(ServeObservability, MetricsCarryUptimeAndBuildInfo) {
+  sv::TuningServer server{sv::ServerOptions{}};
+  const ac::Json metrics = server.metrics_json();
+  const ac::Json* uptime = metrics.find("uptime_s");
+  ASSERT_NE(uptime, nullptr);
+  EXPECT_GE(uptime->as_number(), 0.0);
+  const ac::Json* build = metrics.find("build");
+  ASSERT_NE(build, nullptr);
+  ASSERT_NE(build->find("version"), nullptr);
+  EXPECT_FALSE(build->find("version")->as_string().empty());
+  ASSERT_NE(build->find("sync_check"), nullptr);
+  // The per-op blocks carry the wire-form snapshot the collector merges.
+  const ac::Json* per_op = metrics.find("latency_per_op");
+  ASSERT_NE(per_op, nullptr);
+  const ac::Json* miss = per_op->find("miss");
+  ASSERT_NE(miss, nullptr);
+  EXPECT_NE(miss->find("buckets"), nullptr);
+  EXPECT_NE(miss->find("p99_us"), nullptr);
+  // And the prom exposition leads with identity.
+  const std::string prom = server.prometheus_text();
+  EXPECT_NE(prom.find("arcs_build_info{"), std::string::npos);
+  EXPECT_NE(prom.find("arcs_uptime_seconds"), std::string::npos);
+}
+
+// ---------- fleet collector ----------
+
+TEST(Collector, ScrapeMergesNodeSeriesAndServesStatus) {
+  fl::CollectorOptions options;
+  options.window_s = 100.0;
+  ObservedFleet fleet(options);
+  EXPECT_EQ(fleet.collector->scrape(1.0), 3u);  // baseline
+  fleet.drive_traffic(12);
+  EXPECT_EQ(fleet.collector->scrape(2.0), 3u);
+
+  // Per-node labelled series exist and carry the scraped deltas.
+  double requests = 0;
+  for (const std::string& name : fleet.names) {
+    EXPECT_FALSE(
+        fleet.collector->store().points(name + "/up", tl::Tier::Raw).empty())
+        << name;
+    requests +=
+        fleet.collector->store().window(name + "/serve/requests", 0.0, 3.0)
+            .sum;
+  }
+  // 12 puts + 24 gets since the baseline, plus each node counting the
+  // second scrape's own Metrics request before snapshotting.
+  EXPECT_DOUBLE_EQ(requests, 39.0);
+
+  const ac::Json status = fleet.collector->fleet_status();
+  EXPECT_EQ(status.find("schema")->as_string(), "arcs-fleet-status/v1");
+  EXPECT_DOUBLE_EQ(status.find("scrapes")->as_number(), 2.0);
+  const ac::Json* nodes = status.find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  ASSERT_EQ(nodes->size(), 3u);
+  for (const ac::Json& node : nodes->items()) {
+    EXPECT_TRUE(node.find("up")->as_bool());
+    EXPECT_EQ(node.find("consecutive_failures")->as_number(), 0.0);
+    EXPECT_FALSE(node.find("version")->as_string().empty());
+  }
+  const ac::Json* agg = status.find("fleet");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_DOUBLE_EQ(agg->find("nodes_up")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(agg->find("window_requests")->as_number(), 39.0);
+  EXPECT_DOUBLE_EQ(agg->find("hit_ratio")->as_number(), 0.5);  // 12 hits, 12 misses
+  EXPECT_GT(agg->find("p99_us")->as_number(), 0.0);  // misses are timed
+  EXPECT_TRUE(status.find("alerts")->items().empty());
+}
+
+TEST(Collector, NodeDownAlertsWithinThreeScrapesAndClearsOnRejoin) {
+  ObservedFleet fleet;
+  fleet.collector->scrape(1.0);
+  EXPECT_EQ(fleet.collector->alerts_fired(), 0u);
+
+  fleet.clients[1]->kill();
+  fleet.collector->scrape(2.0);  // failure 1: hysteresis streak
+  EXPECT_EQ(fleet.collector->alerts_fired(), 0u);
+  fleet.collector->scrape(3.0);  // failure 2: fires — within 3 scrapes
+  EXPECT_EQ(fleet.collector->alerts_fired(), 1u);
+  {
+    const ac::Json status = fleet.collector->fleet_status();
+    const ac::Json* alerts = status.find("alerts");
+    ASSERT_EQ(alerts->size(), 1u);
+    const ac::Json& alert = alerts->items()[0];
+    EXPECT_EQ(alert.find("name")->as_string(), fleet.names[1] + "/up");
+    EXPECT_EQ(alert.find("node")->as_string(), fleet.names[1]);
+    EXPECT_TRUE(alert.find("active")->as_bool());
+    EXPECT_DOUBLE_EQ(status.find("fleet")->find("nodes_up")->as_number(),
+                     2.0);
+  }
+  fleet.collector->scrape(4.0);  // still down: no duplicate alert
+  EXPECT_EQ(fleet.collector->alerts_fired(), 1u);
+
+  fleet.clients[1]->revive();
+  EXPECT_EQ(fleet.router->probe(), 1u);  // backoff 0: revives now
+  fleet.collector->scrape(5.0);  // ok 1
+  fleet.collector->scrape(6.0);  // ok 2: clears
+  const ac::Json status = fleet.collector->fleet_status();
+  EXPECT_TRUE(status.find("alerts")->items().empty());
+  const ac::Json* recent = status.find("recent");
+  ASSERT_EQ(recent->size(), 2u);  // one fired + one cleared transition
+  EXPECT_FALSE(recent->items()[1].find("active")->as_bool());
+}
+
+TEST(Collector, TickHonorsTheScrapeInterval) {
+  fl::CollectorOptions options;
+  options.scrape_interval_s = 1.0;
+  ObservedFleet fleet(options);
+  EXPECT_TRUE(fleet.collector->tick(10.0));
+  EXPECT_FALSE(fleet.collector->tick(10.5));
+  EXPECT_TRUE(fleet.collector->tick(11.0));
+  EXPECT_EQ(fleet.collector->scrapes(), 2u);
+  fl::CollectorOptions off;
+  off.scrape_interval_s = 0.0;
+  ObservedFleet disabled(off);
+  EXPECT_FALSE(disabled.collector->tick(10.0));
+}
+
+TEST(Collector, PowerViolationSecondsAccrueAndAlert) {
+  fl::CollectorOptions options;
+  options.power_violation_budget_s = 3.0;
+  options.window_s = 100.0;
+  ObservedFleet fleet(options);
+  fleet.collector->record_power(1.0, 80.0, 100.0);   // under cap
+  fleet.collector->record_power(2.0, 120.0, 100.0);  // goes over
+  fleet.collector->record_power(4.0, 130.0, 100.0);  // 2 s over
+  fleet.collector->record_power(7.0, 90.0, 100.0);   // 3 more s over
+  fleet.collector->scrape(8.0);   // violation 5 s > budget 3 s: streak 1
+  fleet.collector->scrape(9.0);   // streak 2: fires
+  EXPECT_EQ(fleet.collector->alerts_fired(), 1u);
+  const ac::Json status = fleet.collector->fleet_status();
+  EXPECT_DOUBLE_EQ(
+      status.find("fleet")->find("power_violation_s")->as_number(), 5.0);
+}
+
+TEST(Collector, FleetStatusServedThroughTheRouterOp) {
+  ObservedFleet fleet;
+  sv::Request request;
+  request.op = sv::Op::FleetStatus;
+  // No provider installed: a specific error.
+  const sv::Response refused = fleet.router->call(request);
+  EXPECT_EQ(refused.status, sv::Status::Error);
+  EXPECT_NE(refused.error.find("no collector"), std::string::npos);
+
+  fleet.router->set_status_provider(
+      [&fleet] { return fleet.collector->fleet_status(); });
+  fleet.collector->scrape(1.0);
+  const sv::Response response = fleet.router->call(request);
+  ASSERT_EQ(response.status, sv::Status::Ok);
+  EXPECT_EQ(response.metrics.find("schema")->as_string(),
+            "arcs-fleet-status/v1");
+  // Daemons (non-routers) refuse the op with a pointer to the fleetd.
+  const sv::Response daemon = fleet.servers[0]->handle(request);
+  EXPECT_EQ(daemon.status, sv::Status::Error);
+  EXPECT_NE(daemon.error.find("not a fleet router"), std::string::npos);
+}
+
+TEST(Collector, RequestRateAnomalySurfacesInStatus) {
+  fl::CollectorOptions options;
+  options.anomaly_min_samples = 4;
+  options.anomaly_z = 4.0;
+  ObservedFleet fleet(options);
+  // Steady background: 2 requests per scrape interval, plus jitter via
+  // the synthetic objective of a read-only probe.
+  double t = 1.0;
+  fleet.collector->scrape(t);
+  for (int i = 0; i < 10; ++i) {
+    const HistoryKey key = make_key("steady");
+    fleet.router->call(make_put(key, 4));
+    fleet.router->call(make_get(key));
+    fleet.collector->scrape(t += 1.0);
+  }
+  // Burst: two orders of magnitude more requests in one interval.
+  for (int i = 0; i < 400; ++i)
+    fleet.router->call(make_get(make_key("steady")));
+  fleet.collector->scrape(t += 1.0);
+  const ac::Json status = fleet.collector->fleet_status();
+  const ac::Json* anomalies = status.find("anomalies");
+  ASSERT_NE(anomalies, nullptr);
+  EXPECT_GT(anomalies->size(), 0u);
+  const ac::Json& a = anomalies->items()[0];
+  EXPECT_EQ(a.find("metric")->as_string(), "serve/requests_per_scrape");
+}

@@ -6,6 +6,8 @@
 //   $ arcs_client drive    /tmp/arcs.sock SP crill 85 B x_solve
 //   $ arcs_client metrics  /tmp/arcs.sock
 //   $ arcs_client prom     /tmp/arcs.sock
+//   $ arcs_client status   /tmp/arcs.sock          # fleetd aggregate
+//   $ arcs_client dump     /tmp/arcs.sock [FILE]   # flight recorder
 //   $ arcs_client save     /tmp/arcs.sock
 //   $ arcs_client shutdown /tmp/arcs.sock
 //
@@ -32,6 +34,8 @@ int usage(const char* argv0) {
       "  drive    SOCKET APP MACHINE CAP_W WORKLOAD REGION\n"
       "  metrics  SOCKET\n"
       "  prom     SOCKET        (metrics in Prometheus text format)\n"
+      "  status   SOCKET        (arcs_fleetd aggregated fleet_status)\n"
+      "  dump     SOCKET [FILE] (flight-recorder trace; stdout or FILE)\n"
       "  save     SOCKET\n"
       "  shutdown SOCKET\n"
       "exit codes: 0 ok, 1 server/other error, 2 usage,\n"
@@ -93,6 +97,34 @@ int main(int argc, char** argv) {
                    : command == "save"    ? Op::Save
                                           : Op::Shutdown;
       return print_response(client.call(request));
+    }
+
+    if (command == "status") {
+      request.op = Op::FleetStatus;
+      return print_response(client.call(request));
+    }
+
+    if (command == "dump") {
+      request.op = Op::Dump;
+      const Response response = client.call(request);
+      if (response.status == Status::Error) return print_response(response);
+      // The payload is a complete arcs-trace/v1 document: write it bare
+      // (no Response envelope) so the file loads in a trace viewer and
+      // validates with arcs_trace validate.
+      const std::string text = response.metrics.dump(2);
+      if (argc > 3) {
+        std::FILE* out = std::fopen(argv[3], "w");
+        if (out == nullptr) {
+          std::fprintf(stderr, "arcs_client: cannot write %s\n", argv[3]);
+          return 1;
+        }
+        std::fputs(text.c_str(), out);
+        std::fputc('\n', out);
+        std::fclose(out);
+        return 0;
+      }
+      std::printf("%s\n", text.c_str());
+      return 0;
     }
 
     if (command == "prom") {

@@ -44,6 +44,11 @@ int usage(const char* argv0) {
       "                       (atomic replace)\n"
       "  --probe-interval S   health-probe sweep cadence for dead\n"
       "                       endpoints (default 0.2)\n"
+      "  --scrape-interval S  fleet collector cadence: scrape every\n"
+      "                       member's metrics, retain node-labelled\n"
+      "                       series, evaluate SLO rules, and serve the\n"
+      "                       aggregate as the fleet_status op\n"
+      "                       (default 1.0; 0 disables the collector)\n"
       "  --workers N          request worker threads (default 4)\n"
       "  --queue N            dispatch queue depth (default 128)\n"
       "  --forward-shutdown   a shutdown op stops the member daemons\n"
@@ -77,6 +82,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   double metrics_interval = 0.0;
   double probe_interval = 0.2;
+  double scrape_interval = 1.0;
   bool forward_shutdown = false;
   serve::SocketServerOptions socket_opts;
 
@@ -99,6 +105,8 @@ int main(int argc, char** argv) {
       metrics_interval = std::atof(next());
     } else if (arg == "--probe-interval") {
       probe_interval = std::atof(next());
+    } else if (arg == "--scrape-interval") {
+      scrape_interval = std::atof(next());
     } else if (arg == "--workers") {
       socket_opts.workers =
           static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
@@ -134,6 +142,21 @@ int main(int argc, char** argv) {
                   ep.socket.c_str());
     }
 
+    // The collector turns the proxy into the fleet observability plane:
+    // scrapes feed retained series + SLO rules, and clients read the
+    // aggregate through the fleet_status op.
+    fleet::CollectorOptions collector_opts;
+    collector_opts.scrape_interval_s = scrape_interval;
+    fleet::Collector collector{router, collector_opts};
+    const auto steady_s = [] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+    if (scrape_interval > 0)
+      router.set_status_provider(
+          [&collector] { return collector.fleet_status(); });
+
     serve::SocketServer transport{router, socket_path, socket_opts};
     std::printf("arcs_fleetd: routing %zu members on %s (%zu vnodes, "
                 "%zu replicas)\n",
@@ -152,6 +175,7 @@ int main(int argc, char** argv) {
         router.probe();
         last_probe = now;
       }
+      if (scrape_interval > 0) collector.tick(steady_s());
       if (metrics_interval > 0 && !metrics_path.empty() &&
           std::chrono::duration<double>(now - last_snapshot).count() >=
               metrics_interval) {

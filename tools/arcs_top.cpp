@@ -1,0 +1,162 @@
+// arcs_top — live fleet status view over the arcs_fleetd fleet_status op.
+//
+//   $ arcs_top /tmp/arcs.sock                  # refresh every second
+//   $ arcs_top /tmp/arcs.sock --once           # one rendered frame
+//   $ arcs_top /tmp/arcs.sock --once --json    # raw document (CI)
+//
+// The rendered view is the collector's aggregate: one row per node
+// (liveness, uptime, windowed request volume / hit ratio / p99), the
+// fleet-wide indicators the SLO engine evaluates, and the active alerts
+// + recent transitions. `--once --json` prints the untouched
+// arcs-fleet-status/v1 document so scripts assert on fields instead of
+// scraping the human layout.
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/serve.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s SOCKET [options]\n"
+      "  --once        render one frame and exit\n"
+      "  --json        print the raw arcs-fleet-status/v1 document\n"
+      "  --interval S  refresh cadence in live mode (default 1.0)\n"
+      "exit codes: 0 ok, 1 server/other error, 2 usage,\n"
+      "            3 socket path does not exist, 4 connection refused\n",
+      argv0);
+  return 2;
+}
+
+double number_at(const arcs::common::Json& j, const char* key,
+                 double fallback = 0.0) {
+  const arcs::common::Json* v = j.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::string string_at(const arcs::common::Json& j, const char* key) {
+  const arcs::common::Json* v = j.find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::string();
+}
+
+void render(const arcs::common::Json& status) {
+  const arcs::common::Json* fleet = status.find("fleet");
+  std::printf("arcs fleet — scrape %llu, window %.0fs\n",
+              static_cast<unsigned long long>(number_at(status, "scrapes")),
+              number_at(status, "window_s"));
+  if (fleet != nullptr) {
+    std::printf(
+        "nodes %2.0f/%2.0f up   %8.1f req/s   hit %5.1f%%   err %5.2f%%   "
+        "p99 %8.0f us",
+        number_at(*fleet, "nodes_up"), number_at(*fleet, "nodes_total"),
+        number_at(*fleet, "requests_per_s"),
+        100.0 * number_at(*fleet, "hit_ratio"),
+        100.0 * number_at(*fleet, "error_rate"),
+        number_at(*fleet, "p99_us"));
+    if (fleet->find("power_watts") != nullptr)
+      std::printf("   power %6.1f W (violated %.1fs)",
+                  number_at(*fleet, "power_watts"),
+                  number_at(*fleet, "power_violation_s"));
+    std::printf("\n");
+  }
+  std::printf("\n%-16s %-4s %-10s %-10s %10s %8s %12s\n", "NODE", "UP",
+              "VERSION", "UPTIME", "WIN.REQ", "HIT%", "P99(us)");
+  if (const arcs::common::Json* nodes = status.find("nodes")) {
+    for (const arcs::common::Json& n : nodes->items()) {
+      const arcs::common::Json* up = n.find("up");
+      const bool alive = up != nullptr && up->is_bool() && up->as_bool();
+      std::printf("%-16s %-4s %-10s %9.1fs %10.0f %7.1f%% %12.0f\n",
+                  string_at(n, "name").c_str(), alive ? "yes" : "DOWN",
+                  string_at(n, "version").c_str(),
+                  number_at(n, "uptime_s"),
+                  number_at(n, "window_requests"),
+                  100.0 * number_at(n, "window_hit_ratio"),
+                  number_at(n, "window_p99_us"));
+    }
+  }
+  const arcs::common::Json* alerts = status.find("alerts");
+  std::printf("\nalerts: %zu active\n",
+              alerts != nullptr ? alerts->size() : 0);
+  if (alerts != nullptr) {
+    for (const arcs::common::Json& a : alerts->items())
+      std::printf("  [%s] %s (burn %.2fx, since %.1fs)\n",
+                  string_at(a, "severity").c_str(),
+                  string_at(a, "message").c_str(),
+                  number_at(a, "burn_rate"), number_at(a, "since_s"));
+  }
+  if (const arcs::common::Json* recent = status.find("recent")) {
+    if (recent->size() > 0) {
+      std::printf("recent transitions:\n");
+      for (const arcs::common::Json& a : recent->items()) {
+        const arcs::common::Json* active = a.find("active");
+        const bool fired =
+            active != nullptr && active->is_bool() && active->as_bool();
+        std::printf("  %-7s %s\n", fired ? "fired" : "cleared",
+                    string_at(a, "message").c_str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace arcs::serve;
+  if (argc < 2) return usage(argv[0]);
+  const std::string socket_path = argv[1];
+  bool once = false;
+  bool json = false;
+  double interval = 1.0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--interval") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      interval = std::atof(argv[++i]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (interval <= 0) interval = 1.0;
+
+  try {
+    SocketClient client{socket_path};
+    for (;;) {
+      Request request;
+      request.op = Op::FleetStatus;
+      const Response response = client.call(request);
+      if (response.status == Status::Error) {
+        std::fprintf(stderr, "arcs_top: %s\n", response.error.c_str());
+        return 1;
+      }
+      if (json) {
+        std::printf("%s\n", response.metrics.dump(2).c_str());
+      } else {
+        if (!once) std::printf("\033[2J\033[H");  // clear + home
+        render(response.metrics);
+        std::fflush(stdout);
+      }
+      if (once) return 0;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(interval));
+    }
+  } catch (const ConnectError& e) {
+    std::fprintf(stderr, "arcs_top: %s\n", e.what());
+    if (e.code() == ENOENT) return 3;
+    if (e.code() == ECONNREFUSED) return 4;
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "arcs_top: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,8 +1,9 @@
 // arcs_trace — offline analysis of arcs-trace/v1 Chrome-trace files.
 //
-//   $ arcs_trace summary run.trace.json [--top N]
-//   $ arcs_trace merge   merged.json a.trace.json b.trace.json ...
-//   $ arcs_trace diff    before.trace.json after.trace.json
+//   $ arcs_trace summary  run.trace.json [--top N]
+//   $ arcs_trace merge    merged.json a.trace.json b.trace.json ...
+//   $ arcs_trace diff     before.trace.json after.trace.json
+//   $ arcs_trace validate flight.trace.json
 //
 // `summary` prints what a human scans a timeline for: the per-region
 // time breakdown, how much of the parallel time was barrier wait, the
@@ -35,7 +36,11 @@ int usage(const char* argv0) {
                "                           share, power over time, slowest\n"
                "                           serve requests\n"
                "  merge   OUT FILE...      merge traces into OUT\n"
-               "  diff    A B              compare per-region totals\n",
+               "  diff    A B              compare per-region totals\n"
+               "  validate FILE            strict arcs-trace/v1 check\n"
+               "                           (schema tag, event shapes);\n"
+               "                           exit 1 on a malformed or\n"
+               "                           truncated document\n",
                argv0);
   return 2;
 }
@@ -302,6 +307,34 @@ int run_diff(const std::string& path_a, const std::string& path_b) {
   return 0;
 }
 
+int run_validate(const std::string& path) {
+  // Deliberately not load_trace(): a truncated file must report its
+  // parse error and exit 1, not abort with a generic message.
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "arcs_trace: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  const Json doc = Json::parse(buffer.str(), &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "arcs_trace: %s: invalid JSON: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  if (!arcs::telemetry::validate_trace(doc, &error)) {
+    std::fprintf(stderr, "arcs_trace: %s: not a valid arcs-trace/v1: %s\n",
+                 path.c_str(), error.c_str());
+    return 1;
+  }
+  const Json* events = doc.find("traceEvents");
+  std::printf("%s: valid arcs-trace/v1 (%zu events)\n", path.c_str(),
+              events != nullptr ? events->size() : 0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -323,6 +356,10 @@ int main(int argc, char** argv) {
   if (command == "diff") {
     if (argc != 4) return usage(argv[0]);
     return run_diff(argv[2], argv[3]);
+  }
+  if (command == "validate") {
+    if (argc != 3) return usage(argv[0]);
+    return run_validate(argv[2]);
   }
   return usage(argv[0]);
 }

@@ -23,12 +23,30 @@
 #include "kernels/model_bridge.hpp"
 #include "model/model.hpp"
 #include "serve/serve.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace {
 
 volatile std::sig_atomic_t g_signalled = 0;
 
 void on_signal(int) { g_signalled = 1; }
+
+/// Destination for the crash-path flight dump. Set once before the
+/// handlers are installed, never mutated after — safe to read from the
+/// handler.
+std::string g_flight_path;
+
+/// SIGSEGV/SIGABRT: best-effort last-breath dump, then the default
+/// action (core / abort) via re-raise. The dump allocates, which is not
+/// strictly async-signal-safe — standard crash-recorder practice; the
+/// periodic dump file is the reliable copy (and the only one after a
+/// kill -9, which runs no handler at all).
+void on_crash(int sig) {
+  std::signal(sig, SIG_DFL);
+  arcs::telemetry::FlightRecorder::instance().dump_to_file(
+      g_flight_path, /*atomic=*/false);
+  std::raise(sig);
+}
 
 int usage(const char* argv0) {
   std::fprintf(
@@ -56,7 +74,15 @@ int usage(const char* argv0) {
       "                       one round trip while a model-seeded search\n"
       "                       refines it\n"
       "  --no-refine          serve --model predictions as-is (no\n"
-      "                       refinement searches)\n",
+      "                       refinement searches)\n"
+      "  --flight-recorder FILE  dump the crash flight recorder (an\n"
+      "                       arcs-trace/v1 document of the most recent\n"
+      "                       telemetry events) to FILE on SIGSEGV/\n"
+      "                       SIGABRT and at exit\n"
+      "  --flight-interval S  also rewrite the flight dump every S\n"
+      "                       seconds (atomic replace) so the last\n"
+      "                       window survives a kill -9, which runs no\n"
+      "                       signal handler\n",
       argv0);
   return 2;
 }
@@ -89,7 +115,9 @@ int main(int argc, char** argv) {
   std::string history_path;
   std::string metrics_path;
   std::string model_path;
+  std::string flight_path;
   double metrics_interval = 0.0;
+  double flight_interval = 0.0;
   serve::ServerOptions server_opts;
   serve::SocketServerOptions socket_opts;
 
@@ -112,6 +140,10 @@ int main(int argc, char** argv) {
       metrics_interval = std::atof(next());
     } else if (arg == "--model") {
       model_path = next();
+    } else if (arg == "--flight-recorder") {
+      flight_path = next();
+    } else if (arg == "--flight-interval") {
+      flight_interval = std::atof(next());
     } else if (arg == "--no-refine") {
       server_opts.refine_predictions = false;
     } else if (arg == "--capacity") {
@@ -185,8 +217,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Always-on flight recorder: the `dump` op works even without a file
+  // destination, and exemplar capture costs one relaxed load per Get.
+  telemetry::FlightRecorder::instance().attach();
+
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+  if (!flight_path.empty()) {
+    g_flight_path = flight_path;
+    std::signal(SIGSEGV, on_crash);
+    std::signal(SIGABRT, on_crash);
+  }
 
   try {
     serve::SocketServer transport{server, socket_path, socket_opts};
@@ -195,10 +236,11 @@ int main(int argc, char** argv) {
                 transport.path().c_str(), socket_opts.workers);
     std::fflush(stdout);
     auto last_snapshot = std::chrono::steady_clock::now();
+    auto last_flight = last_snapshot;
     while (g_signalled == 0 && !server.shutdown_requested()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const auto now = std::chrono::steady_clock::now();
       if (metrics_interval > 0 && !metrics_path.empty()) {
-        const auto now = std::chrono::steady_clock::now();
         const double since =
             std::chrono::duration<double>(now - last_snapshot).count();
         if (since >= metrics_interval) {
@@ -207,6 +249,19 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "arcsd: metrics snapshot to %s failed\n",
                          metrics_path.c_str());
           last_snapshot = now;
+        }
+      }
+      if (flight_interval > 0 && !flight_path.empty()) {
+        const double since =
+            std::chrono::duration<double>(now - last_flight).count();
+        if (since >= flight_interval) {
+          // Atomic replace: a validator reading mid-crash sees either
+          // the previous complete dump or this one, never a partial.
+          if (!telemetry::FlightRecorder::instance().dump_to_file(
+                  flight_path, /*atomic=*/true))
+            std::fprintf(stderr, "arcsd: flight dump to %s failed\n",
+                         flight_path.c_str());
+          last_flight = now;
         }
       }
     }
@@ -229,6 +284,15 @@ int main(int argc, char** argv) {
     else
       std::fprintf(stderr, "arcsd: final metrics write to %s failed\n",
                    metrics_path.c_str());
+  }
+  if (!flight_path.empty()) {
+    if (telemetry::FlightRecorder::instance().dump_to_file(
+            flight_path, /*atomic=*/true))
+      std::printf("arcsd: flight dump written to %s\n",
+                  flight_path.c_str());
+    else
+      std::fprintf(stderr, "arcsd: final flight dump to %s failed\n",
+                   flight_path.c_str());
   }
   return 0;
 }

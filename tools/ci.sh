@@ -7,7 +7,11 @@
 #      the concurrent exec layer,
 # and, when clang-tidy is available, a clang-tidy build as well. The
 # serve-stress stage re-runs the transport torture tests (frame fuzzer,
-# seqlock property suite, 32-client soak) under both ASan and TSan.
+# seqlock property suite, 32-client soak) under both ASan and TSan. The
+# obs-smoke stage runs the observability acceptance drill over real
+# sockets: three flight-recorded daemons behind a scraping arcs_fleetd,
+# kill -9 one, assert the page fires within three scrape intervals and
+# the dead daemon's flight dump still validates as arcs-trace/v1.
 # Finishes with the somp_verify sweep and a bench smoke step that checks
 # the machine-readable BENCH_*.json reports against their schema.
 #
@@ -60,12 +64,15 @@ echo "=== [tsan] build ==="
 cmake --build "$ROOT/tsan" -j "$JOBS" \
   --target exec_test golden_test somp_test analysis_test serve_test \
            serve_seqlock_test serve_torture_test fleet_test \
-           telemetry_test model_test somp_verify
+           telemetry_test observability_test model_test somp_verify
 echo "=== [tsan] exec + somp + serve + fleet + telemetry + model suites under TSan ==="
 # The Fleet suites include FleetRouterSwap: reader threads routing
-# requests while the topology snapshot is swapped underneath them.
+# requests while the topology snapshot is swapped underneath them; the
+# TimeSeries/FlightRecorder/Collector suites cover the observability
+# plane's concurrent paths (store namespace map, seqlock event ring,
+# scrape ingest under worker traffic).
 (cd "$ROOT/tsan" && ctest --output-on-failure -j "$JOBS" \
-  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve|Fleet|Telemetry|Model|PredictedStrategy|SyncVerifier')
+  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve|Fleet|Telemetry|TimeSeries|FlightRecorder|Collector|Model|PredictedStrategy|SyncVerifier')
 "$ROOT/tsan/tools/somp_verify" --app synthetic --steps 3
 
 # The serve torture suites — frame fuzzer, seqlock property tests, and
@@ -360,6 +367,122 @@ print("fleet bench smoke: report valid — one search fleet-wide, "
       f"{int(kr['rerouted'])} rerouted with 0 failed requests, "
       f"peak {ba['max_total_w']:.0f}W <= cap {ba['cluster_cap_w']:.0f}W")
 PYEOF
+
+echo "=== obs smoke: scraped fleet, kill -9 -> page within 3 scrapes, flight dump valid ==="
+OBS_DIR="$ROOT/obs-smoke"
+rm -rf "$OBS_DIR" && mkdir -p "$OBS_DIR"
+OBS_PIDS=()
+trap 'for p in "${OBS_PIDS[@]}"; do kill "$p" 2>/dev/null || true; done' EXIT
+for m in a b c; do
+  "$TOOLS_BIN/arcsd" --socket "$OBS_DIR/$m.sock" \
+    --flight-recorder "$OBS_DIR/$m.flight.json" --flight-interval 0.2 \
+    >"$OBS_DIR/arcsd-$m.log" 2>&1 &
+  OBS_PIDS+=($!)
+done
+for m in a b c; do
+  for _ in $(seq 1 50); do
+    [ -S "$OBS_DIR/$m.sock" ] \
+      && "$TOOLS_BIN/arcs_client" ping "$OBS_DIR/$m.sock" >/dev/null 2>&1 \
+      && break
+    sleep 0.1
+  done
+done
+cat > "$OBS_DIR/fleet.json" <<JSONEOF
+{
+  "proto": "arcs-fleet/v1",
+  "virtual_nodes": 32,
+  "endpoints": [
+    {"name": "obs-a", "socket": "$OBS_DIR/a.sock"},
+    {"name": "obs-b", "socket": "$OBS_DIR/b.sock"},
+    {"name": "obs-c", "socket": "$OBS_DIR/c.sock"}
+  ]
+}
+JSONEOF
+OBS_SOCK="$OBS_DIR/fleet.sock"
+"$TOOLS_BIN/arcs_fleetd" --topology "$OBS_DIR/fleet.json" \
+  --socket "$OBS_SOCK" --probe-interval 0.2 --scrape-interval 0.5 \
+  >"$OBS_DIR/fleetd.log" 2>&1 &
+OBS_PIDS+=($!)
+for _ in $(seq 1 50); do
+  [ -S "$OBS_SOCK" ] \
+    && "$TOOLS_BIN/arcs_client" ping "$OBS_SOCK" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+# Load through the proxy, plus one full search directly on the victim so
+# its flight recorder is guaranteed a miss-latency exemplar before it dies.
+"$TOOLS_BIN/arcs_client" drive "$OBS_SOCK" SP testbox 40 B obs_region
+"$TOOLS_BIN/arcs_client" drive "$OBS_DIR/b.sock" SP testbox 45 B obs_victim
+for i in $(seq 1 8); do
+  "$TOOLS_BIN/arcs_client" get "$OBS_SOCK" SP testbox 40 B "obs_$i" >/dev/null
+done
+# --flight-interval rewrites the dump atomically; wait until the victim's
+# on-disk dump already carries the exemplar so kill -9 cannot outrun it.
+DUMP_READY=0
+for _ in $(seq 1 50); do
+  if python3 - "$OBS_DIR/b.flight.json" <<'PYEOF' 2>/dev/null
+import json, pathlib, sys
+doc = json.loads(pathlib.Path(sys.argv[1]).read_text())
+assert doc["otherData"]["exemplars"], "no exemplars yet"
+PYEOF
+  then DUMP_READY=1; break; fi
+  sleep 0.1
+done
+[ "$DUMP_READY" = 1 ] \
+  || { echo "obs smoke: victim flight dump never captured an exemplar"; exit 1; }
+# Snapshot the scrape counter, hard-kill the victim, then poll the same
+# document arcs_top renders. The page must fire within three scrape
+# intervals of the kill — the acceptance bound (hysteresis floor is two).
+SCRAPES_AT_KILL=$("$TOOLS_BIN/arcs_top" "$OBS_SOCK" --once --json \
+  | python3 -c 'import json,sys; print(int(json.load(sys.stdin)["scrapes"]))')
+kill -9 "${OBS_PIDS[1]}"
+PAGED=0
+for _ in $(seq 1 100); do
+  if "$TOOLS_BIN/arcs_top" "$OBS_SOCK" --once --json \
+      > "$OBS_DIR/status.json" 2>/dev/null \
+    && python3 - "$OBS_DIR/status.json" "$SCRAPES_AT_KILL" 2>/dev/null <<'PYEOF'
+import json, pathlib, sys
+doc = json.loads(pathlib.Path(sys.argv[1]).read_text())
+assert doc["schema"] == "arcs-fleet-status/v1", doc.get("schema")
+alerts = {a["name"]: a for a in doc["alerts"]}
+assert "obs-b/up" in alerts, "no page yet"
+alert = alerts["obs-b/up"]
+assert alert["severity"] == "page" and alert["active"], alert
+taken = doc["scrapes"] - int(sys.argv[2])
+assert taken <= 3, f"page took {taken} scrape intervals (> 3)"
+assert doc["fleet"]["nodes_up"] == 2, doc["fleet"]
+print(f"obs smoke: obs-b paged after {taken} scrape interval(s)")
+PYEOF
+  then PAGED=1; break; fi
+  sleep 0.1
+done
+[ "$PAGED" = 1 ] \
+  || { echo "obs smoke: kill -9 never raised the liveness page"; exit 1; }
+# The dead daemon's last periodic dump must be a strictly valid trace
+# document with the exemplar intact — that is the crash artifact an
+# operator actually opens.
+"$TOOLS_BIN/arcs_trace" validate "$OBS_DIR/b.flight.json"
+python3 - "$OBS_DIR/b.flight.json" <<'PYEOF'
+import json, pathlib, sys
+
+doc = json.loads(pathlib.Path(sys.argv[1]).read_text())
+other = doc["otherData"]
+assert other["schema"] == "arcs-trace/v1", other
+assert other["recorder"] == "flight", other
+exemplars = other["exemplars"]
+assert len(exemplars) >= 1, "dead daemon's dump lost its exemplars"
+for ex in exemplars:
+    assert ex["metric"] and ex["value"] >= 0, ex
+assert doc["traceEvents"], "flight dump has no events"
+print(f"obs smoke: dead daemon's flight dump valid "
+      f"({len(doc['traceEvents'])} events, {len(exemplars)} exemplars)")
+PYEOF
+"$TOOLS_BIN/arcs_client" shutdown "$OBS_SOCK"
+wait "${OBS_PIDS[3]}"
+for m in a c; do
+  "$TOOLS_BIN/arcs_client" shutdown "$OBS_DIR/$m.sock" >/dev/null
+done
+for p in "${OBS_PIDS[@]}"; do wait "$p" 2>/dev/null || true; done
+trap - EXIT
 
 echo "=== trace smoke: record a traced remote-tuned run, validate the JSON ==="
 TRACE_DIR="$ROOT/trace-smoke"
