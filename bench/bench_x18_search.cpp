@@ -1,0 +1,285 @@
+// X18 — the src/search subsystem's two hard gates (see docs/SEARCH.md):
+//
+//  1. Conditional-space economy: on the fig-7 ladder (BT class B hot
+//     regions x the five Crill power levels) an exhaustive sweep of the
+//     conditional Table-I space must reach equal-or-better best-config
+//     quality in <= 0.6x the flat grid's evaluations. The saving is
+//     structural — `chunk` collapses outside dynamic/guided, 252 -> 140
+//     distinct configs — but the quality side is empirical: the flat
+//     grid also measures static block-cyclic (chunked) layouts the
+//     conditional space deliberately prunes, so the gate verifies those
+//     never win.
+//
+//  2. Portfolio economy (dominate-or-match): racing {NM, PRO, Surrogate}
+//     per region with the successive-halving scheduler must either end
+//     *strictly better* than every standalone arm (the racing budget
+//     bought quality no single strategy delivered), or match the best
+//     single arm's final value within <= 1.15x that arm's evaluations
+//     (best arm = standalone strategy with the best final value; fewest
+//     evals breaks ties). Either way its final value must never lose to
+//     the *worst* standalone arm. Shared Session memoization across arms
+//     and surrogate cross-pollination are what keep the racing overhead
+//     inside the envelope.
+#include <algorithm>
+#include <future>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/search_space.hpp"
+#include "harmony/session.hpp"
+#include "search/factory.hpp"
+
+namespace {
+
+/// Drives one session against the simulator: one fresh region execution
+/// per novel proposal, exactly like ArcsPolicy does.
+struct DrivenResult {
+  std::size_t evals = 0;
+  double best = 0.0;
+  /// best_after[i] = best value after real evaluation i+1 (the
+  /// anytime trajectory, for evals-to-quality comparisons).
+  std::vector<double> best_after;
+
+  /// Real evaluations needed to reach `target` quality (tiny fp slack);
+  /// evals + 1 when the trajectory never got there.
+  std::size_t evals_to_reach(double target) const {
+    for (std::size_t i = 0; i < best_after.size(); ++i)
+      if (best_after[i] <= target * (1.0 + 1e-9)) return i + 1;
+    return evals + 1;
+  }
+};
+
+DrivenResult drive(const arcs::kernels::AppSpec& app,
+                   const std::string& region,
+                   const arcs::sim::MachineSpec& machine, double cap,
+                   const arcs::harmony::SearchSpace& space,
+                   arcs::harmony::StrategyKind kind,
+                   const arcs::search::SearchOptions& options) {
+  arcs::harmony::SessionOptions session_opts;
+  session_opts.memoize = true;
+  arcs::harmony::Session session(
+      space, arcs::search::make_strategy(kind, options), session_opts);
+  DrivenResult result;
+  while (!session.converged()) {
+    const auto values = session.next_values();
+    const auto out = arcs::kernels::run_region_once(
+        app, region, machine, cap, arcs::config_from_values(values));
+    session.report(out.record.duration);
+    result.best_after.push_back(session.best_value());
+  }
+  result.evals = session.evaluations();
+  result.best = session.best_value();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  arcs::bench::init(argc, argv, "x18_search");
+  using namespace arcs;
+  bench::banner("X18 — conditional-space & portfolio-racer gates",
+                "conditional <= 0.6x flat evals at equal quality; "
+                "portfolio <= 1.15x best arm, never below the worst");
+
+  bool all_pass = true;
+
+  // ---- Gate 1: conditional vs flat exhaustive on the fig-7 ladder ----
+  {
+    const auto app = kernels::bt_app("B");
+    const auto machine = sim::crill();
+    const std::vector<std::string> regions = {"compute_rhs", "x_solve",
+                                              "z_solve"};
+    const std::vector<double> caps = bench::crill_caps();
+
+    struct SweepPair {
+      std::vector<kernels::ConfigOutcome> flat, cond;
+    };
+    std::vector<std::future<exec::JobOutcome<SweepPair>>> futures;
+    for (const auto& region : regions)
+      for (const double cap : caps) {
+        exec::JobOptions job;
+        job.label = "sweep " + region + " " + bench::cap_label(cap);
+        futures.push_back(bench::pool().submit(
+            [&app, region, &machine, cap](exec::JobContext&) {
+              SweepPair pair;
+              pair.flat = kernels::sweep_region(app, region, machine, cap);
+              pair.cond = kernels::sweep_region(app, region, machine, cap,
+                                                /*conditional=*/true);
+              return pair;
+            },
+            std::move(job)));
+      }
+
+    common::Table t({"region", "cap", "flat evals", "cond evals", "ratio",
+                     "flat best(s)", "cond best(s)"});
+    std::size_t i = 0;
+    bool economy_ok = true, quality_ok = true;
+    for (const auto& region : regions)
+      for (const double cap : caps) {
+        auto outcome = futures[i++].get();
+        if (!outcome.ok()) {
+          std::cout << "FAIL: sweep job failed: " << outcome.error << "\n";
+          return 1;
+        }
+        const SweepPair& pair = *outcome.value;
+        const double flat_best =
+            kernels::best_outcome(pair.flat).record.duration;
+        const double cond_best =
+            kernels::best_outcome(pair.cond).record.duration;
+        const double ratio = static_cast<double>(pair.cond.size()) /
+                             static_cast<double>(pair.flat.size());
+        if (ratio > 0.6) economy_ok = false;
+        // Equal final quality: the pruned static block-cyclic configs
+        // must never beat the conditional optimum (tiny fp slack).
+        if (cond_best > flat_best * (1.0 + 1e-9)) quality_ok = false;
+        t.row()
+            .cell(region)
+            .cell(bench::cap_label(cap))
+            .cell(pair.flat.size())
+            .cell(pair.cond.size())
+            .cell(ratio, 3)
+            .cell(flat_best, 5)
+            .cell(cond_best, 5);
+        if (bench::json_enabled()) {
+          common::Json row = common::Json::object();
+          row.set("gate", std::string("conditional"));
+          row.set("region", region);
+          row.set("cap_w", cap);
+          row.set("flat_evals", pair.flat.size());
+          row.set("cond_evals", pair.cond.size());
+          row.set("flat_best_s", flat_best);
+          row.set("cond_best_s", cond_best);
+          bench::add_row(std::move(row));
+        }
+      }
+    t.print(std::cout);
+    bench::maybe_export_csv("x18_conditional", t);
+    if (!economy_ok)
+      std::cout << "FAIL: conditional sweep above 0.6x flat evals\n";
+    if (!quality_ok)
+      std::cout << "FAIL: a pruned flat-only config beat the conditional "
+                   "optimum\n";
+    all_pass = all_pass && economy_ok && quality_ok;
+  }
+
+  // ---- Gate 2: portfolio racer vs its standalone arms (SP, TDP) ----
+  {
+    const auto app = kernels::sp_app("B");
+    const auto machine = sim::crill();
+    const auto space = arcs_search_space(
+        machine, /*with_frequency=*/false, /*with_placement=*/false,
+        /*conditional=*/true);
+
+    search::SearchOptions options;
+    options.base.seed = 7;
+    options.base.nelder_mead.initial_center_frac = {0.8, 0.5, 0.5};
+    const std::vector<harmony::StrategyKind> arms =
+        options.portfolio.arms;  // NM, PRO, Surrogate (no model here)
+
+    struct ArmResult {
+      harmony::StrategyKind kind;
+      DrivenResult run;
+    };
+    common::Table t({"region", "method", "evals", "to best", "best(s)",
+                     "gate"});
+    bool portfolio_ok = true;
+    for (const char* region : {"compute_rhs", "x_solve", "z_solve"}) {
+      std::vector<std::future<exec::JobOutcome<ArmResult>>> futures;
+      for (const auto kind : arms) {
+        exec::JobOptions job;
+        job.label = std::string(region) + " " +
+                    std::string(harmony::to_string(kind));
+        futures.push_back(bench::pool().submit(
+            [&app, region, &machine, &space, kind,
+             &options](exec::JobContext&) {
+              return ArmResult{kind, drive(app, region, machine, 0.0,
+                                           space, kind, options)};
+            },
+            std::move(job)));
+      }
+      const DrivenResult portfolio =
+          drive(app, region, machine, 0.0, space,
+                harmony::StrategyKind::Portfolio, options);
+
+      std::vector<ArmResult> singles;
+      for (auto& future : futures) {
+        auto outcome = future.get();
+        if (!outcome.ok()) {
+          std::cout << "FAIL: arm job failed: " << outcome.error << "\n";
+          return 1;
+        }
+        singles.push_back(*outcome.value);
+      }
+      const ArmResult& best_arm = *std::min_element(
+          singles.begin(), singles.end(),
+          [](const ArmResult& a, const ArmResult& b) {
+            if (a.run.best != b.run.best) return a.run.best < b.run.best;
+            return a.run.evals < b.run.evals;
+          });
+      double worst_value = 0.0;
+      for (const auto& s : singles)
+        worst_value = std::max(worst_value, s.run.best);
+
+      // Economy, dominate-or-match: either the race's budget bought
+      // quality *no* single arm delivered (strict dominance — those
+      // evals were not waste, they are the portfolio's whole point), or
+      // the portfolio matched the best arm's final value within 1.15x
+      // that arm's evaluations (shared Session memoization keeps the
+      // racing overhead inside the envelope).
+      const std::size_t to_match = portfolio.evals_to_reach(best_arm.run.best);
+      const bool dominates = portfolio.best < best_arm.run.best;
+      const bool economy =
+          dominates || static_cast<double>(to_match) <=
+                           1.15 * static_cast<double>(best_arm.run.evals);
+      const bool quality = portfolio.best <= worst_value * (1.0 + 1e-9);
+      portfolio_ok = portfolio_ok && economy && quality;
+
+      for (const auto& s : singles)
+        t.row()
+            .cell(region)
+            .cell(std::string(harmony::to_string(s.kind)))
+            .cell(s.run.evals)
+            .cell(s.run.evals_to_reach(s.run.best))
+            .cell(s.run.best, 5)
+            .cell(std::string(&s == &best_arm ? "best arm" : ""));
+      t.row()
+          .cell(region)
+          .cell("portfolio")
+          .cell(portfolio.evals)
+          .cell(to_match)
+          .cell(portfolio.best, 5)
+          .cell(std::string(!economy || !quality ? "FAIL"
+                            : dominates         ? "PASS (dominates)"
+                                                : "PASS (matched)"));
+      if (bench::json_enabled()) {
+        common::Json row = common::Json::object();
+        row.set("gate", std::string("portfolio"));
+        row.set("region", std::string(region));
+        row.set("portfolio_evals", portfolio.evals);
+        row.set("portfolio_evals_to_match", to_match);
+        row.set("portfolio_best_s", portfolio.best);
+        row.set("portfolio_dominates", dominates);
+        row.set("best_arm",
+                std::string(harmony::to_string(best_arm.kind)));
+        row.set("best_arm_evals", best_arm.run.evals);
+        row.set("worst_arm_best_s", worst_value);
+        bench::add_row(std::move(row));
+      }
+    }
+    t.print(std::cout);
+    bench::maybe_export_csv("x18_portfolio", t);
+    if (!portfolio_ok)
+      std::cout << "FAIL: portfolio neither dominated every arm nor "
+                   "matched the best arm inside the 1.15x envelope (or "
+                   "lost to the worst arm)\n";
+    all_pass = all_pass && portfolio_ok;
+  }
+
+  std::cout << (all_pass ? "\nPASS" : "\nFAIL")
+            << ": search gates (conditional <= 0.6x flat at equal "
+               "quality; portfolio dominates every arm or matches the "
+               "best inside 1.15x, never below the worst)\n";
+  const int rc = arcs::bench::finish();
+  return all_pass ? rc : 1;
+}

@@ -34,28 +34,33 @@ std::optional<HistoryEntry> HistoryStore::get(const HistoryKey& key) const {
 
 std::string HistoryStore::serialize() const {
   std::ostringstream os;
-  os << "#%arcs-history v3\n"
-     << "# app|machine|cap_w|workload|region|config|best_s|evals\n"
-     << "# *app|machine|cap_w|workload|region|config|value_s|energy_j\n";
+  os << "#%arcs-history v4\n"
+     << "# app|machine|cap_w|workload|region|config|best_s|evals|method\n"
+     << "# *app|machine|cap_w|workload|region|config|value_s|energy_j"
+        "|time_s\n";
   for (const auto& [key, entry] : entries_) {
     os << key.app << '|' << key.machine << '|'
        << common::format_fixed(key.power_cap, 1) << '|' << key.workload
        << '|' << key.region << '|' << entry.config.to_string() << '|'
        << common::format_fixed(entry.best_value, 9) << '|'
-       << entry.evaluations << '\n';
+       << entry.evaluations << '|'
+       << (entry.method.empty() ? "-" : entry.method) << '\n';
   }
-  // Per-candidate sample lines (v3): everything a search measured, not
-  // just the winners — the model layer's training data.
+  // Per-candidate sample lines (v3+): everything a search measured, not
+  // just the winners — the model layer's training data. The v4 time
+  // component keeps the raw (time, energy) pair available even when
+  // `value` is a non-time scalarization.
   for (const HistorySample& s : samples_) {
     os << '*' << s.key.app << '|' << s.key.machine << '|'
        << common::format_fixed(s.key.power_cap, 1) << '|' << s.key.workload
        << '|' << s.key.region << '|' << s.config.to_string() << '|'
        << common::format_fixed(s.value, 9) << '|'
-       << common::format_fixed(s.energy, 6) << '\n';
+       << common::format_fixed(s.energy, 6) << '|'
+       << common::format_fixed(s.time, 9) << '\n';
   }
   // Count footers: a torn/truncated file (crash mid-write, partial copy)
   // fails a count check instead of silently replaying half a history.
-  // v2+ readers require #%count; v3 readers additionally require
+  // v2+ readers require #%count; v3+ readers additionally require
   // #%samples; v1 files never had either.
   os << "#%count " << entries_.size() << '\n';
   os << "#%samples " << samples_.size() << '\n';
@@ -79,10 +84,13 @@ HistoryStore HistoryStore::deserialize(const std::string& text) {
       const auto fields = common::split(trimmed, ' ');
       ARCS_CHECK_MSG(fields.size() == 2,
                      "malformed history header: " + std::string(trimmed));
-      ARCS_CHECK_MSG(
-          fields[1] == "v1" || fields[1] == "v2" || fields[1] == "v3",
-          "unsupported history format version: " + fields[1]);
-      version = fields[1] == "v3" ? 3 : fields[1] == "v2" ? 2 : 1;
+      ARCS_CHECK_MSG(fields[1] == "v1" || fields[1] == "v2" ||
+                         fields[1] == "v3" || fields[1] == "v4",
+                     "unsupported history format version: " + fields[1]);
+      version = fields[1] == "v4"   ? 4
+                : fields[1] == "v3" ? 3
+                : fields[1] == "v2" ? 2
+                                    : 1;
       continue;
     }
     if (common::starts_with(trimmed, "#%count")) {
@@ -103,10 +111,10 @@ HistoryStore HistoryStore::deserialize(const std::string& text) {
     }
     if (trimmed.front() == '#') continue;  // v1 comment lines
     if (trimmed.front() == '*') {
-      // v3 per-candidate sample line.
+      // Per-candidate sample line: 8 fields (v3) or 9 (v4, + time_s).
       const auto fields = common::split(trimmed.substr(1), '|');
-      ARCS_CHECK_MSG(fields.size() == 8,
-                     "history sample needs 8 fields: " +
+      ARCS_CHECK_MSG(fields.size() == 8 || fields.size() == 9,
+                     "history sample needs 8 or 9 fields: " +
                          std::string(trimmed));
       HistorySample sample;
       sample.key.app = fields[0];
@@ -117,12 +125,17 @@ HistoryStore HistoryStore::deserialize(const std::string& text) {
       sample.config = somp::LoopConfig::from_string(fields[5]);
       sample.value = std::stod(fields[6]);
       sample.energy = std::stod(fields[7]);
+      // v3 searches only recorded time objectives, so value IS the
+      // measured time — multi-objective re-scoring of old files stays
+      // meaningful.
+      sample.time = fields.size() == 9 ? std::stod(fields[8]) : sample.value;
       store.add_sample(sample);
       continue;
     }
     const auto fields = common::split(trimmed, '|');
-    ARCS_CHECK_MSG(fields.size() == 8,
-                   "history line needs 8 fields: " + std::string(trimmed));
+    ARCS_CHECK_MSG(fields.size() == 8 || fields.size() == 9,
+                   "history line needs 8 or 9 fields: " +
+                       std::string(trimmed));
     HistoryKey key;
     key.app = fields[0];
     key.machine = fields[1];
@@ -133,6 +146,7 @@ HistoryStore HistoryStore::deserialize(const std::string& text) {
     entry.config = somp::LoopConfig::from_string(fields[5]);
     entry.best_value = std::stod(fields[6]);
     entry.evaluations = static_cast<std::size_t>(std::stoull(fields[7]));
+    if (fields.size() == 9 && fields[8] != "-") entry.method = fields[8];
     store.put(key, entry);
     ++parsed;
   }
@@ -183,6 +197,44 @@ HistoryStore HistoryStore::load(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return deserialize(buffer.str());
+}
+
+std::size_t rescore_history(HistoryStore& store,
+                            search::Objective objective) {
+  // Group sample indices by key (samples() is insertion-ordered, so the
+  // earliest minimal sample wins ties deterministically).
+  std::map<HistoryKey, std::size_t> best_for_key;
+  const std::vector<HistorySample>& samples = store.samples();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const HistorySample& s = samples[i];
+    const double score = search::scalarize(objective, s.time, s.energy);
+    const auto it = best_for_key.find(s.key);
+    if (it == best_for_key.end()) {
+      best_for_key[s.key] = i;
+      continue;
+    }
+    const HistorySample& cur = samples[it->second];
+    if (score < search::scalarize(objective, cur.time, cur.energy))
+      it->second = i;
+  }
+  std::size_t changed = 0;
+  for (const auto& [key, idx] : best_for_key) {
+    const HistorySample& s = samples[idx];
+    HistoryEntry entry;
+    std::size_t group = 0;
+    for (const HistorySample& other : samples)
+      if (other.key == key) ++group;
+    if (const auto existing = store.get(key)) {
+      entry = *existing;
+      if (!(entry.config == s.config)) ++changed;
+    } else {
+      entry.evaluations = group;
+    }
+    entry.config = s.config;
+    entry.best_value = search::scalarize(objective, s.time, s.energy);
+    store.put(key, entry);
+  }
+  return changed;
 }
 
 }  // namespace arcs

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "search/objective.hpp"
 #include "somp/schedule.hpp"
 
 namespace arcs {
@@ -38,6 +39,9 @@ struct HistoryEntry {
   double best_value = 0.0;
   /// Evaluations the search spent.
   std::size_t evaluations = 0;
+  /// Method that produced the entry (v4) — for portfolio searches, the
+  /// winning arm ("portfolio:nelder-mead"). Empty on legacy files.
+  std::string method;
 };
 
 /// One candidate measurement from a search — not just the winner. The
@@ -47,10 +51,19 @@ struct HistoryEntry {
 struct HistorySample {
   HistoryKey key;
   somp::LoopConfig config;
-  /// Measured objective (seconds).
+  /// Measured objective (seconds under the time objective; joules etc.
+  /// under the alternatives).
   double value = 0.0;
   /// Package energy for the measurement (J); 0 when not recorded.
   double energy = 0.0;
+  /// Wall time of the measurement (s, v4). Recorded separately from
+  /// `value` so a non-time objective still leaves both raw components
+  /// behind; v3 files fall back to time = value (those searches only
+  /// ever recorded time objectives).
+  double time = 0.0;
+
+  /// The (time, energy) pair as the multi-objective layer sees it.
+  search::ObjectivePoint objective_point() const { return {time, energy}; }
 };
 
 class HistoryStore {
@@ -73,20 +86,21 @@ class HistoryStore {
     samples_.clear();
   }
 
-  /// Serializes to the ARCS history text format v3: a `#%arcs-history v3`
+  /// Serializes to the ARCS history text format v4: a `#%arcs-history v4`
   /// version line; one entry per line
-  /// (app|machine|cap|workload|region|config|best|evals); one
-  /// `*`-prefixed line per candidate sample
-  /// (*app|machine|cap|workload|region|config|value|energy); and
-  /// `#%count N` / `#%samples M` footers that let readers detect torn
-  /// files.
+  /// (app|machine|cap|workload|region|config|best|evals|method, method
+  /// written as `-` when unknown); one `*`-prefixed line per candidate
+  /// sample (*app|machine|cap|workload|region|config|value|energy|time);
+  /// and `#%count N` / `#%samples M` footers that let readers detect
+  /// torn files.
   std::string serialize() const;
 
   /// Parses the serialize() format, replacing current contents. Reads
-  /// v3, v2 (no sample lines, single footer) and legacy v1
-  /// (plain-comment header, no footer) files. Throws
-  /// common::ContractError on malformed input, an unsupported version,
-  /// or an entry/sample count that disagrees with a footer.
+  /// v4, v3 (8-field entry/sample lines: no method, time = value), v2
+  /// (no sample lines, single footer) and legacy v1 (plain-comment
+  /// header, no footer) files. Throws common::ContractError on
+  /// malformed input, an unsupported version, or an entry/sample count
+  /// that disagrees with a footer.
   static HistoryStore deserialize(const std::string& text);
 
   /// File round-trip helpers. save() is atomic: it writes a sibling
@@ -103,5 +117,15 @@ class HistoryStore {
   std::map<HistoryKey, HistoryEntry> entries_;
   std::vector<HistorySample> samples_;
 };
+
+/// Re-scores the store's best entries under a different objective from
+/// the recorded per-candidate components — multi-objective replay
+/// without re-measuring. Every key with at least one sample gets its
+/// entry's (config, best_value) replaced by the sample minimizing
+/// scalarize(objective, time, energy), ties keeping the earlier sample;
+/// keys without samples (v2 files) are left alone. Returns the number
+/// of entries whose config changed.
+std::size_t rescore_history(HistoryStore& store,
+                            search::Objective objective);
 
 }  // namespace arcs

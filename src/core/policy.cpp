@@ -34,7 +34,8 @@ ArcsPolicy::ArcsPolicy(apex::Apex& apex, somp::Runtime& runtime,
       history_(history),
       space_(arcs_search_space(runtime.machine().spec(),
                                options_.tune_frequency,
-                               options_.tune_placement)),
+                               options_.tune_placement,
+                               options_.conditional_space)),
       session_seed_(options_.search.seed) {
   ARCS_CHECK_MSG(options_.strategy != TuningStrategy::Default,
                  "Default strategy means: do not construct an ArcsPolicy");
@@ -243,7 +244,11 @@ std::optional<somp::LoopConfig> ArcsPolicy::provide_impl(
       // back to the plain online method.
       if (const auto predicted =
               options_.predictor->predict_config(key_for(id.name))) {
-        method = harmony::StrategyKind::ModelSeeded;
+        // A portfolio method keeps racing — the prediction just lets
+        // its ModelSeeded arm join; any other method becomes a
+        // ModelSeeded refinement outright.
+        if (method != harmony::StrategyKind::Portfolio)
+          method = harmony::StrategyKind::ModelSeeded;
         search.model_seeded.center_frac =
             center_frac_for(space_, *predicted);
         state.model_seeded = true;
@@ -254,8 +259,12 @@ std::optional<somp::LoopConfig> ArcsPolicy::provide_impl(
     // exhaustive offline search never repeats a point, so leave it off
     // (and its memory footprint) there.
     session_opts.memoize = method != harmony::StrategyKind::Exhaustive;
+    search::SearchOptions search_opts;
+    search_opts.base = search;
+    search_opts.surrogate = options_.surrogate;
+    search_opts.portfolio = options_.portfolio;
     state.session = std::make_unique<harmony::Session>(
-        space_, harmony::make_strategy(method, search), session_opts);
+        space_, search::make_strategy(method, search_opts), session_opts);
   }
   if (state.session->converged())
     return config_from_values(state.session->best_values());
@@ -333,6 +342,7 @@ void ArcsPolicy::on_timer_stop(const apex::TimerEvent& event) {
     }
     sample.config = *state.pending_config;
     sample.value = value;
+    sample.time = event.duration;
     const apex::Profile* p =
         apex_.profiles().find(event.task, apex::Metric::RegionEnergy);
     sample.energy = p && p->calls ? p->last : 0.0;
@@ -354,7 +364,8 @@ double ArcsPolicy::objective_value(const apex::TimerEvent& event) const {
       const apex::Profile* p =
           apex_.profiles().find(event.task, apex::Metric::RegionEnergy);
       const double energy = p && p->calls ? p->last : 1.0;
-      return energy * event.duration;
+      // corhpex convention: delay enters squared (energy * time^2).
+      return energy * event.duration * event.duration;
     }
   }
   return event.duration;
@@ -432,6 +443,13 @@ void ArcsPolicy::save_history() {
     entry.config = config_from_values(state.session->best_values());
     entry.best_value = state.session->best_value();
     entry.evaluations = state.session->evaluations();
+    // v4: record which method produced the entry; a portfolio names its
+    // winning arm so replay tooling can see which searcher earned it.
+    entry.method = std::string(state.session->strategy().name());
+    if (const auto* portfolio = dynamic_cast<const search::PortfolioStrategy*>(
+            &state.session->strategy()))
+      entry.method += ":" +
+                      std::string(harmony::to_string(portfolio->winner()));
     // The state key carries the cap bucket the search ran under.
     HistoryKey hkey = key_for(key.first);
     if (!runtime_.machine().spec().power_cappable)

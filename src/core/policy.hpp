@@ -50,6 +50,7 @@
 #include "core/search_space.hpp"
 #include "harmony/session.hpp"
 #include "harmony/strategy_factory.hpp"
+#include "search/factory.hpp"
 #include "somp/runtime.hpp"
 
 namespace arcs {
@@ -69,6 +70,9 @@ enum class TuningStrategy {
 
 std::string_view to_string(TuningStrategy s);
 
+/// Scalarization the policy minimizes. EnergyDelayProduct follows the
+/// corhpex convention: energy * time^2 (delay enters squared), matching
+/// search::Objective::EDP.
 enum class Objective { Time, Energy, EnergyDelayProduct };
 
 struct ArcsOptions {
@@ -76,7 +80,16 @@ struct ArcsOptions {
   harmony::StrategyKind online_method = harmony::StrategyKind::NelderMead;
   harmony::StrategyKind offline_method = harmony::StrategyKind::Exhaustive;
   harmony::StrategyOptions search;
+  /// Options for the search subsystem's strategies (surrogate model,
+  /// portfolio racing) when either is selected as a method.
+  search::SurrogateOptions surrogate;
+  search::PortfolioOptions portfolio;
   Objective objective = Objective::Time;
+
+  /// Build the Table-I space conditional: chunk active only under
+  /// dynamic/guided schedules (see core/search_space.hpp). Exhaustive
+  /// sweeps then skip inactive-coordinate duplicates.
+  bool conditional_space = false;
 
   /// DVFS extension (paper §VII future work): add a per-region frequency
   /// request as a fourth search dimension.

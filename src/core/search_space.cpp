@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "search/conditional.hpp"
 
 namespace arcs {
 
@@ -25,21 +26,65 @@ std::vector<harmony::Value> thread_values(const sim::MachineSpec& m) {
   return v;
 }
 
+/// The value a configuration holds in the named dimension.
+harmony::Value config_value(const harmony::Dimension& dim,
+                            const somp::LoopConfig& c) {
+  if (dim.name == "threads")
+    return static_cast<harmony::Value>(c.num_threads);
+  if (dim.name == "schedule")
+    return static_cast<harmony::Value>(c.schedule.kind);
+  if (dim.name == "chunk")
+    return static_cast<harmony::Value>(c.schedule.chunk);
+  if (dim.name == "frequency_mhz")
+    return static_cast<harmony::Value>(c.frequency_mhz);
+  if (dim.name == "placement")
+    return static_cast<harmony::Value>(c.placement);
+  ARCS_CHECK_MSG(false, "unknown search dimension: " + dim.name);
+  return 0;
+}
+
+/// Index of the candidate nearest to `want` (exact match short-circuits).
+std::size_t nearest_index(const harmony::Dimension& dim,
+                          harmony::Value want) {
+  std::size_t best = 0;
+  long long best_delta = std::numeric_limits<long long>::max();
+  for (std::size_t i = 0; i < dim.values.size(); ++i) {
+    const long long delta = std::llabs(dim.values[i] - want);
+    if (delta < best_delta) {
+      best_delta = delta;
+      best = i;
+    }
+    if (delta == 0) break;
+  }
+  return best;
+}
+
 }  // namespace
 
 harmony::SearchSpace arcs_search_space(const sim::MachineSpec& machine,
                                        bool with_frequency,
-                                       bool with_placement) {
+                                       bool with_placement,
+                                       bool conditional) {
   using somp::ScheduleKind;
-  std::vector<harmony::Dimension> dims;
-  dims.push_back({"threads", thread_values(machine)});
+  search::ConditionalSpace builder;
+  builder.add_ordinal("threads", thread_values(machine));
   // Table I order: dynamic, static, guided, default.
-  dims.push_back({"schedule",
-                  {static_cast<harmony::Value>(ScheduleKind::Dynamic),
+  const std::size_t schedule = builder.add_categorical(
+      "schedule", {static_cast<harmony::Value>(ScheduleKind::Dynamic),
                    static_cast<harmony::Value>(ScheduleKind::Static),
                    static_cast<harmony::Value>(ScheduleKind::Guided),
-                   static_cast<harmony::Value>(ScheduleKind::Default)}});
-  dims.push_back({"chunk", {1, 8, 16, 32, 64, 128, 256, 512, 0}});
+                   static_cast<harmony::Value>(ScheduleKind::Default)});
+  const std::size_t chunk =
+      builder.add_ordinal("chunk", {1, 8, 16, 32, 64, 128, 256, 512, 0});
+  if (conditional) {
+    // Static and default schedules run their built-in chunking; only
+    // dynamic/guided take an explicit chunk, so the dimension collapses
+    // to "default" (0) elsewhere and sweeps skip the duplicates.
+    builder.only_when(chunk, schedule,
+                      {static_cast<harmony::Value>(ScheduleKind::Dynamic),
+                       static_cast<harmony::Value>(ScheduleKind::Guided)},
+                      /*canonical_value=*/0);
+  }
   if (with_frequency) {
     // Four evenly spread P-states (MHz) plus "default" = governor-only.
     std::vector<harmony::Value> mhz;
@@ -51,15 +96,15 @@ harmony::SearchSpace arcs_search_space(const sim::MachineSpec& machine,
       mhz.push_back(static_cast<harmony::Value>(f / 1e6));
     }
     mhz.push_back(0);
-    dims.push_back({"frequency_mhz", std::move(mhz)});
+    builder.add_ordinal("frequency_mhz", std::move(mhz));
   }
   if (with_placement) {
-    dims.push_back(
-        {"placement",
-         {static_cast<harmony::Value>(sim::PlacementPolicy::Spread),
-          static_cast<harmony::Value>(sim::PlacementPolicy::Close)}});
+    builder.add_boolean(
+        "placement",
+        {static_cast<harmony::Value>(sim::PlacementPolicy::Spread),
+         static_cast<harmony::Value>(sim::PlacementPolicy::Close)});
   }
-  return harmony::SearchSpace(std::move(dims));
+  return builder.build();
 }
 
 somp::LoopConfig config_from_values(const std::vector<harmony::Value>& v) {
@@ -84,34 +129,22 @@ somp::LoopConfig config_from_values(const std::vector<harmony::Value>& v) {
   return cfg;
 }
 
+somp::LoopConfig canonical_config(const harmony::SearchSpace& space,
+                                  const somp::LoopConfig& c) {
+  harmony::Point p(space.num_dimensions(), 0);
+  for (std::size_t d = 0; d < space.num_dimensions(); ++d) {
+    const harmony::Dimension& dim = space.dimension(d);
+    p[d] = nearest_index(dim, config_value(dim, c));
+  }
+  return config_from_values(space.decode(p));
+}
+
 std::vector<double> center_frac_for(const harmony::SearchSpace& space,
                                     const somp::LoopConfig& c) {
   std::vector<double> frac(space.num_dimensions(), 0.5);
   for (std::size_t d = 0; d < space.num_dimensions(); ++d) {
     const harmony::Dimension& dim = space.dimension(d);
-    harmony::Value want = 0;
-    if (dim.name == "threads")
-      want = static_cast<harmony::Value>(c.num_threads);
-    else if (dim.name == "schedule")
-      want = static_cast<harmony::Value>(c.schedule.kind);
-    else if (dim.name == "chunk")
-      want = static_cast<harmony::Value>(c.schedule.chunk);
-    else if (dim.name == "frequency_mhz")
-      want = static_cast<harmony::Value>(c.frequency_mhz);
-    else if (dim.name == "placement")
-      want = static_cast<harmony::Value>(c.placement);
-    else
-      ARCS_CHECK_MSG(false, "unknown search dimension: " + dim.name);
-    std::size_t best = 0;
-    long long best_delta = std::numeric_limits<long long>::max();
-    for (std::size_t i = 0; i < dim.values.size(); ++i) {
-      const long long delta = std::llabs(dim.values[i] - want);
-      if (delta < best_delta) {
-        best_delta = delta;
-        best = i;
-      }
-      if (delta == 0) break;
-    }
+    const std::size_t best = nearest_index(dim, config_value(dim, c));
     if (dim.values.size() > 1)
       frac[d] = static_cast<double>(best) /
                 static_cast<double>(dim.values.size() - 1);

@@ -8,6 +8,13 @@
 //   chunk    — {1, 8, 16, 32, 64, 128, 256, 512, default}.
 //
 // "default" is encoded as 0 in every dimension (somp's convention).
+//
+// The space can be built *conditional* (the ytopt ConfigSpace model):
+// chunk declares an activation predicate on schedule and is active only
+// under dynamic/guided, collapsing to "default" otherwise — so static
+// and default schedules contribute one configuration per thread count
+// instead of nine, and exhaustive sweeps shrink accordingly (the
+// canonical Crill grid drops from 252 to 140 points).
 #pragma once
 
 #include "harmony/space.hpp"
@@ -22,10 +29,12 @@ namespace arcs {
 /// With `with_frequency` a DVFS dimension is added (the paper's §VII
 /// extension): four evenly spread P-states plus "default"
 /// (governor-only). With `with_placement` an OMP_PROC_BIND dimension
-/// {spread, close} is added.
+/// {spread, close} is added. With `conditional` the chunk dimension is
+/// active only while schedule is dynamic or guided (see file comment).
 harmony::SearchSpace arcs_search_space(const sim::MachineSpec& machine,
                                        bool with_frequency = false,
-                                       bool with_placement = false);
+                                       bool with_placement = false,
+                                       bool conditional = false);
 
 /// Decodes a search-space point's values (3 or 4 dimensions) into a
 /// runtime configuration.
@@ -35,6 +44,15 @@ somp::LoopConfig config_from_values(const std::vector<harmony::Value>& v);
 /// `with_frequency` selects the 4-dimension encoding.
 std::vector<harmony::Value> values_from_config(const somp::LoopConfig& c,
                                                bool with_frequency = false);
+
+/// Canonical representative of a configuration under `space`: encodes,
+/// canonicalizes (collapsing inactive dimensions — e.g. a static
+/// schedule's chunk), and decodes back. Identity on flat spaces and for
+/// configurations whose dimensions are all active. History entries and
+/// decision caches store canonical configs so two spellings of the same
+/// configuration never occupy two slots.
+somp::LoopConfig canonical_config(const harmony::SearchSpace& space,
+                                  const somp::LoopConfig& c);
 
 /// Fractional index-space position of a configuration, one value per
 /// dimension (0 = first candidate, 1 = last; 0.5 for single-value

@@ -55,7 +55,8 @@ std::uint64_t descriptor_seed(const ExperimentDesc& desc) {
   h = common::hash_combine(
       h, (desc.selective_tuning ? 1ULL : 0ULL) |
              (desc.tune_frequency ? 2ULL : 0ULL) |
-             (desc.tune_placement ? 4ULL : 0ULL));
+             (desc.tune_placement ? 4ULL : 0ULL) |
+             (desc.conditional_space ? 8ULL : 0ULL));
   h = common::hash_combine(h, static_cast<std::uint64_t>(desc.repetitions));
   h = common::hash_combine(
       h, static_cast<std::uint64_t>(desc.timesteps_override));
@@ -97,6 +98,7 @@ kernels::RunOptions run_options(const ExperimentDesc& desc,
   options.selective_tuning = desc.selective_tuning;
   options.tune_frequency = desc.tune_frequency;
   options.tune_placement = desc.tune_placement;
+  options.conditional_space = desc.conditional_space;
   options.online_method = desc.online_method;
   options.max_search_passes = desc.max_search_passes;
   options.repetitions = desc.repetitions;

@@ -41,6 +41,8 @@ struct ExperimentDesc {
   bool selective_tuning = false;
   bool tune_frequency = false;
   bool tune_placement = false;
+  /// Conditional Table-I space: chunk active only under dynamic/guided.
+  bool conditional_space = false;
   int repetitions = 1;
   int timesteps_override = 0;
   std::size_t max_search_passes = 60;

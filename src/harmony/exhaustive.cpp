@@ -6,7 +6,11 @@ namespace arcs::harmony {
 
 Point ExhaustiveSearch::next(const SearchSpace& space) {
   if (done_) return best(space);
-  if (!cursor_) cursor_ = space.origin();
+  // Canonical enumeration: on a conditional space this skips every
+  // point that differs from an earlier one only in inactive coordinates
+  // — the whole eval-count saving of conditional dimensions. On a flat
+  // space it is the plain lexicographic walk.
+  if (!cursor_) cursor_ = space.canonical_origin();
   return *cursor_;
 }
 
@@ -19,7 +23,7 @@ void ExhaustiveSearch::report(const SearchSpace& space, const Point& point,
     best_value_ = value;
     best_ = point;
   }
-  if (!space.advance(*cursor_)) done_ = true;
+  if (!space.advance_canonical(*cursor_)) done_ = true;
 }
 
 bool ExhaustiveSearch::converged(const SearchSpace& /*space*/) const {

@@ -19,10 +19,13 @@ std::vector<Value> Session::next_values() {
   ARCS_CHECK(space_.valid(p));
   if (options_.memoize) {
     // Serve re-proposed points from the cache so the client only spends
-    // real measurements on novel configurations.
+    // real measurements on novel configurations. Keys are canonical
+    // ranks: on a conditional space, two proposals differing only in
+    // inactive coordinates are the same configuration and share one
+    // cache entry.
     std::size_t replays = 0;
     while (!strategy_->converged(space_) && replays < options_.max_replays) {
-      const auto it = memo_.find(space_.rank(p));
+      const auto it = memo_.find(space_.canonical_rank(p));
       if (it == memo_.end()) break;
       strategy_->report(space_, p, it->second);
       ++cache_hits_;
@@ -38,7 +41,7 @@ std::vector<Value> Session::next_values() {
 void Session::report(double value) {
   ARCS_CHECK_MSG(pending_.has_value(), "report() without next_values()");
   strategy_->report(space_, *pending_, value);
-  if (options_.memoize) memo_[space_.rank(*pending_)] = value;
+  if (options_.memoize) memo_[space_.canonical_rank(*pending_)] = value;
   pending_.reset();
   ++evaluations_;
 }

@@ -7,12 +7,51 @@
 
 namespace arcs::harmony {
 
+std::string_view to_string(DimensionKind kind) {
+  switch (kind) {
+    case DimensionKind::Ordinal:
+      return "ordinal";
+    case DimensionKind::Categorical:
+      return "categorical";
+    case DimensionKind::Boolean:
+      return "boolean";
+  }
+  return "unknown";
+}
+
 SearchSpace::SearchSpace(std::vector<Dimension> dimensions)
     : dims_(std::move(dimensions)) {
   ARCS_CHECK_MSG(!dims_.empty(), "search space needs >= 1 dimension");
-  for (const auto& d : dims_)
-    ARCS_CHECK_MSG(!d.values.empty(),
-                   "dimension '" + d.name + "' has no values");
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const Dimension& dim = dims_[d];
+    ARCS_CHECK_MSG(!dim.values.empty(),
+                   "dimension '" + dim.name + "' has no values");
+    ARCS_CHECK_MSG(dim.canonical < dim.values.size(),
+                   "dimension '" + dim.name +
+                       "': canonical index out of range");
+    if (dim.kind == DimensionKind::Boolean)
+      ARCS_CHECK_MSG(dim.values.size() == 2,
+                     "boolean dimension '" + dim.name +
+                         "' needs exactly 2 values");
+    if (dim.activation) {
+      conditional_ = true;
+      // Parents must come first so canonicalization resolves in one
+      // left-to-right pass (a condition chain canonicalizes root-first).
+      ARCS_CHECK_MSG(dim.activation->parent < d,
+                     "dimension '" + dim.name +
+                         "': activation parent must be an earlier "
+                         "dimension");
+      ARCS_CHECK_MSG(!dim.activation->allowed.empty(),
+                     "dimension '" + dim.name +
+                         "': activation needs >= 1 allowed parent value");
+      const std::size_t parent_size =
+          dims_[dim.activation->parent].values.size();
+      for (const std::size_t a : dim.activation->allowed)
+        ARCS_CHECK_MSG(a < parent_size,
+                       "dimension '" + dim.name +
+                           "': activation value index out of range");
+    }
+  }
 }
 
 const Dimension& SearchSpace::dimension(std::size_t d) const {
@@ -26,11 +65,57 @@ std::uint64_t SearchSpace::size() const {
   return n;
 }
 
-std::vector<Value> SearchSpace::decode(const Point& p) const {
+bool SearchSpace::active(const Point& p, std::size_t d) const {
+  ARCS_CHECK(d < dims_.size() && p.size() == dims_.size());
+  const Dimension& dim = dims_[d];
+  if (!dim.activation) return true;
+  // An inactive parent holds its canonical index after canonicalization;
+  // the predicate is evaluated against that collapsed coordinate, so a
+  // chain of conditions resolves root-first.
+  const std::size_t parent_index =
+      active(p, dim.activation->parent)
+          ? p[dim.activation->parent]
+          : dims_[dim.activation->parent].canonical;
+  return std::find(dim.activation->allowed.begin(),
+                   dim.activation->allowed.end(),
+                   parent_index) != dim.activation->allowed.end();
+}
+
+Point SearchSpace::canonicalize(Point p) const {
   ARCS_CHECK(valid(p));
-  std::vector<Value> out(p.size());
-  for (std::size_t d = 0; d < p.size(); ++d)
-    out[d] = dims_[d].values[p[d]];
+  if (!conditional_) return p;
+  for (std::size_t d = 0; d < dims_.size(); ++d)
+    if (!active(p, d)) p[d] = dims_[d].canonical;
+  return p;
+}
+
+bool SearchSpace::is_canonical(const Point& p) const {
+  if (!valid(p)) return false;
+  if (!conditional_) return true;
+  for (std::size_t d = 0; d < dims_.size(); ++d)
+    if (!active(p, d) && p[d] != dims_[d].canonical) return false;
+  return true;
+}
+
+std::uint64_t SearchSpace::num_canonical_points() const {
+  if (!conditional_) return size();
+  // Walk the dimensions left to right, branching only on active extents:
+  // the count is the sum over parent assignments of the product of
+  // active sizes. Spaces are enumerable by design (Table I is ~10^2), so
+  // the walk is cheap.
+  std::uint64_t count = 0;
+  Point p = canonical_origin();
+  do {
+    ++count;
+  } while (advance_canonical(p));
+  return count;
+}
+
+std::vector<Value> SearchSpace::decode(const Point& p) const {
+  const Point c = canonicalize(p);
+  std::vector<Value> out(c.size());
+  for (std::size_t d = 0; d < c.size(); ++d)
+    out[d] = dims_[d].values[c[d]];
   return out;
 }
 
@@ -61,12 +146,42 @@ bool SearchSpace::advance(Point& p) const {
   return false;  // wrapped: end of space
 }
 
+bool SearchSpace::advance_canonical(Point& p) const {
+  ARCS_CHECK(valid(p));
+  if (!conditional_) return advance(p);
+  ARCS_CHECK_MSG(is_canonical(p),
+                 "advance_canonical needs a canonical point "
+                 "(start from canonical_origin())");
+  for (std::size_t d = p.size(); d-- > 0;) {
+    // Inactive dimensions are pinned at their canonical index: skipping
+    // them is exactly what removes the flat grid's duplicate points.
+    if (!active(p, d)) continue;
+    if (++p[d] < dims_[d].values.size()) {
+      // Reset the suffix. Incrementing p[d] may flip later dimensions'
+      // activation, so re-canonicalize: active suffix dims restart at 0,
+      // inactive ones collapse.
+      for (std::size_t e = d + 1; e < p.size(); ++e) p[e] = 0;
+      p = canonicalize(std::move(p));
+      return true;
+    }
+    p[d] = 0;
+    // Carrying through index 0 keeps the prefix unchanged, so this
+    // dimension's activation state is unaffected; continue leftward.
+  }
+  p = canonicalize(std::move(p));  // restore the pinned suffix entries
+  return false;  // wrapped: end of the canonical enumeration
+}
+
 std::uint64_t SearchSpace::rank(const Point& p) const {
   ARCS_CHECK(valid(p));
   std::uint64_t r = 0;
   for (std::size_t d = 0; d < p.size(); ++d)
     r = r * dims_[d].values.size() + p[d];
   return r;
+}
+
+std::uint64_t SearchSpace::canonical_rank(const Point& p) const {
+  return rank(canonicalize(p));
 }
 
 }  // namespace arcs::harmony

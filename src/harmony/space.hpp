@@ -5,9 +5,22 @@
 // ARCS tunes: thread counts, schedule kinds, chunk sizes; Table I of the
 // paper). Points are index vectors into the dimensions; search strategies
 // work in index space and decode only at the edges.
+//
+// Conditional (hierarchical) spaces: a dimension may declare an
+// *activation predicate* on an earlier dimension — e.g. `chunk` is only
+// active while `schedule` is dynamic or guided (the ytopt/ConfigSpace
+// InCondition model). When the predicate does not hold, the dimension is
+// *inactive* and collapses to its canonical index, so two points that
+// differ only in inactive coordinates canonicalize, decode, hash, cache,
+// and history-key identically. Strategies keep proposing full index
+// vectors; canonicalization happens at the Session/decode edges, and
+// canonical enumeration (advance_canonical) visits every *distinct*
+// configuration exactly once — that is the conditional space's entire
+// eval-count saving.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,9 +28,34 @@ namespace arcs::harmony {
 
 using Value = long long;
 
+/// How a dimension's values relate to each other — surrogate models and
+/// distance metrics treat them differently (ordinal values embed on a
+/// line; categorical/boolean values are one-hot).
+enum class DimensionKind : std::uint8_t {
+  Ordinal,      ///< ordered values (threads, chunk, frequency)
+  Categorical,  ///< unordered choices (schedule kind)
+  Boolean,      ///< two-valued flag (placement spread/close)
+};
+
+std::string_view to_string(DimensionKind kind);
+
+/// Activation predicate: the owning dimension participates in the
+/// configuration only while the parent dimension (an *earlier* index)
+/// holds one of the allowed value indices.
+struct Activation {
+  std::size_t parent = 0;              ///< parent dimension index
+  std::vector<std::size_t> allowed;    ///< activating parent value indices
+};
+
 struct Dimension {
   std::string name;
   std::vector<Value> values;  ///< candidate values, in search order
+  DimensionKind kind = DimensionKind::Ordinal;
+  /// Empty = unconditional (always active).
+  std::optional<Activation> activation = std::nullopt;
+  /// Index this dimension collapses to while inactive (the "don't care"
+  /// representative — ARCS uses the "default" value's index).
+  std::size_t canonical = 0;
 };
 
 /// A candidate configuration: one index per dimension.
@@ -31,10 +69,32 @@ class SearchSpace {
   std::size_t num_dimensions() const { return dims_.size(); }
   const Dimension& dimension(std::size_t d) const;
 
-  /// Total number of points (product of dimension sizes).
+  /// Total number of points (product of dimension sizes) — the flat-grid
+  /// count, counting inactive-coordinate duplicates separately.
   std::uint64_t size() const;
 
-  /// Decodes a point into concrete values.
+  /// Number of *distinct* configurations: inactive dimensions contribute
+  /// one choice, so the count is the sum over parent assignments of the
+  /// product of active extents. Equals size() for unconditional spaces.
+  std::uint64_t num_canonical_points() const;
+
+  /// True when any dimension carries an activation predicate.
+  bool conditional() const { return conditional_; }
+
+  /// True when dimension `d` is active under `p`'s (canonicalized)
+  /// parent coordinates.
+  bool active(const Point& p, std::size_t d) const;
+
+  /// Collapses every inactive dimension to its canonical index
+  /// (left-to-right, so cascaded conditions resolve deterministically).
+  /// Idempotent; identity for unconditional spaces.
+  Point canonicalize(Point p) const;
+
+  /// True iff canonicalize(p) == p.
+  bool is_canonical(const Point& p) const;
+
+  /// Decodes a point into concrete values (canonicalizing first, so two
+  /// points differing only in inactive coordinates decode identically).
   std::vector<Value> decode(const Point& p) const;
 
   /// True if every index is in range.
@@ -44,17 +104,36 @@ class SearchSpace {
   /// nearest valid point (used by simplex strategies).
   Point round(const std::vector<double>& x) const;
 
-  /// Lexicographic successor; returns false at the end of the space.
+  /// Lexicographic successor over the full flat grid; returns false at
+  /// the end of the space.
   bool advance(Point& p) const;
+
+  /// Lexicographic successor restricted to canonical points: inactive
+  /// dimensions stay pinned at their canonical index, so every distinct
+  /// configuration is visited exactly once. `p` must be canonical
+  /// (start from canonical_origin()). Identical to advance() on
+  /// unconditional spaces.
+  bool advance_canonical(Point& p) const;
 
   /// The all-zeros origin point.
   Point origin() const { return Point(dims_.size(), 0); }
 
-  /// Dense rank of a point (mixed-radix), for memoization keys.
+  /// First canonical point in enumeration order.
+  Point canonical_origin() const { return canonicalize(origin()); }
+
+  /// Dense rank of a point (mixed-radix), for memoization keys. Two
+  /// points differing only in inactive coordinates have different ranks;
+  /// hash/cache keys must rank the canonicalized point — see
+  /// canonical_rank().
   std::uint64_t rank(const Point& p) const;
+
+  /// rank(canonicalize(p)) — the key under which all representatives of
+  /// one configuration collide.
+  std::uint64_t canonical_rank(const Point& p) const;
 
  private:
   std::vector<Dimension> dims_;
+  bool conditional_ = false;
 };
 
 }  // namespace arcs::harmony

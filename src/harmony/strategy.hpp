@@ -41,6 +41,16 @@ enum class StrategyKind {
   /// (jitter-free, small initial step) instead of the space center — the
   /// model layer's "search demoted to refinement" mode.
   ModelSeeded,
+  /// Bayesian-optimization-style surrogate search (src/search/): a
+  /// deterministic seeded init sample, an incremental ridge/RBF
+  /// surrogate, and an expected-improvement acquisition argmaxed over
+  /// the canonical enumeration. Built by search::make_strategy.
+  Surrogate,
+  /// Strategy portfolio racer (src/search/): runs NM / PRO /
+  /// ModelSeeded / Surrogate against each other per region under a
+  /// successive-halving eval budget and keeps the incumbent. Built by
+  /// search::make_strategy.
+  Portfolio,
 };
 
 std::string_view to_string(StrategyKind kind);

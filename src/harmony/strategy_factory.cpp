@@ -20,6 +20,10 @@ std::string_view to_string(StrategyKind kind) {
       return "annealing";
     case StrategyKind::ModelSeeded:
       return "model-seeded";
+    case StrategyKind::Surrogate:
+      return "surrogate";
+    case StrategyKind::Portfolio:
+      return "portfolio";
   }
   return "unknown";
 }
@@ -52,6 +56,14 @@ std::unique_ptr<Strategy> make_strategy(StrategyKind kind,
       opts.center_jitter = 0.0;
       return std::make_unique<NelderMead>(opts, options.seed);
     }
+    case StrategyKind::Surrogate:
+    case StrategyKind::Portfolio:
+      // These live a layer up (they carry their own options and, for the
+      // portfolio, construct other strategies as arms).
+      ARCS_CHECK_MSG(false,
+                     "Surrogate/Portfolio strategies are built by "
+                     "search::make_strategy (src/search/)");
+      return nullptr;
   }
   ARCS_CHECK_MSG(false, "unknown strategy kind");
   return nullptr;

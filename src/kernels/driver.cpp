@@ -121,6 +121,9 @@ ArcsOptions make_policy_options(const AppSpec& app, const RunOptions& opts,
   policy_opts.selective_tuning = opts.selective_tuning;
   policy_opts.tune_frequency = opts.tune_frequency;
   policy_opts.tune_placement = opts.tune_placement;
+  policy_opts.conditional_space = opts.conditional_space;
+  policy_opts.surrogate = opts.surrogate;
+  policy_opts.portfolio = opts.portfolio;
   policy_opts.search.seed = opts.seed;
   policy_opts.app_name = app.name;
   policy_opts.workload = app.workload;
@@ -292,16 +295,17 @@ ConfigOutcome run_region_once(const AppSpec& app,
 std::vector<ConfigOutcome> sweep_region(const AppSpec& app,
                                         const std::string& region_name,
                                         const sim::MachineSpec& machine_spec,
-                                        double power_cap) {
-  const harmony::SearchSpace space = arcs_search_space(machine_spec);
+                                        double power_cap, bool conditional) {
+  const harmony::SearchSpace space =
+      arcs_search_space(machine_spec, false, false, conditional);
   std::vector<ConfigOutcome> outcomes;
-  outcomes.reserve(space.size());
-  harmony::Point p = space.origin();
+  outcomes.reserve(space.num_canonical_points());
+  harmony::Point p = space.canonical_origin();
   do {
     const somp::LoopConfig config = config_from_values(space.decode(p));
     outcomes.push_back(
         run_region_once(app, region_name, machine_spec, power_cap, config));
-  } while (space.advance(p));
+  } while (space.advance_canonical(p));
   return outcomes;
 }
 

@@ -91,6 +91,13 @@ struct RunOptions {
   /// Add the OMP_PROC_BIND {spread, close} dimension (extension).
   bool tune_placement = false;
   harmony::StrategyKind online_method = harmony::StrategyKind::NelderMead;
+  /// Build the Table-I space conditional (chunk active only under
+  /// dynamic/guided — see core/search_space.hpp): exhaustive sweeps
+  /// skip inactive-coordinate duplicates.
+  bool conditional_space = false;
+  /// Options for the surrogate / portfolio methods.
+  search::SurrogateOptions surrogate;
+  search::PortfolioOptions portfolio;
   std::size_t max_search_passes = 60;
   std::uint64_t seed = 1;
   /// Override the app's timestep count (0 = use the spec's).
@@ -150,11 +157,14 @@ ConfigOutcome run_region_once(const AppSpec& app,
                               const somp::LoopConfig& config);
 
 /// Sweeps the full ARCS search space for one region at a cap; returns all
-/// outcomes (ordered as the space enumerates).
+/// outcomes (ordered as the space enumerates). With `conditional` the
+/// space is built conditional and only canonical configurations run —
+/// one outcome per distinct configuration instead of per grid cell.
 std::vector<ConfigOutcome> sweep_region(const AppSpec& app,
                                         const std::string& region_name,
                                         const sim::MachineSpec& machine,
-                                        double power_cap);
+                                        double power_cap,
+                                        bool conditional = false);
 
 /// The outcome with the smallest region duration.
 const ConfigOutcome& best_outcome(const std::vector<ConfigOutcome>& sweep);

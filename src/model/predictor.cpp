@@ -75,7 +75,10 @@ harmony::Point snap_config(const harmony::SearchSpace& space,
     const harmony::Dimension& dim = space.dimension(d);
     p[d] = snap_to_dimension(dim, config_value_for(config, dim.name));
   }
-  return p;
+  // On a conditional space, collapse inactive coordinates so every
+  // spelling of one configuration snaps to the same point (and thus the
+  // same φ row / dataset key).
+  return space.canonicalize(std::move(p));
 }
 
 // ---------------------------------------------------------------------------

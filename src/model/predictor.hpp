@@ -72,8 +72,10 @@ inline constexpr std::size_t kPhiCount = 1 + kFeatureCount + 6 + 6;
 
 /// Index vector of the candidate values nearest to `config`, one per
 /// space dimension (exact match first, then nearest by absolute value,
-/// ties to the lower index). The discretization both the kNN vote and
-/// the cross-validation regret charge live in.
+/// ties to the lower index), canonicalized — on a conditional space
+/// inactive coordinates collapse, so every spelling of a configuration
+/// snaps to one point. The discretization both the kNN vote and the
+/// cross-validation regret charge live in.
 harmony::Point snap_config(const harmony::SearchSpace& space,
                            const somp::LoopConfig& config);
 

@@ -1,0 +1,80 @@
+#include "search/conditional.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace arcs::search {
+
+namespace {
+
+std::size_t index_of_value(const harmony::Dimension& dim,
+                           harmony::Value value, const char* what) {
+  const auto it = std::find(dim.values.begin(), dim.values.end(), value);
+  ARCS_CHECK_MSG(it != dim.values.end(),
+                 std::string(what) + ": value " + std::to_string(value) +
+                     " is not a candidate of dimension '" + dim.name + "'");
+  return static_cast<std::size_t>(it - dim.values.begin());
+}
+
+}  // namespace
+
+std::size_t ConditionalSpace::add(std::string name,
+                                  std::vector<harmony::Value> values,
+                                  harmony::DimensionKind kind) {
+  ARCS_CHECK_MSG(!values.empty(),
+                 "dimension '" + name + "' needs >= 1 value");
+  harmony::Dimension dim;
+  dim.name = std::move(name);
+  dim.values = std::move(values);
+  dim.kind = kind;
+  dims_.push_back(std::move(dim));
+  return dims_.size() - 1;
+}
+
+std::size_t ConditionalSpace::add_ordinal(
+    std::string name, std::vector<harmony::Value> values) {
+  return add(std::move(name), std::move(values),
+             harmony::DimensionKind::Ordinal);
+}
+
+std::size_t ConditionalSpace::add_categorical(
+    std::string name, std::vector<harmony::Value> values) {
+  return add(std::move(name), std::move(values),
+             harmony::DimensionKind::Categorical);
+}
+
+std::size_t ConditionalSpace::add_boolean(
+    std::string name, std::vector<harmony::Value> values) {
+  ARCS_CHECK_MSG(values.size() == 2,
+                 "boolean dimension '" + name + "' needs exactly 2 values");
+  return add(std::move(name), std::move(values),
+             harmony::DimensionKind::Boolean);
+}
+
+void ConditionalSpace::only_when(
+    std::size_t child, std::size_t parent,
+    const std::vector<harmony::Value>& parent_values,
+    harmony::Value canonical_value) {
+  ARCS_CHECK_MSG(child < dims_.size() && parent < dims_.size(),
+                 "only_when: unknown dimension handle");
+  ARCS_CHECK_MSG(parent < child,
+                 "only_when: the parent must be declared before the child "
+                 "(canonicalization resolves left to right)");
+  ARCS_CHECK_MSG(!parent_values.empty(),
+                 "only_when: needs >= 1 activating parent value");
+  harmony::Dimension& dim = dims_[child];
+  harmony::Activation activation;
+  activation.parent = parent;
+  for (const harmony::Value v : parent_values)
+    activation.allowed.push_back(
+        index_of_value(dims_[parent], v, "only_when"));
+  dim.activation = activation;
+  dim.canonical = index_of_value(dim, canonical_value, "only_when");
+}
+
+harmony::SearchSpace ConditionalSpace::build() const {
+  return harmony::SearchSpace(dims_);
+}
+
+}  // namespace arcs::search

@@ -1,0 +1,56 @@
+// ConditionalSpace — the typed builder for hierarchical search spaces.
+//
+// The flat Table-I grid evaluates `chunk` even for schedules that ignore
+// it; the ytopt exemplar instead models chunk as a *conditional*
+// hyperparameter (active only under dynamic/guided). This builder is the
+// repo's equivalent of a ConfigSpace.ConfigurationSpace: typed dimensions
+// (ordinal, categorical, boolean) plus `only_when` activation predicates,
+// compiled into a harmony::SearchSpace whose canonicalization collapses
+// inactive dimensions to a canonical value. Everything downstream —
+// Session memoization, exhaustive enumeration, snap_config, decision
+// caches — then treats two points that differ only in inactive
+// coordinates as the same configuration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harmony/space.hpp"
+
+namespace arcs::search {
+
+class ConditionalSpace {
+ public:
+  /// Each add_* returns the dimension's index, used as the handle for
+  /// only_when(). Dimensions must be added parents-first.
+  std::size_t add_ordinal(std::string name,
+                          std::vector<harmony::Value> values);
+  std::size_t add_categorical(std::string name,
+                              std::vector<harmony::Value> values);
+  /// A two-valued flag; values default to {0, 1}.
+  std::size_t add_boolean(std::string name,
+                          std::vector<harmony::Value> values = {0, 1});
+
+  /// Declares `child` active only while `parent` holds one of
+  /// `parent_values` (concrete values, not indices — the builder
+  /// resolves them). The child collapses to `canonical_value` when
+  /// inactive; the canonical value must be one of the child's candidate
+  /// values.
+  void only_when(std::size_t child, std::size_t parent,
+                 const std::vector<harmony::Value>& parent_values,
+                 harmony::Value canonical_value);
+
+  std::size_t num_dimensions() const { return dims_.size(); }
+
+  /// Compiles into the executable space. Throws common::ContractError on
+  /// an ill-formed declaration (unknown values, child before parent).
+  harmony::SearchSpace build() const;
+
+ private:
+  std::size_t add(std::string name, std::vector<harmony::Value> values,
+                  harmony::DimensionKind kind);
+
+  std::vector<harmony::Dimension> dims_;
+};
+
+}  // namespace arcs::search

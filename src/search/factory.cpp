@@ -1,0 +1,40 @@
+#include "search/factory.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace arcs::search {
+
+std::unique_ptr<harmony::Strategy> make_strategy(harmony::StrategyKind kind,
+                                                 const SearchOptions& options) {
+  switch (kind) {
+    case harmony::StrategyKind::Surrogate:
+      return std::make_unique<SurrogateSearch>(options.surrogate,
+                                               options.base.seed);
+    case harmony::StrategyKind::Portfolio:
+      return std::make_unique<PortfolioStrategy>(options.portfolio,
+                                                 options.base,
+                                                 options.surrogate);
+    default:
+      return harmony::make_strategy(kind, options.base);
+  }
+}
+
+harmony::StrategyKind strategy_kind_from_string(std::string_view s) {
+  using harmony::StrategyKind;
+  if (s == "exhaustive") return StrategyKind::Exhaustive;
+  if (s == "nelder-mead" || s == "nm") return StrategyKind::NelderMead;
+  if (s == "pro") return StrategyKind::ParallelRankOrder;
+  if (s == "random") return StrategyKind::Random;
+  if (s == "annealing") return StrategyKind::SimulatedAnnealing;
+  if (s == "model-seeded") return StrategyKind::ModelSeeded;
+  if (s == "surrogate") return StrategyKind::Surrogate;
+  if (s == "portfolio") return StrategyKind::Portfolio;
+  ARCS_CHECK_MSG(false, "unknown strategy: " + std::string(s) +
+                            " (expected exhaustive|nelder-mead|pro|random|"
+                            "annealing|model-seeded|surrogate|portfolio)");
+  return StrategyKind::NelderMead;
+}
+
+}  // namespace arcs::search

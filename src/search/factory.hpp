@@ -1,0 +1,39 @@
+// search::make_strategy — the strategy factory that knows every kind.
+//
+// harmony::make_strategy builds the classic Active Harmony methods;
+// this layer adds the search subsystem's Surrogate and Portfolio (which
+// carry their own options and, for the portfolio, construct other
+// strategies as arms). Code above the harmony layer should build
+// strategies here so "--strategy surrogate|portfolio" works everywhere.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "harmony/strategy_factory.hpp"
+#include "search/portfolio.hpp"
+#include "search/surrogate.hpp"
+
+namespace arcs::search {
+
+struct SearchOptions {
+  /// Options for the classic harmony strategies (seed lives here; the
+  /// surrogate seeds from it too, and the portfolio derives per-arm
+  /// seeds from it).
+  harmony::StrategyOptions base;
+  SurrogateOptions surrogate;
+  PortfolioOptions portfolio;
+};
+
+/// Builds any StrategyKind. Classic kinds delegate to
+/// harmony::make_strategy(kind, options.base).
+std::unique_ptr<harmony::Strategy> make_strategy(harmony::StrategyKind kind,
+                                                 const SearchOptions& options);
+
+/// Parses every strategy name to_string(StrategyKind) can produce
+/// ("exhaustive", "nelder-mead", "pro", "random", "annealing",
+/// "model-seeded", "surrogate", "portfolio"; "nm" is accepted as an
+/// alias). Throws common::ContractError on unknown input.
+harmony::StrategyKind strategy_kind_from_string(std::string_view s);
+
+}  // namespace arcs::search

@@ -1,0 +1,70 @@
+#include "search/objective.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.hpp"
+
+namespace arcs::search {
+
+std::string_view to_string(Objective objective) {
+  switch (objective) {
+    case Objective::Time:
+      return "time";
+    case Objective::Energy:
+      return "energy";
+    case Objective::EDP:
+      return "edp";
+  }
+  return "unknown";
+}
+
+Objective objective_from_string(std::string_view s) {
+  std::string lower(s);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "time") return Objective::Time;
+  if (lower == "energy") return Objective::Energy;
+  if (lower == "edp") return Objective::EDP;
+  ARCS_CHECK_MSG(false, "unknown objective: " + std::string(s) +
+                            " (expected time|energy|edp)");
+  return Objective::Time;
+}
+
+double scalarize(Objective objective, double time_s, double energy_j) {
+  switch (objective) {
+    case Objective::Time:
+      return time_s;
+    case Objective::Energy:
+      return energy_j > 0.0 ? energy_j : time_s;
+    case Objective::EDP:
+      return energy_j > 0.0 ? energy_j * time_s * time_s : time_s;
+  }
+  return time_s;
+}
+
+std::vector<std::size_t> pareto_front(
+    const std::vector<ObjectivePoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j == i) continue;
+      const bool no_worse = points[j].time_s <= points[i].time_s &&
+                            points[j].energy_j <= points[i].energy_j;
+      const bool better = points[j].time_s < points[i].time_s ||
+                          points[j].energy_j < points[i].energy_j;
+      dominated = no_worse && better;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+bool on_pareto_front(const std::vector<ObjectivePoint>& points,
+                     std::size_t i) {
+  const std::vector<std::size_t> front = pareto_front(points);
+  return std::find(front.begin(), front.end(), i) != front.end();
+}
+
+}  // namespace arcs::search

@@ -1,0 +1,56 @@
+// Multi-objective support: scalarization and Pareto-front extraction.
+//
+// ARCS minimizes region *time*; the corhpex exemplar additionally
+// computes energy and EDP (`energy * time^2`) as first-class metrics.
+// Every search in this repo is a scalar minimization, so objectives are
+// *scalarizations* of the measured (time, energy) pair; the Pareto front
+// is extracted afterwards from recorded per-candidate components (the
+// history v4 sample lines), so re-scoring under a different objective
+// replays history instead of re-measuring.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arcs::search {
+
+enum class Objective {
+  Time,    ///< region execution seconds (the paper's ARCS)
+  Energy,  ///< package joules
+  EDP,     ///< energy-delay product, energy * time^2 (corhpex's `edp`)
+};
+
+std::string_view to_string(Objective objective);
+
+/// Parses "time|energy|edp" (case-insensitive). Throws
+/// common::ContractError on unknown input.
+Objective objective_from_string(std::string_view s);
+
+/// Scalar value a search minimizes for one measurement. Falls back to
+/// time when the energy component is unavailable (<= 0) — machines
+/// without energy counters degrade to time tuning instead of producing
+/// meaningless zeros.
+double scalarize(Objective objective, double time_s, double energy_j);
+
+/// One candidate's measured components, as fed to the front extractor.
+struct ObjectivePoint {
+  double time_s = 0.0;
+  double energy_j = 0.0;
+
+  double edp() const { return energy_j * time_s * time_s; }
+};
+
+/// Indices of the non-dominated points (minimizing both time and
+/// energy): a point is dominated iff another is <= in both components
+/// and < in at least one. Duplicate component pairs all stay on the
+/// front. Returned in input order (deterministic).
+std::vector<std::size_t> pareto_front(
+    const std::vector<ObjectivePoint>& points);
+
+/// True iff points[i] is on the front returned by pareto_front(points).
+bool on_pareto_front(const std::vector<ObjectivePoint>& points,
+                     std::size_t i);
+
+}  // namespace arcs::search

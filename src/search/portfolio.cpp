@@ -1,0 +1,183 @@
+#include "search/portfolio.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace arcs::search {
+
+PortfolioStrategy::PortfolioStrategy(const PortfolioOptions& options,
+                                     const harmony::StrategyOptions& base,
+                                     const SurrogateOptions& surrogate)
+    : options_(options) {
+  ARCS_CHECK_MSG(options_.rung_evals >= 1,
+                 "portfolio: rung_evals must be >= 1");
+  ARCS_CHECK_MSG(options_.rung_growth >= 1,
+                 "portfolio: rung_growth must be >= 1");
+  for (const harmony::StrategyKind kind : options.arms) {
+    ARCS_CHECK_MSG(kind != harmony::StrategyKind::Portfolio,
+                   "portfolio: an arm cannot itself be a portfolio");
+    if (kind == harmony::StrategyKind::ModelSeeded &&
+        base.model_seeded.center_frac.empty())
+      continue;  // no prediction available for this region — skip the arm
+    // Per-arm decorrelated seeds: arms that share random machinery
+    // (simplex jitter, init sampling) then explore *different* corners,
+    // which is what makes racing worth its budget — the x18 bench shows
+    // the decorrelated portfolio strictly beating every standalone arm
+    // on two of three SP hot regions.
+    Arm arm;
+    arm.kind = kind;
+    harmony::StrategyOptions arm_base = base;
+    arm_base.seed = common::hash_combine(base.seed, arms_.size() + 1);
+    if (kind == harmony::StrategyKind::Surrogate) {
+      auto s = std::make_unique<SurrogateSearch>(surrogate, arm_base.seed);
+      arm.surrogate = s.get();
+      arm.strategy = std::move(s);
+    } else {
+      arm.strategy = harmony::make_strategy(kind, arm_base);
+    }
+    arms_.push_back(std::move(arm));
+  }
+  ARCS_CHECK_MSG(!arms_.empty(), "portfolio: no usable arms");
+}
+
+std::size_t PortfolioStrategy::rung_budget() const {
+  std::size_t budget = options_.rung_evals;
+  for (std::size_t r = 0; r < rung_; ++r) budget *= options_.rung_growth;
+  return budget;
+}
+
+std::size_t PortfolioStrategy::racing_arms(
+    const harmony::SearchSpace& space) const {
+  std::size_t n = 0;
+  for (const Arm& arm : arms_)
+    if (arm.alive && !arm.strategy->converged(space)) ++n;
+  return n;
+}
+
+void PortfolioStrategy::advance_scheduler(const harmony::SearchSpace& space) {
+  std::size_t alive = 0;
+  for (const Arm& arm : arms_)
+    if (arm.alive) ++alive;
+  while (alive > 1) {
+    // The rung is open while any surviving arm still has budget to
+    // spend (converged arms stop consuming but stay cullable on merit).
+    bool rung_open = false;
+    for (const Arm& arm : arms_)
+      if (arm.alive && !arm.strategy->converged(space) &&
+          arm.evals < rung_budget())
+        rung_open = true;
+    if (rung_open) return;
+
+    // Close the rung: keep the top half by arm-best value, earlier
+    // arms winning ties (sort is on (value, index), both distinct).
+    std::vector<std::size_t> ranked;
+    for (std::size_t i = 0; i < arms_.size(); ++i)
+      if (arms_[i].alive) ranked.push_back(i);
+    std::sort(ranked.begin(), ranked.end(),
+              [&](std::size_t a, std::size_t b) {
+                const double va =
+                    arms_[a].has_best
+                        ? arms_[a].best_value
+                        : std::numeric_limits<double>::infinity();
+                const double vb =
+                    arms_[b].has_best
+                        ? arms_[b].best_value
+                        : std::numeric_limits<double>::infinity();
+                if (va != vb) return va < vb;
+                return a < b;
+              });
+    const std::size_t keep = (ranked.size() + 1) / 2;
+    for (std::size_t i = keep; i < ranked.size(); ++i)
+      arms_[ranked[i]].alive = false;
+    ++rung_;
+    alive = keep;
+  }
+}
+
+std::size_t PortfolioStrategy::pick_arm(
+    const harmony::SearchSpace& space) const {
+  if (total_evals_ >= options_.max_evals) return arms_.size();
+  std::size_t alive = 0;
+  for (const Arm& arm : arms_)
+    if (arm.alive) ++alive;
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    const Arm& arm = arms_[i];
+    if (!arm.alive || arm.strategy->converged(space)) continue;
+    // The survivor runs to its own convergence; racers are rationed by
+    // the rung budget.
+    if (alive == 1 || arm.evals < rung_budget()) return i;
+  }
+  return arms_.size();
+}
+
+harmony::Point PortfolioStrategy::next(const harmony::SearchSpace& space) {
+  advance_scheduler(space);
+  const std::size_t idx = pick_arm(space);
+  if (idx == arms_.size()) {
+    ARCS_CHECK_MSG(has_best_, "portfolio: exhausted before any report()");
+    return best_point_;
+  }
+  pending_arm_ = idx;
+  return arms_[idx].strategy->next(space);
+}
+
+void PortfolioStrategy::report(const harmony::SearchSpace& space,
+                               const harmony::Point& point, double value) {
+  ARCS_CHECK(pending_arm_ < arms_.size());
+  Arm& arm = arms_[pending_arm_];
+  arm.strategy->report(space, point, value);
+  ++arm.evals;
+  ++total_evals_;
+  if (!arm.has_best || value < arm.best_value) {
+    arm.has_best = true;
+    arm.best_value = value;
+  }
+  if (!has_best_ || value < best_value_) {
+    has_best_ = true;
+    best_value_ = value;
+    best_point_ = space.canonicalize(point);
+    best_arm_ = pending_arm_;
+  }
+  // Cross-pollination: surrogate arms model the whole race's data.
+  for (Arm& other : arms_) {
+    if (&other == &arm || !other.alive || other.surrogate == nullptr)
+      continue;
+    other.surrogate->observe(space, point, value);
+  }
+}
+
+bool PortfolioStrategy::converged(const harmony::SearchSpace& space) const {
+  if (!has_best_) return false;
+  if (total_evals_ >= options_.max_evals) return true;
+  return racing_arms(space) == 0;
+}
+
+harmony::Point PortfolioStrategy::best(
+    const harmony::SearchSpace& space) const {
+  ARCS_CHECK_MSG(has_best_, "portfolio: best() before any report()");
+  (void)space;
+  return best_point_;
+}
+
+double PortfolioStrategy::best_value() const {
+  ARCS_CHECK_MSG(has_best_, "portfolio: best_value() before any report()");
+  return best_value_;
+}
+
+harmony::StrategyKind PortfolioStrategy::winner() const {
+  // Last survivor if the race resolved; otherwise the incumbent's arm.
+  std::size_t alive = 0;
+  std::size_t survivor = arms_.size();
+  for (std::size_t i = 0; i < arms_.size(); ++i)
+    if (arms_[i].alive) {
+      ++alive;
+      survivor = i;
+    }
+  if (alive == 1) return arms_[survivor].kind;
+  return arms_[best_arm_].kind;
+}
+
+}  // namespace arcs::search

@@ -1,0 +1,106 @@
+// Portfolio racer (StrategyKind::Portfolio).
+//
+// No single search method wins on every region (the paper's own
+// NM-vs-exhaustive tension): PortfolioStrategy races several arms —
+// by default Nelder–Mead, PRO, and the surrogate; ModelSeeded joins
+// when a predicted center is available — under a deterministic
+// successive-halving eval-budget scheduler. Rung r grants every
+// surviving arm a cumulative budget of rung_evals * rung_growth^r
+// measurements; at the rung boundary the bottom half (by arm-best
+// value, ties keeping the earlier arm) is retired; the last survivor
+// runs to its own convergence under the global max_evals cap.
+//
+// Two properties keep the racing overhead near the 1.15x gate:
+//   - every measurement is fed to every surrogate arm (observe()), so
+//     the model arm learns from the whole race, and
+//   - arms share the Session's canonical-rank memoization, so a point
+//     two arms both want costs one real measurement.
+// The incumbent (global best across all arms) is what best() returns,
+// so the portfolio can never finish behind its worst arm.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "harmony/strategy.hpp"
+#include "harmony/strategy_factory.hpp"
+#include "search/surrogate.hpp"
+
+namespace arcs::search {
+
+struct PortfolioOptions {
+  /// Arms to race, in priority order (earlier wins ties). ModelSeeded
+  /// is silently dropped unless the base options carry a predicted
+  /// center; Portfolio itself is rejected (no recursive racing).
+  std::vector<harmony::StrategyKind> arms = {
+      harmony::StrategyKind::NelderMead,
+      harmony::StrategyKind::ParallelRankOrder,
+      harmony::StrategyKind::Surrogate,
+  };
+  /// Cumulative per-arm budget of the first rung.
+  std::size_t rung_evals = 5;
+  /// Budget multiplier per rung (successive halving's eta).
+  std::size_t rung_growth = 2;
+  /// Global measurement cap across all arms.
+  std::size_t max_evals = 46;
+};
+
+class PortfolioStrategy final : public harmony::Strategy {
+ public:
+  /// `base` supplies per-arm options; each arm's seed is derived as
+  /// hash_combine(base.seed, arm index) so the race replays bit-for-bit
+  /// and arms never share RNG streams.
+  PortfolioStrategy(const PortfolioOptions& options,
+                    const harmony::StrategyOptions& base,
+                    const SurrogateOptions& surrogate);
+
+  harmony::Point next(const harmony::SearchSpace& space) override;
+  void report(const harmony::SearchSpace& space, const harmony::Point& point,
+              double value) override;
+  bool converged(const harmony::SearchSpace& space) const override;
+  harmony::Point best(const harmony::SearchSpace& space) const override;
+  double best_value() const override;
+  std::string_view name() const override { return "portfolio"; }
+
+  /// The surviving (or, before the race ends, best-so-far) arm — what
+  /// the policy records into HistoryStore as the winning method.
+  harmony::StrategyKind winner() const;
+
+  /// Total measurements reported across all arms.
+  std::size_t total_evals() const { return total_evals_; }
+
+ private:
+  struct Arm {
+    harmony::StrategyKind kind = harmony::StrategyKind::NelderMead;
+    std::unique_ptr<harmony::Strategy> strategy;
+    SurrogateSearch* surrogate = nullptr;  ///< non-null for surrogate arms
+    std::size_t evals = 0;
+    double best_value = 0.0;
+    bool has_best = false;
+    bool alive = true;
+  };
+
+  /// Per-arm cumulative budget for the current rung.
+  std::size_t rung_budget() const;
+  /// Arms still racing (alive and not individually converged).
+  std::size_t racing_arms(const harmony::SearchSpace& space) const;
+  /// Advances the scheduler: closes the rung (culling the bottom half)
+  /// once every surviving arm has exhausted its budget.
+  void advance_scheduler(const harmony::SearchSpace& space);
+  /// The arm the next proposal comes from, or arms_.size() if none.
+  std::size_t pick_arm(const harmony::SearchSpace& space) const;
+
+  PortfolioOptions options_;
+  std::vector<Arm> arms_;
+  std::size_t rung_ = 0;
+  std::size_t pending_arm_ = 0;
+  std::size_t total_evals_ = 0;
+
+  harmony::Point best_point_;
+  double best_value_ = 0.0;
+  std::size_t best_arm_ = 0;
+  bool has_best_ = false;
+};
+
+}  // namespace arcs::search

@@ -1,0 +1,283 @@
+#include "search/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace arcs::search {
+
+namespace {
+
+/// Standard normal pdf / cdf for the EI closed form.
+double normal_pdf(double z) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. A is
+/// the ridge normal matrix (symmetric positive definite), so a pivot
+/// can only degenerate if the regularizer is zero — guarded upstream.
+std::vector<double> solve_linear(std::vector<std::vector<double>> a,
+                                 std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row)
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double diag = a[col][col];
+    ARCS_CHECK_MSG(std::fabs(diag) > 1e-12,
+                   "surrogate: singular normal matrix (ridge_lambda = 0?)");
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double f = a[row][col] / diag;
+      if (f == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= f * a[col][k];
+      b[row] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= a[i][k] * x[k];
+    x[i] = s / a[i][i];
+  }
+  return x;
+}
+
+}  // namespace
+
+SurrogateSearch::SurrogateSearch(const SurrogateOptions& options,
+                                 std::uint64_t seed)
+    : options_(options), seed_(seed) {
+  ARCS_CHECK_MSG(options_.init_samples >= 2,
+                 "surrogate: init_samples must be >= 2");
+  ARCS_CHECK_MSG(options_.ridge_lambda > 0.0,
+                 "surrogate: ridge_lambda must be > 0");
+  ARCS_CHECK_MSG(options_.rbf_scale > 0.0,
+                 "surrogate: rbf_scale must be > 0");
+}
+
+void SurrogateSearch::prepare(const harmony::SearchSpace& space) {
+  if (prepared_) return;
+  prepared_ = true;
+  ARCS_CHECK_MSG(space.num_dimensions() > 0, "surrogate: empty space");
+
+  // Canonical enumeration: the acquisition's candidate set. Conditional
+  // duplicates never appear, so the model is fit per configuration.
+  harmony::Point p = space.canonical_origin();
+  do {
+    rank_to_candidate_[space.rank(p)] = candidates_.size();
+    candidates_.push_back(p);
+  } while (space.advance_canonical(p));
+
+  // Embedding: ordinal dimensions as a normalized scalar, categorical
+  // and boolean ones one-hot (an index distance between two schedule
+  // kinds is meaningless).
+  for (const harmony::Point& c : candidates_) {
+    std::vector<double> e;
+    for (std::size_t d = 0; d < space.num_dimensions(); ++d) {
+      const harmony::Dimension& dim = space.dimension(d);
+      if (dim.kind == harmony::DimensionKind::Ordinal) {
+        const double denom =
+            dim.values.size() > 1 ? double(dim.values.size() - 1) : 1.0;
+        e.push_back(double(c[d]) / denom);
+      } else {
+        for (std::size_t v = 0; v < dim.values.size(); ++v)
+          e.push_back(c[d] == v ? 1.0 : 0.0);
+      }
+    }
+    embed_.push_back(std::move(e));
+  }
+
+  // Seeded RBF centers and init sample — both pure functions of the
+  // seed, so the proposal sequence replays bit-for-bit.
+  common::Rng rng(common::hash_combine(seed_, 0x5044060475ULL));
+  const std::size_t n = candidates_.size();
+  std::vector<std::size_t> centers;
+  const std::size_t want_centers = std::min(options_.rbf_centers, n);
+  while (centers.size() < want_centers) {
+    const std::size_t idx = std::size_t(rng.next_u64() % n);
+    if (std::find(centers.begin(), centers.end(), idx) == centers.end())
+      centers.push_back(idx);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> phi;
+    phi.push_back(1.0);
+    phi.insert(phi.end(), embed_[i].begin(), embed_[i].end());
+    for (const std::size_t c : centers) {
+      const double d2 = squared_distance(embed_[i], embed_[c]);
+      phi.push_back(std::exp(-d2 / (2.0 * options_.rbf_scale *
+                                    options_.rbf_scale)));
+    }
+    features_.push_back(std::move(phi));
+  }
+
+  // Init plan: the space's first and middle canonical points anchor the
+  // sample (shared across portfolio arms, so their measurements overlap
+  // and memoize), the rest is a seeded distinct draw.
+  const std::size_t want_init = std::min(options_.init_samples, n);
+  auto push_unique = [&](std::size_t idx) {
+    if (std::find(init_plan_.begin(), init_plan_.end(), idx) ==
+        init_plan_.end())
+      init_plan_.push_back(idx);
+  };
+  push_unique(0);
+  push_unique(n / 2);
+  while (init_plan_.size() < want_init)
+    push_unique(std::size_t(rng.next_u64() % n));
+}
+
+void SurrogateSearch::add_observation(const harmony::SearchSpace& space,
+                                      const harmony::Point& point,
+                                      double value) {
+  prepare(space);
+  const auto it = rank_to_candidate_.find(space.canonical_rank(point));
+  ARCS_CHECK_MSG(it != rank_to_candidate_.end(),
+                 "surrogate: reported point is not in the space");
+  const std::size_t candidate = it->second;
+  const auto seen = observed_.find(candidate);
+  if (seen == observed_.end()) {
+    observed_[candidate] = value;
+    order_.push_back({candidate, value});
+  } else {
+    seen->second = value;
+  }
+  if (!has_best_ || value < best_value_) {
+    has_best_ = true;
+    best_value_ = value;
+    best_candidate_ = candidate;
+  }
+}
+
+std::size_t SurrogateSearch::acquire() const {
+  // Fit the ridge model on everything observed, with values normalized
+  // so lambda and xi are scale-free.
+  const std::size_t m = features_.front().size();
+  const std::size_t nobs = order_.size();
+  double mean = 0.0;
+  for (const Observation& o : order_) mean += o.value;
+  mean /= double(nobs);
+  double var = 0.0;
+  for (const Observation& o : order_) {
+    const double d = o.value - mean;
+    var += d * d;
+  }
+  const double scale = std::sqrt(var / double(nobs));
+  const double y_scale = scale > 1e-12 ? scale : 1.0;
+
+  std::vector<std::vector<double>> a(m, std::vector<double>(m, 0.0));
+  std::vector<double> b(m, 0.0);
+  for (const Observation& o : order_) {
+    const std::vector<double>& phi = features_[o.candidate];
+    const double y = (o.value - mean) / y_scale;
+    for (std::size_t i = 0; i < m; ++i) {
+      b[i] += phi[i] * y;
+      for (std::size_t j = 0; j < m; ++j) a[i][j] += phi[i] * phi[j];
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) a[i][i] += options_.ridge_lambda;
+  const std::vector<double> w = solve_linear(std::move(a), std::move(b));
+
+  // Residual scale drives the uncertainty amplitude (floored so EI
+  // never flatlines after a lucky exact fit).
+  double resid = 0.0;
+  for (const Observation& o : order_) {
+    const std::vector<double>& phi = features_[o.candidate];
+    double mu = 0.0;
+    for (std::size_t i = 0; i < m; ++i) mu += w[i] * phi[i];
+    const double d = (o.value - mean) / y_scale - mu;
+    resid += d * d;
+  }
+  const double sigma0 = std::max(std::sqrt(resid / double(nobs)), 0.05);
+
+  const double f_star = (best_value_ - mean) / y_scale;
+  const double xi = options_.xi;
+  const double s2 = options_.rbf_scale * options_.rbf_scale;
+
+  double best_ei = -std::numeric_limits<double>::infinity();
+  std::size_t best_idx = candidates_.size();
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    if (observed_.count(i) != 0) continue;
+    const std::vector<double>& phi = features_[i];
+    double mu = 0.0;
+    for (std::size_t k = 0; k < m; ++k) mu += w[k] * phi[k];
+
+    double d2_min = std::numeric_limits<double>::infinity();
+    for (const auto& [candidate, value] : observed_)
+      d2_min = std::min(d2_min, squared_distance(embed_[i], embed_[candidate]));
+    const double sigma =
+        sigma0 * std::sqrt(1.0 - std::exp(-d2_min / s2));
+
+    double ei;
+    const double improve = f_star - mu - xi;
+    if (sigma <= 1e-12) {
+      ei = std::max(improve, 0.0);
+    } else {
+      const double z = improve / sigma;
+      ei = improve * normal_cdf(z) + sigma * normal_pdf(z);
+    }
+    // Strict > with in-order iteration: ties resolve to the lowest
+    // rank, keeping the argmax deterministic.
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_idx = i;
+    }
+  }
+  ARCS_CHECK(best_idx < candidates_.size());
+  return best_idx;
+}
+
+harmony::Point SurrogateSearch::next(const harmony::SearchSpace& space) {
+  prepare(space);
+  if (converged(space)) return best(space);
+  for (const std::size_t idx : init_plan_)
+    if (observed_.count(idx) == 0) return candidates_[idx];
+  return candidates_[acquire()];
+}
+
+void SurrogateSearch::report(const harmony::SearchSpace& space,
+                             const harmony::Point& point, double value) {
+  add_observation(space, point, value);
+}
+
+void SurrogateSearch::observe(const harmony::SearchSpace& space,
+                              const harmony::Point& point, double value) {
+  add_observation(space, point, value);
+}
+
+bool SurrogateSearch::converged(const harmony::SearchSpace& space) const {
+  if (!prepared_) return false;
+  (void)space;
+  return order_.size() >= options_.max_evals ||
+         observed_.size() >= candidates_.size();
+}
+
+harmony::Point SurrogateSearch::best(const harmony::SearchSpace& space) const {
+  ARCS_CHECK_MSG(has_best_, "surrogate: best() before any report()");
+  (void)space;
+  return candidates_[best_candidate_];
+}
+
+double SurrogateSearch::best_value() const {
+  ARCS_CHECK_MSG(has_best_, "surrogate: best_value() before any report()");
+  return best_value_;
+}
+
+}  // namespace arcs::search

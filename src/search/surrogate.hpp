@@ -1,0 +1,93 @@
+// Surrogate-model search (StrategyKind::Surrogate).
+//
+// A Bayesian-optimization-style searcher over the *enumerable* spaces
+// this repo tunes: a deterministic seeded init sample, an incremental
+// ridge regression over RBF-augmented features (ordinal dimensions embed
+// on a line, categorical/boolean ones one-hot — DimensionKind decides),
+// and an expected-improvement acquisition argmaxed over the canonical
+// enumeration. Because candidates are enumerable there is no inner
+// optimizer: the acquisition is evaluated at every not-yet-observed
+// canonical point and ties break on the lowest rank, so a fixed seed
+// reproduces the proposal sequence bit-for-bit.
+//
+// The uncertainty term is distance-based rather than a full GP
+// posterior: sigma grows from 0 at observed points toward the residual
+// scale far from them. That keeps the math at "ridge solve + nearest
+// observed distance" while preserving the EI property the portfolio
+// relies on — observed points score 0 and are never re-proposed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "harmony/strategy.hpp"
+
+namespace arcs::search {
+
+struct SurrogateOptions {
+  /// Seeded space-filling sample measured before the model takes over.
+  std::size_t init_samples = 6;
+  /// Convergence budget (distinct configurations measured).
+  std::size_t max_evals = 40;
+  /// Ridge regularizer on the normal equations.
+  double ridge_lambda = 1e-3;
+  /// RBF length scale in normalized coordinate space.
+  double rbf_scale = 0.35;
+  /// Number of seeded RBF centers added to the feature map.
+  std::size_t rbf_centers = 6;
+  /// EI exploration margin, as a fraction of the observed value spread.
+  double xi = 0.01;
+};
+
+class SurrogateSearch final : public harmony::Strategy {
+ public:
+  SurrogateSearch(const SurrogateOptions& options, std::uint64_t seed);
+
+  harmony::Point next(const harmony::SearchSpace& space) override;
+  void report(const harmony::SearchSpace& space, const harmony::Point& point,
+              double value) override;
+  bool converged(const harmony::SearchSpace& space) const override;
+  harmony::Point best(const harmony::SearchSpace& space) const override;
+  double best_value() const override;
+  std::string_view name() const override { return "surrogate"; }
+
+  /// Foreign observation injection: the portfolio racer feeds every
+  /// measurement to its surrogate arms so they model the region from
+  /// the whole race's data, not just their own turns. Identical to
+  /// report() minus the propose/measure bookkeeping.
+  void observe(const harmony::SearchSpace& space, const harmony::Point& point,
+               double value);
+
+  /// Distinct configurations observed so far.
+  std::size_t observations() const { return order_.size(); }
+
+ private:
+  struct Observation {
+    std::size_t candidate = 0;  ///< index into candidates_
+    double value = 0.0;
+  };
+
+  void prepare(const harmony::SearchSpace& space);
+  void add_observation(const harmony::SearchSpace& space,
+                       const harmony::Point& point, double value);
+  std::size_t acquire() const;
+
+  SurrogateOptions options_;
+  std::uint64_t seed_ = 0;
+
+  bool prepared_ = false;
+  std::vector<harmony::Point> candidates_;       ///< canonical enumeration
+  std::vector<std::vector<double>> embed_;       ///< per-candidate embedding
+  std::vector<std::vector<double>> features_;    ///< embedding + RBF + bias
+  std::map<std::uint64_t, std::size_t> rank_to_candidate_;
+  std::vector<std::size_t> init_plan_;           ///< seeded init candidates
+
+  std::map<std::size_t, double> observed_;       ///< candidate -> value
+  std::vector<Observation> order_;               ///< observation order
+  std::size_t best_candidate_ = 0;
+  double best_value_ = 0.0;
+  bool has_best_ = false;
+};
+
+}  // namespace arcs::search

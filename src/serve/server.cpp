@@ -46,7 +46,8 @@ const harmony::SearchSpace& TuningServer::space_for(
   return spaces_
       .emplace(machine,
                arcs_search_space(spec->second, options_.tune_frequency,
-                                 options_.tune_placement))
+                                 options_.tune_placement,
+                                 options_.conditional_space))
       .first->second;
 }
 
@@ -274,9 +275,14 @@ Response TuningServer::handle_get(const Request& request) {
               center_frac_for(space, *predicted);
           harmony::SessionOptions session_opts;
           session_opts.memoize = true;
+          search::SearchOptions search_opts;
+          search_opts.base = search;
+          search_opts.surrogate = options_.surrogate;
+          search_opts.portfolio = options_.portfolio;
           auto inflight = std::make_unique<InFlight>();
           inflight->session = std::make_unique<harmony::Session>(
-              space, harmony::make_strategy(method, search), session_opts);
+              space, search::make_strategy(method, search_opts),
+              session_opts);
           sessions_.emplace(request.key, std::move(inflight));
           metrics_.searches_started.add();
         }
@@ -288,12 +294,17 @@ Response TuningServer::handle_get(const Request& request) {
       // This client becomes the key's driver — admission said yes above.
       harmony::SessionOptions session_opts;
       session_opts.memoize = method != harmony::StrategyKind::Exhaustive;
+      search::SearchOptions search_opts;
+      search_opts.base = search;
+      search_opts.surrogate = options_.surrogate;
+      search_opts.portfolio = options_.portfolio;
       auto inflight = std::make_unique<InFlight>();
       {
         const telemetry::ScopedSpan propose(telemetry::Category::Harmony,
                                             "harmony/propose");
         inflight->session = std::make_unique<harmony::Session>(
-            space, harmony::make_strategy(method, search), session_opts);
+            space, search::make_strategy(method, search_opts),
+            session_opts);
         inflight->proposal = inflight->session->next_values();
       }
       inflight->outstanding = true;
@@ -463,7 +474,12 @@ Response TuningServer::handle_snapshot(const Request& request) {
 
 Response TuningServer::handle_warm_start(const Request& request) {
   Response response;
-  const HistoryStore store = HistoryStore::deserialize(request.payload);
+  HistoryStore store = HistoryStore::deserialize(request.payload);
+  // Re-rank the payload's best entries under the server's objective
+  // from the recorded per-candidate components (no-op for time, which
+  // is what the entries were searched under).
+  if (options_.objective != search::Objective::Time)
+    rescore_history(store, options_.objective);
   {
     // Under sessions_mu_ like Put: a Get blocked between its cache check
     // and its cv wait must not miss the wake-up for a loaded key.

@@ -56,6 +56,7 @@
 #include "core/search_space.hpp"
 #include "harmony/session.hpp"
 #include "harmony/strategy_factory.hpp"
+#include "search/factory.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
 #include "sim/machine.hpp"
@@ -70,9 +71,20 @@ struct ServerOptions {
   /// no matter which client drives, which the differential tests rely on.
   harmony::StrategyKind method = harmony::StrategyKind::Exhaustive;
   harmony::StrategyOptions search;
+  /// Options for the surrogate / portfolio methods (src/search/).
+  search::SurrogateOptions surrogate;
+  search::PortfolioOptions portfolio;
   /// Extra search dimensions (see ArcsOptions).
   bool tune_frequency = false;
   bool tune_placement = false;
+  /// Conditional Table-I space: chunk active only under dynamic/guided
+  /// (see core/search_space.hpp). Server-owned exhaustive searches then
+  /// skip inactive-coordinate duplicates.
+  bool conditional_space = false;
+  /// Objective used to re-score warm-start payloads from their recorded
+  /// per-candidate (time, energy) components: a server tuned for EDP can
+  /// boot from a time-tuned history and still serve EDP-optimal configs.
+  search::Objective objective = search::Objective::Time;
   /// Bound on concurrently in-flight searches; a Get that would start
   /// one more gets Overloaded. 0 = unbounded.
   std::size_t max_inflight = 0;

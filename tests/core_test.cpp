@@ -162,13 +162,74 @@ TEST(History, MergeOverwritesCollisionsKeepsRest) {
   EXPECT_EQ(base.get(make_key("only_fresh"))->config.num_threads, 2);
 }
 
-TEST(History, SerializeEmitsV3HeaderAndCountFooters) {
+TEST(History, SerializeEmitsV4HeaderAndCountFooters) {
   arcs::HistoryStore store;
   store.put(make_key("r"), {{8, {}}, 1.0, 1});
   const auto text = store.serialize();
-  EXPECT_TRUE(text.starts_with("#%arcs-history v3\n"));
+  EXPECT_TRUE(text.starts_with("#%arcs-history v4\n"));
   EXPECT_NE(text.find("\n#%count 1\n"), std::string::npos);
   EXPECT_NE(text.find("\n#%samples 0\n"), std::string::npos);
+  // An unknown method serializes as the "-" placeholder.
+  EXPECT_NE(text.find("|1|-\n"), std::string::npos);
+}
+
+TEST(History, V4MethodAndSampleTimeRoundTrip) {
+  arcs::HistoryStore store;
+  arcs::HistoryEntry entry{{8, {}}, 1.0, 7, "portfolio:nelder-mead"};
+  store.put(make_key("r"), entry);
+  arcs::HistorySample sample{
+      make_key("r"), {8, {sp::ScheduleKind::Dynamic, 16}}, 30.0, 120.0, 0.5};
+  store.add_sample(sample);
+  const auto loaded = arcs::HistoryStore::deserialize(store.serialize());
+  EXPECT_EQ(loaded.get(make_key("r"))->method, "portfolio:nelder-mead");
+  ASSERT_EQ(loaded.sample_count(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.samples()[0].value, 30.0);
+  EXPECT_DOUBLE_EQ(loaded.samples()[0].energy, 120.0);
+  EXPECT_DOUBLE_EQ(loaded.samples()[0].time, 0.5);
+  // The (time, energy) pair feeds the multi-objective layer directly.
+  EXPECT_DOUBLE_EQ(loaded.samples()[0].objective_point().edp(),
+                   120.0 * 0.5 * 0.5);
+}
+
+TEST(History, V3SampleLinesFallBackToTimeEqualsValue) {
+  const auto store = arcs::HistoryStore::deserialize(
+      "#%arcs-history v3\n"
+      "SP|crill|85.0|B|r|(8, static, default)|1.0|5\n"
+      "*SP|crill|85.0|B|r|(8, static, default)|1.0|12.5\n"
+      "#%count 1\n#%samples 1\n");
+  ASSERT_EQ(store.sample_count(), 1u);
+  EXPECT_DOUBLE_EQ(store.samples()[0].time, 1.0);
+  EXPECT_TRUE(store.get(make_key("r"))->method.empty());
+}
+
+TEST(History, RescoreReplaysSamplesUnderAnotherObjective) {
+  arcs::HistoryStore store;
+  // Config A: fastest. Config B: far lower energy, slightly slower.
+  arcs::HistorySample a{make_key("r"), {8, {}}, 1.0, 200.0, 1.0};
+  arcs::HistorySample b{
+      make_key("r"), {4, {sp::ScheduleKind::Dynamic, 8}}, 1.2, 50.0, 1.2};
+  store.add_sample(a);
+  store.add_sample(b);
+  store.put(make_key("r"), {{8, {}}, 1.0, 2, "nelder-mead"});
+  // Under time, the entry already holds the best sample: no change.
+  EXPECT_EQ(arcs::rescore_history(store, arcs::search::Objective::Time), 0u);
+  EXPECT_EQ(store.get(make_key("r"))->config.num_threads, 8);
+  // Under energy (and EDP), config B wins.
+  EXPECT_EQ(arcs::rescore_history(store, arcs::search::Objective::Energy),
+            1u);
+  EXPECT_EQ(store.get(make_key("r"))->config.num_threads, 4);
+  EXPECT_DOUBLE_EQ(store.get(make_key("r"))->best_value, 50.0);
+  // Evaluations and method survive the re-score.
+  EXPECT_EQ(store.get(make_key("r"))->evaluations, 2u);
+  EXPECT_EQ(store.get(make_key("r"))->method, "nelder-mead");
+  // A key with samples but no entry gets one synthesized.
+  arcs::HistoryStore fresh;
+  fresh.add_sample(a);
+  fresh.add_sample(b);
+  EXPECT_EQ(arcs::rescore_history(fresh, arcs::search::Objective::EDP), 0u);
+  ASSERT_TRUE(fresh.get(make_key("r")).has_value());
+  EXPECT_EQ(fresh.get(make_key("r"))->config.num_threads, 4);
+  EXPECT_EQ(fresh.get(make_key("r"))->evaluations, 2u);
 }
 
 TEST(History, V3SamplesRoundTrip) {
@@ -250,7 +311,7 @@ TEST(History, TornSampleSectionRejected) {
 }
 
 TEST(History, UnsupportedVersionRejected) {
-  EXPECT_THROW(arcs::HistoryStore::deserialize("#%arcs-history v4\n"),
+  EXPECT_THROW(arcs::HistoryStore::deserialize("#%arcs-history v5\n"),
                arcs::common::ContractError);
   EXPECT_THROW(arcs::HistoryStore::deserialize("#%arcs-history\n"),
                arcs::common::ContractError);

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -413,6 +414,47 @@ TEST(ModelDifferential, PredictorsPickNearOptimalOnSweptLandscape) {
           << to_string(kind) << " on " << spec.name;
     }
   }
+}
+
+// A conditional sweep (the arcs_landscape/--dataset default) emits each
+// canonical configuration exactly once: the dump row count drops from the
+// flat grid's size() to num_canonical_points(), and no two rows share a
+// decoded configuration. On crill that is the Table-I 252 → 140 drop.
+TEST(ModelDataset, ConditionalSweepDumpsEachCanonicalConfigOnce) {
+  const kn::AppSpec app = kn::synthetic_app();
+  const sc::MachineSpec machine = sc::testbox();
+  const auto& spec = app.regions.front();
+  const auto flat_space = arcs::arcs_search_space(machine);
+  const auto cond_space = arcs::arcs_search_space(
+      machine, /*with_frequency=*/false, /*with_placement=*/false,
+      /*conditional=*/true);
+
+  const auto flat = kn::sweep_region(app, spec.name, machine, 0.0);
+  const auto cond =
+      kn::sweep_region(app, spec.name, machine, 0.0, /*conditional=*/true);
+  EXPECT_EQ(flat.size(), flat_space.size());
+  EXPECT_EQ(cond.size(), cond_space.num_canonical_points());
+  EXPECT_LT(cond.size(), flat.size());
+
+  md::Dataset data;
+  for (const auto& outcome : cond)
+    data.add(kn::example_from_outcome(app, spec, machine, 0.0, outcome));
+  EXPECT_EQ(data.size(), cond_space.num_canonical_points());
+
+  std::set<std::string> distinct;
+  for (const auto& outcome : cond)
+    EXPECT_TRUE(distinct.insert(outcome.config.to_string()).second)
+        << "duplicate canonical config " << outcome.config.to_string();
+
+  // The paper machine's Table-I numbers from the ISSUE: 7 thread counts
+  // x 4 schedules x 9 chunks flat; chunk collapses outside
+  // dynamic/guided.
+  const auto crill_flat = arcs::arcs_search_space(sc::crill());
+  const auto crill_cond = arcs::arcs_search_space(
+      sc::crill(), /*with_frequency=*/false, /*with_placement=*/false,
+      /*conditional=*/true);
+  EXPECT_EQ(crill_flat.size(), 252u);
+  EXPECT_EQ(crill_cond.num_canonical_points(), 140u);
 }
 
 // ---------- the Predicted tuning strategy ----------

@@ -1,0 +1,570 @@
+// Tests for the src/search subsystem: the ConditionalSpace builder and
+// the harmony-space conditional semantics it compiles to (randomized
+// property tests against brute-force enumeration), configuration
+// identity across inactive coordinates (canonicalize / decode /
+// canonical_config / snap_config all agree), Pareto-front extraction,
+// seed-determinism of the Surrogate and Portfolio strategies (direct
+// replay plus the exec-layer serial == pool differential), a
+// portfolio-under-serve contention suite (a TSan target of
+// tools/ci.sh), and the CLI <-> docs drift gates for arcs_tune.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/arcs.hpp"
+#include "exec/experiment.hpp"
+#include "exec/pool.hpp"
+#include "model/predictor.hpp"
+#include "search/conditional.hpp"
+#include "search/factory.hpp"
+#include "search/objective.hpp"
+#include "serve/serve.hpp"
+#include "sim/presets.hpp"
+
+namespace hm = arcs::harmony;
+namespace se = arcs::search;
+namespace sp = arcs::somp;
+namespace sv = arcs::serve;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Random conditional spaces, checked against brute-force enumeration.
+
+/// A small random space: 2-4 dimensions of 2-4 values each, random
+/// kinds, and (for non-first dimensions) a coin-flip activation
+/// predicate on a random earlier parent with a random proper subset of
+/// activating values and a random canonical index. Cascaded chains
+/// (child conditioned on a conditional parent) arise naturally.
+hm::SearchSpace random_space(arcs::common::Rng& rng) {
+  const std::size_t num_dims = 2 + rng.uniform_index(3);
+  std::vector<hm::Dimension> dims;
+  for (std::size_t d = 0; d < num_dims; ++d) {
+    hm::Dimension dim;
+    dim.name = "d" + std::to_string(d);
+    const std::size_t kind = rng.uniform_index(3);
+    dim.kind = kind == 0   ? hm::DimensionKind::Ordinal
+               : kind == 1 ? hm::DimensionKind::Categorical
+                           : hm::DimensionKind::Boolean;
+    // Booleans are contract-checked to exactly two values.
+    const std::size_t extent = dim.kind == hm::DimensionKind::Boolean
+                                   ? 2
+                                   : 2 + rng.uniform_index(3);
+    for (std::size_t v = 0; v < extent; ++v)
+      dim.values.push_back(static_cast<hm::Value>(10 * d + v));
+    if (d > 0 && rng.uniform_index(2) == 0) {
+      hm::Activation act;
+      act.parent = rng.uniform_index(d);
+      const std::size_t parent_extent = dims[act.parent].values.size();
+      // Nonempty proper subset, so the predicate can actually fail.
+      const std::size_t count = 1 + rng.uniform_index(parent_extent - 1);
+      std::vector<std::size_t> all(parent_extent);
+      for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t j = i + rng.uniform_index(all.size() - i);
+        std::swap(all[i], all[j]);
+      }
+      act.allowed.assign(all.begin(),
+                         all.begin() + static_cast<std::ptrdiff_t>(count));
+      std::sort(act.allowed.begin(), act.allowed.end());
+      dim.activation = act;
+      dim.canonical = rng.uniform_index(extent);
+    }
+    dims.push_back(std::move(dim));
+  }
+  return hm::SearchSpace(std::move(dims));
+}
+
+TEST(ConditionalSpaceProperty, CanonicalEnumerationMatchesBruteForce) {
+  arcs::common::Rng rng(0xa5c5);
+  for (int trial = 0; trial < 64; ++trial) {
+    const auto space = random_space(rng);
+
+    // Brute force: canonicalize every flat point; the distinct
+    // canonical ranks are the distinct configurations.
+    std::set<std::uint64_t> brute_ranks;
+    std::uint64_t flat_count = 0;
+    hm::Point p = space.origin();
+    do {
+      ++flat_count;
+      const hm::Point c = space.canonicalize(p);
+      EXPECT_TRUE(space.is_canonical(c));
+      // Idempotent, and decode goes through the canonical form.
+      EXPECT_EQ(space.canonicalize(c), c);
+      EXPECT_EQ(space.decode(p), space.decode(c));
+      EXPECT_EQ(space.canonical_rank(p), space.rank(c));
+      brute_ranks.insert(space.rank(c));
+    } while (space.advance(p));
+    ASSERT_EQ(flat_count, space.size());
+
+    // The closed-form count equals the brute-force distinct count.
+    EXPECT_EQ(space.num_canonical_points(), brute_ranks.size())
+        << "trial " << trial;
+
+    // advance_canonical visits exactly the distinct configurations,
+    // each canonical, no repeats.
+    std::set<std::uint64_t> walked;
+    hm::Point q = space.canonical_origin();
+    do {
+      EXPECT_TRUE(space.is_canonical(q)) << "trial " << trial;
+      EXPECT_TRUE(walked.insert(space.rank(q)).second)
+          << "trial " << trial << ": canonical walk revisited a point";
+    } while (space.advance_canonical(q));
+    EXPECT_EQ(walked, brute_ranks) << "trial " << trial;
+  }
+}
+
+TEST(ConditionalSpaceProperty, UnconditionalSpaceIsItsOwnCanonicalWalk) {
+  arcs::common::Rng rng(0xbeef);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto space = random_space(rng);
+    if (space.conditional()) continue;  // only the unconditional draws
+    EXPECT_EQ(space.num_canonical_points(), space.size());
+    hm::Point p = space.origin();
+    do {
+      EXPECT_TRUE(space.is_canonical(p));
+      EXPECT_EQ(space.canonicalize(p), p);
+    } while (space.advance(p));
+  }
+}
+
+// ---------------------------------------------------------------------
+// ConditionalSpace builder validation.
+
+TEST(ConditionalSpaceBuilder, CompilesChunkUnderScheduleShape) {
+  se::ConditionalSpace builder;
+  const std::size_t sched = builder.add_categorical("schedule", {0, 1, 2});
+  const std::size_t chunk = builder.add_ordinal("chunk", {1, 8, 64});
+  builder.only_when(chunk, sched, {0, 2}, /*canonical_value=*/1);
+  const auto space = builder.build();
+  EXPECT_TRUE(space.conditional());
+  EXPECT_EQ(space.size(), 9u);
+  // schedule in {0,2}: 3 chunks each; schedule 1: chunk collapsed = 1.
+  EXPECT_EQ(space.num_canonical_points(), 7u);
+  EXPECT_FALSE(space.active({1, 0}, chunk));
+  EXPECT_TRUE(space.active({0, 0}, chunk));
+}
+
+TEST(ConditionalSpaceBuilder, RejectsIllFormedDeclarations) {
+  se::ConditionalSpace builder;
+  const std::size_t parent = builder.add_categorical("p", {0, 1});
+  const std::size_t child = builder.add_ordinal("c", {5, 6});
+  // Child must come after the parent.
+  EXPECT_THROW(builder.only_when(parent, child, {5}, 0),
+               arcs::common::ContractError);
+  // Activating values must be candidates of the parent.
+  EXPECT_THROW(builder.only_when(child, parent, {7}, 5),
+               arcs::common::ContractError);
+  // The canonical value must be a candidate of the child.
+  EXPECT_THROW(builder.only_when(child, parent, {0}, 42),
+               arcs::common::ContractError);
+  // Unknown handles.
+  EXPECT_THROW(builder.only_when(9, parent, {0}, 5),
+               arcs::common::ContractError);
+  EXPECT_THROW(se::ConditionalSpace().add_ordinal("empty", {}),
+               arcs::common::ContractError);
+}
+
+// ---------------------------------------------------------------------
+// Configuration identity across inactive coordinates, on the real
+// Table-I space. Decision caches and history files store canonical
+// configs, so two spellings of one configuration must collide
+// everywhere: canonical_rank, decode, canonical_config, snap_config.
+
+TEST(ConditionalArcsSpace, InactiveCoordinateTwinsShareIdentity) {
+  const auto machine = arcs::sim::crill();
+  const auto space = arcs::arcs_search_space(
+      machine, /*with_frequency=*/false, /*with_placement=*/false,
+      /*conditional=*/true);
+  ASSERT_EQ(space.num_dimensions(), 3u);  // threads, schedule, chunk
+  // Dimension order is Table I's: schedule index 1 = Static.
+  const std::size_t kStatic = 1;
+
+  // Two spellings of "static schedule" differing only in the inactive
+  // chunk coordinate.
+  const hm::Point a = {2, kStatic, 1};
+  const hm::Point b = {2, kStatic, 5};
+  EXPECT_FALSE(space.active(a, 2));
+  EXPECT_EQ(space.canonical_rank(a), space.canonical_rank(b));
+  EXPECT_EQ(space.decode(a), space.decode(b));
+  EXPECT_EQ(space.canonicalize(a), space.canonicalize(b));
+
+  // The same collapse at the LoopConfig level: a static schedule with
+  // chunk 8 and with chunk 64 are one configuration.
+  sp::LoopConfig c1;
+  c1.num_threads = 16;
+  c1.schedule = {sp::ScheduleKind::Static, 8};
+  sp::LoopConfig c2 = c1;
+  c2.schedule.chunk = 64;
+  EXPECT_EQ(arcs::canonical_config(space, c1),
+            arcs::canonical_config(space, c2));
+  EXPECT_EQ(arcs::model::snap_config(space, c1),
+            arcs::model::snap_config(space, c2));
+  EXPECT_TRUE(space.is_canonical(arcs::model::snap_config(space, c1)));
+
+  // Active chunk (guided) must NOT collapse: the twins stay distinct.
+  sp::LoopConfig g1 = c1, g2 = c2;
+  g1.schedule.kind = g2.schedule.kind = sp::ScheduleKind::Guided;
+  EXPECT_NE(arcs::model::snap_config(space, g1),
+            arcs::model::snap_config(space, g2));
+}
+
+TEST(ConditionalArcsSpace, CrillCountsMatchTheBenchGate) {
+  const auto machine = arcs::sim::crill();
+  const auto flat = arcs::arcs_search_space(machine);
+  const auto cond = arcs::arcs_search_space(machine, false, false, true);
+  EXPECT_EQ(flat.size(), 252u);
+  EXPECT_EQ(cond.num_canonical_points(), 140u);
+  // The x18 economy gate's structural half.
+  EXPECT_LE(static_cast<double>(cond.num_canonical_points()) /
+                static_cast<double>(flat.size()),
+            0.6);
+}
+
+// ---------------------------------------------------------------------
+// Pareto-front extraction.
+
+TEST(ParetoFront, EmptyAndSingleton) {
+  EXPECT_TRUE(se::pareto_front({}).empty());
+  const std::vector<se::ObjectivePoint> one = {{1.0, 2.0}};
+  EXPECT_EQ(se::pareto_front(one), std::vector<std::size_t>{0});
+  EXPECT_TRUE(se::on_pareto_front(one, 0));
+}
+
+TEST(ParetoFront, DominatedPointsAreDropped) {
+  const std::vector<se::ObjectivePoint> points = {
+      {1.0, 4.0},  // on front (best time)
+      {2.0, 2.0},  // on front
+      {2.0, 3.0},  // dominated by {2,2}
+      {4.0, 1.0},  // on front (best energy)
+      {5.0, 5.0},  // dominated by everything
+  };
+  EXPECT_EQ(se::pareto_front(points), (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_FALSE(se::on_pareto_front(points, 2));
+  EXPECT_FALSE(se::on_pareto_front(points, 4));
+}
+
+TEST(ParetoFront, DuplicateComponentPairsAllStay) {
+  const std::vector<se::ObjectivePoint> points = {
+      {1.0, 2.0}, {2.0, 1.0}, {1.0, 2.0}};
+  EXPECT_EQ(se::pareto_front(points), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Objective, ScalarizeFallsBackToTimeWithoutEnergy) {
+  EXPECT_EQ(se::scalarize(se::Objective::Time, 2.0, 100.0), 2.0);
+  EXPECT_EQ(se::scalarize(se::Objective::Energy, 2.0, 100.0), 100.0);
+  EXPECT_EQ(se::scalarize(se::Objective::EDP, 2.0, 100.0), 400.0);
+  // No energy counter (<= 0): every objective degrades to time.
+  EXPECT_EQ(se::scalarize(se::Objective::Energy, 2.0, 0.0), 2.0);
+  EXPECT_EQ(se::scalarize(se::Objective::EDP, 2.0, -1.0), 2.0);
+}
+
+TEST(Objective, RoundTripsNames) {
+  for (const auto objective :
+       {se::Objective::Time, se::Objective::Energy, se::Objective::EDP})
+    EXPECT_EQ(se::objective_from_string(se::to_string(objective)),
+              objective);
+  EXPECT_THROW(se::objective_from_string("speed"),
+               arcs::common::ContractError);
+}
+
+// ---------------------------------------------------------------------
+// Seed determinism: the same seed replays the identical proposal
+// sequence, for the surrogate directly and for the whole portfolio.
+
+/// Deterministic synthetic objective over decoded values: smooth with a
+/// unique optimum, so searches have something real to find.
+double toy_objective(const std::vector<hm::Value>& values) {
+  double v = 1.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double x = static_cast<double>(values[i]);
+    v += 0.01 * (x - 7.0 * static_cast<double>(i + 1)) *
+         (x - 7.0 * static_cast<double>(i + 1)) / (1.0 + x * x * 1e-3);
+  }
+  return v;
+}
+
+/// Drives a strategy to convergence; returns the proposal rank sequence.
+std::vector<std::uint64_t> drive_ranks(hm::Strategy& strategy,
+                                       const hm::SearchSpace& space) {
+  std::vector<std::uint64_t> ranks;
+  while (!strategy.converged(space)) {
+    const hm::Point p = strategy.next(space);
+    ranks.push_back(space.rank(p));
+    strategy.report(space, p, toy_objective(space.decode(p)));
+    ARCS_CHECK_MSG(ranks.size() < 4096, "strategy failed to converge");
+  }
+  return ranks;
+}
+
+TEST(SearchDeterminism, SurrogateReplaysBitIdentically) {
+  const auto space = arcs::arcs_search_space(arcs::sim::testbox(), false,
+                                             false, /*conditional=*/true);
+  se::SurrogateOptions options;
+  options.max_evals = 18;
+  se::SurrogateSearch first(options, /*seed=*/11);
+  se::SurrogateSearch second(options, /*seed=*/11);
+  const auto a = drive_ranks(first, space);
+  const auto b = drive_ranks(second, space);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(first.best_value(), second.best_value());
+  EXPECT_EQ(first.best(space), second.best(space));
+
+  // Proposals are canonical and never repeat: distinct configurations.
+  std::set<std::uint64_t> distinct(a.begin(), a.end());
+  EXPECT_EQ(distinct.size(), a.size());
+  EXPECT_EQ(a.size(), options.max_evals);
+}
+
+TEST(SearchDeterminism, SurrogateSeedChangesTheInitPlan) {
+  const auto space = arcs::arcs_search_space(arcs::sim::testbox(), false,
+                                             false, /*conditional=*/true);
+  se::SurrogateOptions options;
+  options.max_evals = 18;
+  se::SurrogateSearch first(options, /*seed=*/11);
+  se::SurrogateSearch second(options, /*seed=*/12);
+  EXPECT_NE(drive_ranks(first, space), drive_ranks(second, space));
+}
+
+TEST(SearchDeterminism, PortfolioReplaysBitIdentically) {
+  const auto space = arcs::arcs_search_space(arcs::sim::testbox(), false,
+                                             false, /*conditional=*/true);
+  se::SearchOptions options;
+  options.base.seed = 21;
+  const auto first =
+      se::make_strategy(hm::StrategyKind::Portfolio, options);
+  const auto second =
+      se::make_strategy(hm::StrategyKind::Portfolio, options);
+  const auto a = drive_ranks(*first, space);
+  const auto b = drive_ranks(*second, space);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(first->best_value(), second->best_value());
+  EXPECT_EQ(first->best(space), second->best(space));
+  EXPECT_LE(a.size(), options.portfolio.max_evals);
+}
+
+TEST(SearchDeterminism, FactoryParsesEveryStrategyName) {
+  EXPECT_EQ(se::strategy_kind_from_string("surrogate"),
+            hm::StrategyKind::Surrogate);
+  EXPECT_EQ(se::strategy_kind_from_string("portfolio"),
+            hm::StrategyKind::Portfolio);
+  EXPECT_EQ(se::strategy_kind_from_string("nm"),
+            hm::StrategyKind::NelderMead);
+  EXPECT_THROW(se::strategy_kind_from_string("gradient"),
+               arcs::common::ContractError);
+}
+
+// ---------------------------------------------------------------------
+// Exec-layer differential: a pool-parallel campaign of Surrogate- and
+// Portfolio-tuned experiments is bit-identical to the serial run at
+// every worker count (the repo's determinism contract extends to the
+// new strategies).
+
+arcs::exec::PoolOptions pool_of(std::size_t workers) {
+  arcs::exec::PoolOptions options;
+  options.workers = workers;
+  return options;
+}
+
+std::vector<arcs::exec::ExperimentDesc> search_descriptors() {
+  std::vector<arcs::exec::ExperimentDesc> descs;
+  for (const auto method :
+       {hm::StrategyKind::Surrogate, hm::StrategyKind::Portfolio})
+    for (const bool conditional : {false, true})
+      for (const double cap : {55.0, 0.0}) {
+        arcs::exec::ExperimentDesc d;
+        d.app = "synthetic";
+        d.machine = "testbox";
+        d.power_cap = cap;
+        d.strategy = arcs::TuningStrategy::Online;
+        d.online_method = method;
+        d.conditional_space = conditional;
+        d.timesteps_override = 3;
+        d.max_search_passes = 4;
+        descs.push_back(d);
+      }
+  return descs;
+}
+
+std::string fingerprint(const arcs::kernels::RunResult& result) {
+  return arcs::exec::run_result_to_json(result).dump(0);
+}
+
+TEST(SearchDifferential, PoolMatchesSerialForSurrogateAndPortfolio) {
+  const auto descs = search_descriptors();
+  std::vector<std::string> serial;
+  serial.reserve(descs.size());
+  for (const auto& d : descs)
+    serial.push_back(fingerprint(arcs::exec::run_experiment(d)));
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    arcs::exec::ExperimentPool pool(pool_of(workers));
+    const auto outcomes = arcs::exec::run_campaign(pool, descs);
+    ASSERT_EQ(outcomes.size(), descs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      ASSERT_TRUE(outcomes[i].ok())
+          << descs[i].label() << " with " << workers
+          << " workers: " << outcomes[i].error;
+      EXPECT_EQ(fingerprint(outcomes[i].result), serial[i])
+          << descs[i].label() << " diverged at " << workers << " workers";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Portfolio under serve: the contention suite (a TSan target of
+// tools/ci.sh). Many clients hammer one key while the server races a
+// portfolio on a conditional space — still exactly one search.
+
+arcs::HistoryKey contention_key(const std::string& region) {
+  return {"SP", "testbox", 40.0, "B", region};
+}
+
+double synthetic_objective(const sp::LoopConfig& config) {
+  const double threads = config.num_threads == 0
+                             ? 8.0
+                             : static_cast<double>(config.num_threads);
+  const double chunk = config.schedule.chunk == 0
+                           ? 16.0
+                           : static_cast<double>(config.schedule.chunk);
+  const double t = threads - 6.0;
+  const double c = (chunk - 32.0) / 32.0;
+  return 1.0 + 0.01 * (t * t) + 0.005 * (c * c);
+}
+
+std::size_t drive_to_convergence(sv::Client& client,
+                                 const arcs::HistoryKey& key) {
+  std::size_t evaluations = 0;
+  for (;;) {
+    const auto decision = client.decide(key, /*wait_ms=*/1000.0);
+    if (decision.kind == arcs::RemoteDecision::Kind::Apply)
+      return evaluations;
+    if (decision.kind == arcs::RemoteDecision::Kind::Evaluate) {
+      client.report(key, decision.ticket,
+                    synthetic_objective(decision.config));
+      ++evaluations;
+    }
+  }
+}
+
+TEST(SearchContention, PortfolioUnderServeTwelveClientsOneSearch) {
+  sv::ServerOptions options;
+  options.method = hm::StrategyKind::Portfolio;
+  options.conditional_space = true;
+  sv::TuningServer server{options};
+  const auto key = contention_key("hot_region");
+  std::atomic<std::size_t> fleet_evaluations{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 12; ++c) {
+    threads.emplace_back([&server, &fleet_evaluations, key] {
+      sv::LocalClient client{server};
+      fleet_evaluations.fetch_add(drive_to_convergence(client, key),
+                                  std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(server.metrics().searches_started.load(), 1u);
+  EXPECT_EQ(server.metrics().searches_completed.load(), 1u);
+  EXPECT_GE(fleet_evaluations.load(), 1u);
+  EXPECT_EQ(server.inflight(), 0u);
+  const auto decision = server.cache().get(key);
+  ASSERT_TRUE(decision.has_value());
+  // Racing on the conditional space publishes a canonical config.
+  const auto space = arcs::arcs_search_space(arcs::sim::testbox(), false,
+                                             false, /*conditional=*/true);
+  EXPECT_EQ(decision->config,
+            arcs::canonical_config(space, decision->config));
+}
+
+TEST(SearchContention, SurrogateUnderServeDistinctKeysIndependent) {
+  sv::ServerOptions options;
+  options.method = hm::StrategyKind::Surrogate;
+  options.conditional_space = true;
+  sv::TuningServer server{options};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 6; ++c) {
+    threads.emplace_back([&server, c] {
+      sv::LocalClient client{server};
+      drive_to_convergence(client,
+                           contention_key("region_" + std::to_string(c)));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(server.metrics().searches_started.load(), 6u);
+  EXPECT_EQ(server.metrics().searches_completed.load(), 6u);
+  EXPECT_EQ(server.cache().size(), 6u);
+}
+
+// ---------------------------------------------------------------------
+// CLI <-> docs drift gates (the fleet_test pattern, for the search
+// subsystem's surfaces).
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool flag_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+}
+
+std::set<std::string> flags_after(const std::string& text,
+                                  const std::string& marker) {
+  std::set<std::string> flags;
+  for (std::size_t pos = text.find(marker); pos != std::string::npos;
+       pos = text.find(marker, pos + 1)) {
+    std::size_t begin = pos + marker.size();
+    std::size_t end = begin;
+    while (end < text.size() && flag_char(text[end])) ++end;
+    if (end > begin) flags.insert("--" + text.substr(begin, end - begin));
+  }
+  return flags;
+}
+
+std::string join(const std::set<std::string>& flags) {
+  std::string out;
+  for (const auto& f : flags) out += f + " ";
+  return out;
+}
+
+TEST(SearchCli, TuneFlagsMatchHelpAndSearchDocs) {
+  const std::string root = ARCS_SOURCE_ROOT;
+  const std::string source = read_file(root + "/tools/tune.cpp");
+  const auto accepted = flags_after(source, "arg == \"--");
+  const auto helped = flags_after(source, "\"  --");
+  ASSERT_FALSE(accepted.empty()) << "tools/tune.cpp parses no flags?";
+  EXPECT_EQ(accepted, helped)
+      << "tools/tune.cpp accepts [" << join(accepted)
+      << "] but its usage text shows [" << join(helped) << "]";
+  const auto documented =
+      flags_after(read_file(root + "/docs/SEARCH.md"), "--");
+  for (const auto& flag : accepted)
+    EXPECT_TRUE(documented.count(flag) != 0)
+        << flag << " (from tools/tune.cpp) is missing from docs/SEARCH.md";
+}
+
+TEST(SearchCli, SearchDocsCoverArcsdSearchFlags) {
+  // arcsd's full flag set is gated against docs/SERVE.md by fleet_test;
+  // SEARCH.md must additionally explain the search-subsystem trio.
+  const std::string root = ARCS_SOURCE_ROOT;
+  const auto documented =
+      flags_after(read_file(root + "/docs/SEARCH.md"), "--");
+  for (const char* flag : {"--method", "--conditional", "--objective"})
+    EXPECT_TRUE(documented.count(flag) != 0)
+        << flag << " (arcsd) is missing from docs/SEARCH.md";
+}
+
+}  // namespace

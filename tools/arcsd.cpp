@@ -68,7 +68,14 @@ int usage(const char* argv0) {
       "  --max-inflight N     concurrent search sessions before Get\n"
       "                       answers Overloaded (default 0 = unlimited)\n"
       "  --method NAME        search method: exhaustive|nelder-mead|\n"
-      "                       pro|random|annealing (default exhaustive)\n"
+      "                       pro|random|annealing|surrogate|portfolio\n"
+      "                       (default exhaustive)\n"
+      "  --conditional        conditional Table-I space: chunk is active\n"
+      "                       only under dynamic/guided schedules, so\n"
+      "                       exhaustive searches skip the duplicates\n"
+      "  --objective NAME     time|energy|edp (default time): re-scores\n"
+      "                       warm-start histories from their recorded\n"
+      "                       per-candidate (time, energy) components\n"
       "  --model FILE         trained predictor (arcs_tune train); cache\n"
       "                       misses are answered with its prediction in\n"
       "                       one round trip while a model-seeded search\n"
@@ -165,18 +172,27 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--method") {
       const std::string name = next();
-      if (name == "exhaustive")
-        server_opts.method = harmony::StrategyKind::Exhaustive;
-      else if (name == "nelder-mead")
-        server_opts.method = harmony::StrategyKind::NelderMead;
-      else if (name == "pro")
-        server_opts.method = harmony::StrategyKind::ParallelRankOrder;
-      else if (name == "random")
-        server_opts.method = harmony::StrategyKind::Random;
-      else if (name == "annealing")
-        server_opts.method = harmony::StrategyKind::SimulatedAnnealing;
-      else {
+      try {
+        server_opts.method = search::strategy_kind_from_string(name);
+      } catch (const std::exception&) {
         std::fprintf(stderr, "unknown search method: %s\n", name.c_str());
+        return 2;
+      }
+      if (server_opts.method == harmony::StrategyKind::ModelSeeded) {
+        // Daemon sessions have no per-key prediction to seed from; the
+        // --model path drives model seeding instead.
+        std::fprintf(stderr, "arcsd: --method model-seeded is implicit "
+                     "with --model; pick another method\n");
+        return 2;
+      }
+    } else if (arg == "--conditional") {
+      server_opts.conditional_space = true;
+    } else if (arg == "--objective") {
+      const std::string name = next();
+      try {
+        server_opts.objective = search::objective_from_string(name);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "unknown objective: %s\n", name.c_str());
         return 2;
       }
     } else {
@@ -206,7 +222,17 @@ int main(int argc, char** argv) {
   if (!history_path.empty()) {
     if (std::ifstream probe(history_path); probe.good()) {
       try {
-        const HistoryStore warm = HistoryStore::load(history_path);
+        HistoryStore warm = HistoryStore::load(history_path);
+        // A non-time daemon re-ranks the warm start's best entries from
+        // the recorded per-candidate components before serving them.
+        if (server_opts.objective != search::Objective::Time) {
+          const std::size_t rescored =
+              rescore_history(warm, server_opts.objective);
+          std::printf("arcsd: re-scored %zu warm-start entries for the "
+                      "%s objective\n",
+                      rescored,
+                      std::string(to_string(server_opts.objective)).c_str());
+        }
         server.cache().load(warm);
         std::printf("arcsd: warmed cache with %zu decisions from %s\n",
                     warm.size(), history_path.c_str());

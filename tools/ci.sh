@@ -12,6 +12,10 @@
 # sockets: three flight-recorded daemons behind a scraping arcs_fleetd,
 # kill -9 one, assert the page fires within three scrape intervals and
 # the dead daemon's flight dump still validates as arcs-trace/v1.
+# The search-smoke stage drives the src/search subsystem end to end: a
+# portfolio-raced, EDP-scored tune over the conditional space whose
+# v4 history names the winning arm, then the x18/x4 gate benches with
+# their JSON reports schema-checked.
 # Finishes with the somp_verify sweep and a bench smoke step that checks
 # the machine-readable BENCH_*.json reports against their schema.
 #
@@ -64,15 +68,19 @@ echo "=== [tsan] build ==="
 cmake --build "$ROOT/tsan" -j "$JOBS" \
   --target exec_test golden_test somp_test analysis_test serve_test \
            serve_seqlock_test serve_torture_test fleet_test \
-           telemetry_test observability_test model_test somp_verify
+           telemetry_test observability_test model_test search_test \
+           somp_verify
 echo "=== [tsan] exec + somp + serve + fleet + telemetry + model suites under TSan ==="
 # The Fleet suites include FleetRouterSwap: reader threads routing
 # requests while the topology snapshot is swapped underneath them; the
 # TimeSeries/FlightRecorder/Collector suites cover the observability
 # plane's concurrent paths (store namespace map, seqlock event ring,
-# scrape ingest under worker traffic).
+# scrape ingest under worker traffic). SearchContention puts 12 clients
+# on one key while the server races a portfolio on a conditional space;
+# SearchDifferential is the serial == pool fingerprint check for the
+# surrogate/portfolio strategies.
 (cd "$ROOT/tsan" && ctest --output-on-failure -j "$JOBS" \
-  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve|Fleet|Telemetry|TimeSeries|FlightRecorder|Collector|Model|PredictedStrategy|SyncVerifier')
+  -R 'BoundedMpmcQueueTest|ExperimentPoolTest|DescriptorSeedTest|DifferentialTest|FaultContainmentTest|GoldenTest|Serve|Fleet|Telemetry|TimeSeries|FlightRecorder|Collector|Model|PredictedStrategy|SearchContention|SearchDifferential|SyncVerifier')
 "$ROOT/tsan/tools/somp_verify" --app synthetic --steps 3
 
 # The serve torture suites — frame fuzzer, seqlock property tests, and
@@ -184,7 +192,7 @@ assert c["searches_started"] == c["searches_completed"] == 1, c
 assert c["hits"] >= 1 and c["requests"] > c["reports"] > 0, c
 assert "p95_us" in metrics["latency"], metrics
 hist = pathlib.Path(sys.argv[2]).read_text()
-assert hist.startswith("#%arcs-history v3"), hist[:40]
+assert hist.startswith("#%arcs-history v4"), hist[:40]
 assert "#%count 1" in hist, hist
 assert "#%samples" in hist, hist
 print(f"serve smoke: ok ({int(c['requests'])} requests, "
@@ -596,6 +604,68 @@ cold = [row for row in r["rows"] if row["series"] == "serve_cold_start"][0]
 assert cold["one_round_trip"], cold
 print("model bench smoke: seeded/NM = "
       f"{totals['seeded_over_nm']:.3f}, cold start in one round trip")
+PYEOF
+
+echo "=== search smoke: portfolio + EDP over the conditional space, x18/x4 gates ==="
+SEARCH_DIR="$ROOT/search-smoke"
+rm -rf "$SEARCH_DIR" && mkdir -p "$SEARCH_DIR"
+# An online tune racing the portfolio on the conditional Table-I space
+# under the EDP objective; the merged v4 history must name the winning
+# arm (method column "portfolio:<arm>") and carry per-candidate samples.
+"$TOOLS_BIN/arcs_tune" online SP B testbox 40 --steps 10 \
+  --strategy portfolio --objective edp --conditional \
+  --history "$SEARCH_DIR/search.hist" | tee "$SEARCH_DIR/tune.log"
+python3 - "$SEARCH_DIR/search.hist" <<'PYEOF'
+import pathlib, sys
+
+hist = pathlib.Path(sys.argv[1]).read_text()
+assert hist.startswith("#%arcs-history v4"), hist[:40]
+entries = [l for l in hist.splitlines()
+           if l and not l.startswith(("#", "*"))]
+assert entries, "no history entries"
+winners = [l.split("|")[8] for l in entries]
+assert all(w.startswith("portfolio:") for w in winners), winners
+samples = [l for l in hist.splitlines() if l.startswith("*")]
+assert samples, "v4 history lost its per-candidate samples"
+# v4 sample lines end with |value|energy|time — all parseable, energy
+# and time strictly positive on a machine with energy counters.
+for line in samples:
+    value, energy, time = map(float, line.split("|")[6:9])
+    assert value > 0 and energy > 0 and time > 0, line
+print(f"search smoke: {len(entries)} regions tuned, winners "
+      f"{sorted(set(winners))}, {len(samples)} samples")
+PYEOF
+# The subsystem's two gate benches, reports schema-checked. x18's gates
+# (conditional <= 0.6x flat at equal quality; portfolio dominate-or-
+# match) and x4's (every objective argmin on the Pareto front) are the
+# binaries' own exit codes.
+for b in bench_x18_search bench_x4_objectives; do
+  echo "--- $b --json ---"
+  (cd "$SEARCH_DIR" && ARCS_BENCH_FAST=1 "$BENCH_BIN/$b" --json >/dev/null)
+done
+python3 - "$SEARCH_DIR" <<'PYEOF'
+import json, pathlib, sys
+
+out = pathlib.Path(sys.argv[1])
+x18 = json.loads((out / "BENCH_x18_search.json").read_text())
+assert x18["schema"] == "arcs-bench-report/v1", x18["schema"]
+cond = [r for r in x18["rows"] if r.get("gate") == "conditional"]
+assert cond, "x18: no conditional-gate rows"
+for row in cond:
+    assert row["cond_evals"] <= 0.6 * row["flat_evals"], row
+    assert row["cond_best_s"] <= row["flat_best_s"] * (1 + 1e-9), row
+race = [r for r in x18["rows"] if r.get("gate") == "portfolio"]
+assert race, "x18: no portfolio-gate rows"
+for row in race:
+    assert row["portfolio_best_s"] <= row["worst_arm_best_s"] * (1 + 1e-9), row
+x4 = json.loads((out / "BENCH_x4_objectives.json").read_text())
+assert x4["schema"] == "arcs-bench-report/v1", x4["schema"]
+argmins = [r for r in x4["rows"] if r.get("kind") == "objective_argmin"]
+assert argmins and all(r["on_front"] for r in argmins), argmins
+fronts = [r for r in x4["rows"] if r.get("kind") == "front_point"]
+assert fronts, "x4: no Pareto front points"
+print(f"search smoke: x18 {len(cond)} conditional cells + "
+      f"{len(race)} portfolio races, x4 {len(fronts)} front points — gates hold")
 PYEOF
 
 echo "CI: all modes green"

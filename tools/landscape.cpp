@@ -11,6 +11,12 @@
 // arcs-model-dataset/v1 JSONL row — the training corpus the predictive
 // models (src/model) learn from.
 //
+// Sweeps enumerate the *conditional* Table-I space by default: `chunk`
+// is inert under static/default schedules, so each canonical
+// configuration is evaluated and printed exactly once (140 rows on
+// crill instead of the flat grid's 252). `--flat` restores the full
+// grid for comparison against pre-conditional dumps.
+//
 // Each configuration evaluation is an independent simulation, so the
 // sweep fans out across the experiment pool; outcomes are collected in
 // search-space enumeration order, matching kernels::sweep_region exactly.
@@ -42,12 +48,14 @@ namespace {
 /// results in the same search-space enumeration order.
 std::vector<kn::ConfigOutcome> parallel_sweep_region(
     ex::ExperimentPool& pool, const kn::AppSpec& app,
-    const std::string& region, const sc::MachineSpec& machine, double cap) {
-  const arcs::harmony::SearchSpace space =
-      arcs::arcs_search_space(machine);
+    const std::string& region, const sc::MachineSpec& machine, double cap,
+    bool flat) {
+  const arcs::harmony::SearchSpace space = arcs::arcs_search_space(
+      machine, /*with_frequency=*/false, /*with_placement=*/false,
+      /*conditional=*/!flat);
   std::vector<std::future<ex::JobOutcome<kn::ConfigOutcome>>> futures;
-  futures.reserve(space.size());
-  arcs::harmony::Point p = space.origin();
+  futures.reserve(flat ? space.size() : space.num_canonical_points());
+  arcs::harmony::Point p = flat ? space.origin() : space.canonical_origin();
   do {
     const sp::LoopConfig config =
         arcs::config_from_values(space.decode(p));
@@ -58,7 +66,7 @@ std::vector<kn::ConfigOutcome> parallel_sweep_region(
           return kn::run_region_once(app, region, machine, cap, config);
         },
         std::move(job)));
-  } while (space.advance(p));
+  } while (flat ? space.advance(p) : space.advance_canonical(p));
 
   std::vector<kn::ConfigOutcome> outcomes;
   outcomes.reserve(futures.size());
@@ -87,8 +95,9 @@ void collect_examples(arcs::model::Dataset* dataset, const kn::AppSpec& app,
 void print_region_landscape(ex::ExperimentPool& pool, const kn::AppSpec& app,
                             const std::string& region,
                             const sc::MachineSpec& machine, double cap,
-                            arcs::model::Dataset* dataset) {
-  const auto sweep = parallel_sweep_region(pool, app, region, machine, cap);
+                            arcs::model::Dataset* dataset, bool flat) {
+  const auto sweep =
+      parallel_sweep_region(pool, app, region, machine, cap, flat);
   collect_examples(dataset, app, app.region(region), machine, cap, sweep);
   const auto& best = kn::best_outcome(sweep);
   const auto default_out = kn::run_region_once(app, region, machine, cap,
@@ -133,7 +142,7 @@ void print_region_landscape(ex::ExperimentPool& pool, const kn::AppSpec& app,
 
 void print_app_summary(ex::ExperimentPool& pool, const kn::AppSpec& app,
                        const sc::MachineSpec& machine, double cap,
-                       arcs::model::Dataset* dataset) {
+                       arcs::model::Dataset* dataset, bool flat) {
   std::printf("\n== %s (%s) on %s at %s — per-region default vs best ==\n",
               app.name.c_str(), app.workload.c_str(), machine.name.c_str(),
               cap > 0 ? (std::to_string(static_cast<int>(cap)) + "W").c_str()
@@ -142,7 +151,7 @@ void print_app_summary(ex::ExperimentPool& pool, const kn::AppSpec& app,
                          "best config", "barrier share", "calls/step"});
   for (const auto& spec : app.regions) {
     const auto sweep =
-        parallel_sweep_region(pool, app, spec.name, machine, cap);
+        parallel_sweep_region(pool, app, spec.name, machine, cap, flat);
     collect_examples(dataset, app, spec, machine, cap, sweep);
     const auto& best = kn::best_outcome(sweep);
     const auto d = kn::run_region_once(app, spec.name, machine, cap,
@@ -169,6 +178,7 @@ void print_app_summary(ex::ExperimentPool& pool, const kn::AppSpec& app,
 
 int main(int argc, char** argv) {
   std::string dataset_path;
+  bool flat = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -178,6 +188,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       dataset_path = argv[++i];
+    } else if (arg == "--flat") {
+      flat = true;
     } else {
       args.push_back(arg);
     }
@@ -185,9 +197,11 @@ int main(int argc, char** argv) {
   if (args.size() < 3) {
     std::fprintf(stderr,
                  "usage: %s <app> <workload> <machine> [region|-] [cap...]\n"
-                 "       [--dataset <file>]\n"
+                 "       [--dataset <file>] [--flat]\n"
                  "  --dataset: append every swept evaluation as a JSONL "
-                 "training row\n",
+                 "training row\n"
+                 "  --flat: sweep the full flat grid instead of one "
+                 "evaluation per canonical config\n",
                  argv[0]);
     return 1;
   }
@@ -216,9 +230,9 @@ int main(int argc, char** argv) {
   ex::ExperimentPool pool;
   for (const double cap : caps) {
     if (region == "-")
-      print_app_summary(pool, app, machine, cap, collect);
+      print_app_summary(pool, app, machine, cap, collect, flat);
     else
-      print_region_landscape(pool, app, region, machine, cap, collect);
+      print_region_landscape(pool, app, region, machine, cap, collect, flat);
   }
   if (collect != nullptr) {
     dataset.append_jsonl(dataset_path);

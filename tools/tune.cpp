@@ -129,6 +129,9 @@ int main(int argc, char** argv) {
   std::string dataset_path;
   std::string model_path;
   std::string model_kind = "knn";
+  std::string strategy_name;
+  std::string objective_name;
+  bool conditional = false;
   double max_regret = 0.0;
   int steps_override = 0;
   std::vector<std::string> args;
@@ -151,6 +154,12 @@ int main(int argc, char** argv) {
       model_path = value();
     } else if (arg == "--kind") {
       model_kind = value();
+    } else if (arg == "--strategy") {
+      strategy_name = value();
+    } else if (arg == "--objective") {
+      objective_name = value();
+    } else if (arg == "--conditional") {
+      conditional = true;
     } else if (arg == "--max-regret") {
       max_regret = std::atof(value());
     } else if (arg == "--steps") {
@@ -208,20 +217,28 @@ int main(int argc, char** argv) {
                  "       [--model <file>]\n"
                  "   or: %s train --dataset <file> [--model <file>]\n"
                  "       [--kind knn|linear] [--max-regret <x>]\n"
-                 "  search/online with --history: merge this run's bests "
-                 "into the file (atomic replace)\n"
-                 "  replay with --history: load configurations from the "
-                 "file\n"
                  "  remote: tune against an in-process serve service\n"
-                 "  remote with --model: service answers cold starts with "
-                 "model predictions\n"
                  "  predicted: apply --model's per-region predictions, "
                  "refine from there\n"
                  "  train: cross-validate (and save) a predictor from a "
                  "--dataset dump\n"
+                 "  --history: search/online merge bests into the file "
+                 "(atomic replace); replay loads it\n"
                  "  --dataset: append this run's per-candidate "
                  "measurements as JSONL training rows\n"
-                 "  --trace: write a Chrome-trace JSON of the whole run\n",
+                 "  --model: predictor file (train writes it; predicted/"
+                 "remote read it)\n"
+                 "  --kind: predictor kind for train (knn|linear)\n"
+                 "  --max-regret: train fails when cross-validation "
+                 "median regret exceeds this\n"
+                 "  --trace: write a Chrome-trace JSON of the whole run\n"
+                 "  --steps: override the app's timestep count\n"
+                 "  --strategy: online search method (nelder-mead|pro|"
+                 "random|annealing|surrogate|portfolio|exhaustive)\n"
+                 "  --objective: time|energy|edp (energy objectives need "
+                 "energy counters; edp = energy x time^2)\n"
+                 "  --conditional: conditional Table-I space (chunk only "
+                 "under dynamic/guided)\n",
                  argv[0], argv[0]);
     return 1;
   }
@@ -248,6 +265,32 @@ int main(int argc, char** argv) {
   opts.power_cap = desc.power_cap;
   opts.repetitions = 3;  // the paper's protocol
   if (steps_override > 0) opts.timesteps_override = steps_override;
+  opts.conditional_space = conditional;
+  try {
+    if (!strategy_name.empty())
+      opts.online_method = search::strategy_kind_from_string(strategy_name);
+    if (!objective_name.empty()) {
+      switch (search::objective_from_string(objective_name)) {
+        case search::Objective::Time:
+          opts.objective = Objective::Time;
+          break;
+        case search::Objective::Energy:
+          opts.objective = Objective::Energy;
+          break;
+        case search::Objective::EDP:
+          opts.objective = Objective::EnergyDelayProduct;
+          break;
+      }
+      if (opts.objective != Objective::Time && !machine.energy_counters) {
+        std::fprintf(stderr, "--objective %s needs a machine with energy "
+                     "counters\n", objective_name.c_str());
+        return 1;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
 
   // Tracing must be enabled before the pool exists so worker threads
   // register named host lanes; the runtime hook attaches the Observer
